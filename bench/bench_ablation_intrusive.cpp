@@ -1,0 +1,119 @@
+// Ablation A1 — low-intrusive vs stop-the-world debugging.
+//
+// §6.1: "being able to debug individual processes while simultaneously
+// other processes continue running is more efficient than stopping all
+// the processes because the overhead associated to debugging only
+// affects particular processes."
+//
+// Setup: a 4-worker word count. Arms:
+//   none        — no suspension (baseline)
+//   one-worker  — one worker suspended for the first 40% of the run,
+//                 then released (low-intrusive; the queue re-balances)
+//   all-workers — every worker suspended for the same duration
+//                 (stop-the-world)
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "client/multi_client.hpp"
+
+namespace {
+
+using namespace dionea;
+using namespace dionea::bench;
+
+double run_with_suspension(const mapreduce::Corpus& corpus, int workers,
+                           int suspend_count, int hold_millis) {
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+  auto tmp = TempDir::create("ablate");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  dbg::DebugServer server(interp.vm(),
+                          {.port_file = tmp.value().file("ports"),
+                           .stop_forked_children = true});
+  DIONEA_CHECK(server.start().is_ok(), "server");
+
+  std::string program = mapreduce::wordcount_program(corpus.root(), workers);
+  Stopwatch watch;
+  std::thread runner([&] {
+    vm::RunResult result = interp.run_string(program, "wc.ml");
+    if (interp.vm().is_forked_child()) {
+      std::fflush(nullptr);
+      ::_exit(0);
+    }
+    DIONEA_CHECK(result.ok, "wordcount run");
+  });
+
+  client::MultiClient mc(tmp.value().file("ports"));
+  (void)mc.refresh(5000);
+  mc.claim(static_cast<int>(::getpid()));
+
+  // Adopt every worker at birth; keep `suspend_count` of them parked.
+  std::vector<std::pair<client::Session*, std::int64_t>> parked;
+  for (int i = 0; i < workers; ++i) {
+    auto worker = mc.await_new_process(10'000);
+    DIONEA_CHECK(worker.is_ok(), "adopt worker");
+    auto stop = worker.value()->wait_stopped(5000);
+    DIONEA_CHECK(stop.is_ok(), "worker stop");
+    if (static_cast<int>(parked.size()) < suspend_count) {
+      parked.emplace_back(worker.value(), stop.value().tid);
+    } else {
+      DIONEA_CHECK(worker.value()->cont(stop.value().tid).is_ok(), "cont");
+    }
+  }
+  sleep_for_millis(hold_millis);
+  for (auto& [session, tid] : parked) {
+    DIONEA_CHECK(session->cont(tid).is_ok(), "release");
+  }
+  runner.join();
+  double elapsed = watch.elapsed_seconds();
+  server.stop();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A1: low-intrusive vs stop-the-world",
+               "§6.1: per-UE suspension beats stopping every process");
+  print_environment_note();
+
+  auto tmp = TempDir::create("ablate-corpus");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  mapreduce::CorpusSpec spec = mapreduce::scaled_spec(
+      mapreduce::rust_master_spec(), 2.0);
+  auto corpus = mapreduce::Corpus::generate(spec, tmp.value().file("c"));
+  DIONEA_CHECK(corpus.is_ok(), "corpus");
+
+  constexpr int kWorkers = 4;
+  constexpr int kReps = 3;
+  // Hold for roughly half the undisturbed runtime.
+  double baseline = min_seconds(kReps, [&] {
+    return run_with_suspension(corpus.value(), kWorkers, 0, 0);
+  });
+  int hold = static_cast<int>(baseline * 1000.0 * 0.5);
+
+  double one = min_seconds(kReps, [&] {
+    return run_with_suspension(corpus.value(), kWorkers, 1, hold);
+  });
+  double all = min_seconds(kReps, [&] {
+    return run_with_suspension(corpus.value(), kWorkers, kWorkers, hold);
+  });
+
+  std::printf("\nsuspension held for %dms (~50%% of the undisturbed run)\n",
+              hold);
+  std::printf("%-34s %10s %10s\n", "arm", "time", "slowdown");
+  std::printf("%-34s %10s %10s\n", "no suspension",
+              format_duration(baseline).c_str(), "");
+  std::printf("%-34s %10s %+9.1f%%\n",
+              "1 of 4 workers suspended (low-intrusive)",
+              format_duration(one).c_str(), overhead_pct(baseline, one));
+  std::printf("%-34s %10s %+9.1f%%\n", "all 4 workers suspended (stop-world)",
+              format_duration(all).c_str(), overhead_pct(baseline, all));
+  std::printf("\nexpected shape: the low-intrusive arm stays near the "
+              "baseline (free workers absorb the suspended worker's jobs); "
+              "the stop-the-world arm pays the full hold.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation A2 — cost decomposition of the debugging machinery:
+//   * trace hook disarmed vs armed (the flag fork handler A toggles);
+//   * armed with the idle fast path vs full per-line handling;
+//   * per-fork cost of the fork-handler chain (handlers A/B/C plus the
+//     VM's own sync-object pinning and child re-init).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace dionea;
+using namespace dionea::bench;
+
+// Pure interpreter loop — statements dominated by dispatch, the
+// worst case for per-line costs.
+constexpr const char* kSpinProgram =
+    "total = 0\n"
+    "i = 0\n"
+    "while i < 400000\n"
+    "  total = total + i\n"
+    "  i = i + 1\n"
+    "end\n"
+    "puts(total)";
+
+double run_spin(DebugMode mode) {
+  vm::Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  std::unique_ptr<TempDir> tmp;
+  std::unique_ptr<dbg::DebugServer> server;
+  std::unique_ptr<client::Session> session;
+  if (mode != DebugMode::kNone) {
+    auto created = TempDir::create("ablate-trace");
+    DIONEA_CHECK(created.is_ok(), "tempdir");
+    tmp = std::make_unique<TempDir>(std::move(created).value());
+    server = std::make_unique<dbg::DebugServer>(
+        interp.vm(),
+        dbg::DebugServer::Options{
+            .port_file = tmp->file("ports"),
+            .thorough_line_handling = mode == DebugMode::kThorough});
+    DIONEA_CHECK(server->start().is_ok(), "server");
+    auto attached = client::Session::attach(server->port(), 5000);
+    DIONEA_CHECK(attached.is_ok(), "attach");
+    session = std::move(attached).value();
+  }
+  Stopwatch watch;
+  vm::RunResult result = interp.run_string(kSpinProgram, "spin.ml");
+  double elapsed = watch.elapsed_seconds();
+  DIONEA_CHECK(result.ok, "spin run");
+  if (server) server->stop();
+  return elapsed;
+}
+
+// N sequential forks, with/without a debug server: isolates the
+// handler-chain cost (pin locks, re-bind listener, publish port, ...).
+double run_forks(bool debug, int forks) {
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+  std::unique_ptr<TempDir> tmp;
+  std::unique_ptr<dbg::DebugServer> server;
+  std::unique_ptr<client::Session> session;
+  if (debug) {
+    auto created = TempDir::create("ablate-fork");
+    DIONEA_CHECK(created.is_ok(), "tempdir");
+    tmp = std::make_unique<TempDir>(std::move(created).value());
+    server = std::make_unique<dbg::DebugServer>(
+        interp.vm(),
+        dbg::DebugServer::Options{.port_file = tmp->file("ports")});
+    DIONEA_CHECK(server->start().is_ok(), "server");
+    auto attached = client::Session::attach(server->port(), 5000);
+    DIONEA_CHECK(attached.is_ok(), "attach");
+    session = std::move(attached).value();
+  }
+  std::string program = strings::format(
+      "i = 0\n"
+      "while i < %d\n"
+      "  pid = fork(fn() exit(0) end)\n"
+      "  waitpid(pid)\n"
+      "  i = i + 1\n"
+      "end\n"
+      "puts(i)",
+      forks);
+  Stopwatch watch;
+  vm::RunResult result = interp.run_string(program, "forks.ml");
+  double elapsed = watch.elapsed_seconds();
+  if (interp.vm().is_forked_child()) {
+    std::fflush(nullptr);
+    ::_exit(0);
+  }
+  DIONEA_CHECK(result.ok, "fork run");
+  if (server) server->stop();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A2: trace-hook and fork-handler cost decomposition",
+               "§5.4's design choices (disable tracing across fork; "
+               "per-line hook cost)");
+  print_environment_note();
+
+  constexpr int kReps = 5;
+  double off = min_seconds(kReps, [] { return run_spin(DebugMode::kNone); });
+  double fast = min_seconds(kReps, [] {
+    return run_spin(DebugMode::kAttached);
+  });
+  double thorough = min_seconds(kReps, [] {
+    return run_spin(DebugMode::kThorough);
+  });
+
+  std::printf("\ninterpreter spin loop (400k statements):\n");
+  std::printf("%-38s %10s %10s\n", "arm", "time", "overhead");
+  std::printf("%-38s %10s %10s\n", "tracing disarmed (no server)",
+              format_duration(off).c_str(), "");
+  std::printf("%-38s %10s %+9.1f%%\n", "armed, idle fast path",
+              format_duration(fast).c_str(), overhead_pct(off, fast));
+  std::printf("%-38s %10s %+9.1f%%\n", "armed, full per-line handling",
+              format_duration(thorough).c_str(), overhead_pct(off, thorough));
+
+  constexpr int kForks = 24;
+  double forks_plain = min_seconds(3, [] { return run_forks(false, kForks); });
+  double forks_debug = min_seconds(3, [] { return run_forks(true, kForks); });
+  std::printf("\n%d sequential fork+waitpid cycles:\n", kForks);
+  std::printf("%-38s %10s %14s\n", "arm", "time", "per fork");
+  std::printf("%-38s %10s %14s\n", "VM fork handlers only",
+              format_duration(forks_plain).c_str(),
+              format_duration(forks_plain / kForks).c_str());
+  std::printf("%-38s %10s %14s\n", "+ debugger handlers A/B/C",
+              format_duration(forks_debug).c_str(),
+              format_duration(forks_debug / kForks).c_str());
+  std::printf("debugger fork-handler chain adds %s per fork (listener "
+              "re-bind + port publish + session scaffolding in the child)\n",
+              format_duration((forks_debug - forks_plain) / kForks).c_str());
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Ablation A3 — substrate micro-benchmarks (google-benchmark):
+// the primitive costs the system-level numbers decompose into.
+#include <benchmark/benchmark.h>
+
+#include "debugger/breakpoint.hpp"
+#include "ipc/frame.hpp"
+#include "ipc/wire.hpp"
+#include "mp/mpqueue.hpp"
+#include "mp/serialize.hpp"
+#include "vm/compiler.hpp"
+#include "vm/gil.hpp"
+#include "vm/interp.hpp"
+
+namespace {
+
+using namespace dionea;
+
+// ---- VM dispatch ----
+
+void BM_VmStatementDispatch(benchmark::State& state) {
+  // Cost per MiniLang statement (the unit the §7 overhead multiplies).
+  const std::string program =
+      "total = 0\n"
+      "i = 0\n"
+      "while i < 10000\n"
+      "  total = total + i\n"
+      "  i = i + 1\n"
+      "end";
+  for (auto _ : state) {
+    vm::Interp interp;
+    interp.vm().set_output([](std::string_view) {});
+    auto result = interp.run_string(program, "bench.ml");
+    benchmark::DoNotOptimize(result.ok);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'003);  // statements
+}
+BENCHMARK(BM_VmStatementDispatch)->Unit(benchmark::kMillisecond);
+
+void BM_VmTracedStatementDispatch(benchmark::State& state) {
+  const std::string program =
+      "total = 0\n"
+      "i = 0\n"
+      "while i < 10000\n"
+      "  total = total + i\n"
+      "  i = i + 1\n"
+      "end";
+  for (auto _ : state) {
+    vm::Interp interp;
+    interp.vm().set_output([](std::string_view) {});
+    interp.vm().set_trace_fn(
+        [](vm::Vm&, vm::InterpThread&, const vm::TraceEvent& event) {
+          benchmark::DoNotOptimize(event.line);
+        });
+    interp.vm().set_trace_enabled(true);
+    auto result = interp.run_string(program, "bench.ml");
+    benchmark::DoNotOptimize(result.ok);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'003);
+}
+BENCHMARK(BM_VmTracedStatementDispatch)->Unit(benchmark::kMillisecond);
+
+void BM_CompileWordcountSizedProgram(benchmark::State& state) {
+  std::string program;
+  for (int i = 0; i < 40; ++i) {
+    program += "fn f" + std::to_string(i) + "(a, b)\n";
+    program += "  c = a + b * " + std::to_string(i) + "\n";
+    program += "  return c\n";
+    program += "end\n";
+  }
+  for (auto _ : state) {
+    auto proto = vm::compile_source(program, "bench.ml");
+    benchmark::DoNotOptimize(proto.is_ok());
+  }
+}
+BENCHMARK(BM_CompileWordcountSizedProgram)->Unit(benchmark::kMicrosecond);
+
+// ---- GIL ----
+
+void BM_GilAcquireRelease(benchmark::State& state) {
+  vm::Gil gil;
+  for (auto _ : state) {
+    gil.acquire(1);
+    gil.release();
+  }
+}
+BENCHMARK(BM_GilAcquireRelease);
+
+void BM_GilUncontendedYield(benchmark::State& state) {
+  vm::Gil gil;
+  gil.acquire(1);
+  for (auto _ : state) {
+    gil.yield(1);
+  }
+  gil.release();
+}
+BENCHMARK(BM_GilUncontendedYield);
+
+// ---- wire codec / frames ----
+
+ipc::wire::Value sample_command() {
+  ipc::wire::Value value;
+  value.set("cmd", "locals");
+  value.set("seq", 12345);
+  value.set("tid", 3);
+  value.set("depth", 0);
+  return value;
+}
+
+void BM_WireEncodeCommand(benchmark::State& state) {
+  auto value = sample_command();
+  for (auto _ : state) {
+    std::string bytes;
+    value.encode(&bytes);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_WireEncodeCommand);
+
+void BM_WireDecodeCommand(benchmark::State& state) {
+  std::string bytes;
+  sample_command().encode(&bytes);
+  for (auto _ : state) {
+    auto decoded = ipc::wire::Value::decode(bytes);
+    benchmark::DoNotOptimize(decoded.is_ok());
+  }
+}
+BENCHMARK(BM_WireDecodeCommand);
+
+void BM_FrameRoundTripLoopback(benchmark::State& state) {
+  auto listener = ipc::TcpListener::bind(0);
+  auto client = ipc::TcpStream::connect_retry(listener.value().port(), 2000);
+  auto server = listener.value().accept_timeout(2000);
+  (void)client.value().set_nodelay(true);
+  (void)server.value().set_nodelay(true);
+  auto value = sample_command();
+  for (auto _ : state) {
+    (void)ipc::send_frame(client.value(), value);
+    auto received = ipc::recv_frame(server.value());
+    benchmark::DoNotOptimize(received.is_ok());
+  }
+}
+BENCHMARK(BM_FrameRoundTripLoopback)->Unit(benchmark::kMicrosecond);
+
+// ---- pickle / mp queue ----
+
+void BM_PickleWordCountsMap(benchmark::State& state) {
+  vm::Value map = vm::Value::new_map();
+  for (int i = 0; i < 200; ++i) {
+    map.as_map()->items["word" + std::to_string(i)] = vm::Value(i);
+  }
+  for (auto _ : state) {
+    auto bytes = mp::serialize(map);
+    benchmark::DoNotOptimize(bytes.is_ok());
+  }
+}
+BENCHMARK(BM_PickleWordCountsMap)->Unit(benchmark::kMicrosecond);
+
+void BM_MpQueueRoundTrip(benchmark::State& state) {
+  auto queue = mp::MpQueue::create();
+  std::string payload(256, 'x');
+  for (auto _ : state) {
+    (void)queue.value().push_bytes(payload);
+    auto popped = queue.value().pop_bytes();
+    benchmark::DoNotOptimize(popped.is_ok());
+  }
+}
+BENCHMARK(BM_MpQueueRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// ---- breakpoint table (the per-line probe) ----
+
+void BM_BreakpointMatchEmpty(benchmark::State& state) {
+  dbg::BreakpointTable table;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.match("wordcount.ml", 17, 1));
+  }
+}
+BENCHMARK(BM_BreakpointMatchEmpty);
+
+void BM_BreakpointMatchMissWithEntries(benchmark::State& state) {
+  dbg::BreakpointTable table;
+  for (int i = 0; i < 16; ++i) table.add("other.ml", 100 + i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.match("wordcount.ml", 17, 1));
+  }
+}
+BENCHMARK(BM_BreakpointMatchMissWithEntries);
+
+void BM_BreakpointMatchHit(benchmark::State& state) {
+  dbg::BreakpointTable table;
+  table.add("wordcount.ml", 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.match("wordcount.ml", 17, 1));
+  }
+}
+BENCHMARK(BM_BreakpointMatchHit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// §7, text — the Rust-source run: "The same program was also run in
+// the same way for Rust's source code (master 7613b15). The average
+// time without Dionea was 3'49" and with Dionea was 4'36"." (+20.5%).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dionea;
+  using namespace dionea::bench;
+
+  print_header("§7 (text): word frequency, Rust source corpus (medium)",
+               "paper: normal 3'49\" (229s), debugging 4'36\" (276s), "
+               "+20.5%");
+  print_environment_note();
+
+  auto tmp = TempDir::create("rust-bench");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  mapreduce::CorpusSpec spec = mapreduce::scaled_spec(
+      mapreduce::rust_master_spec(), 2.0);
+  auto corpus = mapreduce::Corpus::generate(spec, tmp.value().file("corpus"));
+  DIONEA_CHECK(corpus.is_ok(), "corpus");
+  std::printf("corpus: %zu files, %lld bytes (stand-in for rust master "
+              "7613b15)\n",
+              corpus.value().files().size(),
+              static_cast<long long>(corpus.value().bytes_written()));
+
+  constexpr int kWorkers = 4;
+  constexpr int kReps = 4;
+  double normal = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kNone);
+  });
+  double thorough = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kThorough);
+  });
+
+  std::printf("\n%-26s %10s %10s\n", "", "time", "overhead");
+  std::printf("%-26s %10s %10s\n", "paper: Normal", "3'49\"", "");
+  std::printf("%-26s %10s %+9.1f%%\n", "paper: Debugging", "4'36\"", 20.5);
+  std::printf("%-26s %10s %10s\n", "measured: Normal",
+              format_duration(normal).c_str(), "");
+  std::printf("%-26s %10s %+9.1f%%\n", "measured: Debugging",
+              format_duration(thorough).c_str(),
+              overhead_pct(normal, thorough));
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 1 — "Computer specifications".
+//
+// The paper pins its §7 numbers to a 4-core i5 with 6GB running
+// Ubuntu 13.04 and Python 2.5.2. This bench prints that table beside
+// the machine actually running the reproduction, so every other
+// bench's numbers can be read in context.
+#include <cstdio>
+
+#include "support/host_spec.hpp"
+
+int main() {
+  using dionea::HostSpec;
+
+  std::printf("Table 1: Computer specifications (paper vs this run)\n");
+  std::printf("%-9s | %-45s | %s\n", "", "paper (PMAM'15)", "this machine");
+  std::printf("----------+-----------------------------------------------+"
+              "----------------------------\n");
+
+  HostSpec spec = HostSpec::detect();
+  std::printf("%-9s | %-45s | %s, %d cores\n", "CPU",
+              "Intel(R) Core(TM) i5 CPU, 4 cores", spec.cpu_model.c_str(),
+              spec.logical_cores);
+  std::printf("%-9s | %-45s | %s\n", "HD",
+              "OCZ Technology Vertex 2 SATA II (SSD)",
+              "(unprobed; workload is CPU-bound)");
+  std::printf("%-9s | %-45s | %ldMB\n", "Memory", "6GB DDR3 1333MHz",
+              spec.memory_mb);
+  std::printf("%-9s | %-45s | %s\n", "OS",
+              "Ubuntu 13.04 (3.8.0-27 SMP x86_64)", spec.os_release.c_str());
+  std::printf("%-9s | %-45s | %s\n", "Runtime", "Python 2.5.2",
+              spec.runtime.c_str());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Shared harness for the paper-reproduction benchmarks (§7).
+//
+// Each figure/table bench runs the word-frequency MapReduce (the
+// paper's workload) over a synthetic corpus, normal vs debugging, and
+// prints the measured numbers next to the paper's. Absolute times
+// differ from the paper by construction (different machine, MiniVM
+// instead of CPython 2.5, corpora scaled from minutes to seconds); the
+// comparison target is the overhead ratio.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "client/session.hpp"
+#include "debugger/server.hpp"
+#include "mapreduce/corpus.hpp"
+#include "mapreduce/wordcount.hpp"
+#include "mp/vm_bindings.hpp"
+#include "support/host_spec.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::bench {
+
+enum class DebugMode {
+  kNone,      // plain interpreter, no server
+  kAttached,  // server + client attached, fast line path (this library)
+  kThorough,  // server + client, full per-line handling (Dionea-faithful)
+};
+
+inline const char* debug_mode_name(DebugMode mode) {
+  switch (mode) {
+    case DebugMode::kNone: return "normal";
+    case DebugMode::kAttached: return "debug(fast-path)";
+    case DebugMode::kThorough: return "debug(dionea-equiv)";
+  }
+  return "?";
+}
+
+// One full run of the word-count program; returns wall seconds.
+// `workers` <= 0 selects the serial (no-fork) program variant.
+inline double run_wordcount(const mapreduce::Corpus& corpus, int workers,
+                            DebugMode mode) {
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+
+  std::unique_ptr<TempDir> tmp;
+  std::unique_ptr<dbg::DebugServer> server;
+  std::unique_ptr<client::Session> session;
+  if (mode != DebugMode::kNone) {
+    auto created = TempDir::create("bench-dbg");
+    DIONEA_CHECK(created.is_ok(), "bench tempdir");
+    tmp = std::make_unique<TempDir>(std::move(created).value());
+    server = std::make_unique<dbg::DebugServer>(
+        interp.vm(),
+        dbg::DebugServer::Options{
+            .port_file = tmp->file("ports"),
+            .thorough_line_handling = mode == DebugMode::kThorough});
+    DIONEA_CHECK(server->start().is_ok(), "bench server");
+    auto attached = client::Session::attach(server->port(), 5000);
+    DIONEA_CHECK(attached.is_ok(), "bench attach");
+    session = std::move(attached).value();
+  }
+
+  std::string program =
+      workers > 0 ? mapreduce::wordcount_program(corpus.root(), workers)
+                  : mapreduce::wordcount_program_serial(corpus.root());
+  Stopwatch watch;
+  vm::RunResult result = interp.run_string(program, "wordcount.ml");
+  double elapsed = watch.elapsed_seconds();
+  if (interp.vm().is_forked_child()) {
+    std::fflush(nullptr);
+    ::_exit(0);
+  }
+  DIONEA_CHECK(result.ok, "bench wordcount run failed");
+  if (server) server->stop();
+  return elapsed;
+}
+
+// Minimum over `reps` runs — the standard wall-clock noise reducer.
+template <typename Fn>
+double min_seconds(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    double t = fn();
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+inline double overhead_pct(double base, double debug) {
+  return (debug / base - 1.0) * 100.0;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void print_environment_note() {
+  HostSpec spec = HostSpec::detect();
+  std::printf("host: %s, %d cores, %ldMB (paper: i5 4 cores, 6GB)\n",
+              spec.cpu_model.c_str(), spec.logical_cores, spec.memory_mb);
+}
+
+// A Fig.9/Fig.10-style two-bar rendering.
+inline void print_bars(const std::string& caption, double normal_s,
+                       double debug_s) {
+  double unit = normal_s > 0 ? 40.0 / (debug_s > normal_s ? debug_s : normal_s)
+                             : 1.0;
+  auto bar = [&](double seconds) {
+    int width = static_cast<int>(seconds * unit + 0.5);
+    return std::string(static_cast<size_t>(width), '#');
+  };
+  std::printf("\n%s\n", caption.c_str());
+  std::printf("  Normal    %-42s %s\n", bar(normal_s).c_str(),
+              format_duration(normal_s).c_str());
+  std::printf("  Debugging %-42s %s\n", bar(debug_s).c_str(),
+              format_duration(debug_s).c_str());
+}
+
+}  // namespace dionea::bench

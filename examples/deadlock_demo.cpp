@@ -1,0 +1,136 @@
+// §6.2 (Listings 5/6, Fig. 7): finding a cross-process deadlock.
+//
+// The program pushes into a Queue from a parent thread, but pops from
+// a FORKED CHILD — and "Queue is inter-thread, not inter-process": the
+// fork copies the (empty) queue, so the child's pop can never be
+// satisfied.
+//
+// Act 1 runs it bare: the child dies with the stock
+// `deadlock detected (fatal)` message and a traceback (Listing 6) —
+// "detailed but not clear to find where the deadlock occurred".
+// Act 2 runs it under the debugger: the child's debug server reports
+// the exact thread, file and line that is blocked (Fig. 7), and keeps
+// the process alive for inspection.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "client/multi_client.hpp"
+#include "debugger/server.hpp"
+#include "support/temp_file.hpp"
+#include "vm/interp.hpp"
+
+using namespace dionea;
+
+namespace {
+
+// Listing 5, line for line (thread/queue/fork spelled MiniLang-style).
+constexpr const char* kListing5 = R"(q = queue()
+
+spawn(fn()
+  puts("Inside thread -- PARENT")
+  sleep(0.2)
+  q.push(true)
+end)
+
+pid = fork(fn()
+  q.pop()
+  puts("In -- CHILD")
+end)
+
+st = waitpid(pid)
+puts("parent observed child exit status " + to_s(st))
+)";
+
+}  // namespace
+
+int main() {
+  std::puts("=== Act 1: without the debugger (Listing 6) ===");
+  {
+    vm::Interp interp;
+    vm::RunResult result = interp.run_string(kListing5, "deadlock.ml");
+    interp.finish(result);
+    // The child's fatal message and traceback appeared on stderr; the
+    // parent itself completed (its thread pushed, nobody popped).
+  }
+
+  std::puts("");
+  std::puts("=== Act 2: with Dionea attached (Fig. 7) ===");
+  auto tmp = TempDir::create("deadlock-demo");
+  if (!tmp.is_ok()) return 1;
+  std::string port_file = tmp.value().file("ports");
+
+  vm::Interp interp;
+  // stop_forked_children: the child parks at its first line, so the
+  // client is guaranteed to be attached before the deadlock develops.
+  dbg::DebugServer server(interp.vm(),
+                          {.port_file = port_file,
+                           .stop_forked_children = true});
+  server.register_source("deadlock.ml", kListing5);
+  if (!server.start().is_ok()) return 1;
+
+  std::thread debuggee([&] {
+    vm::RunResult result = interp.run_string(kListing5, "deadlock.ml");
+    interp.finish(result);
+  });
+
+  client::MultiClient mc(port_file);
+  if (auto n = mc.refresh(3000); !n.is_ok()) return 1;
+  mc.claim(static_cast<int>(::getpid()));  // the parent runs in-process
+
+  // The fork happens quickly; adopt the child's session.
+  auto child = mc.await_new_process(5000);
+  if (!child.is_ok()) {
+    std::fprintf(stderr, "no child session: %s\n",
+                 child.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("adopted child session pid %d\n", child.value()->pid());
+
+  // The child parked at its first line; resume it into the deadlock.
+  auto birth = child.value()->wait_stopped(5000);
+  if (birth.is_ok()) {
+    (void)child.value()->cont(birth.value().tid);
+  }
+
+  // The child's debug server owns the deadlock and reports the exact
+  // location instead of dying.
+  auto deadlock = child.value()->wait_event("deadlock", 5000);
+  if (!deadlock.is_ok()) {
+    std::fprintf(stderr, "no deadlock event: %s\n",
+                 deadlock.error().to_string().c_str());
+    return 1;
+  }
+  std::puts("Dionea shows the exact place where the deadlock occurs:");
+  for (const auto& entry : deadlock.value().payload.at("threads").as_array()) {
+    std::printf("  thread %lld blocked in %s at %s:%d\n",
+                static_cast<long long>(entry.get_int("tid")),
+                entry.get_string("note").c_str(),
+                entry.get_string("file").c_str(),
+                static_cast<int>(entry.get_int("line")));
+  }
+
+  // The process is still alive — inspect the blocked thread's stack,
+  // then let everything wind down.
+  auto deadlocked_tid = deadlock.value().payload.at("threads").as_array()[0]
+                            .get_int("tid");
+  auto frames = child.value()->frames(deadlocked_tid);
+  if (frames.is_ok()) {
+    for (const auto& frame : frames.value()) {
+      std::printf("    in %s at %s:%d\n", frame.function.c_str(),
+                  frame.file.c_str(), frame.line);
+    }
+  }
+
+  // Tear down: drop the child (it is deadlocked by design).
+  if (auto* session = mc.session(child.value()->pid())) {
+    (void)session;
+  }
+  ::kill(child.value()->pid(), SIGKILL);
+  debuggee.join();
+  server.stop();
+  std::puts("deadlock demo done");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// dioneac — interactive debug client (the command shell of Fig. 2,
+// headless). Attaches to every process in the port file and offers the
+// Console command set; `help` lists commands.
+//
+//   dioneac [--port-file PATH]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "client/console.hpp"
+#include "support/temp_file.hpp"
+
+using namespace dionea;
+
+int main(int argc, char** argv) {
+  std::string port_file = "./dionea.ports";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: dioneac [--port-file PATH]\n");
+      return 64;
+    }
+  }
+  if (!file_exists(port_file)) {
+    std::fprintf(stderr,
+                 "dioneac: port file %s not found (start dioneas first)\n",
+                 port_file.c_str());
+    return 66;
+  }
+
+  client::MultiClient mc(port_file);
+  auto attached = mc.refresh(3000);
+  if (!attached.is_ok()) {
+    std::fprintf(stderr, "dioneac: %s\n",
+                 attached.error().to_string().c_str());
+    return 69;
+  }
+  std::printf("attached to %zu process(es); `help` for commands\n",
+              mc.session_count());
+
+  client::Console console(mc);
+  std::string line;
+  while (!console.quit_requested()) {
+    std::fputs("(dionea) ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::fputs(console.execute(line).c_str(), stdout);
+  }
+  return 0;
+}

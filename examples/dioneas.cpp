@@ -1,0 +1,98 @@
+// dioneas — the debug server launcher (§6.1):
+//
+//   "First, we start Dionea server issuing
+//        ruby bin/dioneas.rb path/to/debuggee/ruby/program.rb
+//    ... once Dionea server has been started it waits until the client
+//    connects to it."
+//
+// Usage:
+//   dioneas [options] program.ml
+//     --port-file PATH   port handoff file (default: ./dionea.ports)
+//     --port N           fixed listener port (default: ephemeral)
+//     --run              don't wait for a client; start immediately
+//     --disturb          stop every new UE at birth (§6.4)
+//
+// Pair with `dioneac --port-file PATH` in another terminal.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "debugger/server.hpp"
+#include "mp/vm_bindings.hpp"
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+#include "vm/interp.hpp"
+
+using namespace dionea;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dioneas [--port-file PATH] [--port N] [--run] "
+               "[--disturb] program.ml\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string port_file = "./dionea.ports";
+  std::string program_path;
+  long port = 0;
+  bool wait_for_client = true;
+  bool disturb = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      std::int64_t parsed = 0;
+      if (!strings::parse_int(argv[++i], &parsed)) return usage();
+      port = parsed;
+    } else if (arg == "--run") {
+      wait_for_client = false;
+    } else if (arg == "--disturb") {
+      disturb = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      program_path = arg;
+    }
+  }
+  if (program_path.empty()) return usage();
+
+  auto source = read_file(program_path);
+  if (!source.is_ok()) {
+    std::fprintf(stderr, "dioneas: %s\n", source.error().to_string().c_str());
+    return 66;
+  }
+
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  dbg::DebugServer server(
+      interp.vm(),
+      {.port = static_cast<std::uint16_t>(port),
+       .port_file = port_file,
+       .disturb_mode = disturb,
+       .stop_forked_children = disturb,
+       // Waiting for the client = parking the main thread at its first
+       // line until the client resumes it.
+       .stop_at_entry = wait_for_client});
+  server.register_source(program_path, source.value());
+  if (Status started = server.start(); !started.is_ok()) {
+    std::fprintf(stderr, "dioneas: %s\n", started.to_string().c_str());
+    return 69;
+  }
+  std::fprintf(stderr,
+               "dioneas: pid %d serving %s on 127.0.0.1:%u (port file %s)%s\n",
+               static_cast<int>(::getpid()), program_path.c_str(),
+               server.port(), port_file.c_str(),
+               wait_for_client ? " — waiting for client" : "");
+
+  vm::RunResult result = interp.run_string(source.value(), program_path);
+  int code = interp.finish(result);
+  server.stop();
+  return code;
+}

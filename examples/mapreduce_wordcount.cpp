@@ -1,0 +1,165 @@
+// §6.3 / Fig. 8: debugging a MapReduce word-count whose workers are
+// forked processes sharing input/output ipc queues.
+//
+// The demo suspends ONE worker (low-intrusive: only that process
+// stops) and shows the pull-based queue re-balancing the jobs onto the
+// free workers — "when every other process is stopped by break points
+// ... an available child process takes over the jobs".
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "client/multi_client.hpp"
+#include "debugger/server.hpp"
+#include "mapreduce/corpus.hpp"
+#include "mp/vm_bindings.hpp"
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+#include "vm/interp.hpp"
+
+using namespace dionea;
+
+namespace {
+
+constexpr int kWorkers = 4;
+
+// Word count where each worker reports [pid, files_done, counts].
+std::string program_text(const std::string& root) {
+  return strings::format(R"(tasks = ipc_queue()
+partials = ipc_queue()
+for f in walk_files("%s")
+  ipc_push(tasks, f)
+end
+w = 0
+while w < %d
+  ipc_push(tasks, nil)
+  w = w + 1
+end
+
+fn worker_main(tasks, partials)
+  counts = {}
+  files_done = 0
+  while true
+    path = ipc_pop(tasks)
+    if path == nil
+      break
+    end
+    text = lower(read_file(path))
+    for word in words(text)
+      if is_alpha(word)
+        counts[word] = get(counts, word, 0) + 1
+      end
+    end
+    files_done = files_done + 1
+  end
+  ipc_push(partials, [getpid(), files_done, counts])
+  return nil
+end
+
+pids = []
+w = 0
+while w < %d
+  pid = fork()
+  if pid == 0
+    worker_main(tasks, partials)
+    exit(0)
+  end
+  push(pids, pid)
+  w = w + 1
+end
+
+total = {}
+got = 0
+while got < %d
+  part = ipc_pop(partials)
+  puts("worker pid=" + to_s(part[0]) + " processed " + to_s(part[1]) + " files")
+  counts = part[2]
+  for k in counts
+    total[k] = get(total, k, 0) + counts[k]
+  end
+  got = got + 1
+end
+for p in pids
+  waitpid(p)
+end
+puts("unique words: " + to_s(len(total)))
+)",
+                         root.c_str(), kWorkers, kWorkers, kWorkers);
+}
+
+}  // namespace
+
+int main() {
+  auto tmp = TempDir::create("mapreduce-demo");
+  if (!tmp.is_ok()) return 1;
+  auto corpus = mapreduce::Corpus::generate(mapreduce::rust_master_spec(),
+                                            tmp.value().file("corpus"));
+  if (!corpus.is_ok()) return 1;
+  std::printf("corpus: %zu files (%lld bytes) under %s\n",
+              corpus.value().files().size(),
+              static_cast<long long>(corpus.value().bytes_written()),
+              corpus.value().root().c_str());
+
+  std::string port_file = tmp.value().file("ports");
+  std::string program = program_text(corpus.value().root());
+
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  dbg::DebugServer server(interp.vm(), {.port_file = port_file,
+                                        .stop_forked_children = true});
+  server.register_source("wordcount.ml", program);
+  if (!server.start().is_ok()) return 1;
+
+  std::thread debuggee([&] {
+    vm::RunResult result = interp.run_string(program, "wordcount.ml");
+    interp.finish(result);
+  });
+
+  client::MultiClient mc(port_file);
+  (void)mc.refresh(3000);
+  mc.claim(static_cast<int>(::getpid()));  // the parent runs in-process
+
+  // Adopt all four workers as they stop at birth; resume all but the
+  // first — that one stays suspended while its siblings work.
+  int suspended_pid = 0;
+  std::int64_t suspended_tid = 0;
+  int adopted = 0;
+  while (adopted < kWorkers) {
+    auto session = mc.await_new_process(10'000);
+    if (!session.is_ok()) {
+      std::fprintf(stderr, "worker adoption failed: %s\n",
+                   session.error().to_string().c_str());
+      return 1;
+    }
+    auto stop = session.value()->wait_stopped(5000);
+    if (!stop.is_ok()) return 1;
+    ++adopted;
+    if (suspended_pid == 0) {
+      suspended_pid = session.value()->pid();
+      suspended_tid = stop.value().tid;
+      std::printf("worker %d SUSPENDED at birth (low-intrusive: everything "
+                  "else keeps running)\n",
+                  suspended_pid);
+    } else {
+      (void)session.value()->cont(stop.value().tid);
+      std::printf("worker %d resumed\n", session.value()->pid());
+    }
+  }
+
+  // Let the free workers drain most of the queue, then release the
+  // suspended one so the program can finish.
+  sleep_for_millis(600);
+  std::printf("releasing suspended worker %d — expect it to have picked up "
+              "~0 files while its siblings took over the jobs\n",
+              suspended_pid);
+  (void)mc.session(suspended_pid)->cont(suspended_tid);
+
+  debuggee.join();
+  server.stop();
+  std::puts("mapreduce demo done");
+  return 0;
+}

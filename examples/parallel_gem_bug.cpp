@@ -1,0 +1,86 @@
+// §6.4: the `parallel` gem 0.5.9 bug that Dionea exposed.
+//
+// "When Dionea debugs parallel programs using the version 0.5.9 of the
+// parallel gem, where fork and IO.pipe operations take place
+// interleaved by the threads that interact with the child processes,
+// Dionea very often detects a concurrency error that rarely happens
+// running without Dionea: the debuggee processes get into a deadlock
+// situation due to the failure in closing input pipe of the child
+// process."
+//
+// This demo runs the reproduced library three ways:
+//   1. v0.5.9 on a quiet machine — the race usually does NOT fire
+//      ("rarely happens");
+//   2. v0.5.9 with the disturb-mode-style delay that stops every new
+//      UE at birth — the leak window is forced open and the run
+//      deadlocks (detected by timeout, children killed);
+//   3. v0.5.10 under the same disturbance — the fd hygiene fix holds.
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "mp/parallel.hpp"
+#include "support/timing.hpp"
+
+using namespace dionea;
+using dionea::vm::Value;
+
+namespace {
+
+Value slow_upcase(const Value& value) {
+  // A task slow enough that workers overlap in time.
+  std::string out = value.as_str();
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  sleep_for_millis(30);
+  return Value::str(out);
+}
+
+std::vector<Value> make_items() {
+  std::vector<Value> items;
+  for (int i = 0; i < 8; ++i) {
+    items.push_back(Value::str("task-" + std::to_string(i)));
+  }
+  return items;
+}
+
+void report(const char* label, const Result<std::vector<Value>>& outcome) {
+  if (outcome.is_ok()) {
+    std::printf("%-42s OK (%zu results)\n", label, outcome.value().size());
+  } else {
+    std::printf("%-42s %s\n", label, outcome.error().to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Value> items = make_items();
+
+  mp::parallel::Options quiet;
+  quiet.version = mp::parallel::Version::kV0_5_9;
+  quiet.worker_count = 4;
+  quiet.timeout_millis = 8000;
+  quiet.disturb_delay_millis = 0;
+  report("v0.5.9, quiet machine:",
+         mp::parallel::map_in_processes(items, slow_upcase, quiet));
+
+  mp::parallel::Options disturbed = quiet;
+  disturbed.timeout_millis = 3000;
+  disturbed.disturb_delay_millis = 120;  // disturb mode widens the window
+  report("v0.5.9, disturb-mode interleaving:",
+         mp::parallel::map_in_processes(items, slow_upcase, disturbed));
+
+  mp::parallel::Options fixed = disturbed;
+  fixed.version = mp::parallel::Version::kV0_5_10;
+  fixed.timeout_millis = 8000;
+  report("v0.5.10 (sequential forks + fd hygiene):",
+         mp::parallel::map_in_processes(items, slow_upcase, fixed));
+
+  std::puts("\nThe 0.5.9 deadlock: each child inherits copies of its "
+            "siblings' pipe write-ends and never closes them, so no child "
+            "ever sees EOF on its input pipe. 0.5.10 forks sequentially "
+            "from the main thread and closes the copied-but-unused pipes.");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Quickstart: attach the Dionea-style debug server to a MiniLang
+// program, set a breakpoint, inspect locals, single-step, continue —
+// then watch the same session survive a fork() and control parent and
+// child independently (the paper's core capability).
+//
+// Everything runs in one binary for demonstration: the debuggee VM on
+// a worker thread, the client on the main thread. `dioneas` /
+// `dioneac` show the same flow split across real processes.
+#include <cstdio>
+#include <thread>
+
+#include "client/multi_client.hpp"
+#include "debugger/server.hpp"
+#include "support/temp_file.hpp"
+#include "vm/interp.hpp"
+
+using namespace dionea;
+
+namespace {
+
+constexpr const char* kProgram = R"(fn fib(n)
+  if n < 2
+    return n
+  end
+  return fib(n - 1) + fib(n - 2)
+end
+
+value = fib(10)
+puts("parent computed fib(10) = " + to_s(value))
+
+pid = fork()
+if pid == 0
+  child_value = fib(12)
+  puts("child computed fib(12) = " + to_s(child_value))
+  exit(0)
+end
+status = waitpid(pid)
+puts("child exited with " + to_s(status))
+)";
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "quickstart: %s: %s\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  auto tmp = TempDir::create("quickstart");
+  if (!tmp.is_ok()) return fail("tempdir", tmp.error().to_string());
+  std::string port_file = tmp.value().file("ports");
+
+  // --- debuggee side: VM + in-process debug server ---
+  vm::Interp interp;
+  dbg::DebugServer server(
+      interp.vm(),
+      {.port_file = port_file,
+       // Forked children park at their first line so the client can
+       // adopt them before they run.
+       .stop_forked_children = true,
+       .stop_at_entry = true});
+  server.register_source("quickstart.ml", kProgram);
+  if (Status started = server.start(); !started.is_ok()) {
+    return fail("server start", started.to_string());
+  }
+  std::printf("debug server listening on 127.0.0.1:%u\n", server.port());
+
+  std::thread debuggee([&] {
+    vm::RunResult result = interp.run_string(kProgram, "quickstart.ml");
+    interp.finish(result);  // forked children _exit inside
+  });
+
+  // --- client side ---
+  client::MultiClient mc(port_file);
+  if (auto n = mc.refresh(3000); !n.is_ok() || n.value() != 1) {
+    return fail("attach", "no session");
+  }
+  client::Session* parent = mc.session(mc.pids()[0]);
+  std::printf("attached to debuggee pid %d\n", parent->pid());
+
+  auto entry = parent->wait_stopped(5000);
+  if (!entry.is_ok()) return fail("entry stop", entry.error().to_string());
+  std::printf("stopped at entry: %s:%d\n", entry.value().file.c_str(),
+              entry.value().line);
+
+  // Breakpoint inside fib's base case.
+  auto bp = parent->set_breakpoint("quickstart.ml", 3);
+  if (!bp.is_ok()) return fail("breakpoint", bp.error().to_string());
+  (void)parent->cont(entry.value().tid);
+
+  auto hit = parent->wait_stopped(5000);
+  if (!hit.is_ok()) return fail("breakpoint stop", hit.error().to_string());
+  std::printf("hit breakpoint %d at %s:%d in %s()\n",
+              hit.value().breakpoint_id, hit.value().file.c_str(),
+              hit.value().line, hit.value().function.c_str());
+
+  auto locals = parent->locals(hit.value().tid, 0);
+  if (locals.is_ok()) {
+    for (const auto& [name, value] : locals.value()) {
+      std::printf("  local %s = %s\n", name.c_str(), value.c_str());
+    }
+  }
+  auto frames = parent->frames(hit.value().tid);
+  if (frames.is_ok()) {
+    std::printf("  call stack depth: %zu\n", frames.value().size());
+  }
+
+  // Step out of fib, then drop the breakpoint and run free.
+  (void)parent->finish(hit.value().tid);
+  auto after = parent->wait_stopped(5000);
+  if (after.is_ok()) {
+    std::printf("finished out to %s:%d\n", after.value().file.c_str(),
+                after.value().line);
+  }
+  (void)parent->clear_breakpoint(0);
+  (void)parent->cont(after.is_ok() ? after.value().tid : hit.value().tid);
+
+  // --- fork: adopt the child as a second, independent session ---
+  auto forked = parent->wait_event("forked", 10'000);
+  if (!forked.is_ok()) return fail("fork event", forked.error().to_string());
+  int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
+  auto child = mc.await_process(child_pid, 5000);
+  if (!child.is_ok()) return fail("child session", child.error().to_string());
+  std::printf("adopted forked child pid %d as its own session (now %zu "
+              "sessions on one client)\n",
+              child_pid, mc.session_count());
+
+  // The child parked at its first line; inspect it, then let it run.
+  auto child_stop = child.value()->wait_stopped(5000);
+  if (!child_stop.is_ok()) {
+    return fail("child stop", child_stop.error().to_string());
+  }
+  std::printf("child parked at %s:%d\n", child_stop.value().file.c_str(),
+              child_stop.value().line);
+  auto threads = child.value()->threads();
+  if (threads.is_ok()) {
+    for (const auto& t : threads.value()) {
+      std::printf("  child thread %lld (%s) at %s:%d\n",
+                  static_cast<long long>(t.tid), t.state.c_str(),
+                  t.file.c_str(), t.line);
+    }
+  }
+  (void)child.value()->cont(child_stop.value().tid);
+
+  debuggee.join();
+  server.stop();
+  std::puts("quickstart done");
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "client/console.hpp"
+
+#include "support/strings.hpp"
+
+namespace dionea::client {
+namespace {
+
+std::string render_threads(const std::vector<RemoteThread>& threads) {
+  std::string out;
+  for (const RemoteThread& t : threads) {
+    out += strings::format("  [%lld] %-10s %-9s %s:%d %s\n",
+                           static_cast<long long>(t.tid), t.name.c_str(),
+                           t.state.c_str(), t.file.c_str(), t.line,
+                           t.note.c_str());
+  }
+  return out.empty() ? "  (no threads)\n" : out;
+}
+
+bool parse_location(const std::string& arg, std::string* file, int* line) {
+  size_t colon = arg.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::int64_t parsed = 0;
+  if (!strings::parse_int(arg.substr(colon + 1), &parsed)) return false;
+  *file = arg.substr(0, colon);
+  *line = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace
+
+std::string Console::help() {
+  return
+      "commands:\n"
+      "  procs                 list attached processes\n"
+      "  refresh               adopt newly forked processes\n"
+      "  use <pid> [tid]       activate a debug view\n"
+      "  threads               threads of the active process\n"
+      "  frames                stack of the active view\n"
+      "  locals [depth]        locals of the active view\n"
+      "  p <expr>              evaluate an expression in the active view\n"
+      "  globals               globals of the active process\n"
+      "  source                source of the active view\n"
+      "  break <file>:<line>   set breakpoint\n"
+      "  delete <id>           delete breakpoint (0 = all)\n"
+      "  c [tid]               continue (active or given thread)\n"
+      "  ca                    continue all threads\n"
+      "  s | n | fin           step into / over / out\n"
+      "  pause [tid]           suspend at next line\n"
+      "  pauseall              suspend every thread\n"
+      "  disturb on|off        stop new UEs at birth (§6.4)\n"
+      "  events                drain pending events\n"
+      "  quit                  leave the console\n";
+}
+
+Session* Console::active_session(std::string* error_out) {
+  MultiClient::View view = client_.active_view();
+  if (!view.valid()) {
+    // Fall back to the only session if there is exactly one.
+    std::vector<int> pids = client_.pids();
+    if (pids.size() == 1) {
+      (void)client_.activate(pids[0], 1);
+      view = client_.active_view();
+    }
+  }
+  if (!view.valid()) {
+    *error_out = "no active view; use `use <pid> [tid]`\n";
+    return nullptr;
+  }
+  Session* session = client_.session(view.pid);
+  if (session == nullptr) {
+    *error_out = "active process is gone\n";
+  }
+  return session;
+}
+
+std::string Console::execute(const std::string& line) {
+  std::vector<std::string> words = strings::split_whitespace(line);
+  if (words.empty()) return "";
+  const std::string& cmd = words[0];
+
+  if (cmd == "help") return help();
+  if (cmd == "quit" || cmd == "q") {
+    quit_ = true;
+    return "";
+  }
+
+  if (cmd == "procs") {
+    std::string out;
+    for (int pid : client_.pids()) {
+      MultiClient::View view = client_.active_view();
+      out += strings::format("  pid %d%s\n", pid,
+                             view.pid == pid ? "  (active)" : "");
+    }
+    return out.empty() ? "  (no processes)\n" : out;
+  }
+
+  if (cmd == "refresh") {
+    auto added = client_.refresh(2000);
+    if (!added.is_ok()) return added.error().to_string() + "\n";
+    return strings::format("  %d new process(es)\n", added.value());
+  }
+
+  if (cmd == "use") {
+    if (words.size() < 2) return "usage: use <pid> [tid]\n";
+    std::int64_t pid = 0;
+    std::int64_t tid = 1;
+    if (!strings::parse_int(words[1], &pid) ||
+        (words.size() > 2 && !strings::parse_int(words[2], &tid))) {
+      return "usage: use <pid> [tid]\n";
+    }
+    Status status = client_.activate(static_cast<int>(pid), tid);
+    if (!status.is_ok()) return status.to_string() + "\n";
+    return strings::format("  view: pid %lld thread %lld\n",
+                           static_cast<long long>(pid),
+                           static_cast<long long>(tid));
+  }
+
+  if (cmd == "events") {
+    // Drains every session's pending events; needs no active view.
+    auto events = client_.poll_all_events(50);
+    if (!events.is_ok()) return events.error().to_string() + "\n";
+    std::string out;
+    for (const auto& [pid, event] : events.value()) {
+      out += strings::format("  [pid %d] %s %s\n", pid, event.name.c_str(),
+                             event.payload.to_json().c_str());
+    }
+    return out.empty() ? "  (no events)\n" : out;
+  }
+
+  std::string error;
+  Session* session = active_session(&error);
+  if (session == nullptr) return error;
+  MultiClient::View view = client_.active_view();
+
+  if (cmd == "threads") {
+    auto threads = session->threads();
+    if (!threads.is_ok()) return threads.error().to_string() + "\n";
+    return render_threads(threads.value());
+  }
+  if (cmd == "frames") {
+    auto frames = client_.active_frames();
+    if (!frames.is_ok()) return frames.error().to_string() + "\n";
+    std::string out;
+    int depth = 0;
+    for (const RemoteFrame& frame : frames.value()) {
+      out += strings::format("  #%d %s at %s:%d\n", depth++,
+                             frame.function.c_str(), frame.file.c_str(),
+                             frame.line);
+    }
+    return out.empty() ? "  (no frames)\n" : out;
+  }
+  if (cmd == "locals") {
+    std::int64_t depth = 0;
+    if (words.size() > 1 && !strings::parse_int(words[1], &depth)) {
+      return "usage: locals [depth]\n";
+    }
+    auto locals = session->locals(view.tid, static_cast<int>(depth));
+    if (!locals.is_ok()) return locals.error().to_string() + "\n";
+    std::string out;
+    for (const auto& [name, value] : locals.value()) {
+      out += strings::format("  %s = %s\n", name.c_str(), value.c_str());
+    }
+    return out.empty() ? "  (no locals)\n" : out;
+  }
+  if (cmd == "globals") {
+    auto globals = session->globals();
+    if (!globals.is_ok()) return globals.error().to_string() + "\n";
+    std::string out;
+    for (const auto& [name, value] : globals.value()) {
+      out += strings::format("  %s = %s\n", name.c_str(), value.c_str());
+    }
+    return out.empty() ? "  (no globals)\n" : out;
+  }
+  if (cmd == "p") {
+    if (words.size() < 2) return "usage: p <expr>\n";
+    // Re-join the expression (it may contain spaces).
+    size_t pos = line.find("p ");
+    std::string expr = std::string(strings::trim(line.substr(pos + 2)));
+    auto value = session->eval(view.tid, expr);
+    if (!value.is_ok()) return value.error().to_string() + "\n";
+    return "  " + value.value() + "\n";
+  }
+  if (cmd == "source") {
+    auto source = client_.active_source();
+    if (!source.is_ok()) return source.error().to_string() + "\n";
+    return source.value();
+  }
+  if (cmd == "break") {
+    std::string file;
+    int line_no = 0;
+    if (words.size() < 2 || !parse_location(words[1], &file, &line_no)) {
+      return "usage: break <file>:<line>\n";
+    }
+    auto id = session->set_breakpoint(file, line_no);
+    if (!id.is_ok()) return id.error().to_string() + "\n";
+    return strings::format("  breakpoint %d at %s:%d\n", id.value(),
+                           file.c_str(), line_no);
+  }
+  if (cmd == "delete") {
+    std::int64_t id = 0;
+    if (words.size() < 2 || !strings::parse_int(words[1], &id)) {
+      return "usage: delete <id>\n";
+    }
+    Status status = session->clear_breakpoint(static_cast<int>(id));
+    return status.is_ok() ? "" : status.to_string() + "\n";
+  }
+  if (cmd == "c" || cmd == "s" || cmd == "n" || cmd == "fin" ||
+      cmd == "pause") {
+    std::int64_t tid = view.tid;
+    if (words.size() > 1 && !strings::parse_int(words[1], &tid)) {
+      return "usage: " + cmd + " [tid]\n";
+    }
+    Status status = cmd == "c"       ? session->cont(tid)
+                    : cmd == "s"     ? session->step(tid)
+                    : cmd == "n"     ? session->next(tid)
+                    : cmd == "fin"   ? session->finish(tid)
+                                     : session->pause(tid);
+    return status.is_ok() ? "" : status.to_string() + "\n";
+  }
+  if (cmd == "ca") {
+    Status status = session->cont_all();
+    return status.is_ok() ? "" : status.to_string() + "\n";
+  }
+  if (cmd == "pauseall") {
+    Status status = session->pause_all();
+    return status.is_ok() ? "" : status.to_string() + "\n";
+  }
+  if (cmd == "disturb") {
+    if (words.size() < 2) return "usage: disturb on|off\n";
+    Status status = session->set_disturb(words[1] == "on");
+    return status.is_ok() ? "" : status.to_string() + "\n";
+  }
+  return "unknown command; try `help`\n";
+}
+
+}  // namespace dionea::client

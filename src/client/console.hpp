@@ -1,0 +1,33 @@
+// The command shell of Fig. 2 ("The command shell is used to send
+// commands to the debuggee, e.g., continue, step, next") as a headless
+// text console over MultiClient. Examples and the interactive
+// `dioneac` binary feed it lines; it returns rendered output.
+#pragma once
+
+#include <string>
+
+#include "client/multi_client.hpp"
+
+namespace dionea::client {
+
+class Console {
+ public:
+  explicit Console(MultiClient& client) : client_(client) {}
+
+  // Execute one command line, returning the text a terminal would
+  // show. Unknown commands return usage help. Never throws; transport
+  // errors are rendered into the output.
+  std::string execute(const std::string& line);
+
+  static std::string help();
+
+  bool quit_requested() const noexcept { return quit_; }
+
+ private:
+  Session* active_session(std::string* error_out);
+
+  MultiClient& client_;
+  bool quit_ = false;
+};
+
+}  // namespace dionea::client

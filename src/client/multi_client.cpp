@@ -1,0 +1,155 @@
+#include "client/multi_client.hpp"
+
+#include "support/logging.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::client {
+
+Result<int> MultiClient::refresh(int timeout_millis) {
+  DIONEA_ASSIGN_OR_RETURN(std::vector<ipc::PortRecord> records,
+                          port_file_.read_new(records_seen_));
+  int attached = 0;
+  for (const ipc::PortRecord& record : records) {
+    ++records_seen_;
+    if (sessions_.count(record.pid) > 0) {
+      // Re-published port (double fork re-binds): replace the session.
+      sessions_.erase(record.pid);
+    }
+    auto session = Session::attach(record.port, timeout_millis);
+    if (!session.is_ok()) {
+      // The process may have exited before we attached; skip it.
+      DLOG_DEBUG("client") << "could not attach pid " << record.pid << ": "
+                           << session.error().to_string();
+      continue;
+    }
+    sessions_[record.pid] = std::move(session).value();
+    unclaimed_.push_back(record.pid);
+    ++attached;
+  }
+  return attached;
+}
+
+void MultiClient::claim(int pid) {
+  for (auto it = unclaimed_.begin(); it != unclaimed_.end(); ++it) {
+    if (*it == pid) {
+      unclaimed_.erase(it);
+      return;
+    }
+  }
+}
+
+Result<Session*> MultiClient::await_process(int pid, int timeout_millis) {
+  Stopwatch watch;
+  while (true) {
+    DIONEA_RETURN_IF_ERROR(refresh(timeout_millis).status());
+    auto it = sessions_.find(pid);
+    if (it != sessions_.end()) {
+      claim(pid);
+      return it->second.get();
+    }
+    if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+      return Error(ErrorCode::kTimeout,
+                   "no session for pid " + std::to_string(pid));
+    }
+    sleep_for_millis(10);
+  }
+}
+
+Result<Session*> MultiClient::await_new_process(int timeout_millis) {
+  Stopwatch watch;
+  while (true) {
+    // Hand out processes adopted by earlier refreshes first: one
+    // refresh may attach several children at once.
+    while (!unclaimed_.empty()) {
+      int pid = unclaimed_.front();
+      unclaimed_.pop_front();
+      auto it = sessions_.find(pid);
+      if (it != sessions_.end()) return it->second.get();
+    }
+    DIONEA_RETURN_IF_ERROR(refresh(timeout_millis).status());
+    if (unclaimed_.empty()) {
+      if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+        return Error(ErrorCode::kTimeout, "no new process appeared");
+      }
+      sleep_for_millis(10);
+    }
+  }
+}
+
+Session* MultiClient::session(int pid) {
+  auto it = sessions_.find(pid);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<int> MultiClient::pids() const {
+  std::vector<int> out;
+  out.reserve(sessions_.size());
+  for (const auto& [pid, unused] : sessions_) out.push_back(pid);
+  return out;
+}
+
+Status MultiClient::activate(int pid, std::int64_t tid) {
+  Session* target = session(pid);
+  if (target == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "no session for pid " + std::to_string(pid));
+  }
+  // Validate the thread exists in that process (the §4.2 sequence:
+  // clicking thread 2 of process B triggers a call into the server).
+  DIONEA_ASSIGN_OR_RETURN(std::vector<RemoteThread> threads,
+                          target->threads());
+  for (const RemoteThread& t : threads) {
+    if (t.tid == tid) {
+      active_ = View{pid, tid};
+      return Status::ok();
+    }
+  }
+  return Status(ErrorCode::kNotFound,
+                "pid " + std::to_string(pid) + " has no thread " +
+                    std::to_string(tid));
+}
+
+Result<std::string> MultiClient::active_source() {
+  if (!active_.valid()) {
+    return Error(ErrorCode::kInvalidArgument, "no active view");
+  }
+  Session* target = session(active_.pid);
+  if (target == nullptr) {
+    return Error(ErrorCode::kNotFound, "active session is gone");
+  }
+  DIONEA_ASSIGN_OR_RETURN(std::vector<RemoteFrame> frames,
+                          target->frames(active_.tid));
+  if (frames.empty()) {
+    return Error(ErrorCode::kNotFound, "active thread has no frames");
+  }
+  return target->source(frames.front().file);
+}
+
+Result<std::vector<RemoteFrame>> MultiClient::active_frames() {
+  if (!active_.valid()) {
+    return Error(ErrorCode::kInvalidArgument, "no active view");
+  }
+  Session* target = session(active_.pid);
+  if (target == nullptr) {
+    return Error(ErrorCode::kNotFound, "active session is gone");
+  }
+  return target->frames(active_.tid);
+}
+
+Result<std::vector<std::pair<int, DebugEvent>>> MultiClient::poll_all_events(
+    int timeout_millis_per_session) {
+  std::vector<std::pair<int, DebugEvent>> out;
+  for (auto& [pid, session] : sessions_) {
+    auto event = session->poll_event(timeout_millis_per_session);
+    if (!event.is_ok()) {
+      if (event.error().code() == ErrorCode::kClosed) continue;  // pid died
+      return event.error();
+    }
+    if (event.value().has_value()) {
+      out.emplace_back(pid, std::move(*event.value()));
+    }
+  }
+  return out;
+}
+
+}  // namespace dionea::client

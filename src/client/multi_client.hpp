@@ -1,0 +1,81 @@
+// The multi-process client (Fig. 1): a single client holding one
+// session per debuggee process — "1 client : N servers; 1 server : 1
+// client" (§4.1) — plus the debug-view multiplexing of §4.2 (exactly
+// one active view (process, thread) at a time).
+//
+// New processes are discovered by tailing the shared port file that
+// fork handler C appends to; refresh() adopts any not-yet-attached
+// records. This is the client half of §5.3 problem 3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/session.hpp"
+#include "ipc/port_file.hpp"
+#include "support/result.hpp"
+
+namespace dionea::client {
+
+class MultiClient {
+ public:
+  explicit MultiClient(std::string port_file_path)
+      : port_file_(std::move(port_file_path)) {}
+
+  // Attach sessions for every port record not seen yet. Returns the
+  // number of new sessions. Sessions whose process has exited are
+  // dropped silently (their record may outlive them).
+  Result<int> refresh(int timeout_millis);
+
+  // Block until a session to `pid` exists (adopting new port records
+  // as they appear) — used right after the debuggee forks.
+  Result<Session*> await_process(int pid, int timeout_millis);
+
+  // Block until an unclaimed process is available and return its
+  // session. Every session starts "unclaimed" when adopted; it is
+  // claimed by await_new_process, await_process, or claim().
+  Result<Session*> await_new_process(int timeout_millis);
+
+  // Mark a pid as claimed so await_new_process won't hand it out
+  // (e.g. the initial debuggee after the first refresh()).
+  void claim(int pid);
+
+  Session* session(int pid);
+  std::vector<int> pids() const;
+  size_t session_count() const noexcept { return sessions_.size(); }
+  void drop(int pid) { sessions_.erase(pid); }
+
+  // ---- debug views (§4.2) ----
+  struct View {
+    int pid = 0;
+    std::int64_t tid = 0;
+    bool valid() const noexcept { return pid != 0; }
+  };
+  // Clicking a thread in the GUI: that (process, thread) becomes the
+  // active view; the previous one is hidden.
+  Status activate(int pid, std::int64_t tid);
+  View active_view() const noexcept { return active_; }
+  // Source text + current frame stack of the active view — what the
+  // GUI's Source code view would render.
+  Result<std::string> active_source();
+  Result<std::vector<RemoteFrame>> active_frames();
+
+  // Poll every session for one pending event; returns {pid, event}
+  // pairs in session order.
+  Result<std::vector<std::pair<int, DebugEvent>>> poll_all_events(
+      int timeout_millis_per_session);
+
+ private:
+  ipc::PortFile port_file_;
+  size_t records_seen_ = 0;
+  std::map<int, std::unique_ptr<Session>> sessions_;
+  std::deque<int> unclaimed_;  // adopted but not yet returned by
+                               // await_new_process
+  View active_{};
+};
+
+}  // namespace dionea::client

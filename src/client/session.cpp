@@ -1,0 +1,241 @@
+#include "client/session.hpp"
+
+#include "support/strings.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::client {
+
+namespace proto = dbg::proto;
+using ipc::wire::Value;
+
+Result<std::unique_ptr<Session>> Session::attach(std::uint16_t port,
+                                                 int timeout_millis) {
+  auto session = std::unique_ptr<Session>(new Session());
+  session->port_ = port;
+
+  DIONEA_ASSIGN_OR_RETURN(session->control_,
+                          ipc::TcpStream::connect_retry(port, timeout_millis));
+  (void)session->control_.set_nodelay(true);
+  DIONEA_RETURN_IF_ERROR(ipc::send_frame(
+      session->control_, proto::make_hello(proto::kChannelControl, 0)));
+
+  DIONEA_ASSIGN_OR_RETURN(session->events_,
+                          ipc::TcpStream::connect_retry(port, timeout_millis));
+  (void)session->events_.set_nodelay(true);
+  DIONEA_RETURN_IF_ERROR(ipc::send_frame(
+      session->events_, proto::make_hello(proto::kChannelEvents, 0)));
+
+  // First ping doubles as the session handshake and pid discovery.
+  DIONEA_ASSIGN_OR_RETURN(Value pong, session->request(proto::kCmdPing));
+  session->pid_ = static_cast<int>(pong.get_int("pid"));
+  return session;
+}
+
+Result<Value> Session::request(const std::string& cmd, Value args) {
+  std::int64_t seq = next_seq_++;
+  Value frame = std::move(args);
+  frame.set("cmd", cmd);
+  frame.set("seq", seq);
+  DIONEA_RETURN_IF_ERROR(ipc::send_frame(control_, frame));
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          ipc::recv_frame_timeout(control_, 10'000));
+  if (response.get_int("re") != seq) {
+    return Error(ErrorCode::kProtocol,
+                 strings::format("response out of order (want seq %lld)",
+                                 static_cast<long long>(seq)));
+  }
+  if (!response.get_bool("ok")) {
+    return Error(ErrorCode::kInvalidArgument,
+                 cmd + " failed: " + response.get_string("error"));
+  }
+  return response;
+}
+
+Result<int> Session::set_breakpoint(const std::string& file, int line,
+                                    std::int64_t tid, std::int64_t ignore) {
+  Value args;
+  args.set("file", file);
+  args.set("line", line);
+  if (tid != 0) args.set("tid", tid);
+  if (ignore != 0) args.set("ignore", ignore);
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          request(proto::kCmdBreakSet, std::move(args)));
+  return static_cast<int>(response.get_int("id"));
+}
+
+Status Session::clear_breakpoint(int id) {
+  Value args;
+  args.set("id", id);
+  return request(proto::kCmdBreakClear, std::move(args)).status();
+}
+
+namespace {
+ipc::wire::Value tid_args(std::int64_t tid) {
+  Value args;
+  args.set("tid", tid);
+  return args;
+}
+}  // namespace
+
+Status Session::cont(std::int64_t tid) {
+  return request(proto::kCmdContinue, tid_args(tid)).status();
+}
+Status Session::cont_all() { return request(proto::kCmdContinueAll).status(); }
+Status Session::step(std::int64_t tid) {
+  return request(proto::kCmdStep, tid_args(tid)).status();
+}
+Status Session::next(std::int64_t tid) {
+  return request(proto::kCmdNext, tid_args(tid)).status();
+}
+Status Session::finish(std::int64_t tid) {
+  return request(proto::kCmdFinish, tid_args(tid)).status();
+}
+Status Session::pause(std::int64_t tid) {
+  return request(proto::kCmdPause, tid_args(tid)).status();
+}
+Status Session::pause_all() { return request(proto::kCmdPauseAll).status(); }
+
+Status Session::set_disturb(bool on) {
+  Value args;
+  args.set("on", on);
+  return request(proto::kCmdDisturb, std::move(args)).status();
+}
+
+Status Session::detach() { return request(proto::kCmdDetach).status(); }
+
+Result<std::vector<RemoteThread>> Session::threads() {
+  DIONEA_ASSIGN_OR_RETURN(Value response, request(proto::kCmdThreads));
+  std::vector<RemoteThread> out;
+  for (const Value& entry : response.at("threads").as_array()) {
+    RemoteThread t;
+    t.tid = entry.get_int("tid");
+    t.name = entry.get_string("name");
+    t.state = entry.get_string("state");
+    t.file = entry.get_string("file");
+    t.line = static_cast<int>(entry.get_int("line"));
+    t.note = entry.get_string("note");
+    t.depth = static_cast<int>(entry.get_int("depth"));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<std::vector<RemoteFrame>> Session::frames(std::int64_t tid) {
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          request(proto::kCmdFrames, tid_args(tid)));
+  std::vector<RemoteFrame> out;
+  for (const Value& entry : response.at("frames").as_array()) {
+    out.push_back(RemoteFrame{entry.get_string("function"),
+                              entry.get_string("file"),
+                              static_cast<int>(entry.get_int("line"))});
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> Session::locals(
+    std::int64_t tid, int depth) {
+  Value args;
+  args.set("tid", tid);
+  args.set("depth", depth);
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          request(proto::kCmdLocals, std::move(args)));
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Value& entry : response.at("locals").as_array()) {
+    out.emplace_back(entry.get_string("name"), entry.get_string("value"));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> Session::globals() {
+  DIONEA_ASSIGN_OR_RETURN(Value response, request(proto::kCmdGlobals));
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Value& entry : response.at("globals").as_array()) {
+    out.emplace_back(entry.get_string("name"), entry.get_string("value"));
+  }
+  return out;
+}
+
+Result<std::string> Session::source(const std::string& file) {
+  Value args;
+  args.set("file", file);
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          request(proto::kCmdSource, std::move(args)));
+  return response.get_string("text");
+}
+
+Result<std::string> Session::eval(std::int64_t tid,
+                                  const std::string& expression, int depth) {
+  Value args;
+  args.set("tid", tid);
+  args.set("depth", depth);
+  args.set("expr", expression);
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          request(proto::kCmdEval, std::move(args)));
+  return response.get_string("value");
+}
+
+Result<std::optional<DebugEvent>> Session::poll_event(int timeout_millis) {
+  if (!replay_.empty()) {
+    DebugEvent event = std::move(replay_.front());
+    replay_.pop_front();
+    return std::optional<DebugEvent>(std::move(event));
+  }
+  auto frame = ipc::recv_frame_timeout(events_, timeout_millis);
+  if (!frame.is_ok()) {
+    if (frame.error().code() == ErrorCode::kTimeout) {
+      return std::optional<DebugEvent>();
+    }
+    return frame.error();
+  }
+  DebugEvent event;
+  event.name = frame.value().get_string("event");
+  event.payload = std::move(frame).value();
+  return std::optional<DebugEvent>(std::move(event));
+}
+
+Result<DebugEvent> Session::wait_event(const std::string& name,
+                                       int timeout_millis) {
+  // Scan the replay queue first.
+  for (auto it = replay_.begin(); it != replay_.end(); ++it) {
+    if (it->name == name) {
+      DebugEvent event = std::move(*it);
+      replay_.erase(it);
+      return event;
+    }
+  }
+  Stopwatch watch;
+  while (true) {
+    int remaining =
+        timeout_millis - static_cast<int>(watch.elapsed_seconds() * 1000.0);
+    if (remaining <= 0) {
+      return Error(ErrorCode::kTimeout, "no '" + name + "' event");
+    }
+    auto frame = ipc::recv_frame_timeout(events_, remaining);
+    if (!frame.is_ok()) {
+      if (frame.error().code() == ErrorCode::kTimeout) {
+        return Error(ErrorCode::kTimeout, "no '" + name + "' event");
+      }
+      return frame.error();
+    }
+    DebugEvent event;
+    event.name = frame.value().get_string("event");
+    event.payload = std::move(frame).value();
+    if (event.name == name) return event;
+    replay_.push_back(std::move(event));
+  }
+}
+
+Result<StopInfo> Session::wait_stopped(int timeout_millis) {
+  DIONEA_ASSIGN_OR_RETURN(DebugEvent event,
+                          wait_event(proto::kEvStopped, timeout_millis));
+  StopInfo info;
+  info.tid = event.payload.get_int("tid");
+  info.file = event.payload.get_string("file");
+  info.line = static_cast<int>(event.payload.get_int("line"));
+  info.function = event.payload.get_string("function");
+  info.reason = event.payload.get_string("reason");
+  info.breakpoint_id = static_cast<int>(event.payload.get_int("breakpoint"));
+  return info;
+}
+
+}  // namespace dionea::client

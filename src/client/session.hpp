@@ -1,0 +1,115 @@
+// One debug session: client side of the control + events channels to
+// a single debuggee process (§4.1: "a debug session is a sequence of
+// interactions between debugger and debuggee"; 1 server : 1 client).
+//
+// The session is poll-driven: events are read from the events channel
+// when the caller asks (poll_event / wait_event*), never by a hidden
+// background thread — embedders (tests, the console, the GUI-less
+// examples) stay in control of interleaving.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "debugger/protocol.hpp"
+#include "ipc/frame.hpp"
+#include "ipc/socket.hpp"
+#include "support/result.hpp"
+
+namespace dionea::client {
+
+struct DebugEvent {
+  std::string name;
+  ipc::wire::Value payload;
+};
+
+struct RemoteThread {
+  std::int64_t tid = 0;
+  std::string name;
+  std::string state;
+  std::string file;
+  int line = 0;
+  std::string note;
+  int depth = 0;
+};
+
+struct RemoteFrame {
+  std::string function;
+  std::string file;
+  int line = 0;
+};
+
+struct StopInfo {
+  std::int64_t tid = 0;
+  std::string file;
+  int line = 0;
+  std::string function;
+  std::string reason;
+  int breakpoint_id = 0;
+};
+
+class Session {
+ public:
+  // Connect both channels to a server's listener port. Retries until
+  // `timeout_millis` (the server may still be starting).
+  static Result<std::unique_ptr<Session>> attach(std::uint16_t port,
+                                                 int timeout_millis);
+
+  int pid() const noexcept { return pid_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  // ---- raw request/response ----
+  Result<ipc::wire::Value> request(const std::string& cmd,
+                                   ipc::wire::Value args = {});
+
+  // ---- typed commands ----
+  Result<int> set_breakpoint(const std::string& file, int line,
+                             std::int64_t tid = 0, std::int64_t ignore = 0);
+  Status clear_breakpoint(int id);       // id 0 = clear all
+  Status cont(std::int64_t tid);
+  Status cont_all();
+  Status step(std::int64_t tid);
+  Status next(std::int64_t tid);
+  Status finish(std::int64_t tid);
+  Status pause(std::int64_t tid);
+  Status pause_all();
+  Status set_disturb(bool on);
+  Status detach();
+  Result<std::vector<RemoteThread>> threads();
+  Result<std::vector<RemoteFrame>> frames(std::int64_t tid);
+  Result<std::vector<std::pair<std::string, std::string>>> locals(
+      std::int64_t tid, int depth = 0);
+  Result<std::vector<std::pair<std::string, std::string>>> globals();
+  Result<std::string> source(const std::string& file);
+  // Evaluate an expression in frame `depth` of a suspended/blocked
+  // thread; returns repr() of the result.
+  Result<std::string> eval(std::int64_t tid, const std::string& expression,
+                           int depth = 0);
+
+  // ---- events ----
+  // Next event within the timeout; nullopt when none arrived.
+  Result<std::optional<DebugEvent>> poll_event(int timeout_millis);
+  // Block until an event with the given name arrives; other events are
+  // queued for later consumption, not lost.
+  Result<DebugEvent> wait_event(const std::string& name, int timeout_millis);
+  // Convenience: wait for "stopped" and decode it.
+  Result<StopInfo> wait_stopped(int timeout_millis);
+  // Events already received but not yet consumed by wait_event.
+  size_t queued_events() const noexcept { return replay_.size(); }
+
+ private:
+  Session() = default;
+
+  ipc::TcpStream control_;
+  ipc::TcpStream events_;
+  std::uint16_t port_ = 0;
+  int pid_ = 0;
+  std::int64_t next_seq_ = 1;
+  std::deque<DebugEvent> replay_;  // events skipped by wait_event(name)
+};
+
+}  // namespace dionea::client

@@ -1,0 +1,93 @@
+#include "debugger/breakpoint.hpp"
+
+#include <algorithm>
+
+namespace dionea::dbg {
+namespace {
+
+std::string_view basename_of(std::string_view path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int BreakpointTable::add(const std::string& file, int line,
+                         std::int64_t thread_filter,
+                         std::uint64_t ignore_count) {
+  std::scoped_lock lock(mutex_);
+  Breakpoint bp;
+  bp.id = next_id_++;
+  bp.file = file;
+  bp.line = line;
+  bp.thread_filter = thread_filter;
+  bp.ignore_count = ignore_count;
+  by_line_[line].push_back(bp);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return bp.id;
+}
+
+bool BreakpointTable::remove(int id) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [line, bps] : by_line_) {
+    auto it = std::find_if(bps.begin(), bps.end(),
+                           [id](const Breakpoint& bp) { return bp.id == id; });
+    if (it != bps.end()) {
+      bps.erase(it);
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void BreakpointTable::clear() {
+  std::scoped_lock lock(mutex_);
+  by_line_.clear();
+  count_.store(0, std::memory_order_relaxed);
+}
+
+bool BreakpointTable::set_enabled(int id, bool enabled) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [line, bps] : by_line_) {
+    for (Breakpoint& bp : bps) {
+      if (bp.id == id) {
+        bp.enabled = enabled;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int BreakpointTable::match(std::string_view file, int line,
+                           std::int64_t tid) {
+  if (empty()) return 0;
+  std::scoped_lock lock(mutex_);
+  auto it = by_line_.find(line);
+  if (it == by_line_.end()) return 0;
+  for (Breakpoint& bp : it->second) {
+    if (!bp.enabled) continue;
+    if (bp.thread_filter != 0 && bp.thread_filter != tid) continue;
+    if (bp.file != file && bp.file != basename_of(file)) continue;
+    ++bp.hit_count;
+    if (bp.hit_count <= bp.ignore_count) continue;
+    return bp.id;
+  }
+  return 0;
+}
+
+std::vector<Breakpoint> BreakpointTable::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Breakpoint> out;
+  for (const auto& [line, bps] : by_line_) {
+    out.insert(out.end(), bps.begin(), bps.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Breakpoint& a, const Breakpoint& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace dionea::dbg

@@ -1,0 +1,65 @@
+// Breakpoint table.
+//
+// Breakpoints survive fork: the child inherits the table (it is the
+// "metadata for debugging, such as breakpoint information" of §5.3
+// problem 2 / Fig. 4) — only session identity must be rebuilt, not the
+// user's breakpoints. PyCharm and Dionea behave the same way.
+//
+// Lookup is hit on every traced line, so the table keeps a line-keyed
+// index and an atomic emptiness flag for the common no-breakpoints case.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dionea::dbg {
+
+struct Breakpoint {
+  int id = 0;
+  std::string file;       // exact path or bare basename
+  int line = 0;
+  bool enabled = true;
+  std::int64_t thread_filter = 0;  // 0 = any thread
+  std::uint64_t hit_count = 0;
+  std::uint64_t ignore_count = 0;  // skip the first N hits
+};
+
+class BreakpointTable {
+ public:
+  // Returns the new breakpoint's id.
+  int add(const std::string& file, int line, std::int64_t thread_filter = 0,
+          std::uint64_t ignore_count = 0);
+  bool remove(int id);
+  void clear();
+  bool set_enabled(int id, bool enabled);
+
+  // Hot path: called from the trace callback on every line event.
+  // Returns the breakpoint id hit, or 0. Matches when the breakpoint's
+  // file equals the event file, or equals its basename.
+  int match(std::string_view file, int line, std::int64_t tid);
+
+  bool empty() const noexcept {
+    return count_.load(std::memory_order_relaxed) == 0;
+  }
+
+  std::vector<Breakpoint> snapshot() const;
+
+  // Fork support: the debug server pins the table's lock across fork
+  // so the child cannot inherit it mid-mutation.
+  std::unique_lock<std::mutex> pin_for_fork() {
+    return std::unique_lock(mutex_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int, std::vector<Breakpoint>> by_line_;  // line -> bps
+  int next_id_ = 1;
+  std::atomic<int> count_{0};
+};
+
+}  // namespace dionea::dbg

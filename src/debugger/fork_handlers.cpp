@@ -1,0 +1,170 @@
+// Fork handlers A/B/C (§5.4) — the paper's contribution.
+//
+// The augmented fork (Vm::fork_now, the Listing 3/4 analog) invokes
+// these around fork(2). They solve the three problems of §5.3:
+//
+//  1. "Ensuring the new process continues running." The VM's own fork
+//     handlers pin every sync object's internal lock before the fork
+//     and re-initialize them in the child, clearing ownership held by
+//     threads that no longer exist (Listing 1/2's role); handler A
+//     below additionally pins every *debugger* lock, so neither the
+//     listener thread nor a parked debuggee thread can leave one
+//     locked in the child.
+//  2. "Debugging on child." The child inherits the parent's debug
+//     metadata (Fig. 4): per-thread debug states for threads that no
+//     longer exist, a session bound to the parent's pid. Handler C
+//     rebuilds it — breakpoints are deliberately KEPT (they are the
+//     user's, not the session's).
+//  3. "Establishing proper communication with the client." The child
+//     inherits the parent's sockets (Fig. 5) and must not speak on
+//     them. Handler C closes every inherited descriptor, binds a fresh
+//     listener, appends {pid, port} to the temp port file (Fig. 6),
+//     and recreates the listener thread; the client tails the port
+//     file and opens a new session.
+#include <unistd.h>
+
+#include "debugger/server.hpp"
+#include "support/logging.hpp"
+
+namespace dionea::dbg {
+
+using ipc::wire::Value;
+
+// Handler A — prepare fork. "Acquire control over synchronization
+// objects. Disable the tracing until the listener thread is restarted,
+// to avoid a deadlock in the child process."
+void DebugServer::fork_prepare() {
+  trace_was_enabled_ = vm_.trace_enabled();
+  vm_.set_trace_enabled(false);
+
+  // Pin all server locks in a fixed order (state -> per-thread debug
+  // states by tid -> events -> sources -> breakpoints). After this, the
+  // listener thread is provably outside every critical section, so the
+  // child's copies of these mutexes are all consistently "held by the
+  // forking thread".
+  fork_state_lock_ = std::unique_lock(state_mutex_);
+  fork_td_pinned_.clear();
+  fork_td_locks_.clear();
+  for (auto& [tid, td] : thread_debug_) {
+    fork_td_pinned_.push_back(td);
+    fork_td_locks_.emplace_back(td->mutex);
+  }
+  fork_events_lock_ = std::unique_lock(events_mutex_);
+  fork_sources_lock_ = std::unique_lock(sources_mutex_);
+  fork_bp_lock_ = breakpoints_.pin_for_fork();
+}
+
+// Handler B — handle parent at fork. "Immediately after the fork,
+// release control of synchronization objects, and re-enable tracing."
+void DebugServer::fork_parent(int child_pid) {
+  fork_bp_lock_.unlock();
+  fork_bp_lock_ = {};
+  fork_sources_lock_.unlock();
+  fork_sources_lock_ = {};
+  fork_events_lock_.unlock();
+  fork_events_lock_ = {};
+  for (size_t i = fork_td_locks_.size(); i-- > 0;) {
+    fork_td_locks_[i].unlock();
+  }
+  fork_td_locks_.clear();
+  fork_td_pinned_.clear();
+  fork_state_lock_.unlock();
+  fork_state_lock_ = {};
+  vm_.set_trace_enabled(trace_was_enabled_ &&
+                        tracing_wanted_.load(std::memory_order_relaxed));
+
+  if (child_pid > 0) {
+    // Courtesy notification; the authoritative signal is the child's
+    // port-file record (the client may see either first).
+    Value event = proto::make_event(proto::kEvForked);
+    event.set("pid", static_cast<int>(::getpid()));
+    event.set("child_pid", child_pid);
+    send_event(std::move(event));
+  }
+}
+
+// Handler C — handle child at fork. "Initialize the synchronization
+// objects, close the inherited sockets, initialize the data
+// structures, create a listener thread, register the thread that
+// called fork as the main thread, inform the client about the creation
+// of a new debuggee, and finally re-enable the tracing that was
+// disabled in A." (The 'register main thread' step is done by the VM's
+// own child handler, which runs before this one — pthread_atfork
+// ordering, §5.2.)
+void DebugServer::fork_child() {
+  // We are the only thread alive. Every pinned lock below was taken by
+  // *this* thread in handler A, so plain unlocks are well-defined.
+  fork_bp_lock_.unlock();
+  fork_bp_lock_ = {};
+  fork_sources_lock_.unlock();
+  fork_sources_lock_ = {};
+  fork_events_lock_.unlock();
+  fork_events_lock_ = {};
+  for (size_t i = fork_td_locks_.size(); i-- > 0;) {
+    fork_td_locks_[i].unlock();
+  }
+  fork_td_locks_.clear();
+  fork_td_pinned_.clear();
+  fork_state_lock_.unlock();
+  fork_state_lock_ = {};
+
+  // (3) Close every inherited descriptor: parent's listener, the
+  // parent session's control and events channels (Fig. 5 -> Fig. 6).
+  if (listener_) listener_->close();
+  control_.close();
+  events_.close();
+  // Backlogged events belong to the parent's session; the parent will
+  // flush its own copy.
+  event_backlog_.clear();
+  // The parent's reactor is garbage here: its wakeup pipe is shared
+  // with the parent and its internals may reference the (vanished)
+  // listener thread. Leak it rather than run its destructor.
+  (void)reactor_.release();
+
+  // (2) Rebuild debug metadata: keep only the surviving thread's
+  // per-thread state (its InterpThread keeps the object alive through
+  // debugger_slot; states of vanished threads are dropped here and
+  // stay alive — unlocked and untouched — through the VM's thread
+  // graveyard). Breakpoints are inherited unchanged.
+  {
+    std::scoped_lock lock(state_mutex_);
+    std::int64_t survivor = vm_.main_thread_id();
+    auto it = thread_debug_.find(survivor);
+    std::shared_ptr<ThreadDebug> kept =
+        it == thread_debug_.end() ? nullptr : it->second;
+    thread_debug_.clear();
+    if (kept) thread_debug_[survivor] = kept;
+  }
+
+  // (3 continued) Fresh listener on a fresh port, published through
+  // the temp file; then recreate the listener thread.
+  running_.store(false, std::memory_order_relaxed);
+  // The parent's listener thread does not exist in this process;
+  // abandon its handle without touching pthread state.
+  (void)listener_thread_.release();
+  Status status = bind_and_publish();
+  if (!status.is_ok()) {
+    DLOG_ERROR("dbg") << "child could not re-bind debug server: "
+                      << status.to_string();
+    vm_.set_trace_enabled(false);
+    return;
+  }
+  start_listener_thread();
+
+  // Disturb mode (§6.4): the freshly forked process counts as a new
+  // UE — stop it at its first traced line. stop_forked_children is the
+  // narrower variant (processes only, not threads).
+  if (disturb() || options_.stop_forked_children) {
+    auto td = thread_state(vm_.main_thread_id());
+    std::scoped_lock lock(td->mutex);
+    td->pause_requested = true;
+    td->refresh_attention();
+  }
+
+  // Re-enable the tracing that A disabled (unless the client detached
+  // while the fork was in flight).
+  vm_.set_trace_enabled(trace_was_enabled_ &&
+                        tracing_wanted_.load(std::memory_order_relaxed));
+}
+
+}  // namespace dionea::dbg

@@ -1,0 +1,42 @@
+#include "debugger/protocol.hpp"
+
+namespace dionea::dbg::proto {
+
+using ipc::wire::Value;
+
+Value make_hello(const std::string& channel, int pid) {
+  Value v;
+  v.set("channel", channel);
+  v.set("pid", pid);
+  return v;
+}
+
+Value make_request(const std::string& cmd, std::int64_t seq) {
+  Value v;
+  v.set("cmd", cmd);
+  v.set("seq", seq);
+  return v;
+}
+
+Value make_ok(std::int64_t seq) {
+  Value v;
+  v.set("re", seq);
+  v.set("ok", true);
+  return v;
+}
+
+Value make_error(std::int64_t seq, const std::string& message) {
+  Value v;
+  v.set("re", seq);
+  v.set("ok", false);
+  v.set("error", message);
+  return v;
+}
+
+Value make_event(const std::string& name) {
+  Value v;
+  v.set("event", name);
+  return v;
+}
+
+}  // namespace dionea::dbg::proto

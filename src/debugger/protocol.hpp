@@ -1,0 +1,69 @@
+// The Dionea debug protocol (§4: "Server and client interact through a
+// predefined protocol using TCP/IP").
+//
+// Transport: framed wire::Values (ipc/frame.hpp) over two TCP
+// connections per session, both made by the client to the server's
+// listener port:
+//   control — request/response. Request:  {cmd, seq, ...args}
+//             Response: {re: seq, ok, error?, ...payload}
+//   events  — server -> client pushes:    {event, ...payload}
+// The first frame on each connection is a hello: {channel: "control" |
+// "events", pid?: int}. This triple (listener + 2 channels) is the
+// paper's three-socket design with the "source sync" socket folded
+// into a control command ("source").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ipc/wire.hpp"
+
+namespace dionea::dbg::proto {
+
+inline constexpr const char* kChannelControl = "control";
+inline constexpr const char* kChannelEvents = "events";
+
+// ---- commands (client -> server) ----
+inline constexpr const char* kCmdPing = "ping";
+inline constexpr const char* kCmdInfo = "info";
+inline constexpr const char* kCmdThreads = "threads";
+inline constexpr const char* kCmdFrames = "frames";            // tid
+inline constexpr const char* kCmdLocals = "locals";            // tid, depth
+inline constexpr const char* kCmdGlobals = "globals";
+inline constexpr const char* kCmdSource = "source";            // file
+inline constexpr const char* kCmdEval = "eval";                // tid, depth, expr
+inline constexpr const char* kCmdBreakSet = "break_set";       // file, line
+inline constexpr const char* kCmdBreakClear = "break_clear";   // id
+inline constexpr const char* kCmdBreakList = "break_list";
+inline constexpr const char* kCmdContinue = "continue";        // tid
+inline constexpr const char* kCmdContinueAll = "continue_all";
+inline constexpr const char* kCmdStep = "step";                // tid
+inline constexpr const char* kCmdNext = "next";                // tid
+inline constexpr const char* kCmdFinish = "finish";            // tid
+inline constexpr const char* kCmdPause = "pause";              // tid
+inline constexpr const char* kCmdPauseAll = "pause_all";
+inline constexpr const char* kCmdDisturb = "disturb";          // on: bool
+inline constexpr const char* kCmdDetach = "detach";
+
+// ---- events (server -> client) ----
+inline constexpr const char* kEvStopped = "stopped";        // tid,file,line,reason
+inline constexpr const char* kEvThreadStart = "thread_started";  // tid
+inline constexpr const char* kEvThreadExit = "thread_exited";    // tid
+inline constexpr const char* kEvForked = "forked";          // child_pid
+inline constexpr const char* kEvTerminated = "terminated";  // pid
+inline constexpr const char* kEvDeadlock = "deadlock";      // threads[]
+inline constexpr const char* kEvOutput = "output";          // text
+
+// ---- stop reasons ----
+inline constexpr const char* kStopBreakpoint = "breakpoint";
+inline constexpr const char* kStopStep = "step";
+inline constexpr const char* kStopPause = "pause";
+inline constexpr const char* kStopDisturb = "disturb";
+
+ipc::wire::Value make_hello(const std::string& channel, int pid);
+ipc::wire::Value make_request(const std::string& cmd, std::int64_t seq);
+ipc::wire::Value make_ok(std::int64_t seq);
+ipc::wire::Value make_error(std::int64_t seq, const std::string& message);
+ipc::wire::Value make_event(const std::string& name);
+
+}  // namespace dionea::dbg::proto

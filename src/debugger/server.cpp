@@ -1,0 +1,691 @@
+#include "debugger/server.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::dbg {
+
+using ipc::wire::Array;
+using ipc::wire::Value;
+
+DebugServer::DebugServer(vm::Vm& vm, Options options)
+    : vm_(vm), options_(std::move(options)) {
+  disturb_.store(options_.disturb_mode, std::memory_order_relaxed);
+}
+
+DebugServer::~DebugServer() { stop(); }
+
+Status DebugServer::start() {
+  DIONEA_RETURN_IF_ERROR(bind_and_publish());
+  start_listener_thread();
+
+  // The debuggee sees the server only through these three hooks — the
+  // same coupling Dionea has with the interpreters it debugs.
+  vm_.set_trace_fn([this](vm::Vm&, vm::InterpThread& th,
+                          const vm::TraceEvent& event) { on_trace(th, event); });
+  vm_.add_fork_handlers(vm::ForkHooks{
+      [this](vm::Vm&) { fork_prepare(); },
+      [this](vm::Vm&, int child_pid) { fork_parent(child_pid); },
+      [this](vm::Vm&, int) { fork_child(); },
+  });
+  vm_.set_deadlock_hook(
+      [this](vm::Vm&, const std::vector<vm::DeadlockInfo>& infos) {
+        return deadlock_hook(infos);
+      });
+  vm_.set_at_exit_hook([this](vm::Vm&) {
+    Value event = proto::make_event(proto::kEvTerminated);
+    event.set("pid", static_cast<int>(::getpid()));
+    send_event(std::move(event));
+  });
+  if (options_.capture_output) {
+    vm_.set_output([this](std::string_view text) {
+      Value event = proto::make_event(proto::kEvOutput);
+      event.set("text", std::string(text));
+      send_event(std::move(event));
+      // Still mirror to the real stdout so local runs stay readable.
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      std::fflush(stdout);
+    });
+  }
+  tracing_wanted_.store(true, std::memory_order_relaxed);
+  vm_.set_trace_enabled(true);
+  return Status::ok();
+}
+
+Status DebugServer::bind_and_publish() {
+  auto listener = ipc::TcpListener::bind(options_.port);
+  if (!listener.is_ok()) return listener.error();
+  listener_ = std::make_unique<ipc::TcpListener>(std::move(listener).value());
+  port_ = listener_->port();
+  if (!options_.port_file.empty()) {
+    ipc::PortFile port_file(options_.port_file);
+    DIONEA_RETURN_IF_ERROR(port_file.publish(ipc::PortRecord{
+        static_cast<int>(::getpid()), static_cast<int>(::getppid()), port_,
+        port_seq_++}));
+  }
+  return Status::ok();
+}
+
+void DebugServer::start_listener_thread() {
+  reactor_ = std::make_unique<ipc::Reactor>();
+  reactor_->add_fd(listener_->raw_fd(), [this] { handle_new_connection(); });
+  running_.store(true, std::memory_order_relaxed);
+  listener_thread_ = std::make_unique<std::thread>([this] { listener_main(); });
+}
+
+void DebugServer::listener_main() {
+  Status status = reactor_->run();
+  if (!status.is_ok()) {
+    DLOG_ERROR("dbg") << "listener loop failed: " << status.to_string();
+  }
+}
+
+void DebugServer::stop() {
+  if (!running_.exchange(false)) return;
+  tracing_wanted_.store(false, std::memory_order_relaxed);
+  vm_.set_trace_enabled(false);
+  // Resume every parked thread so the debuggee can finish.
+  std::vector<std::shared_ptr<ThreadDebug>> states;
+  {
+    std::scoped_lock lock(state_mutex_);
+    for (auto& [tid, td] : thread_debug_) states.push_back(td);
+  }
+  for (auto& td : states) {
+    std::scoped_lock lock(td->mutex);
+    td->mode = ThreadDebug::Mode::kRun;
+    td->pause_requested = false;
+    td->refresh_attention();
+    td->resume = true;
+    td->cv.notify_all();
+  }
+  if (reactor_) reactor_->stop();
+  if (listener_thread_ && listener_thread_->joinable()) {
+    listener_thread_->join();
+  }
+  listener_thread_.reset();
+  {
+    std::scoped_lock lock(state_mutex_);
+    control_.close();
+  }
+  {
+    std::scoped_lock lock(events_mutex_);
+    events_.close();
+  }
+  if (listener_) listener_->close();
+}
+
+bool DebugServer::client_connected() const {
+  std::scoped_lock lock(state_mutex_);
+  return control_.valid();
+}
+
+void DebugServer::register_source(const std::string& file, std::string text) {
+  std::scoped_lock lock(sources_mutex_);
+  sources_[file] = std::move(text);
+}
+
+// ------------------------------------------------------------ thread state
+
+std::shared_ptr<DebugServer::ThreadDebug> DebugServer::thread_state(
+    std::int64_t tid) {
+  std::scoped_lock lock(state_mutex_);
+  auto it = thread_debug_.find(tid);
+  if (it != thread_debug_.end()) return it->second;
+  auto td = std::make_shared<ThreadDebug>();
+  thread_debug_[tid] = td;
+  return td;
+}
+
+void DebugServer::drop_thread_state(std::int64_t tid) {
+  std::scoped_lock lock(state_mutex_);
+  thread_debug_.erase(tid);
+}
+
+std::vector<std::shared_ptr<DebugServer::ThreadDebug>>
+DebugServer::debug_states_snapshot() {
+  std::scoped_lock lock(state_mutex_);
+  std::vector<std::shared_ptr<ThreadDebug>> out;
+  out.reserve(thread_debug_.size());
+  for (auto& [tid, td] : thread_debug_) out.push_back(td);
+  return out;
+}
+
+// ----------------------------------------------------------------- events
+
+void DebugServer::send_event(Value event) {
+  std::scoped_lock lock(events_mutex_);
+  if (!events_.valid()) {
+    // No client yet: buffer, so a stop raised before attach (e.g. the
+    // stop-at-entry park) is not lost.
+    if (event_backlog_.size() >= kMaxEventBacklog) {
+      event_backlog_.pop_front();
+    }
+    event_backlog_.push_back(std::move(event));
+    return;
+  }
+  Status status = ipc::send_frame(events_, event);
+  if (!status.is_ok()) {
+    DLOG_DEBUG("dbg") << "event channel lost: " << status.to_string();
+    events_.close();
+    return;
+  }
+  events_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ trace
+
+void DebugServer::on_trace(vm::InterpThread& th,
+                           const vm::TraceEvent& event) {
+  switch (event.kind) {
+    case vm::TraceKind::kCall:
+    case vm::TraceKind::kReturn:
+      return;  // stepping uses frame depth carried by line events
+
+    case vm::TraceKind::kThreadStart: {
+      auto td = thread_state(event.thread_id);
+      th.debugger_slot = td;
+      // §6.4: stop every NEW UE at birth. The process's original main
+      // thread is not new (forked children are handled by handler C).
+      if (disturb() && event.thread_id != vm_.main_thread_id()) {
+        std::scoped_lock lock(td->mutex);
+        td->pause_requested = true;
+        td->refresh_attention();
+      }
+      Value ev = proto::make_event(proto::kEvThreadStart);
+      ev.set("tid", event.thread_id);
+      ev.set("pid", static_cast<int>(::getpid()));
+      send_event(std::move(ev));
+      return;
+    }
+    case vm::TraceKind::kThreadEnd: {
+      Value ev = proto::make_event(proto::kEvThreadExit);
+      ev.set("tid", event.thread_id);
+      ev.set("pid", static_cast<int>(::getpid()));
+      send_event(std::move(ev));
+      drop_thread_state(event.thread_id);
+      th.debugger_slot.reset();
+      return;
+    }
+
+    case vm::TraceKind::kLine:
+      break;
+  }
+
+  // Line event — the hot path. The §7 overhead numbers live and die
+  // here: with no breakpoints and no pending stop, this is two relaxed
+  // atomic loads and out.
+  ThreadDebug* td = static_cast<ThreadDebug*>(th.debugger_slot.get());
+  if (td == nullptr) {
+    th.debugger_slot = thread_state(event.thread_id);
+    td = static_cast<ThreadDebug*>(th.debugger_slot.get());
+  }
+  if (!options_.thorough_line_handling &&
+      !td->attention.load(std::memory_order_relaxed) &&
+      breakpoints_.empty() && first_line_seen_) {
+    return;
+  }
+
+  const char* reason = nullptr;
+  {
+    std::scoped_lock lock(td->mutex);
+    if (td->pause_requested) {
+      td->pause_requested = false;
+      reason = disturb() ? proto::kStopDisturb : proto::kStopPause;
+    } else {
+      switch (td->mode) {
+        case ThreadDebug::Mode::kRun:
+          break;
+        case ThreadDebug::Mode::kStepInto:
+          reason = proto::kStopStep;
+          break;
+        case ThreadDebug::Mode::kStepOver:
+          if (event.frame_depth <= td->step_base_depth) {
+            reason = proto::kStopStep;
+          }
+          break;
+        case ThreadDebug::Mode::kStepOut:
+          if (event.frame_depth < td->step_base_depth) {
+            reason = proto::kStopStep;
+          }
+          break;
+      }
+      if (reason != nullptr) td->mode = ThreadDebug::Mode::kRun;
+    }
+    td->refresh_attention();
+  }
+
+  if (!first_line_seen_) {
+    first_line_seen_ = true;
+    if (options_.stop_at_entry && reason == nullptr) {
+      reason = proto::kStopPause;
+    }
+  }
+
+  int breakpoint_id = 0;
+  if (reason == nullptr) {
+    breakpoint_id = breakpoints_.match(event.file, event.line,
+                                       event.thread_id);
+    if (breakpoint_id != 0) reason = proto::kStopBreakpoint;
+  }
+  if (reason == nullptr) return;
+  park_thread(th, event, reason, breakpoint_id);
+}
+
+void DebugServer::park_thread(vm::InterpThread& th,
+                              const vm::TraceEvent& event,
+                              const std::string& reason, int breakpoint_id) {
+  auto td = std::static_pointer_cast<ThreadDebug>(th.debugger_slot);
+  {
+    std::scoped_lock lock(td->mutex);
+    td->parked = true;
+    td->resume = false;
+  }
+  // Low-intrusive suspension: this thread releases the GIL and waits;
+  // every other UE keeps running at full speed (§1 footnote 1). The
+  // stopped event is sent only after the BlockScope has published the
+  // kDebugParked state, so a client that reacts to the event with a
+  // `threads` command sees a consistent picture.
+  {
+    vm::Vm::BlockScope scope(vm_, th, vm::ThreadState::kDebugParked,
+                             "debugger (" + reason + ")");
+    Value ev = proto::make_event(proto::kEvStopped);
+    ev.set("pid", static_cast<int>(::getpid()));
+    ev.set("tid", event.thread_id);
+    ev.set("file", std::string(event.file));
+    ev.set("line", event.line);
+    ev.set("function", std::string(event.function));
+    ev.set("reason", reason);
+    if (breakpoint_id != 0) ev.set("breakpoint", breakpoint_id);
+    send_event(std::move(ev));
+    (void)vm_.wait_interruptible(th, td->mutex, td->cv,
+                                 [&] { return td->resume; });
+  }
+  {
+    std::scoped_lock lock(td->mutex);
+    td->parked = false;
+    td->resume = false;
+    // Anchor step-over / step-out to where the user resumed from.
+    td->step_base_depth = event.frame_depth;
+    td->refresh_attention();
+  }
+}
+
+// ----------------------------------------------------------- connections
+
+void DebugServer::handle_new_connection() {
+  auto accepted = listener_->accept();
+  if (!accepted.is_ok()) {
+    DLOG_WARN("dbg") << "accept failed: " << accepted.error().to_string();
+    return;
+  }
+  ipc::TcpStream stream = std::move(accepted).value();
+  auto hello = ipc::recv_frame_timeout(stream, 2000);
+  if (!hello.is_ok()) {
+    DLOG_WARN("dbg") << "bad hello: " << hello.error().to_string();
+    return;
+  }
+  std::string channel = hello.value().get_string("channel");
+  (void)stream.set_nodelay(true);
+  if (channel == proto::kChannelControl) {
+    std::scoped_lock lock(state_mutex_);
+    if (control_.valid()) {
+      // 1 server : 1 client (§4.1) — two clients driving one debuggee
+      // would make it inconsistent.
+      Value refusal = proto::make_error(0, "a client is already attached");
+      (void)ipc::send_frame(stream, refusal);
+      return;
+    }
+    control_ = std::move(stream);
+    int fd = control_.raw_fd();
+    reactor_->add_fd(fd, [this] { handle_control_frame(); });
+    return;
+  }
+  if (channel == proto::kChannelEvents) {
+    std::scoped_lock lock(events_mutex_);
+    events_ = std::move(stream);
+    // Flush everything that happened before the client attached.
+    while (!event_backlog_.empty() && events_.valid()) {
+      Status status = ipc::send_frame(events_, event_backlog_.front());
+      if (!status.is_ok()) {
+        events_.close();
+        break;
+      }
+      event_backlog_.pop_front();
+      events_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  DLOG_WARN("dbg") << "unknown channel '" << channel << "'";
+}
+
+void DebugServer::handle_control_frame() {
+  // Lock discipline: state_mutex_ is held only around socket access,
+  // never across execute_command — several commands acquire the GIL
+  // (vm_.list_threads etc.), and a debuggee thread holding the GIL may
+  // be taking state_mutex_ in thread_state() at the same moment.
+  Result<Value> request = [&]() -> Result<Value> {
+    std::scoped_lock lock(state_mutex_);
+    if (!control_.valid()) {
+      return Error(ErrorCode::kClosed, "no control channel");
+    }
+    return ipc::recv_frame(control_);
+  }();
+  if (!request.is_ok()) {
+    std::scoped_lock lock(state_mutex_);
+    if (control_.valid()) {
+      // Client went away (or spoke garbage): drop the session; a new
+      // client may attach later.
+      reactor_->remove_fd(control_.raw_fd());
+      control_.close();
+    }
+    return;
+  }
+  std::function<void()> after_send;
+  Value response = execute_command(request.value(), &after_send);
+  {
+    std::scoped_lock lock(state_mutex_);
+    if (!control_.valid()) return;
+    Status status = ipc::send_frame(control_, response);
+    if (!status.is_ok()) {
+      reactor_->remove_fd(control_.raw_fd());
+      control_.close();
+    }
+  }
+  // Wake resumed threads only now: a resumed debuggee may exit
+  // immediately, and the client must have its acknowledgement first.
+  if (after_send) after_send();
+}
+
+// ----------------------------------------------------------------- commands
+
+ipc::wire::Value DebugServer::execute_command(
+    const Value& request, std::function<void()>* after_send) {
+  const std::string cmd = request.get_string("cmd");
+  const std::int64_t seq = request.get_int("seq");
+
+  if (cmd == proto::kCmdPing) {
+    Value response = proto::make_ok(seq);
+    response.set("pid", static_cast<int>(::getpid()));
+    return response;
+  }
+  if (cmd == proto::kCmdInfo) {
+    Value response = proto::make_ok(seq);
+    response.set("pid", static_cast<int>(::getpid()));
+    response.set("main_tid", vm_.main_thread_id());
+    response.set("fork_depth", vm_.fork_depth());
+    response.set("disturb", disturb());
+    return response;
+  }
+  if (cmd == proto::kCmdThreads) return cmd_threads(seq);
+  if (cmd == proto::kCmdFrames) {
+    return cmd_frames(seq, request.get_int("tid"));
+  }
+  if (cmd == proto::kCmdLocals) {
+    return cmd_locals(seq, request.get_int("tid"),
+                      static_cast<int>(request.get_int("depth")));
+  }
+  if (cmd == proto::kCmdGlobals) return cmd_globals(seq);
+  if (cmd == proto::kCmdSource) {
+    return cmd_source(seq, request.get_string("file"));
+  }
+  if (cmd == proto::kCmdEval) {
+    // Fig. 2's command shell `p expr`: evaluate in a suspended frame.
+    auto value = vm_.eval_in_frame(request.get_int("tid"),
+                                   static_cast<int>(request.get_int("depth")),
+                                   request.get_string("expr"));
+    if (!value.is_ok()) return proto::make_error(seq, value.error().message());
+    Value response = proto::make_ok(seq);
+    response.set("value", std::move(value).value());
+    return response;
+  }
+
+  if (cmd == proto::kCmdBreakSet) {
+    int id = breakpoints_.add(request.get_string("file"),
+                              static_cast<int>(request.get_int("line")),
+                              request.get_int("tid"),
+                              static_cast<std::uint64_t>(
+                                  request.get_int("ignore")));
+    Value response = proto::make_ok(seq);
+    response.set("id", id);
+    return response;
+  }
+  if (cmd == proto::kCmdBreakClear) {
+    std::int64_t id = request.get_int("id");
+    if (id == 0) {
+      breakpoints_.clear();
+      return proto::make_ok(seq);
+    }
+    if (!breakpoints_.remove(static_cast<int>(id))) {
+      return proto::make_error(seq, "no such breakpoint");
+    }
+    return proto::make_ok(seq);
+  }
+  if (cmd == proto::kCmdBreakList) {
+    Value response = proto::make_ok(seq);
+    Array list;
+    for (const Breakpoint& bp : breakpoints_.snapshot()) {
+      Value entry;
+      entry.set("id", bp.id);
+      entry.set("file", bp.file);
+      entry.set("line", bp.line);
+      entry.set("enabled", bp.enabled);
+      entry.set("hits", static_cast<std::int64_t>(bp.hit_count));
+      list.push_back(std::move(entry));
+    }
+    response.set("breakpoints", std::move(list));
+    return response;
+  }
+
+  if (cmd == proto::kCmdContinue || cmd == proto::kCmdStep ||
+      cmd == proto::kCmdNext || cmd == proto::kCmdFinish) {
+    ThreadDebug::Mode mode = ThreadDebug::Mode::kRun;
+    if (cmd == proto::kCmdStep) mode = ThreadDebug::Mode::kStepInto;
+    if (cmd == proto::kCmdNext) mode = ThreadDebug::Mode::kStepOver;
+    if (cmd == proto::kCmdFinish) mode = ThreadDebug::Mode::kStepOut;
+    Status status = resume_thread(request.get_int("tid"), mode, after_send);
+    if (!status.is_ok()) return proto::make_error(seq, status.to_string());
+    return proto::make_ok(seq);
+  }
+  if (cmd == proto::kCmdContinueAll) {
+    auto states = debug_states_snapshot();
+    for (auto& td : states) {
+      std::scoped_lock lock(td->mutex);
+      td->mode = ThreadDebug::Mode::kRun;
+      td->pause_requested = false;
+    }
+    *after_send = [states] {
+      for (auto& td : states) {
+        std::scoped_lock lock(td->mutex);
+        if (td->parked) {
+          td->resume = true;
+          td->cv.notify_all();
+        }
+      }
+    };
+    return proto::make_ok(seq);
+  }
+  if (cmd == proto::kCmdPause) {
+    auto td = thread_state(request.get_int("tid"));
+    std::scoped_lock lock(td->mutex);
+    td->pause_requested = true;
+    td->refresh_attention();
+    return proto::make_ok(seq);
+  }
+  if (cmd == proto::kCmdPauseAll) {
+    // Pause every live thread at its next traced line ("Dionea can
+    // also operate over the whole program", §4).
+    for (const vm::ThreadInfo& info : vm_.list_threads()) {
+      auto td = thread_state(info.id);
+      std::scoped_lock lock(td->mutex);
+      td->pause_requested = true;
+      td->refresh_attention();
+    }
+    return proto::make_ok(seq);
+  }
+  if (cmd == proto::kCmdDisturb) {
+    set_disturb(request.get_bool("on"));
+    return proto::make_ok(seq);
+  }
+  if (cmd == proto::kCmdDetach) {
+    tracing_wanted_.store(false, std::memory_order_relaxed);
+    vm_.set_trace_enabled(false);
+    auto states = debug_states_snapshot();
+    *after_send = [states] {
+      for (auto& td : states) {
+        std::scoped_lock lock(td->mutex);
+        td->mode = ThreadDebug::Mode::kRun;
+        td->pause_requested = false;
+        td->refresh_attention();
+        td->resume = true;
+        td->cv.notify_all();
+      }
+    };
+    return proto::make_ok(seq);
+  }
+  return proto::make_error(seq, "unknown command '" + cmd + "'");
+}
+
+Status DebugServer::resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
+                                  std::function<void()>* wake) {
+  std::shared_ptr<ThreadDebug> td;
+  {
+    std::scoped_lock lock(state_mutex_);
+    auto it = thread_debug_.find(tid);
+    if (it == thread_debug_.end()) {
+      return Status(ErrorCode::kNotFound,
+                    "no such thread: " + std::to_string(tid));
+    }
+    td = it->second;
+  }
+  {
+    std::scoped_lock lock(td->mutex);
+    if (!td->parked) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "thread " + std::to_string(tid) + " is not suspended");
+    }
+    td->mode = mode;
+    td->refresh_attention();
+  }
+  auto do_wake = [td] {
+    std::scoped_lock lock(td->mutex);
+    td->resume = true;
+    td->cv.notify_all();
+  };
+  if (wake != nullptr) {
+    *wake = std::move(do_wake);
+  } else {
+    do_wake();
+  }
+  return Status::ok();
+}
+
+ipc::wire::Value DebugServer::cmd_threads(std::int64_t seq) {
+  Value response = proto::make_ok(seq);
+  Array list;
+  for (const vm::ThreadInfo& info : vm_.list_threads()) {
+    Value entry;
+    entry.set("tid", info.id);
+    entry.set("name", info.name);
+    entry.set("state", vm::thread_state_name(info.state));
+    entry.set("file", info.file);
+    entry.set("line", info.line);
+    entry.set("note", info.block_note);
+    entry.set("depth", info.frame_depth);
+    list.push_back(std::move(entry));
+  }
+  response.set("threads", std::move(list));
+  return response;
+}
+
+ipc::wire::Value DebugServer::cmd_frames(std::int64_t seq, std::int64_t tid) {
+  Value response = proto::make_ok(seq);
+  Array list;
+  for (const vm::FrameInfo& frame : vm_.thread_frames(tid)) {
+    Value entry;
+    entry.set("function", frame.function);
+    entry.set("file", frame.file);
+    entry.set("line", frame.line);
+    list.push_back(std::move(entry));
+  }
+  response.set("frames", std::move(list));
+  return response;
+}
+
+ipc::wire::Value DebugServer::cmd_locals(std::int64_t seq, std::int64_t tid,
+                                         int depth) {
+  Value response = proto::make_ok(seq);
+  Array list;
+  for (const auto& [name, repr] : vm_.frame_locals(tid, depth)) {
+    Value entry;
+    entry.set("name", name);
+    entry.set("value", repr);
+    list.push_back(std::move(entry));
+  }
+  response.set("locals", std::move(list));
+  return response;
+}
+
+ipc::wire::Value DebugServer::cmd_globals(std::int64_t seq) {
+  Value response = proto::make_ok(seq);
+  Array list;
+  for (const auto& [name, repr] : vm_.globals_snapshot()) {
+    Value entry;
+    entry.set("name", name);
+    entry.set("value", repr);
+    list.push_back(std::move(entry));
+  }
+  response.set("globals", std::move(list));
+  return response;
+}
+
+ipc::wire::Value DebugServer::cmd_source(std::int64_t seq,
+                                         const std::string& file) {
+  {
+    std::scoped_lock lock(sources_mutex_);
+    auto it = sources_.find(file);
+    if (it != sources_.end()) {
+      Value response = proto::make_ok(seq);
+      response.set("text", it->second);
+      return response;
+    }
+  }
+  auto text = read_file(file);
+  if (!text.is_ok()) {
+    return proto::make_error(seq, "cannot read source: " +
+                                      text.error().to_string());
+  }
+  Value response = proto::make_ok(seq);
+  response.set("text", std::move(text).value());
+  return response;
+}
+
+// ---------------------------------------------------------------- deadlock
+
+bool DebugServer::deadlock_hook(const std::vector<vm::DeadlockInfo>& infos) {
+  if (!client_connected()) return false;  // stock-Ruby behaviour (Listing 6)
+  Value event = proto::make_event(proto::kEvDeadlock);
+  event.set("pid", static_cast<int>(::getpid()));
+  Array list;
+  for (const vm::DeadlockInfo& info : infos) {
+    Value entry;
+    entry.set("tid", info.thread_id);
+    entry.set("name", info.thread_name);
+    entry.set("file", info.file);
+    entry.set("line", info.line);  // Fig. 7: the exact blocked line
+    entry.set("note", info.note);
+    list.push_back(std::move(entry));
+  }
+  event.set("threads", std::move(list));
+  send_event(std::move(event));
+  // Owning the deadlock keeps the debuggee alive (threads stay
+  // blocked) so the user can inspect it — the §6.2 scenario.
+  return true;
+}
+
+}  // namespace dionea::dbg

@@ -1,0 +1,212 @@
+// The Dionea debug server (§4): an in-process shim that controls the
+// debuggee through the interpreter's trace facility, serves one client
+// over TCP through a dedicated listener thread (Reactor pattern), and
+// — the paper's contribution — stays attached across fork(2) via fork
+// handlers A/B/C (§5.4):
+//
+//   A prepare: disable tracing, pin the server's own locks (so no
+//     listener operation straddles the fork), flush pending events.
+//   B parent: unpin, re-enable tracing.
+//   C child: drop the inherited listener thread's sockets/reactor,
+//     reset per-thread debug state, bind a fresh listener, publish the
+//     new port through the temp port file, recreate the listener
+//     thread, notify the (parent-session) client, re-enable tracing.
+//
+// Low-intrusiveness (§1 fn.1): a stop suspends exactly one interpreter
+// thread — the suspended thread parks inside its trace callback with
+// the GIL released, so every other thread and process runs untouched.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "debugger/breakpoint.hpp"
+#include "debugger/protocol.hpp"
+#include "ipc/frame.hpp"
+#include "ipc/port_file.hpp"
+#include "ipc/reactor.hpp"
+#include "ipc/socket.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::dbg {
+
+class DebugServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;     // 0 = ephemeral
+    std::string port_file;      // handoff file; required to debug forks
+    bool disturb_mode = false;  // §6.4: stop every new UE at birth
+    // Stop only forked child processes at their first traced line (a
+    // narrower disturb: lets the client adopt a child before it runs).
+    bool stop_forked_children = false;
+    bool capture_output = false;  // mirror debuggee stdout to the client
+    // Park the main thread at its first traced line until a client
+    // attaches and resumes it (how `dioneas program.ml` behaves, §6.1).
+    bool stop_at_entry = false;
+    // Run the full per-line bookkeeping (thread-state lock, mode
+    // dispatch, breakpoint-table probe) on EVERY line event instead of
+    // the two-atomic-loads fast exit. This models Dionea's actual
+    // design — its per-line handler is interpreted Python — and is the
+    // arm the §7 overhead benches compare against the paper.
+    bool thorough_line_handling = false;
+  };
+
+  DebugServer(vm::Vm& vm, Options options);
+  ~DebugServer();
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  // Bind, publish the port record, start the listener thread, install
+  // the trace function / fork handlers / deadlock hook.
+  Status start();
+  // Detach: stop tracing, resume all parked threads, stop the listener.
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  bool client_connected() const;
+
+  // Sources for run_string programs (the "source sync" data, §4).
+  void register_source(const std::string& file, std::string text);
+
+  BreakpointTable& breakpoints() noexcept { return breakpoints_; }
+
+  void set_disturb(bool on) noexcept {
+    disturb_.store(on, std::memory_order_relaxed);
+  }
+  bool disturb() const noexcept {
+    return disturb_.load(std::memory_order_relaxed);
+  }
+
+  // Number of events pushed to the client (tests/benches).
+  std::uint64_t events_sent() const noexcept {
+    return events_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Per-debuggee-thread control state. `mode` is what the thread
+  // should do when it reaches the next traced line.
+  struct ThreadDebug {
+    enum class Mode { kRun, kStepInto, kStepOver, kStepOut };
+    std::mutex mutex;
+    std::condition_variable cv;
+    Mode mode = Mode::kRun;
+    int step_base_depth = 0;
+    bool pause_requested = false;  // park at next line event
+    bool parked = false;
+    bool resume = false;
+    // Mirrors (pause_requested || mode != kRun); lets the per-line hot
+    // path skip the mutex entirely when nothing is pending. Update via
+    // refresh_attention() whenever either field changes (under mutex).
+    std::atomic<bool> attention{false};
+
+    void refresh_attention() {
+      attention.store(pause_requested || mode != Mode::kRun,
+                      std::memory_order_relaxed);
+    }
+  };
+
+  std::shared_ptr<ThreadDebug> thread_state(std::int64_t tid);
+  void drop_thread_state(std::int64_t tid);
+  std::vector<std::shared_ptr<ThreadDebug>> debug_states_snapshot();
+
+  // Trace callback pieces (run on debuggee threads, GIL held).
+  void on_trace(vm::InterpThread& th, const vm::TraceEvent& event);
+  void park_thread(vm::InterpThread& th, const vm::TraceEvent& event,
+                   const std::string& reason, int breakpoint_id);
+
+  // Listener thread.
+  void listener_main();
+  void handle_new_connection();
+  void handle_control_frame();
+  // `after_send` (if set) runs after the response frame is on the
+  // wire. Resume-type commands wake the debuggee there — otherwise a
+  // resumed process can exit (closing its sockets) before the client
+  // has read the acknowledgement.
+  ipc::wire::Value execute_command(const ipc::wire::Value& request,
+                                   std::function<void()>* after_send);
+
+  // Event push (any thread).
+  void send_event(ipc::wire::Value event);
+
+  // Command implementations.
+  ipc::wire::Value cmd_threads(std::int64_t seq);
+  ipc::wire::Value cmd_frames(std::int64_t seq, std::int64_t tid);
+  ipc::wire::Value cmd_locals(std::int64_t seq, std::int64_t tid, int depth);
+  ipc::wire::Value cmd_globals(std::int64_t seq);
+  ipc::wire::Value cmd_source(std::int64_t seq, const std::string& file);
+  // Validates and stages a resume; the returned closure (stored into
+  // *wake) performs the actual wake-up.
+  Status resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
+                       std::function<void()>* wake);
+
+  // Fork handlers (fork_handlers.cpp).
+  void fork_prepare();            // A
+  void fork_parent(int child_pid);  // B
+  void fork_child();              // C
+  Status bind_and_publish();
+  void start_listener_thread();
+
+  bool deadlock_hook(const std::vector<vm::DeadlockInfo>& infos);
+
+  vm::Vm& vm_;
+  Options options_;
+  std::atomic<bool> disturb_{false};
+
+  std::uint16_t port_ = 0;
+  std::unique_ptr<ipc::TcpListener> listener_;
+  std::unique_ptr<ipc::Reactor> reactor_;
+  // unique_ptr so the child can abandon the parent's thread handle
+  // without touching pthread state for a thread that does not exist
+  // in this process.
+  std::unique_ptr<std::thread> listener_thread_;
+  std::atomic<bool> running_{false};
+  std::int64_t port_seq_ = 0;
+
+  // Guards control/eventx streams and the thread-state map. Pinned
+  // across fork by handler A.
+  mutable std::mutex state_mutex_;
+  ipc::TcpStream control_;
+  std::map<std::int64_t, std::shared_ptr<ThreadDebug>> thread_debug_;
+
+  // Event channel has its own lock so debuggee threads never contend
+  // with long-running control commands. Also pinned across fork.
+  mutable std::mutex events_mutex_;
+  ipc::TcpStream events_;
+  // Events raised before a client attaches (e.g. the stop-at-entry
+  // park) are buffered and flushed when the events channel arrives.
+  std::deque<ipc::wire::Value> event_backlog_;
+  static constexpr size_t kMaxEventBacklog = 1024;
+  std::atomic<std::uint64_t> events_sent_{0};
+
+  std::mutex sources_mutex_;
+  std::map<std::string, std::string> sources_;
+
+  BreakpointTable breakpoints_;
+
+  bool trace_was_enabled_ = false;  // handler A -> B/C handoff
+  // Sticky intent: false once the client detached (or the server
+  // stopped). Handlers B/C restore tracing only if still wanted —
+  // otherwise a detach racing an in-flight fork would be undone by the
+  // stale snapshot taken in handler A.
+  std::atomic<bool> tracing_wanted_{false};
+  // Handler A pins every server lock in a fixed order so no listener
+  // operation straddles the fork; B unpins, C unlocks-in-child.
+  std::unique_lock<std::mutex> fork_state_lock_;
+  std::vector<std::shared_ptr<ThreadDebug>> fork_td_pinned_;
+  std::vector<std::unique_lock<std::mutex>> fork_td_locks_;
+  std::unique_lock<std::mutex> fork_events_lock_;
+  std::unique_lock<std::mutex> fork_sources_lock_;
+  std::unique_lock<std::mutex> fork_bp_lock_;
+  bool first_line_seen_ = false;
+};
+
+}  // namespace dionea::dbg

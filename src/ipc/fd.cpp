@@ -1,0 +1,88 @@
+#include "ipc/fd.hpp"
+
+#include <fcntl.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dionea::ipc {
+
+Result<Fd> Fd::duplicate() const {
+  int duped = ::fcntl(fd_, F_DUPFD_CLOEXEC, 0);
+  if (duped < 0) return errno_error("dup", errno);
+  return Fd(duped);
+}
+
+Status Fd::set_nonblocking(bool nonblocking) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return errno_error("fcntl F_GETFL", errno);
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd_, F_SETFL, flags) < 0) {
+    return errno_error("fcntl F_SETFL", errno);
+  }
+  return Status::ok();
+}
+
+Status Fd::set_cloexec(bool cloexec) {
+  int flags = ::fcntl(fd_, F_GETFD, 0);
+  if (flags < 0) return errno_error("fcntl F_GETFD", errno);
+  if (cloexec) {
+    flags |= FD_CLOEXEC;
+  } else {
+    flags &= ~FD_CLOEXEC;
+  }
+  if (::fcntl(fd_, F_SETFD, flags) < 0) {
+    return errno_error("fcntl F_SETFD", errno);
+  }
+  return Status::ok();
+}
+
+Status Fd::write_all(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd_, p + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("write", errno);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status Fd::read_exact(void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd_, p + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("read", errno);
+    }
+    if (n == 0) {
+      return Status(ErrorCode::kClosed, "EOF after " + std::to_string(off) +
+                                            " of " + std::to_string(len) +
+                                            " bytes");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<size_t> Fd::read_some(void* data, size_t len) {
+  while (true) {
+    ssize_t n = ::read(fd_, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("read", errno);
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+}  // namespace dionea::ipc

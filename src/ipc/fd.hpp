@@ -1,0 +1,60 @@
+// RAII file descriptor (C++ Core Guidelines R.1: manage resources via
+// RAII; P.8: don't leak). Every fd in the library lives in one of
+// these; fork handler C closes inherited descriptors by dropping the
+// owning objects.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int get() const noexcept { return fd_; }
+
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+  // dup(2) the underlying descriptor.
+  Result<Fd> duplicate() const;
+
+  Status set_nonblocking(bool nonblocking);
+  Status set_cloexec(bool cloexec);
+
+  // Full read/write with EINTR retry. read_exact fails with kClosed on
+  // EOF before len bytes arrive.
+  Status write_all(const void* data, size_t len);
+  Status read_exact(void* data, size_t len);
+
+  // Single read(2); returns 0 on EOF.
+  Result<size_t> read_some(void* data, size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dionea::ipc

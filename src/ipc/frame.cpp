@@ -1,0 +1,75 @@
+#include "ipc/frame.hpp"
+
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+void put_u32(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status send_frame(TcpStream& stream, const wire::Value& value) {
+  std::string payload;
+  value.encode(&payload);
+  if (payload.size() > kMaxFrameBytes) {
+    return Status(ErrorCode::kInvalidArgument,
+                  strings::format("frame too large: %zu bytes", payload.size()));
+  }
+  char header[8];
+  put_u32(header, kFrameMagic);
+  put_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
+  // Single buffered write: a frame must hit the socket atomically with
+  // respect to this process's other writers (the server serializes
+  // writers, but keeping the invariant local makes it fork-robust).
+  std::string buffer;
+  buffer.reserve(sizeof(header) + payload.size());
+  buffer.append(header, sizeof(header));
+  buffer.append(payload);
+  return stream.write_all(buffer.data(), buffer.size());
+}
+
+Result<wire::Value> recv_frame(TcpStream& stream) {
+  char header[8];
+  DIONEA_RETURN_IF_ERROR(stream.read_exact(header, sizeof(header)));
+  std::uint32_t magic = get_u32(header);
+  if (magic != kFrameMagic) {
+    return Error(ErrorCode::kProtocol,
+                 strings::format("bad frame magic 0x%08x (socket crossed a "
+                                 "fork without re-establishment?)",
+                                 magic));
+  }
+  std::uint32_t len = get_u32(header + 4);
+  if (len > kMaxFrameBytes) {
+    return Error(ErrorCode::kProtocol,
+                 strings::format("frame length %u exceeds limit", len));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    DIONEA_RETURN_IF_ERROR(stream.read_exact(payload.data(), len));
+  }
+  return wire::Value::decode(payload);
+}
+
+Result<wire::Value> recv_frame_timeout(TcpStream& stream, int timeout_millis) {
+  DIONEA_ASSIGN_OR_RETURN(bool ready, stream.readable(timeout_millis));
+  if (!ready) {
+    return Error(ErrorCode::kTimeout, "no frame within timeout");
+  }
+  return recv_frame(stream);
+}
+
+}  // namespace dionea::ipc

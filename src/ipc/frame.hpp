@@ -1,0 +1,30 @@
+// Length-prefixed framing of wire::Value over a byte stream.
+//
+// Frame layout: 4-byte magic 'D','N','E','A' + 4-byte little-endian
+// payload length + payload. The magic catches the §5.3 failure mode
+// this library exists to prevent: a forked child talking on its
+// parent's socket would interleave bytes mid-frame ("mixed requests
+// and responses") — with the magic check that corruption surfaces as a
+// kProtocol error instead of silently misparsed commands.
+#pragma once
+
+#include <cstdint>
+
+#include "ipc/socket.hpp"
+#include "ipc/wire.hpp"
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x41454E44u;  // "DNEA" LE
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+Status send_frame(TcpStream& stream, const wire::Value& value);
+
+// Blocking receive of one frame.
+Result<wire::Value> recv_frame(TcpStream& stream);
+
+// Receive with timeout; kTimeout when no frame starts in time.
+Result<wire::Value> recv_frame_timeout(TcpStream& stream, int timeout_millis);
+
+}  // namespace dionea::ipc

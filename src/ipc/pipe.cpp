@@ -1,0 +1,17 @@
+#include "ipc/pipe.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace dionea::ipc {
+
+Result<Pipe> Pipe::create(bool cloexec) {
+  int fds[2];
+  int flags = cloexec ? O_CLOEXEC : 0;
+  if (::pipe2(fds, flags) != 0) return errno_error("pipe2", errno);
+  return Pipe(Fd(fds[0]), Fd(fds[1]));
+}
+
+}  // namespace dionea::ipc

@@ -1,0 +1,41 @@
+// Anonymous pipes.
+//
+// The mp:: queues (§6.3: "The queue is implemented using a semaphore
+// and a pipe") and the parallel-gem analog (§6.4: workers communicate
+// "via IO.pipe") are built on these. The §6.4 bug is precisely about
+// *inherited sibling pipe fds that nobody closes* — Pipe exposes
+// explicit close_read()/close_write() so both the buggy and the fixed
+// protocol can be expressed.
+#pragma once
+
+#include "ipc/fd.hpp"
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+class Pipe {
+ public:
+  // cloexec=false: children are expected to inherit the ends across
+  // fork (the mp:: queues rely on it).
+  static Result<Pipe> create(bool cloexec = false);
+
+  Pipe() = default;
+  Pipe(Pipe&&) = default;
+  Pipe& operator=(Pipe&&) = default;
+
+  Fd& read_end() noexcept { return read_; }
+  Fd& write_end() noexcept { return write_; }
+  const Fd& read_end() const noexcept { return read_; }
+  const Fd& write_end() const noexcept { return write_; }
+
+  void close_read() noexcept { read_.reset(); }
+  void close_write() noexcept { write_.reset(); }
+
+ private:
+  Pipe(Fd read_fd, Fd write_fd)
+      : read_(std::move(read_fd)), write_(std::move(write_fd)) {}
+  Fd read_;
+  Fd write_;
+};
+
+}  // namespace dionea::ipc

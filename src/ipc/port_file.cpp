@@ -1,0 +1,81 @@
+#include "ipc/port_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::ipc {
+
+Status PortFile::publish(const PortRecord& record) const {
+  int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_error("open " + path_, errno);
+  std::string line = strings::format("%d %d %u %lld\n", record.pid,
+                                     record.parent_pid,
+                                     static_cast<unsigned>(record.port),
+                                     static_cast<long long>(record.seq));
+  Status status = Status::ok();
+  ssize_t n = ::write(fd, line.data(), line.size());
+  if (n != static_cast<ssize_t>(line.size())) {
+    status = errno_error("append " + path_, errno);
+  }
+  ::close(fd);
+  return status;
+}
+
+Result<std::vector<PortRecord>> PortFile::read_all() const {
+  std::vector<PortRecord> out;
+  auto contents = read_file(path_);
+  if (!contents.is_ok()) {
+    if (contents.error().code() == ErrorCode::kNotFound) return out;
+    return contents.error();
+  }
+  for (const std::string& line : strings::split(contents.value(), '\n')) {
+    auto fields = strings::split_whitespace(line);
+    if (fields.size() != 4) continue;  // blank or torn line
+    PortRecord rec;
+    std::int64_t pid = 0, ppid = 0, port = 0, seq = 0;
+    if (!strings::parse_int(fields[0], &pid) ||
+        !strings::parse_int(fields[1], &ppid) ||
+        !strings::parse_int(fields[2], &port) ||
+        !strings::parse_int(fields[3], &seq)) {
+      continue;
+    }
+    if (port <= 0 || port > 65535) continue;
+    rec.pid = static_cast<int>(pid);
+    rec.parent_pid = static_cast<int>(ppid);
+    rec.port = static_cast<std::uint16_t>(port);
+    rec.seq = seq;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+Result<PortRecord> PortFile::await_pid(int pid, int timeout_millis) const {
+  Stopwatch watch;
+  while (true) {
+    DIONEA_ASSIGN_OR_RETURN(std::vector<PortRecord> records, read_all());
+    // Latest record wins: a pid may republish after a second fork.
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      if (it->pid == pid) return *it;
+    }
+    if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+      return Error(ErrorCode::kTimeout,
+                   "no port record for pid " + std::to_string(pid));
+    }
+    sleep_for_millis(5);
+  }
+}
+
+Result<std::vector<PortRecord>> PortFile::read_new(size_t already_seen) const {
+  DIONEA_ASSIGN_OR_RETURN(std::vector<PortRecord> records, read_all());
+  if (records.size() <= already_seen) return std::vector<PortRecord>{};
+  return std::vector<PortRecord>(records.begin() + already_seen,
+                                 records.end());
+}
+
+}  // namespace dionea::ipc

@@ -1,0 +1,139 @@
+#include "ipc/reactor.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "support/logging.hpp"
+
+namespace dionea::ipc {
+
+Reactor::Reactor() {
+  auto pipe = Pipe::create(/*cloexec=*/true);
+  DIONEA_CHECK(pipe.is_ok(), "reactor wakeup pipe");
+  wakeup_ = std::move(pipe).value();
+  (void)wakeup_.read_end().set_nonblocking(true);
+}
+
+Reactor::~Reactor() = default;
+
+void Reactor::add_fd(int fd, Callback on_readable) {
+  {
+    std::scoped_lock lock(mutex_);
+    pending_add_.emplace_back(fd, std::move(on_readable));
+  }
+  char byte = 'a';
+  (void)::write(wakeup_.write_end().get(), &byte, 1);
+}
+
+void Reactor::remove_fd(int fd) {
+  {
+    std::scoped_lock lock(mutex_);
+    pending_remove_.push_back(fd);
+  }
+  char byte = 'r';
+  (void)::write(wakeup_.write_end().get(), &byte, 1);
+}
+
+void Reactor::post(Callback fn) {
+  {
+    std::scoped_lock lock(mutex_);
+    pending_tasks_.push_back(std::move(fn));
+  }
+  char byte = 'p';
+  (void)::write(wakeup_.write_end().get(), &byte, 1);
+}
+
+void Reactor::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_requested_ = true;
+  }
+  char byte = 's';
+  (void)::write(wakeup_.write_end().get(), &byte, 1);
+}
+
+void Reactor::apply_pending_locked() {
+  // Caller holds mutex_. Runs on the loop thread.
+  for (auto& [fd, cb] : pending_add_) handlers_[fd] = std::move(cb);
+  pending_add_.clear();
+  for (int fd : pending_remove_) handlers_.erase(fd);
+  pending_remove_.clear();
+}
+
+void Reactor::drain_wakeup() {
+  char buf[64];
+  while (::read(wakeup_.read_end().get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+Result<int> Reactor::poll_once(int timeout_millis) {
+  std::vector<Callback> tasks;
+  {
+    std::scoped_lock lock(mutex_);
+    apply_pending_locked();
+    tasks.swap(pending_tasks_);
+  }
+  int fired = 0;
+  for (auto& task : tasks) {
+    task();
+    ++fired;
+  }
+
+  std::vector<pollfd> pfds;
+  std::vector<int> fds;
+  pfds.push_back(pollfd{wakeup_.read_end().get(), POLLIN, 0});
+  fds.push_back(-1);
+  for (const auto& [fd, cb] : handlers_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+    fds.push_back(fd);
+  }
+
+  int rc = ::poll(pfds.data(), pfds.size(),
+                  fired > 0 ? 0 : timeout_millis);
+  if (rc < 0) {
+    if (errno == EINTR) return fired;
+    return errno_error("poll", errno);
+  }
+  if (pfds[0].revents != 0) drain_wakeup();
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    // The handler may remove itself (or others); look it up fresh and
+    // run it outside the lock (CP.22: never call unknown code while
+    // holding a lock).
+    Callback cb;
+    {
+      std::scoped_lock lock(mutex_);
+      apply_pending_locked();
+      auto it = handlers_.find(fds[i]);
+      if (it == handlers_.end()) continue;
+      cb = it->second;  // copy: handler may remove_fd itself
+    }
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+Status Reactor::run() {
+  running_ = true;
+  while (true) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        break;
+      }
+    }
+    auto fired = poll_once(250);
+    if (!fired.is_ok()) {
+      running_ = false;
+      return fired.error();
+    }
+  }
+  running_ = false;
+  return Status::ok();
+}
+
+}  // namespace dionea::ipc

@@ -1,0 +1,69 @@
+// Poll(2)-based Reactor.
+//
+// §4: "this dedicated thread handles the requests asynchronously,
+// treating each request as an event dispatched by a loop. The
+// implementation of this listener thread is inspired by the Reactor
+// pattern [Schmidt'95]." The debug server's listener thread runs one
+// of these; handlers for the connection socket and per-channel command
+// sockets are registered as readable-callbacks.
+//
+// Threading model: run() executes on exactly one thread (the listener
+// thread). add_fd/remove_fd/post/stop may be called from any thread;
+// mutations are queued and applied on the loop thread, with a wakeup
+// pipe interrupting poll().
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ipc/pipe.hpp"
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+class Reactor {
+ public:
+  using Callback = std::function<void()>;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Invoke callback on the loop thread whenever fd is readable (or the
+  // peer hung up; the callback is expected to detect EOF itself).
+  void add_fd(int fd, Callback on_readable);
+  void remove_fd(int fd);
+
+  // Run fn once on the loop thread as soon as possible.
+  void post(Callback fn);
+
+  // Block dispatching events until stop(). Returns the status that
+  // terminated the loop (OK after stop()).
+  Status run();
+
+  // One dispatch round with timeout; used by tests. Returns number of
+  // callbacks fired.
+  Result<int> poll_once(int timeout_millis);
+
+  void stop();
+
+  bool running() const noexcept { return running_; }
+
+ private:
+  void apply_pending_locked();
+  void drain_wakeup();
+
+  Pipe wakeup_;
+  mutable std::mutex mutex_;
+  std::unordered_map<int, Callback> handlers_;        // loop thread only
+  std::vector<std::pair<int, Callback>> pending_add_;  // guarded by mutex_
+  std::vector<int> pending_remove_;                    // guarded by mutex_
+  std::vector<Callback> pending_tasks_;                // guarded by mutex_
+  bool stop_requested_ = false;                        // guarded by mutex_
+  bool running_ = false;
+};
+
+}  // namespace dionea::ipc

@@ -1,0 +1,119 @@
+#include "ipc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/timing.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return errno_error("socket", errno);
+
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_error("bind 127.0.0.1:" + std::to_string(port), errno);
+  }
+  if (::listen(fd.get(), 16) != 0) return errno_error("listen", errno);
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_error("getsockname", errno);
+  }
+  return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+Result<TcpStream> TcpListener::accept() {
+  while (true) {
+    int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (client >= 0) return TcpStream(Fd(client));
+    if (errno == EINTR) continue;
+    return errno_error("accept", errno);
+  }
+}
+
+Result<TcpStream> TcpListener::accept_timeout(int timeout_millis) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  while (true) {
+    int rc = ::poll(&pfd, 1, timeout_millis);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("poll", errno);
+    }
+    if (rc == 0) return Error(ErrorCode::kTimeout, "accept timed out");
+    return accept();
+  }
+}
+
+Result<TcpStream> TcpStream::connect(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return errno_error("socket", errno);
+  sockaddr_in addr = loopback_addr(port);
+  while (true) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return TcpStream(std::move(fd));
+    }
+    if (errno == EINTR) continue;
+    return errno_error("connect 127.0.0.1:" + std::to_string(port), errno);
+  }
+}
+
+Result<TcpStream> TcpStream::connect_retry(std::uint16_t port,
+                                           int timeout_millis) {
+  Stopwatch watch;
+  while (true) {
+    auto stream = connect(port);
+    if (stream.is_ok()) return stream;
+    if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+      return Error(ErrorCode::kTimeout,
+                   "connect_retry to port " + std::to_string(port) + ": " +
+                       stream.error().message());
+    }
+    sleep_for_millis(5);
+  }
+}
+
+Result<bool> TcpStream::readable(int timeout_millis) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  while (true) {
+    int rc = ::poll(&pfd, 1, timeout_millis);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("poll", errno);
+    }
+    return rc > 0;
+  }
+}
+
+Status TcpStream::set_nodelay(bool on) {
+  int flag = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) !=
+      0) {
+    return errno_error("setsockopt TCP_NODELAY", errno);
+  }
+  return Status::ok();
+}
+
+}  // namespace dionea::ipc

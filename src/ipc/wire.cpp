@@ -1,0 +1,249 @@
+#include "ipc/wire.hpp"
+
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace dionea::ipc::wire {
+namespace {
+
+// One-byte type tags. Integers are little-endian fixed 64-bit: the
+// protocol only ever crosses localhost, so we trade compactness for
+// simple, alignment-safe decoding.
+enum Tag : char {
+  kNull = 'n',
+  kTrue = 't',
+  kFalse = 'f',
+  kInt = 'i',
+  kDouble = 'd',
+  kString = 's',
+  kArray = 'a',
+  kObject = 'o',
+};
+
+constexpr int kMaxDepth = 64;
+constexpr size_t kMaxContainer = 1u << 24;  // 16M entries: anti-DoS bound
+
+const Value& null_value() {
+  static const Value kNullValue;
+  return kNullValue;
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+bool take_u64(const std::string& data, size_t* offset, std::uint64_t* v) {
+  if (data.size() - *offset < 8) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data[*offset + i]))
+           << (8 * i);
+  }
+  *offset += 8;
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+const std::string& Value::as_string() const {
+  static const std::string kEmpty;
+  return is_string() ? std::get<std::string>(rep_) : kEmpty;
+}
+
+const Array& Value::as_array() const {
+  static const Array kEmpty;
+  return is_array() ? std::get<Array>(rep_) : kEmpty;
+}
+
+const Object& Value::as_object() const {
+  static const Object kEmpty;
+  return is_object() ? std::get<Object>(rep_) : kEmpty;
+}
+
+Array& Value::mutable_array() {
+  if (!is_array()) rep_ = Array{};
+  return std::get<Array>(rep_);
+}
+
+Object& Value::mutable_object() {
+  if (!is_object()) rep_ = Object{};
+  return std::get<Object>(rep_);
+}
+
+const Value& Value::at(const std::string& key) const noexcept {
+  if (!is_object()) return null_value();
+  const auto& obj = std::get<Object>(rep_);
+  auto it = obj.find(key);
+  return it == obj.end() ? null_value() : it->second;
+}
+
+bool Value::has(const std::string& key) const noexcept {
+  return is_object() && std::get<Object>(rep_).count(key) > 0;
+}
+
+void Value::set(const std::string& key, Value value) {
+  mutable_object()[key] = std::move(value);
+}
+
+void Value::encode(std::string* out) const {
+  if (is_null()) {
+    out->push_back(kNull);
+  } else if (is_bool()) {
+    out->push_back(std::get<bool>(rep_) ? kTrue : kFalse);
+  } else if (is_int()) {
+    out->push_back(kInt);
+    put_u64(out, static_cast<std::uint64_t>(std::get<std::int64_t>(rep_)));
+  } else if (is_double()) {
+    out->push_back(kDouble);
+    std::uint64_t bits;
+    double d = std::get<double>(rep_);
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    put_u64(out, bits);
+  } else if (is_string()) {
+    const auto& s = std::get<std::string>(rep_);
+    out->push_back(kString);
+    put_u64(out, s.size());
+    out->append(s);
+  } else if (is_array()) {
+    const auto& a = std::get<Array>(rep_);
+    out->push_back(kArray);
+    put_u64(out, a.size());
+    for (const Value& v : a) v.encode(out);
+  } else {
+    const auto& o = std::get<Object>(rep_);
+    out->push_back(kObject);
+    put_u64(out, o.size());
+    for (const auto& [key, v] : o) {
+      put_u64(out, key.size());
+      out->append(key);
+      v.encode(out);
+    }
+  }
+}
+
+Result<Value> Value::decode(const std::string& data) {
+  size_t offset = 0;
+  DIONEA_ASSIGN_OR_RETURN(Value v, decode_at(data, &offset));
+  if (offset != data.size()) {
+    return Error(ErrorCode::kProtocol,
+                 strings::format("trailing %zu bytes after value",
+                                 data.size() - offset));
+  }
+  return v;
+}
+
+Result<Value> Value::decode_at(const std::string& data, size_t* offset,
+                               int depth) {
+  if (depth > kMaxDepth) {
+    return Error(ErrorCode::kProtocol, "value nesting too deep");
+  }
+  if (*offset >= data.size()) {
+    return Error(ErrorCode::kProtocol, "truncated value (no tag)");
+  }
+  char tag = data[(*offset)++];
+  switch (tag) {
+    case kNull:
+      return Value(nullptr);
+    case kTrue:
+      return Value(true);
+    case kFalse:
+      return Value(false);
+    case kInt: {
+      std::uint64_t bits;
+      if (!take_u64(data, offset, &bits)) {
+        return Error(ErrorCode::kProtocol, "truncated int");
+      }
+      return Value(static_cast<std::int64_t>(bits));
+    }
+    case kDouble: {
+      std::uint64_t bits;
+      if (!take_u64(data, offset, &bits)) {
+        return Error(ErrorCode::kProtocol, "truncated double");
+      }
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kString: {
+      std::uint64_t len;
+      if (!take_u64(data, offset, &len) || data.size() - *offset < len) {
+        return Error(ErrorCode::kProtocol, "truncated string");
+      }
+      Value v(data.substr(*offset, len));
+      *offset += len;
+      return v;
+    }
+    case kArray: {
+      std::uint64_t count;
+      if (!take_u64(data, offset, &count) || count > kMaxContainer) {
+        return Error(ErrorCode::kProtocol, "bad array length");
+      }
+      Array arr;
+      arr.reserve(static_cast<size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        DIONEA_ASSIGN_OR_RETURN(Value elem,
+                                decode_at(data, offset, depth + 1));
+        arr.push_back(std::move(elem));
+      }
+      return Value(std::move(arr));
+    }
+    case kObject: {
+      std::uint64_t count;
+      if (!take_u64(data, offset, &count) || count > kMaxContainer) {
+        return Error(ErrorCode::kProtocol, "bad object length");
+      }
+      Object obj;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t klen;
+        if (!take_u64(data, offset, &klen) || data.size() - *offset < klen) {
+          return Error(ErrorCode::kProtocol, "truncated object key");
+        }
+        std::string key = data.substr(*offset, klen);
+        *offset += klen;
+        DIONEA_ASSIGN_OR_RETURN(Value elem,
+                                decode_at(data, offset, depth + 1));
+        obj.emplace(std::move(key), std::move(elem));
+      }
+      return Value(std::move(obj));
+    }
+    default:
+      return Error(ErrorCode::kProtocol,
+                   strings::format("unknown wire tag 0x%02x",
+                                   static_cast<unsigned char>(tag)));
+  }
+}
+
+std::string Value::to_json() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(rep_) ? "true" : "false";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(rep_));
+  if (is_double()) return strings::format("%g", std::get<double>(rep_));
+  if (is_string()) {
+    return "\"" + strings::escape(std::get<std::string>(rep_)) + "\"";
+  }
+  if (is_array()) {
+    std::string out = "[";
+    const auto& arr = std::get<Array>(rep_);
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i != 0) out += ",";
+      out += arr[i].to_json();
+    }
+    return out + "]";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, v] : std::get<Object>(rep_)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + strings::escape(key) + "\":" + v.to_json();
+  }
+  return out + "}";
+}
+
+}  // namespace dionea::ipc::wire

@@ -1,0 +1,99 @@
+// wire::Value — the structured payload of every debugger protocol
+// message ("a predefined protocol", §4). A small JSON-like value with a
+// compact, versioned binary encoding. Decoding is fail-safe: malformed
+// bytes yield kProtocol errors, never UB, because frames cross a
+// process boundary (a broken debuggee must not take the client down).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace dionea::ipc::wire {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : rep_(nullptr) {}
+  Value(std::nullptr_t) : rep_(nullptr) {}          // NOLINT
+  Value(bool b) : rep_(b) {}                        // NOLINT
+  Value(std::int64_t i) : rep_(i) {}                // NOLINT
+  Value(int i) : rep_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : rep_(d) {}                      // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}      // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}    // NOLINT
+  Value(Array a) : rep_(std::move(a)) {}            // NOLINT
+  Value(Object o) : rep_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(rep_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_double() const noexcept { return std::holds_alternative<double>(rep_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(rep_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(rep_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(rep_); }
+
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? std::get<bool>(rep_) : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const noexcept {
+    if (is_int()) return std::get<std::int64_t>(rep_);
+    if (is_double()) return static_cast<std::int64_t>(std::get<double>(rep_));
+    return fallback;
+  }
+  double as_double(double fallback = 0.0) const noexcept {
+    if (is_double()) return std::get<double>(rep_);
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(rep_));
+    return fallback;
+  }
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& mutable_array();
+  Object& mutable_object();
+
+  // Object field access; returns a shared null Value when missing or
+  // when *this is not an object.
+  const Value& at(const std::string& key) const noexcept;
+  bool has(const std::string& key) const noexcept;
+  void set(const std::string& key, Value value);
+
+  // Convenience typed lookups with defaults.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback = 0) const {
+    return at(key).as_int(fallback);
+  }
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const {
+    const Value& v = at(key);
+    return v.is_string() ? v.as_string() : fallback;
+  }
+  bool get_bool(const std::string& key, bool fallback = false) const {
+    return at(key).as_bool(fallback);
+  }
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+
+  // Binary codec. encode appends to out; decode consumes from data and
+  // advances *offset.
+  void encode(std::string* out) const;
+  static Result<Value> decode(const std::string& data);
+  static Result<Value> decode_at(const std::string& data, size_t* offset,
+                                 int depth = 0);
+
+  // Human-readable JSON-ish rendering for logs and the CLI client.
+  std::string to_json() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      rep_;
+};
+
+}  // namespace dionea::ipc::wire

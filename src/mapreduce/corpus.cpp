@@ -1,0 +1,138 @@
+#include "mapreduce/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+
+namespace dionea::mapreduce {
+namespace {
+
+// A code-flavoured vocabulary: rank-r identifier drawn with Zipf
+// weight 1/(r+1). Word lengths grow with rank, like real identifiers.
+std::vector<std::string> build_vocabulary(int size, Rng& rng) {
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(size));
+  for (int rank = 0; rank < size; ++rank) {
+    int min_len = 2 + rank / 200;
+    words.push_back(rng.next_word(min_len, min_len + 6));
+  }
+  return words;
+}
+
+int zipf_rank(Rng& rng, int size) {
+  // Inverse-CDF sampling over 1/(r+1) weights, approximated via
+  // exp-of-uniform — cheap and close enough for a corpus.
+  double u = rng.next_double();
+  double r = std::pow(static_cast<double>(size), u) - 1.0;
+  int rank = static_cast<int>(r);
+  return std::clamp(rank, 0, size - 1);
+}
+
+}  // namespace
+
+const std::vector<std::string>& reserved_words() {
+  static const std::vector<std::string> kReserved = {
+      "fn",  "if",    "elif",  "else",  "while",    "for", "in",
+      "end", "return", "break", "continue", "true", "false", "nil",
+      "and", "or",    "not"};
+  return kReserved;
+}
+
+bool is_reserved_word(const std::string& word) {
+  const auto& reserved = reserved_words();
+  return std::find(reserved.begin(), reserved.end(), word) != reserved.end();
+}
+
+CorpusSpec dionea_trunk_spec() {
+  CorpusSpec spec;
+  spec.name = "dionea-trunk-r656";
+  spec.file_count = 48;
+  spec.target_bytes_per_file = 6 * 1024;
+  spec.vocabulary_size = 600;
+  spec.seed = 0xD10;
+  return spec;
+}
+
+CorpusSpec rust_master_spec() {
+  CorpusSpec spec;
+  spec.name = "rust-master-7613b15";
+  spec.file_count = 160;
+  spec.target_bytes_per_file = 8 * 1024;
+  spec.vocabulary_size = 1600;
+  spec.seed = 0x4057;
+  return spec;
+}
+
+CorpusSpec linux_3_18_spec() {
+  CorpusSpec spec;
+  spec.name = "linux-3.18.1";
+  spec.file_count = 420;
+  spec.target_bytes_per_file = 10 * 1024;
+  spec.vocabulary_size = 4000;
+  spec.seed = 0x11AE;
+  return spec;
+}
+
+CorpusSpec scaled_spec(CorpusSpec base, double factor) {
+  base.file_count = std::max(1, static_cast<int>(base.file_count * factor));
+  base.name += strings::format("-x%.2f", factor);
+  return base;
+}
+
+Result<Corpus> Corpus::generate(const CorpusSpec& spec,
+                                const std::string& root) {
+  DIONEA_RETURN_IF_ERROR(make_dir(root));
+  Corpus corpus(spec, root);
+  Rng rng(spec.seed);
+  std::vector<std::string> vocabulary =
+      build_vocabulary(spec.vocabulary_size, rng);
+  const auto& reserved = reserved_words();
+
+  for (int file_index = 0; file_index < spec.file_count; ++file_index) {
+    int dir_index = file_index / std::max(1, spec.directory_fanout);
+    std::string dir = root + strings::format("/src%03d", dir_index);
+    DIONEA_RETURN_IF_ERROR(make_dir(dir));
+    std::string path = dir + strings::format("/mod_%04d.ml", file_index);
+
+    std::string text;
+    text.reserve(static_cast<size_t>(spec.target_bytes_per_file) + 128);
+    int column = 0;
+    while (static_cast<int>(text.size()) < spec.target_bytes_per_file) {
+      // Token mix modelled on source code: ~70% identifiers, ~15%
+      // reserved words, ~10% numbers, ~5% punctuation runs.
+      double kind = rng.next_double();
+      std::string token;
+      if (kind < 0.70) {
+        token = vocabulary[static_cast<size_t>(
+            zipf_rank(rng, spec.vocabulary_size))];
+      } else if (kind < 0.85) {
+        token = reserved[rng.next_below(reserved.size())];
+      } else if (kind < 0.95) {
+        token = std::to_string(rng.next_range(0, 99999));
+      } else {
+        static const char* kPunct[] = {"(", ")", "==", "+", "-",
+                                       "[", "]", "=",  "*", "%"};
+        token = kPunct[rng.next_below(10)];
+      }
+      text += token;
+      column += static_cast<int>(token.size()) + 1;
+      if (column > 72) {
+        text += '\n';
+        column = 0;
+      } else {
+        text += ' ';
+      }
+    }
+    text += '\n';
+    DIONEA_RETURN_IF_ERROR(write_file(path, text));
+    corpus.bytes_written_ += static_cast<std::int64_t>(text.size());
+    corpus.files_.push_back(std::move(path));
+  }
+  std::sort(corpus.files_.begin(), corpus.files_.end());
+  return corpus;
+}
+
+}  // namespace dionea::mapreduce

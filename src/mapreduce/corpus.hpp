@@ -1,0 +1,70 @@
+// Synthetic source-tree corpora.
+//
+// The paper's overhead evaluation (§7) counts word frequencies over
+// three real source trees: Dionea trunk r656 (small, Fig. 9), Rust
+// master 7613b15 (medium), Linux 3.18.1 (large, Fig. 10). Those trees
+// are not shipped here; a deterministic generator produces trees with
+// the properties the workload actually exercises — many text files of
+// code-like tokens (Zipf-distributed identifiers, reserved words,
+// numbers and punctuation that the mapper must filter). Only relative
+// size matters for the overhead trend; wall-clock is scaled down from
+// the paper's minutes to seconds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace dionea::mapreduce {
+
+struct CorpusSpec {
+  std::string name;
+  int file_count = 16;
+  int target_bytes_per_file = 8 * 1024;
+  int directory_fanout = 8;     // files per generated subdirectory
+  int vocabulary_size = 800;    // distinct identifiers (Zipf-ranked)
+  std::uint64_t seed = 0x5eed;
+
+  std::int64_t total_bytes() const {
+    return static_cast<std::int64_t>(file_count) * target_bytes_per_file;
+  }
+};
+
+// Presets standing in for the paper's three trees (names kept for the
+// experiment index; sizes tuned for seconds-scale benches).
+CorpusSpec dionea_trunk_spec();   // "Dionea source code (trunk r656)"
+CorpusSpec rust_master_spec();    // "Rust's source code (master 7613b15)"
+CorpusSpec linux_3_18_spec();     // "Linux 3.18.1"
+// Scale a spec's file count by `factor` (sweep benches).
+CorpusSpec scaled_spec(CorpusSpec base, double factor);
+
+class Corpus {
+ public:
+  // Generate the tree under `root` (created if needed). Deterministic
+  // for a given spec.
+  static Result<Corpus> generate(const CorpusSpec& spec,
+                                 const std::string& root);
+
+  const std::string& root() const noexcept { return root_; }
+  const CorpusSpec& spec() const noexcept { return spec_; }
+  const std::vector<std::string>& files() const noexcept { return files_; }
+  std::int64_t bytes_written() const noexcept { return bytes_written_; }
+
+ private:
+  Corpus(CorpusSpec spec, std::string root)
+      : spec_(std::move(spec)), root_(std::move(root)) {}
+  CorpusSpec spec_;
+  std::string root_;
+  std::vector<std::string> files_;
+  std::int64_t bytes_written_ = 0;
+};
+
+// The reserved words the §7 mapper excludes ("maps words that contain
+// only letters and are not reserved words").
+const std::vector<std::string>& reserved_words();
+bool is_reserved_word(const std::string& word);
+
+}  // namespace dionea::mapreduce

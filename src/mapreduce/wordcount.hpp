@@ -1,0 +1,61 @@
+// The §7 evaluation workload: word frequency by MapReduce.
+//
+// "This program maps words that contain only letters and are not
+// reserved words, then the program reduces the values obtained in the
+// map phase to calculate the frequency of each word."
+//
+// Three implementations of the same computation:
+//   * count_words / count_corpus — native C++ reference (ground truth
+//     for tests and the native baseline in benches);
+//   * pool_count_corpus          — C++ MapReduce over mp::Pool
+//     (multiprocessing analog, one task per file, Fig. 8 shape);
+//   * wordcount_program          — the MiniLang debuggee: forks worker
+//     processes fed by ipc queues; this is what runs under the debug
+//     server in the Fig. 9 / Fig. 10 benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mapreduce/corpus.hpp"
+#include "support/result.hpp"
+
+namespace dionea::mapreduce {
+
+using WordCounts = std::map<std::string, std::int64_t>;
+
+// Lowercased alpha-only non-reserved words of `text`.
+WordCounts count_words(const std::string& text);
+
+// Fold `addend` into `total` (the reduce step).
+void merge_counts(WordCounts* total, const WordCounts& addend);
+
+// Sequential native count over a generated corpus.
+Result<WordCounts> count_corpus(const Corpus& corpus);
+
+// Parallel native count: one mp::Pool task per file.
+Result<WordCounts> pool_count_corpus(const Corpus& corpus, int workers);
+
+// Deterministic digest for comparing counts across implementations
+// and processes: (unique words, total occurrences, order-sensitive
+// FNV-1a over "word:count" pairs).
+struct CountsDigest {
+  std::int64_t unique = 0;
+  std::int64_t total = 0;
+  std::uint64_t fnv = 0;
+  bool operator==(const CountsDigest&) const = default;
+};
+CountsDigest digest(const WordCounts& counts);
+
+// MiniLang multi-process word-count over the corpus at `root` with
+// `workers` forked processes. The program prints exactly one line:
+//   "unique=<n> total=<n>"
+// and exits 0. This is the paper's debuggee program (§6.3/§7).
+std::string wordcount_program(const std::string& root, int workers);
+
+// Single-process MiniLang variant (no fork) — used by ablation benches
+// to separate interpreter-tracing cost from fork-handler cost.
+std::string wordcount_program_serial(const std::string& root);
+
+}  // namespace dionea::mapreduce

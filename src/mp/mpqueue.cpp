@@ -1,0 +1,186 @@
+#include "mp/mpqueue.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <time.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "mp/serialize.hpp"
+#include "support/scope_guard.hpp"
+
+namespace dionea::mp {
+namespace {
+
+void add_millis(timespec* ts, long millis) {
+  ts->tv_sec += millis / 1000;
+  ts->tv_nsec += (millis % 1000) * 1'000'000L;
+  if (ts->tv_nsec >= 1'000'000'000L) {
+    ts->tv_nsec -= 1'000'000'000L;
+    ts->tv_sec += 1;
+  }
+}
+
+// Scoped lock on a process-shared pthread mutex.
+class SharedLock {
+ public:
+  explicit SharedLock(pthread_mutex_t* mutex) : mutex_(mutex) {
+    int rc = pthread_mutex_lock(mutex_);
+    if (rc == EOWNERDEAD) {
+      // A worker died holding the lock; the pipe stream may be torn at
+      // a frame boundary at worst (writers write header+payload under
+      // the lock). Mark consistent and continue.
+      pthread_mutex_consistent(mutex_);
+    }
+  }
+  ~SharedLock() { pthread_mutex_unlock(mutex_); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  pthread_mutex_t* mutex_;
+};
+
+constexpr int kPopSliceMillis = 50;
+
+}  // namespace
+
+Result<MpQueue> MpQueue::create() {
+  void* mem = ::mmap(nullptr, sizeof(Shared), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return errno_error("mmap shared queue state", errno);
+  auto* shared = static_cast<Shared*>(mem);
+  auto cleanup = on_scope_exit([&] { ::munmap(mem, sizeof(Shared)); });
+
+  if (::sem_init(&shared->items, /*pshared=*/1, 0) != 0) {
+    return errno_error("sem_init", errno);
+  }
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  // Robust mutexes recover from a worker dying mid-push/pop.
+  pthread_mutexattr_setrobust(&attr, PTHREAD_MUTEX_ROBUST);
+  pthread_mutex_init(&shared->write_lock, &attr);
+  pthread_mutex_init(&shared->read_lock, &attr);
+  pthread_mutexattr_destroy(&attr);
+
+  auto pipe = ipc::Pipe::create(/*cloexec=*/false);
+  if (!pipe.is_ok()) return pipe.error();
+
+  cleanup.dismiss();
+  return MpQueue(shared, std::move(pipe).value());
+}
+
+MpQueue::MpQueue(MpQueue&& other) noexcept
+    : shared_(other.shared_), pipe_(std::move(other.pipe_)) {
+  other.shared_ = nullptr;
+}
+
+MpQueue& MpQueue::operator=(MpQueue&& other) noexcept {
+  if (this != &other) {
+    if (shared_ != nullptr) ::munmap(shared_, sizeof(Shared));
+    shared_ = other.shared_;
+    other.shared_ = nullptr;
+    pipe_ = std::move(other.pipe_);
+  }
+  return *this;
+}
+
+MpQueue::~MpQueue() {
+  // Unmap this process's view; the mapping (and semaphore) live until
+  // the last process unmaps. sem_destroy is deliberately skipped: a
+  // sibling may still be blocked on it.
+  if (shared_ != nullptr) ::munmap(shared_, sizeof(Shared));
+}
+
+Status MpQueue::push_bytes(std::string_view bytes) {
+  if (!pipe_.write_end().valid()) {
+    return Status(ErrorCode::kClosed, "queue write end closed");
+  }
+  std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+  char header[4];
+  std::memcpy(header, &len, sizeof(len));
+  // Post BEFORE writing: a payload larger than the pipe's capacity can
+  // only complete if a reader is draining concurrently, and the reader
+  // is gated on this semaphore. The reader's read_exact simply blocks
+  // until our bytes arrive.
+  ::sem_post(&shared_->items);
+  SharedLock lock(&shared_->write_lock);
+  Status written = pipe_.write_end().write_all(header, sizeof(header));
+  if (written.is_ok() && !bytes.empty()) {
+    written = pipe_.write_end().write_all(bytes.data(), bytes.size());
+  }
+  if (!written.is_ok()) {
+    // Best-effort clawback of the announcement so a reader doesn't
+    // wait for a payload that never comes. If a reader already took
+    // it, it will fail with kClosed when the pipe tears down — the
+    // same outcome a mid-write crash produces.
+    (void)::sem_trywait(&shared_->items);
+    return written;
+  }
+  return Status::ok();
+}
+
+Result<std::string> MpQueue::pop_bytes(bool (*interrupt_check)(void*),
+                                       void* interrupt_arg) {
+  while (true) {
+    auto popped = pop_bytes_timeout(kPopSliceMillis);
+    if (!popped.is_ok()) return popped.error();
+    if (popped.value().has_value()) return std::move(*popped.value());
+    if (interrupt_check != nullptr && interrupt_check(interrupt_arg)) {
+      return Error(ErrorCode::kUnavailable, "pop interrupted");
+    }
+  }
+}
+
+Result<std::optional<std::string>> MpQueue::pop_bytes_timeout(
+    int timeout_millis) {
+  timespec deadline{};
+  ::clock_gettime(CLOCK_REALTIME, &deadline);
+  add_millis(&deadline, timeout_millis);
+  while (::sem_timedwait(&shared_->items, &deadline) != 0) {
+    if (errno == ETIMEDOUT) return std::optional<std::string>();
+    if (errno != EINTR) return errno_error("sem_timedwait", errno);
+  }
+  // An item is committed to the pipe; read it under the reader lock.
+  SharedLock lock(&shared_->read_lock);
+  char header[4];
+  Status status = pipe_.read_end().read_exact(header, sizeof(header));
+  if (!status.is_ok()) return status.error();
+  std::uint32_t len;
+  std::memcpy(&len, header, sizeof(len));
+  std::string payload(len, '\0');
+  if (len > 0) {
+    status = pipe_.read_end().read_exact(payload.data(), len);
+    if (!status.is_ok()) return status.error();
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+Status MpQueue::push_value(const vm::Value& value) {
+  DIONEA_ASSIGN_OR_RETURN(std::string bytes, serialize(value));
+  return push_bytes(bytes);
+}
+
+Result<vm::Value> MpQueue::pop_value() {
+  DIONEA_ASSIGN_OR_RETURN(std::string bytes, pop_bytes());
+  return deserialize(bytes);
+}
+
+Result<std::optional<vm::Value>> MpQueue::pop_value_timeout(
+    int timeout_millis) {
+  DIONEA_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                          pop_bytes_timeout(timeout_millis));
+  if (!bytes.has_value()) return std::optional<vm::Value>();
+  DIONEA_ASSIGN_OR_RETURN(vm::Value value, deserialize(*bytes));
+  return std::optional<vm::Value>(std::move(value));
+}
+
+int MpQueue::size() const {
+  int value = 0;
+  ::sem_getvalue(&shared_->items, &value);
+  return value;
+}
+
+}  // namespace dionea::mp

@@ -1,0 +1,72 @@
+// Inter-PROCESS queue: "The queue is implemented using a semaphore and
+// a pipe" (§6.3, describing Python multiprocessing's SimpleQueue).
+//
+// Layout: a process-shared anonymous mapping holds a counting
+// semaphore (items available) plus two process-shared mutexes (writer
+// and reader serialization — messages can exceed PIPE_BUF, so pipe
+// writes are not atomic on their own). Payloads travel through the
+// pipe as 4-byte-length-prefixed pickle bytes.
+//
+// Create the queue BEFORE forking; both sides then share the mapping
+// and the pipe fds. Pops are slice-interruptible (sem_timedwait) so a
+// VM thread blocked here can be killed at shutdown.
+#pragma once
+
+#include <semaphore.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ipc/pipe.hpp"
+#include "support/result.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::mp {
+
+class MpQueue {
+ public:
+  static Result<MpQueue> create();
+
+  MpQueue(MpQueue&& other) noexcept;
+  MpQueue& operator=(MpQueue&& other) noexcept;
+  MpQueue(const MpQueue&) = delete;
+  MpQueue& operator=(const MpQueue&) = delete;
+  ~MpQueue();
+
+  // ---- raw byte API ----
+  Status push_bytes(std::string_view bytes);
+  // Blocks until an item arrives; interrupt_check (may be null) is
+  // polled between wait slices — return true to abort with kUnavailable.
+  Result<std::string> pop_bytes(bool (*interrupt_check)(void*) = nullptr,
+                                void* interrupt_arg = nullptr);
+  // kTimeout as nullopt.
+  Result<std::optional<std::string>> pop_bytes_timeout(int timeout_millis);
+
+  // ---- pickled vm::Value API ----
+  Status push_value(const vm::Value& value);
+  Result<vm::Value> pop_value();
+  Result<std::optional<vm::Value>> pop_value_timeout(int timeout_millis);
+
+  // Approximate item count (semaphore value).
+  int size() const;
+
+  // Close this process's copy of the write/read end (fd hygiene after
+  // fork — the exact discipline whose absence is the §6.4 bug).
+  void close_write() noexcept { pipe_.close_write(); }
+  void close_read() noexcept { pipe_.close_read(); }
+
+ private:
+  struct Shared {
+    sem_t items;
+    pthread_mutex_t write_lock;
+    pthread_mutex_t read_lock;
+  };
+  MpQueue(Shared* shared, ipc::Pipe pipe)
+      : shared_(shared), pipe_(std::move(pipe)) {}
+
+  Shared* shared_ = nullptr;
+  ipc::Pipe pipe_;
+};
+
+}  // namespace dionea::mp

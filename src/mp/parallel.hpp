@@ -1,0 +1,58 @@
+// The `parallel` gem analog (§6.4).
+//
+// "The parallel gem spawns workers, either threads or processes,
+// assigning tasks to them and getting their results. When processes
+// are used the communication is done via IO.pipe."
+//
+// Version 0.5.9 had a concurrency bug that Dionea exposed: forks and
+// IO.pipe creation "take place interleaved by the threads that
+// interact with the child processes", so every child inherits copies
+// of sibling workers' pipe fds and never closes them. A child waiting
+// for EOF on its input pipe can then hang forever — the write end it
+// is waiting on is still open *in a sibling process*. The deadlock is
+// timing-dependent ("a concurrency error that rarely happens"), which
+// is why disturb mode was needed to pin it down.
+//
+// 0.5.10's fix: "the forks must be done sequentially by the main
+// thread ... By doing so, each of the forked processes can close the
+// copied but unused pipes (for sibling processes)."
+//
+// Both behaviours are implemented here behind a Version switch so the
+// bug is demonstrable and the fix testable.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "support/result.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::mp::parallel {
+
+enum class Version {
+  kV0_5_9,   // buggy: interleaved forks from interaction threads
+  kV0_5_10,  // fixed: sequential forks by the main thread + fd hygiene
+};
+
+struct Options {
+  Version version = Version::kV0_5_10;
+  int worker_count = 2;
+  // Overall deadline; kTimeout is how the 0.5.9 deadlock manifests to
+  // callers (the paper's users saw a hang).
+  int timeout_millis = 10'000;
+  // Test hook: delay (ms) injected in each interaction thread between
+  // pipe creation and fork, widening the §6.4 race window the way
+  // disturb mode's stop-at-birth did. 0 for production.
+  int disturb_delay_millis = 0;
+};
+
+// Run fn over each item in `options.worker_count` forked workers,
+// item i going to worker i % worker_count; returns transformed items
+// in order. With kV0_5_9 and an unlucky (or disturb-widened)
+// interleaving this deadlocks and returns kTimeout.
+Result<std::vector<vm::Value>> map_in_processes(
+    const std::vector<vm::Value>& items,
+    const std::function<vm::Value(const vm::Value&)>& fn,
+    const Options& options);
+
+}  // namespace dionea::mp::parallel

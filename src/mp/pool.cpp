@@ -1,0 +1,141 @@
+#include "mp/pool.hpp"
+
+#include <memory>
+#include <signal.h>
+
+#include "support/logging.hpp"
+
+namespace dionea::mp {
+
+using vm::Value;
+
+Result<Pool> Pool::create(int workers, WorkerFn fn) {
+  if (workers <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "need at least one worker");
+  }
+  DIONEA_ASSIGN_OR_RETURN(MpQueue tasks, MpQueue::create());
+  DIONEA_ASSIGN_OR_RETURN(MpQueue results, MpQueue::create());
+
+  std::vector<Process> procs;
+  procs.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    auto proc = Process::spawn([&tasks, &results, &fn]() -> int {
+      // Worker loop: pull until the nil sentinel. Every element is a
+      // tagged pair [tag, payload]; the tag (-1 for submit(), the item
+      // index for map()) rides along so results can be reordered.
+      // Errors in fn are the embedder's to handle (fn should not
+      // throw); queue errors mean the parent is gone, so exiting is
+      // the right response.
+      while (true) {
+        auto task = tasks.pop_value();
+        if (!task.is_ok()) return 3;
+        if (task.value().is_nil()) return 0;
+        if (!task.value().is_list() ||
+            task.value().as_list()->items.size() != 2) {
+          return 5;  // protocol violation
+        }
+        const auto& pair = task.value().as_list()->items;
+        Value result = fn(pair[1]);
+        auto tagged = std::make_shared<vm::List>();
+        tagged->items.push_back(pair[0]);
+        tagged->items.push_back(std::move(result));
+        Status pushed = results.push_value(Value(std::move(tagged)));
+        if (!pushed.is_ok()) return 4;
+      }
+    });
+    if (!proc.is_ok()) {
+      // Out of processes: shut down what we started.
+      for (int j = 0; j < static_cast<int>(procs.size()); ++j) {
+        (void)tasks.push_value(Value());
+      }
+      for (Process& p : procs) (void)p.wait();
+      return proc.error();
+    }
+    procs.push_back(std::move(proc).value());
+  }
+  return Pool(std::move(tasks), std::move(results), std::move(procs));
+}
+
+Pool::~Pool() {
+  if (!procs_.empty() && !shut_down_) (void)shutdown();
+}
+
+Status Pool::submit(const Value& task) {
+  auto tagged = std::make_shared<vm::List>();
+  tagged->items.push_back(Value(std::int64_t{-1}));
+  tagged->items.push_back(task);
+  return tasks_.push_value(Value(std::move(tagged)));
+}
+
+Result<Value> Pool::take_result(int timeout_millis) {
+  DIONEA_ASSIGN_OR_RETURN(std::optional<Value> result,
+                          results_.pop_value_timeout(timeout_millis));
+  if (!result.has_value()) {
+    return Error(ErrorCode::kTimeout, "no result within timeout");
+  }
+  if (!result->is_list() || result->as_list()->items.size() != 2) {
+    return Error(ErrorCode::kProtocol, "untagged result from worker");
+  }
+  return result->as_list()->items[1];
+}
+
+Result<std::vector<Value>> Pool::map(const std::vector<Value>& items,
+                                     int timeout_millis_per_item) {
+  // Tag each task with its index so results can be reordered.
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto task_list = std::make_shared<vm::List>();
+    task_list->items.push_back(Value(static_cast<std::int64_t>(i)));
+    task_list->items.push_back(items[i]);
+    DIONEA_RETURN_IF_ERROR(tasks_.push_value(Value(std::move(task_list))));
+  }
+  std::vector<Value> out(items.size());
+  std::vector<bool> seen(items.size(), false);
+  for (size_t received = 0; received < items.size(); ++received) {
+    DIONEA_ASSIGN_OR_RETURN(std::optional<Value> popped,
+                            results_.pop_value_timeout(timeout_millis_per_item));
+    if (!popped.has_value()) {
+      return Error(ErrorCode::kTimeout, "worker result overdue");
+    }
+    Value tagged = std::move(*popped);
+    if (!tagged.is_list() || tagged.as_list()->items.size() != 2 ||
+        !tagged.as_list()->items[0].is_int()) {
+      return Error(ErrorCode::kProtocol, "untagged result from worker");
+    }
+    auto index = static_cast<size_t>(tagged.as_list()->items[0].as_int());
+    if (index >= out.size() || seen[index]) {
+      return Error(ErrorCode::kProtocol, "bad result index from worker");
+    }
+    seen[index] = true;
+    out[index] = tagged.as_list()->items[1];
+  }
+  return out;
+}
+
+Status Pool::shutdown(int timeout_millis) {
+  if (shut_down_) return Status::ok();
+  shut_down_ = true;
+  for (size_t i = 0; i < procs_.size(); ++i) {
+    Status pushed = tasks_.push_value(Value());
+    if (!pushed.is_ok()) return pushed;
+  }
+  for (Process& proc : procs_) {
+    auto code = proc.wait_timeout(timeout_millis);
+    if (!code.is_ok()) {
+      DLOG_WARN("mp") << "worker " << proc.pid()
+                      << " did not exit: " << code.error().to_string();
+      (void)proc.kill(SIGKILL);
+      (void)proc.wait();
+    }
+  }
+  procs_.clear();
+  return Status::ok();
+}
+
+const std::vector<pid_t> Pool::worker_pids() const {
+  std::vector<pid_t> out;
+  out.reserve(procs_.size());
+  for (const Process& proc : procs_) out.push_back(proc.pid());
+  return out;
+}
+
+}  // namespace dionea::mp

@@ -1,0 +1,64 @@
+// mp::Pool — a worker pool of forked processes fed through MpQueues
+// (multiprocessing.Pool's shape: "the parent and the worker processes
+// share the same input and output queues", §6.3 / Fig. 8).
+//
+// Tasks and results are pickled vm::Values. Because workers are forks
+// of the parent, the worker function exists on both sides without any
+// code shipping — the same reason Python's fork-based Pool works.
+//
+// Scheduling is pull-based: an idle worker pops the next task, which
+// is what produces the Fig. 8 behaviour ("when every other process is
+// stopped by break points, an available child process takes over the
+// jobs").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mp/mpqueue.hpp"
+#include "mp/process.hpp"
+#include "support/result.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::mp {
+
+class Pool {
+ public:
+  using WorkerFn = std::function<vm::Value(const vm::Value&)>;
+
+  // Forks `workers` children, each looping: pop task -> fn -> push
+  // result. A nil task is the shutdown sentinel.
+  static Result<Pool> create(int workers, WorkerFn fn);
+
+  Pool(Pool&&) = default;
+  Pool& operator=(Pool&&) = default;
+  ~Pool();
+
+  int worker_count() const noexcept { return static_cast<int>(procs_.size()); }
+
+  // Fire-and-collect: submit a task / take any finished result.
+  Status submit(const vm::Value& task);
+  Result<vm::Value> take_result(int timeout_millis);
+
+  // Ordered parallel map: results line up with `items` regardless of
+  // which worker finished first (tasks are index-tagged internally).
+  Result<std::vector<vm::Value>> map(const std::vector<vm::Value>& items,
+                                     int timeout_millis_per_item = 60'000);
+
+  // Send one sentinel per worker and reap them. Idempotent.
+  Status shutdown(int timeout_millis = 10'000);
+
+  const std::vector<pid_t> worker_pids() const;
+
+ private:
+  Pool(MpQueue tasks, MpQueue results, std::vector<Process> procs)
+      : tasks_(std::move(tasks)), results_(std::move(results)),
+        procs_(std::move(procs)) {}
+
+  MpQueue tasks_;
+  MpQueue results_;
+  std::vector<Process> procs_;
+  bool shut_down_ = false;
+};
+
+}  // namespace dionea::mp

@@ -1,0 +1,86 @@
+#include "mp/process.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/timing.hpp"
+
+namespace dionea::mp {
+
+Result<Process> Process::spawn(const std::function<int()>& fn) {
+  std::fflush(nullptr);  // don't double-flush parent's stdio buffers
+  pid_t pid = ::fork();
+  if (pid < 0) return errno_error("fork", errno);
+  if (pid == 0) {
+    int code = 1;
+    // No exceptions may escape across _exit.
+    try {
+      code = fn();
+    } catch (...) {
+      std::fprintf(stderr, "mp::Process: child function threw\n");
+      code = 70;  // EX_SOFTWARE
+    }
+    std::fflush(nullptr);
+    ::_exit(code);
+  }
+  return Process(pid);
+}
+
+Result<int> Process::wait() {
+  if (!valid()) return Error(ErrorCode::kInvalidArgument, "invalid process");
+  while (true) {
+    int status = 0;
+    pid_t got = ::waitpid(pid_, &status, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("waitpid", errno);
+    }
+    pid_ = -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return -WTERMSIG(status);
+    return -1;
+  }
+}
+
+Result<std::optional<int>> Process::try_wait() {
+  if (!valid()) return Error(ErrorCode::kInvalidArgument, "invalid process");
+  int status = 0;
+  pid_t got = ::waitpid(pid_, &status, WNOHANG);
+  if (got < 0) return errno_error("waitpid", errno);
+  if (got == 0) return std::optional<int>();
+  pid_ = -1;
+  if (WIFEXITED(status)) return std::optional<int>(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) return std::optional<int>(-WTERMSIG(status));
+  return std::optional<int>(-1);
+}
+
+Result<int> Process::wait_timeout(int timeout_millis) {
+  Stopwatch watch;
+  while (true) {
+    DIONEA_ASSIGN_OR_RETURN(std::optional<int> code, try_wait());
+    if (code.has_value()) return *code;
+    if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+      return Error(ErrorCode::kTimeout,
+                   "pid " + std::to_string(pid_) + " still running");
+    }
+    sleep_for_millis(5);
+  }
+}
+
+Status Process::kill(int signal) {
+  if (!valid()) return Status(ErrorCode::kInvalidArgument, "invalid process");
+  if (::kill(pid_, signal) != 0) return errno_error("kill", errno);
+  return Status::ok();
+}
+
+bool Process::running() {
+  auto code = try_wait();
+  return code.is_ok() && !code.value().has_value();
+}
+
+}  // namespace dionea::mp

@@ -1,0 +1,57 @@
+// mp::Process — the Process abstraction of Python's multiprocessing
+// ("Process-based 'threading' interface", §6.3): run a function in a
+// forked child.
+//
+// The child runs `fn` and _exits with its return value; it never
+// returns into the caller's code. No exec(2) follows the fork — this
+// is exactly the "forking without calling exec is a special case that
+// requires special treatment" situation of §5.1.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+
+#include "support/result.hpp"
+
+namespace dionea::mp {
+
+class Process {
+ public:
+  // Fork and run fn in the child. Returns (in the parent) a handle.
+  // `fn` runs in a copy of the parent's address space; only the
+  // calling thread exists in the child.
+  static Result<Process> spawn(const std::function<int()>& fn);
+
+  Process(Process&& other) noexcept : pid_(other.pid_) { other.pid_ = -1; }
+  Process& operator=(Process&& other) noexcept {
+    pid_ = other.pid_;
+    other.pid_ = -1;
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  // Destroying a live handle does NOT kill the child (like
+  // multiprocessing.Process); call wait()/kill() explicitly.
+  ~Process() = default;
+
+  pid_t pid() const noexcept { return pid_; }
+  bool valid() const noexcept { return pid_ > 0; }
+
+  // Block until exit; returns exit code, or -signal for signal death.
+  Result<int> wait();
+  // Non-blocking: nullopt while still running.
+  Result<std::optional<int>> try_wait();
+  // Wait with timeout (polling); kTimeout if still alive.
+  Result<int> wait_timeout(int timeout_millis);
+
+  Status kill(int signal);
+  bool running();
+
+ private:
+  explicit Process(pid_t pid) : pid_(pid) {}
+  pid_t pid_ = -1;
+};
+
+}  // namespace dionea::mp

@@ -1,0 +1,79 @@
+#include "mp/serialize.hpp"
+
+namespace dionea::mp {
+
+using ipc::wire::Array;
+using ipc::wire::Object;
+using vm::Value;
+using WireValue = ipc::wire::Value;
+
+Result<WireValue> to_wire(const Value& value) {
+  switch (value.kind()) {
+    case vm::ValueKind::kNil:
+      return WireValue(nullptr);
+    case vm::ValueKind::kBool:
+      return WireValue(value.as_bool());
+    case vm::ValueKind::kInt:
+      return WireValue(value.as_int());
+    case vm::ValueKind::kFloat:
+      return WireValue(value.as_float());
+    case vm::ValueKind::kStr:
+      return WireValue(value.as_str());
+    case vm::ValueKind::kList: {
+      Array array;
+      array.reserve(value.as_list()->items.size());
+      for (const Value& item : value.as_list()->items) {
+        DIONEA_ASSIGN_OR_RETURN(WireValue wire_item, to_wire(item));
+        array.push_back(std::move(wire_item));
+      }
+      return WireValue(std::move(array));
+    }
+    case vm::ValueKind::kMap: {
+      Object object;
+      for (const auto& [key, item] : value.as_map()->items) {
+        DIONEA_ASSIGN_OR_RETURN(WireValue wire_item, to_wire(item));
+        object.emplace(key, std::move(wire_item));
+      }
+      return WireValue(std::move(object));
+    }
+    default:
+      return Error(ErrorCode::kInvalidArgument,
+                   std::string("cannot pickle a ") + value.type_name() +
+                       " (process-local object)");
+  }
+}
+
+Value from_wire(const WireValue& value) {
+  if (value.is_null()) return Value();
+  if (value.is_bool()) return Value(value.as_bool());
+  if (value.is_int()) return Value(value.as_int());
+  if (value.is_double()) return Value(value.as_double());
+  if (value.is_string()) return Value::str(value.as_string());
+  if (value.is_array()) {
+    auto list = std::make_shared<vm::List>();
+    list->items.reserve(value.as_array().size());
+    for (const WireValue& item : value.as_array()) {
+      list->items.push_back(from_wire(item));
+    }
+    return Value(std::move(list));
+  }
+  auto map = std::make_shared<vm::Map>();
+  for (const auto& [key, item] : value.as_object()) {
+    map->items[key] = from_wire(item);
+  }
+  return Value(std::move(map));
+}
+
+Result<std::string> serialize(const Value& value) {
+  DIONEA_ASSIGN_OR_RETURN(WireValue wire_value, to_wire(value));
+  std::string out;
+  wire_value.encode(&out);
+  return out;
+}
+
+Result<Value> deserialize(const std::string& bytes) {
+  DIONEA_ASSIGN_OR_RETURN(WireValue wire_value, WireValue::decode(bytes));
+  return from_wire(wire_value);
+}
+
+}  // namespace dionea::mp

@@ -1,0 +1,32 @@
+// "Pickle" for MiniLang values (§6.3: "Functions or methods to be
+// executed by the child process are passed from parent to child via
+// queues encoded using pickle").
+//
+// Serializable subset: nil, bool, int, float, str, list, map — the
+// same subset Python's pickle moves through multiprocessing queues.
+// Threads, sync objects and closures are process-local and refuse to
+// serialize (closures would need code shipping; multiprocessing works
+// because fork already copied the code, and so do we — workers are
+// forked, so functions exist on both sides by construction).
+//
+// Wire format: the ipc::wire codec, via a lossless mapping onto
+// wire::Value for the picklable subset.
+#pragma once
+
+#include <string>
+
+#include "ipc/wire.hpp"
+#include "support/result.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::mp {
+
+// vm::Value -> wire::Value (kInvalidArgument for non-picklable kinds).
+Result<ipc::wire::Value> to_wire(const vm::Value& value);
+// wire::Value -> vm::Value (always succeeds; doubles stay floats).
+vm::Value from_wire(const ipc::wire::Value& value);
+
+Result<std::string> serialize(const vm::Value& value);
+Result<vm::Value> deserialize(const std::string& bytes);
+
+}  // namespace dionea::mp

@@ -1,0 +1,255 @@
+#include "mp/vm_bindings.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "mp/mpqueue.hpp"
+#include "mp/serialize.hpp"
+#include "support/strings.hpp"
+#include "vm/sync.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::mp {
+namespace {
+
+using vm::InterpThread;
+using vm::NativeResult;
+using vm::Value;
+using vm::Vm;
+
+class VmIpcQueue : public vm::ForeignObject {
+ public:
+  explicit VmIpcQueue(MpQueue queue) : queue_(std::move(queue)) {}
+  std::string_view type_name() const noexcept override { return "ipc_queue"; }
+  MpQueue& queue() noexcept { return queue_; }
+
+ private:
+  MpQueue queue_;
+};
+
+class VmPipe : public vm::ForeignObject {
+ public:
+  explicit VmPipe(ipc::Pipe pipe) : pipe_(std::move(pipe)) {}
+  std::string_view type_name() const noexcept override { return "pipe"; }
+  ipc::Pipe& pipe() noexcept { return pipe_; }
+
+ private:
+  ipc::Pipe pipe_;
+};
+
+vm::VmError type_error(Vm& vm, InterpThread& th, const char* fn,
+                       const char* expected) {
+  return vm.runtime_error(
+      th, strings::format("%s: expected %s", fn, expected));
+}
+
+VmIpcQueue* as_ipc_queue(const Value& value) {
+  if (value.kind() != vm::ValueKind::kForeign) return nullptr;
+  return dynamic_cast<VmIpcQueue*>(value.as_foreign().get());
+}
+
+VmPipe* as_pipe(const Value& value) {
+  if (value.kind() != vm::ValueKind::kForeign) return nullptr;
+  return dynamic_cast<VmPipe*>(value.as_foreign().get());
+}
+
+vm::VmError interrupt_error(Vm& vm, InterpThread& th) {
+  if (th.interrupt.load(std::memory_order_relaxed) ==
+      vm::InterruptReason::kDeadlock) {
+    return vm.runtime_error(th, "deadlock detected (fatal)",
+                            vm::VmErrorKind::kFatalDeadlock);
+  }
+  return vm.runtime_error(th, "killed", vm::VmErrorKind::kThreadKill);
+}
+
+}  // namespace
+
+void install_vm_bindings(Vm& vm) {
+  vm.define_native("ipc_queue", 0, 0,
+                   [](Vm& v, InterpThread& th, std::vector<Value>& /*args*/)
+                       -> NativeResult {
+                     auto queue = MpQueue::create();
+                     if (!queue.is_ok()) {
+                       return v.runtime_error(
+                           th, "ipc_queue: " + queue.error().to_string());
+                     }
+                     return Value(std::shared_ptr<vm::ForeignObject>(
+                         std::make_shared<VmIpcQueue>(
+                             std::move(queue).value())));
+                   });
+
+  vm.define_native(
+      "ipc_push", 2, 2,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmIpcQueue* queue = as_ipc_queue(args[0]);
+        if (queue == nullptr) return type_error(v, th, "ipc_push", "ipc_queue");
+        Status pushed = queue->queue().push_value(args[1]);
+        if (!pushed.is_ok()) {
+          return v.runtime_error(th, "ipc_push: " + pushed.to_string());
+        }
+        return args[0];
+      });
+
+  vm.define_native(
+      "ipc_pop", 1, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmIpcQueue* queue = as_ipc_queue(args[0]);
+        if (queue == nullptr) return type_error(v, th, "ipc_pop", "ipc_queue");
+        // Process-level wait: another PROCESS can feed us, so this is
+        // IoBlocked, not BlockedForever — the deadlock detector must
+        // not treat it as unwakeable (contrast Listing 5's queue()).
+        Vm::BlockScope scope(v, th, vm::ThreadState::kIoBlocked, "ipc_pop");
+        while (true) {
+          auto popped = queue->queue().pop_value_timeout(
+              Vm::kWaitSliceMillis);
+          if (!popped.is_ok()) {
+            return v.runtime_error(th,
+                                   "ipc_pop: " + popped.error().to_string());
+          }
+          if (popped.value().has_value()) return std::move(*popped.value());
+          if (th.interrupt.load(std::memory_order_relaxed) !=
+              vm::InterruptReason::kNone) {
+            return interrupt_error(v, th);
+          }
+        }
+      });
+
+  vm.define_native(
+      "ipc_try_pop", 2, 2,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmIpcQueue* queue = as_ipc_queue(args[0]);
+        if (queue == nullptr || !args[1].is_int()) {
+          return type_error(v, th, "ipc_try_pop", "ipc_queue and timeout ms");
+        }
+        int timeout = static_cast<int>(args[1].as_int());
+        Vm::BlockScope scope(v, th, vm::ThreadState::kIoBlocked,
+                             "ipc_try_pop");
+        auto popped = queue->queue().pop_value_timeout(timeout);
+        if (!popped.is_ok()) {
+          return v.runtime_error(th,
+                                 "ipc_try_pop: " + popped.error().to_string());
+        }
+        if (!popped.value().has_value()) return Value();
+        return std::move(*popped.value());
+      });
+
+  vm.define_native(
+      "ipc_size", 1, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmIpcQueue* queue = as_ipc_queue(args[0]);
+        if (queue == nullptr) return type_error(v, th, "ipc_size", "ipc_queue");
+        return Value(static_cast<std::int64_t>(queue->queue().size()));
+      });
+
+  vm.define_native("mp_pipe", 0, 0,
+                   [](Vm& v, InterpThread& th, std::vector<Value>&)
+                       -> NativeResult {
+                     auto pipe = ipc::Pipe::create();
+                     if (!pipe.is_ok()) {
+                       return v.runtime_error(
+                           th, "mp_pipe: " + pipe.error().to_string());
+                     }
+                     return Value(std::shared_ptr<vm::ForeignObject>(
+                         std::make_shared<VmPipe>(std::move(pipe).value())));
+                   });
+
+  vm.define_native(
+      "pipe_write", 2, 2,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmPipe* pipe = as_pipe(args[0]);
+        if (pipe == nullptr) return type_error(v, th, "pipe_write", "pipe");
+        if (!pipe->pipe().write_end().valid()) {
+          return v.runtime_error(th, "pipe_write: write end closed");
+        }
+        auto bytes = serialize(args[1]);
+        if (!bytes.is_ok()) {
+          return v.runtime_error(th,
+                                 "pipe_write: " + bytes.error().to_string());
+        }
+        std::uint32_t len = static_cast<std::uint32_t>(bytes.value().size());
+        char header[4];
+        std::memcpy(header, &len, sizeof(len));
+        Vm::BlockScope scope(v, th, vm::ThreadState::kIoBlocked, "pipe_write");
+        Status written =
+            pipe->pipe().write_end().write_all(header, sizeof(header));
+        if (written.is_ok()) {
+          written = pipe->pipe().write_end().write_all(bytes.value().data(),
+                                                       bytes.value().size());
+        }
+        if (!written.is_ok()) {
+          return v.runtime_error(th, "pipe_write: " + written.to_string());
+        }
+        return Value(true);
+      });
+
+  vm.define_native(
+      "pipe_read", 1, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmPipe* pipe = as_pipe(args[0]);
+        if (pipe == nullptr) return type_error(v, th, "pipe_read", "pipe");
+        ipc::Fd& fd = pipe->pipe().read_end();
+        if (!fd.valid()) {
+          return v.runtime_error(th, "pipe_read: read end closed");
+        }
+        Vm::BlockScope scope(v, th, vm::ThreadState::kIoBlocked, "pipe_read");
+        // Wait for data in interruptible slices.
+        while (true) {
+          pollfd pfd{fd.get(), POLLIN, 0};
+          int rc = ::poll(&pfd, 1, Vm::kWaitSliceMillis);
+          if (rc < 0 && errno != EINTR) {
+            return v.runtime_error(
+                th, std::string("pipe_read: ") + std::strerror(errno));
+          }
+          if (rc > 0) break;
+          if (th.interrupt.load(std::memory_order_relaxed) !=
+              vm::InterruptReason::kNone) {
+            return interrupt_error(v, th);
+          }
+        }
+        char header[4];
+        Status got = fd.read_exact(header, sizeof(header));
+        if (!got.is_ok()) {
+          if (got.error().code() == ErrorCode::kClosed) return Value();  // EOF
+          return v.runtime_error(th, "pipe_read: " + got.to_string());
+        }
+        std::uint32_t len;
+        std::memcpy(&len, header, sizeof(len));
+        std::string bytes(len, '\0');
+        if (len > 0) {
+          got = fd.read_exact(bytes.data(), len);
+          if (!got.is_ok()) {
+            return v.runtime_error(th, "pipe_read: " + got.to_string());
+          }
+        }
+        auto value = deserialize(bytes);
+        if (!value.is_ok()) {
+          return v.runtime_error(th, "pipe_read: " + value.error().to_string());
+        }
+        return std::move(value).value();
+      });
+
+  vm.define_native(
+      "pipe_close_read", 1, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmPipe* pipe = as_pipe(args[0]);
+        if (pipe == nullptr) return type_error(v, th, "pipe_close_read", "pipe");
+        pipe->pipe().close_read();
+        return Value();
+      });
+
+  vm.define_native(
+      "pipe_close_write", 1, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        VmPipe* pipe = as_pipe(args[0]);
+        if (pipe == nullptr) {
+          return type_error(v, th, "pipe_close_write", "pipe");
+        }
+        pipe->pipe().close_write();
+        return Value();
+      });
+}
+
+}  // namespace dionea::mp

@@ -1,0 +1,28 @@
+// MiniLang bindings for the mp:: substrate — what `import
+// multiprocessing` / `IO.pipe` give the paper's debuggees.
+//
+//   q = ipc_queue()       inter-process queue (semaphore + pipe, §6.3)
+//   ipc_push(q, v)        pickle + enqueue
+//   ipc_pop(q)            blocking dequeue (IoBlocked: a process-level
+//                         wait, invisible to the deadlock detector —
+//                         unlike queue(), which is inter-thread only)
+//   ipc_try_pop(q, ms)    timed dequeue; nil on timeout
+//   ipc_size(q)           approximate item count
+//
+//   p = mp_pipe()         raw pipe pair (the `IO.pipe` of §6.4)
+//   pipe_write(p, v)      framed pickled value
+//   pipe_read(p)          blocking read; nil on EOF
+//   pipe_close_read(p) / pipe_close_write(p)
+//
+// Create queues/pipes BEFORE fork(); both sides then share them.
+#pragma once
+
+namespace dionea::vm {
+class Vm;
+}
+
+namespace dionea::mp {
+
+void install_vm_bindings(vm::Vm& vm);
+
+}  // namespace dionea::mp

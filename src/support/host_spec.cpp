@@ -1,0 +1,56 @@
+#include "support/host_spec.hpp"
+
+#include <sys/sysinfo.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+
+namespace dionea {
+
+HostSpec HostSpec::detect() {
+  HostSpec spec;
+  spec.logical_cores = static_cast<int>(::sysconf(_SC_NPROCESSORS_ONLN));
+  spec.runtime = "dionea-cpp 1.0.0 (MiniVM)";
+
+  if (auto cpuinfo = read_file("/proc/cpuinfo"); cpuinfo.is_ok()) {
+    for (const std::string& line : strings::split(cpuinfo.value(), '\n')) {
+      if (strings::starts_with(line, "model name")) {
+        size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          spec.cpu_model = std::string(strings::trim(
+              std::string_view(line).substr(colon + 1)));
+        }
+        break;
+      }
+    }
+  }
+  if (spec.cpu_model.empty()) spec.cpu_model = "unknown CPU";
+
+  struct sysinfo info{};
+  if (::sysinfo(&info) == 0) {
+    spec.memory_mb =
+        static_cast<long>((info.totalram / (1024 * 1024)) * info.mem_unit);
+  }
+
+  struct utsname uts{};
+  if (::uname(&uts) == 0) {
+    spec.os_release = std::string(uts.sysname) + " " + uts.release;
+  }
+  return spec;
+}
+
+std::string HostSpec::to_table() const {
+  std::string out;
+  out += strings::format("%-8s %s, %d cores\n", "CPU", cpu_model.c_str(),
+                         logical_cores);
+  out += strings::format("%-8s %ldMB\n", "Memory", memory_mb);
+  out += strings::format("%-8s %s\n", "OS", os_release.c_str());
+  out += strings::format("%-8s %s\n", "Runtime", runtime.c_str());
+  return out;
+}
+
+}  // namespace dionea

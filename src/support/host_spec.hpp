@@ -1,0 +1,23 @@
+// Runtime capture of the machine specification (Table 1 of the paper).
+#pragma once
+
+#include <string>
+
+namespace dionea {
+
+struct HostSpec {
+  std::string cpu_model;     // e.g. "Intel(R) Core(TM) i5 CPU"
+  int logical_cores = 0;
+  long memory_mb = 0;
+  std::string os_release;    // uname -sr
+  std::string runtime;       // this library's version string
+
+  // Best-effort probe of /proc and uname; never fails (fields that
+  // cannot be read stay at defaults).
+  static HostSpec detect();
+
+  // Rows in the same format as the paper's Table 1.
+  std::string to_table() const;
+};
+
+}  // namespace dionea

@@ -1,0 +1,64 @@
+#include "support/logging.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "support/timing.hpp"
+
+namespace dionea::log {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(Level::kWarn)};
+std::atomic<int> g_fd{2};
+
+thread_local char t_buffer[1024];
+
+}  // namespace
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Level threshold() noexcept {
+  return static_cast<Level>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_fd(int fd) noexcept { g_fd.store(fd, std::memory_order_relaxed); }
+
+bool enabled(Level level) noexcept {
+  return static_cast<int>(level) >=
+         g_threshold.load(std::memory_order_relaxed);
+}
+
+void emit(Level level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  // Single buffer, single write(2): records never interleave mid-line,
+  // even when parent and forked child share the terminal.
+  int n = std::snprintf(
+      t_buffer, sizeof(t_buffer), "[%d %.3f %s %.*s] %.*s\n",
+      static_cast<int>(::getpid()), mono_seconds(), level_name(level),
+      static_cast<int>(component.size()), component.data(),
+      static_cast<int>(message.size()), message.data());
+  if (n < 0) return;
+  if (static_cast<size_t>(n) >= sizeof(t_buffer)) n = sizeof(t_buffer) - 1;
+  ssize_t ignored =
+      ::write(g_fd.load(std::memory_order_relaxed), t_buffer, static_cast<size_t>(n));
+  (void)ignored;
+}
+
+}  // namespace dionea::log

@@ -1,0 +1,74 @@
+// Minimal async-signal-tolerant logger.
+//
+// The debug server logs from multiple interpreter threads and from the
+// child side of fork(); we therefore format each record into a single
+// buffer and emit it with one write(2), which keeps records atomic
+// across processes sharing a terminal (POSIX guarantees atomicity for
+// small writes to the same pipe/tty).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dionea::log {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* level_name(Level level) noexcept;
+
+// Global threshold. Default: kWarn (quiet for benches); tests and
+// examples raise or lower it. Reads/writes are relaxed-atomic.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+// Route records to a file descriptor (default 2 = stderr).
+void set_fd(int fd) noexcept;
+
+bool enabled(Level level) noexcept;
+
+// Emit one record: "[pid:tid LEVEL component] message\n".
+void emit(Level level, std::string_view component, std::string_view message);
+
+namespace detail {
+class Record {
+ public:
+  Record(Level level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~Record() { emit(level_, component_, stream_.str()); }
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+
+  template <typename T>
+  Record& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dionea::log
+
+#define DIONEA_LOG(level, component)                      \
+  if (!::dionea::log::enabled(level)) {                   \
+  } else                                                  \
+    ::dionea::log::detail::Record(level, component)
+
+#define DLOG_TRACE(component) DIONEA_LOG(::dionea::log::Level::kTrace, component)
+#define DLOG_DEBUG(component) DIONEA_LOG(::dionea::log::Level::kDebug, component)
+#define DLOG_INFO(component) DIONEA_LOG(::dionea::log::Level::kInfo, component)
+#define DLOG_WARN(component) DIONEA_LOG(::dionea::log::Level::kWarn, component)
+#define DLOG_ERROR(component) DIONEA_LOG(::dionea::log::Level::kError, component)

@@ -1,0 +1,143 @@
+// Result<T> / Status: lightweight expected-style error handling.
+//
+// The debugger runs inside the debuggee process; throwing across the
+// VM dispatch loop or a fork boundary is never safe, so fallible
+// operations in ipc/, debugger/ and mp/ return Result<T> instead of
+// throwing. Exceptions are reserved for programmer errors (DIONEA_CHECK).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dionea {
+
+// Error category, roughly mirroring errno domains we care about.
+enum class ErrorCode {
+  kUnknown,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnavailable,      // transient: retry may help (EAGAIN, connection refused)
+  kClosed,           // peer or fd gone (EPIPE, EOF)
+  kTimeout,
+  kProtocol,         // malformed frame / wire value
+  kInternal,         // invariant violation inside this library
+  kOsError,          // unclassified errno
+};
+
+const char* error_code_name(ErrorCode code) noexcept;
+
+// A failed operation: code + human-readable context.
+class [[nodiscard]] Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string to_string() const {
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+  // Wrap with additional context, innermost message last.
+  Error wrap(const std::string& context) const {
+    return Error(code_, context + ": " + message_);
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Build an Error from the current errno value.
+Error errno_error(const std::string& what, int saved_errno);
+
+// Status: success or an Error. Use for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Status(ErrorCode code, std::string message)
+      : error_(Error(code, std::move(message))) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const Error& error() const { return *error_; }
+
+  std::string to_string() const {
+    return is_ok() ? "OK" : error_->to_string();
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result<T>: a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}       // NOLINT
+  Result(Error error) : rep_(std::move(error)) {}   // NOLINT
+  Result(ErrorCode code, std::string message)
+      : rep_(Error(code, std::move(message))) {}
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const Error& error() const { return std::get<Error>(rep_); }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : Status(error());
+  }
+
+  T value_or(T fallback) const {
+    return is_ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+// Propagate-on-failure helpers (statement-expression free: use early return).
+#define DIONEA_RETURN_IF_ERROR(expr)                         \
+  do {                                                       \
+    ::dionea::Status _dionea_status = (expr);                \
+    if (!_dionea_status.is_ok()) return _dionea_status.error(); \
+  } while (0)
+
+#define DIONEA_CONCAT_INNER(a, b) a##b
+#define DIONEA_CONCAT(a, b) DIONEA_CONCAT_INNER(a, b)
+
+#define DIONEA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.is_ok()) return tmp.error();              \
+  lhs = std::move(tmp).value()
+
+#define DIONEA_ASSIGN_OR_RETURN(lhs, expr) \
+  DIONEA_ASSIGN_OR_RETURN_IMPL(DIONEA_CONCAT(_dionea_res_, __LINE__), lhs, expr)
+
+// Hard invariant check: aborts with location. Used for programmer errors
+// only — never for conditions an API caller can trigger.
+#define DIONEA_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "DIONEA_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, (msg));                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace dionea

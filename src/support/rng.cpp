@@ -1,0 +1,72 @@
+#include "support/rng.hpp"
+
+namespace dionea {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  for (auto& s : state_) s = splitmix64(seed);
+  // xoshiro must not start from all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  // xoshiro256**
+  std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+  while (true) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) noexcept {
+  return next_double() < p_true;
+}
+
+std::string Rng::next_word(int min_len, int max_len) {
+  int len = static_cast<int>(next_range(min_len, max_len));
+  std::string word(static_cast<size_t>(len), 'a');
+  for (char& c : word) {
+    c = static_cast<char>('a' + next_below(26));
+  }
+  return word;
+}
+
+}  // namespace dionea

@@ -1,0 +1,39 @@
+// Deterministic splitmix64/xoshiro-style RNG.
+//
+// Corpus generation and property tests must be reproducible across
+// runs and across fork(2) (std::mt19937 would also work, but a small
+// explicit generator keeps the seeded state trivially copyable into
+// children). Not cryptographic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dionea {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  double next_double() noexcept;  // [0, 1)
+
+  bool next_bool(double p_true = 0.5) noexcept;
+
+  // Lowercase ASCII word of the given length.
+  std::string next_word(int min_len, int max_len);
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace dionea

@@ -1,0 +1,36 @@
+// RAII on-exit action (C++ Core Guidelines E.19 "use a final_action").
+#pragma once
+
+#include <utility>
+
+namespace dionea {
+
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F fn) : fn_(std::move(fn)) {}
+  ~ScopeGuard() {
+    if (armed_) fn_();
+  }
+  ScopeGuard(ScopeGuard&& other) noexcept
+      : fn_(std::move(other.fn_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(ScopeGuard&&) = delete;
+
+  // Cancel the pending action (e.g. on the success path).
+  void dismiss() noexcept { armed_ = false; }
+
+ private:
+  F fn_;
+  bool armed_ = true;
+};
+
+template <typename F>
+ScopeGuard<F> on_scope_exit(F fn) {
+  return ScopeGuard<F>(std::move(fn));
+}
+
+}  // namespace dionea

@@ -1,0 +1,39 @@
+// Small string utilities used across modules (no locale, ASCII only,
+// which matches the paper's word-count workload: "words that contain
+// only letters").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dionea::strings {
+
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+std::string to_lower(std::string_view text);
+
+bool is_alpha_word(std::string_view word) noexcept;  // letters only, non-empty
+
+// Parse helpers returning false on malformed input (no exceptions).
+bool parse_int(std::string_view text, std::int64_t* out) noexcept;
+bool parse_double(std::string_view text, double* out) noexcept;
+
+// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Escape non-printables for logs / protocol dumps.
+std::string escape(std::string_view text);
+
+}  // namespace dionea::strings

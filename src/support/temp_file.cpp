@@ -1,0 +1,187 @@
+#include "support/temp_file.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dionea {
+
+Error errno_error(const std::string& what, int saved_errno) {
+  ErrorCode code = ErrorCode::kOsError;
+  switch (saved_errno) {
+    case ENOENT: code = ErrorCode::kNotFound; break;
+    case EEXIST: code = ErrorCode::kAlreadyExists; break;
+    case EACCES:
+    case EPERM: code = ErrorCode::kPermissionDenied; break;
+    case EAGAIN:
+    case ECONNREFUSED:
+    case EINTR: code = ErrorCode::kUnavailable; break;
+    case EPIPE:
+    case ECONNRESET: code = ErrorCode::kClosed; break;
+    case ETIMEDOUT: code = ErrorCode::kTimeout; break;
+    case EINVAL: code = ErrorCode::kInvalidArgument; break;
+    default: break;
+  }
+  return Error(code, what + ": " + std::strerror(saved_errno));
+}
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown: return "UNKNOWN";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kClosed: return "CLOSED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kOsError: return "OS_ERROR";
+  }
+  return "?";
+}
+
+Result<TempDir> TempDir::create(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  if (base == nullptr || base[0] == '\0') base = "/tmp";
+  std::string tmpl = std::string(base) + "/" + prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return errno_error("mkdtemp " + tmpl, errno);
+  }
+  return TempDir(std::string(buf.data()), static_cast<int>(::getpid()));
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), owner_pid_(other.owner_pid_) {
+  other.owner_pid_ = -1;
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (owner_pid_ == static_cast<int>(::getpid()) && !path_.empty()) {
+      (void)remove_tree(path_);
+    }
+    path_ = std::move(other.path_);
+    owner_pid_ = other.owner_pid_;
+    other.owner_pid_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (owner_pid_ == static_cast<int>(::getpid()) && !path_.empty()) {
+    (void)remove_tree(path_);
+  }
+}
+
+void TempDir::release() noexcept { owner_pid_ = -1; }
+
+Status write_file(const std::string& path, const std::string& contents) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_error("open " + path, errno);
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return errno_error("write " + path, saved);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::close(fd) != 0) return errno_error("close " + path, errno);
+  return Status::ok();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_error("open " + path, errno);
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return errno_error("read " + path, saved);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status write_file_atomic(const std::string& path, const std::string& contents) {
+  std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<int>(::getpid()));
+  DIONEA_RETURN_IF_ERROR(write_file(tmp, contents));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    return errno_error("rename " + tmp + " -> " + path, saved);
+  }
+  return Status::ok();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return errno_error("unlink " + path, errno);
+  }
+  return Status::ok();
+}
+
+Status make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return errno_error("mkdir " + path, errno);
+  }
+  return Status::ok();
+}
+
+Status remove_tree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::ok();
+    if (errno == ENOTDIR) return remove_file(path);
+    return errno_error("opendir " + path, errno);
+  }
+  while (dirent* entry = ::readdir(dir)) {
+    const char* name = entry->d_name;
+    if (std::strcmp(name, ".") == 0 || std::strcmp(name, "..") == 0) continue;
+    std::string child = path + "/" + name;
+    struct stat st{};
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      (void)remove_tree(child);
+    } else {
+      ::unlink(child.c_str());
+    }
+  }
+  ::closedir(dir);
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return errno_error("rmdir " + path, errno);
+  }
+  return Status::ok();
+}
+
+}  // namespace dionea

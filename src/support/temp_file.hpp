@@ -1,0 +1,55 @@
+// Temporary files and the port-handoff file.
+//
+// §5.3(3): "Dionea's fork handlers use a temporary file, where the port
+// number of the most recently created process is saved." TempDir/TempFile
+// give tests and the port-handoff mechanism unique, RAII-cleaned paths.
+#pragma once
+
+#include <string>
+
+#include "support/result.hpp"
+
+namespace dionea {
+
+// Unique directory under $TMPDIR (or /tmp), removed recursively on
+// destruction. Survives fork: only the creator process removes it.
+class TempDir {
+ public:
+  // prefix appears in the path for debuggability, e.g. "dionea-test".
+  static Result<TempDir> create(const std::string& prefix);
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  const std::string& path() const noexcept { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+  // Forget the directory without deleting it (e.g. in a forked child
+  // whose parent owns cleanup).
+  void release() noexcept;
+
+ private:
+  TempDir(std::string path, int owner_pid)
+      : path_(std::move(path)), owner_pid_(owner_pid) {}
+  std::string path_;
+  int owner_pid_ = -1;
+};
+
+// Whole-file read/write helpers used by corpus generation and the
+// port-handoff file.
+Status write_file(const std::string& path, const std::string& contents);
+Result<std::string> read_file(const std::string& path);
+
+// Atomic replace: write to <path>.tmp.<pid> then rename(2). The port
+// handoff depends on readers never seeing a torn write.
+Status write_file_atomic(const std::string& path, const std::string& contents);
+
+bool file_exists(const std::string& path);
+Status remove_file(const std::string& path);
+Status remove_tree(const std::string& path);
+Status make_dir(const std::string& path);
+
+}  // namespace dionea

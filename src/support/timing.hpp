@@ -1,0 +1,38 @@
+// Monotonic timing helpers shared by the VM scheduler, the debugger
+// (timeouts) and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dionea {
+
+using Clock = std::chrono::steady_clock;
+
+// Seconds since an arbitrary (per-process) epoch.
+double mono_seconds() noexcept;
+
+// Nanoseconds since the steady-clock epoch.
+std::int64_t mono_nanos() noexcept;
+
+// Sleep that tolerates EINTR.
+void sleep_for_millis(std::int64_t millis);
+
+// "1601.0s" / "2.31s" / "47ms" — humanized duration for reports.
+std::string format_duration(double seconds);
+
+// Stopwatch for benches and tests.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace dionea

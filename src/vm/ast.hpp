@@ -1,0 +1,104 @@
+// MiniLang abstract syntax tree.
+//
+// Nodes are plain tagged structs owned through unique_ptr; the
+// compiler walks them once and throws them away, so there is no need
+// for a visitor hierarchy. Every node carries its 1-based source line —
+// that line number is what flows through kTraceLine instructions into
+// trace events, breakpoints and deadlock reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/token.hpp"
+
+namespace dionea::vm {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// A function literal or declaration: shared between the Lambda
+// expression node and the FnDef statement node.
+struct FnDecl {
+  std::string name;  // empty for anonymous lambdas
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+enum class ExprKind : int {
+  kIntLit,
+  kFloatLit,
+  kStrLit,
+  kBoolLit,
+  kNilLit,
+  kName,
+  kUnary,    // op rhs           (kMinus, kNot)
+  kBinary,   // lhs op rhs       (arith / comparison)
+  kLogical,  // lhs and/or rhs   (short-circuit)
+  kCall,     // callee(args...)
+  kMethod,   // receiver.name(args...) — sugar: name(receiver, args...)
+  kIndex,    // target[index]
+  kListLit,  // [e0, e1, ...]     in args
+  kMapLit,   // {k0: v0, ...}     keys/values interleaved in args
+  kLambda,   // fn(params) body end
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Literal payloads.
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  std::string str_val;  // string literal, kName identifier, kMethod name
+  bool bool_val = false;
+
+  TokenKind op = TokenKind::kEof;  // kUnary / kBinary / kLogical operator
+
+  ExprPtr lhs;                 // binary lhs, unary operand, index target
+  ExprPtr rhs;                 // binary rhs, index subscript
+  ExprPtr callee;              // kCall callee, kMethod receiver
+  std::vector<ExprPtr> args;   // call args / list elements / map pairs
+  std::shared_ptr<FnDecl> fn;  // kLambda
+};
+
+enum class StmtKind : int {
+  kExpr,     // expression statement (value discarded)
+  kAssign,   // target = value; target is kName or kIndex
+  kFnDef,    // fn name(...) ... end  (defines a global)
+  kIf,
+  kWhile,
+  kForIn,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct IfArm {
+  ExprPtr condition;            // null for the trailing else
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;                 // kExpr value, kAssign target, kReturn value,
+                                // kWhile condition, kForIn iterable
+  ExprPtr value;                // kAssign right-hand side
+  std::shared_ptr<FnDecl> fn;   // kFnDef
+  std::vector<IfArm> arms;      // kIf
+  std::vector<StmtPtr> body;    // kWhile / kForIn
+  std::string name;             // kForIn loop variable
+};
+
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,12 @@
+// Core MiniLang builtins: IO, collections, strings, threads, sync
+// objects, fork/process control. Installed by the Vm constructor.
+// Inter-process primitives (pipes, mp queues) live in mp::install_vm_bindings.
+#pragma once
+
+namespace dionea::vm {
+
+class Vm;
+
+void install_core_builtins(Vm& vm);
+
+}  // namespace dionea::vm

@@ -1,0 +1,200 @@
+#include "vm/bytecode.hpp"
+
+#include "support/result.hpp"
+#include "support/strings.hpp"
+
+namespace dionea::vm {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kConst: return "CONST";
+    case Op::kNil: return "NIL";
+    case Op::kTrue: return "TRUE";
+    case Op::kFalse: return "FALSE";
+    case Op::kPop: return "POP";
+    case Op::kDup: return "DUP";
+    case Op::kGetLocal: return "GET_LOCAL";
+    case Op::kSetLocal: return "SET_LOCAL";
+    case Op::kGetGlobal: return "GET_GLOBAL";
+    case Op::kSetGlobal: return "SET_GLOBAL";
+    case Op::kGetCapture: return "GET_CAPTURE";
+    case Op::kSetCapture: return "SET_CAPTURE";
+    case Op::kAdd: return "ADD";
+    case Op::kSub: return "SUB";
+    case Op::kMul: return "MUL";
+    case Op::kDiv: return "DIV";
+    case Op::kMod: return "MOD";
+    case Op::kNeg: return "NEG";
+    case Op::kNot: return "NOT";
+    case Op::kEq: return "EQ";
+    case Op::kNe: return "NE";
+    case Op::kLt: return "LT";
+    case Op::kLe: return "LE";
+    case Op::kGt: return "GT";
+    case Op::kGe: return "GE";
+    case Op::kJump: return "JUMP";
+    case Op::kJumpIfFalse: return "JUMP_IF_FALSE";
+    case Op::kJumpIfFalsePeek: return "JUMP_IF_FALSE_PEEK";
+    case Op::kJumpIfTruePeek: return "JUMP_IF_TRUE_PEEK";
+    case Op::kLoop: return "LOOP";
+    case Op::kCall: return "CALL";
+    case Op::kReturn: return "RETURN";
+    case Op::kBuildList: return "BUILD_LIST";
+    case Op::kBuildMap: return "BUILD_MAP";
+    case Op::kIndexGet: return "INDEX_GET";
+    case Op::kIndexSet: return "INDEX_SET";
+    case Op::kClosure: return "CLOSURE";
+    case Op::kIterNew: return "ITER_NEW";
+    case Op::kIterNext: return "ITER_NEXT";
+    case Op::kTraceLine: return "TRACE_LINE";
+    case Op::kHalt: return "HALT";
+  }
+  return "?";
+}
+
+int op_operand_bytes(Op op) noexcept {
+  switch (op) {
+    case Op::kConst:
+    case Op::kGetLocal:
+    case Op::kSetLocal:
+    case Op::kGetGlobal:
+    case Op::kSetGlobal:
+    case Op::kGetCapture:
+    case Op::kSetCapture:
+    case Op::kJump:
+    case Op::kJumpIfFalse:
+    case Op::kJumpIfFalsePeek:
+    case Op::kJumpIfTruePeek:
+    case Op::kLoop:
+    case Op::kBuildList:
+    case Op::kBuildMap:
+    case Op::kClosure:
+    case Op::kTraceLine:
+      return 2;
+    case Op::kIterNext:  // u16 iter slot + u16 exit offset
+      return 4;
+    case Op::kCall:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+void Chunk::write(Op op, int line) {
+  code_.push_back(static_cast<std::uint8_t>(op));
+  lines_.push_back(line);
+}
+
+void Chunk::write_u8(std::uint8_t byte, int line) {
+  code_.push_back(byte);
+  lines_.push_back(line);
+}
+
+void Chunk::write_u16(std::uint16_t value, int line) {
+  code_.push_back(static_cast<std::uint8_t>(value & 0xff));
+  code_.push_back(static_cast<std::uint8_t>(value >> 8));
+  lines_.push_back(line);
+  lines_.push_back(line);
+}
+
+size_t Chunk::emit_jump(Op op, int line) {
+  write(op, line);
+  size_t operand = code_.size();
+  write_u16(0xffff, line);
+  return operand;
+}
+
+void Chunk::patch_jump(size_t operand_offset) {
+  // Offset is measured from the byte after the operand.
+  size_t distance = code_.size() - (operand_offset + 2);
+  DIONEA_CHECK(distance <= 0xffff, "jump too far");
+  code_[operand_offset] = static_cast<std::uint8_t>(distance & 0xff);
+  code_[operand_offset + 1] = static_cast<std::uint8_t>(distance >> 8);
+}
+
+void Chunk::emit_loop(size_t loop_start, int line) {
+  write(Op::kLoop, line);
+  // Distance back from the byte after the operand to loop_start.
+  size_t distance = code_.size() + 2 - loop_start;
+  DIONEA_CHECK(distance <= 0xffff, "loop body too large");
+  write_u16(static_cast<std::uint16_t>(distance), line);
+}
+
+std::uint16_t Chunk::add_constant(Value value) {
+  // Deduplicate scalar constants (names repeat constantly).
+  for (size_t i = 0; i < constants_.size(); ++i) {
+    const Value& existing = constants_[i];
+    if (existing.kind() != value.kind()) continue;
+    bool same = false;
+    switch (existing.kind()) {
+      case ValueKind::kInt: same = existing.as_int() == value.as_int(); break;
+      case ValueKind::kFloat:
+        same = existing.as_float() == value.as_float();
+        break;
+      case ValueKind::kStr: same = existing.as_str() == value.as_str(); break;
+      default: break;
+    }
+    if (same) return static_cast<std::uint16_t>(i);
+  }
+  DIONEA_CHECK(constants_.size() < 0xffff, "too many constants");
+  constants_.push_back(std::move(value));
+  return static_cast<std::uint16_t>(constants_.size() - 1);
+}
+
+int Chunk::line_at(size_t offset) const noexcept {
+  return offset < lines_.size() ? lines_[offset] : 0;
+}
+
+size_t Chunk::disassemble_instruction(size_t offset, std::string* out) const {
+  Op op = static_cast<Op>(code_[offset]);
+  *out += strings::format("%04zu %4d  %-18s", offset, line_at(offset),
+                          op_name(op));
+  int operand_bytes = op_operand_bytes(op);
+  size_t next = offset + 1 + static_cast<size_t>(operand_bytes);
+  if (operand_bytes == 1) {
+    *out += strings::format(" %u", static_cast<unsigned>(read_u8(offset + 1)));
+  } else if (operand_bytes == 4) {
+    std::uint16_t slot = read_u16(offset + 1);
+    std::uint16_t exit = read_u16(offset + 3);
+    *out += strings::format(" slot=%u  ; exit -> %04zu",
+                            static_cast<unsigned>(slot), next + exit);
+  } else if (operand_bytes == 2) {
+    std::uint16_t operand = read_u16(offset + 1);
+    *out += strings::format(" %u", static_cast<unsigned>(operand));
+    switch (op) {
+      case Op::kConst:
+      case Op::kGetGlobal:
+      case Op::kSetGlobal:
+      case Op::kClosure:
+        if (operand < constants_.size()) {
+          *out += "  ; " + constants_[operand].repr();
+        }
+        break;
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfFalsePeek:
+      case Op::kJumpIfTruePeek:
+      case Op::kIterNext:
+        *out += strings::format("  ; -> %04zu", next + operand);
+        break;
+      case Op::kLoop:
+        *out += strings::format("  ; -> %04zu", next - operand);
+        break;
+      default:
+        break;
+    }
+  }
+  *out += "\n";
+  return next;
+}
+
+std::string Chunk::disassemble(const std::string& name) const {
+  std::string out = "== " + name + " ==\n";
+  size_t offset = 0;
+  while (offset < code_.size()) {
+    offset = disassemble_instruction(offset, &out);
+  }
+  return out;
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,121 @@
+// MiniVM bytecode: opcodes, chunks and function prototypes.
+//
+// A Chunk is a flat byte array with u16 operands (little-endian) and a
+// parallel line table. The compiler emits an explicit kTraceLine
+// opcode at every statement boundary; that is where the interpreter
+// fires `line` trace events, honours breakpoints and performs GIL
+// switch checks — making debugger behaviour exact and deterministic
+// (the same design point as CPython's per-line tracing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/value.hpp"
+
+namespace dionea::vm {
+
+enum class Op : std::uint8_t {
+  kConst,         // u16 constant index
+  kNil,
+  kTrue,
+  kFalse,
+  kPop,
+  kDup,
+  kGetLocal,      // u16 slot
+  kSetLocal,      // u16 slot
+  kGetGlobal,     // u16 constant index of name string
+  kSetGlobal,     // u16 constant index of name string
+  kGetCapture,    // u16 capture index
+  kSetCapture,    // u16 capture index
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kJump,          // u16 forward offset
+  kJumpIfFalse,   // u16 forward offset (pops condition)
+  kJumpIfFalsePeek,  // u16 forward offset (leaves condition: and/or)
+  kJumpIfTruePeek,   // u16 forward offset (leaves condition: and/or)
+  kLoop,          // u16 backward offset
+  kCall,          // u8 argc
+  kReturn,
+  kBuildList,     // u16 element count
+  kBuildMap,      // u16 pair count
+  kIndexGet,
+  kIndexSet,      // stack: target index value -> value
+  kClosure,       // u16 constant index of FunctionProto
+  kIterNew,       // stack: iterable -> iterator state (list copy + index)
+  kIterNext,      // u16 exit offset; pushes next element or jumps
+  kTraceLine,     // u16 line number: statement boundary
+  kHalt,
+};
+
+const char* op_name(Op op) noexcept;
+// Operand byte count for an opcode (0, 1 or 2).
+int op_operand_bytes(Op op) noexcept;
+
+class Chunk {
+ public:
+  void write(Op op, int line);
+  void write_u8(std::uint8_t byte, int line);
+  void write_u16(std::uint16_t value, int line);
+  // Returns the offset of the operand for later patching.
+  size_t emit_jump(Op op, int line);
+  void patch_jump(size_t operand_offset);
+  void emit_loop(size_t loop_start, int line);
+
+  std::uint16_t add_constant(Value value);
+
+  const std::vector<std::uint8_t>& code() const noexcept { return code_; }
+  const std::vector<Value>& constants() const noexcept { return constants_; }
+  int line_at(size_t offset) const noexcept;
+
+  std::uint8_t read_u8(size_t offset) const noexcept { return code_[offset]; }
+  std::uint16_t read_u16(size_t offset) const noexcept {
+    return static_cast<std::uint16_t>(code_[offset]) |
+           static_cast<std::uint16_t>(code_[offset + 1]) << 8;
+  }
+  size_t size() const noexcept { return code_.size(); }
+
+  // Human-readable disassembly (tests and the `disasm` client command).
+  std::string disassemble(const std::string& name) const;
+  size_t disassemble_instruction(size_t offset, std::string* out) const;
+
+ private:
+  std::vector<std::uint8_t> code_;
+  std::vector<Value> constants_;
+  std::vector<int> lines_;  // line per code byte (simple, debug-friendly)
+};
+
+// Where a lambda capture comes from in the *enclosing* function.
+struct CaptureSource {
+  bool from_enclosing_capture = false;  // else from an enclosing local slot
+  std::uint16_t index = 0;
+};
+
+// A compiled function. Immutable after compilation; shared by every
+// closure instantiated from it and by every interpreter thread (and,
+// post-fork, by the child — immutability is what makes that sound).
+struct FunctionProto {
+  std::string name;                 // "" for lambdas, "<main>" for top level
+  std::string file;                 // script path for tracebacks/breakpoints
+  int arity = 0;
+  int line = 0;                     // definition line
+  std::vector<std::string> local_names;  // slot -> name (params first)
+  std::vector<CaptureSource> captures;   // what kClosure copies
+  std::vector<std::string> capture_names;
+  Chunk chunk;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,518 @@
+#include "vm/compiler.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/strings.hpp"
+#include "vm/parser.hpp"
+
+namespace dionea::vm {
+namespace {
+
+// Compilation context for one function (linked to its lexical parent).
+class FnCtx {
+ public:
+  FnCtx(FnCtx* enclosing, std::shared_ptr<FunctionProto> proto,
+        bool top_level)
+      : enclosing_(enclosing), proto_(std::move(proto)),
+        top_level_(top_level) {}
+
+  FnCtx* enclosing() noexcept { return enclosing_; }
+  FunctionProto& proto() noexcept { return *proto_; }
+  Chunk& chunk() noexcept { return proto_->chunk; }
+  bool top_level() const noexcept { return top_level_; }
+
+  int resolve_local(const std::string& name) const {
+    const auto& names = proto_->local_names;
+    for (size_t i = names.size(); i-- > 0;) {
+      if (names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int declare_local(const std::string& name) {
+    proto_->local_names.push_back(name);
+    return static_cast<int>(proto_->local_names.size() - 1);
+  }
+
+  // Resolve `name` as a capture from the enclosing chain, adding the
+  // capture to this proto if found. Returns -1 when the name is not a
+  // local anywhere up the chain (=> global).
+  int resolve_capture(const std::string& name) {
+    for (size_t i = 0; i < proto_->capture_names.size(); ++i) {
+      if (proto_->capture_names[i] == name) return static_cast<int>(i);
+    }
+    if (enclosing_ == nullptr) return -1;
+    // Top-level "locals" are globals; never capture from top level.
+    if (!enclosing_->top_level()) {
+      int local = enclosing_->resolve_local(name);
+      if (local >= 0) {
+        proto_->captures.push_back(
+            CaptureSource{false, static_cast<std::uint16_t>(local)});
+        proto_->capture_names.push_back(name);
+        return static_cast<int>(proto_->captures.size() - 1);
+      }
+    }
+    int up = enclosing_->resolve_capture(name);
+    if (up >= 0) {
+      proto_->captures.push_back(
+          CaptureSource{true, static_cast<std::uint16_t>(up)});
+      proto_->capture_names.push_back(name);
+      return static_cast<int>(proto_->captures.size() - 1);
+    }
+    return -1;
+  }
+
+  struct LoopCtx {
+    size_t start = 0;                   // loop condition offset
+    std::vector<size_t> break_jumps;    // operand offsets to patch to exit
+  };
+  std::vector<LoopCtx> loops;
+
+ private:
+  FnCtx* enclosing_;
+  std::shared_ptr<FunctionProto> proto_;
+  bool top_level_;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(std::string file) : file_(std::move(file)) {}
+
+  Result<std::shared_ptr<const FunctionProto>> compile(
+      const Program& program) {
+    auto proto = std::make_shared<FunctionProto>();
+    proto->name = "<main>";
+    proto->file = file_;
+    proto->arity = 0;
+    FnCtx ctx(nullptr, proto, /*top_level=*/true);
+    for (const StmtPtr& stmt : program.statements) {
+      DIONEA_RETURN_IF_ERROR(compile_stmt(ctx, *stmt));
+    }
+    emit_implicit_return(ctx, last_line_);
+    return std::shared_ptr<const FunctionProto>(proto);
+  }
+
+ private:
+  Error error_at(int line, const std::string& message) const {
+    return Error(ErrorCode::kInvalidArgument,
+                 strings::format("compile error at %s:%d: %s", file_.c_str(),
+                                 line, message.c_str()));
+  }
+
+  void emit_implicit_return(FnCtx& ctx, int line) {
+    ctx.chunk().write(Op::kNil, line);
+    ctx.chunk().write(Op::kReturn, line);
+  }
+
+  Status compile_fn_body(FnCtx& ctx, const FnDecl& decl) {
+    for (const StmtPtr& stmt : decl.body) {
+      DIONEA_RETURN_IF_ERROR(compile_stmt(ctx, *stmt));
+    }
+    emit_implicit_return(ctx, last_line_);
+    return Status::ok();
+  }
+
+  Result<std::shared_ptr<FunctionProto>> compile_fn(FnCtx& enclosing,
+                                                    const FnDecl& decl) {
+    auto proto = std::make_shared<FunctionProto>();
+    proto->name = decl.name;
+    proto->file = file_;
+    proto->arity = static_cast<int>(decl.params.size());
+    proto->line = decl.line;
+    FnCtx ctx(&enclosing, proto, /*top_level=*/false);
+    for (const std::string& param : decl.params) {
+      for (const std::string& existing : proto->local_names) {
+        if (existing == param) {
+          return error_at(decl.line, "duplicate parameter '" + param + "'");
+        }
+      }
+      ctx.declare_local(param);
+    }
+    DIONEA_RETURN_IF_ERROR(compile_fn_body(ctx, decl));
+    return proto;
+  }
+
+  Status compile_stmt(FnCtx& ctx, const Stmt& stmt) {
+    last_line_ = stmt.line;
+    Chunk& chunk = ctx.chunk();
+    chunk.write(Op::kTraceLine, stmt.line);
+    chunk.write_u16(static_cast<std::uint16_t>(stmt.line), stmt.line);
+
+    switch (stmt.kind) {
+      case StmtKind::kExpr:
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.expr));
+        chunk.write(Op::kPop, stmt.line);
+        return Status::ok();
+
+      case StmtKind::kAssign:
+        return compile_assign(ctx, stmt);
+
+      case StmtKind::kFnDef: {
+        DIONEA_ASSIGN_OR_RETURN(auto proto, compile_fn(ctx, *stmt.fn));
+        std::uint16_t idx = chunk.add_constant(
+            Value::str(stmt.fn->name));  // name constant for kSetGlobal
+        std::uint16_t proto_idx = chunk.add_constant(Value(
+            std::make_shared<Closure>(Closure{proto, {}})));
+        // kClosure re-captures at runtime; the constant stores the proto
+        // wrapped in an empty closure value.
+        chunk.write(Op::kClosure, stmt.line);
+        chunk.write_u16(proto_idx, stmt.line);
+        chunk.write(Op::kSetGlobal, stmt.line);
+        chunk.write_u16(idx, stmt.line);
+        chunk.write(Op::kPop, stmt.line);
+        return Status::ok();
+      }
+
+      case StmtKind::kIf:
+        return compile_if(ctx, stmt);
+      case StmtKind::kWhile:
+        return compile_while(ctx, stmt);
+      case StmtKind::kForIn:
+        return compile_for(ctx, stmt);
+
+      case StmtKind::kReturn:
+        if (stmt.expr) {
+          DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.expr));
+        } else {
+          chunk.write(Op::kNil, stmt.line);
+        }
+        chunk.write(Op::kReturn, stmt.line);
+        return Status::ok();
+
+      case StmtKind::kBreak: {
+        if (ctx.loops.empty()) {
+          return error_at(stmt.line, "'break' outside loop");
+        }
+        size_t operand = chunk.emit_jump(Op::kJump, stmt.line);
+        ctx.loops.back().break_jumps.push_back(operand);
+        return Status::ok();
+      }
+      case StmtKind::kContinue: {
+        if (ctx.loops.empty()) {
+          return error_at(stmt.line, "'continue' outside loop");
+        }
+        chunk.emit_loop(ctx.loops.back().start, stmt.line);
+        return Status::ok();
+      }
+    }
+    return error_at(stmt.line, "unknown statement kind");
+  }
+
+  Status compile_assign(FnCtx& ctx, const Stmt& stmt) {
+    Chunk& chunk = ctx.chunk();
+    const Expr& target = *stmt.expr;
+    if (target.kind == ExprKind::kName) {
+      DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.value));
+      const std::string& name = target.str_val;
+      if (!ctx.top_level()) {
+        int slot = ctx.resolve_local(name);
+        if (slot < 0) {
+          int capture = ctx.resolve_capture(name);
+          if (capture >= 0) {
+            // Write to the closure's own copy of the capture.
+            chunk.write(Op::kSetCapture, stmt.line);
+            chunk.write_u16(static_cast<std::uint16_t>(capture), stmt.line);
+            chunk.write(Op::kPop, stmt.line);
+            return Status::ok();
+          }
+          slot = ctx.declare_local(name);
+        }
+        chunk.write(Op::kSetLocal, stmt.line);
+        chunk.write_u16(static_cast<std::uint16_t>(slot), stmt.line);
+        chunk.write(Op::kPop, stmt.line);
+        return Status::ok();
+      }
+      std::uint16_t idx = chunk.add_constant(Value::str(name));
+      chunk.write(Op::kSetGlobal, stmt.line);
+      chunk.write_u16(idx, stmt.line);
+      chunk.write(Op::kPop, stmt.line);
+      return Status::ok();
+    }
+    // target[index] = value
+    DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *target.lhs));
+    DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *target.rhs));
+    DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.value));
+    chunk.write(Op::kIndexSet, stmt.line);
+    chunk.write(Op::kPop, stmt.line);
+    return Status::ok();
+  }
+
+  Status compile_if(FnCtx& ctx, const Stmt& stmt) {
+    Chunk& chunk = ctx.chunk();
+    std::vector<size_t> exit_jumps;
+    for (size_t i = 0; i < stmt.arms.size(); ++i) {
+      const IfArm& arm = stmt.arms[i];
+      size_t skip_operand = 0;
+      bool has_condition = arm.condition != nullptr;
+      if (has_condition) {
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *arm.condition));
+        skip_operand = chunk.emit_jump(Op::kJumpIfFalse, stmt.line);
+      }
+      for (const StmtPtr& body_stmt : arm.body) {
+        DIONEA_RETURN_IF_ERROR(compile_stmt(ctx, *body_stmt));
+      }
+      bool is_last = i + 1 == stmt.arms.size();
+      if (!is_last) {
+        exit_jumps.push_back(chunk.emit_jump(Op::kJump, stmt.line));
+      }
+      if (has_condition) chunk.patch_jump(skip_operand);
+    }
+    for (size_t operand : exit_jumps) chunk.patch_jump(operand);
+    return Status::ok();
+  }
+
+  Status compile_while(FnCtx& ctx, const Stmt& stmt) {
+    Chunk& chunk = ctx.chunk();
+    FnCtx::LoopCtx loop;
+    loop.start = chunk.size();
+    ctx.loops.push_back(loop);
+
+    DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.expr));
+    size_t exit_operand = chunk.emit_jump(Op::kJumpIfFalse, stmt.line);
+    for (const StmtPtr& body_stmt : stmt.body) {
+      DIONEA_RETURN_IF_ERROR(compile_stmt(ctx, *body_stmt));
+    }
+    chunk.emit_loop(ctx.loops.back().start, stmt.line);
+    chunk.patch_jump(exit_operand);
+    for (size_t operand : ctx.loops.back().break_jumps) {
+      chunk.patch_jump(operand);
+    }
+    ctx.loops.pop_back();
+    return Status::ok();
+  }
+
+  Status compile_for(FnCtx& ctx, const Stmt& stmt) {
+    Chunk& chunk = ctx.chunk();
+    // Hidden iterator state: two consecutive local slots (list, index).
+    // Hidden slots exist even at top level (they are unnameable).
+    int iter_slot = ctx.declare_local(
+        strings::format("$iter%zu", chunk.size()));
+    int idx_slot = ctx.declare_local(
+        strings::format("$idx%zu", chunk.size()));
+    DIONEA_CHECK(idx_slot == iter_slot + 1, "iterator slots not adjacent");
+
+    DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.expr));
+    chunk.write(Op::kIterNew, stmt.line);
+    chunk.write(Op::kSetLocal, stmt.line);
+    chunk.write_u16(static_cast<std::uint16_t>(iter_slot), stmt.line);
+    chunk.write(Op::kPop, stmt.line);
+    std::uint16_t zero = chunk.add_constant(Value(std::int64_t{0}));
+    chunk.write(Op::kConst, stmt.line);
+    chunk.write_u16(zero, stmt.line);
+    chunk.write(Op::kSetLocal, stmt.line);
+    chunk.write_u16(static_cast<std::uint16_t>(idx_slot), stmt.line);
+    chunk.write(Op::kPop, stmt.line);
+
+    FnCtx::LoopCtx loop;
+    loop.start = chunk.size();
+    ctx.loops.push_back(loop);
+
+    // kIterNext: u16 iter slot, u16 exit offset (patched).
+    chunk.write(Op::kIterNext, stmt.line);
+    chunk.write_u16(static_cast<std::uint16_t>(iter_slot), stmt.line);
+    size_t exit_operand = chunk.size();
+    chunk.write_u16(0xffff, stmt.line);
+
+    // Bind the loop variable.
+    if (!ctx.top_level()) {
+      int slot = ctx.resolve_local(stmt.name);
+      if (slot < 0) slot = ctx.declare_local(stmt.name);
+      chunk.write(Op::kSetLocal, stmt.line);
+      chunk.write_u16(static_cast<std::uint16_t>(slot), stmt.line);
+    } else {
+      std::uint16_t idx = chunk.add_constant(Value::str(stmt.name));
+      chunk.write(Op::kSetGlobal, stmt.line);
+      chunk.write_u16(idx, stmt.line);
+    }
+    chunk.write(Op::kPop, stmt.line);
+
+    for (const StmtPtr& body_stmt : stmt.body) {
+      DIONEA_RETURN_IF_ERROR(compile_stmt(ctx, *body_stmt));
+    }
+    chunk.emit_loop(ctx.loops.back().start, stmt.line);
+    chunk.patch_jump(exit_operand);
+    for (size_t operand : ctx.loops.back().break_jumps) {
+      chunk.patch_jump(operand);
+    }
+    ctx.loops.pop_back();
+    return Status::ok();
+  }
+
+  Status compile_expr(FnCtx& ctx, const Expr& expr) {
+    Chunk& chunk = ctx.chunk();
+    switch (expr.kind) {
+      case ExprKind::kIntLit: {
+        std::uint16_t idx = chunk.add_constant(Value(expr.int_val));
+        chunk.write(Op::kConst, expr.line);
+        chunk.write_u16(idx, expr.line);
+        return Status::ok();
+      }
+      case ExprKind::kFloatLit: {
+        std::uint16_t idx = chunk.add_constant(Value(expr.float_val));
+        chunk.write(Op::kConst, expr.line);
+        chunk.write_u16(idx, expr.line);
+        return Status::ok();
+      }
+      case ExprKind::kStrLit: {
+        std::uint16_t idx = chunk.add_constant(Value::str(expr.str_val));
+        chunk.write(Op::kConst, expr.line);
+        chunk.write_u16(idx, expr.line);
+        return Status::ok();
+      }
+      case ExprKind::kBoolLit:
+        chunk.write(expr.bool_val ? Op::kTrue : Op::kFalse, expr.line);
+        return Status::ok();
+      case ExprKind::kNilLit:
+        chunk.write(Op::kNil, expr.line);
+        return Status::ok();
+
+      case ExprKind::kName: {
+        const std::string& name = expr.str_val;
+        if (!ctx.top_level()) {
+          int slot = ctx.resolve_local(name);
+          if (slot >= 0) {
+            chunk.write(Op::kGetLocal, expr.line);
+            chunk.write_u16(static_cast<std::uint16_t>(slot), expr.line);
+            return Status::ok();
+          }
+          int capture = ctx.resolve_capture(name);
+          if (capture >= 0) {
+            chunk.write(Op::kGetCapture, expr.line);
+            chunk.write_u16(static_cast<std::uint16_t>(capture), expr.line);
+            return Status::ok();
+          }
+        }
+        std::uint16_t idx = chunk.add_constant(Value::str(name));
+        chunk.write(Op::kGetGlobal, expr.line);
+        chunk.write_u16(idx, expr.line);
+        return Status::ok();
+      }
+
+      case ExprKind::kUnary:
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.rhs));
+        chunk.write(expr.op == TokenKind::kMinus ? Op::kNeg : Op::kNot,
+                    expr.line);
+        return Status::ok();
+
+      case ExprKind::kBinary: {
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.lhs));
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.rhs));
+        Op op;
+        switch (expr.op) {
+          case TokenKind::kPlus: op = Op::kAdd; break;
+          case TokenKind::kMinus: op = Op::kSub; break;
+          case TokenKind::kStar: op = Op::kMul; break;
+          case TokenKind::kSlash: op = Op::kDiv; break;
+          case TokenKind::kPercent: op = Op::kMod; break;
+          case TokenKind::kEq: op = Op::kEq; break;
+          case TokenKind::kNe: op = Op::kNe; break;
+          case TokenKind::kLt: op = Op::kLt; break;
+          case TokenKind::kLe: op = Op::kLe; break;
+          case TokenKind::kGt: op = Op::kGt; break;
+          case TokenKind::kGe: op = Op::kGe; break;
+          default:
+            return error_at(expr.line, "unknown binary operator");
+        }
+        chunk.write(op, expr.line);
+        return Status::ok();
+      }
+
+      case ExprKind::kLogical: {
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.lhs));
+        Op jump_op = expr.op == TokenKind::kAnd ? Op::kJumpIfFalsePeek
+                                                : Op::kJumpIfTruePeek;
+        size_t short_circuit = chunk.emit_jump(jump_op, expr.line);
+        chunk.write(Op::kPop, expr.line);
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.rhs));
+        chunk.patch_jump(short_circuit);
+        return Status::ok();
+      }
+
+      case ExprKind::kCall: {
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.callee));
+        if (expr.args.size() > 250) {
+          return error_at(expr.line, "too many arguments");
+        }
+        for (const ExprPtr& arg : expr.args) {
+          DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *arg));
+        }
+        chunk.write(Op::kCall, expr.line);
+        chunk.write_u8(static_cast<std::uint8_t>(expr.args.size()),
+                       expr.line);
+        return Status::ok();
+      }
+
+      case ExprKind::kMethod: {
+        // receiver.name(args) => name(receiver, args...)
+        std::uint16_t idx = chunk.add_constant(Value::str(expr.str_val));
+        chunk.write(Op::kGetGlobal, expr.line);
+        chunk.write_u16(idx, expr.line);
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.callee));
+        if (expr.args.size() > 249) {
+          return error_at(expr.line, "too many arguments");
+        }
+        for (const ExprPtr& arg : expr.args) {
+          DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *arg));
+        }
+        chunk.write(Op::kCall, expr.line);
+        chunk.write_u8(static_cast<std::uint8_t>(expr.args.size() + 1),
+                       expr.line);
+        return Status::ok();
+      }
+
+      case ExprKind::kIndex:
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.lhs));
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.rhs));
+        chunk.write(Op::kIndexGet, expr.line);
+        return Status::ok();
+
+      case ExprKind::kListLit:
+        for (const ExprPtr& elem : expr.args) {
+          DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *elem));
+        }
+        chunk.write(Op::kBuildList, expr.line);
+        chunk.write_u16(static_cast<std::uint16_t>(expr.args.size()),
+                        expr.line);
+        return Status::ok();
+
+      case ExprKind::kMapLit:
+        for (const ExprPtr& elem : expr.args) {
+          DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *elem));
+        }
+        chunk.write(Op::kBuildMap, expr.line);
+        chunk.write_u16(static_cast<std::uint16_t>(expr.args.size() / 2),
+                        expr.line);
+        return Status::ok();
+
+      case ExprKind::kLambda: {
+        DIONEA_ASSIGN_OR_RETURN(auto proto, compile_fn(ctx, *expr.fn));
+        std::uint16_t proto_idx = chunk.add_constant(
+            Value(std::make_shared<Closure>(Closure{proto, {}})));
+        chunk.write(Op::kClosure, expr.line);
+        chunk.write_u16(proto_idx, expr.line);
+        return Status::ok();
+      }
+    }
+    return error_at(expr.line, "unknown expression kind");
+  }
+
+  std::string file_;
+  int last_line_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const FunctionProto>> compile_program(
+    const Program& program, const std::string& file) {
+  Compiler compiler(file);
+  return compiler.compile(program);
+}
+
+Result<std::shared_ptr<const FunctionProto>> compile_source(
+    std::string_view source, const std::string& file) {
+  DIONEA_ASSIGN_OR_RETURN(Program program, parse_source(source));
+  return compile_program(program, file);
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,34 @@
+// MiniLang compiler: AST -> FunctionProto (bytecode).
+//
+// Scoping rules (deliberately simple, Python-flavoured):
+//  * at top level, assignments define/overwrite globals;
+//  * inside a function, assignment defines a local on first use;
+//  * a lambda's free names are captured BY VALUE from the enclosing
+//    function's locals/captures at closure-creation time (heap values
+//    still alias through shared_ptr — `fn() q.push(1) end` shares q);
+//  * anything unresolved is a global, looked up at run time (so
+//    mutually recursive top-level functions work).
+//
+// Every statement begins with a kTraceLine instruction — the anchor
+// for trace events, breakpoints and the GIL switch check.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "support/result.hpp"
+#include "vm/ast.hpp"
+#include "vm/bytecode.hpp"
+
+namespace dionea::vm {
+
+// Compile a parsed program into the "<main>" prototype. `file` is the
+// script name recorded for tracebacks and breakpoints.
+Result<std::shared_ptr<const FunctionProto>> compile_program(
+    const Program& program, const std::string& file);
+
+// Parse + compile in one step.
+Result<std::shared_ptr<const FunctionProto>> compile_source(
+    std::string_view source, const std::string& file);
+
+}  // namespace dionea::vm

@@ -1,0 +1,84 @@
+#include "vm/gil.hpp"
+
+#include "support/result.hpp"
+
+namespace dionea::vm {
+
+// FIFO ticketing: without it, a thread that releases the GIL at a
+// switch point re-acquires it before any waiter can wake (the lock
+// convoy CPython's old GIL was notorious for), and cooperative
+// yielding never actually yields. Each acquire takes a ticket; the
+// lock is granted in ticket order.
+
+Gil::Gil() : state_(std::make_unique<State>()) {}
+
+Gil::~Gil() = default;
+
+void Gil::acquire(std::int64_t tid) {
+  std::unique_lock lock(state_->mutex);
+  DIONEA_CHECK(!(state_->held && state_->owner == tid),
+               "recursive GIL acquire");
+  std::uint64_t ticket = state_->next_ticket++;
+  ++state_->waiters;
+  state_->cv.wait(lock, [this, ticket] {
+    return !state_->held && ticket == state_->serving;
+  });
+  --state_->waiters;
+  ++state_->serving;
+  state_->held = true;
+  state_->owner = tid;
+}
+
+void Gil::release() {
+  {
+    std::scoped_lock lock(state_->mutex);
+    DIONEA_CHECK(state_->held, "releasing unheld GIL");
+    state_->held = false;
+  }
+  state_->cv.notify_all();
+}
+
+void Gil::yield(std::int64_t tid) {
+  {
+    std::scoped_lock lock(state_->mutex);
+    // Nobody queued behind us: keep running.
+    if (state_->serving == state_->next_ticket) return;
+  }
+  release();
+  // Our new ticket queues behind every thread that was already
+  // waiting: a real handoff.
+  acquire(tid);
+}
+
+std::int64_t Gil::owner() const {
+  std::scoped_lock lock(state_->mutex);
+  return state_->held ? state_->owner : 0;
+}
+
+bool Gil::held_by(std::int64_t tid) const {
+  std::scoped_lock lock(state_->mutex);
+  return state_->held && state_->owner == tid;
+}
+
+void Gil::prepare_fork() {
+  fork_lock_ = std::unique_lock(state_->mutex);
+}
+
+void Gil::parent_atfork() {
+  DIONEA_CHECK(fork_lock_.owns_lock(), "parent_atfork without prepare_fork");
+  fork_lock_.unlock();
+  fork_lock_ = {};
+}
+
+void Gil::child_atfork(std::int64_t surviving_tid) {
+  // Drop (leak) the old state: its mutex is still flagged as locked by
+  // prepare_fork's lock, its cv wait-queue and ticket line referenced
+  // threads that do not exist in this process. See header comment.
+  fork_lock_.release();
+  (void)state_.release();
+  state_ = std::make_unique<State>();
+  state_->held = true;
+  state_->owner = surviving_tid;
+}
+
+}  // namespace dionea::vm

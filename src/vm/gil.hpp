@@ -1,0 +1,84 @@
+// The Global Interpreter Lock.
+//
+// MiniVM reproduces the CPython GIL / CRuby GVL execution model (§1):
+// interpreter threads are real OS threads, but only the GIL holder
+// executes bytecode. Holders yield at statement boundaries every
+// `switch_interval` statements, and release the GIL entirely around
+// blocking operations — which is precisely why processes, not threads,
+// are the parallelism construct the paper's debuggees use.
+//
+// Fork protocol (mirrors YARV's native_mutex_reinitialize_atfork,
+// paper Listing 2): prepare_fork() pins the internal mutex so no
+// thread is mid-acquire at fork time; parent_atfork() unpins;
+// child_atfork() abandons the old state block (it may reference
+// threads that no longer exist) and installs a fresh one owned by the
+// surviving thread. The abandoned allocation is intentionally leaked —
+// destroying a mutex that other (vanished) threads might have touched
+// is undefined behaviour, and the leak is bounded by one small block
+// per fork.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace dionea::vm {
+
+// Pseudo thread-ids for non-interpreter GIL users.
+inline constexpr std::int64_t kExternalTid = -2;
+
+class Gil {
+ public:
+  Gil();
+  ~Gil();
+  Gil(const Gil&) = delete;
+  Gil& operator=(const Gil&) = delete;
+
+  void acquire(std::int64_t tid);
+  void release();
+
+  // Cooperative switch point: hand the lock to a waiter, if any.
+  void yield(std::int64_t tid);
+
+  std::int64_t owner() const;
+  bool held_by(std::int64_t tid) const;
+
+  // --- fork support ---
+  void prepare_fork();
+  void parent_atfork();
+  void child_atfork(std::int64_t surviving_tid);
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool held = false;
+    std::int64_t owner = 0;
+    int waiters = 0;
+    // FIFO fairness (see gil.cpp): tickets are granted in order, so a
+    // yielding thread really does hand the lock to the next waiter.
+    std::uint64_t next_ticket = 0;
+    std::uint64_t serving = 0;
+  };
+  std::unique_ptr<State> state_;
+  std::unique_lock<std::mutex> fork_lock_;  // held between prepare and parent
+};
+
+// RAII GIL hold for external (non-interpreter) threads such as the
+// debug server's listener thread inspecting VM state.
+class GilHold {
+ public:
+  explicit GilHold(Gil& gil, std::int64_t tid = kExternalTid)
+      : gil_(gil) {
+    gil_.acquire(tid);
+  }
+  ~GilHold() { gil_.release(); }
+  GilHold(const GilHold&) = delete;
+  GilHold& operator=(const GilHold&) = delete;
+
+ private:
+  Gil& gil_;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,57 @@
+#include "vm/interp.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "support/temp_file.hpp"
+#include "vm/compiler.hpp"
+
+namespace dionea::vm {
+
+Interp::Interp() : vm_(std::make_unique<Vm>()) {}
+
+Interp::~Interp() = default;
+
+Result<std::shared_ptr<const FunctionProto>> Interp::compile_file(
+    const std::string& path) {
+  DIONEA_ASSIGN_OR_RETURN(std::string source, read_file(path));
+  return compile_source(source, path);
+}
+
+RunResult Interp::run_file(const std::string& path) {
+  auto proto = compile_file(path);
+  if (!proto.is_ok()) {
+    RunResult result;
+    result.ok = false;
+    result.error.kind = VmErrorKind::kRuntime;
+    result.error.message = proto.error().message();
+    return result;
+  }
+  return vm_->run_main(std::move(proto).value());
+}
+
+RunResult Interp::run_string(std::string_view source,
+                             const std::string& name) {
+  return vm_->run_source(source, name);
+}
+
+int Interp::finish(const RunResult& result) {
+  int code = 0;
+  if (result.exited) {
+    code = result.exit_code;
+  } else if (!result.ok) {
+    std::fprintf(stderr, "%s\n", result.error.to_string().c_str());
+    code = 1;
+  }
+  if (vm_->is_forked_child()) {
+    // The embedding program's code already executed in the parent; a
+    // child that returned out of run_main must not re-run it.
+    vm_->run_at_exit_hook();
+    std::fflush(nullptr);
+    ::_exit(code);
+  }
+  return code;
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,45 @@
+// Interp: the embedder-facing facade over Vm.
+//
+// `dioneas path/to/program.ml` style entry points (the paper's §6.1
+// "ruby bin/dioneas.rb path/to/program.rb") go through this class. It
+// owns the Vm, runs scripts, and — crucially for forked children —
+// knows whether the current process is a child created mid-script, in
+// which case the process must _exit instead of returning into the
+// embedding program's code (which already ran in the parent).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "support/result.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::vm {
+
+class Interp {
+ public:
+  Interp();
+  ~Interp();
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  Vm& vm() noexcept { return *vm_; }
+
+  // Compile without running (syntax checking, disassembly tooling).
+  Result<std::shared_ptr<const FunctionProto>> compile_file(
+      const std::string& path);
+
+  // Run a script from disk / from memory. Blocks until completion.
+  RunResult run_file(const std::string& path);
+  RunResult run_string(std::string_view source, const std::string& name);
+
+  // Convert a RunResult into a process exit code, printing any error
+  // the way CRuby would. If this process is a forked child of the
+  // script, _exits here (never returns).
+  int finish(const RunResult& result);
+
+ private:
+  std::unique_ptr<Vm> vm_;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,240 @@
+#include "vm/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace dionea::vm {
+
+const char* token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kInt: return "int";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kName: return "name";
+    case TokenKind::kFn: return "fn";
+    case TokenKind::kIf: return "if";
+    case TokenKind::kElif: return "elif";
+    case TokenKind::kElse: return "else";
+    case TokenKind::kWhile: return "while";
+    case TokenKind::kFor: return "for";
+    case TokenKind::kIn: return "in";
+    case TokenKind::kEnd: return "end";
+    case TokenKind::kReturn: return "return";
+    case TokenKind::kBreak: return "break";
+    case TokenKind::kContinue: return "continue";
+    case TokenKind::kTrue: return "true";
+    case TokenKind::kFalse: return "false";
+    case TokenKind::kNil: return "nil";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kEof: return "eof";
+    case TokenKind::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"fn", TokenKind::kFn},         {"if", TokenKind::kIf},
+      {"elif", TokenKind::kElif},     {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile},   {"for", TokenKind::kFor},
+      {"in", TokenKind::kIn},         {"end", TokenKind::kEnd},
+      {"return", TokenKind::kReturn}, {"break", TokenKind::kBreak},
+      {"continue", TokenKind::kContinue},
+      {"true", TokenKind::kTrue},     {"false", TokenKind::kFalse},
+      {"nil", TokenKind::kNil},       {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},         {"not", TokenKind::kNot},
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+char Lexer::peek(int ahead) const noexcept {
+  size_t idx = pos_ + static_cast<size_t>(ahead);
+  return idx < source_.size() ? source_[idx] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) noexcept {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_ws_and_comments() noexcept {
+  while (pos_ < source_.size()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+    } else if (c == '#') {
+      while (pos_ < source_.size() && peek() != '\n') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind kind, std::string text) const {
+  return Token{kind, std::move(text), tok_line_, tok_column_};
+}
+
+Token Lexer::error(std::string message) const {
+  return Token{TokenKind::kError, std::move(message), tok_line_, tok_column_};
+}
+
+Token Lexer::lex_number() {
+  size_t start = pos_;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  bool is_float = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    advance();  // '.'
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  std::string text(source_.substr(start, pos_ - start));
+  return make(is_float ? TokenKind::kFloat : TokenKind::kInt, std::move(text));
+}
+
+Token Lexer::lex_string() {
+  std::string out;
+  while (true) {
+    if (pos_ >= source_.size()) return error("unterminated string literal");
+    char c = advance();
+    if (c == '"') break;
+    if (c == '\n') return error("newline inside string literal");
+    if (c == '\\') {
+      if (pos_ >= source_.size()) return error("unterminated escape");
+      char esc = advance();
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case '\\': out += '\\'; break;
+        case '"': out += '"'; break;
+        case '0': out += '\0'; break;
+        default:
+          return error(std::string("unknown escape \\") + esc);
+      }
+    } else {
+      out += c;
+    }
+  }
+  return make(TokenKind::kString, std::move(out));
+}
+
+Token Lexer::lex_name() {
+  size_t start = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    advance();
+  }
+  std::string_view text = source_.substr(start, pos_ - start);
+  auto it = keywords().find(text);
+  if (it != keywords().end()) return make(it->second, std::string(text));
+  return make(TokenKind::kName, std::string(text));
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments();
+  tok_line_ = line_;
+  tok_column_ = column_;
+  if (pos_ >= source_.size()) return make(TokenKind::kEof);
+
+  char c = peek();
+  if (c == '\n') {
+    while (peek() == '\n') {
+      advance();
+      skip_ws_and_comments();
+    }
+    if (emitted_newline_) {
+      // Collapse runs and suppress leading newlines: re-lex from here.
+      return next();
+    }
+    emitted_newline_ = true;
+    return make(TokenKind::kNewline);
+  }
+  emitted_newline_ = false;
+
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_name();
+  }
+
+  advance();
+  switch (c) {
+    case '(': return make(TokenKind::kLParen);
+    case ')': return make(TokenKind::kRParen);
+    case '[': return make(TokenKind::kLBracket);
+    case ']': return make(TokenKind::kRBracket);
+    case '{': return make(TokenKind::kLBrace);
+    case '}': return make(TokenKind::kRBrace);
+    case ',': return make(TokenKind::kComma);
+    case '.': return make(TokenKind::kDot);
+    case ':': return make(TokenKind::kColon);
+    case '+': return make(TokenKind::kPlus);
+    case '-': return make(TokenKind::kMinus);
+    case '*': return make(TokenKind::kStar);
+    case '/': return make(TokenKind::kSlash);
+    case '%': return make(TokenKind::kPercent);
+    case '"': return lex_string();
+    case '=':
+      return match('=') ? make(TokenKind::kEq) : make(TokenKind::kAssign);
+    case '!':
+      if (match('=')) return make(TokenKind::kNe);
+      return error("unexpected '!' (use 'not')");
+    case '<':
+      return match('=') ? make(TokenKind::kLe) : make(TokenKind::kLt);
+    case '>':
+      return match('=') ? make(TokenKind::kGe) : make(TokenKind::kGt);
+    default:
+      return error(std::string("unexpected character '") + c + "'");
+  }
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> out;
+  while (true) {
+    Token tok = lexer.next();
+    TokenKind kind = tok.kind;
+    out.push_back(std::move(tok));
+    if (kind == TokenKind::kEof || kind == TokenKind::kError) return out;
+  }
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,44 @@
+// MiniLang lexer: source text -> token stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/token.hpp"
+
+namespace dionea::vm {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  // Next token; returns kEof forever once exhausted, kError (with a
+  // message in .text) on malformed input. Consecutive newlines are
+  // collapsed into one kNewline token.
+  Token next();
+
+  // Tokenize everything (including the trailing kEof). Stops early
+  // after the first kError token.
+  static std::vector<Token> tokenize(std::string_view source);
+
+ private:
+  char peek(int ahead = 0) const noexcept;
+  char advance() noexcept;
+  bool match(char expected) noexcept;
+  void skip_ws_and_comments() noexcept;
+  Token make(TokenKind kind, std::string text = {}) const;
+  Token error(std::string message) const;
+  Token lex_number();
+  Token lex_string();
+  Token lex_name();
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+  bool emitted_newline_ = true;  // suppress leading newlines
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,466 @@
+#include "vm/parser.hpp"
+
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace dionea::vm {
+namespace {
+
+ExprPtr make_expr(ExprKind kind, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->line = line;
+  return e;
+}
+
+StmtPtr make_stmt(StmtKind kind, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->line = line;
+  return s;
+}
+
+}  // namespace
+
+Parser::Parser(std::string_view source) : tokens_(Lexer::tokenize(source)) {}
+
+const Token& Parser::peek(int ahead) const {
+  size_t idx = pos_ + static_cast<size_t>(ahead);
+  if (idx >= tokens_.size()) return tokens_.back();  // kEof or kError
+  return tokens_[idx];
+}
+
+const Token& Parser::advance() {
+  const Token& tok = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+Error Parser::error_here(const std::string& message) const {
+  const Token& tok = peek();
+  return Error(ErrorCode::kInvalidArgument,
+               strings::format("parse error at %d:%d: %s (got '%s')",
+                               tok.line, tok.column, message.c_str(),
+                               tok.kind == TokenKind::kError
+                                   ? tok.text.c_str()
+                                   : token_kind_name(tok.kind)));
+}
+
+Status Parser::expect(TokenKind kind, const std::string& context) {
+  if (match(kind)) return Status::ok();
+  return error_here("expected '" + std::string(token_kind_name(kind)) +
+                    "' " + context);
+}
+
+void Parser::skip_newlines() {
+  while (check(TokenKind::kNewline)) advance();
+}
+
+Result<Program> Parser::parse_program() {
+  Program program;
+  skip_newlines();
+  while (!check(TokenKind::kEof)) {
+    if (check(TokenKind::kError)) return error_here("lexical error");
+    DIONEA_ASSIGN_OR_RETURN(StmtPtr stmt, parse_statement());
+    program.statements.push_back(std::move(stmt));
+    skip_newlines();
+  }
+  return program;
+}
+
+Result<std::vector<StmtPtr>> Parser::parse_block(
+    std::initializer_list<TokenKind> terminators) {
+  std::vector<StmtPtr> body;
+  skip_newlines();
+  while (true) {
+    if (check(TokenKind::kEof) || check(TokenKind::kError)) {
+      return error_here("unterminated block (missing 'end'?)");
+    }
+    for (TokenKind t : terminators) {
+      if (check(t)) return body;
+    }
+    DIONEA_ASSIGN_OR_RETURN(StmtPtr stmt, parse_statement());
+    body.push_back(std::move(stmt));
+    skip_newlines();
+  }
+}
+
+Result<StmtPtr> Parser::parse_statement() {
+  switch (peek().kind) {
+    case TokenKind::kFn:
+      // `fn name(...)` is a definition; `fn(...)` is a lambda expression.
+      if (peek(1).is(TokenKind::kName)) return parse_fn_def();
+      return parse_simple_statement();
+    case TokenKind::kIf: return parse_if();
+    case TokenKind::kWhile: return parse_while();
+    case TokenKind::kFor: return parse_for();
+    default: return parse_simple_statement();
+  }
+}
+
+Result<std::shared_ptr<FnDecl>> Parser::parse_fn_tail(std::string name,
+                                                      int line) {
+  auto decl = std::make_shared<FnDecl>();
+  decl->name = std::move(name);
+  decl->line = line;
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kLParen, "after fn"));
+  if (!check(TokenKind::kRParen)) {
+    while (true) {
+      if (!check(TokenKind::kName)) return error_here("expected parameter");
+      decl->params.push_back(advance().text);
+      if (!match(TokenKind::kComma)) break;
+    }
+  }
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kRParen, "after parameters"));
+  DIONEA_ASSIGN_OR_RETURN(decl->body, parse_block({TokenKind::kEnd}));
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kEnd, "to close fn"));
+  return decl;
+}
+
+Result<StmtPtr> Parser::parse_fn_def() {
+  int line = peek().line;
+  advance();  // fn
+  std::string name = advance().text;
+  DIONEA_ASSIGN_OR_RETURN(auto decl, parse_fn_tail(std::move(name), line));
+  StmtPtr stmt = make_stmt(StmtKind::kFnDef, line);
+  stmt->fn = std::move(decl);
+  return stmt;
+}
+
+Result<StmtPtr> Parser::parse_if() {
+  int line = peek().line;
+  advance();  // if
+  StmtPtr stmt = make_stmt(StmtKind::kIf, line);
+  while (true) {
+    IfArm arm;
+    DIONEA_ASSIGN_OR_RETURN(arm.condition, parse_expression());
+    DIONEA_ASSIGN_OR_RETURN(
+        arm.body,
+        parse_block({TokenKind::kElif, TokenKind::kElse, TokenKind::kEnd}));
+    stmt->arms.push_back(std::move(arm));
+    if (match(TokenKind::kElif)) continue;
+    break;
+  }
+  if (match(TokenKind::kElse)) {
+    IfArm arm;  // null condition = else
+    DIONEA_ASSIGN_OR_RETURN(arm.body, parse_block({TokenKind::kEnd}));
+    stmt->arms.push_back(std::move(arm));
+  }
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kEnd, "to close if"));
+  return stmt;
+}
+
+Result<StmtPtr> Parser::parse_while() {
+  int line = peek().line;
+  advance();  // while
+  StmtPtr stmt = make_stmt(StmtKind::kWhile, line);
+  DIONEA_ASSIGN_OR_RETURN(stmt->expr, parse_expression());
+  DIONEA_ASSIGN_OR_RETURN(stmt->body, parse_block({TokenKind::kEnd}));
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kEnd, "to close while"));
+  return stmt;
+}
+
+Result<StmtPtr> Parser::parse_for() {
+  int line = peek().line;
+  advance();  // for
+  if (!check(TokenKind::kName)) return error_here("expected loop variable");
+  std::string var = advance().text;
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kIn, "in for loop"));
+  StmtPtr stmt = make_stmt(StmtKind::kForIn, line);
+  stmt->name = std::move(var);
+  DIONEA_ASSIGN_OR_RETURN(stmt->expr, parse_expression());
+  DIONEA_ASSIGN_OR_RETURN(stmt->body, parse_block({TokenKind::kEnd}));
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kEnd, "to close for"));
+  return stmt;
+}
+
+Result<StmtPtr> Parser::parse_simple_statement() {
+  int line = peek().line;
+  if (match(TokenKind::kReturn)) {
+    StmtPtr stmt = make_stmt(StmtKind::kReturn, line);
+    if (!check(TokenKind::kNewline) && !check(TokenKind::kEof) &&
+        !check(TokenKind::kEnd)) {
+      DIONEA_ASSIGN_OR_RETURN(stmt->expr, parse_expression());
+    }
+    return stmt;
+  }
+  if (match(TokenKind::kBreak)) return make_stmt(StmtKind::kBreak, line);
+  if (match(TokenKind::kContinue)) return make_stmt(StmtKind::kContinue, line);
+
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr expr, parse_expression());
+  if (match(TokenKind::kAssign)) {
+    if (expr->kind != ExprKind::kName && expr->kind != ExprKind::kIndex) {
+      return error_here("invalid assignment target");
+    }
+    StmtPtr stmt = make_stmt(StmtKind::kAssign, line);
+    stmt->expr = std::move(expr);
+    DIONEA_ASSIGN_OR_RETURN(stmt->value, parse_expression());
+    return stmt;
+  }
+  StmtPtr stmt = make_stmt(StmtKind::kExpr, line);
+  stmt->expr = std::move(expr);
+  return stmt;
+}
+
+Result<ExprPtr> Parser::parse_expression() { return parse_or(); }
+
+Result<ExprPtr> Parser::parse_or() {
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr lhs, parse_and());
+  while (check(TokenKind::kOr)) {
+    int line = advance().line;
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr rhs, parse_and());
+    ExprPtr node = make_expr(ExprKind::kLogical, line);
+    node->op = TokenKind::kOr;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::parse_and() {
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr lhs, parse_not());
+  while (check(TokenKind::kAnd)) {
+    int line = advance().line;
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr rhs, parse_not());
+    ExprPtr node = make_expr(ExprKind::kLogical, line);
+    node->op = TokenKind::kAnd;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::parse_not() {
+  if (check(TokenKind::kNot)) {
+    int line = advance().line;
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr operand, parse_not());
+    ExprPtr node = make_expr(ExprKind::kUnary, line);
+    node->op = TokenKind::kNot;
+    node->rhs = std::move(operand);
+    return node;
+  }
+  return parse_comparison();
+}
+
+Result<ExprPtr> Parser::parse_comparison() {
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr lhs, parse_term());
+  while (check(TokenKind::kEq) || check(TokenKind::kNe) ||
+         check(TokenKind::kLt) || check(TokenKind::kLe) ||
+         check(TokenKind::kGt) || check(TokenKind::kGe)) {
+    Token op = advance();
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr rhs, parse_term());
+    ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+    node->op = op.kind;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::parse_term() {
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr lhs, parse_factor());
+  while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+    Token op = advance();
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr rhs, parse_factor());
+    ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+    node->op = op.kind;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::parse_factor() {
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr lhs, parse_unary());
+  while (check(TokenKind::kStar) || check(TokenKind::kSlash) ||
+         check(TokenKind::kPercent)) {
+    Token op = advance();
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr rhs, parse_unary());
+    ExprPtr node = make_expr(ExprKind::kBinary, op.line);
+    node->op = op.kind;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::parse_unary() {
+  if (check(TokenKind::kMinus)) {
+    int line = advance().line;
+    DIONEA_ASSIGN_OR_RETURN(ExprPtr operand, parse_unary());
+    ExprPtr node = make_expr(ExprKind::kUnary, line);
+    node->op = TokenKind::kMinus;
+    node->rhs = std::move(operand);
+    return node;
+  }
+  return parse_postfix();
+}
+
+Result<std::vector<ExprPtr>> Parser::parse_call_args() {
+  std::vector<ExprPtr> args;
+  if (!check(TokenKind::kRParen)) {
+    while (true) {
+      DIONEA_ASSIGN_OR_RETURN(ExprPtr arg, parse_expression());
+      args.push_back(std::move(arg));
+      if (!match(TokenKind::kComma)) break;
+    }
+  }
+  DIONEA_RETURN_IF_ERROR(expect(TokenKind::kRParen, "after arguments"));
+  return args;
+}
+
+Result<ExprPtr> Parser::parse_postfix() {
+  DIONEA_ASSIGN_OR_RETURN(ExprPtr expr, parse_primary());
+  while (true) {
+    if (check(TokenKind::kLParen)) {
+      int line = advance().line;
+      DIONEA_ASSIGN_OR_RETURN(auto args, parse_call_args());
+      ExprPtr node = make_expr(ExprKind::kCall, line);
+      node->callee = std::move(expr);
+      node->args = std::move(args);
+      expr = std::move(node);
+    } else if (check(TokenKind::kLBracket)) {
+      int line = advance().line;
+      DIONEA_ASSIGN_OR_RETURN(ExprPtr index, parse_expression());
+      DIONEA_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "after index"));
+      ExprPtr node = make_expr(ExprKind::kIndex, line);
+      node->lhs = std::move(expr);
+      node->rhs = std::move(index);
+      expr = std::move(node);
+    } else if (check(TokenKind::kDot)) {
+      int line = advance().line;
+      if (!check(TokenKind::kName)) {
+        return error_here("expected method name after '.'");
+      }
+      std::string method = advance().text;
+      DIONEA_RETURN_IF_ERROR(
+          expect(TokenKind::kLParen, "after method name (methods are "
+                                     "builtin-call sugar; fields don't exist)"));
+      DIONEA_ASSIGN_OR_RETURN(auto args, parse_call_args());
+      ExprPtr node = make_expr(ExprKind::kMethod, line);
+      node->str_val = std::move(method);
+      node->callee = std::move(expr);  // receiver
+      node->args = std::move(args);
+      expr = std::move(node);
+    } else {
+      return expr;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::parse_primary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::kInt: {
+      advance();
+      ExprPtr node = make_expr(ExprKind::kIntLit, tok.line);
+      std::int64_t v = 0;
+      if (!strings::parse_int(tok.text, &v)) {
+        return error_here("integer literal out of range");
+      }
+      node->int_val = v;
+      return node;
+    }
+    case TokenKind::kFloat: {
+      advance();
+      ExprPtr node = make_expr(ExprKind::kFloatLit, tok.line);
+      double v = 0;
+      if (!strings::parse_double(tok.text, &v)) {
+        return error_here("bad float literal");
+      }
+      node->float_val = v;
+      return node;
+    }
+    case TokenKind::kString: {
+      advance();
+      ExprPtr node = make_expr(ExprKind::kStrLit, tok.line);
+      node->str_val = tok.text;
+      return node;
+    }
+    case TokenKind::kTrue:
+    case TokenKind::kFalse: {
+      advance();
+      ExprPtr node = make_expr(ExprKind::kBoolLit, tok.line);
+      node->bool_val = tok.kind == TokenKind::kTrue;
+      return node;
+    }
+    case TokenKind::kNil:
+      advance();
+      return make_expr(ExprKind::kNilLit, tok.line);
+    case TokenKind::kName: {
+      advance();
+      ExprPtr node = make_expr(ExprKind::kName, tok.line);
+      node->str_val = tok.text;
+      return node;
+    }
+    case TokenKind::kLParen: {
+      advance();
+      DIONEA_ASSIGN_OR_RETURN(ExprPtr inner, parse_expression());
+      DIONEA_RETURN_IF_ERROR(expect(TokenKind::kRParen, "after expression"));
+      return inner;
+    }
+    case TokenKind::kLBracket: {
+      int line = advance().line;
+      ExprPtr node = make_expr(ExprKind::kListLit, line);
+      skip_newlines();
+      if (!check(TokenKind::kRBracket)) {
+        while (true) {
+          DIONEA_ASSIGN_OR_RETURN(ExprPtr elem, parse_expression());
+          node->args.push_back(std::move(elem));
+          skip_newlines();
+          if (!match(TokenKind::kComma)) break;
+          skip_newlines();
+        }
+      }
+      DIONEA_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "after list"));
+      return node;
+    }
+    case TokenKind::kLBrace: {
+      int line = advance().line;
+      ExprPtr node = make_expr(ExprKind::kMapLit, line);
+      skip_newlines();
+      if (!check(TokenKind::kRBrace)) {
+        while (true) {
+          DIONEA_ASSIGN_OR_RETURN(ExprPtr key, parse_expression());
+          DIONEA_RETURN_IF_ERROR(expect(TokenKind::kColon, "after map key"));
+          DIONEA_ASSIGN_OR_RETURN(ExprPtr value, parse_expression());
+          node->args.push_back(std::move(key));
+          node->args.push_back(std::move(value));
+          skip_newlines();
+          if (!match(TokenKind::kComma)) break;
+          skip_newlines();
+        }
+      }
+      DIONEA_RETURN_IF_ERROR(expect(TokenKind::kRBrace, "after map"));
+      return node;
+    }
+    case TokenKind::kFn: {
+      int line = advance().line;
+      DIONEA_ASSIGN_OR_RETURN(auto decl, parse_fn_tail("", line));
+      ExprPtr node = make_expr(ExprKind::kLambda, line);
+      node->fn = std::move(decl);
+      return node;
+    }
+    default:
+      return error_here("expected expression");
+  }
+}
+
+Result<Program> parse_source(std::string_view source) {
+  Parser parser(source);
+  return parser.parse_program();
+}
+
+}  // namespace dionea::vm

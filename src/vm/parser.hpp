@@ -1,0 +1,76 @@
+// MiniLang recursive-descent parser (Pratt-style expression parsing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+#include "vm/ast.hpp"
+#include "vm/lexer.hpp"
+
+namespace dionea::vm {
+
+// Parse error with source position, suitable for the debugger's
+// "source sync" channel to display.
+struct ParseError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  std::string to_string() const {
+    return "parse error at line " + std::to_string(line) + ":" +
+           std::to_string(column) + ": " + message;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source);
+
+  // Parse a whole program. On failure the first error is returned
+  // (MiniLang does not attempt error recovery: debuggees must parse
+  // cleanly before a debug session starts).
+  Result<Program> parse_program();
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const { return peek().is(kind); }
+  bool match(TokenKind kind);
+  Status expect(TokenKind kind, const std::string& context);
+  void skip_newlines();
+  Error error_here(const std::string& message) const;
+
+  Result<StmtPtr> parse_statement();
+  Result<StmtPtr> parse_fn_def();
+  Result<StmtPtr> parse_if();
+  Result<StmtPtr> parse_while();
+  Result<StmtPtr> parse_for();
+  Result<StmtPtr> parse_simple_statement();
+  // Statements until one of the given terminator keywords (not consumed).
+  Result<std::vector<StmtPtr>> parse_block(
+      std::initializer_list<TokenKind> terminators);
+
+  Result<std::shared_ptr<FnDecl>> parse_fn_tail(std::string name, int line);
+
+  Result<ExprPtr> parse_expression();
+  Result<ExprPtr> parse_or();
+  Result<ExprPtr> parse_and();
+  Result<ExprPtr> parse_not();
+  Result<ExprPtr> parse_comparison();
+  Result<ExprPtr> parse_term();
+  Result<ExprPtr> parse_factor();
+  Result<ExprPtr> parse_unary();
+  Result<ExprPtr> parse_postfix();
+  Result<ExprPtr> parse_primary();
+  Result<std::vector<ExprPtr>> parse_call_args();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// Convenience: parse or die with location (used by embedded programs in
+// benches whose sources are compiled-in constants).
+Result<Program> parse_source(std::string_view source);
+
+}  // namespace dionea::vm

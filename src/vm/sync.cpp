@@ -1,0 +1,240 @@
+#include "vm/sync.hpp"
+
+#include "support/result.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::vm {
+namespace {
+
+// Current thread id for ownership checks when we only have the thread.
+std::int64_t tid_of(const InterpThread& th) { return th.id(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- VmMutex
+
+VmMutex::VmMutex() : impl_(std::make_unique<Impl>()) {}
+
+WaitOutcome VmMutex::lock(Vm& vm, InterpThread& th) {
+  const std::int64_t tid = tid_of(th);
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->owner == tid) return WaitOutcome::kRecursive;
+    if (impl_->owner == 0) {
+      impl_->owner = tid;
+      return WaitOutcome::kOk;
+    }
+  }
+  // Contended: park like Ruby's Mutex#lock (counts toward deadlock).
+  Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Mutex#lock");
+  bool ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
+    if (impl_->owner != 0) return false;
+    impl_->owner = tid;
+    return true;
+  });
+  return ok ? WaitOutcome::kOk : WaitOutcome::kInterrupted;
+}
+
+bool VmMutex::try_lock(std::int64_t tid) {
+  std::scoped_lock lock(impl_->mutex);
+  if (impl_->owner != 0) return false;
+  impl_->owner = tid;
+  return true;
+}
+
+WaitOutcome VmMutex::unlock(std::int64_t tid) {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->owner != tid) return WaitOutcome::kNotOwner;
+    impl_->owner = 0;
+  }
+  impl_->cv.notify_one();
+  return WaitOutcome::kOk;
+}
+
+bool VmMutex::locked() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->owner != 0;
+}
+
+std::int64_t VmMutex::owner_tid() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->owner;
+}
+
+void VmMutex::lock_for_fork() { fork_lock_ = std::unique_lock(impl_->mutex); }
+
+void VmMutex::unlock_after_fork() {
+  fork_lock_.unlock();
+  fork_lock_ = {};
+}
+
+void VmMutex::reinit_in_child(std::int64_t surviving_tid) {
+  // Abandon the old Impl (its cv wait-queue referenced vanished
+  // threads); carry the logical state over, clearing ownership held by
+  // threads that no longer exist — the "ensure the surviving thread
+  // can release the synchronization objects" half of §5.3 problem 1.
+  fork_lock_.release();
+  Impl* old = impl_.release();  // intentional leak, see gil.hpp
+  impl_ = std::make_unique<Impl>();
+  impl_->owner = (old->owner == surviving_tid) ? surviving_tid : 0;
+}
+
+// ---------------------------------------------------------------- VmQueue
+
+VmQueue::VmQueue() : impl_(std::make_unique<Impl>()) {}
+
+void VmQueue::push(Value value) {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    impl_->items.push_back(std::move(value));
+  }
+  impl_->cv.notify_one();
+}
+
+WaitOutcome VmQueue::pop(Vm& vm, InterpThread& th, Value* out) {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (!impl_->items.empty()) {
+      *out = std::move(impl_->items.front());
+      impl_->items.pop_front();
+      return WaitOutcome::kOk;
+    }
+    ++impl_->waiting;
+  }
+  Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Queue#pop");
+  bool ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
+    if (impl_->items.empty()) return false;
+    *out = std::move(impl_->items.front());
+    impl_->items.pop_front();
+    return true;
+  });
+  {
+    std::scoped_lock lock(impl_->mutex);
+    --impl_->waiting;
+  }
+  return ok ? WaitOutcome::kOk : WaitOutcome::kInterrupted;
+}
+
+bool VmQueue::try_pop(Value* out) {
+  std::scoped_lock lock(impl_->mutex);
+  if (impl_->items.empty()) return false;
+  *out = std::move(impl_->items.front());
+  impl_->items.pop_front();
+  return true;
+}
+
+size_t VmQueue::size() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->items.size();
+}
+
+int VmQueue::num_waiting() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->waiting;
+}
+
+void VmQueue::lock_for_fork() { fork_lock_ = std::unique_lock(impl_->mutex); }
+
+void VmQueue::unlock_after_fork() {
+  fork_lock_.unlock();
+  fork_lock_ = {};
+}
+
+void VmQueue::reinit_in_child(std::int64_t /*surviving_tid*/) {
+  fork_lock_.release();
+  Impl* old = impl_.release();  // intentional leak
+  impl_ = std::make_unique<Impl>();
+  // The child inherits a snapshot of the queued items (fork copies the
+  // heap) but none of the waiters — Listing 5's behaviour.
+  impl_->items = std::move(old->items);
+  impl_->waiting = 0;
+}
+
+// ----------------------------------------------------------------- VmCond
+
+VmCond::VmCond() : impl_(std::make_unique<Impl>()) {}
+
+WaitOutcome VmCond::wait(Vm& vm, InterpThread& th, VmMutex& mutex) {
+  const std::int64_t tid = tid_of(th);
+  std::uint64_t entry_gen;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    entry_gen = impl_->broadcast_gen;
+    ++impl_->waiting;
+  }
+  // Release the user mutex, then wait. A signal between the unlock and
+  // the wait is not lost: it increments impl_->signals which the
+  // predicate observes.
+  WaitOutcome unlocked = mutex.unlock(tid);
+  if (unlocked != WaitOutcome::kOk) {
+    std::scoped_lock lock(impl_->mutex);
+    --impl_->waiting;
+    return unlocked;
+  }
+  bool ok;
+  {
+    Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Cond#wait");
+    ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
+      if (impl_->broadcast_gen != entry_gen) return true;
+      if (impl_->signals > 0) {
+        --impl_->signals;
+        return true;
+      }
+      return false;
+    });
+  }
+  {
+    std::scoped_lock lock(impl_->mutex);
+    --impl_->waiting;
+  }
+  if (!ok) return WaitOutcome::kInterrupted;
+  // Re-acquire the user mutex before returning (may block again).
+  return mutex.lock(vm, th);
+}
+
+void VmCond::signal() {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (static_cast<std::uint64_t>(impl_->waiting) > impl_->signals) {
+      ++impl_->signals;
+    }
+  }
+  impl_->cv.notify_all();  // predicate picks exactly one consumer
+}
+
+void VmCond::broadcast() {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    ++impl_->broadcast_gen;
+    impl_->signals = 0;
+  }
+  impl_->cv.notify_all();
+}
+
+void VmCond::lock_for_fork() { fork_lock_ = std::unique_lock(impl_->mutex); }
+
+void VmCond::unlock_after_fork() {
+  fork_lock_.unlock();
+  fork_lock_ = {};
+}
+
+void VmCond::reinit_in_child(std::int64_t /*surviving_tid*/) {
+  fork_lock_.release();
+  (void)impl_.release();  // intentional leak
+  impl_ = std::make_unique<Impl>();
+}
+
+const char* thread_state_name(ThreadState state) noexcept {
+  switch (state) {
+    case ThreadState::kRunnable: return "runnable";
+    case ThreadState::kBlockedForever: return "blocked";
+    case ThreadState::kBlockedTimed: return "sleeping";
+    case ThreadState::kIoBlocked: return "io";
+    case ThreadState::kDebugParked: return "suspended";
+    case ThreadState::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,141 @@
+// VM-level synchronization objects: Mutex, Queue, ConditionVariable.
+//
+// These are the objects the paper's fork handlers must "take ownership
+// of" before forking (§5.3 problem 1): if any other thread held one at
+// fork time, the child's single surviving thread could never acquire
+// it — a guaranteed deadlock. Every instance registers itself with its
+// Vm so the fork machinery can enumerate them; each implements the
+// SyncObject fork protocol (pin for fork / unpin / re-init in child).
+//
+// Blocking follows one pattern throughout: the caller enters a
+// Vm::BlockScope (releases the GIL, records the blocked state, runs
+// the deadlock check), then waits on the object's own condition
+// variable in short slices, re-checking its thread's interrupt flag
+// each slice so VM shutdown and deadlock resolution reach it promptly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "vm/value.hpp"
+
+namespace dionea::vm {
+
+class Vm;
+class InterpThread;
+
+enum class WaitOutcome : int {
+  kOk,
+  kInterrupted,   // interrupt flag set (kill or deadlock)
+  kNotOwner,      // unlock/wait without holding the mutex
+  kRecursive,     // Ruby: "deadlock; recursive locking (ThreadError)"
+};
+
+class SyncObject {
+ public:
+  virtual ~SyncObject() = default;
+  virtual std::string_view kind_name() const noexcept = 0;
+
+  // Fork protocol. lock_for_fork is called by the *forking* thread in
+  // the prepare handler; objects are pinned in registration order (a
+  // total order, so prepare can never self-deadlock).
+  virtual void lock_for_fork() = 0;
+  virtual void unlock_after_fork() = 0;
+  virtual void reinit_in_child(std::int64_t surviving_tid) = 0;
+};
+
+class VmMutex : public SyncObject, public std::enable_shared_from_this<VmMutex> {
+ public:
+  VmMutex();
+
+  std::string_view kind_name() const noexcept override { return "mutex"; }
+
+  WaitOutcome lock(Vm& vm, InterpThread& th);
+  bool try_lock(std::int64_t tid);
+  WaitOutcome unlock(std::int64_t tid);
+  bool locked() const;
+  std::int64_t owner_tid() const;
+
+  void lock_for_fork() override;
+  void unlock_after_fork() override;
+  void reinit_in_child(std::int64_t surviving_tid) override;
+
+ private:
+  friend class VmCond;
+  struct Impl {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::int64_t owner = 0;  // 0 = unlocked
+  };
+  std::unique_ptr<Impl> impl_;
+  std::unique_lock<std::mutex> fork_lock_;
+};
+
+// Unbounded inter-THREAD queue (Ruby's Queue / Python's queue.Queue).
+// Not inter-process — which is exactly the bug Listing 5 demonstrates:
+// a fork duplicates the queue's memory, so parent pushes never reach
+// the child's copy.
+class VmQueue : public SyncObject {
+ public:
+  VmQueue();
+
+  std::string_view kind_name() const noexcept override { return "queue"; }
+
+  void push(Value value);
+  // Blocks until an element is available.
+  WaitOutcome pop(Vm& vm, InterpThread& th, Value* out);
+  // Non-blocking; false when empty.
+  bool try_pop(Value* out);
+  size_t size() const;
+  // Threads currently blocked in pop (Ruby's num_waiting).
+  int num_waiting() const;
+
+  void lock_for_fork() override;
+  void unlock_after_fork() override;
+  void reinit_in_child(std::int64_t surviving_tid) override;
+
+ private:
+  struct Impl {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Value> items;
+    int waiting = 0;
+  };
+  std::unique_ptr<Impl> impl_;
+  std::unique_lock<std::mutex> fork_lock_;
+};
+
+// Condition variable over VmMutex (Ruby's ConditionVariable).
+class VmCond : public SyncObject {
+ public:
+  VmCond();
+
+  std::string_view kind_name() const noexcept override { return "cond"; }
+
+  // Caller must hold `mutex`; atomically releases it, waits for a
+  // signal, re-acquires. kNotOwner if the mutex isn't held by th.
+  WaitOutcome wait(Vm& vm, InterpThread& th, VmMutex& mutex);
+  void signal();
+  void broadcast();
+
+  void lock_for_fork() override;
+  void unlock_after_fork() override;
+  void reinit_in_child(std::int64_t surviving_tid) override;
+
+ private:
+  struct Impl {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t signals = 0;        // pending one-shot wakeups
+    std::uint64_t broadcast_gen = 0;  // bumped by broadcast()
+    int waiting = 0;
+  };
+  std::unique_ptr<Impl> impl_;
+  std::unique_lock<std::mutex> fork_lock_;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,144 @@
+// Interpreter threads (the "UE" of the paper's terminology, §2).
+//
+// Each MiniLang thread is backed by a detached OS thread that contends
+// for the GIL. The InterpThread object outlives the OS thread (it is
+// shared_ptr-held by the registry and by ThreadHandle values), which
+// is what keeps `join` and the fork handlers safe: after fork, the
+// child drops every InterpThread but the forking one — the exact
+// semantics of rb_thread_atfork (paper Listing 1).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vm/value.hpp"
+
+namespace dionea::vm {
+
+enum class ThreadState : int {
+  kRunnable,        // executing bytecode or waiting for the GIL
+  kBlockedForever,  // mutex lock / queue pop / cond wait / join / sleep()
+  kBlockedTimed,    // sleep(n) — will wake by itself
+  kIoBlocked,       // blocking syscall (pipe read, waitpid, ipc queue)
+  kDebugParked,     // suspended by the debugger inside a trace callback
+  kDead,
+};
+
+const char* thread_state_name(ThreadState state) noexcept;
+
+enum class InterruptReason : int {
+  kNone = 0,
+  kKill,      // VM shutdown (main thread exited) — die silently
+  kDeadlock,  // global deadlock detected — raise `deadlock detected (fatal)`
+};
+
+class InterpThread {
+ public:
+  InterpThread(std::int64_t id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  std::int64_t id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  bool is_main() const noexcept { return id_ == 1; }
+
+  // ---- interpreter state ----
+  // Owned by the executing OS thread. The debugger reads it only while
+  // the thread is parked or while holding the GIL (both exclude
+  // execution), mirroring how in-process Python debuggers inspect
+  // frames.
+  struct Frame {
+    std::shared_ptr<Closure> closure;
+    size_t ip = 0;     // offset into closure->proto->chunk
+    size_t base = 0;   // stack index of local slot 0
+    int line = 0;      // most recent kTraceLine in this frame
+  };
+  std::vector<Value> stack;
+  std::vector<Frame> frames;
+
+  // ---- scheduling state (guarded by Vm's scheduler mutex) ----
+  ThreadState state = ThreadState::kRunnable;
+  std::string block_note;  // e.g. "Queue#pop", shown by the debugger
+  std::string block_file;
+  int block_line = 0;
+
+  // Set under the scheduler mutex; read lock-free at safepoints.
+  std::atomic<InterruptReason> interrupt{InterruptReason::kNone};
+
+  // Bumped on every state transition; the deadlock detector uses it to
+  // tell "still stuck in the same wait" apart from "woke and re-blocked".
+  std::uint64_t block_epoch = 0;
+
+  // Statements retired by this thread (bench/ uses the VM-wide sum).
+  std::uint64_t stmt_count = 0;
+
+  // Parking spot for sleep() and for debugger suspension; waits on it
+  // always go through Vm::wait_interruptible.
+  std::mutex park_mutex;
+  std::condition_variable park_cv;
+
+  // Opaque per-thread slot for the attached debugger (accessed only
+  // from this thread's trace callbacks, i.e. under the GIL). Keeping it
+  // on the thread makes the per-line hot path map-lookup free.
+  std::shared_ptr<void> debugger_slot;
+
+  // True for ephemeral debugger-evaluation threads: their execution
+  // must not re-enter the trace hook (the debugger is already inside a
+  // command when it evaluates).
+  bool suppress_trace = false;
+
+  // ---- completion ----
+  // done flips exactly once, when the thread leaves the interpreter.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Value result;
+  bool has_error = false;
+  VmError error;
+
+  void mark_done(Value value) {
+    std::scoped_lock lock(done_mutex);
+    result = std::move(value);
+    done = true;
+    done_cv.notify_all();
+  }
+  void mark_failed(VmError err) {
+    std::scoped_lock lock(done_mutex);
+    has_error = true;
+    error = std::move(err);
+    done = true;
+    done_cv.notify_all();
+  }
+  bool is_done() {
+    std::scoped_lock lock(done_mutex);
+    return done;
+  }
+
+ private:
+  std::int64_t id_;
+  std::string name_;
+};
+
+// Debugger-facing snapshot of one thread.
+struct ThreadInfo {
+  std::int64_t id = 0;
+  std::string name;
+  ThreadState state = ThreadState::kRunnable;
+  std::string file;
+  int line = 0;
+  std::string block_note;
+  int frame_depth = 0;
+};
+
+// Debugger-facing snapshot of one frame.
+struct FrameInfo {
+  std::string function;
+  std::string file;
+  int line = 0;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,78 @@
+// Token kinds for MiniLang, the small dynamic language MiniVM executes.
+//
+// MiniLang is the stand-in for the paper's Python/Ruby debuggees:
+// Ruby-flavoured syntax (`fn … end`, only nil/false are falsy),
+// newline-terminated statements, first-class closures, and builtin
+// threads/queues/mutexes/fork — the exact surface the Dionea scenarios
+// (§6.2–§6.4) exercise.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dionea::vm {
+
+enum class TokenKind : int {
+  // literals / identifiers
+  kInt,
+  kFloat,
+  kString,
+  kName,
+  // keywords
+  kFn,
+  kIf,
+  kElif,
+  kElse,
+  kWhile,
+  kFor,
+  kIn,
+  kEnd,
+  kReturn,
+  kBreak,
+  kContinue,
+  kTrue,
+  kFalse,
+  kNil,
+  kAnd,
+  kOr,
+  kNot,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kColon,
+  kAssign,      // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,          // ==
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // structure
+  kNewline,
+  kEof,
+  kError,       // lexer error; text holds the message
+};
+
+const char* token_kind_name(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier name, literal spelling, or error message
+  int line = 0;         // 1-based source line
+  int column = 0;       // 1-based source column
+
+  bool is(TokenKind k) const noexcept { return kind == k; }
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,139 @@
+#include "vm/value.hpp"
+
+#include "support/strings.hpp"
+#include "vm/bytecode.hpp"
+
+namespace dionea::vm {
+
+const char* value_kind_name(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::kNil: return "nil";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kFloat: return "float";
+    case ValueKind::kStr: return "str";
+    case ValueKind::kList: return "list";
+    case ValueKind::kMap: return "map";
+    case ValueKind::kClosure: return "fn";
+    case ValueKind::kNative: return "builtin";
+    case ValueKind::kMutex: return "mutex";
+    case ValueKind::kQueue: return "queue";
+    case ValueKind::kCond: return "cond";
+    case ValueKind::kThread: return "thread";
+    case ValueKind::kForeign: return "foreign";
+  }
+  return "?";
+}
+
+std::string VmError::to_string() const {
+  std::string out = message;
+  for (const TracebackEntry& entry : traceback) {
+    out += strings::format("\n\tfrom %s:%d:in `%s'", entry.file.c_str(),
+                           entry.line, entry.function.c_str());
+  }
+  return out;
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return number() == other.number();
+  }
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case ValueKind::kNil: return true;
+    case ValueKind::kBool: return as_bool() == other.as_bool();
+    case ValueKind::kStr: return as_str() == other.as_str();
+    case ValueKind::kList: {
+      const auto& a = as_list()->items;
+      const auto& b = other.as_list()->items;
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].equals(b[i])) return false;
+      }
+      return true;
+    }
+    case ValueKind::kMap: {
+      const auto& a = as_map()->items;
+      const auto& b = other.as_map()->items;
+      if (a.size() != b.size()) return false;
+      auto it_b = b.begin();
+      for (auto it_a = a.begin(); it_a != a.end(); ++it_a, ++it_b) {
+        if (it_a->first != it_b->first) return false;
+        if (!it_a->second.equals(it_b->second)) return false;
+      }
+      return true;
+    }
+    case ValueKind::kClosure: return as_closure() == other.as_closure();
+    case ValueKind::kNative: return as_native() == other.as_native();
+    case ValueKind::kMutex: return as_mutex() == other.as_mutex();
+    case ValueKind::kQueue: return as_queue() == other.as_queue();
+    case ValueKind::kCond: return as_cond() == other.as_cond();
+    case ValueKind::kThread:
+      return as_thread()->thread_id == other.as_thread()->thread_id;
+    case ValueKind::kForeign: return as_foreign() == other.as_foreign();
+    default: return false;
+  }
+}
+
+std::string Value::to_display() const {
+  if (is_str()) return as_str();
+  return repr();
+}
+
+std::string Value::repr() const {
+  switch (kind()) {
+    case ValueKind::kNil: return "nil";
+    case ValueKind::kBool: return as_bool() ? "true" : "false";
+    case ValueKind::kInt: return std::to_string(as_int());
+    case ValueKind::kFloat: {
+      std::string s = strings::format("%.12g", as_float());
+      // Keep floats visually distinct from ints.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueKind::kStr:
+      return "\"" + strings::escape(as_str()) + "\"";
+    case ValueKind::kList: {
+      std::string out = "[";
+      const auto& items = as_list()->items;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += items[i].repr();
+      }
+      return out + "]";
+    }
+    case ValueKind::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : as_map()->items) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"" + strings::escape(key) + "\": " + value.repr();
+      }
+      return out + "}";
+    }
+    case ValueKind::kClosure: {
+      const auto& proto = as_closure()->proto;
+      std::string name = proto ? proto->name : "?";
+      if (name.empty()) name = "<lambda>";
+      return "<fn " + name + ">";
+    }
+    case ValueKind::kNative:
+      return "<builtin " + as_native()->name + ">";
+    case ValueKind::kMutex: return "<mutex>";
+    case ValueKind::kQueue: return "<queue>";
+    case ValueKind::kCond: return "<cond>";
+    case ValueKind::kThread:
+      return "<thread " + std::to_string(as_thread()->thread_id) + ">";
+    case ValueKind::kForeign: return as_foreign()->repr();
+  }
+  return "?";
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,231 @@
+// MiniVM runtime values.
+//
+// Value is a small tagged variant; heap payloads (strings, lists,
+// maps, closures, sync objects, thread handles) are shared_ptr-managed
+// so that copying a Value is cheap and fork(2) copy-on-write works the
+// same way it does for CPython object graphs. All mutation of Lists
+// and Maps happens under the GIL, exactly like CPython — the objects
+// themselves carry no locks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dionea::vm {
+
+class Vm;
+class InterpThread;
+struct FunctionProto;  // bytecode.hpp
+class VmMutex;         // sync.hpp
+class VmQueue;         // sync.hpp
+class VmCond;          // sync.hpp
+
+class Value;
+
+struct List {
+  std::vector<Value> items;
+};
+
+// MiniLang maps have string keys (ordered, so iteration and repr are
+// deterministic — the word-count reducer relies on it).
+struct Map {
+  std::map<std::string, Value> items;
+};
+
+// A function value: compiled prototype + by-value captured bindings
+// (MiniLang lambdas capture enclosing locals by value at creation, like
+// C++ [=]; heap payloads still alias through their shared_ptr, which is
+// what makes `fn() q.push(1) end` see the same queue).
+struct Closure {
+  std::shared_ptr<const FunctionProto> proto;
+  std::vector<Value> captures;
+};
+
+// One frame of a MiniLang traceback.
+struct TracebackEntry {
+  std::string function;
+  std::string file;
+  int line = 0;
+};
+
+enum class VmErrorKind : int {
+  kRuntime,        // ordinary runtime error (undefined name, bad index, ...)
+  kFatalDeadlock,  // `deadlock detected (fatal)` — every thread blocked
+  kThreadKill,     // VM shutdown reached this thread; dies silently
+  kExit,           // exit(code) builtin
+};
+
+// A runtime error travelling up the interpreter (value-based, never a
+// C++ exception: errors must cross fork handlers and the GIL safely).
+struct VmError {
+  VmErrorKind kind = VmErrorKind::kRuntime;
+  std::string message;
+  std::vector<TracebackEntry> traceback;
+  int exit_code = 0;  // kExit only
+
+  bool fatal() const noexcept { return kind == VmErrorKind::kFatalDeadlock; }
+  std::string to_string() const;
+};
+
+// Result of a native builtin: a value or an error.
+using NativeResult = std::variant<Value, VmError>;
+
+struct NativeFn {
+  std::string name;
+  int min_arity = 0;
+  int max_arity = 0;  // -1 = variadic
+  std::function<NativeResult(Vm&, InterpThread&, std::vector<Value>&)> fn;
+};
+
+// Extension point for embedders (mp:: inter-process queues live here).
+class ForeignObject {
+ public:
+  virtual ~ForeignObject() = default;
+  virtual std::string_view type_name() const noexcept = 0;
+  virtual std::string repr() const { return std::string("<") + std::string(type_name()) + ">"; }
+};
+
+// Handle for a spawned interpreter thread (join target). Holds the
+// InterpThread alive so join/value work after the thread dies (Ruby's
+// Thread#value). The dead thread's stack is empty, so no reference
+// cycle survives its exit.
+struct ThreadHandle {
+  std::int64_t thread_id = 0;
+  std::shared_ptr<InterpThread> thread;
+};
+
+enum class ValueKind : int {
+  kNil,
+  kBool,
+  kInt,
+  kFloat,
+  kStr,
+  kList,
+  kMap,
+  kClosure,
+  kNative,
+  kMutex,
+  kQueue,
+  kCond,
+  kThread,
+  kForeign,
+};
+
+const char* value_kind_name(ValueKind kind) noexcept;
+
+class Value {
+ public:
+  using Str = std::shared_ptr<const std::string>;
+
+  Value() : rep_(std::monostate{}) {}
+  Value(std::monostate) : rep_(std::monostate{}) {}           // NOLINT
+  Value(bool b) : rep_(b) {}                                  // NOLINT
+  Value(std::int64_t i) : rep_(i) {}                          // NOLINT
+  Value(int i) : rep_(static_cast<std::int64_t>(i)) {}        // NOLINT
+  Value(double d) : rep_(d) {}                                // NOLINT
+  Value(Str s) : rep_(std::move(s)) {}                        // NOLINT
+  Value(std::shared_ptr<List> l) : rep_(std::move(l)) {}      // NOLINT
+  Value(std::shared_ptr<Map> m) : rep_(std::move(m)) {}       // NOLINT
+  Value(std::shared_ptr<Closure> c) : rep_(std::move(c)) {}   // NOLINT
+  Value(std::shared_ptr<NativeFn> f) : rep_(std::move(f)) {}  // NOLINT
+  Value(std::shared_ptr<VmMutex> m) : rep_(std::move(m)) {}   // NOLINT
+  Value(std::shared_ptr<VmQueue> q) : rep_(std::move(q)) {}   // NOLINT
+  Value(std::shared_ptr<VmCond> c) : rep_(std::move(c)) {}    // NOLINT
+  Value(std::shared_ptr<ThreadHandle> t) : rep_(std::move(t)) {}    // NOLINT
+  Value(std::shared_ptr<ForeignObject> o) : rep_(std::move(o)) {}   // NOLINT
+
+  static Value str(std::string s) {
+    return Value(std::make_shared<const std::string>(std::move(s)));
+  }
+  static Value new_list() { return Value(std::make_shared<List>()); }
+  static Value new_map() { return Value(std::make_shared<Map>()); }
+
+  ValueKind kind() const noexcept {
+    return static_cast<ValueKind>(rep_.index());
+  }
+  const char* type_name() const noexcept { return value_kind_name(kind()); }
+
+  bool is_nil() const noexcept { return kind() == ValueKind::kNil; }
+  bool is_bool() const noexcept { return kind() == ValueKind::kBool; }
+  bool is_int() const noexcept { return kind() == ValueKind::kInt; }
+  bool is_float() const noexcept { return kind() == ValueKind::kFloat; }
+  bool is_number() const noexcept { return is_int() || is_float(); }
+  bool is_str() const noexcept { return kind() == ValueKind::kStr; }
+  bool is_list() const noexcept { return kind() == ValueKind::kList; }
+  bool is_map() const noexcept { return kind() == ValueKind::kMap; }
+  bool is_closure() const noexcept { return kind() == ValueKind::kClosure; }
+  bool is_native() const noexcept { return kind() == ValueKind::kNative; }
+  bool is_callable() const noexcept { return is_closure() || is_native(); }
+
+  // MiniLang truthiness is Ruby's: only nil and false are falsy.
+  bool truthy() const noexcept {
+    if (is_nil()) return false;
+    if (is_bool()) return std::get<bool>(rep_);
+    return true;
+  }
+
+  bool as_bool() const { return std::get<bool>(rep_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  double as_float() const { return std::get<double>(rep_); }
+  // Numeric coercion (int -> double).
+  double number() const {
+    return is_int() ? static_cast<double>(as_int()) : as_float();
+  }
+  const std::string& as_str() const { return *std::get<Str>(rep_); }
+  const Str& str_ptr() const { return std::get<Str>(rep_); }
+  const std::shared_ptr<List>& as_list() const {
+    return std::get<std::shared_ptr<List>>(rep_);
+  }
+  const std::shared_ptr<Map>& as_map() const {
+    return std::get<std::shared_ptr<Map>>(rep_);
+  }
+  const std::shared_ptr<Closure>& as_closure() const {
+    return std::get<std::shared_ptr<Closure>>(rep_);
+  }
+  const std::shared_ptr<NativeFn>& as_native() const {
+    return std::get<std::shared_ptr<NativeFn>>(rep_);
+  }
+  const std::shared_ptr<VmMutex>& as_mutex() const {
+    return std::get<std::shared_ptr<VmMutex>>(rep_);
+  }
+  const std::shared_ptr<VmQueue>& as_queue() const {
+    return std::get<std::shared_ptr<VmQueue>>(rep_);
+  }
+  const std::shared_ptr<VmCond>& as_cond() const {
+    return std::get<std::shared_ptr<VmCond>>(rep_);
+  }
+  const std::shared_ptr<ThreadHandle>& as_thread() const {
+    return std::get<std::shared_ptr<ThreadHandle>>(rep_);
+  }
+  const std::shared_ptr<ForeignObject>& as_foreign() const {
+    return std::get<std::shared_ptr<ForeignObject>>(rep_);
+  }
+
+  // Structural equality: numbers compare across int/float; lists and
+  // maps compare element-wise; closures, natives, sync objects and
+  // thread handles compare by identity (like Ruby object identity).
+  bool equals(const Value& other) const;
+
+  // Ruby-ish `to_s`: strings render bare ("abc"), everything else like
+  // repr(). puts() uses this.
+  std::string to_display() const;
+  // `inspect` rendering: strings quoted, containers recursive.
+  std::string repr() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, Str,
+               std::shared_ptr<List>, std::shared_ptr<Map>,
+               std::shared_ptr<Closure>, std::shared_ptr<NativeFn>,
+               std::shared_ptr<VmMutex>, std::shared_ptr<VmQueue>,
+               std::shared_ptr<VmCond>, std::shared_ptr<ThreadHandle>,
+               std::shared_ptr<ForeignObject>>
+      rep_;
+};
+
+}  // namespace dionea::vm

@@ -1,0 +1,1332 @@
+#include "vm/vm.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "support/timing.hpp"
+#include "vm/builtins.hpp"
+#include "vm/compiler.hpp"
+
+namespace dionea::vm {
+
+namespace {
+constexpr size_t kMaxFrames = 256;  // "stack level too deep"
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kCall: return "call";
+    case TraceKind::kLine: return "line";
+    case TraceKind::kReturn: return "return";
+    case TraceKind::kThreadStart: return "thread_start";
+    case TraceKind::kThreadEnd: return "thread_end";
+  }
+  return "?";
+}
+
+Vm::Vm() {
+  output_ = [](std::string_view text) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+  };
+  install_core_builtins(*this);
+}
+
+Vm::~Vm() = default;
+
+void Vm::install_builtins() { install_core_builtins(*this); }
+
+// --------------------------------------------------------------- globals
+
+void Vm::define_native(
+    const std::string& name, int min_arity, int max_arity,
+    std::function<NativeResult(Vm&, InterpThread&, std::vector<Value>&)> fn) {
+  auto native = std::make_shared<NativeFn>();
+  native->name = name;
+  native->min_arity = min_arity;
+  native->max_arity = max_arity;
+  native->fn = std::move(fn);
+  globals_[name] = Value(std::move(native));
+}
+
+void Vm::set_global(const std::string& name, Value value) {
+  globals_[name] = std::move(value);
+}
+
+Value Vm::get_global(const std::string& name) const {
+  auto it = globals_.find(name);
+  return it == globals_.end() ? Value() : it->second;
+}
+
+void Vm::set_trace_fn(TraceFn fn) { trace_fn_ = std::move(fn); }
+
+void Vm::clear_trace_fn() {
+  trace_fn_ = nullptr;
+  trace_enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Vm::set_output(std::function<void(std::string_view)> sink) {
+  output_ = std::move(sink);
+}
+
+void Vm::write_output(std::string_view text) {
+  if (output_) output_(text);
+}
+
+void Vm::set_deadlock_hook(DeadlockHook hook) {
+  std::scoped_lock lock(sched_mutex_);
+  deadlock_hook_ = std::move(hook);
+}
+
+void Vm::set_at_exit_hook(std::function<void(Vm&)> hook) {
+  at_exit_hook_ = std::move(hook);
+}
+
+void Vm::run_at_exit_hook() {
+  if (at_exit_hook_) at_exit_hook_(*this);
+}
+
+void Vm::register_sync_object(std::shared_ptr<SyncObject> object) {
+  std::scoped_lock lock(sched_mutex_);
+  sync_objects_.push_back(object);
+}
+
+void Vm::request_exit(int code) {
+  exit_code_.store(code, std::memory_order_relaxed);
+  exit_pending_.store(true, std::memory_order_relaxed);
+  std::scoped_lock lock(sched_mutex_);
+  for (auto& [id, th] : threads_) {
+    th->interrupt.store(InterruptReason::kKill, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Vm::statements_executed() {
+  std::scoped_lock lock(sched_mutex_);
+  std::uint64_t total = retired_statements_;
+  for (const auto& [id, th] : threads_) total += th->stmt_count;
+  return total;
+}
+
+// ---------------------------------------------------------------- errors
+
+VmError Vm::runtime_error(InterpThread& th, std::string message,
+                          VmErrorKind kind) {
+  VmError err;
+  err.kind = kind;
+  err.message = std::move(message);
+  for (size_t i = th.frames.size(); i-- > 0;) {
+    const InterpThread::Frame& fr = th.frames[i];
+    const FunctionProto& proto = *fr.closure->proto;
+    std::string fn_name = proto.name.empty() ? "<lambda>" : proto.name;
+    err.traceback.push_back(TracebackEntry{fn_name, proto.file, fr.line});
+  }
+  return err;
+}
+
+namespace {
+
+VmError interrupt_error(Vm& vm, InterpThread& th) {
+  InterruptReason reason = th.interrupt.load(std::memory_order_relaxed);
+  if (reason == InterruptReason::kDeadlock) {
+    return vm.runtime_error(th, "deadlock detected (fatal)",
+                            VmErrorKind::kFatalDeadlock);
+  }
+  return vm.runtime_error(th, "killed", VmErrorKind::kThreadKill);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ BlockScope
+
+Vm::BlockScope::BlockScope(Vm& vm, InterpThread& th, ThreadState state,
+                           std::string note)
+    : vm_(vm), th_(th) {
+  // Release the GIL first so that the deadlock hook (and any other
+  // thread) may take it while we are parked.
+  vm_.gil_.release();
+  vm_.set_thread_state(th_, state, std::move(note));
+}
+
+Vm::BlockScope::~BlockScope() {
+  vm_.set_thread_state(th_, ThreadState::kRunnable, {});
+  vm_.gil_.acquire(th_.id());
+}
+
+void Vm::set_thread_state(InterpThread& th, ThreadState state,
+                          std::string note) {
+  std::unique_lock lock(sched_mutex_);
+  th.state = state;
+  ++th.block_epoch;
+  th.block_note = std::move(note);
+  if (!th.frames.empty()) {
+    const InterpThread::Frame& fr = th.frames.back();
+    th.block_file = fr.closure->proto->file;
+    th.block_line = fr.line;
+  }
+  if (state == ThreadState::kBlockedForever) {
+    check_deadlock_locked(lock);
+  } else if (deadlock_candidate_active_.load(std::memory_order_relaxed)) {
+    // A thread progressed: whatever candidate existed is stale.
+    deadlock_candidate_.clear();
+    deadlock_candidate_active_.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+Vm::blocked_snapshot_locked(bool* all_blocked_forever) const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> snapshot;
+  int alive = 0;
+  int forever = 0;
+  bool parked_or_waking = false;
+  for (const auto& [id, th] : threads_) {
+    switch (th->state) {
+      case ThreadState::kDead:
+        break;
+      case ThreadState::kDebugParked:
+        // A suspended thread can be resumed by the client; nothing is
+        // provably stuck while one exists.
+        parked_or_waking = true;
+        ++alive;
+        break;
+      case ThreadState::kBlockedForever:
+        ++alive;
+        ++forever;
+        snapshot.emplace_back(th->id(), th->block_epoch);
+        break;
+      case ThreadState::kBlockedTimed:
+      case ThreadState::kIoBlocked:
+        parked_or_waking = true;
+        ++alive;
+        break;
+      case ThreadState::kRunnable:
+        ++alive;
+        break;
+    }
+  }
+  *all_blocked_forever = alive > 0 && !parked_or_waking && forever == alive;
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+void Vm::check_deadlock_locked(std::unique_lock<std::mutex>& /*sched_lock*/) {
+  if (deadlock_reported_) return;
+  bool all_blocked = false;
+  auto snapshot = blocked_snapshot_locked(&all_blocked);
+  if (!all_blocked) {
+    deadlock_candidate_.clear();
+    deadlock_candidate_active_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  if (snapshot != deadlock_candidate_) {
+    // New (or changed) candidate: arm the grace timer; the blocked
+    // threads' wait ticks will confirm it via deadlock_tick().
+    deadlock_candidate_ = std::move(snapshot);
+    deadlock_candidate_since_ = mono_seconds();
+    deadlock_candidate_active_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Vm::deadlock_tick() {
+  std::unique_lock lock(sched_mutex_);
+  if (deadlock_reported_ || deadlock_candidate_.empty()) return;
+  bool all_blocked = false;
+  auto snapshot = blocked_snapshot_locked(&all_blocked);
+  if (!all_blocked || snapshot != deadlock_candidate_) {
+    // Something moved since the candidate was formed — either the
+    // system made progress (drop it) or it re-froze in a new shape
+    // (restart the grace period on the new snapshot).
+    if (all_blocked) {
+      deadlock_candidate_ = std::move(snapshot);
+      deadlock_candidate_since_ = mono_seconds();
+    } else {
+      deadlock_candidate_.clear();
+      deadlock_candidate_active_.store(false, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if ((mono_seconds() - deadlock_candidate_since_) * 1000.0 <
+      kDeadlockGraceMillis) {
+    return;  // not confirmed yet
+  }
+  fire_deadlock_locked(lock);
+}
+
+void Vm::fire_deadlock_locked(std::unique_lock<std::mutex>& sched_lock) {
+  // Every live thread has been blocked on a VM object, with no timeout
+  // and no external waker, for the whole grace period: the Ruby
+  // `deadlock detected (fatal)` condition.
+  deadlock_reported_ = true;
+  deadlock_candidate_.clear();
+  deadlock_candidate_active_.store(false, std::memory_order_relaxed);
+  std::vector<DeadlockInfo> infos;
+  infos.reserve(threads_.size());
+  for (const auto& [id, th] : threads_) {
+    if (th->state != ThreadState::kBlockedForever) continue;
+    infos.push_back(DeadlockInfo{th->id(), th->name(), th->block_file,
+                                 th->block_line, th->block_note});
+  }
+  DeadlockHook hook = deadlock_hook_;
+  if (hook) {
+    // CP.22: never call unknown code while holding a lock.
+    sched_lock.unlock();
+    bool handled = hook(*this, infos);
+    sched_lock.lock();
+    if (handled) return;  // debugger owns it; threads stay suspended
+  }
+  DLOG_INFO("vm") << "deadlock detected across " << infos.size()
+                  << " thread(s)";
+  for (auto& [id, th] : threads_) {
+    if (th->state == ThreadState::kDead) continue;
+    th->interrupt.store(InterruptReason::kDeadlock,
+                        std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------- frames
+
+std::optional<VmError> Vm::push_frame(InterpThread& th,
+                                      std::shared_ptr<Closure> closure,
+                                      int argc) {
+  const FunctionProto& proto = *closure->proto;
+  if (argc != proto.arity) {
+    return runtime_error(
+        th, strings::format("wrong number of arguments for %s (given %d, "
+                            "expected %d)",
+                            proto.name.empty() ? "<lambda>" : proto.name.c_str(),
+                            argc, proto.arity));
+  }
+  if (th.frames.size() >= kMaxFrames) {
+    return runtime_error(th, "stack level too deep");
+  }
+  InterpThread::Frame frame;
+  frame.closure = std::move(closure);
+  frame.ip = 0;
+  frame.base = th.stack.size() - static_cast<size_t>(argc);
+  frame.line = proto.line;
+  th.stack.resize(frame.base + proto.local_names.size());
+  th.frames.push_back(std::move(frame));
+  if (trace_enabled() && trace_fn_ && !th.suppress_trace) fire_trace(th, TraceKind::kCall, proto.line);
+  return std::nullopt;
+}
+
+void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
+  TraceEvent event;
+  event.kind = kind;
+  event.thread_id = th.id();
+  event.line = line;
+  event.frame_depth = static_cast<int>(th.frames.size());
+  if (!th.frames.empty()) {
+    const FunctionProto& proto = *th.frames.back().closure->proto;
+    event.file = proto.file;
+    event.function = proto.name.empty() ? std::string_view("<lambda>")
+                                        : std::string_view(proto.name);
+  }
+  trace_fn_(*this, th, event);
+}
+
+// --------------------------------------------------------------- interpret
+
+std::variant<Value, VmError> Vm::interpret(InterpThread& th,
+                                           size_t stop_depth) {
+  int since_switch = 0;
+
+  auto fail = [&](VmError err) -> std::variant<Value, VmError> {
+    // Unwind frames created at or above stop_depth.
+    while (th.frames.size() >= stop_depth) {
+      size_t base = th.frames.back().base;
+      th.frames.pop_back();
+      th.stack.resize(base > 0 ? base - 1 : 0);
+    }
+    return err;
+  };
+
+  while (true) {
+    InterpThread::Frame& fr = th.frames.back();
+    const Chunk& chunk = fr.closure->proto->chunk;
+    DIONEA_CHECK(fr.ip < chunk.size(), "ip out of range");
+    Op op = static_cast<Op>(chunk.read_u8(fr.ip++));
+    switch (op) {
+      case Op::kTraceLine: {
+        int line = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        fr.line = line;
+        ++th.stmt_count;
+        InterruptReason reason =
+            th.interrupt.load(std::memory_order_relaxed);
+        if (reason != InterruptReason::kNone) {
+          return fail(interrupt_error(*this, th));
+        }
+        if (++since_switch >= switch_interval_) {
+          since_switch = 0;
+          gil_.yield(th.id());
+        }
+        if (trace_enabled() && trace_fn_ && !th.suppress_trace) {
+          fire_trace(th, TraceKind::kLine, line);
+          // The trace callback may have parked and resumed us; an
+          // interrupt could have arrived while parked.
+          reason = th.interrupt.load(std::memory_order_relaxed);
+          if (reason != InterruptReason::kNone) {
+            return fail(interrupt_error(*this, th));
+          }
+        }
+        break;
+      }
+
+      case Op::kConst: {
+        const Value& v = chunk.constants()[chunk.read_u16(fr.ip)];
+        fr.ip += 2;
+        th.stack.push_back(v);
+        break;
+      }
+      case Op::kNil: th.stack.emplace_back(); break;
+      case Op::kTrue: th.stack.emplace_back(true); break;
+      case Op::kFalse: th.stack.emplace_back(false); break;
+      case Op::kPop: th.stack.pop_back(); break;
+      case Op::kDup: th.stack.push_back(th.stack.back()); break;
+
+      case Op::kGetLocal: {
+        std::uint16_t slot = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        th.stack.push_back(th.stack[fr.base + slot]);
+        break;
+      }
+      case Op::kSetLocal: {
+        std::uint16_t slot = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        th.stack[fr.base + slot] = th.stack.back();
+        break;
+      }
+      case Op::kGetCapture: {
+        std::uint16_t idx = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        th.stack.push_back(fr.closure->captures[idx]);
+        break;
+      }
+      case Op::kSetCapture: {
+        std::uint16_t idx = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        fr.closure->captures[idx] = th.stack.back();
+        break;
+      }
+      case Op::kGetGlobal: {
+        const Value& name = chunk.constants()[chunk.read_u16(fr.ip)];
+        fr.ip += 2;
+        auto it = globals_.find(name.as_str());
+        if (it == globals_.end()) {
+          return fail(runtime_error(
+              th, "undefined name '" + name.as_str() + "'"));
+        }
+        th.stack.push_back(it->second);
+        break;
+      }
+      case Op::kSetGlobal: {
+        const Value& name = chunk.constants()[chunk.read_u16(fr.ip)];
+        fr.ip += 2;
+        globals_[name.as_str()] = th.stack.back();
+        break;
+      }
+
+      case Op::kAdd: {
+        Value rhs = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value& lhs = th.stack.back();
+        if (lhs.is_int() && rhs.is_int()) {
+          std::int64_t out;
+          if (__builtin_add_overflow(lhs.as_int(), rhs.as_int(), &out)) {
+            return fail(runtime_error(th, "integer overflow in +"));
+          }
+          lhs = Value(out);
+        } else if (lhs.is_number() && rhs.is_number()) {
+          lhs = Value(lhs.number() + rhs.number());
+        } else if (lhs.is_str() && rhs.is_str()) {
+          lhs = Value::str(lhs.as_str() + rhs.as_str());
+        } else if (lhs.is_list() && rhs.is_list()) {
+          auto combined = std::make_shared<List>();
+          combined->items = lhs.as_list()->items;
+          combined->items.insert(combined->items.end(),
+                                 rhs.as_list()->items.begin(),
+                                 rhs.as_list()->items.end());
+          lhs = Value(std::move(combined));
+        } else {
+          return fail(runtime_error(
+              th, strings::format("cannot add %s and %s", lhs.type_name(),
+                                  rhs.type_name())));
+        }
+        break;
+      }
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv: {
+        Value rhs = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value& lhs = th.stack.back();
+        if (!lhs.is_number() || !rhs.is_number()) {
+          return fail(runtime_error(
+              th, strings::format("numeric operator on %s and %s",
+                                  lhs.type_name(), rhs.type_name())));
+        }
+        if (lhs.is_int() && rhs.is_int()) {
+          std::int64_t a = lhs.as_int();
+          std::int64_t b = rhs.as_int();
+          std::int64_t out = 0;
+          bool overflow = false;
+          switch (op) {
+            case Op::kSub: overflow = __builtin_sub_overflow(a, b, &out); break;
+            case Op::kMul: overflow = __builtin_mul_overflow(a, b, &out); break;
+            case Op::kDiv:
+              if (b == 0) return fail(runtime_error(th, "divided by 0"));
+              if (a == INT64_MIN && b == -1) {
+                overflow = true;
+              } else {
+                out = a / b;
+              }
+              break;
+            default: break;
+          }
+          if (overflow) {
+            return fail(runtime_error(th, "integer overflow"));
+          }
+          lhs = Value(out);
+        } else {
+          double a = lhs.number();
+          double b = rhs.number();
+          double out = op == Op::kSub ? a - b : op == Op::kMul ? a * b : a / b;
+          lhs = Value(out);
+        }
+        break;
+      }
+      case Op::kMod: {
+        Value rhs = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value& lhs = th.stack.back();
+        if (!lhs.is_int() || !rhs.is_int()) {
+          return fail(runtime_error(th, "'%' requires integers"));
+        }
+        if (rhs.as_int() == 0) {
+          return fail(runtime_error(th, "divided by 0"));
+        }
+        lhs = Value(lhs.as_int() % rhs.as_int());
+        break;
+      }
+      case Op::kNeg: {
+        Value& v = th.stack.back();
+        if (v.is_int()) {
+          v = Value(-v.as_int());
+        } else if (v.is_float()) {
+          v = Value(-v.as_float());
+        } else {
+          return fail(runtime_error(
+              th, strings::format("cannot negate %s", v.type_name())));
+        }
+        break;
+      }
+      case Op::kNot: {
+        Value& v = th.stack.back();
+        v = Value(!v.truthy());
+        break;
+      }
+      case Op::kEq:
+      case Op::kNe: {
+        Value rhs = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value& lhs = th.stack.back();
+        bool eq = lhs.equals(rhs);
+        lhs = Value(op == Op::kEq ? eq : !eq);
+        break;
+      }
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe: {
+        Value rhs = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value& lhs = th.stack.back();
+        int cmp;
+        if (lhs.is_number() && rhs.is_number()) {
+          double a = lhs.number();
+          double b = rhs.number();
+          cmp = a < b ? -1 : a > b ? 1 : 0;
+        } else if (lhs.is_str() && rhs.is_str()) {
+          int c = lhs.as_str().compare(rhs.as_str());
+          cmp = c < 0 ? -1 : c > 0 ? 1 : 0;
+        } else {
+          return fail(runtime_error(
+              th, strings::format("cannot compare %s with %s",
+                                  lhs.type_name(), rhs.type_name())));
+        }
+        bool result = op == Op::kLt   ? cmp < 0
+                      : op == Op::kLe ? cmp <= 0
+                      : op == Op::kGt ? cmp > 0
+                                      : cmp >= 0;
+        lhs = Value(result);
+        break;
+      }
+
+      case Op::kJump: {
+        std::uint16_t offset = chunk.read_u16(fr.ip);
+        fr.ip += 2 + offset;
+        break;
+      }
+      case Op::kJumpIfFalse: {
+        std::uint16_t offset = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        Value cond = std::move(th.stack.back());
+        th.stack.pop_back();
+        if (!cond.truthy()) fr.ip += offset;
+        break;
+      }
+      case Op::kJumpIfFalsePeek: {
+        std::uint16_t offset = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        if (!th.stack.back().truthy()) fr.ip += offset;
+        break;
+      }
+      case Op::kJumpIfTruePeek: {
+        std::uint16_t offset = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        if (th.stack.back().truthy()) fr.ip += offset;
+        break;
+      }
+      case Op::kLoop: {
+        std::uint16_t offset = chunk.read_u16(fr.ip);
+        fr.ip = fr.ip + 2 - offset;
+        break;
+      }
+
+      case Op::kCall: {
+        int argc = chunk.read_u8(fr.ip);
+        fr.ip += 1;
+        size_t callee_index = th.stack.size() - static_cast<size_t>(argc) - 1;
+        Value callee = th.stack[callee_index];
+        if (callee.is_closure()) {
+          // Instantiate the called closure's frame directly on top of
+          // the args (callee slot stays below base for cleanup).
+          auto err = push_frame(th, callee.as_closure(), argc);
+          if (err) return fail(std::move(*err));
+          break;
+        }
+        if (callee.is_native()) {
+          const NativeFn& native = *callee.as_native();
+          if (argc < native.min_arity ||
+              (native.max_arity >= 0 && argc > native.max_arity)) {
+            return fail(runtime_error(
+                th, strings::format("wrong number of arguments for %s",
+                                    native.name.c_str())));
+          }
+          std::vector<Value> args;
+          args.reserve(static_cast<size_t>(argc));
+          for (size_t i = callee_index + 1; i < th.stack.size(); ++i) {
+            args.push_back(std::move(th.stack[i]));
+          }
+          th.stack.resize(callee_index);
+          NativeResult result = native.fn(*this, th, args);
+          if (std::holds_alternative<VmError>(result)) {
+            VmError err = std::get<VmError>(std::move(result));
+            if (err.traceback.empty()) {
+              err.traceback = runtime_error(th, "").traceback;
+            }
+            return fail(std::move(err));
+          }
+          th.stack.push_back(std::get<Value>(std::move(result)));
+          break;
+        }
+        return fail(runtime_error(
+            th, strings::format("%s is not callable", callee.type_name())));
+      }
+
+      case Op::kReturn: {
+        Value result = std::move(th.stack.back());
+        th.stack.pop_back();
+        if (trace_enabled() && trace_fn_ && !th.suppress_trace) {
+          fire_trace(th, TraceKind::kReturn, th.frames.back().line);
+        }
+        size_t base = th.frames.back().base;
+        th.frames.pop_back();
+        th.stack.resize(base > 0 ? base - 1 : 0);
+        if (th.frames.size() < stop_depth) return result;
+        th.stack.push_back(std::move(result));
+        break;
+      }
+
+      case Op::kBuildList: {
+        std::uint16_t count = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        auto list = std::make_shared<List>();
+        list->items.reserve(count);
+        size_t first = th.stack.size() - count;
+        for (size_t i = first; i < th.stack.size(); ++i) {
+          list->items.push_back(std::move(th.stack[i]));
+        }
+        th.stack.resize(first);
+        th.stack.emplace_back(std::move(list));
+        break;
+      }
+      case Op::kBuildMap: {
+        std::uint16_t pairs = chunk.read_u16(fr.ip);
+        fr.ip += 2;
+        auto map = std::make_shared<Map>();
+        size_t first = th.stack.size() - static_cast<size_t>(pairs) * 2;
+        for (size_t i = first; i < th.stack.size(); i += 2) {
+          if (!th.stack[i].is_str()) {
+            return fail(runtime_error(th, "map keys must be strings"));
+          }
+          map->items[th.stack[i].as_str()] = std::move(th.stack[i + 1]);
+        }
+        th.stack.resize(first);
+        th.stack.emplace_back(std::move(map));
+        break;
+      }
+
+      case Op::kIndexGet: {
+        Value index = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value& target = th.stack.back();
+        if (target.is_list()) {
+          if (!index.is_int()) {
+            return fail(runtime_error(th, "list index must be an int"));
+          }
+          const auto& items = target.as_list()->items;
+          std::int64_t i = index.as_int();
+          if (i < 0) i += static_cast<std::int64_t>(items.size());
+          if (i < 0 || i >= static_cast<std::int64_t>(items.size())) {
+            return fail(runtime_error(
+                th, strings::format("list index %lld out of range (len %zu)",
+                                    static_cast<long long>(index.as_int()),
+                                    items.size())));
+          }
+          target = items[static_cast<size_t>(i)];
+        } else if (target.is_map()) {
+          if (!index.is_str()) {
+            return fail(runtime_error(th, "map key must be a string"));
+          }
+          const auto& items = target.as_map()->items;
+          auto it = items.find(index.as_str());
+          target = it == items.end() ? Value() : it->second;
+        } else if (target.is_str()) {
+          if (!index.is_int()) {
+            return fail(runtime_error(th, "string index must be an int"));
+          }
+          const std::string& s = target.as_str();
+          std::int64_t i = index.as_int();
+          if (i < 0) i += static_cast<std::int64_t>(s.size());
+          if (i < 0 || i >= static_cast<std::int64_t>(s.size())) {
+            return fail(runtime_error(th, "string index out of range"));
+          }
+          target = Value::str(std::string(1, s[static_cast<size_t>(i)]));
+        } else {
+          return fail(runtime_error(
+              th, strings::format("%s is not indexable", target.type_name())));
+        }
+        break;
+      }
+      case Op::kIndexSet: {
+        Value value = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value index = std::move(th.stack.back());
+        th.stack.pop_back();
+        Value target = std::move(th.stack.back());
+        th.stack.pop_back();
+        if (target.is_list()) {
+          if (!index.is_int()) {
+            return fail(runtime_error(th, "list index must be an int"));
+          }
+          auto& items = target.as_list()->items;
+          std::int64_t i = index.as_int();
+          if (i < 0) i += static_cast<std::int64_t>(items.size());
+          if (i < 0 || i >= static_cast<std::int64_t>(items.size())) {
+            return fail(runtime_error(th, "list assignment index out of range"));
+          }
+          items[static_cast<size_t>(i)] = value;
+        } else if (target.is_map()) {
+          if (!index.is_str()) {
+            return fail(runtime_error(th, "map key must be a string"));
+          }
+          target.as_map()->items[index.as_str()] = value;
+        } else {
+          return fail(runtime_error(
+              th,
+              strings::format("cannot index-assign %s", target.type_name())));
+        }
+        th.stack.push_back(std::move(value));
+        break;
+      }
+
+      case Op::kClosure: {
+        const Value& proto_value = chunk.constants()[chunk.read_u16(fr.ip)];
+        fr.ip += 2;
+        const auto& template_closure = proto_value.as_closure();
+        auto instance = std::make_shared<Closure>();
+        instance->proto = template_closure->proto;
+        instance->captures.reserve(instance->proto->captures.size());
+        for (const CaptureSource& source : instance->proto->captures) {
+          if (source.from_enclosing_capture) {
+            instance->captures.push_back(fr.closure->captures[source.index]);
+          } else {
+            instance->captures.push_back(th.stack[fr.base + source.index]);
+          }
+        }
+        th.stack.emplace_back(std::move(instance));
+        break;
+      }
+
+      case Op::kIterNew: {
+        Value& v = th.stack.back();
+        auto list = std::make_shared<List>();
+        if (v.is_list()) {
+          list->items = v.as_list()->items;  // snapshot, like `for` in Ruby
+        } else if (v.is_map()) {
+          list->items.reserve(v.as_map()->items.size());
+          for (const auto& [key, unused] : v.as_map()->items) {
+            list->items.push_back(Value::str(key));
+          }
+        } else if (v.is_str()) {
+          const std::string& s = v.as_str();
+          list->items.reserve(s.size());
+          for (char c : s) list->items.push_back(Value::str(std::string(1, c)));
+        } else if (v.is_int()) {
+          std::int64_t n = v.as_int();
+          if (n < 0) n = 0;
+          list->items.reserve(static_cast<size_t>(n));
+          for (std::int64_t i = 0; i < n; ++i) list->items.push_back(Value(i));
+        } else {
+          return fail(runtime_error(
+              th, strings::format("%s is not iterable", v.type_name())));
+        }
+        v = Value(std::move(list));
+        break;
+      }
+      case Op::kIterNext: {
+        std::uint16_t slot = chunk.read_u16(fr.ip);
+        std::uint16_t exit_offset = chunk.read_u16(fr.ip + 2);
+        fr.ip += 4;
+        const auto& list = th.stack[fr.base + slot].as_list();
+        Value& index = th.stack[fr.base + slot + 1];
+        std::int64_t i = index.as_int();
+        if (i >= static_cast<std::int64_t>(list->items.size())) {
+          fr.ip += exit_offset;
+          break;
+        }
+        index = Value(i + 1);
+        th.stack.push_back(list->items[static_cast<size_t>(i)]);
+        break;
+      }
+
+      case Op::kHalt:
+        return Value();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- calling
+
+std::variant<Value, VmError> Vm::call_value(InterpThread& th, Value callee,
+                                            std::vector<Value> args) {
+  if (callee.is_native()) {
+    const NativeFn& native = *callee.as_native();
+    int argc = static_cast<int>(args.size());
+    if (argc < native.min_arity ||
+        (native.max_arity >= 0 && argc > native.max_arity)) {
+      return runtime_error(
+          th, strings::format("wrong number of arguments for %s",
+                              native.name.c_str()));
+    }
+    NativeResult result = native.fn(*this, th, args);
+    if (std::holds_alternative<VmError>(result)) {
+      return std::get<VmError>(std::move(result));
+    }
+    return std::get<Value>(std::move(result));
+  }
+  if (!callee.is_closure()) {
+    return runtime_error(
+        th, strings::format("%s is not callable", callee.type_name()));
+  }
+  size_t stop_depth = th.frames.size() + 1;
+  th.stack.push_back(callee);
+  for (Value& arg : args) th.stack.push_back(std::move(arg));
+  auto err = push_frame(th, callee.as_closure(),
+                        static_cast<int>(args.size()));
+  if (err) {
+    th.stack.resize(th.stack.size() - args.size() - 1);
+    return std::move(*err);
+  }
+  return interpret(th, stop_depth);
+}
+
+// ---------------------------------------------------------------- threads
+
+std::variant<Value, VmError> Vm::spawn_thread(InterpThread& parent,
+                                              Value callee,
+                                              std::vector<Value> args) {
+  if (!callee.is_closure()) {
+    return runtime_error(parent, "spawn expects a fn");
+  }
+  if (static_cast<int>(args.size()) != callee.as_closure()->proto->arity) {
+    return runtime_error(parent, "spawn: argument count mismatch");
+  }
+  std::shared_ptr<InterpThread> th;
+  {
+    std::scoped_lock lock(sched_mutex_);
+    std::int64_t id = ++next_thread_id_;
+    th = std::make_shared<InterpThread>(
+        id, strings::format("thread-%lld", static_cast<long long>(id)));
+    threads_[id] = th;
+  }
+  auto handle = std::make_shared<ThreadHandle>();
+  handle->thread_id = th->id();
+  handle->thread = th;
+
+  std::shared_ptr<Closure> closure = callee.as_closure();
+  std::thread os_thread(
+      [this, th, closure, args = std::move(args)]() mutable {
+        thread_entry(th, closure, std::move(args));
+      });
+  os_thread.detach();
+  return Value(std::move(handle));
+}
+
+void Vm::thread_entry(std::shared_ptr<InterpThread> th,
+                      std::shared_ptr<Closure> closure,
+                      std::vector<Value> args) {
+  gil_.acquire(th->id());
+  if (trace_enabled() && trace_fn_ && !th->suppress_trace) {
+    fire_trace(*th, TraceKind::kThreadStart, closure->proto->line);
+  }
+  th->stack.push_back(Value(closure));
+  for (Value& arg : args) th->stack.push_back(std::move(arg));
+  auto push_err = push_frame(*th, closure, static_cast<int>(args.size()));
+
+  std::variant<Value, VmError> outcome;
+  if (push_err) {
+    outcome = std::move(*push_err);
+  } else {
+    outcome = interpret(*th, 1);
+  }
+  if (trace_enabled() && trace_fn_ && !th->suppress_trace) {
+    fire_trace(*th, TraceKind::kThreadEnd, 0);
+  }
+  gil_.release();
+
+  unregister_thread(*th);
+  if (std::holds_alternative<Value>(outcome)) {
+    th->mark_done(std::get<Value>(std::move(outcome)));
+  } else {
+    VmError err = std::get<VmError>(std::move(outcome));
+    if (err.kind == VmErrorKind::kRuntime) {
+      DLOG_DEBUG("vm") << "thread " << th->id()
+                       << " died with: " << err.message;
+    }
+    th->mark_failed(std::move(err));
+  }
+}
+
+void Vm::unregister_thread(InterpThread& th) {
+  std::unique_lock lock(sched_mutex_);
+  retired_statements_ += th.stmt_count;
+  th.state = ThreadState::kDead;
+  threads_.erase(th.id());
+  // A thread's death can complete a deadlock (its peers may all be
+  // blocked waiting on something only it could have provided).
+  check_deadlock_locked(lock);
+}
+
+std::shared_ptr<InterpThread> Vm::find_thread(std::int64_t tid) {
+  std::scoped_lock lock(sched_mutex_);
+  auto it = threads_.find(tid);
+  return it == threads_.end() ? nullptr : it->second;
+}
+
+int Vm::live_thread_count() {
+  std::scoped_lock lock(sched_mutex_);
+  int count = 0;
+  for (const auto& [id, th] : threads_) {
+    if (th->state != ThreadState::kDead) ++count;
+  }
+  return count;
+}
+
+// ------------------------------------------------------------- inspection
+
+std::vector<ThreadInfo> Vm::list_threads() {
+  GilHold gil(gil_);
+  std::scoped_lock lock(sched_mutex_);
+  std::vector<ThreadInfo> out;
+  out.reserve(threads_.size());
+  for (const auto& [id, th] : threads_) {
+    ThreadInfo info;
+    info.id = th->id();
+    info.name = th->name();
+    info.state = th->state;
+    info.block_note = th->block_note;
+    info.frame_depth = static_cast<int>(th->frames.size());
+    if (!th->frames.empty()) {
+      const InterpThread::Frame& fr = th->frames.back();
+      info.file = fr.closure->proto->file;
+      info.line = fr.line;
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadInfo& a, const ThreadInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<FrameInfo> Vm::thread_frames(std::int64_t tid) {
+  GilHold gil(gil_);
+  std::shared_ptr<InterpThread> th;
+  {
+    std::scoped_lock lock(sched_mutex_);
+    auto it = threads_.find(tid);
+    if (it == threads_.end()) return {};
+    th = it->second;
+  }
+  std::vector<FrameInfo> out;
+  for (size_t i = th->frames.size(); i-- > 0;) {
+    const InterpThread::Frame& fr = th->frames[i];
+    const FunctionProto& proto = *fr.closure->proto;
+    out.push_back(FrameInfo{
+        proto.name.empty() ? "<lambda>" : proto.name, proto.file, fr.line});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Vm::frame_locals(
+    std::int64_t tid, int depth) {
+  GilHold gil(gil_);
+  std::shared_ptr<InterpThread> th;
+  {
+    std::scoped_lock lock(sched_mutex_);
+    auto it = threads_.find(tid);
+    if (it == threads_.end()) return {};
+    th = it->second;
+  }
+  if (depth < 0 || static_cast<size_t>(depth) >= th->frames.size()) return {};
+  const InterpThread::Frame& fr =
+      th->frames[th->frames.size() - 1 - static_cast<size_t>(depth)];
+  const FunctionProto& proto = *fr.closure->proto;
+  std::vector<std::pair<std::string, std::string>> out;
+  for (size_t i = 0; i < proto.local_names.size(); ++i) {
+    const std::string& name = proto.local_names[i];
+    if (!name.empty() && name[0] == '$') continue;  // hidden iterator slots
+    if (fr.base + i >= th->stack.size()) break;
+    out.emplace_back(name, th->stack[fr.base + i].repr());
+  }
+  // Captured variables are part of the visible scope too.
+  for (size_t i = 0; i < proto.capture_names.size(); ++i) {
+    out.emplace_back(proto.capture_names[i], fr.closure->captures[i].repr());
+  }
+  return out;
+}
+
+Result<std::string> Vm::eval_in_frame(std::int64_t tid, int depth,
+                                      const std::string& expression) {
+  if (expression.find('\n') != std::string::npos) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "eval takes a single expression");
+  }
+  GilHold gil(gil_);  // target thread cannot be mid-statement under us
+
+  std::shared_ptr<InterpThread> target;
+  {
+    std::scoped_lock lock(sched_mutex_);
+    auto it = threads_.find(tid);
+    if (it == threads_.end()) {
+      return Error(ErrorCode::kNotFound,
+                   "no such thread: " + std::to_string(tid));
+    }
+    target = it->second;
+  }
+  if (depth < 0 || static_cast<size_t>(depth) >= target->frames.size()) {
+    return Error(ErrorCode::kInvalidArgument, "no such frame");
+  }
+  const InterpThread::Frame& fr =
+      target->frames[target->frames.size() - 1 - static_cast<size_t>(depth)];
+  const FunctionProto& proto = *fr.closure->proto;
+
+  // Compile `fn __eval(<frame names>) return (<expr>) end`; the frame's
+  // locals and captures become parameters (by value — heap objects
+  // still alias), anything else resolves as a global at run time.
+  std::vector<std::string> names;
+  std::vector<Value> values;
+  for (size_t i = 0; i < proto.local_names.size(); ++i) {
+    const std::string& name = proto.local_names[i];
+    if (name.empty() || name[0] == '$') continue;  // hidden iterator slots
+    if (fr.base + i >= target->stack.size()) break;
+    names.push_back(name);
+    values.push_back(target->stack[fr.base + i]);
+  }
+  for (size_t i = 0; i < proto.capture_names.size(); ++i) {
+    names.push_back(proto.capture_names[i]);
+    values.push_back(fr.closure->captures[i]);
+  }
+  std::string source = "fn __eval(" + strings::join(names, ", ") +
+                       ")\n  return (" + expression + ")\nend";
+  auto compiled = compile_source(source, "<eval>");
+  if (!compiled.is_ok()) return compiled.error();
+  std::shared_ptr<Closure> eval_closure;
+  for (const Value& constant : compiled.value()->chunk.constants()) {
+    if (constant.is_closure()) {
+      eval_closure = std::make_shared<Closure>(*constant.as_closure());
+    }
+  }
+  DIONEA_CHECK(eval_closure != nullptr, "eval closure missing");
+
+  // Run it on an ephemeral interpreter thread. It executes under the
+  // GIL we already hold; any blocking it performs releases/reacquires
+  // that hold in a balanced way.
+  std::shared_ptr<InterpThread> eval_th;
+  {
+    std::scoped_lock lock(sched_mutex_);
+    std::int64_t id = ++next_thread_id_;
+    eval_th = std::make_shared<InterpThread>(
+        id, strings::format("eval-%lld", static_cast<long long>(id)));
+    eval_th->suppress_trace = true;
+    threads_[id] = eval_th;
+  }
+  eval_th->stack.push_back(Value(eval_closure));
+  for (Value& value : values) eval_th->stack.push_back(value);
+  auto push_err =
+      push_frame(*eval_th, eval_closure, static_cast<int>(values.size()));
+  std::variant<Value, VmError> outcome;
+  if (push_err) {
+    outcome = std::move(*push_err);
+  } else {
+    outcome = interpret(*eval_th, 1);
+  }
+  {
+    std::scoped_lock lock(sched_mutex_);
+    retired_statements_ += eval_th->stmt_count;
+    eval_th->state = ThreadState::kDead;
+    threads_.erase(eval_th->id());
+  }
+  if (std::holds_alternative<VmError>(outcome)) {
+    const VmError& err = std::get<VmError>(outcome);
+    return Error(ErrorCode::kInvalidArgument, err.message);
+  }
+  return std::get<Value>(outcome).repr();
+}
+
+std::vector<std::pair<std::string, std::string>> Vm::globals_snapshot() {
+  GilHold gil(gil_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, value] : globals_) {
+    if (value.is_native()) continue;  // builtins would drown the view
+    out.emplace_back(name, value.repr());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ------------------------------------------------------------------ fork
+
+int Vm::add_fork_handlers(ForkHooks hooks) {
+  fork_hooks_.push_back(std::move(hooks));
+  return static_cast<int>(fork_hooks_.size() - 1);
+}
+
+void Vm::internal_fork_prepare(InterpThread& th) {
+  fork_sched_lock_ = std::unique_lock(sched_mutex_);
+  fork_done_lock_ = std::unique_lock(th.done_mutex);
+  fork_park_lock_ = std::unique_lock(th.park_mutex);
+  // Pin every live sync object, in registration order (a total order,
+  // so this cannot deadlock against another fork — forks are serialized
+  // by the GIL anyway).
+  fork_pinned_.clear();
+  std::vector<std::weak_ptr<SyncObject>> still_alive;
+  for (auto& weak : sync_objects_) {
+    if (auto obj = weak.lock()) {
+      fork_pinned_.push_back(obj);
+      still_alive.push_back(weak);
+    }
+  }
+  sync_objects_ = std::move(still_alive);  // drop expired entries
+  for (auto& obj : fork_pinned_) obj->lock_for_fork();
+  gil_.prepare_fork();
+}
+
+void Vm::internal_fork_parent() {
+  gil_.parent_atfork();
+  for (size_t i = fork_pinned_.size(); i-- > 0;) {
+    fork_pinned_[i]->unlock_after_fork();
+  }
+  fork_pinned_.clear();
+  fork_park_lock_.unlock();
+  fork_park_lock_ = {};
+  fork_done_lock_.unlock();
+  fork_done_lock_ = {};
+  fork_sched_lock_.unlock();
+  fork_sched_lock_ = {};
+}
+
+void Vm::internal_fork_child(InterpThread& th) {
+  forked_child_ = true;
+  ++fork_depth_;
+  gil_.child_atfork(th.id());
+  for (auto& obj : fork_pinned_) obj->reinit_in_child(th.id());
+  fork_pinned_.clear();
+
+  // Listing 1/2 analog: only the forking thread survives. The other
+  // InterpThread objects are parked in a graveyard instead of being
+  // destroyed — their mutexes/cvs may hold state from threads that
+  // existed only in the parent, and destroying such primitives is UB.
+  auto self = threads_.at(th.id());
+  for (auto& [id, dead] : threads_) {
+    if (dead.get() == &th) continue;
+    dead->state = ThreadState::kDead;
+    fork_graveyard_.push_back(dead);
+  }
+  threads_.clear();
+  threads_[th.id()] = self;
+  main_thread_id_.store(th.id(), std::memory_order_relaxed);
+  th.state = ThreadState::kRunnable;
+  th.interrupt.store(InterruptReason::kNone, std::memory_order_relaxed);
+  deadlock_reported_ = false;
+
+  // We locked these ourselves in prepare; same thread, so plain
+  // unlocks are well-defined in the child.
+  fork_park_lock_.unlock();
+  fork_park_lock_ = {};
+  fork_done_lock_.unlock();
+  fork_done_lock_ = {};
+  fork_sched_lock_.unlock();
+  fork_sched_lock_ = {};
+}
+
+Result<int> Vm::fork_now(InterpThread& th) {
+  DIONEA_CHECK(gil_.held_by(th.id()), "fork_now requires the GIL");
+  // Flush stdio so the child doesn't inherit (and later re-emit)
+  // buffered output written before the fork.
+  std::fflush(nullptr);
+  // pthread_atfork ordering: prepare handlers run newest-first, the
+  // VM's own (implicitly oldest) last; parent/child run oldest-first.
+  for (size_t i = fork_hooks_.size(); i-- > 0;) {
+    if (fork_hooks_[i].prepare) fork_hooks_[i].prepare(*this);
+  }
+  internal_fork_prepare(th);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    int saved = errno;
+    internal_fork_parent();
+    for (auto& hooks : fork_hooks_) {
+      if (hooks.parent) hooks.parent(*this, -1);
+    }
+    return errno_error("fork", saved);
+  }
+  if (pid == 0) {
+    internal_fork_child(th);
+    for (auto& hooks : fork_hooks_) {
+      if (hooks.child) hooks.child(*this, 0);
+    }
+    return 0;
+  }
+  internal_fork_parent();
+  for (auto& hooks : fork_hooks_) {
+    if (hooks.parent) hooks.parent(*this, static_cast<int>(pid));
+  }
+  return static_cast<int>(pid);
+}
+
+// ------------------------------------------------------------------- run
+
+RunResult Vm::run_source(std::string_view source, const std::string& file) {
+  auto proto = compile_source(source, file);
+  if (!proto.is_ok()) {
+    RunResult result;
+    result.ok = false;
+    result.error.kind = VmErrorKind::kRuntime;
+    result.error.message = proto.error().message();
+    return result;
+  }
+  return run_main(std::move(proto).value());
+}
+
+RunResult Vm::run_main(std::shared_ptr<const FunctionProto> proto) {
+  auto main_th = std::make_shared<InterpThread>(1, "main");
+  {
+    std::scoped_lock lock(sched_mutex_);
+    DIONEA_CHECK(threads_.empty(), "run_main on a VM that is already running");
+    threads_[1] = main_th;
+    if (next_thread_id_ < 1) next_thread_id_ = 1;
+  }
+  auto closure = std::make_shared<Closure>(Closure{proto, {}});
+
+  gil_.acquire(1);
+  if (trace_enabled() && trace_fn_ && !main_th->suppress_trace) {
+    fire_trace(*main_th, TraceKind::kThreadStart, 0);
+  }
+  main_th->stack.push_back(Value(closure));
+  auto push_err = push_frame(*main_th, closure, 0);
+  std::variant<Value, VmError> outcome;
+  if (push_err) {
+    outcome = std::move(*push_err);
+  } else {
+    outcome = interpret(*main_th, 1);
+  }
+  if (trace_enabled() && trace_fn_ && !main_th->suppress_trace) {
+    fire_trace(*main_th, TraceKind::kThreadEnd, 0);
+  }
+  gil_.release();
+
+  unregister_thread(*main_th);
+  shutdown_threads();
+
+  RunResult result;
+  if (std::holds_alternative<Value>(outcome)) {
+    result.ok = true;
+    result.value = std::get<Value>(std::move(outcome));
+    main_th->mark_done(result.value);
+    if (exit_pending_.load(std::memory_order_relaxed)) {
+      result.exited = true;
+      result.exit_code = exit_code_.load(std::memory_order_relaxed);
+    }
+    return result;
+  }
+  VmError err = std::get<VmError>(std::move(outcome));
+  main_th->mark_failed(err);
+  if (err.kind == VmErrorKind::kExit ||
+      (err.kind == VmErrorKind::kThreadKill &&
+       exit_pending_.load(std::memory_order_relaxed))) {
+    result.ok = true;
+    result.exited = true;
+    result.exit_code = err.kind == VmErrorKind::kExit
+                           ? err.exit_code
+                           : exit_code_.load(std::memory_order_relaxed);
+    return result;
+  }
+  result.ok = false;
+  result.error = std::move(err);
+  return result;
+}
+
+void Vm::shutdown_threads() {
+  // Ruby semantics: when the main thread exits, remaining threads are
+  // killed at their next safepoint / interruptible wait.
+  Stopwatch watch;
+  bool warned = false;
+  while (true) {
+    {
+      std::scoped_lock lock(sched_mutex_);
+      bool any = false;
+      for (auto& [id, th] : threads_) {
+        if (th->state == ThreadState::kDead) continue;
+        any = true;
+        th->interrupt.store(InterruptReason::kKill,
+                            std::memory_order_relaxed);
+        th->park_cv.notify_all();
+      }
+      if (!any) return;
+    }
+    if (watch.elapsed_seconds() > 30.0 && !warned) {
+      warned = true;
+      DLOG_ERROR("vm") << "threads did not exit within 30s of shutdown";
+    }
+    sleep_for_millis(5);
+  }
+}
+
+}  // namespace dionea::vm

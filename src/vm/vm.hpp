@@ -1,0 +1,350 @@
+// MiniVM: the interpreter the debugger attaches to.
+//
+// This class plays the role CPython/CRuby play in the paper: it owns
+// the GIL, the living-thread table, the sync-object registry, the
+// trace hook (sys.settrace / set_trace_func analog, §4) and the fork
+// entry point with its handler chain (§5). The debugger never reaches
+// into interpreter internals directly — everything it needs is on this
+// public surface.
+//
+// Locking domains (never nested except as listed):
+//   GIL            — bytecode execution, globals, object mutation.
+//   sched_mutex_   — thread registry, thread states, sync registry,
+//                    deadlock detection. May be taken while the GIL is
+//                    held or released; nothing is taken under it except
+//                    (at fork only) sync-object internal mutexes.
+//   per-object     — VmMutex/VmQueue/VmCond internal mutexes; leaf locks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "support/result.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/gil.hpp"
+#include "vm/sync.hpp"
+#include "vm/thread.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::vm {
+
+// ---- tracing (the debugger's window into execution) ----
+
+enum class TraceKind : int {
+  kCall,         // a MiniLang function frame was pushed
+  kLine,         // statement boundary
+  kReturn,       // frame about to pop
+  kThreadStart,  // new interpreter thread, first event in that thread
+  kThreadEnd,    // interpreter thread finishing
+};
+
+const char* trace_kind_name(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  TraceKind kind;
+  std::int64_t thread_id = 0;
+  // Views into the (immutable) FunctionProto — valid for the duration
+  // of the callback; copy if kept. Keeping these allocation-free is
+  // what puts the no-breakpoint tracing overhead in the paper's
+  // 12–20% band instead of multiples.
+  std::string_view file;      // script path ("" for thread start/end)
+  int line = 0;
+  std::string_view function;  // enclosing function name
+  int frame_depth = 0;        // frames on the stack when the event fired
+};
+
+// Invoked with the GIL held, on the thread that caused the event —
+// the callback may block (that is how the debugger suspends a thread)
+// but must release the GIL while doing so (Vm::BlockScope handles it).
+using TraceFn = std::function<void(Vm&, InterpThread&, const TraceEvent&)>;
+
+// ---- fork handlers (§5.2/§5.4) ----
+
+struct ForkHooks {
+  std::function<void(Vm&)> prepare;            // in parent, before fork
+  std::function<void(Vm&, int)> parent;        // after fork; child pid (-1 if fork failed)
+  std::function<void(Vm&, int)> child;         // in child; pid arg is 0
+};
+
+// ---- deadlock reporting (§6.2) ----
+
+struct DeadlockInfo {
+  std::int64_t thread_id = 0;
+  std::string thread_name;
+  std::string file;
+  int line = 0;
+  std::string note;  // e.g. "Queue#pop"
+};
+
+// Return true to take ownership of the deadlock (threads stay blocked,
+// the debugger reports the exact lines); false to let the VM raise
+// `deadlock detected (fatal)` like stock Ruby (Listing 6).
+using DeadlockHook =
+    std::function<bool(Vm&, const std::vector<DeadlockInfo>&)>;
+
+// ---- run results ----
+
+struct RunResult {
+  bool ok = false;
+  Value value;          // value of the last expression of <main> (nil)
+  VmError error;        // when !ok && !exited
+  bool exited = false;  // exit(code) was called
+  int exit_code = 0;
+};
+
+class Vm {
+ public:
+  Vm();
+  ~Vm();
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // ---- execution ----
+
+  // Compile-and-run convenience; `file` names the script in tracebacks.
+  RunResult run_source(std::string_view source, const std::string& file);
+  // Run a compiled program as the main thread (blocks until the
+  // program and all its threads finish; kills stragglers like Ruby).
+  RunResult run_main(std::shared_ptr<const FunctionProto> proto);
+
+  // Call a callable with arguments from native code on an existing
+  // interpreter thread (GIL must be held by `th`).
+  std::variant<Value, VmError> call_value(InterpThread& th, Value callee,
+                                          std::vector<Value> args);
+
+  // ---- globals / natives ----
+  void define_native(const std::string& name, int min_arity, int max_arity,
+                     std::function<NativeResult(Vm&, InterpThread&,
+                                                std::vector<Value>&)> fn);
+  // GIL-free variants for setup before run_main starts.
+  void set_global(const std::string& name, Value value);
+  Value get_global(const std::string& name) const;
+
+  // ---- tracing ----
+  void set_trace_fn(TraceFn fn);
+  void clear_trace_fn();
+  // Fast on/off used by fork handler A/B ("disable the tracing until
+  // the listener thread is restarted").
+  void set_trace_enabled(bool enabled) noexcept {
+    trace_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool trace_enabled() const noexcept {
+    return trace_enabled_.load(std::memory_order_relaxed);
+  }
+
+  Gil& gil() noexcept { return gil_; }
+
+  // ---- thread registry / inspection ----
+  // Snapshot functions are safe from any thread; they take sched_mutex_
+  // and, for frame/local access, require the GIL (GilHold) so the
+  // target cannot be mid-statement.
+  std::vector<ThreadInfo> list_threads();
+  std::vector<FrameInfo> thread_frames(std::int64_t tid);
+  std::vector<std::pair<std::string, std::string>> frame_locals(
+      std::int64_t tid, int depth);  // name -> repr; innermost depth 0
+  std::vector<std::pair<std::string, std::string>> globals_snapshot();
+  std::shared_ptr<InterpThread> find_thread(std::int64_t tid);
+
+  // Evaluate a MiniLang expression in the context of frame `depth`
+  // (0 = innermost) of thread `tid`, from a NON-interpreter thread
+  // (the debug server's listener). The target thread must be stable
+  // (suspended or blocked — guaranteed while the caller holds the GIL,
+  // which this method takes). The expression sees the frame's locals
+  // and captures (by value) plus all globals; it runs with full
+  // power — it can call functions and mutate shared heap objects, like
+  // `p expr` in any real debugger. Returns repr() of the result.
+  Result<std::string> eval_in_frame(std::int64_t tid, int depth,
+                                    const std::string& expression);
+  std::int64_t main_thread_id() const noexcept {
+    return main_thread_id_.load(std::memory_order_relaxed);
+  }
+  int live_thread_count();
+
+  // Spawn an interpreter thread running `callee(args...)`. GIL held.
+  std::variant<Value, VmError> spawn_thread(InterpThread& parent,
+                                            Value callee,
+                                            std::vector<Value> args);
+
+  // ---- blocking protocol ----
+  // RAII for any operation that parks an interpreter thread: releases
+  // the GIL, publishes the blocked state (and location) for the
+  // debugger/deadlock detector, restores everything on destruction.
+  class BlockScope {
+   public:
+    BlockScope(Vm& vm, InterpThread& th, ThreadState state,
+               std::string note);
+    ~BlockScope();
+    BlockScope(const BlockScope&) = delete;
+    BlockScope& operator=(const BlockScope&) = delete;
+
+   private:
+    Vm& vm_;
+    InterpThread& th_;
+  };
+
+  // Wait-slice length used by interruptible waits (ms).
+  static constexpr int kWaitSliceMillis = 20;
+
+  // ---- sync-object registry (fork support) ----
+  void register_sync_object(std::shared_ptr<SyncObject> object);
+
+  // ---- fork ----
+  // Register debugger/user handlers; returns a handle id (handlers
+  // currently live for the Vm's lifetime).
+  int add_fork_handlers(ForkHooks hooks);
+  // The augmented fork (§5.4): runs prepare handlers, ::fork(2),
+  // then child/parent handlers. Returns the pid (0 in the child).
+  Result<int> fork_now(InterpThread& th);
+  bool is_forked_child() const noexcept { return forked_child_; }
+  int fork_depth() const noexcept { return fork_depth_; }
+
+  // Called (if set) right before a fork-with-block child _exits —
+  // the debugger's `at_finalize_proc` (§5.4 C / Listing 3).
+  void set_at_exit_hook(std::function<void(Vm&)> hook);
+  void run_at_exit_hook();
+
+  // ---- deadlock ----
+  void set_deadlock_hook(DeadlockHook hook);
+
+  // ---- output (the client's Output window, Fig. 2) ----
+  void set_output(std::function<void(std::string_view)> sink);
+  void write_output(std::string_view text);
+
+  // ---- exit ----
+  void request_exit(int code);
+
+  // ---- tuning / stats ----
+  void set_switch_interval(int statements) noexcept {
+    switch_interval_ = statements > 0 ? statements : 1;
+  }
+  std::uint64_t statements_executed();
+
+  // ---- internals shared with sync.cpp / builtins.cpp ----
+  // Interruptible timed wait helper: returns true if pred() became
+  // true, false on interrupt. Must be called inside a BlockScope.
+  // Each wait slice also drives deadlock confirmation (see
+  // deadlock_tick), which is why this is a member.
+  template <typename Pred>
+  bool wait_interruptible(InterpThread& th, std::mutex& mutex,
+                          std::condition_variable& cv, Pred pred);
+
+  // Deadlock detection is two-phase to avoid false positives from
+  // wakeups in flight (a dying thread's joiner is still flagged
+  // blocked for a few microseconds). Entering a forever-block or a
+  // thread death establishes a *candidate* (snapshot of blocked
+  // threads + their epochs); blocked threads confirm it from their
+  // wait ticks once it has survived kDeadlockGraceMillis unchanged.
+  static constexpr int kDeadlockGraceMillis = 150;
+  void deadlock_tick();
+
+  VmError runtime_error(InterpThread& th, std::string message,
+                        VmErrorKind kind = VmErrorKind::kRuntime);
+
+ private:
+  friend class BlockScope;
+
+  struct SpawnRequest;
+
+  void install_builtins();
+  void thread_entry(std::shared_ptr<InterpThread> th,
+                    std::shared_ptr<Closure> closure,
+                    std::vector<Value> args);
+  std::variant<Value, VmError> interpret(InterpThread& th,
+                                         size_t stop_depth);
+  std::optional<VmError> push_frame(InterpThread& th,
+                                    std::shared_ptr<Closure> closure,
+                                    int argc);
+  void fire_trace(InterpThread& th, TraceKind kind, int line);
+  void set_thread_state(InterpThread& th, ThreadState state,
+                        std::string note);
+  // Candidate = (tid, epoch) of every blocked thread when all live
+  // threads were blocked forever. Empty candidate = none pending.
+  std::vector<std::pair<std::int64_t, std::uint64_t>>
+  blocked_snapshot_locked(bool* all_blocked_forever) const;
+  void check_deadlock_locked(std::unique_lock<std::mutex>& sched_lock);
+  void fire_deadlock_locked(std::unique_lock<std::mutex>& sched_lock);
+  void shutdown_threads();
+  void unregister_thread(InterpThread& th);
+
+  // fork internals
+  void internal_fork_prepare(InterpThread& th);
+  void internal_fork_parent();
+  void internal_fork_child(InterpThread& th);
+
+  Gil gil_;
+  std::atomic<bool> trace_enabled_{false};
+  TraceFn trace_fn_;  // written under GIL; read under GIL
+
+  mutable std::mutex sched_mutex_;
+  std::unordered_map<std::int64_t, std::shared_ptr<InterpThread>> threads_;
+  std::vector<std::weak_ptr<SyncObject>> sync_objects_;
+  std::int64_t next_thread_id_ = 1;
+  std::atomic<std::int64_t> main_thread_id_{1};
+  std::uint64_t retired_statements_ = 0;
+  bool deadlock_reported_ = false;
+  // Pending candidate (guarded by sched_mutex_); the atomic mirrors
+  // "candidate exists" so wait ticks can skip the lock when idle.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> deadlock_candidate_;
+  double deadlock_candidate_since_ = 0.0;
+  std::atomic<bool> deadlock_candidate_active_{false};
+
+  std::unordered_map<std::string, Value> globals_;  // GIL-protected
+
+  std::vector<ForkHooks> fork_hooks_;  // mutated under GIL, pre-run or GIL
+  std::unique_lock<std::mutex> fork_sched_lock_;
+  std::vector<std::shared_ptr<SyncObject>> fork_pinned_;
+  // The forking thread's own completion/park mutexes are pinned across
+  // fork: a joiner in the parent could hold one at the fork instant,
+  // which would leave the child's copy locked forever.
+  std::unique_lock<std::mutex> fork_done_lock_;
+  std::unique_lock<std::mutex> fork_park_lock_;
+  // InterpThreads of the parent's other threads, kept alive in the
+  // child forever: destroying their mutexes/cvs (whose state references
+  // parent-only threads) would be UB. Bounded by threads-at-fork.
+  std::vector<std::shared_ptr<InterpThread>> fork_graveyard_;
+  bool forked_child_ = false;
+  int fork_depth_ = 0;
+
+  DeadlockHook deadlock_hook_;
+  std::function<void(Vm&)> at_exit_hook_;
+  std::function<void(std::string_view)> output_;
+
+  std::atomic<bool> exit_pending_{false};
+  std::atomic<int> exit_code_{0};
+
+  int switch_interval_ = 128;
+};
+
+template <typename Pred>
+bool Vm::wait_interruptible(InterpThread& th, std::mutex& mutex,
+                            std::condition_variable& cv, Pred pred) {
+  std::unique_lock lock(mutex);
+  while (true) {
+    if (pred()) return true;
+    if (th.interrupt.load(std::memory_order_relaxed) !=
+        InterruptReason::kNone) {
+      return false;
+    }
+    cv.wait_for(lock, std::chrono::milliseconds(kWaitSliceMillis));
+    if (deadlock_candidate_active_.load(std::memory_order_relaxed)) {
+      // Confirm outside `mutex`: deadlock_tick takes sched_mutex_, and
+      // the fork prepare path locks sched_mutex_ *before* object
+      // mutexes — holding `mutex` here would invert that order.
+      lock.unlock();
+      deadlock_tick();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace dionea::vm

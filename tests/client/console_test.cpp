@@ -1,0 +1,134 @@
+// The command shell (Fig. 2) driven headlessly.
+#include <gtest/gtest.h>
+
+#include "client/console.hpp"
+#include "testutil.hpp"
+
+namespace dionea::client {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+class ConsoleTest : public ::testing::Test {
+ protected:
+  void start(const std::string& program,
+             test::HarnessOptions options = {.stop_at_entry = true}) {
+    harness_ = std::make_unique<DebugHarness>(program, options);
+    harness_->launch();
+    console_ = std::make_unique<Console>(harness_->client());
+  }
+
+  std::string run(const std::string& line) { return console_->execute(line); }
+
+  std::unique_ptr<DebugHarness> harness_;
+  std::unique_ptr<Console> console_;
+};
+
+TEST_F(ConsoleTest, HelpAndUnknown) {
+  start("x = 1");
+  EXPECT_NE(run("help").find("break <file>:<line>"), std::string::npos);
+  EXPECT_NE(run("frobnicate"), "");
+  EXPECT_EQ(run(""), "");
+  EXPECT_EQ(run("   "), "");
+  (void)harness_->session()->wait_stopped(5000);
+  run("c");
+  harness_->join();
+}
+
+TEST_F(ConsoleTest, ProcsListsAttached) {
+  start("x = 1");
+  std::string out = run("procs");
+  EXPECT_NE(out.find(std::to_string(getpid())), std::string::npos);
+  (void)harness_->session()->wait_stopped(5000);
+  run("c");
+  harness_->join();
+}
+
+TEST_F(ConsoleTest, FullBreakpointFlow) {
+  start(
+      "fn add(a, b)\n"    // 1
+      "  c = a + b\n"     // 2
+      "  return c\n"      // 3
+      "end\n"
+      "r = add(1, 2)\n"   // 5
+      "puts(r)");
+  auto* session = harness_->session();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+
+  EXPECT_NE(run("break test.ml:3").find("breakpoint 1"), std::string::npos);
+  run("use " + std::to_string(getpid()) + " 1");
+  run("c");
+  auto hit = session->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok());
+
+  std::string threads = run("threads");
+  EXPECT_NE(threads.find("suspended"), std::string::npos);
+
+  std::string locals = run("locals");
+  EXPECT_NE(locals.find("a = 1"), std::string::npos);
+  EXPECT_NE(locals.find("b = 2"), std::string::npos);
+  EXPECT_NE(locals.find("c = 3"), std::string::npos);
+
+  std::string frames = run("frames");
+  EXPECT_NE(frames.find("#0 add at test.ml:3"), std::string::npos);
+  EXPECT_NE(frames.find("#1 <main>"), std::string::npos);
+
+  std::string source = run("source");
+  EXPECT_NE(source.find("fn add(a, b)"), std::string::npos);
+
+  std::string globals = run("globals");
+  EXPECT_NE(globals.find("add = <fn add>"), std::string::npos);
+
+  std::string eval_out = run("p a * 100 + b");
+  EXPECT_NE(eval_out.find("102"), std::string::npos);
+  EXPECT_NE(run("p").find("usage"), std::string::npos);
+  EXPECT_NE(run("p no_such + 1").find("undefined"), std::string::npos);
+
+  run("delete 1");
+  run("c");
+  ASSERT_TRUE(harness_->join().ok);
+  EXPECT_EQ(harness_->output(), "3\n");
+}
+
+TEST_F(ConsoleTest, EventsDrainPending) {
+  start("t = spawn(fn() return 1 end)\njoin(t)",
+        test::HarnessOptions{.stop_at_entry = false});
+  harness_->join();
+  std::string events = run("events");
+  EXPECT_NE(events.find("thread_started"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, QuitSetsFlag) {
+  start("x = 1");
+  EXPECT_FALSE(console_->quit_requested());
+  run("quit");
+  EXPECT_TRUE(console_->quit_requested());
+  (void)harness_->session()->wait_stopped(5000);
+  run("c");
+  harness_->join();
+}
+
+TEST_F(ConsoleTest, UsageMessagesForBadArgs) {
+  start("x = 1");
+  EXPECT_NE(run("use").find("usage"), std::string::npos);
+  EXPECT_NE(run("break nowhere").find("usage"), std::string::npos);
+  EXPECT_NE(run("delete xyz").find("usage"), std::string::npos);
+  EXPECT_NE(run("disturb").find("usage"), std::string::npos);
+  (void)harness_->session()->wait_stopped(5000);
+  run("c");
+  harness_->join();
+}
+
+TEST_F(ConsoleTest, SingleSessionAutoActivates) {
+  start("x = 1");
+  ASSERT_TRUE(harness_->session()->wait_stopped(5000).is_ok());
+  // No `use` issued: console falls back to the only session.
+  std::string threads = run("threads");
+  EXPECT_NE(threads.find("main"), std::string::npos);
+  run("c");
+  harness_->join();
+}
+
+}  // namespace
+}  // namespace dionea::client

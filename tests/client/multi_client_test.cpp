@@ -1,0 +1,153 @@
+// MultiClient: port-file adoption, 1-client-N-sessions (§4.1), debug
+// view multiplexing (§4.2).
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::client {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+TEST(MultiClientTest, RefreshOnEmptyFileFindsNothing) {
+  auto tmp = TempDir::create("mc-test");
+  ASSERT_TRUE(tmp.is_ok());
+  MultiClient mc(tmp.value().file("ports"));
+  auto added = mc.refresh(200);
+  ASSERT_TRUE(added.is_ok());
+  EXPECT_EQ(added.value(), 0);
+  EXPECT_EQ(mc.session_count(), 0u);
+  EXPECT_EQ(mc.session(1), nullptr);
+}
+
+TEST(MultiClientTest, StaleRecordForDeadProcessSkipped) {
+  auto tmp = TempDir::create("mc-test");
+  ASSERT_TRUE(tmp.is_ok());
+  ipc::PortFile file(tmp.value().file("ports"));
+  // A record for a process that is long gone.
+  std::uint16_t dead_port;
+  {
+    auto listener = ipc::TcpListener::bind(0);
+    ASSERT_TRUE(listener.is_ok());
+    dead_port = listener.value().port();
+  }
+  ASSERT_TRUE(file.publish(ipc::PortRecord{999'999, 1, dead_port, 0}).is_ok());
+  MultiClient mc(tmp.value().file("ports"));
+  auto added = mc.refresh(300);
+  ASSERT_TRUE(added.is_ok());
+  EXPECT_EQ(added.value(), 0);
+}
+
+TEST(MultiClientTest, ForkGrowsSessionsToTwo) {
+  DebugHarness harness(
+      "pid = fork(fn()\n"
+      "  sleep(0.3)\n"
+      "end)\n"
+      "waitpid(pid)",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  (void)harness.launch();
+  EXPECT_EQ(harness.client().session_count(), 1u);
+  auto child = harness.client().await_new_process(5000);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(harness.client().session_count(), 2u);
+  EXPECT_EQ(harness.client().pids().size(), 2u);
+
+  auto stop = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  harness.join();
+}
+
+TEST(MultiClientTest, ActivateValidatesProcessAndThread) {
+  DebugHarness harness("sleep(1)",
+                       HarnessOptions{.stop_at_entry = false});
+  (void)harness.launch();
+  MultiClient& mc = harness.client();
+  int pid = getpid();
+
+  EXPECT_FALSE(mc.activate(123456, 1).is_ok());   // no such process
+  EXPECT_FALSE(mc.activate(pid, 77).is_ok());     // no such thread
+  EXPECT_FALSE(mc.active_view().valid());
+
+  ASSERT_TRUE(mc.activate(pid, 1).is_ok());
+  EXPECT_TRUE(mc.active_view().valid());
+  EXPECT_EQ(mc.active_view().pid, pid);
+  EXPECT_EQ(mc.active_view().tid, 1);
+
+  harness.vm().request_exit(0);
+  harness.join();
+}
+
+TEST(MultiClientTest, ActiveSourceAndFramesFollowView) {
+  DebugHarness harness(
+      "fn f()\n"
+      "  sleep(1)\n"
+      "end\n"
+      "f()",
+      HarnessOptions{.stop_at_entry = false});
+  (void)harness.launch();
+  MultiClient& mc = harness.client();
+  sleep_for_millis(100);  // let it get into f()/sleep
+
+  ASSERT_TRUE(mc.activate(getpid(), 1).is_ok());
+  auto source = mc.active_source();
+  ASSERT_TRUE(source.is_ok());
+  EXPECT_NE(source.value().find("fn f()"), std::string::npos);
+
+  auto frames = mc.active_frames();
+  ASSERT_TRUE(frames.is_ok());
+  ASSERT_EQ(frames.value().size(), 2u);
+  EXPECT_EQ(frames.value()[0].function, "f");
+
+  harness.vm().request_exit(0);
+  harness.join();
+}
+
+TEST(MultiClientTest, PollAllEventsAcrossSessions) {
+  DebugHarness harness(
+      "pid = fork(fn()\n"
+      "  t = spawn(fn() return 1 end)\n"
+      "  join(t)\n"
+      "end)\n"
+      "waitpid(pid)\n"
+      "t2 = spawn(fn() return 2 end)\n"
+      "join(t2)",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  (void)harness.launch();
+  auto child = harness.client().await_new_process(5000);
+  ASSERT_TRUE(child.is_ok());
+  auto stop = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  harness.join();
+
+  // Both sessions produced thread events; poll_all sees both pids.
+  std::set<int> pids_with_events;
+  for (int round = 0; round < 20; ++round) {
+    auto events = harness.client().poll_all_events(50);
+    if (!events.is_ok()) break;  // a session may be gone — fine
+    for (const auto& [pid, event] : events.value()) {
+      pids_with_events.insert(pid);
+    }
+    if (pids_with_events.size() >= 2) break;
+  }
+  EXPECT_GE(pids_with_events.size(), 1u);
+  EXPECT_EQ(pids_with_events.count(getpid()), 1u);
+}
+
+TEST(MultiClientTest, ClaimPreventsHandout) {
+  auto tmp = TempDir::create("mc-test");
+  ASSERT_TRUE(tmp.is_ok());
+  MultiClient mc(tmp.value().file("ports"));
+  // claim of unknown pid is a no-op
+  mc.claim(12345);
+  auto none = mc.await_new_process(100);
+  EXPECT_FALSE(none.is_ok());
+  EXPECT_EQ(none.error().code(), ErrorCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace dionea::client

@@ -1,0 +1,114 @@
+// Session transport behaviour (most command coverage lives in the
+// debugger suites; this focuses on the client-side plumbing).
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::client {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+TEST(SessionTest, AttachToNothingTimesOut) {
+  // Bind-then-close to get a dead port.
+  std::uint16_t port;
+  {
+    auto listener = ipc::TcpListener::bind(0);
+    ASSERT_TRUE(listener.is_ok());
+    port = listener.value().port();
+  }
+  auto session = Session::attach(port, 200);
+  ASSERT_FALSE(session.is_ok());
+}
+
+TEST(SessionTest, PidDiscoveredOnAttach) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  EXPECT_EQ(session->pid(), getpid());
+  EXPECT_EQ(session->port(), harness.server().port());
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(SessionTest, PollEventTimeoutReturnsEmpty) {
+  DebugHarness harness("sleep(1)",
+                       HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  // Drain whatever startup produced (main's thread_started), then the
+  // quiet program yields nothing further.
+  while (true) {
+    auto event = session->poll_event(100);
+    ASSERT_TRUE(event.is_ok());
+    if (!event.value().has_value()) break;
+  }
+  auto none = session->poll_event(50);
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_FALSE(none.value().has_value());
+  harness.vm().request_exit(0);
+  harness.join();
+}
+
+TEST(SessionTest, WaitEventQueuesOthersForReplay) {
+  DebugHarness harness(
+      "t = spawn(fn() return 1 end)\njoin(t)\nx = 2",
+      HarnessOptions{.stop_at_entry = true});
+  auto* session = harness.launch();
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+  ASSERT_TRUE(session->cont(entry.value().tid).is_ok());
+  auto started = session->wait_event("thread_started", 5000);
+  ASSERT_TRUE(started.is_ok());
+  auto ended = session->wait_event("thread_exited", 5000);
+  ASSERT_TRUE(ended.is_ok());
+  harness.join();
+}
+
+TEST(SessionTest, SkippedEventsReplayInOrder) {
+  DebugHarness harness(
+      "t1 = spawn(fn() return 1 end)\n"
+      "join(t1)\n"
+      "t2 = spawn(fn() return 2 end)\n"
+      "join(t2)",
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  harness.join();
+  // Wait for a LATER event kind first: both exits.
+  auto exit1 = session->wait_event("thread_exited", 5000);
+  ASSERT_TRUE(exit1.is_ok());
+  // The two thread_started events were skipped and must replay.
+  EXPECT_GE(session->queued_events(), 1u);
+  auto started1 = session->wait_event("thread_started", 5000);
+  ASSERT_TRUE(started1.is_ok());
+  auto started2 = session->wait_event("thread_started", 5000);
+  ASSERT_TRUE(started2.is_ok());
+  EXPECT_NE(started1.value().payload.get_int("tid"),
+            started2.value().payload.get_int("tid"));
+}
+
+TEST(SessionTest, RequestsHaveMonotonicSeqs) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  for (int i = 0; i < 50; ++i) {
+    auto pong = session->request(dbg::proto::kCmdPing);
+    ASSERT_TRUE(pong.is_ok()) << i;
+  }
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(SessionTest, ErrorResponseSurfacesMessage) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  Status clear = session->clear_breakpoint(999);
+  EXPECT_FALSE(clear.is_ok());
+  EXPECT_NE(clear.to_string().find("no such breakpoint"), std::string::npos);
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+}  // namespace
+}  // namespace dionea::client

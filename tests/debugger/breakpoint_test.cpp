@@ -1,0 +1,130 @@
+#include "debugger/breakpoint.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dionea::dbg {
+namespace {
+
+TEST(BreakpointTableTest, EmptyMatchesNothing) {
+  BreakpointTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.match("file.ml", 10, 1), 0);
+}
+
+TEST(BreakpointTableTest, AddAndMatchExactFile) {
+  BreakpointTable table;
+  int id = table.add("dir/prog.ml", 5);
+  EXPECT_GT(id, 0);
+  EXPECT_FALSE(table.empty());
+  EXPECT_EQ(table.match("dir/prog.ml", 5, 1), id);
+  EXPECT_EQ(table.match("dir/prog.ml", 6, 1), 0);
+  EXPECT_EQ(table.match("other.ml", 5, 1), 0);
+}
+
+TEST(BreakpointTableTest, BasenameMatches) {
+  BreakpointTable table;
+  int id = table.add("prog.ml", 5);
+  // A breakpoint set by bare filename hits any path with that basename.
+  EXPECT_EQ(table.match("/abs/path/prog.ml", 5, 1), id);
+  EXPECT_EQ(table.match("/abs/path/notprog.ml", 5, 1), 0);
+}
+
+TEST(BreakpointTableTest, RemoveById) {
+  BreakpointTable table;
+  int a = table.add("f.ml", 1);
+  int b = table.add("f.ml", 2);
+  EXPECT_TRUE(table.remove(a));
+  EXPECT_FALSE(table.remove(a));  // already gone
+  EXPECT_EQ(table.match("f.ml", 1, 1), 0);
+  EXPECT_EQ(table.match("f.ml", 2, 1), b);
+}
+
+TEST(BreakpointTableTest, ClearRemovesAll) {
+  BreakpointTable table;
+  table.add("f.ml", 1);
+  table.add("f.ml", 2);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.match("f.ml", 1, 1), 0);
+}
+
+TEST(BreakpointTableTest, DisableEnable) {
+  BreakpointTable table;
+  int id = table.add("f.ml", 3);
+  ASSERT_TRUE(table.set_enabled(id, false));
+  EXPECT_EQ(table.match("f.ml", 3, 1), 0);
+  ASSERT_TRUE(table.set_enabled(id, true));
+  EXPECT_EQ(table.match("f.ml", 3, 1), id);
+  EXPECT_FALSE(table.set_enabled(404, false));
+}
+
+TEST(BreakpointTableTest, ThreadFilter) {
+  BreakpointTable table;
+  int id = table.add("f.ml", 3, /*thread_filter=*/7);
+  EXPECT_EQ(table.match("f.ml", 3, 7), id);
+  EXPECT_EQ(table.match("f.ml", 3, 8), 0);
+}
+
+TEST(BreakpointTableTest, IgnoreCountSkipsFirstHits) {
+  BreakpointTable table;
+  int id = table.add("f.ml", 3, 0, /*ignore_count=*/2);
+  EXPECT_EQ(table.match("f.ml", 3, 1), 0);   // hit 1: ignored
+  EXPECT_EQ(table.match("f.ml", 3, 1), 0);   // hit 2: ignored
+  EXPECT_EQ(table.match("f.ml", 3, 1), id);  // hit 3: fires
+}
+
+TEST(BreakpointTableTest, HitCountsAccumulate) {
+  BreakpointTable table;
+  int id = table.add("f.ml", 3);
+  table.match("f.ml", 3, 1);
+  table.match("f.ml", 3, 1);
+  auto snapshot = table.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].id, id);
+  EXPECT_EQ(snapshot[0].hit_count, 2u);
+}
+
+TEST(BreakpointTableTest, MultipleOnSameLine) {
+  BreakpointTable table;
+  int any = table.add("f.ml", 3);
+  int t9 = table.add("f.ml", 3, /*thread_filter=*/9);
+  // First enabled matching breakpoint wins (insertion order).
+  EXPECT_EQ(table.match("f.ml", 3, 1), any);
+  ASSERT_TRUE(table.set_enabled(any, false));
+  EXPECT_EQ(table.match("f.ml", 3, 9), t9);
+}
+
+TEST(BreakpointTableTest, SnapshotSortedById) {
+  BreakpointTable table;
+  table.add("f.ml", 9);
+  table.add("f.ml", 1);
+  table.add("g.ml", 5);
+  auto snapshot = table.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_LT(snapshot[0].id, snapshot[1].id);
+  EXPECT_LT(snapshot[1].id, snapshot[2].id);
+}
+
+TEST(BreakpointTableTest, ConcurrentMatchAndMutate) {
+  // The hot path races with the listener's mutations; must be safe.
+  BreakpointTable table;
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    while (!stop.load()) {
+      int id = table.add("f.ml", 3);
+      table.remove(id);
+    }
+  });
+  for (int i = 0; i < 20'000; ++i) {
+    (void)table.match("f.ml", 3, 1);
+  }
+  stop.store(true);
+  mutator.join();
+}
+
+}  // namespace
+}  // namespace dionea::dbg

@@ -1,0 +1,121 @@
+// §6.2 reproduction as a test: Listing 5's cross-process deadlock is
+// (a) fatal without the debugger (Listing 6) and (b) pinpointed to the
+// exact line with it (Fig. 7).
+#include <signal.h>
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+constexpr const char* kListing5 =
+    "q = queue()\n"                  // 1
+    "spawn(fn()\n"                   // 2
+    "  sleep(0.15)\n"                // 3
+    "  q.push(true)\n"               // 4
+    "end)\n"
+    "pid = fork(fn()\n"              // 6
+    "  q.pop()\n"                    // 7 <- the deadlocked line
+    "  puts(\"In -- CHILD\")\n"      // 8
+    "end)\n"
+    "st = waitpid(pid)\n"            // 10
+    "puts(\"child status \" + to_s(st))";
+
+TEST(DeadlockScenarioTest, WithoutDebuggerChildDiesFatal) {
+  test::RunOutcome outcome = test::run_ml(kListing5);
+  // The parent survives (its own queue got the push); the child died
+  // with the stock fatal error -> exit status 1.
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, "child status 1\n");
+}
+
+TEST(DeadlockScenarioTest, WithDebuggerExactLineReported) {
+  DebugHarness harness(kListing5,
+                       HarnessOptions{.stop_at_entry = false,
+                                      .stop_forked_children = true});
+  (void)harness.launch();
+
+  auto child = harness.client().await_new_process(5000);
+  ASSERT_TRUE(child.is_ok());
+  auto birth = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(birth.is_ok());
+  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+
+  // Fig. 7: "Dionea showing the exact place where a deadlock occurs."
+  auto deadlock = child.value()->wait_event(proto::kEvDeadlock, 5000);
+  ASSERT_TRUE(deadlock.is_ok());
+  const auto& blocked = deadlock.value().payload.at("threads").as_array();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0].get_string("file"), "test.ml");
+  EXPECT_EQ(blocked[0].get_int("line"), 7);
+  EXPECT_EQ(blocked[0].get_string("note"), "Queue#pop");
+
+  // The debuggee is still alive and inspectable (unlike Listing 6).
+  auto threads = child.value()->threads();
+  ASSERT_TRUE(threads.is_ok());
+  ASSERT_EQ(threads.value().size(), 1u);
+  EXPECT_EQ(threads.value()[0].state, "blocked");
+  auto frames = child.value()->frames(threads.value()[0].tid);
+  ASSERT_TRUE(frames.is_ok());
+  ASSERT_GE(frames.value().size(), 1u);
+  EXPECT_EQ(frames.value()[0].line, 7);
+
+  // Tear down: the child is deadlocked by design; kill it so the
+  // parent's waitpid returns.
+  ::kill(child.value()->pid(), SIGKILL);
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "child status -9\n");
+}
+
+TEST(DeadlockScenarioTest, InThreadDeadlockReportedInParent) {
+  // An all-threads deadlock in the TRACED parent process itself.
+  DebugHarness harness(
+      "q = queue()\n"   // 1
+      "q.pop()",        // 2
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  auto deadlock = session->wait_event(proto::kEvDeadlock, 5000);
+  ASSERT_TRUE(deadlock.is_ok());
+  const auto& blocked = deadlock.value().payload.at("threads").as_array();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0].get_int("line"), 2);
+  // Resolve by exiting the VM.
+  harness.vm().request_exit(0);
+  auto result = harness.join();
+  EXPECT_TRUE(result.exited);
+}
+
+TEST(DeadlockScenarioTest, MultiThreadDeadlockListsEveryThread) {
+  DebugHarness harness(
+      "q1 = queue()\n"                      // 1
+      "q2 = queue()\n"                      // 2
+      "spawn(fn()\n"                        // 3
+      "  q2.push(q1.pop())\n"               // 4
+      "end)\n"
+      "q1.push(q2.pop())",                  // 6
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  auto deadlock = session->wait_event(proto::kEvDeadlock, 5000);
+  ASSERT_TRUE(deadlock.is_ok());
+  const auto& blocked = deadlock.value().payload.at("threads").as_array();
+  ASSERT_EQ(blocked.size(), 2u);
+  std::set<int> lines;
+  for (const auto& entry : blocked) {
+    lines.insert(static_cast<int>(entry.get_int("line")));
+    EXPECT_EQ(entry.get_string("note"), "Queue#pop");
+  }
+  EXPECT_TRUE(lines.count(4) == 1);
+  EXPECT_TRUE(lines.count(6) == 1);
+  harness.vm().request_exit(0);
+  auto result = harness.join();
+  EXPECT_TRUE(result.exited);
+}
+
+}  // namespace
+}  // namespace dionea::dbg

@@ -1,0 +1,124 @@
+// Disturb mode (§6.4): "setting disturb mode in Dionea ... will cause
+// to stop the execution of every newly created process or thread" —
+// the tool for forcing rare interleavings.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+TEST(DisturbTest, NewThreadsStopAtBirth) {
+  DebugHarness harness(
+      "t = spawn(fn()\n"
+      "  v = 1\n"          // 2: first traced line of the thread
+      "  return v\n"
+      "end)\n"
+      "puts(join(t))",
+      HarnessOptions{.stop_at_entry = false, .disturb = true});
+  auto* session = harness.launch();
+
+  auto stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().reason, "disturb");
+  EXPECT_GT(stop.value().tid, 1);
+  EXPECT_EQ(stop.value().line, 2);
+
+  // Main is meanwhile blocked in join — only the new UE stopped.
+  auto threads = session->threads();
+  ASSERT_TRUE(threads.is_ok());
+  for (const auto& thread : threads.value()) {
+    if (thread.tid == 1) {
+      EXPECT_NE(thread.state, "suspended");
+    }
+  }
+
+  ASSERT_TRUE(session->cont(stop.value().tid).is_ok());
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "1\n");
+}
+
+TEST(DisturbTest, EveryThreadOfABatchStops) {
+  DebugHarness harness(
+      "done = queue()\n"
+      "for i in 3\n"
+      "  spawn(fn(k) done.push(k) end, i)\n"
+      "end\n"
+      "total = 0\n"
+      "for i in 3\n"
+      "  total = total + done.pop()\n"
+      "end\n"
+      "puts(total)",
+      HarnessOptions{.stop_at_entry = false, .disturb = true});
+  auto* session = harness.launch();
+  std::set<std::int64_t> stopped;
+  for (int i = 0; i < 3; ++i) {
+    auto stop = session->wait_stopped(5000);
+    ASSERT_TRUE(stop.is_ok());
+    stopped.insert(stop.value().tid);
+    ASSERT_TRUE(session->cont(stop.value().tid).is_ok());
+  }
+  EXPECT_EQ(stopped.size(), 3u);
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "3\n");
+}
+
+TEST(DisturbTest, ToggleAtRuntimeViaCommand) {
+  DebugHarness harness(
+      "t1 = spawn(fn() return 1 end)\n"
+      "join(t1)\n"
+      "barrier = queue()\n"
+      "barrier.push(1)\n"
+      "barrier.pop()\n"
+      "t2 = spawn(fn() return 2 end)\n"
+      "puts(join(t2))",
+      HarnessOptions{.stop_at_entry = true, .disturb = false});
+  auto* session = harness.launch();
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+
+  // Turn disturb on before resuming: both spawns stop at birth.
+  ASSERT_TRUE(session->set_disturb(true).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+
+  auto stop1 = session->wait_stopped(5000);
+  ASSERT_TRUE(stop1.is_ok());
+  EXPECT_EQ(stop1.value().reason, "disturb");
+  ASSERT_TRUE(session->cont(stop1.value().tid).is_ok());
+
+  auto stop2 = session->wait_stopped(5000);
+  ASSERT_TRUE(stop2.is_ok());
+  ASSERT_TRUE(session->cont(stop2.value().tid).is_ok());
+
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "2\n");
+}
+
+TEST(DisturbTest, ForkedProcessStopsAtBirth) {
+  DebugHarness harness(
+      "pid = fork(fn()\n"
+      "  x = 9\n"
+      "  exit(x)\n"
+      "end)\n"
+      "puts(waitpid(pid))",
+      HarnessOptions{.stop_at_entry = false, .disturb = true});
+  (void)harness.launch();
+  auto child = harness.client().await_new_process(5000);
+  ASSERT_TRUE(child.is_ok());
+  auto stop = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().reason, "disturb");
+  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "9\n");
+}
+
+}  // namespace
+}  // namespace dionea::dbg

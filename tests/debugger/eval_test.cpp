@@ -1,0 +1,195 @@
+// The eval command: expression evaluation inside a suspended (or
+// blocked) frame — the command-shell `p expr` of Fig. 2.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  // Program paused at line 4 (inside work()) when ready() returns.
+  std::unique_ptr<DebugHarness> harness_;
+  client::Session* session_ = nullptr;
+  std::int64_t tid_ = 0;
+
+  void start_and_break() {
+    harness_ = std::make_unique<DebugHarness>(
+        "fn helper(x)\n"          // 1
+        "  return x * 10\n"       // 2
+        "end\n"
+        "fn work(a, b)\n"         // 4
+        "  c = a + b\n"           // 5
+        "  d = c * 2\n"           // 6  <- breakpoint
+        "  return d\n"            // 7
+        "end\n"
+        "box = [1, 2]\n"          // 9
+        "r = work(3, 4)\n"        // 10
+        "puts(r)\nputs(repr(box))");
+    session_ = harness_->launch();
+    auto entry = session_->wait_stopped(5000);
+    ASSERT_TRUE(entry.is_ok());
+    ASSERT_TRUE(session_->set_breakpoint("test.ml", 6).is_ok());
+    ASSERT_TRUE(session_->cont(1).is_ok());
+    auto hit = session_->wait_stopped(5000);
+    ASSERT_TRUE(hit.is_ok());
+    tid_ = hit.value().tid;
+  }
+
+  void finish() {
+    ASSERT_TRUE(session_->clear_breakpoint(0).is_ok());
+    ASSERT_TRUE(session_->cont(tid_).is_ok());
+    ASSERT_TRUE(harness_->join().ok);
+  }
+};
+
+TEST_F(EvalTest, LocalsArithmetic) {
+  start_and_break();
+  auto value = session_->eval(tid_, "a + b * 2");
+  ASSERT_TRUE(value.is_ok()) << value.error().to_string();
+  EXPECT_EQ(value.value(), "11");
+  auto c_value = session_->eval(tid_, "c");
+  ASSERT_TRUE(c_value.is_ok());
+  EXPECT_EQ(c_value.value(), "7");
+  finish();
+}
+
+TEST_F(EvalTest, GlobalsVisible) {
+  start_and_break();
+  auto value = session_->eval(tid_, "box");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), "[1, 2]");
+  finish();
+}
+
+TEST_F(EvalTest, CanCallFunctions) {
+  start_and_break();
+  auto value = session_->eval(tid_, "helper(c) + len(box)");
+  ASSERT_TRUE(value.is_ok()) << value.error().to_string();
+  EXPECT_EQ(value.value(), "72");  // 7*10 + 2
+  finish();
+}
+
+TEST_F(EvalTest, BuiltinsAndLiterals) {
+  start_and_break();
+  auto value = session_->eval(tid_, "repr(sort([c, a, b]))");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), "\"[3, 4, 7]\"");
+  auto str_value = session_->eval(tid_, "\"c=\" + to_s(c)");
+  ASSERT_TRUE(str_value.is_ok());
+  EXPECT_EQ(str_value.value(), "\"c=7\"");
+  finish();
+}
+
+TEST_F(EvalTest, MutationOfHeapObjectsIsVisible) {
+  start_and_break();
+  // Locals are passed by value, but heap payloads alias: mutating the
+  // global list through eval changes what the program later prints.
+  auto value = session_->eval(tid_, "push(box, 99)");
+  ASSERT_TRUE(value.is_ok());
+  finish();
+  EXPECT_EQ(harness_->output(), "14\n[1, 2, 99]\n");
+}
+
+TEST_F(EvalTest, OuterFrameByDepth) {
+  start_and_break();
+  // depth 1 = <main>; its scope has no locals (top level is globals),
+  // so `a` is undefined there but `box` still resolves globally.
+  auto outer = session_->eval(tid_, "box[0]", /*depth=*/1);
+  ASSERT_TRUE(outer.is_ok());
+  EXPECT_EQ(outer.value(), "1");
+  auto undefined = session_->eval(tid_, "a", /*depth=*/1);
+  EXPECT_FALSE(undefined.is_ok());
+  finish();
+}
+
+TEST_F(EvalTest, ErrorsReported) {
+  start_and_break();
+  auto undefined = session_->eval(tid_, "no_such_name + 1");
+  ASSERT_FALSE(undefined.is_ok());
+  EXPECT_NE(undefined.error().message().find("undefined name"),
+            std::string::npos);
+
+  auto parse_error = session_->eval(tid_, "a +");
+  EXPECT_FALSE(parse_error.is_ok());
+
+  auto runtime_error = session_->eval(tid_, "a / 0");
+  ASSERT_FALSE(runtime_error.is_ok());
+  EXPECT_NE(runtime_error.error().message().find("divided by 0"),
+            std::string::npos);
+
+  auto bad_frame = session_->eval(tid_, "1", /*depth=*/9);
+  EXPECT_FALSE(bad_frame.is_ok());
+
+  auto bad_tid = session_->eval(4242, "1");
+  EXPECT_FALSE(bad_tid.is_ok());
+  finish();
+}
+
+TEST_F(EvalTest, DebuggeeStateUndisturbedByEval) {
+  start_and_break();
+  ASSERT_TRUE(session_->eval(tid_, "helper(helper(c))").is_ok());
+  // Locals unchanged, stepping still works.
+  auto locals = session_->locals(tid_, 0);
+  ASSERT_TRUE(locals.is_ok());
+  std::map<std::string, std::string> by_name(locals.value().begin(),
+                                             locals.value().end());
+  EXPECT_EQ(by_name["a"], "3");
+  EXPECT_EQ(by_name["b"], "4");
+  EXPECT_EQ(by_name["c"], "7");
+  finish();
+  EXPECT_EQ(harness_->output(), "14\n[1, 2]\n");
+}
+
+TEST(EvalBlockedTest, EvalAgainstABlockedThread) {
+  // The target doesn't have to be debugger-parked: a thread blocked in
+  // Queue#pop is equally stable under the GIL.
+  DebugHarness harness(
+      "q = queue()\n"
+      "fn consumer(tag)\n"
+      "  item = q.pop()\n"
+      "  return tag + item\n"
+      "end\n"
+      "t = spawn(consumer, 100)\n"
+      "sleep(0.2)\n"           // let it block
+      "q.push(5)\n"
+      "puts(join(t))",
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  auto started = session->wait_event("thread_started", 5000);
+  ASSERT_TRUE(started.is_ok());
+  std::int64_t tid = started.value().payload.get_int("tid");
+  if (tid == 1) {
+    auto second = session->wait_event("thread_started", 5000);
+    ASSERT_TRUE(second.is_ok());
+    tid = second.value().payload.get_int("tid");
+  }
+  sleep_for_millis(100);  // consumer is now blocked in q.pop()
+  auto value = session->eval(tid, "tag * 2");
+  ASSERT_TRUE(value.is_ok()) << value.error().to_string();
+  EXPECT_EQ(value.value(), "200");
+  ASSERT_TRUE(harness.join().ok);
+  EXPECT_EQ(harness.output(), "105\n");
+}
+
+TEST(EvalVmApiTest, DirectVmEval) {
+  // Vm::eval_in_frame against a live (blocked) main thread, no server.
+  vm::Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  std::thread runner([&] {
+    (void)interp.run_string("x = 21\nq = queue()\nq.pop()", "direct.ml");
+  });
+  sleep_for_millis(150);
+  auto value = interp.vm().eval_in_frame(1, 0, "x * 2");
+  ASSERT_TRUE(value.is_ok()) << value.error().to_string();
+  EXPECT_EQ(value.value(), "42");
+  interp.vm().request_exit(0);
+  runner.join();
+}
+
+}  // namespace
+}  // namespace dionea::dbg

@@ -1,0 +1,253 @@
+// Fork handlers A/B/C end-to-end: the paper's §5.3/§5.4 guarantees —
+// the child keeps running, gets its own session/sockets, inherits the
+// user's breakpoints, and the parent is debuggable throughout.
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+TEST(ForkDebugTest, ChildPublishesItsOwnSession) {
+  DebugHarness harness(
+      "pid = fork()\n"
+      "if pid == 0\n"
+      "  x = 1\n"
+      "  exit(0)\n"
+      "end\n"
+      "waitpid(pid)",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  auto* parent = harness.launch();
+
+  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  ASSERT_TRUE(forked.is_ok());
+  int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
+  EXPECT_NE(child_pid, getpid());
+  EXPECT_GT(child_pid, 0);
+
+  auto child = harness.client().await_process(child_pid, 5000);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(child.value()->pid(), child_pid);
+  // Distinct ports: the child re-bound (problem 3 of §5.3).
+  EXPECT_NE(child.value()->port(), parent->port());
+
+  auto stop = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(ForkDebugTest, ChildInheritsBreakpoints) {
+  DebugHarness harness(
+      "pid = fork()\n"     // 1
+      "if pid == 0\n"      // 2
+      "  y = 5\n"          // 3
+      "  z = y + 1\n"      // 4  <- breakpoint (child-only path)
+      "  exit(z)\n"        // 5
+      "end\n"
+      "st = waitpid(pid)\n"
+      "puts(st)",
+      HarnessOptions{.stop_at_entry = true});
+  auto* parent = harness.launch();
+  auto entry = parent->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+  ASSERT_TRUE(parent->set_breakpoint("test.ml", 4).is_ok());
+  ASSERT_TRUE(parent->cont(1).is_ok());
+
+  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  ASSERT_TRUE(forked.is_ok());
+  int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
+  auto child = harness.client().await_process(child_pid, 5000);
+  ASSERT_TRUE(child.is_ok());
+
+  auto hit = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_EQ(hit.value().reason, "breakpoint");
+  EXPECT_EQ(hit.value().line, 4);
+
+  // Inspect the child's globals (pid == 0 proves we're in the child).
+  auto globals = child.value()->globals();
+  ASSERT_TRUE(globals.is_ok());
+  std::map<std::string, std::string> by_name(globals.value().begin(),
+                                             globals.value().end());
+  EXPECT_EQ(by_name["pid"], "0");
+  EXPECT_EQ(by_name["y"], "5");
+
+  Status child_resumed = child.value()->cont(hit.value().tid);
+  ASSERT_TRUE(child_resumed.is_ok()) << child_resumed.to_string();
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "6\n");
+}
+
+TEST(ForkDebugTest, ParentAndChildControlledIndependently) {
+  DebugHarness harness(
+      "pid = fork()\n"          // 1
+      "if pid == 0\n"           // 2
+      "  c = 0\n"               // 3
+      "  while c < 3\n"         // 4
+      "    c = c + 1\n"         // 5
+      "  end\n"
+      "  exit(c)\n"             // 7
+      "end\n"
+      "p = 100\n"               // 9
+      "st = waitpid(pid)\n"     // 10
+      "puts(p + st)",
+      HarnessOptions{.stop_at_entry = true,
+                     .stop_forked_children = true});
+  auto* parent = harness.launch();
+  auto entry = parent->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+  ASSERT_TRUE(parent->cont(1).is_ok());
+
+  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  ASSERT_TRUE(forked.is_ok());
+  int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
+  auto child = harness.client().await_process(child_pid, 5000);
+  ASSERT_TRUE(child.is_ok());
+
+  // The child is parked at birth; the parent keeps running (it blocks
+  // in waitpid, an IO wait, without any debugger involvement).
+  auto birth = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(birth.is_ok());
+
+  // Step the child a few lines while the parent stays blocked.
+  ASSERT_TRUE(child.value()->step(birth.value().tid).is_ok());
+  auto step1 = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(step1.is_ok());
+
+  auto parent_threads = parent->threads();
+  ASSERT_TRUE(parent_threads.is_ok());
+  ASSERT_EQ(parent_threads.value().size(), 1u);
+  EXPECT_EQ(parent_threads.value()[0].state, "io");  // in waitpid
+
+  Status step_resumed = child.value()->cont(step1.value().tid);
+  ASSERT_TRUE(step_resumed.is_ok())
+      << step_resumed.to_string() << " tid=" << step1.value().tid;
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "103\n");
+}
+
+TEST(ForkDebugTest, ForkWithBlockChildTerminationEventArrives) {
+  DebugHarness harness(
+      "pid = fork(fn()\n"
+      "  v = 1\n"
+      "end)\n"
+      "puts(waitpid(pid))",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  auto* parent = harness.launch();
+  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  ASSERT_TRUE(forked.is_ok());
+  int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
+  auto child = harness.client().await_process(child_pid, 5000);
+  ASSERT_TRUE(child.is_ok());
+  auto birth = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(birth.is_ok());
+  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+  // Listing 3 / handler C: the child's at-exit hook reports termination.
+  auto terminated = child.value()->wait_event(proto::kEvTerminated, 5000);
+  ASSERT_TRUE(terminated.is_ok());
+  EXPECT_EQ(terminated.value().payload.get_int("pid"), child_pid);
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "0\n");
+}
+
+TEST(ForkDebugTest, GrandchildGetsSessionToo) {
+  DebugHarness harness(
+      "pid = fork()\n"
+      "if pid == 0\n"
+      "  inner = fork()\n"
+      "  if inner == 0\n"
+      "    g = 1\n"
+      "    exit(0)\n"
+      "  end\n"
+      "  exit(waitpid(inner))\n"
+      "end\n"
+      "puts(waitpid(pid))",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  (void)harness.launch();
+
+  // Adopt the child, resume it; it forks a grandchild which also stops
+  // at birth and publishes its own record.
+  auto child = harness.client().await_new_process(5000);
+  ASSERT_TRUE(child.is_ok());
+  auto child_stop = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(child_stop.is_ok());
+  ASSERT_TRUE(child.value()->cont(child_stop.value().tid).is_ok());
+
+  auto grandchild = harness.client().await_new_process(5000);
+  ASSERT_TRUE(grandchild.is_ok());
+  EXPECT_NE(grandchild.value()->pid(), child.value()->pid());
+  auto info = grandchild.value()->request(proto::kCmdInfo);
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().get_int("fork_depth"), 2);
+
+  auto grand_stop = grandchild.value()->wait_stopped(5000);
+  ASSERT_TRUE(grand_stop.is_ok());
+  Status resumed = grandchild.value()->cont(grand_stop.value().tid);
+  ASSERT_TRUE(resumed.is_ok())
+      << resumed.to_string() << " tid=" << grand_stop.value().tid
+      << " reason=" << grand_stop.value().reason
+      << " line=" << grand_stop.value().line;
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "0\n");
+}
+
+TEST(ForkDebugTest, TracingStaysOffWhenItWasOff) {
+  // Fork handler B/C restore the trace flag to what A saw. If the
+  // debugger had tracing disabled (detached), the child must not
+  // re-enable it.
+  DebugHarness harness(
+      "pid = fork(fn() exit(0) end)\n"
+      "puts(waitpid(pid))",
+      HarnessOptions{.stop_at_entry = false});
+  auto* parent = harness.launch();
+  ASSERT_TRUE(parent->detach().is_ok());  // disables tracing
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "0\n");
+  EXPECT_FALSE(harness.vm().trace_enabled());
+}
+
+TEST(ForkDebugTest, ManySequentialForksAllAdoptable) {
+  DebugHarness harness(
+      "results = []\n"
+      "for i in 4\n"
+      "  pid = fork(fn() exit(0) end)\n"
+      "  push(results, waitpid(pid))\n"
+      "end\n"
+      "total = 0\n"
+      "for r in results\n"
+      "  total = total + r\n"
+      "end\n"
+      "puts(total)",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  (void)harness.launch();
+  for (int i = 0; i < 4; ++i) {
+    auto child = harness.client().await_new_process(10'000);
+    ASSERT_TRUE(child.is_ok()) << "child " << i;
+    auto stop = child.value()->wait_stopped(5000);
+    ASSERT_TRUE(stop.is_ok()) << "child " << i;
+    ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  }
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "0\n");
+}
+
+}  // namespace
+}  // namespace dionea::dbg

@@ -1,0 +1,62 @@
+#include "debugger/protocol.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dionea::dbg::proto {
+namespace {
+
+TEST(ProtocolTest, HelloShape) {
+  auto hello = make_hello(kChannelControl, 1234);
+  EXPECT_EQ(hello.get_string("channel"), "control");
+  EXPECT_EQ(hello.get_int("pid"), 1234);
+}
+
+TEST(ProtocolTest, RequestShape) {
+  auto request = make_request(kCmdBreakSet, 42);
+  EXPECT_EQ(request.get_string("cmd"), "break_set");
+  EXPECT_EQ(request.get_int("seq"), 42);
+}
+
+TEST(ProtocolTest, OkAndErrorResponses) {
+  auto ok = make_ok(7);
+  EXPECT_EQ(ok.get_int("re"), 7);
+  EXPECT_TRUE(ok.get_bool("ok"));
+  EXPECT_FALSE(ok.has("error"));
+
+  auto error = make_error(8, "no such thread");
+  EXPECT_EQ(error.get_int("re"), 8);
+  EXPECT_FALSE(error.get_bool("ok"));
+  EXPECT_EQ(error.get_string("error"), "no such thread");
+}
+
+TEST(ProtocolTest, EventShape) {
+  auto event = make_event(kEvStopped);
+  EXPECT_EQ(event.get_string("event"), "stopped");
+}
+
+TEST(ProtocolTest, FramesRoundTripThroughWire) {
+  auto request = make_request(kCmdLocals, 3);
+  request.set("tid", 5);
+  request.set("depth", 0);
+  std::string bytes;
+  request.encode(&bytes);
+  auto decoded = ipc::wire::Value::decode(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), request);
+}
+
+TEST(ProtocolTest, CommandNamesAreDistinct) {
+  const char* names[] = {
+      kCmdPing, kCmdInfo, kCmdThreads, kCmdFrames, kCmdLocals, kCmdGlobals,
+      kCmdSource, kCmdBreakSet, kCmdBreakClear, kCmdBreakList, kCmdContinue,
+      kCmdContinueAll, kCmdStep, kCmdNext, kCmdFinish, kCmdPause,
+      kCmdPauseAll, kCmdDisturb, kCmdDetach};
+  std::set<std::string> unique(std::begin(names), std::end(names));
+  EXPECT_EQ(unique.size(), std::size(names));
+}
+
+}  // namespace
+}  // namespace dionea::dbg::proto

@@ -1,0 +1,493 @@
+// DebugServer end-to-end over real sockets: attach, breakpoints,
+// stepping, inspection, per-thread suspension (low-intrusiveness).
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+TEST(ServerTest, PingInfoAndEntryStop) {
+  DebugHarness harness("x = 1\ny = 2");
+  auto* session = harness.launch();
+
+  auto info = session->request(proto::kCmdInfo);
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().get_int("pid"), getpid());
+  EXPECT_EQ(info.value().get_int("main_tid"), 1);
+  EXPECT_EQ(info.value().get_int("fork_depth"), 0);
+
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+  EXPECT_EQ(entry.value().reason, "pause");
+  EXPECT_EQ(entry.value().file, "test.ml");
+  EXPECT_EQ(entry.value().line, 1);
+  EXPECT_EQ(entry.value().tid, 1);
+
+  ASSERT_TRUE(session->cont(1).is_ok());
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "");
+}
+
+TEST(ServerTest, BreakpointHitWithLocalsAndFrames) {
+  DebugHarness harness(
+      "fn work(a, b)\n"   // 1
+      "  c = a + b\n"     // 2
+      "  return c * 2\n"  // 3
+      "end\n"
+      "r = work(4, 5)\n"  // 5
+      "puts(r)");
+  auto* session = harness.launch();
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+
+  auto bp = session->set_breakpoint("test.ml", 3);
+  ASSERT_TRUE(bp.is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+
+  auto hit = session->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_EQ(hit.value().reason, "breakpoint");
+  EXPECT_EQ(hit.value().breakpoint_id, bp.value());
+  EXPECT_EQ(hit.value().line, 3);
+  EXPECT_EQ(hit.value().function, "work");
+
+  auto locals = session->locals(1, 0);
+  ASSERT_TRUE(locals.is_ok());
+  ASSERT_EQ(locals.value().size(), 3u);
+  EXPECT_EQ(locals.value()[0], (std::pair<std::string, std::string>{"a", "4"}));
+  EXPECT_EQ(locals.value()[1], (std::pair<std::string, std::string>{"b", "5"}));
+  EXPECT_EQ(locals.value()[2], (std::pair<std::string, std::string>{"c", "9"}));
+
+  auto frames = session->frames(1);
+  ASSERT_TRUE(frames.is_ok());
+  ASSERT_EQ(frames.value().size(), 2u);
+  EXPECT_EQ(frames.value()[0].function, "work");
+  EXPECT_EQ(frames.value()[0].line, 3);
+  EXPECT_EQ(frames.value()[1].function, "<main>");
+  EXPECT_EQ(frames.value()[1].line, 5);
+
+  // Outer frame locals via depth=1: <main> has no locals, only globals.
+  auto outer = session->locals(1, 1);
+  ASSERT_TRUE(outer.is_ok());
+  EXPECT_TRUE(outer.value().empty());
+
+  ASSERT_TRUE(session->cont(1).is_ok());
+  ASSERT_TRUE(harness.join().ok);
+  EXPECT_EQ(harness.output(), "18\n");
+}
+
+TEST(ServerTest, GlobalsSnapshot) {
+  DebugHarness harness("alpha = 42\nbeta = \"s\"\ngamma = [1]\ndone = 1");
+  auto* session = harness.launch();
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+
+  auto bp = session->set_breakpoint("test.ml", 4);
+  ASSERT_TRUE(bp.is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+
+  auto globals = session->globals();
+  ASSERT_TRUE(globals.is_ok());
+  std::map<std::string, std::string> by_name(globals.value().begin(),
+                                             globals.value().end());
+  EXPECT_EQ(by_name["alpha"], "42");
+  EXPECT_EQ(by_name["beta"], "\"s\"");
+  EXPECT_EQ(by_name["gamma"], "[1]");
+  EXPECT_EQ(by_name.count("puts"), 0u);  // builtins filtered out
+
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, StepNextFinishSemantics) {
+  DebugHarness harness(
+      "fn inner()\n"      // 1
+      "  x = 1\n"         // 2
+      "  return x\n"      // 3
+      "end\n"
+      "fn outer()\n"      // 5
+      "  a = inner()\n"   // 6
+      "  b = a + 1\n"     // 7
+      "  return b\n"      // 8
+      "end\n"
+      "r = outer()\n"     // 10
+      "puts(r)");         // 11
+  auto* session = harness.launch();
+  // Entry stop is line 1: `fn` definitions are statements too.
+  auto stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 1);
+  ASSERT_TRUE(session->set_breakpoint("test.ml", 10).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 10);
+  ASSERT_TRUE(session->clear_breakpoint(0).is_ok());
+
+  // step (into): first traced line inside outer.
+  ASSERT_TRUE(session->step(1).is_ok());
+  stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 6);
+  EXPECT_EQ(stop.value().function, "outer");
+
+  // next (over): inner() runs entirely; stop at line 7, same frame.
+  ASSERT_TRUE(session->next(1).is_ok());
+  stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 7);
+  EXPECT_EQ(stop.value().function, "outer");
+
+  // step (into) on a plain statement behaves like next.
+  ASSERT_TRUE(session->step(1).is_ok());
+  stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 8);
+
+  // finish (out): back in <main>.
+  ASSERT_TRUE(session->finish(1).is_ok());
+  stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().function, "<main>");
+  EXPECT_EQ(stop.value().line, 11);
+
+  ASSERT_TRUE(session->cont(1).is_ok());
+  ASSERT_TRUE(harness.join().ok);
+  EXPECT_EQ(harness.output(), "2\n");
+}
+
+TEST(ServerTest, StepIntoDescendsIntoCall) {
+  DebugHarness harness(
+      "fn f()\n"       // 1
+      "  return 7\n"   // 2
+      "end\n"
+      "x = f()\n"      // 4
+      "y = x");        // 5
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());  // entry: fn def, line 1
+  ASSERT_TRUE(session->step(1).is_ok());             // -> line 4 (x = f())
+  auto at4 = session->wait_stopped(5000);
+  ASSERT_TRUE(at4.is_ok());
+  EXPECT_EQ(at4.value().line, 4);
+  ASSERT_TRUE(session->step(1).is_ok());
+  auto stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 2);
+  EXPECT_EQ(stop.value().function, "f");
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, PauseInterruptsRunningLoop) {
+  DebugHarness harness(
+      "i = 0\n"
+      "while i < 100000000\n"
+      "  i = i + 1\n"
+      "end\n"
+      "puts(\"done \" + to_s(i))",
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  sleep_for_millis(50);  // let the loop spin
+
+  ASSERT_TRUE(session->pause(1).is_ok());
+  auto stop = session->wait_stopped(5000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().reason, "pause");
+  auto threads = session->threads();
+  ASSERT_TRUE(threads.is_ok());
+  ASSERT_EQ(threads.value().size(), 1u);
+  EXPECT_EQ(threads.value()[0].state, "suspended");
+
+  // Shorten the loop from the debugger? Not supported — instead verify
+  // i has advanced, then let it run to completion... too slow; kill it
+  // by detaching and letting the harness shutdown path handle it.
+  auto locals = session->locals(1, 0);
+  ASSERT_TRUE(locals.is_ok());
+  // i is a global (top-level): check via globals.
+  auto globals = session->globals();
+  ASSERT_TRUE(globals.is_ok());
+  ASSERT_EQ(globals.value().size(), 1u);
+  EXPECT_EQ(globals.value()[0].first, "i");
+  std::int64_t i_value = std::stoll(globals.value()[0].second);
+  EXPECT_GT(i_value, 0);
+
+  // Resume; then stop the VM quickly via server teardown in the
+  // harness destructor (the loop is too long to wait out).
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.vm().request_exit(0);
+  auto result = harness.join();
+  EXPECT_TRUE(result.exited);
+}
+
+TEST(ServerTest, LowIntrusiveOneThreadParkedOthersRun) {
+  // §1 fn.1: suspending one thread leaves the rest running.
+  DebugHarness harness(
+      "fn ticker(q)\n"
+      "  i = 0\n"
+      "  while true\n"
+      "    q.push(i)\n"
+      "    i = i + 1\n"
+      "    sleep(0.01)\n"
+      "  end\n"
+      "end\n"
+      "fn stopper()\n"
+      "  sleep(0.4)\n"        // grace for the client to set the bp
+      "  target_line = 1\n"   // line 11: breakpoint target
+      "  sleep(5)\n"
+      "  return nil\n"
+      "end\n"
+      "q = queue()\n"
+      "t1 = spawn(ticker, q)\n"
+      "t2 = spawn(stopper)\n"
+      "drain = 0\n"
+      "while true\n"
+      "  v = q.pop()\n"
+      "  drain = drain + 1\n"
+      "end",
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+
+  // Break only in stopper's body.
+  auto bp = session->set_breakpoint("test.ml", 11);
+  ASSERT_TRUE(bp.is_ok());
+  auto stop = session->wait_stopped(10'000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().function, "stopper");
+  std::int64_t parked_tid = stop.value().tid;
+
+  // While stopper is parked, the ticker and main keep making progress.
+  sleep_for_millis(100);
+  auto threads = session->threads();
+  ASSERT_TRUE(threads.is_ok());
+  int suspended = 0;
+  int alive = 0;
+  for (const auto& thread : threads.value()) {
+    ++alive;
+    if (thread.state == "suspended") {
+      ++suspended;
+      EXPECT_EQ(thread.tid, parked_tid);
+    }
+  }
+  EXPECT_EQ(suspended, 1);
+  EXPECT_EQ(alive, 3);
+
+  auto globals_before = session->globals();
+  sleep_for_millis(100);
+  auto globals_after = session->globals();
+  ASSERT_TRUE(globals_before.is_ok());
+  ASSERT_TRUE(globals_after.is_ok());
+  auto drain_of = [](const std::vector<std::pair<std::string, std::string>>&
+                         globals) {
+    for (const auto& [name, value] : globals) {
+      if (name == "drain") return std::stoll(value);
+    }
+    return -1ll;
+  };
+  EXPECT_GT(drain_of(globals_after.value()),
+            drain_of(globals_before.value()));
+
+  // Teardown: the harness destructor resumes the parked thread and
+  // kills the infinite loops at VM shutdown.
+  ASSERT_TRUE(session->cont(parked_tid).is_ok());
+  harness.vm().request_exit(0);
+  harness.join();
+}
+
+TEST(ServerTest, BreakpointInSpawnedThread) {
+  DebugHarness harness(
+      "fn job(n)\n"       // 1
+      "  m = n * 2\n"     // 2
+      "  return m\n"      // 3
+      "end\n"
+      "t = spawn(job, 21)\n"
+      "puts(join(t))");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  auto bp = session->set_breakpoint("test.ml", 3);
+  ASSERT_TRUE(bp.is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+
+  auto hit = session->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_GT(hit.value().tid, 1);  // not the main thread
+  EXPECT_EQ(hit.value().function, "job");
+
+  auto locals = session->locals(hit.value().tid, 0);
+  ASSERT_TRUE(locals.is_ok());
+  std::map<std::string, std::string> by_name(locals.value().begin(),
+                                             locals.value().end());
+  EXPECT_EQ(by_name["n"], "21");
+  EXPECT_EQ(by_name["m"], "42");
+
+  ASSERT_TRUE(session->cont(hit.value().tid).is_ok());
+  ASSERT_TRUE(harness.join().ok);
+  EXPECT_EQ(harness.output(), "42\n");
+}
+
+TEST(ServerTest, ThreadEventsEmitted) {
+  DebugHarness harness(
+      "t = spawn(fn() return 1 end)\njoin(t)",
+      HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  auto started = session->wait_event(proto::kEvThreadStart, 5000);
+  ASSERT_TRUE(started.is_ok());
+  auto exited = session->wait_event(proto::kEvThreadExit, 5000);
+  ASSERT_TRUE(exited.is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, SourceCommandServesRegisteredText) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  auto source = session->source("test.ml");
+  ASSERT_TRUE(source.is_ok());
+  EXPECT_EQ(source.value(), "x = 1");
+  auto missing = session->source("no-such-file.ml");
+  EXPECT_FALSE(missing.is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, BreakListReflectsTable) {
+  DebugHarness harness("x = 1\ny = 2");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  auto b1 = session->set_breakpoint("test.ml", 1);
+  auto b2 = session->set_breakpoint("test.ml", 2);
+  ASSERT_TRUE(b1.is_ok());
+  ASSERT_TRUE(b2.is_ok());
+  auto list = session->request(proto::kCmdBreakList);
+  ASSERT_TRUE(list.is_ok());
+  EXPECT_EQ(list.value().at("breakpoints").as_array().size(), 2u);
+
+  ASSERT_TRUE(session->clear_breakpoint(b1.value()).is_ok());
+  list = session->request(proto::kCmdBreakList);
+  ASSERT_TRUE(list.is_ok());
+  EXPECT_EQ(list.value().at("breakpoints").as_array().size(), 1u);
+
+  ASSERT_TRUE(session->clear_breakpoint(0).is_ok());  // clear all
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, ResumeErrorsForBadThread) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  EXPECT_FALSE(session->cont(999).is_ok());
+  EXPECT_FALSE(session->step(999).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  // Continuing a thread that isn't suspended is an error too.
+  sleep_for_millis(50);
+  EXPECT_FALSE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, UnknownCommandRejected) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  auto response = session->request("frobnicate");
+  EXPECT_FALSE(response.is_ok());
+  EXPECT_NE(response.error().message().find("unknown command"),
+            std::string::npos);
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(ServerTest, SecondControlClientRefused) {
+  DebugHarness harness("sleep(2)\n",
+                       HarnessOptions{.stop_at_entry = false});
+  auto* session = harness.launch();
+  ASSERT_NE(session, nullptr);
+  // A second full session attach must fail on the control hello.
+  auto second = client::Session::attach(harness.server().port(), 1000);
+  EXPECT_FALSE(second.is_ok());
+  harness.vm().request_exit(0);
+  harness.join();
+}
+
+TEST(ServerTest, EventsBeforeAttachAreBuffered) {
+  // Start a server, let the program stop at entry with no client, then
+  // attach late: the stop event must still arrive.
+  vm::Interp interp;
+  auto tmp = TempDir::create("late-attach");
+  ASSERT_TRUE(tmp.is_ok());
+  DebugServer server(interp.vm(), {.port_file = tmp.value().file("ports"),
+                                   .stop_at_entry = true});
+  server.register_source("late.ml", "x = 1");
+  ASSERT_TRUE(server.start().is_ok());
+  std::thread runner([&] { (void)interp.run_string("x = 1", "late.ml"); });
+  sleep_for_millis(150);  // program parks before anyone attaches
+
+  auto session = client::Session::attach(server.port(), 2000);
+  ASSERT_TRUE(session.is_ok());
+  auto stop = session.value()->wait_stopped(3000);
+  ASSERT_TRUE(stop.is_ok());
+  EXPECT_EQ(stop.value().line, 1);
+  ASSERT_TRUE(session.value()->cont(1).is_ok());
+  runner.join();
+  server.stop();
+}
+
+TEST(ServerTest, DetachResumesEverything) {
+  DebugHarness harness("x = 1\ny = 2\nputs(x + y)");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  ASSERT_TRUE(session->set_breakpoint("test.ml", 2).is_ok());
+  // Detach: parked thread resumes, tracing stops, breakpoint never hits.
+  ASSERT_TRUE(session->detach().is_ok());
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "3\n");
+}
+
+TEST(ServerTest, StopAllowsProgramToFinish) {
+  DebugHarness harness("x = 1\nputs(x)");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  harness.server().stop();  // tears down mid-session; debuggee resumes
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "1\n");
+}
+
+}  // namespace
+}  // namespace dionea::dbg
+
+namespace dionea::dbg {
+namespace {
+
+TEST(ServerOutputTest, CaptureOutputMirrorsToClient) {
+  // The Output window of Fig. 2: with capture_output on, puts() is
+  // forwarded to the client as `output` events.
+  vm::Interp interp;
+  auto tmp = TempDir::create("capture-out");
+  ASSERT_TRUE(tmp.is_ok());
+  DebugServer server(interp.vm(), {.port_file = tmp.value().file("ports"),
+                                   .capture_output = true});
+  ASSERT_TRUE(server.start().is_ok());
+  auto session = client::Session::attach(server.port(), 3000);
+  ASSERT_TRUE(session.is_ok());
+  std::thread runner([&] {
+    (void)interp.run_string("puts(\"first\")\nputs(\"second\")", "out.ml");
+  });
+  auto first = session.value()->wait_event(proto::kEvOutput, 5000);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().payload.get_string("text"), "first\n");
+  auto second = session.value()->wait_event(proto::kEvOutput, 5000);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().payload.get_string("text"), "second\n");
+  runner.join();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace dionea::dbg

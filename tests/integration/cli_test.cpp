@@ -1,0 +1,173 @@
+// Drives the shipped `dioneas` (server) and `dioneac` (console client)
+// binaries as real subprocesses — the §6.1 usage flow:
+//   "we start Dionea server issuing `dioneas path/to/program` ...
+//    once started it waits until the client connects to it."
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "client/multi_client.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+
+#ifndef DIONEA_DIONEAS_PATH
+#define DIONEA_DIONEAS_PATH ""
+#endif
+#ifndef DIONEA_DIONEAC_PATH
+#define DIONEA_DIONEAC_PATH ""
+#endif
+
+namespace dionea {
+namespace {
+
+constexpr const char* kProgram =
+    "x = 1\n"
+    "y = x + 1\n"
+    "pid = fork(fn()\n"
+    "  z = 99\n"
+    "end)\n"
+    "st = waitpid(pid)\n"
+    "puts(\"done \" + to_s(x + y + st))\n";
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(DIONEA_DIONEAS_PATH).empty() ||
+        !file_exists(DIONEA_DIONEAS_PATH)) {
+      GTEST_SKIP() << "dioneas binary not built";
+    }
+    auto tmp = TempDir::create("cli-test");
+    ASSERT_TRUE(tmp.is_ok());
+    tmp_ = std::make_unique<TempDir>(std::move(tmp).value());
+    ASSERT_TRUE(write_file(tmp_->file("prog.ml"), kProgram).is_ok());
+  }
+
+  // Launch dioneas with stdout+stderr captured to a file.
+  pid_t launch_server(const std::vector<std::string>& extra_args) {
+    std::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      int out = ::open(tmp_->file("server.log").c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      ::dup2(out, 1);
+      ::dup2(out, 2);
+      std::vector<std::string> args = {DIONEA_DIONEAS_PATH, "--port-file",
+                                       tmp_->file("ports")};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      args.push_back(tmp_->file("prog.ml"));
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(DIONEA_DIONEAS_PATH, argv.data());
+      ::_exit(127);
+    }
+    return pid;
+  }
+
+  std::string server_log() {
+    return read_file(tmp_->file("server.log")).value_or("");
+  }
+
+  std::unique_ptr<TempDir> tmp_;
+};
+
+TEST_F(CliTest, RunModeExecutesToCompletion) {
+  pid_t pid = launch_server({"--run"});
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_NE(server_log().find("done 3"), std::string::npos) << server_log();
+}
+
+TEST_F(CliTest, WaitsForClientThenObeysIt) {
+  pid_t pid = launch_server({});  // default: waits for a client
+  ASSERT_GT(pid, 0);
+
+  // Attach with the library client (dioneac uses the same path).
+  client::MultiClient mc(tmp_->file("ports"));
+  Stopwatch watch;
+  while (mc.session_count() == 0 && watch.elapsed_seconds() < 5.0) {
+    (void)mc.refresh(2000);
+    sleep_for_millis(20);
+  }
+  ASSERT_EQ(mc.session_count(), 1u);
+  client::Session* session = mc.session(pid);
+  ASSERT_NE(session, nullptr);
+
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+  EXPECT_EQ(entry.value().line, 1);
+  // While parked, the program has produced nothing.
+  EXPECT_EQ(server_log().find("done"), std::string::npos);
+
+  // Inspect and step, then let it run.
+  ASSERT_TRUE(session->step(entry.value().tid).is_ok());
+  auto stepped = session->wait_stopped(5000);
+  ASSERT_TRUE(stepped.is_ok());
+  EXPECT_EQ(stepped.value().line, 2);
+  auto value = session->eval(stepped.value().tid, "x + 41");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), "42");
+  ASSERT_TRUE(session->cont(stepped.value().tid).is_ok());
+
+  // The forked child publishes its own record; adopt and release it.
+  auto child = mc.await_new_process(10'000);
+  if (child.is_ok()) {
+    auto stop = child.value()->wait_stopped(2000);
+    if (stop.is_ok()) {
+      (void)child.value()->cont(stop.value().tid);
+    }
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_NE(server_log().find("done 3"), std::string::npos) << server_log();
+}
+
+TEST_F(CliTest, DioneacBatchSession) {
+  if (std::string(DIONEA_DIONEAC_PATH).empty() ||
+      !file_exists(DIONEA_DIONEAC_PATH)) {
+    GTEST_SKIP() << "dioneac binary not built";
+  }
+  pid_t server = launch_server({});
+  ASSERT_GT(server, 0);
+  // Wait for the port file to appear.
+  ipc::PortFile ports(tmp_->file("ports"));
+  ASSERT_TRUE(ports.await_pid(server, 5000).is_ok());
+
+  // Drive dioneac in batch mode through a pipe.
+  std::string script =
+      "procs\n"
+      "threads\n"
+      "locals\n"
+      "c\n"
+      "quit\n";
+  ASSERT_TRUE(write_file(tmp_->file("script.txt"), script).is_ok());
+  std::string command = std::string(DIONEA_DIONEAC_PATH) + " --port-file " +
+                        tmp_->file("ports") + " < " +
+                        tmp_->file("script.txt") + " > " +
+                        tmp_->file("client.log") + " 2>&1";
+  int client_status = std::system(command.c_str());
+  EXPECT_EQ(WEXITSTATUS(client_status), 0);
+
+  std::string client_log = read_file(tmp_->file("client.log")).value_or("");
+  EXPECT_NE(client_log.find("attached to 1 process"), std::string::npos)
+      << client_log;
+  EXPECT_NE(client_log.find("main"), std::string::npos) << client_log;
+
+  // The `c` released the entry stop; the child will park at birth under
+  // the default options only if --disturb was given — it wasn't, so the
+  // program runs to completion by itself.
+  int status = 0;
+  ASSERT_EQ(::waitpid(server, &status, 0), server);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_NE(server_log().find("done 3"), std::string::npos) << server_log();
+}
+
+}  // namespace
+}  // namespace dionea

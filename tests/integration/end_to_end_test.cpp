@@ -1,0 +1,199 @@
+// Whole-system scenarios: the paper's §6 usage flows driven through
+// the public API exactly as the examples drive them.
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/corpus.hpp"
+#include "mapreduce/wordcount.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+// §6.3 / Fig. 8: suspend one MapReduce worker; the others take over
+// its jobs; the answer is still exactly right.
+TEST(EndToEndTest, Fig8WorkerSuspensionRebalances) {
+  auto tmp = TempDir::create("e2e-fig8");
+  ASSERT_TRUE(tmp.is_ok());
+  mapreduce::CorpusSpec spec = mapreduce::dionea_trunk_spec();
+  spec.file_count = 24;
+  auto corpus = mapreduce::Corpus::generate(spec, tmp.value().file("c"));
+  ASSERT_TRUE(corpus.is_ok());
+  auto native = mapreduce::count_corpus(corpus.value());
+  ASSERT_TRUE(native.is_ok());
+  auto expected = mapreduce::digest(native.value());
+
+  DebugHarness harness(
+      mapreduce::wordcount_program(corpus.value().root(), 3),
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  (void)harness.launch();
+
+  // Adopt 3 workers; keep the first parked a while.
+  client::Session* suspended = nullptr;
+  std::int64_t suspended_tid = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto worker = harness.client().await_new_process(10'000);
+    ASSERT_TRUE(worker.is_ok()) << i;
+    auto stop = worker.value()->wait_stopped(5000);
+    ASSERT_TRUE(stop.is_ok()) << i;
+    if (i == 0) {
+      suspended = worker.value();
+      suspended_tid = stop.value().tid;
+    } else {
+      ASSERT_TRUE(worker.value()->cont(stop.value().tid).is_ok());
+    }
+  }
+  sleep_for_millis(400);  // free workers drain the queue
+  ASSERT_TRUE(suspended->cont(suspended_tid).is_ok());
+
+  auto result = harness.join();
+  ASSERT_TRUE(result.ok) << result.error.to_string();
+  EXPECT_EQ(harness.output(),
+            "unique=" + std::to_string(expected.unique) +
+                " total=" + std::to_string(expected.total) + "\n");
+}
+
+// §6.1 typical flow: stop at entry, set breakpoints, inspect, step,
+// continue to completion — all over the wire.
+TEST(EndToEndTest, TypicalDebugSession) {
+  DebugHarness harness(
+      "fn factorial(n)\n"          // 1
+      "  if n <= 1\n"              // 2
+      "    return 1\n"             // 3
+      "  end\n"
+      "  return n * factorial(n - 1)\n"  // 5
+      "end\n"
+      "result = factorial(5)\n"    // 7
+      "puts(result)");
+  auto* session = harness.launch();
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok());
+
+  // Break in the base case; when we get there the stack is 5 deep in
+  // factorial frames plus <main>.
+  ASSERT_TRUE(session->set_breakpoint("test.ml", 3).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  auto hit = session->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok());
+  auto frames = session->frames(1);
+  ASSERT_TRUE(frames.is_ok());
+  EXPECT_EQ(frames.value().size(), 6u);
+  for (int depth = 0; depth < 5; ++depth) {
+    auto locals = session->locals(1, depth);
+    ASSERT_TRUE(locals.is_ok());
+    ASSERT_EQ(locals.value().size(), 1u);
+    EXPECT_EQ(locals.value()[0].first, "n");
+    EXPECT_EQ(locals.value()[0].second, std::to_string(depth + 1));
+  }
+
+  ASSERT_TRUE(session->clear_breakpoint(0).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  auto result = harness.join();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "120\n");
+}
+
+// The full fork story under load: several children, each debugged.
+TEST(EndToEndTest, DebugEveryWorkerOfAFork) {
+  DebugHarness harness(
+      "results = ipc_queue()\n"                 // 1
+      "w = 0\n"                                 // 2
+      "pids = []\n"                             // 3
+      "while w < 3\n"                           // 4
+      "  pid = fork()\n"                        // 5
+      "  if pid == 0\n"                         // 6
+      "    me = getpid()\n"                     // 7
+      "    ipc_push(results, me)\n"             // 8
+      "    exit(0)\n"                           // 9
+      "  end\n"
+      "  push(pids, pid)\n"                     // 11
+      "  w = w + 1\n"                           // 12
+      "end\n"
+      "seen = []\n"                             // 14
+      "for i in 3\n"                            // 15
+      "  push(seen, ipc_pop(results))\n"        // 16
+      "end\n"
+      "for p in pids\n"                         // 18
+      "  waitpid(p)\n"                          // 19
+      "end\n"
+      "puts(len(seen))",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  (void)harness.launch();
+
+  std::set<int> child_pids;
+  for (int i = 0; i < 3; ++i) {
+    auto child = harness.client().await_new_process(10'000);
+    ASSERT_TRUE(child.is_ok()) << i;
+    child_pids.insert(child.value()->pid());
+    auto stop = child.value()->wait_stopped(5000);
+    ASSERT_TRUE(stop.is_ok());
+    // Inspect: each child sees pid == 0.
+    auto globals = child.value()->globals();
+    ASSERT_TRUE(globals.is_ok());
+    bool saw_pid_zero = false;
+    for (const auto& [name, value] : globals.value()) {
+      if (name == "pid" && value == "0") saw_pid_zero = true;
+    }
+    EXPECT_TRUE(saw_pid_zero);
+    ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  }
+  EXPECT_EQ(child_pids.size(), 3u);
+  auto result = harness.join();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "3\n");
+}
+
+// Performance sanity: tracing with no breakpoints slows the program
+// down but by a bounded factor (the §7 measurement, in miniature).
+TEST(EndToEndTest, TracingOverheadIsBounded) {
+  const std::string program =
+      "total = 0\n"
+      "i = 0\n"
+      "while i < 60000\n"
+      "  total = total + i\n"
+      "  i = i + 1\n"
+      "end\n"
+      "puts(total)";
+
+  auto timed_run = [&](bool with_server) -> double {
+    vm::Interp interp;
+    interp.vm().set_output([](std::string_view) {});
+    std::unique_ptr<dbg::DebugServer> server;
+    std::unique_ptr<TempDir> tmp;
+    std::unique_ptr<client::Session> session;
+    if (with_server) {
+      auto created = TempDir::create("e2e-perf");
+      EXPECT_TRUE(created.is_ok());
+      tmp = std::make_unique<TempDir>(std::move(created).value());
+      server = std::make_unique<dbg::DebugServer>(
+          interp.vm(),
+          dbg::DebugServer::Options{.port_file = tmp->file("ports")});
+      EXPECT_TRUE(server->start().is_ok());
+      auto attached = client::Session::attach(server->port(), 2000);
+      EXPECT_TRUE(attached.is_ok());
+      session = std::move(attached).value();
+    }
+    Stopwatch watch;
+    auto result = interp.run_string(program, "perf.ml");
+    double elapsed = watch.elapsed_seconds();
+    EXPECT_TRUE(result.ok);
+    if (server) server->stop();
+    return elapsed;
+  };
+
+  double base = timed_run(false);
+  double traced = timed_run(true);
+  // Tracing costs something but not orders of magnitude (generous
+  // bounds; the real measurement is bench_fig9/bench_fig10).
+  EXPECT_LT(traced, base * 25.0 + 0.5);
+}
+
+}  // namespace
+}  // namespace dionea

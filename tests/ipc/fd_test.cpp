@@ -1,0 +1,126 @@
+#include "ipc/fd.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "ipc/pipe.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+TEST(FdTest, DefaultInvalid) {
+  Fd fd;
+  EXPECT_FALSE(fd.valid());
+  EXPECT_EQ(fd.get(), -1);
+}
+
+TEST(FdTest, ClosesOnDestruction) {
+  int raw = -1;
+  {
+    auto pipe = Pipe::create();
+    ASSERT_TRUE(pipe.is_ok());
+    raw = pipe.value().read_end().get();
+    EXPECT_GE(raw, 0);
+  }
+  // fd should be closed now: fcntl fails with EBADF.
+  EXPECT_EQ(::fcntl(raw, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST(FdTest, MoveTransfers) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  int raw = pipe.value().read_end().get();
+  Fd moved = std::move(pipe.value().read_end());
+  EXPECT_EQ(moved.get(), raw);
+  EXPECT_FALSE(pipe.value().read_end().valid());
+}
+
+TEST(FdTest, ReleaseDisownsWithoutClosing) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  int raw = pipe.value().read_end().release();
+  EXPECT_FALSE(pipe.value().read_end().valid());
+  EXPECT_EQ(::fcntl(raw, F_GETFD), 0);  // still open
+  ::close(raw);
+}
+
+TEST(FdTest, WriteAllReadExactRoundTrip) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  std::string payload(100'000, 'z');  // larger than PIPE_BUF
+  std::thread writer([&] {
+    EXPECT_TRUE(pipe.value()
+                    .write_end()
+                    .write_all(payload.data(), payload.size())
+                    .is_ok());
+    pipe.value().close_write();
+  });
+  std::string received(payload.size(), '\0');
+  EXPECT_TRUE(pipe.value()
+                  .read_end()
+                  .read_exact(received.data(), received.size())
+                  .is_ok());
+  writer.join();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(FdTest, ReadExactReportsEofAsClosed) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  ASSERT_TRUE(pipe.value().write_end().write_all("ab", 2).is_ok());
+  pipe.value().close_write();
+  char buffer[4];
+  Status status = pipe.value().read_end().read_exact(buffer, 4);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kClosed);
+}
+
+TEST(FdTest, ReadSomeReturnsZeroAtEof) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  pipe.value().close_write();
+  char buffer[8];
+  auto n = pipe.value().read_end().read_some(buffer, sizeof(buffer));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(FdTest, DuplicateIsIndependent) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  auto dup = pipe.value().write_end().duplicate();
+  ASSERT_TRUE(dup.is_ok());
+  pipe.value().close_write();  // original gone; dup still writable
+  EXPECT_TRUE(dup.value().write_all("x", 1).is_ok());
+  char c;
+  EXPECT_TRUE(pipe.value().read_end().read_exact(&c, 1).is_ok());
+  EXPECT_EQ(c, 'x');
+}
+
+TEST(FdTest, NonblockingToggle) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  ASSERT_TRUE(pipe.value().read_end().set_nonblocking(true).is_ok());
+  char c;
+  auto n = pipe.value().read_end().read_some(&c, 1);
+  // Non-blocking empty read fails with EAGAIN -> kUnavailable.
+  ASSERT_FALSE(n.is_ok());
+  EXPECT_EQ(n.error().code(), ErrorCode::kUnavailable);
+  ASSERT_TRUE(pipe.value().read_end().set_nonblocking(false).is_ok());
+}
+
+TEST(FdTest, CloexecToggle) {
+  auto pipe = Pipe::create(/*cloexec=*/false);
+  ASSERT_TRUE(pipe.is_ok());
+  EXPECT_TRUE(pipe.value().read_end().set_cloexec(true).is_ok());
+  int flags = ::fcntl(pipe.value().read_end().get(), F_GETFD);
+  EXPECT_TRUE(flags & FD_CLOEXEC);
+}
+
+}  // namespace
+}  // namespace dionea::ipc

@@ -1,0 +1,120 @@
+#include "ipc/frame.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "support/timing.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+struct SocketPair {
+  TcpStream client;
+  TcpStream server;
+};
+
+SocketPair make_pair() {
+  auto listener = TcpListener::bind(0);
+  EXPECT_TRUE(listener.is_ok());
+  auto client = TcpStream::connect_retry(listener.value().port(), 2000);
+  EXPECT_TRUE(client.is_ok());
+  auto server = listener.value().accept_timeout(2000);
+  EXPECT_TRUE(server.is_ok());
+  return SocketPair{std::move(client).value(), std::move(server).value()};
+}
+
+TEST(FrameTest, SendRecvRoundTrip) {
+  SocketPair pair = make_pair();
+  wire::Value message;
+  message.set("cmd", "continue");
+  message.set("tid", 7);
+  ASSERT_TRUE(send_frame(pair.client, message).is_ok());
+  auto received = recv_frame(pair.server);
+  ASSERT_TRUE(received.is_ok());
+  EXPECT_EQ(received.value(), message);
+}
+
+TEST(FrameTest, ManyFramesStayOrdered) {
+  SocketPair pair = make_pair();
+  for (int i = 0; i < 100; ++i) {
+    wire::Value message;
+    message.set("seq", i);
+    ASSERT_TRUE(send_frame(pair.client, message).is_ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto received = recv_frame(pair.server);
+    ASSERT_TRUE(received.is_ok());
+    EXPECT_EQ(received.value().get_int("seq"), i);
+  }
+}
+
+TEST(FrameTest, LargePayload) {
+  SocketPair pair = make_pair();
+  wire::Value message;
+  message.set("blob", std::string(1 << 20, 'x'));
+  std::thread sender([&] {
+    EXPECT_TRUE(send_frame(pair.client, message).is_ok());
+  });
+  auto received = recv_frame(pair.server);
+  sender.join();
+  ASSERT_TRUE(received.is_ok());
+  EXPECT_EQ(received.value().get_string("blob").size(), 1u << 20);
+}
+
+TEST(FrameTest, BadMagicDetected) {
+  SocketPair pair = make_pair();
+  // Raw garbage instead of a frame header — the exact §5.3 "child
+  // talking on its parent's socket" corruption signature.
+  ASSERT_TRUE(pair.client.write_all("XXXXYYYY", 8).is_ok());
+  auto received = recv_frame(pair.server);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kProtocol);
+  EXPECT_NE(received.error().message().find("magic"), std::string::npos);
+}
+
+TEST(FrameTest, EofMidFrameIsClosed) {
+  SocketPair pair = make_pair();
+  // Valid magic, length 100, then hang up.
+  char header[8] = {'D', 'N', 'E', 'A', 100, 0, 0, 0};
+  ASSERT_TRUE(pair.client.write_all(header, 8).is_ok());
+  ASSERT_TRUE(pair.client.write_all("partial", 7).is_ok());
+  pair.client.close();
+  auto received = recv_frame(pair.server);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kClosed);
+}
+
+TEST(FrameTest, RecvTimeoutExpires) {
+  SocketPair pair = make_pair();
+  auto received = recv_frame_timeout(pair.server, 50);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kTimeout);
+}
+
+TEST(FrameTest, RecvTimeoutDeliversWhenDataArrives) {
+  SocketPair pair = make_pair();
+  std::thread sender([&] {
+    sleep_for_millis(30);
+    wire::Value message;
+    message.set("late", true);
+    EXPECT_TRUE(send_frame(pair.client, message).is_ok());
+  });
+  auto received = recv_frame_timeout(pair.server, 2000);
+  sender.join();
+  ASSERT_TRUE(received.is_ok());
+  EXPECT_TRUE(received.value().get_bool("late"));
+}
+
+TEST(FrameTest, OversizeLengthRejected) {
+  SocketPair pair = make_pair();
+  char header[8] = {'D', 'N', 'E', 'A',
+                    '\xff', '\xff', '\xff', '\x7f'};  // ~2GiB claim
+  ASSERT_TRUE(pair.client.write_all(header, 8).is_ok());
+  auto received = recv_frame(pair.server);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kProtocol);
+}
+
+}  // namespace
+}  // namespace dionea::ipc

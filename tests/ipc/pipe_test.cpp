@@ -1,0 +1,93 @@
+#include "ipc/pipe.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace dionea::ipc {
+namespace {
+
+TEST(PipeTest, CreateGivesTwoValidEnds) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  EXPECT_TRUE(pipe.value().read_end().valid());
+  EXPECT_TRUE(pipe.value().write_end().valid());
+}
+
+TEST(PipeTest, DataFlowsWriteToRead) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  ASSERT_TRUE(pipe.value().write_end().write_all("hello", 5).is_ok());
+  char buffer[5];
+  ASSERT_TRUE(pipe.value().read_end().read_exact(buffer, 5).is_ok());
+  EXPECT_EQ(std::string(buffer, 5), "hello");
+}
+
+TEST(PipeTest, CloseWriteDeliversEof) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  pipe.value().close_write();
+  EXPECT_FALSE(pipe.value().write_end().valid());
+  char c;
+  auto n = pipe.value().read_end().read_some(&c, 1);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 0u);  // EOF
+}
+
+// The §6.4 mechanism in miniature: EOF only arrives once EVERY copy of
+// the write end is closed — including copies inherited by a fork.
+TEST(PipeTest, LeakedWriteEndCopyBlocksEof) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  auto leaked = pipe.value().write_end().duplicate();
+  ASSERT_TRUE(leaked.is_ok());
+
+  pipe.value().close_write();
+  // The duplicate still exists: reads must not see EOF.
+  ASSERT_TRUE(pipe.value().read_end().set_nonblocking(true).is_ok());
+  char c;
+  auto n = pipe.value().read_end().read_some(&c, 1);
+  ASSERT_FALSE(n.is_ok());  // EAGAIN, not EOF
+  EXPECT_EQ(n.error().code(), ErrorCode::kUnavailable);
+
+  leaked.value().reset();  // close the last copy
+  auto eof = pipe.value().read_end().read_some(&c, 1);
+  ASSERT_TRUE(eof.is_ok());
+  EXPECT_EQ(eof.value(), 0u);
+}
+
+TEST(PipeTest, SurvivesFork) {
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    pipe.value().close_read();
+    bool ok = pipe.value().write_end().write_all("from child", 10).is_ok();
+    ::_exit(ok ? 0 : 1);
+  }
+  pipe.value().close_write();
+  char buffer[10];
+  ASSERT_TRUE(pipe.value().read_end().read_exact(buffer, 10).is_ok());
+  EXPECT_EQ(std::string(buffer, 10), "from child");
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(PipeTest, CloexecFlagHonored) {
+  auto plain = Pipe::create(/*cloexec=*/false);
+  ASSERT_TRUE(plain.is_ok());
+  int flags = ::fcntl(plain.value().read_end().get(), F_GETFD);
+  EXPECT_FALSE(flags & FD_CLOEXEC);
+
+  auto cloexec = Pipe::create(/*cloexec=*/true);
+  ASSERT_TRUE(cloexec.is_ok());
+  flags = ::fcntl(cloexec.value().read_end().get(), F_GETFD);
+  EXPECT_TRUE(flags & FD_CLOEXEC);
+}
+
+}  // namespace
+}  // namespace dionea::ipc

@@ -1,0 +1,130 @@
+#include "ipc/socket.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "support/timing.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+TEST(TcpTest, BindEphemeralAssignsPort) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok()) << listener.error().to_string();
+  EXPECT_GT(listener.value().port(), 0);
+}
+
+TEST(TcpTest, ConnectAcceptExchange) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::uint16_t port = listener.value().port();
+
+  std::thread client_thread([port] {
+    auto stream = TcpStream::connect_retry(port, 2000);
+    ASSERT_TRUE(stream.is_ok());
+    EXPECT_TRUE(stream.value().write_all("ping", 4).is_ok());
+    char reply[4];
+    EXPECT_TRUE(stream.value().read_exact(reply, 4).is_ok());
+    EXPECT_EQ(std::string(reply, 4), "pong");
+  });
+
+  auto accepted = listener.value().accept_timeout(2000);
+  ASSERT_TRUE(accepted.is_ok());
+  char request[4];
+  EXPECT_TRUE(accepted.value().read_exact(request, 4).is_ok());
+  EXPECT_EQ(std::string(request, 4), "ping");
+  EXPECT_TRUE(accepted.value().write_all("pong", 4).is_ok());
+  client_thread.join();
+}
+
+TEST(TcpTest, AcceptTimeoutExpires) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto accepted = listener.value().accept_timeout(50);
+  ASSERT_FALSE(accepted.is_ok());
+  EXPECT_EQ(accepted.error().code(), ErrorCode::kTimeout);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Bind then close to find a port that is (very likely) not listening.
+  std::uint16_t port;
+  {
+    auto listener = TcpListener::bind(0);
+    ASSERT_TRUE(listener.is_ok());
+    port = listener.value().port();
+  }
+  auto stream = TcpStream::connect(port);
+  EXPECT_FALSE(stream.is_ok());
+}
+
+TEST(TcpTest, ConnectRetryTimesOut) {
+  std::uint16_t port;
+  {
+    auto listener = TcpListener::bind(0);
+    ASSERT_TRUE(listener.is_ok());
+    port = listener.value().port();
+  }
+  auto stream = TcpStream::connect_retry(port, 100);
+  ASSERT_FALSE(stream.is_ok());
+  EXPECT_EQ(stream.error().code(), ErrorCode::kTimeout);
+}
+
+TEST(TcpTest, ConnectRetrySurvivesLateServer) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::uint16_t port = listener.value().port();
+  // Server accepts only after a delay; connect_retry should get there
+  // (the backlog holds the connection even before accept()).
+  std::thread late_accept([&] {
+    sleep_for_millis(50);
+    auto accepted = listener.value().accept_timeout(2000);
+    EXPECT_TRUE(accepted.is_ok());
+  });
+  auto stream = TcpStream::connect_retry(port, 3000);
+  EXPECT_TRUE(stream.is_ok());
+  late_accept.join();
+}
+
+TEST(TcpTest, ReadableReflectsData) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = TcpStream::connect_retry(listener.value().port(), 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept_timeout(2000);
+  ASSERT_TRUE(server.is_ok());
+
+  auto idle = server.value().readable(0);
+  ASSERT_TRUE(idle.is_ok());
+  EXPECT_FALSE(idle.value());
+
+  ASSERT_TRUE(client.value().write_all("x", 1).is_ok());
+  auto ready = server.value().readable(1000);
+  ASSERT_TRUE(ready.is_ok());
+  EXPECT_TRUE(ready.value());
+}
+
+TEST(TcpTest, PeerCloseGivesEof) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = TcpStream::connect_retry(listener.value().port(), 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept_timeout(2000);
+  ASSERT_TRUE(server.is_ok());
+  client.value().close();
+  char c;
+  Status status = server.value().read_exact(&c, 1);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kClosed);
+}
+
+TEST(TcpTest, NodelaySetsOption) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = TcpStream::connect_retry(listener.value().port(), 2000);
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_TRUE(client.value().set_nodelay(true).is_ok());
+}
+
+}  // namespace
+}  // namespace dionea::ipc

@@ -1,0 +1,185 @@
+#include "ipc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dionea::ipc::wire {
+namespace {
+
+Value round_trip(const Value& value) {
+  std::string bytes;
+  value.encode(&bytes);
+  auto decoded = Value::decode(bytes);
+  EXPECT_TRUE(decoded.is_ok()) << decoded.error().to_string();
+  return decoded.is_ok() ? decoded.value() : Value();
+}
+
+TEST(WireValueTest, ScalarRoundTrips) {
+  EXPECT_EQ(round_trip(Value(nullptr)), Value(nullptr));
+  EXPECT_EQ(round_trip(Value(true)), Value(true));
+  EXPECT_EQ(round_trip(Value(false)), Value(false));
+  EXPECT_EQ(round_trip(Value(std::int64_t{0})), Value(std::int64_t{0}));
+  EXPECT_EQ(round_trip(Value(std::int64_t{-1})), Value(std::int64_t{-1}));
+  EXPECT_EQ(round_trip(Value(INT64_MAX)), Value(INT64_MAX));
+  EXPECT_EQ(round_trip(Value(INT64_MIN)), Value(INT64_MIN));
+  EXPECT_EQ(round_trip(Value(3.25)), Value(3.25));
+  EXPECT_EQ(round_trip(Value(-0.0)), Value(-0.0));
+  EXPECT_EQ(round_trip(Value("")), Value(""));
+  EXPECT_EQ(round_trip(Value("hello")), Value("hello"));
+  std::string binary("\x00\x01\xff\x7f", 4);
+  EXPECT_EQ(round_trip(Value(binary)).as_string(), binary);
+}
+
+TEST(WireValueTest, ContainerRoundTrips) {
+  Array arr{Value(1), Value("two"), Value(3.0), Value(nullptr)};
+  EXPECT_EQ(round_trip(Value(arr)), Value(arr));
+
+  Object obj;
+  obj["alpha"] = Value(1);
+  obj["beta"] = Value(Array{Value(true), Value(false)});
+  Object inner;
+  inner["deep"] = Value("value");
+  obj["gamma"] = Value(inner);
+  EXPECT_EQ(round_trip(Value(obj)), Value(obj));
+
+  EXPECT_EQ(round_trip(Value(Array{})), Value(Array{}));
+  EXPECT_EQ(round_trip(Value(Object{})), Value(Object{}));
+}
+
+TEST(WireValueTest, ObjectAccessors) {
+  Value v;
+  v.set("name", "dionea");
+  v.set("port", 4257);
+  v.set("ready", true);
+  EXPECT_TRUE(v.has("name"));
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.get_string("name"), "dionea");
+  EXPECT_EQ(v.get_int("port"), 4257);
+  EXPECT_TRUE(v.get_bool("ready"));
+  EXPECT_EQ(v.get_string("missing", "fallback"), "fallback");
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+  EXPECT_TRUE(v.at("missing").is_null());
+}
+
+TEST(WireValueTest, AccessorsOnWrongTypeUseFallback) {
+  Value v(42);
+  EXPECT_TRUE(v.at("anything").is_null());
+  EXPECT_EQ(v.as_string(), "");
+  EXPECT_TRUE(v.as_array().empty());
+  EXPECT_TRUE(v.as_object().empty());
+  EXPECT_EQ(Value("str").as_int(9), 9);
+  EXPECT_EQ(Value(2.5).as_int(), 2);  // numeric coercion
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+}
+
+TEST(WireValueTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Value::decode("").is_ok());
+  EXPECT_FALSE(Value::decode("Z").is_ok());
+  EXPECT_FALSE(Value::decode("i123").is_ok());        // truncated int
+  EXPECT_FALSE(Value::decode("s\x05\x00\x00\x00\x00\x00\x00\x00ab").is_ok());
+  // Trailing bytes after a valid value are an error.
+  std::string bytes;
+  Value(1).encode(&bytes);
+  bytes += "extra";
+  EXPECT_FALSE(Value::decode(bytes).is_ok());
+}
+
+TEST(WireValueTest, DecodeRejectsHugeContainerClaim) {
+  // An array claiming 2^40 entries must fail fast, not allocate.
+  std::string bytes = "a";
+  std::uint64_t huge = 1ull << 40;
+  for (int i = 0; i < 8; ++i) {
+    bytes += static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  auto decoded = Value::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kProtocol);
+}
+
+TEST(WireValueTest, DecodeRejectsDeepNesting) {
+  // 100 nested single-element arrays exceed the depth limit.
+  std::string bytes;
+  for (int i = 0; i < 100; ++i) {
+    bytes += 'a';
+    bytes += std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8);
+  }
+  bytes += 'n';
+  auto decoded = Value::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_NE(decoded.error().message().find("deep"), std::string::npos);
+}
+
+TEST(WireValueTest, ToJsonRendering) {
+  Value v;
+  v.set("n", Value(nullptr));
+  v.set("s", "a\"b");
+  v.set("list", Value(Array{Value(1), Value(true)}));
+  EXPECT_EQ(v.to_json(), "{\"list\":[1,true],\"n\":null,\"s\":\"a\\\"b\"}");
+}
+
+// Property test: random values survive encode/decode byte-exactly.
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+Value random_value(Rng& rng, int depth) {
+  int kind = static_cast<int>(rng.next_below(depth >= 3 ? 5 : 7));
+  switch (kind) {
+    case 0: return Value(nullptr);
+    case 1: return Value(rng.next_bool());
+    case 2: return Value(static_cast<std::int64_t>(rng.next_u64()));
+    case 3: return Value(rng.next_double() * 1e6 - 5e5);
+    case 4: return Value(rng.next_word(0, 24));
+    case 5: {
+      Array arr;
+      int count = static_cast<int>(rng.next_below(5));
+      for (int i = 0; i < count; ++i) {
+        arr.push_back(random_value(rng, depth + 1));
+      }
+      return Value(std::move(arr));
+    }
+    default: {
+      Object obj;
+      int count = static_cast<int>(rng.next_below(5));
+      for (int i = 0; i < count; ++i) {
+        obj[rng.next_word(1, 10)] = random_value(rng, depth + 1);
+      }
+      return Value(std::move(obj));
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, RandomValueRoundTrips) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Value original = random_value(rng, 0);
+    std::string bytes;
+    original.encode(&bytes);
+    auto decoded = Value::decode(bytes);
+    ASSERT_TRUE(decoded.is_ok()) << decoded.error().to_string();
+    EXPECT_EQ(decoded.value(), original);
+    // Re-encoding is deterministic.
+    std::string bytes2;
+    decoded.value().encode(&bytes2);
+    EXPECT_EQ(bytes, bytes2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 1234, 31337));
+
+// Property test: truncating a valid encoding at any byte fails cleanly.
+TEST(WireFuzzTest, TruncationsNeverCrash) {
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    Value original = random_value(rng, 0);
+    std::string bytes;
+    original.encode(&bytes);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      auto decoded = Value::decode(bytes.substr(0, cut));
+      EXPECT_FALSE(decoded.is_ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dionea::ipc::wire

@@ -1,0 +1,117 @@
+#include "mapreduce/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+
+namespace dionea::mapreduce {
+namespace {
+
+TEST(ReservedWordsTest, MatchesMiniLangKeywords) {
+  EXPECT_TRUE(is_reserved_word("fn"));
+  EXPECT_TRUE(is_reserved_word("while"));
+  EXPECT_TRUE(is_reserved_word("end"));
+  EXPECT_FALSE(is_reserved_word("banana"));
+  EXPECT_FALSE(is_reserved_word(""));
+  EXPECT_GE(reserved_words().size(), 15u);
+}
+
+TEST(CorpusTest, GeneratesRequestedShape) {
+  auto tmp = TempDir::create("corpus-test");
+  ASSERT_TRUE(tmp.is_ok());
+  CorpusSpec spec;
+  spec.name = "tiny";
+  spec.file_count = 10;
+  spec.target_bytes_per_file = 2048;
+  spec.directory_fanout = 4;
+  auto corpus = Corpus::generate(spec, tmp.value().file("c"));
+  ASSERT_TRUE(corpus.is_ok()) << corpus.error().to_string();
+  EXPECT_EQ(corpus.value().files().size(), 10u);
+  // Every file exists, is non-empty, roughly the requested size.
+  for (const std::string& path : corpus.value().files()) {
+    auto contents = read_file(path);
+    ASSERT_TRUE(contents.is_ok()) << path;
+    EXPECT_GE(contents.value().size(), 2048u);
+    EXPECT_LT(contents.value().size(), 2048u + 256u);
+  }
+  EXPECT_GE(corpus.value().bytes_written(), 10 * 2048);
+  // Fanout: 10 files over fanout 4 -> 3 subdirectories.
+  EXPECT_TRUE(file_exists(tmp.value().file("c/src000")));
+  EXPECT_TRUE(file_exists(tmp.value().file("c/src002")));
+  EXPECT_FALSE(file_exists(tmp.value().file("c/src003")));
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  auto tmp = TempDir::create("corpus-test");
+  ASSERT_TRUE(tmp.is_ok());
+  CorpusSpec spec;
+  spec.file_count = 3;
+  spec.target_bytes_per_file = 1024;
+  auto a = Corpus::generate(spec, tmp.value().file("a"));
+  auto b = Corpus::generate(spec, tmp.value().file("b"));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  for (size_t i = 0; i < a.value().files().size(); ++i) {
+    EXPECT_EQ(read_file(a.value().files()[i]).value(),
+              read_file(b.value().files()[i]).value());
+  }
+  // Different seed -> different text.
+  spec.seed = 999;
+  auto c = Corpus::generate(spec, tmp.value().file("c"));
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_NE(read_file(a.value().files()[0]).value(),
+            read_file(c.value().files()[0]).value());
+}
+
+TEST(CorpusTest, ContentLooksLikeCode) {
+  auto tmp = TempDir::create("corpus-test");
+  ASSERT_TRUE(tmp.is_ok());
+  CorpusSpec spec;
+  spec.file_count = 2;
+  spec.target_bytes_per_file = 8192;
+  auto corpus = Corpus::generate(spec, tmp.value().file("c"));
+  ASSERT_TRUE(corpus.is_ok());
+  auto text = read_file(corpus.value().files()[0]);
+  ASSERT_TRUE(text.is_ok());
+  int words = 0;
+  int reserved = 0;
+  int numbers = 0;
+  for (const std::string& token :
+       strings::split_whitespace(text.value())) {
+    ++words;
+    if (is_reserved_word(token)) ++reserved;
+    bool numeric = !token.empty() &&
+                   token.find_first_not_of("0123456789") == std::string::npos;
+    if (numeric) ++numbers;
+  }
+  EXPECT_GT(words, 500);
+  // ~15% reserved, ~10% numbers (loose bounds).
+  EXPECT_GT(reserved, words / 20);
+  EXPECT_GT(numbers, words / 40);
+  // Lines stay short (the generator wraps at ~72 columns).
+  for (const std::string& line : strings::split(text.value(), '\n')) {
+    EXPECT_LT(line.size(), 100u);
+  }
+}
+
+TEST(CorpusTest, PresetsScaleUpward) {
+  CorpusSpec small = dionea_trunk_spec();
+  CorpusSpec medium = rust_master_spec();
+  CorpusSpec large = linux_3_18_spec();
+  EXPECT_LT(small.total_bytes(), medium.total_bytes());
+  EXPECT_LT(medium.total_bytes(), large.total_bytes());
+  EXPECT_NE(small.name, medium.name);
+}
+
+TEST(CorpusTest, ScaledSpecMultipliesFiles) {
+  CorpusSpec base = dionea_trunk_spec();
+  CorpusSpec doubled = scaled_spec(base, 2.0);
+  EXPECT_EQ(doubled.file_count, base.file_count * 2);
+  CorpusSpec tiny = scaled_spec(base, 0.001);
+  EXPECT_EQ(tiny.file_count, 1);  // floor of 1
+  EXPECT_NE(doubled.name, base.name);
+}
+
+}  // namespace
+}  // namespace dionea::mapreduce

@@ -1,0 +1,123 @@
+// §6.4: the parallel-gem pipe-leak bug and its fix.
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "mp/parallel.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::mp::parallel {
+namespace {
+
+using vm::Value;
+
+Value upcase(const Value& value) {
+  std::string out = value.as_str();
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return Value::str(out);
+}
+
+std::vector<Value> make_items(int count) {
+  std::vector<Value> items;
+  for (int i = 0; i < count; ++i) {
+    items.push_back(Value::str("item" + std::to_string(i)));
+  }
+  return items;
+}
+
+TEST(ParallelTest, FixedVersionTransformsInOrder) {
+  Options options;
+  options.version = Version::kV0_5_10;
+  options.worker_count = 4;
+  options.timeout_millis = 10'000;
+  auto results = map_in_processes(make_items(10), upcase, options);
+  ASSERT_TRUE(results.is_ok()) << results.error().to_string();
+  ASSERT_EQ(results.value().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results.value()[static_cast<size_t>(i)].as_str(),
+              "ITEM" + std::to_string(i));
+  }
+}
+
+TEST(ParallelTest, FixedVersionSingleWorker) {
+  Options options;
+  options.version = Version::kV0_5_10;
+  options.worker_count = 1;
+  options.timeout_millis = 10'000;
+  auto results = map_in_processes(make_items(5), upcase, options);
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_EQ(results.value()[4].as_str(), "ITEM4");
+}
+
+TEST(ParallelTest, FixedVersionMoreWorkersThanItems) {
+  Options options;
+  options.version = Version::kV0_5_10;
+  options.worker_count = 8;
+  options.timeout_millis = 10'000;
+  auto results = map_in_processes(make_items(3), upcase, options);
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_EQ(results.value().size(), 3u);
+}
+
+TEST(ParallelTest, EmptyInputIsEmptyOutput) {
+  Options options;
+  options.version = Version::kV0_5_10;
+  options.timeout_millis = 5000;
+  auto results = map_in_processes({}, upcase, options);
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_TRUE(results.value().empty());
+}
+
+TEST(ParallelTest, ZeroWorkersRejected) {
+  Options options;
+  options.worker_count = 0;
+  auto results = map_in_processes(make_items(2), upcase, options);
+  ASSERT_FALSE(results.is_ok());
+  EXPECT_EQ(results.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ParallelTest, BuggyVersionDeadlocksUnderDisturbance) {
+  // The §6.4 reproduction: disturb-style delays force every
+  // interaction thread to create its pipes before any fork, so every
+  // child inherits (and never closes) every sibling's write ends.
+  Options options;
+  options.version = Version::kV0_5_9;
+  options.worker_count = 4;
+  options.timeout_millis = 2500;
+  options.disturb_delay_millis = 100;
+  Stopwatch watch;
+  auto results = map_in_processes(make_items(8), upcase, options);
+  ASSERT_FALSE(results.is_ok());
+  EXPECT_EQ(results.error().code(), ErrorCode::kTimeout);
+  EXPECT_NE(results.error().message().find("leaked"), std::string::npos);
+  EXPECT_GE(watch.elapsed_seconds(), 2.0);  // it really hung until the limit
+}
+
+TEST(ParallelTest, FixedVersionSurvivesSameDisturbance) {
+  Options options;
+  options.version = Version::kV0_5_10;
+  options.worker_count = 4;
+  options.timeout_millis = 10'000;
+  options.disturb_delay_millis = 100;  // ignored by the fixed path
+  auto results = map_in_processes(make_items(8), upcase, options);
+  ASSERT_TRUE(results.is_ok()) << results.error().to_string();
+  EXPECT_EQ(results.value().size(), 8u);
+}
+
+TEST(ParallelTest, BuggySingleWorkerCannotDeadlock) {
+  // With one worker there are no siblings to leak into: even 0.5.9 is
+  // safe — evidence the failure is specifically the sibling-fd leak.
+  Options options;
+  options.version = Version::kV0_5_9;
+  options.worker_count = 1;
+  options.timeout_millis = 10'000;
+  options.disturb_delay_millis = 50;
+  auto results = map_in_processes(make_items(4), upcase, options);
+  ASSERT_TRUE(results.is_ok()) << results.error().to_string();
+  EXPECT_EQ(results.value().size(), 4u);
+}
+
+}  // namespace
+}  // namespace dionea::mp::parallel

@@ -1,0 +1,117 @@
+#include "mp/process.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "support/timing.hpp"
+
+namespace dionea::mp {
+namespace {
+
+TEST(ProcessTest, SpawnWaitExitCode) {
+  auto proc = Process::spawn([] { return 7; });
+  ASSERT_TRUE(proc.is_ok());
+  EXPECT_GT(proc.value().pid(), 0);
+  auto code = proc.value().wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), 7);
+  EXPECT_FALSE(proc.value().valid());  // reaped
+}
+
+TEST(ProcessTest, ChildRunsInItsOwnAddressSpace) {
+  int shared = 1;
+  auto proc = Process::spawn([&shared] {
+    shared = 99;
+    return shared == 99 ? 0 : 1;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  EXPECT_EQ(proc.value().wait().value(), 0);
+  EXPECT_EQ(shared, 1);  // parent copy untouched
+}
+
+TEST(ProcessTest, TryWaitNonBlocking) {
+  auto proc = Process::spawn([] {
+    sleep_for_millis(100);
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  auto immediate = proc.value().try_wait();
+  ASSERT_TRUE(immediate.is_ok());
+  EXPECT_FALSE(immediate.value().has_value());  // still running
+  EXPECT_TRUE(proc.value().running());
+  auto code = proc.value().wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), 0);
+}
+
+TEST(ProcessTest, WaitTimeoutExpiresThenSucceeds) {
+  auto proc = Process::spawn([] {
+    sleep_for_millis(150);
+    return 3;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  auto early = proc.value().wait_timeout(30);
+  ASSERT_FALSE(early.is_ok());
+  EXPECT_EQ(early.error().code(), ErrorCode::kTimeout);
+  auto late = proc.value().wait_timeout(5000);
+  ASSERT_TRUE(late.is_ok());
+  EXPECT_EQ(late.value(), 3);
+}
+
+TEST(ProcessTest, KillReportsSignal) {
+  auto proc = Process::spawn([] {
+    sleep_for_millis(10'000);
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  ASSERT_TRUE(proc.value().kill(SIGKILL).is_ok());
+  auto code = proc.value().wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), -SIGKILL);
+}
+
+TEST(ProcessTest, ThrowingChildContained) {
+  auto proc = Process::spawn([]() -> int {
+    throw std::runtime_error("child boom");
+  });
+  ASSERT_TRUE(proc.is_ok());
+  auto code = proc.value().wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), 70);  // EX_SOFTWARE
+}
+
+TEST(ProcessTest, InvalidHandleOperationsFail) {
+  auto proc = Process::spawn([] { return 0; });
+  ASSERT_TRUE(proc.is_ok());
+  ASSERT_TRUE(proc.value().wait().is_ok());
+  EXPECT_FALSE(proc.value().wait().is_ok());
+  EXPECT_FALSE(proc.value().try_wait().is_ok());
+  EXPECT_FALSE(proc.value().kill(SIGTERM).is_ok());
+}
+
+TEST(ProcessTest, MoveTransfersOwnership) {
+  auto proc = Process::spawn([] { return 4; });
+  ASSERT_TRUE(proc.is_ok());
+  Process moved = std::move(proc).value();
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.wait().value(), 4);
+}
+
+TEST(ProcessTest, ManyConcurrentChildren) {
+  std::vector<Process> procs;
+  for (int i = 0; i < 8; ++i) {
+    auto proc = Process::spawn([i] { return i; });
+    ASSERT_TRUE(proc.is_ok());
+    procs.push_back(std::move(proc).value());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto code = procs[static_cast<size_t>(i)].wait();
+    ASSERT_TRUE(code.is_ok());
+    EXPECT_EQ(code.value(), i);
+  }
+}
+
+}  // namespace
+}  // namespace dionea::mp

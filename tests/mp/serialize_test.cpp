@@ -1,0 +1,125 @@
+#include "mp/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "vm/sync.hpp"
+
+namespace dionea::mp {
+namespace {
+
+using vm::Value;
+
+Value round_trip(const Value& value) {
+  auto bytes = serialize(value);
+  EXPECT_TRUE(bytes.is_ok()) << bytes.error().to_string();
+  auto back = deserialize(bytes.value());
+  EXPECT_TRUE(back.is_ok()) << back.error().to_string();
+  return back.is_ok() ? back.value() : Value();
+}
+
+TEST(SerializeTest, Scalars) {
+  EXPECT_TRUE(round_trip(Value()).is_nil());
+  EXPECT_EQ(round_trip(Value(true)).as_bool(), true);
+  EXPECT_EQ(round_trip(Value(false)).as_bool(), false);
+  EXPECT_EQ(round_trip(Value(42)).as_int(), 42);
+  EXPECT_EQ(round_trip(Value(INT64_MIN)).as_int(), INT64_MIN);
+  EXPECT_DOUBLE_EQ(round_trip(Value(2.5)).as_float(), 2.5);
+  EXPECT_EQ(round_trip(Value::str("hello")).as_str(), "hello");
+  EXPECT_EQ(round_trip(Value::str("")).as_str(), "");
+  std::string binary("\x00\x01\xfe", 3);
+  EXPECT_EQ(round_trip(Value::str(binary)).as_str(), binary);
+}
+
+TEST(SerializeTest, Containers) {
+  Value list = Value::new_list();
+  list.as_list()->items = {Value(1), Value::str("x"), Value()};
+  Value back = round_trip(list);
+  ASSERT_TRUE(back.is_list());
+  EXPECT_TRUE(back.equals(list));
+
+  Value map = Value::new_map();
+  map.as_map()->items["k"] = Value(9);
+  map.as_map()->items["nested"] = list;
+  Value map_back = round_trip(map);
+  EXPECT_TRUE(map_back.equals(map));
+}
+
+TEST(SerializeTest, DeserializedContainersAreFreshCopies) {
+  Value list = Value::new_list();
+  list.as_list()->items = {Value(1)};
+  Value back = round_trip(list);
+  back.as_list()->items.push_back(Value(2));
+  EXPECT_EQ(list.as_list()->items.size(), 1u);
+}
+
+TEST(SerializeTest, ProcessLocalObjectsRefuse) {
+  // §6.3: pickle moves data; threads/locks are process-local.
+  auto refuse = [](Value value) {
+    auto bytes = serialize(value);
+    ASSERT_FALSE(bytes.is_ok());
+    EXPECT_NE(bytes.error().message().find("cannot pickle"),
+              std::string::npos);
+  };
+  refuse(Value(std::make_shared<vm::VmMutex>()));
+  refuse(Value(std::make_shared<vm::VmQueue>()));
+  refuse(Value(std::make_shared<vm::VmCond>()));
+  refuse(Value(std::make_shared<vm::ThreadHandle>()));
+}
+
+TEST(SerializeTest, NestedUnpicklableRefusesToo) {
+  Value list = Value::new_list();
+  list.as_list()->items.push_back(Value(1));
+  list.as_list()->items.push_back(Value(std::make_shared<vm::VmMutex>()));
+  EXPECT_FALSE(serialize(list).is_ok());
+
+  Value map = Value::new_map();
+  map.as_map()->items["q"] = Value(std::make_shared<vm::VmQueue>());
+  EXPECT_FALSE(serialize(map).is_ok());
+}
+
+TEST(SerializeTest, FloatsSurviveExactly) {
+  for (double d : {0.0, -0.0, 1e300, -1e-300, 3.141592653589793}) {
+    EXPECT_EQ(round_trip(Value(d)).as_float(), d);
+  }
+}
+
+TEST(SerializeTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(deserialize("").is_ok());
+  EXPECT_FALSE(deserialize("garbage").is_ok());
+}
+
+TEST(SerializeTest, RandomValuesFuzz) {
+  Rng rng(2024);
+  std::function<Value(int)> random_value = [&](int depth) -> Value {
+    switch (rng.next_below(depth >= 3 ? 5 : 7)) {
+      case 0: return Value();
+      case 1: return Value(rng.next_bool());
+      case 2: return Value(static_cast<std::int64_t>(rng.next_u64()));
+      case 3: return Value(rng.next_double());
+      case 4: return Value::str(rng.next_word(0, 12));
+      case 5: {
+        Value list = Value::new_list();
+        for (std::uint64_t i = 0; i < rng.next_below(4); ++i) {
+          list.as_list()->items.push_back(random_value(depth + 1));
+        }
+        return list;
+      }
+      default: {
+        Value map = Value::new_map();
+        for (std::uint64_t i = 0; i < rng.next_below(4); ++i) {
+          map.as_map()->items[rng.next_word(1, 6)] = random_value(depth + 1);
+        }
+        return map;
+      }
+    }
+  };
+  for (int i = 0; i < 300; ++i) {
+    Value original = random_value(0);
+    Value back = round_trip(original);
+    EXPECT_TRUE(back.equals(original)) << original.repr();
+  }
+}
+
+}  // namespace
+}  // namespace dionea::mp

@@ -1,0 +1,147 @@
+// MiniLang bindings for mp: ipc queues and pipes across fork.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::mp {
+namespace {
+
+using test::expect_ml_error;
+using test::expect_ml_output;
+using test::run_ml;
+
+TEST(IpcQueueBindingTest, SameProcessRoundTrip) {
+  expect_ml_output(
+      "q = ipc_queue()\n"
+      "ipc_push(q, [1, \"two\", {\"k\": 3}])\n"
+      "v = ipc_pop(q)\n"
+      "puts(repr(v))",
+      "[1, \"two\", {\"k\": 3}]\n");
+}
+
+TEST(IpcQueueBindingTest, SizeAndTryPop) {
+  expect_ml_output(
+      "q = ipc_queue()\n"
+      "puts(ipc_size(q))\n"
+      "puts(repr(ipc_try_pop(q, 30)))\n"
+      "ipc_push(q, 5)\n"
+      "puts(ipc_size(q))\n"
+      "puts(ipc_try_pop(q, 30))",
+      "0\nnil\n1\n5\n");
+}
+
+TEST(IpcQueueBindingTest, ChildToParent) {
+  expect_ml_output(
+      "q = ipc_queue()\n"
+      "pid = fork(fn()\n"
+      "  ipc_push(q, getpid())\n"
+      "end)\n"
+      "child = ipc_pop(q)\n"
+      "assert(child == pid)\n"
+      "waitpid(pid)\n"
+      "puts(\"ok\")",
+      "ok\n");
+}
+
+TEST(IpcQueueBindingTest, ParentToChildren) {
+  // Tasks fan out to 3 forked workers; the partials come back and sum
+  // correctly regardless of which worker took which task.
+  expect_ml_output(
+      "tasks = ipc_queue()\n"
+      "out = ipc_queue()\n"
+      "for i in 9\n"
+      "  ipc_push(tasks, i + 1)\n"
+      "end\n"
+      "w = 0\n"
+      "while w < 3\n"
+      "  ipc_push(tasks, nil)\n"
+      "  w = w + 1\n"
+      "end\n"
+      "pids = []\n"
+      "w = 0\n"
+      "while w < 3\n"
+      "  push(pids, fork(fn()\n"
+      "    local = 0\n"
+      "    while true\n"
+      "      v = ipc_pop(tasks)\n"
+      "      if v == nil\n        break\n      end\n"
+      "      local = local + v\n"
+      "    end\n"
+      "    ipc_push(out, local)\n"
+      "  end))\n"
+      "  w = w + 1\n"
+      "end\n"
+      "total = 0\n"
+      "for i in 3\n"
+      "  total = total + ipc_pop(out)\n"
+      "end\n"
+      "for p in pids\n"
+      "  waitpid(p)\n"
+      "end\n"
+      "puts(total)",  // 1+..+9
+      "45\n");
+}
+
+TEST(IpcQueueBindingTest, UnpicklableValueRejected) {
+  expect_ml_error("q = ipc_queue()\nipc_push(q, mutex())", "cannot pickle");
+  expect_ml_error("q = ipc_queue()\nipc_push(q, fn() return 1 end)",
+                  "cannot pickle");
+}
+
+TEST(IpcQueueBindingTest, TypeErrors) {
+  expect_ml_error("ipc_push(5, 1)", "ipc_push");
+  expect_ml_error("ipc_pop(queue())", "ipc_pop");  // wrong queue kind
+  expect_ml_error("ipc_size([])", "ipc_size");
+}
+
+TEST(PipeBindingTest, WriteReadSameProcess) {
+  expect_ml_output(
+      "p = mp_pipe()\n"
+      "pipe_write(p, {\"msg\": \"hi\"})\n"
+      "v = pipe_read(p)\n"
+      "puts(v[\"msg\"])",
+      "hi\n");
+}
+
+TEST(PipeBindingTest, EofAfterCloseWriteIsNil) {
+  expect_ml_output(
+      "p = mp_pipe()\n"
+      "pipe_write(p, 1)\n"
+      "pipe_close_write(p)\n"
+      "puts(pipe_read(p))\n"
+      "puts(repr(pipe_read(p)))",
+      "1\nnil\n");
+}
+
+TEST(PipeBindingTest, AcrossFork) {
+  expect_ml_output(
+      "p = mp_pipe()\n"
+      "pid = fork(fn()\n"
+      "  pipe_close_read(p)\n"
+      "  pipe_write(p, \"child says hi\")\n"
+      "  pipe_close_write(p)\n"
+      "end)\n"
+      "pipe_close_write(p)\n"
+      "puts(pipe_read(p))\n"
+      "puts(repr(pipe_read(p)))\n"  // EOF after child exit
+      "waitpid(pid)",
+      "child says hi\nnil\n");
+}
+
+TEST(PipeBindingTest, WriteAfterCloseErrors) {
+  expect_ml_error(
+      "p = mp_pipe()\npipe_close_write(p)\npipe_write(p, 1)",
+      "write end closed");
+  expect_ml_error(
+      "p = mp_pipe()\npipe_close_read(p)\npipe_read(p)",
+      "read end closed");
+}
+
+TEST(PipeBindingTest, ReprNamesTypes) {
+  expect_ml_output("puts(repr(ipc_queue()))\nputs(repr(mp_pipe()))",
+                   "<ipc_queue>\n<pipe>\n");
+  expect_ml_output("puts(type(ipc_queue()))", "foreign\n");
+}
+
+}  // namespace
+}  // namespace dionea::mp

@@ -1,0 +1,29 @@
+#include "support/host_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea {
+namespace {
+
+TEST(HostSpecTest, DetectPopulatesFields) {
+  HostSpec spec = HostSpec::detect();
+  EXPECT_GE(spec.logical_cores, 1);
+  EXPECT_FALSE(spec.cpu_model.empty());
+  EXPECT_GT(spec.memory_mb, 0);
+  EXPECT_FALSE(spec.os_release.empty());
+  EXPECT_NE(spec.runtime.find("dionea"), std::string::npos);
+}
+
+TEST(HostSpecTest, TableHasPaperRows) {
+  HostSpec spec = HostSpec::detect();
+  std::string table = spec.to_table();
+  // Same row labels as the paper's Table 1 (minus the SSD row, which
+  // the workload never touches).
+  EXPECT_NE(table.find("CPU"), std::string::npos);
+  EXPECT_NE(table.find("Memory"), std::string::npos);
+  EXPECT_NE(table.find("OS"), std::string::npos);
+  EXPECT_NE(table.find("cores"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dionea

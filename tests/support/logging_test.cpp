@@ -1,0 +1,80 @@
+#include "support/logging.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "support/temp_file.hpp"
+
+namespace dionea {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    log::set_fd(2);
+    log::set_threshold(log::Level::kWarn);
+  }
+
+  // Capture log records into a file and return its contents.
+  std::string capture(log::Level threshold,
+                      const std::function<void()>& body) {
+    auto tmp = TempDir::create("log-test");
+    EXPECT_TRUE(tmp.is_ok());
+    std::string path = tmp.value().file("log.txt");
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    EXPECT_GE(fd, 0);
+    log::set_fd(fd);
+    log::set_threshold(threshold);
+    body();
+    log::set_fd(2);
+    ::close(fd);
+    return read_file(path).value_or("");
+  }
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  std::string out = capture(log::Level::kInfo, [] {
+    DLOG_DEBUG("test") << "hidden";
+    DLOG_INFO("test") << "visible " << 42;
+    DLOG_ERROR("test") << "also visible";
+  });
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("also visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, RecordFormatHasPidLevelComponent) {
+  std::string out = capture(log::Level::kTrace, [] {
+    DLOG_WARN("mycomp") << "message body";
+  });
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("mycomp"), std::string::npos);
+  EXPECT_NE(out.find(std::to_string(getpid())), std::string::npos);
+  EXPECT_NE(out.find("message body\n"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  std::string out = capture(log::Level::kOff, [] {
+    DLOG_ERROR("test") << "even errors";
+  });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, EnabledMatchesThreshold) {
+  log::set_threshold(log::Level::kInfo);
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_TRUE(log::enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log::level_name(log::Level::kTrace), "TRACE");
+  EXPECT_STREQ(log::level_name(log::Level::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace dionea

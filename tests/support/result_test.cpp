@@ -1,0 +1,102 @@
+#include "support/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(ErrorCode::kNotFound, "missing thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.error().message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, ImplicitFromError) {
+  Error error(ErrorCode::kTimeout, "too slow");
+  Status status = error;
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kTimeout);
+}
+
+TEST(ErrorTest, WrapPrependsContext) {
+  Error error(ErrorCode::kClosed, "EOF");
+  Error wrapped = error.wrap("reading frame");
+  EXPECT_EQ(wrapped.code(), ErrorCode::kClosed);
+  EXPECT_EQ(wrapped.message(), "reading frame: EOF");
+}
+
+TEST(ErrorTest, EveryCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kOsError); ++code) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(code)), "?");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(ErrorCode::kProtocol, "bad frame");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kProtocol);
+  EXPECT_EQ(result.value_or(7), 7);
+  EXPECT_FALSE(result.status().is_ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.is_ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Result<int> parse_positive(int input) {
+  if (input < 0) return Error(ErrorCode::kInvalidArgument, "negative");
+  return input;
+}
+
+Result<int> doubled(int input) {
+  DIONEA_ASSIGN_OR_RETURN(int value, parse_positive(input));
+  return value * 2;
+}
+
+Status check(int input) {
+  DIONEA_RETURN_IF_ERROR(parse_positive(input).status());
+  return Status::ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(doubled(21).value(), 42);
+  EXPECT_FALSE(doubled(-1).is_ok());
+  EXPECT_EQ(doubled(-1).error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(check(1).is_ok());
+  EXPECT_FALSE(check(-1).is_ok());
+}
+
+TEST(ErrnoErrorTest, MapsCommonErrnos) {
+  EXPECT_EQ(errno_error("x", ENOENT).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(errno_error("x", EEXIST).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(errno_error("x", EACCES).code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(errno_error("x", EPIPE).code(), ErrorCode::kClosed);
+  EXPECT_EQ(errno_error("x", ETIMEDOUT).code(), ErrorCode::kTimeout);
+  EXPECT_EQ(errno_error("x", E2BIG).code(), ErrorCode::kOsError);
+}
+
+}  // namespace
+}  // namespace dionea

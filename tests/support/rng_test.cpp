@@ -1,0 +1,100 @@
+#include "support/rng.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dionea {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t value = rng.next_range(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+  EXPECT_EQ(rng.next_range(5, 5), 5);
+  EXPECT_EQ(rng.next_range(5, 4), 5);  // degenerate: lo wins
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);  // rough uniformity
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(4242);
+  int heads = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.next_bool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(heads / 5000.0, 0.25, 0.05);
+  Rng always(1);
+  EXPECT_FALSE(always.next_bool(0.0));
+  Rng never(1);
+  EXPECT_TRUE(never.next_bool(1.0));
+}
+
+TEST(RngTest, NextWordShapeAndDeterminism) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 50; ++i) {
+    std::string word_a = a.next_word(2, 8);
+    EXPECT_EQ(word_a, b.next_word(2, 8));
+    EXPECT_GE(word_a.size(), 2u);
+    EXPECT_LE(word_a.size(), 8u);
+    for (char c : word_a) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng rng(11);
+  std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(11);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,109 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea::strings {
+namespace {
+
+TEST(SplitTest, BasicAndEdges) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(split_whitespace("  foo \t bar\nbaz  "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace(" \t\n ").empty());
+  EXPECT_EQ(split_whitespace("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(TrimTest, RemovesBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("dionea.ml", "dio"));
+  EXPECT_FALSE(starts_with("dio", "dionea"));
+  EXPECT_TRUE(ends_with("dionea.ml", ".ml"));
+  EXPECT_FALSE(ends_with(".ml", "dionea.ml"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(CaseTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123 Case"), "mixed 123 case");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(IsAlphaWordTest, PaperFilterSemantics) {
+  // §7: "maps words that contain only letters".
+  EXPECT_TRUE(is_alpha_word("hello"));
+  EXPECT_TRUE(is_alpha_word("A"));
+  EXPECT_FALSE(is_alpha_word(""));
+  EXPECT_FALSE(is_alpha_word("x1"));
+  EXPECT_FALSE(is_alpha_word("foo_bar"));
+  EXPECT_FALSE(is_alpha_word("42"));
+  EXPECT_FALSE(is_alpha_word("a-b"));
+}
+
+TEST(ParseIntTest, AcceptsAndRejects) {
+  std::int64_t value = 0;
+  EXPECT_TRUE(parse_int("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(parse_int("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(parse_int("0", &value));
+  EXPECT_EQ(value, 0);
+  EXPECT_FALSE(parse_int("", &value));
+  EXPECT_FALSE(parse_int("4x", &value));
+  EXPECT_FALSE(parse_int("x4", &value));
+  EXPECT_FALSE(parse_int("1.5", &value));
+  EXPECT_FALSE(parse_int("99999999999999999999999999", &value));
+}
+
+TEST(ParseDoubleTest, AcceptsAndRejects) {
+  double value = 0;
+  EXPECT_TRUE(parse_double("2.5", &value));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+  EXPECT_TRUE(parse_double("-1e3", &value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+  EXPECT_FALSE(parse_double("", &value));
+  EXPECT_FALSE(parse_double("abc", &value));
+  EXPECT_FALSE(parse_double("1.5x", &value));
+}
+
+TEST(FormatTest, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%05.2f", 3.14159), "03.14");
+  EXPECT_EQ(format("empty"), "empty");
+  // Long output exceeds any small static buffer.
+  std::string long_out = format("%0500d", 1);
+  EXPECT_EQ(long_out.size(), 500u);
+}
+
+TEST(EscapeTest, ControlsAndQuotes) {
+  EXPECT_EQ(escape("a\nb"), "a\\nb");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape(std::string("\x01", 1)), "\\x01");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace dionea::strings

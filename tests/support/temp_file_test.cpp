@@ -1,0 +1,106 @@
+#include "support/temp_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea {
+namespace {
+
+TEST(TempDirTest, CreatesAndCleansUp) {
+  std::string path;
+  {
+    auto tmp = TempDir::create("dionea-test");
+    ASSERT_TRUE(tmp.is_ok()) << tmp.error().to_string();
+    path = tmp.value().path();
+    EXPECT_TRUE(file_exists(path));
+    EXPECT_NE(path.find("dionea-test"), std::string::npos);
+  }
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(TempDirTest, CleansRecursively) {
+  std::string path;
+  {
+    auto tmp = TempDir::create("dionea-test");
+    ASSERT_TRUE(tmp.is_ok());
+    path = tmp.value().path();
+    ASSERT_TRUE(make_dir(tmp.value().file("sub")).is_ok());
+    ASSERT_TRUE(
+        write_file(tmp.value().file("sub/inner.txt"), "data").is_ok());
+  }
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(TempDirTest, ReleaseDisablesCleanup) {
+  std::string path;
+  {
+    auto tmp = TempDir::create("dionea-test");
+    ASSERT_TRUE(tmp.is_ok());
+    path = tmp.value().path();
+    tmp.value().release();
+  }
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_TRUE(remove_tree(path).is_ok());
+}
+
+TEST(TempDirTest, MoveTransfersOwnership) {
+  auto tmp = TempDir::create("dionea-test");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string path = tmp.value().path();
+  {
+    TempDir moved = std::move(tmp).value();
+    EXPECT_EQ(moved.path(), path);
+    EXPECT_TRUE(file_exists(path));
+  }
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  auto tmp = TempDir::create("dionea-test");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string path = tmp.value().file("f.txt");
+  std::string payload = "hello\nworld\0binary too";
+  payload += std::string("\0\x01\x02", 3);
+  ASSERT_TRUE(write_file(path, payload).is_ok());
+  auto read_back = read_file(path);
+  ASSERT_TRUE(read_back.is_ok());
+  EXPECT_EQ(read_back.value(), payload);
+}
+
+TEST(FileIoTest, ReadMissingFileFails) {
+  auto missing = read_file("/nonexistent/definitely/missing");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(FileIoTest, AtomicWriteReplaces) {
+  auto tmp = TempDir::create("dionea-test");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string path = tmp.value().file("atomic.txt");
+  ASSERT_TRUE(write_file_atomic(path, "one").is_ok());
+  ASSERT_TRUE(write_file_atomic(path, "two").is_ok());
+  EXPECT_EQ(read_file(path).value(), "two");
+  // No droppings from the temp-rename protocol.
+  EXPECT_FALSE(file_exists(path + ".tmp." + std::to_string(getpid())));
+}
+
+TEST(FileIoTest, RemoveFileIdempotent) {
+  auto tmp = TempDir::create("dionea-test");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string path = tmp.value().file("gone.txt");
+  ASSERT_TRUE(write_file(path, "x").is_ok());
+  EXPECT_TRUE(remove_file(path).is_ok());
+  EXPECT_TRUE(remove_file(path).is_ok());  // already gone: still OK
+}
+
+TEST(FileIoTest, LargeFileRoundTrip) {
+  auto tmp = TempDir::create("dionea-test");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string path = tmp.value().file("big.bin");
+  std::string big(512 * 1024, 'q');
+  for (size_t i = 0; i < big.size(); i += 97) big[i] = static_cast<char>(i);
+  ASSERT_TRUE(write_file(path, big).is_ok());
+  EXPECT_EQ(read_file(path).value(), big);
+}
+
+}  // namespace
+}  // namespace dionea

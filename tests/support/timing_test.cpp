@@ -1,0 +1,41 @@
+#include "support/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea {
+namespace {
+
+TEST(TimingTest, MonoSecondsMonotonic) {
+  double first = mono_seconds();
+  double second = mono_seconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(TimingTest, SleepForMillisActuallySleeps) {
+  Stopwatch watch;
+  sleep_for_millis(30);
+  EXPECT_GE(watch.elapsed_seconds(), 0.025);
+  // Degenerate arguments are no-ops.
+  sleep_for_millis(0);
+  sleep_for_millis(-5);
+}
+
+TEST(TimingTest, StopwatchResets) {
+  Stopwatch watch;
+  sleep_for_millis(15);
+  EXPECT_GT(watch.elapsed_seconds(), 0.0);
+  watch.reset();
+  EXPECT_LT(watch.elapsed_seconds(), 0.01);
+}
+
+TEST(FormatDurationTest, PicksUnits) {
+  EXPECT_EQ(format_duration(0.0000005), "0.5us");
+  EXPECT_EQ(format_duration(0.047), "47.0ms");
+  EXPECT_EQ(format_duration(2.31), "2.31s");
+  // The paper writes 3'49" for the Rust run; >= 2 minutes uses that form.
+  EXPECT_EQ(format_duration(229.0), "3'49\"");
+  EXPECT_EQ(format_duration(1601.0), "26'41\"");
+}
+
+}  // namespace
+}  // namespace dionea

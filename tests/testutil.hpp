@@ -1,0 +1,183 @@
+// Shared helpers for the test suite.
+//
+// Fork discipline: several tests run MiniLang programs that fork(2).
+// A forked child that falls out of run_main must NEVER return into
+// gtest (it would re-run the remaining tests); run_ml therefore _exits
+// children itself, mirroring Interp::finish.
+#pragma once
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "client/multi_client.hpp"
+#include "debugger/server.hpp"
+#include "mp/vm_bindings.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::test {
+
+struct RunOutcome {
+  bool ok = false;
+  bool exited = false;
+  int exit_code = 0;
+  std::string output;         // everything puts/print produced
+  std::string error_message;  // when !ok
+};
+
+// Run a MiniLang program to completion in a fresh VM (with mp bindings
+// installed), capturing its output. Forked children _exit here.
+inline RunOutcome run_ml(const std::string& source,
+                         const std::string& file = "test.ml") {
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  RunOutcome outcome;
+  interp.vm().set_output(
+      [&outcome](std::string_view text) { outcome.output.append(text); });
+  vm::RunResult result = interp.run_string(source, file);
+  if (interp.vm().is_forked_child()) {
+    std::fflush(nullptr);
+    ::_exit(result.exited ? result.exit_code : (result.ok ? 0 : 1));
+  }
+  outcome.ok = result.ok;
+  outcome.exited = result.exited;
+  outcome.exit_code = result.exit_code;
+  if (!result.ok) outcome.error_message = result.error.to_string();
+  return outcome;
+}
+
+// Expect a program to run cleanly and produce exactly `expected` output.
+inline void expect_ml_output(const std::string& source,
+                             const std::string& expected) {
+  RunOutcome outcome = run_ml(source);
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, expected);
+}
+
+// Expect a program to fail with a message containing `needle`.
+inline void expect_ml_error(const std::string& source,
+                            const std::string& needle) {
+  RunOutcome outcome = run_ml(source);
+  EXPECT_FALSE(outcome.ok) << "output was: " << outcome.output;
+  EXPECT_NE(outcome.error_message.find(needle), std::string::npos)
+      << "error was: " << outcome.error_message;
+}
+
+// A full debuggee-under-debugger fixture: VM + debug server + a client
+// attached through the port file, with the program running on a
+// background thread. Tests drive the client; the destructor tears
+// everything down (resuming parked threads first).
+struct HarnessOptions {
+  bool stop_at_entry = true;
+  bool stop_forked_children = false;
+  bool disturb = false;
+  bool install_mp = true;
+};
+
+class DebugHarness {
+ public:
+  using Options = HarnessOptions;
+
+  explicit DebugHarness(std::string program, Options options = Options())
+      : program_(std::move(program)) {
+    auto tmp = TempDir::create("dbg-harness");
+    DIONEA_CHECK(tmp.is_ok(), "harness tempdir");
+    tmp_ = std::make_unique<TempDir>(std::move(tmp).value());
+    interp_ = std::make_unique<vm::Interp>();
+    if (options.install_mp) mp::install_vm_bindings(interp_->vm());
+    interp_->vm().set_output([this](std::string_view text) {
+      std::scoped_lock lock(output_mutex_);
+      output_.append(text);
+    });
+    server_ = std::make_unique<dbg::DebugServer>(
+        interp_->vm(),
+        dbg::DebugServer::Options{.port_file = port_file(),
+                                  .disturb_mode = options.disturb,
+                                  .stop_forked_children =
+                                      options.stop_forked_children,
+                                  .stop_at_entry = options.stop_at_entry});
+    server_->register_source("test.ml", program_);
+    Status started = server_->start();
+    DIONEA_CHECK(started.is_ok(), "harness server start");
+    client_ = std::make_unique<client::MultiClient>(port_file());
+  }
+
+  ~DebugHarness() {
+    if (runner_.joinable()) {
+      // Make sure nothing stays parked, and kill infinite debuggees:
+      // a failed ASSERT must not leave the destructor joining forever.
+      if (session_ != nullptr) {
+        (void)session_->clear_breakpoint(0);
+        (void)session_->cont_all();
+      }
+      server_->stop();  // resumes any remaining parked threads
+      interp_->vm().request_exit(0);
+      runner_.join();
+    }
+    server_->stop();
+  }
+
+  // Start the debuggee and attach the client (one session, claimed).
+  client::Session* launch() {
+    runner_ = std::thread([this] {
+      vm::RunResult run = interp_->run_string(program_, "test.ml");
+      if (interp_->vm().is_forked_child()) {
+        std::fflush(nullptr);
+        ::_exit(run.exited ? run.exit_code : (run.ok ? 0 : 1));
+      }
+      result_ = run;
+      finished_.store(true);
+    });
+    auto refreshed = client_->refresh(5000);
+    DIONEA_CHECK(refreshed.is_ok() && refreshed.value() >= 1,
+                 "harness attach");
+    session_ = client_->session(static_cast<int>(::getpid()));
+    DIONEA_CHECK(session_ != nullptr, "harness parent session");
+    client_->claim(static_cast<int>(::getpid()));
+    return session_;
+  }
+
+  // Wait (≤ timeout) for the debuggee to finish and return its result.
+  vm::RunResult join(int timeout_millis = 20'000) {
+    Stopwatch watch;
+    while (!finished_.load()) {
+      DIONEA_CHECK(watch.elapsed_seconds() * 1000.0 < timeout_millis,
+                   "debuggee did not finish in time");
+      sleep_for_millis(5);
+    }
+    runner_.join();
+    return result_;
+  }
+
+  client::Session* session() noexcept { return session_; }
+  client::MultiClient& client() noexcept { return *client_; }
+  dbg::DebugServer& server() noexcept { return *server_; }
+  vm::Vm& vm() noexcept { return interp_->vm(); }
+  std::string port_file() const { return tmp_->file("ports"); }
+  TempDir& tmp() noexcept { return *tmp_; }
+  std::string output() {
+    std::scoped_lock lock(output_mutex_);
+    return output_;
+  }
+
+ private:
+  std::string program_;
+  std::unique_ptr<TempDir> tmp_;
+  std::unique_ptr<vm::Interp> interp_;
+  std::unique_ptr<dbg::DebugServer> server_;
+  std::unique_ptr<client::MultiClient> client_;
+  client::Session* session_ = nullptr;
+  std::thread runner_;
+  std::atomic<bool> finished_{false};
+  vm::RunResult result_;
+  std::mutex output_mutex_;
+  std::string output_;
+};
+
+}  // namespace dionea::test

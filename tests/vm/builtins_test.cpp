@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::vm {
+namespace {
+
+using test::expect_ml_error;
+using test::expect_ml_output;
+using test::run_ml;
+
+TEST(BuiltinsTest, PutsFormats) {
+  expect_ml_output("puts()", "\n");
+  expect_ml_output("puts(1, \"two\", nil)", "1\ntwo\nnil\n");
+  expect_ml_output("puts([1, 2])", "[1, 2]\n");
+  expect_ml_output("print(\"a\", 1)\nprint(\"b\")", "a1b");
+}
+
+TEST(BuiltinsTest, Conversions) {
+  expect_ml_output("puts(to_s(42) + \"!\")", "42!\n");
+  expect_ml_output("puts(to_i(\"  42 \") + 1)", "43\n");
+  expect_ml_output("puts(to_i(3.9))", "3\n");
+  expect_ml_output("puts(to_i(true))", "1\n");
+  expect_ml_output("puts(to_f(\"2.5\") * 2)", "5.0\n");
+  expect_ml_output("puts(to_f(2))", "2.0\n");
+  expect_ml_error("to_i(\"abc\")", "cannot parse");
+  expect_ml_output("puts(type(1), type(1.0), type(\"\"), type([]), type({}))",
+                   "int\nfloat\nstr\nlist\nmap\n");
+  expect_ml_output("puts(repr(\"x\\n\"))", "\"x\\n\"\n");
+}
+
+TEST(BuiltinsTest, AssertPassesAndFails) {
+  expect_ml_output("assert(true)\nassert(1)\nputs(\"ok\")", "ok\n");
+  expect_ml_error("assert(false)", "AssertionError");
+  expect_ml_error("assert(1 == 2, \"custom note\")", "custom note");
+  expect_ml_error("assert(nil)", "AssertionError");
+}
+
+TEST(BuiltinsTest, ClockMonotonic) {
+  test::RunOutcome outcome = run_ml(
+      "a = clock()\nb = clock()\nassert(b >= a)\nputs(\"ok\")");
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+}
+
+TEST(BuiltinsTest, SleepDuration) {
+  test::RunOutcome outcome = run_ml(
+      "a = clock()\nsleep(0.05)\nassert(clock() - a >= 0.04)\nputs(\"ok\")");
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+}
+
+TEST(BuiltinsTest, RangeForms) {
+  expect_ml_output("puts(repr(range(3)))", "[0, 1, 2]\n");
+  expect_ml_output("puts(repr(range(2, 5)))", "[2, 3, 4]\n");
+  expect_ml_output("puts(repr(range(0)))", "[]\n");
+  expect_ml_output("puts(repr(range(5, 2)))", "[]\n");
+}
+
+TEST(BuiltinsTest, ListOperations) {
+  expect_ml_output("l = [3]\npush(l, 4)\nputs(repr(l))", "[3, 4]\n");
+  expect_ml_output("l = [1, 2, 3]\nputs(pop(l))\nputs(repr(l))",
+                   "3\n[1, 2]\n");
+  expect_ml_error("pop([])", "pop from empty list");
+  expect_ml_output("puts(repr(sort([3, 1, 2])))", "[1, 2, 3]\n");
+  expect_ml_output("puts(repr(sort([\"b\", \"a\"])))", "[\"a\", \"b\"]\n");
+  expect_ml_error("sort([1, \"a\"])", "sort");
+  expect_ml_output("puts(contains([1, 2], 2))\nputs(contains([1], 9))",
+                   "true\nfalse\n");
+  expect_ml_output("puts(repr(slice([1, 2, 3, 4], 1, 3)))", "[2, 3]\n");
+  expect_ml_output("puts(repr(slice([1, 2, 3], -2)))", "[2, 3]\n");
+}
+
+TEST(BuiltinsTest, MapOperations) {
+  expect_ml_output("m = {\"a\": 1}\nputs(get(m, \"a\"))\n"
+                   "puts(repr(get(m, \"b\")))\nputs(get(m, \"b\", 42))",
+                   "1\nnil\n42\n");
+  expect_ml_output("m = {\"x\": 1, \"y\": 2}\nputs(repr(keys(m)))",
+                   "[\"x\", \"y\"]\n");
+  expect_ml_output("m = {\"a\": 1}\nputs(contains(m, \"a\"))\n"
+                   "puts(contains(m, \"z\"))",
+                   "true\nfalse\n");
+  expect_ml_output("m = {\"a\": 1}\nputs(delete(m, \"a\"))\nputs(len(m))\n"
+                   "puts(repr(delete(m, \"a\")))",
+                   "1\n0\nnil\n");
+}
+
+TEST(BuiltinsTest, MathHelpers) {
+  expect_ml_output("puts(min(2, 5))\nputs(max(2, 5))", "2\n5\n");
+  expect_ml_output("puts(min(2.5, 2))\nputs(max(-1, -2))", "2\n-1\n");
+  expect_ml_output("puts(abs(-5))\nputs(abs(5))\nputs(abs(-2.5))",
+                   "5\n5\n2.5\n");
+}
+
+TEST(BuiltinsTest, StringOperations) {
+  expect_ml_output("puts(repr(split(\"a,b,,c\", \",\")))",
+                   "[\"a\", \"b\", \"\", \"c\"]\n");
+  expect_ml_output("puts(repr(split(\"a--b\", \"--\")))",
+                   "[\"a\", \"b\"]\n");
+  expect_ml_output("puts(repr(words(\"  foo  bar\\tbaz \")))",
+                   "[\"foo\", \"bar\", \"baz\"]\n");
+  expect_ml_output("puts(lower(\"AbC\"))\nputs(upper(\"AbC\"))",
+                   "abc\nABC\n");
+  expect_ml_output("puts(is_alpha(\"abc\"))\nputs(is_alpha(\"ab1\"))\n"
+                   "puts(is_alpha(\"\"))",
+                   "true\nfalse\nfalse\n");
+  expect_ml_output("puts(slice(\"hello\", 1, 3))", "el\n");
+  expect_ml_output("puts(slice(\"hello\", -3))", "llo\n");
+  expect_ml_output("puts(contains(\"hello\", \"ell\"))", "true\n");
+}
+
+TEST(BuiltinsTest, GetpidReturnsOurPid) {
+  test::RunOutcome outcome = run_ml("puts(getpid())");
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.output, std::to_string(getpid()) + "\n");
+}
+
+TEST(BuiltinsTest, ExitStopsProgram) {
+  test::RunOutcome outcome = run_ml("puts(\"before\")\nexit(3)\nputs(\"after\")");
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_TRUE(outcome.exited);
+  EXPECT_EQ(outcome.exit_code, 3);
+  EXPECT_EQ(outcome.output, "before\n");
+}
+
+TEST(BuiltinsTest, ExitDefaultsToZero) {
+  test::RunOutcome outcome = run_ml("exit()");
+  EXPECT_TRUE(outcome.exited);
+  EXPECT_EQ(outcome.exit_code, 0);
+}
+
+TEST(BuiltinsTest, FileRoundTripAndWalk) {
+  auto tmp = TempDir::create("builtin-files");
+  ASSERT_TRUE(tmp.is_ok());
+  ASSERT_TRUE(make_dir(tmp.value().file("sub")).is_ok());
+  ASSERT_TRUE(write_file(tmp.value().file("a.txt"), "alpha").is_ok());
+  ASSERT_TRUE(write_file(tmp.value().file("sub/b.txt"), "beta").is_ok());
+  std::string program =
+      "root = \"" + tmp.value().path() + "\"\n"
+      "files = walk_files(root)\n"
+      "puts(len(files))\n"
+      "puts(read_file(files[0]))\n"
+      "write_file(root + \"/c.txt\", \"gamma\")\n"
+      "puts(read_file(root + \"/c.txt\"))";
+  expect_ml_output(program, "2\nalpha\ngamma\n");
+}
+
+TEST(BuiltinsTest, ReadMissingFileErrors) {
+  expect_ml_error("read_file(\"/definitely/not/here\")", "NOT_FOUND");
+}
+
+TEST(BuiltinsTest, ArityErrors) {
+  expect_ml_error("len()", "wrong number of arguments");
+  expect_ml_error("len(1, 2)", "wrong number of arguments");
+  expect_ml_error("to_s()", "wrong number of arguments");
+}
+
+TEST(BuiltinsTest, TypeErrorsNameTheBuiltin) {
+  expect_ml_error("len(5)", "len");
+  expect_ml_error("push(5, 1)", "push");
+  expect_ml_error("lower(5)", "lower");
+  expect_ml_error("split(\"a\", \"\")", "split");
+}
+
+}  // namespace
+}  // namespace dionea::vm

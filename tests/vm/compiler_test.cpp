@@ -1,0 +1,183 @@
+#include "vm/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea::vm {
+namespace {
+
+std::shared_ptr<const FunctionProto> compile_ok(std::string_view source) {
+  auto proto = compile_source(source, "test.ml");
+  EXPECT_TRUE(proto.is_ok()) << proto.error().to_string();
+  return proto.is_ok() ? proto.value() : nullptr;
+}
+
+void expect_compile_error(std::string_view source, const std::string& needle) {
+  auto proto = compile_source(source, "test.ml");
+  ASSERT_FALSE(proto.is_ok());
+  EXPECT_NE(proto.error().message().find(needle), std::string::npos)
+      << "actual: " << proto.error().message();
+}
+
+TEST(CompilerTest, MainProtoShape) {
+  auto proto = compile_ok("x = 1");
+  ASSERT_NE(proto, nullptr);
+  EXPECT_EQ(proto->name, "<main>");
+  EXPECT_EQ(proto->file, "test.ml");
+  EXPECT_EQ(proto->arity, 0);
+  EXPECT_GT(proto->chunk.size(), 0u);
+}
+
+TEST(CompilerTest, EveryStatementGetsTraceLine) {
+  auto proto = compile_ok("a = 1\nb = 2\nc = a + b");
+  int trace_lines = 0;
+  const Chunk& chunk = proto->chunk;
+  size_t offset = 0;
+  while (offset < chunk.size()) {
+    Op op = static_cast<Op>(chunk.read_u8(offset));
+    if (op == Op::kTraceLine) ++trace_lines;
+    offset += 1 + static_cast<size_t>(op_operand_bytes(op));
+  }
+  EXPECT_EQ(trace_lines, 3);
+}
+
+TEST(CompilerTest, ConstantsDeduplicated) {
+  auto proto = compile_ok("a = 5\nb = 5\nc = \"s\"\nd = \"s\"");
+  // 5, "s", plus the name constants a..d: no duplicates.
+  size_t count = proto->chunk.constants().size();
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(CompilerTest, FunctionLocalsTracked) {
+  auto proto = compile_ok("fn f(p, q)\n  local = p\n  return local\nend");
+  const auto& constants = proto->chunk.constants();
+  const Closure* inner = nullptr;
+  for (const Value& constant : constants) {
+    if (constant.is_closure()) inner = constant.as_closure().get();
+  }
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->proto->arity, 2);
+  EXPECT_EQ(inner->proto->local_names,
+            (std::vector<std::string>{"p", "q", "local"}));
+}
+
+TEST(CompilerTest, LambdaCapturesEnclosingLocal) {
+  auto proto = compile_ok(
+      "fn outer(x)\n  return fn() return x end\nend");
+  // Find the innermost lambda proto.
+  const FunctionProto* lambda = nullptr;
+  std::function<void(const FunctionProto&)> walk =
+      [&](const FunctionProto& p) {
+        for (const Value& constant : p.chunk.constants()) {
+          if (constant.is_closure()) {
+            const FunctionProto& child = *constant.as_closure()->proto;
+            if (child.name.empty()) lambda = &child;
+            walk(child);
+          }
+        }
+      };
+  walk(*proto);
+  ASSERT_NE(lambda, nullptr);
+  ASSERT_EQ(lambda->captures.size(), 1u);
+  EXPECT_FALSE(lambda->captures[0].from_enclosing_capture);
+  EXPECT_EQ(lambda->capture_names, (std::vector<std::string>{"x"}));
+}
+
+TEST(CompilerTest, NestedLambdaCapturesThroughMiddle) {
+  auto proto = compile_ok(
+      "fn outer(x)\n"
+      "  return fn()\n"
+      "    return fn() return x end\n"
+      "  end\n"
+      "end");
+  // Innermost lambda captures from the middle lambda's captures.
+  const FunctionProto* innermost = nullptr;
+  std::function<void(const FunctionProto&, int)> walk =
+      [&](const FunctionProto& p, int depth) {
+        for (const Value& constant : p.chunk.constants()) {
+          if (constant.is_closure()) {
+            const FunctionProto& child = *constant.as_closure()->proto;
+            if (depth == 2) innermost = &child;
+            walk(child, depth + 1);
+          }
+        }
+      };
+  walk(*proto, 0);
+  ASSERT_NE(innermost, nullptr);
+  ASSERT_EQ(innermost->captures.size(), 1u);
+  EXPECT_TRUE(innermost->captures[0].from_enclosing_capture);
+}
+
+TEST(CompilerTest, TopLevelNamesAreGlobalsNotCaptures) {
+  auto proto = compile_ok("g = 1\nf = fn() return g end");
+  const FunctionProto* lambda = nullptr;
+  for (const Value& constant : proto->chunk.constants()) {
+    if (constant.is_closure()) lambda = constant.as_closure()->proto.get();
+  }
+  ASSERT_NE(lambda, nullptr);
+  EXPECT_TRUE(lambda->captures.empty());  // g resolves as a global
+}
+
+TEST(CompilerTest, BreakOutsideLoopRejected) {
+  expect_compile_error("break", "'break' outside loop");
+  expect_compile_error("continue", "'continue' outside loop");
+  expect_compile_error("fn f()\n  break\nend", "'break' outside loop");
+}
+
+TEST(CompilerTest, DuplicateParameterRejected) {
+  expect_compile_error("fn f(a, a)\n  return a\nend", "duplicate parameter");
+}
+
+TEST(CompilerTest, BreakInsideLoopInsideFnAllowed) {
+  auto proto = compile_ok(
+      "fn f()\n  while true\n    break\n  end\nend");
+  EXPECT_NE(proto, nullptr);
+}
+
+TEST(CompilerTest, HiddenIteratorSlotsInvisible) {
+  auto proto = compile_ok("for x in [1]\n  y = x\nend");
+  // Top-level for loop: hidden slots exist and start with '$'.
+  int hidden = 0;
+  for (const std::string& name : proto->local_names) {
+    if (!name.empty() && name[0] == '$') ++hidden;
+  }
+  EXPECT_EQ(hidden, 2);
+}
+
+TEST(CompilerTest, DisassemblerProducesListing) {
+  auto proto = compile_ok("x = 1 + 2\nputs(x)");
+  std::string listing = proto->chunk.disassemble("<main>");
+  EXPECT_NE(listing.find("TRACE_LINE"), std::string::npos);
+  EXPECT_NE(listing.find("ADD"), std::string::npos);
+  EXPECT_NE(listing.find("SET_GLOBAL"), std::string::npos);
+  EXPECT_NE(listing.find("CALL"), std::string::npos);
+  EXPECT_NE(listing.find("RETURN"), std::string::npos);
+}
+
+TEST(CompilerTest, JumpTargetsWithinChunk) {
+  auto proto = compile_ok(
+      "i = 0\nwhile i < 100\n  if i % 2 == 0\n    i = i + 1\n  else\n    "
+      "i = i + 2\n  end\nend");
+  const Chunk& chunk = proto->chunk;
+  size_t offset = 0;
+  while (offset < chunk.size()) {
+    Op op = static_cast<Op>(chunk.read_u8(offset));
+    size_t next = offset + 1 + static_cast<size_t>(op_operand_bytes(op));
+    switch (op) {
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfFalsePeek:
+      case Op::kJumpIfTruePeek:
+        EXPECT_LE(next + chunk.read_u16(offset + 1), chunk.size());
+        break;
+      case Op::kLoop:
+        EXPECT_GE(next, static_cast<size_t>(chunk.read_u16(offset + 1)));
+        break;
+      default:
+        break;
+    }
+    offset = next;
+  }
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,162 @@
+// Deadlock detection: the Ruby `deadlock detected (fatal)` semantics
+// (§6.2) plus the cases that must NOT be flagged.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::vm {
+namespace {
+
+using test::run_ml;
+
+void expect_fatal_deadlock(const std::string& program) {
+  test::RunOutcome outcome = run_ml(program);
+  ASSERT_FALSE(outcome.ok) << "expected deadlock, got output: "
+                           << outcome.output;
+  EXPECT_NE(outcome.error_message.find("deadlock detected (fatal)"),
+            std::string::npos)
+      << outcome.error_message;
+}
+
+void expect_no_deadlock(const std::string& program) {
+  test::RunOutcome outcome = run_ml(program);
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+}
+
+TEST(DeadlockTest, SoloPopOnEmptyQueue) {
+  expect_fatal_deadlock("q = queue()\nq.pop()");
+}
+
+TEST(DeadlockTest, SoloSleepForever) {
+  expect_fatal_deadlock("sleep()");
+}
+
+TEST(DeadlockTest, TwoThreadsPoppingEachOthersQueues) {
+  expect_fatal_deadlock(
+      "q1 = queue()\n"
+      "q2 = queue()\n"
+      "t = spawn(fn()\n"
+      "  v = q1.pop()\n"
+      "  q2.push(v)\n"
+      "end)\n"
+      "v = q2.pop()\n"   // waits for t, which waits for us
+      "q1.push(v)");
+}
+
+TEST(DeadlockTest, MutexCycle) {
+  // Classic ABBA with a rendezvous so both threads hold one lock each.
+  expect_fatal_deadlock(
+      "a = mutex()\n"
+      "b = mutex()\n"
+      "sync = queue()\n"
+      "t = spawn(fn()\n"
+      "  lock(b)\n"
+      "  sync.push(true)\n"
+      "  lock(a)\n"
+      "  unlock(a)\n"
+      "  unlock(b)\n"
+      "end)\n"
+      "lock(a)\n"
+      "sync.pop()\n"  // t holds b now
+      "lock(b)");
+}
+
+TEST(DeadlockTest, MainSleepsAfterWorkerDies) {
+  // Listing 5's parent-side fate: the helper thread pushes and exits,
+  // main sleeps forever with nobody left to wake it.
+  expect_fatal_deadlock(
+      "q = queue()\n"
+      "spawn(fn() q.push(1) end)\n"
+      "q.pop()\n"
+      "sleep()");
+}
+
+TEST(DeadlockTest, ErrorPointsAtBlockedLine) {
+  test::RunOutcome outcome = run_ml("q = queue()\nq.pop()", "dead.ml");
+  ASSERT_FALSE(outcome.ok);
+  // Traceback names the file:line of the blocked statement.
+  EXPECT_NE(outcome.error_message.find("dead.ml:2"), std::string::npos)
+      << outcome.error_message;
+}
+
+// ---- cases that must NOT trigger ----
+
+TEST(DeadlockTest, TimedSleepIsNotDeadlock) {
+  expect_no_deadlock("sleep(0.3)\nputs(\"woke\")");
+}
+
+TEST(DeadlockTest, WakeableBlockIsNotDeadlock) {
+  expect_no_deadlock(
+      "q = queue()\n"
+      "spawn(fn()\n"
+      "  sleep(0.3)\n"  // longer than the detector's grace period
+      "  q.push(1)\n"
+      "end)\n"
+      "puts(q.pop())");
+}
+
+TEST(DeadlockTest, HandoffChainCompletes) {
+  // Threads blocked in a chain that eventually resolves — transient
+  // all-blocked snapshots must not fire (grace + epoch re-check).
+  expect_no_deadlock(
+      "q1 = queue()\nq2 = queue()\nq3 = queue()\n"
+      "spawn(fn() q2.push(q1.pop() + 1) end)\n"
+      "spawn(fn() q3.push(q2.pop() + 1) end)\n"
+      "spawn(fn()\n  sleep(0.25)\n  q1.push(1)\nend)\n"
+      "puts(q3.pop())");
+}
+
+TEST(DeadlockTest, IpcPopIsNotDeadlock) {
+  // Blocking on an INTER-PROCESS queue is an IO wait: another process
+  // can feed it, so the detector must ignore it (here the feeder is a
+  // forked child).
+  expect_no_deadlock(
+      "q = ipc_queue()\n"
+      "pid = fork(fn()\n"
+      "  sleep(0.3)\n"
+      "  ipc_push(q, 99)\n"
+      "end)\n"
+      "puts(ipc_pop(q))\n"
+      "waitpid(pid)");
+}
+
+TEST(DeadlockTest, RepeatedBlockingDoesNotAccumulate) {
+  // Block/wake cycles must keep working after the first (the epoch
+  // logic resets candidates).
+  expect_no_deadlock(
+      "q = queue()\n"
+      "spawn(fn()\n"
+      "  for i in 3\n"
+      "    sleep(0.2)\n"
+      "    q.push(i)\n"
+      "  end\n"
+      "end)\n"
+      "total = 0\n"
+      "for i in 3\n"
+      "  total = total + q.pop()\n"
+      "end\n"
+      "puts(total)");
+}
+
+TEST(DeadlockTest, DeadlockHookSuppressesFatal) {
+  vm::Interp interp;
+  std::vector<DeadlockInfo> seen;
+  interp.vm().set_deadlock_hook(
+      [&seen](Vm& vm, const std::vector<DeadlockInfo>& infos) {
+        seen = infos;
+        // Handled: resolve it by interrupting via exit.
+        vm.request_exit(7);
+        return true;
+      });
+  vm::RunResult result = interp.run_string("q = queue()\nq.pop()", "hook.ml");
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 7);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].file, "hook.ml");
+  EXPECT_EQ(seen[0].line, 2);
+  EXPECT_EQ(seen[0].note, "Queue#pop");
+  EXPECT_EQ(seen[0].thread_id, 1);
+}
+
+}  // namespace
+}  // namespace dionea::vm

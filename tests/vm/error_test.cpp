@@ -1,0 +1,124 @@
+// Runtime-error semantics: messages, tracebacks (the Listing 6 shape),
+// and clean VM state after failure.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::vm {
+namespace {
+
+using test::expect_ml_error;
+using test::run_ml;
+
+struct ErrorCase {
+  const char* program;
+  const char* needle;
+};
+
+class RuntimeErrors : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(RuntimeErrors, ReportsMessage) {
+  expect_ml_error(GetParam().program, GetParam().needle);
+}
+
+INSTANTIATE_TEST_SUITE_P(TypeErrors, RuntimeErrors, ::testing::Values(
+    ErrorCase{"x = 1 + \"s\"", "cannot add int and str"},
+    ErrorCase{"x = \"s\" + 1", "cannot add str and int"},
+    ErrorCase{"x = [] + \"s\"", "cannot add list and str"},
+    ErrorCase{"x = nil * 2", "numeric operator"},
+    ErrorCase{"x = \"a\" < 1", "cannot compare str with int"},
+    ErrorCase{"x = -\"s\"", "cannot negate str"},
+    ErrorCase{"x = 1.5 % 2", "'%' requires integers"},
+    ErrorCase{"x = nil[0]", "not indexable"},
+    ErrorCase{"x = 5(1)", "int is not callable"},
+    ErrorCase{"x = \"s\"(1)", "str is not callable"},
+    ErrorCase{"for x in nil\nend", "nil is not iterable"},
+    ErrorCase{"for x in true\nend", "bool is not iterable"}));
+
+INSTANTIATE_TEST_SUITE_P(NumericErrors, RuntimeErrors, ::testing::Values(
+    ErrorCase{"x = 1 / 0", "divided by 0"},
+    ErrorCase{"x = 1 % 0", "divided by 0"},
+    ErrorCase{"x = 9223372036854775807 + 1", "integer overflow"},
+    ErrorCase{"x = 9223372036854775807 * 2", "integer overflow"},
+    ErrorCase{"x = 0 - 9223372036854775807 - 2", "integer overflow"}));
+
+INSTANTIATE_TEST_SUITE_P(NameAndIndexErrors, RuntimeErrors, ::testing::Values(
+    ErrorCase{"puts(never_defined)", "undefined name 'never_defined'"},
+    ErrorCase{"x = [1][5]", "out of range"},
+    ErrorCase{"x = [1][-2]", "out of range"},
+    ErrorCase{"x = \"ab\"[9]", "out of range"},
+    ErrorCase{"l = [1]\nl[7] = 2", "out of range"},
+    ErrorCase{"m = {}\nm[1] = 2", "map key must be a string"},
+    ErrorCase{"x = [1][\"k\"]", "list index must be an int"},
+    ErrorCase{"x = {\"a\": 1}[0]", "map key must be a string"}));
+
+INSTANTIATE_TEST_SUITE_P(CallErrors, RuntimeErrors, ::testing::Values(
+    ErrorCase{"fn f(a)\n  return a\nend\nf()", "wrong number of arguments"},
+    ErrorCase{"fn f(a)\n  return a\nend\nf(1, 2)",
+              "wrong number of arguments"},
+    ErrorCase{"f = fn(a, b) return a end\nf(1)", "given 1, expected 2"}));
+
+TEST(ErrorTracebackTest, RubyStyleShape) {
+  test::RunOutcome outcome = run_ml(
+      "fn inner()\n"      // line 1
+      "  x = 1 / 0\n"     // line 2 <- error here
+      "end\n"
+      "fn outer()\n"
+      "  inner()\n"       // line 5
+      "end\n"
+      "outer()",          // line 7
+      "trace.ml");
+  ASSERT_FALSE(outcome.ok);
+  // Innermost frame first, like Listing 6.
+  size_t inner_pos = outcome.error_message.find("trace.ml:2:in `inner'");
+  size_t outer_pos = outcome.error_message.find("trace.ml:5:in `outer'");
+  size_t main_pos = outcome.error_message.find("trace.ml:7:in `<main>'");
+  EXPECT_NE(inner_pos, std::string::npos) << outcome.error_message;
+  EXPECT_NE(outer_pos, std::string::npos);
+  EXPECT_NE(main_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+  EXPECT_LT(outer_pos, main_pos);
+}
+
+TEST(ErrorTracebackTest, LambdaFramesNamed) {
+  test::RunOutcome outcome = run_ml("f = fn() return 1 / 0 end\nf()");
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error_message.find("`<lambda>'"), std::string::npos);
+}
+
+TEST(ErrorTracebackTest, ErrorInNativeGetsLocation) {
+  test::RunOutcome outcome = run_ml("x = 1\nlen(5)", "native.ml");
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error_message.find("native.ml:2"), std::string::npos);
+}
+
+TEST(ErrorRecoveryTest, OutputBeforeErrorIsKept) {
+  test::RunOutcome outcome = run_ml("puts(\"first\")\nboom()");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.output, "first\n");
+}
+
+TEST(ErrorRecoveryTest, ErrorInSpawnedThreadSurfacesOnJoin) {
+  test::RunOutcome outcome = run_ml(
+      "t = spawn(fn() return 1 / 0 end)\njoin(t)");
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error_message.find("divided by 0"), std::string::npos);
+}
+
+TEST(ErrorRecoveryTest, ErrorInSpawnedThreadIgnoredWithoutJoin) {
+  // Ruby: an unjoined thread's exception dies with the thread.
+  test::RunOutcome outcome = run_ml(
+      "t = spawn(fn() return 1 / 0 end)\nsleep(0.1)\nputs(\"main ok\")");
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, "main ok\n");
+}
+
+TEST(ErrorRecoveryTest, CompileErrorReportedNotRun) {
+  test::RunOutcome outcome = run_ml("fn broken(\nputs(\"nope\")");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.output.empty());
+  EXPECT_NE(outcome.error_message.find("parse error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dionea::vm

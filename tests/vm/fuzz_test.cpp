@@ -1,0 +1,241 @@
+// Differential property test: for randomly generated (but well-typed,
+// terminating) MiniLang programs, the observable output must be
+// identical with tracing disabled, tracing enabled, and a full debug
+// server attached. This is the debugger's core soundness property —
+// observation must not change behaviour (the paper's §3 Heisenberg
+// worry) — checked mechanically over many programs.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "testutil.hpp"
+#include "vm/compiler.hpp"
+
+namespace dionea::vm {
+namespace {
+
+// Generates programs over integer-valued expressions, bounded loops
+// and straight-line calls, so every program terminates and never
+// raises (overflow is avoided by keeping operands small via %).
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    source_.clear();
+    globals_ = {"seed"};
+    fns_.clear();
+    emit("seed = " + std::to_string(rng_.next_range(1, 50)));
+    int fn_count = static_cast<int>(rng_.next_range(1, 3));
+    for (int i = 0; i < fn_count; ++i) emit_fn(i);
+    int stmt_count = static_cast<int>(rng_.next_range(3, 8));
+    for (int i = 0; i < stmt_count; ++i) emit_stmt(0, &globals_);
+    // Deterministic final digest so empty-output programs still
+    // differentiate.
+    std::string sum = "0";
+    for (const std::string& name : globals_) sum += " + " + name;
+    emit("puts(" + sum + ")");
+    return source_;
+  }
+
+ private:
+  void emit(const std::string& line) { source_ += line + "\n"; }
+
+  std::string pick_var(const std::vector<std::string>& scope) {
+    return scope[rng_.next_below(scope.size())];
+  }
+
+  // An int-valued expression over `scope` variables.
+  std::string expr(const std::vector<std::string>& scope, int depth) {
+    if (depth >= 3 || rng_.next_bool(0.35)) {
+      if (!scope.empty() && rng_.next_bool(0.6)) return pick_var(scope);
+      return std::to_string(rng_.next_range(0, 99));
+    }
+    switch (rng_.next_below(6)) {
+      case 0:
+        return "(" + expr(scope, depth + 1) + " + " + expr(scope, depth + 1) +
+               ")";
+      case 1:
+        return "(" + expr(scope, depth + 1) + " - " + expr(scope, depth + 1) +
+               ")";
+      case 2:
+        // Keep magnitudes bounded.
+        return "((" + expr(scope, depth + 1) + ") % 97 * " +
+               std::to_string(rng_.next_range(1, 9)) + ")";
+      case 3:
+        return "len([" + expr(scope, depth + 1) + ", " +
+               expr(scope, depth + 1) + "])";
+      case 4:
+        if (!fns_.empty()) {
+          const auto& [name, arity] = fns_[rng_.next_below(fns_.size())];
+          std::string call = name + "(";
+          for (int i = 0; i < arity; ++i) {
+            if (i != 0) call += ", ";
+            call += expr(scope, depth + 1);
+          }
+          return call + ")";
+        }
+        [[fallthrough]];
+      default:
+        return "min(" + expr(scope, depth + 1) + ", " +
+               expr(scope, depth + 1) + ")";
+    }
+  }
+
+  std::string condition(const std::vector<std::string>& scope) {
+    static const char* kOps[] = {"<", "<=", ">", ">=", "==", "!="};
+    return expr(scope, 2) + " " + kOps[rng_.next_below(6)] + " " +
+           expr(scope, 2);
+  }
+
+  void emit_stmt(int indent_level, std::vector<std::string>* scope) {
+    std::string indent(static_cast<size_t>(indent_level) * 2, ' ');
+    switch (rng_.next_below(5)) {
+      case 0: {  // new or existing assignment
+        // Generate the value first: a fresh variable must not appear
+        // in its own initializer.
+        std::string value = expr(*scope, 0);
+        std::string name;
+        if (!scope->empty() && rng_.next_bool(0.5)) {
+          name = pick_var(*scope);
+        } else {
+          name = "v" + std::to_string(scope->size()) + "_" +
+                 std::to_string(indent_level);
+          scope->push_back(name);
+        }
+        emit(indent + name + " = " + value);
+        return;
+      }
+      case 1:
+        emit(indent + "puts(" + expr(*scope, 1) + ")");
+        return;
+      case 2: {  // if/else — branch-local names must not leak out
+                 // (the branch may not execute).
+        emit(indent + "if " + condition(*scope));
+        std::vector<std::string> then_scope = *scope;
+        emit_stmt(indent_level + 1, &then_scope);
+        if (rng_.next_bool(0.5)) {
+          emit(indent + "else");
+          std::vector<std::string> else_scope = *scope;
+          emit_stmt(indent_level + 1, &else_scope);
+        }
+        emit(indent + "end");
+        return;
+      }
+      case 3: {  // bounded for loop
+        std::string loop_var = "i" + std::to_string(indent_level);
+        emit(indent + "for " + loop_var + " in " +
+             std::to_string(rng_.next_range(1, 6)));
+        std::vector<std::string> inner = *scope;
+        inner.push_back(loop_var);
+        emit_stmt(indent_level + 1, &inner);
+        emit(indent + "end");
+        return;
+      }
+      default:
+        emit(indent + "puts(to_s(" + expr(*scope, 1) + ") + \"!\")");
+        return;
+    }
+  }
+
+  void emit_fn(int index) {
+    int arity = static_cast<int>(rng_.next_range(1, 2));
+    std::string name = "fn" + std::to_string(index);
+    std::vector<std::string> params;
+    std::string header = "fn " + name + "(";
+    for (int i = 0; i < arity; ++i) {
+      if (i != 0) header += ", ";
+      params.push_back("p" + std::to_string(i));
+      header += params.back();
+    }
+    emit(header + ")");
+    std::vector<std::string> scope = params;
+    int body = static_cast<int>(rng_.next_range(1, 3));
+    for (int i = 0; i < body; ++i) emit_stmt(1, &scope);
+    emit("  return " + expr(scope, 1));
+    emit("end");
+    fns_.emplace_back(name, arity);
+  }
+
+  Rng rng_;
+  std::string source_;
+  std::vector<std::string> globals_;
+  std::vector<std::pair<std::string, int>> fns_;
+};
+
+struct RunDigest {
+  bool ok = false;
+  std::string output;
+  std::uint64_t statements = 0;
+};
+
+RunDigest run_plain(const std::string& program, bool traced) {
+  vm::Interp interp;
+  RunDigest digest;
+  interp.vm().set_output(
+      [&digest](std::string_view text) { digest.output.append(text); });
+  if (traced) {
+    interp.vm().set_trace_fn(
+        [](Vm&, InterpThread&, const TraceEvent&) {});
+    interp.vm().set_trace_enabled(true);
+  }
+  auto result = interp.run_string(program, "fuzz.ml");
+  digest.ok = result.ok;
+  digest.statements = interp.vm().statements_executed();
+  return digest;
+}
+
+RunDigest run_debugged(const std::string& program) {
+  vm::Interp interp;
+  RunDigest digest;
+  interp.vm().set_output(
+      [&digest](std::string_view text) { digest.output.append(text); });
+  auto tmp = TempDir::create("fuzz-dbg");
+  EXPECT_TRUE(tmp.is_ok());
+  dbg::DebugServer server(interp.vm(),
+                          {.port_file = tmp.value().file("ports")});
+  EXPECT_TRUE(server.start().is_ok());
+  auto session = client::Session::attach(server.port(), 3000);
+  EXPECT_TRUE(session.is_ok());
+  auto result = interp.run_string(program, "fuzz.ml");
+  digest.ok = result.ok;
+  digest.statements = interp.vm().statements_executed();
+  server.stop();
+  return digest;
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDifferential, TracingDoesNotChangeBehaviour) {
+  ProgramGenerator generator(GetParam());
+  for (int round = 0; round < 12; ++round) {
+    std::string program = generator.generate();
+    RunDigest plain = run_plain(program, false);
+    ASSERT_TRUE(plain.ok) << program;
+    RunDigest traced = run_plain(program, true);
+    RunDigest debugged = run_debugged(program);
+
+    EXPECT_TRUE(traced.ok) << program;
+    EXPECT_TRUE(debugged.ok) << program;
+    EXPECT_EQ(plain.output, traced.output) << program;
+    EXPECT_EQ(plain.output, debugged.output) << program;
+    // Identical statement streams: tracing is pure observation.
+    EXPECT_EQ(plain.statements, traced.statements) << program;
+    EXPECT_EQ(plain.statements, debugged.statements) << program;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(FuzzGeneratorTest, ProducesParsablePrograms) {
+  ProgramGenerator generator(777);
+  for (int i = 0; i < 40; ++i) {
+    std::string program = generator.generate();
+    auto proto = compile_source(program, "gen.ml");
+    EXPECT_TRUE(proto.is_ok())
+        << proto.error().to_string() << "\n" << program;
+  }
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,127 @@
+#include "vm/gil.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/timing.hpp"
+#include "testutil.hpp"
+
+namespace dionea::vm {
+namespace {
+
+TEST(GilTest, AcquireReleaseTracksOwner) {
+  Gil gil;
+  EXPECT_EQ(gil.owner(), 0);
+  gil.acquire(5);
+  EXPECT_EQ(gil.owner(), 5);
+  EXPECT_TRUE(gil.held_by(5));
+  EXPECT_FALSE(gil.held_by(6));
+  gil.release();
+  EXPECT_EQ(gil.owner(), 0);
+}
+
+TEST(GilTest, MutualExclusion) {
+  Gil gil;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        gil.acquire(t + 1);
+        if (inside.fetch_add(1) != 0) violation.store(true);
+        inside.fetch_sub(1);
+        gil.release();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(GilTest, YieldHandsOffWhenContended) {
+  Gil gil;
+  gil.acquire(1);
+  std::atomic<bool> peer_ran{false};
+  std::thread peer([&] {
+    gil.acquire(2);
+    peer_ran.store(true);
+    gil.release();
+  });
+  // Give the peer time to start waiting, then yield repeatedly until
+  // it gets through.
+  Stopwatch watch;
+  while (!peer_ran.load() && watch.elapsed_seconds() < 2.0) {
+    gil.yield(1);
+  }
+  EXPECT_TRUE(peer_ran.load());
+  EXPECT_TRUE(gil.held_by(1));  // we end up holding it again
+  gil.release();
+  peer.join();
+}
+
+TEST(GilTest, YieldWithoutWaitersIsCheapNoop) {
+  Gil gil;
+  gil.acquire(1);
+  for (int i = 0; i < 1000; ++i) gil.yield(1);
+  EXPECT_TRUE(gil.held_by(1));
+  gil.release();
+}
+
+TEST(GilTest, ForkProtocolReinitializes) {
+  Gil gil;
+  gil.acquire(1);
+  gil.prepare_fork();
+  // (no actual fork needed: child_atfork must leave a working GIL held
+  // by the survivor)
+  gil.child_atfork(1);
+  EXPECT_TRUE(gil.held_by(1));
+  gil.release();
+  gil.acquire(1);
+  gil.release();
+}
+
+TEST(GilTest, ForkParentPathRestores) {
+  Gil gil;
+  gil.acquire(1);
+  gil.prepare_fork();
+  gil.parent_atfork();
+  EXPECT_TRUE(gil.held_by(1));
+  gil.release();
+}
+
+TEST(GilSemanticsTest, SwitchIntervalAffectsInterleaving) {
+  // With a huge switch interval and no blocking, a spawned thread's
+  // statements run in long bursts; with interval 1 they interleave
+  // finely. We only check both settings produce correct results.
+  for (int interval : {1, 10'000}) {
+    vm::Interp interp;
+    interp.vm().set_switch_interval(interval);
+    std::string output;
+    interp.vm().set_output([&](std::string_view s) { output.append(s); });
+    auto result = interp.run_string(
+        "total = [0]\n"
+        "fn add()\n"
+        "  for i in 100\n"
+        "    total[0] = total[0] + 1\n"
+        "  end\n"
+        "  return nil\n"
+        "end\n"
+        "t1 = spawn(add)\n"
+        "t2 = spawn(add)\n"
+        "join(t1)\n"
+        "join(t2)\n"
+        "puts(total[0])",
+        "gil.ml");
+    ASSERT_TRUE(result.ok) << result.error.to_string();
+    // Statement-level increments are GIL-atomic (the whole statement
+    // executes under the lock), so no updates are lost.
+    EXPECT_EQ(output, "200\n") << "interval " << interval;
+  }
+}
+
+}  // namespace
+}  // namespace dionea::vm

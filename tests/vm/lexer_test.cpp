@@ -1,0 +1,128 @@
+#include "vm/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea::vm {
+namespace {
+
+std::vector<TokenKind> kinds_of(std::string_view source) {
+  std::vector<TokenKind> out;
+  for (const Token& token : Lexer::tokenize(source)) {
+    out.push_back(token.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, EmptySourceIsJustEof) {
+  EXPECT_EQ(kinds_of(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(kinds_of("   \n\n  \n"), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(kinds_of("# only a comment\n"),
+            (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Lexer::tokenize("42 3.5 0 100.25");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[1].text, "3.5");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloat);
+}
+
+TEST(LexerTest, DotAfterIntWithoutDigitIsMethodCall) {
+  // `5.foo` lexes as int, dot, name — not a malformed float.
+  EXPECT_EQ(kinds_of("5.foo"),
+            (std::vector<TokenKind>{TokenKind::kInt, TokenKind::kDot,
+                                    TokenKind::kName, TokenKind::kEof}));
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens =
+      Lexer::tokenize(R"("plain" "a\nb" "q\"q" "back\\slash" "tab\t")");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "plain");
+  EXPECT_EQ(tokens[1].text, "a\nb");
+  EXPECT_EQ(tokens[2].text, "q\"q");
+  EXPECT_EQ(tokens[3].text, "back\\slash");
+  EXPECT_EQ(tokens[4].text, "tab\t");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  auto tokens = Lexer::tokenize("\"oops");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+  auto newline = Lexer::tokenize("\"line\nbreak\"");
+  EXPECT_EQ(newline.back().kind, TokenKind::kError);
+  auto bad_escape = Lexer::tokenize(R"("\q")");
+  EXPECT_EQ(bad_escape.back().kind, TokenKind::kError);
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  auto tokens = Lexer::tokenize("if iffy end ender fn fnord not knot");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIf);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEnd);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFn);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kNot);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kName);
+}
+
+TEST(LexerTest, OperatorsSingleAndDouble) {
+  EXPECT_EQ(kinds_of("= == != < <= > >= + - * / %"),
+            (std::vector<TokenKind>{
+                TokenKind::kAssign, TokenKind::kEq, TokenKind::kNe,
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                TokenKind::kGe, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, NewlinesCollapse) {
+  EXPECT_EQ(kinds_of("a\n\n\nb"),
+            (std::vector<TokenKind>{TokenKind::kName, TokenKind::kNewline,
+                                    TokenKind::kName, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentsEndAtNewline) {
+  EXPECT_EQ(kinds_of("x # comment == junk\ny"),
+            (std::vector<TokenKind>{TokenKind::kName, TokenKind::kNewline,
+                                    TokenKind::kName, TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Lexer::tokenize("one\n  two");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  // tokens[1] is the newline; tokens[2] is `two`.
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  auto tokens = Lexer::tokenize("a @ b");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kError);
+  auto bang = Lexer::tokenize("!");
+  EXPECT_EQ(bang[0].kind, TokenKind::kError);
+  auto bang_eq = Lexer::tokenize("a != b");
+  EXPECT_EQ(bang_eq[1].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  auto tokens = Lexer::tokenize("_x x_y _0");
+  EXPECT_EQ(tokens[0].text, "_x");
+  EXPECT_EQ(tokens[1].text, "x_y");
+  EXPECT_EQ(tokens[2].text, "_0");
+}
+
+TEST(LexerTest, TokenKindNamesExist) {
+  EXPECT_STREQ(token_kind_name(TokenKind::kFn), "fn");
+  EXPECT_STREQ(token_kind_name(TokenKind::kNewline), "newline");
+  EXPECT_STREQ(token_kind_name(TokenKind::kEq), "==");
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,196 @@
+#include "vm/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dionea::vm {
+namespace {
+
+Program parse_ok(std::string_view source) {
+  auto program = parse_source(source);
+  EXPECT_TRUE(program.is_ok()) << program.error().to_string();
+  return program.is_ok() ? std::move(program).value() : Program{};
+}
+
+void expect_parse_error(std::string_view source, const std::string& needle) {
+  auto program = parse_source(source);
+  ASSERT_FALSE(program.is_ok()) << "source parsed unexpectedly: " << source;
+  EXPECT_NE(program.error().message().find(needle), std::string::npos)
+      << "actual: " << program.error().message();
+}
+
+TEST(ParserTest, EmptyProgram) {
+  Program program = parse_ok("");
+  EXPECT_TRUE(program.statements.empty());
+}
+
+TEST(ParserTest, ExpressionStatement) {
+  Program program = parse_ok("1 + 2 * 3");
+  ASSERT_EQ(program.statements.size(), 1u);
+  const Stmt& stmt = *program.statements[0];
+  EXPECT_EQ(stmt.kind, StmtKind::kExpr);
+  // Precedence: (1 + (2 * 3)).
+  ASSERT_EQ(stmt.expr->kind, ExprKind::kBinary);
+  EXPECT_EQ(stmt.expr->op, TokenKind::kPlus);
+  EXPECT_EQ(stmt.expr->rhs->op, TokenKind::kStar);
+}
+
+TEST(ParserTest, ComparisonBindsLooserThanArithmetic) {
+  Program program = parse_ok("a + 1 < b * 2");
+  const Expr& expr = *program.statements[0]->expr;
+  EXPECT_EQ(expr.op, TokenKind::kLt);
+  EXPECT_EQ(expr.lhs->op, TokenKind::kPlus);
+  EXPECT_EQ(expr.rhs->op, TokenKind::kStar);
+}
+
+TEST(ParserTest, LogicalOperatorsShortCircuitShape) {
+  Program program = parse_ok("a or b and not c");
+  const Expr& expr = *program.statements[0]->expr;
+  // or is loosest; and tighter; not tightest.
+  EXPECT_EQ(expr.kind, ExprKind::kLogical);
+  EXPECT_EQ(expr.op, TokenKind::kOr);
+  EXPECT_EQ(expr.rhs->op, TokenKind::kAnd);
+  EXPECT_EQ(expr.rhs->rhs->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, AssignmentTargets) {
+  Program program = parse_ok("x = 1\nm[\"k\"] = 2\nl[0] = 3");
+  ASSERT_EQ(program.statements.size(), 3u);
+  EXPECT_EQ(program.statements[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(program.statements[0]->expr->kind, ExprKind::kName);
+  EXPECT_EQ(program.statements[1]->expr->kind, ExprKind::kIndex);
+  EXPECT_EQ(program.statements[2]->expr->kind, ExprKind::kIndex);
+}
+
+TEST(ParserTest, InvalidAssignmentTarget) {
+  expect_parse_error("1 + 2 = 3", "invalid assignment target");
+  expect_parse_error("f() = 3", "invalid assignment target");
+}
+
+TEST(ParserTest, FunctionDefinition) {
+  Program program = parse_ok("fn add(a, b)\n  return a + b\nend");
+  ASSERT_EQ(program.statements.size(), 1u);
+  const Stmt& stmt = *program.statements[0];
+  EXPECT_EQ(stmt.kind, StmtKind::kFnDef);
+  EXPECT_EQ(stmt.fn->name, "add");
+  EXPECT_EQ(stmt.fn->params, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(stmt.fn->body.size(), 1u);
+  EXPECT_EQ(stmt.fn->body[0]->kind, StmtKind::kReturn);
+}
+
+TEST(ParserTest, LambdaExpression) {
+  Program program = parse_ok("f = fn(x) return x end");
+  const Stmt& stmt = *program.statements[0];
+  EXPECT_EQ(stmt.kind, StmtKind::kAssign);
+  EXPECT_EQ(stmt.value->kind, ExprKind::kLambda);
+  EXPECT_TRUE(stmt.value->fn->name.empty());
+}
+
+TEST(ParserTest, NullaryLambdaAsArgument) {
+  Program program = parse_ok("spawn(fn()\n  puts(1)\nend)");
+  const Stmt& stmt = *program.statements[0];
+  EXPECT_EQ(stmt.expr->kind, ExprKind::kCall);
+  EXPECT_EQ(stmt.expr->args[0]->kind, ExprKind::kLambda);
+}
+
+TEST(ParserTest, IfElifElse) {
+  Program program = parse_ok(
+      "if a\n  x = 1\nelif b\n  x = 2\nelse\n  x = 3\nend");
+  const Stmt& stmt = *program.statements[0];
+  EXPECT_EQ(stmt.kind, StmtKind::kIf);
+  ASSERT_EQ(stmt.arms.size(), 3u);
+  EXPECT_NE(stmt.arms[0].condition, nullptr);
+  EXPECT_NE(stmt.arms[1].condition, nullptr);
+  EXPECT_EQ(stmt.arms[2].condition, nullptr);  // else
+}
+
+TEST(ParserTest, WhileAndForLoops) {
+  Program program = parse_ok(
+      "while x < 10\n  x = x + 1\nend\nfor item in list\n  puts(item)\nend");
+  EXPECT_EQ(program.statements[0]->kind, StmtKind::kWhile);
+  EXPECT_EQ(program.statements[1]->kind, StmtKind::kForIn);
+  EXPECT_EQ(program.statements[1]->name, "item");
+}
+
+TEST(ParserTest, BreakContinueReturnForms) {
+  Program program = parse_ok(
+      "while true\n  break\nend\n"
+      "while true\n  continue\nend\n"
+      "fn f()\n  return\nend\n"
+      "fn g()\n  return 5\nend");
+  EXPECT_EQ(program.statements[0]->body[0]->kind, StmtKind::kBreak);
+  EXPECT_EQ(program.statements[1]->body[0]->kind, StmtKind::kContinue);
+  EXPECT_EQ(program.statements[2]->fn->body[0]->expr, nullptr);
+  EXPECT_NE(program.statements[3]->fn->body[0]->expr, nullptr);
+}
+
+TEST(ParserTest, MethodCallSugar) {
+  Program program = parse_ok("q.push(1)");
+  const Expr& expr = *program.statements[0]->expr;
+  EXPECT_EQ(expr.kind, ExprKind::kMethod);
+  EXPECT_EQ(expr.str_val, "push");
+  EXPECT_EQ(expr.callee->kind, ExprKind::kName);
+  ASSERT_EQ(expr.args.size(), 1u);
+}
+
+TEST(ParserTest, MethodWithoutCallIsError) {
+  expect_parse_error("a.b", "methods are builtin-call sugar");
+}
+
+TEST(ParserTest, ChainedPostfix) {
+  Program program = parse_ok("m[\"k\"][0].foo(1)(2)");
+  const Expr& expr = *program.statements[0]->expr;
+  EXPECT_EQ(expr.kind, ExprKind::kCall);           // (...)(2)
+  EXPECT_EQ(expr.callee->kind, ExprKind::kMethod);  // .foo(1)
+}
+
+TEST(ParserTest, ListAndMapLiterals) {
+  Program program = parse_ok("x = [1, 2, [3]]\ny = {\"a\": 1, \"b\": {}}");
+  EXPECT_EQ(program.statements[0]->value->kind, ExprKind::kListLit);
+  EXPECT_EQ(program.statements[0]->value->args.size(), 3u);
+  EXPECT_EQ(program.statements[1]->value->kind, ExprKind::kMapLit);
+  EXPECT_EQ(program.statements[1]->value->args.size(), 4u);  // k,v pairs
+}
+
+TEST(ParserTest, MultilineLiterals) {
+  Program program = parse_ok("x = [\n  1,\n  2,\n  3\n]\ny = {\n  \"a\": 1\n}");
+  EXPECT_EQ(program.statements[0]->value->args.size(), 3u);
+}
+
+TEST(ParserTest, MissingEndReported) {
+  expect_parse_error("fn f()\n  return 1\n", "unterminated block");
+  expect_parse_error("if x\n  y = 1\n", "unterminated block");
+  expect_parse_error("while x\n", "unterminated block");
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto program = parse_source("x = 1\ny = )");
+  ASSERT_FALSE(program.is_ok());
+  EXPECT_NE(program.error().message().find("2:"), std::string::npos);
+}
+
+TEST(ParserTest, LexicalErrorSurfaces) {
+  expect_parse_error("x = @", "");
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  Program program = parse_ok("x = -y\nz = not w\na = --b");
+  EXPECT_EQ(program.statements[0]->value->kind, ExprKind::kUnary);
+  EXPECT_EQ(program.statements[1]->value->op, TokenKind::kNot);
+  EXPECT_EQ(program.statements[2]->value->rhs->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  Program program = parse_ok("(1 + 2) * 3");
+  const Expr& expr = *program.statements[0]->expr;
+  EXPECT_EQ(expr.op, TokenKind::kStar);
+  EXPECT_EQ(expr.lhs->op, TokenKind::kPlus);
+}
+
+TEST(ParserTest, LineNumbersOnStatements) {
+  Program program = parse_ok("a = 1\n\n\nb = 2");
+  EXPECT_EQ(program.statements[0]->line, 1);
+  EXPECT_EQ(program.statements[1]->line, 4);
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,262 @@
+// VM sync objects: mutex, queue, condition variable — both through
+// MiniLang programs and through the C++ API directly.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+#include "vm/sync.hpp"
+
+namespace dionea::vm {
+namespace {
+
+using test::expect_ml_error;
+using test::expect_ml_output;
+using test::run_ml;
+
+// ---- MiniLang-level behaviour ----
+
+TEST(MutexTest, LockUnlockBasics) {
+  expect_ml_output(
+      "m = mutex()\n"
+      "puts(locked(m))\n"
+      "lock(m)\n"
+      "puts(locked(m))\n"
+      "unlock(m)\n"
+      "puts(locked(m))",
+      "false\ntrue\nfalse\n");
+}
+
+TEST(MutexTest, RecursiveLockIsError) {
+  // Ruby: "deadlock; recursive locking (ThreadError)".
+  expect_ml_error("m = mutex()\nlock(m)\nlock(m)", "recursive locking");
+}
+
+TEST(MutexTest, UnlockNotOwnedIsError) {
+  expect_ml_error("m = mutex()\nunlock(m)", "not owned");
+  const char* other_thread =
+      "m = mutex()\n"
+      "lock(m)\n"
+      "t = spawn(fn() unlock(m) end)\n"
+      "join(t)";
+  test::RunOutcome outcome = run_ml(other_thread);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error_message.find("not owned"), std::string::npos);
+}
+
+TEST(MutexTest, TryLockReflectsState) {
+  expect_ml_output(
+      "m = mutex()\n"
+      "puts(try_lock(m))\n"
+      "puts(try_lock(m))\n"  // recursive try_lock fails (owner != 0)
+      "unlock(m)\n"
+      "puts(try_lock(m))",
+      "true\nfalse\ntrue\n");
+}
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  // Without the mutex the read-modify-write races; with it, the count
+  // is exact.
+  const char* program =
+      "m = mutex()\n"
+      "box = [0]\n"
+      "fn bump()\n"
+      "  for i in 100\n"
+      "    lock(m)\n"
+      "    box[0] = box[0] + 1\n"
+      "    unlock(m)\n"
+      "  end\n"
+      "  return nil\n"
+      "end\n"
+      "threads = []\n"
+      "for i in 4\n"
+      "  push(threads, spawn(bump))\n"
+      "end\n"
+      "for t in threads\n"
+      "  join(t)\n"
+      "end\n"
+      "puts(box[0])";
+  expect_ml_output(program, "400\n");
+}
+
+TEST(MutexTest, SynchronizeRunsBlockAndUnlocksOnError) {
+  expect_ml_output(
+      "m = mutex()\n"
+      "v = synchronize(m, fn() return 7 end)\n"
+      "puts(v)\nputs(locked(m))",
+      "7\nfalse\n");
+  // Error inside the block still releases the mutex.
+  const char* error_block =
+      "m = mutex()\n"
+      "t = spawn(fn()\n"
+      "  synchronize(m, fn() return 1 / 0 end)\n"
+      "end)\n"
+      "sleep(0.1)\n"
+      "puts(locked(m))";
+  expect_ml_output(error_block, "false\n");
+}
+
+TEST(QueueTest, FifoOrder) {
+  expect_ml_output(
+      "q = queue()\n"
+      "q.push(1)\nq.push(2)\nq.push(3)\n"
+      "puts(q.pop())\nputs(q.pop())\nputs(q.pop())",
+      "1\n2\n3\n");
+}
+
+TEST(QueueTest, LenAndTryPop) {
+  expect_ml_output(
+      "q = queue()\n"
+      "puts(len(q))\n"
+      "puts(repr(try_pop(q)))\n"
+      "q.push(9)\n"
+      "puts(len(q))\n"
+      "puts(try_pop(q))\n"
+      "puts(len(q))",
+      "0\nnil\n1\n9\n0\n");
+}
+
+TEST(QueueTest, PopBlocksUntilPush) {
+  const char* program =
+      "q = queue()\n"
+      "t = spawn(fn()\n"
+      "  sleep(0.1)\n"
+      "  q.push(\"late\")\n"
+      "end)\n"
+      "a = clock()\n"
+      "v = q.pop()\n"
+      "assert(clock() - a >= 0.05)\n"
+      "join(t)\n"
+      "puts(v)";
+  expect_ml_output(program, "late\n");
+}
+
+TEST(QueueTest, NumWaitingTracksBlockedPoppers) {
+  const char* program =
+      "q = queue()\n"
+      "spawn(fn() q.push(q)\n  sleep(10)\nend)\n"  // keep a thread alive
+      "t = spawn(fn() return nil end)\n"
+      "join(t)\n"
+      "puts(num_waiting(q) >= 0)";
+  test::RunOutcome outcome = run_ml(program);
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+}
+
+TEST(CondTest, SignalWakesOneWaiter) {
+  const char* program =
+      "m = mutex()\n"
+      "c = cond()\n"
+      "box = [0]\n"
+      "t = spawn(fn()\n"
+      "  lock(m)\n"
+      "  while box[0] == 0\n"
+      "    wait(c, m)\n"
+      "  end\n"
+      "  unlock(m)\n"
+      "  return \"woke\"\n"
+      "end)\n"
+      "sleep(0.05)\n"
+      "lock(m)\n"
+      "box[0] = 1\n"
+      "unlock(m)\n"
+      "signal(c)\n"
+      "puts(join(t))";
+  expect_ml_output(program, "woke\n");
+}
+
+TEST(CondTest, BroadcastWakesAllWaiters) {
+  const char* program =
+      "m = mutex()\n"
+      "c = cond()\n"
+      "gate = [false]\n"
+      "done = queue()\n"
+      "fn waiter()\n"
+      "  lock(m)\n"
+      "  while not gate[0]\n"
+      "    wait(c, m)\n"
+      "  end\n"
+      "  unlock(m)\n"
+      "  done.push(1)\n"
+      "  return nil\n"
+      "end\n"
+      "for i in 3\n"
+      "  spawn(waiter)\n"
+      "end\n"
+      "sleep(0.1)\n"
+      "lock(m)\n"
+      "gate[0] = true\n"
+      "unlock(m)\n"
+      "broadcast(c)\n"
+      "total = 0\n"
+      "for i in 3\n"
+      "  total = total + done.pop()\n"
+      "end\n"
+      "puts(total)";
+  expect_ml_output(program, "3\n");
+}
+
+TEST(CondTest, WaitWithoutMutexOwnershipIsError) {
+  expect_ml_error("m = mutex()\nc = cond()\nwait(c, m)", "not owned");
+}
+
+// ---- C++-level API ----
+
+TEST(SyncApiTest, MutexOwnerTracking) {
+  VmMutex mutex;
+  EXPECT_FALSE(mutex.locked());
+  EXPECT_TRUE(mutex.try_lock(7));
+  EXPECT_TRUE(mutex.locked());
+  EXPECT_EQ(mutex.owner_tid(), 7);
+  EXPECT_FALSE(mutex.try_lock(8));
+  EXPECT_EQ(mutex.unlock(8), WaitOutcome::kNotOwner);
+  EXPECT_EQ(mutex.unlock(7), WaitOutcome::kOk);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(SyncApiTest, QueuePushPopSizes) {
+  VmQueue queue;
+  EXPECT_EQ(queue.size(), 0u);
+  queue.push(Value(1));
+  queue.push(Value::str("x"));
+  EXPECT_EQ(queue.size(), 2u);
+  Value out;
+  EXPECT_TRUE(queue.try_pop(&out));
+  EXPECT_EQ(out.as_int(), 1);
+  EXPECT_TRUE(queue.try_pop(&out));
+  EXPECT_EQ(out.as_str(), "x");
+  EXPECT_FALSE(queue.try_pop(&out));
+}
+
+TEST(SyncApiTest, MutexForkReinitClearsForeignOwner) {
+  VmMutex mutex;
+  ASSERT_TRUE(mutex.try_lock(42));  // "another thread" owns it
+  mutex.lock_for_fork();
+  mutex.reinit_in_child(/*surviving_tid=*/1);
+  EXPECT_FALSE(mutex.locked());  // foreign owner cleared
+  EXPECT_TRUE(mutex.try_lock(1));
+}
+
+TEST(SyncApiTest, MutexForkReinitKeepsSurvivorOwner) {
+  VmMutex mutex;
+  ASSERT_TRUE(mutex.try_lock(1));
+  mutex.lock_for_fork();
+  mutex.reinit_in_child(/*surviving_tid=*/1);
+  EXPECT_TRUE(mutex.locked());
+  EXPECT_EQ(mutex.owner_tid(), 1);
+  EXPECT_EQ(mutex.unlock(1), WaitOutcome::kOk);
+}
+
+TEST(SyncApiTest, QueueForkReinitKeepsItemsDropsWaiters) {
+  VmQueue queue;
+  queue.push(Value(10));
+  queue.push(Value(20));
+  queue.lock_for_fork();
+  queue.reinit_in_child(1);
+  // Items survive the fork (heap copy), waiting count resets.
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.num_waiting(), 0);
+  Value out;
+  EXPECT_TRUE(queue.try_pop(&out));
+  EXPECT_EQ(out.as_int(), 10);
+}
+
+}  // namespace
+}  // namespace dionea::vm

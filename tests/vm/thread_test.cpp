@@ -1,0 +1,189 @@
+// Interpreter threads: spawn/join, GIL-mediated interleaving, result
+// and error propagation.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::vm {
+namespace {
+
+using test::expect_ml_error;
+using test::expect_ml_output;
+using test::run_ml;
+
+TEST(ThreadTest, SpawnJoinReturnsValue) {
+  expect_ml_output("t = spawn(fn() return 40 + 2 end)\nputs(join(t))",
+                   "42\n");
+}
+
+TEST(ThreadTest, SpawnWithArguments) {
+  expect_ml_output(
+      "t = spawn(fn(a, b) return a * b end, 6, 7)\nputs(join(t))", "42\n");
+}
+
+TEST(ThreadTest, SpawnArityMismatchFails) {
+  expect_ml_error("t = spawn(fn(a) return a end)", "argument count");
+  expect_ml_error("spawn(5)", "spawn expects a fn");
+}
+
+TEST(ThreadTest, ManyThreadsAllComplete) {
+  const char* program =
+      "q = queue()\n"
+      "n = 16\n"
+      "for i in n\n"
+      "  spawn(fn(k) q.push(k) end, i)\n"
+      "end\n"
+      "total = 0\n"
+      "for i in n\n"
+      "  total = total + q.pop()\n"
+      "end\n"
+      "puts(total)";  // 0+1+...+15
+  expect_ml_output(program, "120\n");
+}
+
+TEST(ThreadTest, ThreadIdsDistinct) {
+  const char* program =
+      "t1 = spawn(fn() return current_thread_id() end)\n"
+      "t2 = spawn(fn() return current_thread_id() end)\n"
+      "a = join(t1)\n"
+      "b = join(t2)\n"
+      "assert(a != b)\n"
+      "assert(a == thread_id(t1))\n"
+      "assert(b == thread_id(t2))\n"
+      "assert(current_thread_id() == 1)\n"  // main is thread 1
+      "puts(\"ok\")";
+  expect_ml_output(program, "ok\n");
+}
+
+TEST(ThreadTest, JoinFinishedThreadReturnsItsValue) {
+  // Ruby's Thread#value: the result survives the thread's death.
+  const char* program =
+      "t = spawn(fn() return 5 end)\n"
+      "sleep(0.1)\n"  // let it finish first
+      "puts(join(t))";
+  expect_ml_output(program, "5\n");
+}
+
+TEST(ThreadTest, JoinTwiceGivesSameValue) {
+  expect_ml_output(
+      "t = spawn(fn() return 9 end)\nputs(join(t))\nputs(join(t))",
+      "9\n9\n");
+}
+
+TEST(ThreadTest, SelfJoinIsError) {
+  const char* self_join =
+      "q = queue()\n"
+      "t = spawn(fn()\n"
+      "  me = q.pop()\n"
+      "  return join(me)\n"
+      "end)\n"
+      "q.push(t)\n"
+      "join(t)";
+  test::RunOutcome outcome = run_ml(self_join);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error_message.find("must not be current thread"),
+            std::string::npos)
+      << outcome.error_message;
+}
+
+TEST(ThreadTest, MainExitKillsDaemonThreads) {
+  // Ruby semantics: the program ends when main ends; the infinite
+  // worker is killed, not waited for.
+  const char* program =
+      "spawn(fn()\n"
+      "  i = 0\n"
+      "  while true\n"
+      "    i = i + 1\n"
+      "  end\n"
+      "end)\n"
+      "sleep(0.05)\n"
+      "puts(\"main done\")";
+  Stopwatch watch;
+  expect_ml_output(program, "main done\n");
+  EXPECT_LT(watch.elapsed_seconds(), 10.0);
+}
+
+TEST(ThreadTest, BlockedSleeperKilledAtExit) {
+  const char* program =
+      "spawn(fn() sleep(60) end)\n"
+      "sleep(0.05)\n"
+      "puts(\"done\")";
+  Stopwatch watch;
+  expect_ml_output(program, "done\n");
+  EXPECT_LT(watch.elapsed_seconds(), 5.0);  // not 60s
+}
+
+TEST(ThreadTest, ThreadsActuallyInterleave) {
+  // Two threads appending to a shared list: both make progress before
+  // either finishes (GIL switches at statement boundaries). A gate
+  // queue lines both workers up before the race starts — otherwise the
+  // first can finish before the second's OS thread even launches.
+  const char* program =
+      "log = []\n"
+      "ready = queue()\n"
+      "go = queue()\n"
+      "fn worker(tag)\n"
+      "  ready.push(tag)\n"
+      "  go.pop()\n"
+      "  for i in 30000\n"
+      "    push(log, tag)\n"
+      "  end\n"
+      "  return nil\n"
+      "end\n"
+      "t1 = spawn(worker, \"a\")\n"
+      "t2 = spawn(worker, \"b\")\n"
+      "ready.pop()\n"
+      "ready.pop()\n"
+      "go.push(1)\n"
+      "go.push(1)\n"
+      "join(t1)\n"
+      "join(t2)\n"
+      "saw_a_then_b = false\n"
+      "saw_b_then_a = false\n"
+      "i = 1\n"
+      "while i < len(log)\n"
+      "  if log[i - 1] == \"a\" and log[i] == \"b\"\n"
+      "    saw_a_then_b = true\n"
+      "  end\n"
+      "  if log[i - 1] == \"b\" and log[i] == \"a\"\n"
+      "    saw_b_then_a = true\n"
+      "  end\n"
+      "  i = i + 1\n"
+      "end\n"
+      "puts(len(log))\n"
+      "puts(saw_a_then_b and saw_b_then_a)";
+  test::RunOutcome outcome = run_ml(program);
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, "60000\ntrue\n");
+}
+
+TEST(ThreadTest, SpawnedThreadSeesGlobals) {
+  const char* program =
+      "shared = \"seen\"\n"
+      "t = spawn(fn() return shared end)\n"
+      "puts(join(t))";
+  expect_ml_output(program, "seen\n");
+}
+
+TEST(ThreadTest, ProducerConsumerThroughQueue) {
+  const char* program =
+      "q = queue()\n"
+      "consumer = spawn(fn()\n"
+      "  total = 0\n"
+      "  while true\n"
+      "    v = q.pop()\n"
+      "    if v == nil\n      break\n    end\n"
+      "    total = total + v\n"
+      "  end\n"
+      "  return total\n"
+      "end)\n"
+      "for i in 100\n"
+      "  q.push(i + 1)\n"
+      "end\n"
+      "q.push(nil)\n"
+      "puts(join(consumer))";
+  expect_ml_output(program, "5050\n");
+}
+
+}  // namespace
+}  // namespace dionea::vm

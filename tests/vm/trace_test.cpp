@@ -1,0 +1,200 @@
+// The trace hook (sys.settrace / set_trace_func analog): event kinds,
+// ordering, payloads, and the enable/disable fast path the fork
+// handlers rely on.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace dionea::vm {
+namespace {
+
+struct RecordedEvent {
+  TraceKind kind;
+  std::int64_t tid;
+  int line;
+  std::string function;  // copied out of the view
+  int depth;
+};
+
+// Run a program with a recording trace fn installed.
+std::vector<RecordedEvent> trace_run(const std::string& source,
+                                     bool enabled = true) {
+  vm::Interp interp;
+  std::vector<RecordedEvent> events;
+  interp.vm().set_output([](std::string_view) {});
+  interp.vm().set_trace_fn(
+      [&events](Vm&, InterpThread&, const TraceEvent& event) {
+        events.push_back(RecordedEvent{event.kind, event.thread_id,
+                                       event.line,
+                                       std::string(event.function),
+                                       event.frame_depth});
+      });
+  interp.vm().set_trace_enabled(enabled);
+  auto result = interp.run_string(source, "trace.ml");
+  EXPECT_TRUE(result.ok) << result.error.to_string();
+  return events;
+}
+
+std::vector<int> lines_of(const std::vector<RecordedEvent>& events) {
+  std::vector<int> out;
+  for (const RecordedEvent& event : events) {
+    if (event.kind == TraceKind::kLine) out.push_back(event.line);
+  }
+  return out;
+}
+
+TEST(TraceTest, LineEventsPerStatement) {
+  auto events = trace_run("a = 1\nb = 2\nc = a + b");
+  EXPECT_EQ(lines_of(events), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TraceTest, LoopRepeatsLineEvents) {
+  auto events = trace_run("i = 0\nwhile i < 3\n  i = i + 1\nend");
+  // line 1 once; line 2 (condition) x4 (3 passes + final check is the
+  // same statement boundary); line 3 x3.
+  std::vector<int> lines = lines_of(events);
+  int line3 = 0;
+  for (int line : lines) {
+    if (line == 3) ++line3;
+  }
+  EXPECT_EQ(line3, 3);
+}
+
+TEST(TraceTest, CallAndReturnBracketFunctionBodies) {
+  auto events = trace_run(
+      "fn f()\n  return 1\nend\nx = f()");
+  // Expect ... kCall(<main>) ... kCall(f) kLine(2) kReturn(f) ...
+  std::vector<TraceKind> kinds;
+  for (const auto& event : events) kinds.push_back(event.kind);
+  int calls = 0;
+  int returns = 0;
+  bool saw_f_call = false;
+  for (const auto& event : events) {
+    if (event.kind == TraceKind::kCall) {
+      ++calls;
+      if (event.function == "f") saw_f_call = true;
+    }
+    if (event.kind == TraceKind::kReturn) ++returns;
+  }
+  EXPECT_TRUE(saw_f_call);
+  EXPECT_EQ(calls, 2);    // <main> + f
+  EXPECT_EQ(returns, 2);  // f + <main>
+}
+
+TEST(TraceTest, FrameDepthTracksNesting) {
+  auto events = trace_run(
+      "fn inner()\n  return 1\nend\n"
+      "fn outer()\n  return inner()\nend\n"
+      "outer()");
+  int max_depth = 0;
+  for (const auto& event : events) {
+    if (event.kind == TraceKind::kLine) {
+      max_depth = std::max(max_depth, event.depth);
+    }
+  }
+  EXPECT_EQ(max_depth, 3);  // <main> -> outer -> inner
+}
+
+TEST(TraceTest, ThreadStartEndEvents) {
+  auto events = trace_run(
+      "t = spawn(fn() return 1 end)\njoin(t)");
+  int starts = 0;
+  int ends = 0;
+  std::int64_t spawned_tid = 0;
+  for (const auto& event : events) {
+    if (event.kind == TraceKind::kThreadStart) {
+      ++starts;
+      if (event.tid != 1) spawned_tid = event.tid;
+    }
+    if (event.kind == TraceKind::kThreadEnd) ++ends;
+  }
+  EXPECT_EQ(starts, 2);  // main + spawned
+  EXPECT_EQ(ends, 2);
+  EXPECT_GT(spawned_tid, 1);
+}
+
+TEST(TraceTest, DisabledFlagSuppressesAllEvents) {
+  auto events = trace_run("a = 1\nb = 2", /*enabled=*/false);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceTest, ToggleMidRunStopsEvents) {
+  vm::Interp interp;
+  int events_after_disable = 0;
+  int total = 0;
+  interp.vm().set_output([](std::string_view) {});
+  interp.vm().set_trace_fn([&](Vm& vm, InterpThread&, const TraceEvent&) {
+    ++total;
+    if (total == 3) {
+      vm.set_trace_enabled(false);  // fork handler A's move
+    } else if (!vm.trace_enabled()) {
+      ++events_after_disable;
+    }
+  });
+  interp.vm().set_trace_enabled(true);
+  auto result = interp.run_string("a = 1\nb = 2\nc = 3\nd = 4\ne = 5",
+                                  "toggle.ml");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(events_after_disable, 0);
+  EXPECT_LT(total, 8);  // far fewer than full tracing would produce
+}
+
+TEST(TraceTest, EventsCarryFileAndFunction) {
+  vm::Interp interp;
+  bool saw_main_line = false;
+  interp.vm().set_output([](std::string_view) {});
+  interp.vm().set_trace_fn(
+      [&](Vm&, InterpThread&, const TraceEvent& event) {
+        if (event.kind == TraceKind::kLine && event.function == "<main>") {
+          EXPECT_EQ(std::string(event.file), "named.ml");
+          saw_main_line = true;
+        }
+      });
+  interp.vm().set_trace_enabled(true);
+  ASSERT_TRUE(interp.run_string("x = 1", "named.ml").ok);
+  EXPECT_TRUE(saw_main_line);
+}
+
+TEST(TraceTest, TraceFnSeesConsistentLocals) {
+  // At a line event the statement boundary guarantees locals are
+  // settled — the invariant debugger inspection depends on.
+  vm::Interp interp;
+  std::vector<std::string> observed;
+  interp.vm().set_output([](std::string_view) {});
+  interp.vm().set_trace_fn(
+      [&](Vm&, InterpThread& th, const TraceEvent& event) {
+        if (event.kind != TraceKind::kLine || event.function != "f") return;
+        const auto& frame = th.frames.back();
+        const auto& names = frame.closure->proto->local_names;
+        for (size_t i = 0; i < names.size(); ++i) {
+          observed.push_back(names[i] + "=" +
+                             th.stack[frame.base + i].repr());
+        }
+      });
+  interp.vm().set_trace_enabled(true);
+  ASSERT_TRUE(interp.run_string(
+      "fn f(a)\n  b = a * 2\n  return b\nend\nf(21)", "locals.ml").ok);
+  // First line event in f: a=21, b=nil; second: a=21, b=42.
+  ASSERT_EQ(observed.size(), 4u);
+  EXPECT_EQ(observed[0], "a=21");
+  EXPECT_EQ(observed[1], "b=nil");
+  EXPECT_EQ(observed[2], "a=21");
+  EXPECT_EQ(observed[3], "b=42");
+}
+
+TEST(TraceTest, StatementCountMatchesLineEvents) {
+  vm::Interp interp;
+  int line_events = 0;
+  interp.vm().set_output([](std::string_view) {});
+  interp.vm().set_trace_fn(
+      [&](Vm&, InterpThread&, const TraceEvent& event) {
+        if (event.kind == TraceKind::kLine) ++line_events;
+      });
+  interp.vm().set_trace_enabled(true);
+  ASSERT_TRUE(interp.run_string("a = 1\nb = 2\nc = 3", "count.ml").ok);
+  EXPECT_EQ(interp.vm().statements_executed(),
+            static_cast<std::uint64_t>(line_events));
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,133 @@
+#include "vm/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/sync.hpp"
+
+namespace dionea::vm {
+namespace {
+
+TEST(ValueTest, KindsAndTypeNames) {
+  EXPECT_EQ(Value().kind(), ValueKind::kNil);
+  EXPECT_EQ(Value(true).kind(), ValueKind::kBool);
+  EXPECT_EQ(Value(7).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value(1.5).kind(), ValueKind::kFloat);
+  EXPECT_EQ(Value::str("x").kind(), ValueKind::kStr);
+  EXPECT_EQ(Value::new_list().kind(), ValueKind::kList);
+  EXPECT_EQ(Value::new_map().kind(), ValueKind::kMap);
+  EXPECT_STREQ(Value(7).type_name(), "int");
+  EXPECT_STREQ(Value::str("").type_name(), "str");
+}
+
+TEST(ValueTest, RubyTruthiness) {
+  // Only nil and false are falsy (§ deliberately Ruby, not Python).
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_TRUE(Value(true).truthy());
+  EXPECT_TRUE(Value(0).truthy());
+  EXPECT_TRUE(Value(0.0).truthy());
+  EXPECT_TRUE(Value::str("").truthy());
+  EXPECT_TRUE(Value::new_list().truthy());
+}
+
+TEST(ValueTest, NumericEqualityCoerces) {
+  EXPECT_TRUE(Value(2).equals(Value(2.0)));
+  EXPECT_TRUE(Value(2.0).equals(Value(2)));
+  EXPECT_FALSE(Value(2).equals(Value(3)));
+  EXPECT_FALSE(Value(2).equals(Value::str("2")));
+  EXPECT_FALSE(Value(0).equals(Value(false)));
+}
+
+TEST(ValueTest, StructuralEqualityForContainers) {
+  Value a = Value::new_list();
+  a.as_list()->items = {Value(1), Value::str("x")};
+  Value b = Value::new_list();
+  b.as_list()->items = {Value(1), Value::str("x")};
+  EXPECT_TRUE(a.equals(b));
+  b.as_list()->items.push_back(Value());
+  EXPECT_FALSE(a.equals(b));
+
+  Value m1 = Value::new_map();
+  m1.as_map()->items["k"] = Value(1);
+  Value m2 = Value::new_map();
+  m2.as_map()->items["k"] = Value(1);
+  EXPECT_TRUE(m1.equals(m2));
+  m2.as_map()->items["k"] = Value(2);
+  EXPECT_FALSE(m1.equals(m2));
+}
+
+TEST(ValueTest, IdentityEqualityForSyncObjects) {
+  auto mutex = std::make_shared<VmMutex>();
+  Value a(mutex);
+  Value b(mutex);
+  Value c(std::make_shared<VmMutex>());
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+}
+
+TEST(ValueTest, ReprScalars) {
+  EXPECT_EQ(Value().repr(), "nil");
+  EXPECT_EQ(Value(true).repr(), "true");
+  EXPECT_EQ(Value(false).repr(), "false");
+  EXPECT_EQ(Value(42).repr(), "42");
+  EXPECT_EQ(Value(-3).repr(), "-3");
+  EXPECT_EQ(Value(2.5).repr(), "2.5");
+  EXPECT_EQ(Value(2.0).repr(), "2.0");  // floats stay visually float
+  EXPECT_EQ(Value::str("hi\n").repr(), "\"hi\\n\"");
+}
+
+TEST(ValueTest, ReprContainersRecursive) {
+  Value list = Value::new_list();
+  list.as_list()->items = {Value(1), Value::str("two"), Value()};
+  EXPECT_EQ(list.repr(), "[1, \"two\", nil]");
+
+  Value map = Value::new_map();
+  map.as_map()->items["a"] = Value(1);
+  map.as_map()->items["b"] = list;
+  EXPECT_EQ(map.repr(), "{\"a\": 1, \"b\": [1, \"two\", nil]}");
+}
+
+TEST(ValueTest, ToDisplayBareStrings) {
+  EXPECT_EQ(Value::str("plain").to_display(), "plain");
+  EXPECT_EQ(Value(5).to_display(), "5");
+  EXPECT_EQ(Value().to_display(), "nil");
+}
+
+TEST(ValueTest, SharedHeapSemantics) {
+  // Copying a Value aliases the heap payload (CPython-object-like).
+  Value a = Value::new_list();
+  Value b = a;
+  b.as_list()->items.push_back(Value(1));
+  EXPECT_EQ(a.as_list()->items.size(), 1u);
+}
+
+TEST(ValueTest, NumberCoercionHelpers) {
+  EXPECT_DOUBLE_EQ(Value(3).number(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).number(), 2.5);
+  EXPECT_TRUE(Value(3).is_number());
+  EXPECT_TRUE(Value(2.5).is_number());
+  EXPECT_FALSE(Value::str("3").is_number());
+}
+
+TEST(VmErrorTest, ToStringWithTraceback) {
+  VmError error;
+  error.message = "deadlock detected (fatal)";
+  error.traceback.push_back(TracebackEntry{"pop", "thread.rb", 185});
+  error.traceback.push_back(TracebackEntry{"<main>", "deadlock.ml", 14});
+  std::string rendered = error.to_string();
+  // Listing 6 shape: message then "from file:line:in `fn'" lines.
+  EXPECT_NE(rendered.find("deadlock detected (fatal)"), std::string::npos);
+  EXPECT_NE(rendered.find("from thread.rb:185:in `pop'"), std::string::npos);
+  EXPECT_NE(rendered.find("from deadlock.ml:14:in `<main>'"),
+            std::string::npos);
+}
+
+TEST(VmErrorTest, FatalOnlyForDeadlock) {
+  VmError error;
+  EXPECT_FALSE(error.fatal());
+  error.kind = VmErrorKind::kFatalDeadlock;
+  EXPECT_TRUE(error.fatal());
+}
+
+}  // namespace
+}  // namespace dionea::vm
