@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_intrusive"
+  "../bench/bench_ablation_intrusive.pdb"
+  "CMakeFiles/bench_ablation_intrusive.dir/bench_ablation_intrusive.cpp.o"
+  "CMakeFiles/bench_ablation_intrusive.dir/bench_ablation_intrusive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intrusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_trace"
+  "../bench/bench_ablation_trace.pdb"
+  "CMakeFiles/bench_ablation_trace.dir/bench_ablation_trace.cpp.o"
+  "CMakeFiles/bench_ablation_trace.dir/bench_ablation_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

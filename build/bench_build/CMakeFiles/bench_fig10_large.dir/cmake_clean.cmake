@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_large"
+  "../bench/bench_fig10_large.pdb"
+  "CMakeFiles/bench_fig10_large.dir/bench_fig10_large.cpp.o"
+  "CMakeFiles/bench_fig10_large.dir/bench_fig10_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

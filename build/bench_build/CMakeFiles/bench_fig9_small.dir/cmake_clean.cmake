@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_small"
+  "../bench/bench_fig9_small.pdb"
+  "CMakeFiles/bench_fig9_small.dir/bench_fig9_small.cpp.o"
+  "CMakeFiles/bench_fig9_small.dir/bench_fig9_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rust_medium"
+  "../bench/bench_rust_medium.pdb"
+  "CMakeFiles/bench_rust_medium.dir/bench_rust_medium.cpp.o"
+  "CMakeFiles/bench_rust_medium.dir/bench_rust_medium.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rust_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_specs"
+  "../bench/bench_table1_specs.pdb"
+  "CMakeFiles/bench_table1_specs.dir/bench_table1_specs.cpp.o"
+  "CMakeFiles/bench_table1_specs.dir/bench_table1_specs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dioneac.dir/dioneac.cpp.o"
+  "CMakeFiles/dioneac.dir/dioneac.cpp.o.d"
+  "dioneac"
+  "dioneac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dioneac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

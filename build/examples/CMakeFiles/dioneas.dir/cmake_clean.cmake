@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dioneas.dir/dioneas.cpp.o"
+  "CMakeFiles/dioneas.dir/dioneas.cpp.o.d"
+  "dioneas"
+  "dioneas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dioneas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

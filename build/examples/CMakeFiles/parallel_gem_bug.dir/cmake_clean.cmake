@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_gem_bug.dir/parallel_gem_bug.cpp.o"
+  "CMakeFiles/parallel_gem_bug.dir/parallel_gem_bug.cpp.o.d"
+  "parallel_gem_bug"
+  "parallel_gem_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_gem_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parallel_gem_bug.
+# This may be replaced when dependencies are built.

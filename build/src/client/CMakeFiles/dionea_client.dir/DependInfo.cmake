@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/console.cpp" "src/client/CMakeFiles/dionea_client.dir/console.cpp.o" "gcc" "src/client/CMakeFiles/dionea_client.dir/console.cpp.o.d"
+  "/root/repo/src/client/multi_client.cpp" "src/client/CMakeFiles/dionea_client.dir/multi_client.cpp.o" "gcc" "src/client/CMakeFiles/dionea_client.dir/multi_client.cpp.o.d"
+  "/root/repo/src/client/session.cpp" "src/client/CMakeFiles/dionea_client.dir/session.cpp.o" "gcc" "src/client/CMakeFiles/dionea_client.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debugger/CMakeFiles/dionea_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/dionea_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dionea_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

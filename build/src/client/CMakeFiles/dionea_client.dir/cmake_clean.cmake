@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_client.dir/console.cpp.o"
+  "CMakeFiles/dionea_client.dir/console.cpp.o.d"
+  "CMakeFiles/dionea_client.dir/multi_client.cpp.o"
+  "CMakeFiles/dionea_client.dir/multi_client.cpp.o.d"
+  "CMakeFiles/dionea_client.dir/session.cpp.o"
+  "CMakeFiles/dionea_client.dir/session.cpp.o.d"
+  "libdionea_client.a"
+  "libdionea_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

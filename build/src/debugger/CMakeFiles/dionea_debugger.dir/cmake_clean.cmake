@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_debugger.dir/breakpoint.cpp.o"
+  "CMakeFiles/dionea_debugger.dir/breakpoint.cpp.o.d"
+  "CMakeFiles/dionea_debugger.dir/fork_handlers.cpp.o"
+  "CMakeFiles/dionea_debugger.dir/fork_handlers.cpp.o.d"
+  "CMakeFiles/dionea_debugger.dir/protocol.cpp.o"
+  "CMakeFiles/dionea_debugger.dir/protocol.cpp.o.d"
+  "CMakeFiles/dionea_debugger.dir/server.cpp.o"
+  "CMakeFiles/dionea_debugger.dir/server.cpp.o.d"
+  "libdionea_debugger.a"
+  "libdionea_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/fd.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/fd.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/fd.cpp.o.d"
+  "/root/repo/src/ipc/frame.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/frame.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/frame.cpp.o.d"
+  "/root/repo/src/ipc/pipe.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/pipe.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/pipe.cpp.o.d"
+  "/root/repo/src/ipc/port_file.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/port_file.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/port_file.cpp.o.d"
+  "/root/repo/src/ipc/reactor.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/reactor.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/reactor.cpp.o.d"
+  "/root/repo/src/ipc/socket.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/socket.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/socket.cpp.o.d"
+  "/root/repo/src/ipc/wire.cpp" "src/ipc/CMakeFiles/dionea_ipc.dir/wire.cpp.o" "gcc" "src/ipc/CMakeFiles/dionea_ipc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_ipc.dir/fd.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/fd.cpp.o.d"
+  "CMakeFiles/dionea_ipc.dir/frame.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/frame.cpp.o.d"
+  "CMakeFiles/dionea_ipc.dir/pipe.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/pipe.cpp.o.d"
+  "CMakeFiles/dionea_ipc.dir/port_file.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/port_file.cpp.o.d"
+  "CMakeFiles/dionea_ipc.dir/reactor.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/reactor.cpp.o.d"
+  "CMakeFiles/dionea_ipc.dir/socket.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/socket.cpp.o.d"
+  "CMakeFiles/dionea_ipc.dir/wire.cpp.o"
+  "CMakeFiles/dionea_ipc.dir/wire.cpp.o.d"
+  "libdionea_ipc.a"
+  "libdionea_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/corpus.cpp" "src/mapreduce/CMakeFiles/dionea_mapreduce.dir/corpus.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dionea_mapreduce.dir/corpus.cpp.o.d"
+  "/root/repo/src/mapreduce/wordcount.cpp" "src/mapreduce/CMakeFiles/dionea_mapreduce.dir/wordcount.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dionea_mapreduce.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/dionea_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dionea_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/dionea_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_mapreduce.dir/corpus.cpp.o"
+  "CMakeFiles/dionea_mapreduce.dir/corpus.cpp.o.d"
+  "CMakeFiles/dionea_mapreduce.dir/wordcount.cpp.o"
+  "CMakeFiles/dionea_mapreduce.dir/wordcount.cpp.o.d"
+  "libdionea_mapreduce.a"
+  "libdionea_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

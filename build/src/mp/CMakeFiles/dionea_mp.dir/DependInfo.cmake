@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/mpqueue.cpp" "src/mp/CMakeFiles/dionea_mp.dir/mpqueue.cpp.o" "gcc" "src/mp/CMakeFiles/dionea_mp.dir/mpqueue.cpp.o.d"
+  "/root/repo/src/mp/parallel.cpp" "src/mp/CMakeFiles/dionea_mp.dir/parallel.cpp.o" "gcc" "src/mp/CMakeFiles/dionea_mp.dir/parallel.cpp.o.d"
+  "/root/repo/src/mp/pool.cpp" "src/mp/CMakeFiles/dionea_mp.dir/pool.cpp.o" "gcc" "src/mp/CMakeFiles/dionea_mp.dir/pool.cpp.o.d"
+  "/root/repo/src/mp/process.cpp" "src/mp/CMakeFiles/dionea_mp.dir/process.cpp.o" "gcc" "src/mp/CMakeFiles/dionea_mp.dir/process.cpp.o.d"
+  "/root/repo/src/mp/serialize.cpp" "src/mp/CMakeFiles/dionea_mp.dir/serialize.cpp.o" "gcc" "src/mp/CMakeFiles/dionea_mp.dir/serialize.cpp.o.d"
+  "/root/repo/src/mp/vm_bindings.cpp" "src/mp/CMakeFiles/dionea_mp.dir/vm_bindings.cpp.o" "gcc" "src/mp/CMakeFiles/dionea_mp.dir/vm_bindings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/dionea_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/dionea_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_mp.dir/mpqueue.cpp.o"
+  "CMakeFiles/dionea_mp.dir/mpqueue.cpp.o.d"
+  "CMakeFiles/dionea_mp.dir/parallel.cpp.o"
+  "CMakeFiles/dionea_mp.dir/parallel.cpp.o.d"
+  "CMakeFiles/dionea_mp.dir/pool.cpp.o"
+  "CMakeFiles/dionea_mp.dir/pool.cpp.o.d"
+  "CMakeFiles/dionea_mp.dir/process.cpp.o"
+  "CMakeFiles/dionea_mp.dir/process.cpp.o.d"
+  "CMakeFiles/dionea_mp.dir/serialize.cpp.o"
+  "CMakeFiles/dionea_mp.dir/serialize.cpp.o.d"
+  "CMakeFiles/dionea_mp.dir/vm_bindings.cpp.o"
+  "CMakeFiles/dionea_mp.dir/vm_bindings.cpp.o.d"
+  "libdionea_mp.a"
+  "libdionea_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_support.dir/host_spec.cpp.o"
+  "CMakeFiles/dionea_support.dir/host_spec.cpp.o.d"
+  "CMakeFiles/dionea_support.dir/logging.cpp.o"
+  "CMakeFiles/dionea_support.dir/logging.cpp.o.d"
+  "CMakeFiles/dionea_support.dir/rng.cpp.o"
+  "CMakeFiles/dionea_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dionea_support.dir/strings.cpp.o"
+  "CMakeFiles/dionea_support.dir/strings.cpp.o.d"
+  "CMakeFiles/dionea_support.dir/temp_file.cpp.o"
+  "CMakeFiles/dionea_support.dir/temp_file.cpp.o.d"
+  "CMakeFiles/dionea_support.dir/timing.cpp.o"
+  "CMakeFiles/dionea_support.dir/timing.cpp.o.d"
+  "libdionea_support.a"
+  "libdionea_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

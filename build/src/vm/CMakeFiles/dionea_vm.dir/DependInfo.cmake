@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builtins.cpp" "src/vm/CMakeFiles/dionea_vm.dir/builtins.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/builtins.cpp.o.d"
+  "/root/repo/src/vm/bytecode.cpp" "src/vm/CMakeFiles/dionea_vm.dir/bytecode.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/bytecode.cpp.o.d"
+  "/root/repo/src/vm/compiler.cpp" "src/vm/CMakeFiles/dionea_vm.dir/compiler.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/compiler.cpp.o.d"
+  "/root/repo/src/vm/gil.cpp" "src/vm/CMakeFiles/dionea_vm.dir/gil.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/gil.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/vm/CMakeFiles/dionea_vm.dir/interp.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/vm/lexer.cpp" "src/vm/CMakeFiles/dionea_vm.dir/lexer.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/lexer.cpp.o.d"
+  "/root/repo/src/vm/parser.cpp" "src/vm/CMakeFiles/dionea_vm.dir/parser.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/parser.cpp.o.d"
+  "/root/repo/src/vm/sync.cpp" "src/vm/CMakeFiles/dionea_vm.dir/sync.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/sync.cpp.o.d"
+  "/root/repo/src/vm/value.cpp" "src/vm/CMakeFiles/dionea_vm.dir/value.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/value.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/vm/CMakeFiles/dionea_vm.dir/vm.cpp.o" "gcc" "src/vm/CMakeFiles/dionea_vm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionea_vm.dir/builtins.cpp.o"
+  "CMakeFiles/dionea_vm.dir/builtins.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/bytecode.cpp.o"
+  "CMakeFiles/dionea_vm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/compiler.cpp.o"
+  "CMakeFiles/dionea_vm.dir/compiler.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/gil.cpp.o"
+  "CMakeFiles/dionea_vm.dir/gil.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/interp.cpp.o"
+  "CMakeFiles/dionea_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/lexer.cpp.o"
+  "CMakeFiles/dionea_vm.dir/lexer.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/parser.cpp.o"
+  "CMakeFiles/dionea_vm.dir/parser.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/sync.cpp.o"
+  "CMakeFiles/dionea_vm.dir/sync.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/value.cpp.o"
+  "CMakeFiles/dionea_vm.dir/value.cpp.o.d"
+  "CMakeFiles/dionea_vm.dir/vm.cpp.o"
+  "CMakeFiles/dionea_vm.dir/vm.cpp.o.d"
+  "libdionea_vm.a"
+  "libdionea_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionea_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/debugger/deadlock_scenario_test.cpp" "tests/CMakeFiles/debugger_fork_test.dir/debugger/deadlock_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/debugger_fork_test.dir/debugger/deadlock_scenario_test.cpp.o.d"
+  "/root/repo/tests/debugger/disturb_test.cpp" "tests/CMakeFiles/debugger_fork_test.dir/debugger/disturb_test.cpp.o" "gcc" "tests/CMakeFiles/debugger_fork_test.dir/debugger/disturb_test.cpp.o.d"
+  "/root/repo/tests/debugger/fork_debug_test.cpp" "tests/CMakeFiles/debugger_fork_test.dir/debugger/fork_debug_test.cpp.o" "gcc" "tests/CMakeFiles/debugger_fork_test.dir/debugger/fork_debug_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/dionea_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/debugger/CMakeFiles/dionea_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dionea_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/dionea_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dionea_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/dionea_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

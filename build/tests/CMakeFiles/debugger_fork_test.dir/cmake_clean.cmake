@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_fork_test.dir/debugger/deadlock_scenario_test.cpp.o"
+  "CMakeFiles/debugger_fork_test.dir/debugger/deadlock_scenario_test.cpp.o.d"
+  "CMakeFiles/debugger_fork_test.dir/debugger/disturb_test.cpp.o"
+  "CMakeFiles/debugger_fork_test.dir/debugger/disturb_test.cpp.o.d"
+  "CMakeFiles/debugger_fork_test.dir/debugger/fork_debug_test.cpp.o"
+  "CMakeFiles/debugger_fork_test.dir/debugger/fork_debug_test.cpp.o.d"
+  "debugger_fork_test"
+  "debugger_fork_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_fork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

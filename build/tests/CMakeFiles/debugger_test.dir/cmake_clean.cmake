@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_test.dir/debugger/advanced_test.cpp.o"
+  "CMakeFiles/debugger_test.dir/debugger/advanced_test.cpp.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/breakpoint_test.cpp.o"
+  "CMakeFiles/debugger_test.dir/debugger/breakpoint_test.cpp.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/eval_test.cpp.o"
+  "CMakeFiles/debugger_test.dir/debugger/eval_test.cpp.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/protocol_test.cpp.o"
+  "CMakeFiles/debugger_test.dir/debugger/protocol_test.cpp.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/server_test.cpp.o"
+  "CMakeFiles/debugger_test.dir/debugger/server_test.cpp.o.d"
+  "debugger_test"
+  "debugger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

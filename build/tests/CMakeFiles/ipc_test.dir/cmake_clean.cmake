@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_test.dir/ipc/fd_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/fd_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/frame_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/frame_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/pipe_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/pipe_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/port_file_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/port_file_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/reactor_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/reactor_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/socket_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/socket_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/wire_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/wire_test.cpp.o.d"
+  "ipc_test"
+  "ipc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

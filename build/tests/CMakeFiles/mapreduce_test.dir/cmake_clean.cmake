@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_test.dir/mapreduce/corpus_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/corpus_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/wordcount_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/wordcount_test.cpp.o.d"
+  "mapreduce_test"
+  "mapreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

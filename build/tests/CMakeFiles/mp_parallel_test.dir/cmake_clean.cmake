@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_parallel_test.dir/mp/parallel_bug_test.cpp.o"
+  "CMakeFiles/mp_parallel_test.dir/mp/parallel_bug_test.cpp.o.d"
+  "mp_parallel_test"
+  "mp_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

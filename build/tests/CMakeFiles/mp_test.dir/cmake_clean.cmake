@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_test.dir/mp/mpqueue_test.cpp.o"
+  "CMakeFiles/mp_test.dir/mp/mpqueue_test.cpp.o.d"
+  "CMakeFiles/mp_test.dir/mp/pool_test.cpp.o"
+  "CMakeFiles/mp_test.dir/mp/pool_test.cpp.o.d"
+  "CMakeFiles/mp_test.dir/mp/process_test.cpp.o"
+  "CMakeFiles/mp_test.dir/mp/process_test.cpp.o.d"
+  "CMakeFiles/mp_test.dir/mp/serialize_test.cpp.o"
+  "CMakeFiles/mp_test.dir/mp/serialize_test.cpp.o.d"
+  "CMakeFiles/mp_test.dir/mp/vm_bindings_test.cpp.o"
+  "CMakeFiles/mp_test.dir/mp/vm_bindings_test.cpp.o.d"
+  "mp_test"
+  "mp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

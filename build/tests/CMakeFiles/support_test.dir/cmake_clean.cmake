@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/host_spec_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/host_spec_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/logging_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/logging_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/result_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/result_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/rng_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/strings_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/strings_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/temp_file_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/temp_file_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/timing_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/timing_test.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_concurrency_test.dir/vm/deadlock_test.cpp.o"
+  "CMakeFiles/vm_concurrency_test.dir/vm/deadlock_test.cpp.o.d"
+  "CMakeFiles/vm_concurrency_test.dir/vm/gil_test.cpp.o"
+  "CMakeFiles/vm_concurrency_test.dir/vm/gil_test.cpp.o.d"
+  "CMakeFiles/vm_concurrency_test.dir/vm/sync_test.cpp.o"
+  "CMakeFiles/vm_concurrency_test.dir/vm/sync_test.cpp.o.d"
+  "CMakeFiles/vm_concurrency_test.dir/vm/thread_test.cpp.o"
+  "CMakeFiles/vm_concurrency_test.dir/vm/thread_test.cpp.o.d"
+  "CMakeFiles/vm_concurrency_test.dir/vm/trace_test.cpp.o"
+  "CMakeFiles/vm_concurrency_test.dir/vm/trace_test.cpp.o.d"
+  "vm_concurrency_test"
+  "vm_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_fork_test.dir/vm/fork_test.cpp.o"
+  "CMakeFiles/vm_fork_test.dir/vm/fork_test.cpp.o.d"
+  "vm_fork_test"
+  "vm_fork_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_fork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

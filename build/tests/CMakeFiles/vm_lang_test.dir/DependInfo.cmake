@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/builtins_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/builtins_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/builtins_test.cpp.o.d"
+  "/root/repo/tests/vm/compiler_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/compiler_test.cpp.o.d"
+  "/root/repo/tests/vm/error_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/error_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/error_test.cpp.o.d"
+  "/root/repo/tests/vm/exec_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/exec_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/exec_test.cpp.o.d"
+  "/root/repo/tests/vm/fuzz_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/fuzz_test.cpp.o.d"
+  "/root/repo/tests/vm/lexer_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/lexer_test.cpp.o.d"
+  "/root/repo/tests/vm/parser_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/parser_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/parser_test.cpp.o.d"
+  "/root/repo/tests/vm/value_test.cpp" "tests/CMakeFiles/vm_lang_test.dir/vm/value_test.cpp.o" "gcc" "tests/CMakeFiles/vm_lang_test.dir/vm/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/dionea_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/debugger/CMakeFiles/dionea_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dionea_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/dionea_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dionea_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/dionea_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dionea_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

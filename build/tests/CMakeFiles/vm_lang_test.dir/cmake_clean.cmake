@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_lang_test.dir/vm/builtins_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/builtins_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/compiler_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/compiler_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/error_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/error_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/exec_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/exec_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/fuzz_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/fuzz_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/lexer_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/lexer_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/parser_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/parser_test.cpp.o.d"
+  "CMakeFiles/vm_lang_test.dir/vm/value_test.cpp.o"
+  "CMakeFiles/vm_lang_test.dir/vm/value_test.cpp.o.d"
+  "vm_lang_test"
+  "vm_lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[support_test]=] "/root/repo/build/tests/support_test")
+set_tests_properties([=[support_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;23;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[ipc_test]=] "/root/repo/build/tests/ipc_test")
+set_tests_properties([=[ipc_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;33;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[vm_lang_test]=] "/root/repo/build/tests/vm_lang_test")
+set_tests_properties([=[vm_lang_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;43;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[vm_concurrency_test]=] "/root/repo/build/tests/vm_concurrency_test")
+set_tests_properties([=[vm_concurrency_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;54;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[vm_fork_test]=] "/root/repo/build/tests/vm_fork_test")
+set_tests_properties([=[vm_fork_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;62;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[debugger_test]=] "/root/repo/build/tests/debugger_test")
+set_tests_properties([=[debugger_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;66;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[debugger_fork_test]=] "/root/repo/build/tests/debugger_fork_test")
+set_tests_properties([=[debugger_fork_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;74;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[client_test]=] "/root/repo/build/tests/client_test")
+set_tests_properties([=[client_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;80;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mp_test]=] "/root/repo/build/tests/mp_test")
+set_tests_properties([=[mp_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;86;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mp_parallel_test]=] "/root/repo/build/tests/mp_parallel_test")
+set_tests_properties([=[mp_parallel_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;94;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mapreduce_test]=] "/root/repo/build/tests/mapreduce_test")
+set_tests_properties([=[mapreduce_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;98;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[integration_test]=] "/root/repo/build/tests/integration_test")
+set_tests_properties([=[integration_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;103;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_test]=] "/root/repo/build/tests/cli_test")
+set_tests_properties([=[cli_test]=] PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;108;dionea_test;/root/repo/tests/CMakeLists.txt;0;")
