@@ -49,6 +49,7 @@ std::string Console::help() {
       "  pauseall              suspend every thread\n"
       "  disturb on|off        stop new UEs at birth (§6.4)\n"
       "  events                drain pending events\n"
+      "  reconnect <pid>       reattach to a lost process\n"
       "  quit                  leave the console\n";
 }
 
@@ -88,8 +89,10 @@ std::string Console::execute(const std::string& line) {
     std::string out;
     for (int pid : client_.pids()) {
       MultiClient::View view = client_.active_view();
-      out += strings::format("  pid %d%s\n", pid,
-                             view.pid == pid ? "  (active)" : "");
+      Session* s = client_.session(pid);
+      out += strings::format("  pid %d%s%s\n", pid,
+                             view.pid == pid ? "  (active)" : "",
+                             s && !s->connected() ? "  (disconnected)" : "");
     }
     return out.empty() ? "  (no processes)\n" : out;
   }
@@ -113,6 +116,20 @@ std::string Console::execute(const std::string& line) {
     return strings::format("  view: pid %lld thread %lld\n",
                            static_cast<long long>(pid),
                            static_cast<long long>(tid));
+  }
+
+  if (cmd == "reconnect") {
+    if (words.size() < 2) return "usage: reconnect <pid>\n";
+    std::int64_t pid = 0;
+    if (!strings::parse_int(words[1], &pid)) {
+      return "usage: reconnect <pid>\n";
+    }
+    auto revived = client_.reconnect(static_cast<int>(pid));
+    if (!revived.is_ok()) return revived.error().to_string() + "\n";
+    return strings::format("  reattached to pid %lld (%zu breakpoint(s) "
+                           "restored)\n",
+                           static_cast<long long>(pid),
+                           revived.value()->breakpoints_set().size());
   }
 
   if (cmd == "events") {

@@ -1,9 +1,28 @@
 #include "client/multi_client.hpp"
 
+#include <algorithm>
+
+#include "debugger/protocol.hpp"
 #include "support/logging.hpp"
+#include "support/rng.hpp"
 #include "support/timing.hpp"
 
 namespace dionea::client {
+
+namespace proto = dbg::proto;
+
+namespace {
+DebugEvent make_gone_event(int pid, bool clean_exit, int exit_code,
+                           int term_signal) {
+  DebugEvent event;
+  event.name = clean_exit ? proto::kEvProcessExited : proto::kEvProcessCrashed;
+  event.payload = proto::make_event(event.name);
+  event.payload.set("pid", pid);
+  if (exit_code >= 0) event.payload.set("exit_code", exit_code);
+  if (term_signal != 0) event.payload.set("signal", term_signal);
+  return event;
+}
+}  // namespace
 
 Result<int> MultiClient::refresh(int timeout_millis) {
   DIONEA_ASSIGN_OR_RETURN(std::vector<ipc::PortRecord> records,
@@ -139,10 +158,32 @@ Result<std::vector<RemoteFrame>> MultiClient::active_frames() {
 Result<std::vector<std::pair<int, DebugEvent>>> MultiClient::poll_all_events(
     int timeout_millis_per_session) {
   std::vector<std::pair<int, DebugEvent>> out;
+  // Out-of-band observations (note_child_exit) go first: they arrived
+  // earlier than anything still sitting in a socket buffer.
+  while (!pending_events_.empty()) {
+    out.push_back(std::move(pending_events_.front()));
+    pending_events_.pop_front();
+  }
   for (auto& [pid, session] : sessions_) {
+    if (reported_dead_.count(pid) > 0) continue;  // already announced
+    if (!session->connected()) {
+      reported_dead_.insert(pid);
+      out.emplace_back(pid, make_gone_event(pid, session->terminated_seen(),
+                                            /*exit_code=*/-1,
+                                            /*term_signal=*/0));
+      continue;
+    }
     auto event = session->poll_event(timeout_millis_per_session);
     if (!event.is_ok()) {
-      if (event.error().code() == ErrorCode::kClosed) continue;  // pid died
+      if (event.error().code() == ErrorCode::kClosed) {
+        // The transport died under us: surface the loss as a
+        // first-class event instead of silently skipping the pid.
+        reported_dead_.insert(pid);
+        out.emplace_back(pid, make_gone_event(pid, session->terminated_seen(),
+                                              /*exit_code=*/-1,
+                                              /*term_signal=*/0));
+        continue;
+      }
       return event.error();
     }
     if (event.value().has_value()) {
@@ -150,6 +191,83 @@ Result<std::vector<std::pair<int, DebugEvent>>> MultiClient::poll_all_events(
     }
   }
   return out;
+}
+
+void MultiClient::note_child_exit(int pid, int exit_code, int term_signal) {
+  if (reported_dead_.count(pid) > 0) return;
+  reported_dead_.insert(pid);
+  pending_events_.emplace_back(
+      pid, make_gone_event(pid, /*clean_exit=*/term_signal == 0, exit_code,
+                           term_signal));
+}
+
+Result<Session*> MultiClient::reconnect(int pid,
+                                        const ReconnectPolicy& policy) {
+  // Breakpoints belong to the user, not the connection: carry them
+  // over from the dead session (if any survives to consult).
+  std::vector<BreakpointSpec> carry;
+  if (auto it = sessions_.find(pid); it != sessions_.end()) {
+    carry = it->second->breakpoints_set();
+  }
+
+  Rng rng(policy.seed ^ static_cast<std::uint64_t>(pid));
+  double delay = static_cast<double>(policy.initial_delay_millis);
+  Error last(ErrorCode::kUnavailable, "no reconnect attempt made");
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      double factor = 1.0 - policy.jitter + 2.0 * policy.jitter *
+                                                rng.next_double();
+      sleep_for_millis(static_cast<int>(delay * factor));
+      delay = std::min(delay * policy.multiplier,
+                       static_cast<double>(policy.max_delay_millis));
+    }
+    // Re-tail the whole port file: the restarted server re-published,
+    // and its newest record for this pid is the live one.
+    auto records = port_file_.read_all();
+    if (!records.is_ok()) {
+      last = records.error();
+      continue;
+    }
+    const ipc::PortRecord* newest = nullptr;
+    for (const ipc::PortRecord& record : records.value()) {
+      if (record.pid == pid) newest = &record;
+    }
+    if (newest == nullptr) {
+      last = Error(ErrorCode::kNotFound,
+                   "no port record for pid " + std::to_string(pid));
+      continue;
+    }
+    auto attached = Session::attach(newest->port, /*timeout_millis=*/500);
+    if (!attached.is_ok()) {
+      last = attached.error();
+      continue;
+    }
+    std::unique_ptr<Session> session = std::move(attached).value();
+    for (const BreakpointSpec& bp : carry) {
+      // Best effort — the restarted debuggee may not know the file
+      // (yet); a failed re-apply must not fail the reconnect.
+      auto re_set = session->set_breakpoint(bp.file, bp.line, bp.tid,
+                                            bp.ignore);
+      if (!re_set.is_ok()) {
+        DLOG_DEBUG("client") << "reconnect pid " << pid
+                             << ": breakpoint " << bp.file << ":" << bp.line
+                             << " not re-applied: "
+                             << re_set.error().to_string();
+      }
+    }
+    Session* raw = session.get();
+    sessions_[pid] = std::move(session);
+    // The re-published record is now adopted; don't let the next
+    // refresh() re-attach it and clobber this session.
+    records_seen_ = records.value().size();
+    reported_dead_.erase(pid);
+    return raw;
+  }
+  return Error(last.code(), "reconnect to pid " + std::to_string(pid) +
+                                " failed after " +
+                                std::to_string(policy.max_attempts) +
+                                " attempts: " + last.message());
 }
 
 }  // namespace dionea::client

@@ -12,6 +12,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,20 @@
 #include "support/result.hpp"
 
 namespace dionea::client {
+
+// Capped exponential backoff with jitter for reconnect(): the first
+// attempt is immediate; attempt n sleeps
+//   delay_n * uniform(1 - jitter, 1 + jitter),
+// delay_{n+1} = min(delay_n * multiplier, max_delay_millis).
+// `seed` (xor'd with the pid) makes the jitter deterministic in tests.
+struct ReconnectPolicy {
+  int max_attempts = 8;
+  int initial_delay_millis = 20;
+  int max_delay_millis = 1000;
+  double multiplier = 2.0;
+  double jitter = 0.25;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
 
 class MultiClient {
  public:
@@ -49,6 +64,21 @@ class MultiClient {
   size_t session_count() const noexcept { return sessions_.size(); }
   void drop(int pid) { sessions_.erase(pid); }
 
+  // Re-attach to `pid` after its session died (debuggee restarted the
+  // server, forked over itself, or the transport broke). Tails the
+  // port file for the pid's newest record on each attempt, backing off
+  // per `policy`. On success the old session is replaced, breakpoints
+  // the old session had set are re-applied (server ids change; paused-
+  // thread state is NOT recovered — the peer restarted), and the pid
+  // is cleared from the dead list so events flow again.
+  Result<Session*> reconnect(int pid, const ReconnectPolicy& policy = {});
+
+  // Feed an out-of-band child-exit observation (e.g. from
+  // mp::ChildReaper) into the event stream: queues a process-exited /
+  // process-crashed event for `pid` and marks it dead. `term_signal`
+  // != 0 means the child was killed by that signal (a crash).
+  void note_child_exit(int pid, int exit_code, int term_signal);
+
   // ---- debug views (§4.2) ----
   struct View {
     int pid = 0;
@@ -65,7 +95,10 @@ class MultiClient {
   Result<std::vector<RemoteFrame>> active_frames();
 
   // Poll every session for one pending event; returns {pid, event}
-  // pairs in session order.
+  // pairs in session order. A session whose transport died yields one
+  // synthesized event — process-exited if the debuggee announced a
+  // clean `terminated` first, process-crashed otherwise — and is then
+  // muted until reconnect() revives it.
   Result<std::vector<std::pair<int, DebugEvent>>> poll_all_events(
       int timeout_millis_per_session);
 
@@ -75,6 +108,11 @@ class MultiClient {
   std::map<int, std::unique_ptr<Session>> sessions_;
   std::deque<int> unclaimed_;  // adopted but not yet returned by
                                // await_new_process
+  // Pids whose death was already reported; their sessions are skipped
+  // (not erased — state like breakpoints_set survives for reconnect).
+  std::set<int> reported_dead_;
+  // Synthesized events (note_child_exit) waiting for poll_all_events.
+  std::deque<std::pair<int, DebugEvent>> pending_events_;
   View active_{};
 };
 

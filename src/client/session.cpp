@@ -26,20 +26,53 @@ Result<std::unique_ptr<Session>> Session::attach(std::uint16_t port,
       session->events_, proto::make_hello(proto::kChannelEvents, 0)));
 
   // First ping doubles as the session handshake and pid discovery.
+  // The server advertises its beacon period there; 5 missed beats =
+  // dead peer.
   DIONEA_ASSIGN_OR_RETURN(Value pong, session->request(proto::kCmdPing));
   session->pid_ = static_cast<int>(pong.get_int("pid"));
+  int heartbeat_ms = static_cast<int>(pong.get_int("heartbeat_ms"));
+  if (heartbeat_ms > 0) session->heartbeat_timeout_millis_ = 5 * heartbeat_ms;
+  session->last_activity_ = mono_seconds();
   return session;
 }
 
+void Session::hard_close() {
+  control_ = ipc::TcpStream();
+  events_ = ipc::TcpStream();
+  event_reader_.reset();
+  connected_ = false;
+}
+
+Error Session::transport_lost(const Error& err) {
+  connected_ = false;
+  return Error(err.code(),
+               strings::format("session to pid %d lost: %s", pid_,
+                               err.message().c_str()));
+}
+
 Result<Value> Session::request(const std::string& cmd, Value args) {
+  if (!connected_) {
+    return Error(ErrorCode::kClosed,
+                 strings::format("session to pid %d is disconnected", pid_));
+  }
   std::int64_t seq = next_seq_++;
   Value frame = std::move(args);
   frame.set("cmd", cmd);
   frame.set("seq", seq);
-  DIONEA_RETURN_IF_ERROR(ipc::send_frame(control_, frame));
-  DIONEA_ASSIGN_OR_RETURN(Value response,
-                          ipc::recv_frame_timeout(control_, 10'000));
+  if (Status sent = ipc::send_frame(control_, frame); !sent.is_ok()) {
+    return transport_lost(sent.error());
+  }
+  auto received = ipc::recv_frame_timeout(control_, request_timeout_millis_);
+  if (!received.is_ok()) return transport_lost(received.error());
+  // A round trip on the control channel is proof of life too — it
+  // keeps an interactive client (long gaps between event polls) from
+  // mistaking its own inattention for peer silence.
+  last_activity_ = mono_seconds();
+  Value response = std::move(received).value();
   if (response.get_int("re") != seq) {
+    // A mismatched seq means the framing itself is out of step; no
+    // later exchange on this channel can be trusted.
+    connected_ = false;
     return Error(ErrorCode::kProtocol,
                  strings::format("response out of order (want seq %lld)",
                                  static_cast<long long>(seq)));
@@ -60,13 +93,23 @@ Result<int> Session::set_breakpoint(const std::string& file, int line,
   if (ignore != 0) args.set("ignore", ignore);
   DIONEA_ASSIGN_OR_RETURN(Value response,
                           request(proto::kCmdBreakSet, std::move(args)));
-  return static_cast<int>(response.get_int("id"));
+  int id = static_cast<int>(response.get_int("id"));
+  breakpoints_set_.push_back(BreakpointSpec{file, line, tid, ignore, id});
+  return id;
 }
 
 Status Session::clear_breakpoint(int id) {
   Value args;
   args.set("id", id);
-  return request(proto::kCmdBreakClear, std::move(args)).status();
+  DIONEA_RETURN_IF_ERROR(
+      request(proto::kCmdBreakClear, std::move(args)).status());
+  if (id == 0) {
+    breakpoints_set_.clear();
+  } else {
+    std::erase_if(breakpoints_set_,
+                  [id](const BreakpointSpec& bp) { return bp.id == id; });
+  }
+  return Status::ok();
 }
 
 namespace {
@@ -174,23 +217,73 @@ Result<std::string> Session::eval(std::int64_t tid,
   return response.get_string("value");
 }
 
+Result<std::optional<DebugEvent>> Session::recv_event(int timeout_millis) {
+  if (!connected_) {
+    return Error(ErrorCode::kClosed,
+                 strings::format("session to pid %d is disconnected", pid_));
+  }
+  Stopwatch watch;
+  while (true) {
+    int remaining =
+        timeout_millis - static_cast<int>(watch.elapsed_seconds() * 1000.0);
+    if (remaining < 0) remaining = 0;
+    // A quiet wire is only "no event yet" while the peer is still
+    // beaconing — heartbeat silence past the budget means the peer is
+    // gone even though the TCP connection looks healthy (SIGKILL'd
+    // process, dead listener thread, pulled cable). Cap each wait at
+    // the silence budget so the loss is declared when the budget runs
+    // out, not when the caller's (possibly much longer) poll does.
+    // An exhausted budget is judged only after a read attempt comes
+    // back empty: a client that hasn't polled in a while must first
+    // drain the beacons queued in the socket buffer, or it would
+    // declare a healthy peer dead out of its own inattention. The
+    // grace must be > 0 — a zero deadline times out before it ever
+    // looks at the wire — and wide enough to ride out a slow frame.
+    constexpr int kDrainGraceMillis = 50;
+    int wire_wait = remaining;
+    bool silence_exhausted = false;
+    if (heartbeat_timeout_millis_ > 0) {
+      int silence_left =
+          heartbeat_timeout_millis_ -
+          static_cast<int>((mono_seconds() - last_activity_) * 1000.0);
+      if (silence_left <= 0) {
+        silence_exhausted = true;
+        wire_wait = kDrainGraceMillis;
+      } else if (silence_left < wire_wait) {
+        wire_wait = silence_left;
+      }
+    }
+    auto frame = event_reader_.recv_timeout(events_, wire_wait);
+    if (!frame.is_ok()) {
+      if (frame.error().code() != ErrorCode::kTimeout) {
+        return transport_lost(frame.error());
+      }
+      if (silence_exhausted) {
+        return transport_lost(Error(
+            ErrorCode::kClosed,
+            strings::format("no heartbeat for %d ms",
+                            heartbeat_timeout_millis_)));
+      }
+      if (remaining == 0) return std::optional<DebugEvent>();
+      continue;
+    }
+    last_activity_ = mono_seconds();
+    DebugEvent event;
+    event.name = frame.value().get_string("event");
+    if (event.name == proto::kEvHeartbeat) continue;  // transport-internal
+    if (event.name == proto::kEvTerminated) terminated_seen_ = true;
+    event.payload = std::move(frame).value();
+    return std::optional<DebugEvent>(std::move(event));
+  }
+}
+
 Result<std::optional<DebugEvent>> Session::poll_event(int timeout_millis) {
   if (!replay_.empty()) {
     DebugEvent event = std::move(replay_.front());
     replay_.pop_front();
     return std::optional<DebugEvent>(std::move(event));
   }
-  auto frame = ipc::recv_frame_timeout(events_, timeout_millis);
-  if (!frame.is_ok()) {
-    if (frame.error().code() == ErrorCode::kTimeout) {
-      return std::optional<DebugEvent>();
-    }
-    return frame.error();
-  }
-  DebugEvent event;
-  event.name = frame.value().get_string("event");
-  event.payload = std::move(frame).value();
-  return std::optional<DebugEvent>(std::move(event));
+  return recv_event(timeout_millis);
 }
 
 Result<DebugEvent> Session::wait_event(const std::string& name,
@@ -210,18 +303,13 @@ Result<DebugEvent> Session::wait_event(const std::string& name,
     if (remaining <= 0) {
       return Error(ErrorCode::kTimeout, "no '" + name + "' event");
     }
-    auto frame = ipc::recv_frame_timeout(events_, remaining);
-    if (!frame.is_ok()) {
-      if (frame.error().code() == ErrorCode::kTimeout) {
-        return Error(ErrorCode::kTimeout, "no '" + name + "' event");
-      }
-      return frame.error();
+    DIONEA_ASSIGN_OR_RETURN(std::optional<DebugEvent> next,
+                            recv_event(remaining));
+    if (!next) {
+      return Error(ErrorCode::kTimeout, "no '" + name + "' event");
     }
-    DebugEvent event;
-    event.name = frame.value().get_string("event");
-    event.payload = std::move(frame).value();
-    if (event.name == name) return event;
-    replay_.push_back(std::move(event));
+    if (next->name == name) return std::move(*next);
+    replay_.push_back(std::move(*next));
   }
 }
 

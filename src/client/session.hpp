@@ -52,15 +52,60 @@ struct StopInfo {
   int breakpoint_id = 0;
 };
 
+// A breakpoint as the user asked for it. Sessions record every
+// breakpoint they set so a reconnect (after the debuggee restarted or
+// the transport died) can re-apply them — breakpoints are the user's,
+// not the connection's.
+struct BreakpointSpec {
+  std::string file;
+  int line = 0;
+  std::int64_t tid = 0;
+  std::int64_t ignore = 0;
+  int id = 0;  // server-assigned; changes across reconnect
+};
+
 class Session {
  public:
   // Connect both channels to a server's listener port. Retries until
-  // `timeout_millis` (the server may still be starting).
+  // `timeout_millis` (the server may still be starting). The first
+  // ping doubles as the handshake; the server advertises its heartbeat
+  // interval there and the session derives its dead-peer timeout
+  // (5 × interval) from it.
   static Result<std::unique_ptr<Session>> attach(std::uint16_t port,
                                                  int timeout_millis);
 
   int pid() const noexcept { return pid_; }
   std::uint16_t port() const noexcept { return port_; }
+
+  // ---- liveness ----
+  // False once the transport failed (closed/reset/stalled peer or
+  // heartbeat silence). A disconnected session fails every request
+  // with kClosed immediately instead of blocking.
+  bool connected() const noexcept { return connected_; }
+  // Did the debuggee announce a clean exit (`terminated` event) before
+  // the transport went down? Distinguishes process-exited from
+  // process-crashed.
+  bool terminated_seen() const noexcept { return terminated_seen_; }
+  // Drop both channels without the detach handshake — how a crashing
+  // client looks to the server. Used by tests and by reconnect.
+  void hard_close();
+
+  void set_request_timeout_millis(int millis) noexcept {
+    request_timeout_millis_ = millis;
+  }
+  // 0 disables heartbeat-silence detection (for servers that do not
+  // beacon). attach() sets this automatically from the handshake.
+  void set_heartbeat_timeout_millis(int millis) noexcept {
+    heartbeat_timeout_millis_ = millis;
+  }
+  int heartbeat_timeout_millis() const noexcept {
+    return heartbeat_timeout_millis_;
+  }
+
+  // Breakpoints this session has set (for re-apply on reconnect).
+  const std::vector<BreakpointSpec>& breakpoints_set() const noexcept {
+    return breakpoints_set_;
+  }
 
   // ---- raw request/response ----
   Result<ipc::wire::Value> request(const std::string& cmd,
@@ -104,12 +149,31 @@ class Session {
  private:
   Session() = default;
 
+  // Receive one user-visible event from the events channel. Heartbeat
+  // frames are consumed here (they only refresh `last_activity_`);
+  // kTimeout from the wire is promoted to kClosed when the peer has
+  // been heartbeat-silent longer than `heartbeat_timeout_millis_`.
+  Result<std::optional<DebugEvent>> recv_event(int timeout_millis);
+  // Mark the transport dead and wrap `err` with session context.
+  Error transport_lost(const Error& err);
+
   ipc::TcpStream control_;
   ipc::TcpStream events_;
+  // Events are polled with short timeouts; the reader keeps a frame
+  // that spans polls buffered instead of losing stream sync.
+  ipc::FrameReader event_reader_;
   std::uint16_t port_ = 0;
   int pid_ = 0;
   std::int64_t next_seq_ = 1;
   std::deque<DebugEvent> replay_;  // events skipped by wait_event(name)
+
+  bool connected_ = true;
+  bool terminated_seen_ = false;
+  int request_timeout_millis_ = 10'000;
+  int heartbeat_timeout_millis_ = 0;  // 0 = detection off
+  double last_activity_ = 0;          // mono_seconds of last events-channel
+                                      // traffic (incl. heartbeats)
+  std::vector<BreakpointSpec> breakpoints_set_;
 };
 
 }  // namespace dionea::client

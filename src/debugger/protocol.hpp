@@ -53,6 +53,15 @@ inline constexpr const char* kEvForked = "forked";          // child_pid
 inline constexpr const char* kEvTerminated = "terminated";  // pid
 inline constexpr const char* kEvDeadlock = "deadlock";      // threads[]
 inline constexpr const char* kEvOutput = "output";          // text
+// Liveness beacon pushed on the events channel every heartbeat_ms
+// (advertised in the ping/info response). Consumed by the client
+// transport — never surfaced as a user-visible event.
+inline constexpr const char* kEvHeartbeat = "heartbeat";    // pid
+// Synthesized CLIENT-side (MultiClient) when a debuggee goes away:
+// "process-exited" after a clean `terminated`, "process-crashed" when
+// the connection died without one (SIGKILL, abort, lost peer).
+inline constexpr const char* kEvProcessExited = "process-exited";    // pid
+inline constexpr const char* kEvProcessCrashed = "process-crashed";  // pid
 
 // ---- stop reasons ----
 inline constexpr const char* kStopBreakpoint = "breakpoint";

@@ -23,26 +23,29 @@ DebugServer::~DebugServer() { stop(); }
 
 Status DebugServer::start() {
   DIONEA_RETURN_IF_ERROR(bind_and_publish());
+  terminated_sent_.store(false);
   start_listener_thread();
 
   // The debuggee sees the server only through these three hooks — the
   // same coupling Dionea has with the interpreters it debugs.
   vm_.set_trace_fn([this](vm::Vm&, vm::InterpThread& th,
                           const vm::TraceEvent& event) { on_trace(th, event); });
-  vm_.add_fork_handlers(vm::ForkHooks{
-      [this](vm::Vm&) { fork_prepare(); },
-      [this](vm::Vm&, int child_pid) { fork_parent(child_pid); },
-      [this](vm::Vm&, int) { fork_child(); },
-  });
+  // add_fork_handlers appends: a restarted server (stop() then
+  // start(), e.g. crash-recovery) must not stack a second set — the
+  // duplicate handler A would self-deadlock pinning the same locks.
+  if (!hooks_installed_) {
+    hooks_installed_ = true;
+    vm_.add_fork_handlers(vm::ForkHooks{
+        [this](vm::Vm&) { fork_prepare(); },
+        [this](vm::Vm&, int child_pid) { fork_parent(child_pid); },
+        [this](vm::Vm&, int) { fork_child(); },
+    });
+  }
   vm_.set_deadlock_hook(
       [this](vm::Vm&, const std::vector<vm::DeadlockInfo>& infos) {
         return deadlock_hook(infos);
       });
-  vm_.set_at_exit_hook([this](vm::Vm&) {
-    Value event = proto::make_event(proto::kEvTerminated);
-    event.set("pid", static_cast<int>(::getpid()));
-    send_event(std::move(event));
-  });
+  vm_.set_at_exit_hook([this](vm::Vm&) { send_terminated_once(); });
   if (options_.capture_output) {
     vm_.set_output([this](std::string_view text) {
       Value event = proto::make_event(proto::kEvOutput);
@@ -75,6 +78,10 @@ Status DebugServer::bind_and_publish() {
 void DebugServer::start_listener_thread() {
   reactor_ = std::make_unique<ipc::Reactor>();
   reactor_->add_fd(listener_->raw_fd(), [this] { handle_new_connection(); });
+  if (options_.heartbeat_interval_millis > 0) {
+    reactor_->add_periodic(options_.heartbeat_interval_millis,
+                           [this] { heartbeat_tick(); });
+  }
   running_.store(true, std::memory_order_relaxed);
   listener_thread_ = std::make_unique<std::thread>([this] { listener_main(); });
 }
@@ -109,6 +116,10 @@ void DebugServer::stop() {
     listener_thread_->join();
   }
   listener_thread_.reset();
+  // A program that runs off the end never fires the VM at-exit hook
+  // (only exit() and forked children do) — without this the client
+  // sees a bare EOF and reports a clean shutdown as a crash.
+  send_terminated_once();
   {
     std::scoped_lock lock(state_mutex_);
     control_.close();
@@ -158,6 +169,13 @@ DebugServer::debug_states_snapshot() {
 
 // ----------------------------------------------------------------- events
 
+void DebugServer::send_terminated_once() {
+  if (terminated_sent_.exchange(true)) return;
+  Value event = proto::make_event(proto::kEvTerminated);
+  event.set("pid", static_cast<int>(::getpid()));
+  send_event(std::move(event));
+}
+
 void DebugServer::send_event(Value event) {
   std::scoped_lock lock(events_mutex_);
   if (!events_.valid()) {
@@ -176,6 +194,36 @@ void DebugServer::send_event(Value event) {
     return;
   }
   events_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DebugServer::heartbeat_tick() {
+  // Runs on the loop thread. A beacon the kernel cannot deliver means
+  // the client is gone (crashed, SIGKILLed, unplugged): drop the
+  // session instead of carrying dead sockets forever. The debuggee
+  // itself keeps running — a lost client never stops the program.
+  bool peer_lost = false;
+  {
+    std::scoped_lock lock(events_mutex_);
+    if (!events_.valid()) return;
+    Value beacon = proto::make_event(proto::kEvHeartbeat);
+    beacon.set("pid", static_cast<int>(::getpid()));
+    Status status = ipc::send_frame(events_, beacon);
+    if (status.is_ok()) {
+      heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      DLOG_DEBUG("dbg") << "heartbeat undeliverable, client presumed dead: "
+                        << status.to_string();
+      events_.close();
+      peer_lost = true;
+    }
+  }
+  if (peer_lost) {
+    std::scoped_lock lock(state_mutex_);
+    if (control_.valid()) {
+      reactor_->remove_fd(control_.raw_fd());
+      control_.close();
+    }
+  }
 }
 
 // ------------------------------------------------------------------ trace
@@ -374,7 +422,11 @@ void DebugServer::handle_control_frame() {
     if (!control_.valid()) {
       return Error(ErrorCode::kClosed, "no control channel");
     }
-    return ipc::recv_frame(control_);
+    // Bounded receive: the reactor says bytes are ready, but a client
+    // that died after a partial frame must yield kTimeout here, not
+    // wedge the listener thread (which holds state_mutex_).
+    return ipc::recv_frame_timeout(control_,
+                                   options_.control_recv_timeout_millis);
   }();
   if (!request.is_ok()) {
     std::scoped_lock lock(state_mutex_);
@@ -412,6 +464,7 @@ ipc::wire::Value DebugServer::execute_command(
   if (cmd == proto::kCmdPing) {
     Value response = proto::make_ok(seq);
     response.set("pid", static_cast<int>(::getpid()));
+    response.set("heartbeat_ms", options_.heartbeat_interval_millis);
     return response;
   }
   if (cmd == proto::kCmdInfo) {
@@ -420,6 +473,7 @@ ipc::wire::Value DebugServer::execute_command(
     response.set("main_tid", vm_.main_thread_id());
     response.set("fork_depth", vm_.fork_depth());
     response.set("disturb", disturb());
+    response.set("heartbeat_ms", options_.heartbeat_interval_millis);
     return response;
   }
   if (cmd == proto::kCmdThreads) return cmd_threads(seq);

@@ -52,6 +52,14 @@ class DebugServer {
     // Park the main thread at its first traced line until a client
     // attaches and resumes it (how `dioneas program.ml` behaves, §6.1).
     bool stop_at_entry = false;
+    // Liveness beacon period on the events channel (0 disables). The
+    // value is advertised to the client in the ping/info response so
+    // it can derive its dead-peer timeout.
+    int heartbeat_interval_millis = 2000;
+    // How long a control frame may stall mid-read before the client is
+    // presumed dead and the session dropped (half-open connections
+    // must not wedge the listener thread).
+    int control_recv_timeout_millis = 5000;
     // Run the full per-line bookkeeping (thread-state lock, mode
     // dispatch, breakpoint-table probe) on EVERY line event instead of
     // the two-atomic-loads fast exit. This models Dionea's actual
@@ -89,6 +97,10 @@ class DebugServer {
   // Number of events pushed to the client (tests/benches).
   std::uint64_t events_sent() const noexcept {
     return events_sent_.load(std::memory_order_relaxed);
+  }
+  // Heartbeat frames pushed (kept out of events_sent_).
+  std::uint64_t heartbeats_sent() const noexcept {
+    return heartbeats_sent_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -136,6 +148,11 @@ class DebugServer {
 
   // Event push (any thread).
   void send_event(ipc::wire::Value event);
+  void send_terminated_once();
+
+  // Periodic liveness beacon (loop thread); a failed beacon write is
+  // the dead-peer signal — both channels are dropped.
+  void heartbeat_tick();
 
   // Command implementations.
   ipc::wire::Value cmd_threads(std::int64_t seq);
@@ -170,6 +187,12 @@ class DebugServer {
   std::unique_ptr<std::thread> listener_thread_;
   std::atomic<bool> running_{false};
   std::int64_t port_seq_ = 0;
+  bool hooks_installed_ = false;  // start() after stop() must not
+                                  // double-register fork handlers
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
+  // terminated must reach the client exactly once whether the program
+  // calls exit() (at-exit hook) or runs off the end (stop()).
+  std::atomic<bool> terminated_sent_{false};
 
   // Guards control/eventx streams and the thread-state map. Pinned
   // across fork by handler A.

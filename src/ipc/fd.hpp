@@ -45,10 +45,16 @@ class Fd {
   Status set_nonblocking(bool nonblocking);
   Status set_cloexec(bool cloexec);
 
-  // Full read/write with EINTR retry. read_exact fails with kClosed on
-  // EOF before len bytes arrive.
+  // Full read/write with EINTR retry and short-transfer continuation
+  // (a partial write(2) resumes where it left off, so callers' framing
+  // survives). read_exact fails with kClosed on EOF before len bytes
+  // arrive. Both honour fault::probe("fd.read"/"fd.write") injection.
   Status write_all(const void* data, size_t len);
   Status read_exact(void* data, size_t len);
+
+  // read_exact bounded by a deadline: kTimeout if the peer stalls
+  // mid-transfer (a half-open connection must not wedge the caller).
+  Status read_exact_timeout(void* data, size_t len, int timeout_millis);
 
   // Single read(2); returns 0 on EOF.
   Result<size_t> read_some(void* data, size_t len);

@@ -1,8 +1,11 @@
 #include "ipc/frame.hpp"
 
+#include <cerrno>
 #include <cstring>
 
+#include "support/fault.hpp"
 #include "support/strings.hpp"
+#include "support/timing.hpp"
 
 namespace dionea::ipc {
 namespace {
@@ -20,9 +23,51 @@ std::uint32_t get_u32(const char* in) {
   return v;
 }
 
+// Shared body of recv_frame / recv_frame_timeout. deadline_millis < 0
+// means "block forever"; otherwise every read is bounded so a peer
+// that dies after sending a partial frame yields kTimeout, not a hang.
+Result<wire::Value> recv_frame_impl(TcpStream& stream, int deadline_millis) {
+  Stopwatch watch;
+  auto read_part = [&](void* data, size_t len) -> Status {
+    if (deadline_millis < 0) return stream.read_exact(data, len);
+    int remaining =
+        deadline_millis - static_cast<int>(watch.elapsed_seconds() * 1000.0);
+    if (remaining <= 0) {
+      return Status(ErrorCode::kTimeout, "frame stalled mid-read");
+    }
+    return stream.read_exact_timeout(data, len, remaining);
+  };
+
+  char header[8];
+  DIONEA_RETURN_IF_ERROR(read_part(header, sizeof(header)));
+  std::uint32_t magic = get_u32(header);
+  if (magic != kFrameMagic) {
+    return Error(ErrorCode::kProtocol,
+                 strings::format("bad frame magic 0x%08x (socket crossed a "
+                                 "fork without re-establishment?)",
+                                 magic));
+  }
+  std::uint32_t len = get_u32(header + 4);
+  if (len > kMaxFrameBytes) {
+    return Error(ErrorCode::kProtocol,
+                 strings::format("frame length %u exceeds limit", len));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    DIONEA_RETURN_IF_ERROR(read_part(payload.data(), len));
+  }
+  return wire::Value::decode(payload);
+}
+
 }  // namespace
 
 Status send_frame(TcpStream& stream, const wire::Value& value) {
+  // Frame-boundary fault: a reset *before* any bytes go out keeps the
+  // stream's framing intact — the failure is clean and typed.
+  if (fault::Decision f = fault::probe("frame.send");
+      f.kind == fault::Kind::kConnReset) {
+    return errno_error("send_frame (injected)", ECONNRESET);
+  }
   std::string payload;
   value.encode(&payload);
   if (payload.size() > kMaxFrameBytes) {
@@ -43,33 +88,77 @@ Status send_frame(TcpStream& stream, const wire::Value& value) {
 }
 
 Result<wire::Value> recv_frame(TcpStream& stream) {
-  char header[8];
-  DIONEA_RETURN_IF_ERROR(stream.read_exact(header, sizeof(header)));
-  std::uint32_t magic = get_u32(header);
-  if (magic != kFrameMagic) {
-    return Error(ErrorCode::kProtocol,
-                 strings::format("bad frame magic 0x%08x (socket crossed a "
-                                 "fork without re-establishment?)",
-                                 magic));
+  if (fault::Decision f = fault::probe("frame.recv");
+      f.kind == fault::Kind::kConnReset) {
+    return errno_error("recv_frame (injected)", ECONNRESET);
   }
-  std::uint32_t len = get_u32(header + 4);
-  if (len > kMaxFrameBytes) {
-    return Error(ErrorCode::kProtocol,
-                 strings::format("frame length %u exceeds limit", len));
-  }
-  std::string payload(len, '\0');
-  if (len > 0) {
-    DIONEA_RETURN_IF_ERROR(stream.read_exact(payload.data(), len));
-  }
-  return wire::Value::decode(payload);
+  return recv_frame_impl(stream, -1);
 }
 
 Result<wire::Value> recv_frame_timeout(TcpStream& stream, int timeout_millis) {
+  if (fault::Decision f = fault::probe("frame.recv");
+      f.kind == fault::Kind::kConnReset) {
+    return errno_error("recv_frame (injected)", ECONNRESET);
+  }
   DIONEA_ASSIGN_OR_RETURN(bool ready, stream.readable(timeout_millis));
   if (!ready) {
     return Error(ErrorCode::kTimeout, "no frame within timeout");
   }
-  return recv_frame(stream);
+  return recv_frame_impl(stream, timeout_millis);
+}
+
+Result<wire::Value> FrameReader::recv_timeout(TcpStream& stream,
+                                              int timeout_millis) {
+  if (fault::Decision f = fault::probe("frame.recv");
+      f.kind == fault::Kind::kConnReset) {
+    return errno_error("recv_frame (injected)", ECONNRESET);
+  }
+  Stopwatch watch;
+  while (true) {
+    // Header first, then the length it announces.
+    size_t target = 8;
+    if (pending_.size() >= 8) {
+      std::uint32_t magic = get_u32(pending_.data());
+      if (magic != kFrameMagic) {
+        pending_.clear();
+        return Error(ErrorCode::kProtocol,
+                     strings::format("bad frame magic 0x%08x (socket crossed "
+                                     "a fork without re-establishment?)",
+                                     magic));
+      }
+      std::uint32_t len = get_u32(pending_.data() + 4);
+      if (len > kMaxFrameBytes) {
+        pending_.clear();
+        return Error(ErrorCode::kProtocol,
+                     strings::format("frame length %u exceeds limit", len));
+      }
+      target = 8 + len;
+      if (pending_.size() == target) {
+        std::string payload = pending_.substr(8);
+        pending_.clear();
+        return wire::Value::decode(payload);
+      }
+    }
+    int remaining =
+        timeout_millis - static_cast<int>(watch.elapsed_seconds() * 1000.0);
+    if (remaining < 0) remaining = 0;
+    DIONEA_ASSIGN_OR_RETURN(bool ready, stream.readable(remaining));
+    if (!ready) {
+      // The partial frame stays buffered; the next call resumes it.
+      return Error(ErrorCode::kTimeout,
+                   pending_.empty() ? "no frame within timeout"
+                                    : "frame incomplete within timeout");
+    }
+    char chunk[4096];
+    size_t want = target - pending_.size();
+    if (want > sizeof(chunk)) want = sizeof(chunk);
+    DIONEA_ASSIGN_OR_RETURN(size_t n, stream.fd().read_some(chunk, want));
+    if (n == 0) {
+      pending_.clear();
+      return Error(ErrorCode::kClosed, "EOF on events channel");
+    }
+    pending_.append(chunk, n);
+  }
 }
 
 }  // namespace dionea::ipc

@@ -24,7 +24,27 @@ Status send_frame(TcpStream& stream, const wire::Value& value);
 // Blocking receive of one frame.
 Result<wire::Value> recv_frame(TcpStream& stream);
 
-// Receive with timeout; kTimeout when no frame starts in time.
+// Receive with timeout; kTimeout when no frame starts in time, and
+// also when a frame starts but stalls mid-read (half-open peer) — the
+// caller is never wedged by a partial frame.
 Result<wire::Value> recv_frame_timeout(TcpStream& stream, int timeout_millis);
+
+// Incremental receiver for a channel that is polled with short
+// timeouts (the events channel). recv_frame_timeout discards whatever
+// it read when it times out, so a frame that arrives slower than one
+// poll interval would desynchronize the stream for good — every later
+// read starts mid-frame and fails the magic check. FrameReader keeps
+// the partial frame buffered across calls instead: a timeout means
+// "not complete yet", never "bytes lost".
+class FrameReader {
+ public:
+  Result<wire::Value> recv_timeout(TcpStream& stream, int timeout_millis);
+
+  // Drop any buffered partial frame (call when the stream is replaced).
+  void reset() noexcept { pending_.clear(); }
+
+ private:
+  std::string pending_;  // raw bytes of the in-flight frame, header first
+};
 
 }  // namespace dionea::ipc

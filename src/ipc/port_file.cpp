@@ -1,10 +1,12 @@
 #include "ipc/port_file.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 #include "support/temp_file.hpp"
 #include "support/timing.hpp"
@@ -12,16 +14,52 @@
 namespace dionea::ipc {
 
 Status PortFile::publish(const PortRecord& record) const {
-  int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  // O_RDWR (not O_WRONLY): we pread the current tail byte to self-heal
+  // after a writer that crashed mid-append.
+  int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd < 0) return errno_error("open " + path_, errno);
   std::string line = strings::format("%d %d %u %lld\n", record.pid,
                                      record.parent_pid,
                                      static_cast<unsigned>(record.port),
                                      static_cast<long long>(record.seq));
+
+  // Torn-append injection: a previous writer died after writing only a
+  // prefix of its record (no trailing newline). The recovery below and
+  // the reader's line tolerance must both absorb this.
+  if (fault::Decision f = fault::probe("port_file.append");
+      f.kind == fault::Kind::kTorn) {
+    (void)::write(fd, line.data(), line.size() / 2);
+  }
+
+  // If the file does not end in '\n', a writer died mid-record: start
+  // on a fresh line so our record is not glued to the torn fragment.
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    char last = '\0';
+    if (::pread(fd, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      line.insert(line.begin(), '\n');
+    }
+  }
+
+  // Single write(2) of the full line: O_APPEND makes it atomic with
+  // respect to concurrent publishers. A short count means the record
+  // is torn on disk — report it; readers skip the fragment.
   Status status = Status::ok();
-  ssize_t n = ::write(fd, line.data(), line.size());
-  if (n != static_cast<ssize_t>(line.size())) {
+  ssize_t n;
+  do {
+    n = ::write(fd, line.data(), line.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
     status = errno_error("append " + path_, errno);
+  } else if (n != static_cast<ssize_t>(line.size())) {
+    status = Status(ErrorCode::kOsError,
+                    "torn append to " + path_ + " (" + std::to_string(n) +
+                        " of " + std::to_string(line.size()) + " bytes)");
+  }
+  // The record hands a port to another process: it must survive the
+  // publisher crashing right after this call returns.
+  if (status.is_ok() && ::fsync(fd) != 0) {
+    status = errno_error("fsync " + path_, errno);
   }
   ::close(fd);
   return status;

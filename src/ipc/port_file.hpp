@@ -35,11 +35,16 @@ class PortFile {
 
   const std::string& path() const noexcept { return path_; }
 
-  // Append one record (O_APPEND, single write).
+  // Append one record: a single O_APPEND write of the full line,
+  // fsync'd so the record survives the publisher crashing immediately
+  // after. If the file's tail is a torn record (a writer died
+  // mid-append), the new record starts on a fresh line so it stays
+  // parseable.
   Status publish(const PortRecord& record) const;
 
-  // All records currently in the file, in append order. Partial last
-  // lines (a writer mid-write) are skipped, not errors.
+  // All records currently in the file, in append order. Torn or
+  // garbage lines (a writer mid-write or crashed mid-append) are
+  // skipped, not errors.
   Result<std::vector<PortRecord>> read_all() const;
 
   // Block until a record for `pid` appears or timeout elapses.

@@ -3,9 +3,12 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 
 #include "support/logging.hpp"
+#include "support/timing.hpp"
 
 namespace dionea::ipc {
 
@@ -36,6 +39,31 @@ void Reactor::remove_fd(int fd) {
   (void)::write(wakeup_.write_end().get(), &byte, 1);
 }
 
+int Reactor::add_periodic(int interval_millis, Callback fn) {
+  int id;
+  {
+    std::scoped_lock lock(mutex_);
+    id = next_timer_id_++;
+    Timer timer;
+    timer.interval_millis = interval_millis < 1 ? 1 : interval_millis;
+    timer.fn = std::move(fn);
+    // next_deadline is stamped on the loop thread when applied.
+    pending_timer_add_.emplace_back(id, std::move(timer));
+  }
+  char byte = 't';
+  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  return id;
+}
+
+void Reactor::remove_periodic(int timer_id) {
+  {
+    std::scoped_lock lock(mutex_);
+    pending_timer_remove_.push_back(timer_id);
+  }
+  char byte = 'u';
+  (void)::write(wakeup_.write_end().get(), &byte, 1);
+}
+
 void Reactor::post(Callback fn) {
   {
     std::scoped_lock lock(mutex_);
@@ -60,6 +88,36 @@ void Reactor::apply_pending_locked() {
   pending_add_.clear();
   for (int fd : pending_remove_) handlers_.erase(fd);
   pending_remove_.clear();
+  for (auto& [id, timer] : pending_timer_add_) {
+    timer.next_deadline =
+        mono_seconds() + static_cast<double>(timer.interval_millis) / 1000.0;
+    timers_[id] = std::move(timer);
+  }
+  pending_timer_add_.clear();
+  for (int id : pending_timer_remove_) timers_.erase(id);
+  pending_timer_remove_.clear();
+}
+
+int Reactor::fire_due_timers() {
+  // Loop thread only; timers_ is not guarded. Collect ids first — a
+  // timer callback may add/remove timers (applied next round).
+  double now = mono_seconds();
+  std::vector<int> due;
+  for (auto& [id, timer] : timers_) {
+    if (timer.next_deadline <= now) due.push_back(id);
+  }
+  int fired = 0;
+  for (int id : due) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) continue;
+    // Rearm relative to now: a stalled loop fires once, not N times.
+    it->second.next_deadline =
+        now + static_cast<double>(it->second.interval_millis) / 1000.0;
+    Callback cb = it->second.fn;  // copy: cb may remove_periodic itself
+    cb();
+    ++fired;
+  }
+  return fired;
 }
 
 void Reactor::drain_wakeup() {
@@ -90,12 +148,27 @@ Result<int> Reactor::poll_once(int timeout_millis) {
     fds.push_back(fd);
   }
 
-  int rc = ::poll(pfds.data(), pfds.size(),
-                  fired > 0 ? 0 : timeout_millis);
+  // Cap the poll so the nearest timer deadline is honoured.
+  int effective_timeout = fired > 0 ? 0 : timeout_millis;
+  if (!timers_.empty()) {
+    double now = mono_seconds();
+    double nearest = timers_.begin()->second.next_deadline;
+    for (const auto& [id, timer] : timers_) {
+      nearest = std::min(nearest, timer.next_deadline);
+    }
+    int until = static_cast<int>(std::ceil(std::max(0.0, nearest - now) *
+                                           1000.0));
+    if (effective_timeout < 0 || until < effective_timeout) {
+      effective_timeout = until;
+    }
+  }
+
+  int rc = ::poll(pfds.data(), pfds.size(), effective_timeout);
   if (rc < 0) {
     if (errno == EINTR) return fired;
     return errno_error("poll", errno);
   }
+  fired += fire_due_timers();
   if (pfds[0].revents != 0) drain_wakeup();
   for (size_t i = 1; i < pfds.size(); ++i) {
     if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;

@@ -37,6 +37,12 @@ class Reactor {
   void add_fd(int fd, Callback on_readable);
   void remove_fd(int fd);
 
+  // Invoke callback on the loop thread every interval_millis (first
+  // firing one interval from registration). Returns an id for
+  // remove_periodic. Used for heartbeats and liveness sweeps.
+  int add_periodic(int interval_millis, Callback fn);
+  void remove_periodic(int timer_id);
+
   // Run fn once on the loop thread as soon as possible.
   void post(Callback fn);
 
@@ -53,15 +59,26 @@ class Reactor {
   bool running() const noexcept { return running_; }
 
  private:
+  struct Timer {
+    int interval_millis = 0;
+    double next_deadline = 0.0;  // mono_seconds()
+    Callback fn;
+  };
+
   void apply_pending_locked();
   void drain_wakeup();
+  int fire_due_timers();
 
   Pipe wakeup_;
   mutable std::mutex mutex_;
   std::unordered_map<int, Callback> handlers_;        // loop thread only
+  std::unordered_map<int, Timer> timers_;             // loop thread only
   std::vector<std::pair<int, Callback>> pending_add_;  // guarded by mutex_
   std::vector<int> pending_remove_;                    // guarded by mutex_
   std::vector<Callback> pending_tasks_;                // guarded by mutex_
+  std::vector<std::pair<int, Timer>> pending_timer_add_;  // guarded by mutex_
+  std::vector<int> pending_timer_remove_;                 // guarded by mutex_
+  int next_timer_id_ = 1;                                 // guarded by mutex_
   bool stop_requested_ = false;                        // guarded by mutex_
   bool running_ = false;
 };

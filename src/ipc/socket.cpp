@@ -4,11 +4,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
+#include "support/fault.hpp"
 #include "support/timing.hpp"
 
 namespace dionea::ipc {
@@ -22,9 +25,29 @@ sockaddr_in loopback_addr(std::uint16_t port) {
   return addr;
 }
 
+// A write to a peer-closed socket must surface as EPIPE (a typed
+// kClosed error the caller handles — heartbeats use exactly this as
+// the dead-peer signal), never as a process-killing SIGPIPE. Installed
+// once per process, the first time any socket is created here.
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    struct sigaction current = {};
+    // Respect an embedder's own SIGPIPE handler, if any.
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler == SIG_DFL) {
+      (void)::sigaction(SIGPIPE, &sa, nullptr);
+    }
+  });
+}
+
 }  // namespace
 
 Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  ignore_sigpipe();
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return errno_error("socket", errno);
 
@@ -46,9 +69,21 @@ Result<TcpListener> TcpListener::bind(std::uint16_t port) {
 
 Result<TcpStream> TcpListener::accept() {
   while (true) {
+    // Delayed-accept injection widens the window in which a client's
+    // connect has succeeded but no one is reading its hello yet.
+    if (fault::Decision f = fault::probe("socket.accept")) {
+      if (f.kind == fault::Kind::kDelay) sleep_for_millis(f.delay_millis);
+      if (f.kind == fault::Kind::kEintr) continue;
+      if (f.kind == fault::Kind::kConnReset) {
+        return errno_error("accept (injected)", ECONNRESET);
+      }
+    }
     int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
     if (client >= 0) return TcpStream(Fd(client));
     if (errno == EINTR) continue;
+    // A connection that was reset while queued is the peer's failure,
+    // not the listener's: keep accepting.
+    if (errno == ECONNABORTED) continue;
     return errno_error("accept", errno);
   }
 }
@@ -67,10 +102,18 @@ Result<TcpStream> TcpListener::accept_timeout(int timeout_millis) {
 }
 
 Result<TcpStream> TcpStream::connect(std::uint16_t port) {
+  ignore_sigpipe();
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return errno_error("socket", errno);
   sockaddr_in addr = loopback_addr(port);
   while (true) {
+    if (fault::Decision f = fault::probe("socket.connect")) {
+      if (f.kind == fault::Kind::kDelay) sleep_for_millis(f.delay_millis);
+      if (f.kind == fault::Kind::kEintr) continue;
+      if (f.kind == fault::Kind::kConnReset) {
+        return errno_error("connect (injected)", ECONNRESET);
+      }
+    }
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
       return TcpStream(std::move(fd));

@@ -67,6 +67,11 @@ class TcpStream {
   Status read_exact(void* data, size_t len) {
     return fd_.read_exact(data, len);
   }
+  // Deadline-bounded read: a peer that dies mid-frame (half-open
+  // connection) yields kTimeout instead of wedging the caller.
+  Status read_exact_timeout(void* data, size_t len, int timeout_millis) {
+    return fd_.read_exact_timeout(data, len, timeout_millis);
+  }
 
   // True when bytes are readable within the timeout (0 = poll).
   Result<bool> readable(int timeout_millis);

@@ -31,6 +31,24 @@ Result<Process> Process::spawn(const std::function<int()>& fn) {
   return Process(pid);
 }
 
+Process::~Process() {
+  if (valid()) (void)terminate(kDestructorGraceMillis);
+}
+
+Result<int> Process::terminate(int grace_millis) {
+  if (!valid()) return Error(ErrorCode::kInvalidArgument, "invalid process");
+  // Already dead? Just reap.
+  DIONEA_ASSIGN_OR_RETURN(std::optional<int> code, try_wait());
+  if (code.has_value()) return *code;
+  (void)::kill(pid_, SIGTERM);
+  auto waited = wait_timeout(grace_millis);
+  if (waited.is_ok()) return waited;
+  if (waited.error().code() != ErrorCode::kTimeout) return waited;
+  // The child ignored (or blocked) SIGTERM; escalate.
+  (void)::kill(pid_, SIGKILL);
+  return wait();
+}
+
 Result<int> Process::wait() {
   if (!valid()) return Error(ErrorCode::kInvalidArgument, "invalid process");
   while (true) {

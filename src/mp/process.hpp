@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 
 #include "support/result.hpp"
 
@@ -26,18 +27,26 @@ class Process {
 
   Process(Process&& other) noexcept : pid_(other.pid_) { other.pid_ = -1; }
   Process& operator=(Process&& other) noexcept {
-    pid_ = other.pid_;
-    other.pid_ = -1;
+    if (this != &other) {
+      if (valid()) (void)terminate(kDestructorGraceMillis);
+      pid_ = std::exchange(other.pid_, -1);
+    }
     return *this;
   }
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
-  // Destroying a live handle does NOT kill the child (like
-  // multiprocessing.Process); call wait()/kill() explicitly.
-  ~Process() = default;
+  // Destroying a live handle reaps the child: SIGTERM, a short grace,
+  // then SIGKILL (terminate()). A handle must never leak a zombie —
+  // hand the pid to a ChildReaper via release() to keep the child
+  // alive past the handle.
+  ~Process();
 
   pid_t pid() const noexcept { return pid_; }
   bool valid() const noexcept { return pid_ > 0; }
+
+  // Give up ownership of the child without touching it; the handle
+  // becomes invalid and the caller takes over reaping.
+  pid_t release() noexcept { return std::exchange(pid_, -1); }
 
   // Block until exit; returns exit code, or -signal for signal death.
   Result<int> wait();
@@ -46,8 +55,16 @@ class Process {
   // Wait with timeout (polling); kTimeout if still alive.
   Result<int> wait_timeout(int timeout_millis);
 
+  // Stop the child without leaking a zombie: reap if already dead,
+  // else SIGTERM -> wait up to `grace_millis` -> SIGKILL -> wait.
+  // Returns the exit code (or -signal).
+  Result<int> terminate(int grace_millis = 1000);
+
   Status kill(int signal);
   bool running();
+
+  // Grace the destructor gives a live child before escalating.
+  static constexpr int kDestructorGraceMillis = 500;
 
  private:
   explicit Process(pid_t pid) : pid_(pid) {}

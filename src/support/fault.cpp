@@ -1,0 +1,130 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace dionea::fault {
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+unsigned parse_kinds(const char* spec) {
+  unsigned kinds = 0;
+  for (const std::string& name : strings::split(spec, ',')) {
+    if (name == "eintr") kinds |= kBitEintr;
+    if (name == "short") kinds |= kBitShortIo;
+    if (name == "connreset") kinds |= kBitConnReset;
+    if (name == "delay") kinds |= kBitDelay;
+    if (name == "torn") kinds |= kBitTorn;
+    if (name == "recoverable") kinds |= kRecoverableKinds;
+    if (name == "all") kinds |= kAllKinds;
+  }
+  return kinds;
+}
+
+Config config_from_env() {
+  Config config;
+  const char* seed = std::getenv("DIONEA_FAULT_SEED");
+  const char* prob = std::getenv("DIONEA_FAULT_PROB");
+  if (seed == nullptr || prob == nullptr) return config;
+  config.seed = std::strtoull(seed, nullptr, 0);
+  config.probability = std::strtod(prob, nullptr);
+  if (const char* kinds = std::getenv("DIONEA_FAULT_KINDS")) {
+    config.kinds = parse_kinds(kinds);
+  }
+  if (const char* sites = std::getenv("DIONEA_FAULT_SITES")) {
+    config.site_filter = sites;
+  }
+  return config;
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kEintr: return "eintr";
+    case Kind::kShortIo: return "short";
+    case Kind::kConnReset: return "connreset";
+    case Kind::kDelay: return "delay";
+    case Kind::kTorn: return "torn";
+  }
+  return "?";
+}
+
+Injector& Injector::instance() {
+  // Leaked singleton: probes may run during static destruction (fds
+  // closed from destructors of globals in tests).
+  static Injector* injector = [] {
+    auto* created = new Injector();
+    Config env = config_from_env();
+    if (env.probability > 0.0) created->configure(std::move(env));
+    return created;
+  }();
+  return *injector;
+}
+
+void Injector::configure(Config config) {
+  std::scoped_lock lock(mutex_);
+  config_ = std::move(config);
+  hits_.clear();
+  enabled_.store(config_.probability > 0.0 && config_.kinds != 0,
+                 std::memory_order_relaxed);
+}
+
+void Injector::disable() { configure(Config{}); }
+
+Config Injector::config() const {
+  std::scoped_lock lock(mutex_);
+  return config_;
+}
+
+Decision Injector::decide(const char* site) {
+  std::scoped_lock lock(mutex_);
+  if (config_.probability <= 0.0 || config_.kinds == 0) return {};
+  if (!config_.site_filter.empty() &&
+      std::strstr(site, config_.site_filter.c_str()) == nullptr) {
+    return {};
+  }
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t hit = ++hits_[site];
+  std::uint64_t h = mix(config_.seed ^ mix(fnv1a(site)) ^ hit);
+  auto threshold = static_cast<std::uint64_t>(config_.probability * 1e6);
+  if (h % 1'000'000ull >= threshold) return {};
+
+  // Pick uniformly among the enabled kinds.
+  Kind enabled[5];
+  int count = 0;
+  if (config_.kinds & kBitEintr) enabled[count++] = Kind::kEintr;
+  if (config_.kinds & kBitShortIo) enabled[count++] = Kind::kShortIo;
+  if (config_.kinds & kBitConnReset) enabled[count++] = Kind::kConnReset;
+  if (config_.kinds & kBitDelay) enabled[count++] = Kind::kDelay;
+  if (config_.kinds & kBitTorn) enabled[count++] = Kind::kTorn;
+
+  Decision decision;
+  std::uint64_t h2 = mix(h);
+  decision.kind = enabled[h2 % static_cast<std::uint64_t>(count)];
+  decision.cap_bytes = 1 + (mix(h2) & 0x3);          // 1..4 bytes
+  decision.delay_millis = 1 + static_cast<int>(mix(h2 ^ 0xdeadull) % 10);  // 1..10
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+}  // namespace dionea::fault

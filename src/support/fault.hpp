@@ -1,0 +1,128 @@
+// Deterministic fault injection.
+//
+// The ipc layer threads named probe points ("fd.read", "fd.write",
+// "frame.send", "socket.accept", "port_file.append", ...) through this
+// injector so tests can force the failures real multi-process debugging
+// is made of — EINTR, short reads/writes, ECONNRESET, delayed accepts,
+// torn port-file appends — without root, ptrace or LD_PRELOAD tricks.
+//
+// Decisions are a pure function of (seed, site name, per-site hit
+// counter), so a given seed produces the same fault schedule on every
+// run regardless of wall-clock time; thread interleaving only affects
+// which thread draws which hit number. Disabled (the default), a probe
+// is a single relaxed atomic load — cheap enough to leave in the hot
+// paths permanently.
+//
+// Activation: programmatically via fault::Scope (tests) or from the
+// environment (DIONEA_FAULT_SEED + DIONEA_FAULT_PROB, optional
+// DIONEA_FAULT_KINDS / DIONEA_FAULT_SITES) so a whole ctest run can be
+// swept under injection with no code changes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dionea::fault {
+
+enum class Kind {
+  kNone,
+  kEintr,      // as-if the syscall returned -1/EINTR (retry path)
+  kShortIo,    // cap a read/write to cap_bytes (partial-transfer path)
+  kConnReset,  // surface ECONNRESET (typed-error path)
+  kDelay,      // sleep delay_millis before the operation (race widener)
+  kTorn,       // tear a multi-byte append mid-record (port file)
+};
+
+const char* kind_name(Kind kind) noexcept;
+
+// Bitmask selecting which kinds a configuration may inject.
+inline constexpr unsigned kBitEintr = 1u << 0;
+inline constexpr unsigned kBitShortIo = 1u << 1;
+inline constexpr unsigned kBitConnReset = 1u << 2;
+inline constexpr unsigned kBitDelay = 1u << 3;
+inline constexpr unsigned kBitTorn = 1u << 4;
+// Faults that well-written callers absorb without any operation
+// failing: a sweep under these must be invisible to correct code.
+inline constexpr unsigned kRecoverableKinds =
+    kBitEintr | kBitShortIo | kBitDelay | kBitTorn;
+inline constexpr unsigned kAllKinds = kRecoverableKinds | kBitConnReset;
+
+struct Decision {
+  Kind kind = Kind::kNone;
+  size_t cap_bytes = 1;   // kShortIo: transfer at most this many bytes
+  int delay_millis = 0;   // kDelay: how long to stall
+  explicit operator bool() const noexcept { return kind != Kind::kNone; }
+};
+
+struct Config {
+  std::uint64_t seed = 0;
+  double probability = 0.0;  // per-probe injection probability; 0 = off
+  unsigned kinds = kRecoverableKinds;
+  // Only sites whose name contains this substring are eligible
+  // (empty = every site).
+  std::string site_filter{};
+};
+
+class Injector {
+ public:
+  // Process-wide instance; reads DIONEA_FAULT_* on first use.
+  static Injector& instance();
+
+  void configure(Config config);
+  void disable();
+  Config config() const;
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Decide whether the hit at `site` faults. Thread-safe.
+  Decision decide(const char* site);
+
+  std::uint64_t probes() const noexcept {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Injector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  mutable std::mutex mutex_;
+  Config config_;                                      // guarded by mutex_
+  std::unordered_map<std::string, std::uint64_t> hits_;  // guarded by mutex_
+};
+
+// The probe the ipc layer calls. Returns kNone (one atomic load) when
+// injection is off.
+inline Decision probe(const char* site) {
+  Injector& injector = Injector::instance();
+  if (!injector.enabled()) return {};
+  return injector.decide(site);
+}
+
+// RAII activation for tests: applies `config`, restores the previous
+// configuration (usually "disabled") on scope exit.
+class Scope {
+ public:
+  explicit Scope(Config config)
+      : previous_(Injector::instance().config()) {
+    Injector::instance().configure(std::move(config));
+  }
+  ~Scope() { Injector::instance().configure(previous_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Config previous_;
+};
+
+}  // namespace dionea::fault

@@ -1,0 +1,329 @@
+// Crash-resilient debug sessions: a SIGKILL'd debuggee surfaces as a
+// clean process-crashed event (no hang, no zombie), a broken transport
+// can be reconnected with breakpoints preserved, and heartbeat silence
+// unmasks half-open peers on both sides of the protocol.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "client/multi_client.hpp"
+#include "debugger/server.hpp"
+#include "ipc/frame.hpp"
+#include "ipc/socket.hpp"
+#include "mp/process.hpp"
+#include "support/fault.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+#include "testutil.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::client {
+namespace {
+
+namespace proto = dbg::proto;
+
+// A debuggee in a real forked process: Interp + DebugServer publishing
+// through `port_file`, running `program`. Mirrors how `dioneas` hosts
+// a debuggee, but inside the test binary so SIGKILL has a real victim.
+mp::Process spawn_debuggee_or_die(const std::string& port_file,
+                                  const std::string& program,
+                                  int heartbeat_millis) {
+  auto proc = mp::Process::spawn([port_file, program, heartbeat_millis] {
+    vm::Interp interp;
+    dbg::DebugServer server(
+        interp.vm(),
+        dbg::DebugServer::Options{.port_file = port_file,
+                                  .stop_at_entry = true,
+                                  .heartbeat_interval_millis =
+                                      heartbeat_millis});
+    server.register_source("prog.ml", program);
+    if (!server.start().is_ok()) return 9;
+    vm::RunResult run = interp.run_string(program, "prog.ml");
+    server.stop();
+    return run.ok ? 0 : 1;
+  });
+  EXPECT_TRUE(proc.is_ok());
+  return std::move(proc).value();
+}
+
+// The acceptance scenario: SIGKILL the debuggee mid-step; the client
+// must report process-crashed promptly, and the child must be
+// reapable with the kill signal — no hang anywhere, no zombie left.
+TEST(CrashResilienceTest, SigkilledDebuggeeYieldsCrashEvent) {
+  auto tmp = TempDir::create("crash-test");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string ports = tmp.value().file("ports");
+  const std::string program =
+      "i = 0\n"
+      "while i < 100000\n"
+      "  sleep(0.01)\n"
+      "  i = i + 1\n"
+      "end";
+  mp::Process debuggee = spawn_debuggee_or_die(ports, program, 100);
+  ASSERT_TRUE(debuggee.valid());
+  int pid = static_cast<int>(debuggee.pid());
+
+  MultiClient client(ports);
+  auto session = client.await_process(pid, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+
+  // Drive the session: entry stop, one step — the kill lands mid-step.
+  auto entry = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
+  ASSERT_TRUE(session.value()->step(entry.value().tid).is_ok());
+  auto stepped = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(stepped.is_ok()) << stepped.error().to_string();
+  ASSERT_TRUE(session.value()->cont(stepped.value().tid).is_ok());
+
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+
+  bool crashed = false;
+  Stopwatch watch;
+  while (!crashed && watch.elapsed_seconds() < 5.0) {
+    auto events = client.poll_all_events(50);
+    ASSERT_TRUE(events.is_ok()) << events.error().to_string();
+    for (const auto& [event_pid, event] : events.value()) {
+      if (event_pid != pid) continue;
+      // The death must read as a crash, not a clean exit.
+      EXPECT_NE(event.name, proto::kEvProcessExited);
+      if (event.name == proto::kEvProcessCrashed) {
+        EXPECT_EQ(event.payload.get_int("pid"), pid);
+        crashed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(crashed) << "no process-crashed event within 5s";
+  // Once reported, the dead session stays muted.
+  auto quiet = client.poll_all_events(10);
+  ASSERT_TRUE(quiet.is_ok());
+  EXPECT_TRUE(quiet.value().empty());
+
+  // Reap: the child died of exactly SIGKILL and is not a zombie.
+  auto code = debuggee.wait();
+  ASSERT_TRUE(code.is_ok()) << code.error().to_string();
+  EXPECT_EQ(code.value(), -SIGKILL);
+  int status = 0;
+  EXPECT_LT(::waitpid(static_cast<pid_t>(pid), &status, WNOHANG), 0);
+}
+
+// In-process debuggee (like DebugHarness, but the test keeps direct
+// control of the session pointers, which reconnect invalidates).
+struct LocalDebuggee {
+  explicit LocalDebuggee(std::string program,
+                         int heartbeat_millis = 100)
+      : program_(std::move(program)) {
+    auto tmp = TempDir::create("resilience");
+    DIONEA_CHECK(tmp.is_ok(), "tempdir");
+    tmp_ = std::make_unique<TempDir>(std::move(tmp).value());
+    interp_ = std::make_unique<vm::Interp>();
+    server_ = std::make_unique<dbg::DebugServer>(
+        interp_->vm(),
+        dbg::DebugServer::Options{.port_file = ports(),
+                                  .stop_at_entry = true,
+                                  .heartbeat_interval_millis =
+                                      heartbeat_millis});
+    server_->register_source("test.ml", program_);
+    DIONEA_CHECK(server_->start().is_ok(), "server start");
+    runner_ = std::thread([this] {
+      vm::RunResult run = interp_->run_string(program_, "test.ml");
+      if (interp_->vm().is_forked_child()) {
+        std::fflush(nullptr);
+        ::_exit(run.exited ? run.exit_code : (run.ok ? 0 : 1));
+      }
+    });
+  }
+
+  ~LocalDebuggee() {
+    server_->stop();  // resumes parked threads
+    interp_->vm().request_exit(0);
+    if (runner_.joinable()) runner_.join();
+    server_->stop();
+  }
+
+  std::string ports() const { return tmp_->file("ports"); }
+  dbg::DebugServer& server() { return *server_; }
+
+  std::string program_;
+  std::unique_ptr<TempDir> tmp_;
+  std::unique_ptr<vm::Interp> interp_;
+  std::unique_ptr<dbg::DebugServer> server_;
+  std::thread runner_;
+};
+
+TEST(CrashResilienceTest, ReconnectPreservesBreakpoints) {
+  LocalDebuggee debuggee(
+      "a = 1\n"
+      "b = 2\n"
+      "c = a + b\n"  // line 3: breakpoint survives the reconnect
+      "puts(c)");
+  MultiClient client(debuggee.ports());
+  int pid = static_cast<int>(::getpid());
+  auto attached = client.await_process(pid, 5000);
+  ASSERT_TRUE(attached.is_ok()) << attached.error().to_string();
+  Session* session = attached.value();
+
+  auto entry = session->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
+  std::int64_t tid = entry.value().tid;
+  ASSERT_TRUE(session->set_breakpoint("test.ml", 3).is_ok());
+  ASSERT_EQ(session->breakpoints_set().size(), 1u);
+
+  // The transport dies without a goodbye (client crash from the
+  // server's view, server crash from ours).
+  session->hard_close();
+  EXPECT_FALSE(session->connected());
+  auto events = client.poll_all_events(10);
+  ASSERT_TRUE(events.is_ok());
+  ASSERT_EQ(events.value().size(), 1u);
+  EXPECT_EQ(events.value()[0].second.name, proto::kEvProcessCrashed);
+
+  ReconnectPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_delay_millis = 20;
+  policy.max_delay_millis = 200;
+  auto revived = client.reconnect(pid, policy);
+  ASSERT_TRUE(revived.is_ok()) << revived.error().to_string();
+  session = revived.value();  // old Session object is gone
+  EXPECT_TRUE(session->connected());
+  EXPECT_EQ(session->pid(), pid);
+  // The breakpoint came back with the session...
+  ASSERT_EQ(session->breakpoints_set().size(), 1u);
+  EXPECT_EQ(session->breakpoints_set()[0].file, "test.ml");
+  EXPECT_EQ(session->breakpoints_set()[0].line, 3);
+  // ...and actually fires: the debuggee (still parked at entry — the
+  // paused-thread state itself is not preserved, reconnect only
+  // re-arms breakpoints) runs to line 3.
+  ASSERT_TRUE(session->cont(tid).is_ok());
+  auto hit = session->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok()) << hit.error().to_string();
+  EXPECT_EQ(hit.value().reason, "breakpoint");
+  EXPECT_EQ(hit.value().line, 3);
+  ASSERT_TRUE(session->cont(hit.value().tid).is_ok());
+  // A revived pid reports events again (none pending here, no crash).
+  auto after = client.poll_all_events(10);
+  ASSERT_TRUE(after.is_ok());
+}
+
+// A peer whose TCP connection stays open but that stops beaconing is
+// dead: the session must declare kClosed within the heartbeat budget,
+// not wedge until some much larger request timeout.
+TEST(CrashResilienceTest, HeartbeatSilenceMarksPeerDead) {
+  auto listener = ipc::TcpListener::bind();
+  ASSERT_TRUE(listener.is_ok());
+  std::thread fake_server([&listener] {
+    auto control = listener.value().accept_timeout(5000);
+    ASSERT_TRUE(control.is_ok());
+    auto control_hello = ipc::recv_frame_timeout(control.value(), 2000);
+    ASSERT_TRUE(control_hello.is_ok());
+    auto events = listener.value().accept_timeout(5000);
+    ASSERT_TRUE(events.is_ok());
+    auto events_hello = ipc::recv_frame_timeout(events.value(), 2000);
+    ASSERT_TRUE(events_hello.is_ok());
+    auto ping = ipc::recv_frame_timeout(control.value(), 2000);
+    ASSERT_TRUE(ping.is_ok());
+    ipc::wire::Value pong;
+    pong.set("re", ping.value().get_int("seq"));
+    pong.set("ok", true);
+    pong.set("pid", 4242);
+    pong.set("heartbeat_ms", 100);  // promises beacons, never sends one
+    ASSERT_TRUE(ipc::send_frame(control.value(), pong).is_ok());
+    sleep_for_millis(1500);  // keep both sockets open, stay silent
+  });
+
+  auto session = Session::attach(listener.value().port(), 2000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  EXPECT_EQ(session.value()->pid(), 4242);
+  EXPECT_EQ(session.value()->heartbeat_timeout_millis(), 500);
+
+  Stopwatch watch;
+  auto event = session.value()->poll_event(5000);
+  double waited = watch.elapsed_seconds();
+  ASSERT_FALSE(event.is_ok());
+  EXPECT_EQ(event.error().code(), ErrorCode::kClosed);
+  EXPECT_FALSE(session.value()->connected());
+  // Detected at the ~500ms silence budget, far before the 5s poll.
+  EXPECT_LT(waited, 3.0);
+  fake_server.join();
+}
+
+// The server side of the same defense: a client that vanishes without
+// detaching is noticed by the failing beacon and its session dropped,
+// so a later client can attach.
+TEST(CrashResilienceTest, ServerDropsSilentlyDeadClient) {
+  LocalDebuggee debuggee("x = 1\nputs(x)", /*heartbeat_millis=*/100);
+  MultiClient client(debuggee.ports());
+  int pid = static_cast<int>(::getpid());
+  auto attached = client.await_process(pid, 5000);
+  ASSERT_TRUE(attached.is_ok()) << attached.error().to_string();
+  ASSERT_TRUE(debuggee.server().client_connected());
+
+  // Beacons flow while the session is healthy (the client consumes
+  // them invisibly; anything real — e.g. the stop-at-entry event —
+  // just passes through this drain loop).
+  Stopwatch beacon_watch;
+  while (debuggee.server().heartbeats_sent() == 0 &&
+         beacon_watch.elapsed_seconds() < 2.0) {
+    auto drained = attached.value()->poll_event(20);
+    ASSERT_TRUE(drained.is_ok()) << drained.error().to_string();
+  }
+  EXPECT_GT(debuggee.server().heartbeats_sent(), 0u);
+
+  attached.value()->hard_close();  // no detach: a crashed client
+
+  Stopwatch watch;
+  while (debuggee.server().client_connected() &&
+         watch.elapsed_seconds() < 5.0) {
+    sleep_for_millis(20);
+  }
+  EXPECT_FALSE(debuggee.server().client_connected())
+      << "server never noticed the dead client";
+
+  // The slot is free again: a fresh attach succeeds.
+  auto revived = client.reconnect(pid);
+  ASSERT_TRUE(revived.is_ok()) << revived.error().to_string();
+  EXPECT_TRUE(revived.value()->connected());
+  auto resumed = revived.value()->cont_all();
+  EXPECT_TRUE(resumed.is_ok()) << resumed.to_string();
+}
+
+// Whole-session sweep under recoverable injected faults: a debug
+// session driven over a fault-ridden transport must behave exactly as
+// one over a clean transport.
+TEST(CrashResilienceTest, SessionSweepUnderRecoverableFaults) {
+  for (std::uint64_t seed : {201ull, 202ull, 203ull, 204ull}) {
+    fault::Scope scope(fault::Config{
+        .seed = seed,
+        .probability = 0.15,
+        .kinds = fault::kBitEintr | fault::kBitShortIo | fault::kBitDelay,
+        .site_filter = "fd."});
+    test::DebugHarness harness(
+        "a = 1\n"
+        "b = a + 1\n"
+        "c = b + 1\n"
+        "puts(c)");
+    auto* session = harness.launch();
+    auto entry = session->wait_stopped(5000);
+    ASSERT_TRUE(entry.is_ok()) << "seed " << seed << ": "
+                               << entry.error().to_string();
+    ASSERT_TRUE(session->set_breakpoint("test.ml", 3).is_ok());
+    ASSERT_TRUE(session->cont(entry.value().tid).is_ok());
+    auto hit = session->wait_stopped(5000);
+    ASSERT_TRUE(hit.is_ok()) << "seed " << seed << ": "
+                             << hit.error().to_string();
+    EXPECT_EQ(hit.value().line, 3);
+    ASSERT_TRUE(session->clear_breakpoint(0).is_ok());
+    ASSERT_TRUE(session->cont(hit.value().tid).is_ok());
+    auto result = harness.join();
+    EXPECT_TRUE(result.ok) << "seed " << seed;
+    EXPECT_EQ(harness.output(), "3\n") << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dionea::client

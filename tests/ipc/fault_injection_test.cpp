@@ -1,0 +1,222 @@
+// Seeded fault sweeps over the ipc layer: recoverable faults (EINTR,
+// short transfers, delays, torn appends) must be invisible to correct
+// callers, and unrecoverable ones (injected ECONNRESET) must surface
+// as clean typed errors — never hangs, never corrupted frames.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ipc/frame.hpp"
+#include "ipc/port_file.hpp"
+#include "ipc/socket.hpp"
+#include "support/fault.hpp"
+#include "support/temp_file.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+using fault::Config;
+using fault::Scope;
+
+// A connected loopback pair.
+struct StreamPair {
+  TcpStream client;
+  TcpStream server;
+};
+
+StreamPair make_pair_or_die() {
+  auto listener = TcpListener::bind();
+  EXPECT_TRUE(listener.is_ok()) << listener.error().to_string();
+  StreamPair pair;
+  std::thread connector([&pair, port = listener.value().port()] {
+    auto stream = TcpStream::connect_retry(port, 2000);
+    ASSERT_TRUE(stream.is_ok()) << stream.error().to_string();
+    pair.client = std::move(stream).value();
+  });
+  auto accepted = listener.value().accept_timeout(2000);
+  EXPECT_TRUE(accepted.is_ok()) << accepted.error().to_string();
+  connector.join();
+  if (accepted.is_ok()) pair.server = std::move(accepted).value();
+  return pair;
+}
+
+wire::Value make_payload(int i) {
+  wire::Value value;
+  value.set("seq", i);
+  value.set("text", std::string(static_cast<size_t>(16 + i), 'x'));
+  value.set("flag", i % 2 == 0);
+  return value;
+}
+
+// The acceptance sweep: ≥8 seeds, recoverable kinds active on every fd
+// and frame site, full frame round-trips must still be byte-perfect.
+TEST(FaultSweepTest, RecoverableFaultsAreInvisibleToFrames) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    StreamPair pair = make_pair_or_die();
+    ASSERT_TRUE(pair.client.valid());
+    Scope scope(Config{.seed = seed,
+                       .probability = 0.25,
+                       .kinds = fault::kBitEintr | fault::kBitShortIo |
+                                fault::kBitDelay});
+    for (int i = 0; i < 25; ++i) {
+      wire::Value sent = make_payload(i);
+      ASSERT_TRUE(send_frame(pair.client, sent).is_ok())
+          << "seed " << seed << " frame " << i;
+      auto received = recv_frame_timeout(pair.server, 5000);
+      ASSERT_TRUE(received.is_ok())
+          << "seed " << seed << " frame " << i << ": "
+          << received.error().to_string();
+      EXPECT_EQ(received.value().get_int("seq"), i);
+      EXPECT_EQ(received.value().get_string("text"),
+                make_payload(i).get_string("text"));
+    }
+  }
+  EXPECT_GT(fault::Injector::instance().injected(), 0u);
+}
+
+// Same sweep in the other framing direction (server -> client), with
+// the site filter narrowed to the raw fd layer.
+TEST(FaultSweepTest, FdSiteFilterSweep) {
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    StreamPair pair = make_pair_or_die();
+    ASSERT_TRUE(pair.server.valid());
+    Scope scope(Config{.seed = seed,
+                       .probability = 0.5,
+                       .kinds = fault::kBitEintr | fault::kBitShortIo,
+                       .site_filter = "fd."});
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(send_frame(pair.server, make_payload(i)).is_ok());
+      auto received = recv_frame(pair.client);
+      ASSERT_TRUE(received.is_ok()) << received.error().to_string();
+      EXPECT_EQ(received.value().get_int("seq"), i);
+    }
+  }
+}
+
+TEST(FaultSweepTest, InjectedConnResetIsATypedError) {
+  StreamPair pair = make_pair_or_die();
+  ASSERT_TRUE(pair.client.valid());
+  {
+    Scope scope(Config{.seed = 9, .probability = 1.0,
+                       .kinds = fault::kBitConnReset,
+                       .site_filter = "frame.send"});
+    Status status = send_frame(pair.client, make_payload(0));
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.error().code(), ErrorCode::kClosed);
+  }
+  // The reset fired before any bytes left: framing is intact and the
+  // stream is still usable once injection stops.
+  ASSERT_TRUE(send_frame(pair.client, make_payload(1)).is_ok());
+  auto received = recv_frame_timeout(pair.server, 2000);
+  ASSERT_TRUE(received.is_ok()) << received.error().to_string();
+  EXPECT_EQ(received.value().get_int("seq"), 1);
+}
+
+TEST(FaultSweepTest, TornPortFileAppendsStayParseable) {
+  auto tmp = TempDir::create("fault-ports");
+  ASSERT_TRUE(tmp.is_ok());
+  PortFile ports(tmp.value().file("ports"));
+  {
+    Scope scope(Config{.seed = 21, .probability = 1.0,
+                       .kinds = fault::kBitTorn,
+                       .site_filter = "port_file.append"});
+    for (int i = 0; i < 5; ++i) {
+      PortRecord record;
+      record.pid = 1000 + i;
+      record.parent_pid = 1;
+      record.port = static_cast<std::uint16_t>(40000 + i);
+      record.seq = i;
+      ASSERT_TRUE(ports.publish(record).is_ok());
+    }
+  }
+  auto records = ports.read_all();
+  ASSERT_TRUE(records.is_ok()) << records.error().to_string();
+  // Every record survives: a publisher crashing mid-append (the torn
+  // fragment) never destroys its neighbours.
+  ASSERT_EQ(records.value().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(records.value()[static_cast<size_t>(i)].pid, 1000 + i);
+    EXPECT_EQ(records.value()[static_cast<size_t>(i)].port, 40000 + i);
+  }
+}
+
+TEST(FaultSweepTest, PartialFrameYieldsTimeoutNotHang) {
+  StreamPair pair = make_pair_or_die();
+  ASSERT_TRUE(pair.client.valid());
+  // A peer that dies after 4 header bytes: the reader must give up at
+  // its deadline instead of blocking on the missing half.
+  const char half_header[4] = {'D', 'N', 'E', 'A'};
+  ASSERT_TRUE(pair.client.write_all(half_header, sizeof(half_header)).is_ok());
+  auto received = recv_frame_timeout(pair.server, 300);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kTimeout);
+}
+
+// The interactive-client failure mode: an event frame arriving slower
+// than one poll interval. recv_frame_timeout abandons its partial read
+// on timeout — every later read starts mid-frame and dies on the magic
+// check. FrameReader must instead carry the partial frame across any
+// number of short polls and stay in sync for the frames that follow.
+TEST(FaultSweepTest, SlowFrameSurvivesShortPolls) {
+  StreamPair pair = make_pair_or_die();
+  ASSERT_TRUE(pair.client.valid());
+  wire::Value sent = make_payload(7);
+  std::string bytes;
+  {
+    char header[8] = {'D', 'N', 'E', 'A', 0, 0, 0, 0};
+    std::string payload;
+    sent.encode(&payload);
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i) {
+      header[4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    }
+    bytes.assign(header, sizeof(header));
+    bytes += payload;
+  }
+  std::thread dribbler([&] {
+    for (char byte : bytes) {
+      ASSERT_TRUE(pair.client.write_all(&byte, 1).is_ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // A promptly-delivered second frame proves the stream kept sync.
+    ASSERT_TRUE(send_frame(pair.client, make_payload(8)).is_ok());
+  });
+  FrameReader reader;
+  int timeouts = 0;
+  Result<wire::Value> received = reader.recv_timeout(pair.server, 5);
+  while (!received.is_ok()) {
+    ASSERT_EQ(received.error().code(), ErrorCode::kTimeout)
+        << received.error().to_string();
+    ++timeouts;
+    ASSERT_LT(timeouts, 1000);
+    received = reader.recv_timeout(pair.server, 5);
+  }
+  EXPECT_GT(timeouts, 0) << "frame arrived too fast to exercise resume";
+  EXPECT_EQ(received.value().get_int("seq"), 7);
+  EXPECT_EQ(received.value().get_string("text"), sent.get_string("text"));
+  auto second = reader.recv_timeout(pair.server, 2000);
+  ASSERT_TRUE(second.is_ok()) << second.error().to_string();
+  EXPECT_EQ(second.value().get_int("seq"), 8);
+  dribbler.join();
+}
+
+TEST(FaultSweepTest, SweepUnderDelayedAccept) {
+  Scope scope(Config{.seed = 77, .probability = 0.8,
+                     .kinds = fault::kBitDelay,
+                     .site_filter = "socket."});
+  StreamPair pair = make_pair_or_die();
+  ASSERT_TRUE(pair.client.valid());
+  ASSERT_TRUE(pair.server.valid());
+  ASSERT_TRUE(send_frame(pair.client, make_payload(3)).is_ok());
+  auto received = recv_frame_timeout(pair.server, 2000);
+  ASSERT_TRUE(received.is_ok()) << received.error().to_string();
+  EXPECT_EQ(received.value().get_int("seq"), 3);
+}
+
+}  // namespace
+}  // namespace dionea::ipc

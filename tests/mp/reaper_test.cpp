@@ -1,0 +1,152 @@
+#include "mp/reaper.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/timing.hpp"
+
+namespace dionea::mp {
+namespace {
+
+TEST(ReaperTest, SigkilledChildReportsCrash) {
+  auto proc = Process::spawn([] {
+    sleep_for_millis(30'000);
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  pid_t pid = proc.value().pid();
+  ChildReaper reaper;
+  reaper.adopt(std::move(proc).value());
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  auto ex = reaper.wait_any(5000);
+  ASSERT_TRUE(ex.is_ok()) << ex.error().to_string();
+  EXPECT_EQ(ex.value().pid, pid);
+  EXPECT_EQ(ex.value().signal, SIGKILL);
+  EXPECT_TRUE(ex.value().crashed());
+  EXPECT_TRUE(reaper.watched().empty());
+}
+
+TEST(ReaperTest, CleanExitIsNotACrash) {
+  auto proc = Process::spawn([] { return 5; });
+  ASSERT_TRUE(proc.is_ok());
+  ChildReaper reaper;
+  reaper.adopt(std::move(proc).value());
+  auto ex = reaper.wait_any(5000);
+  ASSERT_TRUE(ex.is_ok()) << ex.error().to_string();
+  EXPECT_EQ(ex.value().exit_code, 5);
+  EXPECT_EQ(ex.value().signal, 0);
+  EXPECT_FALSE(ex.value().crashed());
+}
+
+TEST(ReaperTest, WaitAnyTimesOutWhileChildrenLive) {
+  auto proc = Process::spawn([] {
+    sleep_for_millis(30'000);
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  ChildReaper reaper;
+  reaper.adopt(std::move(proc).value());
+  auto ex = reaper.wait_any(50);
+  ASSERT_FALSE(ex.is_ok());
+  EXPECT_EQ(ex.error().code(), ErrorCode::kTimeout);
+  auto exits = reaper.terminate_all(500);
+  ASSERT_TRUE(exits.is_ok());
+  ASSERT_EQ(exits.value().size(), 1u);
+  EXPECT_EQ(exits.value()[0].signal, SIGTERM);
+}
+
+// Fork storm: many children, kill the set, prove nothing is left — not
+// in the watched set and not as kernel zombies.
+TEST(ReaperTest, ForkStormLeavesNoZombies) {
+  ChildReaper reaper;
+  std::vector<pid_t> pids;
+  for (int i = 0; i < 8; ++i) {
+    auto proc = Process::spawn([] {
+      sleep_for_millis(30'000);
+      return 0;
+    });
+    ASSERT_TRUE(proc.is_ok());
+    pids.push_back(proc.value().pid());
+    reaper.adopt(std::move(proc).value());
+  }
+  ASSERT_EQ(reaper.watched().size(), 8u);
+  auto exits = reaper.terminate_all(2000);
+  ASSERT_TRUE(exits.is_ok()) << exits.error().to_string();
+  EXPECT_EQ(exits.value().size(), 8u);
+  EXPECT_TRUE(reaper.watched().empty());
+  // All reaped: waitpid sees no children at all (other tests in this
+  // binary always reap their own, so ECHILD is the steady state).
+  int status = 0;
+  pid_t got = ::waitpid(-1, &status, WNOHANG);
+  EXPECT_TRUE(got == 0 || (got < 0 && errno == ECHILD));
+  for (pid_t pid : pids) {
+    // The pids are gone (or at least no longer our zombies to reap).
+    EXPECT_LT(::waitpid(pid, &status, WNOHANG), 0);
+  }
+}
+
+// A child that ignores SIGTERM must still die: terminate_all escalates
+// to SIGKILL after the grace period.
+TEST(ReaperTest, TerminateEscalatesToSigkill) {
+  auto proc = Process::spawn([] {
+    ::signal(SIGTERM, SIG_IGN);
+    sleep_for_millis(30'000);
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  ChildReaper reaper;
+  reaper.adopt(std::move(proc).value());
+  sleep_for_millis(50);  // let the child install its SIG_IGN
+  auto exits = reaper.terminate_all(150);
+  ASSERT_TRUE(exits.is_ok()) << exits.error().to_string();
+  ASSERT_EQ(exits.value().size(), 1u);
+  EXPECT_EQ(exits.value()[0].signal, SIGKILL);
+}
+
+// Process's own destructor follows the same discipline: a live child
+// is terminated and reaped, never leaked.
+TEST(ReaperTest, ProcessDestructorReapsStubbornChild) {
+  pid_t pid = -1;
+  {
+    auto proc = Process::spawn([] {
+      ::signal(SIGTERM, SIG_IGN);
+      sleep_for_millis(30'000);
+      return 0;
+    });
+    ASSERT_TRUE(proc.is_ok());
+    pid = proc.value().pid();
+    sleep_for_millis(50);
+    // proc goes out of scope alive: SIGTERM, grace, SIGKILL, reap.
+  }
+  int status = 0;
+  EXPECT_LT(::waitpid(pid, &status, WNOHANG), 0);  // already reaped
+}
+
+TEST(ReaperTest, PollCollectsMultipleExits) {
+  ChildReaper reaper;
+  for (int i = 0; i < 4; ++i) {
+    auto proc = Process::spawn([i] { return i; });
+    ASSERT_TRUE(proc.is_ok());
+    reaper.adopt(std::move(proc).value());
+  }
+  auto exits = reaper.drain(5000);
+  ASSERT_TRUE(exits.is_ok()) << exits.error().to_string();
+  ASSERT_EQ(exits.value().size(), 4u);
+  std::vector<int> codes;
+  for (const auto& ex : exits.value()) {
+    EXPECT_FALSE(ex.crashed());
+    codes.push_back(ex.exit_code);
+  }
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(codes, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dionea::mp

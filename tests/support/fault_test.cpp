@@ -1,0 +1,109 @@
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dionea::fault {
+namespace {
+
+// Record the schedule a config produces over `n` hits of `site`.
+std::vector<Kind> schedule(const Config& config, const char* site, int n) {
+  Scope scope(config);
+  std::vector<Kind> out;
+  for (int i = 0; i < n; ++i) out.push_back(probe(site).kind);
+  return out;
+}
+
+TEST(FaultTest, DisabledProbeIsSilent) {
+  Injector::instance().disable();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(probe("fd.read"));
+  }
+}
+
+TEST(FaultTest, SameSeedSameSchedule) {
+  Config config{.seed = 42, .probability = 0.5, .kinds = kAllKinds};
+  auto first = schedule(config, "fd.read", 200);
+  auto second = schedule(config, "fd.read", 200);
+  EXPECT_EQ(first, second);
+  // A 50% schedule over 200 hits injects something.
+  int injected = 0;
+  for (Kind kind : first) injected += kind != Kind::kNone;
+  EXPECT_GT(injected, 0);
+  EXPECT_LT(injected, 200);
+}
+
+TEST(FaultTest, DifferentSeedsDiverge) {
+  Config a{.seed = 1, .probability = 0.5, .kinds = kAllKinds};
+  Config b{.seed = 2, .probability = 0.5, .kinds = kAllKinds};
+  EXPECT_NE(schedule(a, "fd.read", 200), schedule(b, "fd.read", 200));
+}
+
+TEST(FaultTest, SitesHaveIndependentSchedules) {
+  Config config{.seed = 7, .probability = 0.5, .kinds = kAllKinds};
+  EXPECT_NE(schedule(config, "fd.read", 200),
+            schedule(config, "frame.send", 200));
+}
+
+TEST(FaultTest, KindMaskRestrictsWhatFires) {
+  Config config{.seed = 9, .probability = 1.0, .kinds = kBitEintr};
+  for (Kind kind : schedule(config, "fd.write", 50)) {
+    EXPECT_EQ(kind, Kind::kEintr);
+  }
+}
+
+TEST(FaultTest, SiteFilterScopesInjection) {
+  Config config{.seed = 3, .probability = 1.0, .kinds = kAllKinds,
+                .site_filter = "fd."};
+  Scope scope(config);
+  EXPECT_TRUE(probe("fd.read"));
+  EXPECT_TRUE(probe("fd.write"));
+  EXPECT_FALSE(probe("frame.send"));
+  EXPECT_FALSE(probe("socket.accept"));
+}
+
+TEST(FaultTest, ScopeRestoresPreviousConfig) {
+  Injector::instance().disable();
+  {
+    Scope scope(Config{.seed = 5, .probability = 1.0});
+    EXPECT_TRUE(Injector::instance().enabled());
+  }
+  EXPECT_FALSE(Injector::instance().enabled());
+  EXPECT_FALSE(probe("fd.read"));
+}
+
+TEST(FaultTest, CountersTrackProbesAndInjections) {
+  Injector& injector = Injector::instance();
+  std::uint64_t probes_before = injector.probes();
+  std::uint64_t injected_before = injector.injected();
+  {
+    Scope scope(Config{.seed = 11, .probability = 1.0, .kinds = kBitDelay});
+    for (int i = 0; i < 10; ++i) (void)probe("test.site");
+  }
+  EXPECT_EQ(injector.probes(), probes_before + 10);
+  EXPECT_EQ(injector.injected(), injected_before + 10);
+}
+
+TEST(FaultTest, ShortIoCapsAreSmallAndPositive) {
+  Scope scope(Config{.seed = 13, .probability = 1.0, .kinds = kBitShortIo});
+  for (int i = 0; i < 50; ++i) {
+    Decision decision = probe("fd.write");
+    ASSERT_EQ(decision.kind, Kind::kShortIo);
+    EXPECT_GE(decision.cap_bytes, 1u);
+    EXPECT_LE(decision.cap_bytes, 4u);
+  }
+}
+
+TEST(FaultTest, DelaysAreBounded) {
+  Scope scope(Config{.seed = 17, .probability = 1.0, .kinds = kBitDelay});
+  for (int i = 0; i < 50; ++i) {
+    Decision decision = probe("socket.accept");
+    ASSERT_EQ(decision.kind, Kind::kDelay);
+    EXPECT_GE(decision.delay_millis, 1);
+    EXPECT_LE(decision.delay_millis, 10);
+  }
+}
+
+}  // namespace
+}  // namespace dionea::fault
