@@ -1,0 +1,55 @@
+// Observability overhead: the fig9 wordcount workload (4 forked
+// workers, debugger attached) with the metrics registry collecting vs
+// disabled. The probes are one relaxed flag load + one single-writer
+// relaxed store on the hot paths (VM trace hook, GIL, IPC frames), so
+// the attached-mode delta must stay under 2%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/metrics.hpp"
+
+int main() {
+  using namespace dionea;
+  using namespace dionea::bench;
+
+  print_header("Metrics overhead: fig9 workload, collection on vs off",
+               "observability must cost <2% on an attached debuggee");
+  print_environment_note();
+
+  auto tmp = TempDir::create("bench-metrics");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  mapreduce::CorpusSpec spec = mapreduce::scaled_spec(
+      mapreduce::dionea_trunk_spec(), 3.0);
+  auto corpus = mapreduce::Corpus::generate(spec, tmp.value().file("corpus"));
+  DIONEA_CHECK(corpus.is_ok(), "corpus");
+
+  constexpr int kWorkers = 4;
+  constexpr int kReps = 5;
+  metrics::Registry& registry = metrics::Registry::instance();
+
+  registry.set_enabled(false);
+  double off = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kAttached);
+  });
+
+  registry.set_enabled(true);
+  registry.reset();
+  double on = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kAttached);
+  });
+
+  metrics::Snapshot snapshot = registry.snapshot();
+  std::uint64_t line_events = snapshot.counters[static_cast<size_t>(
+      metrics::Counter::kTraceLineEvents)];
+
+  double pct = overhead_pct(off, on);
+  std::printf("\n%-26s %10s %10s\n", "", "time", "overhead");
+  std::printf("%-26s %10s %10s\n", "metrics off",
+              format_duration(off).c_str(), "");
+  std::printf("%-26s %10s %+9.2f%%\n", "metrics on",
+              format_duration(on).c_str(), pct);
+  std::printf("\ncollected while on: %llu trace-line events\n",
+              static_cast<unsigned long long>(line_events));
+  std::printf("budget: <2%% — %s\n", pct < 2.0 ? "PASS" : "FAIL");
+  return pct < 2.0 ? 0 : 1;
+}

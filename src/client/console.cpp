@@ -3,6 +3,9 @@
 #include "support/strings.hpp"
 
 namespace dionea::client {
+
+namespace proto = dbg::proto;
+
 namespace {
 
 std::string render_threads(const std::vector<RemoteThread>& threads) {
@@ -14,6 +17,33 @@ std::string render_threads(const std::vector<RemoteThread>& threads) {
                            t.note.c_str());
   }
   return out.empty() ? "  (no threads)\n" : out;
+}
+
+std::string render_stats(const proto::StatsResponse& stats) {
+  std::string out = strings::format("  pid %d (zero-valued metrics hidden)\n",
+                                    stats.pid);
+  out += "  counters:\n";
+  for (const auto& [name, value] : stats.counters) {
+    if (value == 0) continue;
+    out += strings::format("    %-24s %lld\n", name.c_str(),
+                           static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : stats.gauges) {
+    if (value == 0) continue;
+    out += strings::format("    %-24s %lld  (gauge)\n", name.c_str(),
+                           static_cast<long long>(value));
+  }
+  out += "  latencies (us):          mean      p50      p99      max\n";
+  for (const proto::StatsHistogram& h : stats.histograms) {
+    if (h.count == 0) continue;
+    out += strings::format(
+        "    %-22s %8.1f %8.1f %8.1f %8.1f  n=%llu\n", h.name.c_str(),
+        h.mean_nanos() / 1000.0, static_cast<double>(h.p50_nanos) / 1000.0,
+        static_cast<double>(h.p99_nanos) / 1000.0,
+        static_cast<double>(h.max_nanos) / 1000.0,
+        static_cast<unsigned long long>(h.count));
+  }
+  return out;
 }
 
 bool parse_location(const std::string& arg, std::string* file, int* line) {
@@ -48,6 +78,7 @@ std::string Console::help() {
       "  pause [tid]           suspend at next line\n"
       "  pauseall              suspend every thread\n"
       "  disturb on|off        stop new UEs at birth (§6.4)\n"
+      "  stats [pid]           debugger overhead metrics of a process\n"
       "  events                drain pending events\n"
       "  reconnect <pid>       reattach to a lost process\n"
       "  quit                  leave the console\n";
@@ -142,6 +173,26 @@ std::string Console::execute(const std::string& line) {
                              event.payload.to_json().c_str());
     }
     return out.empty() ? "  (no events)\n" : out;
+  }
+
+  if (cmd == "stats") {
+    Session* target = nullptr;
+    if (words.size() > 1) {
+      std::int64_t pid = 0;
+      if (!strings::parse_int(words[1], &pid)) return "usage: stats [pid]\n";
+      target = client_.session(static_cast<int>(pid));
+      if (target == nullptr) {
+        return strings::format("  no session for pid %lld\n",
+                               static_cast<long long>(pid));
+      }
+    } else {
+      std::string error;
+      target = active_session(&error);
+      if (target == nullptr) return error;
+    }
+    auto stats = target->stats();
+    if (!stats.is_ok()) return stats.error().to_string() + "\n";
+    return render_stats(stats.value());
   }
 
   std::string error;

@@ -15,8 +15,10 @@ namespace {
 DebugEvent make_gone_event(int pid, bool clean_exit, int exit_code,
                            int term_signal) {
   DebugEvent event;
-  event.name = clean_exit ? proto::kEvProcessExited : proto::kEvProcessCrashed;
-  event.payload = proto::make_event(event.name);
+  event.kind = clean_exit ? proto::Event::kProcessExited
+                          : proto::Event::kProcessCrashed;
+  event.name = proto::event_name(event.kind);
+  event.payload = proto::make_event(event.kind);
   event.payload.set("pid", pid);
   if (exit_code >= 0) event.payload.set("exit_code", exit_code);
   if (term_signal != 0) event.payload.set("signal", term_signal);

@@ -8,6 +8,20 @@ namespace dionea::client {
 namespace proto = dbg::proto;
 using ipc::wire::Value;
 
+namespace {
+
+proto::Hello local_hello(const char* channel) {
+  proto::Hello hello;
+  hello.channel = channel;
+  hello.pid = 0;  // the client's pid is of no interest to the server
+  hello.proto_major = proto::kProtoMajor;
+  hello.proto_minor = proto::kProtoMinor;
+  hello.capabilities = proto::local_capabilities();
+  return hello;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Session>> Session::attach(std::uint16_t port,
                                                  int timeout_millis) {
   auto session = std::unique_ptr<Session>(new Session());
@@ -17,23 +31,39 @@ Result<std::unique_ptr<Session>> Session::attach(std::uint16_t port,
                           ipc::TcpStream::connect_retry(port, timeout_millis));
   (void)session->control_.set_nodelay(true);
   DIONEA_RETURN_IF_ERROR(ipc::send_frame(
-      session->control_, proto::make_hello(proto::kChannelControl, 0)));
+      session->control_, local_hello(proto::kChannelControl).to_wire()));
 
   DIONEA_ASSIGN_OR_RETURN(session->events_,
                           ipc::TcpStream::connect_retry(port, timeout_millis));
   (void)session->events_.set_nodelay(true);
   DIONEA_RETURN_IF_ERROR(ipc::send_frame(
-      session->events_, proto::make_hello(proto::kChannelEvents, 0)));
+      session->events_, local_hello(proto::kChannelEvents).to_wire()));
 
-  // First ping doubles as the session handshake and pid discovery.
-  // The server advertises its beacon period there; 5 missed beats =
-  // dead peer.
-  DIONEA_ASSIGN_OR_RETURN(Value pong, session->request(proto::kCmdPing));
-  session->pid_ = static_cast<int>(pong.get_int("pid"));
-  int heartbeat_ms = static_cast<int>(pong.get_int("heartbeat_ms"));
-  if (heartbeat_ms > 0) session->heartbeat_timeout_millis_ = 5 * heartbeat_ms;
+  // First ping doubles as the session handshake: pid discovery plus
+  // the server's protocol version, capability list and beacon period
+  // (5 missed beats = dead peer). A version-mismatch refusal surfaces
+  // here as a typed error, not a hang.
+  DIONEA_ASSIGN_OR_RETURN(proto::PingResponse pong, session->ping());
+  session->pid_ = pong.pid;
+  session->server_proto_major_ = pong.proto_major;
+  session->server_proto_minor_ = pong.proto_minor;
+  session->server_capabilities_ = pong.capabilities;
+  // Negotiate down: arm silence detection only against a server that
+  // says it will beacon. heartbeat_ms > 0 IS that promise — pre-1.1
+  // servers beacon without knowing about capability lists, so the
+  // kCapHeartbeat string is advisory, never a gate.
+  if (pong.heartbeat_ms > 0) {
+    session->heartbeat_timeout_millis_ = 5 * pong.heartbeat_ms;
+  }
   session->last_activity_ = mono_seconds();
   return session;
+}
+
+bool Session::supports(std::string_view capability) const noexcept {
+  for (const std::string& cap : server_capabilities_) {
+    if (cap == capability) return true;
+  }
+  return false;
 }
 
 void Session::hard_close() {
@@ -70,39 +100,81 @@ Result<Value> Session::request(const std::string& cmd, Value args) {
   last_activity_ = mono_seconds();
   Value response = std::move(received).value();
   if (response.get_int("re") != seq) {
-    // A mismatched seq means the framing itself is out of step; no
-    // later exchange on this channel can be trusted.
+    // seq 0 carries connection-level refusals (version mismatch, bad
+    // hello, second client): the server rejected the session before it
+    // ever saw this request. Surface the typed reason; the channel is
+    // dead either way.
+    if (response.get_int("re") == 0 && !response.get_bool("ok", true)) {
+      connected_ = false;
+      std::string kind = response.get_string("error_kind");
+      ErrorCode code = kind == proto::kErrVersionMismatch
+                           ? ErrorCode::kUnavailable
+                           : ErrorCode::kProtocol;
+      return Error(code, "server refused session: " +
+                             response.get_string("error"));
+    }
+    // Otherwise the framing itself is out of step; no later exchange
+    // on this channel can be trusted.
     connected_ = false;
     return Error(ErrorCode::kProtocol,
                  strings::format("response out of order (want seq %lld)",
                                  static_cast<long long>(seq)));
   }
   if (!response.get_bool("ok")) {
-    return Error(ErrorCode::kInvalidArgument,
-                 cmd + " failed: " + response.get_string("error"));
+    // Map the typed kind onto an ErrorCode so callers can branch
+    // without parsing prose (kNotFound = the server does not know the
+    // command at all — how a 1.1 feature probe fails against 1.0).
+    std::string kind = response.get_string("error_kind");
+    ErrorCode code = ErrorCode::kInvalidArgument;
+    if (kind == proto::kErrUnknownCommand) code = ErrorCode::kNotFound;
+    if (kind == proto::kErrVersionMismatch) code = ErrorCode::kUnavailable;
+    return Error(code, cmd + " failed: " + response.get_string("error"));
   }
   return response;
 }
 
+Result<proto::PingResponse> Session::ping() {
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::PingRequest{}));
+  return proto::PingResponse::from_wire(response);
+}
+
+Result<proto::InfoResponse> Session::info() {
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::InfoRequest{}));
+  return proto::InfoResponse::from_wire(response);
+}
+
+Result<proto::StatsResponse> Session::stats() {
+  if (!supports(proto::kCapStats)) {
+    return Error(ErrorCode::kUnavailable,
+                 strings::format(
+                     "server (proto %d.%d) does not advertise '%s'",
+                     server_proto_major_, server_proto_minor_,
+                     proto::kCapStats));
+  }
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::StatsRequest{}));
+  return proto::StatsResponse::from_wire(response);
+}
+
 Result<int> Session::set_breakpoint(const std::string& file, int line,
                                     std::int64_t tid, std::int64_t ignore) {
-  Value args;
-  args.set("file", file);
-  args.set("line", line);
-  if (tid != 0) args.set("tid", tid);
-  if (ignore != 0) args.set("ignore", ignore);
-  DIONEA_ASSIGN_OR_RETURN(Value response,
-                          request(proto::kCmdBreakSet, std::move(args)));
-  int id = static_cast<int>(response.get_int("id"));
-  breakpoints_set_.push_back(BreakpointSpec{file, line, tid, ignore, id});
-  return id;
+  DIONEA_ASSIGN_OR_RETURN(
+      Value response, send(proto::BreakSetRequest{file, line, tid, ignore}));
+  DIONEA_ASSIGN_OR_RETURN(proto::BreakSetResponse decoded,
+                          proto::BreakSetResponse::from_wire(response));
+  breakpoints_set_.push_back(
+      BreakpointSpec{file, line, tid, ignore, decoded.id});
+  return decoded.id;
+}
+
+Result<std::vector<proto::BreakpointEntry>> Session::breakpoints() {
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::BreakListRequest{}));
+  DIONEA_ASSIGN_OR_RETURN(proto::BreakListResponse decoded,
+                          proto::BreakListResponse::from_wire(response));
+  return std::move(decoded.breakpoints);
 }
 
 Status Session::clear_breakpoint(int id) {
-  Value args;
-  args.set("id", id);
-  DIONEA_RETURN_IF_ERROR(
-      request(proto::kCmdBreakClear, std::move(args)).status());
+  DIONEA_RETURN_IF_ERROR(send(proto::BreakClearRequest{id}).status());
   if (id == 0) {
     breakpoints_set_.clear();
   } else {
@@ -112,109 +184,84 @@ Status Session::clear_breakpoint(int id) {
   return Status::ok();
 }
 
-namespace {
-ipc::wire::Value tid_args(std::int64_t tid) {
-  Value args;
-  args.set("tid", tid);
-  return args;
-}
-}  // namespace
-
 Status Session::cont(std::int64_t tid) {
-  return request(proto::kCmdContinue, tid_args(tid)).status();
+  return send(proto::ContinueRequest{tid}).status();
 }
-Status Session::cont_all() { return request(proto::kCmdContinueAll).status(); }
+Status Session::cont_all() {
+  return send(proto::ContinueAllRequest{}).status();
+}
 Status Session::step(std::int64_t tid) {
-  return request(proto::kCmdStep, tid_args(tid)).status();
+  return send(proto::StepRequest{tid}).status();
 }
 Status Session::next(std::int64_t tid) {
-  return request(proto::kCmdNext, tid_args(tid)).status();
+  return send(proto::NextRequest{tid}).status();
 }
 Status Session::finish(std::int64_t tid) {
-  return request(proto::kCmdFinish, tid_args(tid)).status();
+  return send(proto::FinishRequest{tid}).status();
 }
 Status Session::pause(std::int64_t tid) {
-  return request(proto::kCmdPause, tid_args(tid)).status();
+  return send(proto::PauseRequest{tid}).status();
 }
-Status Session::pause_all() { return request(proto::kCmdPauseAll).status(); }
+Status Session::pause_all() { return send(proto::PauseAllRequest{}).status(); }
 
 Status Session::set_disturb(bool on) {
-  Value args;
-  args.set("on", on);
-  return request(proto::kCmdDisturb, std::move(args)).status();
+  return send(proto::DisturbRequest{on}).status();
 }
 
-Status Session::detach() { return request(proto::kCmdDetach).status(); }
+Status Session::detach() { return send(proto::DetachRequest{}).status(); }
 
 Result<std::vector<RemoteThread>> Session::threads() {
-  DIONEA_ASSIGN_OR_RETURN(Value response, request(proto::kCmdThreads));
-  std::vector<RemoteThread> out;
-  for (const Value& entry : response.at("threads").as_array()) {
-    RemoteThread t;
-    t.tid = entry.get_int("tid");
-    t.name = entry.get_string("name");
-    t.state = entry.get_string("state");
-    t.file = entry.get_string("file");
-    t.line = static_cast<int>(entry.get_int("line"));
-    t.note = entry.get_string("note");
-    t.depth = static_cast<int>(entry.get_int("depth"));
-    out.push_back(std::move(t));
-  }
-  return out;
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::ThreadsRequest{}));
+  DIONEA_ASSIGN_OR_RETURN(proto::ThreadsResponse decoded,
+                          proto::ThreadsResponse::from_wire(response));
+  return std::move(decoded.threads);
 }
 
 Result<std::vector<RemoteFrame>> Session::frames(std::int64_t tid) {
-  DIONEA_ASSIGN_OR_RETURN(Value response,
-                          request(proto::kCmdFrames, tid_args(tid)));
-  std::vector<RemoteFrame> out;
-  for (const Value& entry : response.at("frames").as_array()) {
-    out.push_back(RemoteFrame{entry.get_string("function"),
-                              entry.get_string("file"),
-                              static_cast<int>(entry.get_int("line"))});
-  }
-  return out;
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::FramesRequest{tid}));
+  DIONEA_ASSIGN_OR_RETURN(proto::FramesResponse decoded,
+                          proto::FramesResponse::from_wire(response));
+  return std::move(decoded.frames);
 }
 
 Result<std::vector<std::pair<std::string, std::string>>> Session::locals(
     std::int64_t tid, int depth) {
-  Value args;
-  args.set("tid", tid);
-  args.set("depth", depth);
   DIONEA_ASSIGN_OR_RETURN(Value response,
-                          request(proto::kCmdLocals, std::move(args)));
+                          send(proto::LocalsRequest{tid, depth}));
+  DIONEA_ASSIGN_OR_RETURN(proto::LocalsResponse decoded,
+                          proto::LocalsResponse::from_wire(response));
   std::vector<std::pair<std::string, std::string>> out;
-  for (const Value& entry : response.at("locals").as_array()) {
-    out.emplace_back(entry.get_string("name"), entry.get_string("value"));
+  for (proto::NamedValue& nv : decoded.locals) {
+    out.emplace_back(std::move(nv.name), std::move(nv.value));
   }
   return out;
 }
 
 Result<std::vector<std::pair<std::string, std::string>>> Session::globals() {
-  DIONEA_ASSIGN_OR_RETURN(Value response, request(proto::kCmdGlobals));
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::GlobalsRequest{}));
+  DIONEA_ASSIGN_OR_RETURN(proto::GlobalsResponse decoded,
+                          proto::GlobalsResponse::from_wire(response));
   std::vector<std::pair<std::string, std::string>> out;
-  for (const Value& entry : response.at("globals").as_array()) {
-    out.emplace_back(entry.get_string("name"), entry.get_string("value"));
+  for (proto::NamedValue& nv : decoded.globals) {
+    out.emplace_back(std::move(nv.name), std::move(nv.value));
   }
   return out;
 }
 
 Result<std::string> Session::source(const std::string& file) {
-  Value args;
-  args.set("file", file);
-  DIONEA_ASSIGN_OR_RETURN(Value response,
-                          request(proto::kCmdSource, std::move(args)));
-  return response.get_string("text");
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::SourceRequest{file}));
+  DIONEA_ASSIGN_OR_RETURN(proto::SourceResponse decoded,
+                          proto::SourceResponse::from_wire(response));
+  return std::move(decoded.text);
 }
 
 Result<std::string> Session::eval(std::int64_t tid,
                                   const std::string& expression, int depth) {
-  Value args;
-  args.set("tid", tid);
-  args.set("depth", depth);
-  args.set("expr", expression);
-  DIONEA_ASSIGN_OR_RETURN(Value response,
-                          request(proto::kCmdEval, std::move(args)));
-  return response.get_string("value");
+  DIONEA_ASSIGN_OR_RETURN(
+      Value response, send(proto::EvalRequest{tid, depth, expression}));
+  DIONEA_ASSIGN_OR_RETURN(proto::EvalResponse decoded,
+                          proto::EvalResponse::from_wire(response));
+  return std::move(decoded.value);
 }
 
 Result<std::optional<DebugEvent>> Session::recv_event(int timeout_millis) {
@@ -270,8 +317,16 @@ Result<std::optional<DebugEvent>> Session::recv_event(int timeout_millis) {
     last_activity_ = mono_seconds();
     DebugEvent event;
     event.name = frame.value().get_string("event");
-    if (event.name == proto::kEvHeartbeat) continue;  // transport-internal
-    if (event.name == proto::kEvTerminated) terminated_seen_ = true;
+    event.kind = proto::event_from_name(event.name);
+    // Transport-internal events never surface to users. The enum is
+    // the authority for kinds this build knows; the wire's "internal"
+    // flag covers internal events newer than this client (they decode
+    // as kUnknown but must still be consumed here).
+    if (proto::event_internal(event.kind) ||
+        frame.value().get_bool("internal")) {
+      continue;
+    }
+    if (event.kind == proto::Event::kTerminated) terminated_seen_ = true;
     event.payload = std::move(frame).value();
     return std::optional<DebugEvent>(std::move(event));
   }
@@ -284,6 +339,11 @@ Result<std::optional<DebugEvent>> Session::poll_event(int timeout_millis) {
     return std::optional<DebugEvent>(std::move(event));
   }
   return recv_event(timeout_millis);
+}
+
+Result<DebugEvent> Session::wait_event(proto::Event kind,
+                                       int timeout_millis) {
+  return wait_event(proto::event_name(kind), timeout_millis);
 }
 
 Result<DebugEvent> Session::wait_event(const std::string& name,
@@ -315,7 +375,7 @@ Result<DebugEvent> Session::wait_event(const std::string& name,
 
 Result<StopInfo> Session::wait_stopped(int timeout_millis) {
   DIONEA_ASSIGN_OR_RETURN(DebugEvent event,
-                          wait_event(proto::kEvStopped, timeout_millis));
+                          wait_event(proto::Event::kStopped, timeout_millis));
   StopInfo info;
   info.tid = event.payload.get_int("tid");
   info.file = event.payload.get_string("file");

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "debugger/protocol.hpp"
@@ -23,25 +24,16 @@
 namespace dionea::client {
 
 struct DebugEvent {
+  // The enum is authoritative (kUnknown for names from a newer peer);
+  // `name` keeps the wire spelling for display/logging.
+  dbg::proto::Event kind = dbg::proto::Event::kUnknown;
   std::string name;
   ipc::wire::Value payload;
 };
 
-struct RemoteThread {
-  std::int64_t tid = 0;
-  std::string name;
-  std::string state;
-  std::string file;
-  int line = 0;
-  std::string note;
-  int depth = 0;
-};
-
-struct RemoteFrame {
-  std::string function;
-  std::string file;
-  int line = 0;
-};
+// The wire structs double as the client-facing types.
+using RemoteThread = dbg::proto::ThreadEntry;
+using RemoteFrame = dbg::proto::FrameEntry;
 
 struct StopInfo {
   std::int64_t tid = 0;
@@ -77,6 +69,18 @@ class Session {
   int pid() const noexcept { return pid_; }
   std::uint16_t port() const noexcept { return port_; }
 
+  // ---- negotiated protocol surface ----
+  // What the server advertised in its ping response. A pre-1.1 server
+  // advertises nothing: version reads 1.0, capability checks all fail,
+  // and the client degrades instead of erroring (stats() reports
+  // kUnavailable, heartbeat silence detection stays off).
+  int server_proto_major() const noexcept { return server_proto_major_; }
+  int server_proto_minor() const noexcept { return server_proto_minor_; }
+  const std::vector<std::string>& server_capabilities() const noexcept {
+    return server_capabilities_;
+  }
+  bool supports(std::string_view capability) const noexcept;
+
   // ---- liveness ----
   // False once the transport failed (closed/reset/stalled peer or
   // heartbeat silence). A disconnected session fails every request
@@ -108,12 +112,21 @@ class Session {
   }
 
   // ---- raw request/response ----
+  // Escape hatch for commands this build has no struct for (tests
+  // probing unknown commands, forward-compat experiments). Everything
+  // in-tree goes through the typed methods below.
   Result<ipc::wire::Value> request(const std::string& cmd,
                                    ipc::wire::Value args = {});
 
   // ---- typed commands ----
+  Result<dbg::proto::PingResponse> ping();
+  Result<dbg::proto::InfoResponse> info();
+  // Requires the kCapStats capability; kUnavailable when the server
+  // does not advertise it (graceful downgrade, no wire traffic).
+  Result<dbg::proto::StatsResponse> stats();
   Result<int> set_breakpoint(const std::string& file, int line,
                              std::int64_t tid = 0, std::int64_t ignore = 0);
+  Result<std::vector<dbg::proto::BreakpointEntry>> breakpoints();
   Status clear_breakpoint(int id);       // id 0 = clear all
   Status cont(std::int64_t tid);
   Status cont_all();
@@ -138,8 +151,9 @@ class Session {
   // ---- events ----
   // Next event within the timeout; nullopt when none arrived.
   Result<std::optional<DebugEvent>> poll_event(int timeout_millis);
-  // Block until an event with the given name arrives; other events are
+  // Block until an event of the given kind arrives; other events are
   // queued for later consumption, not lost.
+  Result<DebugEvent> wait_event(dbg::proto::Event kind, int timeout_millis);
   Result<DebugEvent> wait_event(const std::string& name, int timeout_millis);
   // Convenience: wait for "stopped" and decode it.
   Result<StopInfo> wait_stopped(int timeout_millis);
@@ -148,6 +162,13 @@ class Session {
 
  private:
   Session() = default;
+
+  // Send a typed request; returns the full response envelope for the
+  // matching response struct's from_wire.
+  template <typename Req>
+  Result<ipc::wire::Value> send(const Req& req) {
+    return request(Req::kName, req.to_wire());
+  }
 
   // Receive one user-visible event from the events channel. Heartbeat
   // frames are consumed here (they only refresh `last_activity_`);
@@ -169,6 +190,9 @@ class Session {
 
   bool connected_ = true;
   bool terminated_seen_ = false;
+  int server_proto_major_ = 1;
+  int server_proto_minor_ = 0;
+  std::vector<std::string> server_capabilities_;
   int request_timeout_millis_ = 10'000;
   int heartbeat_timeout_millis_ = 0;  // 0 = detection off
   double last_activity_ = 0;          // mono_seconds of last events-channel

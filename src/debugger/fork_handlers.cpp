@@ -25,6 +25,8 @@
 
 #include "debugger/server.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/trace_export.hpp"
 
 namespace dionea::dbg {
 
@@ -34,6 +36,7 @@ using ipc::wire::Value;
 // objects. Disable the tracing until the listener thread is restarted,
 // to avoid a deadlock in the child process."
 void DebugServer::fork_prepare() {
+  trace::Span span("fork:A-prepare", "fork");
   trace_was_enabled_ = vm_.trace_enabled();
   vm_.set_trace_enabled(false);
 
@@ -57,6 +60,8 @@ void DebugServer::fork_prepare() {
 // Handler B — handle parent at fork. "Immediately after the fork,
 // release control of synchronization objects, and re-enable tracing."
 void DebugServer::fork_parent(int child_pid) {
+  trace::Span span("fork:B-parent", "fork");
+  metrics::add(metrics::Counter::kForks);
   fork_bp_lock_.unlock();
   fork_bp_lock_ = {};
   fork_sources_lock_.unlock();
@@ -76,7 +81,7 @@ void DebugServer::fork_parent(int child_pid) {
   if (child_pid > 0) {
     // Courtesy notification; the authoritative signal is the child's
     // port-file record (the client may see either first).
-    Value event = proto::make_event(proto::kEvForked);
+    Value event = proto::make_event(proto::Event::kForked);
     event.set("pid", static_cast<int>(::getpid()));
     event.set("child_pid", child_pid);
     send_event(std::move(event));
@@ -92,6 +97,14 @@ void DebugServer::fork_parent(int child_pid) {
 // own child handler, which runs before this one — pthread_atfork
 // ordering, §5.2.)
 void DebugServer::fork_child() {
+  // Observability is per-process: zero the metric shards inherited
+  // from the parent (the child's `stats` must describe the child) and
+  // re-point the trace exporter at a child-owned file. Both before the
+  // span below, so the first span in the child's file is this handler.
+  metrics::Registry::instance().reset();
+  trace::child_atfork();
+  trace::Span span("fork:C-child", "fork");
+
   // We are the only thread alive. Every pinned lock below was taken by
   // *this* thread in handler A, so plain unlocks are well-defined.
   fork_bp_lock_.unlock();

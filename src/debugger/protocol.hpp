@@ -7,61 +7,85 @@
 //   control — request/response. Request:  {cmd, seq, ...args}
 //             Response: {re: seq, ok, error?, ...payload}
 //   events  — server -> client pushes:    {event, ...payload}
-// The first frame on each connection is a hello: {channel: "control" |
-// "events", pid?: int}. This triple (listener + 2 channels) is the
-// paper's three-socket design with the "source sync" socket folded
-// into a control command ("source").
+// The first frame on each connection is a typed Hello carrying the
+// protocol version and a capability list; peers with a different MAJOR
+// are rejected with a typed error (never a hang), and a client
+// negotiates DOWN gracefully when the server lacks a capability (e.g.
+// an old peer simply never advertises "stats").
+//
+// Every command and response is a typed struct with to_wire/from_wire
+// — the wire keys are the protocol's compatibility surface and live
+// only inside those two functions. The server dispatches through a
+// registry keyed by T::kName (server.cpp); the client sends through
+// Session::send<T>() (session.cpp). Adding a command = adding a struct
+// + one registry entry, with no stringly plumbing in between.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "ipc/wire.hpp"
+#include "support/metrics.hpp"
+#include "support/result.hpp"
 
 namespace dionea::dbg::proto {
+
+// ---- protocol version / capabilities ----
+// Major bumps break wire compatibility (rejected at hello); minor
+// bumps add commands/fields old peers ignore.
+inline constexpr int kProtoMajor = 1;
+inline constexpr int kProtoMinor = 1;
+
+inline constexpr const char* kCapStats = "stats";      // `stats` command
+inline constexpr const char* kCapHeartbeat = "heartbeat";
+
+// What this build speaks (advertised in Hello and the ping response).
+std::vector<std::string> local_capabilities();
 
 inline constexpr const char* kChannelControl = "control";
 inline constexpr const char* kChannelEvents = "events";
 
-// ---- commands (client -> server) ----
-inline constexpr const char* kCmdPing = "ping";
-inline constexpr const char* kCmdInfo = "info";
-inline constexpr const char* kCmdThreads = "threads";
-inline constexpr const char* kCmdFrames = "frames";            // tid
-inline constexpr const char* kCmdLocals = "locals";            // tid, depth
-inline constexpr const char* kCmdGlobals = "globals";
-inline constexpr const char* kCmdSource = "source";            // file
-inline constexpr const char* kCmdEval = "eval";                // tid, depth, expr
-inline constexpr const char* kCmdBreakSet = "break_set";       // file, line
-inline constexpr const char* kCmdBreakClear = "break_clear";   // id
-inline constexpr const char* kCmdBreakList = "break_list";
-inline constexpr const char* kCmdContinue = "continue";        // tid
-inline constexpr const char* kCmdContinueAll = "continue_all";
-inline constexpr const char* kCmdStep = "step";                // tid
-inline constexpr const char* kCmdNext = "next";                // tid
-inline constexpr const char* kCmdFinish = "finish";            // tid
-inline constexpr const char* kCmdPause = "pause";              // tid
-inline constexpr const char* kCmdPauseAll = "pause_all";
-inline constexpr const char* kCmdDisturb = "disturb";          // on: bool
-inline constexpr const char* kCmdDetach = "detach";
+// ---- typed error kinds ----
+// Machine-readable discriminator carried next to the human message in
+// error responses ("error_kind"), so clients can react without string
+// matching on prose.
+inline constexpr const char* kErrVersionMismatch = "version_mismatch";
+inline constexpr const char* kErrUnknownCommand = "unknown_command";
+inline constexpr const char* kErrBadRequest = "bad_request";
 
 // ---- events (server -> client) ----
-inline constexpr const char* kEvStopped = "stopped";        // tid,file,line,reason
-inline constexpr const char* kEvThreadStart = "thread_started";  // tid
-inline constexpr const char* kEvThreadExit = "thread_exited";    // tid
-inline constexpr const char* kEvForked = "forked";          // child_pid
-inline constexpr const char* kEvTerminated = "terminated";  // pid
-inline constexpr const char* kEvDeadlock = "deadlock";      // threads[]
-inline constexpr const char* kEvOutput = "output";          // text
-// Liveness beacon pushed on the events channel every heartbeat_ms
-// (advertised in the ping/info response). Consumed by the client
-// transport — never surfaced as a user-visible event.
-inline constexpr const char* kEvHeartbeat = "heartbeat";    // pid
-// Synthesized CLIENT-side (MultiClient) when a debuggee goes away:
-// "process-exited" after a clean `terminated`, "process-crashed" when
-// the connection died without one (SIGKILL, abort, lost peer).
-inline constexpr const char* kEvProcessExited = "process-exited";    // pid
-inline constexpr const char* kEvProcessCrashed = "process-crashed";  // pid
+// The enum is the authority on which events are transport-internal:
+// internal events are consumed by the client transport and NEVER
+// surface to users. On the wire they additionally carry
+// {"internal": true}, so even a client that does not know a (newer)
+// internal event by name will not leak it.
+enum class Event : int {
+  kStopped,       // tid,file,line,function,reason[,breakpoint]
+  kThreadStart,   // tid,pid
+  kThreadExit,    // tid,pid
+  kForked,        // pid,child_pid
+  kTerminated,    // pid
+  kDeadlock,      // pid,threads[]
+  kOutput,        // text
+  // Liveness beacon pushed on the events channel every heartbeat_ms
+  // (advertised in the ping/info response). Transport-internal.
+  kHeartbeat,     // pid
+  // Synthesized CLIENT-side (MultiClient) when a debuggee goes away:
+  // process-exited after a clean `terminated`, process-crashed when
+  // the connection died without one (SIGKILL, abort, lost peer).
+  kProcessExited,   // pid
+  kProcessCrashed,  // pid
+  kUnknown,       // an event name this build does not know (newer peer)
+};
+
+const char* event_name(Event event) noexcept;
+Event event_from_name(std::string_view name) noexcept;
+// True for events the client transport must consume (heartbeats, any
+// future internal beacon).
+bool event_internal(Event event) noexcept;
 
 // ---- stop reasons ----
 inline constexpr const char* kStopBreakpoint = "breakpoint";
@@ -69,10 +93,306 @@ inline constexpr const char* kStopStep = "step";
 inline constexpr const char* kStopPause = "pause";
 inline constexpr const char* kStopDisturb = "disturb";
 
-ipc::wire::Value make_hello(const std::string& channel, int pid);
-ipc::wire::Value make_request(const std::string& cmd, std::int64_t seq);
+// ---- frame builders ----
 ipc::wire::Value make_ok(std::int64_t seq);
-ipc::wire::Value make_error(std::int64_t seq, const std::string& message);
-ipc::wire::Value make_event(const std::string& name);
+ipc::wire::Value make_error(std::int64_t seq, const std::string& message,
+                            const char* error_kind = nullptr);
+ipc::wire::Value make_event(Event event);
+
+// ---- hello ----
+struct Hello {
+  std::string channel;  // kChannelControl | kChannelEvents
+  int pid = 0;
+  int proto_major = kProtoMajor;
+  int proto_minor = kProtoMinor;
+  std::vector<std::string> capabilities;  // what the sender speaks
+
+  ipc::wire::Value to_wire() const;
+  // Lenient by design: a hello without version fields is a pre-1.1
+  // peer and decodes as {major 1, minor 0, no capabilities}.
+  static Result<Hello> from_wire(const ipc::wire::Value& value);
+};
+
+// =================== typed requests / responses ===================
+// Requests carry only their arguments; Session/server add or strip the
+// {cmd, seq} envelope. Responses likewise exclude {re, ok}.
+
+struct PingRequest {
+  static constexpr const char* kName = "ping";
+  ipc::wire::Value to_wire() const;
+  static Result<PingRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct PingResponse {
+  int pid = 0;
+  int heartbeat_ms = 0;
+  int proto_major = 1;  // pre-1.1 servers send no version: treat as 1.0
+  int proto_minor = 0;
+  std::vector<std::string> capabilities;
+  ipc::wire::Value to_wire() const;
+  static Result<PingResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct InfoRequest {
+  static constexpr const char* kName = "info";
+  ipc::wire::Value to_wire() const;
+  static Result<InfoRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct InfoResponse {
+  int pid = 0;
+  std::int64_t main_tid = 0;
+  int fork_depth = 0;
+  bool disturb = false;
+  int heartbeat_ms = 0;
+  int proto_major = 1;
+  int proto_minor = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<InfoResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct ThreadsRequest {
+  static constexpr const char* kName = "threads";
+  ipc::wire::Value to_wire() const;
+  static Result<ThreadsRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct ThreadEntry {
+  std::int64_t tid = 0;
+  std::string name;
+  std::string state;
+  std::string file;
+  int line = 0;
+  std::string note;
+  int depth = 0;
+};
+
+struct ThreadsResponse {
+  std::vector<ThreadEntry> threads;
+  ipc::wire::Value to_wire() const;
+  static Result<ThreadsResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct FramesRequest {
+  static constexpr const char* kName = "frames";
+  std::int64_t tid = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<FramesRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct FrameEntry {
+  std::string function;
+  std::string file;
+  int line = 0;
+};
+
+struct FramesResponse {
+  std::vector<FrameEntry> frames;
+  ipc::wire::Value to_wire() const;
+  static Result<FramesResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct LocalsRequest {
+  static constexpr const char* kName = "locals";
+  std::int64_t tid = 0;
+  int depth = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<LocalsRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct NamedValue {
+  std::string name;
+  std::string value;  // repr()
+};
+
+struct LocalsResponse {
+  std::vector<NamedValue> locals;
+  ipc::wire::Value to_wire() const;
+  static Result<LocalsResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct GlobalsRequest {
+  static constexpr const char* kName = "globals";
+  ipc::wire::Value to_wire() const;
+  static Result<GlobalsRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct GlobalsResponse {
+  std::vector<NamedValue> globals;
+  ipc::wire::Value to_wire() const;
+  static Result<GlobalsResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct SourceRequest {
+  static constexpr const char* kName = "source";
+  std::string file;
+  ipc::wire::Value to_wire() const;
+  static Result<SourceRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct SourceResponse {
+  std::string text;
+  ipc::wire::Value to_wire() const;
+  static Result<SourceResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct EvalRequest {
+  static constexpr const char* kName = "eval";
+  std::int64_t tid = 0;
+  int depth = 0;
+  std::string expr;
+  ipc::wire::Value to_wire() const;
+  static Result<EvalRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct EvalResponse {
+  std::string value;  // repr()
+  ipc::wire::Value to_wire() const;
+  static Result<EvalResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct BreakSetRequest {
+  static constexpr const char* kName = "break_set";
+  std::string file;
+  int line = 0;
+  std::int64_t tid = 0;     // 0 = any thread
+  std::int64_t ignore = 0;  // skip the first N hits
+  ipc::wire::Value to_wire() const;
+  static Result<BreakSetRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct BreakSetResponse {
+  int id = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<BreakSetResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct BreakClearRequest {
+  static constexpr const char* kName = "break_clear";
+  int id = 0;  // 0 = clear all
+  ipc::wire::Value to_wire() const;
+  static Result<BreakClearRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct BreakListRequest {
+  static constexpr const char* kName = "break_list";
+  ipc::wire::Value to_wire() const;
+  static Result<BreakListRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct BreakpointEntry {
+  int id = 0;
+  std::string file;
+  int line = 0;
+  bool enabled = true;
+  std::int64_t hits = 0;
+};
+
+struct BreakListResponse {
+  std::vector<BreakpointEntry> breakpoints;
+  ipc::wire::Value to_wire() const;
+  static Result<BreakListResponse> from_wire(const ipc::wire::Value& value);
+};
+
+// Resume-family commands all carry one tid; distinct types keep the
+// registry typed end to end.
+struct ContinueRequest {
+  static constexpr const char* kName = "continue";
+  std::int64_t tid = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<ContinueRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct StepRequest {
+  static constexpr const char* kName = "step";
+  std::int64_t tid = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<StepRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct NextRequest {
+  static constexpr const char* kName = "next";
+  std::int64_t tid = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<NextRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct FinishRequest {
+  static constexpr const char* kName = "finish";
+  std::int64_t tid = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<FinishRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct PauseRequest {
+  static constexpr const char* kName = "pause";
+  std::int64_t tid = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<PauseRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct ContinueAllRequest {
+  static constexpr const char* kName = "continue_all";
+  ipc::wire::Value to_wire() const;
+  static Result<ContinueAllRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct PauseAllRequest {
+  static constexpr const char* kName = "pause_all";
+  ipc::wire::Value to_wire() const;
+  static Result<PauseAllRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct DisturbRequest {
+  static constexpr const char* kName = "disturb";
+  bool on = false;
+  ipc::wire::Value to_wire() const;
+  static Result<DisturbRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct DetachRequest {
+  static constexpr const char* kName = "detach";
+  ipc::wire::Value to_wire() const;
+  static Result<DetachRequest> from_wire(const ipc::wire::Value& value);
+};
+
+// ---- stats (1.1, capability kCapStats) ----
+
+struct StatsRequest {
+  static constexpr const char* kName = "stats";
+  ipc::wire::Value to_wire() const;
+  static Result<StatsRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct StatsHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_nanos = 0;
+  std::uint64_t max_nanos = 0;
+  std::uint64_t p50_nanos = 0;  // bucket-resolution percentiles
+  std::uint64_t p99_nanos = 0;
+  std::vector<std::uint64_t> buckets;  // power-of-two ns buckets
+
+  double mean_nanos() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum_nanos) /
+                                  static_cast<double>(count);
+  }
+};
+
+struct StatsResponse {
+  int pid = 0;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<StatsHistogram> histograms;
+
+  // nullptr when absent.
+  const StatsHistogram* histogram(std::string_view name) const noexcept;
+  std::int64_t counter(std::string_view name) const noexcept;
+
+  ipc::wire::Value to_wire() const;
+  static Result<StatsResponse> from_wire(const ipc::wire::Value& value);
+  static StatsResponse from_snapshot(const metrics::Snapshot& snapshot,
+                                     int pid);
+};
 
 }  // namespace dionea::dbg::proto

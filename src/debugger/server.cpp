@@ -5,18 +5,34 @@
 #include <utility>
 
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/temp_file.hpp"
 #include "support/timing.hpp"
+#include "support/trace_export.hpp"
 
 namespace dionea::dbg {
 
 using ipc::wire::Array;
 using ipc::wire::Value;
 
+namespace {
+
+// Success envelope + response-struct payload in one frame.
+Value ok_with(std::int64_t seq, const Value& payload) {
+  Value response = proto::make_ok(seq);
+  for (const auto& [key, value] : payload.as_object()) {
+    response.set(key, value);
+  }
+  return response;
+}
+
+}  // namespace
+
 DebugServer::DebugServer(vm::Vm& vm, Options options)
     : vm_(vm), options_(std::move(options)) {
   disturb_.store(options_.disturb_mode, std::memory_order_relaxed);
+  register_commands();
 }
 
 DebugServer::~DebugServer() { stop(); }
@@ -48,7 +64,7 @@ Status DebugServer::start() {
   vm_.set_at_exit_hook([this](vm::Vm&) { send_terminated_once(); });
   if (options_.capture_output) {
     vm_.set_output([this](std::string_view text) {
-      Value event = proto::make_event(proto::kEvOutput);
+      Value event = proto::make_event(proto::Event::kOutput);
       event.set("text", std::string(text));
       send_event(std::move(event));
       // Still mirror to the real stdout so local runs stay readable.
@@ -171,7 +187,7 @@ DebugServer::debug_states_snapshot() {
 
 void DebugServer::send_terminated_once() {
   if (terminated_sent_.exchange(true)) return;
-  Value event = proto::make_event(proto::kEvTerminated);
+  Value event = proto::make_event(proto::Event::kTerminated);
   event.set("pid", static_cast<int>(::getpid()));
   send_event(std::move(event));
 }
@@ -194,6 +210,7 @@ void DebugServer::send_event(Value event) {
     return;
   }
   events_sent_.fetch_add(1, std::memory_order_relaxed);
+  metrics::add(metrics::Counter::kEventsSent);
 }
 
 void DebugServer::heartbeat_tick() {
@@ -205,7 +222,7 @@ void DebugServer::heartbeat_tick() {
   {
     std::scoped_lock lock(events_mutex_);
     if (!events_.valid()) return;
-    Value beacon = proto::make_event(proto::kEvHeartbeat);
+    Value beacon = proto::make_event(proto::Event::kHeartbeat);
     beacon.set("pid", static_cast<int>(::getpid()));
     Status status = ipc::send_frame(events_, beacon);
     if (status.is_ok()) {
@@ -245,14 +262,14 @@ void DebugServer::on_trace(vm::InterpThread& th,
         td->pause_requested = true;
         td->refresh_attention();
       }
-      Value ev = proto::make_event(proto::kEvThreadStart);
+      Value ev = proto::make_event(proto::Event::kThreadStart);
       ev.set("tid", event.thread_id);
       ev.set("pid", static_cast<int>(::getpid()));
       send_event(std::move(ev));
       return;
     }
     case vm::TraceKind::kThreadEnd: {
-      Value ev = proto::make_event(proto::kEvThreadExit);
+      Value ev = proto::make_event(proto::Event::kThreadExit);
       ev.set("tid", event.thread_id);
       ev.set("pid", static_cast<int>(::getpid()));
       send_event(std::move(ev));
@@ -334,6 +351,10 @@ void DebugServer::park_thread(vm::InterpThread& th,
     td->parked = true;
     td->resume = false;
   }
+  metrics::add(metrics::Counter::kStops);
+  metrics::gauge_add(metrics::Gauge::kParkedThreads, 1);
+  metrics::ScopedTimer park_timer(metrics::Histogram::kStopParkNanos);
+  trace::Span span("stop:" + reason, "debugger");
   // Low-intrusive suspension: this thread releases the GIL and waits;
   // every other UE keeps running at full speed (§1 footnote 1). The
   // stopped event is sent only after the BlockScope has published the
@@ -342,7 +363,7 @@ void DebugServer::park_thread(vm::InterpThread& th,
   {
     vm::Vm::BlockScope scope(vm_, th, vm::ThreadState::kDebugParked,
                              "debugger (" + reason + ")");
-    Value ev = proto::make_event(proto::kEvStopped);
+    Value ev = proto::make_event(proto::Event::kStopped);
     ev.set("pid", static_cast<int>(::getpid()));
     ev.set("tid", event.thread_id);
     ev.set("file", std::string(event.file));
@@ -354,6 +375,8 @@ void DebugServer::park_thread(vm::InterpThread& th,
     (void)vm_.wait_interruptible(th, td->mutex, td->cv,
                                  [&] { return td->resume; });
   }
+  park_timer.stop();
+  metrics::gauge_add(metrics::Gauge::kParkedThreads, -1);
   {
     std::scoped_lock lock(td->mutex);
     td->parked = false;
@@ -373,19 +396,43 @@ void DebugServer::handle_new_connection() {
     return;
   }
   ipc::TcpStream stream = std::move(accepted).value();
-  auto hello = ipc::recv_frame_timeout(stream, 2000);
-  if (!hello.is_ok()) {
-    DLOG_WARN("dbg") << "bad hello: " << hello.error().to_string();
+  auto frame = ipc::recv_frame_timeout(stream, 2000);
+  if (!frame.is_ok()) {
+    DLOG_WARN("dbg") << "bad hello: " << frame.error().to_string();
     return;
   }
-  std::string channel = hello.value().get_string("channel");
   (void)stream.set_nodelay(true);
-  if (channel == proto::kChannelControl) {
+  auto hello = proto::Hello::from_wire(frame.value());
+  if (!hello.is_ok()) {
+    Value refusal = proto::make_error(
+        0, "bad hello: " + hello.error().message(), proto::kErrBadRequest);
+    (void)ipc::send_frame(stream, refusal);
+    return;
+  }
+  const proto::Hello& hi = hello.value();
+  if (hi.proto_major != proto::kProtoMajor) {
+    // A different major means the wire layouts disagree; answering in
+    // OUR dialect and carrying on would wedge both sides. Reject with
+    // a typed error (the one shape every version understands) and
+    // close. Minor skew is fine: additive commands old peers ignore.
+    Value refusal = proto::make_error(
+        0,
+        "protocol version mismatch: server speaks " +
+            std::to_string(proto::kProtoMajor) + "." +
+            std::to_string(proto::kProtoMinor) + ", client sent " +
+            std::to_string(hi.proto_major) + "." +
+            std::to_string(hi.proto_minor),
+        proto::kErrVersionMismatch);
+    (void)ipc::send_frame(stream, refusal);
+    return;
+  }
+  if (hi.channel == proto::kChannelControl) {
     std::scoped_lock lock(state_mutex_);
     if (control_.valid()) {
       // 1 server : 1 client (§4.1) — two clients driving one debuggee
       // would make it inconsistent.
-      Value refusal = proto::make_error(0, "a client is already attached");
+      Value refusal = proto::make_error(0, "a client is already attached",
+                                        proto::kErrBadRequest);
       (void)ipc::send_frame(stream, refusal);
       return;
     }
@@ -394,7 +441,7 @@ void DebugServer::handle_new_connection() {
     reactor_->add_fd(fd, [this] { handle_control_frame(); });
     return;
   }
-  if (channel == proto::kChannelEvents) {
+  if (hi.channel == proto::kChannelEvents) {
     std::scoped_lock lock(events_mutex_);
     events_ = std::move(stream);
     // Flush everything that happened before the client attached.
@@ -406,10 +453,11 @@ void DebugServer::handle_new_connection() {
       }
       event_backlog_.pop_front();
       events_sent_.fetch_add(1, std::memory_order_relaxed);
+      metrics::add(metrics::Counter::kEventsSent);
     }
     return;
   }
-  DLOG_WARN("dbg") << "unknown channel '" << channel << "'";
+  DLOG_WARN("dbg") << "unknown channel '" << hi.channel << "'";
 }
 
 void DebugServer::handle_control_frame() {
@@ -460,149 +508,259 @@ ipc::wire::Value DebugServer::execute_command(
     const Value& request, std::function<void()>* after_send) {
   const std::string cmd = request.get_string("cmd");
   const std::int64_t seq = request.get_int("seq");
+  metrics::add(metrics::Counter::kCommandsServed);
+  metrics::ScopedTimer timer(metrics::Histogram::kCommandNanos);
+  trace::Span span("cmd:" + cmd, "debugger");
+  auto it = commands_.find(cmd);
+  if (it == commands_.end()) {
+    // Typed kind: a 1.x client probing for a newer minor's command
+    // (e.g. `stats` against a 1.0 server) distinguishes "not
+    // supported" from a real failure without parsing prose.
+    return proto::make_error(seq, "unknown command '" + cmd + "'",
+                             proto::kErrUnknownCommand);
+  }
+  return it->second(request, seq, after_send);
+}
 
-  if (cmd == proto::kCmdPing) {
-    Value response = proto::make_ok(seq);
-    response.set("pid", static_cast<int>(::getpid()));
-    response.set("heartbeat_ms", options_.heartbeat_interval_millis);
-    return response;
-  }
-  if (cmd == proto::kCmdInfo) {
-    Value response = proto::make_ok(seq);
-    response.set("pid", static_cast<int>(::getpid()));
-    response.set("main_tid", vm_.main_thread_id());
-    response.set("fork_depth", vm_.fork_depth());
-    response.set("disturb", disturb());
-    response.set("heartbeat_ms", options_.heartbeat_interval_millis);
-    return response;
-  }
-  if (cmd == proto::kCmdThreads) return cmd_threads(seq);
-  if (cmd == proto::kCmdFrames) {
-    return cmd_frames(seq, request.get_int("tid"));
-  }
-  if (cmd == proto::kCmdLocals) {
-    return cmd_locals(seq, request.get_int("tid"),
-                      static_cast<int>(request.get_int("depth")));
-  }
-  if (cmd == proto::kCmdGlobals) return cmd_globals(seq);
-  if (cmd == proto::kCmdSource) {
-    return cmd_source(seq, request.get_string("file"));
-  }
-  if (cmd == proto::kCmdEval) {
-    // Fig. 2's command shell `p expr`: evaluate in a suspended frame.
-    auto value = vm_.eval_in_frame(request.get_int("tid"),
-                                   static_cast<int>(request.get_int("depth")),
-                                   request.get_string("expr"));
-    if (!value.is_ok()) return proto::make_error(seq, value.error().message());
-    Value response = proto::make_ok(seq);
-    response.set("value", std::move(value).value());
-    return response;
-  }
+template <typename Req, typename Fn>
+void DebugServer::register_command(Fn handler) {
+  commands_[Req::kName] = [handler](const Value& request, std::int64_t seq,
+                                    std::function<void()>* after_send) {
+    Result<Req> req = Req::from_wire(request);
+    if (!req.is_ok()) {
+      return proto::make_error(seq, req.error().message(),
+                               proto::kErrBadRequest);
+    }
+    return handler(std::move(req).value(), seq, after_send);
+  };
+}
 
-  if (cmd == proto::kCmdBreakSet) {
-    int id = breakpoints_.add(request.get_string("file"),
-                              static_cast<int>(request.get_int("line")),
-                              request.get_int("tid"),
-                              static_cast<std::uint64_t>(
-                                  request.get_int("ignore")));
-    Value response = proto::make_ok(seq);
-    response.set("id", id);
-    return response;
-  }
-  if (cmd == proto::kCmdBreakClear) {
-    std::int64_t id = request.get_int("id");
-    if (id == 0) {
-      breakpoints_.clear();
-      return proto::make_ok(seq);
-    }
-    if (!breakpoints_.remove(static_cast<int>(id))) {
-      return proto::make_error(seq, "no such breakpoint");
-    }
-    return proto::make_ok(seq);
-  }
-  if (cmd == proto::kCmdBreakList) {
-    Value response = proto::make_ok(seq);
-    Array list;
-    for (const Breakpoint& bp : breakpoints_.snapshot()) {
-      Value entry;
-      entry.set("id", bp.id);
-      entry.set("file", bp.file);
-      entry.set("line", bp.line);
-      entry.set("enabled", bp.enabled);
-      entry.set("hits", static_cast<std::int64_t>(bp.hit_count));
-      list.push_back(std::move(entry));
-    }
-    response.set("breakpoints", std::move(list));
-    return response;
-  }
+void DebugServer::register_commands() {
+  using Wake = std::function<void()>*;
 
-  if (cmd == proto::kCmdContinue || cmd == proto::kCmdStep ||
-      cmd == proto::kCmdNext || cmd == proto::kCmdFinish) {
-    ThreadDebug::Mode mode = ThreadDebug::Mode::kRun;
-    if (cmd == proto::kCmdStep) mode = ThreadDebug::Mode::kStepInto;
-    if (cmd == proto::kCmdNext) mode = ThreadDebug::Mode::kStepOver;
-    if (cmd == proto::kCmdFinish) mode = ThreadDebug::Mode::kStepOut;
-    Status status = resume_thread(request.get_int("tid"), mode, after_send);
+  register_command<proto::PingRequest>(
+      [this](const proto::PingRequest&, std::int64_t seq, Wake) {
+        proto::PingResponse resp;
+        resp.pid = static_cast<int>(::getpid());
+        resp.heartbeat_ms = options_.heartbeat_interval_millis;
+        resp.proto_major = proto::kProtoMajor;
+        resp.proto_minor = proto::kProtoMinor;
+        resp.capabilities = proto::local_capabilities();
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::InfoRequest>(
+      [this](const proto::InfoRequest&, std::int64_t seq, Wake) {
+        proto::InfoResponse resp;
+        resp.pid = static_cast<int>(::getpid());
+        resp.main_tid = vm_.main_thread_id();
+        resp.fork_depth = vm_.fork_depth();
+        resp.disturb = disturb();
+        resp.heartbeat_ms = options_.heartbeat_interval_millis;
+        resp.proto_major = proto::kProtoMajor;
+        resp.proto_minor = proto::kProtoMinor;
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::ThreadsRequest>(
+      [this](const proto::ThreadsRequest&, std::int64_t seq, Wake) {
+        proto::ThreadsResponse resp;
+        for (const vm::ThreadInfo& info : vm_.list_threads()) {
+          resp.threads.push_back(proto::ThreadEntry{
+              info.id, info.name, vm::thread_state_name(info.state),
+              info.file, info.line, info.block_note, info.frame_depth});
+        }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::FramesRequest>(
+      [this](const proto::FramesRequest& req, std::int64_t seq, Wake) {
+        proto::FramesResponse resp;
+        for (const vm::FrameInfo& frame : vm_.thread_frames(req.tid)) {
+          resp.frames.push_back(
+              proto::FrameEntry{frame.function, frame.file, frame.line});
+        }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::LocalsRequest>(
+      [this](const proto::LocalsRequest& req, std::int64_t seq, Wake) {
+        proto::LocalsResponse resp;
+        for (const auto& [name, repr] : vm_.frame_locals(req.tid, req.depth)) {
+          resp.locals.push_back(proto::NamedValue{name, repr});
+        }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::GlobalsRequest>(
+      [this](const proto::GlobalsRequest&, std::int64_t seq, Wake) {
+        proto::GlobalsResponse resp;
+        for (const auto& [name, repr] : vm_.globals_snapshot()) {
+          resp.globals.push_back(proto::NamedValue{name, repr});
+        }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::SourceRequest>(
+      [this](const proto::SourceRequest& req, std::int64_t seq, Wake) {
+        {
+          std::scoped_lock lock(sources_mutex_);
+          auto it = sources_.find(req.file);
+          if (it != sources_.end()) {
+            return ok_with(seq, proto::SourceResponse{it->second}.to_wire());
+          }
+        }
+        auto text = read_file(req.file);
+        if (!text.is_ok()) {
+          return proto::make_error(
+              seq, "cannot read source: " + text.error().to_string());
+        }
+        return ok_with(
+            seq, proto::SourceResponse{std::move(text).value()}.to_wire());
+      });
+
+  register_command<proto::EvalRequest>(
+      [this](const proto::EvalRequest& req, std::int64_t seq, Wake) {
+        // Fig. 2's command shell `p expr`: evaluate in a suspended frame.
+        auto value = vm_.eval_in_frame(req.tid, req.depth, req.expr);
+        if (!value.is_ok()) {
+          return proto::make_error(seq, value.error().message());
+        }
+        return ok_with(
+            seq, proto::EvalResponse{std::move(value).value()}.to_wire());
+      });
+
+  register_command<proto::BreakSetRequest>(
+      [this](const proto::BreakSetRequest& req, std::int64_t seq, Wake) {
+        int id = breakpoints_.add(req.file, req.line, req.tid,
+                                  static_cast<std::uint64_t>(req.ignore));
+        return ok_with(seq, proto::BreakSetResponse{id}.to_wire());
+      });
+
+  register_command<proto::BreakClearRequest>(
+      [this](const proto::BreakClearRequest& req, std::int64_t seq, Wake) {
+        if (req.id == 0) {
+          breakpoints_.clear();
+          return proto::make_ok(seq);
+        }
+        if (!breakpoints_.remove(req.id)) {
+          return proto::make_error(seq, "no such breakpoint");
+        }
+        return proto::make_ok(seq);
+      });
+
+  register_command<proto::BreakListRequest>(
+      [this](const proto::BreakListRequest&, std::int64_t seq, Wake) {
+        proto::BreakListResponse resp;
+        for (const Breakpoint& bp : breakpoints_.snapshot()) {
+          resp.breakpoints.push_back(proto::BreakpointEntry{
+              bp.id, bp.file, bp.line, bp.enabled,
+              static_cast<std::int64_t>(bp.hit_count)});
+        }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  auto resume = [this](std::int64_t tid, ThreadDebug::Mode mode,
+                       std::int64_t seq, Wake after_send) {
+    Status status = resume_thread(tid, mode, after_send);
     if (!status.is_ok()) return proto::make_error(seq, status.to_string());
     return proto::make_ok(seq);
-  }
-  if (cmd == proto::kCmdContinueAll) {
-    auto states = debug_states_snapshot();
-    for (auto& td : states) {
-      std::scoped_lock lock(td->mutex);
-      td->mode = ThreadDebug::Mode::kRun;
-      td->pause_requested = false;
-    }
-    *after_send = [states] {
-      for (auto& td : states) {
-        std::scoped_lock lock(td->mutex);
-        if (td->parked) {
-          td->resume = true;
-          td->cv.notify_all();
+  };
+  register_command<proto::ContinueRequest>(
+      [resume](const proto::ContinueRequest& req, std::int64_t seq,
+               Wake after_send) {
+        return resume(req.tid, ThreadDebug::Mode::kRun, seq, after_send);
+      });
+  register_command<proto::StepRequest>(
+      [resume](const proto::StepRequest& req, std::int64_t seq,
+               Wake after_send) {
+        return resume(req.tid, ThreadDebug::Mode::kStepInto, seq, after_send);
+      });
+  register_command<proto::NextRequest>(
+      [resume](const proto::NextRequest& req, std::int64_t seq,
+               Wake after_send) {
+        return resume(req.tid, ThreadDebug::Mode::kStepOver, seq, after_send);
+      });
+  register_command<proto::FinishRequest>(
+      [resume](const proto::FinishRequest& req, std::int64_t seq,
+               Wake after_send) {
+        return resume(req.tid, ThreadDebug::Mode::kStepOut, seq, after_send);
+      });
+
+  register_command<proto::ContinueAllRequest>(
+      [this](const proto::ContinueAllRequest&, std::int64_t seq,
+             Wake after_send) {
+        auto states = debug_states_snapshot();
+        for (auto& td : states) {
+          std::scoped_lock lock(td->mutex);
+          td->mode = ThreadDebug::Mode::kRun;
+          td->pause_requested = false;
         }
-      }
-    };
-    return proto::make_ok(seq);
-  }
-  if (cmd == proto::kCmdPause) {
-    auto td = thread_state(request.get_int("tid"));
-    std::scoped_lock lock(td->mutex);
-    td->pause_requested = true;
-    td->refresh_attention();
-    return proto::make_ok(seq);
-  }
-  if (cmd == proto::kCmdPauseAll) {
-    // Pause every live thread at its next traced line ("Dionea can
-    // also operate over the whole program", §4).
-    for (const vm::ThreadInfo& info : vm_.list_threads()) {
-      auto td = thread_state(info.id);
-      std::scoped_lock lock(td->mutex);
-      td->pause_requested = true;
-      td->refresh_attention();
-    }
-    return proto::make_ok(seq);
-  }
-  if (cmd == proto::kCmdDisturb) {
-    set_disturb(request.get_bool("on"));
-    return proto::make_ok(seq);
-  }
-  if (cmd == proto::kCmdDetach) {
-    tracing_wanted_.store(false, std::memory_order_relaxed);
-    vm_.set_trace_enabled(false);
-    auto states = debug_states_snapshot();
-    *after_send = [states] {
-      for (auto& td : states) {
+        *after_send = [states] {
+          for (auto& td : states) {
+            std::scoped_lock lock(td->mutex);
+            if (td->parked) {
+              td->resume = true;
+              td->cv.notify_all();
+            }
+          }
+        };
+        return proto::make_ok(seq);
+      });
+
+  register_command<proto::PauseRequest>(
+      [this](const proto::PauseRequest& req, std::int64_t seq, Wake) {
+        auto td = thread_state(req.tid);
         std::scoped_lock lock(td->mutex);
-        td->mode = ThreadDebug::Mode::kRun;
-        td->pause_requested = false;
+        td->pause_requested = true;
         td->refresh_attention();
-        td->resume = true;
-        td->cv.notify_all();
-      }
-    };
-    return proto::make_ok(seq);
-  }
-  return proto::make_error(seq, "unknown command '" + cmd + "'");
+        return proto::make_ok(seq);
+      });
+
+  register_command<proto::PauseAllRequest>(
+      [this](const proto::PauseAllRequest&, std::int64_t seq, Wake) {
+        // Pause every live thread at its next traced line ("Dionea can
+        // also operate over the whole program", §4).
+        for (const vm::ThreadInfo& info : vm_.list_threads()) {
+          auto td = thread_state(info.id);
+          std::scoped_lock lock(td->mutex);
+          td->pause_requested = true;
+          td->refresh_attention();
+        }
+        return proto::make_ok(seq);
+      });
+
+  register_command<proto::DisturbRequest>(
+      [this](const proto::DisturbRequest& req, std::int64_t seq, Wake) {
+        set_disturb(req.on);
+        return proto::make_ok(seq);
+      });
+
+  register_command<proto::DetachRequest>(
+      [this](const proto::DetachRequest&, std::int64_t seq, Wake after_send) {
+        tracing_wanted_.store(false, std::memory_order_relaxed);
+        vm_.set_trace_enabled(false);
+        auto states = debug_states_snapshot();
+        *after_send = [states] {
+          for (auto& td : states) {
+            std::scoped_lock lock(td->mutex);
+            td->mode = ThreadDebug::Mode::kRun;
+            td->pause_requested = false;
+            td->refresh_attention();
+            td->resume = true;
+            td->cv.notify_all();
+          }
+        };
+        return proto::make_ok(seq);
+      });
+
+  register_command<proto::StatsRequest>(
+      [](const proto::StatsRequest&, std::int64_t seq, Wake) {
+        proto::StatsResponse resp = proto::StatsResponse::from_snapshot(
+            metrics::Registry::instance().snapshot(),
+            static_cast<int>(::getpid()));
+        return ok_with(seq, resp.to_wire());
+      });
 }
 
 Status DebugServer::resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
@@ -639,91 +797,11 @@ Status DebugServer::resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
   return Status::ok();
 }
 
-ipc::wire::Value DebugServer::cmd_threads(std::int64_t seq) {
-  Value response = proto::make_ok(seq);
-  Array list;
-  for (const vm::ThreadInfo& info : vm_.list_threads()) {
-    Value entry;
-    entry.set("tid", info.id);
-    entry.set("name", info.name);
-    entry.set("state", vm::thread_state_name(info.state));
-    entry.set("file", info.file);
-    entry.set("line", info.line);
-    entry.set("note", info.block_note);
-    entry.set("depth", info.frame_depth);
-    list.push_back(std::move(entry));
-  }
-  response.set("threads", std::move(list));
-  return response;
-}
-
-ipc::wire::Value DebugServer::cmd_frames(std::int64_t seq, std::int64_t tid) {
-  Value response = proto::make_ok(seq);
-  Array list;
-  for (const vm::FrameInfo& frame : vm_.thread_frames(tid)) {
-    Value entry;
-    entry.set("function", frame.function);
-    entry.set("file", frame.file);
-    entry.set("line", frame.line);
-    list.push_back(std::move(entry));
-  }
-  response.set("frames", std::move(list));
-  return response;
-}
-
-ipc::wire::Value DebugServer::cmd_locals(std::int64_t seq, std::int64_t tid,
-                                         int depth) {
-  Value response = proto::make_ok(seq);
-  Array list;
-  for (const auto& [name, repr] : vm_.frame_locals(tid, depth)) {
-    Value entry;
-    entry.set("name", name);
-    entry.set("value", repr);
-    list.push_back(std::move(entry));
-  }
-  response.set("locals", std::move(list));
-  return response;
-}
-
-ipc::wire::Value DebugServer::cmd_globals(std::int64_t seq) {
-  Value response = proto::make_ok(seq);
-  Array list;
-  for (const auto& [name, repr] : vm_.globals_snapshot()) {
-    Value entry;
-    entry.set("name", name);
-    entry.set("value", repr);
-    list.push_back(std::move(entry));
-  }
-  response.set("globals", std::move(list));
-  return response;
-}
-
-ipc::wire::Value DebugServer::cmd_source(std::int64_t seq,
-                                         const std::string& file) {
-  {
-    std::scoped_lock lock(sources_mutex_);
-    auto it = sources_.find(file);
-    if (it != sources_.end()) {
-      Value response = proto::make_ok(seq);
-      response.set("text", it->second);
-      return response;
-    }
-  }
-  auto text = read_file(file);
-  if (!text.is_ok()) {
-    return proto::make_error(seq, "cannot read source: " +
-                                      text.error().to_string());
-  }
-  Value response = proto::make_ok(seq);
-  response.set("text", std::move(text).value());
-  return response;
-}
-
 // ---------------------------------------------------------------- deadlock
 
 bool DebugServer::deadlock_hook(const std::vector<vm::DeadlockInfo>& infos) {
   if (!client_connected()) return false;  // stock-Ruby behaviour (Listing 6)
-  Value event = proto::make_event(proto::kEvDeadlock);
+  Value event = proto::make_event(proto::Event::kDeadlock);
   event.set("pid", static_cast<int>(::getpid()));
   Array list;
   for (const vm::DeadlockInfo& info : infos) {

@@ -21,12 +21,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "debugger/breakpoint.hpp"
@@ -146,6 +148,18 @@ class DebugServer {
   ipc::wire::Value execute_command(const ipc::wire::Value& request,
                                    std::function<void()>* after_send);
 
+  // Command registry: every protocol command is a typed handler keyed
+  // by its struct's kName. execute_command strips the {cmd, seq}
+  // envelope, finds the handler, and lets it decode its own request.
+  using CommandHandler = std::function<ipc::wire::Value(
+      const ipc::wire::Value& request, std::int64_t seq,
+      std::function<void()>* after_send)>;
+  void register_commands();
+  // Wrap a typed handler: decodes Req::from_wire, maps a decode
+  // failure to a kErrBadRequest response, passes the struct through.
+  template <typename Req, typename Fn>
+  void register_command(Fn handler);
+
   // Event push (any thread).
   void send_event(ipc::wire::Value event);
   void send_terminated_once();
@@ -154,12 +168,6 @@ class DebugServer {
   // the dead-peer signal — both channels are dropped.
   void heartbeat_tick();
 
-  // Command implementations.
-  ipc::wire::Value cmd_threads(std::int64_t seq);
-  ipc::wire::Value cmd_frames(std::int64_t seq, std::int64_t tid);
-  ipc::wire::Value cmd_locals(std::int64_t seq, std::int64_t tid, int depth);
-  ipc::wire::Value cmd_globals(std::int64_t seq);
-  ipc::wire::Value cmd_source(std::int64_t seq, const std::string& file);
   // Validates and stages a resume; the returned closure (stored into
   // *wake) performs the actual wake-up.
   Status resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
@@ -177,6 +185,9 @@ class DebugServer {
   vm::Vm& vm_;
   Options options_;
   std::atomic<bool> disturb_{false};
+  // Populated once in the constructor; read-only afterwards, so the
+  // listener thread dispatches without a lock.
+  std::unordered_map<std::string, CommandHandler> commands_;
 
   std::uint16_t port_ = 0;
   std::unique_ptr<ipc::TcpListener> listener_;

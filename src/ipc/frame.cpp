@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/timing.hpp"
 
@@ -56,6 +57,8 @@ Result<wire::Value> recv_frame_impl(TcpStream& stream, int deadline_millis) {
   if (len > 0) {
     DIONEA_RETURN_IF_ERROR(read_part(payload.data(), len));
   }
+  metrics::add(metrics::Counter::kFramesReceived);
+  metrics::add(metrics::Counter::kFrameBytesReceived, 8 + len);
   return wire::Value::decode(payload);
 }
 
@@ -84,7 +87,12 @@ Status send_frame(TcpStream& stream, const wire::Value& value) {
   buffer.reserve(sizeof(header) + payload.size());
   buffer.append(header, sizeof(header));
   buffer.append(payload);
-  return stream.write_all(buffer.data(), buffer.size());
+  Status st = stream.write_all(buffer.data(), buffer.size());
+  if (st.is_ok()) {
+    metrics::add(metrics::Counter::kFramesSent);
+    metrics::add(metrics::Counter::kFrameBytesSent, buffer.size());
+  }
+  return st;
 }
 
 Result<wire::Value> recv_frame(TcpStream& stream) {
@@ -136,6 +144,8 @@ Result<wire::Value> FrameReader::recv_timeout(TcpStream& stream,
       if (pending_.size() == target) {
         std::string payload = pending_.substr(8);
         pending_.clear();
+        metrics::add(metrics::Counter::kFramesReceived);
+        metrics::add(metrics::Counter::kFrameBytesReceived, target);
         return wire::Value::decode(payload);
       }
     }

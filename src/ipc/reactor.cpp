@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/timing.hpp"
 
 namespace dionea::ipc {
@@ -168,6 +169,11 @@ Result<int> Reactor::poll_once(int timeout_millis) {
     if (errno == EINTR) return fired;
     return errno_error("poll", errno);
   }
+  // Dispatch latency = callback work after poll wakes, NOT the sleep
+  // itself — how long a second client request queues behind the first.
+  const bool record = metrics::Registry::instance().enabled();
+  const std::int64_t dispatch_start = record ? mono_nanos() : 0;
+  const int fired_before_dispatch = fired;
   fired += fire_due_timers();
   if (pfds[0].revents != 0) drain_wakeup();
   for (size_t i = 1; i < pfds.size(); ++i) {
@@ -185,6 +191,12 @@ Result<int> Reactor::poll_once(int timeout_millis) {
     }
     cb();
     ++fired;
+  }
+  if (record && fired > fired_before_dispatch) {
+    metrics::add(metrics::Counter::kReactorRounds);
+    metrics::observe(
+        metrics::Histogram::kReactorDispatchNanos,
+        static_cast<std::uint64_t>(mono_nanos() - dispatch_start));
   }
   return fired;
 }

@@ -8,7 +8,9 @@
 #include <cstring>
 
 #include "mp/serialize.hpp"
+#include "support/metrics.hpp"
 #include "support/scope_guard.hpp"
+#include "support/timing.hpp"
 
 namespace dionea::mp {
 namespace {
@@ -119,6 +121,9 @@ Status MpQueue::push_bytes(std::string_view bytes) {
     (void)::sem_trywait(&shared_->items);
     return written;
   }
+  metrics::add(metrics::Counter::kMpPushes);
+  metrics::add(metrics::Counter::kMpBytesPushed, sizeof(header) + bytes.size());
+  metrics::gauge_set(metrics::Gauge::kMpQueueDepth, size());
   return Status::ok();
 }
 
@@ -136,12 +141,18 @@ Result<std::string> MpQueue::pop_bytes(bool (*interrupt_check)(void*),
 
 Result<std::optional<std::string>> MpQueue::pop_bytes_timeout(
     int timeout_millis) {
+  const bool record = metrics::Registry::instance().enabled();
+  const std::int64_t wait_start = record ? mono_nanos() : 0;
   timespec deadline{};
   ::clock_gettime(CLOCK_REALTIME, &deadline);
   add_millis(&deadline, timeout_millis);
   while (::sem_timedwait(&shared_->items, &deadline) != 0) {
     if (errno == ETIMEDOUT) return std::optional<std::string>();
     if (errno != EINTR) return errno_error("sem_timedwait", errno);
+  }
+  if (record) {
+    metrics::observe(metrics::Histogram::kMpPopWaitNanos,
+                     static_cast<std::uint64_t>(mono_nanos() - wait_start));
   }
   // An item is committed to the pipe; read it under the reader lock.
   SharedLock lock(&shared_->read_lock);
@@ -155,6 +166,8 @@ Result<std::optional<std::string>> MpQueue::pop_bytes_timeout(
     status = pipe_.read_end().read_exact(payload.data(), len);
     if (!status.is_ok()) return status.error();
   }
+  metrics::add(metrics::Counter::kMpPops);
+  metrics::gauge_set(metrics::Gauge::kMpQueueDepth, size());
   return std::optional<std::string>(std::move(payload));
 }
 

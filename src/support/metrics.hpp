@@ -1,0 +1,245 @@
+// Observability registry: how intrusive is the debugger, measured at
+// runtime. The paper's value claim is *low intrusiveness* ("a stop
+// suspends exactly one interpreter thread", §1 fn.1) — this registry
+// quantifies it: trace-hook dispatch time, GIL acquire-wait/hold time,
+// reactor dispatch latency, per-command service time, frame and mp
+// queue throughput.
+//
+// Design: a fixed, enumerated metric set (no string lookups on the hot
+// path) recorded into per-thread shards. A probe is one relaxed atomic
+// load (the enabled flag) plus one single-writer relaxed store —
+// cheap enough to live permanently inside the per-line trace path.
+// snapshot() merges every shard; nothing is locked while a debuggee
+// thread records.
+//
+// Fork protocol: shards are plain memory, so the child inherits the
+// parent's totals. Fork handler C calls Registry::reset() so child
+// stats start clean (a child's `stats` must describe the child, not
+// its ancestry).
+//
+// Environment: DIONEA_METRICS=0 disables collection at startup
+// (probes reduce to the enabled-flag load); any other value, or the
+// variable being unset, leaves it on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/timing.hpp"
+
+namespace dionea::metrics {
+
+// ---- metric ids ----
+// Monotonic counters.
+enum class Counter : int {
+  kTraceLineEvents,      // VM line trace events dispatched
+  kTraceCallEvents,      // VM call trace events dispatched
+  kTraceReturnEvents,    // VM return trace events dispatched
+  kTraceThreadEvents,    // VM thread start/end trace events
+  kGilAcquires,          // GIL acquisitions
+  kGilContended,         // acquisitions that had to wait for a holder
+  kReactorRounds,        // reactor dispatch rounds that ran callbacks
+  kFramesSent,           // protocol frames written (both channels)
+  kFrameBytesSent,       // bytes of those frames (header + payload)
+  kFramesReceived,       // protocol frames read
+  kFrameBytesReceived,   // bytes of those frames
+  kCommandsServed,       // control commands executed by the server
+  kEventsSent,           // user-visible events pushed by the server
+  kStops,                // threads parked by the debugger
+  kForks,                // forks that ran the debugger's handler chain
+  kMpPushes,             // mp queue items pushed
+  kMpPops,               // mp queue items popped
+  kMpBytesPushed,        // payload bytes pushed through mp queues
+  kCount
+};
+
+// Point-in-time values (last write wins; not sharded).
+enum class Gauge : int {
+  kMpQueueDepth,   // items in the most recently touched mp queue
+  kParkedThreads,  // threads currently suspended by the debugger
+  kCount
+};
+
+// Fixed-bucket latency histograms (nanoseconds, power-of-two buckets).
+enum class Histogram : int {
+  kTraceHookNanos,        // one trace-hook dispatch (sampled, see vm.cpp)
+  kGilWaitNanos,          // acquire() entry -> lock granted
+  kGilHoldNanos,          // lock granted -> release()
+  kReactorDispatchNanos,  // one reactor round's callback work
+  kCommandNanos,          // one control command, decode -> response ready
+  kStopParkNanos,         // park -> resume of one debugger stop
+  kMpPopWaitNanos,        // mp queue pop: sem wait -> payload read
+  kCount
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+inline constexpr int kGaugeCount = static_cast<int>(Gauge::kCount);
+inline constexpr int kHistogramCount = static_cast<int>(Histogram::kCount);
+
+// Stable snake_case names used by the `stats` protocol command and the
+// console renderer.
+const char* counter_name(Counter c) noexcept;
+const char* gauge_name(Gauge g) noexcept;
+const char* histogram_name(Histogram h) noexcept;
+
+// Bucket i covers [2^i, 2^(i+1)) nanoseconds; bucket 0 also absorbs 0,
+// the last bucket absorbs everything >= 2^(kHistogramBuckets-1) ns
+// (~134 ms with 28 buckets — far beyond any latency we time).
+inline constexpr int kHistogramBuckets = 28;
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_nanos = 0;
+  std::uint64_t max_nanos = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean_nanos() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum_nanos) /
+                                  static_cast<double>(count);
+  }
+  // Bucket-resolution percentile (upper edge of the bucket holding the
+  // p-th sample); p in [0, 1].
+  std::uint64_t percentile_nanos(double p) const noexcept;
+};
+
+struct Snapshot {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<std::int64_t, kGaugeCount> gauges{};
+  std::array<HistogramSnapshot, kHistogramCount> histograms{};
+};
+
+namespace internal {
+
+// One thread's slice of every metric. Single writer (the owning
+// thread); snapshot() reads concurrently with relaxed loads — a
+// snapshot is allowed to be a moment stale, never torn (64-bit relaxed
+// atomics).
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters{};
+  struct Histo {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Histo, kHistogramCount> histograms{};
+
+  void add(Counter c, std::uint64_t delta) noexcept {
+    auto& cell = counters[static_cast<int>(c)];
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+  void observe(Histogram h, std::uint64_t nanos) noexcept;
+  void zero() noexcept;
+};
+
+}  // namespace internal
+
+class Registry {
+ public:
+  // Process-wide instance; reads DIONEA_METRICS on first use.
+  static Registry& instance();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Merge every shard (live and retired) plus the gauges.
+  Snapshot snapshot() const;
+
+  // Zero every shard and gauge. Called by debugger fork handler C so a
+  // child's stats start clean; also used by benches between arms.
+  // Single-threaded contexts only (the child after fork, test setup) —
+  // concurrent writers may leave a handful of stale increments behind.
+  void reset();
+
+  void gauge_set(Gauge g, std::int64_t value) noexcept {
+    gauges_[static_cast<int>(g)].store(value, std::memory_order_relaxed);
+  }
+  void gauge_add(Gauge g, std::int64_t delta) noexcept {
+    gauges_[static_cast<int>(g)].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // The calling thread's shard (created and registered on first use).
+  internal::Shard& local_shard();
+
+  // Shards ever created (tests; shards are pooled, not destroyed).
+  size_t shard_count() const;
+
+ private:
+  Registry();
+
+  internal::Shard* acquire_shard();
+  void release_shard(internal::Shard* shard) noexcept;
+
+  struct ThreadSlot;  // RAII registration living in a thread_local
+
+  std::atomic<bool> enabled_{true};
+  std::array<std::atomic<std::int64_t>, kGaugeCount> gauges_{};
+  mutable std::mutex mutex_;
+  // The registry owns every shard forever: a thread's totals must
+  // survive its exit. Exited threads' shards go to the free list and
+  // are reused (values kept — totals are cumulative), so memory is
+  // bounded by the peak thread count.
+  std::vector<std::unique_ptr<internal::Shard>> shards_;  // guarded by mutex_
+  std::vector<internal::Shard*> free_shards_;             // guarded by mutex_
+};
+
+// ---- hot-path probes ----
+
+inline void add(Counter c, std::uint64_t delta = 1) noexcept {
+  Registry& reg = Registry::instance();
+  if (!reg.enabled()) return;
+  reg.local_shard().add(c, delta);
+}
+
+inline void observe(Histogram h, std::uint64_t nanos) noexcept {
+  Registry& reg = Registry::instance();
+  if (!reg.enabled()) return;
+  reg.local_shard().observe(h, nanos);
+}
+
+inline void gauge_set(Gauge g, std::int64_t value) noexcept {
+  Registry& reg = Registry::instance();
+  if (!reg.enabled()) return;
+  reg.gauge_set(g, value);
+}
+
+inline void gauge_add(Gauge g, std::int64_t delta) noexcept {
+  Registry& reg = Registry::instance();
+  if (!reg.enabled()) return;
+  reg.gauge_add(g, delta);
+}
+
+// RAII latency probe. Costs nothing (no clock read) when collection is
+// disabled at construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram h) noexcept
+      : h_(h), start_(Registry::instance().enabled() ? mono_nanos() : -1) {}
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Record now instead of at scope exit (idempotent).
+  void stop() noexcept {
+    if (start_ < 0) return;
+    observe(h_, static_cast<std::uint64_t>(mono_nanos() - start_));
+    start_ = -1;
+  }
+  // Abandon without recording.
+  void cancel() noexcept { start_ = -1; }
+
+ private:
+  Histogram h_;
+  std::int64_t start_;
+};
+
+}  // namespace dionea::metrics

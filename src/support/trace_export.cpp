@@ -1,0 +1,123 @@
+#include "support/trace_export.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "support/timing.hpp"
+
+namespace dionea::trace {
+namespace {
+
+struct SpanRecord {
+  std::string name;
+  const char* category;
+  std::int64_t start_nanos;
+  std::int64_t duration_nanos;
+  int tid;
+};
+
+// Small dense ids for the viewer's per-thread tracks (std::thread::id
+// is opaque and gettid() is Linux-only).
+int local_tid() {
+  static std::atomic<int> next{1};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+struct Exporter {
+  std::mutex mutex;
+  std::string path;          // empty = disabled
+  std::vector<SpanRecord> spans;  // guarded by mutex
+  std::atomic<bool> active{false};
+
+  Exporter() {
+    const char* env = std::getenv("DIONEA_TRACE_OUT");
+    if (env != nullptr && env[0] != '\0') {
+      path = env;
+      active.store(true, std::memory_order_relaxed);
+      std::atexit([] { flush(); });
+    }
+  }
+
+  void write_locked() {
+    if (path.empty()) return;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return;
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+    int pid = static_cast<int>(::getpid());
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const SpanRecord& s = spans[i];
+      // trace_event timestamps are microseconds (doubles are fine for
+      // sub-microsecond resolution over a debugging session).
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}%s\n",
+                   s.name.c_str(), s.category,
+                   static_cast<double>(s.start_nanos) / 1000.0,
+                   static_cast<double>(s.duration_nanos) / 1000.0, pid,
+                   s.tid, i + 1 < spans.size() ? "," : "");
+    }
+    std::fputs("]}\n", out);
+    std::fclose(out);
+  }
+};
+
+Exporter& exporter() {
+  // Leaked: spans may be emitted during static destruction.
+  static Exporter* instance = new Exporter();
+  return *instance;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return exporter().active.load(std::memory_order_relaxed);
+}
+
+void emit_span(std::string name, const char* category,
+               std::int64_t start_nanos, std::int64_t duration_nanos) {
+  Exporter& ex = exporter();
+  if (!ex.active.load(std::memory_order_relaxed)) return;
+  int tid = local_tid();
+  std::scoped_lock lock(ex.mutex);
+  ex.spans.push_back(SpanRecord{std::move(name), category, start_nanos,
+                                duration_nanos, tid});
+}
+
+Span::Span(std::string name, const char* category) noexcept
+    : name_(std::move(name)),
+      category_(category),
+      start_(enabled() ? mono_nanos() : -1) {}
+
+Span::~Span() {
+  if (start_ < 0) return;
+  emit_span(std::move(name_), category_, start_, mono_nanos() - start_);
+}
+
+void flush() {
+  Exporter& ex = exporter();
+  if (!ex.active.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lock(ex.mutex);
+  ex.write_locked();
+}
+
+void child_atfork() {
+  Exporter& ex = exporter();
+  if (!ex.active.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lock(ex.mutex);
+  ex.spans.clear();
+  ex.path += "." + std::to_string(::getpid());
+}
+
+size_t buffered_spans() {
+  Exporter& ex = exporter();
+  std::scoped_lock lock(ex.mutex);
+  return ex.spans.size();
+}
+
+}  // namespace dionea::trace

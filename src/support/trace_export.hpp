@@ -1,0 +1,52 @@
+// Chrome trace_event exporter: spans for every debugger stop, control
+// command and fork-handler phase, written as a JSON file loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Activation: set DIONEA_TRACE_OUT=/path/trace.json. Disabled (unset),
+// emit() is one relaxed atomic load. Spans are buffered in memory and
+// flushed at process exit (or on flush()); a forked child switches to
+// its own file — "<path>.<pid>" — so per-process timelines never
+// interleave (the multi-process view is Perfetto's job: each file
+// carries the real pid).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dionea::trace {
+
+bool enabled() noexcept;
+
+// Record a completed span ("ph":"X"). `name` ought to be short and
+// stable ("cmd:threads", "stop:breakpoint", "fork:C-child");
+// `category` groups spans in the viewer ("debugger", "fork", ...).
+void emit_span(std::string name, const char* category,
+               std::int64_t start_nanos, std::int64_t duration_nanos);
+
+// Convenience: span measured from construction to destruction.
+class Span {
+ public:
+  Span(std::string name, const char* category) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_;
+  std::int64_t start_;  // -1 when tracing is off
+};
+
+// Write buffered spans to the output file (append-safe: later flushes
+// rewrite the whole file with the full buffer). Called automatically
+// at exit; tests and benches call it explicitly.
+void flush();
+
+// Fork handler C: re-point the child at "<path>.<pid>" and drop spans
+// inherited from the parent (the parent flushes its own copy).
+void child_atfork();
+
+// Number of spans buffered (tests).
+size_t buffered_spans();
+
+}  // namespace dionea::trace

@@ -14,6 +14,7 @@
 #include "support/strings.hpp"
 #include "support/temp_file.hpp"
 #include "support/timing.hpp"
+#include "support/trace_export.hpp"
 #include "vm/sync.hpp"
 #include "vm/vm.hpp"
 
@@ -713,6 +714,9 @@ void install_process(Vm& vm) {
           }
         }
         v.run_at_exit_hook();
+        // _exit skips atexit handlers; flush the child's trace buffer
+        // (repointed to its own file by handler C) explicitly.
+        trace::flush();
         std::fflush(nullptr);
         ::_exit(exit_code);
       });

@@ -1,6 +1,8 @@
 #include "vm/gil.hpp"
 
+#include "support/metrics.hpp"
 #include "support/result.hpp"
+#include "support/timing.hpp"
 
 namespace dionea::vm {
 
@@ -15,10 +17,16 @@ Gil::Gil() : state_(std::make_unique<State>()) {}
 Gil::~Gil() = default;
 
 void Gil::acquire(std::int64_t tid) {
+  const bool record = metrics::Registry::instance().enabled();
   std::unique_lock lock(state_->mutex);
   DIONEA_CHECK(!(state_->held && state_->owner == tid),
                "recursive GIL acquire");
   std::uint64_t ticket = state_->next_ticket++;
+  // Contended = someone holds the lock or earlier tickets are queued.
+  // The clock is read only on that path (and once on grant when
+  // metrics are on): the uncontended acquire stays probe-free.
+  const bool contended = state_->held || ticket != state_->serving;
+  const std::int64_t wait_start = (record && contended) ? mono_nanos() : 0;
   ++state_->waiters;
   state_->cv.wait(lock, [this, ticket] {
     return !state_->held && ticket == state_->serving;
@@ -27,6 +35,18 @@ void Gil::acquire(std::int64_t tid) {
   ++state_->serving;
   state_->held = true;
   state_->owner = tid;
+  if (record) {
+    metrics::add(metrics::Counter::kGilAcquires);
+    const std::int64_t now = mono_nanos();
+    if (contended) {
+      metrics::add(metrics::Counter::kGilContended);
+      metrics::observe(metrics::Histogram::kGilWaitNanos,
+                       static_cast<std::uint64_t>(now - wait_start));
+    }
+    state_->acquired_nanos = now;
+  } else {
+    state_->acquired_nanos = 0;
+  }
 }
 
 void Gil::release() {
@@ -34,6 +54,14 @@ void Gil::release() {
     std::scoped_lock lock(state_->mutex);
     DIONEA_CHECK(state_->held, "releasing unheld GIL");
     state_->held = false;
+    // The releasing thread is the owner, so the shard write below is
+    // still single-writer.
+    if (state_->acquired_nanos != 0) {
+      metrics::observe(
+          metrics::Histogram::kGilHoldNanos,
+          static_cast<std::uint64_t>(mono_nanos() - state_->acquired_nanos));
+      state_->acquired_nanos = 0;
+    }
   }
   state_->cv.notify_all();
 }

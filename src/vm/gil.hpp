@@ -60,6 +60,9 @@ class Gil {
     // yielding thread really does hand the lock to the next waiter.
     std::uint64_t next_ticket = 0;
     std::uint64_t serving = 0;
+    // When the current holder acquired (0 = metrics were off at
+    // acquire time); release() turns it into a gil_hold_nanos sample.
+    std::int64_t acquired_nanos = 0;
   };
   std::unique_ptr<State> state_;
   std::unique_lock<std::mutex> fork_lock_;  // held between prepare and parent

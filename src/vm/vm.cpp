@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/timing.hpp"
 #include "vm/builtins.hpp"
@@ -315,6 +316,29 @@ std::optional<VmError> Vm::push_frame(InterpThread& th,
 }
 
 void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
+  switch (kind) {
+    case TraceKind::kLine:
+      metrics::add(metrics::Counter::kTraceLineEvents);
+      break;
+    case TraceKind::kCall:
+      metrics::add(metrics::Counter::kTraceCallEvents);
+      break;
+    case TraceKind::kReturn:
+      metrics::add(metrics::Counter::kTraceReturnEvents);
+      break;
+    case TraceKind::kThreadStart:
+    case TraceKind::kThreadEnd:
+      metrics::add(metrics::Counter::kTraceThreadEvents);
+      break;
+  }
+  // Dispatch latency is sampled 1-in-64: two clock reads per line
+  // event would dwarf the dispatch being measured; at this rate the
+  // histogram stays honest and the probe stays off the §7 overhead.
+  thread_local unsigned sample_tick = 0;
+  const bool sampled = metrics::Registry::instance().enabled() &&
+                       (++sample_tick & 63u) == 0;
+  const std::int64_t start = sampled ? mono_nanos() : 0;
+
   TraceEvent event;
   event.kind = kind;
   event.thread_id = th.id();
@@ -327,6 +351,11 @@ void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
                                         : std::string_view(proto.name);
   }
   trace_fn_(*this, th, event);
+
+  if (sampled) {
+    metrics::observe(metrics::Histogram::kTraceHookNanos,
+                     static_cast<std::uint64_t>(mono_nanos() - start));
+  }
 }
 
 // --------------------------------------------------------------- interpret

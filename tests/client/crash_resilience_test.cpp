@@ -91,8 +91,8 @@ TEST(CrashResilienceTest, SigkilledDebuggeeYieldsCrashEvent) {
     for (const auto& [event_pid, event] : events.value()) {
       if (event_pid != pid) continue;
       // The death must read as a crash, not a clean exit.
-      EXPECT_NE(event.name, proto::kEvProcessExited);
-      if (event.name == proto::kEvProcessCrashed) {
+      EXPECT_NE(event.kind, proto::Event::kProcessExited);
+      if (event.kind == proto::Event::kProcessCrashed) {
         EXPECT_EQ(event.payload.get_int("pid"), pid);
         crashed = true;
       }
@@ -181,7 +181,7 @@ TEST(CrashResilienceTest, ReconnectPreservesBreakpoints) {
   auto events = client.poll_all_events(10);
   ASSERT_TRUE(events.is_ok());
   ASSERT_EQ(events.value().size(), 1u);
-  EXPECT_EQ(events.value()[0].second.name, proto::kEvProcessCrashed);
+  EXPECT_EQ(events.value()[0].second.kind, proto::Event::kProcessCrashed);
 
   ReconnectPolicy policy;
   policy.max_attempts = 20;

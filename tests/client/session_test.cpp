@@ -92,7 +92,7 @@ TEST(SessionTest, RequestsHaveMonotonicSeqs) {
   auto* session = harness.launch();
   ASSERT_TRUE(session->wait_stopped(5000).is_ok());
   for (int i = 0; i < 50; ++i) {
-    auto pong = session->request(dbg::proto::kCmdPing);
+    auto pong = session->ping();
     ASSERT_TRUE(pong.is_ok()) << i;
   }
   ASSERT_TRUE(session->cont(1).is_ok());

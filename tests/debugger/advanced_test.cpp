@@ -191,7 +191,7 @@ TEST(AdvancedEventTest, StoppedEventCarriesFullPayload) {
   auto bp = session->set_breakpoint("test.ml", 2);
   ASSERT_TRUE(bp.is_ok());
   ASSERT_TRUE(session->cont(1).is_ok());
-  auto event = session->wait_event(proto::kEvStopped, 5000);
+  auto event = session->wait_event(proto::Event::kStopped, 5000);
   ASSERT_TRUE(event.is_ok());
   EXPECT_EQ(event.value().payload.get_int("pid"), getpid());
   EXPECT_EQ(event.value().payload.get_int("tid"), 1);

@@ -47,7 +47,7 @@ TEST(DeadlockScenarioTest, WithDebuggerExactLineReported) {
   ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
 
   // Fig. 7: "Dionea showing the exact place where a deadlock occurs."
-  auto deadlock = child.value()->wait_event(proto::kEvDeadlock, 5000);
+  auto deadlock = child.value()->wait_event(proto::Event::kDeadlock, 5000);
   ASSERT_TRUE(deadlock.is_ok());
   const auto& blocked = deadlock.value().payload.at("threads").as_array();
   ASSERT_EQ(blocked.size(), 1u);
@@ -80,7 +80,7 @@ TEST(DeadlockScenarioTest, InThreadDeadlockReportedInParent) {
       "q.pop()",        // 2
       HarnessOptions{.stop_at_entry = false});
   auto* session = harness.launch();
-  auto deadlock = session->wait_event(proto::kEvDeadlock, 5000);
+  auto deadlock = session->wait_event(proto::Event::kDeadlock, 5000);
   ASSERT_TRUE(deadlock.is_ok());
   const auto& blocked = deadlock.value().payload.at("threads").as_array();
   ASSERT_EQ(blocked.size(), 1u);
@@ -101,7 +101,7 @@ TEST(DeadlockScenarioTest, MultiThreadDeadlockListsEveryThread) {
       "q1.push(q2.pop())",                  // 6
       HarnessOptions{.stop_at_entry = false});
   auto* session = harness.launch();
-  auto deadlock = session->wait_event(proto::kEvDeadlock, 5000);
+  auto deadlock = session->wait_event(proto::Event::kDeadlock, 5000);
   ASSERT_TRUE(deadlock.is_ok());
   const auto& blocked = deadlock.value().payload.at("threads").as_array();
   ASSERT_EQ(blocked.size(), 2u);

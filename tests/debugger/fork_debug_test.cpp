@@ -26,7 +26,7 @@ TEST(ForkDebugTest, ChildPublishesItsOwnSession) {
                      .stop_forked_children = true});
   auto* parent = harness.launch();
 
-  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
   EXPECT_NE(child_pid, getpid());
@@ -62,7 +62,7 @@ TEST(ForkDebugTest, ChildInheritsBreakpoints) {
   ASSERT_TRUE(parent->set_breakpoint("test.ml", 4).is_ok());
   ASSERT_TRUE(parent->cont(1).is_ok());
 
-  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
   auto child = harness.client().await_process(child_pid, 5000);
@@ -108,7 +108,7 @@ TEST(ForkDebugTest, ParentAndChildControlledIndependently) {
   ASSERT_TRUE(entry.is_ok());
   ASSERT_TRUE(parent->cont(1).is_ok());
 
-  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
   auto child = harness.client().await_process(child_pid, 5000);
@@ -146,7 +146,7 @@ TEST(ForkDebugTest, ForkWithBlockChildTerminationEventArrives) {
       HarnessOptions{.stop_at_entry = false,
                      .stop_forked_children = true});
   auto* parent = harness.launch();
-  auto forked = parent->wait_event(proto::kEvForked, 5000);
+  auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
   auto child = harness.client().await_process(child_pid, 5000);
@@ -155,7 +155,7 @@ TEST(ForkDebugTest, ForkWithBlockChildTerminationEventArrives) {
   ASSERT_TRUE(birth.is_ok());
   ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
   // Listing 3 / handler C: the child's at-exit hook reports termination.
-  auto terminated = child.value()->wait_event(proto::kEvTerminated, 5000);
+  auto terminated = child.value()->wait_event(proto::Event::kTerminated, 5000);
   ASSERT_TRUE(terminated.is_ok());
   EXPECT_EQ(terminated.value().payload.get_int("pid"), child_pid);
   auto result = harness.join();
@@ -190,9 +190,9 @@ TEST(ForkDebugTest, GrandchildGetsSessionToo) {
   auto grandchild = harness.client().await_new_process(5000);
   ASSERT_TRUE(grandchild.is_ok());
   EXPECT_NE(grandchild.value()->pid(), child.value()->pid());
-  auto info = grandchild.value()->request(proto::kCmdInfo);
+  auto info = grandchild.value()->info();
   ASSERT_TRUE(info.is_ok());
-  EXPECT_EQ(info.value().get_int("fork_depth"), 2);
+  EXPECT_EQ(info.value().fork_depth, 2);
 
   auto grand_stop = grandchild.value()->wait_stopped(5000);
   ASSERT_TRUE(grand_stop.is_ok());

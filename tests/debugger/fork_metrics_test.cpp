@@ -1,0 +1,70 @@
+// Fork handler C must reset the child's metrics registry: a child's
+// `stats` describes the child, not the parent's inherited totals
+// (which survive fork as copy-on-write memory otherwise).
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "client/session.hpp"
+#include "debugger/protocol.hpp"
+#include "support/metrics.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+namespace proto = dbg::proto;
+
+TEST(ForkMetricsTest, ChildStatsStartCleanAfterHandlerC) {
+  metrics::Registry::instance().set_enabled(true);
+  // The parent burns >300 traced lines before forking, so its
+  // trace_line_events total is unmistakably large by fork time.
+  DebugHarness harness(
+      "i = 0\n"
+      "while i < 300\n"
+      "  i = i + 1\n"
+      "end\n"
+      "pid = fork(fn()\n"
+      "  c = 1\n"
+      "end)\n"
+      "waitpid(pid)",
+      HarnessOptions{.stop_at_entry = false,
+                     .stop_forked_children = true});
+  auto* parent = harness.launch();
+
+  auto forked = parent->wait_event(proto::Event::kForked, 5000);
+  ASSERT_TRUE(forked.is_ok());
+  int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
+  auto child = harness.client().await_process(child_pid, 5000);
+  ASSERT_TRUE(child.is_ok());
+  auto birth = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(birth.is_ok());
+
+  // The child is parked at its birth stop: it has run at most a couple
+  // of statements of its own since handler C zeroed its shards.
+  auto child_stats = child.value()->stats();
+  ASSERT_TRUE(child_stats.is_ok()) << child_stats.error().to_string();
+  EXPECT_EQ(child_stats.value().pid, child_pid);
+  std::int64_t child_lines = child_stats.value().counter("trace_line_events");
+  EXPECT_LT(child_lines, 100) << "child inherited the parent's counters";
+  // The fork itself is the child's, ancestry-wise, but the counter is
+  // bumped in handler B (parent side): the reset child shows none.
+  EXPECT_EQ(child_stats.value().counter("forks"), 0);
+
+  auto parent_stats = parent->stats();
+  ASSERT_TRUE(parent_stats.is_ok());
+  EXPECT_EQ(parent_stats.value().pid, ::getpid());
+  EXPECT_GT(parent_stats.value().counter("trace_line_events"), 300);
+  EXPECT_GE(parent_stats.value().counter("forks"), 1);
+
+  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+  auto terminated = child.value()->wait_event(proto::Event::kTerminated, 5000);
+  ASSERT_TRUE(terminated.is_ok()) << terminated.error().to_string();
+  auto result = harness.join();
+  EXPECT_TRUE(result.ok);
+}
+
+}  // namespace
+}  // namespace dionea

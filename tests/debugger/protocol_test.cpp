@@ -8,16 +8,69 @@
 namespace dionea::dbg::proto {
 namespace {
 
-TEST(ProtocolTest, HelloShape) {
-  auto hello = make_hello(kChannelControl, 1234);
-  EXPECT_EQ(hello.get_string("channel"), "control");
-  EXPECT_EQ(hello.get_int("pid"), 1234);
+// Encode/decode through real wire bytes so the round trip covers the
+// serializer, not just the in-memory Value tree.
+ipc::wire::Value rewire(const ipc::wire::Value& value) {
+  std::string bytes;
+  value.encode(&bytes);
+  auto decoded = ipc::wire::Value::decode(bytes);
+  EXPECT_TRUE(decoded.is_ok());
+  return decoded.is_ok() ? decoded.value() : ipc::wire::Value();
 }
 
-TEST(ProtocolTest, RequestShape) {
-  auto request = make_request(kCmdBreakSet, 42);
-  EXPECT_EQ(request.get_string("cmd"), "break_set");
-  EXPECT_EQ(request.get_int("seq"), 42);
+template <typename T>
+T round_trip(const T& in) {
+  auto out = T::from_wire(rewire(in.to_wire()));
+  EXPECT_TRUE(out.is_ok()) << T::kName;
+  return out.is_ok() ? std::move(out).value() : T{};
+}
+
+// Responses have no kName; same round trip without the label.
+template <typename T>
+T round_trip_response(const T& in) {
+  auto out = T::from_wire(rewire(in.to_wire()));
+  EXPECT_TRUE(out.is_ok());
+  return out.is_ok() ? std::move(out).value() : T{};
+}
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  Hello hello;
+  hello.channel = kChannelControl;
+  hello.pid = 1234;
+  hello.capabilities = local_capabilities();
+  auto back = round_trip_response(hello);
+  EXPECT_EQ(back.channel, "control");
+  EXPECT_EQ(back.pid, 1234);
+  EXPECT_EQ(back.proto_major, kProtoMajor);
+  EXPECT_EQ(back.proto_minor, kProtoMinor);
+  EXPECT_EQ(back.capabilities, local_capabilities());
+}
+
+TEST(ProtocolTest, HelloWithoutVersionDecodesAsOneDotZero) {
+  // A pre-1.1 peer sends only {channel, pid}; lenient decode maps it
+  // to protocol 1.0 with no capabilities rather than failing.
+  ipc::wire::Value old_hello;
+  old_hello.set("channel", "events");
+  old_hello.set("pid", 77);
+  auto hello = Hello::from_wire(old_hello);
+  ASSERT_TRUE(hello.is_ok());
+  EXPECT_EQ(hello.value().channel, "events");
+  EXPECT_EQ(hello.value().pid, 77);
+  EXPECT_EQ(hello.value().proto_major, 1);
+  EXPECT_EQ(hello.value().proto_minor, 0);
+  EXPECT_TRUE(hello.value().capabilities.empty());
+}
+
+TEST(ProtocolTest, HelloRejectsNonObject) {
+  ipc::wire::Value not_an_object(42);
+  EXPECT_FALSE(Hello::from_wire(not_an_object).is_ok());
+}
+
+TEST(ProtocolTest, LocalCapabilitiesIncludeStatsAndHeartbeat) {
+  auto caps = local_capabilities();
+  std::set<std::string> set(caps.begin(), caps.end());
+  EXPECT_TRUE(set.count(kCapStats));
+  EXPECT_TRUE(set.count(kCapHeartbeat));
 }
 
 TEST(ProtocolTest, OkAndErrorResponses) {
@@ -30,30 +83,319 @@ TEST(ProtocolTest, OkAndErrorResponses) {
   EXPECT_EQ(error.get_int("re"), 8);
   EXPECT_FALSE(error.get_bool("ok"));
   EXPECT_EQ(error.get_string("error"), "no such thread");
+  EXPECT_FALSE(error.has("error_kind"));
 }
 
-TEST(ProtocolTest, EventShape) {
-  auto event = make_event(kEvStopped);
-  EXPECT_EQ(event.get_string("event"), "stopped");
+TEST(ProtocolTest, ErrorKindsAreMachineReadable) {
+  auto error = make_error(9, "speak 1.x", kErrVersionMismatch);
+  EXPECT_EQ(error.get_string("error_kind"), kErrVersionMismatch);
+  auto unknown = make_error(10, "what is frobnicate", kErrUnknownCommand);
+  EXPECT_EQ(unknown.get_string("error_kind"), kErrUnknownCommand);
+  auto bad = make_error(11, "tid must be an int", kErrBadRequest);
+  EXPECT_EQ(bad.get_string("error_kind"), kErrBadRequest);
 }
 
-TEST(ProtocolTest, FramesRoundTripThroughWire) {
-  auto request = make_request(kCmdLocals, 3);
-  request.set("tid", 5);
-  request.set("depth", 0);
-  std::string bytes;
-  request.encode(&bytes);
-  auto decoded = ipc::wire::Value::decode(bytes);
-  ASSERT_TRUE(decoded.is_ok());
-  EXPECT_EQ(decoded.value(), request);
+TEST(ProtocolTest, EventNamesRoundTripThroughEnum) {
+  const Event all[] = {Event::kStopped,       Event::kThreadStart,
+                       Event::kThreadExit,    Event::kForked,
+                       Event::kTerminated,    Event::kDeadlock,
+                       Event::kOutput,        Event::kHeartbeat,
+                       Event::kProcessExited, Event::kProcessCrashed};
+  std::set<std::string> names;
+  for (Event e : all) {
+    names.insert(event_name(e));
+    EXPECT_EQ(event_from_name(event_name(e)), e);
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_EQ(event_from_name("launder_money"), Event::kUnknown);
+}
+
+TEST(ProtocolTest, OnlyHeartbeatIsInternal) {
+  // The enum is the single authority on transport-internal events:
+  // heartbeats never surface to wait_event() users, everything else
+  // must.
+  EXPECT_TRUE(event_internal(Event::kHeartbeat));
+  EXPECT_FALSE(event_internal(Event::kStopped));
+  EXPECT_FALSE(event_internal(Event::kForked));
+  EXPECT_FALSE(event_internal(Event::kTerminated));
+  EXPECT_FALSE(event_internal(Event::kProcessCrashed));
+  EXPECT_FALSE(event_internal(Event::kUnknown));
+}
+
+TEST(ProtocolTest, InternalEventsAreFlaggedOnTheWire) {
+  auto heartbeat = make_event(Event::kHeartbeat);
+  EXPECT_EQ(heartbeat.get_string("event"), "heartbeat");
+  EXPECT_TRUE(heartbeat.get_bool("internal"));
+  auto stopped = make_event(Event::kStopped);
+  EXPECT_EQ(stopped.get_string("event"), "stopped");
+  EXPECT_FALSE(stopped.has("internal"));
+}
+
+TEST(ProtocolTest, ArglessRequestsRoundTrip) {
+  round_trip(PingRequest{});
+  round_trip(InfoRequest{});
+  round_trip(ThreadsRequest{});
+  round_trip(GlobalsRequest{});
+  round_trip(BreakListRequest{});
+  round_trip(ContinueAllRequest{});
+  round_trip(PauseAllRequest{});
+  round_trip(DetachRequest{});
+  round_trip(StatsRequest{});
+}
+
+TEST(ProtocolTest, TidRequestsRoundTrip) {
+  FramesRequest frames;
+  frames.tid = 42;
+  EXPECT_EQ(round_trip(frames).tid, 42);
+
+  ContinueRequest cont;
+  cont.tid = 7;
+  EXPECT_EQ(round_trip(cont).tid, 7);
+  StepRequest step;
+  step.tid = 8;
+  EXPECT_EQ(round_trip(step).tid, 8);
+  NextRequest next;
+  next.tid = 9;
+  EXPECT_EQ(round_trip(next).tid, 9);
+  FinishRequest finish;
+  finish.tid = 10;
+  EXPECT_EQ(round_trip(finish).tid, 10);
+  PauseRequest pause;
+  pause.tid = 11;
+  EXPECT_EQ(round_trip(pause).tid, 11);
+}
+
+TEST(ProtocolTest, PingResponseRoundTrip) {
+  PingResponse pong;
+  pong.pid = 4321;
+  pong.heartbeat_ms = 250;
+  pong.proto_major = kProtoMajor;
+  pong.proto_minor = kProtoMinor;
+  pong.capabilities = {kCapStats, kCapHeartbeat};
+  auto back = round_trip_response(pong);
+  EXPECT_EQ(back.pid, 4321);
+  EXPECT_EQ(back.heartbeat_ms, 250);
+  EXPECT_EQ(back.proto_major, kProtoMajor);
+  EXPECT_EQ(back.proto_minor, kProtoMinor);
+  EXPECT_EQ(back.capabilities.size(), 2u);
+}
+
+TEST(ProtocolTest, PingResponseFromOldServerDefaultsToOneDotZero) {
+  ipc::wire::Value old_pong;
+  old_pong.set("pid", 5);
+  old_pong.set("heartbeat_ms", 0);
+  auto pong = PingResponse::from_wire(old_pong);
+  ASSERT_TRUE(pong.is_ok());
+  EXPECT_EQ(pong.value().proto_major, 1);
+  EXPECT_EQ(pong.value().proto_minor, 0);
+  EXPECT_TRUE(pong.value().capabilities.empty());
+}
+
+TEST(ProtocolTest, InfoResponseRoundTrip) {
+  InfoResponse info;
+  info.pid = 99;
+  info.main_tid = 3;
+  info.fork_depth = 2;
+  info.disturb = true;
+  info.heartbeat_ms = 100;
+  info.proto_major = kProtoMajor;
+  info.proto_minor = kProtoMinor;
+  auto back = round_trip_response(info);
+  EXPECT_EQ(back.pid, 99);
+  EXPECT_EQ(back.main_tid, 3);
+  EXPECT_EQ(back.fork_depth, 2);
+  EXPECT_TRUE(back.disturb);
+  EXPECT_EQ(back.heartbeat_ms, 100);
+  EXPECT_EQ(back.proto_major, kProtoMajor);
+}
+
+TEST(ProtocolTest, ThreadsResponseRoundTrip) {
+  ThreadsResponse threads;
+  threads.threads.push_back(
+      {1, "main", "running", "prog.vm", 10, "", 2});
+  threads.threads.push_back(
+      {2, "worker", "blocked", "prog.vm", 40, "queue.pop", 1});
+  auto back = round_trip_response(threads);
+  ASSERT_EQ(back.threads.size(), 2u);
+  EXPECT_EQ(back.threads[0].tid, 1);
+  EXPECT_EQ(back.threads[0].name, "main");
+  EXPECT_EQ(back.threads[0].state, "running");
+  EXPECT_EQ(back.threads[0].line, 10);
+  EXPECT_EQ(back.threads[0].depth, 2);
+  EXPECT_EQ(back.threads[1].note, "queue.pop");
+}
+
+TEST(ProtocolTest, FramesAndLocalsRoundTrip) {
+  LocalsRequest locals_req;
+  locals_req.tid = 5;
+  locals_req.depth = 1;
+  auto lr = round_trip(locals_req);
+  EXPECT_EQ(lr.tid, 5);
+  EXPECT_EQ(lr.depth, 1);
+
+  FramesResponse frames;
+  frames.frames.push_back({"mapper", "mr.vm", 17});
+  frames.frames.push_back({"<main>", "mr.vm", 80});
+  auto fb = round_trip_response(frames);
+  ASSERT_EQ(fb.frames.size(), 2u);
+  EXPECT_EQ(fb.frames[0].function, "mapper");
+  EXPECT_EQ(fb.frames[1].line, 80);
+
+  LocalsResponse locals;
+  locals.locals.push_back({"x", "42"});
+  locals.locals.push_back({"words", "[\"a\", \"b\"]"});
+  auto lb = round_trip_response(locals);
+  ASSERT_EQ(lb.locals.size(), 2u);
+  EXPECT_EQ(lb.locals[0].name, "x");
+  EXPECT_EQ(lb.locals[1].value, "[\"a\", \"b\"]");
+
+  GlobalsResponse globals;
+  globals.globals.push_back({"G", "\"shared\""});
+  auto gb = round_trip_response(globals);
+  ASSERT_EQ(gb.globals.size(), 1u);
+  EXPECT_EQ(gb.globals[0].name, "G");
+}
+
+TEST(ProtocolTest, SourceAndEvalRoundTrip) {
+  SourceRequest src;
+  src.file = "prog.vm";
+  EXPECT_EQ(round_trip(src).file, "prog.vm");
+  SourceResponse text;
+  text.text = "let x = 1\nprint(x)\n";
+  EXPECT_EQ(round_trip_response(text).text, text.text);
+
+  EvalRequest eval;
+  eval.tid = 2;
+  eval.depth = 3;
+  eval.expr = "x + y";
+  auto eb = round_trip(eval);
+  EXPECT_EQ(eb.tid, 2);
+  EXPECT_EQ(eb.depth, 3);
+  EXPECT_EQ(eb.expr, "x + y");
+  EvalResponse result;
+  result.value = "7";
+  EXPECT_EQ(round_trip_response(result).value, "7");
+}
+
+TEST(ProtocolTest, BreakpointFamilyRoundTrip) {
+  BreakSetRequest set;
+  set.file = "prog.vm";
+  set.line = 12;
+  set.tid = 4;
+  set.ignore = 2;
+  auto sb = round_trip(set);
+  EXPECT_EQ(sb.file, "prog.vm");
+  EXPECT_EQ(sb.line, 12);
+  EXPECT_EQ(sb.tid, 4);
+  EXPECT_EQ(sb.ignore, 2);
+
+  BreakSetResponse id;
+  id.id = 3;
+  EXPECT_EQ(round_trip_response(id).id, 3);
+
+  BreakClearRequest clear;
+  clear.id = 3;
+  EXPECT_EQ(round_trip(clear).id, 3);
+
+  BreakListResponse list;
+  list.breakpoints.push_back({1, "prog.vm", 12, true, 5});
+  list.breakpoints.push_back({2, "prog.vm", 30, false, 0});
+  auto lb = round_trip_response(list);
+  ASSERT_EQ(lb.breakpoints.size(), 2u);
+  EXPECT_EQ(lb.breakpoints[0].id, 1);
+  EXPECT_EQ(lb.breakpoints[0].hits, 5);
+  EXPECT_TRUE(lb.breakpoints[0].enabled);
+  EXPECT_FALSE(lb.breakpoints[1].enabled);
+}
+
+TEST(ProtocolTest, DisturbRoundTrip) {
+  DisturbRequest on;
+  on.on = true;
+  EXPECT_TRUE(round_trip(on).on);
+  DisturbRequest off;
+  off.on = false;
+  EXPECT_FALSE(round_trip(off).on);
+}
+
+TEST(ProtocolTest, RequestsRejectNonObjectFrames) {
+  ipc::wire::Value scalar(1);
+  EXPECT_FALSE(FramesRequest::from_wire(scalar).is_ok());
+  EXPECT_FALSE(BreakSetRequest::from_wire(scalar).is_ok());
+  EXPECT_FALSE(StatsResponse::from_wire(scalar).is_ok());
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrip) {
+  StatsResponse stats;
+  stats.pid = 314;
+  stats.counters.emplace_back("frames_sent", 12);
+  stats.counters.emplace_back("gil_acquires", 9000);
+  stats.gauges.emplace_back("mp_queue_depth", 3);
+  StatsHistogram hist;
+  hist.name = "command_nanos";
+  hist.count = 4;
+  hist.sum_nanos = 4000;
+  hist.max_nanos = 2000;
+  hist.p50_nanos = 1024;
+  hist.p99_nanos = 2048;
+  hist.buckets.assign(metrics::kHistogramBuckets, 0);
+  hist.buckets[10] = 4;
+  stats.histograms.push_back(hist);
+
+  auto back = round_trip_response(stats);
+  EXPECT_EQ(back.pid, 314);
+  EXPECT_EQ(back.counter("frames_sent"), 12);
+  EXPECT_EQ(back.counter("gil_acquires"), 9000);
+  EXPECT_EQ(back.counter("not_a_counter"), 0);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_EQ(back.gauges[0].second, 3);
+  const StatsHistogram* h = back.histogram("command_nanos");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum_nanos, 4000u);
+  EXPECT_EQ(h->max_nanos, 2000u);
+  EXPECT_EQ(h->p50_nanos, 1024u);
+  EXPECT_EQ(h->p99_nanos, 2048u);
+  ASSERT_EQ(h->buckets.size(), metrics::kHistogramBuckets);
+  EXPECT_EQ(h->buckets[10], 4u);
+  EXPECT_DOUBLE_EQ(h->mean_nanos(), 1000.0);
+  EXPECT_EQ(back.histogram("absent"), nullptr);
+}
+
+TEST(ProtocolTest, StatsResponseFromSnapshot) {
+  metrics::Snapshot snapshot;
+  snapshot.counters[static_cast<size_t>(
+      metrics::Counter::kFramesSent)] = 21;
+  snapshot.gauges[static_cast<size_t>(
+      metrics::Gauge::kParkedThreads)] = 2;
+  auto& hist = snapshot.histograms[static_cast<size_t>(
+      metrics::Histogram::kGilWaitNanos)];
+  hist.count = 1;
+  hist.sum_nanos = 500;
+  hist.max_nanos = 500;
+  hist.buckets[9] = 1;  // 256..511ns bucket
+
+  auto stats = StatsResponse::from_snapshot(snapshot, 55);
+  EXPECT_EQ(stats.pid, 55);
+  EXPECT_EQ(stats.counter("frames_sent"), 21);
+  const StatsHistogram* h = stats.histogram("gil_wait_nanos");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_GT(h->p50_nanos, 0u);
 }
 
 TEST(ProtocolTest, CommandNamesAreDistinct) {
   const char* names[] = {
-      kCmdPing, kCmdInfo, kCmdThreads, kCmdFrames, kCmdLocals, kCmdGlobals,
-      kCmdSource, kCmdBreakSet, kCmdBreakClear, kCmdBreakList, kCmdContinue,
-      kCmdContinueAll, kCmdStep, kCmdNext, kCmdFinish, kCmdPause,
-      kCmdPauseAll, kCmdDisturb, kCmdDetach};
+      PingRequest::kName,     InfoRequest::kName,
+      ThreadsRequest::kName,  FramesRequest::kName,
+      LocalsRequest::kName,   GlobalsRequest::kName,
+      SourceRequest::kName,   EvalRequest::kName,
+      BreakSetRequest::kName, BreakClearRequest::kName,
+      BreakListRequest::kName, ContinueRequest::kName,
+      ContinueAllRequest::kName, StepRequest::kName,
+      NextRequest::kName,     FinishRequest::kName,
+      PauseRequest::kName,    PauseAllRequest::kName,
+      DisturbRequest::kName,  DetachRequest::kName,
+      StatsRequest::kName};
   std::set<std::string> unique(std::begin(names), std::end(names));
   EXPECT_EQ(unique.size(), std::size(names));
 }

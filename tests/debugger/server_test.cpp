@@ -14,11 +14,12 @@ TEST(ServerTest, PingInfoAndEntryStop) {
   DebugHarness harness("x = 1\ny = 2");
   auto* session = harness.launch();
 
-  auto info = session->request(proto::kCmdInfo);
+  auto info = session->info();
   ASSERT_TRUE(info.is_ok());
-  EXPECT_EQ(info.value().get_int("pid"), getpid());
-  EXPECT_EQ(info.value().get_int("main_tid"), 1);
-  EXPECT_EQ(info.value().get_int("fork_depth"), 0);
+  EXPECT_EQ(info.value().pid, getpid());
+  EXPECT_EQ(info.value().main_tid, 1);
+  EXPECT_EQ(info.value().fork_depth, 0);
+  EXPECT_EQ(info.value().proto_major, proto::kProtoMajor);
 
   auto entry = session->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok());
@@ -335,9 +336,9 @@ TEST(ServerTest, ThreadEventsEmitted) {
       "t = spawn(fn() return 1 end)\njoin(t)",
       HarnessOptions{.stop_at_entry = false});
   auto* session = harness.launch();
-  auto started = session->wait_event(proto::kEvThreadStart, 5000);
+  auto started = session->wait_event(proto::Event::kThreadStart, 5000);
   ASSERT_TRUE(started.is_ok());
-  auto exited = session->wait_event(proto::kEvThreadExit, 5000);
+  auto exited = session->wait_event(proto::Event::kThreadExit, 5000);
   ASSERT_TRUE(exited.is_ok());
   harness.join();
 }
@@ -363,14 +364,15 @@ TEST(ServerTest, BreakListReflectsTable) {
   auto b2 = session->set_breakpoint("test.ml", 2);
   ASSERT_TRUE(b1.is_ok());
   ASSERT_TRUE(b2.is_ok());
-  auto list = session->request(proto::kCmdBreakList);
+  auto list = session->breakpoints();
   ASSERT_TRUE(list.is_ok());
-  EXPECT_EQ(list.value().at("breakpoints").as_array().size(), 2u);
+  EXPECT_EQ(list.value().size(), 2u);
 
   ASSERT_TRUE(session->clear_breakpoint(b1.value()).is_ok());
-  list = session->request(proto::kCmdBreakList);
+  list = session->breakpoints();
   ASSERT_TRUE(list.is_ok());
-  EXPECT_EQ(list.value().at("breakpoints").as_array().size(), 1u);
+  ASSERT_EQ(list.value().size(), 1u);
+  EXPECT_EQ(list.value()[0].id, b2.value());
 
   ASSERT_TRUE(session->clear_breakpoint(0).is_ok());  // clear all
   ASSERT_TRUE(session->cont(1).is_ok());
@@ -479,10 +481,10 @@ TEST(ServerOutputTest, CaptureOutputMirrorsToClient) {
   std::thread runner([&] {
     (void)interp.run_string("puts(\"first\")\nputs(\"second\")", "out.ml");
   });
-  auto first = session.value()->wait_event(proto::kEvOutput, 5000);
+  auto first = session.value()->wait_event(proto::Event::kOutput, 5000);
   ASSERT_TRUE(first.is_ok());
   EXPECT_EQ(first.value().payload.get_string("text"), "first\n");
-  auto second = session.value()->wait_event(proto::kEvOutput, 5000);
+  auto second = session.value()->wait_event(proto::Event::kOutput, 5000);
   ASSERT_TRUE(second.is_ok());
   EXPECT_EQ(second.value().payload.get_string("text"), "second\n");
   runner.join();

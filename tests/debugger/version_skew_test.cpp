@@ -1,0 +1,89 @@
+// Hello-time version negotiation (raw wire level): a peer speaking a
+// different MAJOR is refused with a typed error before any channel is
+// established, and a pre-1.1 peer that sends no version fields at all
+// is served as protocol 1.0.
+#include <gtest/gtest.h>
+
+#include "debugger/protocol.hpp"
+#include "ipc/frame.hpp"
+#include "ipc/socket.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+namespace proto = dbg::proto;
+
+TEST(VersionSkewTest, MajorMismatchIsRefusedWithTypedError) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+
+  // A from-the-future client on a fresh connection. The refusal must
+  // come before the channel claim: the real session stays attached.
+  auto raw = ipc::TcpStream::connect(harness.server().port());
+  ASSERT_TRUE(raw.is_ok());
+  proto::Hello hello;
+  hello.channel = proto::kChannelControl;
+  hello.pid = 0;
+  hello.proto_major = 99;
+  hello.proto_minor = 0;
+  ASSERT_TRUE(ipc::send_frame(raw.value(), hello.to_wire()).is_ok());
+  auto refusal = ipc::recv_frame_timeout(raw.value(), 5000);
+  ASSERT_TRUE(refusal.is_ok()) << refusal.error().to_string();
+  EXPECT_FALSE(refusal.value().get_bool("ok"));
+  EXPECT_EQ(refusal.value().get_string("error_kind"),
+            proto::kErrVersionMismatch);
+  // The message names both dialects so a human can diagnose the skew.
+  const std::string message = refusal.value().get_string("error");
+  EXPECT_NE(message.find("99.0"), std::string::npos) << message;
+  EXPECT_NE(message.find(std::to_string(proto::kProtoMajor)),
+            std::string::npos)
+      << message;
+
+  // The attached session is unaffected by the refused intruder.
+  ASSERT_TRUE(session->ping().is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST(VersionSkewTest, LegacyHelloWithoutVersionIsServedAsOneDotZero) {
+  // No client attached: the legacy peer gets the control channel.
+  DebugHarness harness("x = 1");
+
+  auto raw = ipc::TcpStream::connect(harness.server().port());
+  ASSERT_TRUE(raw.is_ok());
+  ipc::wire::Value legacy_hello;
+  legacy_hello.set("channel", proto::kChannelControl);
+  legacy_hello.set("pid", 0);
+  ASSERT_TRUE(ipc::send_frame(raw.value(), legacy_hello).is_ok());
+
+  ipc::wire::Value ping;
+  ping.set("cmd", proto::PingRequest::kName);
+  ping.set("seq", 1);
+  ASSERT_TRUE(ipc::send_frame(raw.value(), ping).is_ok());
+  auto pong = ipc::recv_frame_timeout(raw.value(), 5000);
+  ASSERT_TRUE(pong.is_ok()) << pong.error().to_string();
+  EXPECT_TRUE(pong.value().get_bool("ok"));
+  EXPECT_EQ(pong.value().get_int("re"), 1);
+  // 1.1 responses still decode for a 1.0 reader: additive fields only.
+  EXPECT_GT(pong.value().get_int("pid"), 0);
+}
+
+TEST(VersionSkewTest, UnknownCommandGetsTypedError) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  auto reply = session->request("frobnicate");
+  ASSERT_FALSE(reply.is_ok());
+  // unknown_command maps to kNotFound client-side.
+  EXPECT_EQ(reply.error().code(), ErrorCode::kNotFound)
+      << reply.error().to_string();
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,89 @@
+#include "support/trace_export.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/temp_file.hpp"
+
+namespace dionea::trace {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The exporter reads DIONEA_TRACE_OUT on first use, so this file owns
+// the singleton's activation: the env var is set before any other test
+// in this binary touches trace::. Tests below share the activated
+// exporter and must run in declaration order.
+class TraceExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto tmp = TempDir::create("trace-export");
+    ASSERT_TRUE(tmp.is_ok());
+    dir_ = new TempDir(std::move(tmp).value());
+    path_ = dir_->file("trace.json");
+    ::setenv("DIONEA_TRACE_OUT", path_.c_str(), 1);
+  }
+
+  static TempDir* dir_;
+  static std::string path_;
+};
+
+TempDir* TraceExportTest::dir_ = nullptr;
+std::string TraceExportTest::path_;
+
+TEST_F(TraceExportTest, SpansBufferAndFlushAsChromeTraceJson) {
+  ASSERT_TRUE(enabled());
+  size_t before = buffered_spans();
+  emit_span("cmd:threads", "debugger", 1'000'000, 2'500'000);
+  { Span span("stop:breakpoint", "debugger"); }
+  EXPECT_EQ(buffered_spans(), before + 2);
+
+  flush();
+  std::string json = slurp(path_);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cmd:threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"stop:breakpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"debugger\""), std::string::npos);
+  // Durations are exported in microseconds.
+  EXPECT_NE(json.find("\"dur\":2500"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, LaterFlushRewritesWholeFile) {
+  emit_span("fork:A-prepare", "fork", 5'000'000, 1'000'000);
+  flush();
+  std::string json = slurp(path_);
+  // Both the earlier spans and the new one: flush rewrites, the file
+  // is always valid JSON of everything buffered so far.
+  EXPECT_NE(json.find("\"cmd:threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"fork:A-prepare\""), std::string::npos);
+}
+
+TEST_F(TraceExportTest, ChildAtforkDropsSpansAndRepointsFile) {
+  ASSERT_GT(buffered_spans(), 0u);
+  child_atfork();
+  EXPECT_EQ(buffered_spans(), 0u);
+  emit_span("fork:C-child", "fork", 9'000'000, 500'000);
+  flush();
+  // The child writes to "<path>.<pid>"; the parent's file is untouched.
+  std::string child_json =
+      slurp(path_ + "." + std::to_string(::getpid()));
+  EXPECT_NE(child_json.find("\"fork:C-child\""), std::string::npos);
+  EXPECT_EQ(child_json.find("\"cmd:threads\""), std::string::npos);
+  std::string parent_json = slurp(path_);
+  EXPECT_EQ(parent_json.find("\"fork:C-child\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dionea::trace
