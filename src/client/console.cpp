@@ -79,6 +79,7 @@ std::string Console::help() {
       "  pauseall              suspend every thread\n"
       "  disturb on|off        stop new UEs at birth (§6.4)\n"
       "  stats [pid]           debugger overhead metrics of a process\n"
+      "  replay [pid]          record/replay status of a process\n"
       "  events                drain pending events\n"
       "  reconnect <pid>       reattach to a lost process\n"
       "  quit                  leave the console\n";
@@ -193,6 +194,42 @@ std::string Console::execute(const std::string& line) {
     auto stats = target->stats();
     if (!stats.is_ok()) return stats.error().to_string() + "\n";
     return render_stats(stats.value());
+  }
+
+  if (cmd == "replay") {
+    Session* target = nullptr;
+    if (words.size() > 1) {
+      std::int64_t pid = 0;
+      if (!strings::parse_int(words[1], &pid)) return "usage: replay [pid]\n";
+      target = client_.session(static_cast<int>(pid));
+      if (target == nullptr) {
+        return strings::format("  no session for pid %lld\n",
+                               static_cast<long long>(pid));
+      }
+    } else {
+      std::string error;
+      target = active_session(&error);
+      if (target == nullptr) return error;
+    }
+    auto info = target->replay_info();
+    if (!info.is_ok()) return info.error().to_string() + "\n";
+    const auto& r = info.value();
+    if (r.mode == "off") {
+      return strings::format("  [pid %d] replay engine off\n", r.pid);
+    }
+    std::string out = strings::format(
+        "  [pid %d] mode %s, step %lld", r.pid, r.mode.c_str(),
+        static_cast<long long>(r.step));
+    if (r.mode != "record") {
+      out += strings::format("/%lld", static_cast<long long>(r.total_steps));
+    }
+    out += strings::format(", log %s\n", r.log_path.c_str());
+    if (r.divergence_step >= 0) {
+      out += strings::format("  diverged at step %lld: %s\n",
+                             static_cast<long long>(r.divergence_step),
+                             r.divergence_reason.c_str());
+    }
+    return out;
   }
 
   std::string error;

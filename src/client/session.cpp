@@ -155,6 +155,18 @@ Result<proto::StatsResponse> Session::stats() {
   return proto::StatsResponse::from_wire(response);
 }
 
+Result<proto::ReplayInfoResponse> Session::replay_info() {
+  if (!supports(proto::kCapReplay)) {
+    return Error(ErrorCode::kUnavailable,
+                 strings::format(
+                     "server (proto %d.%d) does not advertise '%s'",
+                     server_proto_major_, server_proto_minor_,
+                     proto::kCapReplay));
+  }
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(proto::ReplayInfoRequest{}));
+  return proto::ReplayInfoResponse::from_wire(response);
+}
+
 Result<int> Session::set_breakpoint(const std::string& file, int line,
                                     std::int64_t tid, std::int64_t ignore) {
   DIONEA_ASSIGN_OR_RETURN(

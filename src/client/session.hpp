@@ -124,6 +124,8 @@ class Session {
   // Requires the kCapStats capability; kUnavailable when the server
   // does not advertise it (graceful downgrade, no wire traffic).
   Result<dbg::proto::StatsResponse> stats();
+  // Same contract, gated on kCapReplay.
+  Result<dbg::proto::ReplayInfoResponse> replay_info();
   Result<int> set_breakpoint(const std::string& file, int line,
                              std::int64_t tid = 0, std::int64_t ignore = 0);
   Result<std::vector<dbg::proto::BreakpointEntry>> breakpoints();

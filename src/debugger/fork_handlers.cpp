@@ -24,6 +24,7 @@
 #include <unistd.h>
 
 #include "debugger/server.hpp"
+#include "replay/replay.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/trace_export.hpp"
@@ -103,6 +104,12 @@ void DebugServer::fork_child() {
   // span below, so the first span in the child's file is this handler.
   metrics::Registry::instance().reset();
   trace::child_atfork();
+  // The replay engine's analog (fresh child log / child subtree of the
+  // recorded log) ran in the VM's own child handler, before this one.
+  if (replay::engine_active()) {
+    DLOG_INFO("fork") << "child replay log: "
+                      << replay::Engine::instance().info().log_path;
+  }
   trace::Span span("fork:C-child", "fork");
 
   // We are the only thread alive. Every pinned lock below was taken by

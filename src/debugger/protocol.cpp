@@ -37,7 +37,7 @@ std::vector<std::string> caps_from_wire(const Value& value,
 }  // namespace
 
 std::vector<std::string> local_capabilities() {
-  return {kCapStats, kCapHeartbeat};
+  return {kCapStats, kCapHeartbeat, kCapReplay};
 }
 
 // -------------------------------------------------------------- events
@@ -149,6 +149,7 @@ DIONEA_ARGLESS_REQUEST(ContinueAllRequest)
 DIONEA_ARGLESS_REQUEST(PauseAllRequest)
 DIONEA_ARGLESS_REQUEST(DetachRequest)
 DIONEA_ARGLESS_REQUEST(StatsRequest)
+DIONEA_ARGLESS_REQUEST(ReplayInfoRequest)
 
 #undef DIONEA_ARGLESS_REQUEST
 
@@ -610,6 +611,36 @@ StatsResponse StatsResponse::from_snapshot(const metrics::Snapshot& snapshot,
     out.buckets.assign(src.buckets.begin(), src.buckets.end());
     resp.histograms.push_back(std::move(out));
   }
+  return resp;
+}
+
+// --------------------------------------------------------- replay-info
+
+Value ReplayInfoResponse::to_wire() const {
+  Value v;
+  v.set("pid", pid);
+  v.set("mode", mode);
+  v.set("step", step);
+  v.set("total_steps", total_steps);
+  v.set("log_path", log_path);
+  v.set("divergence_step", divergence_step);
+  v.set("divergence_reason", divergence_reason);
+  return v;
+}
+
+Result<ReplayInfoResponse> ReplayInfoResponse::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "replay-info response"));
+  ReplayInfoResponse resp;
+  resp.pid = static_cast<int>(value.get_int("pid"));
+  resp.mode = value.get_string("mode");
+  if (resp.mode.empty()) {
+    return Error(ErrorCode::kProtocol, "replay-info: missing mode");
+  }
+  resp.step = value.get_int("step");
+  resp.total_steps = value.get_int("total_steps");
+  resp.log_path = value.get_string("log_path");
+  resp.divergence_step = value.get_int("divergence_step", -1);
+  resp.divergence_reason = value.get_string("divergence_reason");
   return resp;
 }
 

@@ -37,10 +37,11 @@ namespace dionea::dbg::proto {
 // Major bumps break wire compatibility (rejected at hello); minor
 // bumps add commands/fields old peers ignore.
 inline constexpr int kProtoMajor = 1;
-inline constexpr int kProtoMinor = 1;
+inline constexpr int kProtoMinor = 2;
 
 inline constexpr const char* kCapStats = "stats";      // `stats` command
 inline constexpr const char* kCapHeartbeat = "heartbeat";
+inline constexpr const char* kCapReplay = "replay";    // `replay-info` command
 
 // What this build speaks (advertised in Hello and the ping response).
 std::vector<std::string> local_capabilities();
@@ -393,6 +394,30 @@ struct StatsResponse {
   static Result<StatsResponse> from_wire(const ipc::wire::Value& value);
   static StatsResponse from_snapshot(const metrics::Snapshot& snapshot,
                                      int pid);
+};
+
+// ---- replay-info (1.2, capability kCapReplay) ----
+// Record/replay engine status: which mode this debuggee runs in, how
+// far through the log it is, and — when a replay gave up forcing the
+// recorded schedule — the step and reason of the divergence.
+
+struct ReplayInfoRequest {
+  static constexpr const char* kName = "replay-info";
+  ipc::wire::Value to_wire() const;
+  static Result<ReplayInfoRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct ReplayInfoResponse {
+  int pid = 0;
+  std::string mode;               // off | record | replay | diverged
+  std::int64_t step = 0;          // records written / consumed
+  std::int64_t total_steps = 0;   // log length (replay/diverged)
+  std::string log_path;           // this process's log file ("" when off)
+  std::int64_t divergence_step = -1;  // -1 = none
+  std::string divergence_reason;
+
+  ipc::wire::Value to_wire() const;
+  static Result<ReplayInfoResponse> from_wire(const ipc::wire::Value& value);
 };
 
 }  // namespace dionea::dbg::proto

@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "replay/replay.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -759,6 +760,20 @@ void DebugServer::register_commands() {
         proto::StatsResponse resp = proto::StatsResponse::from_snapshot(
             metrics::Registry::instance().snapshot(),
             static_cast<int>(::getpid()));
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::ReplayInfoRequest>(
+      [](const proto::ReplayInfoRequest&, std::int64_t seq, Wake) {
+        replay::Info info = replay::Engine::instance().info();
+        proto::ReplayInfoResponse resp;
+        resp.pid = static_cast<int>(::getpid());
+        resp.mode = replay::mode_name(info.mode);
+        resp.step = static_cast<std::int64_t>(info.step);
+        resp.total_steps = static_cast<std::int64_t>(info.total_steps);
+        resp.log_path = info.log_path;
+        resp.divergence_step = info.divergence_step;
+        resp.divergence_reason = info.divergence_reason;
         return ok_with(seq, resp.to_wire());
       });
 }

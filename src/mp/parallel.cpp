@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <memory>
@@ -198,6 +199,8 @@ Result<std::vector<Value>> map_in_processes(
     std::vector<std::thread> threads;
     std::vector<Status> outcomes(static_cast<size_t>(worker_count),
                                  Status::ok());
+    std::atomic<int> pipes_ready{0};
+    std::atomic<int> forks_done{0};
     std::mutex fork_mutex;  // serializes only the fork itself, not the
                             // pipe-creation/fork *ordering* across threads
     for (int w = 0; w < worker_count; ++w) {
@@ -214,7 +217,17 @@ Result<std::vector<Value>> map_in_processes(
         worker.out = std::move(out).value();
         if (options.disturb_delay_millis > 0) {
           // The window disturb mode exposes: sibling threads fork while
-          // our pipes exist but before our own fork snapshots them.
+          // our pipes exist but before our own fork snapshots them. A
+          // timed sleep alone leaves the ordering to the scheduler (a
+          // starved sibling may not even have created its pipes yet),
+          // so hold the window open until every sibling's pipes exist —
+          // then every child inherits every sibling's write ends, the
+          // §6.4 leak, on any machine under any load.
+          pipes_ready.fetch_add(1, std::memory_order_acq_rel);
+          while (pipes_ready.load(std::memory_order_acquire) < worker_count &&
+                 mono_seconds() < deadline) {
+            sleep_for_millis(1);
+          }
           sleep_for_millis(options.disturb_delay_millis);
         }
         {
@@ -229,6 +242,18 @@ Result<std::vector<Value>> map_in_processes(
           outcomes[static_cast<size_t>(w)] =
               Status(ErrorCode::kOsError, "fork failed");
           return;
+        }
+        if (options.disturb_delay_millis > 0) {
+          // Second half of the window: no parent-side thread may close
+          // a write end until the last sibling has forked — a thread
+          // that raced ahead (fed its child and closed its pipe before
+          // a starved sibling forked) lets that child see EOF, exit,
+          // and cascade the whole leak cycle apart.
+          forks_done.fetch_add(1, std::memory_order_acq_rel);
+          while (forks_done.load(std::memory_order_acquire) < worker_count &&
+                 mono_seconds() < deadline) {
+            sleep_for_millis(1);
+          }
         }
         worker.in.close_read();
         worker.out.close_write();

@@ -1,0 +1,500 @@
+#include "replay/replay.hpp"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::replay {
+
+namespace {
+
+// Log layout: 8-byte header ("DRLG", u8 version, 3 reserved) followed
+// by fixed 26-byte records: u8 kind, u8 flags, i64 tid, u64 obj,
+// u64 payload — all little-endian. A truncated trailing record (the
+// recorder died mid-write) is tolerated and ignored on load.
+constexpr char kMagic[4] = {'D', 'R', 'L', 'G'};
+constexpr std::uint8_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kRecordBytes = 26;
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::string describe(const Record& rec) {
+  return strings::format("%s tid=%lld obj=%llu payload=%llu",
+                         event_kind_name(rec.kind),
+                         static_cast<long long>(rec.tid),
+                         static_cast<unsigned long long>(rec.obj),
+                         static_cast<unsigned long long>(rec.payload));
+}
+
+}  // namespace
+
+const char* mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kRecord: return "record";
+    case Mode::kReplay: return "replay";
+    case Mode::kDiverged: return "diverged";
+  }
+  return "?";
+}
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kGilAcquire: return "gil_acquire";
+    case EventKind::kGilYield: return "gil_yield";
+    case EventKind::kMutexLock: return "mutex_lock";
+    case EventKind::kMutexTryLock: return "mutex_try_lock";
+    case EventKind::kQueuePop: return "queue_pop";
+    case EventKind::kQueueTryPop: return "queue_try_pop";
+    case EventKind::kCondWake: return "cond_wake";
+    case EventKind::kFork: return "fork";
+    case EventKind::kClock: return "clock";
+    case EventKind::kRand: return "rand";
+    case EventKind::kForkPid: return "fork_pid";
+    case EventKind::kThreadDone: return "thread_done";
+  }
+  return "?";
+}
+
+struct Engine::State {
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+
+  std::string dir;
+  std::string path = "root";  // logical position in the fork tree
+
+  // record side
+  std::FILE* log_file = nullptr;
+  std::uint64_t written = 0;
+
+  // replay side
+  std::vector<Record> log;
+  std::uint64_t cursor = 0;
+  double last_progress = 0.0;
+  std::int64_t divergence_step = -1;
+  std::string divergence_reason;
+
+  // Per-thread grant ordinals (both modes) and the set of threads
+  // currently parked at a gate (tid -> last refresh, mono seconds).
+  std::unordered_map<std::int64_t, std::uint64_t> thread_steps;
+  std::unordered_map<std::int64_t, double> gated;
+
+  std::unique_lock<std::mutex> fork_lock;  // held between prepare and parent
+};
+
+Engine::Engine() : state_(std::make_unique<State>()) {}
+
+Engine& Engine::instance() {
+  // Leaked on purpose: debuggee threads may still hit gates while
+  // static destructors run.
+  static Engine* engine = new Engine();
+  return *engine;
+}
+
+void Engine::init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* record_dir = std::getenv("DIONEA_RECORD");
+    const char* replay_dir = std::getenv("DIONEA_REPLAY");
+    if (const char* ms = std::getenv("DIONEA_REPLAY_TIMEOUT_MS")) {
+      instance().set_divergence_timeout_millis(std::atoi(ms));
+    }
+    if (record_dir != nullptr && *record_dir != '\0') {
+      Status status = instance().start_record(record_dir);
+      if (!status.is_ok()) {
+        DLOG_ERROR("replay") << "DIONEA_RECORD: " << status.to_string();
+      }
+    } else if (replay_dir != nullptr && *replay_dir != '\0') {
+      Status status = instance().start_replay(replay_dir);
+      if (!status.is_ok()) {
+        DLOG_ERROR("replay") << "DIONEA_REPLAY: " << status.to_string();
+      }
+    }
+  });
+}
+
+void Engine::reset_counters() {
+  object_seq_.store(0, std::memory_order_relaxed);
+  fork_seq_.store(0, std::memory_order_relaxed);
+}
+
+std::string Engine::log_path_locked() const {
+  return state_->dir + "/" + state_->path + ".rlog";
+}
+
+Status Engine::open_log_locked() {
+  ::mkdir(state_->dir.c_str(), 0777);  // best effort; fopen reports failure
+  std::string path = log_path_locked();
+  state_->log_file = std::fopen(path.c_str(), "wb");
+  if (state_->log_file == nullptr) {
+    return Status(ErrorCode::kOsError,
+                  "replay: cannot open " + path + ": " + std::strerror(errno));
+  }
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, 4);
+  header[4] = kVersion;
+  std::fwrite(header, 1, kHeaderBytes, state_->log_file);
+  state_->written = 0;
+  return Status::ok();
+}
+
+Status Engine::load_log_locked() {
+  std::string path = log_path_locked();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "replay: no recorded log at " + path);
+  }
+  unsigned char header[kHeaderBytes] = {};
+  if (std::fread(header, 1, kHeaderBytes, f) != kHeaderBytes ||
+      std::memcmp(header, kMagic, 4) != 0 || header[4] != kVersion) {
+    std::fclose(f);
+    return Status(ErrorCode::kProtocol,
+                  "replay: " + path + " is not a v1 replay log");
+  }
+  state_->log.clear();
+  unsigned char buf[kRecordBytes];
+  while (std::fread(buf, 1, kRecordBytes, f) == kRecordBytes) {
+    Record rec;
+    rec.kind = static_cast<EventKind>(buf[0]);
+    rec.flags = buf[1];
+    rec.tid = static_cast<std::int64_t>(get_u64(buf + 2));
+    rec.obj = get_u64(buf + 10);
+    rec.payload = get_u64(buf + 18);
+    state_->log.push_back(rec);
+  }
+  std::fclose(f);
+  state_->cursor = 0;
+  state_->last_progress = mono_seconds();
+  return Status::ok();
+}
+
+Status Engine::start_record(const std::string& dir) {
+  std::scoped_lock lock(state_->mutex);
+  if (mode() != Mode::kOff) {
+    return Status(ErrorCode::kAlreadyExists, "replay engine already active");
+  }
+  state_->dir = dir;
+  state_->path = "root";
+  state_->thread_steps.clear();
+  state_->gated.clear();
+  state_->written = 0;
+  reset_counters();
+  DIONEA_RETURN_IF_ERROR(open_log_locked());
+  mode_.store(static_cast<int>(Mode::kRecord), std::memory_order_release);
+  std::atexit([] { Engine::instance().flush(); });
+  DLOG_INFO("replay") << "recording to " << log_path_locked();
+  return Status::ok();
+}
+
+Status Engine::start_replay(const std::string& dir) {
+  std::scoped_lock lock(state_->mutex);
+  if (mode() != Mode::kOff) {
+    return Status(ErrorCode::kAlreadyExists, "replay engine already active");
+  }
+  state_->dir = dir;
+  state_->path = "root";
+  state_->thread_steps.clear();
+  state_->gated.clear();
+  state_->divergence_step = -1;
+  state_->divergence_reason.clear();
+  reset_counters();
+  DIONEA_RETURN_IF_ERROR(load_log_locked());
+  mode_.store(static_cast<int>(Mode::kReplay), std::memory_order_release);
+  DLOG_INFO("replay") << "replaying " << state_->log.size()
+                      << " step(s) from " << log_path_locked();
+  return Status::ok();
+}
+
+void Engine::stop() {
+  std::scoped_lock lock(state_->mutex);
+  if (state_->log_file != nullptr) {
+    std::fflush(state_->log_file);
+    std::fclose(state_->log_file);
+    state_->log_file = nullptr;
+  }
+  state_->log.clear();
+  state_->cursor = 0;
+  state_->thread_steps.clear();
+  state_->gated.clear();
+  mode_.store(static_cast<int>(Mode::kOff), std::memory_order_release);
+  state_->cv.notify_all();
+}
+
+void Engine::flush() {
+  std::scoped_lock lock(state_->mutex);
+  if (state_->log_file != nullptr) std::fflush(state_->log_file);
+}
+
+void Engine::set_divergence_timeout_millis(int millis) noexcept {
+  divergence_timeout_millis_.store(millis > 0 ? millis : 1,
+                                   std::memory_order_relaxed);
+}
+
+std::uint64_t Engine::register_object() noexcept {
+  return object_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// ----------------------------------------------------------- record side
+
+void Engine::append_locked(const Record& rec) {
+  if (state_->log_file == nullptr) return;
+  unsigned char buf[kRecordBytes];
+  buf[0] = static_cast<unsigned char>(rec.kind);
+  buf[1] = rec.flags;
+  put_u64(buf + 2, static_cast<std::uint64_t>(rec.tid));
+  put_u64(buf + 10, rec.obj);
+  put_u64(buf + 18, rec.payload);
+  std::fwrite(buf, 1, kRecordBytes, state_->log_file);
+  ++state_->written;
+  metrics::add(metrics::Counter::kReplaySteps);
+}
+
+void Engine::record(EventKind kind, std::int64_t tid, std::uint64_t obj,
+                    std::uint64_t payload) {
+  if (mode() != Mode::kRecord || tid < 0) return;
+  std::scoped_lock lock(state_->mutex);
+  if (kind == EventKind::kGilAcquire) {
+    obj = ++state_->thread_steps[tid];  // per-thread step counter
+  }
+  append_locked(Record{kind, 0, tid, obj, payload});
+}
+
+void Engine::record_fork_pid(std::int64_t tid, int child_pid) {
+  if (mode() != Mode::kRecord || tid < 0) return;
+  std::scoped_lock lock(state_->mutex);
+  append_locked(Record{EventKind::kForkPid, kFlagInfo, tid, 0,
+                       static_cast<std::uint64_t>(child_pid)});
+}
+
+// ----------------------------------------------------------- replay side
+
+void Engine::skip_info_locked() {
+  while (state_->cursor < state_->log.size() &&
+         (state_->log[state_->cursor].flags & kFlagInfo) != 0) {
+    ++state_->cursor;
+  }
+}
+
+void Engine::declare_divergence_locked(std::string reason) {
+  if (mode() != Mode::kReplay) return;
+  state_->divergence_step = static_cast<std::int64_t>(state_->cursor);
+  state_->divergence_reason = std::move(reason);
+  mode_.store(static_cast<int>(Mode::kDiverged), std::memory_order_release);
+  metrics::add(metrics::Counter::kReplayDivergences);
+  DLOG_WARN("replay") << "divergence at step " << state_->cursor << ": "
+                      << state_->divergence_reason
+                      << " (free-running from here)";
+  state_->gated.clear();
+  state_->cv.notify_all();
+}
+
+bool Engine::try_consume_locked(EventKind kind, std::int64_t tid,
+                                std::uint64_t obj, std::uint64_t* payload,
+                                bool probe) {
+  if (mode() != Mode::kReplay) return true;  // diverged: pass through
+  skip_info_locked();
+  if (state_->cursor >= state_->log.size()) {
+    if (probe) return false;
+    declare_divergence_locked(strings::format(
+        "log exhausted; thread %lld attempted %s",
+        static_cast<long long>(tid), event_kind_name(kind)));
+    return true;
+  }
+  const Record& head = state_->log[state_->cursor];
+  std::uint64_t want_obj = obj;
+  if (kind == EventKind::kGilAcquire) {
+    want_obj = state_->thread_steps[tid] + 1;
+  }
+  if (head.kind == kind && head.tid == tid &&
+      (want_obj == 0 || head.obj == 0 || head.obj == want_obj)) {
+    if (kind == EventKind::kGilAcquire) ++state_->thread_steps[tid];
+    if (payload != nullptr) *payload = head.payload;
+    ++state_->cursor;
+    skip_info_locked();
+    state_->last_progress = mono_seconds();
+    state_->gated.erase(tid);
+    metrics::add(metrics::Counter::kReplaySteps);
+    state_->cv.notify_all();
+    return true;
+  }
+  if (probe) return false;
+  if (head.tid == tid) {
+    // The same thread's next recorded event is something else: this
+    // execution took a different path than the recording.
+    declare_divergence_locked(strings::format(
+        "thread %lld attempted %s (obj=%llu) but recorded step is %s",
+        static_cast<long long>(tid), event_kind_name(kind),
+        static_cast<unsigned long long>(want_obj),
+        describe(head).c_str()));
+    return true;
+  }
+  // Another thread's turn: park, and track the stall so a replay whose
+  // designated thread never shows up diverges instead of hanging.
+  double now = mono_seconds();
+  auto [it, fresh] = state_->gated.try_emplace(tid, now);
+  if (fresh) {
+    metrics::add(metrics::Counter::kReplayParkWaits);
+  } else {
+    it->second = now;
+  }
+  const double timeout =
+      divergence_timeout_millis_.load(std::memory_order_relaxed) / 1000.0;
+  if (now - state_->last_progress > timeout) {
+    declare_divergence_locked(strings::format(
+        "stalled for %.1fs waiting for %s; thread %lld parked at %s",
+        now - state_->last_progress, describe(head).c_str(),
+        static_cast<long long>(tid), event_kind_name(kind)));
+    return true;
+  }
+  return false;
+}
+
+bool Engine::try_consume(EventKind kind, std::int64_t tid, std::uint64_t obj,
+                         std::uint64_t* payload, bool probe) {
+  if (!replaying() || tid < 0) return true;
+  std::scoped_lock lock(state_->mutex);
+  return try_consume_locked(kind, tid, obj, payload, probe);
+}
+
+bool Engine::await_turn(EventKind kind, std::int64_t tid, std::uint64_t obj,
+                        std::uint64_t* payload) {
+  if (!replaying() || tid < 0) return true;
+  std::unique_lock lock(state_->mutex);
+  while (!try_consume_locked(kind, tid, obj, payload, /*probe=*/false)) {
+    state_->cv.wait_for(lock, std::chrono::milliseconds(20));
+  }
+  return mode() != Mode::kDiverged;
+}
+
+bool Engine::gated(std::int64_t tid) const {
+  if (mode() != Mode::kReplay) return false;
+  std::scoped_lock lock(state_->mutex);
+  auto it = state_->gated.find(tid);
+  if (it == state_->gated.end()) return false;
+  // Stale entries (the thread was interrupted mid-gate) expire so they
+  // cannot mask a genuine deadlock forever.
+  return mono_seconds() - it->second < 0.1;
+}
+
+// ------------------------------------------------------------------- fork
+
+std::uint64_t Engine::on_fork(std::int64_t tid) {
+  Mode m = mode();
+  if (m == Mode::kOff) return 0;
+  std::uint64_t logical = fork_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (m == Mode::kRecord) {
+    record(EventKind::kFork, tid, 0, logical);
+  } else {
+    std::uint64_t recorded = 0;
+    if (await_turn(EventKind::kFork, tid, 0, &recorded) &&
+        recorded != logical) {
+      std::scoped_lock lock(state_->mutex);
+      declare_divergence_locked(strings::format(
+          "fork #%llu by thread %lld was recorded as #%llu",
+          static_cast<unsigned long long>(logical),
+          static_cast<long long>(tid),
+          static_cast<unsigned long long>(recorded)));
+    }
+  }
+  return logical;
+}
+
+void Engine::prepare_fork() {
+  if (!active()) return;
+  state_->fork_lock = std::unique_lock(state_->mutex);
+  // Empty the stdio buffer so the child does not inherit (and later
+  // re-emit) the parent's buffered records.
+  if (state_->log_file != nullptr) std::fflush(state_->log_file);
+}
+
+void Engine::parent_atfork() {
+  if (!active()) return;
+  state_->fork_lock.unlock();
+  state_->fork_lock = {};
+}
+
+void Engine::child_atfork(std::uint64_t logical_child_id) {
+  Mode m = mode();
+  if (m == Mode::kOff) return;
+  // Abandon the parent's state block: its mutex is pinned by
+  // prepare_fork's lock and its cv may reference vanished threads
+  // (same rationale — and the same bounded leak — as Gil::child_atfork).
+  state_->fork_lock.release();
+  State* old = state_.release();
+  state_ = std::make_unique<State>();
+  state_->dir = old->dir;
+  state_->path = old->path + ".c" + std::to_string(logical_child_id);
+  // The inherited FILE* shares its descriptor with the parent; the
+  // buffer was flushed in prepare, so closing our copy is safe.
+  if (old->log_file != nullptr) std::fclose(old->log_file);
+  // Children number their own forks and threads from scratch, in both
+  // modes alike.
+  fork_seq_.store(0, std::memory_order_relaxed);
+  if (m == Mode::kRecord) {
+    Status status = open_log_locked();
+    if (!status.is_ok()) {
+      DLOG_ERROR("replay") << status.to_string();
+      mode_.store(static_cast<int>(Mode::kOff), std::memory_order_release);
+    }
+    return;
+  }
+  // Replay (or diverged) child: map our logical id back to the
+  // recorded subtree. A diverged parent cannot say which subtree we
+  // are; stop forcing anything in that case.
+  if (m == Mode::kDiverged) {
+    mode_.store(static_cast<int>(Mode::kOff), std::memory_order_release);
+    return;
+  }
+  Status status = load_log_locked();
+  if (!status.is_ok()) {
+    state_->divergence_step = 0;
+    state_->divergence_reason = status.to_string();
+    mode_.store(static_cast<int>(Mode::kDiverged), std::memory_order_release);
+    metrics::add(metrics::Counter::kReplayDivergences);
+    DLOG_WARN("replay") << "child free-running: " << status.to_string();
+  }
+}
+
+// ------------------------------------------------------------------- info
+
+Info Engine::info() const {
+  Info out;
+  out.mode = mode();
+  if (out.mode == Mode::kOff) return out;
+  std::scoped_lock lock(state_->mutex);
+  out.log_path = log_path_locked();
+  if (out.mode == Mode::kRecord) {
+    out.step = state_->written;
+    out.total_steps = state_->written;
+  } else {
+    out.step = state_->cursor;
+    out.total_steps = state_->log.size();
+    out.divergence_step = state_->divergence_step;
+    out.divergence_reason = state_->divergence_reason;
+  }
+  return out;
+}
+
+}  // namespace dionea::replay

@@ -1,0 +1,213 @@
+// Deterministic record/replay for MiniVM executions.
+//
+// Heisenbugs in GIL hand-off order and fork timing vanish on re-run —
+// the classic execution-replay problem (Ronsse et al.). This engine
+// captures every scheduling decision the VM makes into a compact
+// binary log, one log per process:
+//
+//   - GIL grants and voluntary hand-offs (the interleaving itself),
+//     keyed by a per-thread step counter so a replay that drifts is
+//     caught at the exact step, not by its downstream wreckage;
+//   - sync-object outcomes: mutex acquisition order, queue pop
+//     pairings, condvar wakeups — the only places where the winner
+//     among several GIL-released waiters is decided by the OS;
+//   - fork events (child pid -> logical child id), so a multi-process
+//     run replays end-to-end: each child derives its log name from its
+//     logical position in the fork tree, not its (fresh) pid;
+//   - nondeterministic builtins (clock, rand), whose recorded values
+//     are substituted on replay.
+//
+// In replay mode the GIL and the sync objects consult the log and
+// force the recorded interleaving: a thread that would acquire out of
+// turn parks until it is the designated next holder. A replay that
+// cannot match the log (the program changed, or genuinely
+// unreproducible input sneaked in) never hangs: the engine declares a
+// *divergence* — recording the step and reason, releasing every parked
+// thread, and letting the rest of the run free-run. `replay-info`
+// (protocol) and the console's `replay` verb surface that state.
+//
+// Activation: programmatically (tests) or via DIONEA_RECORD=<dir> /
+// DIONEA_REPLAY=<dir> read by Vm's constructor. Fork handler C's
+// analog here is Engine::child_atfork: invoked by the VM's own child
+// handler, it abandons the parent's engine state and opens the child's
+// own log — mirroring how the metrics registry resets its shards.
+//
+// Lock ordering: the engine mutex is a leaf. It is taken under the GIL
+// state mutex (grant logging / grant gating), under sync-object
+// mutexes (outcome gating inside wait predicates) and under the VM's
+// sched_mutex (deadlock-suppression queries); the engine itself never
+// takes any other lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/result.hpp"
+
+namespace dionea::replay {
+
+enum class Mode : int {
+  kOff = 0,
+  kRecord,
+  kReplay,
+  kDiverged,  // was kReplay; gave up forcing the schedule (see above)
+};
+
+const char* mode_name(Mode mode) noexcept;
+
+enum class EventKind : std::uint8_t {
+  kGilAcquire = 1,  // obj = per-thread grant ordinal
+  kGilYield,        // voluntary hand-off taken at a switch point
+  kMutexLock,       // obj = sync-object id
+  kMutexTryLock,    // payload = 1 if the lock was taken
+  kQueuePop,        // obj = sync-object id
+  kQueueTryPop,     // payload = 1 if an item was popped
+  kCondWake,        // obj = sync-object id
+  kFork,            // payload = logical child id (1-based, per process)
+  kClock,           // payload = bit pattern of the double returned
+  kRand,            // payload = raw u64 the value was derived from
+  kForkPid,         // annotation: payload = real child pid (info only)
+  kThreadDone,      // join verdict: obj = target tid, payload = 1 if the
+                    // target was already dead when the joiner looked
+};
+
+const char* event_kind_name(EventKind kind) noexcept;
+
+// Records flagged as info are annotations for humans/tools; the replay
+// cursor skips them instead of matching against them.
+inline constexpr std::uint8_t kFlagInfo = 1;
+
+struct Record {
+  EventKind kind = EventKind::kGilAcquire;
+  std::uint8_t flags = 0;
+  std::int64_t tid = 0;
+  std::uint64_t obj = 0;
+  std::uint64_t payload = 0;
+};
+
+// Status snapshot for replay-info / the console verb.
+struct Info {
+  Mode mode = Mode::kOff;
+  std::uint64_t step = 0;         // records written (record) / consumed (replay)
+  std::uint64_t total_steps = 0;  // log length (replay/diverged only)
+  std::string log_path;           // this process's log file ("" when off)
+  std::int64_t divergence_step = -1;
+  std::string divergence_reason;
+};
+
+class Engine {
+ public:
+  // Process-wide instance (never destroyed; logs are flushed
+  // explicitly and via atexit).
+  static Engine& instance();
+
+  // Reads DIONEA_RECORD / DIONEA_REPLAY once per process and starts
+  // the engine accordingly. Idempotent; errors are logged, not fatal.
+  static void init_from_env();
+
+  // ---- lifecycle ----
+  // Start recording into (resp. replaying from) `dir`. The root
+  // process uses <dir>/root.rlog; a forked child appends ".c<N>" per
+  // fork-tree level (root.c1.rlog, root.c1.c2.rlog, ...). start_*
+  // resets the object/fork/step counters so a record and a replay of
+  // the same program number everything identically.
+  Status start_record(const std::string& dir);
+  Status start_replay(const std::string& dir);
+  void stop();   // flush + close + Mode::kOff
+  void flush();  // fsync-less flush of the record buffer
+
+  Mode mode() const noexcept {
+    return static_cast<Mode>(mode_.load(std::memory_order_acquire));
+  }
+  bool recording() const noexcept { return mode() == Mode::kRecord; }
+  // True in replay *and* diverged mode: call sites stay on the replay
+  // code path after a divergence (every gate passes through).
+  bool replaying() const noexcept {
+    Mode m = mode();
+    return m == Mode::kReplay || m == Mode::kDiverged;
+  }
+  bool active() const noexcept { return mode() != Mode::kOff; }
+
+  // ---- record side (no-ops unless recording; external tids skipped) ----
+  void record(EventKind kind, std::int64_t tid, std::uint64_t obj = 0,
+              std::uint64_t payload = 0);
+
+  // ---- replay side ----
+  // Non-blocking gate: if the head of the log is (kind, tid) — and obj
+  // matches when both sides carry one — consume it and return true.
+  // Returns true without consuming when the engine is off, recording,
+  // diverged, or tid is external. `probe` distinguishes a question
+  // ("did the record hand off here?") from a committed operation: a
+  // committed mismatch against the same thread's next event means the
+  // execution took a different path than recorded and declares a
+  // divergence; a probe just answers false.
+  bool try_consume(EventKind kind, std::int64_t tid, std::uint64_t obj = 0,
+                   std::uint64_t* payload = nullptr, bool probe = false);
+
+  // Blocking gate: park until try_consume succeeds (slices, so a
+  // stalled replay is detected and diverges rather than hanging).
+  // Returns false only when the wait ended because of a divergence.
+  bool await_turn(EventKind kind, std::int64_t tid, std::uint64_t obj = 0,
+                  std::uint64_t* payload = nullptr);
+
+  // True while `tid` is parked at a replay gate (refreshed every wait
+  // slice). The VM's deadlock detector treats such a thread as making
+  // progress — it is waiting for its turn, not for the program.
+  bool gated(std::int64_t tid) const;
+
+  // ---- id services (valid in every mode, cheap atomics) ----
+  // Sync objects take a stable 1-based id at construction; creation
+  // happens under the GIL, so record and replay number them alike.
+  std::uint64_t register_object() noexcept;
+
+  // Fork bookkeeping: returns the logical child id (1-based per
+  // process; 0 when the engine is off). Records the kFork event /
+  // consumes it on replay. Call with the GIL held, before fork(2).
+  std::uint64_t on_fork(std::int64_t tid);
+  // Parent-side annotation after a successful fork.
+  void record_fork_pid(std::int64_t tid, int child_pid);
+
+  // ---- fork pinning (driven by Vm::internal_fork_*) ----
+  void prepare_fork();
+  void parent_atfork();
+  // In the child: abandon the parent's engine state (same leak
+  // rationale as Gil::child_atfork) and open/load this child's log.
+  void child_atfork(std::uint64_t logical_child_id);
+
+  Info info() const;
+
+  // How long a gated thread may wait with no global replay progress
+  // before the engine declares a divergence (default 2000, env
+  // DIONEA_REPLAY_TIMEOUT_MS).
+  void set_divergence_timeout_millis(int millis) noexcept;
+
+ private:
+  Engine();
+
+  struct State;
+
+  bool try_consume_locked(EventKind kind, std::int64_t tid, std::uint64_t obj,
+                          std::uint64_t* payload, bool probe);
+  void declare_divergence_locked(std::string reason);
+  void skip_info_locked();
+  void append_locked(const Record& rec);
+  Status open_log_locked();
+  Status load_log_locked();
+  std::string log_path_locked() const;
+  void reset_counters();
+
+  std::atomic<int> mode_{static_cast<int>(Mode::kOff)};
+  std::atomic<std::uint64_t> object_seq_{0};
+  std::atomic<std::uint64_t> fork_seq_{0};
+  std::atomic<int> divergence_timeout_millis_{2000};
+  // Abandoned wholesale in the child at fork (mutex/cv state may
+  // reference parent-only threads); bounded leak, one block per fork.
+  std::unique_ptr<State> state_;
+};
+
+// Convenience probe used by hot paths.
+inline bool engine_active() { return Engine::instance().active(); }
+
+}  // namespace dionea::replay

@@ -25,6 +25,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kMpPushes: return "mp_pushes";
     case Counter::kMpPops: return "mp_pops";
     case Counter::kMpBytesPushed: return "mp_bytes_pushed";
+    case Counter::kReplaySteps: return "replay.steps";
+    case Counter::kReplayDivergences: return "replay.divergences";
+    case Counter::kReplayParkWaits: return "replay.park_waits";
     case Counter::kCount: break;
   }
   return "?";

@@ -54,6 +54,9 @@ enum class Counter : int {
   kMpPushes,             // mp queue items pushed
   kMpPops,               // mp queue items popped
   kMpBytesPushed,        // payload bytes pushed through mp queues
+  kReplaySteps,          // replay-log records written (record) / consumed (replay)
+  kReplayDivergences,    // replays that gave up forcing the schedule
+  kReplayParkWaits,      // threads parked at a replay gate (wait episodes)
   kCount
 };
 

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "replay/replay.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/temp_file.hpp"
 #include "support/timing.hpp"
@@ -82,9 +84,55 @@ void install_io(Vm& vm) {
                      return Value();
                    });
 
-  vm.define_native("clock", 0, 0,
-                   [](Vm&, InterpThread&, std::vector<Value>&)
-                       -> NativeResult { return Value(mono_seconds()); });
+  // clock() and rand() are the two nondeterministic *values* (as
+  // opposed to schedules) MiniLang exposes; both round-trip through
+  // the replay log so a replayed run computes with the recorded
+  // values, not fresh ones.
+  vm.define_native(
+      "clock", 0, 0,
+      [](Vm&, InterpThread& th, std::vector<Value>&) -> NativeResult {
+        replay::Engine& rep = replay::Engine::instance();
+        if (rep.replaying()) {
+          std::uint64_t bits = 0;
+          if (rep.await_turn(replay::EventKind::kClock, th.id(), 0, &bits)) {
+            double seconds;
+            static_assert(sizeof(seconds) == sizeof(bits));
+            std::memcpy(&seconds, &bits, sizeof(seconds));
+            return Value(seconds);
+          }
+        }
+        double seconds = mono_seconds();
+        std::uint64_t bits;
+        std::memcpy(&bits, &seconds, sizeof(bits));
+        rep.record(replay::EventKind::kClock, th.id(), 0, bits);
+        return Value(seconds);
+      });
+
+  // rand() -> double in [0, 1); rand(n) -> int in [0, n).
+  vm.define_native(
+      "rand", 0, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        if (!args.empty() && (!args[0].is_int() || args[0].as_int() <= 0)) {
+          return type_error(v, th, "rand", "positive int", args[0]);
+        }
+        replay::Engine& rep = replay::Engine::instance();
+        std::uint64_t raw = 0;
+        bool have_raw = false;
+        if (rep.replaying()) {
+          have_raw = rep.await_turn(replay::EventKind::kRand, th.id(), 0, &raw);
+        }
+        if (!have_raw) {
+          static thread_local Rng rng(static_cast<std::uint64_t>(
+              mono_nanos() ^ (static_cast<std::uint64_t>(th.id()) << 32)));
+          raw = rng.next_u64();
+          rep.record(replay::EventKind::kRand, th.id(), 0, raw);
+        }
+        if (args.empty()) {
+          return Value(static_cast<double>(raw >> 11) * 0x1.0p-53);
+        }
+        return Value(static_cast<std::int64_t>(
+            raw % static_cast<std::uint64_t>(args[0].as_int())));
+      });
 
   vm.define_native(
       "assert", 1, 2,
@@ -261,8 +309,25 @@ void install_collections(Vm& vm) {
         if (args[0].kind() != ValueKind::kQueue) {
           return type_error(v, th, "try_pop", "queue", args[0]);
         }
+        auto queue = args[0].as_queue();
+        replay::Engine& rep = replay::Engine::instance();
+        if (rep.replaying()) {
+          // Whether the try saw an item is itself a race outcome; the
+          // recorded verdict (payload) overrides what the live queue
+          // happens to hold right now.
+          std::uint64_t took = 0;
+          if (rep.await_turn(replay::EventKind::kQueueTryPop, th.id(),
+                             queue->replay_id(), &took)) {
+            Value out;
+            if (took == 0 || !queue->try_pop(&out)) return Value();
+            return out;
+          }
+        }
         Value out;
-        if (!args[0].as_queue()->try_pop(&out)) return Value();
+        bool took = queue->try_pop(&out);
+        rep.record(replay::EventKind::kQueueTryPop, th.id(),
+                   queue->replay_id(), took ? 1 : 0);
+        if (!took) return Value();
         return out;
       });
 
@@ -519,7 +584,32 @@ void install_threads(Vm& vm) {
           return v.runtime_error(th, "join: target thread must not be "
                                      "current thread");
         }
-        if (!target->is_done()) {
+        // Whether the target is already dead here is a race against its
+        // GIL-free exit epilogue — the one scheduling decision the GIL
+        // grant order does not pin down, so it is recorded explicitly.
+        replay::Engine& rep = replay::Engine::instance();
+        bool was_done = target->is_done();
+        if (rep.replaying()) {
+          std::uint64_t done = 0;
+          if (rep.await_turn(replay::EventKind::kThreadDone, th.id(),
+                             static_cast<std::uint64_t>(target->id()),
+                             &done)) {
+            if (done != 0 && !was_done) {
+              // Recorded as already-dead: the target consumed its last
+              // recorded event (its events precede this one in the
+              // log), so its epilogue finishes without the GIL — wait
+              // for the flag to catch up instead of blocking.
+              std::unique_lock lk(target->done_mutex);
+              target->done_cv.wait(lk, [&] { return target->done; });
+            }
+            was_done = done != 0;
+          }
+        } else {
+          rep.record(replay::EventKind::kThreadDone, th.id(),
+                     static_cast<std::uint64_t>(target->id()),
+                     was_done ? 1 : 0);
+        }
+        if (!was_done) {
           Vm::BlockScope scope(v, th, ThreadState::kBlockedForever,
                                "Thread#join");
           bool ok = v.wait_interruptible(
@@ -592,7 +682,19 @@ void install_threads(Vm& vm) {
         if (args[0].kind() != ValueKind::kMutex) {
           return type_error(v, th, "try_lock", "mutex", args[0]);
         }
-        return Value(args[0].as_mutex()->try_lock(th.id()));
+        auto mutex = args[0].as_mutex();
+        replay::Engine& rep = replay::Engine::instance();
+        if (rep.replaying()) {
+          std::uint64_t took = 0;
+          if (rep.await_turn(replay::EventKind::kMutexTryLock, th.id(),
+                             mutex->replay_id(), &took)) {
+            return Value(took != 0 && mutex->try_lock(th.id()));
+          }
+        }
+        bool took = mutex->try_lock(th.id());
+        rep.record(replay::EventKind::kMutexTryLock, th.id(),
+                   mutex->replay_id(), took ? 1 : 0);
+        return Value(took);
       });
 
   vm.define_native(
@@ -715,8 +817,10 @@ void install_process(Vm& vm) {
         }
         v.run_at_exit_hook();
         // _exit skips atexit handlers; flush the child's trace buffer
-        // (repointed to its own file by handler C) explicitly.
+        // (repointed to its own file by handler C) and its replay log
+        // (repointed by Engine::child_atfork) explicitly.
         trace::flush();
+        replay::Engine::instance().flush();
         std::fflush(nullptr);
         ::_exit(exit_code);
       });

@@ -1,5 +1,8 @@
 #include "vm/gil.hpp"
 
+#include <chrono>
+
+#include "replay/replay.hpp"
 #include "support/metrics.hpp"
 #include "support/result.hpp"
 #include "support/timing.hpp"
@@ -17,6 +20,26 @@ Gil::Gil() : state_(std::make_unique<State>()) {}
 Gil::~Gil() = default;
 
 void Gil::acquire(std::int64_t tid) {
+  replay::Engine& rep = replay::Engine::instance();
+  if (tid > 0 && rep.replaying()) {
+    // The log, not the ticket line, decides the grant order: a thread
+    // that would acquire out of turn parks until it is the designated
+    // next holder. Short slices re-check because the engine's cursor
+    // advances under its own (leaf) lock and cannot signal this cv.
+    std::unique_lock lock(state_->mutex);
+    DIONEA_CHECK(!(state_->held && state_->owner == tid),
+                 "recursive GIL acquire");
+    ++state_->waiters;
+    while (state_->held ||
+           !rep.try_consume(replay::EventKind::kGilAcquire, tid)) {
+      state_->cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    --state_->waiters;
+    state_->held = true;
+    state_->owner = tid;
+    state_->acquired_nanos = 0;
+    return;
+  }
   const bool record = metrics::Registry::instance().enabled();
   std::unique_lock lock(state_->mutex);
   DIONEA_CHECK(!(state_->held && state_->owner == tid),
@@ -47,6 +70,10 @@ void Gil::acquire(std::int64_t tid) {
   } else {
     state_->acquired_nanos = 0;
   }
+  // Log the grant (not the request): the sequence of grants IS the
+  // interleaving a replay must force. External (tid < 0) users are
+  // debugger machinery, never bytecode — the engine skips them.
+  rep.record(replay::EventKind::kGilAcquire, tid);
 }
 
 void Gil::release() {
@@ -67,11 +94,25 @@ void Gil::release() {
 }
 
 void Gil::yield(std::int64_t tid) {
+  replay::Engine& rep = replay::Engine::instance();
+  if (tid > 0 && rep.replaying()) {
+    // Hand off exactly where the recording did. The probe asks "is a
+    // yield by this thread the next recorded event?" — a mismatch just
+    // means the recording kept running here.
+    if (!rep.try_consume(replay::EventKind::kGilYield, tid, 0, nullptr,
+                         /*probe=*/true)) {
+      return;
+    }
+    release();
+    acquire(tid);
+    return;
+  }
   {
     std::scoped_lock lock(state_->mutex);
     // Nobody queued behind us: keep running.
     if (state_->serving == state_->next_ticket) return;
   }
+  rep.record(replay::EventKind::kGilYield, tid);
   release();
   // Our new ticket queues behind every thread that was already
   // waiting: a real handoff.

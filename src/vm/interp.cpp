@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "replay/replay.hpp"
 #include "support/temp_file.hpp"
 #include "support/trace_export.hpp"
 #include "vm/compiler.hpp"
@@ -49,9 +50,10 @@ int Interp::finish(const RunResult& result) {
     // The embedding program's code already executed in the parent; a
     // child that returned out of run_main must not re-run it.
     vm_->run_at_exit_hook();
-    // _exit skips atexit handlers, so the child's trace buffer would
-    // be lost without an explicit flush here.
+    // _exit skips atexit handlers, so the child's trace buffer and
+    // replay log would be lost without an explicit flush here.
     trace::flush();
+    replay::Engine::instance().flush();
     std::fflush(nullptr);
     ::_exit(code);
   }

@@ -1,5 +1,6 @@
 #include "vm/sync.hpp"
 
+#include "replay/replay.hpp"
 #include "support/result.hpp"
 #include "vm/vm.hpp"
 
@@ -11,17 +12,31 @@ std::int64_t tid_of(const InterpThread& th) { return th.id(); }
 
 }  // namespace
 
+// The winner among several GIL-released waiters on one of these
+// objects is the one scheduling decision the GIL does not serialize —
+// exactly what the record/replay engine must capture (record) and
+// force (replay, via the try_consume gates inside the predicates).
+SyncObject::SyncObject()
+    : replay_id_(replay::Engine::instance().register_object()) {}
+
 // ---------------------------------------------------------------- VmMutex
 
 VmMutex::VmMutex() : impl_(std::make_unique<Impl>()) {}
 
 WaitOutcome VmMutex::lock(Vm& vm, InterpThread& th) {
   const std::int64_t tid = tid_of(th);
+  replay::Engine& rep = replay::Engine::instance();
   {
     std::scoped_lock lock(impl_->mutex);
     if (impl_->owner == tid) return WaitOutcome::kRecursive;
-    if (impl_->owner == 0) {
+    // On replay the fast path is additionally gated: free is not
+    // enough, it must also be this thread's recorded turn (probe — a
+    // miss just means we park below until our turn comes).
+    if (impl_->owner == 0 &&
+        rep.try_consume(replay::EventKind::kMutexLock, tid, replay_id(),
+                        nullptr, /*probe=*/true)) {
       impl_->owner = tid;
+      rep.record(replay::EventKind::kMutexLock, tid, replay_id());
       return WaitOutcome::kOk;
     }
   }
@@ -29,7 +44,11 @@ WaitOutcome VmMutex::lock(Vm& vm, InterpThread& th) {
   Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Mutex#lock");
   bool ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
     if (impl_->owner != 0) return false;
+    if (!rep.try_consume(replay::EventKind::kMutexLock, tid, replay_id())) {
+      return false;
+    }
     impl_->owner = tid;
+    rep.record(replay::EventKind::kMutexLock, tid, replay_id());
     return true;
   });
   return ok ? WaitOutcome::kOk : WaitOutcome::kInterrupted;
@@ -93,11 +112,16 @@ void VmQueue::push(Value value) {
 }
 
 WaitOutcome VmQueue::pop(Vm& vm, InterpThread& th, Value* out) {
+  const std::int64_t tid = tid_of(th);
+  replay::Engine& rep = replay::Engine::instance();
   {
     std::scoped_lock lock(impl_->mutex);
-    if (!impl_->items.empty()) {
+    if (!impl_->items.empty() &&
+        rep.try_consume(replay::EventKind::kQueuePop, tid, replay_id(),
+                        nullptr, /*probe=*/true)) {
       *out = std::move(impl_->items.front());
       impl_->items.pop_front();
+      rep.record(replay::EventKind::kQueuePop, tid, replay_id());
       return WaitOutcome::kOk;
     }
     ++impl_->waiting;
@@ -105,8 +129,14 @@ WaitOutcome VmQueue::pop(Vm& vm, InterpThread& th, Value* out) {
   Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Queue#pop");
   bool ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
     if (impl_->items.empty()) return false;
+    // Which of several parked consumers gets this element is the
+    // pairing the log pins down.
+    if (!rep.try_consume(replay::EventKind::kQueuePop, tid, replay_id())) {
+      return false;
+    }
     *out = std::move(impl_->items.front());
     impl_->items.pop_front();
+    rep.record(replay::EventKind::kQueuePop, tid, replay_id());
     return true;
   });
   {
@@ -174,11 +204,29 @@ WaitOutcome VmCond::wait(Vm& vm, InterpThread& th, VmMutex& mutex) {
   }
   bool ok;
   {
+    replay::Engine& rep = replay::Engine::instance();
     Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Cond#wait");
     ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
-      if (impl_->broadcast_gen != entry_gen) return true;
+      if (impl_->broadcast_gen != entry_gen) {
+        // Broadcast wakes everyone; the order they re-acquire the user
+        // mutex is already pinned by kMutexLock events, so only the
+        // wake itself is logged.
+        if (!rep.try_consume(replay::EventKind::kCondWake, tid,
+                             replay_id())) {
+          return false;
+        }
+        rep.record(replay::EventKind::kCondWake, tid, replay_id());
+        return true;
+      }
       if (impl_->signals > 0) {
+        // signal() wakes one thread of several waiters — the second
+        // OS-arbitrated choice (after queue pairing) the log must pin.
+        if (!rep.try_consume(replay::EventKind::kCondWake, tid,
+                             replay_id())) {
+          return false;
+        }
         --impl_->signals;
+        rep.record(replay::EventKind::kCondWake, tid, replay_id());
         return true;
       }
       return false;

@@ -37,6 +37,7 @@ enum class WaitOutcome : int {
 
 class SyncObject {
  public:
+  SyncObject();
   virtual ~SyncObject() = default;
   virtual std::string_view kind_name() const noexcept = 0;
 
@@ -46,6 +47,14 @@ class SyncObject {
   virtual void lock_for_fork() = 0;
   virtual void unlock_after_fork() = 0;
   virtual void reinit_in_child(std::int64_t surviving_tid) = 0;
+
+  // Stable creation-order id used by the record/replay engine to match
+  // recorded sync outcomes to objects. Construction happens under the
+  // GIL, so a record and a replay of the same program agree on ids.
+  std::uint64_t replay_id() const noexcept { return replay_id_; }
+
+ private:
+  std::uint64_t replay_id_ = 0;
 };
 
 class VmMutex : public SyncObject, public std::enable_shared_from_this<VmMutex> {

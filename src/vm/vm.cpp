@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "replay/replay.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -31,6 +32,9 @@ const char* trace_kind_name(TraceKind kind) noexcept {
 }
 
 Vm::Vm() {
+  // Before any sync object exists, so creation-order replay ids line
+  // up between a recording process and a replaying one.
+  replay::Engine::init_from_env();
   output_ = [](std::string_view text) {
     std::fwrite(text.data(), 1, text.size(), stdout);
     std::fflush(stdout);
@@ -195,6 +199,18 @@ Vm::blocked_snapshot_locked(bool* all_blocked_forever) const {
         ++alive;
         break;
       case ThreadState::kBlockedForever:
+        // A thread parked at a replay gate is waiting for its recorded
+        // turn, not for the program — the replay engine's own stall
+        // timeout covers it. Without this, forcing an interleaving
+        // would trip the deadlock detector on schedules that are
+        // merely *paused*, not stuck. Genuinely deadlocked threads are
+        // not gated (their wait predicate fails before it consults the
+        // engine), so real detection is unaffected.
+        if (replay::Engine::instance().gated(th->id())) {
+          parked_or_waking = true;
+          ++alive;
+          break;
+        }
         ++alive;
         ++forever;
         snapshot.emplace_back(th->id(), th->block_epoch);
@@ -940,6 +956,9 @@ void Vm::thread_entry(std::shared_ptr<InterpThread> th,
   }
   gil_.release();
 
+  // From here on the thread touches only `th` (shared): once mark_done
+  // publishes, the joiner may finish the program and destroy this Vm
+  // while this (detached) thread is still unwinding.
   unregister_thread(*th);
   if (std::holds_alternative<Value>(outcome)) {
     th->mark_done(std::get<Value>(std::move(outcome)));
@@ -1175,9 +1194,12 @@ void Vm::internal_fork_prepare(InterpThread& th) {
   sync_objects_ = std::move(still_alive);  // drop expired entries
   for (auto& obj : fork_pinned_) obj->lock_for_fork();
   gil_.prepare_fork();
+  // Pinned last / released first: the engine mutex is a leaf.
+  replay::Engine::instance().prepare_fork();
 }
 
 void Vm::internal_fork_parent() {
+  replay::Engine::instance().parent_atfork();
   gil_.parent_atfork();
   for (size_t i = fork_pinned_.size(); i-- > 0;) {
     fork_pinned_[i]->unlock_after_fork();
@@ -1227,6 +1249,10 @@ void Vm::internal_fork_child(InterpThread& th) {
 
 Result<int> Vm::fork_now(InterpThread& th) {
   DIONEA_CHECK(gil_.held_by(th.id()), "fork_now requires the GIL");
+  // Logged (or matched against the log) while the GIL still serializes
+  // us — the child id is what names the child's own replay log.
+  replay::Engine& rep = replay::Engine::instance();
+  const std::uint64_t logical = rep.on_fork(th.id());
   // Flush stdio so the child doesn't inherit (and later re-emit)
   // buffered output written before the fork.
   std::fflush(nullptr);
@@ -1247,6 +1273,7 @@ Result<int> Vm::fork_now(InterpThread& th) {
     return errno_error("fork", saved);
   }
   if (pid == 0) {
+    rep.child_atfork(logical);
     internal_fork_child(th);
     for (auto& hooks : fork_hooks_) {
       if (hooks.child) hooks.child(*this, 0);
@@ -1254,6 +1281,7 @@ Result<int> Vm::fork_now(InterpThread& th) {
     return 0;
   }
   internal_fork_parent();
+  rep.record_fork_pid(th.id(), static_cast<int>(pid));
   for (auto& hooks : fork_hooks_) {
     if (hooks.parent) hooks.parent(*this, static_cast<int>(pid));
   }

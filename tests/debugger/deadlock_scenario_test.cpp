@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "replay/replay.hpp"
+#include "support/temp_file.hpp"
 #include "testutil.hpp"
 
 namespace dionea::dbg {
@@ -27,11 +29,31 @@ constexpr const char* kListing5 =
     "puts(\"child status \" + to_s(st))";
 
 TEST(DeadlockScenarioTest, WithoutDebuggerChildDiesFatal) {
-  test::RunOutcome outcome = test::run_ml(kListing5);
+  // Listing 5's bug only manifests when the fork wins the race against
+  // the helper's push (the child then pops a queue nobody else feeds).
+  // Record runs until that interleaving is captured, then pin it: the
+  // assertions run against replays of the recorded schedule, so the
+  // test cannot flake on a scheduler that happens to push first.
+  auto tmp = TempDir::create("listing5-replay");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string dir = tmp.value().file("logs");
+  test::ReplayOutcome recorded;
+  bool captured = false;
+  for (int attempt = 0; attempt < 10 && !captured; ++attempt) {
+    recorded = test::run_ml_record(dir, kListing5);
+    captured = recorded.ok && recorded.output == "child status 1\n";
+  }
   // The parent survives (its own queue got the push); the child died
   // with the stock fatal error -> exit status 1.
-  EXPECT_TRUE(outcome.ok) << outcome.error_message;
-  EXPECT_EQ(outcome.output, "child status 1\n");
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  ASSERT_TRUE(captured) << "never recorded the racy interleaving; last "
+                           "output: "
+                        << recorded.output;
+  for (int round = 0; round < 3; ++round) {
+    test::ReplayOutcome replayed = test::run_ml_replay(dir, kListing5);
+    EXPECT_TRUE(replayed.ok) << replayed.error_message;
+    EXPECT_EQ(replayed.output, "child status 1\n") << "round " << round;
+  }
 }
 
 TEST(DeadlockScenarioTest, WithDebuggerExactLineReported) {

@@ -9,6 +9,7 @@ namespace {
 
 using test::DebugHarness;
 using test::HarnessOptions;
+using test::poll_until;
 
 TEST(ServerTest, PingInfoAndEntryStop) {
   DebugHarness harness("x = 1\ny = 2");
@@ -194,7 +195,15 @@ TEST(ServerTest, PauseInterruptsRunningLoop) {
       "puts(\"done \" + to_s(i))",
       HarnessOptions{.stop_at_entry = false});
   auto* session = harness.launch();
-  sleep_for_millis(50);  // let the loop spin
+  // Wait until the loop is demonstrably spinning (i exists and has
+  // advanced) instead of hoping 50ms was enough on a loaded box.
+  ASSERT_TRUE(poll_until([&harness] {
+    auto globals = harness.vm().globals_snapshot();
+    for (const auto& [name, value] : globals) {
+      if (name == "i") return value != "0";
+    }
+    return false;
+  }));
 
   ASSERT_TRUE(session->pause(1).is_ok());
   auto stop = session->wait_stopped(5000);
@@ -263,26 +272,23 @@ TEST(ServerTest, LowIntrusiveOneThreadParkedOthersRun) {
   std::int64_t parked_tid = stop.value().tid;
 
   // While stopper is parked, the ticker and main keep making progress.
-  sleep_for_millis(100);
+  // Poll until the steady state (3 threads, exactly the stopper
+  // suspended) is visible rather than sleeping and hoping.
+  ASSERT_TRUE(poll_until([&session] {
+    auto snapshot = session->threads();
+    if (!snapshot.is_ok() || snapshot.value().size() != 3) return false;
+    int suspended = 0;
+    for (const auto& thread : snapshot.value()) {
+      if (thread.state == "suspended") ++suspended;
+    }
+    return suspended == 1;
+  }));
   auto threads = session->threads();
   ASSERT_TRUE(threads.is_ok());
-  int suspended = 0;
-  int alive = 0;
   for (const auto& thread : threads.value()) {
-    ++alive;
-    if (thread.state == "suspended") {
-      ++suspended;
-      EXPECT_EQ(thread.tid, parked_tid);
-    }
+    if (thread.state == "suspended") EXPECT_EQ(thread.tid, parked_tid);
   }
-  EXPECT_EQ(suspended, 1);
-  EXPECT_EQ(alive, 3);
 
-  auto globals_before = session->globals();
-  sleep_for_millis(100);
-  auto globals_after = session->globals();
-  ASSERT_TRUE(globals_before.is_ok());
-  ASSERT_TRUE(globals_after.is_ok());
   auto drain_of = [](const std::vector<std::pair<std::string, std::string>>&
                          globals) {
     for (const auto& [name, value] : globals) {
@@ -290,8 +296,15 @@ TEST(ServerTest, LowIntrusiveOneThreadParkedOthersRun) {
     }
     return -1ll;
   };
-  EXPECT_GT(drain_of(globals_after.value()),
-            drain_of(globals_before.value()));
+  auto globals_before = session->globals();
+  ASSERT_TRUE(globals_before.is_ok());
+  const std::int64_t before = drain_of(globals_before.value());
+  // Progress check: drain strictly advances while stopper stays parked.
+  ASSERT_TRUE(poll_until([&session, &drain_of, before] {
+    auto globals_after = session->globals();
+    return globals_after.is_ok() &&
+           drain_of(globals_after.value()) > before;
+  }));
 
   // Teardown: the harness destructor resumes the parked thread and
   // kills the infinite loops at VM shutdown.
@@ -386,8 +399,16 @@ TEST(ServerTest, ResumeErrorsForBadThread) {
   EXPECT_FALSE(session->cont(999).is_ok());
   EXPECT_FALSE(session->step(999).is_ok());
   ASSERT_TRUE(session->cont(1).is_ok());
-  // Continuing a thread that isn't suspended is an error too.
-  sleep_for_millis(50);
+  // Continuing a thread that isn't suspended is an error too. Wait for
+  // the resume to actually land (no thread suspended any more) first.
+  ASSERT_TRUE(poll_until([&session] {
+    auto snapshot = session->threads();
+    if (!snapshot.is_ok()) return false;
+    for (const auto& thread : snapshot.value()) {
+      if (thread.state == "suspended") return false;
+    }
+    return true;
+  }));
   EXPECT_FALSE(session->cont(1).is_ok());
   harness.join();
 }
@@ -427,7 +448,14 @@ TEST(ServerTest, EventsBeforeAttachAreBuffered) {
   server.register_source("late.ml", "x = 1");
   ASSERT_TRUE(server.start().is_ok());
   std::thread runner([&] { (void)interp.run_string("x = 1", "late.ml"); });
-  sleep_for_millis(150);  // program parks before anyone attaches
+  // The entry stop must happen BEFORE anyone attaches — that is the
+  // scenario under test. Wait for the park itself, not a fixed 150ms.
+  ASSERT_TRUE(poll_until([&interp] {
+    for (const auto& thread : interp.vm().list_threads()) {
+      if (thread.state == vm::ThreadState::kDebugParked) return true;
+    }
+    return false;
+  }));
 
   auto session = client::Session::attach(server.port(), 2000);
   ASSERT_TRUE(session.is_ok());

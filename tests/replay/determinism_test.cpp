@@ -1,0 +1,216 @@
+// Record/replay determinism: a recorded execution replays bit-for-bit.
+//
+// The observable is the program's output stream. Every line a MiniLang
+// program prints is emitted under the GIL, so the output ordering IS
+// the thread interleaving — if 20 replays of a racy 4-thread, 2-fork
+// program produce byte-identical output, the engine forced the
+// recorded schedule 20 times. The divergence tests check the opposite
+// contract: a replay that CANNOT match the log (the program changed)
+// must report step + reason through Engine::info() instead of hanging.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "replay/replay.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+
+namespace dionea::replay {
+namespace {
+
+using test::poll_until;
+using test::ReplayOutcome;
+using test::run_ml;
+using test::run_ml_record;
+using test::run_ml_replay;
+
+// Four workers race to interleave their prints; the scheduler (not the
+// program) decides the order. yield pressure comes from the bytecode
+// switch points themselves.
+const char* kRacyThreads =
+    "counts = queue()\n"
+    "fn worker(name)\n"
+    "  for i in 6\n"
+    "    puts(name + \":\" + to_s(i))\n"
+    "  end\n"
+    "  counts.push(name)\n"
+    "end\n"
+    "t1 = spawn(worker, \"a\")\n"
+    "t2 = spawn(worker, \"b\")\n"
+    "t3 = spawn(worker, \"c\")\n"
+    "t4 = spawn(worker, \"d\")\n"
+    "for i in 4\n"
+    "  puts(\"done:\" + counts.pop())\n"
+    "end\n"
+    "join(t1)\njoin(t2)\njoin(t3)\njoin(t4)\n";
+
+TEST(ReplayDeterminismTest, ThreadScheduleReplaysIdentically20x) {
+  auto tmp = TempDir::create("replay-threads");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kRacyThreads);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  ASSERT_EQ(recorded.info.mode, Mode::kRecord);
+  ASSERT_GT(recorded.info.step, 0u) << "nothing was recorded";
+
+  for (int round = 0; round < 20; ++round) {
+    ReplayOutcome replayed = run_ml_replay(dir, kRacyThreads);
+    ASSERT_TRUE(replayed.ok) << replayed.error_message;
+    EXPECT_EQ(replayed.info.mode, Mode::kReplay)
+        << "round " << round << " diverged at step "
+        << replayed.info.divergence_step << ": "
+        << replayed.info.divergence_reason;
+    ASSERT_EQ(replayed.output, recorded.output) << "round " << round;
+  }
+}
+
+// 2 forks (a child and a grandchild), 4 threads in the parent. Each
+// process writes its verdict to its own file — the parent's output
+// plus both children's files must replay identically.
+std::string forky_program(const std::string& out_dir) {
+  return
+      "q = queue()\n"
+      "fn worker(name)\n"
+      "  for i in 4\n"
+      "    puts(name + to_s(i))\n"
+      "  end\n"
+      "  q.push(name)\n"
+      "end\n"
+      "t1 = spawn(worker, \"w\")\n"
+      "t2 = spawn(worker, \"x\")\n"
+      "t3 = spawn(worker, \"y\")\n"
+      "pid = fork(fn()\n"
+      "  inner = fork(fn()\n"
+      "    write_file(\"" + out_dir + "/grandchild.txt\", \"gc:\" + to_s(rand(1000)))\n"
+      "  end)\n"
+      "  code = waitpid(inner)\n"
+      "  write_file(\"" + out_dir + "/child.txt\", \"c:\" + to_s(code) + \":\" + to_s(rand(1000)))\n"
+      "end)\n"
+      "for i in 3\n"
+      "  puts(\"join:\" + q.pop())\n"
+      "end\n"
+      "join(t1)\njoin(t2)\njoin(t3)\n"
+      "puts(\"child:\" + to_s(waitpid(pid)))\n";
+}
+
+TEST(ReplayDeterminismTest, ForkTreeReplaysIdentically20x) {
+  auto tmp = TempDir::create("replay-forks");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  std::string out_dir = tmp.value().path();
+  std::string program = forky_program(out_dir);
+
+  ReplayOutcome recorded = run_ml_record(dir, program);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  auto child = read_file(out_dir + "/child.txt");
+  auto grandchild = read_file(out_dir + "/grandchild.txt");
+  ASSERT_TRUE(child.is_ok() && grandchild.is_ok());
+
+  // The fork tree left one log per process, named by logical position.
+  for (const char* name : {"root.rlog", "root.c1.rlog", "root.c1.c1.rlog"}) {
+    EXPECT_TRUE(read_file(dir + "/" + std::string(name)).is_ok())
+        << "missing log " << name;
+  }
+
+  for (int round = 0; round < 20; ++round) {
+    ReplayOutcome replayed = run_ml_replay(dir, program);
+    ASSERT_TRUE(replayed.ok) << replayed.error_message;
+    EXPECT_EQ(replayed.info.mode, Mode::kReplay)
+        << "round " << round << ": " << replayed.info.divergence_reason;
+    ASSERT_EQ(replayed.output, recorded.output) << "round " << round;
+    // Children replay their own subtree logs, including the recorded
+    // rand() values — the files must match without scrubbing.
+    ASSERT_TRUE(poll_until([&] {
+      auto c = read_file(out_dir + "/child.txt");
+      auto g = read_file(out_dir + "/grandchild.txt");
+      return c.is_ok() && g.is_ok() && c.value() == child.value() &&
+             g.value() == grandchild.value();
+    })) << "round " << round;
+  }
+}
+
+TEST(ReplayDeterminismTest, ClockAndRandRoundTrip) {
+  auto tmp = TempDir::create("replay-values");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  const char* program =
+      "puts(to_s(rand(1000000)))\n"
+      "puts(to_s(rand(1000000)))\n"
+      "t = clock()\n"
+      "puts(to_s(clock() >= t))\n"
+      "puts(to_s(rand()))\n";
+
+  ReplayOutcome recorded = run_ml_record(dir, program);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  ReplayOutcome replayed = run_ml_replay(dir, program);
+  ASSERT_TRUE(replayed.ok) << replayed.error_message;
+  EXPECT_EQ(replayed.info.mode, Mode::kReplay)
+      << replayed.info.divergence_reason;
+  // Fresh rand() draws would make two identical outputs astronomically
+  // unlikely; equality proves the recorded values were substituted.
+  EXPECT_EQ(replayed.output, recorded.output);
+}
+
+// ---- divergence: report, don't hang ----
+
+TEST(ReplayDivergenceTest, ChangedProgramReportsStepAndReason) {
+  auto tmp = TempDir::create("replay-diverge");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir,
+      "m = mutex()\n"
+      "lock(m)\nunlock(m)\n"
+      "puts(to_s(rand(10)))\n");
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  // Same prefix, then a different operation: the mutex lock recorded
+  // at the head cannot match the queue pop the new program performs.
+  Engine::instance().set_divergence_timeout_millis(300);
+  ReplayOutcome replayed = run_ml_replay(dir,
+      "m = mutex()\n"
+      "q = queue()\n"
+      "q.push(1)\n"
+      "puts(to_s(q.pop()))\n"
+      "puts(to_s(rand(10)))\n");
+  Engine::instance().set_divergence_timeout_millis(2'000);
+
+  ASSERT_TRUE(replayed.ok) << replayed.error_message;  // completed, no hang
+  EXPECT_EQ(replayed.info.mode, Mode::kDiverged);
+  EXPECT_GE(replayed.info.divergence_step, 0);
+  EXPECT_FALSE(replayed.info.divergence_reason.empty());
+}
+
+TEST(ReplayDivergenceTest, ExhaustedLogReportsInsteadOfFailing) {
+  auto tmp = TempDir::create("replay-exhaust");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, "puts(to_s(rand(10)))\n");
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  // The replayed program keeps going after the recorded one stopped:
+  // the tail free-runs, and the engine says so.
+  ReplayOutcome replayed = run_ml_replay(dir,
+      "puts(to_s(rand(10)))\n"
+      "puts(to_s(rand(10)))\n"
+      "puts(to_s(rand(10)))\n");
+  ASSERT_TRUE(replayed.ok) << replayed.error_message;
+  EXPECT_EQ(replayed.info.mode, Mode::kDiverged);
+  EXPECT_NE(replayed.info.divergence_reason.find("exhausted"),
+            std::string::npos)
+      << replayed.info.divergence_reason;
+}
+
+TEST(ReplayDeterminismTest, RecordingIsOffByDefault) {
+  // No env, no start_*: the engine must stay inert and free.
+  ASSERT_EQ(Engine::instance().mode(), Mode::kOff);
+  test::RunOutcome outcome = run_ml("puts(\"plain\")");
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(Engine::instance().mode(), Mode::kOff);
+}
+
+}  // namespace
+}  // namespace dionea::replay

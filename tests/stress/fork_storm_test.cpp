@@ -1,0 +1,190 @@
+// Fork-storm stress: a 3-level recursive fork fan-out (1 root + 3
+// children + 9 grandchildren = 13 processes) under an attached
+// debugger. The paper's fork handlers must hold up under pressure:
+// every forked process re-binds its own listener and appends exactly
+// one record to the shared port file (§5.3's temporary-file protocol),
+// every child is adoptable and controllable while alive, and every one
+// is reaped — no zombies, no torn or duplicated port-file records.
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ipc/port_file.hpp"
+#include "support/fault.hpp"
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+// storm(2): fork 3 children, each runs storm(1) -> 3 grandchildren
+// each running storm(0) (leaf). Every parent reaps its own children
+// and propagates a non-zero exit if any descendant failed.
+constexpr const char* kStorm =
+    "fn storm(depth)\n"
+    "  if depth > 0\n"
+    "    kids = []\n"
+    "    for i in 3\n"
+    "      p = fork()\n"
+    "      if p == 0\n"
+    "        storm(depth - 1)\n"
+    "        exit(0)\n"
+    "      end\n"
+    "      push(kids, p)\n"
+    "    end\n"
+    "    bad = 0\n"
+    "    for k in kids\n"
+    "      bad = bad + waitpid(k)\n"
+    "    end\n"
+    "    if bad > 0\n"
+    "      exit(1)\n"
+    "    end\n"
+    "  end\n"
+    "end\n"
+    "storm(2)\n"
+    "puts(\"storm done\")";
+
+constexpr int kExpectedChildren = 12;  // 3 + 9, root excluded
+
+// Kills and reaps any storm process that outlives its test (an ASSERT
+// bail-out mid-walk leaves parked children behind), so one test's
+// failure cannot masquerade as a zombie leak in the next. The waitpid
+// probe keeps the kill scoped to still-unreaped children of ours —
+// a reaped pid may already belong to someone else.
+class StormReaper {
+ public:
+  explicit StormReaper(std::string port_file)
+      : port_file_(std::move(port_file)) {}
+  ~StormReaper() {
+    // Re-read the file each round: a straggler may publish (then park)
+    // after the first sweep. Bounded, so a process that never published
+    // degrades into a fast test failure, not a ctest timeout.
+    test::poll_until(
+        [&] {
+          ipc::PortFile file(port_file_);
+          auto records = file.read_all();
+          if (records.is_ok()) {
+            for (const ipc::PortRecord& record : records.value()) {
+              if (record.pid == ::getpid()) continue;
+              if (::waitpid(record.pid, nullptr, WNOHANG) == 0) {
+                ::kill(record.pid, SIGKILL);
+              }
+            }
+          }
+          while (::waitpid(-1, nullptr, WNOHANG) > 0) {
+          }
+          return ::waitpid(-1, nullptr, WNOHANG) == -1 && errno == ECHILD;
+        },
+        10'000);
+  }
+
+ private:
+  std::string port_file_;
+};
+
+TEST(ForkStormTest, ThirteenProcessFanOutUnderDebugger) {
+  DebugHarness harness(kStorm,
+                       HarnessOptions{.stop_at_entry = false,
+                                      .stop_forked_children = true});
+  (void)harness.launch();
+  StormReaper reaper(harness.port_file());
+
+  // Walk the storm: every forked process parks at birth, gets adopted
+  // through its port-file record, proves its listener is live (the
+  // session IS a connection to it; ping round-trips on top), and is
+  // released. Arrival order across the tree is scheduler-chosen; the
+  // generous timeouts absorb a parallel-ctest-loaded machine.
+  std::set<int> seen_pids;
+  for (int i = 0; i < kExpectedChildren; ++i) {
+    auto child = harness.client().await_new_process(45'000);
+    ASSERT_TRUE(child.is_ok()) << "child " << i << " never appeared";
+    EXPECT_TRUE(seen_pids.insert(child.value()->pid()).second)
+        << "pid " << child.value()->pid() << " adopted twice";
+    auto birth = child.value()->wait_stopped(15'000);
+    ASSERT_TRUE(birth.is_ok()) << "child " << i;
+    ASSERT_TRUE(child.value()->ping().is_ok()) << "child " << i;
+    ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok())
+        << "child " << i;
+  }
+
+  auto result = harness.join(60'000);
+  EXPECT_TRUE(result.ok);
+  // "storm done" + every waitpid returning 0 proves the whole tree was
+  // reaped with clean exits (a zombie would wedge its parent's waitpid,
+  // a lost child would propagate exit 1).
+  EXPECT_EQ(harness.output(), "storm done\n");
+
+  // Port-file postcondition: one well-formed record per process —
+  // 1 root + 12 descendants, no duplicates, no torn lines (read_all
+  // skips unparseable lines, so a tear would show up as a missing pid).
+  ipc::PortFile port_file(harness.port_file());
+  auto records = port_file.read_all();
+  ASSERT_TRUE(records.is_ok());
+  std::map<int, int> per_pid;
+  for (const ipc::PortRecord& record : records.value()) {
+    ++per_pid[record.pid];
+    EXPECT_GT(record.port, 0) << "pid " << record.pid;
+  }
+  EXPECT_EQ(per_pid.size(), 1u + kExpectedChildren);
+  for (const auto& [pid, count] : per_pid) {
+    EXPECT_EQ(count, 1) << "pid " << pid << " published " << count
+                        << " port-file records";
+  }
+  EXPECT_EQ(per_pid.count(::getpid()), 1u) << "root record missing";
+  for (int pid : seen_pids) {
+    EXPECT_EQ(per_pid.count(pid), 1u) << "child " << pid
+                                      << " record missing";
+  }
+
+  // Zombie check: the storm reaped its own descendants, so this test
+  // process (the storm root) has no children left at all.
+  int status = 0;
+  pid_t leftover = ::waitpid(-1, &status, WNOHANG);
+  EXPECT_TRUE(leftover == -1 && errno == ECHILD)
+      << "unreaped child " << leftover;
+}
+
+TEST(ForkStormTest, StormSurvivesPortFileFaults) {
+  // Same storm, now with seeded fault injection tearing port-file
+  // appends and delaying accepts. Recoverable kinds only: the fork
+  // handlers retry/repair, so the tree must still complete cleanly and
+  // the file must still parse to one record per process.
+  fault::Config config;
+  config.seed = 20260806;
+  config.probability = 0.15;
+  config.kinds = fault::kRecoverableKinds;
+  fault::Scope injection{config};
+
+  DebugHarness harness(kStorm, HarnessOptions{.stop_at_entry = false});
+  (void)harness.launch();
+  StormReaper reaper(harness.port_file());
+  auto result = harness.join(60'000);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(harness.output(), "storm done\n");
+
+  ipc::PortFile port_file(harness.port_file());
+  auto records = port_file.read_all();
+  ASSERT_TRUE(records.is_ok());
+  std::set<int> pids;
+  for (const ipc::PortRecord& record : records.value()) {
+    EXPECT_TRUE(pids.insert(record.pid).second)
+        << "pid " << record.pid << " published twice";
+  }
+  EXPECT_EQ(pids.size(), 1u + kExpectedChildren);
+
+  int status = 0;
+  pid_t leftover = ::waitpid(-1, &status, WNOHANG);
+  EXPECT_TRUE(leftover == -1 && errno == ECHILD)
+      << "unreaped child " << leftover;
+}
+
+}  // namespace
+}  // namespace dionea::dbg

@@ -17,11 +17,28 @@
 #include "client/multi_client.hpp"
 #include "debugger/server.hpp"
 #include "mp/vm_bindings.hpp"
+#include "replay/replay.hpp"
 #include "support/temp_file.hpp"
 #include "support/timing.hpp"
 #include "vm/interp.hpp"
 
 namespace dionea::test {
+
+// Poll `pred` every couple of milliseconds until it holds or
+// `timeout_millis` elapses; true iff it held. The replacement for
+// fixed-length sleeps in tests that wait on another thread or process:
+// a sleep long enough for a loaded CI box wastes seconds on a fast one
+// and still flakes on a slower one.
+template <typename Pred>
+inline bool poll_until(Pred&& pred, int timeout_millis = 5'000,
+                       int slice_millis = 2) {
+  Stopwatch watch;
+  while (true) {
+    if (pred()) return true;
+    if (watch.elapsed_seconds() * 1000.0 >= timeout_millis) return false;
+    sleep_for_millis(slice_millis);
+  }
+}
 
 struct RunOutcome {
   bool ok = false;
@@ -42,6 +59,7 @@ inline RunOutcome run_ml(const std::string& source,
       [&outcome](std::string_view text) { outcome.output.append(text); });
   vm::RunResult result = interp.run_string(source, file);
   if (interp.vm().is_forked_child()) {
+    replay::Engine::instance().flush();  // _exit skips atexit
     std::fflush(nullptr);
     ::_exit(result.exited ? result.exit_code : (result.ok ? 0 : 1));
   }
@@ -49,6 +67,43 @@ inline RunOutcome run_ml(const std::string& source,
   outcome.exited = result.exited;
   outcome.exit_code = result.exit_code;
   if (!result.ok) outcome.error_message = result.error.to_string();
+  return outcome;
+}
+
+// ---- record/replay fixtures ----
+// Record-once/replay-many: run the program once in record mode (the
+// interleaving the OS happened to pick becomes the fixture), then
+// replay it as often as the assertions need — every replay is forced
+// through the recorded schedule, so a test about a *specific*
+// interleaving stops being a race against the scheduler.
+
+struct ReplayOutcome : RunOutcome {
+  replay::Info info;  // engine state sampled right after the run
+};
+
+inline ReplayOutcome run_ml_record(const std::string& dir,
+                                   const std::string& source,
+                                   const std::string& file = "test.ml") {
+  replay::Engine& engine = replay::Engine::instance();
+  Status started = engine.start_record(dir);
+  DIONEA_CHECK(started.is_ok(), "start_record");
+  ReplayOutcome outcome;
+  static_cast<RunOutcome&>(outcome) = run_ml(source, file);
+  outcome.info = engine.info();
+  engine.stop();
+  return outcome;
+}
+
+inline ReplayOutcome run_ml_replay(const std::string& dir,
+                                   const std::string& source,
+                                   const std::string& file = "test.ml") {
+  replay::Engine& engine = replay::Engine::instance();
+  Status started = engine.start_replay(dir);
+  DIONEA_CHECK(started.is_ok(), "start_replay");
+  ReplayOutcome outcome;
+  static_cast<RunOutcome&>(outcome) = run_ml(source, file);
+  outcome.info = engine.info();
+  engine.stop();
   return outcome;
 }
 

@@ -1,13 +1,21 @@
 // Deadlock detection: the Ruby `deadlock detected (fatal)` semantics
 // (§6.2) plus the cases that must NOT be flagged.
+//
+// The schedule-sensitive cases are record-once/replay-many fixtures:
+// one recorded run pins the interleaving, and the assertions run
+// against forced replays of it instead of racing the live scheduler.
 #include <gtest/gtest.h>
 
+#include "replay/replay.hpp"
+#include "support/temp_file.hpp"
 #include "testutil.hpp"
 
 namespace dionea::vm {
 namespace {
 
 using test::run_ml;
+using test::run_ml_record;
+using test::run_ml_replay;
 
 void expect_fatal_deadlock(const std::string& program) {
   test::RunOutcome outcome = run_ml(program);
@@ -86,24 +94,80 @@ TEST(DeadlockTest, TimedSleepIsNotDeadlock) {
 }
 
 TEST(DeadlockTest, WakeableBlockIsNotDeadlock) {
-  expect_no_deadlock(
+  // Record once (pinning where the push lands relative to the pop and
+  // the detector's transient all-blocked snapshots), then assert
+  // against a forced replay of that schedule.
+  auto tmp = TempDir::create("deadlock-wakeable");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string program =
       "q = queue()\n"
       "spawn(fn()\n"
       "  sleep(0.3)\n"  // longer than the detector's grace period
       "  q.push(1)\n"
       "end)\n"
-      "puts(q.pop())");
+      "puts(q.pop())";
+  auto recorded = run_ml_record(tmp.value().file("logs"), program);
+  EXPECT_TRUE(recorded.ok) << recorded.error_message;
+  auto replayed = run_ml_replay(tmp.value().file("logs"), program);
+  EXPECT_TRUE(replayed.ok) << replayed.error_message;
+  EXPECT_EQ(replayed.info.mode, replay::Mode::kReplay)
+      << replayed.info.divergence_reason;
+  EXPECT_EQ(replayed.output, recorded.output);
 }
 
 TEST(DeadlockTest, HandoffChainCompletes) {
   // Threads blocked in a chain that eventually resolves — transient
   // all-blocked snapshots must not fire (grace + epoch re-check).
-  expect_no_deadlock(
+  // Replayed: the recorded hand-off order is forced, so the test
+  // exercises the detector against the same chain shape every run.
+  auto tmp = TempDir::create("deadlock-chain");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string program =
       "q1 = queue()\nq2 = queue()\nq3 = queue()\n"
       "spawn(fn() q2.push(q1.pop() + 1) end)\n"
       "spawn(fn() q3.push(q2.pop() + 1) end)\n"
       "spawn(fn()\n  sleep(0.25)\n  q1.push(1)\nend)\n"
-      "puts(q3.pop())");
+      "puts(q3.pop())";
+  auto recorded = run_ml_record(tmp.value().file("logs"), program);
+  EXPECT_TRUE(recorded.ok) << recorded.error_message;
+  auto replayed = run_ml_replay(tmp.value().file("logs"), program);
+  EXPECT_TRUE(replayed.ok) << replayed.error_message;
+  EXPECT_EQ(replayed.info.mode, replay::Mode::kReplay)
+      << replayed.info.divergence_reason;
+  EXPECT_EQ(replayed.output, recorded.output);
+}
+
+TEST(DeadlockTest, RecordedDeadlockReproducesOnReplay) {
+  // The flagship replay use case: a once-observed deadlock replays on
+  // demand. Record the ABBA cycle, then reproduce the identical fatal
+  // error from the log — three times.
+  auto tmp = TempDir::create("deadlock-replay");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string program =
+      "a = mutex()\n"
+      "b = mutex()\n"
+      "sync = queue()\n"
+      "t = spawn(fn()\n"
+      "  lock(b)\n"
+      "  sync.push(true)\n"
+      "  lock(a)\n"
+      "  unlock(a)\n"
+      "  unlock(b)\n"
+      "end)\n"
+      "lock(a)\n"
+      "sync.pop()\n"
+      "lock(b)";
+  auto recorded = run_ml_record(tmp.value().file("logs"), program);
+  ASSERT_FALSE(recorded.ok) << recorded.output;
+  ASSERT_NE(recorded.error_message.find("deadlock detected (fatal)"),
+            std::string::npos)
+      << recorded.error_message;
+  for (int round = 0; round < 3; ++round) {
+    auto replayed = run_ml_replay(tmp.value().file("logs"), program);
+    ASSERT_FALSE(replayed.ok) << "round " << round;
+    EXPECT_EQ(replayed.error_message, recorded.error_message)
+        << "round " << round;
+  }
 }
 
 TEST(DeadlockTest, IpcPopIsNotDeadlock) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Coverage driver for the `coverage` CMake target.
+#
+# Usage (configure with instrumentation first):
+#   cmake -S . -B build-cov -DDIONEA_COVERAGE=ON
+#   cmake --build build-cov -j
+#   cmake --build build-cov --target coverage
+#
+# The instrumented test suite runs once; the report covers src/ only
+# (tests and third-party headers excluded).
+#
+# Thresholds (checked on total line coverage when the tooling reports
+# one; advisory otherwise):
+#   - src/ overall:       >= 70% lines
+#   - src/replay/:        >= 85% lines — the record/replay engine is
+#     the subsystem most prone to silent divergence bugs, so its
+#     branches are held to a higher bar.
+# Raising a threshold is cheap; lowering one needs a written rationale
+# in the PR that does it.
+set -euo pipefail
+
+BUILD_DIR="${DIONEA_COVERAGE_BUILD_DIR:-$(pwd)}"
+COMPILER_ID="${DIONEA_COVERAGE_COMPILER:-GNU}"
+MIN_TOTAL="${DIONEA_COVERAGE_MIN:-70}"
+MIN_REPLAY="${DIONEA_COVERAGE_MIN_REPLAY:-85}"
+
+cd "${BUILD_DIR}"
+
+run_tests() {
+  # Fuzz + stress included: coverage runs are exactly when their rare
+  # branches should be counted.
+  ctest --output-on-failure "$@"
+}
+
+if [[ "${COMPILER_ID}" == *Clang* ]]; then
+  # Source-based coverage: one raw profile per test process (forked
+  # children included via %p), merged then reported.
+  profdir="${BUILD_DIR}/coverage-profiles"
+  rm -rf "${profdir}" && mkdir -p "${profdir}"
+  LLVM_PROFILE_FILE="${profdir}/%p.profraw" run_tests
+  llvm-profdata merge -sparse "${profdir}"/*.profraw \
+    -o "${profdir}/merged.profdata"
+  binaries=()
+  while IFS= read -r bin; do
+    binaries+=(-object "${bin}")
+  done < <(find "${BUILD_DIR}/tests" -maxdepth 1 -type f -perm -u+x)
+  llvm-cov report "${binaries[@]}" \
+    -instr-profile="${profdir}/merged.profdata" \
+    -ignore-filename-regex='(tests|_deps|/usr)/' | tee coverage.txt
+  total=$(awk '/^TOTAL/ {gsub(/%/, "", $(NF)); print int($(NF))}' \
+    coverage.txt)
+else
+  run_tests
+  if command -v gcovr > /dev/null; then
+    gcovr --root .. --filter '\.\./src/' --print-summary \
+      --txt coverage.txt .
+    total=$(awk '/^lines:/ {print int($2)}' coverage.txt || echo "")
+  else
+    # Bare gcov fallback: per-file .gcov dumps plus a line-rate total.
+    find . -name '*.gcda' | while IFS= read -r gcda; do
+      gcov -r -o "$(dirname "${gcda}")" "${gcda}" > /dev/null 2>&1 || true
+    done
+    total=$(find . -name '*.gcov' -exec awk -F: '
+        $1 !~ /-/ { if ($1 ~ /#####/) miss++; else hit++ }
+        END { if (hit + miss > 0) printf "%d", 100 * hit / (hit + miss) }
+      ' {} + 2>/dev/null | tail -1)
+    echo "line coverage (gcov aggregate): ${total:-unknown}%" \
+      | tee coverage.txt
+  fi
+fi
+
+if [[ -n "${total:-}" ]]; then
+  echo "total src/ line coverage: ${total}% (threshold ${MIN_TOTAL}%)"
+  if (( total < MIN_TOTAL )); then
+    echo "coverage below threshold" >&2
+    exit 1
+  fi
+else
+  echo "coverage total not computed by this toolchain; report written" \
+       "to coverage.txt (thresholds: src >= ${MIN_TOTAL}%," \
+       "src/replay >= ${MIN_REPLAY}%)"
+fi
