@@ -1,0 +1,98 @@
+// MiniSan overhead: the fig9 wordcount workload (4 forked workers,
+// debugger attached) with the dynamic detector disabled vs enabled.
+//
+// The budget that matters for shipping: the *disabled* detector must
+// be free. Every hook is guarded by one relaxed atomic load
+// (analysis::engine_enabled()), so two disabled runs must agree to
+// well under 10% — that pair is the pass/fail gate. The enabled-mode
+// cost (a mutex + map updates per global/container access) is
+// reported for the record but not gated: analysis is an opt-in
+// debugging mode, like record/replay.
+#include <cstdio>
+
+#include "analysis/analysis.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dionea;
+  using namespace dionea::bench;
+
+  print_header("MiniSan overhead: fig9 workload, detector off vs on",
+               "the disabled detector must cost <10% (target: noise)");
+  print_environment_note();
+
+  auto tmp = TempDir::create("bench-analysis");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  mapreduce::CorpusSpec spec =
+      mapreduce::scaled_spec(mapreduce::dionea_trunk_spec(), 3.0);
+  auto corpus = mapreduce::Corpus::generate(spec, tmp.value().file("corpus"));
+  DIONEA_CHECK(corpus.is_ok(), "corpus");
+
+  constexpr int kWorkers = 4;
+  constexpr int kReps = 5;
+  analysis::Engine& engine = analysis::Engine::instance();
+
+  engine.disable();
+  double base = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kAttached);
+  });
+  // Second disabled arm: everything the merge added to the hot path
+  // (the guarded hooks) is live in both, so the delta is the honest
+  // measure of "analysis off" cost plus machine noise.
+  double off = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kAttached);
+  });
+
+  engine.reset();
+  engine.enable();
+  double on = min_seconds(kReps, [&] {
+    return run_wordcount(corpus.value(), kWorkers, DebugMode::kAttached);
+  });
+  engine.disable();
+  std::uint64_t accesses = engine.accesses();
+  std::uint64_t sync_events = engine.sync_events();
+  std::size_t findings = engine.report().findings.size();
+  engine.reset();
+
+  double off_pct = overhead_pct(base, off);
+  double on_pct = overhead_pct(base, on);
+  std::printf("\n%-26s %10s %10s\n", "", "time", "overhead");
+  std::printf("%-26s %10s %10s\n", "analysis off (baseline)",
+              format_duration(base).c_str(), "");
+  std::printf("%-26s %10s %+9.2f%%\n", "analysis off (again)",
+              format_duration(off).c_str(), off_pct);
+  std::printf("%-26s %10s %+9.2f%%\n", "analysis on",
+              format_duration(on).c_str(), on_pct);
+  std::printf(
+      "\nwhile on: %llu accesses, %llu sync events, %zu findings\n",
+      static_cast<unsigned long long>(accesses),
+      static_cast<unsigned long long>(sync_events), findings);
+
+  std::FILE* json = std::fopen("BENCH_analysis.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"fig9_wordcount_x3\",\n"
+                 "  \"workers\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"analysis_off_baseline_s\": %.6f,\n"
+                 "  \"analysis_off_s\": %.6f,\n"
+                 "  \"analysis_on_s\": %.6f,\n"
+                 "  \"off_overhead_pct\": %.3f,\n"
+                 "  \"on_overhead_pct\": %.3f,\n"
+                 "  \"on_accesses\": %llu,\n"
+                 "  \"on_sync_events\": %llu,\n"
+                 "  \"budget_off_pct\": 10.0,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 kWorkers, kReps, base, off, on, off_pct, on_pct,
+                 static_cast<unsigned long long>(accesses),
+                 static_cast<unsigned long long>(sync_events),
+                 off_pct < 10.0 ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_analysis.json\n");
+  }
+
+  std::printf("budget: off <10%% — %s\n", off_pct < 10.0 ? "PASS" : "FAIL");
+  return off_pct < 10.0 ? 0 : 1;
+}

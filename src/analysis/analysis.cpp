@@ -1,0 +1,1015 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
+#include "vm/bytecode.hpp"
+
+namespace dionea::analysis {
+
+const char* finding_kind_name(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kLockOrderCycle: return "lock-order-cycle";
+    case FindingKind::kLockLeak: return "lock-leak";
+    case FindingKind::kDoubleAcquire: return "double-acquire";
+    case FindingKind::kClosedQueue: return "closed-queue";
+    case FindingKind::kDataRace: return "data-race";
+  }
+  return "?";
+}
+
+std::string Finding::to_string() const {
+  std::string out = strings::format(
+      "[%s] %s: %s", finding_kind_name(kind),
+      strings::source_location(file, line).c_str(), message.c_str());
+  if (!file2.empty()) {
+    out += strings::format(" (see %s)",
+                           strings::source_location(file2, line2).c_str());
+  }
+  return out;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+// =================================================================
+// Static pass: abstract interpretation over bytecode.
+// =================================================================
+
+namespace {
+
+using vm::Chunk;
+using vm::FunctionProto;
+using vm::Op;
+
+struct Site {
+  std::string file;
+  int line = 0;
+};
+
+// Abstract value on the simulated operand stack / in a local slot.
+struct Sym {
+  enum Kind : std::uint8_t {
+    kTop,      // anything
+    kBuiltin,  // a sync-relevant builtin looked up by name
+    kSync,     // a sync object; name is its identity ("" until bound)
+    kFunc,     // a MiniLang function with a known prototype
+  };
+  Kind kind = kTop;
+  std::string name;    // builtin name or sync identity
+  int sync_kind = 0;   // 1 = mutex, 2 = queue, 3 = cond
+  const FunctionProto* proto = nullptr;
+
+  bool operator==(const Sym& other) const {
+    return kind == other.kind && name == other.name &&
+           sync_kind == other.sync_kind && proto == other.proto;
+  }
+};
+
+Sym top_sym() { return Sym{}; }
+
+int ctor_sync_kind(const std::string& name) {
+  if (name == "mutex") return 1;
+  if (name == "queue") return 2;
+  if (name == "cond") return 3;
+  return 0;
+}
+
+bool is_relevant_builtin(const std::string& name) {
+  static const std::set<std::string> kNames = {
+      "mutex", "queue", "cond",  "lock",   "unlock", "try_lock", "close",
+      "push",  "pop",   "wait",  "signal", "broadcast", "spawn", "join",
+      "fork"};
+  return kNames.count(name) != 0;
+}
+
+// Per-offset dataflow state. `held` and `closed` are may-sets: a lock
+// held on *some* path into the offset counts (that is what makes the
+// leak check "on some path").
+struct AbsState {
+  std::vector<Sym> stack;
+  std::vector<Sym> locals;
+  std::map<std::string, Site> held;
+  std::map<std::string, Site> closed;
+};
+
+bool merge_sym(Sym* dst, const Sym& src) {
+  if (*dst == src) return false;
+  if (dst->kind == Sym::kTop) return false;
+  *dst = top_sym();
+  return true;
+}
+
+bool merge_into(AbsState* dst, const AbsState& src) {
+  bool changed = false;
+  if (dst->stack.size() != src.stack.size()) {
+    // Join points the compiler emits are stack-balanced; a mismatch
+    // means control merges from contexts we model differently (e.g.
+    // an iterator exit). Meet defensively to the common prefix.
+    size_t keep = std::min(dst->stack.size(), src.stack.size());
+    if (dst->stack.size() != keep) {
+      dst->stack.resize(keep);
+      changed = true;
+    }
+    for (size_t i = 0; i < keep; ++i) changed |= merge_sym(&dst->stack[i], src.stack[i]);
+  } else {
+    for (size_t i = 0; i < dst->stack.size(); ++i) {
+      changed |= merge_sym(&dst->stack[i], src.stack[i]);
+    }
+  }
+  for (size_t i = 0; i < dst->locals.size() && i < src.locals.size(); ++i) {
+    changed |= merge_sym(&dst->locals[i], src.locals[i]);
+  }
+  for (const auto& [id, site] : src.held) {
+    if (dst->held.emplace(id, site).second) changed = true;
+  }
+  for (const auto& [id, site] : src.closed) {
+    if (dst->closed.emplace(id, site).second) changed = true;
+  }
+  return changed;
+}
+
+struct Edge {
+  Site site;        // where the second lock was acquired
+  std::string held_id;
+  Site held_site;   // where the already-held lock was acquired
+};
+
+// Whole-program lint context.
+struct LintCtx {
+  // Identity registries discovered by the binding pre-pass.
+  std::map<std::string, int> global_syncs;                 // name -> sync kind
+  std::map<std::string, const FunctionProto*> global_funcs;
+  // Transitive acquire summaries, grown to fixpoint.
+  std::map<const FunctionProto*, std::map<std::string, Site>> acquires;
+  // Lock-order graph: edges[a][b] = first site where b was acquired
+  // while a was held.
+  std::map<std::string, std::map<std::string, Edge>> edges;
+  std::vector<Finding> findings;
+  std::set<std::string> reported;  // dedupe key
+  bool report = false;
+
+  void add_finding(FindingKind kind, const std::string& dedupe_key,
+                   std::string message, Site site, Site other = {}) {
+    if (!report) return;
+    if (!reported.insert(dedupe_key).second) return;
+    Finding finding;
+    finding.kind = kind;
+    finding.message = std::move(message);
+    finding.file = site.file;
+    finding.line = site.line;
+    finding.file2 = other.file;
+    finding.line2 = other.line;
+    findings.push_back(std::move(finding));
+  }
+};
+
+// Collect every FunctionProto reachable from `main` through constant
+// tables (named functions and lambdas are Closure constants).
+void collect_protos(const FunctionProto* proto,
+                    std::vector<const FunctionProto*>* out,
+                    std::set<const FunctionProto*>* seen) {
+  if (!seen->insert(proto).second) return;
+  out->push_back(proto);
+  for (const vm::Value& constant : proto->chunk.constants()) {
+    if (constant.is_closure() && constant.as_closure()->proto) {
+      collect_protos(constant.as_closure()->proto.get(), out, seen);
+    }
+  }
+}
+
+// Linear scan for top-level binding patterns, so identities are known
+// before the dataflow pass (which may see a use before the definition
+// when functions are linted in collection order):
+//   kGetGlobal <ctor>; kCall 0; kSetGlobal <name>   ->  sync identity
+//   kClosure <proto>; kSetGlobal <name>             ->  function binding
+void scan_bindings(const FunctionProto& proto, LintCtx* ctx) {
+  const Chunk& chunk = proto.chunk;
+  size_t offset = 0;
+  while (offset < chunk.size()) {
+    Op op = static_cast<Op>(chunk.read_u8(offset));
+    size_t next = offset + 1 + static_cast<size_t>(vm::op_operand_bytes(op));
+    if (op == Op::kGetGlobal && next + 2 + 2 < chunk.size()) {
+      const vm::Value& name = chunk.constants()[chunk.read_u16(offset + 1)];
+      int sync_kind = name.is_str() ? ctor_sync_kind(name.as_str()) : 0;
+      if (sync_kind != 0 && static_cast<Op>(chunk.read_u8(next)) == Op::kCall &&
+          chunk.read_u8(next + 1) == 0 &&
+          static_cast<Op>(chunk.read_u8(next + 2)) == Op::kSetGlobal) {
+        const vm::Value& target = chunk.constants()[chunk.read_u16(next + 3)];
+        if (target.is_str()) ctx->global_syncs[target.as_str()] = sync_kind;
+      }
+    }
+    if (op == Op::kClosure && next + 2 < chunk.size() &&
+        static_cast<Op>(chunk.read_u8(next)) == Op::kSetGlobal) {
+      const vm::Value& fn = chunk.constants()[chunk.read_u16(offset + 1)];
+      const vm::Value& target = chunk.constants()[chunk.read_u16(next + 1)];
+      if (fn.is_closure() && fn.as_closure()->proto && target.is_str()) {
+        ctx->global_funcs[target.as_str()] = fn.as_closure()->proto.get();
+      }
+    }
+    offset = next;
+  }
+}
+
+// Record "b acquired while a held". Returns true if the summary of
+// `proto` grew (drives the fixpoint).
+bool note_acquire(LintCtx* ctx, const FunctionProto* proto, AbsState* state,
+                  const std::string& id, Site site) {
+  for (const auto& [held_id, held_site] : state->held) {
+    if (held_id == id) continue;
+    Edge edge{site, held_id, held_site};
+    ctx->edges[held_id].emplace(id, edge);
+  }
+  state->held.emplace(id, site);
+  return ctx->acquires[proto].emplace(id, site).second;
+}
+
+// Simulate a call instruction. Returns true if the caller's summary grew.
+bool apply_call(LintCtx* ctx, const FunctionProto& proto, AbsState* state,
+                int argc, Site site) {
+  bool summary_grew = false;
+  size_t callee_index = state->stack.size() - static_cast<size_t>(argc) - 1;
+  Sym callee = state->stack[callee_index];
+  std::vector<Sym> args(state->stack.begin() + static_cast<long>(callee_index) + 1,
+                        state->stack.end());
+  state->stack.resize(callee_index);
+
+  Sym result = top_sym();
+  if (callee.kind == Sym::kBuiltin) {
+    const std::string& name = callee.name;
+    int ctor = ctor_sync_kind(name);
+    if (ctor != 0 && argc == 0) {
+      result = Sym{Sym::kSync, "", ctor, nullptr};
+    } else if (name == "lock" && argc == 1 && args[0].kind == Sym::kSync &&
+               !args[0].name.empty()) {
+      const std::string& id = args[0].name;
+      auto held_it = state->held.find(id);
+      if (held_it != state->held.end()) {
+        ctx->add_finding(
+            FindingKind::kDoubleAcquire,
+            strings::format("double:%s:%s:%d", id.c_str(), site.file.c_str(),
+                            site.line),
+            strings::format("mutex '%s' acquired while already held; "
+                            "VM mutexes are not reentrant",
+                            id.c_str()),
+            site, held_it->second);
+      } else {
+        summary_grew |= note_acquire(ctx, &proto, state, id, site);
+      }
+    } else if (name == "unlock" && argc == 1 && args[0].kind == Sym::kSync) {
+      state->held.erase(args[0].name);
+    } else if (name == "close" && argc == 1 && args[0].kind == Sym::kSync &&
+               !args[0].name.empty()) {
+      state->closed.emplace(args[0].name, site);
+    } else if (name == "push" && argc >= 1 && !args.empty() &&
+               args[0].kind == Sym::kSync && args[0].sync_kind == 2) {
+      // pop after close is the documented drain idiom (returns the
+      // backlog, then nil); only push is a runtime error.
+      auto closed_it = state->closed.find(args[0].name);
+      if (closed_it != state->closed.end()) {
+        ctx->add_finding(
+            FindingKind::kClosedQueue,
+            strings::format("closed:%s:%s:%d", args[0].name.c_str(),
+                            site.file.c_str(), site.line),
+            strings::format("push on queue '%s' after close()",
+                            args[0].name.c_str()),
+            site, closed_it->second);
+      }
+    }
+    // try_lock is intentionally not an acquire; spawn starts a
+    // concurrent thread, so the spawned function's locks do not nest
+    // under the caller's held set.
+  } else if (callee.kind == Sym::kFunc && callee.proto != nullptr &&
+             callee.proto != &proto) {
+    // Nested acquire through a call: everything the callee may lock
+    // is ordered after everything currently held.
+    for (const auto& [id, acq_site] : ctx->acquires[callee.proto]) {
+      if (state->held.count(id)) continue;  // re-entry via call: skip (FP risk)
+      for (const auto& [held_id, held_site] : state->held) {
+        if (held_id == id) continue;
+        Edge edge{acq_site, held_id, held_site};
+        ctx->edges[held_id].emplace(id, edge);
+      }
+      summary_grew |= ctx->acquires[&proto].emplace(id, acq_site).second;
+    }
+  }
+  state->stack.push_back(result);
+  return summary_grew;
+}
+
+// One abstract-interpretation pass over a single function. Returns
+// true if this function's acquire summary grew.
+bool simulate(LintCtx* ctx, const FunctionProto& proto) {
+  const Chunk& chunk = proto.chunk;
+  if (chunk.size() == 0) return false;
+  bool summary_grew = false;
+
+  AbsState entry;
+  entry.locals.assign(proto.local_names.size(), top_sym());
+  std::map<size_t, AbsState> states;
+  states.emplace(0, std::move(entry));
+  std::deque<size_t> worklist{0};
+  std::set<size_t> queued{0};
+
+  auto push_succ = [&](size_t offset, const AbsState& state) {
+    auto [it, inserted] = states.emplace(offset, state);
+    bool changed = inserted;
+    if (!inserted) changed = merge_into(&it->second, state);
+    if (changed && queued.insert(offset).second) worklist.push_back(offset);
+  };
+
+  auto leak_check = [&](const AbsState& state, size_t offset) {
+    for (const auto& [id, site] : state.held) {
+      ctx->add_finding(
+          FindingKind::kLockLeak,
+          strings::format("leak:%s:%s:%d", id.c_str(), site.file.c_str(),
+                          site.line),
+          strings::format("lock '%s' is not released on some path through "
+                          "'%s'",
+                          id.c_str(),
+                          proto.name.empty() ? "<lambda>" : proto.name.c_str()),
+          Site{proto.file, chunk.line_at(offset)}, site);
+    }
+  };
+
+  int guard = 0;
+  while (!worklist.empty() && ++guard < 200000) {
+    size_t offset = worklist.front();
+    worklist.pop_front();
+    queued.erase(offset);
+    AbsState state = states.at(offset);
+
+    Op op = static_cast<Op>(chunk.read_u8(offset));
+    size_t operand = offset + 1;
+    size_t next = operand + static_cast<size_t>(vm::op_operand_bytes(op));
+    Site site{proto.file, chunk.line_at(offset)};
+
+    auto pop_n = [&](size_t n) {
+      state.stack.resize(state.stack.size() >= n ? state.stack.size() - n : 0);
+    };
+
+    switch (op) {
+      case Op::kConst:
+      case Op::kNil:
+      case Op::kTrue:
+      case Op::kFalse:
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kPop:
+        pop_n(1);
+        push_succ(next, state);
+        break;
+      case Op::kDup:
+        state.stack.push_back(state.stack.empty() ? top_sym()
+                                                  : state.stack.back());
+        push_succ(next, state);
+        break;
+      case Op::kGetLocal: {
+        std::uint16_t slot = chunk.read_u16(operand);
+        state.stack.push_back(slot < state.locals.size() ? state.locals[slot]
+                                                         : top_sym());
+        push_succ(next, state);
+        break;
+      }
+      case Op::kSetLocal: {
+        std::uint16_t slot = chunk.read_u16(operand);
+        if (!state.stack.empty() && slot < state.locals.size()) {
+          Sym value = state.stack.back();
+          if (value.kind == Sym::kSync && value.name.empty()) {
+            // Bind a freshly constructed sync object to a local-scoped
+            // identity ("<func>.<local>").
+            value.name = strings::format(
+                "%s.%s", proto.name.empty() ? "<main>" : proto.name.c_str(),
+                proto.local_names[slot].c_str());
+            state.stack.back() = value;
+          }
+          state.locals[slot] = value;
+        }
+        push_succ(next, state);
+        break;
+      }
+      case Op::kGetGlobal: {
+        const vm::Value& name = chunk.constants()[chunk.read_u16(operand)];
+        Sym sym = top_sym();
+        if (name.is_str()) {
+          const std::string& text = name.as_str();
+          auto sync_it = ctx->global_syncs.find(text);
+          auto func_it = ctx->global_funcs.find(text);
+          if (sync_it != ctx->global_syncs.end()) {
+            sym = Sym{Sym::kSync, text, sync_it->second, nullptr};
+          } else if (func_it != ctx->global_funcs.end()) {
+            sym = Sym{Sym::kFunc, text, 0, func_it->second};
+          } else if (is_relevant_builtin(text)) {
+            sym = Sym{Sym::kBuiltin, text, 0, nullptr};
+          }
+        }
+        state.stack.push_back(sym);
+        push_succ(next, state);
+        break;
+      }
+      case Op::kSetGlobal: {
+        const vm::Value& name = chunk.constants()[chunk.read_u16(operand)];
+        if (name.is_str() && !state.stack.empty()) {
+          Sym& value = state.stack.back();
+          if (value.kind == Sym::kSync && value.name.empty()) {
+            value.name = name.as_str();
+            ctx->global_syncs.emplace(name.as_str(), value.sync_kind);
+          }
+        }
+        push_succ(next, state);
+        break;
+      }
+      case Op::kGetCapture:
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kSetCapture:
+        push_succ(next, state);
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+        pop_n(2);
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kNeg:
+      case Op::kNot:
+        pop_n(1);
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kJump:
+        push_succ(next + chunk.read_u16(operand), state);
+        break;
+      case Op::kJumpIfFalse: {
+        std::uint16_t jump = chunk.read_u16(operand);
+        pop_n(1);
+        push_succ(next, state);
+        push_succ(next + jump, state);
+        break;
+      }
+      case Op::kJumpIfFalsePeek:
+      case Op::kJumpIfTruePeek: {
+        std::uint16_t jump = chunk.read_u16(operand);
+        push_succ(next, state);
+        push_succ(next + jump, state);
+        break;
+      }
+      case Op::kLoop:
+        push_succ(next - chunk.read_u16(operand), state);
+        break;
+      case Op::kCall: {
+        int argc = chunk.read_u8(operand);
+        if (state.stack.size() >= static_cast<size_t>(argc) + 1) {
+          summary_grew |= apply_call(ctx, proto, &state, argc, site);
+        } else {
+          state.stack.clear();
+          state.stack.push_back(top_sym());
+        }
+        push_succ(next, state);
+        break;
+      }
+      case Op::kReturn:
+        leak_check(state, offset);
+        break;
+      case Op::kBuildList: {
+        pop_n(chunk.read_u16(operand));
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      }
+      case Op::kBuildMap: {
+        pop_n(static_cast<size_t>(chunk.read_u16(operand)) * 2);
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      }
+      case Op::kIndexGet:
+        pop_n(2);
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kIndexSet:
+        pop_n(3);
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kClosure: {
+        const vm::Value& fn = chunk.constants()[chunk.read_u16(operand)];
+        Sym sym = top_sym();
+        if (fn.is_closure() && fn.as_closure()->proto) {
+          sym = Sym{Sym::kFunc, "", 0, fn.as_closure()->proto.get()};
+        }
+        state.stack.push_back(sym);
+        push_succ(next, state);
+        break;
+      }
+      case Op::kIterNew:
+        pop_n(1);
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kIterNext: {
+        std::uint16_t exit_offset = chunk.read_u16(operand + 2);
+        push_succ(next + exit_offset, state);  // exhausted: nothing pushed
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      }
+      case Op::kTraceLine:
+        push_succ(next, state);
+        break;
+      case Op::kHalt:
+        leak_check(state, offset);
+        break;
+    }
+  }
+  return summary_grew;
+}
+
+// Rotate a cycle so it starts at its lexicographically smallest node
+// (canonical form for dedup).
+std::vector<std::string> normalize_cycle(std::vector<std::string> cycle) {
+  size_t best = 0;
+  for (size_t i = 1; i < cycle.size(); ++i) {
+    if (cycle[i] < cycle[best]) best = i;
+  }
+  std::rotate(cycle.begin(), cycle.begin() + static_cast<long>(best),
+              cycle.end());
+  return cycle;
+}
+
+void find_cycles(LintCtx* ctx) {
+  std::set<std::vector<std::string>> seen;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  std::set<std::string> done;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = ctx->edges.find(node);
+    if (it != ctx->edges.end()) {
+      for (const auto& [succ, edge] : it->second) {
+        if (on_path.count(succ)) {
+          // Extract the cycle succ ... node.
+          auto start = std::find(path.begin(), path.end(), succ);
+          std::vector<std::string> cycle(start, path.end());
+          if (!seen.insert(normalize_cycle(cycle)).second) continue;
+          // Describe the chain with each step's acquisition site.
+          std::string chain;
+          Site first_site;
+          Site second_site;
+          for (size_t i = 0; i < cycle.size(); ++i) {
+            const std::string& a = cycle[i];
+            const std::string& b = cycle[(i + 1) % cycle.size()];
+            const Edge& step = ctx->edges.at(a).at(b);
+            if (i == 0) first_site = step.site;
+            if (i == 1 || cycle.size() == 1) second_site = step.site;
+            chain += strings::format(
+                "'%s' -> '%s' at %s%s", a.c_str(), b.c_str(),
+                strings::source_location(step.site.file, step.site.line)
+                    .c_str(),
+                i + 1 < cycle.size() ? ", " : "");
+          }
+          ctx->add_finding(
+              FindingKind::kLockOrderCycle,
+              "cycle:" + strings::join(normalize_cycle(cycle), "|"),
+              "potential deadlock: lock-order cycle " + chain, first_site,
+              second_site);
+        } else if (!done.count(succ)) {
+          dfs(succ);
+        }
+      }
+    }
+    on_path.erase(node);
+    path.pop_back();
+    done.insert(node);
+  };
+
+  for (const auto& [node, _] : ctx->edges) {
+    if (!done.count(node)) dfs(node);
+  }
+}
+
+}  // namespace
+
+Report lint_program(const FunctionProto& main) {
+  LintCtx ctx;
+  std::vector<const FunctionProto*> protos;
+  std::set<const FunctionProto*> seen;
+  collect_protos(&main, &protos, &seen);
+  for (const FunctionProto* proto : protos) scan_bindings(*proto, &ctx);
+
+  // Grow acquire summaries to a fixpoint (monotone, so the round count
+  // is bounded by the call-graph depth; the guard is belt-and-braces).
+  bool grew = true;
+  for (int round = 0; grew && round < 32; ++round) {
+    grew = false;
+    for (const FunctionProto* proto : protos) grew |= simulate(&ctx, *proto);
+  }
+  // Final pass with reporting on: summaries are complete, so every
+  // cross-function edge and path-sensitive finding is visible.
+  ctx.report = true;
+  for (const FunctionProto* proto : protos) simulate(&ctx, *proto);
+  find_cycles(&ctx);
+
+  Report report;
+  report.findings = std::move(ctx.findings);
+  return report;
+}
+
+// =================================================================
+// Dynamic pass: vector clocks + locksets.
+// =================================================================
+
+std::atomic<bool> g_engine_enabled{false};
+
+bool engine_enabled_slow() noexcept { return engine_enabled(); }
+
+namespace {
+
+struct VectorClock {
+  std::map<std::int64_t, std::uint64_t> c;
+
+  std::uint64_t of(std::int64_t tid) const {
+    auto it = c.find(tid);
+    return it == c.end() ? 0 : it->second;
+  }
+  void join(const VectorClock& other) {
+    for (const auto& [tid, clock] : other.c) {
+      std::uint64_t& mine = c[tid];
+      if (clock > mine) mine = clock;
+    }
+  }
+};
+
+struct ThreadDyn {
+  VectorClock vc;
+  std::set<std::uint64_t> locks;
+};
+
+struct AccessRec {
+  bool valid = false;
+  std::int64_t tid = 0;
+  std::uint64_t epoch = 0;
+  std::set<std::uint64_t> locks;
+  std::string file;
+  int line = 0;
+  AccessKind kind = AccessKind::kRead;
+};
+
+struct VarDyn {
+  AccessRec write;
+  std::map<std::int64_t, AccessRec> reads;
+};
+
+bool locks_disjoint(const std::set<std::uint64_t>& a,
+                    const std::set<std::uint64_t>& b) {
+  for (std::uint64_t lock : a) {
+    if (b.count(lock)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Engine::State {
+  mutable std::mutex mutex;
+  std::unique_lock<std::mutex> fork_lock;
+
+  std::map<std::int64_t, ThreadDyn> threads;
+  // Per-sync-object "last release" clocks: mutex unlock, queue push,
+  // cond signal/broadcast all publish here; the matching acquire joins.
+  std::map<std::uint64_t, VectorClock> sync_clocks;
+  std::map<std::string, VarDyn> vars;
+  // Container identity -> the global name it was last loaded under
+  // (labels index-access diagnostics).
+  std::map<const void*, std::string> container_names;
+
+  std::vector<Finding> findings;
+  std::set<std::string> raced_vars;
+  Report lint;
+  std::uint64_t accesses = 0;
+  std::uint64_t sync_events = 0;
+
+  ThreadDyn& thread(std::int64_t tid) {
+    auto [it, inserted] = threads.try_emplace(tid);
+    if (inserted) it->second.vc.c[tid] = 1;
+    return it->second;
+  }
+
+  // a release: publish the thread's history on the object, then step
+  // the thread's own clock so later events are not confused with it.
+  void release(std::int64_t tid, std::uint64_t obj) {
+    ThreadDyn& t = thread(tid);
+    sync_clocks[obj].join(t.vc);
+    ++t.vc.c[tid];
+    ++sync_events;
+  }
+  // an acquire: inherit everything published on the object.
+  void acquire(std::int64_t tid, std::uint64_t obj) {
+    ThreadDyn& t = thread(tid);
+    auto it = sync_clocks.find(obj);
+    if (it != sync_clocks.end()) t.vc.join(it->second);
+    ++sync_events;
+  }
+
+  // The lockset/vector-clock check proper (caller holds `mutex`).
+  void record_access(std::int64_t tid, const std::string& name,
+                     AccessKind kind, const std::string& file, int line) {
+    ++accesses;
+    ThreadDyn& t = thread(tid);
+    VarDyn& var = vars[name];
+
+    auto races_with = [&](const AccessRec& prev) {
+      if (!prev.valid || prev.tid == tid) return false;
+      // Happens-before: the previous access is ordered before this one
+      // iff this thread has seen the accessor's clock at access time.
+      if (prev.epoch <= t.vc.of(prev.tid)) return false;
+      return locks_disjoint(prev.locks, t.locks);
+    };
+    auto report_race = [&](const AccessRec& prev, AccessKind cur_kind) {
+      if (!raced_vars.insert(name).second) return;
+      metrics::add(metrics::Counter::kAnalysisRaces);
+      Finding finding;
+      finding.kind = FindingKind::kDataRace;
+      finding.message = strings::format(
+          "possible data race on '%s': %s in thread %lld and %s in "
+          "thread %lld are unordered and share no lock",
+          name.c_str(), cur_kind == AccessKind::kWrite ? "write" : "read",
+          static_cast<long long>(tid),
+          prev.kind == AccessKind::kWrite ? "write" : "read",
+          static_cast<long long>(prev.tid));
+      finding.file = file;
+      finding.line = line;
+      finding.file2 = prev.file;
+      finding.line2 = prev.line;
+      findings.push_back(std::move(finding));
+    };
+
+    // Every access races against an unordered write; a write also
+    // races against unordered reads.
+    if (races_with(var.write)) report_race(var.write, kind);
+    if (kind == AccessKind::kWrite) {
+      for (const auto& [reader, rec] : var.reads) {
+        (void)reader;
+        if (races_with(rec)) {
+          report_race(rec, kind);
+          break;
+        }
+      }
+      var.write = AccessRec{true,         tid,  t.vc.of(tid), t.locks,
+                            file,         line, AccessKind::kWrite};
+      var.reads.clear();
+    } else {
+      var.reads[tid] = AccessRec{true,         tid,  t.vc.of(tid), t.locks,
+                                 file,         line, AccessKind::kRead};
+    }
+  }
+};
+
+Engine::Engine() : state_(std::make_unique<State>()) {}
+
+Engine& Engine::instance() {
+  static Engine* engine = new Engine();
+  return *engine;
+}
+
+void Engine::init_from_env() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const char* env = std::getenv("DIONEA_ANALYZE");
+  if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    instance().enable();
+    DLOG_INFO("analysis") << "dynamic race detection enabled (DIONEA_ANALYZE)";
+  }
+}
+
+void Engine::enable() {
+  enabled_.store(true, std::memory_order_relaxed);
+  g_engine_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Engine::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  g_engine_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Engine::on_access(std::int64_t tid, const std::string& name,
+                       AccessKind kind, const vm::Value& value,
+                       const std::string& file, int line) {
+  if (!engine_enabled()) return;
+  // Bindings that hold functions or sync objects are program
+  // structure (looked up on every call), not shared data.
+  switch (value.kind()) {
+    case vm::ValueKind::kNative:
+    case vm::ValueKind::kClosure:
+    case vm::ValueKind::kMutex:
+    case vm::ValueKind::kQueue:
+    case vm::ValueKind::kCond:
+    case vm::ValueKind::kThread:
+      return;
+    default:
+      break;
+  }
+  metrics::add(metrics::Counter::kAnalysisAccesses);
+  std::scoped_lock lock(state_->mutex);
+  // Learn the name a container travels under, for on_index_access.
+  if (value.is_list()) {
+    state_->container_names[value.as_list().get()] = name;
+  } else if (value.is_map()) {
+    state_->container_names[value.as_map().get()] = name;
+  }
+  state_->record_access(tid, name, kind, file, line);
+}
+
+void Engine::on_index_access(std::int64_t tid, const vm::Value& container,
+                             AccessKind kind, const std::string& file,
+                             int line) {
+  if (!engine_enabled()) return;
+  const void* key = nullptr;
+  if (container.is_list()) {
+    key = container.as_list().get();
+  } else if (container.is_map()) {
+    key = container.as_map().get();
+  } else {
+    return;  // strings are immutable values; nothing shared to race on
+  }
+  metrics::add(metrics::Counter::kAnalysisAccesses);
+  std::scoped_lock lock(state_->mutex);
+  auto it = state_->container_names.find(key);
+  std::string name =
+      it != state_->container_names.end()
+          ? it->second
+          : strings::format("<%s@%p>", container.is_list() ? "list" : "map",
+                            key);
+  state_->record_access(tid, name, kind, file, line);
+}
+
+void Engine::on_mutex_lock(std::int64_t tid, std::uint64_t obj) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  state_->acquire(tid, obj);
+  state_->thread(tid).locks.insert(obj);
+}
+
+void Engine::on_mutex_unlock(std::int64_t tid, std::uint64_t obj) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  state_->release(tid, obj);
+  state_->thread(tid).locks.erase(obj);
+}
+
+void Engine::on_queue_push(std::int64_t tid, std::uint64_t obj) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  state_->release(tid, obj);
+}
+
+void Engine::on_queue_pop(std::int64_t tid, std::uint64_t obj) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  state_->acquire(tid, obj);
+}
+
+void Engine::on_cond_signal(std::int64_t tid, std::uint64_t obj) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  state_->release(tid, obj);
+}
+
+void Engine::on_cond_wake(std::int64_t tid, std::uint64_t obj) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  state_->acquire(tid, obj);
+}
+
+void Engine::on_thread_start(std::int64_t parent_tid, std::int64_t child_tid) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  ThreadDyn& parent = state_->thread(parent_tid);
+  ThreadDyn& child = state_->thread(child_tid);
+  // start edge: the child begins with everything the parent did so far.
+  child.vc.join(parent.vc);
+  child.vc.c[child_tid] = 1;
+  ++parent.vc.c[parent_tid];
+  ++state_->sync_events;
+}
+
+void Engine::on_thread_join(std::int64_t joiner_tid, std::int64_t target_tid) {
+  if (!engine_enabled()) return;
+  metrics::add(metrics::Counter::kAnalysisSyncEvents);
+  std::scoped_lock lock(state_->mutex);
+  // join edge: everything the target did is ordered before the joiner's
+  // continuation.
+  ThreadDyn& target = state_->thread(target_tid);
+  state_->thread(joiner_tid).vc.join(target.vc);
+  ++state_->sync_events;
+}
+
+void Engine::add_finding(Finding finding) {
+  if (!engine_enabled()) return;
+  std::scoped_lock lock(state_->mutex);
+  state_->findings.push_back(std::move(finding));
+}
+
+Report Engine::report() const {
+  std::scoped_lock lock(state_->mutex);
+  Report report;
+  report.findings = state_->findings;
+  return report;
+}
+
+void Engine::set_lint_report(Report report) {
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    metrics::add(metrics::Counter::kAnalysisLintFindings);
+  }
+  std::scoped_lock lock(state_->mutex);
+  state_->lint = std::move(report);
+}
+
+Report Engine::lint_report() const {
+  std::scoped_lock lock(state_->mutex);
+  return state_->lint;
+}
+
+std::uint64_t Engine::accesses() const {
+  std::scoped_lock lock(state_->mutex);
+  return state_->accesses;
+}
+
+std::uint64_t Engine::sync_events() const {
+  std::scoped_lock lock(state_->mutex);
+  return state_->sync_events;
+}
+
+void Engine::reset() {
+  std::scoped_lock lock(state_->mutex);
+  state_->threads.clear();
+  state_->sync_clocks.clear();
+  state_->vars.clear();
+  state_->container_names.clear();
+  state_->findings.clear();
+  state_->raced_vars.clear();
+  state_->lint = Report{};
+  state_->accesses = 0;
+  state_->sync_events = 0;
+}
+
+void Engine::prepare_fork() {
+  state_->fork_lock = std::unique_lock(state_->mutex);
+}
+
+void Engine::parent_atfork() {
+  if (state_->fork_lock.owns_lock()) state_->fork_lock.unlock();
+  state_->fork_lock = {};
+}
+
+void Engine::child_atfork() {
+  // Fork handler C: the parent's per-thread clocks, locksets and
+  // variable history describe threads that no longer exist in this
+  // process; abandon them wholesale (the mutex may be pinned by the
+  // prepare handler, so the old State block leaks — bounded, one per
+  // fork). A fresh State *is* the fork happens-before edge: in the
+  // child every pre-fork access is ordered before every post-fork one,
+  // because only the forking thread survived.
+  state_->fork_lock.release();
+  (void)state_.release();  // intentional leak, see replay::Engine
+  state_ = std::make_unique<State>();
+}
+
+}  // namespace dionea::analysis

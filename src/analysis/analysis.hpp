@@ -1,0 +1,179 @@
+// MiniSan: two-mode concurrency analyzer for MiniLang programs.
+//
+// Static pass (lint_program): a dataflow lint over compiled bytecode,
+// run post-compile and pre-exec (DIONEA_LINT=1 or the console `lint`
+// verb). It abstractly interprets every FunctionProto reachable from
+// <main>, tracking which sync objects each path holds, and builds a
+// lock-order graph across functions. It flags
+//   - potential deadlock cycles (lock-order inversions),
+//   - lock leaks (an acquire without a release on some path),
+//   - double-acquire of the non-reentrant VmMutex,
+//   - queue misuse (push/pop on a queue already close()d).
+// Diagnostics carry file:line from the chunk's line table. try_lock is
+// deliberately NOT treated as an acquire: its failure path is how
+// programs legitimately avoid a lock-order inversion, and counting it
+// would flood the report with false positives.
+//
+// Dynamic pass (Engine): an Eraser/FastTrack-style vector-clock +
+// lockset detector, simplified for GIL semantics. The GIL serializes
+// bytecode, so two accesses never overlap *physically* — but the GIL
+// hand-off order is scheduler luck, so MiniSan deliberately draws NO
+// happens-before edge from a GIL hand-off. Only real synchronization
+// creates edges: thread start/join, mutex unlock->lock, queue
+// push->pop, condvar signal/broadcast->wake, and fork (the child
+// starts with exactly the parent's history). Two accesses to the same
+// global from different threads that are unordered by those edges and
+// share no lock are a race under *some* legal schedule, even if this
+// run happened to get lucky — which is exactly what the detector
+// reports. Run it live (DIONEA_ANALYZE=1) or offline by replaying a
+// DRLG log (DIONEA_REPLAY=<dir> DIONEA_ANALYZE=1): production records
+// un-instrumented, analysis replays the same schedule with the
+// detector on (Ronsse-style out-of-place analysis).
+//
+// Lock ordering: the engine's internal mutex is a leaf, like the
+// replay engine's — it is taken under the GIL, under sync-object
+// mutexes and under sched_mutex_, and takes nothing itself. Fork
+// handler C's analog is child_atfork: the child abandons the parent's
+// per-thread state wholesale (one bounded leak per fork).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/value.hpp"
+
+namespace dionea::vm {
+struct FunctionProto;
+}
+
+namespace dionea::analysis {
+
+enum class FindingKind : int {
+  kLockOrderCycle,  // static: m1 -> m2 on one path, m2 -> m1 on another
+  kLockLeak,        // static: acquired but not released on some path
+  kDoubleAcquire,   // static: non-reentrant mutex acquired while held
+  kClosedQueue,     // static or dynamic: push/pop on a closed queue
+  kDataRace,        // dynamic: unordered unprotected accesses
+};
+
+const char* finding_kind_name(FindingKind kind) noexcept;
+
+// One diagnostic. `file:line` is the primary site; file2/line2 name
+// the other half of a pair (the earlier acquire, the conflicting
+// access) when there is one.
+struct Finding {
+  FindingKind kind = FindingKind::kDataRace;
+  std::string message;
+  std::string file;
+  int line = 0;
+  std::string file2;
+  int line2 = 0;
+
+  std::string to_string() const;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+
+  bool empty() const noexcept { return findings.empty(); }
+  std::string to_string() const;
+};
+
+// ---- static pass ----
+
+// Lint a compiled program: <main> plus every FunctionProto reachable
+// through its constant tables. Pure function of the bytecode; never
+// executes anything.
+Report lint_program(const vm::FunctionProto& main);
+
+// ---- dynamic pass ----
+
+enum class AccessKind : int { kRead, kWrite };
+
+class Engine {
+ public:
+  // Process-wide instance (never destroyed, like replay::Engine).
+  static Engine& instance();
+
+  // Reads DIONEA_ANALYZE once per process; idempotent.
+  static void init_from_env();
+
+  void enable();
+  void disable();
+
+  // ---- interpreter hooks (no-ops unless enabled) ----
+  // Global load/store from the interpreter loop. `value` is only used
+  // to filter noise: bindings that hold functions or sync objects are
+  // program structure, not shared data, and are skipped.
+  void on_access(std::int64_t tid, const std::string& name, AccessKind kind,
+                 const vm::Value& value, const std::string& file, int line);
+
+  // Element load/store (kIndexGet/kIndexSet) on a list or map. In
+  // MiniLang an assignment inside a function creates a *local*, so the
+  // only way a spawned thread mutates shared state is through a
+  // container — this hook is where most real races surface. Keyed by
+  // container identity; the name under which the container was last
+  // loaded from a global (seen by on_access) labels the diagnostic.
+  void on_index_access(std::int64_t tid, const vm::Value& container,
+                       AccessKind kind, const std::string& file, int line);
+
+  // Sync-object hooks (obj = SyncObject::replay_id()).
+  void on_mutex_lock(std::int64_t tid, std::uint64_t obj);
+  void on_mutex_unlock(std::int64_t tid, std::uint64_t obj);
+  void on_queue_push(std::int64_t tid, std::uint64_t obj);
+  void on_queue_pop(std::int64_t tid, std::uint64_t obj);
+  void on_cond_signal(std::int64_t tid, std::uint64_t obj);
+  void on_cond_wake(std::int64_t tid, std::uint64_t obj);
+  void on_thread_start(std::int64_t parent_tid, std::int64_t child_tid);
+  void on_thread_join(std::int64_t joiner_tid, std::int64_t target_tid);
+
+  // Dynamic findings recorded outside the detector proper (e.g. the
+  // push builtin observing a closed queue).
+  void add_finding(Finding finding);
+
+  // ---- results ----
+  // Dynamic findings so far (copy; safe from any thread).
+  Report report() const;
+  // Stash/read the most recent static lint report so `analysis-report`
+  // can return both halves.
+  void set_lint_report(Report report);
+  Report lint_report() const;
+
+  // Total accesses / sync events observed (for analysis-report).
+  std::uint64_t accesses() const;
+  std::uint64_t sync_events() const;
+
+  // Drop all dynamic state (per-thread clocks, locksets, variable
+  // history, findings). The enabled flag is preserved.
+  void reset();
+
+  // ---- fork pinning (driven by Vm::internal_fork_*) ----
+  void prepare_fork();
+  void parent_atfork();
+  // Fork handler C: the child keeps only its own history — per-thread
+  // state of vanished parent threads is abandoned (bounded leak, same
+  // rationale as Gil/replay::Engine). Safe to call more than once.
+  void child_atfork();
+
+ private:
+  Engine();
+
+  struct State;
+
+  std::atomic<bool> enabled_{false};
+  std::unique_ptr<State> state_;
+};
+
+// Cheap probe for the interpreter hot path: one relaxed load.
+bool engine_enabled_slow() noexcept;
+
+extern std::atomic<bool> g_engine_enabled;
+
+inline bool engine_enabled() noexcept {
+  return g_engine_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace dionea::analysis

@@ -46,6 +46,22 @@ std::string render_stats(const proto::StatsResponse& stats) {
   return out;
 }
 
+std::string render_findings(const std::vector<proto::AnalysisFindingWire>& fs) {
+  std::string out;
+  for (const proto::AnalysisFindingWire& f : fs) {
+    out += strings::format(
+        "    [%s] %s at %s\n", f.kind.c_str(), f.message.c_str(),
+        strings::source_location(f.file, static_cast<int>(f.line)).c_str());
+    if (!f.file2.empty()) {
+      out += strings::format(
+          "      see also %s\n",
+          strings::source_location(f.file2, static_cast<int>(f.line2))
+              .c_str());
+    }
+  }
+  return out.empty() ? "    (none)\n" : out;
+}
+
 bool parse_location(const std::string& arg, std::string* file, int* line) {
   size_t colon = arg.rfind(':');
   if (colon == std::string::npos) return false;
@@ -80,6 +96,8 @@ std::string Console::help() {
       "  disturb on|off        stop new UEs at birth (§6.4)\n"
       "  stats [pid]           debugger overhead metrics of a process\n"
       "  replay [pid]          record/replay status of a process\n"
+      "  races [pid]           dynamic race/deadlock findings of a process\n"
+      "  lint [pid]            run the static concurrency lint remotely\n"
       "  events                drain pending events\n"
       "  reconnect <pid>       reattach to a lost process\n"
       "  quit                  leave the console\n";
@@ -232,6 +250,41 @@ std::string Console::execute(const std::string& line) {
     return out;
   }
 
+  if (cmd == "races" || cmd == "lint") {
+    Session* target = nullptr;
+    if (words.size() > 1) {
+      std::int64_t pid = 0;
+      if (!strings::parse_int(words[1], &pid)) {
+        return strings::format("usage: %s [pid]\n", cmd.c_str());
+      }
+      target = client_.session(static_cast<int>(pid));
+      if (target == nullptr) {
+        return strings::format("  no session for pid %lld\n",
+                               static_cast<long long>(pid));
+      }
+    } else {
+      std::string error;
+      target = active_session(&error);
+      if (target == nullptr) return error;
+    }
+    auto report = target->analysis_report(/*run_lint=*/cmd == "lint");
+    if (!report.is_ok()) return report.error().to_string() + "\n";
+    const auto& r = report.value();
+    if (cmd == "lint") {
+      std::string out =
+          strings::format("  [pid %d] static lint findings:\n", r.pid);
+      out += render_findings(r.lint_findings);
+      return out;
+    }
+    std::string out = strings::format(
+        "  [pid %d] dynamic analysis %s: %llu accesses, %llu sync events\n",
+        r.pid, r.enabled ? "on" : "off (set DIONEA_ANALYZE=1)",
+        static_cast<unsigned long long>(r.accesses),
+        static_cast<unsigned long long>(r.sync_events));
+    out += render_findings(r.findings);
+    return out;
+  }
+
   std::string error;
   Session* session = active_session(&error);
   if (session == nullptr) return error;
@@ -248,9 +301,9 @@ std::string Console::execute(const std::string& line) {
     std::string out;
     int depth = 0;
     for (const RemoteFrame& frame : frames.value()) {
-      out += strings::format("  #%d %s at %s:%d\n", depth++,
-                             frame.function.c_str(), frame.file.c_str(),
-                             frame.line);
+      out += strings::format(
+          "  #%d %s at %s\n", depth++, frame.function.c_str(),
+          strings::source_location(frame.file, frame.line).c_str());
     }
     return out.empty() ? "  (no frames)\n" : out;
   }
@@ -298,8 +351,9 @@ std::string Console::execute(const std::string& line) {
     }
     auto id = session->set_breakpoint(file, line_no);
     if (!id.is_ok()) return id.error().to_string() + "\n";
-    return strings::format("  breakpoint %d at %s:%d\n", id.value(),
-                           file.c_str(), line_no);
+    return strings::format(
+        "  breakpoint %d at %s\n", id.value(),
+        strings::source_location(file, line_no).c_str());
   }
   if (cmd == "delete") {
     std::int64_t id = 0;

@@ -167,6 +167,20 @@ Result<proto::ReplayInfoResponse> Session::replay_info() {
   return proto::ReplayInfoResponse::from_wire(response);
 }
 
+Result<proto::AnalysisReportResponse> Session::analysis_report(
+    bool run_lint) {
+  if (!supports(proto::kCapAnalysis)) {
+    return Error(ErrorCode::kUnavailable,
+                 strings::format(
+                     "server (proto %d.%d) does not advertise '%s'",
+                     server_proto_major_, server_proto_minor_,
+                     proto::kCapAnalysis));
+  }
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          send(proto::AnalysisReportRequest{run_lint}));
+  return proto::AnalysisReportResponse::from_wire(response);
+}
+
 Result<int> Session::set_breakpoint(const std::string& file, int line,
                                     std::int64_t tid, std::int64_t ignore) {
   DIONEA_ASSIGN_OR_RETURN(

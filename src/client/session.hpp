@@ -126,6 +126,10 @@ class Session {
   Result<dbg::proto::StatsResponse> stats();
   // Same contract, gated on kCapReplay.
   Result<dbg::proto::ReplayInfoResponse> replay_info();
+  // Same contract, gated on kCapAnalysis. run_lint additionally asks
+  // the server to run the static lint pass over the loaded program.
+  Result<dbg::proto::AnalysisReportResponse> analysis_report(
+      bool run_lint = false);
   Result<int> set_breakpoint(const std::string& file, int line,
                              std::int64_t tid = 0, std::int64_t ignore = 0);
   Result<std::vector<dbg::proto::BreakpointEntry>> breakpoints();

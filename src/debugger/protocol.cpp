@@ -37,7 +37,7 @@ std::vector<std::string> caps_from_wire(const Value& value,
 }  // namespace
 
 std::vector<std::string> local_capabilities() {
-  return {kCapStats, kCapHeartbeat, kCapReplay};
+  return {kCapStats, kCapHeartbeat, kCapReplay, kCapAnalysis};
 }
 
 // -------------------------------------------------------------- events
@@ -641,6 +641,88 @@ Result<ReplayInfoResponse> ReplayInfoResponse::from_wire(const Value& value) {
   resp.log_path = value.get_string("log_path");
   resp.divergence_step = value.get_int("divergence_step", -1);
   resp.divergence_reason = value.get_string("divergence_reason");
+  return resp;
+}
+
+// ------------------------------------------------------ analysis-report
+
+Value AnalysisReportRequest::to_wire() const {
+  Value v;
+  v.set("run_lint", run_lint);
+  return v;
+}
+
+Result<AnalysisReportRequest> AnalysisReportRequest::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "analysis-report request"));
+  AnalysisReportRequest req;
+  req.run_lint = value.get_bool("run_lint");
+  return req;
+}
+
+namespace {
+
+Value finding_to_wire(const AnalysisFindingWire& finding) {
+  Value entry;
+  entry.set("kind", finding.kind);
+  entry.set("message", finding.message);
+  entry.set("file", finding.file);
+  entry.set("line", finding.line);
+  entry.set("file2", finding.file2);
+  entry.set("line2", finding.line2);
+  return entry;
+}
+
+std::vector<AnalysisFindingWire> findings_from_wire(const Value& value,
+                                                    const std::string& key) {
+  std::vector<AnalysisFindingWire> out;
+  const Value& list = value.at(key);
+  if (!list.is_array()) return out;
+  for (const Value& entry : list.as_array()) {
+    if (!entry.is_object()) continue;
+    AnalysisFindingWire finding;
+    finding.kind = entry.get_string("kind");
+    finding.message = entry.get_string("message");
+    finding.file = entry.get_string("file");
+    finding.line = entry.get_int("line");
+    finding.file2 = entry.get_string("file2");
+    finding.line2 = entry.get_int("line2");
+    out.push_back(std::move(finding));
+  }
+  return out;
+}
+
+}  // namespace
+
+Value AnalysisReportResponse::to_wire() const {
+  Value v;
+  v.set("pid", pid);
+  v.set("enabled", enabled);
+  v.set("accesses", accesses);
+  v.set("sync_events", sync_events);
+  Array dynamic;
+  for (const AnalysisFindingWire& finding : findings) {
+    dynamic.push_back(finding_to_wire(finding));
+  }
+  v.set("findings", std::move(dynamic));
+  Array lint;
+  for (const AnalysisFindingWire& finding : lint_findings) {
+    lint.push_back(finding_to_wire(finding));
+  }
+  v.set("lint_findings", std::move(lint));
+  return v;
+}
+
+Result<AnalysisReportResponse> AnalysisReportResponse::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "analysis-report response"));
+  AnalysisReportResponse resp;
+  resp.pid = static_cast<int>(value.get_int("pid"));
+  resp.enabled = value.get_bool("enabled");
+  resp.accesses = value.get_int("accesses");
+  resp.sync_events = value.get_int("sync_events");
+  resp.findings = findings_from_wire(value, "findings");
+  resp.lint_findings = findings_from_wire(value, "lint_findings");
   return resp;
 }
 

@@ -37,11 +37,12 @@ namespace dionea::dbg::proto {
 // Major bumps break wire compatibility (rejected at hello); minor
 // bumps add commands/fields old peers ignore.
 inline constexpr int kProtoMajor = 1;
-inline constexpr int kProtoMinor = 2;
+inline constexpr int kProtoMinor = 3;
 
 inline constexpr const char* kCapStats = "stats";      // `stats` command
 inline constexpr const char* kCapHeartbeat = "heartbeat";
 inline constexpr const char* kCapReplay = "replay";    // `replay-info` command
+inline constexpr const char* kCapAnalysis = "analysis";  // `analysis-report`
 
 // What this build speaks (advertised in Hello and the ping response).
 std::vector<std::string> local_capabilities();
@@ -418,6 +419,42 @@ struct ReplayInfoResponse {
 
   ipc::wire::Value to_wire() const;
   static Result<ReplayInfoResponse> from_wire(const ipc::wire::Value& value);
+};
+
+// ---- analysis-report (1.3, capability kCapAnalysis) ----
+// MiniSan results: dynamic race/misuse findings accumulated so far,
+// plus — when run_lint is set — a fresh static lint of the program the
+// VM is executing. Old servers answer kErrUnknownCommand, which the
+// client maps to kNotFound; old clients simply never send this.
+
+struct AnalysisReportRequest {
+  static constexpr const char* kName = "analysis-report";
+  bool run_lint = false;  // re-lint the current program on the server
+
+  ipc::wire::Value to_wire() const;
+  static Result<AnalysisReportRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct AnalysisFindingWire {
+  std::string kind;     // finding_kind_name() slug
+  std::string message;
+  std::string file;
+  std::int64_t line = 0;
+  std::string file2;    // other half of a pair ("" when n/a)
+  std::int64_t line2 = 0;
+};
+
+struct AnalysisReportResponse {
+  int pid = 0;
+  bool enabled = false;             // dynamic detector active?
+  std::int64_t accesses = 0;        // variable accesses observed
+  std::int64_t sync_events = 0;     // HB edges observed
+  std::vector<AnalysisFindingWire> findings;       // dynamic
+  std::vector<AnalysisFindingWire> lint_findings;  // static
+
+  ipc::wire::Value to_wire() const;
+  static Result<AnalysisReportResponse> from_wire(
+      const ipc::wire::Value& value);
 };
 
 }  // namespace dionea::dbg::proto

@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "analysis/analysis.hpp"
 #include "replay/replay.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
@@ -774,6 +775,45 @@ void DebugServer::register_commands() {
         resp.log_path = info.log_path;
         resp.divergence_step = info.divergence_step;
         resp.divergence_reason = info.divergence_reason;
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::AnalysisReportRequest>(
+      [this](const proto::AnalysisReportRequest& req, std::int64_t seq,
+             Wake) {
+        analysis::Engine& engine = analysis::Engine::instance();
+        proto::AnalysisReportResponse resp;
+        resp.pid = static_cast<int>(::getpid());
+        resp.enabled = analysis::engine_enabled();
+        resp.accesses = static_cast<std::int64_t>(engine.accesses());
+        resp.sync_events = static_cast<std::int64_t>(engine.sync_events());
+        auto to_wire = [](const analysis::Finding& finding) {
+          proto::AnalysisFindingWire wire;
+          wire.kind = analysis::finding_kind_name(finding.kind);
+          wire.message = finding.message;
+          wire.file = finding.file;
+          wire.line = finding.line;
+          wire.file2 = finding.file2;
+          wire.line2 = finding.line2;
+          return wire;
+        };
+        for (const analysis::Finding& finding : engine.report().findings) {
+          resp.findings.push_back(to_wire(finding));
+        }
+        analysis::Report lint;
+        if (req.run_lint) {
+          // Re-lint the running program on demand (console `lint`).
+          // Pure bytecode walk over immutable protos: no GIL needed.
+          if (auto program = vm_.current_program()) {
+            lint = analysis::lint_program(*program);
+            analysis::Engine::instance().set_lint_report(lint);
+          }
+        } else {
+          lint = engine.lint_report();  // whatever DIONEA_LINT produced
+        }
+        for (const analysis::Finding& finding : lint.findings) {
+          resp.lint_findings.push_back(to_wire(finding));
+        }
         return ok_with(seq, resp.to_wire());
       });
 }

@@ -28,6 +28,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kReplaySteps: return "replay.steps";
     case Counter::kReplayDivergences: return "replay.divergences";
     case Counter::kReplayParkWaits: return "replay.park_waits";
+    case Counter::kAnalysisAccesses: return "analysis.accesses";
+    case Counter::kAnalysisSyncEvents: return "analysis.sync_events";
+    case Counter::kAnalysisRaces: return "analysis.races";
+    case Counter::kAnalysisLintFindings: return "analysis.lint_findings";
     case Counter::kCount: break;
   }
   return "?";

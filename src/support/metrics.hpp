@@ -57,6 +57,10 @@ enum class Counter : int {
   kReplaySteps,          // replay-log records written (record) / consumed (replay)
   kReplayDivergences,    // replays that gave up forcing the schedule
   kReplayParkWaits,      // threads parked at a replay gate (wait episodes)
+  kAnalysisAccesses,     // variable accesses observed by MiniSan
+  kAnalysisSyncEvents,   // sync-object events observed by MiniSan
+  kAnalysisRaces,        // distinct data races reported
+  kAnalysisLintFindings, // static lint findings reported
   kCount
 };
 

@@ -133,6 +133,13 @@ std::string format(const char* fmt, ...) {
   return out;
 }
 
+std::string source_location(std::string_view file, int line) {
+  std::string name = file.empty() ? std::string("<unknown>")
+                                  : std::string(file);
+  if (line <= 0) return name;
+  return format("%s:%d", name.c_str(), line);
+}
+
 std::string escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());

@@ -33,6 +33,12 @@ bool parse_double(std::string_view text, double* out) noexcept;
 // printf-style formatting into std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Canonical "file:line" rendering used by every diagnostic that names
+// a MiniLang source location (tracebacks, deadlock reports, lint and
+// race findings). Line 0 / an empty file mean "unknown" and render
+// as "<unknown>" / the bare file.
+std::string source_location(std::string_view file, int line);
+
 // Escape non-printables for logs / protocol dumps.
 std::string escape(std::string_view text);
 

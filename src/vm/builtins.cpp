@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "analysis/analysis.hpp"
 #include "replay/replay.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -273,7 +274,28 @@ void install_collections(Vm& vm) {
           return target;
         }
         if (target.kind() == ValueKind::kQueue) {
-          target.as_queue()->push(args[1]);
+          auto queue = target.as_queue();
+          if (queue->closed()) {
+            if (analysis::engine_enabled() && !th.frames.empty()) {
+              analysis::Finding finding;
+              finding.kind = analysis::FindingKind::kClosedQueue;
+              finding.message = "push on a closed queue";
+              finding.file = th.frames.back().closure->proto->file;
+              finding.line = th.frames.back().line;
+              analysis::Engine::instance().add_finding(std::move(finding));
+            }
+            return v.runtime_error(th, "push on closed queue");
+          }
+          if (analysis::engine_enabled()) {
+            // push->pop is a happens-before edge (channel semantics).
+            // Publish the producer's clock BEFORE the element becomes
+            // visible: a blocked consumer's wait predicate pops inside
+            // the queue's notify, with the GIL released, so a
+            // publish-after-push loses the edge on some schedules.
+            analysis::Engine::instance().on_queue_push(th.id(),
+                                                       queue->replay_id());
+          }
+          queue->push(args[1]);
           return target;
         }
         return type_error(v, th, "push", "list or queue", target);
@@ -617,6 +639,11 @@ void install_threads(Vm& vm) {
               [&] { return target->done; });
           if (!ok) return err_from_interrupt(v, th);
         }
+        if (analysis::engine_enabled()) {
+          // join edge: everything the target did happens-before the
+          // joiner's continuation.
+          analysis::Engine::instance().on_thread_join(th.id(), target->id());
+        }
         std::scoped_lock lock(target->done_mutex);
         if (target->has_error &&
             target->error.kind == VmErrorKind::kRuntime) {
@@ -749,11 +776,24 @@ void install_threads(Vm& vm) {
       });
 
   vm.define_native(
-      "wait", 2, 2,
+      "wait", 2, 3,
       [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
         if (args[0].kind() != ValueKind::kCond ||
             args[1].kind() != ValueKind::kMutex) {
           return type_error(v, th, "wait", "cond and mutex", args[0]);
+        }
+        if (args.size() == 3) {
+          // wait(c, m, secs): true if signalled, false on timeout.
+          if (!args[2].is_number()) {
+            return type_error(v, th, "wait", "number of seconds", args[2]);
+          }
+          bool timed_out = false;
+          WaitOutcome outcome = args[0].as_cond()->wait_for(
+              v, th, *args[1].as_mutex(), args[2].number(), &timed_out);
+          if (outcome != WaitOutcome::kOk) {
+            return outcome_error(v, th, "Cond#wait", outcome);
+          }
+          return Value(!timed_out);
         }
         WaitOutcome outcome =
             args[0].as_cond()->wait(v, th, *args[1].as_mutex());
@@ -769,6 +809,10 @@ void install_threads(Vm& vm) {
         if (args[0].kind() != ValueKind::kCond) {
           return type_error(v, th, "signal", "cond", args[0]);
         }
+        if (analysis::engine_enabled()) {
+          analysis::Engine::instance().on_cond_signal(
+              th.id(), args[0].as_cond()->replay_id());
+        }
         args[0].as_cond()->signal();
         return Value();
       });
@@ -779,8 +823,22 @@ void install_threads(Vm& vm) {
         if (args[0].kind() != ValueKind::kCond) {
           return type_error(v, th, "broadcast", "cond", args[0]);
         }
+        if (analysis::engine_enabled()) {
+          analysis::Engine::instance().on_cond_signal(
+              th.id(), args[0].as_cond()->replay_id());
+        }
         args[0].as_cond()->broadcast();
         return Value();
+      });
+
+  vm.define_native(
+      "close", 1, 1,
+      [](Vm& v, InterpThread& th, std::vector<Value>& args) -> NativeResult {
+        if (args[0].kind() != ValueKind::kQueue) {
+          return type_error(v, th, "close", "queue", args[0]);
+        }
+        args[0].as_queue()->close();
+        return args[0];
       });
 }
 

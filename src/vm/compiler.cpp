@@ -96,8 +96,10 @@ class Compiler {
  private:
   Error error_at(int line, const std::string& message) const {
     return Error(ErrorCode::kInvalidArgument,
-                 strings::format("compile error at %s:%d: %s", file_.c_str(),
-                                 line, message.c_str()));
+                 strings::format(
+                     "compile error at %s: %s",
+                     strings::source_location(file_, line).c_str(),
+                     message.c_str()));
   }
 
   void emit_implicit_return(FnCtx& ctx, int line) {

@@ -1,7 +1,9 @@
 #include "vm/sync.hpp"
 
+#include "analysis/analysis.hpp"
 #include "replay/replay.hpp"
 #include "support/result.hpp"
+#include "support/timing.hpp"
 #include "vm/vm.hpp"
 
 namespace dionea::vm {
@@ -37,6 +39,9 @@ WaitOutcome VmMutex::lock(Vm& vm, InterpThread& th) {
                         nullptr, /*probe=*/true)) {
       impl_->owner = tid;
       rep.record(replay::EventKind::kMutexLock, tid, replay_id());
+      if (analysis::engine_enabled()) {
+        analysis::Engine::instance().on_mutex_lock(tid, replay_id());
+      }
       return WaitOutcome::kOk;
     }
   }
@@ -51,13 +56,21 @@ WaitOutcome VmMutex::lock(Vm& vm, InterpThread& th) {
     rep.record(replay::EventKind::kMutexLock, tid, replay_id());
     return true;
   });
+  if (ok && analysis::engine_enabled()) {
+    analysis::Engine::instance().on_mutex_lock(tid, replay_id());
+  }
   return ok ? WaitOutcome::kOk : WaitOutcome::kInterrupted;
 }
 
 bool VmMutex::try_lock(std::int64_t tid) {
-  std::scoped_lock lock(impl_->mutex);
-  if (impl_->owner != 0) return false;
-  impl_->owner = tid;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->owner != 0) return false;
+    impl_->owner = tid;
+  }
+  if (analysis::engine_enabled()) {
+    analysis::Engine::instance().on_mutex_lock(tid, replay_id());
+  }
   return true;
 }
 
@@ -65,6 +78,13 @@ WaitOutcome VmMutex::unlock(std::int64_t tid) {
   {
     std::scoped_lock lock(impl_->mutex);
     if (impl_->owner != tid) return WaitOutcome::kNotOwner;
+    if (analysis::engine_enabled()) {
+      // release edge: everything this thread did while holding the
+      // mutex happens-before the next acquirer's continuation. Publish
+      // while still owning impl_->mutex — the moment owner drops to 0
+      // a fast-path locker may acquire, and it must see this clock.
+      analysis::Engine::instance().on_mutex_unlock(tid, replay_id());
+    }
     impl_->owner = 0;
   }
   impl_->cv.notify_one();
@@ -114,21 +134,38 @@ void VmQueue::push(Value value) {
 WaitOutcome VmQueue::pop(Vm& vm, InterpThread& th, Value* out) {
   const std::int64_t tid = tid_of(th);
   replay::Engine& rep = replay::Engine::instance();
+  bool popped = false;  // false = closed-and-drained, *out stays nil
   {
     std::scoped_lock lock(impl_->mutex);
+    // Closed and drained: nil immediately, like Ruby's Queue#pop on a
+    // closed queue. Replay gates are bypassed — close() is a
+    // deterministic program action, not an OS-arbitrated pairing.
+    if (impl_->items.empty() && impl_->closed) {
+      *out = Value();
+      return WaitOutcome::kOk;
+    }
     if (!impl_->items.empty() &&
         rep.try_consume(replay::EventKind::kQueuePop, tid, replay_id(),
                         nullptr, /*probe=*/true)) {
       *out = std::move(impl_->items.front());
       impl_->items.pop_front();
       rep.record(replay::EventKind::kQueuePop, tid, replay_id());
+      if (analysis::engine_enabled()) {
+        analysis::Engine::instance().on_queue_pop(tid, replay_id());
+      }
       return WaitOutcome::kOk;
     }
     ++impl_->waiting;
   }
   Vm::BlockScope scope(vm, th, ThreadState::kBlockedForever, "Queue#pop");
   bool ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
-    if (impl_->items.empty()) return false;
+    if (impl_->items.empty()) {
+      // close() while parked: wake with nil instead of blocking on a
+      // queue that can never be refilled.
+      if (!impl_->closed) return false;
+      *out = Value();
+      return true;
+    }
     // Which of several parked consumers gets this element is the
     // pairing the log pins down.
     if (!rep.try_consume(replay::EventKind::kQueuePop, tid, replay_id())) {
@@ -137,11 +174,15 @@ WaitOutcome VmQueue::pop(Vm& vm, InterpThread& th, Value* out) {
     *out = std::move(impl_->items.front());
     impl_->items.pop_front();
     rep.record(replay::EventKind::kQueuePop, tid, replay_id());
+    popped = true;
     return true;
   });
   {
     std::scoped_lock lock(impl_->mutex);
     --impl_->waiting;
+  }
+  if (ok && popped && analysis::engine_enabled()) {
+    analysis::Engine::instance().on_queue_pop(tid, replay_id());
   }
   return ok ? WaitOutcome::kOk : WaitOutcome::kInterrupted;
 }
@@ -152,6 +193,19 @@ bool VmQueue::try_pop(Value* out) {
   *out = std::move(impl_->items.front());
   impl_->items.pop_front();
   return true;
+}
+
+void VmQueue::close() {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    impl_->closed = true;
+  }
+  impl_->cv.notify_all();  // parked consumers drain, then see nil
+}
+
+bool VmQueue::closed() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->closed;
 }
 
 size_t VmQueue::size() const {
@@ -176,9 +230,11 @@ void VmQueue::reinit_in_child(std::int64_t /*surviving_tid*/) {
   Impl* old = impl_.release();  // intentional leak
   impl_ = std::make_unique<Impl>();
   // The child inherits a snapshot of the queued items (fork copies the
-  // heap) but none of the waiters — Listing 5's behaviour.
+  // heap) but none of the waiters — Listing 5's behaviour. Closed-ness
+  // is logical state and survives the fork.
   impl_->items = std::move(old->items);
   impl_->waiting = 0;
+  impl_->closed = old->closed;
 }
 
 // ----------------------------------------------------------------- VmCond
@@ -237,7 +293,78 @@ WaitOutcome VmCond::wait(Vm& vm, InterpThread& th, VmMutex& mutex) {
     --impl_->waiting;
   }
   if (!ok) return WaitOutcome::kInterrupted;
+  if (analysis::engine_enabled()) {
+    // The signal/broadcast that woke us is a happens-before edge.
+    analysis::Engine::instance().on_cond_wake(tid, replay_id());
+  }
   // Re-acquire the user mutex before returning (may block again).
+  return mutex.lock(vm, th);
+}
+
+WaitOutcome VmCond::wait_for(Vm& vm, InterpThread& th, VmMutex& mutex,
+                             double timeout_secs, bool* timed_out) {
+  const std::int64_t tid = tid_of(th);
+  *timed_out = false;
+  std::uint64_t entry_gen;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    entry_gen = impl_->broadcast_gen;
+    ++impl_->waiting;
+  }
+  WaitOutcome unlocked = mutex.unlock(tid);
+  if (unlocked != WaitOutcome::kOk) {
+    std::scoped_lock lock(impl_->mutex);
+    --impl_->waiting;
+    return unlocked;
+  }
+  bool ok;
+  bool woken = false;
+  {
+    replay::Engine& rep = replay::Engine::instance();
+    Stopwatch watch;
+    // kBlockedTimed: a timed wait is never "stuck" — the deadlock
+    // detector must ignore it (it will make progress on its own).
+    Vm::BlockScope scope(vm, th, ThreadState::kBlockedTimed,
+                         "Cond#wait(timeout)");
+    ok = vm.wait_interruptible(th, impl_->mutex, impl_->cv, [&] {
+      if (impl_->broadcast_gen != entry_gen) {
+        if (!rep.try_consume(replay::EventKind::kCondWake, tid,
+                             replay_id())) {
+          return false;
+        }
+        rep.record(replay::EventKind::kCondWake, tid, replay_id());
+        woken = true;
+        return true;
+      }
+      if (impl_->signals > 0) {
+        if (!rep.try_consume(replay::EventKind::kCondWake, tid,
+                             replay_id())) {
+          return false;
+        }
+        --impl_->signals;
+        rep.record(replay::EventKind::kCondWake, tid, replay_id());
+        woken = true;
+        return true;
+      }
+      // Deadline checked every wait slice (kWaitSliceMillis), so a
+      // timeout is detected within one slice of when it fired.
+      if (watch.elapsed_seconds() >= timeout_secs) {
+        *timed_out = true;
+        return true;
+      }
+      return false;
+    });
+  }
+  {
+    std::scoped_lock lock(impl_->mutex);
+    --impl_->waiting;
+  }
+  if (!ok) return WaitOutcome::kInterrupted;
+  if (woken && analysis::engine_enabled()) {
+    analysis::Engine::instance().on_cond_wake(tid, replay_id());
+  }
+  // Re-acquire the user mutex before returning, timeout or not —
+  // the caller's critical section resumes either way.
   return mutex.lock(vm, th);
 }
 

@@ -95,10 +95,16 @@ class VmQueue : public SyncObject {
   std::string_view kind_name() const noexcept override { return "queue"; }
 
   void push(Value value);
-  // Blocks until an element is available.
+  // Blocks until an element is available — or, once the queue is
+  // closed, drains the remaining items and then yields nil
+  // immediately (Ruby's Queue#close/#pop contract).
   WaitOutcome pop(Vm& vm, InterpThread& th, Value* out);
   // Non-blocking; false when empty.
   bool try_pop(Value* out);
+  // Close the queue: wakes every blocked pop (they drain or get nil);
+  // further pushes are rejected by the builtin with a runtime error.
+  void close();
+  bool closed() const;
   size_t size() const;
   // Threads currently blocked in pop (Ruby's num_waiting).
   int num_waiting() const;
@@ -113,6 +119,7 @@ class VmQueue : public SyncObject {
     std::condition_variable cv;
     std::deque<Value> items;
     int waiting = 0;
+    bool closed = false;
   };
   std::unique_ptr<Impl> impl_;
   std::unique_lock<std::mutex> fork_lock_;
@@ -128,6 +135,12 @@ class VmCond : public SyncObject {
   // Caller must hold `mutex`; atomically releases it, waits for a
   // signal, re-acquires. kNotOwner if the mutex isn't held by th.
   WaitOutcome wait(Vm& vm, InterpThread& th, VmMutex& mutex);
+  // Timed variant: waits at most `timeout_secs` (ThreadState is
+  // kBlockedTimed, so the deadlock detector never counts it as stuck).
+  // *timed_out reports whether the deadline fired instead of a signal;
+  // the user mutex is re-acquired either way.
+  WaitOutcome wait_for(Vm& vm, InterpThread& th, VmMutex& mutex,
+                       double timeout_secs, bool* timed_out);
   void signal();
   void broadcast();
 

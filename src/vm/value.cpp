@@ -28,8 +28,10 @@ const char* value_kind_name(ValueKind kind) noexcept {
 std::string VmError::to_string() const {
   std::string out = message;
   for (const TracebackEntry& entry : traceback) {
-    out += strings::format("\n\tfrom %s:%d:in `%s'", entry.file.c_str(),
-                           entry.line, entry.function.c_str());
+    out += strings::format(
+        "\n\tfrom %s:in `%s'",
+        strings::source_location(entry.file, entry.line).c_str(),
+        entry.function.c_str());
   }
   return out;
 }

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
+#include "analysis/analysis.hpp"
 #include "replay/replay.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
@@ -35,6 +37,7 @@ Vm::Vm() {
   // Before any sync object exists, so creation-order replay ids line
   // up between a recording process and a replaying one.
   replay::Engine::init_from_env();
+  analysis::Engine::init_from_env();
   output_ = [](std::string_view text) {
     std::fwrite(text.data(), 1, text.size(), stdout);
     std::fflush(stdout);
@@ -466,12 +469,22 @@ std::variant<Value, VmError> Vm::interpret(InterpThread& th,
           return fail(runtime_error(
               th, "undefined name '" + name.as_str() + "'"));
         }
+        if (analysis::engine_enabled()) {
+          analysis::Engine::instance().on_access(
+              th.id(), name.as_str(), analysis::AccessKind::kRead,
+              it->second, fr.closure->proto->file, fr.line);
+        }
         th.stack.push_back(it->second);
         break;
       }
       case Op::kSetGlobal: {
         const Value& name = chunk.constants()[chunk.read_u16(fr.ip)];
         fr.ip += 2;
+        if (analysis::engine_enabled()) {
+          analysis::Engine::instance().on_access(
+              th.id(), name.as_str(), analysis::AccessKind::kWrite,
+              th.stack.back(), fr.closure->proto->file, fr.line);
+        }
         globals_[name.as_str()] = th.stack.back();
         break;
       }
@@ -731,6 +744,11 @@ std::variant<Value, VmError> Vm::interpret(InterpThread& th,
         Value index = std::move(th.stack.back());
         th.stack.pop_back();
         Value& target = th.stack.back();
+        if (analysis::engine_enabled()) {
+          analysis::Engine::instance().on_index_access(
+              th.id(), target, analysis::AccessKind::kRead,
+              fr.closure->proto->file, fr.line);
+        }
         if (target.is_list()) {
           if (!index.is_int()) {
             return fail(runtime_error(th, "list index must be an int"));
@@ -776,6 +794,11 @@ std::variant<Value, VmError> Vm::interpret(InterpThread& th,
         th.stack.pop_back();
         Value target = std::move(th.stack.back());
         th.stack.pop_back();
+        if (analysis::engine_enabled()) {
+          analysis::Engine::instance().on_index_access(
+              th.id(), target, analysis::AccessKind::kWrite,
+              fr.closure->proto->file, fr.line);
+        }
         if (target.is_list()) {
           if (!index.is_int()) {
             return fail(runtime_error(th, "list index must be an int"));
@@ -924,6 +947,10 @@ std::variant<Value, VmError> Vm::spawn_thread(InterpThread& parent,
   auto handle = std::make_shared<ThreadHandle>();
   handle->thread_id = th->id();
   handle->thread = th;
+  if (analysis::engine_enabled()) {
+    // start edge: the child thread inherits the parent's history.
+    analysis::Engine::instance().on_thread_start(parent.id(), th->id());
+  }
 
   std::shared_ptr<Closure> closure = callee.as_closure();
   std::thread os_thread(
@@ -1194,12 +1221,14 @@ void Vm::internal_fork_prepare(InterpThread& th) {
   sync_objects_ = std::move(still_alive);  // drop expired entries
   for (auto& obj : fork_pinned_) obj->lock_for_fork();
   gil_.prepare_fork();
-  // Pinned last / released first: the engine mutex is a leaf.
+  // Pinned last / released first: both engine mutexes are leaves.
+  analysis::Engine::instance().prepare_fork();
   replay::Engine::instance().prepare_fork();
 }
 
 void Vm::internal_fork_parent() {
   replay::Engine::instance().parent_atfork();
+  analysis::Engine::instance().parent_atfork();
   gil_.parent_atfork();
   for (size_t i = fork_pinned_.size(); i-- > 0;) {
     fork_pinned_[i]->unlock_after_fork();
@@ -1216,6 +1245,7 @@ void Vm::internal_fork_parent() {
 void Vm::internal_fork_child(InterpThread& th) {
   forked_child_ = true;
   ++fork_depth_;
+  analysis::Engine::instance().child_atfork();
   gil_.child_atfork(th.id());
   for (auto& obj : fork_pinned_) obj->reinit_in_child(th.id());
   fork_pinned_.clear();
@@ -1303,6 +1333,24 @@ RunResult Vm::run_source(std::string_view source, const std::string& file) {
 }
 
 RunResult Vm::run_main(std::shared_ptr<const FunctionProto> proto) {
+  {
+    // Published for the debug server's `analysis-report` command (the
+    // console `lint` verb re-lints the running program on demand).
+    std::scoped_lock lock(program_mutex_);
+    current_program_ = proto;
+  }
+  // Post-compile, pre-exec static lint (DIONEA_LINT=1): report and
+  // continue — the lint predicts hazards, it does not block the run.
+  const char* lint_env = std::getenv("DIONEA_LINT");
+  if (lint_env != nullptr && lint_env[0] != '\0' &&
+      std::string_view(lint_env) != "0") {
+    analysis::Report lint = analysis::lint_program(*proto);
+    for (const analysis::Finding& finding : lint.findings) {
+      std::string text = "dionea-lint: " + finding.to_string() + "\n";
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+    analysis::Engine::instance().set_lint_report(std::move(lint));
+  }
   auto main_th = std::make_shared<InterpThread>(1, "main");
   {
     std::scoped_lock lock(sched_mutex_);

@@ -168,6 +168,12 @@ class Vm {
   std::int64_t main_thread_id() const noexcept {
     return main_thread_id_.load(std::memory_order_relaxed);
   }
+  // The program run_main is executing (nullptr before the first run).
+  // Safe from any thread; the debug server lints it on demand.
+  std::shared_ptr<const FunctionProto> current_program() const {
+    std::scoped_lock lock(program_mutex_);
+    return current_program_;
+  }
   int live_thread_count();
 
   // Spawn an interpreter thread running `callee(args...)`. GIL held.
@@ -299,6 +305,9 @@ class Vm {
   std::atomic<bool> deadlock_candidate_active_{false};
 
   std::unordered_map<std::string, Value> globals_;  // GIL-protected
+
+  mutable std::mutex program_mutex_;
+  std::shared_ptr<const FunctionProto> current_program_;
 
   std::vector<ForkHooks> fork_hooks_;  // mutated under GIL, pre-run or GIL
   std::unique_lock<std::mutex> fork_sched_lock_;

@@ -1,0 +1,143 @@
+// The `analysis-report` protocol command end to end: capability
+// advertisement, typed round trip with and without the remote lint,
+// the console `races`/`lint` verbs, and the analysis.* metrics.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "client/console.hpp"
+#include "client/session.hpp"
+#include "debugger/protocol.hpp"
+#include "support/metrics.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using test::DebugHarness;
+namespace proto = dbg::proto;
+
+constexpr const char* kRacyProgram =
+    "box = [0]\n"                    // 1
+    "fn bump()\n"                    // 2
+    "  i = 0\n"                      // 3
+    "  while i < 10\n"               // 4
+    "    box[0] = box[0] + 1\n"      // 5
+    "    i = i + 1\n"                // 6
+    "  end\n"                        // 7
+    "  return nil\n"                 // 8
+    "end\n"                          // 9
+    "t1 = spawn(bump)\n"             // 10
+    "t2 = spawn(bump)\n"             // 11
+    "join(t1)\n"
+    "join(t2)\n"
+    "puts(box[0])\n";
+
+class AnalysisE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    analysis::Engine::instance().reset();
+    analysis::Engine::instance().enable();
+  }
+  void TearDown() override {
+    analysis::Engine::instance().disable();
+    analysis::Engine::instance().reset();
+  }
+};
+
+TEST_F(AnalysisE2eTest, ServerAdvertisesAnalysisCapability) {
+  DebugHarness harness("x = 1");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  EXPECT_TRUE(session->supports(proto::kCapAnalysis));
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+}
+
+TEST_F(AnalysisE2eTest, AnalysisReportCarriesDynamicFindings) {
+  DebugHarness harness(kRacyProgram);
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+
+  auto report = session->analysis_report();
+  ASSERT_TRUE(report.is_ok()) << report.error().to_string();
+  const proto::AnalysisReportResponse& r = report.value();
+  EXPECT_EQ(r.pid, ::getpid());
+  EXPECT_TRUE(r.enabled);
+  EXPECT_GT(r.accesses, 0u);
+  EXPECT_GT(r.sync_events, 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, "data-race");
+  EXPECT_NE(r.findings[0].message.find("'box'"), std::string::npos);
+  EXPECT_EQ(r.findings[0].file, "test.ml");
+  EXPECT_GT(r.findings[0].line, 0);
+}
+
+TEST_F(AnalysisE2eTest, RunLintReturnsStaticFindingsRemotely) {
+  // A lock leak the static pass should see when the server lints the
+  // loaded program on request.
+  DebugHarness harness(
+      "m = mutex()\n"                // 1
+      "fn risky(x)\n"                // 2
+      "  lock(m)\n"                  // 3
+      "  if x > 0\n"                 // 4
+      "    return 1\n"               // 5
+      "  end\n"                      // 6
+      "  unlock(m)\n"                // 7
+      "  return 0\n"                 // 8
+      "end\n"
+      "r = risky(0)\n");
+  auto* session = harness.launch();
+  ASSERT_TRUE(session->wait_stopped(5000).is_ok());
+  ASSERT_TRUE(session->cont(1).is_ok());
+  harness.join();
+
+  auto report = session->analysis_report(/*run_lint=*/true);
+  ASSERT_TRUE(report.is_ok()) << report.error().to_string();
+  const proto::AnalysisReportResponse& r = report.value();
+  ASSERT_EQ(r.lint_findings.size(), 1u);
+  EXPECT_EQ(r.lint_findings[0].kind, "lock-leak");
+  EXPECT_EQ(r.lint_findings[0].file, "test.ml");
+  EXPECT_EQ(r.lint_findings[0].line, 5);
+}
+
+TEST_F(AnalysisE2eTest, ConsoleRacesAndLintVerbs) {
+  DebugHarness harness(kRacyProgram);
+  harness.launch();
+  client::Console console(harness.client());
+  ASSERT_TRUE(harness.session()->wait_stopped(5000).is_ok());
+  EXPECT_NE(console.execute("help").find("races [pid]"), std::string::npos);
+  console.execute("c");
+  harness.join();
+
+  std::string races = console.execute("races");
+  EXPECT_NE(races.find("dynamic analysis on"), std::string::npos) << races;
+  EXPECT_NE(races.find("[data-race]"), std::string::npos) << races;
+  EXPECT_NE(races.find("'box'"), std::string::npos) << races;
+
+  std::string lint = console.execute("lint");
+  EXPECT_NE(lint.find("static lint findings"), std::string::npos) << lint;
+  EXPECT_NE(lint.find("(none)"), std::string::npos) << lint;  // clean program
+}
+
+TEST_F(AnalysisE2eTest, MetricsCountersTrackTheDetector) {
+  metrics::Registry::instance().set_enabled(true);
+  metrics::Registry::instance().reset();
+  test::RunOutcome outcome = test::run_ml(kRacyProgram, "metrics.ml");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  metrics::Snapshot snap = metrics::Registry::instance().snapshot();
+  EXPECT_GT(snap.counters[static_cast<int>(
+                metrics::Counter::kAnalysisAccesses)],
+            0u);
+  EXPECT_GT(snap.counters[static_cast<int>(
+                metrics::Counter::kAnalysisSyncEvents)],
+            0u);
+  EXPECT_GE(
+      snap.counters[static_cast<int>(metrics::Counter::kAnalysisRaces)], 1u);
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,295 @@
+// Static pass (MiniSan lint): lock-order cycles, lock leaks,
+// double-acquire, closed-queue misuse — and, just as load-bearing, the
+// programs it must stay silent on (balanced locking, try_lock fallback
+// paths, the paper's Listing 5).
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "vm/compiler.hpp"
+
+namespace dionea {
+namespace {
+
+analysis::Report lint(const std::string& source,
+                      const std::string& file = "lint.ml") {
+  auto proto = vm::compile_source(source, file);
+  EXPECT_TRUE(proto.is_ok()) << proto.error().to_string();
+  if (!proto.is_ok()) return analysis::Report{};
+  return analysis::lint_program(*proto.value());
+}
+
+std::vector<const analysis::Finding*> of_kind(const analysis::Report& report,
+                                              analysis::FindingKind kind) {
+  std::vector<const analysis::Finding*> out;
+  for (const analysis::Finding& f : report.findings) {
+    if (f.kind == kind) out.push_back(&f);
+  }
+  return out;
+}
+
+TEST(LintTest, FlagsLockOrderInversionWithSites) {
+  analysis::Report report = lint(
+      "a = mutex()\n"                // 1
+      "b = mutex()\n"                // 2
+      "fn f1()\n"                    // 3
+      "  lock(a)\n"                  // 4
+      "  lock(b)\n"                  // 5
+      "  unlock(b)\n"                // 6
+      "  unlock(a)\n"                // 7
+      "  return nil\n"               // 8
+      "end\n"                        // 9
+      "fn f2()\n"                    // 10
+      "  lock(b)\n"                  // 11
+      "  lock(a)\n"                  // 12
+      "  unlock(a)\n"                // 13
+      "  unlock(b)\n"                // 14
+      "  return nil\n"               // 15
+      "end\n"                        // 16
+      "t = spawn(f1)\n"
+      "f2()\n"
+      "join(t)\n");
+  auto cycles = of_kind(report, analysis::FindingKind::kLockOrderCycle);
+  ASSERT_EQ(cycles.size(), 1u) << report.to_string();
+  const analysis::Finding& f = *cycles[0];
+  EXPECT_NE(f.message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(f.message.find("'a' -> 'b' at lint.ml:5"), std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("'b' -> 'a' at lint.ml:12"), std::string::npos)
+      << f.message;
+  EXPECT_EQ(f.file, "lint.ml");
+  EXPECT_EQ(f.line, 5);
+  EXPECT_EQ(f.file2, "lint.ml");
+  EXPECT_EQ(f.line2, 12);
+  // Balanced lock/unlock: no leak reported alongside the cycle.
+  EXPECT_TRUE(of_kind(report, analysis::FindingKind::kLockLeak).empty())
+      << report.to_string();
+}
+
+TEST(LintTest, FlagsCrossFunctionCycleThroughCallSummary) {
+  analysis::Report report = lint(
+      "a = mutex()\n"                // 1
+      "b = mutex()\n"                // 2
+      "fn inner_b()\n"               // 3
+      "  lock(b)\n"                  // 4
+      "  unlock(b)\n"                // 5
+      "  return nil\n"               // 6
+      "end\n"                        // 7
+      "fn outer()\n"                 // 8
+      "  lock(a)\n"                  // 9
+      "  inner_b()\n"                // 10
+      "  unlock(a)\n"                // 11
+      "  return nil\n"               // 12
+      "end\n"                        // 13
+      "fn reverse()\n"               // 14
+      "  lock(b)\n"                  // 15
+      "  lock(a)\n"                  // 16
+      "  unlock(a)\n"                // 17
+      "  unlock(b)\n"                // 18
+      "  return nil\n"               // 19
+      "end\n"
+      "t = spawn(outer)\n"
+      "reverse()\n"
+      "join(t)\n");
+  auto cycles = of_kind(report, analysis::FindingKind::kLockOrderCycle);
+  ASSERT_EQ(cycles.size(), 1u) << report.to_string();
+  // The a->b edge comes from outer() calling inner_b() while holding a;
+  // the site named is inner_b's acquire.
+  EXPECT_NE(cycles[0]->message.find("'a' -> 'b' at lint.ml:4"),
+            std::string::npos)
+      << cycles[0]->message;
+}
+
+TEST(LintTest, FlagsLockLeakOnEarlyReturn) {
+  analysis::Report report = lint(
+      "m = mutex()\n"                // 1
+      "fn risky(x)\n"                // 2
+      "  lock(m)\n"                  // 3
+      "  if x > 0\n"                 // 4
+      "    return 1\n"               // 5
+      "  end\n"                      // 6
+      "  unlock(m)\n"                // 7
+      "  return 0\n"                 // 8
+      "end\n"
+      "r = risky(1)\n");
+  auto leaks = of_kind(report, analysis::FindingKind::kLockLeak);
+  ASSERT_EQ(leaks.size(), 1u) << report.to_string();
+  const analysis::Finding& f = *leaks[0];
+  EXPECT_NE(f.message.find("'m'"), std::string::npos);
+  EXPECT_NE(f.message.find("'risky'"), std::string::npos);
+  EXPECT_EQ(f.file, "lint.ml");
+  EXPECT_EQ(f.line, 5);   // the return that leaks
+  EXPECT_EQ(f.line2, 3);  // the acquire
+}
+
+TEST(LintTest, FlagsDoubleAcquire) {
+  analysis::Report report = lint(
+      "m = mutex()\n"                // 1
+      "lock(m)\n"                    // 2
+      "lock(m)\n"                    // 3
+      "unlock(m)\n");
+  auto doubles = of_kind(report, analysis::FindingKind::kDoubleAcquire);
+  ASSERT_EQ(doubles.size(), 1u) << report.to_string();
+  EXPECT_NE(doubles[0]->message.find("not reentrant"), std::string::npos);
+  EXPECT_EQ(doubles[0]->line, 3);
+  EXPECT_EQ(doubles[0]->line2, 2);
+}
+
+TEST(LintTest, FlagsPushOnClosedQueue) {
+  analysis::Report report = lint(
+      "q = queue()\n"                // 1
+      "push(q, 1)\n"                 // 2
+      "close(q)\n"                   // 3
+      "push(q, 2)\n");               // 4
+  auto closed = of_kind(report, analysis::FindingKind::kClosedQueue);
+  ASSERT_EQ(closed.size(), 1u) << report.to_string();
+  EXPECT_NE(closed[0]->message.find("'q'"), std::string::npos);
+  EXPECT_EQ(closed[0]->line, 4);
+  EXPECT_EQ(closed[0]->line2, 3);
+}
+
+// ---- programs the lint must NOT flag ----
+
+TEST(LintTest, SilentOnBalancedLocking) {
+  analysis::Report report = lint(
+      "m = mutex()\n"
+      "box = [0]\n"
+      "fn bump()\n"
+      "  for i in 100\n"
+      "    lock(m)\n"
+      "    box[0] = box[0] + 1\n"
+      "    unlock(m)\n"
+      "  end\n"
+      "  return nil\n"
+      "end\n"
+      "threads = []\n"
+      "for i in 4\n"
+      "  push(threads, spawn(bump))\n"
+      "end\n"
+      "for t in threads\n"
+      "  join(t)\n"
+      "end\n"
+      "puts(box[0])\n");
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(LintTest, SilentOnConsistentNesting) {
+  // a -> b in both functions: an order, not a cycle.
+  analysis::Report report = lint(
+      "a = mutex()\n"
+      "b = mutex()\n"
+      "fn f1()\n"
+      "  lock(a)\n"
+      "  lock(b)\n"
+      "  unlock(b)\n"
+      "  unlock(a)\n"
+      "  return nil\n"
+      "end\n"
+      "fn f2()\n"
+      "  lock(a)\n"
+      "  lock(b)\n"
+      "  unlock(b)\n"
+      "  unlock(a)\n"
+      "  return nil\n"
+      "end\n"
+      "t = spawn(f1)\n"
+      "f2()\n"
+      "join(t)\n");
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(LintTest, TryLockIsNotAnAcquire) {
+  // The try_lock fallback is exactly how programs dodge an inversion;
+  // counting it as an acquire would invent a cycle here.
+  analysis::Report report = lint(
+      "a = mutex()\n"
+      "b = mutex()\n"
+      "fn f1()\n"
+      "  lock(a)\n"
+      "  lock(b)\n"
+      "  unlock(b)\n"
+      "  unlock(a)\n"
+      "  return nil\n"
+      "end\n"
+      "fn f2()\n"
+      "  lock(b)\n"
+      "  got = try_lock(a)\n"
+      "  if got\n"
+      "    unlock(a)\n"
+      "  end\n"
+      "  unlock(b)\n"
+      "  return nil\n"
+      "end\n"
+      "t = spawn(f1)\n"
+      "f2()\n"
+      "join(t)\n");
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(LintTest, SpawnedFunctionDoesNotNestUnderCallerLocks) {
+  // spawn(f) starts f concurrently; its locks are not ordered after
+  // the spawner's held set.
+  analysis::Report report = lint(
+      "a = mutex()\n"
+      "b = mutex()\n"
+      "fn takes_b()\n"
+      "  lock(b)\n"
+      "  lock(a)\n"
+      "  unlock(a)\n"
+      "  unlock(b)\n"
+      "  return nil\n"
+      "end\n"
+      "lock(a)\n"
+      "t = spawn(takes_b)\n"
+      "unlock(a)\n"
+      "join(t)\n");
+  EXPECT_TRUE(of_kind(report, analysis::FindingKind::kLockOrderCycle).empty())
+      << report.to_string();
+}
+
+TEST(LintTest, SilentOnListingFiveProgram) {
+  // The paper's Listing 5 (queue + spawn + fork): a *runtime*
+  // cross-process deadlock, but statically clean — no lock discipline
+  // violations for the lint to invent.
+  analysis::Report report = lint(
+      "q = queue()\n"
+      "spawn(fn()\n"
+      "  puts(\"Inside thread -- PARENT\")\n"
+      "  sleep(0.2)\n"
+      "  push(q, true)\n"
+      "end)\n"
+      "pid = fork(fn()\n"
+      "  pop(q)\n"
+      "  puts(\"In -- CHILD\")\n"
+      "end)\n"
+      "st = waitpid(pid)\n");
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(LintTest, SilentOnCloseThenDrainPattern) {
+  // close() then pop() is the documented drain idiom (backlog, then
+  // nil) — legal at runtime, so the lint must not flag it.
+  analysis::Report report = lint(
+      "q = queue()\n"
+      "push(q, 1)\n"
+      "close(q)\n"
+      "v = pop(q)\n"
+      "puts(v)\n",
+      "drain.ml");
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(LintTest, SynchronizeBuiltinStaysBalanced) {
+  analysis::Report report = lint(
+      "m = mutex()\n"
+      "box = [0]\n"
+      "fn crit()\n"
+      "  box[0] = box[0] + 1\n"
+      "  return nil\n"
+      "end\n"
+      "synchronize(m, crit)\n"
+      "puts(box[0])\n");
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,168 @@
+// Dynamic pass (vector clocks + locksets): the detector must flag the
+// seeded race in every run — the point of drawing NO happens-before
+// edge from GIL hand-offs is that detection depends on the program's
+// synchronization structure, not on which interleaving the scheduler
+// happened to pick. Also covers the offline mode: record a DRLG log
+// un-instrumented, then replay it with analysis on.
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using test::run_ml;
+using test::run_ml_record;
+using test::run_ml_replay;
+
+constexpr const char* kRacyProgram =
+    "box = [0]\n"
+    "fn bump()\n"
+    "  i = 0\n"
+    "  while i < 20\n"
+    "    box[0] = box[0] + 1\n"
+    "    i = i + 1\n"
+    "  end\n"
+    "  return nil\n"
+    "end\n"
+    "t1 = spawn(bump)\n"
+    "t2 = spawn(bump)\n"
+    "join(t1)\n"
+    "join(t2)\n"
+    "puts(box[0])\n";
+
+constexpr const char* kLockedProgram =
+    "m = mutex()\n"
+    "box = [0]\n"
+    "fn bump()\n"
+    "  i = 0\n"
+    "  while i < 20\n"
+    "    lock(m)\n"
+    "    box[0] = box[0] + 1\n"
+    "    unlock(m)\n"
+    "    i = i + 1\n"
+    "  end\n"
+    "  return nil\n"
+    "end\n"
+    "t1 = spawn(bump)\n"
+    "t2 = spawn(bump)\n"
+    "join(t1)\n"
+    "join(t2)\n"
+    "puts(box[0])\n";
+
+class RaceDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    analysis::Engine::instance().reset();
+    analysis::Engine::instance().enable();
+  }
+  void TearDown() override {
+    analysis::Engine::instance().disable();
+    analysis::Engine::instance().reset();
+  }
+};
+
+std::vector<const analysis::Finding*> races(const analysis::Report& report) {
+  std::vector<const analysis::Finding*> out;
+  for (const analysis::Finding& f : report.findings) {
+    if (f.kind == analysis::FindingKind::kDataRace) out.push_back(&f);
+  }
+  return out;
+}
+
+TEST_F(RaceDetectorTest, FlagsSeededRaceRegardlessOfSchedule) {
+  test::RunOutcome outcome = run_ml(kRacyProgram, "race.ml");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+
+  analysis::Report report = analysis::Engine::instance().report();
+  auto found = races(report);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();  // deduped per var
+  const analysis::Finding& f = *found[0];
+  EXPECT_NE(f.message.find("'box'"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("share no lock"), std::string::npos);
+  EXPECT_EQ(f.file, "race.ml");
+  EXPECT_GT(f.line, 0);
+  EXPECT_GT(analysis::Engine::instance().accesses(), 0u);
+  EXPECT_GT(analysis::Engine::instance().sync_events(), 0u);
+}
+
+TEST_F(RaceDetectorTest, SilentWhenAccessesShareALock) {
+  test::RunOutcome outcome = run_ml(kLockedProgram, "locked.ml");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, "40\n");
+  analysis::Report report = analysis::Engine::instance().report();
+  EXPECT_TRUE(races(report).empty()) << report.to_string();
+}
+
+TEST_F(RaceDetectorTest, QueueHandoffOrdersProducerBeforeConsumer) {
+  // push -> pop is a happens-before edge: the producer's write to
+  // `box` is ordered before the main thread's post-pop read/write.
+  const char* program =
+      "q = queue()\n"
+      "box = [0]\n"
+      "t = spawn(fn()\n"
+      "  box[0] = 41\n"
+      "  push(q, 1)\n"
+      "end)\n"
+      "pop(q)\n"
+      "box[0] = box[0] + 1\n"
+      "join(t)\n"
+      "puts(box[0])\n";
+  test::RunOutcome outcome = run_ml(program, "handoff.ml");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, "42\n");
+  analysis::Report report = analysis::Engine::instance().report();
+  EXPECT_TRUE(races(report).empty()) << report.to_string();
+}
+
+TEST_F(RaceDetectorTest, JoinOrdersChildBeforeParentContinuation) {
+  const char* program =
+      "box = [0]\n"
+      "t = spawn(fn()\n"
+      "  box[0] = 1\n"
+      "end)\n"
+      "join(t)\n"
+      "box[0] = box[0] + 1\n"
+      "puts(box[0])\n";
+  test::RunOutcome outcome = run_ml(program, "join.ml");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.output, "2\n");
+  analysis::Report report = analysis::Engine::instance().report();
+  EXPECT_TRUE(races(report).empty()) << report.to_string();
+}
+
+TEST(OfflineAnalysisTest, ReplayedLogYieldsSameRaceDeterministically) {
+  // Production run: record the schedule with the detector OFF (zero
+  // analysis overhead in the recorded process)...
+  analysis::Engine::instance().disable();
+  analysis::Engine::instance().reset();
+  auto tmp = TempDir::create("analysis-offline");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  test::ReplayOutcome recorded = run_ml_record(dir, kRacyProgram, "race.ml");
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  EXPECT_TRUE(analysis::Engine::instance().report().empty());
+
+  // ...then replay the same log twice with the detector ON: same
+  // forced schedule, same finding, both times.
+  for (int round = 0; round < 2; ++round) {
+    analysis::Engine::instance().reset();
+    analysis::Engine::instance().enable();
+    test::ReplayOutcome replayed = run_ml_replay(dir, kRacyProgram, "race.ml");
+    analysis::Engine::instance().disable();
+    ASSERT_TRUE(replayed.ok) << replayed.error_message;
+    EXPECT_EQ(replayed.output, recorded.output);
+    analysis::Report report = analysis::Engine::instance().report();
+    auto found = races(report);
+    ASSERT_EQ(found.size(), 1u)
+        << "round " << round << ":\n"
+        << report.to_string();
+    EXPECT_NE(found[0]->message.find("'box'"), std::string::npos);
+  }
+  analysis::Engine::instance().reset();
+}
+
+}  // namespace
+}  // namespace dionea

@@ -106,6 +106,8 @@ std::vector<Target> all_targets() {
       make_target<StatsResponse>("stats_response"),
       make_target<ReplayInfoRequest>("replay_info"),
       make_target<ReplayInfoResponse>("replay_info_response"),
+      make_target<AnalysisReportRequest>("analysis_report"),
+      make_target<AnalysisReportResponse>("analysis_report_response"),
   };
   // Populate the nested-array responses so bit flips can corrupt
   // entries, not just empty lists.

@@ -2,8 +2,11 @@
 // different MAJOR is refused with a typed error before any channel is
 // established, and a pre-1.1 peer that sends no version fields at all
 // is served as protocol 1.0.
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "client/session.hpp"
 #include "debugger/protocol.hpp"
 #include "ipc/frame.hpp"
 #include "ipc/socket.hpp"
@@ -70,6 +73,63 @@ TEST(VersionSkewTest, LegacyHelloWithoutVersionIsServedAsOneDotZero) {
   EXPECT_EQ(pong.value().get_int("re"), 1);
   // 1.1 responses still decode for a 1.0 reader: additive fields only.
   EXPECT_GT(pong.value().get_int("pid"), 0);
+}
+
+TEST(VersionSkewTest, AnalysisAgainstOldServerDowngradesGracefully) {
+  // A 1.2 server: speaks the same major, beacons, serves stats — but
+  // has never heard of `analysis`. The new client must refuse
+  // analysis_report() locally (kUnavailable naming the capability)
+  // without putting a single frame on the wire.
+  auto listener = ipc::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::uint16_t port = listener.value().port();
+
+  std::thread old_server([&listener] {
+    auto control = listener.value().accept_timeout(5000);
+    ASSERT_TRUE(control.is_ok());
+    auto control_hello = ipc::recv_frame_timeout(control.value(), 5000);
+    ASSERT_TRUE(control_hello.is_ok());
+    auto events = listener.value().accept_timeout(5000);
+    ASSERT_TRUE(events.is_ok());
+    auto events_hello = ipc::recv_frame_timeout(events.value(), 5000);
+    ASSERT_TRUE(events_hello.is_ok());
+
+    // The attach-time ping: answer as a 1.2 build would.
+    auto ping = ipc::recv_frame_timeout(control.value(), 5000);
+    ASSERT_TRUE(ping.is_ok());
+    proto::PingResponse pong;
+    pong.pid = 4242;
+    pong.heartbeat_ms = 0;
+    pong.proto_major = proto::kProtoMajor;
+    pong.proto_minor = 2;
+    pong.capabilities = {proto::kCapStats, proto::kCapHeartbeat,
+                         proto::kCapReplay};
+    ipc::wire::Value reply = pong.to_wire();
+    reply.set("re", ping.value().get_int("seq"));
+    reply.set("ok", true);
+    ASSERT_TRUE(ipc::send_frame(control.value(), reply).is_ok());
+
+    // If the client (wrongly) ships analysis-report, fail loudly.
+    auto extra = ipc::recv_frame_timeout(control.value(), 200);
+    EXPECT_FALSE(extra.is_ok())
+        << "client sent a frame despite the missing capability: "
+        << extra.value().get_string("cmd");
+  });
+
+  auto session = client::Session::attach(port, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  EXPECT_EQ(session.value()->server_proto_minor(), 2);
+  EXPECT_FALSE(session.value()->supports(proto::kCapAnalysis));
+  EXPECT_TRUE(session.value()->supports(proto::kCapReplay));
+
+  auto report = session.value()->analysis_report();
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.error().code(), ErrorCode::kUnavailable);
+  EXPECT_NE(report.error().message().find(proto::kCapAnalysis),
+            std::string::npos)
+      << report.error().to_string();
+
+  old_server.join();
 }
 
 TEST(VersionSkewTest, UnknownCommandGetsTypedError) {
