@@ -34,11 +34,10 @@ double run_spin(DebugMode mode) {
     auto created = TempDir::create("ablate-trace");
     DIONEA_CHECK(created.is_ok(), "tempdir");
     tmp = std::make_unique<TempDir>(std::move(created).value());
-    server = std::make_unique<dbg::DebugServer>(
-        interp.vm(),
-        dbg::DebugServer::Options{
-            .port_file = tmp->file("ports"),
-            .thorough_line_handling = mode == DebugMode::kThorough});
+    dbg::DebugServer::Options options;
+    options.port_file = tmp->file("ports");
+    options.thorough_line_handling = mode == DebugMode::kThorough;
+    server = std::make_unique<dbg::DebugServer>(interp.vm(), options);
     DIONEA_CHECK(server->start().is_ok(), "server");
     auto attached = client::Session::attach(server->port(), 5000);
     DIONEA_CHECK(attached.is_ok(), "attach");
@@ -65,9 +64,9 @@ double run_forks(bool debug, int forks) {
     auto created = TempDir::create("ablate-fork");
     DIONEA_CHECK(created.is_ok(), "tempdir");
     tmp = std::make_unique<TempDir>(std::move(created).value());
-    server = std::make_unique<dbg::DebugServer>(
-        interp.vm(),
-        dbg::DebugServer::Options{.port_file = tmp->file("ports")});
+    dbg::DebugServer::Options options;
+    options.port_file = tmp->file("ports");
+    server = std::make_unique<dbg::DebugServer>(interp.vm(), options);
     DIONEA_CHECK(server->start().is_ok(), "server");
     auto attached = client::Session::attach(server->port(), 5000);
     DIONEA_CHECK(attached.is_ok(), "attach");

@@ -1,0 +1,132 @@
+// Robustness overhead: the fig9 wordcount workload (4 forked workers,
+// debugger attached) across the robustness layer's three shipping
+// configurations.
+//
+// The budget that matters: the *default* configuration — post-mortem
+// handlers installed, watchdog off — must cost <2% over a build with
+// the whole layer disabled. Post-mortem capture is a handful of signal
+// handlers plus one pointer-pair store per traced line (note_trace),
+// and a disarmed watchdog is exactly nothing, so the gate is tight.
+// The watchdog-on arm (a background thread sampling three probes per
+// tick) is reported for the record but not gated: like record/replay,
+// an armed watchdog is an opt-in debugging mode.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "support/crash_report.hpp"
+#include "support/watchdog.hpp"
+
+namespace {
+
+using namespace dionea;
+using namespace dionea::bench;
+
+// run_wordcount with the robustness knobs exposed. Mirrors
+// bench_util.hpp's runner; kept local because only this bench varies
+// postmortem/watchdog.
+double run_robust(const mapreduce::Corpus& corpus, int workers,
+                  bool postmortem, bool watchdog) {
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+
+  auto created = TempDir::create("bench-robust");
+  DIONEA_CHECK(created.is_ok(), "bench tempdir");
+  TempDir tmp = std::move(created).value();
+  dbg::DebugServer::Options options;
+  options.port_file = tmp.file("ports");
+  options.postmortem = postmortem;
+  options.crash_dir = tmp.path();
+  options.watchdog = watchdog;
+  if (watchdog) {
+    // Generous deadlines: the workload must never trip them — we are
+    // measuring the sampling cost, not the escalation path.
+    options.watchdog_options.tick_millis = 20;
+    options.watchdog_options.hung_after_millis = 60'000;
+    options.watchdog_options.degraded_after_millis = 120'000;
+    options.watchdog_options.detached_after_millis = 240'000;
+  }
+  auto server = std::make_unique<dbg::DebugServer>(interp.vm(), options);
+  DIONEA_CHECK(server->start().is_ok(), "bench server");
+  auto attached = client::Session::attach(server->port(), 5000);
+  DIONEA_CHECK(attached.is_ok(), "bench attach");
+
+  std::string program = mapreduce::wordcount_program(corpus.root(), workers);
+  Stopwatch watch;
+  vm::RunResult result = interp.run_string(program, "wordcount.ml");
+  double elapsed = watch.elapsed_seconds();
+  if (interp.vm().is_forked_child()) {
+    std::fflush(nullptr);
+    ::_exit(0);
+  }
+  DIONEA_CHECK(result.ok, "bench wordcount run failed");
+  server->stop();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Robustness overhead: fig9 workload, crash handlers + watchdog",
+      "default config (postmortem on, watchdog off) must cost <2%");
+  print_environment_note();
+
+  auto tmp = TempDir::create("bench-robustness");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  mapreduce::CorpusSpec spec =
+      mapreduce::scaled_spec(mapreduce::dionea_trunk_spec(), 3.0);
+  auto corpus = mapreduce::Corpus::generate(spec, tmp.value().file("corpus"));
+  DIONEA_CHECK(corpus.is_ok(), "corpus");
+
+  constexpr int kWorkers = 4;
+  constexpr int kReps = 5;
+
+  double base = min_seconds(kReps, [&] {
+    return run_robust(corpus.value(), kWorkers, /*postmortem=*/false,
+                      /*watchdog=*/false);
+  });
+  double def = min_seconds(kReps, [&] {
+    return run_robust(corpus.value(), kWorkers, /*postmortem=*/true,
+                      /*watchdog=*/false);
+  });
+  double armed = min_seconds(kReps, [&] {
+    return run_robust(corpus.value(), kWorkers, /*postmortem=*/true,
+                      /*watchdog=*/true);
+  });
+
+  double def_pct = overhead_pct(base, def);
+  double armed_pct = overhead_pct(base, armed);
+  std::printf("\n%-30s %10s %10s\n", "", "time", "overhead");
+  std::printf("%-30s %10s %10s\n", "robustness layer off",
+              format_duration(base).c_str(), "");
+  std::printf("%-30s %10s %+9.2f%%\n", "default (postmortem only)",
+              format_duration(def).c_str(), def_pct);
+  std::printf("%-30s %10s %+9.2f%%\n", "watchdog armed (20ms tick)",
+              format_duration(armed).c_str(), armed_pct);
+
+  std::FILE* json = std::fopen("BENCH_robustness.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"fig9_wordcount_x3\",\n"
+                 "  \"workers\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"layer_off_s\": %.6f,\n"
+                 "  \"default_s\": %.6f,\n"
+                 "  \"watchdog_armed_s\": %.6f,\n"
+                 "  \"default_overhead_pct\": %.3f,\n"
+                 "  \"watchdog_armed_overhead_pct\": %.3f,\n"
+                 "  \"budget_default_pct\": 2.0,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 kWorkers, kReps, base, def, armed, def_pct, armed_pct,
+                 def_pct < 2.0 ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_robustness.json\n");
+  }
+
+  std::printf("budget: default <2%% — %s\n", def_pct < 2.0 ? "PASS" : "FAIL");
+  return def_pct < 2.0 ? 0 : 1;
+}

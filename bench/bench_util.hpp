@@ -56,11 +56,10 @@ inline double run_wordcount(const mapreduce::Corpus& corpus, int workers,
     auto created = TempDir::create("bench-dbg");
     DIONEA_CHECK(created.is_ok(), "bench tempdir");
     tmp = std::make_unique<TempDir>(std::move(created).value());
-    server = std::make_unique<dbg::DebugServer>(
-        interp.vm(),
-        dbg::DebugServer::Options{
-            .port_file = tmp->file("ports"),
-            .thorough_line_handling = mode == DebugMode::kThorough});
+    dbg::DebugServer::Options options;
+    options.port_file = tmp->file("ports");
+    options.thorough_line_handling = mode == DebugMode::kThorough;
+    server = std::make_unique<dbg::DebugServer>(interp.vm(), options);
     DIONEA_CHECK(server->start().is_ok(), "bench server");
     auto attached = client::Session::attach(server->port(), 5000);
     DIONEA_CHECK(attached.is_ok(), "bench attach");

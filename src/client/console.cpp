@@ -98,6 +98,8 @@ std::string Console::help() {
       "  replay [pid]          record/replay status of a process\n"
       "  races [pid]           dynamic race/deadlock findings of a process\n"
       "  lint [pid]            run the static concurrency lint remotely\n"
+      "  postmortem [pid] [now]  crash report of a process; `now` snapshots\n"
+      "                        the live process as if it had crashed\n"
       "  events                drain pending events\n"
       "  reconnect <pid>       reattach to a lost process\n"
       "  quit                  leave the console\n";
@@ -246,6 +248,54 @@ std::string Console::execute(const std::string& line) {
       out += strings::format("  diverged at step %lld: %s\n",
                              static_cast<long long>(r.divergence_step),
                              r.divergence_reason.c_str());
+    }
+    return out;
+  }
+
+  if (cmd == "postmortem") {
+    Session* target = nullptr;
+    bool capture = false;
+    std::int64_t pid = 0;
+    for (size_t i = 1; i < words.size(); ++i) {
+      if (words[i] == "now") {
+        capture = true;
+      } else if (!strings::parse_int(words[i], &pid)) {
+        return "usage: postmortem [pid] [now]\n";
+      }
+    }
+    if (pid != 0) {
+      target = client_.session(static_cast<int>(pid));
+      if (target == nullptr) {
+        return strings::format("  no session for pid %lld\n",
+                               static_cast<long long>(pid));
+      }
+    } else {
+      std::string error;
+      target = active_session(&error);
+      if (target == nullptr) return error;
+    }
+    if (!target->connected()) {
+      // The process is gone; the corpse (if any) is on disk — its path
+      // came down the wire with the process-crashed event.
+      std::string path = client_.crash_report_path(target->pid());
+      if (path.empty()) {
+        return strings::format("  pid %d is gone and left no crash report\n",
+                               target->pid());
+      }
+      return strings::format("  pid %d crashed; report: %s\n", target->pid(),
+                             path.c_str());
+    }
+    auto report = target->postmortem(capture);
+    if (!report.is_ok()) return report.error().to_string() + "\n";
+    const auto& r = report.value();
+    std::string out = strings::format(
+        "  [pid %d] post-mortem capture %s, report path %s\n", r.pid,
+        r.installed ? "armed" : "not installed", r.report_path.c_str());
+    if (r.has_report) {
+      out += r.report;
+      if (!r.report.empty() && r.report.back() != '\n') out += "\n";
+    } else {
+      out += "  (no report on disk)\n";
     }
     return out;
   }

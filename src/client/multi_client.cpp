@@ -189,7 +189,16 @@ Result<std::vector<std::pair<int, DebugEvent>>> MultiClient::poll_all_events(
       return event.error();
     }
     if (event.value().has_value()) {
-      out.emplace_back(pid, std::move(*event.value()));
+      DebugEvent& ev = *event.value();
+      if (ev.kind == proto::Event::kProcessCrashed) {
+        // The server's last gasp: remember where the corpse is and
+        // mark the pid announced, so the transport collapse that
+        // follows a crash is not reported a second time.
+        std::string path = ev.payload.get_string("report_path");
+        if (!path.empty()) crash_reports_[pid] = path;
+        reported_dead_.insert(pid);
+      }
+      out.emplace_back(pid, std::move(ev));
     }
   }
   return out;
@@ -264,6 +273,7 @@ Result<Session*> MultiClient::reconnect(int pid,
     // refresh() re-attach it and clobber this session.
     records_seen_ = records.value().size();
     reported_dead_.erase(pid);
+    crash_reports_.erase(pid);  // the corpse belonged to the predecessor
     return raw;
   }
   return Error(last.code(), "reconnect to pid " + std::to_string(pid) +

@@ -79,6 +79,14 @@ class MultiClient {
   // != 0 means the child was killed by that signal (a crash).
   void note_child_exit(int pid, int exit_code, int term_signal);
 
+  // Post-mortem report path for `pid`, learned from the server's
+  // last-gasp process-crashed frame (or a fetched postmortem
+  // response). Empty when no crash has been seen for that pid.
+  std::string crash_report_path(int pid) const {
+    auto it = crash_reports_.find(pid);
+    return it == crash_reports_.end() ? std::string() : it->second;
+  }
+
   // ---- debug views (§4.2) ----
   struct View {
     int pid = 0;
@@ -111,6 +119,8 @@ class MultiClient {
   // Pids whose death was already reported; their sessions are skipped
   // (not erased — state like breakpoints_set survives for reconnect).
   std::set<int> reported_dead_;
+  // pid -> crash-report path from the server's last-gasp frame.
+  std::map<int, std::string> crash_reports_;
   // Synthesized events (note_child_exit) waiting for poll_all_events.
   std::deque<std::pair<int, DebugEvent>> pending_events_;
   View active_{};

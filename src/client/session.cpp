@@ -181,6 +181,20 @@ Result<proto::AnalysisReportResponse> Session::analysis_report(
   return proto::AnalysisReportResponse::from_wire(response);
 }
 
+Result<proto::PostmortemResponse> Session::postmortem(bool capture) {
+  if (!supports(proto::kCapPostmortem)) {
+    return Error(ErrorCode::kUnavailable,
+                 strings::format(
+                     "server (proto %d.%d) does not advertise '%s'",
+                     server_proto_major_, server_proto_minor_,
+                     proto::kCapPostmortem));
+  }
+  proto::PostmortemRequest req;
+  req.capture = capture;
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(req));
+  return proto::PostmortemResponse::from_wire(response);
+}
+
 Result<int> Session::set_breakpoint(const std::string& file, int line,
                                     std::int64_t tid, std::int64_t ignore) {
   DIONEA_ASSIGN_OR_RETURN(

@@ -130,6 +130,11 @@ class Session {
   // the server to run the static lint pass over the loaded program.
   Result<dbg::proto::AnalysisReportResponse> analysis_report(
       bool run_lint = false);
+  // Same contract, gated on kCapPostmortem (1.4). capture=true asks
+  // the server to snapshot the live process as if it had crashed;
+  // capture=false fetches whatever report already exists (the corpse
+  // of a crashed predecessor).
+  Result<dbg::proto::PostmortemResponse> postmortem(bool capture = false);
   Result<int> set_breakpoint(const std::string& file, int line,
                              std::int64_t tid = 0, std::int64_t ignore = 0);
   Result<std::vector<dbg::proto::BreakpointEntry>> breakpoints();

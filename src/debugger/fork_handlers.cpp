@@ -41,6 +41,17 @@ void DebugServer::fork_prepare() {
   trace_was_enabled_ = vm_.trace_enabled();
   vm_.set_trace_enabled(false);
 
+  // Snapshot every live sync object's child-generation counter for the
+  // handler-C self-check — BEFORE pinning any server lock (the snapshot
+  // takes the VM scheduler lock; keep the two orders disjoint). User
+  // prepare hooks run before the VM's internal prepare, so the
+  // scheduler lock is still free here.
+  fork_sync_gen_.clear();
+  for (auto& obj : vm_.sync_objects_snapshot()) {
+    const std::uint32_t generation = obj->child_generation();
+    fork_sync_gen_.emplace_back(std::move(obj), generation);
+  }
+
   // Pin all server locks in a fixed order (state -> per-thread debug
   // states by tid -> events -> sources -> breakpoints). After this, the
   // listener thread is provably outside every critical section, so the
@@ -76,6 +87,7 @@ void DebugServer::fork_parent(int child_pid) {
   fork_td_pinned_.clear();
   fork_state_lock_.unlock();
   fork_state_lock_ = {};
+  fork_sync_gen_.clear();  // the self-check belongs to the child
   vm_.set_trace_enabled(trace_was_enabled_ &&
                         tracing_wanted_.load(std::memory_order_relaxed));
 
@@ -130,6 +142,9 @@ void DebugServer::fork_child() {
 
   // (3) Close every inherited descriptor: parent's listener, the
   // parent session's control and events channels (Fig. 5 -> Fig. 6).
+  // The crash-notify fd points at the parent session's events socket:
+  // re-key the report path to the child pid and drop it.
+  crash::refresh_after_fork();
   if (listener_) listener_->close();
   control_.close();
   events_.close();
@@ -140,6 +155,15 @@ void DebugServer::fork_child() {
   // with the parent and its internals may reference the (vanished)
   // listener thread. Leak it rather than run its destructor.
   (void)reactor_.release();
+
+  // Socket half of the self-check runs HERE, while the closes above
+  // are the only thing that could have touched these sockets. Once
+  // bind_and_publish below writes the port record, a fast client can
+  // attach to the new listener before handler C finishes — at that
+  // point a valid control_/events_ is a legitimate fresh session, not
+  // a leaked parent fd, and "repairing" it would sever the client we
+  // just invited in.
+  fork_self_check_sockets();
 
   // (2) Rebuild debug metadata: keep only the surviving thread's
   // per-thread state (its InterpThread keeps the object alive through
@@ -162,11 +186,17 @@ void DebugServer::fork_child() {
   // The parent's listener thread does not exist in this process;
   // abandon its handle without touching pthread state.
   (void)listener_thread_.release();
+  // The watchdog thread died with the parent's address space; abandon
+  // the handle now so a transition can never fire mid-rebuild, restart
+  // it once the session is whole again (below).
+  if (watchdog_) watchdog_->abandon_after_fork();
+
   Status status = bind_and_publish();
   if (!status.is_ok()) {
     DLOG_ERROR("dbg") << "child could not re-bind debug server: "
                       << status.to_string();
     vm_.set_trace_enabled(false);
+    fork_self_check();
     return;
   }
   start_listener_thread();
@@ -185,6 +215,87 @@ void DebugServer::fork_child() {
   // while the fork was in flight).
   vm_.set_trace_enabled(trace_was_enabled_ &&
                         tracing_wanted_.load(std::memory_order_relaxed));
+
+  // The replay engine re-pointed its log at a child-owned file in the
+  // VM's child handler; follow it so a crash report embeds the right
+  // tail.
+  if (postmortem_enabled_ && replay::engine_active()) {
+    crash::set_aux_log(replay::Engine::instance().info().log_path.c_str());
+  }
+  if (watchdog_enabled_ && watchdog_) watchdog_->start();
+
+  fork_self_check();
+}
+
+// Socket invariant: the parent session's sockets must be closed in
+// the child — a child speaking on them interleaves bytes mid-frame
+// (Fig. 5). Must run before the child's listener accepts its first
+// connection (see the call site in fork_child); repairs found here are
+// folded into the report fork_self_check writes at the end.
+void DebugServer::fork_self_check_sockets() {
+  fork_socket_repairs_ = 0;
+  {
+    std::scoped_lock lock(state_mutex_);
+    if (control_.valid()) {
+      DLOG_WARN("fork") << "self-check: parent control socket survived the "
+                           "fork; closing";
+      control_.close();
+      ++fork_socket_repairs_;
+    }
+  }
+  {
+    std::scoped_lock lock(events_mutex_);
+    if (events_.valid()) {
+      DLOG_WARN("fork") << "self-check: parent events socket survived the "
+                           "fork; closing";
+      events_.close();
+      ++fork_socket_repairs_;
+    }
+  }
+}
+
+// Self-check: the child invariants the handler chain just promised.
+// Trust, but verify — the §5.3 failure modes (a sync object whose
+// owner no longer exists, a socket shared with the parent) are exactly
+// the ones that surface as unexplained hangs hours later, so a missed
+// repair is worth a report the moment it happens.
+void DebugServer::fork_self_check() {
+  int repairs = fork_socket_repairs_;
+  fork_socket_repairs_ = 0;
+  const std::int64_t survivor = vm_.main_thread_id();
+
+  // 1. Every sync object alive at prepare time must have had
+  //    reinit_in_child run (generation bumped). Repair: run it now —
+  //    idempotent in the single-threaded child.
+  for (auto& [obj, generation] : fork_sync_gen_) {
+    if (obj->child_generation() != generation) continue;  // bumped: ok
+    DLOG_WARN("fork") << "self-check: " << obj->kind_name()
+                      << " missed reinit_in_child; repairing";
+    obj->reinit_in_child(survivor);
+    ++repairs;
+  }
+  fork_sync_gen_.clear();
+
+  // 2. Socket invariant: checked earlier, pre-listener, by
+  //    fork_self_check_sockets (a fresh client may already be attached
+  //    by now — its sockets are NOT leaked parent fds). Its repair
+  //    count was folded in above.
+
+  // 3. The listener must be rebound (fresh port, record published).
+  //    Not repairable here — bind_and_publish already failed and said
+  //    so — but it must not pass silently.
+  if (listener_ == nullptr || port_ == 0 ||
+      !running_.load(std::memory_order_relaxed)) {
+    DLOG_ERROR("fork") << "self-check: listener not rebound in child";
+  }
+
+  if (repairs > 0) {
+    metrics::add(metrics::Counter::kForkSelfcheckRepairs,
+                 static_cast<std::uint64_t>(repairs));
+    // Leave a corpse describing the repaired state: if an invariant
+    // broke once, the surrounding state is suspect.
+    if (crash::installed()) crash::capture_now("fork-selfcheck");
+  }
 }
 
 }  // namespace dionea::dbg

@@ -37,7 +37,8 @@ std::vector<std::string> caps_from_wire(const Value& value,
 }  // namespace
 
 std::vector<std::string> local_capabilities() {
-  return {kCapStats, kCapHeartbeat, kCapReplay, kCapAnalysis};
+  return {kCapStats, kCapHeartbeat, kCapReplay, kCapAnalysis,
+          kCapPostmortem};
 }
 
 // -------------------------------------------------------------- events
@@ -54,6 +55,7 @@ const char* event_name(Event event) noexcept {
     case Event::kHeartbeat: return "heartbeat";
     case Event::kProcessExited: return "process-exited";
     case Event::kProcessCrashed: return "process-crashed";
+    case Event::kWatchdog: return "watchdog";
     case Event::kUnknown: break;
   }
   return "unknown";
@@ -723,6 +725,42 @@ Result<AnalysisReportResponse> AnalysisReportResponse::from_wire(
   resp.sync_events = value.get_int("sync_events");
   resp.findings = findings_from_wire(value, "findings");
   resp.lint_findings = findings_from_wire(value, "lint_findings");
+  return resp;
+}
+
+// ----------------------------------------------------------- postmortem
+
+Value PostmortemRequest::to_wire() const {
+  Value v;
+  v.set("capture", capture);
+  return v;
+}
+
+Result<PostmortemRequest> PostmortemRequest::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "postmortem request"));
+  PostmortemRequest req;
+  req.capture = value.get_bool("capture");
+  return req;
+}
+
+Value PostmortemResponse::to_wire() const {
+  Value v;
+  v.set("pid", pid);
+  v.set("installed", installed);
+  v.set("report_path", report_path);
+  v.set("has_report", has_report);
+  v.set("report", report);
+  return v;
+}
+
+Result<PostmortemResponse> PostmortemResponse::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "postmortem response"));
+  PostmortemResponse resp;
+  resp.pid = static_cast<int>(value.get_int("pid"));
+  resp.installed = value.get_bool("installed");
+  resp.report_path = value.get_string("report_path");
+  resp.has_report = value.get_bool("has_report");
+  resp.report = value.get_string("report");
   return resp;
 }
 

@@ -37,12 +37,13 @@ namespace dionea::dbg::proto {
 // Major bumps break wire compatibility (rejected at hello); minor
 // bumps add commands/fields old peers ignore.
 inline constexpr int kProtoMajor = 1;
-inline constexpr int kProtoMinor = 3;
+inline constexpr int kProtoMinor = 4;
 
 inline constexpr const char* kCapStats = "stats";      // `stats` command
 inline constexpr const char* kCapHeartbeat = "heartbeat";
 inline constexpr const char* kCapReplay = "replay";    // `replay-info` command
 inline constexpr const char* kCapAnalysis = "analysis";  // `analysis-report`
+inline constexpr const char* kCapPostmortem = "postmortem";  // 1.4
 
 // What this build speaks (advertised in Hello and the ping response).
 std::vector<std::string> local_capabilities();
@@ -78,8 +79,13 @@ enum class Event : int {
   // Synthesized CLIENT-side (MultiClient) when a debuggee goes away:
   // process-exited after a clean `terminated`, process-crashed when
   // the connection died without one (SIGKILL, abort, lost peer).
+  // Since 1.4 a crashing server also pushes process-crashed itself
+  // (from the fatal-signal handler, carrying the report path) — the
+  // client dedupes against its own synthesis.
   kProcessExited,   // pid
-  kProcessCrashed,  // pid
+  kProcessCrashed,  // pid[,report_path]
+  // Watchdog state change (1.4): state,prev,stall_ms,what.
+  kWatchdog,
   kUnknown,       // an event name this build does not know (newer peer)
 };
 
@@ -455,6 +461,37 @@ struct AnalysisReportResponse {
   ipc::wire::Value to_wire() const;
   static Result<AnalysisReportResponse> from_wire(
       const ipc::wire::Value& value);
+};
+
+// ---- postmortem (1.4, capability kCapPostmortem) ----
+// Post-mortem capture status: whether the fatal-signal handlers are
+// armed, where the next crash report will land, and — when a report
+// exists already (a previous crash, a fatal deadlock, a failed fork
+// self-check) — its text, tail-capped. Old servers answer
+// kErrUnknownCommand (client maps to kNotFound); the client method
+// downgrades to kUnavailable without a round trip when the capability
+// is not advertised.
+
+struct PostmortemRequest {
+  static constexpr const char* kName = "postmortem";
+  // Write a fresh report right now (live snapshot, no crash needed) —
+  // what the console's `postmortem` verb uses against a healthy
+  // debuggee, and what tests use to exercise the capture path.
+  bool capture = false;
+
+  ipc::wire::Value to_wire() const;
+  static Result<PostmortemRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct PostmortemResponse {
+  int pid = 0;
+  bool installed = false;     // handlers armed in this debuggee
+  std::string report_path;    // where the (next) report lives
+  bool has_report = false;    // a report file exists at report_path
+  std::string report;         // its text ("" when none), tail-capped
+
+  ipc::wire::Value to_wire() const;
+  static Result<PostmortemResponse> from_wire(const ipc::wire::Value& value);
 };
 
 }  // namespace dionea::dbg::proto

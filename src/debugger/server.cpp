@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <utility>
 
 #include "analysis/analysis.hpp"
@@ -27,6 +28,24 @@ Value ok_with(std::int64_t seq, const Value& payload) {
     response.set(key, value);
   }
   return response;
+}
+
+// "0" disables, anything else (including unset) keeps the default.
+bool env_allows(const char* name) {
+  const char* v = std::getenv(name);
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}
+
+// Set and not "0" enables.
+bool env_requests(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+// Same little-endian layout ipc::send_frame produces; used to
+// pre-encode the crash-notify frame the signal handler blasts raw.
+void put_u32le(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
 }
 
 }  // namespace
@@ -76,7 +95,50 @@ Status DebugServer::start() {
   }
   tracing_wanted_.store(true, std::memory_order_relaxed);
   vm_.set_trace_enabled(true);
+
+  postmortem_enabled_ = options_.postmortem && env_allows("DIONEA_POSTMORTEM");
+  watchdog_enabled_ = options_.watchdog || env_requests("DIONEA_WATCHDOG");
+  if (postmortem_enabled_) install_postmortem();
+  if (watchdog_enabled_) start_watchdog();
   return Status::ok();
+}
+
+void DebugServer::install_postmortem() {
+  crash::Options copts;
+  copts.dir = options_.crash_dir;
+  Status status = crash::install(copts);
+  if (!status.is_ok()) {
+    DLOG_WARN("dbg") << "post-mortem capture unavailable: "
+                     << status.to_string();
+    postmortem_enabled_ = false;
+    return;
+  }
+  if (crash_section_ < 0) {
+    crash_section_ = crash::add_section(
+        "vm",
+        [](crash::Writer& w, void* ctx) {
+          static_cast<DebugServer*>(ctx)->vm_.crash_dump(w);
+        },
+        this);
+  }
+  if (replay::engine_active()) {
+    crash::set_aux_log(replay::Engine::instance().info().log_path.c_str());
+  }
+}
+
+void DebugServer::start_watchdog() {
+  // The GIL timestamps its grants only while someone is watching —
+  // keeps the clock read off the default acquire path (§7 gate).
+  vm_.gil().set_hold_watch(true);
+  if (!watchdog_) {
+    watchdog_ = std::make_unique<Watchdog>(
+        options_.watchdog_options, [this] { return watchdog_probe(); },
+        [this](Watchdog::State from, Watchdog::State to,
+               const Watchdog::Stall& stall) {
+          watchdog_transition(from, to, stall);
+        });
+  }
+  watchdog_->start();
 }
 
 Status DebugServer::bind_and_publish() {
@@ -113,6 +175,16 @@ void DebugServer::listener_main() {
 
 void DebugServer::stop() {
   if (!running_.exchange(false)) return;
+  // The watchdog goes first: a transition callback racing the teardown
+  // below would touch sockets mid-close.
+  if (watchdog_) watchdog_->stop();
+  crash::disarm_notify();
+  // The signal handlers stay installed (a crash after detach should
+  // still leave a report), but our section must not outlive `this`.
+  if (crash_section_ >= 0) {
+    crash::remove_section(crash_section_);
+    crash_section_ = -1;
+  }
   tracing_wanted_.store(false, std::memory_order_relaxed);
   vm_.set_trace_enabled(false);
   // Resume every parked thread so the debuggee can finish.
@@ -208,6 +280,7 @@ void DebugServer::send_event(Value event) {
   Status status = ipc::send_frame(events_, event);
   if (!status.is_ok()) {
     DLOG_DEBUG("dbg") << "event channel lost: " << status.to_string();
+    crash::disarm_notify();
     events_.close();
     return;
   }
@@ -232,6 +305,7 @@ void DebugServer::heartbeat_tick() {
     } else {
       DLOG_DEBUG("dbg") << "heartbeat undeliverable, client presumed dead: "
                         << status.to_string();
+      crash::disarm_notify();
       events_.close();
       peer_lost = true;
     }
@@ -241,6 +315,114 @@ void DebugServer::heartbeat_tick() {
     if (control_.valid()) {
       reactor_->remove_fd(control_.raw_fd());
       control_.close();
+    }
+  }
+}
+
+// --------------------------------------------------------- post-mortem
+
+void DebugServer::arm_crash_notify_locked() {
+  if (!events_.valid() || !crash::installed()) return;
+  // The handler cannot encode (malloc, locks) — everything is done
+  // here, down to the frame header, and the handler does one write().
+  Value event = proto::make_event(proto::Event::kProcessCrashed);
+  event.set("pid", static_cast<int>(::getpid()));
+  event.set("report_path", crash::report_path_string());
+  event.set("reason", "signal");
+  std::string payload;
+  event.encode(&payload);
+  std::string frame(8, '\0');
+  put_u32le(frame.data(), ipc::kFrameMagic);
+  put_u32le(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  crash::arm_notify(events_.raw_fd(), frame.data(), frame.size());
+}
+
+// ----------------------------------------------------------- watchdog
+
+Watchdog::Stall DebugServer::watchdog_probe() {
+  const std::int64_t now = mono_nanos();
+  Watchdog::Stall worst;
+  auto consider = [&](std::int64_t since_nanos, const char* what) {
+    if (since_nanos <= 0) return;
+    const std::int64_t millis = (now - since_nanos) / 1'000'000;
+    if (millis > worst.millis) worst = Watchdog::Stall{millis, what};
+  };
+  // Deadline 1: a control command stuck inside the VM.
+  consider(command_started_nanos_.load(std::memory_order_relaxed),
+           "command-in-flight");
+  // Deadline 2: one thread sitting on the GIL (wedged native call /
+  // trace hook). The mirror is only timestamped while hold_watch is on.
+  consider(vm_.gil().held_since_nanos(), "gil-held");
+  // Deadline 3: trace dispatch stopped making progress while a thread
+  // owns the GIL and nothing is parked — running but not reaching line
+  // events. Fed by the sharded metrics registry.
+  const metrics::Snapshot snap = metrics::Registry::instance().snapshot();
+  const std::uint64_t lines =
+      snap.counters[static_cast<int>(metrics::Counter::kTraceLineEvents)];
+  const bool parked =
+      snap.gauges[static_cast<int>(metrics::Gauge::kParkedThreads)] > 0;
+  if (lines != wd_last_line_events_ || wd_last_line_change_nanos_ == 0) {
+    wd_last_line_events_ = lines;
+    wd_last_line_change_nanos_ = now;
+  } else if (vm_.trace_enabled() && !parked &&
+             vm_.gil().owner_relaxed() != 0) {
+    consider(wd_last_line_change_nanos_, "no-trace-progress");
+  }
+  return worst;
+}
+
+void DebugServer::watchdog_transition(Watchdog::State from, Watchdog::State to,
+                                      const Watchdog::Stall& stall) {
+  DLOG_WARN("dbg") << "watchdog: " << Watchdog::state_name(from) << " -> "
+                   << Watchdog::state_name(to) << " (" << stall.what << ", "
+                   << stall.millis << "ms)";
+  Value event = proto::make_event(proto::Event::kWatchdog);
+  event.set("pid", static_cast<int>(::getpid()));
+  event.set("state", std::string(Watchdog::state_name(to)));
+  event.set("prev", std::string(Watchdog::state_name(from)));
+  event.set("stall_millis", stall.millis);
+  event.set("what", std::string(stall.what));
+  send_event(std::move(event));
+  switch (to) {
+    case Watchdog::State::kHealthy:
+      // Recovered: undo the degraded-mode shedding (if still wanted).
+      vm_.set_trace_enabled(
+          tracing_wanted_.load(std::memory_order_relaxed));
+      break;
+    case Watchdog::State::kHung:
+      break;  // the event itself is the action: the client is warned
+    case Watchdog::State::kDegraded: {
+      // Shed debugger load: stop tracing and release every parked
+      // thread so the debuggee can drain whatever it is stuck behind.
+      vm_.set_trace_enabled(false);
+      auto states = debug_states_snapshot();
+      for (auto& td : states) {
+        std::scoped_lock lock(td->mutex);
+        td->mode = ThreadDebug::Mode::kRun;
+        td->pause_requested = false;
+        td->refresh_attention();
+        td->resume = true;
+        td->cv.notify_all();
+      }
+      break;
+    }
+    case Watchdog::State::kDetached: {
+      // Terminal: drop the session, keep the debuggee and the listener
+      // alive — a fresh client can attach and start over.
+      {
+        std::scoped_lock lock(events_mutex_);
+        if (events_.valid()) {
+          crash::disarm_notify();
+          events_.close();
+        }
+      }
+      std::scoped_lock lock(state_mutex_);
+      if (control_.valid()) {
+        reactor_->remove_fd(control_.raw_fd());
+        control_.close();
+      }
+      break;
     }
   }
 }
@@ -445,6 +627,7 @@ void DebugServer::handle_new_connection() {
   }
   if (hi.channel == proto::kChannelEvents) {
     std::scoped_lock lock(events_mutex_);
+    crash::disarm_notify();  // any previous socket is gone
     events_ = std::move(stream);
     // Flush everything that happened before the client attached.
     while (!event_backlog_.empty() && events_.valid()) {
@@ -457,6 +640,7 @@ void DebugServer::handle_new_connection() {
       events_sent_.fetch_add(1, std::memory_order_relaxed);
       metrics::add(metrics::Counter::kEventsSent);
     }
+    if (postmortem_enabled_) arm_crash_notify_locked();
     return;
   }
   DLOG_WARN("dbg") << "unknown channel '" << hi.channel << "'";
@@ -521,7 +705,13 @@ ipc::wire::Value DebugServer::execute_command(
     return proto::make_error(seq, "unknown command '" + cmd + "'",
                              proto::kErrUnknownCommand);
   }
-  return it->second(request, seq, after_send);
+  // Stamp the in-flight window for the watchdog's command deadline: a
+  // handler wedged inside the VM is exactly the stall the session
+  // cannot otherwise see.
+  command_started_nanos_.store(mono_nanos(), std::memory_order_relaxed);
+  Value response = it->second(request, seq, after_send);
+  command_started_nanos_.store(0, std::memory_order_relaxed);
+  return response;
 }
 
 template <typename Req, typename Fn>
@@ -816,6 +1006,35 @@ void DebugServer::register_commands() {
         }
         return ok_with(seq, resp.to_wire());
       });
+
+  register_command<proto::PostmortemRequest>(
+      [this](const proto::PostmortemRequest& req, std::int64_t seq, Wake) {
+        proto::PostmortemResponse resp;
+        resp.pid = static_cast<int>(::getpid());
+        resp.installed = crash::installed();
+        if (req.capture) {
+          // Console `postmortem now`: snapshot the live process as if
+          // it had crashed (threads, frames, held locks).
+          const char* path = crash::capture_now("client-request");
+          if (path == nullptr) {
+            return proto::make_error(seq, "post-mortem capture not installed");
+          }
+          resp.report_path = path;
+        } else {
+          resp.report_path = crash::report_path_string();
+        }
+        if (auto text = read_file(resp.report_path); text.is_ok()) {
+          std::string report = std::move(text).value();
+          // Wire cap: ship at most the last 64 KiB of the report.
+          constexpr size_t kMaxReportWireBytes = 64u << 10;
+          if (report.size() > kMaxReportWireBytes) {
+            report.erase(0, report.size() - kMaxReportWireBytes);
+          }
+          resp.has_report = true;
+          resp.report = std::move(report);
+        }
+        return ok_with(seq, resp.to_wire());
+      });
 }
 
 Status DebugServer::resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
@@ -855,7 +1074,13 @@ Status DebugServer::resume_thread(std::int64_t tid, ThreadDebug::Mode mode,
 // ---------------------------------------------------------------- deadlock
 
 bool DebugServer::deadlock_hook(const std::vector<vm::DeadlockInfo>& infos) {
-  if (!client_connected()) return false;  // stock-Ruby behaviour (Listing 6)
+  if (!client_connected()) {
+    // Stock-Ruby behaviour (Listing 6): the VM applies its fatal
+    // policy. Leave a corpse first — with no client attached the
+    // report is the only record of who blocked on what.
+    if (postmortem_enabled_) crash::capture_now("fatal-deadlock");
+    return false;
+  }
   Value event = proto::make_event(proto::Event::kDeadlock);
   event.set("pid", static_cast<int>(::getpid()));
   Array list;

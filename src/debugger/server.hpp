@@ -29,6 +29,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "debugger/breakpoint.hpp"
@@ -37,6 +38,8 @@
 #include "ipc/port_file.hpp"
 #include "ipc/reactor.hpp"
 #include "ipc/socket.hpp"
+#include "support/crash_report.hpp"
+#include "support/watchdog.hpp"
 #include "vm/vm.hpp"
 
 namespace dionea::dbg {
@@ -68,6 +71,21 @@ class DebugServer {
     // design — its per-line handler is interpreted Python — and is the
     // arm the §7 overhead benches compare against the paper.
     bool thorough_line_handling = false;
+    // Post-mortem capture: install async-signal-safe crash handlers at
+    // start() so a SIGSEGV/SIGABRT (or a fatal deadlock with no client)
+    // leaves a DIONEA-CRASH report and — when an events channel is
+    // attached — a last-gasp `process-crashed` frame on the wire.
+    // DIONEA_POSTMORTEM=0 overrides to off.
+    bool postmortem = true;
+    std::string crash_dir;  // empty: $DIONEA_CRASH_DIR / $TMPDIR / /tmp
+    // Session watchdog: sample stall deadlines (command-in-flight,
+    // GIL-held, no-trace-progress) on a dedicated thread and escalate
+    // healthy -> hung -> degraded -> detached instead of hanging with a
+    // wedged debuggee. Off by default — the watchdog-off configuration
+    // is the one the §7 overhead gate measures. DIONEA_WATCHDOG=1
+    // overrides to on.
+    bool watchdog = false;
+    Watchdog::Options watchdog_options;
   };
 
   DebugServer(vm::Vm& vm, Options options);
@@ -104,6 +122,9 @@ class DebugServer {
   std::uint64_t heartbeats_sent() const noexcept {
     return heartbeats_sent_.load(std::memory_order_relaxed);
   }
+
+  // The session watchdog, when enabled (tests drive tick_for_test()).
+  Watchdog* watchdog() noexcept { return watchdog_.get(); }
 
  private:
   // Per-debuggee-thread control state. `mode` is what the thread
@@ -177,8 +198,27 @@ class DebugServer {
   void fork_prepare();            // A
   void fork_parent(int child_pid);  // B
   void fork_child();              // C
+  // Handler C epilogue: verify the child invariants the handler chain
+  // promises (sync objects re-initialized, parent session sockets
+  // closed, listener rebound) — repair what it can, count and report
+  // what it repaired. The socket half must run before the child's new
+  // listener accepts (a fresh session's fds look exactly like leaked
+  // parent fds); its repair count carries into fork_self_check via
+  // fork_socket_repairs_.
+  void fork_self_check_sockets();
+  void fork_self_check();
   Status bind_and_publish();
   void start_listener_thread();
+
+  // Robustness layer (post-mortem capture + session watchdog).
+  void install_postmortem();
+  void start_watchdog();
+  // Pre-encode a `process-crashed` frame and point the crash handler's
+  // last-gasp write at the events socket. events_mutex_ held.
+  void arm_crash_notify_locked();
+  Watchdog::Stall watchdog_probe();
+  void watchdog_transition(Watchdog::State from, Watchdog::State to,
+                           const Watchdog::Stall& stall);
 
   bool deadlock_hook(const std::vector<vm::DeadlockInfo>& infos);
 
@@ -240,7 +280,27 @@ class DebugServer {
   std::unique_lock<std::mutex> fork_events_lock_;
   std::unique_lock<std::mutex> fork_sources_lock_;
   std::unique_lock<std::mutex> fork_bp_lock_;
+  // Handler A -> C: per-object generation counters at prepare time;
+  // the child self-check verifies each was bumped by reinit_in_child.
+  // Holding the shared_ptr keeps every snapshotted object registered
+  // (and thus visited by the VM's child handler) across the fork.
+  std::vector<std::pair<std::shared_ptr<vm::SyncObject>, std::uint32_t>>
+      fork_sync_gen_;
+  int fork_socket_repairs_ = 0;  // fork_self_check_sockets -> fork_self_check
   bool first_line_seen_ = false;
+
+  // Robustness layer. *_enabled_ are the options resolved against the
+  // environment overrides, fixed at start().
+  bool postmortem_enabled_ = false;
+  bool watchdog_enabled_ = false;
+  int crash_section_ = -1;  // slot id of our VM report section
+  std::unique_ptr<Watchdog> watchdog_;
+  // Stamped on command entry, zeroed on exit: the watchdog's
+  // command-in-flight deadline.
+  std::atomic<std::int64_t> command_started_nanos_{0};
+  // Trace-progress tracking; watchdog thread only.
+  std::uint64_t wd_last_line_events_ = 0;
+  std::int64_t wd_last_line_change_nanos_ = 0;
 };
 
 }  // namespace dionea::dbg

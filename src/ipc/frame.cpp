@@ -1,6 +1,8 @@
 #include "ipc/frame.hpp"
 
 #include <cerrno>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 
 #include "support/fault.hpp"
@@ -49,9 +51,10 @@ Result<wire::Value> recv_frame_impl(TcpStream& stream, int deadline_millis) {
                                  magic));
   }
   std::uint32_t len = get_u32(header + 4);
-  if (len > kMaxFrameBytes) {
+  if (len > max_recv_frame_bytes()) {
     return Error(ErrorCode::kProtocol,
-                 strings::format("frame length %u exceeds limit", len));
+                 strings::format("frame length %u exceeds receive limit %u",
+                                 len, max_recv_frame_bytes()));
   }
   std::string payload(len, '\0');
   if (len > 0) {
@@ -63,6 +66,28 @@ Result<wire::Value> recv_frame_impl(TcpStream& stream, int deadline_millis) {
 }
 
 }  // namespace
+
+std::uint32_t max_recv_frame_bytes() noexcept {
+  // Constant-initialized atomic, not a guarded static: recv runs on
+  // every thread including freshly forked children, and a guarded
+  // static whose init was in flight on a sibling at fork time would
+  // wedge the child. Racing first calls compute the same value.
+  static std::atomic<std::uint32_t> cached{0};
+  std::uint32_t cap = cached.load(std::memory_order_relaxed);
+  if (cap != 0) return cap;
+  cap = [] {
+    const char* v = std::getenv("DIONEA_MAX_FRAME_BYTES");
+    if (v == nullptr || *v == '\0') return kMaxFrameBytes;
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') return kMaxFrameBytes;
+    if (parsed < 4096ull) return 4096u;
+    if (parsed > kMaxFrameBytes) return kMaxFrameBytes;
+    return static_cast<std::uint32_t>(parsed);
+  }();
+  cached.store(cap, std::memory_order_relaxed);
+  return cap;
+}
 
 Status send_frame(TcpStream& stream, const wire::Value& value) {
   // Frame-boundary fault: a reset *before* any bytes go out keeps the
@@ -135,10 +160,11 @@ Result<wire::Value> FrameReader::recv_timeout(TcpStream& stream,
                                      magic));
       }
       std::uint32_t len = get_u32(pending_.data() + 4);
-      if (len > kMaxFrameBytes) {
+      if (len > max_recv_frame_bytes()) {
         pending_.clear();
         return Error(ErrorCode::kProtocol,
-                     strings::format("frame length %u exceeds limit", len));
+                     strings::format("frame length %u exceeds receive limit %u",
+                                     len, max_recv_frame_bytes()));
       }
       target = 8 + len;
       if (pending_.size() == target) {

@@ -19,6 +19,13 @@ namespace dionea::ipc {
 inline constexpr std::uint32_t kFrameMagic = 0x41454E44u;  // "DNEA" LE
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 
+// Receive-side frame cap, checked against the length prefix BEFORE any
+// payload allocation: 8 hostile bytes must never commit the receiver
+// to a multi-MiB buffer. DIONEA_MAX_FRAME_BYTES lowers it (clamped to
+// [4096, kMaxFrameBytes]); unset or malformed values leave the
+// compile-time limit. Read once per process.
+std::uint32_t max_recv_frame_bytes() noexcept;
+
 Status send_frame(TcpStream& stream, const wire::Value& value);
 
 // Blocking receive of one frame.

@@ -177,6 +177,16 @@ Result<int> Reactor::poll_once(int timeout_millis) {
   fired += fire_due_timers();
   if (pfds[0].revents != 0) drain_wakeup();
   for (size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents & POLLNVAL) {
+      // The fd was closed behind our back (a repair path, a handler
+      // that closed without remove_fd). poll() reports POLLNVAL for it
+      // on every call with no way to consume it, so leaving it
+      // registered turns this loop into a busy-wait. Evict it.
+      DLOG_WARN("ipc") << "reactor: evicting closed fd " << fds[i];
+      std::scoped_lock lock(mutex_);
+      handlers_.erase(fds[i]);
+      continue;
+    }
     if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
     // The handler may remove itself (or others); look it up fresh and
     // run it outside the lock (CP.22: never call unknown code while

@@ -12,6 +12,19 @@
 
 namespace dionea::mp {
 
+int kill_grace_millis(int fallback) noexcept {
+  // Read per call, not once: tests flip the variable between phases
+  // and a process-wide cache would pin the first value forever.
+  const char* v = std::getenv("DIONEA_KILL_GRACE_MS");
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0 || parsed > 60'000) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
 Result<Process> Process::spawn(const std::function<int()>& fn) {
   std::fflush(nullptr);  // don't double-flush parent's stdio buffers
   pid_t pid = ::fork();
@@ -32,7 +45,7 @@ Result<Process> Process::spawn(const std::function<int()>& fn) {
 }
 
 Process::~Process() {
-  if (valid()) (void)terminate(kDestructorGraceMillis);
+  if (valid()) (void)terminate(kill_grace_millis(kDestructorGraceMillis));
 }
 
 Result<int> Process::terminate(int grace_millis) {

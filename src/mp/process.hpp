@@ -18,6 +18,14 @@
 
 namespace dionea::mp {
 
+// SIGTERM -> SIGKILL grace used where the caller did not pick one (the
+// Process destructor, ChildReaper::terminate_all's default): the
+// DIONEA_KILL_GRACE_MS environment override when set to a value in
+// [0, 60000], else `fallback`. A test harness tightening this to a few
+// ms turns every stuck-child teardown from half a second of drag into
+// a blip; a debuggee that needs longer to flush gets it the same way.
+int kill_grace_millis(int fallback) noexcept;
+
 class Process {
  public:
   // Fork and run fn in the child. Returns (in the parent) a handle.
@@ -28,7 +36,7 @@ class Process {
   Process(Process&& other) noexcept : pid_(other.pid_) { other.pid_ = -1; }
   Process& operator=(Process&& other) noexcept {
     if (this != &other) {
-      if (valid()) (void)terminate(kDestructorGraceMillis);
+      if (valid()) (void)terminate(kill_grace_millis(kDestructorGraceMillis));
       pid_ = std::exchange(other.pid_, -1);
     }
     return *this;

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <mutex>
 
+#include "mp/process.hpp"
 #include "support/timing.hpp"
 
 namespace dionea::mp {
@@ -183,6 +184,7 @@ Result<std::vector<ChildReaper::Exit>> ChildReaper::drain(int timeout_millis) {
 
 Result<std::vector<ChildReaper::Exit>> ChildReaper::terminate_all(
     int grace_millis) {
+  if (grace_millis < 0) grace_millis = kill_grace_millis(1000);
   for (auto& [pid, termed] : watched_) {
     if (!termed) {
       (void)::kill(pid, SIGTERM);

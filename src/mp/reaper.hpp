@@ -62,8 +62,10 @@ class ChildReaper {
 
   // SIGTERM every watched child, wait up to `grace_millis`, SIGKILL
   // the stragglers, and reap everything. The watched set is empty on
-  // return.
-  Result<std::vector<Exit>> terminate_all(int grace_millis = 1000);
+  // return. grace_millis < 0 resolves the default through
+  // kill_grace_millis (DIONEA_KILL_GRACE_MS, else 1000ms); an explicit
+  // non-negative value always wins over the environment.
+  Result<std::vector<Exit>> terminate_all(int grace_millis = -1);
 
  private:
   // Reap one watched pid if it is dead; true if an exit was recorded.

@@ -1,0 +1,384 @@
+#include "support/crash_report.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "support/metrics.hpp"
+#include "support/temp_file.hpp"
+
+namespace dionea::crash {
+
+namespace internal {
+std::atomic<bool> g_installed{false};
+std::atomic<const char*> g_last_trace_file{nullptr};
+std::atomic<int> g_last_trace_line{0};
+std::atomic<long long> g_last_trace_tid{0};
+}  // namespace internal
+
+namespace {
+
+// Everything the handler touches is statically allocated: the crash
+// path must not depend on a heap that may be the thing that broke.
+constexpr size_t kPathMax = 512;
+char g_report_path[kPathMax];
+char g_crash_dir[kPathMax];
+char g_aux_log[kPathMax];
+
+struct Section {
+  std::atomic<bool> active{false};
+  const char* name = nullptr;
+  SectionFn fn = nullptr;
+  void* ctx = nullptr;
+};
+Section g_sections[kMaxSections];
+std::mutex g_sections_mutex;  // add/remove only; the handler never locks
+
+std::atomic<int> g_notify_fd{-1};
+char g_notify_buf[kMaxNotifyBytes];
+std::atomic<size_t> g_notify_len{0};
+
+std::atomic<bool> g_in_handler{false};
+
+// Dedicated stack: a report must come out even when the fault is a
+// blown thread stack. 64 KiB clears every platform's MINSIGSTKSZ.
+alignas(16) char g_alt_stack[64 * 1024];
+
+constexpr int kSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    default: return "?";
+  }
+}
+
+void append_path(char* dst, const char* a, const char* b) noexcept {
+  size_t n = 0;
+  for (const char* p = a; *p != '\0' && n < kPathMax - 1; ++p) dst[n++] = *p;
+  for (const char* p = b; *p != '\0' && n < kPathMax - 1; ++p) dst[n++] = *p;
+  dst[n] = '\0';
+}
+
+// dir + "/dionea-crash.<pid>.txt" into g_report_path.
+void compute_report_path() noexcept {
+  char name[64];
+  char pid_buf[24];
+  long long pid = static_cast<long long>(::getpid());
+  size_t n = 0;
+  if (pid == 0) {
+    pid_buf[n++] = '0';
+  } else {
+    char rev[24];
+    size_t r = 0;
+    while (pid > 0 && r < sizeof(rev)) {
+      rev[r++] = static_cast<char>('0' + pid % 10);
+      pid /= 10;
+    }
+    while (r > 0) pid_buf[n++] = rev[--r];
+  }
+  pid_buf[n] = '\0';
+  append_path(name, "/dionea-crash.", pid_buf);
+  size_t len = std::strlen(name);
+  if (len < sizeof(name) - 5) std::memcpy(name + len, ".txt", 5);
+  append_path(g_report_path, g_crash_dir, name);
+}
+
+// The core of both the signal path and capture_now: open the report
+// file, write the header and every registered section, fsync, close.
+void write_report(int sig, const char* reason) noexcept {
+  int fd = ::open(g_report_path, O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) return;
+  {
+    Writer w(fd);
+    w.str("DIONEA-CRASH v1\n");
+    w.str("pid: ");
+    w.dec(static_cast<long long>(::getpid()));
+    w.nl();
+    w.str("reason: ");
+    w.str(reason);
+    w.nl();
+    if (sig != 0) {
+      w.str("signal: ");
+      w.dec(sig);
+      w.str(" ");
+      w.str(signal_name(sig));
+      w.nl();
+    }
+    const char* file =
+        internal::g_last_trace_file.load(std::memory_order_relaxed);
+    if (file != nullptr) {
+      w.str("last-trace: ");
+      w.str(file);
+      w.str(":");
+      w.dec(internal::g_last_trace_line.load(std::memory_order_relaxed));
+      w.str(" tid=");
+      w.dec(internal::g_last_trace_tid.load(std::memory_order_relaxed));
+      w.nl();
+    }
+    for (int i = 0; i < kMaxSections; ++i) {
+      Section& s = g_sections[i];
+      if (!s.active.load(std::memory_order_acquire)) continue;
+      w.str("== section: ");
+      w.str(s.name);
+      w.str(" ==\n");
+      s.fn(w, s.ctx);
+      w.flush();
+    }
+    if (g_aux_log[0] != '\0') {
+      w.str("== section: aux-log ==\n");
+      w.str("path: ");
+      w.str(g_aux_log);
+      w.nl();
+      int log_fd = ::open(g_aux_log, O_RDONLY);
+      if (log_fd >= 0) {
+        // Last ~2 KiB of the log: enough for the record/replay tail
+        // that explains what the schedule was doing when we died.
+        off_t size = ::lseek(log_fd, 0, SEEK_END);
+        off_t start = size > 2048 ? size - 2048 : 0;
+        (void)::lseek(log_fd, start, SEEK_SET);
+        w.str("tail:\n");
+        w.flush();
+        char buf[256];
+        ssize_t n;
+        while ((n = ::read(log_fd, buf, sizeof(buf))) > 0) {
+          w.strn(buf, static_cast<size_t>(n));
+        }
+        ::close(log_fd);
+        w.nl();
+      }
+    }
+    w.str("== end ==\n");
+  }
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+void send_notify() noexcept {
+  int fd = g_notify_fd.load(std::memory_order_acquire);
+  size_t len = g_notify_len.load(std::memory_order_acquire);
+  if (fd < 0 || len == 0) return;
+  // One best-effort write. It may interleave with a concurrent event
+  // frame from the listener thread — the client then sees a framing
+  // error and treats the connection as crashed, which is the truth.
+  (void)!::write(fd, g_notify_buf, len);
+}
+
+void restore_and_reraise(int sig) noexcept {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SIG_DFL;
+  ::sigaction(sig, &sa, nullptr);
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, sig);
+  ::pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+  (void)::raise(sig);
+}
+
+void handle_fatal_signal(int sig, siginfo_t* /*info*/, void* /*uctx*/) {
+  // Re-entry (a section faulted, or two threads crashed at once):
+  // give up on the report and die with the original disposition.
+  if (g_in_handler.exchange(true)) {
+    restore_and_reraise(sig);
+    return;
+  }
+  write_report(sig, "signal");
+  send_notify();
+  restore_and_reraise(sig);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Writer
+
+void Writer::strn(const char* s, size_t n) noexcept {
+  for (size_t i = 0; i < n; ++i) {
+    if (len_ == sizeof(buf_)) flush();
+    buf_[len_++] = s[i];
+  }
+}
+
+void Writer::str(const char* s) noexcept {
+  if (s == nullptr) return;
+  strn(s, std::strlen(s));
+}
+
+void Writer::dec(long long v) noexcept {
+  if (v < 0) {
+    strn("-", 1);
+    // Negate via unsigned so LLONG_MIN doesn't overflow.
+    udec(static_cast<unsigned long long>(-(v + 1)) + 1);
+    return;
+  }
+  udec(static_cast<unsigned long long>(v));
+}
+
+void Writer::udec(unsigned long long v) noexcept {
+  char rev[24];
+  size_t n = 0;
+  do {
+    rev[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && n < sizeof(rev));
+  while (n > 0) strn(&rev[--n], 1);
+}
+
+void Writer::hex(unsigned long long v) noexcept {
+  strn("0x", 2);
+  char rev[16];
+  size_t n = 0;
+  do {
+    rev[n++] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0 && n < sizeof(rev));
+  while (n > 0) strn(&rev[--n], 1);
+}
+
+void Writer::flush() noexcept {
+  size_t off = 0;
+  while (off < len_) {
+    ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  len_ = 0;
+}
+
+// ------------------------------------------------------------ install
+
+Status install(const Options& options) {
+  const char* dir = nullptr;
+  if (!options.dir.empty()) {
+    dir = options.dir.c_str();
+  } else {
+    dir = std::getenv("DIONEA_CRASH_DIR");
+    if (dir == nullptr || dir[0] == '\0') dir = std::getenv("TMPDIR");
+    if (dir == nullptr || dir[0] == '\0') dir = "/tmp";
+  }
+  if (std::strlen(dir) >= kPathMax - 64) {
+    return Error(ErrorCode::kInvalidArgument, "crash dir path too long");
+  }
+  append_path(g_crash_dir, dir, "");
+  compute_report_path();
+
+  if (internal::g_installed.load(std::memory_order_relaxed)) {
+    return Status::ok();  // already armed; directory updated above
+  }
+
+  stack_t ss;
+  std::memset(&ss, 0, sizeof(ss));
+  ss.ss_sp = g_alt_stack;
+  ss.ss_size = sizeof(g_alt_stack);
+  if (::sigaltstack(&ss, nullptr) != 0) {
+    return errno_error("sigaltstack", errno);
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = handle_fatal_signal;
+  sigemptyset(&sa.sa_mask);
+  // SA_NODEFER: a fault *inside* the handler must re-enter it so the
+  // re-entry guard can re-raise, instead of the kernel force-killing
+  // with the report half-written and unflushed.
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
+  for (int sig : kSignals) {
+    if (::sigaction(sig, &sa, nullptr) != 0) {
+      return errno_error("sigaction", errno);
+    }
+  }
+  internal::g_installed.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+bool installed() noexcept {
+  return internal::g_installed.load(std::memory_order_relaxed);
+}
+
+void uninstall() noexcept {
+  if (!internal::g_installed.exchange(false)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SIG_DFL;
+  for (int sig : kSignals) ::sigaction(sig, &sa, nullptr);
+  disarm_notify();
+  std::scoped_lock lock(g_sections_mutex);
+  for (Section& s : g_sections) {
+    s.active.store(false, std::memory_order_release);
+  }
+}
+
+void refresh_after_fork() noexcept {
+  disarm_notify();
+  g_in_handler.store(false, std::memory_order_relaxed);
+  if (g_crash_dir[0] != '\0') compute_report_path();
+}
+
+const char* report_path() noexcept { return g_report_path; }
+
+std::string report_path_string() { return g_report_path; }
+
+std::string crash_dir_string() { return g_crash_dir; }
+
+int add_section(const char* name, SectionFn fn, void* ctx) noexcept {
+  std::scoped_lock lock(g_sections_mutex);
+  for (int i = 0; i < kMaxSections; ++i) {
+    Section& s = g_sections[i];
+    if (s.active.load(std::memory_order_relaxed)) continue;
+    s.name = name;
+    s.fn = fn;
+    s.ctx = ctx;
+    s.active.store(true, std::memory_order_release);
+    return i;
+  }
+  return -1;
+}
+
+void remove_section(int id) noexcept {
+  if (id < 0 || id >= kMaxSections) return;
+  std::scoped_lock lock(g_sections_mutex);
+  g_sections[id].active.store(false, std::memory_order_release);
+}
+
+void set_aux_log(const char* path) noexcept {
+  if (path == nullptr || path[0] == '\0') {
+    g_aux_log[0] = '\0';
+    return;
+  }
+  append_path(g_aux_log, path, "");
+}
+
+const char* capture_now(const char* reason) noexcept {
+  if (!internal::g_installed.load(std::memory_order_relaxed)) return nullptr;
+  write_report(0, reason == nullptr ? "capture" : reason);
+  metrics::add(metrics::Counter::kCrashReports);
+  return g_report_path;
+}
+
+void arm_notify(int fd, const void* bytes, size_t n) noexcept {
+  if (n > kMaxNotifyBytes) n = 0;  // an oversized frame is useless anyway
+  g_notify_len.store(0, std::memory_order_release);
+  std::memcpy(g_notify_buf, bytes, n);
+  g_notify_len.store(n, std::memory_order_release);
+  g_notify_fd.store(fd, std::memory_order_release);
+}
+
+void disarm_notify() noexcept {
+  g_notify_fd.store(-1, std::memory_order_release);
+  g_notify_len.store(0, std::memory_order_release);
+}
+
+}  // namespace dionea::crash

@@ -1,0 +1,128 @@
+// Post-mortem capture: async-signal-safe crash reports.
+//
+// The paper's promise is a debug session that *survives* the debuggee
+// — but a debuggee that takes SIGSEGV gives the client nothing except
+// a dropped socket. This module turns that opaque disconnect into an
+// inspectable corpse: install() arms SIGSEGV/SIGBUS/SIGFPE/SIGILL/
+// SIGABRT handlers that write a line-oriented crash report (the
+// "DIONEA-CRASH v1" format, see DESIGN.md) to a pre-computed temp
+// path, optionally blast a pre-encoded `process-crashed` frame down
+// the debug events socket, and then re-raise the signal with its
+// default disposition so the exit status stays honest.
+//
+// Everything reachable from the handler obeys the async-signal-safety
+// rules: no malloc, no locks, no stdio — only write/open/close-class
+// syscalls through the fixed-buffer Writer. Report *content* comes
+// from section callbacks (raw function pointers + context, registered
+// up front by the VM / debug server); sections read live interpreter
+// state best-effort with hard sanity caps, so a corrupted heap yields
+// a truncated report rather than a wedged handler (a nested fault
+// trips the re-entry guard and re-raises immediately).
+//
+// capture_now() reuses the same machinery from normal (non-signal)
+// code for faults the process detects itself: fatal deadlocks, failed
+// fork self-checks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "support/result.hpp"
+
+namespace dionea::crash {
+
+// Fixed-buffer writer over a raw fd; every method is async-signal-safe.
+class Writer {
+ public:
+  explicit Writer(int fd) noexcept : fd_(fd) {}
+  ~Writer() { flush(); }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void str(const char* s) noexcept;           // NUL-terminated
+  void strn(const char* s, size_t n) noexcept;
+  void dec(long long v) noexcept;
+  void udec(unsigned long long v) noexcept;
+  void hex(unsigned long long v) noexcept;    // 0x-prefixed
+  void nl() noexcept { strn("\n", 1); }
+  void flush() noexcept;
+
+ private:
+  int fd_;
+  char buf_[512];
+  size_t len_ = 0;
+};
+
+// A report section: writes its own lines. Must itself be AS-safe
+// (no allocation, no locks; racy reads of live state are expected and
+// acceptable — cap every loop).
+using SectionFn = void (*)(Writer&, void*);
+
+inline constexpr int kMaxSections = 16;
+
+struct Options {
+  // Directory for reports. Empty: $DIONEA_CRASH_DIR, else $TMPDIR,
+  // else /tmp. The report file is dionea-crash.<pid>.txt inside it.
+  std::string dir;
+};
+
+// Arm the handlers (idempotent; the second install only updates the
+// directory). Uses a dedicated sigaltstack so a blown interpreter
+// stack still produces a report.
+Status install(const Options& options = {});
+bool installed() noexcept;
+// Restore default dispositions and forget sections (tests).
+void uninstall() noexcept;
+
+// Re-key the report path to the new pid and drop the (now meaningless)
+// notify fd. Called from fork handler C — plain code, child context.
+void refresh_after_fork() noexcept;
+
+// Where the next report will land. The pointer form reads a static
+// buffer and is AS-safe; the string forms are for normal code.
+const char* report_path() noexcept;
+std::string report_path_string();
+std::string crash_dir_string();
+
+// Register / remove a report section. Returns a slot id (< 0 when all
+// kMaxSections slots are taken). Not AS-safe; call from normal code.
+int add_section(const char* name, SectionFn fn, void* ctx) noexcept;
+void remove_section(int id) noexcept;
+
+// Path of an auxiliary log whose tail the report should embed (the
+// DRLG replay log). Copied into a static buffer; empty/null clears.
+void set_aux_log(const char* path) noexcept;
+
+// Write a report right now (reason != nullptr, e.g. "fatal-deadlock")
+// without a signal context and without killing the process. Returns
+// the report path, or nullptr when install() has not run.
+const char* capture_now(const char* reason) noexcept;
+
+// Arm the crash notification: on crash the handler performs one raw
+// write() of `bytes` to `fd` after the report is on disk — the debug
+// server points this at the events socket with a pre-encoded
+// `process-crashed` frame. `n` is capped at kMaxNotifyBytes.
+inline constexpr size_t kMaxNotifyBytes = 2048;
+void arm_notify(int fd, const void* bytes, size_t n) noexcept;
+void disarm_notify() noexcept;
+
+namespace internal {
+extern std::atomic<bool> g_installed;
+extern std::atomic<const char*> g_last_trace_file;
+extern std::atomic<int> g_last_trace_line;
+extern std::atomic<long long> g_last_trace_tid;
+}  // namespace internal
+
+// Record the most recent trace event (file must outlive the process'
+// interest in it — the VM passes FunctionProto::file, pinned by the
+// running program). One relaxed load when capture is not installed;
+// three relaxed stores when it is.
+inline void note_trace(const char* file, int line, long long tid) noexcept {
+  if (!internal::g_installed.load(std::memory_order_relaxed)) return;
+  internal::g_last_trace_file.store(file, std::memory_order_relaxed);
+  internal::g_last_trace_line.store(line, std::memory_order_relaxed);
+  internal::g_last_trace_tid.store(tid, std::memory_order_relaxed);
+}
+
+}  // namespace dionea::crash

@@ -1,5 +1,7 @@
 #include "support/fault.hpp"
 
+#include <pthread.h>
+
 #include <cstdlib>
 #include <cstring>
 
@@ -76,10 +78,26 @@ Injector& Injector::instance() {
     auto* created = new Injector();
     Config env = config_from_env();
     if (env.probability > 0.0) created->configure(std::move(env));
+    // Probes fire from every thread that touches a fd, so a fork can
+    // land while some sibling is inside decide() holding mutex_ — the
+    // child would then deadlock on its very first probe (handler C's
+    // port-file write goes through temp_file probes). Pin the mutex
+    // across every fork; mutex_ is a leaf lock, so ordering relative
+    // to the VM/server handlers is irrelevant.
+    (void)pthread_atfork(
+        [] { Injector::instance().lock_for_fork(); },
+        [] { Injector::instance().unlock_after_fork(); },
+        [] { Injector::instance().unlock_after_fork(); });
     return created;
   }();
   return *injector;
 }
+
+void Injector::lock_for_fork() { mutex_.lock(); }
+
+// Well-defined in the child too: the prepare handler took the lock on
+// the forking thread, and that thread is the one running this.
+void Injector::unlock_after_fork() { mutex_.unlock(); }
 
 void Injector::configure(Config config) {
   std::scoped_lock lock(mutex_);

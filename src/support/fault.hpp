@@ -83,6 +83,12 @@ class Injector {
   // Decide whether the hit at `site` faults. Thread-safe.
   Decision decide(const char* site);
 
+  // Fork pinning (registered via pthread_atfork on first use): decide()
+  // holds mutex_ briefly on every enabled probe, so an unpinned fork
+  // could freeze the child's copy of the mutex mid-critical-section.
+  void lock_for_fork();
+  void unlock_after_fork();
+
   std::uint64_t probes() const noexcept {
     return probes_.load(std::memory_order_relaxed);
   }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "support/fault.hpp"
+
 namespace dionea {
 
 Error errno_error(const std::string& what, int saved_errno) {
@@ -94,7 +96,24 @@ Status write_file(const std::string& path, const std::string& contents) {
   if (fd < 0) return errno_error("open " + path, errno);
   size_t off = 0;
   while (off < contents.size()) {
-    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    size_t want = contents.size() - off;
+    if (auto fault = fault::probe("temp_file.write")) {
+      switch (fault.kind) {
+        case fault::Kind::kEintr:
+          continue;  // as-if write returned -1/EINTR: retry
+        case fault::Kind::kShortIo:
+          if (fault.cap_bytes < want) want = fault.cap_bytes;
+          break;
+        case fault::Kind::kConnReset:
+        case fault::Kind::kTorn:
+          ::close(fd);
+          return Error(ErrorCode::kOsError, "write " + path +
+                                                ": injected I/O error");
+        default:
+          break;
+      }
+    }
+    ssize_t n = ::write(fd, contents.data() + off, want);
     if (n < 0) {
       if (errno == EINTR) continue;
       int saved = errno;
@@ -131,6 +150,19 @@ Status write_file_atomic(const std::string& path, const std::string& contents) {
   std::string tmp =
       path + ".tmp." + std::to_string(static_cast<int>(::getpid()));
   DIONEA_RETURN_IF_ERROR(write_file(tmp, contents));
+  // Only the hard kinds fail the rename. The recoverable kinds model
+  // conditions rename(2) either cannot have (short I/O) or that the
+  // caller-visible contract absorbs (EINTR: the kernel restarts or the
+  // caller retries; Delay: already slept inside probe) — surfacing
+  // them as errors here would make every ambient recoverable sweep
+  // (tools/hostile_sweep.sh's every-5th run) fail spuriously.
+  if (auto fault = fault::probe("temp_file.rename");
+      fault && (fault.kind == fault::Kind::kConnReset ||
+                fault.kind == fault::Kind::kTorn)) {
+    ::unlink(tmp.c_str());
+    return Error(ErrorCode::kOsError,
+                 "rename " + tmp + " -> " + path + ": injected failure");
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     int saved = errno;
     ::unlink(tmp.c_str());

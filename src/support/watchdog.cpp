@@ -1,0 +1,102 @@
+#include "support/watchdog.hpp"
+
+#include <chrono>
+
+#include "support/metrics.hpp"
+
+namespace dionea {
+
+const char* Watchdog::state_name(State state) noexcept {
+  switch (state) {
+    case State::kHealthy: return "healthy";
+    case State::kHung: return "hung";
+    case State::kDegraded: return "degraded";
+    case State::kDetached: return "detached";
+  }
+  return "?";
+}
+
+Watchdog::Watchdog(Options options, Probe probe, TransitionFn on_transition)
+    : options_(options),
+      probe_(std::move(probe)),
+      on_transition_(std::move(on_transition)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (running_.load(std::memory_order_relaxed)) return;
+  {
+    std::scoped_lock lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::make_unique<std::thread>([this] { run(); });
+}
+
+void Watchdog::stop() {
+  if (thread_ == nullptr) return;
+  {
+    std::scoped_lock lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_->joinable()) thread_->join();
+  thread_.reset();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Watchdog::abandon_after_fork() noexcept {
+  if (thread_ != nullptr) {
+    // The OS thread behind this handle died with the parent's address
+    // space; join would never return and detach-on-destroy would
+    // abort. Leak the handle (one per fork, bounded like the GIL's
+    // abandoned state block).
+    (void)thread_.release();
+  }
+  running_.store(false, std::memory_order_relaxed);
+  state_.store(static_cast<int>(State::kHealthy), std::memory_order_relaxed);
+  stop_requested_ = false;
+}
+
+void Watchdog::run() {
+  std::unique_lock lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.tick_millis));
+    if (stop_requested_) break;
+    lock.unlock();
+    evaluate(probe_());
+    lock.lock();
+    if (state() == State::kDetached) break;  // terminal: nothing to watch
+  }
+}
+
+void Watchdog::tick_for_test() { evaluate(probe_()); }
+
+void Watchdog::evaluate(const Stall& stall) {
+  const State from = state();
+  if (from == State::kDetached) return;
+
+  State to = from;
+  if (stall.millis <= 0) {
+    to = State::kHealthy;
+  } else if (stall.millis >= options_.detached_after_millis) {
+    to = State::kDetached;
+  } else if (stall.millis >= options_.degraded_after_millis) {
+    to = State::kDegraded;
+  } else if (stall.millis >= options_.hung_after_millis) {
+    to = State::kHung;
+  } else {
+    // A stall below the first threshold neither escalates nor clears
+    // an existing escalation — the probe is still reporting the same
+    // stuck operation, just measured early in a tick.
+    return;
+  }
+  if (to == from) return;
+  state_.store(static_cast<int>(to), std::memory_order_relaxed);
+  if (static_cast<int>(to) > static_cast<int>(from)) {
+    metrics::add(metrics::Counter::kWatchdogEscalations);
+  }
+  if (on_transition_) on_transition_(from, to, stall);
+}
+
+}  // namespace dionea

@@ -1,0 +1,96 @@
+// Session watchdog: escalate instead of hanging.
+//
+// A debuggee can wedge in ways the protocol cannot see — a command
+// handler stuck on VM state, a thread that never gives the GIL back, a
+// trace hook that stopped making progress. Without a deadline the
+// console just hangs with it. The watchdog samples a caller-supplied
+// stall probe on its own OS thread (deliberately NOT the listener
+// thread — that is exactly the thread that gets stuck) and walks a
+// one-way-escalating, recoverable state machine:
+//
+//   healthy -> hung -> degraded -> detached
+//
+// healthy..degraded recover as soon as the stall clears; detached is
+// terminal — by then the owner has torn the session down. What each
+// state *means* (emit an event, disable tracing, drop the session) is
+// entirely the owner's business, expressed in the transition callback;
+// this class only keeps time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace dionea {
+
+class Watchdog {
+ public:
+  enum class State : int { kHealthy = 0, kHung, kDegraded, kDetached };
+  static const char* state_name(State state) noexcept;
+
+  struct Options {
+    int tick_millis = 100;
+    int hung_after_millis = 2'000;
+    int degraded_after_millis = 6'000;
+    int detached_after_millis = 15'000;
+  };
+
+  // What the probe reports: how long the worst current stall has
+  // lasted (0 = everything is moving) and which deadline it is
+  // (a static string; shown in events and logs).
+  struct Stall {
+    std::int64_t millis = 0;
+    const char* what = "";
+  };
+
+  using Probe = std::function<Stall()>;
+  // Called (from the watchdog thread) on every state change, forward
+  // or recovering. Keep it non-blocking-ish: a transition callback
+  // that wedges defeats the purpose.
+  using TransitionFn = std::function<void(State from, State to,
+                                          const Stall& stall)>;
+
+  Watchdog(Options options, Probe probe, TransitionFn on_transition);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start();
+  void stop();  // idempotent; joins the thread
+
+  // Fork handler C: the watchdog thread does not exist in the child.
+  // Abandon the handle (joining it would hang forever) and reset so
+  // the owner can start() a fresh one after the listener is rebound.
+  void abandon_after_fork() noexcept;
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  State state() const noexcept {
+    return static_cast<State>(state_.load(std::memory_order_relaxed));
+  }
+
+  // Deterministic single evaluation for tests: sample the probe and
+  // apply the escalation rules once, on the calling thread.
+  void tick_for_test();
+
+ private:
+  void run();
+  void evaluate(const Stall& stall);
+
+  Options options_;
+  Probe probe_;
+  TransitionFn on_transition_;
+  std::atomic<int> state_{0};
+  std::atomic<bool> running_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mutex_
+  std::unique_ptr<std::thread> thread_;
+};
+
+}  // namespace dionea

@@ -38,6 +38,7 @@ void Gil::acquire(std::int64_t tid) {
     state_->held = true;
     state_->owner = tid;
     state_->acquired_nanos = 0;
+    note_granted(tid);
     return;
   }
   const bool record = metrics::Registry::instance().enabled();
@@ -70,6 +71,7 @@ void Gil::acquire(std::int64_t tid) {
   } else {
     state_->acquired_nanos = 0;
   }
+  note_granted(tid);
   // Log the grant (not the request): the sequence of grants IS the
   // interleaving a replay must force. External (tid < 0) users are
   // debugger machinery, never bytecode — the engine skips them.
@@ -81,6 +83,7 @@ void Gil::release() {
     std::scoped_lock lock(state_->mutex);
     DIONEA_CHECK(state_->held, "releasing unheld GIL");
     state_->held = false;
+    note_released();
     // The releasing thread is the owner, so the shard write below is
     // still single-writer.
     if (state_->acquired_nanos != 0) {
@@ -148,6 +151,19 @@ void Gil::child_atfork(std::int64_t surviving_tid) {
   state_ = std::make_unique<State>();
   state_->held = true;
   state_->owner = surviving_tid;
+  note_granted(surviving_tid);
+}
+
+void Gil::note_granted(std::int64_t tid) noexcept {
+  owner_mirror_.store(tid, std::memory_order_relaxed);
+  held_since_.store(
+      hold_watch_.load(std::memory_order_relaxed) ? mono_nanos() : 0,
+      std::memory_order_relaxed);
+}
+
+void Gil::note_released() noexcept {
+  owner_mirror_.store(0, std::memory_order_relaxed);
+  held_since_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dionea::vm

@@ -44,6 +44,23 @@ class Gil {
   std::int64_t owner() const;
   bool held_by(std::int64_t tid) const;
 
+  // --- lock-free mirrors (crash reporter / watchdog) ---
+  // owner() takes the state mutex, which a post-mortem signal handler
+  // and a watchdog probing a wedged holder must never do. The owner
+  // mirror is maintained unconditionally (one relaxed store per
+  // acquire/release); the held-since timestamp only while a hold
+  // watch is armed, so the clock read stays off the default path.
+  std::int64_t owner_relaxed() const noexcept {
+    return owner_mirror_.load(std::memory_order_relaxed);
+  }
+  // 0 = not held, or the watch was off when the holder acquired.
+  std::int64_t held_since_nanos() const noexcept {
+    return held_since_.load(std::memory_order_relaxed);
+  }
+  void set_hold_watch(bool on) noexcept {
+    hold_watch_.store(on, std::memory_order_relaxed);
+  }
+
   // --- fork support ---
   void prepare_fork();
   void parent_atfork();
@@ -64,8 +81,14 @@ class Gil {
     // acquire time); release() turns it into a gil_hold_nanos sample.
     std::int64_t acquired_nanos = 0;
   };
+  void note_granted(std::int64_t tid) noexcept;
+  void note_released() noexcept;
+
   std::unique_ptr<State> state_;
   std::unique_lock<std::mutex> fork_lock_;  // held between prepare and parent
+  std::atomic<std::int64_t> owner_mirror_{0};
+  std::atomic<std::int64_t> held_since_{0};
+  std::atomic<bool> hold_watch_{false};
 };
 
 // RAII GIL hold for external (non-interpreter) threads such as the

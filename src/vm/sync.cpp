@@ -117,6 +117,17 @@ void VmMutex::reinit_in_child(std::int64_t surviving_tid) {
   Impl* old = impl_.release();  // intentional leak, see gil.hpp
   impl_ = std::make_unique<Impl>();
   impl_->owner = (old->owner == surviving_tid) ? surviving_tid : 0;
+  bump_generation();
+}
+
+void VmMutex::crash_describe(crash::Writer& w) const noexcept {
+  const Impl* impl = impl_.get();
+  if (impl == nullptr) return;
+  w.str("mutex id=");
+  w.udec(replay_id());
+  w.str(" owner=");
+  w.dec(impl->owner);
+  w.nl();
 }
 
 // ---------------------------------------------------------------- VmQueue
@@ -235,6 +246,20 @@ void VmQueue::reinit_in_child(std::int64_t /*surviving_tid*/) {
   impl_->items = std::move(old->items);
   impl_->waiting = 0;
   impl_->closed = old->closed;
+  bump_generation();
+}
+
+void VmQueue::crash_describe(crash::Writer& w) const noexcept {
+  const Impl* impl = impl_.get();
+  if (impl == nullptr) return;
+  w.str("queue id=");
+  w.udec(replay_id());
+  w.str(" size=");
+  w.udec(impl->items.size());
+  w.str(" waiting=");
+  w.dec(impl->waiting);
+  w.str(impl->closed ? " closed" : "");
+  w.nl();
 }
 
 // ----------------------------------------------------------------- VmCond
@@ -398,6 +423,17 @@ void VmCond::reinit_in_child(std::int64_t /*surviving_tid*/) {
   fork_lock_.release();
   (void)impl_.release();  // intentional leak
   impl_ = std::make_unique<Impl>();
+  bump_generation();
+}
+
+void VmCond::crash_describe(crash::Writer& w) const noexcept {
+  const Impl* impl = impl_.get();
+  if (impl == nullptr) return;
+  w.str("cond id=");
+  w.udec(replay_id());
+  w.str(" waiting=");
+  w.dec(impl->waiting);
+  w.nl();
 }
 
 const char* thread_state_name(ThreadState state) noexcept {

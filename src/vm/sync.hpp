@@ -14,6 +14,7 @@
 // each slice so VM shutdown and deadlock resolution reach it promptly.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -21,6 +22,7 @@
 #include <mutex>
 #include <string>
 
+#include "support/crash_report.hpp"
 #include "vm/value.hpp"
 
 namespace dionea::vm {
@@ -48,13 +50,30 @@ class SyncObject {
   virtual void unlock_after_fork() = 0;
   virtual void reinit_in_child(std::int64_t surviving_tid) = 0;
 
+  // One line of crash-report state (owner/size/waiters). Best-effort
+  // racy reads, called from the post-mortem signal handler: must not
+  // lock or allocate.
+  virtual void crash_describe(crash::Writer& w) const noexcept = 0;
+
   // Stable creation-order id used by the record/replay engine to match
   // recorded sync outcomes to objects. Construction happens under the
   // GIL, so a record and a replay of the same program agree on ids.
   std::uint64_t replay_id() const noexcept { return replay_id_; }
 
+  // Bumped by every reinit_in_child: fork handler C's self-check uses
+  // it to verify the child repair actually visited each live object.
+  std::uint32_t child_generation() const noexcept {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void bump_generation() noexcept {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   std::uint64_t replay_id_ = 0;
+  std::atomic<std::uint32_t> generation_{0};
 };
 
 class VmMutex : public SyncObject, public std::enable_shared_from_this<VmMutex> {
@@ -72,6 +91,7 @@ class VmMutex : public SyncObject, public std::enable_shared_from_this<VmMutex> 
   void lock_for_fork() override;
   void unlock_after_fork() override;
   void reinit_in_child(std::int64_t surviving_tid) override;
+  void crash_describe(crash::Writer& w) const noexcept override;
 
  private:
   friend class VmCond;
@@ -112,6 +132,7 @@ class VmQueue : public SyncObject {
   void lock_for_fork() override;
   void unlock_after_fork() override;
   void reinit_in_child(std::int64_t surviving_tid) override;
+  void crash_describe(crash::Writer& w) const noexcept override;
 
  private:
   struct Impl {
@@ -147,6 +168,7 @@ class VmCond : public SyncObject {
   void lock_for_fork() override;
   void unlock_after_fork() override;
   void reinit_in_child(std::int64_t surviving_tid) override;
+  void crash_describe(crash::Writer& w) const noexcept override;
 
  private:
   struct Impl {

@@ -9,6 +9,7 @@
 
 #include "analysis/analysis.hpp"
 #include "replay/replay.hpp"
+#include "support/crash_report.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -102,6 +103,78 @@ void Vm::run_at_exit_hook() {
 void Vm::register_sync_object(std::shared_ptr<SyncObject> object) {
   std::scoped_lock lock(sched_mutex_);
   sync_objects_.push_back(object);
+}
+
+std::vector<std::shared_ptr<SyncObject>> Vm::sync_objects_snapshot() {
+  std::scoped_lock lock(sched_mutex_);
+  std::vector<std::shared_ptr<SyncObject>> out;
+  for (auto& weak : sync_objects_) {
+    if (auto obj = weak.lock()) out.push_back(std::move(obj));
+  }
+  return out;
+}
+
+void Vm::crash_dump(crash::Writer& w) noexcept {
+  w.str("gil-owner: ");
+  w.dec(gil_.owner_relaxed());
+  w.nl();
+  w.str("fork-depth: ");
+  w.dec(fork_depth_);
+  w.nl();
+  // threads_ and each frames vector are read WITHOUT sched_mutex_ or
+  // the GIL: the crashing thread may hold either. Hard caps bound the
+  // walk; anything torn mid-mutation at worst faults into the
+  // handler's re-entry guard.
+  size_t listed = 0;
+  for (const auto& [id, th] : threads_) {
+    if (th == nullptr) continue;
+    if (++listed > 128) {
+      w.str("... more threads (truncated)\n");
+      break;
+    }
+    w.str("thread ");
+    w.dec(id);
+    w.str(" name=");
+    w.str(th->name().c_str());
+    w.str(" state=");
+    w.str(thread_state_name(th->state));
+    if (!th->block_note.empty()) {
+      w.str(" block=");
+      w.str(th->block_note.c_str());
+    }
+    w.nl();
+    size_t depth = th->frames.size();
+    if (depth > kMaxFrames) depth = kMaxFrames;
+    for (size_t i = depth; i-- > 0;) {
+      const InterpThread::Frame& fr = th->frames[i];
+      w.str("  #");
+      w.udec(depth - 1 - i);  // innermost frame is #0
+      w.str(" ");
+      const Closure* closure = fr.closure.get();
+      const FunctionProto* proto =
+          closure != nullptr ? closure->proto.get() : nullptr;
+      if (proto != nullptr) {
+        w.str(proto->name.empty() ? "<lambda>" : proto->name.c_str());
+        w.str(" ");
+        w.str(proto->file.c_str());
+        w.str(":");
+        w.dec(fr.line);
+      } else {
+        w.str("<unknown>");
+      }
+      w.nl();
+    }
+  }
+  size_t objects = 0;
+  for (const auto& weak : sync_objects_) {
+    auto obj = weak.lock();  // lock-free refcount bump, AS-safe enough
+    if (obj == nullptr) continue;
+    if (++objects > 256) {
+      w.str("... more sync objects (truncated)\n");
+      break;
+    }
+    obj->crash_describe(w);
+  }
 }
 
 void Vm::request_exit(int code) {
@@ -368,6 +441,9 @@ void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
     event.file = proto.file;
     event.function = proto.name.empty() ? std::string_view("<lambda>")
                                         : std::string_view(proto.name);
+    // The proto outlives the run (pinned by the program/closures), so
+    // its file string is a stable pointer for the crash report.
+    crash::note_trace(proto.file.c_str(), line, th.id());
   }
   trace_fn_(*this, th, event);
 

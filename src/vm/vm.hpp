@@ -203,6 +203,17 @@ class Vm {
 
   // ---- sync-object registry (fork support) ----
   void register_sync_object(std::shared_ptr<SyncObject> object);
+  // Live (non-expired) registered objects. Fork handler C's self-check
+  // walks this to verify every object was re-initialised in the child.
+  std::vector<std::shared_ptr<SyncObject>> sync_objects_snapshot();
+
+  // ---- post-mortem support ----
+  // Write the VM sections of a crash report: GIL holder, per-thread
+  // MiniVM backtraces, the sync-object table. Runs inside the fatal
+  // signal handler — lock-free, allocation-free, racy best-effort
+  // reads with hard caps; a fault mid-walk trips the handler's
+  // re-entry guard and yields a truncated report instead of a hang.
+  void crash_dump(crash::Writer& w) noexcept;
 
   // ---- fork ----
   // Register debugger/user handlers; returns a handle id (handlers

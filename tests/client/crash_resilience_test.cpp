@@ -36,12 +36,11 @@ mp::Process spawn_debuggee_or_die(const std::string& port_file,
                                   int heartbeat_millis) {
   auto proc = mp::Process::spawn([port_file, program, heartbeat_millis] {
     vm::Interp interp;
-    dbg::DebugServer server(
-        interp.vm(),
-        dbg::DebugServer::Options{.port_file = port_file,
-                                  .stop_at_entry = true,
-                                  .heartbeat_interval_millis =
-                                      heartbeat_millis});
+    dbg::DebugServer::Options options;
+    options.port_file = port_file;
+    options.stop_at_entry = true;
+    options.heartbeat_interval_millis = heartbeat_millis;
+    dbg::DebugServer server(interp.vm(), options);
     server.register_source("prog.ml", program);
     if (!server.start().is_ok()) return 9;
     vm::RunResult run = interp.run_string(program, "prog.ml");
@@ -122,12 +121,11 @@ struct LocalDebuggee {
     DIONEA_CHECK(tmp.is_ok(), "tempdir");
     tmp_ = std::make_unique<TempDir>(std::move(tmp).value());
     interp_ = std::make_unique<vm::Interp>();
-    server_ = std::make_unique<dbg::DebugServer>(
-        interp_->vm(),
-        dbg::DebugServer::Options{.port_file = ports(),
-                                  .stop_at_entry = true,
-                                  .heartbeat_interval_millis =
-                                      heartbeat_millis});
+    dbg::DebugServer::Options options;
+    options.port_file = ports();
+    options.stop_at_entry = true;
+    options.heartbeat_interval_millis = heartbeat_millis;
+    server_ = std::make_unique<dbg::DebugServer>(interp_->vm(), options);
     server_->register_source("test.ml", program_);
     DIONEA_CHECK(server_->start().is_ok(), "server start");
     runner_ = std::thread([this] {

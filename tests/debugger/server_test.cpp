@@ -443,8 +443,10 @@ TEST(ServerTest, EventsBeforeAttachAreBuffered) {
   vm::Interp interp;
   auto tmp = TempDir::create("late-attach");
   ASSERT_TRUE(tmp.is_ok());
-  DebugServer server(interp.vm(), {.port_file = tmp.value().file("ports"),
-                                   .stop_at_entry = true});
+  DebugServer::Options options;
+  options.port_file = tmp.value().file("ports");
+  options.stop_at_entry = true;
+  DebugServer server(interp.vm(), options);
   server.register_source("late.ml", "x = 1");
   ASSERT_TRUE(server.start().is_ok());
   std::thread runner([&] { (void)interp.run_string("x = 1", "late.ml"); });
@@ -501,8 +503,10 @@ TEST(ServerOutputTest, CaptureOutputMirrorsToClient) {
   vm::Interp interp;
   auto tmp = TempDir::create("capture-out");
   ASSERT_TRUE(tmp.is_ok());
-  DebugServer server(interp.vm(), {.port_file = tmp.value().file("ports"),
-                                   .capture_output = true});
+  DebugServer::Options options;
+  options.port_file = tmp.value().file("ports");
+  options.capture_output = true;
+  DebugServer server(interp.vm(), options);
   ASSERT_TRUE(server.start().is_ok());
   auto session = client::Session::attach(server.port(), 3000);
   ASSERT_TRUE(session.is_ok());

@@ -132,6 +132,59 @@ TEST(VersionSkewTest, AnalysisAgainstOldServerDowngradesGracefully) {
   old_server.join();
 }
 
+TEST(VersionSkewTest, PostmortemAgainstOldServerDowngradesGracefully) {
+  // A 1.3 server: current enough to lint and replay, but from before
+  // post-mortem capture existed. postmortem() must fail locally with
+  // kUnavailable naming the capability — zero frames on the wire.
+  auto listener = ipc::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::uint16_t port = listener.value().port();
+
+  std::thread old_server([&listener] {
+    auto control = listener.value().accept_timeout(5000);
+    ASSERT_TRUE(control.is_ok());
+    auto control_hello = ipc::recv_frame_timeout(control.value(), 5000);
+    ASSERT_TRUE(control_hello.is_ok());
+    auto events = listener.value().accept_timeout(5000);
+    ASSERT_TRUE(events.is_ok());
+    auto events_hello = ipc::recv_frame_timeout(events.value(), 5000);
+    ASSERT_TRUE(events_hello.is_ok());
+
+    auto ping = ipc::recv_frame_timeout(control.value(), 5000);
+    ASSERT_TRUE(ping.is_ok());
+    proto::PingResponse pong;
+    pong.pid = 4242;
+    pong.heartbeat_ms = 0;
+    pong.proto_major = proto::kProtoMajor;
+    pong.proto_minor = 3;
+    pong.capabilities = {proto::kCapStats, proto::kCapHeartbeat,
+                         proto::kCapReplay, proto::kCapAnalysis};
+    ipc::wire::Value reply = pong.to_wire();
+    reply.set("re", ping.value().get_int("seq"));
+    reply.set("ok", true);
+    ASSERT_TRUE(ipc::send_frame(control.value(), reply).is_ok());
+
+    auto extra = ipc::recv_frame_timeout(control.value(), 200);
+    EXPECT_FALSE(extra.is_ok())
+        << "client sent a frame despite the missing capability: "
+        << extra.value().get_string("cmd");
+  });
+
+  auto session = client::Session::attach(port, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  EXPECT_EQ(session.value()->server_proto_minor(), 3);
+  EXPECT_FALSE(session.value()->supports(proto::kCapPostmortem));
+
+  auto corpse = session.value()->postmortem();
+  ASSERT_FALSE(corpse.is_ok());
+  EXPECT_EQ(corpse.error().code(), ErrorCode::kUnavailable);
+  EXPECT_NE(corpse.error().message().find(proto::kCapPostmortem),
+            std::string::npos)
+      << corpse.error().to_string();
+
+  old_server.join();
+}
+
 TEST(VersionSkewTest, UnknownCommandGetsTypedError) {
   DebugHarness harness("x = 1");
   auto* session = harness.launch();

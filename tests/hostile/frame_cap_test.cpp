@@ -1,0 +1,79 @@
+// DIONEA_MAX_FRAME_BYTES: the operator-tunable receive cap. This
+// binary runs with the variable set to 8192 (see tests/CMakeLists.txt)
+// — the cap is read once per process, so it gets a binary of its own
+// rather than a slot in ipc_test where sibling tests would inherit it.
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "ipc/frame.hpp"
+#include "ipc/socket.hpp"
+#include "ipc/wire.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+struct SocketPair {
+  TcpStream client;
+  TcpStream server;
+};
+
+SocketPair make_pair() {
+  auto listener = TcpListener::bind(0);
+  EXPECT_TRUE(listener.is_ok());
+  auto client = TcpStream::connect_retry(listener.value().port(), 2000);
+  EXPECT_TRUE(client.is_ok());
+  auto server = listener.value().accept_timeout(2000);
+  EXPECT_TRUE(server.is_ok());
+  return SocketPair{std::move(client).value(), std::move(server).value()};
+}
+
+TEST(FrameCapTest, EnvironmentLowersTheCap) {
+  ASSERT_STREQ(std::getenv("DIONEA_MAX_FRAME_BYTES"), "8192")
+      << "this binary must run with DIONEA_MAX_FRAME_BYTES=8192 "
+         "(ctest sets it; see tests/CMakeLists.txt)";
+  EXPECT_EQ(max_recv_frame_bytes(), 8192u);
+}
+
+TEST(FrameCapTest, FrameOverTheCapIsRejectedBeforeAllocation) {
+  SocketPair pair = make_pair();
+  // A 16 KiB claim: legal under the compile-time limit, hostile under
+  // the configured one. Only the 8-byte header ever hits the wire —
+  // if the receiver tried to allocate first, it would block on the
+  // missing payload instead of failing fast.
+  char header[8] = {'D', 'N', 'E', 'A', 0, 0x40, 0, 0};  // len = 16384
+  ASSERT_TRUE(pair.client.write_all(header, 8).is_ok());
+  auto received = recv_frame(pair.server);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kProtocol);
+  EXPECT_NE(received.error().message().find("receive limit 8192"),
+            std::string::npos)
+      << received.error().to_string();
+}
+
+TEST(FrameCapTest, FrameUnderTheCapStillFlows) {
+  SocketPair pair = make_pair();
+  wire::Value message;
+  message.set("blob", std::string(1024, 'x'));
+  ASSERT_TRUE(send_frame(pair.client, message).is_ok());
+  auto received = recv_frame(pair.server);
+  ASSERT_TRUE(received.is_ok()) << received.error().to_string();
+  EXPECT_EQ(received.value().get_string("blob"), std::string(1024, 'x'));
+}
+
+TEST(FrameCapTest, ReaderHonorsTheConfiguredCap) {
+  SocketPair pair = make_pair();
+  FrameReader reader;
+  char header[8] = {'D', 'N', 'E', 'A', 0, 0x40, 0, 0};  // len = 16384
+  ASSERT_TRUE(pair.client.write_all(header, 8).is_ok());
+  auto received = reader.recv_timeout(pair.server, 1000);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kProtocol);
+  EXPECT_NE(received.error().message().find("receive limit 8192"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dionea::ipc

@@ -1,0 +1,291 @@
+// Hostile-fork survival corpus, crash half: debuggees in real forked
+// processes that die of SIGSEGV at the worst moments — while a thread
+// is parked at a breakpoint, while holding the GIL inside a native —
+// plus the watchdog escalation path and the live `postmortem` verb.
+// Contract: the client SURVIVES every one of these, the corpse leaves
+// a DIONEA-CRASH report the client can locate, and the exit status
+// stays honest (the signal is re-raised, not swallowed).
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "client/multi_client.hpp"
+#include "debugger/server.hpp"
+#include "mp/process.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+#include "testutil.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::client {
+namespace {
+
+namespace proto = dbg::proto;
+
+// A debuggee process whose VM has a `hostile_segv()` native: a real
+// SIGSEGV from inside interpreter code, with the GIL held (natives run
+// under it) — the worst-case corpse the post-mortem layer promises to
+// explain. `crash_dir` keys where the report lands.
+mp::Process spawn_crashy_debuggee(const std::string& port_file,
+                                  const std::string& crash_dir,
+                                  const std::string& program,
+                                  bool watchdog = false) {
+  auto proc = mp::Process::spawn([port_file, crash_dir, program, watchdog] {
+    vm::Interp interp;
+    interp.vm().define_native(
+        "hostile_segv", 0, 0,
+        [](vm::Vm&, vm::InterpThread&,
+           std::vector<vm::Value>&) -> vm::NativeResult {
+          volatile int* bad = nullptr;
+          *bad = 1;
+          return vm::Value();
+        });
+    interp.vm().define_native(
+        "hostile_wedge", 1, 1,
+        [](vm::Vm&, vm::InterpThread&,
+           std::vector<vm::Value>& args) -> vm::NativeResult {
+          // Busy-wedge inside a native, GIL held, no trace progress:
+          // exactly what the watchdog exists to notice.
+          Stopwatch watch;
+          double seconds = args[0].is_int()
+                               ? static_cast<double>(args[0].as_int())
+                               : 1.0;
+          while (watch.elapsed_seconds() < seconds) {
+          }
+          return vm::Value();
+        });
+    dbg::DebugServer::Options options;
+    options.port_file = port_file;
+    options.stop_at_entry = true;
+    options.heartbeat_interval_millis = 100;
+    options.crash_dir = crash_dir;
+    if (watchdog) {
+      options.watchdog = true;
+      options.watchdog_options.tick_millis = 20;
+      options.watchdog_options.hung_after_millis = 200;
+      options.watchdog_options.degraded_after_millis = 100'000;
+      options.watchdog_options.detached_after_millis = 200'000;
+    }
+    dbg::DebugServer server(interp.vm(), options);
+    server.register_source("prog.ml", program);
+    if (!server.start().is_ok()) return 9;
+    vm::RunResult run = interp.run_string(program, "prog.ml");
+    server.stop();
+    return run.ok ? 0 : 1;
+  });
+  EXPECT_TRUE(proc.is_ok());
+  return std::move(proc).value();
+}
+
+// Wait for the process-crashed event and return its report path.
+std::string await_crash_report(MultiClient& client, int pid) {
+  bool crashed = false;
+  Stopwatch watch;
+  while (!crashed && watch.elapsed_seconds() < 10.0) {
+    auto events = client.poll_all_events(50);
+    if (!events.is_ok()) break;
+    for (const auto& [event_pid, event] : events.value()) {
+      if (event_pid == pid && event.kind == proto::Event::kProcessCrashed) {
+        crashed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(crashed) << "no process-crashed event for pid " << pid;
+  return client.crash_report_path(pid);
+}
+
+// Scenario 7 (acceptance): crash while another thread is parked at a
+// breakpoint. The report must carry per-thread backtraces and the held
+// sync objects; the client must keep working after the corpse drops.
+TEST(HostileCrashTest, CrashWhileBreakpointed) {
+  auto tmp = TempDir::create("hostile-crash");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string ports = tmp.value().file("ports");
+  const std::string program =
+      "m = mutex()\n"              // 1
+      "t = spawn(fn()\n"           // 2
+      "  lock(m)\n"                // 3
+      "  x = 1\n"                  // 4 <- breakpoint parks this thread
+      "  unlock(m)\n"              // 5
+      "  return x\n"               // 6
+      "end)\n"                     // 7
+      "sleep(0.3)\n"               // 8 (thread t is parked, lock held)
+      "hostile_segv()\n"           // 9
+      "join(t)";
+  mp::Process debuggee =
+      spawn_crashy_debuggee(ports, tmp.value().path(), program);
+  ASSERT_TRUE(debuggee.valid());
+  int pid = static_cast<int>(debuggee.pid());
+
+  MultiClient client(ports);
+  auto session = client.await_process(pid, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  auto entry = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
+  ASSERT_TRUE(session.value()->set_breakpoint("prog.ml", 4).is_ok());
+  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+  // The spawned thread reaches line 4 and parks, holding the mutex.
+  auto hit = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(hit.is_ok()) << hit.error().to_string();
+  EXPECT_EQ(hit.value().line, 4);
+
+  // Main thread runs on (it was never stopped) into hostile_segv.
+  std::string report_path = await_crash_report(client, pid);
+  ASSERT_FALSE(report_path.empty());
+
+  auto report = read_file(report_path);
+  ASSERT_TRUE(report.is_ok()) << report_path << ": "
+                              << report.error().to_string();
+  const std::string& text = report.value();
+  EXPECT_EQ(text.rfind("DIONEA-CRASH v1\n", 0), 0u) << text;
+  EXPECT_NE(text.find("signal: 11"), std::string::npos) << text;
+  // Per-thread backtraces: both the crashed main thread and the
+  // breakpoint-parked thread must appear with their source position.
+  EXPECT_NE(text.find("thread 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("thread 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("prog.ml"), std::string::npos) << text;
+  // Held sync objects with owner tids (thread 2 held the mutex).
+  EXPECT_NE(text.find("mutex"), std::string::npos) << text;
+  EXPECT_NE(text.find("owner"), std::string::npos) << text;
+
+  // The client survived: it can still talk to other sessions and the
+  // dead one is muted, not wedged.
+  auto quiet = client.poll_all_events(10);
+  ASSERT_TRUE(quiet.is_ok());
+  EXPECT_TRUE(quiet.value().empty());
+
+  auto code = debuggee.wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), -SIGSEGV);  // honest exit status
+}
+
+// Scenario 8: crash while holding the GIL. The report's GIL line must
+// name the crashing thread as holder — the datum a deadlocked-corpse
+// investigation starts from.
+TEST(HostileCrashTest, CrashHoldingTheGil) {
+  auto tmp = TempDir::create("hostile-gil");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string ports = tmp.value().file("ports");
+  mp::Process debuggee = spawn_crashy_debuggee(
+      ports, tmp.value().path(),
+      "x = 1\n"
+      "hostile_segv()\n"
+      "puts(x)");
+  ASSERT_TRUE(debuggee.valid());
+  int pid = static_cast<int>(debuggee.pid());
+
+  MultiClient client(ports);
+  auto session = client.await_process(pid, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  auto entry = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
+  // A breakpoint past the crash site keeps the trace hook live, so
+  // the report's last-trace line names the dying statement.
+  ASSERT_TRUE(session.value()->set_breakpoint("prog.ml", 3).is_ok());
+  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+
+  std::string report_path = await_crash_report(client, pid);
+  ASSERT_FALSE(report_path.empty());
+  auto report = read_file(report_path);
+  ASSERT_TRUE(report.is_ok());
+  const std::string& text = report.value();
+  // Natives execute under the GIL: the report must say who held it
+  // (the single main thread, tid 1).
+  EXPECT_NE(text.find("gil-owner: 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("last-trace: prog.ml:2"), std::string::npos) << text;
+
+  auto code = debuggee.wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), -SIGSEGV);
+}
+
+// Scenario 9: a wedged native (GIL held, no trace progress) trips the
+// watchdog — the client sees the `watchdog` event escalate to hung
+// while the debuggee is stuck, then recover once it un-wedges.
+TEST(HostileCrashTest, WatchdogEscalatesOnWedgedNative) {
+  auto tmp = TempDir::create("hostile-watchdog");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string ports = tmp.value().file("ports");
+  mp::Process debuggee = spawn_crashy_debuggee(
+      ports, tmp.value().path(),
+      "hostile_wedge(2)\n"
+      "sleep(2)\n"  // GIL free: the watchdog must notice the recovery
+      "puts(1)",
+      /*watchdog=*/true);
+  ASSERT_TRUE(debuggee.valid());
+  int pid = static_cast<int>(debuggee.pid());
+
+  MultiClient client(ports);
+  auto session = client.await_process(pid, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  auto entry = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
+  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+
+  auto hung = session.value()->wait_event(proto::Event::kWatchdog, 10'000);
+  ASSERT_TRUE(hung.is_ok()) << hung.error().to_string();
+  EXPECT_EQ(hung.value().payload.get_string("state"), "hung");
+  EXPECT_GT(hung.value().payload.get_int("stall_millis"), 0);
+
+  // The wedge ends after ~2s; the watchdog must report recovery.
+  auto recovered =
+      session.value()->wait_event(proto::Event::kWatchdog, 10'000);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.error().to_string();
+  EXPECT_EQ(recovered.value().payload.get_string("state"), "healthy");
+
+  auto code = debuggee.wait();
+  ASSERT_TRUE(code.is_ok());
+  EXPECT_EQ(code.value(), 0);
+}
+
+// The live `postmortem` verb: capture=true against a healthy debuggee
+// snapshots it as if it had crashed, and ships the report text back.
+TEST(HostileCrashTest, LivePostmortemCaptureOverTheWire) {
+  auto tmp = TempDir::create("hostile-verb");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string ports = tmp.value().file("ports");
+  mp::Process debuggee = spawn_crashy_debuggee(
+      ports, tmp.value().path(),
+      "i = 0\n"
+      "while i < 2000\n"
+      "  sleep(0.01)\n"
+      "  i = i + 1\n"
+      "end");
+  ASSERT_TRUE(debuggee.valid());
+  int pid = static_cast<int>(debuggee.pid());
+
+  MultiClient client(ports);
+  auto session = client.await_process(pid, 5000);
+  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  ASSERT_TRUE(session.value()->supports(proto::kCapPostmortem));
+  auto entry = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
+  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+
+  auto snap = session.value()->postmortem(/*capture=*/true);
+  ASSERT_TRUE(snap.is_ok()) << snap.error().to_string();
+  EXPECT_EQ(snap.value().pid, pid);
+  EXPECT_TRUE(snap.value().installed);
+  EXPECT_TRUE(snap.value().has_report);
+  EXPECT_NE(snap.value().report_path.find(tmp.value().path()),
+            std::string::npos);
+  EXPECT_NE(snap.value().report.find("DIONEA-CRASH v1"), std::string::npos);
+  EXPECT_NE(snap.value().report.find("reason: client-request"),
+            std::string::npos);
+  // A live snapshot still walks the VM sections.
+  EXPECT_NE(snap.value().report.find("== section: vm =="), std::string::npos);
+
+  // The debuggee is unharmed: still answering, still running.
+  auto pong = session.value()->ping();
+  EXPECT_TRUE(pong.is_ok()) << pong.error().to_string();
+  ASSERT_TRUE(debuggee.kill(SIGTERM).is_ok());
+  auto code = debuggee.wait();
+  ASSERT_TRUE(code.is_ok());
+}
+
+}  // namespace
+}  // namespace dionea::client

@@ -1,0 +1,136 @@
+// Fork handler C's port-file handoff under seeded fault injection:
+// torn appends, EINTR/short-IO on temp-file writes, injected rename
+// failures. The handoff is the one channel the parent's client has for
+// discovering a child; a fault in it must degrade to "child not
+// discovered / typed error", never to a corrupted record that wedges
+// every later reader.
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ipc/port_file.hpp"
+#include "support/fault.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+
+namespace dionea::dbg {
+namespace {
+
+using test::DebugHarness;
+using test::HarnessOptions;
+
+// Recoverable faults on the append path: every fork handoff must still
+// land — the child is discovered and debuggable, 100% of the time.
+TEST(PortFileFaultTest, HandoffSurvivesRecoverableFaultSweep) {
+  for (std::uint64_t seed : {301ull, 302ull, 303ull, 304ull, 305ull}) {
+    fault::Scope scope(fault::Config{
+        .seed = seed,
+        .probability = 0.4,
+        .kinds = fault::kBitEintr | fault::kBitShortIo | fault::kBitDelay,
+        .site_filter = "temp_file."});
+    DebugHarness harness(
+        "pid = fork()\n"
+        "if pid == 0\n"
+        "  exit(0)\n"
+        "end\n"
+        "st = waitpid(pid)\n"
+        "puts(st)",
+        HarnessOptions{.stop_at_entry = false, .stop_forked_children = true});
+    harness.launch();
+    auto forked = harness.session()->wait_event(proto::Event::kForked, 10'000);
+    ASSERT_TRUE(forked.is_ok()) << "seed " << seed << ": "
+                                << forked.error().to_string();
+    int child_pid =
+        static_cast<int>(forked.value().payload.get_int("child_pid"));
+    // The child is parked at birth: the handoff record must be enough
+    // for a real attach, not just the kForked announcement.
+    auto child = harness.client().await_process(child_pid, 5000);
+    ASSERT_TRUE(child.is_ok()) << "seed " << seed << ": "
+                               << child.error().to_string();
+    auto stop = child.value()->wait_stopped(5000);
+    ASSERT_TRUE(stop.is_ok()) << "seed " << seed << ": "
+                              << stop.error().to_string();
+    ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+    auto result = harness.join();
+    EXPECT_TRUE(result.ok) << "seed " << seed;
+    EXPECT_EQ(harness.output(), "0\n") << "seed " << seed;
+  }
+}
+
+// Torn appends to the port file itself: a child dying mid-append must
+// not poison discovery for its siblings — later publishers self-heal
+// past the fragment and the reader skips it.
+TEST(PortFileFaultTest, TornAppendDoesNotPoisonSiblingHandoffs) {
+  for (std::uint64_t seed : {311ull, 312ull, 313ull}) {
+    fault::Scope scope(fault::Config{.seed = seed,
+                                     .probability = 0.5,
+                                     .kinds = fault::kBitTorn,
+                                     .site_filter = "port_file."});
+    DebugHarness harness(
+        "n = 0\n"
+        "while n < 3\n"
+        "  pid = fork()\n"
+        "  if pid == 0\n"
+        "    exit(0)\n"
+        "  end\n"
+        "  waitpid(pid)\n"
+        "  n = n + 1\n"
+        "end\n"
+        "puts(n)",
+        HarnessOptions{.stop_at_entry = false});
+    harness.launch();
+    // All three children must be announced and attachable despite the
+    // injected torn records sitting between their lines.
+    for (int i = 0; i < 3; ++i) {
+      auto forked =
+          harness.session()->wait_event(proto::Event::kForked, 10'000);
+      ASSERT_TRUE(forked.is_ok()) << "seed " << seed << " fork " << i << ": "
+                                  << forked.error().to_string();
+    }
+    auto result = harness.join();
+    EXPECT_TRUE(result.ok) << "seed " << seed;
+    EXPECT_EQ(harness.output(), "3\n") << "seed " << seed;
+  }
+}
+
+// The temp-file fault sites themselves keep their typed-error
+// contract: an injected write/rename failure surfaces as kOsError with
+// the injected marker, and the target file is not half-written.
+TEST(PortFileFaultTest, TempFileFaultsStayTyped) {
+  auto tmp = TempDir::create("portfile-faults");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string direct = tmp.value().file("direct.txt");
+  const std::string target = tmp.value().file("handoff.txt");
+  {
+    fault::Scope scope(fault::Config{.seed = 99,
+                                     .probability = 1.0,
+                                     .kinds = fault::kBitConnReset,
+                                     .site_filter = "temp_file.write"});
+    Status st = write_file(direct, "payload");
+    ASSERT_FALSE(st.is_ok());
+    EXPECT_EQ(st.error().code(), ErrorCode::kOsError);
+    EXPECT_NE(st.error().message().find("injected"), std::string::npos);
+  }
+  {
+    fault::Scope scope(fault::Config{.seed = 99,
+                                     .probability = 1.0,
+                                     .kinds = fault::kBitConnReset,
+                                     .site_filter = "temp_file.rename"});
+    Status st = write_file_atomic(target, "payload");
+    ASSERT_FALSE(st.is_ok());
+    EXPECT_EQ(st.error().code(), ErrorCode::kOsError);
+    EXPECT_NE(st.error().message().find("injected"), std::string::npos);
+    // Atomicity held: no target, no leftover temp file.
+    EXPECT_FALSE(file_exists(target));
+  }
+  // Faults gone: the same calls succeed.
+  ASSERT_TRUE(write_file_atomic(target, "payload").is_ok());
+  auto back = read_file(target);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), "payload");
+}
+
+}  // namespace
+}  // namespace dionea::dbg

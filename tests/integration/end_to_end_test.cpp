@@ -172,9 +172,9 @@ TEST(EndToEndTest, TracingOverheadIsBounded) {
       auto created = TempDir::create("e2e-perf");
       EXPECT_TRUE(created.is_ok());
       tmp = std::make_unique<TempDir>(std::move(created).value());
-      server = std::make_unique<dbg::DebugServer>(
-          interp.vm(),
-          dbg::DebugServer::Options{.port_file = tmp->file("ports")});
+      dbg::DebugServer::Options options;
+      options.port_file = tmp->file("ports");
+      server = std::make_unique<dbg::DebugServer>(interp.vm(), options);
       EXPECT_TRUE(server->start().is_ok());
       auto attached = client::Session::attach(server->port(), 2000);
       EXPECT_TRUE(attached.is_ok());

@@ -243,6 +243,38 @@ TEST(FrameTest, OversizeLengthRejected) {
   auto received = recv_frame(pair.server);
   ASSERT_FALSE(received.is_ok());
   EXPECT_EQ(received.error().code(), ErrorCode::kProtocol);
+  EXPECT_NE(received.error().message().find("receive limit"),
+            std::string::npos)
+      << received.error().to_string();
+}
+
+// The incremental events-channel reader has its own header parse; a
+// hostile length prefix must be rejected there too, before any payload
+// buffer is sized, and the reader must stay usable for a later frame.
+TEST(FrameTest, ReaderRejectsOversizeLengthAndRecovers) {
+  SocketPair pair = make_pair();
+  FrameReader reader;
+  char header[8] = {'D', 'N', 'E', 'A',
+                    '\xff', '\xff', '\xff', '\xff'};  // 4GiB-1 claim
+  ASSERT_TRUE(pair.client.write_all(header, 8).is_ok());
+  auto received = reader.recv_timeout(pair.server, 1000);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.error().code(), ErrorCode::kProtocol);
+  EXPECT_NE(received.error().message().find("receive limit"),
+            std::string::npos);
+  // The poisoned prefix was dropped; a well-formed frame goes through.
+  wire::Value message;
+  message.set("after", "storm");
+  ASSERT_TRUE(send_frame(pair.client, message).is_ok());
+  auto next = reader.recv_timeout(pair.server, 2000);
+  ASSERT_TRUE(next.is_ok()) << next.error().to_string();
+  EXPECT_EQ(next.value().get_string("after"), "storm");
+}
+
+// Default receive cap: exactly kMaxFrameBytes passes the check (it is
+// a <= limit), one past it does not. No env override in this binary.
+TEST(FrameTest, DefaultRecvCapIsCompileTimeLimit) {
+  EXPECT_EQ(max_recv_frame_bytes(), kMaxFrameBytes);
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+// Post-mortem capture, outside any signal context: the DIONEA-CRASH v1
+// format, section registration, the aux-log tail, and the notify frame
+// lifecycle. The signal path itself is exercised end to end by the
+// hostile corpus (a real SIGSEGV in a real debuggee); these tests pin
+// the pieces the corpus builds on.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/crash_report.hpp"
+#include "support/temp_file.hpp"
+
+namespace dionea::crash {
+namespace {
+
+// Runs before install(): the not-installed path must be inert.
+TEST(CrashReportTest, CaptureWithoutInstallIsNull) {
+  ASSERT_FALSE(installed());
+  EXPECT_EQ(capture_now("too-early"), nullptr);
+}
+
+TEST(CrashReportTest, CaptureNowWritesV1Report) {
+  auto tmp = TempDir::create("crash-report");
+  ASSERT_TRUE(tmp.is_ok());
+  ASSERT_TRUE(install(Options{.dir = tmp.value().path()}).is_ok());
+  EXPECT_TRUE(installed());
+
+  note_trace("unit.ml", 7, 3);
+  const char* path = capture_now("unit-test");
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(std::string(path), report_path_string());
+  EXPECT_NE(report_path_string().find(tmp.value().path()), std::string::npos);
+  EXPECT_NE(report_path_string().find(std::to_string(::getpid())),
+            std::string::npos);
+
+  auto report = read_file(path);
+  ASSERT_TRUE(report.is_ok()) << report.error().to_string();
+  const std::string& text = report.value();
+  EXPECT_EQ(text.rfind("DIONEA-CRASH v1\n", 0), 0u) << text;
+  EXPECT_NE(text.find("reason: unit-test"), std::string::npos) << text;
+  EXPECT_NE(text.find("last-trace: unit.ml:7 tid=3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("== end =="), std::string::npos) << text;
+  // A capture_now report is not a signal death.
+  EXPECT_EQ(text.find("signal:"), std::string::npos) << text;
+
+  uninstall();
+  EXPECT_FALSE(installed());
+}
+
+TEST(CrashReportTest, SectionsAppearUntilRemoved) {
+  auto tmp = TempDir::create("crash-sections");
+  ASSERT_TRUE(tmp.is_ok());
+  ASSERT_TRUE(install(Options{.dir = tmp.value().path()}).is_ok());
+
+  static int marker = 4242;
+  int slot = add_section(
+      "unit",
+      [](Writer& w, void* ctx) {
+        w.str("marker: ");
+        w.dec(*static_cast<int*>(ctx));
+        w.nl();
+      },
+      &marker);
+  ASSERT_GE(slot, 0);
+
+  const char* path = capture_now("with-section");
+  ASSERT_NE(path, nullptr);
+  auto with = read_file(path);
+  ASSERT_TRUE(with.is_ok());
+  EXPECT_NE(with.value().find("== section: unit =="), std::string::npos);
+  EXPECT_NE(with.value().find("marker: 4242"), std::string::npos);
+
+  remove_section(slot);
+  ASSERT_NE(capture_now("without-section"), nullptr);
+  auto without = read_file(path);
+  ASSERT_TRUE(without.is_ok());
+  EXPECT_EQ(without.value().find("== section: unit =="), std::string::npos);
+
+  uninstall();
+}
+
+TEST(CrashReportTest, AuxLogTailIsEmbedded) {
+  auto tmp = TempDir::create("crash-auxlog");
+  ASSERT_TRUE(tmp.is_ok());
+  ASSERT_TRUE(install(Options{.dir = tmp.value().path()}).is_ok());
+
+  const std::string log = tmp.value().file("replay.log");
+  // Longer than the 2 KiB tail window: only the end may appear.
+  std::string contents(4096, 'x');
+  contents += "\nFINAL-REPLAY-RECORD\n";
+  ASSERT_TRUE(write_file(log, contents).is_ok());
+  set_aux_log(log.c_str());
+
+  const char* path = capture_now("aux");
+  ASSERT_NE(path, nullptr);
+  auto report = read_file(path);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_NE(report.value().find("== section: aux-log =="), std::string::npos);
+  EXPECT_NE(report.value().find("FINAL-REPLAY-RECORD"), std::string::npos);
+
+  set_aux_log(nullptr);
+  ASSERT_NE(capture_now("no-aux"), nullptr);
+  auto quiet = read_file(path);
+  ASSERT_TRUE(quiet.is_ok());
+  EXPECT_EQ(quiet.value().find("aux-log"), std::string::npos);
+
+  uninstall();
+}
+
+TEST(CrashReportTest, WriterFormatsThroughTheFixedBuffer) {
+  auto tmp = TempDir::create("crash-writer");
+  ASSERT_TRUE(tmp.is_ok());
+  const std::string path = tmp.value().file("writer.txt");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  ASSERT_GE(fd, 0);
+  {
+    Writer w(fd);
+    w.str("dec=");
+    w.dec(-42);
+    w.str(" udec=");
+    w.udec(18446744073709551615ull);
+    w.str(" hex=");
+    w.hex(0x2a);
+    w.nl();
+    // Overflow the 512-byte buffer: everything must still come out.
+    for (int i = 0; i < 100; ++i) w.str("0123456789");
+    w.nl();
+  }
+  ::close(fd);
+  auto text = read_file(path);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_NE(text.value().find("dec=-42 udec=18446744073709551615 hex=0x2a"),
+            std::string::npos)
+      << text.value();
+  // The 1000-char line overflowed the 512-byte buffer; nothing may be
+  // dropped or duplicated on the way out.
+  size_t line_start = text.value().find('\n') + 1;
+  EXPECT_EQ(text.value().size() - line_start, 1001u);
+}
+
+TEST(CrashReportTest, NoteTraceIsInertWhenNotInstalled) {
+  ASSERT_FALSE(installed());
+  // Must not crash or store anything observable.
+  note_trace("ignored.ml", 1, 1);
+  EXPECT_EQ(capture_now("still-off"), nullptr);
+}
+
+}  // namespace
+}  // namespace dionea::crash

@@ -1,0 +1,169 @@
+// Watchdog state machine: thresholds escalate, recovery clears,
+// detached is terminal, and the fork-C abandon path leaves a handle
+// that can start() again. Everything here drives tick_for_test so the
+// escalation rules are exercised deterministically, without wall-clock.
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/watchdog.hpp"
+
+namespace dionea {
+namespace {
+
+struct Recorder {
+  std::atomic<std::int64_t> stall_millis{0};
+  const char* what = "unit";
+  std::vector<std::pair<Watchdog::State, Watchdog::State>> transitions;
+
+  std::unique_ptr<Watchdog> make(Watchdog::Options options = {}) {
+    return std::make_unique<Watchdog>(
+        options,
+        [this] {
+          return Watchdog::Stall{stall_millis.load(), what};
+        },
+        [this](Watchdog::State from, Watchdog::State to,
+               const Watchdog::Stall&) {
+          transitions.emplace_back(from, to);
+        });
+  }
+};
+
+Watchdog::Options tight() {
+  Watchdog::Options options;
+  options.tick_millis = 5;
+  options.hung_after_millis = 50;
+  options.degraded_after_millis = 100;
+  options.detached_after_millis = 200;
+  return options;
+}
+
+TEST(WatchdogTest, EscalatesThroughEveryState) {
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  EXPECT_EQ(dog.state(), Watchdog::State::kHealthy);
+
+  rec.stall_millis = 60;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kHung);
+
+  rec.stall_millis = 120;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDegraded);
+
+  rec.stall_millis = 250;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDetached);
+
+  ASSERT_EQ(rec.transitions.size(), 3u);
+  EXPECT_EQ(rec.transitions[0].second, Watchdog::State::kHung);
+  EXPECT_EQ(rec.transitions[1].second, Watchdog::State::kDegraded);
+  EXPECT_EQ(rec.transitions[2].second, Watchdog::State::kDetached);
+}
+
+TEST(WatchdogTest, SkipsStraightToTheMatchingState) {
+  // One long stall discovered late must not walk through intermediate
+  // states one tick at a time.
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  rec.stall_millis = 500;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDetached);
+  ASSERT_EQ(rec.transitions.size(), 1u);
+  EXPECT_EQ(rec.transitions[0].first, Watchdog::State::kHealthy);
+}
+
+TEST(WatchdogTest, RecoversWhenTheStallClears) {
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  rec.stall_millis = 120;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDegraded);
+
+  rec.stall_millis = 0;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kHealthy);
+  ASSERT_EQ(rec.transitions.size(), 2u);
+  EXPECT_EQ(rec.transitions[1].first, Watchdog::State::kDegraded);
+  EXPECT_EQ(rec.transitions[1].second, Watchdog::State::kHealthy);
+}
+
+TEST(WatchdogTest, SubThresholdStallNeitherEscalatesNorClears) {
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  rec.stall_millis = 10;  // below hung_after: no state change from healthy
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kHealthy);
+
+  rec.stall_millis = 60;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kHung);
+  // A short sample of the same stuck operation must not read as
+  // recovery — only a cleared stall (<= 0) does.
+  rec.stall_millis = 10;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kHung);
+  EXPECT_EQ(rec.transitions.size(), 1u);
+}
+
+TEST(WatchdogTest, DetachedIsTerminal) {
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  rec.stall_millis = 250;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDetached);
+  rec.stall_millis = 0;  // too late: the owner already tore down
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDetached);
+  EXPECT_EQ(rec.transitions.size(), 1u);
+}
+
+TEST(WatchdogTest, StartStopStartRuns) {
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  dog.start();
+  EXPECT_TRUE(dog.running());
+  dog.stop();
+  EXPECT_FALSE(dog.running());
+  dog.start();
+  EXPECT_TRUE(dog.running());
+  dog.stop();
+  EXPECT_FALSE(dog.running());
+}
+
+TEST(WatchdogTest, AbandonAfterForkResetsToHealthy) {
+  Recorder rec;
+  auto dog_ptr = rec.make(tight());
+  Watchdog& dog = *dog_ptr;
+  rec.stall_millis = 120;
+  dog.tick_for_test();
+  EXPECT_EQ(dog.state(), Watchdog::State::kDegraded);
+
+  // Fork handler C path: the thread is gone in the child; the handle
+  // must become restartable without joining.
+  dog.abandon_after_fork();
+  EXPECT_FALSE(dog.running());
+  EXPECT_EQ(dog.state(), Watchdog::State::kHealthy);
+  rec.stall_millis = 0;
+  dog.start();
+  EXPECT_TRUE(dog.running());
+  dog.stop();
+}
+
+TEST(WatchdogTest, StateNames) {
+  EXPECT_STREQ(Watchdog::state_name(Watchdog::State::kHealthy), "healthy");
+  EXPECT_STREQ(Watchdog::state_name(Watchdog::State::kHung), "hung");
+  EXPECT_STREQ(Watchdog::state_name(Watchdog::State::kDegraded), "degraded");
+  EXPECT_STREQ(Watchdog::state_name(Watchdog::State::kDetached), "detached");
+}
+
+}  // namespace
+}  // namespace dionea

@@ -6,8 +6,14 @@
 // children itself, mirroring Interp::finish.
 #pragma once
 
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +29,92 @@
 #include "vm/interp.hpp"
 
 namespace dionea::test {
+
+// ---- stray-child containment ----
+// Forked debuggees inherit the test binary's stdout/stderr. A child
+// leaked by a failing test (e.g. an ASSERT between fork and resume)
+// outlives the binary, keeps those pipes open, and wedges ctest — it
+// waits for pipe EOF long after the test process itself exited, then
+// reports the run as Timeout. Containment: the binary moves into its
+// own process group at static-init time (children and grandchildren
+// inherit it, even across reparenting to init), and an atexit sweep
+// SIGKILLs every other member of the group on the way out.
+
+inline void kill_stray_group_members() {
+  const pid_t self = ::getpid();
+  const pid_t group = ::getpgid(0);
+  if (group <= 0) return;
+  // Only processes running OUR image are fair game. When this binary
+  // heads a shell pipeline it is already the group leader and the
+  // other pipeline stages (`./test | tail`) share its group — killing
+  // by group alone would take them down too. Forked debuggees never
+  // exec, so their comm matches ours.
+  char self_comm[64] = {0};
+  if (std::FILE* f = std::fopen("/proc/self/comm", "r")) {
+    if (std::fgets(self_comm, sizeof(self_comm), f) == nullptr) {
+      self_comm[0] = '\0';
+    }
+    std::fclose(f);
+  }
+  if (self_comm[0] == '\0') return;
+  // Two passes: a member caught mid-fork in pass one can leave a
+  // fresh sibling for pass two.
+  int killed = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass > 0) {
+      if (killed == 0) break;
+      ::usleep(20'000);  // let pass-one SIGKILLs land before rescanning
+    }
+    DIR* proc = ::opendir("/proc");
+    if (proc == nullptr) return;
+    while (dirent* entry = ::readdir(proc)) {
+      char* end = nullptr;
+      long pid = std::strtol(entry->d_name, &end, 10);
+      if (end == entry->d_name || *end != '\0') continue;  // not a pid
+      if (static_cast<pid_t>(pid) == self) continue;
+      if (::getpgid(static_cast<pid_t>(pid)) != group) continue;
+      char comm_path[64];
+      std::snprintf(comm_path, sizeof(comm_path), "/proc/%ld/comm", pid);
+      char comm[64] = {0};
+      if (std::FILE* f = std::fopen(comm_path, "r")) {
+        if (std::fgets(comm, sizeof(comm), f) == nullptr) comm[0] = '\0';
+        std::fclose(f);
+      }
+      if (std::strcmp(comm, self_comm) != 0) continue;
+      // A zombie already exited — killing it is a no-op and logging it
+      // would make every clean run with an unreaped child look dirty.
+      char stat_path[64];
+      std::snprintf(stat_path, sizeof(stat_path), "/proc/%ld/stat", pid);
+      bool zombie = false;
+      if (std::FILE* stat = std::fopen(stat_path, "r")) {
+        char buf[512];
+        size_t n = std::fread(buf, 1, sizeof(buf) - 1, stat);
+        std::fclose(stat);
+        buf[n] = '\0';
+        // State is the first field after the parenthesized comm.
+        if (const char* close_paren = std::strrchr(buf, ')')) {
+          zombie = close_paren[1] == ' ' &&
+                   (close_paren[2] == 'Z' || close_paren[2] == 'X');
+        }
+      }
+      if (zombie) continue;
+      std::fprintf(stderr,
+                   "testutil: killing stray child %ld left in process group\n",
+                   pid);
+      (void)::kill(static_cast<pid_t>(pid), SIGKILL);
+      ++killed;
+    }
+    ::closedir(proc);
+    while (::waitpid(-1, nullptr, WNOHANG) > 0) {
+    }
+  }
+}
+
+inline const bool stray_reaper_installed = [] {
+  (void)::setpgid(0, 0);
+  std::atexit(kill_stray_group_members);
+  return true;
+}();
 
 // Poll `pred` every couple of milliseconds until it holds or
 // `timeout_millis` elapses; true iff it held. The replacement for
@@ -150,13 +242,13 @@ class DebugHarness {
       std::scoped_lock lock(output_mutex_);
       output_.append(text);
     });
-    server_ = std::make_unique<dbg::DebugServer>(
-        interp_->vm(),
-        dbg::DebugServer::Options{.port_file = port_file(),
-                                  .disturb_mode = options.disturb,
-                                  .stop_forked_children =
-                                      options.stop_forked_children,
-                                  .stop_at_entry = options.stop_at_entry});
+    dbg::DebugServer::Options server_options;
+    server_options.port_file = port_file();
+    server_options.disturb_mode = options.disturb;
+    server_options.stop_forked_children = options.stop_forked_children;
+    server_options.stop_at_entry = options.stop_at_entry;
+    server_ = std::make_unique<dbg::DebugServer>(interp_->vm(),
+                                                 server_options);
     server_->register_source("test.ml", program_);
     Status started = server_->start();
     DIONEA_CHECK(started.is_ok(), "harness server start");

@@ -191,8 +191,9 @@ RunDigest run_debugged(const std::string& program) {
       [&digest](std::string_view text) { digest.output.append(text); });
   auto tmp = TempDir::create("fuzz-dbg");
   EXPECT_TRUE(tmp.is_ok());
-  dbg::DebugServer server(interp.vm(),
-                          {.port_file = tmp.value().file("ports")});
+  dbg::DebugServer::Options options;
+  options.port_file = tmp.value().file("ports");
+  dbg::DebugServer server(interp.vm(), options);
   EXPECT_TRUE(server.start().is_ok());
   auto session = client::Session::attach(server.port(), 3000);
   EXPECT_TRUE(session.is_ok());

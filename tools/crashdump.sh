@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Pretty-print a DIONEA-CRASH v1 post-mortem report.
+#
+# Usage:
+#   tools/crashdump.sh                     # newest report in the crash dir
+#   tools/crashdump.sh /tmp/dionea-crash.12345.txt
+#   tools/crashdump.sh /some/crash/dir     # newest report in that dir
+#
+# The crash dir defaults to $DIONEA_CRASH_DIR, then /tmp — the same
+# resolution the in-process writer uses (src/support/crash_report.cpp).
+#
+# Report anatomy (written by an async-signal-safe handler, so the
+# format is deliberately line-oriented and fixed):
+#   DIONEA-CRASH v1
+#   pid: <pid>                 reason: <signal name or caller reason>
+#   signal: <n> <SIGNAME>      (absent for non-signal captures)
+#   last-trace: <file>:<line> tid=<tid>
+#   == section: <name> ==      (vm: threads/backtraces/sync owners/GIL,
+#   ...                         replay-tail: last DRLG records, ...)
+#   == end ==                  (present iff the write completed)
+set -euo pipefail
+
+bold=""; dim=""; red=""; yellow=""; reset=""
+if [[ -t 1 ]]; then
+  bold=$'\033[1m'; dim=$'\033[2m'; red=$'\033[31m'
+  yellow=$'\033[33m'; reset=$'\033[0m'
+fi
+
+newest_report() {
+  # shellcheck disable=SC2012
+  ls -t "$1"/dionea-crash.*.txt 2>/dev/null | head -1
+}
+
+target="${1:-}"
+if [[ -z "${target}" ]]; then
+  dir="${DIONEA_CRASH_DIR:-/tmp}"
+  target="$(newest_report "${dir}")"
+  if [[ -z "${target}" ]]; then
+    echo "crashdump.sh: no dionea-crash.*.txt in ${dir}" >&2
+    exit 1
+  fi
+elif [[ -d "${target}" ]]; then
+  dir="${target}"
+  target="$(newest_report "${dir}")"
+  if [[ -z "${target}" ]]; then
+    echo "crashdump.sh: no dionea-crash.*.txt in ${dir}" >&2
+    exit 1
+  fi
+fi
+
+if [[ ! -r "${target}" ]]; then
+  echo "crashdump.sh: cannot read ${target}" >&2
+  exit 1
+fi
+
+if ! head -1 "${target}" | grep -q '^DIONEA-CRASH v1$'; then
+  echo "crashdump.sh: ${target} is not a DIONEA-CRASH v1 report" >&2
+  exit 1
+fi
+
+echo "${bold}${target}${reset}"
+echo
+
+# Header summary: one line a human scans first.
+pid="$(sed -n 's/^pid: //p' "${target}" | head -1)"
+reason="$(sed -n 's/^reason: //p' "${target}" | head -1)"
+signal="$(sed -n 's/^signal: //p' "${target}" | head -1)"
+last_trace="$(sed -n 's/^last-trace: //p' "${target}" | head -1)"
+echo "${bold}pid${reset} ${pid:-?}   ${bold}reason${reset} ${red}${reason:-?}${reset}\
+${signal:+   ${bold}signal${reset} ${red}${signal}${reset}}"
+[[ -n "${last_trace}" ]] && echo "${bold}last traced line${reset} ${last_trace}"
+
+# Truncation check: the == end == sentinel is the writer's last line.
+if ! grep -q '^== end ==$' "${target}"; then
+  echo "${yellow}warning: no '== end ==' sentinel — the report is truncated" \
+       "(the process died mid-write)${reset}"
+fi
+echo
+
+# Body with section headers highlighted.
+while IFS= read -r line; do
+  case "${line}" in
+    "DIONEA-CRASH v1"|"pid: "*|"reason: "*|"signal: "*|"last-trace: "*)
+      ;;  # already summarized above
+    "== section: "*)
+      name="${line#== section: }"
+      echo "${bold}--- ${name% ==} ---${reset}" ;;
+    "== end ==")
+      echo "${dim}(complete)${reset}" ;;
+    "thread "*|"gil-owner: "*|"fork-depth: "*)
+      echo "${bold}${line}${reset}" ;;
+    *)
+      echo "${line}" ;;
+  esac
+done < "${target}"
