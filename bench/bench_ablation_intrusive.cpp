@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 
 namespace {
 
@@ -46,21 +46,22 @@ double run_with_suspension(const mapreduce::Corpus& corpus, int workers,
     DIONEA_CHECK(result.ok, "wordcount run");
   });
 
-  client::MultiClient mc(tmp.value().file("ports"));
-  (void)mc.refresh(5000);
-  mc.claim(static_cast<int>(::getpid()));
+  auto cc = client::Client::discover(tmp.value().file("ports"));
+  (void)cc->refresh(5000);
+  cc->claim(cc->handle_for_pid(static_cast<int>(::getpid())));
 
   // Adopt every worker at birth; keep `suspend_count` of them parked.
   std::vector<std::pair<client::Session*, std::int64_t>> parked;
   for (int i = 0; i < workers; ++i) {
-    auto worker = mc.await_new_process(10'000);
-    DIONEA_CHECK(worker.is_ok(), "adopt worker");
-    auto stop = worker.value()->wait_stopped(5000);
+    auto worker_h = cc->attach_any(10'000);
+    DIONEA_CHECK(worker_h.is_ok(), "adopt worker");
+    client::Session* worker = cc->session(worker_h.value());
+    auto stop = worker->wait_stopped(5000);
     DIONEA_CHECK(stop.is_ok(), "worker stop");
     if (static_cast<int>(parked.size()) < suspend_count) {
-      parked.emplace_back(worker.value(), stop.value().tid);
+      parked.emplace_back(worker, stop.value().tid);
     } else {
-      DIONEA_CHECK(worker.value()->cont(stop.value().tid).is_ok(), "cont");
+      DIONEA_CHECK(worker->cont(stop.value().tid).is_ok(), "cont");
     }
   }
   sleep_for_millis(hold_millis);

@@ -1,0 +1,186 @@
+// Hub scale bench: thousands of concurrent sessions through the
+// sharded reactor, one real client subscribed to all of them.
+//
+// Synthetic sessions (register_synthetic) stand in for debuggees; each
+// injected event carries its send timestamp, so the client-side drain
+// measures true end-to-end routing latency (shard dispatch + envelope
+// stamp + queue + socket + decode). Reported: p50/p99 latency,
+// aggregate and per-shard events/sec, and backpressure drops.
+//
+//   bench_hub [--sessions N] [--rounds M] [--append]
+//
+// --append emits one JSON object per line (JSONL) so tools/hub_load.sh
+// can sweep 100/1k/10k sessions into one BENCH_hub.json.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.hpp"
+#include "debugger/protocol.hpp"
+#include "hub/hub.hpp"
+#include "support/timing.hpp"
+
+using namespace dionea;
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int sessions = 10'000;
+  int rounds = 5;  // events injected per session
+  bool append = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--append") == 0) {
+      append = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hub [--sessions N] [--rounds M] [--append]\n");
+      return 64;
+    }
+  }
+
+  hub::Hub::Options options;
+  // Scale the per-client bound with the fleet: the single drain client
+  // subscribes to every session, so the default 256 frames would turn
+  // the bench into a drop-rate measurement instead of a latency one.
+  options.client_queue_frames = static_cast<size_t>(sessions) * static_cast<size_t>(rounds) + 64;
+  hub::Hub hub(options);
+  if (!hub.start().is_ok()) {
+    std::fprintf(stderr, "bench_hub: hub start failed\n");
+    return 1;
+  }
+
+  std::printf("bench_hub: %d sessions x %d events, %d shard(s)\n", sessions,
+              rounds, hub.shard_count());
+  std::vector<std::int64_t> ids;
+  ids.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    ids.push_back(hub.register_synthetic(100'000 + i));
+  }
+
+  auto connected = client::Client::connect(hub.port(), 10'000);
+  if (!connected.is_ok()) {
+    std::fprintf(stderr, "bench_hub: client connect failed: %s\n",
+                 connected.error().to_string().c_str());
+    return 1;
+  }
+  client::Client& cc = *connected.value();
+  if (!cc.hub_mode()) {
+    std::fprintf(stderr, "bench_hub: peer did not advertise hub\n");
+    return 1;
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(sessions) * static_cast<std::uint64_t>(rounds);
+  std::atomic<bool> draining{true};
+  std::atomic<std::uint64_t> received_count{0};
+  // Written by the drain thread only; read by main after join().
+  std::vector<double> latencies;
+  latencies.reserve(expected);
+  std::map<int, std::uint64_t> per_shard_received;
+  std::thread drain([&] {
+    while (draining.load()) {
+      auto events = cc.poll_events(20);
+      if (!events.is_ok()) break;
+      double now = mono_seconds();
+      for (const client::Client::SessionEvent& se : events.value()) {
+        double sent = se.event.payload.at("t").as_double();
+        if (sent <= 0.0) continue;  // not ours (hub lifecycle events)
+        latencies.push_back(now - sent);
+        per_shard_received[hub.shard_for_session(se.session.id)]++;
+        received_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  Stopwatch wall;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::int64_t id : ids) {
+      ipc::wire::Value event =
+          dbg::proto::make_event(dbg::proto::Event::kOutput);
+      event.set("t", mono_seconds());
+      hub.inject_event(id, event);
+    }
+  }
+  double inject_seconds = wall.elapsed_seconds();
+
+  // Drain until everything routed has either arrived or been dropped
+  // (bounded: a stalled pipeline must fail loudly, not hang the bench).
+  Stopwatch settle;
+  while (settle.elapsed_seconds() < 60.0) {
+    std::uint64_t seen = received_count.load() + hub.events_dropped();
+    if (hub.events_routed() >= expected && seen >= expected) break;
+    sleep_for_millis(20);
+  }
+  double total_seconds = wall.elapsed_seconds();
+  draining.store(false);
+  drain.join();
+  std::uint64_t received = latencies.size();
+  std::uint64_t dropped = hub.events_dropped();
+
+  std::sort(latencies.begin(), latencies.end());
+  double p50_ms = percentile(latencies, 0.50) * 1000.0;
+  double p99_ms = percentile(latencies, 0.99) * 1000.0;
+  double events_per_sec =
+      total_seconds > 0 ? static_cast<double>(received) / total_seconds : 0;
+
+  std::printf("  injected %llu in %.3fs, received %llu, dropped %llu\n",
+              static_cast<unsigned long long>(expected), inject_seconds,
+              static_cast<unsigned long long>(received),
+              static_cast<unsigned long long>(dropped));
+  std::printf("  latency p50 %.3fms p99 %.3fms, %.0f events/s total\n",
+              p50_ms, p99_ms, events_per_sec);
+
+  std::FILE* json = std::fopen("BENCH_hub.json", append ? "a" : "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_hub: cannot open BENCH_hub.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\"sessions\": %d, \"shards\": %d, \"events\": %llu, "
+               "\"received\": %llu, \"dropped\": %llu, "
+               "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
+               "\"events_per_sec\": %.1f, \"per_shard_events_per_sec\": {",
+               sessions, hub.shard_count(),
+               static_cast<unsigned long long>(expected),
+               static_cast<unsigned long long>(received),
+               static_cast<unsigned long long>(dropped), p50_ms, p99_ms,
+               events_per_sec);
+  bool first = true;
+  for (const auto& [shard, count] : per_shard_received) {
+    std::fprintf(json, "%s\"%d\": %.1f", first ? "" : ", ", shard,
+                 total_seconds > 0
+                     ? static_cast<double>(count) / total_seconds
+                     : 0.0);
+    first = false;
+  }
+  std::fprintf(json, "}}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_hub.json (%s)\n", append ? "append" : "truncate");
+
+  hub.stop();
+  // Pass criterion: the fleet stayed attached and events flowed with a
+  // measured p99. Received must cover most of the injected load (drops
+  // are backpressure policy, not failure — but total silence is).
+  bool pass = received > 0 && p99_ms > 0.0;
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

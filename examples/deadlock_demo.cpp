@@ -17,7 +17,7 @@
 #include <cstdio>
 #include <thread>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "debugger/server.hpp"
 #include "support/temp_file.hpp"
 #include "vm/interp.hpp"
@@ -76,28 +76,30 @@ int main() {
     interp.finish(result);
   });
 
-  client::MultiClient mc(port_file);
-  if (auto n = mc.refresh(3000); !n.is_ok()) return 1;
-  mc.claim(static_cast<int>(::getpid()));  // the parent runs in-process
+  auto cc = client::Client::discover(port_file);
+  if (auto n = cc->refresh(3000); !n.is_ok()) return 1;
+  // The parent runs in-process.
+  cc->claim(cc->handle_for_pid(static_cast<int>(::getpid())));
 
   // The fork happens quickly; adopt the child's session.
-  auto child = mc.await_new_process(5000);
-  if (!child.is_ok()) {
+  auto child_h = cc->attach_any(5000);
+  if (!child_h.is_ok()) {
     std::fprintf(stderr, "no child session: %s\n",
-                 child.error().to_string().c_str());
+                 child_h.error().to_string().c_str());
     return 1;
   }
-  std::printf("adopted child session pid %d\n", child.value()->pid());
+  client::Session* child = cc->session(child_h.value());
+  std::printf("adopted child session pid %d\n", child->pid());
 
   // The child parked at its first line; resume it into the deadlock.
-  auto birth = child.value()->wait_stopped(5000);
+  auto birth = child->wait_stopped(5000);
   if (birth.is_ok()) {
-    (void)child.value()->cont(birth.value().tid);
+    (void)child->cont(birth.value().tid);
   }
 
   // The child's debug server owns the deadlock and reports the exact
   // location instead of dying.
-  auto deadlock = child.value()->wait_event("deadlock", 5000);
+  auto deadlock = child->wait_event("deadlock", 5000);
   if (!deadlock.is_ok()) {
     std::fprintf(stderr, "no deadlock event: %s\n",
                  deadlock.error().to_string().c_str());
@@ -116,7 +118,7 @@ int main() {
   // then let everything wind down.
   auto deadlocked_tid = deadlock.value().payload.at("threads").as_array()[0]
                             .get_int("tid");
-  auto frames = child.value()->frames(deadlocked_tid);
+  auto frames = child->frames(deadlocked_tid);
   if (frames.is_ok()) {
     for (const auto& frame : frames.value()) {
       std::printf("    in %s at %s:%d\n", frame.function.c_str(),
@@ -125,10 +127,9 @@ int main() {
   }
 
   // Tear down: drop the child (it is deadlocked by design).
-  if (auto* session = mc.session(child.value()->pid())) {
-    (void)session;
-  }
-  ::kill(child.value()->pid(), SIGKILL);
+  int child_pid = child->pid();
+  cc->drop(child_h.value());
+  ::kill(child_pid, SIGKILL);
   debuggee.join();
   server.stop();
   std::puts("deadlock demo done");

@@ -1,10 +1,12 @@
 // dioneac — interactive debug client (the command shell of Fig. 2,
-// headless). Attaches to every process in the port file and offers the
+// headless). Attaches either to every process in a port file or to a
+// single endpoint (a debug hub, or one direct server) and offers the
 // Console command set; `help` lists commands.
 //
-//   dioneac [--port-file PATH]
+//   dioneac [--port-file PATH | --connect PORT]
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "client/console.hpp"
@@ -14,36 +16,54 @@ using namespace dionea;
 
 int main(int argc, char** argv) {
   std::string port_file = "./dionea.ports";
+  int connect_port = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_port = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: dioneac [--port-file PATH]\n");
+      std::fprintf(stderr,
+                   "usage: dioneac [--port-file PATH | --connect PORT]\n");
       return 64;
     }
   }
-  if (!file_exists(port_file)) {
-    std::fprintf(stderr,
-                 "dioneac: port file %s not found (start dioneas first)\n",
-                 port_file.c_str());
-    return 66;
-  }
 
-  client::MultiClient mc(port_file);
-  auto attached = mc.refresh(3000);
-  if (!attached.is_ok()) {
-    std::fprintf(stderr, "dioneac: %s\n",
-                 attached.error().to_string().c_str());
-    return 69;
+  std::unique_ptr<client::Client> cc;
+  if (connect_port > 0) {
+    auto connected = client::Client::connect(
+        static_cast<std::uint16_t>(connect_port), 3000);
+    if (!connected.is_ok()) {
+      std::fprintf(stderr, "dioneac: %s\n",
+                   connected.error().to_string().c_str());
+      return 69;
+    }
+    cc = std::move(connected).value();
+    std::printf("connected to %s on port %d\n",
+                cc->hub_mode() ? "hub" : "server", connect_port);
+  } else {
+    if (!file_exists(port_file)) {
+      std::fprintf(stderr,
+                   "dioneac: port file %s not found (start dioneas first)\n",
+                   port_file.c_str());
+      return 66;
+    }
+    cc = client::Client::discover(port_file);
+    auto attached = cc->refresh(3000);
+    if (!attached.is_ok()) {
+      std::fprintf(stderr, "dioneac: %s\n",
+                   attached.error().to_string().c_str());
+      return 69;
+    }
   }
   std::printf("attached to %zu process(es); `help` for commands\n",
-              mc.session_count());
+              cc->session_count());
 
-  client::Console console(mc);
+  client::Console console(*cc);
   std::string line;
   while (!console.quit_requested()) {
-    std::fputs("(dionea) ", stdout);
+    std::fputs(console.prompt().c_str(), stdout);
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     std::fputs(console.execute(line).c_str(), stdout);

@@ -12,7 +12,7 @@
 #include <string>
 #include <thread>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "debugger/server.hpp"
 #include "mapreduce/corpus.hpp"
 #include "mp/vm_bindings.hpp"
@@ -119,9 +119,10 @@ int main() {
     interp.finish(result);
   });
 
-  client::MultiClient mc(port_file);
-  (void)mc.refresh(3000);
-  mc.claim(static_cast<int>(::getpid()));  // the parent runs in-process
+  auto cc = client::Client::discover(port_file);
+  (void)cc->refresh(3000);
+  // The parent runs in-process.
+  cc->claim(cc->handle_for_pid(static_cast<int>(::getpid())));
 
   // Adopt all four workers as they stop at birth; resume all but the
   // first — that one stays suspended while its siblings work.
@@ -129,24 +130,25 @@ int main() {
   std::int64_t suspended_tid = 0;
   int adopted = 0;
   while (adopted < kWorkers) {
-    auto session = mc.await_new_process(10'000);
-    if (!session.is_ok()) {
+    auto worker_h = cc->attach_any(10'000);
+    if (!worker_h.is_ok()) {
       std::fprintf(stderr, "worker adoption failed: %s\n",
-                   session.error().to_string().c_str());
+                   worker_h.error().to_string().c_str());
       return 1;
     }
-    auto stop = session.value()->wait_stopped(5000);
+    client::Session* worker = cc->session(worker_h.value());
+    auto stop = worker->wait_stopped(5000);
     if (!stop.is_ok()) return 1;
     ++adopted;
     if (suspended_pid == 0) {
-      suspended_pid = session.value()->pid();
+      suspended_pid = worker->pid();
       suspended_tid = stop.value().tid;
       std::printf("worker %d SUSPENDED at birth (low-intrusive: everything "
                   "else keeps running)\n",
                   suspended_pid);
     } else {
-      (void)session.value()->cont(stop.value().tid);
-      std::printf("worker %d resumed\n", session.value()->pid());
+      (void)worker->cont(stop.value().tid);
+      std::printf("worker %d resumed\n", worker->pid());
     }
   }
 
@@ -156,7 +158,7 @@ int main() {
   std::printf("releasing suspended worker %d — expect it to have picked up "
               "~0 files while its siblings took over the jobs\n",
               suspended_pid);
-  (void)mc.session(suspended_pid)->cont(suspended_tid);
+  (void)cc->session(cc->handle_for_pid(suspended_pid))->cont(suspended_tid);
 
   debuggee.join();
   server.stop();

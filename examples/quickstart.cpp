@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <thread>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "debugger/server.hpp"
 #include "support/temp_file.hpp"
 #include "vm/interp.hpp"
@@ -71,11 +71,11 @@ int main() {
   });
 
   // --- client side ---
-  client::MultiClient mc(port_file);
-  if (auto n = mc.refresh(3000); !n.is_ok() || n.value() != 1) {
+  auto cc = client::Client::discover(port_file);
+  if (auto n = cc->refresh(3000); !n.is_ok() || n.value() != 1) {
     return fail("attach", "no session");
   }
-  client::Session* parent = mc.session(mc.pids()[0]);
+  client::Session* parent = cc->session(cc->sessions()[0]);
   std::printf("attached to debuggee pid %d\n", parent->pid());
 
   auto entry = parent->wait_stopped(5000);
@@ -119,20 +119,21 @@ int main() {
   auto forked = parent->wait_event("forked", 10'000);
   if (!forked.is_ok()) return fail("fork event", forked.error().to_string());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = mc.await_process(child_pid, 5000);
+  auto child = cc->attach(child_pid, 5000);
   if (!child.is_ok()) return fail("child session", child.error().to_string());
+  client::Session* child_s = cc->session(child.value());
   std::printf("adopted forked child pid %d as its own session (now %zu "
               "sessions on one client)\n",
-              child_pid, mc.session_count());
+              child_pid, cc->session_count());
 
   // The child parked at its first line; inspect it, then let it run.
-  auto child_stop = child.value()->wait_stopped(5000);
+  auto child_stop = child_s->wait_stopped(5000);
   if (!child_stop.is_ok()) {
     return fail("child stop", child_stop.error().to_string());
   }
   std::printf("child parked at %s:%d\n", child_stop.value().file.c_str(),
               child_stop.value().line);
-  auto threads = child.value()->threads();
+  auto threads = child_s->threads();
   if (threads.is_ok()) {
     for (const auto& t : threads.value()) {
       std::printf("  child thread %lld (%s) at %s:%d\n",
@@ -140,7 +141,7 @@ int main() {
                   t.file.c_str(), t.line);
     }
   }
-  (void)child.value()->cont(child_stop.value().tid);
+  (void)child_s->cont(child_stop.value().tid);
 
   debuggee.join();
   server.stop();

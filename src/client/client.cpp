@@ -1,0 +1,495 @@
+#include "client/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::client {
+
+namespace proto = dbg::proto;
+
+namespace {
+
+std::string fresh_token() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "cli-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+DebugEvent make_gone_event(int pid, bool clean_exit) {
+  DebugEvent event;
+  event.kind = clean_exit ? proto::Event::kProcessExited
+                          : proto::Event::kProcessCrashed;
+  event.name = proto::event_name(event.kind);
+  event.payload = proto::make_event(event.kind);
+  if (pid != 0) event.payload.set("pid", pid);
+  return event;
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::discover(std::string port_file_path) {
+  auto client = std::unique_ptr<Client>(new Client());
+  client->mode_ = Mode::kDiscover;
+  client->multi_ = std::make_unique<MultiClient>(std::move(port_file_path));
+  return client;
+}
+
+Result<std::unique_ptr<Client>> Client::connect(std::uint16_t port,
+                                                int timeout_millis) {
+  auto client = std::unique_ptr<Client>(new Client());
+  DIONEA_RETURN_IF_ERROR(client->hub_handshake(port, timeout_millis));
+  return client;
+}
+
+Status Client::hub_handshake(std::uint16_t port, int timeout_millis) {
+  token_ = fresh_token();
+  DIONEA_ASSIGN_OR_RETURN(link_, Session::attach(port, timeout_millis, token_));
+  endpoint_port_ = port;
+  if (link_->supports(proto::kCapHub)) {
+    mode_ = Mode::kHub;
+    DIONEA_RETURN_IF_ERROR(hub_attach_all());
+    DIONEA_RETURN_IF_ERROR(hub_refresh(timeout_millis).status());
+  } else {
+    // Pre-1.5 peer (or a direct per-process server): same surface, one
+    // session, handle = the debuggee pid.
+    mode_ = Mode::kSingle;
+  }
+  return Status::ok();
+}
+
+Result<int> Client::refresh(int timeout_millis) {
+  switch (mode_) {
+    case Mode::kDiscover:
+      return multi_->refresh(timeout_millis);
+    case Mode::kHub:
+      return hub_refresh(timeout_millis);
+    case Mode::kSingle:
+      return 0;  // one endpoint, nothing new can appear
+  }
+  return 0;
+}
+
+Result<int> Client::hub_refresh(int) {
+  DIONEA_ASSIGN_OR_RETURN(std::vector<proto::HubSessionEntry> entries,
+                          hub_sessions());
+  int fresh = 0;
+  for (proto::HubSessionEntry& entry : entries) {
+    auto it = known_.find(entry.session_id);
+    bool is_new = it == known_.end();
+    known_[entry.session_id] = entry;
+    if (is_new && entry.alive && !entry.synthetic) {
+      unclaimed_.push_back(entry.session_id);
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+std::vector<SessionHandle> Client::sessions() const {
+  std::vector<SessionHandle> out;
+  switch (mode_) {
+    case Mode::kDiscover:
+      for (int pid : multi_->pids()) out.push_back({pid});
+      break;
+    case Mode::kHub:
+      for (const auto& [id, entry] : known_) {
+        if (entry.alive && !entry.synthetic) out.push_back({id});
+      }
+      break;
+    case Mode::kSingle:
+      if (link_ != nullptr) out.push_back({link_->pid()});
+      break;
+  }
+  return out;
+}
+
+size_t Client::session_count() const { return sessions().size(); }
+
+SessionHandle Client::handle_for_pid(int pid) const {
+  switch (mode_) {
+    case Mode::kDiscover:
+      return multi_->session(pid) != nullptr ? SessionHandle{pid}
+                                             : SessionHandle{};
+    case Mode::kHub: {
+      // Newest matching registration wins: after a double fork the
+      // same pid re-registers under a fresh (higher) session id.
+      SessionHandle found{};
+      for (const auto& [id, entry] : known_) {
+        if (entry.pid == pid && entry.alive) found = SessionHandle{id};
+      }
+      return found;
+    }
+    case Mode::kSingle:
+      return (link_ != nullptr && link_->pid() == pid) ? SessionHandle{pid}
+                                                       : SessionHandle{};
+  }
+  return {};
+}
+
+int Client::pid_of(SessionHandle handle) const {
+  switch (mode_) {
+    case Mode::kDiscover:
+    case Mode::kSingle:
+      return static_cast<int>(handle.id);
+    case Mode::kHub: {
+      auto it = known_.find(handle.id);
+      return it == known_.end() ? 0 : it->second.pid;
+    }
+  }
+  return 0;
+}
+
+Result<SessionHandle> Client::attach(int pid, int timeout_millis) {
+  if (mode_ == Mode::kDiscover) {
+    DIONEA_RETURN_IF_ERROR(
+        multi_->await_process(pid, timeout_millis).status());
+    return SessionHandle{pid};
+  }
+  if (mode_ == Mode::kSingle) {
+    if (link_ != nullptr && link_->pid() == pid) return SessionHandle{pid};
+    return Error(ErrorCode::kNotFound,
+                 "single-session endpoint is not pid " + std::to_string(pid));
+  }
+  Stopwatch watch;
+  while (true) {
+    DIONEA_RETURN_IF_ERROR(hub_refresh(timeout_millis).status());
+    SessionHandle handle = handle_for_pid(pid);
+    if (handle.valid()) {
+      claim(handle);
+      return handle;
+    }
+    if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+      return Error(ErrorCode::kTimeout,
+                   "no hub session for pid " + std::to_string(pid));
+    }
+    sleep_for_millis(10);
+  }
+}
+
+Result<SessionHandle> Client::attach_any(int timeout_millis) {
+  if (mode_ == Mode::kDiscover) {
+    DIONEA_ASSIGN_OR_RETURN(Session * session,
+                            multi_->await_new_process(timeout_millis));
+    return SessionHandle{session->pid()};
+  }
+  if (mode_ == Mode::kSingle) {
+    if (link_ == nullptr) return Error(ErrorCode::kClosed, "no endpoint");
+    SessionHandle handle{link_->pid()};
+    if (claimed_.count(handle.id) > 0) {
+      return Error(ErrorCode::kTimeout, "no new process appeared");
+    }
+    claimed_.insert(handle.id);
+    return handle;
+  }
+  Stopwatch watch;
+  while (true) {
+    while (!unclaimed_.empty()) {
+      std::int64_t id = unclaimed_.front();
+      unclaimed_.pop_front();
+      auto it = known_.find(id);
+      if (it == known_.end() || !it->second.alive) continue;
+      claimed_.insert(id);
+      return SessionHandle{id};
+    }
+    DIONEA_RETURN_IF_ERROR(hub_refresh(timeout_millis).status());
+    if (unclaimed_.empty()) {
+      if (watch.elapsed_seconds() * 1000.0 > timeout_millis) {
+        return Error(ErrorCode::kTimeout, "no new session appeared");
+      }
+      sleep_for_millis(10);
+    }
+  }
+}
+
+void Client::claim(SessionHandle handle) {
+  switch (mode_) {
+    case Mode::kDiscover:
+      multi_->claim(static_cast<int>(handle.id));
+      break;
+    case Mode::kHub:
+    case Mode::kSingle:
+      claimed_.insert(handle.id);
+      unclaimed_.erase(
+          std::remove(unclaimed_.begin(), unclaimed_.end(), handle.id),
+          unclaimed_.end());
+      break;
+  }
+}
+
+Session* Client::session(SessionHandle handle) {
+  switch (mode_) {
+    case Mode::kDiscover:
+      return multi_->session(static_cast<int>(handle.id));
+    case Mode::kHub:
+      return known_.count(handle.id) > 0 ? routed(handle.id) : nullptr;
+    case Mode::kSingle:
+      return (link_ != nullptr && link_->pid() == handle.id) ? link_.get()
+                                                             : nullptr;
+  }
+  return nullptr;
+}
+
+Session* Client::routed(std::int64_t session_id) {
+  link_->set_route(session_id);
+  return link_.get();
+}
+
+void Client::drop(SessionHandle handle) {
+  switch (mode_) {
+    case Mode::kDiscover:
+      multi_->drop(static_cast<int>(handle.id));
+      break;
+    case Mode::kHub:
+      known_.erase(handle.id);
+      claimed_.erase(handle.id);
+      reported_dead_.erase(handle.id);
+      unclaimed_.erase(
+          std::remove(unclaimed_.begin(), unclaimed_.end(), handle.id),
+          unclaimed_.end());
+      break;
+    case Mode::kSingle:
+      if (link_ != nullptr && link_->pid() == handle.id) link_->hard_close();
+      break;
+  }
+  if (active_.session == handle) active_ = View{};
+}
+
+Result<Session*> Client::reconnect(SessionHandle handle,
+                                   const ReconnectPolicy& policy) {
+  if (mode_ == Mode::kDiscover) {
+    return multi_->reconnect(static_cast<int>(handle.id), policy);
+  }
+  // Hub / single: re-dial the one endpoint with the same token and
+  // capped exponential backoff. Handles are server-side state (hub
+  // session ids / the debuggee pid), so they survive untouched.
+  std::vector<BreakpointSpec> carry;
+  if (link_ != nullptr) carry = link_->breakpoints_set();
+  Rng rng(policy.seed ^ static_cast<std::uint64_t>(handle.id));
+  double delay = static_cast<double>(policy.initial_delay_millis);
+  Error last(ErrorCode::kUnavailable, "no reconnect attempt made");
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      double factor =
+          1.0 - policy.jitter + 2.0 * policy.jitter * rng.next_double();
+      sleep_for_millis(static_cast<int>(delay * factor));
+      delay = std::min(delay * policy.multiplier,
+                       static_cast<double>(policy.max_delay_millis));
+    }
+    auto attached = Session::attach(endpoint_port_, /*timeout_millis=*/500,
+                                    token_);
+    if (!attached.is_ok()) {
+      last = attached.error();
+      continue;
+    }
+    link_ = std::move(attached).value();
+    if (mode_ == Mode::kHub) {
+      if (Status sub = hub_attach_all(); !sub.is_ok()) {
+        DLOG_DEBUG("client") << "reconnect: hub re-subscribe failed: "
+                             << sub.to_string();
+      }
+      (void)hub_refresh(500);
+      reported_dead_.erase(handle.id);
+      if (known_.count(handle.id) == 0) {
+        return Error(ErrorCode::kNotFound,
+                     "session " + std::to_string(handle.id) +
+                         " no longer known to the hub");
+      }
+    } else {
+      reported_dead_.clear();
+    }
+    Session* raw = session(handle);
+    if (raw == nullptr) {
+      last = Error(ErrorCode::kNotFound, "handle vanished across reconnect");
+      continue;
+    }
+    for (const BreakpointSpec& bp : carry) {
+      auto re_set = raw->set_breakpoint(bp.file, bp.line, bp.tid, bp.ignore);
+      if (!re_set.is_ok()) {
+        DLOG_DEBUG("client") << "reconnect: breakpoint " << bp.file << ":"
+                             << bp.line << " not re-applied: "
+                             << re_set.error().to_string();
+      }
+    }
+    return raw;
+  }
+  return Error(last.code(),
+               "reconnect failed after " + std::to_string(policy.max_attempts) +
+                   " attempts: " + last.message());
+}
+
+void Client::note_child_exit(int pid, int exit_code, int term_signal) {
+  if (mode_ == Mode::kDiscover) {
+    multi_->note_child_exit(pid, exit_code, term_signal);
+    return;
+  }
+  if (mode_ == Mode::kHub) return;  // the hub synthesizes these itself
+  SessionHandle handle{pid};
+  if (reported_dead_.count(handle.id) > 0) return;
+  reported_dead_.insert(handle.id);
+  DebugEvent event = make_gone_event(pid, term_signal == 0);
+  if (exit_code >= 0) event.payload.set("exit_code", exit_code);
+  if (term_signal != 0) event.payload.set("signal", term_signal);
+  pending_events_.push_back({handle, std::move(event)});
+}
+
+std::string Client::crash_report_path(SessionHandle handle) const {
+  if (mode_ == Mode::kDiscover) {
+    return multi_->crash_report_path(static_cast<int>(handle.id));
+  }
+  auto it = crash_reports_.find(handle.id);
+  return it == crash_reports_.end() ? std::string() : it->second;
+}
+
+Status Client::activate(SessionHandle handle, std::int64_t tid) {
+  if (mode_ == Mode::kDiscover) {
+    DIONEA_RETURN_IF_ERROR(
+        multi_->activate(static_cast<int>(handle.id), tid));
+    active_ = View{handle, tid};
+    return Status::ok();
+  }
+  Session* target = session(handle);
+  if (target == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "no session " + std::to_string(handle.id));
+  }
+  DIONEA_ASSIGN_OR_RETURN(std::vector<RemoteThread> threads,
+                          target->threads());
+  for (const RemoteThread& t : threads) {
+    if (t.tid == tid) {
+      active_ = View{handle, tid};
+      return Status::ok();
+    }
+  }
+  return Status(ErrorCode::kNotFound,
+                "session " + std::to_string(handle.id) + " has no thread " +
+                    std::to_string(tid));
+}
+
+Client::View Client::active_view() const { return active_; }
+
+Result<std::string> Client::active_source() {
+  if (!active_.valid()) {
+    return Error(ErrorCode::kInvalidArgument, "no active view");
+  }
+  Session* target = session(active_.session);
+  if (target == nullptr) {
+    return Error(ErrorCode::kNotFound, "active session is gone");
+  }
+  DIONEA_ASSIGN_OR_RETURN(std::vector<RemoteFrame> frames,
+                          target->frames(active_.tid));
+  if (frames.empty()) {
+    return Error(ErrorCode::kNotFound, "active thread has no frames");
+  }
+  return target->source(frames.front().file);
+}
+
+Result<std::vector<RemoteFrame>> Client::active_frames() {
+  if (!active_.valid()) {
+    return Error(ErrorCode::kInvalidArgument, "no active view");
+  }
+  Session* target = session(active_.session);
+  if (target == nullptr) {
+    return Error(ErrorCode::kNotFound, "active session is gone");
+  }
+  return target->frames(active_.tid);
+}
+
+Result<std::vector<Client::SessionEvent>> Client::poll_events(
+    int timeout_millis) {
+  if (mode_ == Mode::kDiscover) {
+    DIONEA_ASSIGN_OR_RETURN(auto pairs, multi_->poll_all_events(timeout_millis));
+    std::vector<SessionEvent> out;
+    out.reserve(pairs.size());
+    for (auto& [pid, event] : pairs) {
+      out.push_back({SessionHandle{pid}, std::move(event)});
+    }
+    return out;
+  }
+
+  std::vector<SessionEvent> out;
+  while (!pending_events_.empty()) {
+    out.push_back(std::move(pending_events_.front()));
+    pending_events_.pop_front();
+  }
+
+  if (link_ == nullptr || !link_->connected()) {
+    // The one transport is gone. In hub mode that silences every
+    // session at once; announce each live one exactly once.
+    for (SessionHandle handle : sessions()) {
+      if (reported_dead_.count(handle.id) > 0) continue;
+      reported_dead_.insert(handle.id);
+      bool clean = link_ != nullptr && link_->terminated_seen();
+      out.push_back({handle, make_gone_event(pid_of(handle), clean)});
+    }
+    return out;
+  }
+
+  int wait = timeout_millis;
+  while (true) {
+    auto event = link_->poll_event(wait);
+    if (!event.is_ok()) {
+      if (event.error().code() == ErrorCode::kClosed) {
+        for (SessionHandle handle : sessions()) {
+          if (reported_dead_.count(handle.id) > 0) continue;
+          reported_dead_.insert(handle.id);
+          out.push_back(
+              {handle, make_gone_event(pid_of(handle),
+                                       link_->terminated_seen())});
+        }
+        return out;
+      }
+      return event.error();
+    }
+    if (!event.value().has_value()) break;
+    DebugEvent ev = std::move(*event.value());
+    // The hub stamps every routed event with its session id; a direct
+    // 1.4 server doesn't, so fall back to the link's own session.
+    std::int64_t sid = ev.payload.get_int(proto::kSessionIdKey);
+    SessionHandle handle =
+        sid != 0 ? SessionHandle{sid}
+                 : (mode_ == Mode::kSingle ? SessionHandle{link_->pid()}
+                                           : SessionHandle{});
+    if (ev.kind == proto::Event::kProcessCrashed ||
+        ev.kind == proto::Event::kProcessExited) {
+      std::string path = ev.payload.get_string("report_path");
+      if (!path.empty()) crash_reports_[handle.id] = path;
+      reported_dead_.insert(handle.id);
+      auto it = known_.find(handle.id);
+      if (it != known_.end()) it->second.alive = false;
+    }
+    out.push_back({handle, std::move(ev)});
+    wait = 0;  // drain whatever else is buffered without blocking again
+  }
+  return out;
+}
+
+Result<std::vector<proto::HubSessionEntry>> Client::hub_sessions() {
+  if (mode_ != Mode::kHub) {
+    return Error(ErrorCode::kUnavailable, "not connected to a hub");
+  }
+  DIONEA_ASSIGN_OR_RETURN(
+      ipc::wire::Value reply,
+      link_->request(proto::HubSessionsRequest::kName));
+  DIONEA_ASSIGN_OR_RETURN(proto::HubSessionsResponse response,
+                          proto::HubSessionsResponse::from_wire(reply));
+  return std::move(response.sessions);
+}
+
+Status Client::hub_attach_all() {
+  if (mode_ != Mode::kHub) {
+    return Status(ErrorCode::kUnavailable, "not connected to a hub");
+  }
+  proto::HubAttachRequest request;
+  request.session_id = 0;  // 0 = everything, present and future
+  return link_->request(proto::HubAttachRequest::kName, request.to_wire())
+      .status();
+}
+
+}  // namespace dionea::client

@@ -1,0 +1,157 @@
+// Session-addressed client API (the 1.5 redesign).
+//
+// The older MultiClient exposes debuggees by pid, which only works
+// when the client itself discovers every process (port-file tailing).
+// Behind a hub the client holds ONE connection and addresses sessions
+// by hub-assigned id; pids are advisory. Client unifies the three
+// transports behind one handle-centric surface:
+//
+//  - discover(port_file): the classic §5.3 mode. One Session per
+//    debuggee, handles are pids (stable across reconnects — the hub
+//    property holds trivially).
+//  - connect(port): single endpoint. If the peer advertises the `hub`
+//    capability, handles are hub session ids and every request rides
+//    the shared connection with a session_id envelope stamp. If not,
+//    the client downgrades to plain 1.4 single-session behavior over
+//    the same code path (handle = the one pid).
+//
+// Handles survive reconnect() in every mode: they name the session,
+// not the socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/multi_client.hpp"
+#include "client/session.hpp"
+#include "debugger/protocol.hpp"
+#include "support/result.hpp"
+
+namespace dionea::client {
+
+// Opaque, stable address of one debuggee session. In discover() mode
+// the id happens to equal the pid; against a hub it is the hub's
+// session id. Code should not rely on either beyond display.
+struct SessionHandle {
+  std::int64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+  bool operator==(const SessionHandle&) const = default;
+  bool operator<(const SessionHandle& other) const noexcept {
+    return id < other.id;
+  }
+};
+
+class Client {
+ public:
+  // Port-file discovery mode (direct sessions, one per debuggee).
+  static std::unique_ptr<Client> discover(std::string port_file_path);
+
+  // Single-endpoint mode: hub when the peer advertises kCapHub,
+  // single-session downgrade otherwise.
+  static Result<std::unique_ptr<Client>> connect(std::uint16_t port,
+                                                 int timeout_millis);
+
+  bool hub_mode() const noexcept { return mode_ == Mode::kHub; }
+
+  // Adopt sessions that appeared since the last call (new port-file
+  // records / new hub registrations). Returns how many are new.
+  Result<int> refresh(int timeout_millis);
+
+  // Known live sessions, in handle order.
+  std::vector<SessionHandle> sessions() const;
+  size_t session_count() const;
+  SessionHandle handle_for_pid(int pid) const;
+  int pid_of(SessionHandle handle) const;
+
+  // Attach to the session debugging `pid`, waiting for it to appear
+  // (a fork handler may still be publishing it). Claims the session.
+  Result<SessionHandle> attach(int pid, int timeout_millis);
+  // Attach to the next session nobody has claimed yet (fork-storm
+  // adoption: each call hands out a different child).
+  Result<SessionHandle> attach_any(int timeout_millis);
+  void claim(SessionHandle handle);
+
+  // The Session to speak through for `handle`. In hub mode this is the
+  // shared hub connection with its route set to the handle — use it
+  // and re-fetch rather than caching across handles. Null when the
+  // handle is unknown.
+  Session* session(SessionHandle handle);
+
+  void drop(SessionHandle handle);
+
+  // Re-establish transport for `handle` with capped exponential
+  // backoff. The handle keeps working afterwards — in hub mode the ids
+  // live in the hub, in discover mode the pid re-binds to the new
+  // port record (breakpoints re-applied).
+  Result<Session*> reconnect(SessionHandle handle,
+                             const ReconnectPolicy& policy = {});
+
+  // Out-of-band child-exit observation (mp::ChildReaper), direct modes
+  // only; the hub synthesizes these itself.
+  void note_child_exit(int pid, int exit_code, int term_signal);
+  std::string crash_report_path(SessionHandle handle) const;
+
+  // ---- debug views (§4.2) ----
+  struct View {
+    SessionHandle session;
+    std::int64_t tid = 0;
+    bool valid() const noexcept { return session.valid(); }
+  };
+  Status activate(SessionHandle handle, std::int64_t tid);
+  View active_view() const;
+  Result<std::string> active_source();
+  Result<std::vector<RemoteFrame>> active_frames();
+
+  // ---- events ----
+  struct SessionEvent {
+    SessionHandle session;
+    DebugEvent event;
+  };
+  // Drain pending events across every session. A dead session yields
+  // one synthesized process-exited/process-crashed and is then muted.
+  Result<std::vector<SessionEvent>> poll_events(int timeout_millis);
+
+  // ---- hub-specific (kUnavailable in other modes) ----
+  Result<std::vector<dbg::proto::HubSessionEntry>> hub_sessions();
+  // Subscribe the events channel to every session, present and future.
+  // connect() does this automatically in hub mode.
+  Status hub_attach_all();
+
+  // Deprecated escape hatch for code mid-migration: the underlying
+  // MultiClient in discover() mode, null otherwise.
+  MultiClient* legacy() noexcept { return multi_.get(); }
+
+ private:
+  enum class Mode { kDiscover, kHub, kSingle };
+
+  Client() = default;
+  Status hub_handshake(std::uint16_t port, int timeout_millis);
+  Result<int> hub_refresh(int timeout_millis);
+  Session* routed(std::int64_t session_id);
+
+  Mode mode_ = Mode::kDiscover;
+
+  // kDiscover
+  std::unique_ptr<MultiClient> multi_;
+
+  // kHub / kSingle: the one connection.
+  std::unique_ptr<Session> link_;
+  std::uint16_t endpoint_port_ = 0;
+  std::string token_;
+
+  // kHub bookkeeping.
+  std::map<std::int64_t, dbg::proto::HubSessionEntry> known_;
+  std::deque<std::int64_t> unclaimed_;
+  std::set<std::int64_t> claimed_;
+  std::set<std::int64_t> reported_dead_;
+  std::map<std::int64_t, std::string> crash_reports_;
+  std::deque<SessionEvent> pending_events_;  // note_child_exit, kSingle
+  View active_{};
+};
+
+}  // namespace dionea::client

@@ -77,14 +77,16 @@ bool parse_location(const std::string& arg, std::string* file, int* line) {
 std::string Console::help() {
   return
       "commands:\n"
+      "  session list          list sessions (hub ids, pids, liveness)\n"
+      "  session use <id> [tid]  activate a session by id\n"
       "  procs                 list attached processes\n"
       "  refresh               adopt newly forked processes\n"
-      "  use <pid> [tid]       activate a debug view\n"
-      "  threads               threads of the active process\n"
+      "  use <pid> [tid]       activate a debug view by pid\n"
+      "  threads               threads of the active session\n"
       "  frames                stack of the active view\n"
       "  locals [depth]        locals of the active view\n"
       "  p <expr>              evaluate an expression in the active view\n"
-      "  globals               globals of the active process\n"
+      "  globals               globals of the active session\n"
       "  source                source of the active view\n"
       "  break <file>:<line>   set breakpoint\n"
       "  delete <id>           delete breakpoint (0 = all)\n"
@@ -94,36 +96,90 @@ std::string Console::help() {
       "  pause [tid]           suspend at next line\n"
       "  pauseall              suspend every thread\n"
       "  disturb on|off        stop new UEs at birth (§6.4)\n"
-      "  stats [pid]           debugger overhead metrics of a process\n"
-      "  replay [pid]          record/replay status of a process\n"
-      "  races [pid]           dynamic race/deadlock findings of a process\n"
-      "  lint [pid]            run the static concurrency lint remotely\n"
-      "  postmortem [pid] [now]  crash report of a process; `now` snapshots\n"
+      "  stats [id]            debugger overhead metrics of a session\n"
+      "  replay [id]           record/replay status of a session\n"
+      "  races [id]            dynamic race/deadlock findings of a session\n"
+      "  lint [id]             run the static concurrency lint remotely\n"
+      "  postmortem [id] [now]  crash report of a session; `now` snapshots\n"
       "                        the live process as if it had crashed\n"
       "  events                drain pending events\n"
-      "  reconnect <pid>       reattach to a lost process\n"
-      "  quit                  leave the console\n";
+      "  reconnect <id>        reattach to a lost session\n"
+      "  quit                  leave the console\n"
+      "([id] is a hub session id or a pid; the session id wins.)\n";
+}
+
+std::string Console::prompt() const {
+  Client::View view = client_.active_view();
+  if (!view.valid()) return "dionea> ";
+  return strings::format("dionea[s%lld]> ",
+                         static_cast<long long>(view.session.id));
+}
+
+SessionHandle Console::resolve(std::int64_t number) const {
+  for (SessionHandle handle : client_.sessions()) {
+    if (handle.id == number) return handle;
+  }
+  return client_.handle_for_pid(static_cast<int>(number));
 }
 
 Session* Console::active_session(std::string* error_out) {
-  MultiClient::View view = client_.active_view();
+  Client::View view = client_.active_view();
   if (!view.valid()) {
     // Fall back to the only session if there is exactly one.
-    std::vector<int> pids = client_.pids();
-    if (pids.size() == 1) {
-      (void)client_.activate(pids[0], 1);
+    std::vector<SessionHandle> all = client_.sessions();
+    if (all.size() == 1) {
+      (void)client_.activate(all[0], 1);
       view = client_.active_view();
     }
   }
   if (!view.valid()) {
-    *error_out = "no active view; use `use <pid> [tid]`\n";
+    *error_out = "no active view; use `session use <id>` or `use <pid>`\n";
     return nullptr;
   }
-  Session* session = client_.session(view.pid);
+  Session* session = client_.session(view.session);
   if (session == nullptr) {
-    *error_out = "active process is gone\n";
+    *error_out = "active session is gone\n";
   }
   return session;
+}
+
+std::string Console::session_verb(const std::vector<std::string>& words) {
+  const std::string usage = "usage: session list | session use <id> [tid]\n";
+  if (words.size() < 2) return usage;
+  if (words[1] == "list") {
+    (void)client_.refresh(500);
+    Client::View view = client_.active_view();
+    std::string out;
+    for (SessionHandle handle : client_.sessions()) {
+      Session* s = client_.session(handle);
+      out += strings::format(
+          "  s%-5lld pid %-7d%s%s\n", static_cast<long long>(handle.id),
+          client_.pid_of(handle),
+          view.session == handle ? "  (active)" : "",
+          s != nullptr && !s->connected() ? "  (disconnected)" : "");
+    }
+    return out.empty() ? "  (no sessions)\n" : out;
+  }
+  if (words[1] == "use") {
+    if (words.size() < 3) return usage;
+    std::int64_t id = 0;
+    std::int64_t tid = 1;
+    if (!strings::parse_int(words[2], &id) ||
+        (words.size() > 3 && !strings::parse_int(words[3], &tid))) {
+      return usage;
+    }
+    SessionHandle handle = resolve(id);
+    if (!handle.valid()) {
+      return strings::format("  no session %lld\n",
+                             static_cast<long long>(id));
+    }
+    Status status = client_.activate(handle, tid);
+    if (!status.is_ok()) return status.to_string() + "\n";
+    return strings::format("  view: session s%lld thread %lld\n",
+                           static_cast<long long>(handle.id),
+                           static_cast<long long>(tid));
+  }
+  return usage;
 }
 
 std::string Console::execute(const std::string& line) {
@@ -137,13 +193,15 @@ std::string Console::execute(const std::string& line) {
     return "";
   }
 
+  if (cmd == "session") return session_verb(words);
+
   if (cmd == "procs") {
+    Client::View view = client_.active_view();
     std::string out;
-    for (int pid : client_.pids()) {
-      MultiClient::View view = client_.active_view();
-      Session* s = client_.session(pid);
-      out += strings::format("  pid %d%s%s\n", pid,
-                             view.pid == pid ? "  (active)" : "",
+    for (SessionHandle handle : client_.sessions()) {
+      Session* s = client_.session(handle);
+      out += strings::format("  pid %d%s%s\n", client_.pid_of(handle),
+                             view.session == handle ? "  (active)" : "",
                              s && !s->connected() ? "  (disconnected)" : "");
     }
     return out.empty() ? "  (no processes)\n" : out;
@@ -163,7 +221,12 @@ std::string Console::execute(const std::string& line) {
         (words.size() > 2 && !strings::parse_int(words[2], &tid))) {
       return "usage: use <pid> [tid]\n";
     }
-    Status status = client_.activate(static_cast<int>(pid), tid);
+    SessionHandle handle = client_.handle_for_pid(static_cast<int>(pid));
+    if (!handle.valid()) {
+      return strings::format("  no session for pid %lld\n",
+                             static_cast<long long>(pid));
+    }
+    Status status = client_.activate(handle, tid);
     if (!status.is_ok()) return status.to_string() + "\n";
     return strings::format("  view: pid %lld thread %lld\n",
                            static_cast<long long>(pid),
@@ -171,152 +234,126 @@ std::string Console::execute(const std::string& line) {
   }
 
   if (cmd == "reconnect") {
-    if (words.size() < 2) return "usage: reconnect <pid>\n";
-    std::int64_t pid = 0;
-    if (!strings::parse_int(words[1], &pid)) {
-      return "usage: reconnect <pid>\n";
+    if (words.size() < 2) return "usage: reconnect <id>\n";
+    std::int64_t id = 0;
+    if (!strings::parse_int(words[1], &id)) {
+      return "usage: reconnect <id>\n";
     }
-    auto revived = client_.reconnect(static_cast<int>(pid));
+    SessionHandle handle = resolve(id);
+    if (!handle.valid()) handle = SessionHandle{id};  // may be re-published
+    auto revived = client_.reconnect(handle);
     if (!revived.is_ok()) return revived.error().to_string() + "\n";
-    return strings::format("  reattached to pid %lld (%zu breakpoint(s) "
+    return strings::format("  reattached to session %lld (%zu breakpoint(s) "
                            "restored)\n",
-                           static_cast<long long>(pid),
+                           static_cast<long long>(handle.id),
                            revived.value()->breakpoints_set().size());
   }
 
   if (cmd == "events") {
     // Drains every session's pending events; needs no active view.
-    auto events = client_.poll_all_events(50);
+    auto events = client_.poll_events(50);
     if (!events.is_ok()) return events.error().to_string() + "\n";
     std::string out;
-    for (const auto& [pid, event] : events.value()) {
-      out += strings::format("  [pid %d] %s %s\n", pid, event.name.c_str(),
-                             event.payload.to_json().c_str());
+    for (const Client::SessionEvent& se : events.value()) {
+      out += strings::format("  [s%lld pid %d] %s %s\n",
+                             static_cast<long long>(se.session.id),
+                             client_.pid_of(se.session),
+                             se.event.name.c_str(),
+                             se.event.payload.to_json().c_str());
     }
     return out.empty() ? "  (no events)\n" : out;
   }
 
-  if (cmd == "stats") {
-    Session* target = nullptr;
-    if (words.size() > 1) {
-      std::int64_t pid = 0;
-      if (!strings::parse_int(words[1], &pid)) return "usage: stats [pid]\n";
-      target = client_.session(static_cast<int>(pid));
-      if (target == nullptr) {
-        return strings::format("  no session for pid %lld\n",
-                               static_cast<long long>(pid));
-      }
-    } else {
-      std::string error;
-      target = active_session(&error);
-      if (target == nullptr) return error;
-    }
-    auto stats = target->stats();
-    if (!stats.is_ok()) return stats.error().to_string() + "\n";
-    return render_stats(stats.value());
-  }
-
-  if (cmd == "replay") {
-    Session* target = nullptr;
-    if (words.size() > 1) {
-      std::int64_t pid = 0;
-      if (!strings::parse_int(words[1], &pid)) return "usage: replay [pid]\n";
-      target = client_.session(static_cast<int>(pid));
-      if (target == nullptr) {
-        return strings::format("  no session for pid %lld\n",
-                               static_cast<long long>(pid));
-      }
-    } else {
-      std::string error;
-      target = active_session(&error);
-      if (target == nullptr) return error;
-    }
-    auto info = target->replay_info();
-    if (!info.is_ok()) return info.error().to_string() + "\n";
-    const auto& r = info.value();
-    if (r.mode == "off") {
-      return strings::format("  [pid %d] replay engine off\n", r.pid);
-    }
-    std::string out = strings::format(
-        "  [pid %d] mode %s, step %lld", r.pid, r.mode.c_str(),
-        static_cast<long long>(r.step));
-    if (r.mode != "record") {
-      out += strings::format("/%lld", static_cast<long long>(r.total_steps));
-    }
-    out += strings::format(", log %s\n", r.log_path.c_str());
-    if (r.divergence_step >= 0) {
-      out += strings::format("  diverged at step %lld: %s\n",
-                             static_cast<long long>(r.divergence_step),
-                             r.divergence_reason.c_str());
-    }
-    return out;
-  }
-
-  if (cmd == "postmortem") {
+  if (cmd == "stats" || cmd == "replay" || cmd == "races" || cmd == "lint" ||
+      cmd == "postmortem") {
     Session* target = nullptr;
     bool capture = false;
-    std::int64_t pid = 0;
+    std::int64_t id = 0;
     for (size_t i = 1; i < words.size(); ++i) {
-      if (words[i] == "now") {
+      if (cmd == "postmortem" && words[i] == "now") {
         capture = true;
-      } else if (!strings::parse_int(words[i], &pid)) {
-        return "usage: postmortem [pid] [now]\n";
+      } else if (!strings::parse_int(words[i], &id)) {
+        return strings::format("usage: %s [id]%s\n", cmd.c_str(),
+                               cmd == "postmortem" ? " [now]" : "");
       }
     }
-    if (pid != 0) {
-      target = client_.session(static_cast<int>(pid));
+    SessionHandle target_handle{};
+    if (id != 0) {
+      target_handle = resolve(id);
+      if (!target_handle.valid()) {
+        return strings::format("  no session %lld\n",
+                               static_cast<long long>(id));
+      }
+      target = client_.session(target_handle);
       if (target == nullptr) {
-        return strings::format("  no session for pid %lld\n",
-                               static_cast<long long>(pid));
+        return strings::format("  no session %lld\n",
+                               static_cast<long long>(id));
       }
     } else {
       std::string error;
       target = active_session(&error);
       if (target == nullptr) return error;
+      target_handle = client_.active_view().session;
     }
-    if (!target->connected()) {
-      // The process is gone; the corpse (if any) is on disk — its path
-      // came down the wire with the process-crashed event.
-      std::string path = client_.crash_report_path(target->pid());
-      if (path.empty()) {
-        return strings::format("  pid %d is gone and left no crash report\n",
-                               target->pid());
-      }
-      return strings::format("  pid %d crashed; report: %s\n", target->pid(),
-                             path.c_str());
-    }
-    auto report = target->postmortem(capture);
-    if (!report.is_ok()) return report.error().to_string() + "\n";
-    const auto& r = report.value();
-    std::string out = strings::format(
-        "  [pid %d] post-mortem capture %s, report path %s\n", r.pid,
-        r.installed ? "armed" : "not installed", r.report_path.c_str());
-    if (r.has_report) {
-      out += r.report;
-      if (!r.report.empty() && r.report.back() != '\n') out += "\n";
-    } else {
-      out += "  (no report on disk)\n";
-    }
-    return out;
-  }
 
-  if (cmd == "races" || cmd == "lint") {
-    Session* target = nullptr;
-    if (words.size() > 1) {
-      std::int64_t pid = 0;
-      if (!strings::parse_int(words[1], &pid)) {
-        return strings::format("usage: %s [pid]\n", cmd.c_str());
-      }
-      target = client_.session(static_cast<int>(pid));
-      if (target == nullptr) {
-        return strings::format("  no session for pid %lld\n",
-                               static_cast<long long>(pid));
-      }
-    } else {
-      std::string error;
-      target = active_session(&error);
-      if (target == nullptr) return error;
+    if (cmd == "stats") {
+      auto stats = target->stats();
+      if (!stats.is_ok()) return stats.error().to_string() + "\n";
+      return render_stats(stats.value());
     }
+
+    if (cmd == "replay") {
+      auto info = target->replay_info();
+      if (!info.is_ok()) return info.error().to_string() + "\n";
+      const auto& r = info.value();
+      if (r.mode == "off") {
+        return strings::format("  [pid %d] replay engine off\n", r.pid);
+      }
+      std::string out = strings::format(
+          "  [pid %d] mode %s, step %lld", r.pid, r.mode.c_str(),
+          static_cast<long long>(r.step));
+      if (r.mode != "record") {
+        out += strings::format("/%lld", static_cast<long long>(r.total_steps));
+      }
+      out += strings::format(", log %s\n", r.log_path.c_str());
+      if (r.divergence_step >= 0) {
+        out += strings::format("  diverged at step %lld: %s\n",
+                               static_cast<long long>(r.divergence_step),
+                               r.divergence_reason.c_str());
+      }
+      return out;
+    }
+
+    if (cmd == "postmortem") {
+      if (!target->connected()) {
+        // The process is gone; the corpse (if any) is on disk — its
+        // path came down the wire with the process-crashed event.
+        std::string path = client_.crash_report_path(target_handle);
+        if (path.empty()) {
+          return strings::format(
+              "  session %lld is gone and left no crash report\n",
+              static_cast<long long>(target_handle.id));
+        }
+        return strings::format("  session %lld crashed; report: %s\n",
+                               static_cast<long long>(target_handle.id),
+                               path.c_str());
+      }
+      auto report = target->postmortem(capture);
+      if (!report.is_ok()) return report.error().to_string() + "\n";
+      const auto& r = report.value();
+      std::string out = strings::format(
+          "  [pid %d] post-mortem capture %s, report path %s\n", r.pid,
+          r.installed ? "armed" : "not installed", r.report_path.c_str());
+      if (r.has_report) {
+        out += r.report;
+        if (!r.report.empty() && r.report.back() != '\n') out += "\n";
+      } else {
+        out += "  (no report on disk)\n";
+      }
+      return out;
+    }
+
+    // races / lint
     auto report = target->analysis_report(/*run_lint=*/cmd == "lint");
     if (!report.is_ok()) return report.error().to_string() + "\n";
     const auto& r = report.value();
@@ -338,7 +375,7 @@ std::string Console::execute(const std::string& line) {
   std::string error;
   Session* session = active_session(&error);
   if (session == nullptr) return error;
-  MultiClient::View view = client_.active_view();
+  Client::View view = client_.active_view();
 
   if (cmd == "threads") {
     auto threads = session->threads();

@@ -1,23 +1,33 @@
 // The command shell of Fig. 2 ("The command shell is used to send
 // commands to the debuggee, e.g., continue, step, next") as a headless
-// text console over MultiClient. Examples and the interactive
-// `dioneac` binary feed it lines; it returns rendered output.
+// text console over the session-addressed Client. Examples and the
+// interactive `dioneac` binary feed it lines; it returns rendered
+// output.
+//
+// Verb grammar (see README for the full table):
+//   session list | session use <id> [tid] — hub-addressed selection
+//   procs / refresh / use <pid> [tid]     — pid-addressed selection
+//   everything else acts on the selected (active) session.
 #pragma once
 
 #include <string>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 
 namespace dionea::client {
 
 class Console {
  public:
-  explicit Console(MultiClient& client) : client_(client) {}
+  explicit Console(Client& client) : client_(client) {}
 
   // Execute one command line, returning the text a terminal would
   // show. Unknown commands return usage help. Never throws; transport
   // errors are rendered into the output.
   std::string execute(const std::string& line);
+
+  // The interactive prompt, prefixed with the active session so the
+  // user always knows which debuggee a verb will hit: "dionea[s3]> ".
+  std::string prompt() const;
 
   static std::string help();
 
@@ -25,8 +35,12 @@ class Console {
 
  private:
   Session* active_session(std::string* error_out);
+  // Accepts either a session id (hub) or a pid (discover/direct); the
+  // session id wins when both exist.
+  SessionHandle resolve(std::int64_t number) const;
+  std::string session_verb(const std::vector<std::string>& words);
 
-  MultiClient& client_;
+  Client& client_;
   bool quit_ = false;
 };
 

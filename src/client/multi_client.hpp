@@ -6,6 +6,12 @@
 // New processes are discovered by tailing the shared port file that
 // fork handler C appends to; refresh() adopts any not-yet-attached
 // records. This is the client half of §5.3 problem 3.
+//
+// DEPRECATED (1.5): new code should use client::Client (client.hpp),
+// which subsumes this class — Client::discover() wraps a MultiClient
+// and adds the handle-addressed surface that also works against a
+// debug hub. This class stays as the discovery engine behind Client
+// and for code mid-migration (Client::legacy()).
 #pragma once
 
 #include <cstdint>

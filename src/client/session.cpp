@@ -10,34 +10,38 @@ using ipc::wire::Value;
 
 namespace {
 
-proto::Hello local_hello(const char* channel) {
+proto::Hello local_hello(const char* channel, const std::string& token) {
   proto::Hello hello;
   hello.channel = channel;
   hello.pid = 0;  // the client's pid is of no interest to the server
   hello.proto_major = proto::kProtoMajor;
   hello.proto_minor = proto::kProtoMinor;
   hello.capabilities = proto::local_capabilities();
+  hello.client_token = token;
   return hello;
 }
 
 }  // namespace
 
-Result<std::unique_ptr<Session>> Session::attach(std::uint16_t port,
-                                                 int timeout_millis) {
+Result<std::unique_ptr<Session>> Session::attach(
+    std::uint16_t port, int timeout_millis, const std::string& client_token) {
   auto session = std::unique_ptr<Session>(new Session());
   session->port_ = port;
+  session->client_token_ = client_token;
 
   DIONEA_ASSIGN_OR_RETURN(session->control_,
                           ipc::TcpStream::connect_retry(port, timeout_millis));
   (void)session->control_.set_nodelay(true);
   DIONEA_RETURN_IF_ERROR(ipc::send_frame(
-      session->control_, local_hello(proto::kChannelControl).to_wire()));
+      session->control_,
+      local_hello(proto::kChannelControl, client_token).to_wire()));
 
   DIONEA_ASSIGN_OR_RETURN(session->events_,
                           ipc::TcpStream::connect_retry(port, timeout_millis));
   (void)session->events_.set_nodelay(true);
   DIONEA_RETURN_IF_ERROR(ipc::send_frame(
-      session->events_, local_hello(proto::kChannelEvents).to_wire()));
+      session->events_,
+      local_hello(proto::kChannelEvents, client_token).to_wire()));
 
   // First ping doubles as the session handshake: pid discovery plus
   // the server's protocol version, capability list and beacon period
@@ -89,6 +93,11 @@ Result<Value> Session::request(const std::string& cmd, Value args) {
   Value frame = std::move(args);
   frame.set("cmd", cmd);
   frame.set("seq", seq);
+  // Route by session id (1.5, hub): args that already carry the field
+  // (the hub-* commands, where it is a payload) win over the route.
+  if (route_session_id_ != 0 && !frame.has(proto::kSessionIdKey)) {
+    frame.set(proto::kSessionIdKey, route_session_id_);
+  }
   if (Status sent = ipc::send_frame(control_, frame); !sent.is_ok()) {
     return transport_lost(sent.error());
   }

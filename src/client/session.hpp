@@ -63,11 +63,27 @@ class Session {
   // ping doubles as the handshake; the server advertises its heartbeat
   // interval there and the session derives its dead-peer timeout
   // (5 × interval) from it.
-  static Result<std::unique_ptr<Session>> attach(std::uint16_t port,
-                                                 int timeout_millis);
+  // `client_token` (1.5) is sent in both hellos so a hub can pair the
+  // control connection with its events sibling; "" (the default, and
+  // what pre-1.5 callers pass implicitly) makes a hub fall back to
+  // default-session binding. Direct servers ignore it.
+  static Result<std::unique_ptr<Session>> attach(
+      std::uint16_t port, int timeout_millis,
+      const std::string& client_token = "");
 
   int pid() const noexcept { return pid_; }
   std::uint16_t port() const noexcept { return port_; }
+  const std::string& client_token() const noexcept { return client_token_; }
+
+  // ---- session routing (1.5, hub) ----
+  // When nonzero, every request is stamped with the session_id
+  // envelope field so a hub routes it to that session. Requests whose
+  // args already carry session_id (the hub-* commands) are left alone.
+  // No effect against a direct server — it ignores the field.
+  void set_route(std::int64_t session_id) noexcept {
+    route_session_id_ = session_id;
+  }
+  std::int64_t route() const noexcept { return route_session_id_; }
 
   // ---- negotiated protocol surface ----
   // What the server advertised in its ping response. A pre-1.1 server
@@ -196,6 +212,8 @@ class Session {
   ipc::FrameReader event_reader_;
   std::uint16_t port_ = 0;
   int pid_ = 0;
+  std::string client_token_;
+  std::int64_t route_session_id_ = 0;
   std::int64_t next_seq_ = 1;
   std::deque<DebugEvent> replay_;  // events skipped by wait_event(name)
 

@@ -201,6 +201,19 @@ void DebugServer::fork_child() {
   }
   start_listener_thread();
 
+  // Hub invariant (§5.3 extended one hop): a child that rebuilt its
+  // listener also re-announces itself to the hub, getting a fresh
+  // session id with parent_pid linking the fork tree. hub_port_ was
+  // fixed in the parent's start() and inherited across the fork.
+  if (hub_port_ != 0) {
+    hub_session_id_.store(0, std::memory_order_relaxed);
+    Status hub_status = register_with_hub(static_cast<int>(::getppid()));
+    if (!hub_status.is_ok()) {
+      DLOG_WARN("dbg") << "child hub re-registration failed: "
+                       << hub_status.to_string();
+    }
+  }
+
   // Disturb mode (§6.4): the freshly forked process counts as a new
   // UE — stop it at its first traced line. stop_forked_children is the
   // narrower variant (processes only, not threads).

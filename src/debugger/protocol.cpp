@@ -115,6 +115,7 @@ Value Hello::to_wire() const {
   v.set("proto_major", proto_major);
   v.set("proto_minor", proto_minor);
   v.set("caps", caps_to_wire(capabilities));
+  if (!client_token.empty()) v.set("client_token", client_token);
   return v;
 }
 
@@ -130,6 +131,7 @@ Result<Hello> Hello::from_wire(const Value& value) {
   hello.proto_major = static_cast<int>(value.get_int("proto_major", 1));
   hello.proto_minor = static_cast<int>(value.get_int("proto_minor", 0));
   hello.capabilities = caps_from_wire(value, "caps");
+  hello.client_token = value.get_string("client_token");
   return hello;
 }
 
@@ -761,6 +763,146 @@ Result<PostmortemResponse> PostmortemResponse::from_wire(const Value& value) {
   resp.report_path = value.get_string("report_path");
   resp.has_report = value.get_bool("has_report");
   resp.report = value.get_string("report");
+  return resp;
+}
+
+// ------------------------------------------------------------------ hub
+
+Value HubRegisterRequest::to_wire() const {
+  Value v;
+  v.set("pid", pid);
+  v.set("parent_pid", parent_pid);
+  v.set("port", port);
+  v.set("proto_major", proto_major);
+  v.set("proto_minor", proto_minor);
+  v.set("caps", caps_to_wire(capabilities));
+  return v;
+}
+
+Result<HubRegisterRequest> HubRegisterRequest::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "hub-register request"));
+  HubRegisterRequest req;
+  req.pid = static_cast<int>(value.get_int("pid"));
+  req.parent_pid = static_cast<int>(value.get_int("parent_pid"));
+  req.port = static_cast<int>(value.get_int("port"));
+  if (req.pid <= 0 || req.port <= 0) {
+    return Error(ErrorCode::kProtocol,
+                 "hub-register: pid and port are required");
+  }
+  req.proto_major = static_cast<int>(value.get_int("proto_major", 1));
+  req.proto_minor = static_cast<int>(value.get_int("proto_minor", 0));
+  req.capabilities = caps_from_wire(value, "caps");
+  return req;
+}
+
+Value HubRegisterResponse::to_wire() const {
+  Value v;
+  v.set("session_id", session_id);
+  return v;
+}
+
+Result<HubRegisterResponse> HubRegisterResponse::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "hub-register response"));
+  HubRegisterResponse resp;
+  resp.session_id = value.get_int("session_id");
+  if (resp.session_id <= 0) {
+    return Error(ErrorCode::kProtocol, "hub-register: bad session_id");
+  }
+  return resp;
+}
+
+Value HubSessionsRequest::to_wire() const { return Value(ipc::wire::Object{}); }
+
+Result<HubSessionsRequest> HubSessionsRequest::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, kName));
+  return HubSessionsRequest{};
+}
+
+Value HubSessionsResponse::to_wire() const {
+  Value v;
+  Array list;
+  for (const HubSessionEntry& session : sessions) {
+    Value entry;
+    entry.set("session_id", session.session_id);
+    entry.set("pid", session.pid);
+    entry.set("parent_pid", session.parent_pid);
+    entry.set("port", session.port);
+    entry.set("alive", session.alive);
+    entry.set("synthetic", session.synthetic);
+    entry.set("shard", session.shard);
+    entry.set("events_routed", session.events_routed);
+    entry.set("events_dropped", session.events_dropped);
+    list.push_back(std::move(entry));
+  }
+  v.set("sessions", std::move(list));
+  return v;
+}
+
+Result<HubSessionsResponse> HubSessionsResponse::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "hub-sessions response"));
+  HubSessionsResponse resp;
+  const Value& list = value.at("sessions");
+  if (!list.is_array()) return resp;
+  for (const Value& entry : list.as_array()) {
+    if (!entry.is_object()) continue;
+    HubSessionEntry session;
+    session.session_id = entry.get_int("session_id");
+    session.pid = static_cast<int>(entry.get_int("pid"));
+    session.parent_pid = static_cast<int>(entry.get_int("parent_pid"));
+    session.port = static_cast<int>(entry.get_int("port"));
+    session.alive = entry.get_bool("alive", true);
+    session.synthetic = entry.get_bool("synthetic");
+    session.shard = static_cast<int>(entry.get_int("shard"));
+    session.events_routed = entry.get_int("events_routed");
+    session.events_dropped = entry.get_int("events_dropped");
+    resp.sessions.push_back(std::move(session));
+  }
+  return resp;
+}
+
+#define DIONEA_SESSION_ID_REQUEST(TYPE, WHAT)             \
+  Value TYPE::to_wire() const {                           \
+    Value v;                                              \
+    v.set("session_id", session_id);                      \
+    return v;                                             \
+  }                                                       \
+  Result<TYPE> TYPE::from_wire(const Value& value) {      \
+    DIONEA_RETURN_IF_ERROR(require_object(value, WHAT));  \
+    TYPE req;                                             \
+    req.session_id = value.get_int("session_id");         \
+    return req;                                           \
+  }
+
+DIONEA_SESSION_ID_REQUEST(HubAttachRequest, "hub-attach request")
+DIONEA_SESSION_ID_REQUEST(HubDetachRequest, "hub-detach request")
+
+#undef DIONEA_SESSION_ID_REQUEST
+
+Value HubAttachResponse::to_wire() const {
+  Value v;
+  v.set("attached", attached);
+  return v;
+}
+
+Result<HubAttachResponse> HubAttachResponse::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "hub-attach response"));
+  HubAttachResponse resp;
+  resp.attached = static_cast<int>(value.get_int("attached"));
+  return resp;
+}
+
+Value HubDetachResponse::to_wire() const {
+  Value v;
+  v.set("detached", detached);
+  return v;
+}
+
+Result<HubDetachResponse> HubDetachResponse::from_wire(const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "hub-detach response"));
+  HubDetachResponse resp;
+  resp.detached = static_cast<int>(value.get_int("detached"));
   return resp;
 }
 

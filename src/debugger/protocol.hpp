@@ -37,19 +37,33 @@ namespace dionea::dbg::proto {
 // Major bumps break wire compatibility (rejected at hello); minor
 // bumps add commands/fields old peers ignore.
 inline constexpr int kProtoMajor = 1;
-inline constexpr int kProtoMinor = 4;
+inline constexpr int kProtoMinor = 5;
 
 inline constexpr const char* kCapStats = "stats";      // `stats` command
 inline constexpr const char* kCapHeartbeat = "heartbeat";
 inline constexpr const char* kCapReplay = "replay";    // `replay-info` command
 inline constexpr const char* kCapAnalysis = "analysis";  // `analysis-report`
 inline constexpr const char* kCapPostmortem = "postmortem";  // 1.4
+// 1.5: the peer is a multi-session hub: it understands hub-attach /
+// hub-sessions / hub-detach, routes requests by the session_id
+// envelope key, and stamps session_id onto forwarded events. A plain
+// DebugServer never advertises this — only the hub itself does.
+inline constexpr const char* kCapHub = "hub";  // 1.5
 
 // What this build speaks (advertised in Hello and the ping response).
 std::vector<std::string> local_capabilities();
 
 inline constexpr const char* kChannelControl = "control";
 inline constexpr const char* kChannelEvents = "events";
+// 1.5: a debuggee server announcing itself to a hub. One-shot channel:
+// hello, one hub-register request, one response, close.
+inline constexpr const char* kChannelHubRegister = "hub-register";
+
+// 1.5: envelope key. On requests to a hub it addresses the target
+// session; on events from a hub it names the originating session.
+// Direct (non-hub) peers ignore it — unknown envelope keys have always
+// been skipped by the decoders.
+inline constexpr const char* kSessionIdKey = "session_id";
 
 // ---- typed error kinds ----
 // Machine-readable discriminator carried next to the human message in
@@ -109,11 +123,16 @@ ipc::wire::Value make_event(Event event);
 
 // ---- hello ----
 struct Hello {
-  std::string channel;  // kChannelControl | kChannelEvents
+  std::string channel;  // kChannelControl | kChannelEvents | hub-register
   int pid = 0;
   int proto_major = kProtoMajor;
   int proto_minor = kProtoMinor;
   std::vector<std::string> capabilities;  // what the sender speaks
+  // 1.5: opaque client-chosen token sent on both channels so a hub can
+  // pair a control connection with its events connection. "" from
+  // older clients — the hub then falls back to default-session
+  // binding (the capability-downgrade path).
+  std::string client_token;
 
   ipc::wire::Value to_wire() const;
   // Lenient by design: a hello without version fields is a pre-1.1
@@ -492,6 +511,93 @@ struct PostmortemResponse {
 
   ipc::wire::Value to_wire() const;
   static Result<PostmortemResponse> from_wire(const ipc::wire::Value& value);
+};
+
+// ---- hub (1.5, capability kCapHub) ----
+// The debug hub multiplexes many debuggee sessions behind one port.
+// Debuggees announce themselves with hub-register (on the one-shot
+// kChannelHubRegister channel); clients discover sessions with
+// hub-sessions, subscribe their events channel with hub-attach, and
+// address every other command by the kSessionIdKey envelope field.
+// Clients finding no kCapHub in the ping response downgrade to plain
+// 1.4 single-session behavior; servers finding none of these commands
+// registered answer kErrUnknownCommand, which clients map to
+// kNotFound — the same negotiation shape as stats/replay/analysis/
+// postmortem before it.
+
+// Debuggee -> hub: "I exist; dial me back." parent_pid links fork
+// trees: a forked child re-registers itself (fork handler C) and gets
+// a fresh session id, with parent_pid pointing at the session it was
+// forked from.
+struct HubRegisterRequest {
+  static constexpr const char* kName = "hub-register";
+  int pid = 0;
+  int parent_pid = 0;
+  int port = 0;  // the debuggee's own listener, for the dial-back
+  int proto_major = kProtoMajor;
+  int proto_minor = kProtoMinor;
+  std::vector<std::string> capabilities;
+
+  ipc::wire::Value to_wire() const;
+  static Result<HubRegisterRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct HubRegisterResponse {
+  std::int64_t session_id = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<HubRegisterResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct HubSessionsRequest {
+  static constexpr const char* kName = "hub-sessions";
+  ipc::wire::Value to_wire() const;
+  static Result<HubSessionsRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct HubSessionEntry {
+  std::int64_t session_id = 0;
+  int pid = 0;
+  int parent_pid = 0;
+  int port = 0;
+  bool alive = true;
+  bool synthetic = false;  // bench/test session with no upstream socket
+  int shard = 0;           // reactor shard the session is pinned to
+  std::int64_t events_routed = 0;
+  std::int64_t events_dropped = 0;  // backpressure drops, cumulative
+};
+
+struct HubSessionsResponse {
+  std::vector<HubSessionEntry> sessions;
+  ipc::wire::Value to_wire() const;
+  static Result<HubSessionsResponse> from_wire(const ipc::wire::Value& value);
+};
+
+// Subscribe the requesting client's events channel to a session's
+// events (session_id 0 = every session, present and future).
+struct HubAttachRequest {
+  static constexpr const char* kName = "hub-attach";
+  std::int64_t session_id = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<HubAttachRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct HubAttachResponse {
+  int attached = 0;  // sessions now covered by the subscription
+  ipc::wire::Value to_wire() const;
+  static Result<HubAttachResponse> from_wire(const ipc::wire::Value& value);
+};
+
+struct HubDetachRequest {
+  static constexpr const char* kName = "hub-detach";
+  std::int64_t session_id = 0;  // 0 = drop every subscription
+  ipc::wire::Value to_wire() const;
+  static Result<HubDetachRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct HubDetachResponse {
+  int detached = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<HubDetachResponse> from_wire(const ipc::wire::Value& value);
 };
 
 }  // namespace dionea::dbg::proto

@@ -63,6 +63,24 @@ Status DebugServer::start() {
   terminated_sent_.store(false);
   start_listener_thread();
 
+  hub_port_ = options_.hub_port;
+  if (hub_port_ == 0) {
+    if (const char* env = std::getenv("DIONEA_HUB_PORT")) {
+      long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0 && parsed <= 65535)
+        hub_port_ = static_cast<std::uint16_t>(parsed);
+    }
+  }
+  if (hub_port_ != 0) {
+    // Listener first, registration second: the hub dials back the
+    // moment it replies, and must find someone accepting.
+    Status hub_status = register_with_hub(/*parent_pid=*/0);
+    if (!hub_status.is_ok()) {
+      DLOG_WARN("dbg") << "hub registration failed (continuing without): "
+                       << hub_status.to_string();
+    }
+  }
+
   // The debuggee sees the server only through these three hooks — the
   // same coupling Dionea has with the interpreters it debugs.
   vm_.set_trace_fn([this](vm::Vm&, vm::InterpThread& th,
@@ -100,6 +118,38 @@ Status DebugServer::start() {
   watchdog_enabled_ = options_.watchdog || env_requests("DIONEA_WATCHDOG");
   if (postmortem_enabled_) install_postmortem();
   if (watchdog_enabled_) start_watchdog();
+  return Status::ok();
+}
+
+Status DebugServer::register_with_hub(int parent_pid) {
+  auto stream = ipc::TcpStream::connect_retry(hub_port_, 2000);
+  if (!stream.is_ok()) return stream.error();
+  (void)stream.value().set_nodelay(true);
+  proto::Hello hello;
+  hello.channel = proto::kChannelHubRegister;
+  hello.pid = static_cast<int>(::getpid());
+  DIONEA_RETURN_IF_ERROR(ipc::send_frame(stream.value(), hello.to_wire()));
+  proto::HubRegisterRequest request;
+  request.pid = static_cast<int>(::getpid());
+  request.parent_pid = parent_pid;
+  request.port = port_;
+  request.capabilities = proto::local_capabilities();
+  Value frame = request.to_wire();
+  frame.set("cmd", proto::HubRegisterRequest::kName);
+  frame.set("seq", static_cast<std::int64_t>(1));
+  DIONEA_RETURN_IF_ERROR(ipc::send_frame(stream.value(), frame));
+  auto reply = ipc::recv_frame_timeout(stream.value(), 2000);
+  if (!reply.is_ok()) return reply.error();
+  if (!reply.value().get_bool("ok")) {
+    return Status(ErrorCode::kProtocol, "hub refused registration: " +
+                                            reply.value().get_string("error"));
+  }
+  auto response = proto::HubRegisterResponse::from_wire(reply.value());
+  if (!response.is_ok()) return response.error();
+  hub_session_id_.store(response.value().session_id,
+                        std::memory_order_relaxed);
+  DLOG_INFO("dbg") << "registered with hub on port " << hub_port_
+                   << " as session " << response.value().session_id;
   return Status::ok();
 }
 

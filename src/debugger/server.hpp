@@ -86,6 +86,14 @@ class DebugServer {
     // overrides to on.
     bool watchdog = false;
     Watchdog::Options watchdog_options;
+    // Debug hub (proto 1.5): when nonzero, announce this server to the
+    // hub listening on 127.0.0.1:<hub_port> at start(), and again from
+    // fork handler C in every child — the §5.3 "child rebinds its
+    // listener" invariant extended one hop. 0 = no hub; the
+    // DIONEA_HUB_PORT environment variable fills it in when unset.
+    // Registration failure is logged, never fatal: a debuggee must run
+    // with or without its debugger's infrastructure.
+    std::uint16_t hub_port = 0;
   };
 
   DebugServer(vm::Vm& vm, Options options);
@@ -125,6 +133,12 @@ class DebugServer {
 
   // The session watchdog, when enabled (tests drive tick_for_test()).
   Watchdog* watchdog() noexcept { return watchdog_.get(); }
+
+  // Session id the hub assigned (0 = not registered with a hub). A
+  // forked child gets its own id when handler C re-registers.
+  std::int64_t hub_session_id() const noexcept {
+    return hub_session_id_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Per-debuggee-thread control state. `mode` is what the thread
@@ -210,6 +224,11 @@ class DebugServer {
   Status bind_and_publish();
   void start_listener_thread();
 
+  // Announce this server (pid, port, capabilities) to the hub and
+  // record the assigned session id. One-shot synchronous exchange on
+  // the kChannelHubRegister channel.
+  Status register_with_hub(int parent_pid);
+
   // Robustness layer (post-mortem capture + session watchdog).
   void install_postmortem();
   void start_watchdog();
@@ -240,6 +259,10 @@ class DebugServer {
   std::int64_t port_seq_ = 0;
   bool hooks_installed_ = false;  // start() after stop() must not
                                   // double-register fork handlers
+  // Effective hub port (Options.hub_port or DIONEA_HUB_PORT), fixed at
+  // start(); inherited by forked children so handler C re-registers.
+  std::uint16_t hub_port_ = 0;
+  std::atomic<std::int64_t> hub_session_id_{0};
   std::atomic<std::uint64_t> heartbeats_sent_{0};
   // terminated must reach the client exactly once whether the program
   // calls exit() (at-exit hook) or runs off the end (stop()).

@@ -1,0 +1,164 @@
+// The debug hub: one port multiplexing many debuggee sessions.
+//
+// The paper debugs one fork tree through a port file the client tails
+// (§5.3). At fleet scale the inversion works better: debuggees
+// announce themselves TO a hub (hub-register, proto 1.5), the hub
+// dials each one back as its single attached client, and human
+// clients talk to the hub alone — discovering sessions with
+// hub-sessions, subscribing events with hub-attach, addressing every
+// other command by the session_id envelope field.
+//
+// Architecture:
+//  - A sharded ReactorPool (one epoll loop per core). Each session is
+//    pinned to shard_for(session_id): its dialed-back sockets and
+//    event routing run there, unsynchronized with other sessions.
+//    Each client connection is likewise pinned by its peer id.
+//  - Events fan out through per-client bounded OutboundQueues with
+//    drop-oldest backpressure; a stalled client loses its own oldest
+//    events (counted) and nothing else slows down — the debuggee-side
+//    invariant "the debuggee never blocks on a debugger" extends to
+//    "no session blocks on any client".
+//  - A short per-session backlog ring is replayed to late subscribers
+//    so the stop-at-entry event is not lost to attach/registration
+//    races.
+//  - Proto-1.4 clients work unchanged: a token-less control connection
+//    is lazily bound to the default (lowest live) session, the hub
+//    answers ping itself with that session's capabilities plus "hub",
+//    and forwards everything else — a full breakpoint session runs
+//    through the hub without the client knowing it is one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hub/session_registry.hpp"
+#include "ipc/reactor_pool.hpp"
+#include "ipc/socket.hpp"
+#include "ipc/wire.hpp"
+#include "support/result.hpp"
+
+namespace dionea::hub {
+
+class Hub {
+ public:
+  struct Options {
+    std::uint16_t port = 0;     // 0 = ephemeral
+    std::string port_file;      // optional: publish {pid, port} for discovery
+    int shards = 0;             // 0 = min(hardware_concurrency, 8)
+    size_t client_queue_frames = 256;   // per-client outbound bound
+    size_t session_backlog_events = 64; // per-session replay ring
+    int heartbeat_interval_millis = 1000;
+    int dialback_timeout_millis = 2000;
+    int flush_sweep_millis = 20;  // re-flush cadence for EAGAIN leftovers
+  };
+
+  Hub();  // all-default Options
+  explicit Hub(Options options);
+  ~Hub();
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  Status start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  int shard_count() const noexcept { return pool_.shard_count(); }
+  int shard_for_session(std::int64_t id) const noexcept {
+    return pool_.shard_for(static_cast<std::uint64_t>(id));
+  }
+  SessionRegistry& registry() noexcept { return registry_; }
+  size_t peer_count() const;
+
+  // ---- bench/test surface ----
+  // A session with no debuggee behind it; commands addressed to it
+  // fail, events injected into it route like real ones.
+  std::int64_t register_synthetic(int pid = 0, int parent_pid = 0);
+  // Route `event` as if session_id emitted it. Runs on the session's
+  // shard (posted); returns immediately.
+  void inject_event(std::int64_t session_id, ipc::wire::Value event);
+
+  // Cumulative totals across all sessions.
+  std::uint64_t events_routed() const;
+  std::uint64_t events_dropped() const;
+
+  // Current replay-ring depth for a session (0 if unknown).
+  size_t backlog_size(std::int64_t session_id) const;
+
+ private:
+  struct PendingConn;
+  struct Upstream;
+  struct ClientPeer;
+
+  // ---- shard 0: accept + hello dispatch ----
+  void on_listener_readable();
+  void on_pending_readable(const std::shared_ptr<PendingConn>& conn);
+  void drop_pending(const std::shared_ptr<PendingConn>& conn);
+  void handle_hello(const std::shared_ptr<PendingConn>& conn);
+  void finish_register(const std::shared_ptr<PendingConn>& conn,
+                       const ipc::wire::Value& frame);
+  void adopt_control(const std::shared_ptr<PendingConn>& conn);
+  void adopt_events(const std::shared_ptr<PendingConn>& conn);
+  void pair_events(const std::shared_ptr<ClientPeer>& peer,
+                   std::shared_ptr<PendingConn> conn);
+
+  // ---- session shard ----
+  void dial_back(std::int64_t session_id);
+  void on_upstream_events(const std::shared_ptr<Upstream>& up);
+  void on_upstream_control(const std::shared_ptr<Upstream>& up);
+  void route_event(const std::shared_ptr<Upstream>& up,
+                   ipc::wire::Value event);
+  void deliver_frame(const std::shared_ptr<ClientPeer>& peer,
+                     const std::string& frame,
+                     const std::shared_ptr<Upstream>& from);
+  void upstream_dead(const std::shared_ptr<Upstream>& up,
+                     const std::string& why);
+
+  // ---- peer shard ----
+  void on_peer_control(const std::shared_ptr<ClientPeer>& peer);
+  void handle_peer_request(const std::shared_ptr<ClientPeer>& peer,
+                           ipc::wire::Value request);
+  void reply_to_peer(const std::shared_ptr<ClientPeer>& peer,
+                     const ipc::wire::Value& response);
+  void cover_session(const std::shared_ptr<ClientPeer>& peer,
+                     std::int64_t session_id);
+  std::int64_t resolve_binding(const std::shared_ptr<ClientPeer>& peer,
+                               std::int64_t requested);
+  void drop_peer(const std::shared_ptr<ClientPeer>& peer,
+                 const std::string& why);
+  void schedule_flush(const std::shared_ptr<ClientPeer>& peer);
+  void flush_peer(const std::shared_ptr<ClientPeer>& peer);
+  void beacon_heartbeats(int shard);
+  void sweep_flush(int shard);
+
+  std::shared_ptr<Upstream> upstream_for(std::int64_t session_id) const;
+  std::vector<std::shared_ptr<ClientPeer>> peers_snapshot() const;
+
+  Options opts_;
+  ipc::ReactorPool pool_;
+  std::optional<ipc::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  SessionRegistry registry_;
+
+  mutable std::mutex upstreams_mutex_;
+  std::unordered_map<std::int64_t, std::shared_ptr<Upstream>> upstreams_;
+
+  mutable std::mutex peers_mutex_;
+  std::uint64_t next_peer_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ClientPeer>> peers_;
+  // Events hellos that arrived before their control sibling.
+  std::vector<std::shared_ptr<PendingConn>> waiting_events_;
+
+  mutable std::mutex pending_mutex_;
+  std::vector<std::shared_ptr<PendingConn>> pending_conns_;
+};
+
+}  // namespace dionea::hub

@@ -1,0 +1,48 @@
+#include "hub/outbound_queue.hpp"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace dionea::hub {
+
+bool OutboundQueue::push(std::string frame) {
+  ++queued_total_;
+  bool evicted = false;
+  while (frames_.size() >= max_frames_) {
+    // Never evict a frame that has bytes on the wire: the stream's
+    // framing would tear. Evict the oldest *unstarted* frame instead.
+    size_t victim = (offset_ > 0 && frames_.size() > 1) ? 1 : 0;
+    if (offset_ > 0 && frames_.size() == 1) break;  // sole frame is mid-write
+    frames_.erase(frames_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++dropped_;
+    evicted = true;
+  }
+  frames_.push_back(std::move(frame));
+  return !evicted;
+}
+
+Status OutboundQueue::flush(int fd, bool* made_progress) {
+  if (made_progress != nullptr) *made_progress = false;
+  while (!frames_.empty()) {
+    const std::string& front = frames_.front();
+    // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not a
+    // process-killing SIGPIPE on the hub's shard thread.
+    ssize_t n = ::send(fd, front.data() + offset_, front.size() - offset_,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::ok();
+      if (errno == EINTR) continue;
+      return errno_error("hub outbound flush", errno);
+    }
+    if (made_progress != nullptr && n > 0) *made_progress = true;
+    offset_ += static_cast<size_t>(n);
+    if (offset_ == front.size()) {
+      frames_.pop_front();
+      offset_ = 0;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace dionea::hub

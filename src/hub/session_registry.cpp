@@ -1,0 +1,88 @@
+#include "hub/session_registry.hpp"
+
+namespace dionea::hub {
+
+std::int64_t SessionRegistry::add(SessionRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.id = next_id_++;
+  std::int64_t id = record.id;
+  sessions_.emplace(id, std::move(record));
+  return id;
+}
+
+bool SessionRegistry::find(std::int64_t id, SessionRecord* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+std::int64_t SessionRegistry::find_by_pid(int pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t best = 0;
+  for (const auto& [id, rec] : sessions_) {
+    if (rec.pid == pid && rec.alive) best = id;  // map order: last = newest
+  }
+  return best;
+}
+
+std::int64_t SessionRegistry::default_session() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, rec] : sessions_) {
+    if (rec.alive) return id;
+  }
+  return 0;
+}
+
+void SessionRegistry::set_shard(std::int64_t id, int shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) it->second.shard = shard;
+}
+
+bool SessionRegistry::mark_dead(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  it->second.alive = false;
+  return true;
+}
+
+bool SessionRegistry::remove(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.erase(id) > 0;
+}
+
+void SessionRegistry::update_stats(std::int64_t id, std::uint64_t routed,
+                                   std::uint64_t dropped) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.events_routed = routed;
+  it->second.events_dropped = dropped;
+}
+
+std::vector<SessionRecord> SessionRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionRecord> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, rec] : sessions_) out.push_back(rec);
+  return out;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+size_t SessionRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [id, rec] : sessions_) {
+    if (rec.alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace dionea::hub

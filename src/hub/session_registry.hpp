@@ -1,0 +1,78 @@
+// Session registry: the hub's directory of attached debuggees.
+//
+// A session is one debuggee process — a whole fork tree shows up as a
+// chain of sessions linked by parent_pid, because fork handler C makes
+// every child re-register itself the same way it rebinds its listener
+// (the paper's §5.3 invariant, extended one hop: a child that rebuilds
+// its debug server also re-announces itself to the hub).
+//
+// Records here are pure data: no sockets, no threads. The hub keeps
+// live connection state (the dialed-back upstream, client queues)
+// keyed by the ids allocated here, so the registry can be snapshotted
+// for `hub-sessions` without touching any shard's reactor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dionea::hub {
+
+struct SessionRecord {
+  std::int64_t id = 0;       // hub-allocated, unique for the hub's lifetime
+  int pid = 0;               // debuggee pid (0 for synthetic sessions)
+  int parent_pid = 0;        // forking parent's pid, 0 for roots
+  std::uint16_t port = 0;    // debuggee's control-listener port
+  int shard = 0;             // reactor shard the session is pinned to
+  bool alive = true;         // upstream connection still healthy
+  bool synthetic = false;    // bench-injected, no real debuggee behind it
+  int proto_major = 0;
+  int proto_minor = 0;
+  std::vector<std::string> capabilities;
+  // Routing totals, maintained by the owning shard (single writer);
+  // read via snapshot() which copies under the registry mutex after
+  // the shard publishes with update_stats().
+  std::uint64_t events_routed = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+class SessionRegistry {
+ public:
+  // Allocate an id and insert the record (record.id is assigned).
+  // A re-registration from the same pid on a new port (the child after
+  // exec-less fork reuses the pid only if the old one died; a restart)
+  // gets a fresh session id — ids are never recycled.
+  std::int64_t add(SessionRecord record);
+
+  // Lookup by id; false if absent. Copies out (records are small).
+  bool find(std::int64_t id, SessionRecord* out) const;
+
+  // Most recent live session for a pid, 0 if none.
+  std::int64_t find_by_pid(int pid) const;
+
+  // Default session: the lowest-id live session — deterministic, and
+  // in the common one-debuggee case it is *the* session. 0 if none.
+  std::int64_t default_session() const;
+
+  // Record the reactor shard the hub pinned the session to (the shard
+  // is a function of the id, which add() itself allocates).
+  void set_shard(std::int64_t id, int shard);
+
+  bool mark_dead(std::int64_t id);
+  bool remove(std::int64_t id);
+  void update_stats(std::int64_t id, std::uint64_t routed,
+                    std::uint64_t dropped);
+
+  std::vector<SessionRecord> snapshot() const;
+  size_t size() const;
+  size_t live_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t next_id_ = 1;
+  std::map<std::int64_t, SessionRecord> sessions_;  // ordered: default = begin
+};
+
+}  // namespace dionea::hub

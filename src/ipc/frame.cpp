@@ -89,6 +89,23 @@ std::uint32_t max_recv_frame_bytes() noexcept {
   return cap;
 }
 
+Result<std::string> encode_frame(const wire::Value& value) {
+  std::string payload;
+  value.encode(&payload);
+  if (payload.size() > kMaxFrameBytes) {
+    return Error(ErrorCode::kInvalidArgument,
+                 strings::format("frame too large: %zu bytes", payload.size()));
+  }
+  char header[8];
+  put_u32(header, kFrameMagic);
+  put_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
+  std::string buffer;
+  buffer.reserve(sizeof(header) + payload.size());
+  buffer.append(header, sizeof(header));
+  buffer.append(payload);
+  return buffer;
+}
+
 Status send_frame(TcpStream& stream, const wire::Value& value) {
   // Frame-boundary fault: a reset *before* any bytes go out keeps the
   // stream's framing intact — the failure is clean and typed.

@@ -28,6 +28,12 @@ std::uint32_t max_recv_frame_bytes() noexcept;
 
 Status send_frame(TcpStream& stream, const wire::Value& value);
 
+// Serialize one frame (header + payload) into a byte string without
+// writing it anywhere. The hub's per-client outbound queues buffer
+// frames in this form so a slow client costs memory, not encode time,
+// and a partial write can resume from a byte offset.
+Result<std::string> encode_frame(const wire::Value& value);
+
 // Blocking receive of one frame.
 Result<wire::Value> recv_frame(TcpStream& stream);
 

@@ -1,8 +1,5 @@
 #include "ipc/reactor.hpp"
 
-#include <poll.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
@@ -13,11 +10,16 @@
 
 namespace dionea::ipc {
 
-Reactor::Reactor() {
-  auto pipe = Pipe::create(/*cloexec=*/true);
-  DIONEA_CHECK(pipe.is_ok(), "reactor wakeup pipe");
-  wakeup_ = std::move(pipe).value();
-  (void)wakeup_.read_end().set_nonblocking(true);
+Reactor::Reactor() : Reactor(make_reactor_backend()) {}
+
+Reactor::Reactor(std::unique_ptr<ReactorBackend> backend)
+    : backend_(std::move(backend)) {
+  DIONEA_CHECK(backend_ != nullptr, "reactor backend");
+  auto wakeup = Wakeup::create();
+  DIONEA_CHECK(wakeup.is_ok(), "reactor wakeup");
+  wakeup_ = std::move(wakeup).value();
+  Status watched = backend_->add(wakeup_.fd());
+  DIONEA_CHECK(watched.is_ok(), "reactor wakeup watch");
 }
 
 Reactor::~Reactor() = default;
@@ -25,19 +27,17 @@ Reactor::~Reactor() = default;
 void Reactor::add_fd(int fd, Callback on_readable) {
   {
     std::scoped_lock lock(mutex_);
-    pending_add_.emplace_back(fd, std::move(on_readable));
+    pending_fd_ops_.push_back(FdOp{/*add=*/true, fd, std::move(on_readable)});
   }
-  char byte = 'a';
-  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  wakeup_.notify();
 }
 
 void Reactor::remove_fd(int fd) {
   {
     std::scoped_lock lock(mutex_);
-    pending_remove_.push_back(fd);
+    pending_fd_ops_.push_back(FdOp{/*add=*/false, fd, nullptr});
   }
-  char byte = 'r';
-  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  wakeup_.notify();
 }
 
 int Reactor::add_periodic(int interval_millis, Callback fn) {
@@ -51,8 +51,7 @@ int Reactor::add_periodic(int interval_millis, Callback fn) {
     // next_deadline is stamped on the loop thread when applied.
     pending_timer_add_.emplace_back(id, std::move(timer));
   }
-  char byte = 't';
-  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  wakeup_.notify();
   return id;
 }
 
@@ -61,8 +60,7 @@ void Reactor::remove_periodic(int timer_id) {
     std::scoped_lock lock(mutex_);
     pending_timer_remove_.push_back(timer_id);
   }
-  char byte = 'u';
-  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  wakeup_.notify();
 }
 
 void Reactor::post(Callback fn) {
@@ -70,8 +68,7 @@ void Reactor::post(Callback fn) {
     std::scoped_lock lock(mutex_);
     pending_tasks_.push_back(std::move(fn));
   }
-  char byte = 'p';
-  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  wakeup_.notify();
 }
 
 void Reactor::stop() {
@@ -79,16 +76,32 @@ void Reactor::stop() {
     std::scoped_lock lock(mutex_);
     stop_requested_ = true;
   }
-  char byte = 's';
-  (void)::write(wakeup_.write_end().get(), &byte, 1);
+  wakeup_.notify();
 }
 
 void Reactor::apply_pending_locked() {
-  // Caller holds mutex_. Runs on the loop thread.
-  for (auto& [fd, cb] : pending_add_) handlers_[fd] = std::move(cb);
-  pending_add_.clear();
-  for (int fd : pending_remove_) handlers_.erase(fd);
-  pending_remove_.clear();
+  // Caller holds mutex_. Runs on the loop thread. Ops apply in call
+  // order; removals feed the current batch's suppression set so a
+  // reused fd number cannot inherit a stale readiness report.
+  for (FdOp& op : pending_fd_ops_) {
+    if (op.add) {
+      Status watched = backend_->add(op.fd);
+      if (!watched.is_ok()) {
+        // The fd died between add_fd() and here (or is not pollable).
+        // Keeping the handler would register a callback that can never
+        // fire; drop it and say so.
+        DLOG_WARN("ipc") << "reactor: cannot watch fd " << op.fd << ": "
+                         << watched.to_string();
+        continue;
+      }
+      handlers_[op.fd] = std::move(op.cb);
+    } else {
+      handlers_.erase(op.fd);
+      backend_->remove(op.fd);
+      dead_this_round_.insert(op.fd);
+    }
+  }
+  pending_fd_ops_.clear();
   for (auto& [id, timer] : pending_timer_add_) {
     timer.next_deadline =
         mono_seconds() + static_cast<double>(timer.interval_millis) / 1000.0;
@@ -121,12 +134,6 @@ int Reactor::fire_due_timers() {
   return fired;
 }
 
-void Reactor::drain_wakeup() {
-  char buf[64];
-  while (::read(wakeup_.read_end().get(), buf, sizeof(buf)) > 0) {
-  }
-}
-
 Result<int> Reactor::poll_once(int timeout_millis) {
   std::vector<Callback> tasks;
   {
@@ -140,16 +147,7 @@ Result<int> Reactor::poll_once(int timeout_millis) {
     ++fired;
   }
 
-  std::vector<pollfd> pfds;
-  std::vector<int> fds;
-  pfds.push_back(pollfd{wakeup_.read_end().get(), POLLIN, 0});
-  fds.push_back(-1);
-  for (const auto& [fd, cb] : handlers_) {
-    pfds.push_back(pollfd{fd, POLLIN, 0});
-    fds.push_back(fd);
-  }
-
-  // Cap the poll so the nearest timer deadline is honoured.
+  // Cap the wait so the nearest timer deadline is honoured.
   int effective_timeout = fired > 0 ? 0 : timeout_millis;
   if (!timers_.empty()) {
     double now = mono_seconds();
@@ -164,30 +162,40 @@ Result<int> Reactor::poll_once(int timeout_millis) {
     }
   }
 
-  int rc = ::poll(pfds.data(), pfds.size(), effective_timeout);
-  if (rc < 0) {
-    if (errno == EINTR) return fired;
-    return errno_error("poll", errno);
-  }
-  // Dispatch latency = callback work after poll wakes, NOT the sleep
-  // itself — how long a second client request queues behind the first.
+  ready_.clear();
+  auto waited = backend_->wait(effective_timeout, ready_);
+  if (!waited.is_ok()) return waited.error();
+
+  // Dispatch latency = callback work after the wait wakes, NOT the
+  // sleep itself — how long a second client request queues behind the
+  // first.
   const bool record = metrics::Registry::instance().enabled();
   const std::int64_t dispatch_start = record ? mono_nanos() : 0;
   const int fired_before_dispatch = fired;
   fired += fire_due_timers();
-  if (pfds[0].revents != 0) drain_wakeup();
-  for (size_t i = 1; i < pfds.size(); ++i) {
-    if (pfds[i].revents & POLLNVAL) {
+  dead_this_round_.clear();
+  for (const ReactorBackend::Ready& ready : ready_) {
+    if (ready.fd == wakeup_.fd()) {
+      wakeup_.drain();
+      continue;
+    }
+    if (ready.invalid) {
       // The fd was closed behind our back (a repair path, a handler
       // that closed without remove_fd). poll() reports POLLNVAL for it
       // on every call with no way to consume it, so leaving it
       // registered turns this loop into a busy-wait. Evict it.
-      DLOG_WARN("ipc") << "reactor: evicting closed fd " << fds[i];
+      DLOG_WARN("ipc") << "reactor: evicting closed fd " << ready.fd;
       std::scoped_lock lock(mutex_);
-      handlers_.erase(fds[i]);
+      handlers_.erase(ready.fd);
+      backend_->remove(ready.fd);
+      dead_this_round_.insert(ready.fd);
       continue;
     }
-    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    // An earlier callback in this batch removed the fd (and may have
+    // closed it; accept(2) may even have reused the number for a brand
+    // new connection). This readiness report predates all of that —
+    // drop it.
+    if (dead_this_round_.count(ready.fd) != 0) continue;
     // The handler may remove itself (or others); look it up fresh and
     // run it outside the lock (CP.22: never call unknown code while
     // holding a lock).
@@ -195,7 +203,8 @@ Result<int> Reactor::poll_once(int timeout_millis) {
     {
       std::scoped_lock lock(mutex_);
       apply_pending_locked();
-      auto it = handlers_.find(fds[i]);
+      if (dead_this_round_.count(ready.fd) != 0) continue;
+      auto it = handlers_.find(ready.fd);
       if (it == handlers_.end()) continue;
       cb = it->second;  // copy: handler may remove_fd itself
     }

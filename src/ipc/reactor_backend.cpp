@@ -1,0 +1,143 @@
+#include "ipc/reactor_backend.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "ipc/fd.hpp"
+#include "support/logging.hpp"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace dionea::ipc {
+
+namespace {
+
+class PollBackend final : public ReactorBackend {
+ public:
+  const char* name() const noexcept override { return "poll"; }
+
+  Status add(int fd) override {
+    fds_.insert(fd);
+    return Status::ok();
+  }
+
+  void remove(int fd) override { fds_.erase(fd); }
+
+  Result<int> wait(int timeout_millis, std::vector<Ready>& out) override {
+    pfds_.clear();
+    for (int fd : fds_) pfds_.push_back(pollfd{fd, POLLIN, 0});
+    int rc = ::poll(pfds_.data(), pfds_.size(), timeout_millis);
+    if (rc < 0) {
+      if (errno == EINTR) return 0;
+      return errno_error("poll", errno);
+    }
+    int appended = 0;
+    for (const pollfd& pfd : pfds_) {
+      if (pfd.revents & POLLNVAL) {
+        out.push_back(Ready{pfd.fd, /*invalid=*/true});
+        ++appended;
+        continue;
+      }
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      out.push_back(Ready{pfd.fd, /*invalid=*/false});
+      ++appended;
+    }
+    return appended;
+  }
+
+ private:
+  std::unordered_set<int> fds_;
+  std::vector<pollfd> pfds_;  // scratch, reused across rounds
+};
+
+#if defined(__linux__)
+class EpollBackend final : public ReactorBackend {
+ public:
+  explicit EpollBackend(Fd epoll_fd) : epoll_(std::move(epoll_fd)) {}
+
+  const char* name() const noexcept override { return "epoll"; }
+
+  Status add(int fd) override {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0) {
+      return Status::ok();
+    }
+    if (errno == EEXIST) return Status::ok();
+    // EBADF/EPERM: the fd is closed or not pollable — surface it so
+    // the reactor can evict the handler instead of wedging.
+    return errno_error("epoll_ctl(ADD)", errno);
+  }
+
+  void remove(int fd) override {
+    // A close(2)d fd was already dropped from the interest set by the
+    // kernel; EBADF/ENOENT here are the expected eviction races.
+    (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  Result<int> wait(int timeout_millis, std::vector<Ready>& out) override {
+    epoll_event events[kMaxEvents];
+    int rc = ::epoll_wait(epoll_.get(), events, kMaxEvents, timeout_millis);
+    if (rc < 0) {
+      if (errno == EINTR) return 0;
+      return errno_error("epoll_wait", errno);
+    }
+    for (int i = 0; i < rc; ++i) {
+      // Unlike poll(2) there is no POLLNVAL analog: a closed fd simply
+      // leaves the interest set, so nothing can busy-wait here.
+      out.push_back(Ready{events[i].data.fd, /*invalid=*/false});
+    }
+    return rc;
+  }
+
+ private:
+  // Batch size per wait round, not a capacity limit: with more than
+  // kMaxEvents ready the kernel round-robins the remainder into the
+  // next call, so nothing starves.
+  static constexpr int kMaxEvents = 64;
+  Fd epoll_;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<ReactorBackend> make_poll_backend() {
+  return std::make_unique<PollBackend>();
+}
+
+#if defined(__linux__)
+std::unique_ptr<ReactorBackend> make_epoll_backend() {
+  int efd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (efd < 0) {
+    DLOG_WARN("ipc") << "epoll_create1 failed (" << std::strerror(errno)
+                     << "); falling back to poll backend";
+    return nullptr;
+  }
+  return std::make_unique<EpollBackend>(Fd(efd));
+}
+#endif
+
+std::unique_ptr<ReactorBackend> make_reactor_backend() {
+  const char* env = std::getenv("DIONEA_REACTOR_BACKEND");
+#if defined(__linux__)
+  if (env == nullptr || std::strcmp(env, "epoll") == 0) {
+    if (auto backend = make_epoll_backend()) return backend;
+  }
+#else
+  if (env != nullptr && std::strcmp(env, "epoll") == 0) {
+    DLOG_WARN("ipc") << "epoll backend unavailable on this platform; "
+                        "using poll";
+  }
+#endif
+  return make_poll_backend();
+}
+
+}  // namespace dionea::ipc

@@ -1,0 +1,66 @@
+// Pluggable readiness backends for the Reactor.
+//
+// The original Reactor rebuilt a pollfd array and called poll(2) every
+// round — fine for one debuggee's handful of sockets, O(n) per round
+// for a hub multiplexing thousands of sessions. The Backend interface
+// splits "which fds are ready" from the dispatch logic so the hub's
+// shards can run epoll(7) (O(ready) per round, interest set kept in the
+// kernel) while the portable poll(2) path remains the fallback and the
+// differential-testing reference.
+//
+// Selection: make_reactor_backend() prefers epoll on Linux; set
+// DIONEA_REACTOR_BACKEND=poll|epoll to force one (the reactor tests
+// run the whole suite under both).
+//
+// Threading: a backend instance belongs to one Reactor and is only
+// touched from its loop thread (add/remove happen while applying the
+// pending queues, which runs on the loop thread).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+class ReactorBackend {
+ public:
+  // One readiness report. `invalid` flags an fd the kernel says we no
+  // longer own (POLLNVAL / EBADF): the caller must evict it — leaving
+  // it registered turns a poll(2) loop into a busy-wait.
+  struct Ready {
+    int fd = -1;
+    bool invalid = false;
+  };
+
+  virtual ~ReactorBackend() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  // Watch fd for readability. Re-adding a watched fd is a no-op.
+  virtual Status add(int fd) = 0;
+
+  // Stop watching fd. Unknown or already-closed fds are fine: eviction
+  // paths remove fds the kernel has already forgotten.
+  virtual void remove(int fd) = 0;
+
+  // Block up to timeout_millis (-1 = forever) and append every ready
+  // fd to `out` (which the caller has cleared). Returns the number
+  // appended; EINTR is not an error (returns 0).
+  virtual Result<int> wait(int timeout_millis, std::vector<Ready>& out) = 0;
+};
+
+// poll(2): portable reference implementation.
+std::unique_ptr<ReactorBackend> make_poll_backend();
+
+#if defined(__linux__)
+// epoll(7): interest set lives in the kernel; wait cost scales with
+// ready fds, not watched fds.
+std::unique_ptr<ReactorBackend> make_epoll_backend();
+#endif
+
+// Default choice honouring DIONEA_REACTOR_BACKEND.
+std::unique_ptr<ReactorBackend> make_reactor_backend();
+
+}  // namespace dionea::ipc

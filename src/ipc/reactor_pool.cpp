@@ -1,0 +1,47 @@
+#include "ipc/reactor_pool.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace dionea::ipc {
+
+ReactorPool::ReactorPool(int shards) {
+  if (shards <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    shards = static_cast<int>(std::clamp(hw, 1u, 8u));
+  }
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Reactor>());
+  }
+}
+
+ReactorPool::~ReactorPool() { stop(); }
+
+Status ReactorPool::start() {
+  if (running_) return Status::ok();
+  threads_.reserve(shards_.size());
+  for (auto& reactor : shards_) {
+    threads_.emplace_back([raw = reactor.get()] {
+      Status status = raw->run();
+      if (!status.is_ok()) {
+        DLOG_ERROR("ipc") << "reactor shard exited: " << status.to_string();
+      }
+    });
+  }
+  running_ = true;
+  return Status::ok();
+}
+
+void ReactorPool::stop() {
+  if (!running_) return;
+  for (auto& reactor : shards_) reactor->stop();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  running_ = false;
+}
+
+}  // namespace dionea::ipc

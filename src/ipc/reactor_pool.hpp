@@ -1,0 +1,59 @@
+// Sharded reactor pool.
+//
+// The hub routes thousands of sessions; one loop thread would make
+// every slow callback head-of-line-block the fleet. A ReactorPool runs
+// N Reactors on N threads and pins work to shards by id: everything
+// belonging to one session (its upstream sockets, its timers) lives on
+// shard_for(session_id), so per-session state needs no locking beyond
+// the reactor's own cross-thread queues. Cross-shard handoff is
+// Reactor::post() — each shard's Wakeup (eventfd) makes that cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ipc/reactor.hpp"
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+class ReactorPool {
+ public:
+  // shards <= 0 picks a default: min(hardware_concurrency, 8), at
+  // least 1.
+  explicit ReactorPool(int shards = 0);
+  ~ReactorPool();
+  ReactorPool(const ReactorPool&) = delete;
+  ReactorPool& operator=(const ReactorPool&) = delete;
+
+  // Spawn one loop thread per shard. Idempotent.
+  Status start();
+
+  // Stop every loop and join the threads. Idempotent; also run by the
+  // destructor.
+  void stop();
+
+  int shard_count() const noexcept { return static_cast<int>(shards_.size()); }
+  bool running() const noexcept { return running_; }
+
+  // Stable pinning: the same id always lands on the same shard.
+  int shard_for(std::uint64_t id) const noexcept {
+    // Fibonacci hashing spreads sequential session ids across shards.
+    return static_cast<int>((id * 11400714819323198485ull) %
+                            shards_.size());
+  }
+
+  Reactor& shard(int index) noexcept { return *shards_[static_cast<size_t>(index)]; }
+  Reactor& reactor_for(std::uint64_t id) noexcept {
+    return shard(shard_for(id));
+  }
+
+ private:
+  std::vector<std::unique_ptr<Reactor>> shards_;
+  std::vector<std::thread> threads_;
+  bool running_ = false;
+};
+
+}  // namespace dionea::ipc

@@ -1,0 +1,57 @@
+#include "ipc/wakeup.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
+namespace dionea::ipc {
+
+Result<Wakeup> Wakeup::create() {
+  Wakeup wakeup;
+#if defined(__linux__)
+  int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (efd >= 0) {
+    wakeup.event_ = Fd(efd);
+    return wakeup;
+  }
+  // EMFILE/ENOSYS: fall through to the pipe pair.
+#endif
+  auto pipe = Pipe::create(/*cloexec=*/true);
+  if (!pipe.is_ok()) return pipe.error();
+  wakeup.pipe_ = std::move(pipe).value();
+  (void)wakeup.pipe_.read_end().set_nonblocking(true);
+  (void)wakeup.pipe_.write_end().set_nonblocking(true);
+  return wakeup;
+}
+
+int Wakeup::fd() const noexcept {
+  if (event_.valid()) return event_.get();
+  return pipe_.read_end().get();
+}
+
+void Wakeup::notify() noexcept {
+  if (event_.valid()) {
+    std::uint64_t one = 1;
+    (void)::write(event_.get(), &one, sizeof(one));
+    return;
+  }
+  char byte = 'w';
+  (void)::write(pipe_.write_end().get(), &byte, 1);
+}
+
+void Wakeup::drain() noexcept {
+  if (event_.valid()) {
+    std::uint64_t count = 0;
+    (void)::read(event_.get(), &count, sizeof(count));
+    return;
+  }
+  char buf[64];
+  while (::read(pipe_.read_end().get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace dionea::ipc

@@ -1,0 +1,43 @@
+// Loop wakeup primitive.
+//
+// Every Reactor needs a way for other threads to interrupt its wait.
+// On Linux an eventfd(2) does this with one fd and one 8-byte counter;
+// elsewhere (and as a fallback when eventfd creation fails, e.g. under
+// fd-exhaustion fault injection) a pipe(2) pair serves. Either way the
+// contract is the same: notify() from any thread is cheap and
+// async-signal-safe, fd() is pollable for readability, drain() on the
+// loop thread consumes all pending notifications.
+#pragma once
+
+#include "ipc/fd.hpp"
+#include "ipc/pipe.hpp"
+#include "support/result.hpp"
+
+namespace dionea::ipc {
+
+class Wakeup {
+ public:
+  static Result<Wakeup> create();
+
+  Wakeup() = default;
+  Wakeup(Wakeup&&) = default;
+  Wakeup& operator=(Wakeup&&) = default;
+
+  // The fd to watch for readability. -1 if default-constructed.
+  int fd() const noexcept;
+
+  // Make fd() readable. Any thread; a single write(2)/eventfd write.
+  void notify() noexcept;
+
+  // Consume every pending notification. Loop thread only.
+  void drain() noexcept;
+
+  // True when backed by eventfd(2) rather than a pipe pair.
+  bool is_eventfd() const noexcept { return event_.valid(); }
+
+ private:
+  Fd event_;    // eventfd; valid() iff eventfd backing
+  Pipe pipe_;   // fallback
+};
+
+}  // namespace dionea::ipc

@@ -35,6 +35,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kCrashReports: return "crash_reports";
     case Counter::kWatchdogEscalations: return "watchdog_escalations";
     case Counter::kForkSelfcheckRepairs: return "fork_selfcheck_repairs";
+    case Counter::kHubRegistrations: return "hub.registrations";
+    case Counter::kHubEventsRouted: return "hub.events_routed";
+    case Counter::kHubEventsDropped: return "hub.events_dropped";
     case Counter::kCount: break;
   }
   return "?";
@@ -44,6 +47,8 @@ const char* gauge_name(Gauge g) noexcept {
   switch (g) {
     case Gauge::kMpQueueDepth: return "mp_queue_depth";
     case Gauge::kParkedThreads: return "parked_threads";
+    case Gauge::kHubSessions: return "hub.sessions";
+    case Gauge::kHubPeers: return "hub.peers";
     case Gauge::kCount: break;
   }
   return "?";
@@ -58,6 +63,7 @@ const char* histogram_name(Histogram h) noexcept {
     case Histogram::kCommandNanos: return "command_nanos";
     case Histogram::kStopParkNanos: return "stop_park_nanos";
     case Histogram::kMpPopWaitNanos: return "mp_pop_wait_nanos";
+    case Histogram::kHubRouteNanos: return "hub.route_nanos";
     case Histogram::kCount: break;
   }
   return "?";

@@ -64,6 +64,9 @@ enum class Counter : int {
   kCrashReports,         // post-mortem reports written by capture_now
   kWatchdogEscalations,  // watchdog forward transitions (hung/degraded/detached)
   kForkSelfcheckRepairs, // fork handler C invariants it had to repair
+  kHubRegistrations,     // sessions registered with the hub (incl. re-register after fork)
+  kHubEventsRouted,      // events the hub fanned out to client queues
+  kHubEventsDropped,     // events evicted by client-queue backpressure
   kCount
 };
 
@@ -71,6 +74,8 @@ enum class Counter : int {
 enum class Gauge : int {
   kMpQueueDepth,   // items in the most recently touched mp queue
   kParkedThreads,  // threads currently suspended by the debugger
+  kHubSessions,    // sessions currently registered with the hub
+  kHubPeers,       // client connections currently attached to the hub
   kCount
 };
 
@@ -83,6 +88,7 @@ enum class Histogram : int {
   kCommandNanos,          // one control command, decode -> response ready
   kStopParkNanos,         // park -> resume of one debugger stop
   kMpPopWaitNanos,        // mp queue pop: sem wait -> payload read
+  kHubRouteNanos,         // hub event routing: frame in -> queued on every peer
   kCount
 };
 

@@ -109,7 +109,7 @@ TEST_F(AnalysisE2eTest, ConsoleRacesAndLintVerbs) {
   harness.launch();
   client::Console console(harness.client());
   ASSERT_TRUE(harness.session()->wait_stopped(5000).is_ok());
-  EXPECT_NE(console.execute("help").find("races [pid]"), std::string::npos);
+  EXPECT_NE(console.execute("help").find("races [id]"), std::string::npos);
   console.execute("c");
   harness.join();
 

@@ -120,6 +120,24 @@ TEST_F(ConsoleTest, UsageMessagesForBadArgs) {
   harness_->join();
 }
 
+TEST_F(ConsoleTest, SessionVerbsAndPrompt) {
+  start("x = 1");
+  ASSERT_TRUE(harness_->session()->wait_stopped(5000).is_ok());
+  // No view selected yet: bare prompt.
+  EXPECT_EQ(console_->prompt(), "dionea> ");
+  std::string listing = run("session list");
+  EXPECT_NE(listing.find(std::to_string(getpid())), std::string::npos);
+  std::string used =
+      run("session use " + std::to_string(harness_->handle().id));
+  EXPECT_NE(used.find("view: session"), std::string::npos);
+  // The prompt now names the active session.
+  EXPECT_NE(console_->prompt().find("[s"), std::string::npos);
+  EXPECT_NE(run("session").find("usage"), std::string::npos);
+  EXPECT_NE(run("session use 999999").find("no session"), std::string::npos);
+  run("c");
+  harness_->join();
+}
+
 TEST_F(ConsoleTest, SingleSessionAutoActivates) {
   start("x = 1");
   ASSERT_TRUE(harness_->session()->wait_stopped(5000).is_ok());

@@ -12,7 +12,7 @@
 
 #include <gtest/gtest.h>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "debugger/server.hpp"
 #include "ipc/frame.hpp"
 #include "ipc/socket.hpp"
@@ -68,38 +68,40 @@ TEST(CrashResilienceTest, SigkilledDebuggeeYieldsCrashEvent) {
   ASSERT_TRUE(debuggee.valid());
   int pid = static_cast<int>(debuggee.pid());
 
-  MultiClient client(ports);
-  auto session = client.await_process(pid, 5000);
-  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
+  std::unique_ptr<Client> cc = Client::discover(ports);
+  auto handle = cc->attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* session_ptr = cc->session(handle.value());
+  ASSERT_NE(session_ptr, nullptr);
 
   // Drive the session: entry stop, one step — the kill lands mid-step.
-  auto entry = session.value()->wait_stopped(5000);
+  auto entry = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
-  ASSERT_TRUE(session.value()->step(entry.value().tid).is_ok());
-  auto stepped = session.value()->wait_stopped(5000);
+  ASSERT_TRUE(session_ptr->step(entry.value().tid).is_ok());
+  auto stepped = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(stepped.is_ok()) << stepped.error().to_string();
-  ASSERT_TRUE(session.value()->cont(stepped.value().tid).is_ok());
+  ASSERT_TRUE(session_ptr->cont(stepped.value().tid).is_ok());
 
   ASSERT_EQ(::kill(pid, SIGKILL), 0);
 
   bool crashed = false;
   Stopwatch watch;
   while (!crashed && watch.elapsed_seconds() < 5.0) {
-    auto events = client.poll_all_events(50);
+    auto events = cc->poll_events(50);
     ASSERT_TRUE(events.is_ok()) << events.error().to_string();
-    for (const auto& [event_pid, event] : events.value()) {
-      if (event_pid != pid) continue;
+    for (const Client::SessionEvent& se : events.value()) {
+      if (se.session != handle.value()) continue;
       // The death must read as a crash, not a clean exit.
-      EXPECT_NE(event.kind, proto::Event::kProcessExited);
-      if (event.kind == proto::Event::kProcessCrashed) {
-        EXPECT_EQ(event.payload.get_int("pid"), pid);
+      EXPECT_NE(se.event.kind, proto::Event::kProcessExited);
+      if (se.event.kind == proto::Event::kProcessCrashed) {
+        EXPECT_EQ(se.event.payload.get_int("pid"), pid);
         crashed = true;
       }
     }
   }
   EXPECT_TRUE(crashed) << "no process-crashed event within 5s";
   // Once reported, the dead session stays muted.
-  auto quiet = client.poll_all_events(10);
+  auto quiet = cc->poll_events(10);
   ASSERT_TRUE(quiet.is_ok());
   EXPECT_TRUE(quiet.value().empty());
 
@@ -160,11 +162,12 @@ TEST(CrashResilienceTest, ReconnectPreservesBreakpoints) {
       "b = 2\n"
       "c = a + b\n"  // line 3: breakpoint survives the reconnect
       "puts(c)");
-  MultiClient client(debuggee.ports());
+  std::unique_ptr<Client> cc = Client::discover(debuggee.ports());
   int pid = static_cast<int>(::getpid());
-  auto attached = client.await_process(pid, 5000);
-  ASSERT_TRUE(attached.is_ok()) << attached.error().to_string();
-  Session* session = attached.value();
+  auto handle = cc->attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* session = cc->session(handle.value());
+  ASSERT_NE(session, nullptr);
 
   auto entry = session->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
@@ -176,16 +179,16 @@ TEST(CrashResilienceTest, ReconnectPreservesBreakpoints) {
   // server's view, server crash from ours).
   session->hard_close();
   EXPECT_FALSE(session->connected());
-  auto events = client.poll_all_events(10);
+  auto events = cc->poll_events(10);
   ASSERT_TRUE(events.is_ok());
   ASSERT_EQ(events.value().size(), 1u);
-  EXPECT_EQ(events.value()[0].second.kind, proto::Event::kProcessCrashed);
+  EXPECT_EQ(events.value()[0].event.kind, proto::Event::kProcessCrashed);
 
   ReconnectPolicy policy;
   policy.max_attempts = 20;
   policy.initial_delay_millis = 20;
   policy.max_delay_millis = 200;
-  auto revived = client.reconnect(pid, policy);
+  auto revived = cc->reconnect(handle.value(), policy);
   ASSERT_TRUE(revived.is_ok()) << revived.error().to_string();
   session = revived.value();  // old Session object is gone
   EXPECT_TRUE(session->connected());
@@ -203,8 +206,8 @@ TEST(CrashResilienceTest, ReconnectPreservesBreakpoints) {
   EXPECT_EQ(hit.value().reason, "breakpoint");
   EXPECT_EQ(hit.value().line, 3);
   ASSERT_TRUE(session->cont(hit.value().tid).is_ok());
-  // A revived pid reports events again (none pending here, no crash).
-  auto after = client.poll_all_events(10);
+  // A revived session reports events again (none pending, no crash).
+  auto after = cc->poll_events(10);
   ASSERT_TRUE(after.is_ok());
 }
 
@@ -242,15 +245,16 @@ TEST(CrashResilienceTest, HeartbeatSilenceMarksPeerDead) {
 
   auto session = Session::attach(listener.value().port(), 2000);
   ASSERT_TRUE(session.is_ok()) << session.error().to_string();
-  EXPECT_EQ(session.value()->pid(), 4242);
-  EXPECT_EQ(session.value()->heartbeat_timeout_millis(), 500);
+  Session* session_ptr = session.value().get();
+  EXPECT_EQ(session_ptr->pid(), 4242);
+  EXPECT_EQ(session_ptr->heartbeat_timeout_millis(), 500);
 
   Stopwatch watch;
-  auto event = session.value()->poll_event(5000);
+  auto event = session_ptr->poll_event(5000);
   double waited = watch.elapsed_seconds();
   ASSERT_FALSE(event.is_ok());
   EXPECT_EQ(event.error().code(), ErrorCode::kClosed);
-  EXPECT_FALSE(session.value()->connected());
+  EXPECT_FALSE(session_ptr->connected());
   // Detected at the ~500ms silence budget, far before the 5s poll.
   EXPECT_LT(waited, 3.0);
   silence_detected.store(true);
@@ -262,10 +266,12 @@ TEST(CrashResilienceTest, HeartbeatSilenceMarksPeerDead) {
 // so a later client can attach.
 TEST(CrashResilienceTest, ServerDropsSilentlyDeadClient) {
   LocalDebuggee debuggee("x = 1\nputs(x)", /*heartbeat_millis=*/100);
-  MultiClient client(debuggee.ports());
+  std::unique_ptr<Client> cc = Client::discover(debuggee.ports());
   int pid = static_cast<int>(::getpid());
-  auto attached = client.await_process(pid, 5000);
-  ASSERT_TRUE(attached.is_ok()) << attached.error().to_string();
+  auto handle = cc->attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* attached_s = cc->session(handle.value());
+  ASSERT_NE(attached_s, nullptr);
   ASSERT_TRUE(debuggee.server().client_connected());
 
   // Beacons flow while the session is healthy (the client consumes
@@ -274,19 +280,19 @@ TEST(CrashResilienceTest, ServerDropsSilentlyDeadClient) {
   Stopwatch beacon_watch;
   while (debuggee.server().heartbeats_sent() == 0 &&
          beacon_watch.elapsed_seconds() < 2.0) {
-    auto drained = attached.value()->poll_event(20);
+    auto drained = attached_s->poll_event(20);
     ASSERT_TRUE(drained.is_ok()) << drained.error().to_string();
   }
   EXPECT_GT(debuggee.server().heartbeats_sent(), 0u);
 
-  attached.value()->hard_close();  // no detach: a crashed client
+  attached_s->hard_close();  // no detach: a crashed client
 
   EXPECT_TRUE(test::poll_until(
       [&debuggee] { return !debuggee.server().client_connected(); }))
       << "server never noticed the dead client";
 
   // The slot is free again: a fresh attach succeeds.
-  auto revived = client.reconnect(pid);
+  auto revived = cc->reconnect(handle.value());
   ASSERT_TRUE(revived.is_ok()) << revived.error().to_string();
   EXPECT_TRUE(revived.value()->connected());
   auto resumed = revived.value()->cont_all();

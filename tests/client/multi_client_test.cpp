@@ -1,5 +1,5 @@
-// MultiClient: port-file adoption, 1-client-N-sessions (§4.1), debug
-// view multiplexing (§4.2).
+// Client (discover mode, the MultiClient engine underneath): port-file
+// adoption, 1-client-N-sessions (§4.1), debug view multiplexing (§4.2).
 #include <gtest/gtest.h>
 
 #include "testutil.hpp"
@@ -13,12 +13,14 @@ using test::HarnessOptions;
 TEST(MultiClientTest, RefreshOnEmptyFileFindsNothing) {
   auto tmp = TempDir::create("mc-test");
   ASSERT_TRUE(tmp.is_ok());
-  MultiClient mc(tmp.value().file("ports"));
-  auto added = mc.refresh(200);
+  std::unique_ptr<Client> cc = Client::discover(tmp.value().file("ports"));
+  auto added = cc->refresh(200);
   ASSERT_TRUE(added.is_ok());
   EXPECT_EQ(added.value(), 0);
-  EXPECT_EQ(mc.session_count(), 0u);
-  EXPECT_EQ(mc.session(1), nullptr);
+  EXPECT_EQ(cc->session_count(), 0u);
+  EXPECT_EQ(cc->session(SessionHandle{1}), nullptr);
+  EXPECT_FALSE(cc->handle_for_pid(1).valid());
+  EXPECT_FALSE(cc->hub_mode());
 }
 
 TEST(MultiClientTest, StaleRecordForDeadProcessSkipped) {
@@ -33,8 +35,8 @@ TEST(MultiClientTest, StaleRecordForDeadProcessSkipped) {
     dead_port = listener.value().port();
   }
   ASSERT_TRUE(file.publish(ipc::PortRecord{999'999, 1, dead_port, 0}).is_ok());
-  MultiClient mc(tmp.value().file("ports"));
-  auto added = mc.refresh(300);
+  std::unique_ptr<Client> cc = Client::discover(tmp.value().file("ports"));
+  auto added = cc->refresh(300);
   ASSERT_TRUE(added.is_ok());
   EXPECT_EQ(added.value(), 0);
 }
@@ -49,32 +51,40 @@ TEST(MultiClientTest, ForkGrowsSessionsToTwo) {
                      .stop_forked_children = true});
   (void)harness.launch();
   EXPECT_EQ(harness.client().session_count(), 1u);
-  auto child = harness.client().await_new_process(5000);
-  ASSERT_TRUE(child.is_ok());
+  auto child_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(child_h.is_ok());
+  Session* child = harness.client().session(child_h.value());
+  ASSERT_NE(child, nullptr);
   EXPECT_EQ(harness.client().session_count(), 2u);
-  EXPECT_EQ(harness.client().pids().size(), 2u);
+  EXPECT_EQ(harness.client().sessions().size(), 2u);
+  // Discover-mode handles are pids.
+  EXPECT_EQ(harness.client().pid_of(child_h.value()), child->pid());
 
-  auto stop = child.value()->wait_stopped(5000);
+  auto stop = child->wait_stopped(5000);
   ASSERT_TRUE(stop.is_ok());
-  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
   harness.join();
 }
 
 TEST(MultiClientTest, ActivateValidatesProcessAndThread) {
-  DebugHarness harness("sleep(1)",
+  // Long-lived debuggee: the activations below must not race the
+  // program running off the end (request_exit ends it early).
+  DebugHarness harness("sleep(30)",
                        HarnessOptions{.stop_at_entry = false});
   (void)harness.launch();
-  MultiClient& mc = harness.client();
-  int pid = getpid();
+  Client& cc = harness.client();
+  SessionHandle me = harness.handle();
 
-  EXPECT_FALSE(mc.activate(123456, 1).is_ok());   // no such process
-  EXPECT_FALSE(mc.activate(pid, 77).is_ok());     // no such thread
-  EXPECT_FALSE(mc.active_view().valid());
+  EXPECT_FALSE(cc.activate(SessionHandle{123456}, 1).is_ok());  // no process
+  EXPECT_FALSE(cc.activate(me, 77).is_ok());                    // no thread
+  EXPECT_FALSE(cc.active_view().valid());
 
-  ASSERT_TRUE(mc.activate(pid, 1).is_ok());
-  EXPECT_TRUE(mc.active_view().valid());
-  EXPECT_EQ(mc.active_view().pid, pid);
-  EXPECT_EQ(mc.active_view().tid, 1);
+  // With stop_at_entry=false the main thread may not have hit the
+  // trace hook yet; it shows up in `threads` once the VM starts.
+  ASSERT_TRUE(test::poll_until([&] { return cc.activate(me, 1).is_ok(); }));
+  EXPECT_TRUE(cc.active_view().valid());
+  EXPECT_EQ(cc.active_view().session, me);
+  EXPECT_EQ(cc.active_view().tid, 1);
 
   harness.vm().request_exit(0);
   harness.join();
@@ -88,15 +98,15 @@ TEST(MultiClientTest, ActiveSourceAndFramesFollowView) {
       "f()",
       HarnessOptions{.stop_at_entry = false});
   (void)harness.launch();
-  MultiClient& mc = harness.client();
+  Client& cc = harness.client();
   sleep_for_millis(100);  // let it get into f()/sleep
 
-  ASSERT_TRUE(mc.activate(getpid(), 1).is_ok());
-  auto source = mc.active_source();
+  ASSERT_TRUE(cc.activate(harness.handle(), 1).is_ok());
+  auto source = cc.active_source();
   ASSERT_TRUE(source.is_ok());
   EXPECT_NE(source.value().find("fn f()"), std::string::npos);
 
-  auto frames = mc.active_frames();
+  auto frames = cc.active_frames();
   ASSERT_TRUE(frames.is_ok());
   ASSERT_EQ(frames.value().size(), 2u);
   EXPECT_EQ(frames.value()[0].function, "f");
@@ -105,7 +115,7 @@ TEST(MultiClientTest, ActiveSourceAndFramesFollowView) {
   harness.join();
 }
 
-TEST(MultiClientTest, PollAllEventsAcrossSessions) {
+TEST(MultiClientTest, PollEventsAcrossSessions) {
   DebugHarness harness(
       "pid = fork(fn()\n"
       "  t = spawn(fn() return 1 end)\n"
@@ -117,34 +127,36 @@ TEST(MultiClientTest, PollAllEventsAcrossSessions) {
       HarnessOptions{.stop_at_entry = false,
                      .stop_forked_children = true});
   (void)harness.launch();
-  auto child = harness.client().await_new_process(5000);
-  ASSERT_TRUE(child.is_ok());
-  auto stop = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(child_h.is_ok());
+  Session* child = harness.client().session(child_h.value());
+  ASSERT_NE(child, nullptr);
+  auto stop = child->wait_stopped(5000);
   ASSERT_TRUE(stop.is_ok());
-  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
   harness.join();
 
-  // Both sessions produced thread events; poll_all sees both pids.
-  std::set<int> pids_with_events;
+  // Both sessions produced thread events; poll_events sees both.
+  std::set<std::int64_t> sessions_with_events;
   for (int round = 0; round < 20; ++round) {
-    auto events = harness.client().poll_all_events(50);
+    auto events = harness.client().poll_events(50);
     if (!events.is_ok()) break;  // a session may be gone — fine
-    for (const auto& [pid, event] : events.value()) {
-      pids_with_events.insert(pid);
+    for (const Client::SessionEvent& se : events.value()) {
+      sessions_with_events.insert(se.session.id);
     }
-    if (pids_with_events.size() >= 2) break;
+    if (sessions_with_events.size() >= 2) break;
   }
-  EXPECT_GE(pids_with_events.size(), 1u);
-  EXPECT_EQ(pids_with_events.count(getpid()), 1u);
+  EXPECT_GE(sessions_with_events.size(), 1u);
+  EXPECT_EQ(sessions_with_events.count(harness.handle().id), 1u);
 }
 
 TEST(MultiClientTest, ClaimPreventsHandout) {
   auto tmp = TempDir::create("mc-test");
   ASSERT_TRUE(tmp.is_ok());
-  MultiClient mc(tmp.value().file("ports"));
-  // claim of unknown pid is a no-op
-  mc.claim(12345);
-  auto none = mc.await_new_process(100);
+  std::unique_ptr<Client> cc = Client::discover(tmp.value().file("ports"));
+  // claim of unknown handle is a no-op
+  cc->claim(SessionHandle{12345});
+  auto none = cc->attach_any(100);
   EXPECT_FALSE(none.is_ok());
   EXPECT_EQ(none.error().code(), ErrorCode::kTimeout);
 }

@@ -133,11 +133,12 @@ TEST(AdvancedStepTest, NextStepsOverAFork) {
   ASSERT_TRUE(session->next(1).is_ok());
 
   // Adopt + release the child so the parent's waitpid can return.
-  auto child = harness.client().await_new_process(5000);
-  ASSERT_TRUE(child.is_ok());
-  auto birth = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  auto birth = child->wait_stopped(5000);
   ASSERT_TRUE(birth.is_ok());
-  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(birth.value().tid).is_ok());
 
   auto stepped = session->wait_stopped(5000);
   ASSERT_TRUE(stepped.is_ok());

@@ -62,14 +62,15 @@ TEST(DeadlockScenarioTest, WithDebuggerExactLineReported) {
                                       .stop_forked_children = true});
   (void)harness.launch();
 
-  auto child = harness.client().await_new_process(5000);
-  ASSERT_TRUE(child.is_ok());
-  auto birth = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  auto birth = child->wait_stopped(5000);
   ASSERT_TRUE(birth.is_ok());
-  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(birth.value().tid).is_ok());
 
   // Fig. 7: "Dionea showing the exact place where a deadlock occurs."
-  auto deadlock = child.value()->wait_event(proto::Event::kDeadlock, 5000);
+  auto deadlock = child->wait_event(proto::Event::kDeadlock, 5000);
   ASSERT_TRUE(deadlock.is_ok());
   const auto& blocked = deadlock.value().payload.at("threads").as_array();
   ASSERT_EQ(blocked.size(), 1u);
@@ -78,18 +79,18 @@ TEST(DeadlockScenarioTest, WithDebuggerExactLineReported) {
   EXPECT_EQ(blocked[0].get_string("note"), "Queue#pop");
 
   // The debuggee is still alive and inspectable (unlike Listing 6).
-  auto threads = child.value()->threads();
+  auto threads = child->threads();
   ASSERT_TRUE(threads.is_ok());
   ASSERT_EQ(threads.value().size(), 1u);
   EXPECT_EQ(threads.value()[0].state, "blocked");
-  auto frames = child.value()->frames(threads.value()[0].tid);
+  auto frames = child->frames(threads.value()[0].tid);
   ASSERT_TRUE(frames.is_ok());
   ASSERT_GE(frames.value().size(), 1u);
   EXPECT_EQ(frames.value()[0].line, 7);
 
   // Tear down: the child is deadlocked by design; kill it so the
   // parent's waitpid returns.
-  ::kill(child.value()->pid(), SIGKILL);
+  ::kill(child->pid(), SIGKILL);
   auto result = harness.join();
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(harness.output(), "child status -9\n");

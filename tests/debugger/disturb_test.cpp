@@ -109,12 +109,13 @@ TEST(DisturbTest, ForkedProcessStopsAtBirth) {
       "puts(waitpid(pid))",
       HarnessOptions{.stop_at_entry = false, .disturb = true});
   (void)harness.launch();
-  auto child = harness.client().await_new_process(5000);
-  ASSERT_TRUE(child.is_ok());
-  auto stop = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  auto stop = child->wait_stopped(5000);
   ASSERT_TRUE(stop.is_ok());
   EXPECT_EQ(stop.value().reason, "disturb");
-  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
   auto result = harness.join();
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(harness.output(), "9\n");

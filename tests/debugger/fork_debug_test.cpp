@@ -32,15 +32,16 @@ TEST(ForkDebugTest, ChildPublishesItsOwnSession) {
   EXPECT_NE(child_pid, getpid());
   EXPECT_GT(child_pid, 0);
 
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok());
-  EXPECT_EQ(child.value()->pid(), child_pid);
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  EXPECT_EQ(child->pid(), child_pid);
   // Distinct ports: the child re-bound (problem 3 of §5.3).
-  EXPECT_NE(child.value()->port(), parent->port());
+  EXPECT_NE(child->port(), parent->port());
 
-  auto stop = child.value()->wait_stopped(5000);
+  auto stop = child->wait_stopped(5000);
   ASSERT_TRUE(stop.is_ok());
-  ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
   auto result = harness.join();
   EXPECT_TRUE(result.ok);
 }
@@ -65,23 +66,24 @@ TEST(ForkDebugTest, ChildInheritsBreakpoints) {
   auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok());
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
 
-  auto hit = child.value()->wait_stopped(5000);
+  auto hit = child->wait_stopped(5000);
   ASSERT_TRUE(hit.is_ok());
   EXPECT_EQ(hit.value().reason, "breakpoint");
   EXPECT_EQ(hit.value().line, 4);
 
   // Inspect the child's globals (pid == 0 proves we're in the child).
-  auto globals = child.value()->globals();
+  auto globals = child->globals();
   ASSERT_TRUE(globals.is_ok());
   std::map<std::string, std::string> by_name(globals.value().begin(),
                                              globals.value().end());
   EXPECT_EQ(by_name["pid"], "0");
   EXPECT_EQ(by_name["y"], "5");
 
-  Status child_resumed = child.value()->cont(hit.value().tid);
+  Status child_resumed = child->cont(hit.value().tid);
   ASSERT_TRUE(child_resumed.is_ok()) << child_resumed.to_string();
   auto result = harness.join();
   EXPECT_TRUE(result.ok);
@@ -111,17 +113,18 @@ TEST(ForkDebugTest, ParentAndChildControlledIndependently) {
   auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok());
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
 
   // The child is parked at birth; the parent keeps running (it blocks
   // in waitpid, an IO wait, without any debugger involvement).
-  auto birth = child.value()->wait_stopped(5000);
+  auto birth = child->wait_stopped(5000);
   ASSERT_TRUE(birth.is_ok());
 
   // Step the child a few lines while the parent stays blocked.
-  ASSERT_TRUE(child.value()->step(birth.value().tid).is_ok());
-  auto step1 = child.value()->wait_stopped(5000);
+  ASSERT_TRUE(child->step(birth.value().tid).is_ok());
+  auto step1 = child->wait_stopped(5000);
   ASSERT_TRUE(step1.is_ok());
 
   auto parent_threads = parent->threads();
@@ -129,7 +132,7 @@ TEST(ForkDebugTest, ParentAndChildControlledIndependently) {
   ASSERT_EQ(parent_threads.value().size(), 1u);
   EXPECT_EQ(parent_threads.value()[0].state, "io");  // in waitpid
 
-  Status step_resumed = child.value()->cont(step1.value().tid);
+  Status step_resumed = child->cont(step1.value().tid);
   ASSERT_TRUE(step_resumed.is_ok())
       << step_resumed.to_string() << " tid=" << step1.value().tid;
   auto result = harness.join();
@@ -149,13 +152,14 @@ TEST(ForkDebugTest, ForkWithBlockChildTerminationEventArrives) {
   auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok());
-  auto birth = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  auto birth = child->wait_stopped(5000);
   ASSERT_TRUE(birth.is_ok());
-  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(birth.value().tid).is_ok());
   // Listing 3 / handler C: the child's at-exit hook reports termination.
-  auto terminated = child.value()->wait_event(proto::Event::kTerminated, 5000);
+  auto terminated = child->wait_event(proto::Event::kTerminated, 5000);
   ASSERT_TRUE(terminated.is_ok());
   EXPECT_EQ(terminated.value().payload.get_int("pid"), child_pid);
   auto result = harness.join();
@@ -181,22 +185,24 @@ TEST(ForkDebugTest, GrandchildGetsSessionToo) {
 
   // Adopt the child, resume it; it forks a grandchild which also stops
   // at birth and publishes its own record.
-  auto child = harness.client().await_new_process(5000);
-  ASSERT_TRUE(child.is_ok());
-  auto child_stop = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  auto child_stop = child->wait_stopped(5000);
   ASSERT_TRUE(child_stop.is_ok());
-  ASSERT_TRUE(child.value()->cont(child_stop.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(child_stop.value().tid).is_ok());
 
-  auto grandchild = harness.client().await_new_process(5000);
-  ASSERT_TRUE(grandchild.is_ok());
-  EXPECT_NE(grandchild.value()->pid(), child.value()->pid());
-  auto info = grandchild.value()->info();
+  auto grandchild_h = harness.client().attach_any(5000);
+  ASSERT_TRUE(grandchild_h.is_ok());
+  client::Session* grandchild = harness.client().session(grandchild_h.value());
+  EXPECT_NE(grandchild->pid(), child->pid());
+  auto info = grandchild->info();
   ASSERT_TRUE(info.is_ok());
   EXPECT_EQ(info.value().fork_depth, 2);
 
-  auto grand_stop = grandchild.value()->wait_stopped(5000);
+  auto grand_stop = grandchild->wait_stopped(5000);
   ASSERT_TRUE(grand_stop.is_ok());
-  Status resumed = grandchild.value()->cont(grand_stop.value().tid);
+  Status resumed = grandchild->cont(grand_stop.value().tid);
   ASSERT_TRUE(resumed.is_ok())
       << resumed.to_string() << " tid=" << grand_stop.value().tid
       << " reason=" << grand_stop.value().reason
@@ -238,11 +244,12 @@ TEST(ForkDebugTest, ManySequentialForksAllAdoptable) {
                      .stop_forked_children = true});
   (void)harness.launch();
   for (int i = 0; i < 4; ++i) {
-    auto child = harness.client().await_new_process(10'000);
-    ASSERT_TRUE(child.is_ok()) << "child " << i;
-    auto stop = child.value()->wait_stopped(5000);
+    auto child_h = harness.client().attach_any(10'000);
+    ASSERT_TRUE(child_h.is_ok()) << "child " << i;
+    client::Session* child = harness.client().session(child_h.value());
+    auto stop = child->wait_stopped(5000);
     ASSERT_TRUE(stop.is_ok()) << "child " << i;
-    ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+    ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
   }
   auto result = harness.join();
   EXPECT_TRUE(result.ok);

@@ -37,14 +37,15 @@ TEST(ForkMetricsTest, ChildStatsStartCleanAfterHandlerC) {
   auto forked = parent->wait_event(proto::Event::kForked, 5000);
   ASSERT_TRUE(forked.is_ok());
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok());
-  auto birth = child.value()->wait_stopped(5000);
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok());
+  client::Session* child = harness.client().session(child_h.value());
+  auto birth = child->wait_stopped(5000);
   ASSERT_TRUE(birth.is_ok());
 
   // The child is parked at its birth stop: it has run at most a couple
   // of statements of its own since handler C zeroed its shards.
-  auto child_stats = child.value()->stats();
+  auto child_stats = child->stats();
   ASSERT_TRUE(child_stats.is_ok()) << child_stats.error().to_string();
   EXPECT_EQ(child_stats.value().pid, child_pid);
   std::int64_t child_lines = child_stats.value().counter("trace_line_events");
@@ -59,8 +60,8 @@ TEST(ForkMetricsTest, ChildStatsStartCleanAfterHandlerC) {
   EXPECT_GT(parent_stats.value().counter("trace_line_events"), 300);
   EXPECT_GE(parent_stats.value().counter("forks"), 1);
 
-  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
-  auto terminated = child.value()->wait_event(proto::Event::kTerminated, 5000);
+  ASSERT_TRUE(child->cont(birth.value().tid).is_ok());
+  auto terminated = child->wait_event(proto::Event::kTerminated, 5000);
   ASSERT_TRUE(terminated.is_ok()) << terminated.error().to_string();
   auto result = harness.join();
   EXPECT_TRUE(result.ok);

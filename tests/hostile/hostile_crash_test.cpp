@@ -13,7 +13,7 @@
 
 #include <gtest/gtest.h>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "debugger/server.hpp"
 #include "mp/process.hpp"
 #include "support/temp_file.hpp"
@@ -82,20 +82,22 @@ mp::Process spawn_crashy_debuggee(const std::string& port_file,
 }
 
 // Wait for the process-crashed event and return its report path.
-std::string await_crash_report(MultiClient& client, int pid) {
+std::string await_crash_report(Client& client, SessionHandle handle) {
   bool crashed = false;
   Stopwatch watch;
   while (!crashed && watch.elapsed_seconds() < 10.0) {
-    auto events = client.poll_all_events(50);
+    auto events = client.poll_events(50);
     if (!events.is_ok()) break;
-    for (const auto& [event_pid, event] : events.value()) {
-      if (event_pid == pid && event.kind == proto::Event::kProcessCrashed) {
+    for (const Client::SessionEvent& se : events.value()) {
+      if (se.session == handle &&
+          se.event.kind == proto::Event::kProcessCrashed) {
         crashed = true;
       }
     }
   }
-  EXPECT_TRUE(crashed) << "no process-crashed event for pid " << pid;
-  return client.crash_report_path(pid);
+  EXPECT_TRUE(crashed) << "no process-crashed event for session "
+                       << handle.id;
+  return client.crash_report_path(handle);
 }
 
 // Scenario 7 (acceptance): crash while another thread is parked at a
@@ -121,20 +123,22 @@ TEST(HostileCrashTest, CrashWhileBreakpointed) {
   ASSERT_TRUE(debuggee.valid());
   int pid = static_cast<int>(debuggee.pid());
 
-  MultiClient client(ports);
-  auto session = client.await_process(pid, 5000);
-  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
-  auto entry = session.value()->wait_stopped(5000);
+  std::unique_ptr<Client> client_ptr = Client::discover(ports);
+  Client& client = *client_ptr;
+  auto handle = client.attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* session_ptr = client.session(handle.value());
+  auto entry = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
-  ASSERT_TRUE(session.value()->set_breakpoint("prog.ml", 4).is_ok());
-  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+  ASSERT_TRUE(session_ptr->set_breakpoint("prog.ml", 4).is_ok());
+  ASSERT_TRUE(session_ptr->cont(entry.value().tid).is_ok());
   // The spawned thread reaches line 4 and parks, holding the mutex.
-  auto hit = session.value()->wait_stopped(5000);
+  auto hit = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(hit.is_ok()) << hit.error().to_string();
   EXPECT_EQ(hit.value().line, 4);
 
   // Main thread runs on (it was never stopped) into hostile_segv.
-  std::string report_path = await_crash_report(client, pid);
+  std::string report_path = await_crash_report(client, handle.value());
   ASSERT_FALSE(report_path.empty());
 
   auto report = read_file(report_path);
@@ -154,7 +158,7 @@ TEST(HostileCrashTest, CrashWhileBreakpointed) {
 
   // The client survived: it can still talk to other sessions and the
   // dead one is muted, not wedged.
-  auto quiet = client.poll_all_events(10);
+  auto quiet = client.poll_events(10);
   ASSERT_TRUE(quiet.is_ok());
   EXPECT_TRUE(quiet.value().empty());
 
@@ -178,17 +182,19 @@ TEST(HostileCrashTest, CrashHoldingTheGil) {
   ASSERT_TRUE(debuggee.valid());
   int pid = static_cast<int>(debuggee.pid());
 
-  MultiClient client(ports);
-  auto session = client.await_process(pid, 5000);
-  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
-  auto entry = session.value()->wait_stopped(5000);
+  std::unique_ptr<Client> client_ptr = Client::discover(ports);
+  Client& client = *client_ptr;
+  auto handle = client.attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* session_ptr = client.session(handle.value());
+  auto entry = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
   // A breakpoint past the crash site keeps the trace hook live, so
   // the report's last-trace line names the dying statement.
-  ASSERT_TRUE(session.value()->set_breakpoint("prog.ml", 3).is_ok());
-  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+  ASSERT_TRUE(session_ptr->set_breakpoint("prog.ml", 3).is_ok());
+  ASSERT_TRUE(session_ptr->cont(entry.value().tid).is_ok());
 
-  std::string report_path = await_crash_report(client, pid);
+  std::string report_path = await_crash_report(client, handle.value());
   ASSERT_FALSE(report_path.empty());
   auto report = read_file(report_path);
   ASSERT_TRUE(report.is_ok());
@@ -219,21 +225,23 @@ TEST(HostileCrashTest, WatchdogEscalatesOnWedgedNative) {
   ASSERT_TRUE(debuggee.valid());
   int pid = static_cast<int>(debuggee.pid());
 
-  MultiClient client(ports);
-  auto session = client.await_process(pid, 5000);
-  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
-  auto entry = session.value()->wait_stopped(5000);
+  std::unique_ptr<Client> client_ptr = Client::discover(ports);
+  Client& client = *client_ptr;
+  auto handle = client.attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* session_ptr = client.session(handle.value());
+  auto entry = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
-  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+  ASSERT_TRUE(session_ptr->cont(entry.value().tid).is_ok());
 
-  auto hung = session.value()->wait_event(proto::Event::kWatchdog, 10'000);
+  auto hung = session_ptr->wait_event(proto::Event::kWatchdog, 10'000);
   ASSERT_TRUE(hung.is_ok()) << hung.error().to_string();
   EXPECT_EQ(hung.value().payload.get_string("state"), "hung");
   EXPECT_GT(hung.value().payload.get_int("stall_millis"), 0);
 
   // The wedge ends after ~2s; the watchdog must report recovery.
   auto recovered =
-      session.value()->wait_event(proto::Event::kWatchdog, 10'000);
+      session_ptr->wait_event(proto::Event::kWatchdog, 10'000);
   ASSERT_TRUE(recovered.is_ok()) << recovered.error().to_string();
   EXPECT_EQ(recovered.value().payload.get_string("state"), "healthy");
 
@@ -258,15 +266,17 @@ TEST(HostileCrashTest, LivePostmortemCaptureOverTheWire) {
   ASSERT_TRUE(debuggee.valid());
   int pid = static_cast<int>(debuggee.pid());
 
-  MultiClient client(ports);
-  auto session = client.await_process(pid, 5000);
-  ASSERT_TRUE(session.is_ok()) << session.error().to_string();
-  ASSERT_TRUE(session.value()->supports(proto::kCapPostmortem));
-  auto entry = session.value()->wait_stopped(5000);
+  std::unique_ptr<Client> client_ptr = Client::discover(ports);
+  Client& client = *client_ptr;
+  auto handle = client.attach(pid, 5000);
+  ASSERT_TRUE(handle.is_ok()) << handle.error().to_string();
+  Session* session_ptr = client.session(handle.value());
+  ASSERT_TRUE(session_ptr->supports(proto::kCapPostmortem));
+  auto entry = session_ptr->wait_stopped(5000);
   ASSERT_TRUE(entry.is_ok()) << entry.error().to_string();
-  ASSERT_TRUE(session.value()->cont(entry.value().tid).is_ok());
+  ASSERT_TRUE(session_ptr->cont(entry.value().tid).is_ok());
 
-  auto snap = session.value()->postmortem(/*capture=*/true);
+  auto snap = session_ptr->postmortem(/*capture=*/true);
   ASSERT_TRUE(snap.is_ok()) << snap.error().to_string();
   EXPECT_EQ(snap.value().pid, pid);
   EXPECT_TRUE(snap.value().installed);
@@ -280,7 +290,7 @@ TEST(HostileCrashTest, LivePostmortemCaptureOverTheWire) {
   EXPECT_NE(snap.value().report.find("== section: vm =="), std::string::npos);
 
   // The debuggee is unharmed: still answering, still running.
-  auto pong = session.value()->ping();
+  auto pong = session_ptr->ping();
   EXPECT_TRUE(pong.is_ok()) << pong.error().to_string();
   ASSERT_TRUE(debuggee.kill(SIGTERM).is_ok());
   auto code = debuggee.wait();

@@ -67,23 +67,24 @@ TEST(HostileForkTest, ForkWhileSiblingHoldsVmMutex) {
   auto forked = harness.session()->wait_event(proto::Event::kForked, 10'000);
   ASSERT_TRUE(forked.is_ok()) << forked.error().to_string();
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok()) << child.error().to_string();
-  EXPECT_TRUE(child.value()->connected());
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok()) << child_h.error().to_string();
+  client::Session* child = harness.client().session(child_h.value());
+  EXPECT_TRUE(child->connected());
   // Handler C's self-check must have found nothing to repair. The
   // regression this guards: the socket half of the check once ran
   // AFTER the child's new listener started accepting, so a client that
   // attached fast (exactly what await_process does) had its fresh
   // session mistaken for leaked parent fds and severed.
-  auto child_stats = child.value()->stats();
+  auto child_stats = child->stats();
   ASSERT_TRUE(child_stats.is_ok()) << child_stats.error().to_string();
   EXPECT_EQ(child_stats.value().counter("fork_selfcheck_repairs"), 0);
   EXPECT_EQ(child_stats.value().counter("crash_reports"), 0);
   // Parked at birth, before its lock(m): resume it into the critical
   // section the dead sibling never finished.
-  auto birth = child.value()->wait_stopped(5000);
+  auto birth = child->wait_stopped(5000);
   ASSERT_TRUE(birth.is_ok()) << birth.error().to_string();
-  ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(birth.value().tid).is_ok());
 
   auto result = harness.join();
   EXPECT_TRUE(result.ok) << result.error.to_string();
@@ -115,24 +116,25 @@ TEST(HostileForkTest, ForkFromInsideActiveTraceHook) {
   auto forked = harness.session()->wait_event(proto::Event::kForked, 10'000);
   ASSERT_TRUE(forked.is_ok()) << forked.error().to_string();
   int child_pid = static_cast<int>(forked.value().payload.get_int("child_pid"));
-  auto child = harness.client().await_process(child_pid, 5000);
-  ASSERT_TRUE(child.is_ok()) << child.error().to_string();
+  auto child_h = harness.client().attach(child_pid, 5000);
+  ASSERT_TRUE(child_h.is_ok()) << child_h.error().to_string();
+  client::Session* child = harness.client().session(child_h.value());
 
   // The child inherits the in-flight step: its first stop is the step
   // completing on its own side of the fork (line 2), proof the trace
   // hook survived the fork torn-free.
-  auto inherited = child.value()->wait_stopped(10'000);
+  auto inherited = child->wait_stopped(10'000);
   ASSERT_TRUE(inherited.is_ok()) << inherited.error().to_string();
   EXPECT_EQ(inherited.value().reason, "step");
   EXPECT_EQ(inherited.value().line, 2);
-  ASSERT_TRUE(child.value()->cont(inherited.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(inherited.value().tid).is_ok());
 
   // And the inherited breakpoint table still fires.
-  auto hit = child.value()->wait_stopped(10'000);
+  auto hit = child->wait_stopped(10'000);
   ASSERT_TRUE(hit.is_ok()) << hit.error().to_string();
   EXPECT_EQ(hit.value().reason, "breakpoint");
   EXPECT_EQ(hit.value().line, 4);
-  ASSERT_TRUE(child.value()->cont(hit.value().tid).is_ok());
+  ASSERT_TRUE(child->cont(hit.value().tid).is_ok());
 
   // Un-wedge the parent (it is stopped after its step) and finish.
   auto stepped = harness.session()->wait_stopped(5000);
@@ -279,7 +281,8 @@ TEST(HostileForkTest, DoubleForkWithDeadIntermediateParent) {
   int grandchild = 0;
   ASSERT_TRUE(test::poll_until([&] {
     (void)harness.client().refresh(100);
-    for (int pid : harness.client().pids()) {
+    for (client::SessionHandle h : harness.client().sessions()) {
+      int pid = harness.client().pid_of(h);
       if (pid != static_cast<int>(::getpid()) && pid != intermediate) {
         grandchild = pid;
         return true;
@@ -288,7 +291,8 @@ TEST(HostileForkTest, DoubleForkWithDeadIntermediateParent) {
     return false;
   }, 10'000)) << "orphaned grandchild never published a session";
 
-  client::Session* orphan = harness.client().session(grandchild);
+  client::Session* orphan =
+      harness.client().session(harness.client().handle_for_pid(grandchild));
   ASSERT_NE(orphan, nullptr);
   EXPECT_TRUE(orphan->connected());
   auto pong = orphan->ping();

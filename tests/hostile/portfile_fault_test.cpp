@@ -46,13 +46,14 @@ TEST(PortFileFaultTest, HandoffSurvivesRecoverableFaultSweep) {
         static_cast<int>(forked.value().payload.get_int("child_pid"));
     // The child is parked at birth: the handoff record must be enough
     // for a real attach, not just the kForked announcement.
-    auto child = harness.client().await_process(child_pid, 5000);
-    ASSERT_TRUE(child.is_ok()) << "seed " << seed << ": "
-                               << child.error().to_string();
-    auto stop = child.value()->wait_stopped(5000);
+    auto child_h = harness.client().attach(child_pid, 5000);
+    ASSERT_TRUE(child_h.is_ok()) << "seed " << seed << ": "
+                                 << child_h.error().to_string();
+    client::Session* child = harness.client().session(child_h.value());
+    auto stop = child->wait_stopped(5000);
     ASSERT_TRUE(stop.is_ok()) << "seed " << seed << ": "
                               << stop.error().to_string();
-    ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+    ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
     auto result = harness.join();
     EXPECT_TRUE(result.ok) << "seed " << seed;
     EXPECT_EQ(harness.output(), "0\n") << "seed " << seed;

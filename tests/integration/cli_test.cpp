@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "support/temp_file.hpp"
 #include "support/timing.hpp"
 
@@ -88,14 +88,15 @@ TEST_F(CliTest, WaitsForClientThenObeysIt) {
   ASSERT_GT(pid, 0);
 
   // Attach with the library client (dioneac uses the same path).
-  client::MultiClient mc(tmp_->file("ports"));
+  std::unique_ptr<client::Client> cc =
+      client::Client::discover(tmp_->file("ports"));
   Stopwatch watch;
-  while (mc.session_count() == 0 && watch.elapsed_seconds() < 5.0) {
-    (void)mc.refresh(2000);
+  while (cc->session_count() == 0 && watch.elapsed_seconds() < 5.0) {
+    (void)cc->refresh(2000);
     sleep_for_millis(20);
   }
-  ASSERT_EQ(mc.session_count(), 1u);
-  client::Session* session = mc.session(pid);
+  ASSERT_EQ(cc->session_count(), 1u);
+  client::Session* session = cc->session(cc->handle_for_pid(pid));
   ASSERT_NE(session, nullptr);
 
   auto entry = session->wait_stopped(5000);
@@ -115,11 +116,12 @@ TEST_F(CliTest, WaitsForClientThenObeysIt) {
   ASSERT_TRUE(session->cont(stepped.value().tid).is_ok());
 
   // The forked child publishes its own record; adopt and release it.
-  auto child = mc.await_new_process(10'000);
+  auto child = cc->attach_any(10'000);
   if (child.is_ok()) {
-    auto stop = child.value()->wait_stopped(2000);
+    client::Session* child_session = cc->session(child.value());
+    auto stop = child_session->wait_stopped(2000);
     if (stop.is_ok()) {
-      (void)child.value()->cont(stop.value().tid);
+      (void)child_session->cont(stop.value().tid);
     }
   }
 

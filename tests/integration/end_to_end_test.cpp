@@ -38,15 +38,16 @@ TEST(EndToEndTest, Fig8WorkerSuspensionRebalances) {
   client::Session* suspended = nullptr;
   std::int64_t suspended_tid = 0;
   for (int i = 0; i < 3; ++i) {
-    auto worker = harness.client().await_new_process(10'000);
-    ASSERT_TRUE(worker.is_ok()) << i;
-    auto stop = worker.value()->wait_stopped(5000);
+    auto worker_h = harness.client().attach_any(10'000);
+    ASSERT_TRUE(worker_h.is_ok()) << i;
+    client::Session* worker = harness.client().session(worker_h.value());
+    auto stop = worker->wait_stopped(5000);
     ASSERT_TRUE(stop.is_ok()) << i;
     if (i == 0) {
-      suspended = worker.value();
+      suspended = worker;
       suspended_tid = stop.value().tid;
     } else {
-      ASSERT_TRUE(worker.value()->cont(stop.value().tid).is_ok());
+      ASSERT_TRUE(worker->cont(stop.value().tid).is_ok());
     }
   }
   sleep_for_millis(400);  // free workers drain the queue
@@ -129,20 +130,21 @@ TEST(EndToEndTest, DebugEveryWorkerOfAFork) {
 
   std::set<int> child_pids;
   for (int i = 0; i < 3; ++i) {
-    auto child = harness.client().await_new_process(10'000);
-    ASSERT_TRUE(child.is_ok()) << i;
-    child_pids.insert(child.value()->pid());
-    auto stop = child.value()->wait_stopped(5000);
+    auto child_h = harness.client().attach_any(10'000);
+    ASSERT_TRUE(child_h.is_ok()) << i;
+    client::Session* child = harness.client().session(child_h.value());
+    child_pids.insert(child->pid());
+    auto stop = child->wait_stopped(5000);
     ASSERT_TRUE(stop.is_ok());
     // Inspect: each child sees pid == 0.
-    auto globals = child.value()->globals();
+    auto globals = child->globals();
     ASSERT_TRUE(globals.is_ok());
     bool saw_pid_zero = false;
     for (const auto& [name, value] : globals.value()) {
       if (name == "pid" && value == "0") saw_pid_zero = true;
     }
     EXPECT_TRUE(saw_pid_zero);
-    ASSERT_TRUE(child.value()->cont(stop.value().tid).is_ok());
+    ASSERT_TRUE(child->cont(stop.value().tid).is_ok());
   }
   EXPECT_EQ(child_pids.size(), 3u);
   auto result = harness.join();

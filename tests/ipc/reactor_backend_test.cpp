@@ -1,0 +1,191 @@
+// The pluggable readiness backends and the sharded pool, exercised
+// through the same Reactor surface on BOTH backends — poll(2) must be
+// a faithful stand-in for epoll(7), including the nastiest contract:
+// a callback closing its own fd mid-dispatch while the number gets
+// reused by a fresh descriptor.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipc/pipe.hpp"
+#include "ipc/reactor.hpp"
+#include "ipc/reactor_backend.hpp"
+#include "ipc/reactor_pool.hpp"
+#include "support/timing.hpp"
+
+namespace dionea::ipc {
+namespace {
+
+using BackendFactory = std::unique_ptr<ReactorBackend> (*)();
+
+std::vector<BackendFactory> available_backends() {
+  std::vector<BackendFactory> factories = {&make_poll_backend};
+#if defined(__linux__)
+  factories.push_back(&make_epoll_backend);
+#endif
+  return factories;
+}
+
+class ReactorBackendTest : public ::testing::TestWithParam<BackendFactory> {};
+
+TEST_P(ReactorBackendTest, NamesItsBackend) {
+  Reactor reactor(GetParam()());
+  EXPECT_NE(reactor.backend_name(), nullptr);
+  EXPECT_NE(std::string(reactor.backend_name()), "");
+}
+
+TEST_P(ReactorBackendTest, DispatchesReadable) {
+  Reactor reactor(GetParam()());
+  auto pipe = Pipe::create();
+  ASSERT_TRUE(pipe.is_ok());
+  int fired = 0;
+  reactor.add_fd(pipe.value().read_end().get(), [&] {
+    char c;
+    (void)pipe.value().read_end().read_some(&c, 1);
+    ++fired;
+  });
+  ASSERT_TRUE(pipe.value().write_end().write_all("x", 1).is_ok());
+  (void)reactor.poll_once(500);
+  EXPECT_EQ(fired, 1);
+}
+
+// The satellite fix, distilled: from inside its own readable callback
+// a handler CLOSES the fd and removes it. A second fd registered in
+// the same round — which the kernel may renumber onto the closed
+// descriptor next round — must neither be dispatched with the dead
+// handler nor miss its own first readiness.
+TEST_P(ReactorBackendTest, CallbackMayCloseOwnFdMidDispatch) {
+  Reactor reactor(GetParam()());
+  auto a = Pipe::create();
+  auto b = Pipe::create();
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  int a_fd = a.value().read_end().get();
+  int b_fd = b.value().read_end().get();
+
+  int a_fired = 0;
+  int b_fired = 0;
+  reactor.add_fd(a_fd, [&] {
+    ++a_fired;
+    // Close first, THEN remove: the reactor sees a remove for an fd
+    // number the kernel may already have handed out again.
+    (void)::close(a.value().read_end().release());
+    reactor.remove_fd(a_fd);
+  });
+  reactor.add_fd(b_fd, [&] {
+    char c;
+    (void)b.value().read_end().read_some(&c, 1);
+    ++b_fired;
+  });
+
+  // Both readable in the SAME dispatch round.
+  ASSERT_TRUE(a.value().write_end().write_all("x", 1).is_ok());
+  ASSERT_TRUE(b.value().write_end().write_all("y", 1).is_ok());
+  (void)reactor.poll_once(500);
+  (void)reactor.poll_once(50);
+  EXPECT_EQ(a_fired, 1);
+  EXPECT_EQ(b_fired, 1);
+
+  // Reuse the dead number: a fresh pipe typically lands on a_fd. Its
+  // callback — not the removed one — must fire.
+  auto c = Pipe::create();
+  ASSERT_TRUE(c.is_ok());
+  int c_fired = 0;
+  reactor.add_fd(c.value().read_end().get(), [&] {
+    char ch;
+    (void)c.value().read_end().read_some(&ch, 1);
+    ++c_fired;
+  });
+  ASSERT_TRUE(c.value().write_end().write_all("z", 1).is_ok());
+  (void)reactor.poll_once(500);
+  EXPECT_EQ(c_fired, 1);
+  EXPECT_EQ(a_fired, 1);  // the dead handler stayed dead
+}
+
+TEST_P(ReactorBackendTest, PeriodicTimerFiresAndStops) {
+  Reactor reactor(GetParam()());
+  int ticks = 0;
+  int id = reactor.add_periodic(10, [&] { ++ticks; });
+  Stopwatch watch;
+  while (ticks < 3 && watch.elapsed_seconds() < 2.0) {
+    (void)reactor.poll_once(20);
+  }
+  EXPECT_GE(ticks, 3);
+  reactor.remove_periodic(id);
+  int after = ticks;
+  for (int i = 0; i < 5; ++i) (void)reactor.poll_once(15);
+  EXPECT_EQ(ticks, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ReactorBackendTest,
+                         ::testing::ValuesIn(available_backends()),
+                         [](const auto& info) {
+                           Reactor probe(info.param());
+                           return std::string(probe.backend_name());
+                         });
+
+TEST(ReactorBackendEnvTest, EnvVarForcesPollBackend) {
+  ::setenv("DIONEA_REACTOR_BACKEND", "poll", 1);
+  Reactor reactor;
+  EXPECT_EQ(std::string(reactor.backend_name()), "poll");
+  ::unsetenv("DIONEA_REACTOR_BACKEND");
+}
+
+TEST(ReactorPoolTest, PinningIsStableAndInRange) {
+  ReactorPool pool(4);
+  ASSERT_TRUE(pool.start().is_ok());
+  EXPECT_EQ(pool.shard_count(), 4);
+  std::set<int> used;
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    int shard = pool.shard_for(id);
+    EXPECT_EQ(shard, pool.shard_for(id));  // stable
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    used.insert(shard);
+  }
+  // Fibonacci hashing spreads sequential ids: all shards see work.
+  EXPECT_EQ(used.size(), 4u);
+  pool.stop();
+}
+
+TEST(ReactorPoolTest, PostedWorkRunsOnEveryShard) {
+  ReactorPool pool(3);
+  ASSERT_TRUE(pool.start().is_ok());
+  std::atomic<int> ran{0};
+  for (int s = 0; s < pool.shard_count(); ++s) {
+    pool.shard(s).post([&] { ran.fetch_add(1); });
+  }
+  Stopwatch watch;
+  while (ran.load() < 3 && watch.elapsed_seconds() < 2.0) {
+    sleep_for_millis(2);
+  }
+  EXPECT_EQ(ran.load(), 3);
+  // Cross-shard handoff: shard 0 posts to shard 2 from a callback.
+  std::atomic<bool> relayed{false};
+  pool.shard(0).post([&] {
+    pool.shard(2).post([&] { relayed.store(true); });
+  });
+  Stopwatch relay_watch;
+  while (!relayed.load() && relay_watch.elapsed_seconds() < 2.0) {
+    sleep_for_millis(2);
+  }
+  EXPECT_TRUE(relayed.load());
+  pool.stop();
+  pool.stop();  // idempotent
+}
+
+TEST(ReactorPoolTest, DefaultShardCountIsBounded) {
+  ReactorPool pool;
+  EXPECT_GE(pool.shard_count(), 1);
+  EXPECT_LE(pool.shard_count(), 8);
+}
+
+}  // namespace
+}  // namespace dionea::ipc

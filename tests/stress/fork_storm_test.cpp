@@ -104,14 +104,15 @@ TEST(ForkStormTest, ThirteenProcessFanOutUnderDebugger) {
   // generous timeouts absorb a parallel-ctest-loaded machine.
   std::set<int> seen_pids;
   for (int i = 0; i < kExpectedChildren; ++i) {
-    auto child = harness.client().await_new_process(45'000);
-    ASSERT_TRUE(child.is_ok()) << "child " << i << " never appeared";
-    EXPECT_TRUE(seen_pids.insert(child.value()->pid()).second)
-        << "pid " << child.value()->pid() << " adopted twice";
-    auto birth = child.value()->wait_stopped(15'000);
+    auto child_h = harness.client().attach_any(45'000);
+    ASSERT_TRUE(child_h.is_ok()) << "child " << i << " never appeared";
+    client::Session* child = harness.client().session(child_h.value());
+    EXPECT_TRUE(seen_pids.insert(child->pid()).second)
+        << "pid " << child->pid() << " adopted twice";
+    auto birth = child->wait_stopped(15'000);
     ASSERT_TRUE(birth.is_ok()) << "child " << i;
-    ASSERT_TRUE(child.value()->ping().is_ok()) << "child " << i;
-    ASSERT_TRUE(child.value()->cont(birth.value().tid).is_ok())
+    ASSERT_TRUE(child->ping().is_ok()) << "child " << i;
+    ASSERT_TRUE(child->cont(birth.value().tid).is_ok())
         << "child " << i;
   }
 

@@ -20,7 +20,7 @@
 
 #include <gtest/gtest.h>
 
-#include "client/multi_client.hpp"
+#include "client/client.hpp"
 #include "debugger/server.hpp"
 #include "mp/vm_bindings.hpp"
 #include "replay/replay.hpp"
@@ -252,7 +252,7 @@ class DebugHarness {
     server_->register_source("test.ml", program_);
     Status started = server_->start();
     DIONEA_CHECK(started.is_ok(), "harness server start");
-    client_ = std::make_unique<client::MultiClient>(port_file());
+    client_ = client::Client::discover(port_file());
   }
 
   ~DebugHarness() {
@@ -284,9 +284,10 @@ class DebugHarness {
     auto refreshed = client_->refresh(5000);
     DIONEA_CHECK(refreshed.is_ok() && refreshed.value() >= 1,
                  "harness attach");
-    session_ = client_->session(static_cast<int>(::getpid()));
+    handle_ = client_->handle_for_pid(static_cast<int>(::getpid()));
+    session_ = client_->session(handle_);
     DIONEA_CHECK(session_ != nullptr, "harness parent session");
-    client_->claim(static_cast<int>(::getpid()));
+    client_->claim(handle_);
     return session_;
   }
 
@@ -303,7 +304,8 @@ class DebugHarness {
   }
 
   client::Session* session() noexcept { return session_; }
-  client::MultiClient& client() noexcept { return *client_; }
+  client::SessionHandle handle() const noexcept { return handle_; }
+  client::Client& client() noexcept { return *client_; }
   dbg::DebugServer& server() noexcept { return *server_; }
   vm::Vm& vm() noexcept { return interp_->vm(); }
   std::string port_file() const { return tmp_->file("ports"); }
@@ -318,7 +320,8 @@ class DebugHarness {
   std::unique_ptr<TempDir> tmp_;
   std::unique_ptr<vm::Interp> interp_;
   std::unique_ptr<dbg::DebugServer> server_;
-  std::unique_ptr<client::MultiClient> client_;
+  std::unique_ptr<client::Client> client_;
+  client::SessionHandle handle_{};
   client::Session* session_ = nullptr;
   std::thread runner_;
   std::atomic<bool> finished_{false};

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Hub load sweep (ISSUE 7 acceptance: bench_hub sustains >= 10k
+# concurrent sessions with a measured p99).
+#
+# Usage:
+#   tools/hub_load.sh [build-dir] [sweep...]
+#
+# Runs bench_hub at each fleet size (default 100 1000 10000), appending
+# one JSONL record per run to BENCH_hub.json in the build dir. The
+# first run truncates the file so a sweep is self-contained.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+SWEEP=("$@")
+if [[ ${#SWEEP[@]} -eq 0 ]]; then
+  SWEEP=(100 1000 10000)
+fi
+
+BENCH="${BUILD_DIR}/bench/bench_hub"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "hub_load.sh: ${BENCH} not built (cmake --build ${BUILD_DIR})" >&2
+  exit 2
+fi
+
+cd "${BUILD_DIR}"
+rm -f BENCH_hub.json
+for sessions in "${SWEEP[@]}"; do
+  echo "=== bench_hub --sessions ${sessions} ==="
+  ./bench/bench_hub --sessions "${sessions}" --append
+done
+
+echo "--- BENCH_hub.json ---"
+cat BENCH_hub.json
