@@ -1,0 +1,175 @@
+// Raw interpreter speed: dispatch backend x quickening, plus the
+// trace-armed arm (Fig. 9's "debugging" bar without the sockets).
+//
+// Unlike the figure benches this one measures the dispatch loop
+// itself — a single-threaded hot loop of fused arithmetic, global IC
+// traffic and calls — in statements/second, and writes BENCH_vm.json
+// with a regression gate:
+//
+//   1. goto+quicken must beat the portable switch-without-quickening
+//      arm by at least kMinSpeedup (the raw-speed machinery must pay
+//      for itself on its home workload);
+//   2. arming the per-line trace hook must cost at most
+//      kMaxArmedOverheadPct over the same quickened backend (the
+//      armed fast path is two relaxed loads; if this balloons, the
+//      gate-check got slower, which is exactly a Fig. 9 regression).
+//
+// Absolute statements/sec are machine-dependent and not gated.
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "vm/vm.hpp"
+
+namespace {
+
+using namespace dionea;
+using namespace dionea::bench;
+
+// Hot loop over every fused/quickened op family: local⊕local and
+// local⊕const arithmetic, const stores, comparisons, calls, and the
+// two global IC sites ("total", "i") hit every iteration.
+const char* kLoopProgram =
+    "fn inner(a, b)\n"
+    "  c = a * 2\n"
+    "  d = b + 16\n"
+    "  if c > d\n"
+    "    return c - d\n"
+    "  end\n"
+    "  return d - c\n"
+    "end\n"
+    "total = 0\n"
+    "i = 0\n"
+    "while i < 200000\n"
+    "  total = total + inner(i, 13)\n"
+    "  i = i + 1\n"
+    "end\n"
+    "puts(total)\n";
+
+struct Arm {
+  double seconds = 0;
+  std::uint64_t statements = 0;
+  std::uint64_t trace_events = 0;
+  double stmts_per_sec() const {
+    return seconds > 0 ? static_cast<double>(statements) / seconds : 0;
+  }
+};
+
+Arm run_arm(vm::Vm::DispatchMode mode, bool quicken, bool armed) {
+  vm::Interp interp;
+  vm::Vm& machine = interp.vm();
+  machine.set_output([](std::string_view) {});
+  machine.set_dispatch_mode(mode);
+  machine.set_quicken_enabled(quicken);
+  Arm arm;
+  if (armed) {
+    machine.set_trace_fn([&arm](vm::Vm&, vm::InterpThread&,
+                                const vm::TraceEvent&) { ++arm.trace_events; });
+    machine.set_trace_enabled(true);
+  }
+  Stopwatch watch;
+  vm::RunResult result = interp.run_string(kLoopProgram, "bench_vm.ml");
+  arm.seconds = watch.elapsed_seconds();
+  DIONEA_CHECK(result.ok, "bench_vm run failed");
+  arm.statements = machine.statements_executed();
+  return arm;
+}
+
+Arm best_of(int reps, vm::Vm::DispatchMode mode, bool quicken, bool armed) {
+  Arm best;
+  for (int i = 0; i < reps; ++i) {
+    Arm arm = run_arm(mode, quicken, armed);
+    if (best.statements == 0 || arm.seconds < best.seconds) best = arm;
+  }
+  return best;
+}
+
+void print_arm(const char* name, const Arm& arm, const Arm& base) {
+  std::printf("%-22s %10s %12.0f stmts/s %+9.1f%%\n", name,
+              format_duration(arm.seconds).c_str(), arm.stmts_per_sec(),
+              overhead_pct(base.seconds, arm.seconds));
+}
+
+}  // namespace
+
+int main() {
+  // Gate budgets. kMinSpeedup is deliberately below the ≥2x measured
+  // on the dev box (see EXPERIMENTS.md): the gate catches the machinery
+  // silently turning off, not inter-machine variance.
+  constexpr double kMinSpeedup = 1.25;
+  constexpr double kMaxArmedOverheadPct = 400.0;
+  constexpr int kReps = 5;
+
+  print_header("VM raw speed: dispatch x quickening x trace arming",
+               "§6/§7 context: per-line hook cost is what Fig. 9/10 price");
+  print_environment_note();
+  const bool goto_available = vm::Vm::computed_goto_available();
+  std::printf("computed-goto backend available: %s\n\n",
+              goto_available ? "yes" : "no (switch fallback measured twice)");
+
+  Arm switch_plain =
+      best_of(kReps, vm::Vm::DispatchMode::kSwitch, false, false);
+  Arm switch_quick =
+      best_of(kReps, vm::Vm::DispatchMode::kSwitch, true, false);
+  Arm goto_plain = best_of(kReps, vm::Vm::DispatchMode::kGoto, false, false);
+  Arm goto_quick = best_of(kReps, vm::Vm::DispatchMode::kGoto, true, false);
+  Arm goto_quick_armed =
+      best_of(kReps, vm::Vm::DispatchMode::kGoto, true, true);
+
+  std::printf("%-22s %10s %12s %10s\n", "arm", "time", "throughput",
+              "vs base");
+  print_arm("switch, no quicken", switch_plain, switch_plain);
+  print_arm("switch, quicken", switch_quick, switch_plain);
+  print_arm("goto, no quicken", goto_plain, switch_plain);
+  print_arm("goto, quicken", goto_quick, switch_plain);
+  print_arm("goto+quicken, armed", goto_quick_armed, switch_plain);
+
+  const double speedup =
+      goto_quick.seconds > 0 ? switch_plain.seconds / goto_quick.seconds : 0;
+  const double armed_overhead =
+      overhead_pct(goto_quick.seconds, goto_quick_armed.seconds);
+  std::printf("\ngoto+quicken speedup over portable arm: %.2fx (gate: "
+              ">=%.2fx)\n",
+              speedup, kMinSpeedup);
+  std::printf("armed overhead on quickened backend: %+.1f%% (gate: "
+              "<=%.0f%%), %llu trace events\n",
+              armed_overhead, kMaxArmedOverheadPct,
+              static_cast<unsigned long long>(goto_quick_armed.trace_events));
+
+  const bool pass =
+      speedup >= kMinSpeedup && armed_overhead <= kMaxArmedOverheadPct;
+
+  std::FILE* json = std::fopen("BENCH_vm.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"workload\": \"vm_hot_loop_200k\",\n"
+        "  \"reps\": %d,\n"
+        "  \"goto_available\": %s,\n"
+        "  \"switch_plain_stmts_per_sec\": %.0f,\n"
+        "  \"switch_quick_stmts_per_sec\": %.0f,\n"
+        "  \"goto_plain_stmts_per_sec\": %.0f,\n"
+        "  \"goto_quick_stmts_per_sec\": %.0f,\n"
+        "  \"goto_quick_armed_stmts_per_sec\": %.0f,\n"
+        "  \"normal_s\": %.6f,\n"
+        "  \"armed_s\": %.6f,\n"
+        "  \"armed_overhead_pct\": %.3f,\n"
+        "  \"speedup_goto_quick_vs_switch_plain\": %.3f,\n"
+        "  \"gate_min_speedup\": %.2f,\n"
+        "  \"gate_max_armed_overhead_pct\": %.1f,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        kReps, goto_available ? "true" : "false",
+        switch_plain.stmts_per_sec(), switch_quick.stmts_per_sec(),
+        goto_plain.stmts_per_sec(), goto_quick.stmts_per_sec(),
+        goto_quick_armed.stmts_per_sec(), goto_quick.seconds,
+        goto_quick_armed.seconds, armed_overhead, speedup, kMinSpeedup,
+        kMaxArmedOverheadPct, pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_vm.json\n");
+  }
+
+  std::printf("gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

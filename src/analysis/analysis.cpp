@@ -544,6 +544,33 @@ bool simulate(LintCtx* ctx, const FunctionProto& proto) {
       case Op::kTraceLine:
         push_succ(next, state);
         break;
+      // Fused superinstructions: the lint only tracks sync objects and
+      // function values, which the fused forms (locals and scalar
+      // literals combined by a binary op) can never produce — so the
+      // abstract effect is just the sequence's net stack effect.
+      case Op::kLocLocBin:
+      case Op::kLocConstBin:
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kConstSetLocal: {
+        std::uint16_t slot = chunk.read_u16(operand + 2);
+        if (slot < state.locals.size()) state.locals[slot] = top_sym();
+        push_succ(next, state);
+        break;
+      }
+      // Quickened ops never appear in compiled chunks (the lint runs
+      // on the compiler's output; quickening happens in per-Vm code
+      // caches). Handled defensively as their unquickened stack
+      // effects.
+      case Op::kGetGlobalIC:
+        state.stack.push_back(top_sym());
+        push_succ(next, state);
+        break;
+      case Op::kSetGlobalIC:
+      case Op::kTraceLineQ:
+        push_succ(next, state);
+        break;
       case Op::kHalt:
         leak_check(state, offset);
         break;

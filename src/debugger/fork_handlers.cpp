@@ -51,6 +51,7 @@ void DebugServer::fork_prepare() {
     const std::uint32_t generation = obj->child_generation();
     fork_sync_gen_.emplace_back(std::move(obj), generation);
   }
+  fork_quicken_gen_ = vm_.quicken_generation();
 
   // Pin all server locks in a fixed order (state -> per-thread debug
   // states by tid -> events -> sources -> breakpoints). After this, the
@@ -294,7 +295,29 @@ void DebugServer::fork_self_check() {
   //    by now — its sockets are NOT leaked parent fds). Its repair
   //    count was folded in above.
 
-  // 3. The listener must be rebound (fresh port, record published).
+  // 3. Code-cache invariants — the VM half of handler C, i.e. the
+  //    box64 001/004 failure modes. The quicken generation must have
+  //    moved past the prepare-time snapshot (004: a stale generation
+  //    lets quickened trace sites keep running on gate snapshots and
+  //    ICs half-written by parent-only threads), and every cache's
+  //    pin count must be accounted for by the surviving frames (001:
+  //    inherited pins keep dead caches unpurgeable forever). Both
+  //    repairs are idempotent in the single-threaded child.
+  if (vm_.quicken_generation() == fork_quicken_gen_) {
+    DLOG_WARN("fork") << "self-check: quicken generation not bumped in "
+                         "child; repairing";
+    vm_.bump_quicken_generation();
+    ++repairs;
+  }
+  const std::size_t stale_pins = vm_.repair_cache_pins();
+  if (stale_pins > 0) {
+    DLOG_WARN("fork") << "self-check: " << stale_pins
+                      << " code cache(s) pinned by parent-only threads; "
+                         "repaired";
+    repairs += static_cast<int>(stale_pins);
+  }
+
+  // 4. The listener must be rebound (fresh port, record published).
   //    Not repairable here — bind_and_publish already failed and said
   //    so — but it must not pass silently.
   if (listener_ == nullptr || port_ == 0 ||

@@ -309,6 +309,11 @@ class DebugServer {
   // (and thus visited by the VM's child handler) across the fork.
   std::vector<std::pair<std::shared_ptr<vm::SyncObject>, std::uint32_t>>
       fork_sync_gen_;
+  // Handler A -> C: quicken generation at prepare time; the child
+  // self-check verifies the VM's child handler bumped it (a stale
+  // generation means quickened trace sites would keep trusting gate
+  // snapshots and IC state inherited from parent-only threads).
+  std::uint64_t fork_quicken_gen_ = 0;
   int fork_socket_repairs_ = 0;  // fork_self_check_sockets -> fork_self_check
   bool first_line_seen_ = false;
 

@@ -7,76 +7,42 @@ namespace dionea::vm {
 
 const char* op_name(Op op) noexcept {
   switch (op) {
-    case Op::kConst: return "CONST";
-    case Op::kNil: return "NIL";
-    case Op::kTrue: return "TRUE";
-    case Op::kFalse: return "FALSE";
-    case Op::kPop: return "POP";
-    case Op::kDup: return "DUP";
-    case Op::kGetLocal: return "GET_LOCAL";
-    case Op::kSetLocal: return "SET_LOCAL";
-    case Op::kGetGlobal: return "GET_GLOBAL";
-    case Op::kSetGlobal: return "SET_GLOBAL";
-    case Op::kGetCapture: return "GET_CAPTURE";
-    case Op::kSetCapture: return "SET_CAPTURE";
-    case Op::kAdd: return "ADD";
-    case Op::kSub: return "SUB";
-    case Op::kMul: return "MUL";
-    case Op::kDiv: return "DIV";
-    case Op::kMod: return "MOD";
-    case Op::kNeg: return "NEG";
-    case Op::kNot: return "NOT";
-    case Op::kEq: return "EQ";
-    case Op::kNe: return "NE";
-    case Op::kLt: return "LT";
-    case Op::kLe: return "LE";
-    case Op::kGt: return "GT";
-    case Op::kGe: return "GE";
-    case Op::kJump: return "JUMP";
-    case Op::kJumpIfFalse: return "JUMP_IF_FALSE";
-    case Op::kJumpIfFalsePeek: return "JUMP_IF_FALSE_PEEK";
-    case Op::kJumpIfTruePeek: return "JUMP_IF_TRUE_PEEK";
-    case Op::kLoop: return "LOOP";
-    case Op::kCall: return "CALL";
-    case Op::kReturn: return "RETURN";
-    case Op::kBuildList: return "BUILD_LIST";
-    case Op::kBuildMap: return "BUILD_MAP";
-    case Op::kIndexGet: return "INDEX_GET";
-    case Op::kIndexSet: return "INDEX_SET";
-    case Op::kClosure: return "CLOSURE";
-    case Op::kIterNew: return "ITER_NEW";
-    case Op::kIterNext: return "ITER_NEXT";
-    case Op::kTraceLine: return "TRACE_LINE";
-    case Op::kHalt: return "HALT";
+#define DIONEA_OP_NAME(name, str, operand_bytes) \
+  case Op::name:                                 \
+    return str;
+    DIONEA_OPCODE_LIST(DIONEA_OP_NAME)
+#undef DIONEA_OP_NAME
   }
   return "?";
 }
 
 int op_operand_bytes(Op op) noexcept {
   switch (op) {
-    case Op::kConst:
-    case Op::kGetLocal:
-    case Op::kSetLocal:
-    case Op::kGetGlobal:
-    case Op::kSetGlobal:
-    case Op::kGetCapture:
-    case Op::kSetCapture:
-    case Op::kJump:
-    case Op::kJumpIfFalse:
-    case Op::kJumpIfFalsePeek:
-    case Op::kJumpIfTruePeek:
-    case Op::kLoop:
-    case Op::kBuildList:
-    case Op::kBuildMap:
-    case Op::kClosure:
-    case Op::kTraceLine:
-      return 2;
-    case Op::kIterNext:  // u16 iter slot + u16 exit offset
-      return 4;
-    case Op::kCall:
-      return 1;
+#define DIONEA_OP_WIDTH(name, str, operand_bytes) \
+  case Op::name:                                  \
+    return operand_bytes;
+    DIONEA_OPCODE_LIST(DIONEA_OP_WIDTH)
+#undef DIONEA_OP_WIDTH
+  }
+  return 0;
+}
+
+bool op_is_fusable_binop(Op op) noexcept {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return true;
     default:
-      return 0;
+      return false;
   }
 }
 
@@ -146,6 +112,11 @@ int Chunk::line_at(size_t offset) const noexcept {
 }
 
 size_t Chunk::disassemble_instruction(size_t offset, std::string* out) const {
+  if (!op_is_valid(code_[offset])) {
+    *out += strings::format("%04zu %4d  BAD_OP %u\n", offset, line_at(offset),
+                            static_cast<unsigned>(code_[offset]));
+    return offset + 1;
+  }
   Op op = static_cast<Op>(code_[offset]);
   *out += strings::format("%04zu %4d  %-18s", offset, line_at(offset),
                           op_name(op));
@@ -153,6 +124,26 @@ size_t Chunk::disassemble_instruction(size_t offset, std::string* out) const {
   size_t next = offset + 1 + static_cast<size_t>(operand_bytes);
   if (operand_bytes == 1) {
     *out += strings::format(" %u", static_cast<unsigned>(read_u8(offset + 1)));
+  } else if (operand_bytes == 5) {
+    std::uint16_t a = read_u16(offset + 1);
+    std::uint16_t b = read_u16(offset + 3);
+    Op sub = static_cast<Op>(read_u8(offset + 5));
+    if (op == Op::kLocLocBin) {
+      *out += strings::format(" slotA=%u slotB=%u  ; %s",
+                              static_cast<unsigned>(a),
+                              static_cast<unsigned>(b), op_name(sub));
+    } else {
+      *out += strings::format(" slot=%u const=%u  ; %s",
+                              static_cast<unsigned>(a),
+                              static_cast<unsigned>(b), op_name(sub));
+      if (b < constants_.size()) *out += " " + constants_[b].repr();
+    }
+  } else if (operand_bytes == 4 && op == Op::kConstSetLocal) {
+    std::uint16_t cidx = read_u16(offset + 1);
+    std::uint16_t slot = read_u16(offset + 3);
+    *out += strings::format(" const=%u slot=%u", static_cast<unsigned>(cidx),
+                            static_cast<unsigned>(slot));
+    if (cidx < constants_.size()) *out += "  ; " + constants_[cidx].repr();
   } else if (operand_bytes == 4) {
     std::uint16_t slot = read_u16(offset + 1);
     std::uint16_t exit = read_u16(offset + 3);

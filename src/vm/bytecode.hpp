@@ -6,6 +6,20 @@
 // fires `line` trace events, honours breakpoints and performs GIL
 // switch checks — making debugger behaviour exact and deterministic
 // (the same design point as CPython's per-line tracing).
+//
+// The opcode set comes in three tiers:
+//   1. Core ops the compiler emits directly (kConst .. kTraceLine).
+//   2. Superinstructions the compiler fuses at emission time
+//      (kLocLocBin, kLocConstBin, kConstSetLocal). These are ordinary
+//      compiled bytecode: the verifier accepts them and both dispatch
+//      backends execute them.
+//   3. Quickened ops (everything after kHalt). These never appear in
+//      a compiled Chunk — the verifier rejects them — and exist only
+//      inside a per-VM CodeCache's rewritten copy of the code. Each
+//      quickened op has the same operand width as the op it replaces,
+//      so quickening is a same-length in-place rewrite: offsets, jump
+//      targets, the line table and replay schedule points all survive
+//      untouched.
 #pragma once
 
 #include <cstdint>
@@ -17,53 +31,94 @@
 
 namespace dionea::vm {
 
+// X-macro master list: X(enumerator, mnemonic, operand_bytes).
+// Order is ABI within a build (caches are per-process, never
+// serialized), but kHalt must stay the last compiler-visible op: the
+// verifier uses `op <= kHalt` as the "legal in compiled code" test.
+#define DIONEA_OPCODE_LIST(X)                                           \
+  X(kConst, "CONST", 2)            /* u16 constant index */             \
+  X(kNil, "NIL", 0)                                                     \
+  X(kTrue, "TRUE", 0)                                                   \
+  X(kFalse, "FALSE", 0)                                                 \
+  X(kPop, "POP", 0)                                                     \
+  X(kDup, "DUP", 0)                                                     \
+  X(kGetLocal, "GET_LOCAL", 2)     /* u16 slot */                       \
+  X(kSetLocal, "SET_LOCAL", 2)     /* u16 slot */                       \
+  X(kGetGlobal, "GET_GLOBAL", 2)   /* u16 const index of name string */ \
+  X(kSetGlobal, "SET_GLOBAL", 2)   /* u16 const index of name string */ \
+  X(kGetCapture, "GET_CAPTURE", 2) /* u16 capture index */              \
+  X(kSetCapture, "SET_CAPTURE", 2) /* u16 capture index */              \
+  X(kAdd, "ADD", 0)                                                     \
+  X(kSub, "SUB", 0)                                                     \
+  X(kMul, "MUL", 0)                                                     \
+  X(kDiv, "DIV", 0)                                                     \
+  X(kMod, "MOD", 0)                                                     \
+  X(kNeg, "NEG", 0)                                                     \
+  X(kNot, "NOT", 0)                                                     \
+  X(kEq, "EQ", 0)                                                       \
+  X(kNe, "NE", 0)                                                       \
+  X(kLt, "LT", 0)                                                       \
+  X(kLe, "LE", 0)                                                       \
+  X(kGt, "GT", 0)                                                       \
+  X(kGe, "GE", 0)                                                       \
+  X(kJump, "JUMP", 2)          /* u16 forward offset */                 \
+  X(kJumpIfFalse, "JUMP_IF_FALSE", 2) /* u16 fwd offset (pops cond) */  \
+  X(kJumpIfFalsePeek, "JUMP_IF_FALSE_PEEK", 2) /* leaves cond: and */   \
+  X(kJumpIfTruePeek, "JUMP_IF_TRUE_PEEK", 2)   /* leaves cond: or */    \
+  X(kLoop, "LOOP", 2)          /* u16 backward offset */                \
+  X(kCall, "CALL", 1)          /* u8 argc */                            \
+  X(kReturn, "RETURN", 0)                                               \
+  X(kBuildList, "BUILD_LIST", 2) /* u16 element count */                \
+  X(kBuildMap, "BUILD_MAP", 2)   /* u16 pair count */                   \
+  X(kIndexGet, "INDEX_GET", 0)                                          \
+  X(kIndexSet, "INDEX_SET", 0) /* stack: target index value -> value */ \
+  X(kClosure, "CLOSURE", 2)    /* u16 const index of FunctionProto */   \
+  X(kIterNew, "ITER_NEW", 0)   /* iterable -> iterator state */         \
+  X(kIterNext, "ITER_NEXT", 4) /* u16 slot + u16 exit offset */         \
+  X(kTraceLine, "TRACE_LINE", 2) /* u16 line: statement boundary */     \
+  /* -- superinstructions (compiler-fused, verifier-legal) -- */        \
+  X(kLocLocBin, "LOC_LOC_BIN", 5)   /* u16 slotA, u16 slotB, u8 op */   \
+  X(kLocConstBin, "LOC_CONST_BIN", 5) /* u16 slot, u16 const, u8 op */  \
+  X(kConstSetLocal, "CONST_SET_LOCAL", 4) /* u16 const, u16 slot */     \
+  X(kHalt, "HALT", 0)                                                   \
+  /* -- quickened ops: CodeCache-only, never in compiled chunks -- */   \
+  X(kGetGlobalIC, "GET_GLOBAL_IC", 2) /* u16 IC slot index */           \
+  X(kSetGlobalIC, "SET_GLOBAL_IC", 2) /* u16 IC slot index */           \
+  X(kTraceLineQ, "TRACE_LINE_Q", 2)   /* u16 line (gate fast path) */
+
 enum class Op : std::uint8_t {
-  kConst,         // u16 constant index
-  kNil,
-  kTrue,
-  kFalse,
-  kPop,
-  kDup,
-  kGetLocal,      // u16 slot
-  kSetLocal,      // u16 slot
-  kGetGlobal,     // u16 constant index of name string
-  kSetGlobal,     // u16 constant index of name string
-  kGetCapture,    // u16 capture index
-  kSetCapture,    // u16 capture index
-  kAdd,
-  kSub,
-  kMul,
-  kDiv,
-  kMod,
-  kNeg,
-  kNot,
-  kEq,
-  kNe,
-  kLt,
-  kLe,
-  kGt,
-  kGe,
-  kJump,          // u16 forward offset
-  kJumpIfFalse,   // u16 forward offset (pops condition)
-  kJumpIfFalsePeek,  // u16 forward offset (leaves condition: and/or)
-  kJumpIfTruePeek,   // u16 forward offset (leaves condition: and/or)
-  kLoop,          // u16 backward offset
-  kCall,          // u8 argc
-  kReturn,
-  kBuildList,     // u16 element count
-  kBuildMap,      // u16 pair count
-  kIndexGet,
-  kIndexSet,      // stack: target index value -> value
-  kClosure,       // u16 constant index of FunctionProto
-  kIterNew,       // stack: iterable -> iterator state (list copy + index)
-  kIterNext,      // u16 exit offset; pushes next element or jumps
-  kTraceLine,     // u16 line number: statement boundary
-  kHalt,
+#define DIONEA_OP_ENUM(name, str, operand_bytes) name,
+  DIONEA_OPCODE_LIST(DIONEA_OP_ENUM)
+#undef DIONEA_OP_ENUM
 };
 
+// Number of defined opcodes (for dispatch tables).
+inline constexpr std::size_t kOpCount = []() constexpr {
+  std::size_t n = 0;
+#define DIONEA_OP_COUNT(name, str, operand_bytes) ++n;
+  DIONEA_OPCODE_LIST(DIONEA_OP_COUNT)
+#undef DIONEA_OP_COUNT
+  return n;
+}();
+
+// True for ops that only a CodeCache rewrite may introduce. Compiled
+// chunks containing these are rejected by the verifier.
+inline constexpr bool op_is_quickened(Op op) noexcept {
+  return static_cast<std::uint8_t>(op) > static_cast<std::uint8_t>(Op::kHalt);
+}
+
+// True for a valid opcode byte (quickened or not).
+inline constexpr bool op_is_valid(std::uint8_t byte) noexcept {
+  return byte < kOpCount;
+}
+
 const char* op_name(Op op) noexcept;
-// Operand byte count for an opcode (0, 1 or 2).
+// Operand byte count for an opcode (0, 1, 2, 4 or 5).
 int op_operand_bytes(Op op) noexcept;
+
+// Binary operators a fused superinstruction may carry in its trailing
+// u8 (arithmetic + comparisons; unary and logical ops never fuse).
+bool op_is_fusable_binop(Op op) noexcept;
 
 class Chunk {
  public:
@@ -88,6 +143,11 @@ class Chunk {
   }
   size_t size() const noexcept { return code_.size(); }
 
+  // Test-only escape hatch: overwrite a code byte in place. The fuzz
+  // suite uses this to build hostile chunks for the verifier; nothing
+  // in the compiler or VM calls it.
+  void poke_for_test(size_t offset, std::uint8_t byte) { code_[offset] = byte; }
+
   // Human-readable disassembly (tests and the `disasm` client command).
   std::string disassemble(const std::string& name) const;
   size_t disassemble_instruction(size_t offset, std::string* out) const;
@@ -107,6 +167,9 @@ struct CaptureSource {
 // A compiled function. Immutable after compilation; shared by every
 // closure instantiated from it and by every interpreter thread (and,
 // post-fork, by the child — immutability is what makes that sound).
+// Mutable execution state derived from it (quickened code, inline
+// caches) lives in a per-VM CodeCache keyed by this object's address,
+// never on the proto itself.
 struct FunctionProto {
   std::string name;                 // "" for lambdas, "<main>" for top level
   std::string file;                 // script path for tracebacks/breakpoints

@@ -1,0 +1,47 @@
+#include "vm/code_cache.hpp"
+
+#include "support/result.hpp"
+
+namespace dionea::vm {
+
+void build_code_cache(const FunctionProto& proto, bool quicken,
+                      CodeCache& cache) {
+  const Chunk& chunk = proto.chunk;
+  cache.code = chunk.code();
+  cache.ics.clear();
+  cache.in_use = 0;
+  cache.quickened = quicken;
+  if (!quicken) return;
+
+  // Same-length rewrite over the verified instruction stream. The
+  // verifier ran first, so this walk cannot leave the array.
+  size_t offset = 0;
+  while (offset < cache.code.size()) {
+    const Op op = static_cast<Op>(cache.code[offset]);
+    const size_t operand = offset + 1;
+    switch (op) {
+      case Op::kTraceLine:
+        cache.code[offset] = static_cast<std::uint8_t>(Op::kTraceLineQ);
+        break;
+      case Op::kGetGlobal:
+      case Op::kSetGlobal: {
+        DIONEA_CHECK(cache.ics.size() < 0xffff, "too many IC sites");
+        const std::uint16_t ic_index =
+            static_cast<std::uint16_t>(cache.ics.size());
+        GlobalIc ic;
+        ic.name_const = chunk.read_u16(operand);
+        cache.ics.push_back(ic);
+        cache.code[offset] = static_cast<std::uint8_t>(
+            op == Op::kGetGlobal ? Op::kGetGlobalIC : Op::kSetGlobalIC);
+        cache.code[operand] = static_cast<std::uint8_t>(ic_index & 0xff);
+        cache.code[operand + 1] = static_cast<std::uint8_t>(ic_index >> 8);
+        break;
+      }
+      default:
+        break;
+    }
+    offset += 1 + static_cast<size_t>(op_operand_bytes(op));
+  }
+}
+
+}  // namespace dionea::vm

@@ -1,0 +1,100 @@
+// Per-chunk code cache: quickened bytecode + inline-cache slots.
+//
+// A CodeCache is the mutable execution state derived from an immutable
+// FunctionProto. It is owned by ONE Vm (keyed by proto address in
+// Vm::code_caches_) and mutated only under that Vm's GIL, which is
+// what makes monomorphic IC writes race-free without per-site atomics.
+//
+// The design deliberately mirrors the two box64 dynarec failure modes
+// this repo's corpus documents (SNIPPETS.md, cases 001/004):
+//
+//   001 — stale `in_used` counters after fork. box64 dynablocks carry
+//   an in-use count; a multi-threaded parent forks and the child
+//   inherits counts contributed by threads that do not exist in the
+//   child, so blocks can never be purged. Our analog is
+//   CodeCache::in_use, incremented per executing frame. Fork handler C
+//   (Vm::internal_fork_child) RECOMPUTES it from the surviving
+//   thread's real frames instead of trusting the inherited value.
+//
+//   004 — atfork thread-safety of the translator. A sibling thread may
+//   be mid-execution (frames pinning caches, ICs half-trained) at the
+//   fork instant. The child must not trust any cached fast-path state:
+//   handler C resets every IC slot and bumps the quicken generation in
+//   Vm::line_gate_, which forces every quickened kTraceLineQ site
+//   through its slow path once to resynchronise its gate snapshot.
+//
+// Quickening is a same-length in-place rewrite (each quickened op has
+// the width of the op it replaces), so instruction offsets, jump
+// targets, the line table and record/replay schedule points are
+// byte-for-byte identical to the verified original. DIONEA_QUICKEN=0
+// keeps the verified-but-unrewritten copy for differential testing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/bytecode.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::vm {
+
+// One interned global binding. Slots live in a deque owned by the Vm
+// and are never erased, so a GlobalSlot* cached in an IC stays valid
+// for the Vm's lifetime (and across fork — fork copies the memory).
+struct GlobalSlot {
+  std::string name;
+  Value value;
+};
+
+// Monomorphic inline cache for one kGetGlobal/kSetGlobal site.
+struct GlobalIc {
+  std::uint16_t name_const = 0;   // constant index of the name string
+  GlobalSlot* slot = nullptr;     // trained target; nullptr = cold
+};
+
+struct CodeCache {
+  // Shared ownership, not a raw pointer: Vm::code_caches_ is keyed by
+  // proto address, and ephemeral protos (debugger eval snippets) die
+  // while their cache entry survives. Pinning the proto here keeps the
+  // key's address from being recycled for a different function, which
+  // would silently serve this cache's code to it.
+  std::shared_ptr<const FunctionProto> proto;
+  // Same-length (possibly quickened) copy of proto->chunk.code().
+  std::vector<std::uint8_t> code;
+  // IC table; kGetGlobalIC/kSetGlobalIC operands index into this.
+  std::vector<GlobalIc> ics;
+  // Vm::line_gate_ value (armed bit masked off) the quickened
+  // kTraceLineQ sites last synchronised with. A mismatch sends the
+  // next statement through the out-of-line gate path.
+  std::uint64_t gate_snapshot = 0;
+  // Frames currently executing from this cache (the box64-001
+  // counter). Maintained by push_frame/pop_frame; recomputed from real
+  // frames by fork handler C in the child.
+  std::uint32_t in_use = 0;
+  bool quickened = false;
+
+  // Drop all trained IC targets (fork handler C, case 004).
+  void reset_ics() noexcept {
+    for (GlobalIc& ic : ics) ic.slot = nullptr;
+  }
+};
+
+// Build the cache body for a verified proto: copy the code and, when
+// `quicken` is set, rewrite kTraceLine -> kTraceLineQ and
+// kGetGlobal/kSetGlobal -> the IC forms (allocating an IC slot per
+// site and rewriting the operand to the IC index).
+void build_code_cache(const FunctionProto& proto, bool quicken,
+                      CodeCache& cache);
+
+// Aggregate view for tests, the debugger self-check and `stats`.
+struct CodeCacheStats {
+  std::size_t caches = 0;
+  std::size_t quickened = 0;
+  std::size_t ic_sites = 0;
+  std::size_t trained_ics = 0;
+  std::uint64_t total_in_use = 0;
+};
+
+}  // namespace dionea::vm

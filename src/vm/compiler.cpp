@@ -201,10 +201,51 @@ class Compiler {
     return error_at(stmt.line, "unknown statement kind");
   }
 
+  // ---- superinstruction fusion helpers ----
+  // Fusion is a pure emission-time strategy: fused forms have the
+  // stack effect of the sequence they replace, carry the same line
+  // info, and are invisible to the lint (locals only, no globals).
+
+  // Slot of `e` when it is a plain local read in the current fn.
+  int local_slot_of(FnCtx& ctx, const Expr& e) {
+    if (e.kind != ExprKind::kName || ctx.top_level()) return -1;
+    return ctx.resolve_local(e.str_val);
+  }
+
+  static bool scalar_literal(const Expr& e) {
+    return e.kind == ExprKind::kIntLit || e.kind == ExprKind::kFloatLit ||
+           e.kind == ExprKind::kStrLit;
+  }
+
+  std::uint16_t literal_constant(FnCtx& ctx, const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: return ctx.chunk().add_constant(Value(e.int_val));
+      case ExprKind::kFloatLit:
+        return ctx.chunk().add_constant(Value(e.float_val));
+      default: return ctx.chunk().add_constant(Value::str(e.str_val));
+    }
+  }
+
   Status compile_assign(FnCtx& ctx, const Stmt& stmt) {
     Chunk& chunk = ctx.chunk();
     const Expr& target = *stmt.expr;
     if (target.kind == ExprKind::kName) {
+      // `x = <literal>` to a local: fuse kConst+kSetLocal+kPop into a
+      // single stack-neutral kConstSetLocal. Captures keep the
+      // generic form (kSetCapture writes the closure's copy).
+      if (!ctx.top_level() && scalar_literal(*stmt.value)) {
+        int slot = ctx.resolve_local(target.str_val);
+        if (slot < 0 && ctx.resolve_capture(target.str_val) < 0) {
+          slot = ctx.declare_local(target.str_val);
+        }
+        if (slot >= 0) {
+          std::uint16_t cidx = literal_constant(ctx, *stmt.value);
+          chunk.write(Op::kConstSetLocal, stmt.line);
+          chunk.write_u16(cidx, stmt.line);
+          chunk.write_u16(static_cast<std::uint16_t>(slot), stmt.line);
+          return Status::ok();
+        }
+      }
       DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *stmt.value));
       const std::string& name = target.str_val;
       if (!ctx.top_level()) {
@@ -398,8 +439,6 @@ class Compiler {
         return Status::ok();
 
       case ExprKind::kBinary: {
-        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.lhs));
-        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.rhs));
         Op op;
         switch (expr.op) {
           case TokenKind::kPlus: op = Op::kAdd; break;
@@ -416,6 +455,35 @@ class Compiler {
           default:
             return error_at(expr.line, "unknown binary operator");
         }
+        // Fuse the two hottest operand shapes: local⊕local and
+        // local⊕literal (loop conditions, accumulators). The fused
+        // ops keep the sequence's net stack effect (+1).
+        if (op_is_fusable_binop(op)) {
+          const int lhs_slot = local_slot_of(ctx, *expr.lhs);
+          if (lhs_slot >= 0) {
+            const int rhs_slot = local_slot_of(ctx, *expr.rhs);
+            if (rhs_slot >= 0) {
+              chunk.write(Op::kLocLocBin, expr.line);
+              chunk.write_u16(static_cast<std::uint16_t>(lhs_slot),
+                              expr.line);
+              chunk.write_u16(static_cast<std::uint16_t>(rhs_slot),
+                              expr.line);
+              chunk.write_u8(static_cast<std::uint8_t>(op), expr.line);
+              return Status::ok();
+            }
+            if (scalar_literal(*expr.rhs)) {
+              std::uint16_t cidx = literal_constant(ctx, *expr.rhs);
+              chunk.write(Op::kLocConstBin, expr.line);
+              chunk.write_u16(static_cast<std::uint16_t>(lhs_slot),
+                              expr.line);
+              chunk.write_u16(cidx, expr.line);
+              chunk.write_u8(static_cast<std::uint8_t>(op), expr.line);
+              return Status::ok();
+            }
+          }
+        }
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.lhs));
+        DIONEA_RETURN_IF_ERROR(compile_expr(ctx, *expr.rhs));
         chunk.write(op, expr.line);
         return Status::ok();
       }

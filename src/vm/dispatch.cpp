@@ -1,0 +1,187 @@
+// The MiniVM dispatch backends.
+//
+// The interpreter loop body lives in dispatch.inc and is compiled
+// twice here: once under a plain switch (portable, and the baseline
+// arm for bench_vm) and once under GCC/Clang computed goto, where each
+// handler ends in its own indirect branch so the branch predictor can
+// learn per-opcode successor patterns instead of funnelling every
+// instruction through one mega-branch. Backend selection is runtime
+// state (Vm::dispatch_mode_, env DIONEA_DISPATCH) — both backends are
+// always built, which is what lets the test suite run the full corpus
+// under each.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "support/strings.hpp"
+#include "vm/code_cache.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::vm {
+
+namespace {
+
+inline std::uint16_t vm_rd_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(p[0]) |
+      (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+VmError interrupt_error(Vm& vm, InterpThread& th) {
+  InterruptReason reason = th.interrupt.load(std::memory_order_relaxed);
+  if (reason == InterruptReason::kDeadlock) {
+    return vm.runtime_error(th, "deadlock detected (fatal)",
+                            VmErrorKind::kFatalDeadlock);
+  }
+  return vm.runtime_error(th, "killed", VmErrorKind::kThreadKill);
+}
+
+}  // namespace
+
+// Shared semantics for the eleven binary operators, used by both the
+// plain binop handlers and the fused superinstructions so the fused
+// forms cannot drift from the originals. `lhs` is updated in place
+// (it is the stack top).
+std::optional<VmError> Vm::apply_binop(InterpThread& th, Op op, Value& lhs,
+                                       Value rhs) {
+  if (lhs.is_int() && rhs.is_int()) [[likely]] {
+    const std::int64_t a = lhs.as_int();
+    const std::int64_t b = rhs.as_int();
+    std::int64_t out = 0;
+    switch (op) {
+      case Op::kAdd:
+        if (__builtin_add_overflow(a, b, &out)) {
+          return runtime_error(th, "integer overflow in +");
+        }
+        lhs = Value(out);
+        return std::nullopt;
+      case Op::kSub:
+        if (__builtin_sub_overflow(a, b, &out)) {
+          return runtime_error(th, "integer overflow");
+        }
+        lhs = Value(out);
+        return std::nullopt;
+      case Op::kMul:
+        if (__builtin_mul_overflow(a, b, &out)) {
+          return runtime_error(th, "integer overflow");
+        }
+        lhs = Value(out);
+        return std::nullopt;
+      case Op::kDiv:
+        if (b == 0) return runtime_error(th, "divided by 0");
+        if (a == INT64_MIN && b == -1) {
+          return runtime_error(th, "integer overflow");
+        }
+        lhs = Value(a / b);
+        return std::nullopt;
+      case Op::kMod:
+        if (b == 0) return runtime_error(th, "divided by 0");
+        lhs = Value(a % b);
+        return std::nullopt;
+      case Op::kEq: lhs = Value(a == b); return std::nullopt;
+      case Op::kNe: lhs = Value(a != b); return std::nullopt;
+      case Op::kLt: lhs = Value(a < b); return std::nullopt;
+      case Op::kLe: lhs = Value(a <= b); return std::nullopt;
+      case Op::kGt: lhs = Value(a > b); return std::nullopt;
+      case Op::kGe: lhs = Value(a >= b); return std::nullopt;
+      default:
+        break;
+    }
+  }
+  switch (op) {
+    case Op::kAdd: {
+      if (lhs.is_number() && rhs.is_number()) {
+        lhs = Value(lhs.number() + rhs.number());
+      } else if (lhs.is_str() && rhs.is_str()) {
+        lhs = Value::str(lhs.as_str() + rhs.as_str());
+      } else if (lhs.is_list() && rhs.is_list()) {
+        auto combined = std::make_shared<List>();
+        combined->items = lhs.as_list()->items;
+        combined->items.insert(combined->items.end(),
+                               rhs.as_list()->items.begin(),
+                               rhs.as_list()->items.end());
+        lhs = Value(std::move(combined));
+      } else {
+        return runtime_error(
+            th, strings::format("cannot add %s and %s", lhs.type_name(),
+                                rhs.type_name()));
+      }
+      return std::nullopt;
+    }
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv: {
+      if (!lhs.is_number() || !rhs.is_number()) {
+        return runtime_error(
+            th, strings::format("numeric operator on %s and %s",
+                                lhs.type_name(), rhs.type_name()));
+      }
+      const double a = lhs.number();
+      const double b = rhs.number();
+      lhs = Value(op == Op::kSub ? a - b : op == Op::kMul ? a * b : a / b);
+      return std::nullopt;
+    }
+    case Op::kMod:
+      // Both-int was handled above; anything else is a type error.
+      return runtime_error(th, "'%' requires integers");
+    case Op::kEq:
+    case Op::kNe: {
+      const bool eq = lhs.equals(rhs);
+      lhs = Value(op == Op::kEq ? eq : !eq);
+      return std::nullopt;
+    }
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      int cmp;
+      if (lhs.is_number() && rhs.is_number()) {
+        const double a = lhs.number();
+        const double b = rhs.number();
+        cmp = a < b ? -1 : a > b ? 1 : 0;
+      } else if (lhs.is_str() && rhs.is_str()) {
+        const int c = lhs.as_str().compare(rhs.as_str());
+        cmp = c < 0 ? -1 : c > 0 ? 1 : 0;
+      } else {
+        return runtime_error(
+            th, strings::format("cannot compare %s with %s",
+                                lhs.type_name(), rhs.type_name()));
+      }
+      const bool result = op == Op::kLt   ? cmp < 0
+                          : op == Op::kLe ? cmp <= 0
+                          : op == Op::kGt ? cmp > 0
+                                          : cmp >= 0;
+      lhs = Value(result);
+      return std::nullopt;
+    }
+    default:
+      // Unreachable: the verifier admits only fusable binops into the
+      // fused forms and the compiler only emits defined operators.
+      return runtime_error(th, "corrupted bytecode");
+  }
+}
+
+std::variant<Value, VmError> Vm::interpret_switch(InterpThread& th,
+                                                  size_t stop_depth) {
+#define VM_USE_GOTO 0
+#include "vm/dispatch.inc"
+#undef VM_USE_GOTO
+}
+
+std::variant<Value, VmError> Vm::interpret_goto(InterpThread& th,
+                                                size_t stop_depth) {
+#if defined(__GNUC__) || defined(__clang__)
+#define VM_USE_GOTO 1
+#include "vm/dispatch.inc"
+#undef VM_USE_GOTO
+#else
+  return interpret_switch(th, stop_depth);
+#endif
+}
+
+}  // namespace dionea::vm

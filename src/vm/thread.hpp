@@ -20,6 +20,8 @@
 
 namespace dionea::vm {
 
+struct CodeCache;
+
 enum class ThreadState : int {
   kRunnable,        // executing bytecode or waiting for the GIL
   kBlockedForever,  // mutex lock / queue pop / cond wait / join / sleep()
@@ -53,7 +55,12 @@ class InterpThread {
   // frames.
   struct Frame {
     std::shared_ptr<Closure> closure;
-    size_t ip = 0;     // offset into closure->proto->chunk
+    // Executable (possibly quickened) code for this frame. Owned by the
+    // Vm, keyed by proto; pinned by CodeCache::in_use while this frame
+    // exists. `ip` is an offset into cache->code, which is always the
+    // same length as closure->proto->chunk.
+    CodeCache* cache = nullptr;
+    size_t ip = 0;     // offset into cache->code (== chunk offsets)
     size_t base = 0;   // stack index of local slot 0
     int line = 0;      // most recent kTraceLine in this frame
   };

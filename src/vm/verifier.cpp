@@ -1,0 +1,347 @@
+#include "vm/verifier.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace dionea::vm {
+namespace {
+
+constexpr int kDepthUnknown = -1;
+constexpr int kMaxStackDepth = 65536;
+
+Error bad(size_t offset, const std::string& message) {
+  return Error(ErrorCode::kInvalidArgument,
+               strings::format("invalid bytecode at offset %zu: %s", offset,
+                               message.c_str()));
+}
+
+// Net stack effect and minimum required depth for ops whose effect is
+// operand-independent. kCall/kBuildList/kBuildMap/kIterNext are
+// handled inline in the dataflow pass.
+struct StackEffect {
+  int required = 0;  // entries that must exist before the op runs
+  int delta = 0;     // depth change after the op
+};
+
+StackEffect stack_effect(Op op) noexcept {
+  switch (op) {
+    case Op::kConst:
+    case Op::kNil:
+    case Op::kTrue:
+    case Op::kFalse:
+    case Op::kGetLocal:
+    case Op::kGetGlobal:
+    case Op::kGetCapture:
+    case Op::kClosure:
+    case Op::kLocLocBin:
+    case Op::kLocConstBin:
+      return {0, +1};
+    case Op::kDup:
+      return {1, +1};
+    case Op::kPop:
+    case Op::kJumpIfFalse:
+      return {1, -1};
+    case Op::kSetLocal:
+    case Op::kSetGlobal:
+    case Op::kSetCapture:
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kJumpIfFalsePeek:
+    case Op::kJumpIfTruePeek:
+    case Op::kIterNew:
+      return {1, 0};
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+    case Op::kIndexGet:
+      return {2, -1};
+    case Op::kIndexSet:
+      return {3, -2};
+    case Op::kConstSetLocal:
+    case Op::kJump:
+    case Op::kLoop:
+    case Op::kTraceLine:
+      return {0, 0};
+    case Op::kReturn:
+      return {1, -1};
+    default:
+      return {0, 0};
+  }
+}
+
+}  // namespace
+
+Status verify_chunk(const FunctionProto& proto) {
+  const Chunk& chunk = proto.chunk;
+  const size_t size = chunk.size();
+  const size_t n_consts = chunk.constants().size();
+  const size_t n_locals = proto.local_names.size();
+  const size_t n_captures = proto.captures.size();
+
+  if (size == 0) return bad(0, "empty chunk");
+
+  // ---- pass 1: linear structural walk -------------------------------
+  // Decodes every instruction exactly once, building the boundary set
+  // and validating operand ranges (so pass 2 can read blindly).
+  std::vector<bool> boundary(size, false);
+  size_t offset = 0;
+  while (offset < size) {
+    boundary[offset] = true;
+    const std::uint8_t byte = chunk.read_u8(offset);
+    if (!op_is_valid(byte)) {
+      return bad(offset, strings::format("undefined opcode %u",
+                                         static_cast<unsigned>(byte)));
+    }
+    const Op op = static_cast<Op>(byte);
+    if (op_is_quickened(op)) {
+      return bad(offset, strings::format("quickened opcode %s in compiled "
+                                         "code",
+                                         op_name(op)));
+    }
+    const size_t operand_bytes =
+        static_cast<size_t>(op_operand_bytes(op));
+    if (offset + 1 + operand_bytes > size) {
+      return bad(offset, strings::format("truncated operand for %s",
+                                         op_name(op)));
+    }
+
+    switch (op) {
+      case Op::kConst: {
+        if (chunk.read_u16(offset + 1) >= n_consts) {
+          return bad(offset, "constant index out of range");
+        }
+        break;
+      }
+      case Op::kGetGlobal:
+      case Op::kSetGlobal: {
+        const std::uint16_t idx = chunk.read_u16(offset + 1);
+        if (idx >= n_consts) {
+          return bad(offset, "global name constant out of range");
+        }
+        if (!chunk.constants()[idx].is_str()) {
+          return bad(offset, "global name constant is not a string");
+        }
+        break;
+      }
+      case Op::kClosure: {
+        const std::uint16_t idx = chunk.read_u16(offset + 1);
+        if (idx >= n_consts) {
+          return bad(offset, "closure constant out of range");
+        }
+        const Value& v = chunk.constants()[idx];
+        if (!v.is_closure() || v.as_closure() == nullptr ||
+            v.as_closure()->proto == nullptr) {
+          return bad(offset, "closure constant is not a function");
+        }
+        // Instantiation reads the enclosing frame through the child's
+        // capture sources; bound them against *this* proto.
+        for (const CaptureSource& source : v.as_closure()->proto->captures) {
+          const size_t limit =
+              source.from_enclosing_capture ? n_captures : n_locals;
+          if (source.index >= limit) {
+            return bad(offset, "capture source out of range");
+          }
+        }
+        break;
+      }
+      case Op::kGetLocal:
+      case Op::kSetLocal: {
+        if (chunk.read_u16(offset + 1) >= n_locals) {
+          return bad(offset, "local slot out of range");
+        }
+        break;
+      }
+      case Op::kGetCapture:
+      case Op::kSetCapture: {
+        if (chunk.read_u16(offset + 1) >= n_captures) {
+          return bad(offset, "capture index out of range");
+        }
+        break;
+      }
+      case Op::kCall: {
+        if (chunk.read_u8(offset + 1) > 250) {
+          return bad(offset, "call argc out of range");
+        }
+        break;
+      }
+      case Op::kIterNext: {
+        const std::uint16_t slot = chunk.read_u16(offset + 1);
+        // Needs the hidden (iterator, index) slot pair.
+        if (static_cast<size_t>(slot) + 1 >= n_locals) {
+          return bad(offset, "iterator slot pair out of range");
+        }
+        break;
+      }
+      case Op::kLocLocBin: {
+        if (chunk.read_u16(offset + 1) >= n_locals ||
+            chunk.read_u16(offset + 3) >= n_locals) {
+          return bad(offset, "fused local slot out of range");
+        }
+        const std::uint8_t sub = chunk.read_u8(offset + 5);
+        if (!op_is_valid(sub) ||
+            !op_is_fusable_binop(static_cast<Op>(sub))) {
+          return bad(offset, "fused operator is not a binary op");
+        }
+        break;
+      }
+      case Op::kLocConstBin: {
+        if (chunk.read_u16(offset + 1) >= n_locals) {
+          return bad(offset, "fused local slot out of range");
+        }
+        if (chunk.read_u16(offset + 3) >= n_consts) {
+          return bad(offset, "fused constant index out of range");
+        }
+        const std::uint8_t sub = chunk.read_u8(offset + 5);
+        if (!op_is_valid(sub) ||
+            !op_is_fusable_binop(static_cast<Op>(sub))) {
+          return bad(offset, "fused operator is not a binary op");
+        }
+        break;
+      }
+      case Op::kConstSetLocal: {
+        if (chunk.read_u16(offset + 1) >= n_consts) {
+          return bad(offset, "fused constant index out of range");
+        }
+        if (chunk.read_u16(offset + 3) >= n_locals) {
+          return bad(offset, "fused local slot out of range");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    offset += 1 + operand_bytes;
+  }
+
+  // ---- pass 2: control-flow + stack-depth dataflow ------------------
+  // Depth is the operand-stack height above base + local slots. Every
+  // reachable instruction must see one consistent depth; joins that
+  // disagree are rejected (the compiler never produces them, and an
+  // inconsistent join would make the check-free pops unsound).
+  auto jump_target_ok = [&](size_t target) {
+    return target < size && boundary[target];
+  };
+
+  std::vector<int> depth_at(size, kDepthUnknown);
+  std::deque<size_t> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+
+  auto flow_to = [&](size_t from, size_t target, int depth) -> Status {
+    if (target >= size) {
+      return bad(from, "control flow runs off the end of the chunk");
+    }
+    if (!boundary[target]) {
+      return bad(from, "jump target is not an instruction boundary");
+    }
+    if (depth_at[target] == kDepthUnknown) {
+      depth_at[target] = depth;
+      worklist.push_back(target);
+    } else if (depth_at[target] != depth) {
+      return bad(from, "inconsistent stack depth at join point");
+    }
+    return Status::ok();
+  };
+
+  while (!worklist.empty()) {
+    const size_t at = worklist.front();
+    worklist.pop_front();
+    const int depth_in = depth_at[at];
+    const Op op = static_cast<Op>(chunk.read_u8(at));
+    const size_t next = at + 1 + static_cast<size_t>(op_operand_bytes(op));
+
+    int required;
+    int delta;
+    switch (op) {
+      case Op::kCall: {
+        const int argc = chunk.read_u8(at + 1);
+        required = argc + 1;
+        delta = -argc;
+        break;
+      }
+      case Op::kBuildList: {
+        const int count = chunk.read_u16(at + 1);
+        required = count;
+        delta = 1 - count;
+        break;
+      }
+      case Op::kBuildMap: {
+        const int pairs = chunk.read_u16(at + 1);
+        required = pairs * 2;
+        delta = 1 - pairs * 2;
+        break;
+      }
+      default: {
+        const StackEffect effect = stack_effect(op);
+        required = effect.required;
+        delta = effect.delta;
+        break;
+      }
+    }
+    if (depth_in < required) {
+      return bad(at, strings::format("stack underflow: %s needs %d, has %d",
+                                     op_name(op), required, depth_in));
+    }
+    const int depth_out = depth_in + delta;
+    if (depth_out > kMaxStackDepth) {
+      return bad(at, "stack depth exceeds limit");
+    }
+
+    switch (op) {
+      case Op::kReturn:
+      case Op::kHalt:
+        break;  // no successor
+      case Op::kJump: {
+        DIONEA_RETURN_IF_ERROR(
+            flow_to(at, next + chunk.read_u16(at + 1), depth_out));
+        break;
+      }
+      case Op::kLoop: {
+        const std::uint16_t back = chunk.read_u16(at + 1);
+        if (back > next) {
+          return bad(at, "loop target before chunk start");
+        }
+        const size_t target = next - back;
+        if (!jump_target_ok(target)) {
+          return bad(at, "loop target is not an instruction boundary");
+        }
+        DIONEA_RETURN_IF_ERROR(flow_to(at, target, depth_out));
+        break;
+      }
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfFalsePeek:
+      case Op::kJumpIfTruePeek: {
+        DIONEA_RETURN_IF_ERROR(
+            flow_to(at, next + chunk.read_u16(at + 1), depth_out));
+        DIONEA_RETURN_IF_ERROR(flow_to(at, next, depth_out));
+        break;
+      }
+      case Op::kIterNext: {
+        // Exhausted: jumps to exit with nothing pushed. Otherwise:
+        // falls through having pushed the next element.
+        DIONEA_RETURN_IF_ERROR(
+            flow_to(at, next + chunk.read_u16(at + 3), depth_out));
+        DIONEA_RETURN_IF_ERROR(flow_to(at, next, depth_out + 1));
+        break;
+      }
+      default: {
+        DIONEA_RETURN_IF_ERROR(flow_to(at, next, depth_out));
+        break;
+      }
+    }
+  }
+
+  return Status::ok();
+}
+
+}  // namespace dionea::vm

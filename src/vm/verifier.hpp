@@ -1,0 +1,36 @@
+// Load-time bytecode verifier.
+//
+// The dispatch loop runs with no per-instruction bounds checks: opcode
+// fetches, operand reads, jump arithmetic, constant/local/capture
+// indexing and stack effects are all unguarded. That is only sound
+// because every chunk is verified once, before its first frame is
+// pushed (Vm::ensure_code_cache). The verifier establishes:
+//
+//   * every opcode byte is a defined, non-quickened opcode;
+//   * every operand is fully inside the code array (a truncated chunk
+//     cannot make read_u16 read past the end);
+//   * every jump/loop/iter-exit target lands on an instruction
+//     boundary inside the chunk, and no instruction falls off the end;
+//   * constant indices are in range and kind-correct (global names are
+//     strings, kClosure templates are closures);
+//   * local slots, capture indices and fused sub-opcodes are in range;
+//   * operand-stack depth is statically balanced: never negative,
+//     consistent at every join point, bounded, and ≥1 wherever an op
+//     peeks or pops.
+//
+// Interruptibility needs no static rule here: the only backward edge
+// is kLoop, and the dispatch loop polls the thread interrupt flag on
+// every kLoop, so even a verified chunk with no kTraceLine in a cycle
+// (a mutated chunk from the fuzz suite, say) can always be killed.
+#pragma once
+
+#include "support/result.hpp"
+#include "vm/bytecode.hpp"
+
+namespace dionea::vm {
+
+// Returns ok when `proto.chunk` is safe for check-free dispatch, or an
+// kInvalidArgument error naming the offending offset otherwise.
+Status verify_chunk(const FunctionProto& proto);
+
+}  // namespace dionea::vm

@@ -16,6 +16,7 @@
 #include "support/timing.hpp"
 #include "vm/builtins.hpp"
 #include "vm/compiler.hpp"
+#include "vm/verifier.hpp"
 
 namespace dionea::vm {
 
@@ -39,6 +40,21 @@ Vm::Vm() {
   // up between a recording process and a replaying one.
   replay::Engine::init_from_env();
   analysis::Engine::init_from_env();
+  // Build-time default backend (CMake -DDIONEA_DISPATCH=...), runtime
+  // override via env for A/B runs without a rebuild.
+#if defined(DIONEA_DISPATCH_DEFAULT_GOTO) && DIONEA_DISPATCH_DEFAULT_GOTO
+  set_dispatch_mode(DispatchMode::kGoto);
+#endif
+  if (const char* env = std::getenv("DIONEA_DISPATCH")) {
+    if (std::string_view(env) == "goto") {
+      set_dispatch_mode(DispatchMode::kGoto);
+    } else if (std::string_view(env) == "switch") {
+      set_dispatch_mode(DispatchMode::kSwitch);
+    }
+  }
+  if (const char* env = std::getenv("DIONEA_QUICKEN")) {
+    quicken_enabled_ = !(env[0] == '0' && env[1] == '\0');
+  }
   output_ = [](std::string_view text) {
     std::fwrite(text.data(), 1, text.size(), stdout);
     std::fflush(stdout);
@@ -52,6 +68,28 @@ void Vm::install_builtins() { install_core_builtins(*this); }
 
 // --------------------------------------------------------------- globals
 
+GlobalSlot* Vm::find_global_slot(std::string_view name) noexcept {
+  auto it = global_index_.find(name);
+  return it == global_index_.end() ? nullptr : &global_slots_[it->second];
+}
+
+const GlobalSlot* Vm::find_global_slot(std::string_view name) const noexcept {
+  auto it = global_index_.find(name);
+  return it == global_index_.end() ? nullptr : &global_slots_[it->second];
+}
+
+GlobalSlot& Vm::intern_global_slot(std::string_view name) {
+  auto it = global_index_.find(name);
+  if (it != global_index_.end()) return global_slots_[it->second];
+  const auto index = static_cast<std::uint32_t>(global_slots_.size());
+  GlobalSlot& slot = global_slots_.emplace_back();
+  slot.name.assign(name);
+  // Key views into the slot's own name string: the deque never moves
+  // elements and the name is never mutated, so the view stays valid.
+  global_index_.emplace(std::string_view(slot.name), index);
+  return slot;
+}
+
 void Vm::define_native(
     const std::string& name, int min_arity, int max_arity,
     std::function<NativeResult(Vm&, InterpThread&, std::vector<Value>&)> fn) {
@@ -60,23 +98,32 @@ void Vm::define_native(
   native->min_arity = min_arity;
   native->max_arity = max_arity;
   native->fn = std::move(fn);
-  globals_[name] = Value(std::move(native));
+  intern_global_slot(name).value = Value(std::move(native));
 }
 
 void Vm::set_global(const std::string& name, Value value) {
-  globals_[name] = std::move(value);
+  intern_global_slot(name).value = std::move(value);
 }
 
 Value Vm::get_global(const std::string& name) const {
-  auto it = globals_.find(name);
-  return it == globals_.end() ? Value() : it->second;
+  const GlobalSlot* slot = find_global_slot(name);
+  return slot == nullptr ? Value() : slot->value;
 }
 
-void Vm::set_trace_fn(TraceFn fn) { trace_fn_ = std::move(fn); }
+void Vm::set_trace_fn(TraceFn fn) {
+  // Publish the callback before flipping the gate bit so an armed
+  // reader always finds a non-null fn.
+  trace_fn_.store(std::make_shared<const TraceFn>(std::move(fn)),
+                  std::memory_order_release);
+  line_gate_.fetch_or(kGateFnBit, std::memory_order_release);
+}
 
 void Vm::clear_trace_fn() {
-  trace_fn_ = nullptr;
-  trace_enabled_.store(false, std::memory_order_relaxed);
+  // Drop the gate bits first; a racing thread that already saw "armed"
+  // holds the callback alive through its shared_ptr load.
+  line_gate_.fetch_and(~(kGateFnBit | kGateEnabledBit),
+                       std::memory_order_relaxed);
+  trace_fn_.store(nullptr, std::memory_order_release);
 }
 
 void Vm::set_output(std::function<void(std::string_view)> sink) {
@@ -208,19 +255,6 @@ VmError Vm::runtime_error(InterpThread& th, std::string message,
   }
   return err;
 }
-
-namespace {
-
-VmError interrupt_error(Vm& vm, InterpThread& th) {
-  InterruptReason reason = th.interrupt.load(std::memory_order_relaxed);
-  if (reason == InterruptReason::kDeadlock) {
-    return vm.runtime_error(th, "deadlock detected (fatal)",
-                            VmErrorKind::kFatalDeadlock);
-  }
-  return vm.runtime_error(th, "killed", VmErrorKind::kThreadKill);
-}
-
-}  // namespace
 
 // ------------------------------------------------------------ BlockScope
 
@@ -382,6 +416,29 @@ void Vm::fire_deadlock_locked(std::unique_lock<std::mutex>& sched_lock) {
 
 // ---------------------------------------------------------------- frames
 
+CodeCache* Vm::ensure_code_cache(std::shared_ptr<const FunctionProto> proto,
+                                 std::string* error) {
+  auto it = code_caches_.find(proto.get());
+  if (it != code_caches_.end()) return it->second.get();
+  Status verified = verify_chunk(*proto);
+  if (!verified.is_ok()) {
+    *error = verified.error().message();
+    return nullptr;
+  }
+  auto cache = std::make_unique<CodeCache>();
+  build_code_cache(*proto, quicken_enabled_, *cache);
+  // Snapshot with the enabled bit masked off: if tracing is armed
+  // right now, the first quickened trace-line site mismatches and
+  // takes the slow (firing) path immediately.
+  cache->gate_snapshot =
+      line_gate_.load(std::memory_order_relaxed) & ~kGateEnabledBit;
+  const FunctionProto* key = proto.get();
+  cache->proto = std::move(proto);
+  CodeCache* raw = cache.get();
+  code_caches_.emplace(key, std::move(cache));
+  return raw;
+}
+
 std::optional<VmError> Vm::push_frame(InterpThread& th,
                                       std::shared_ptr<Closure> closure,
                                       int argc) {
@@ -396,18 +453,41 @@ std::optional<VmError> Vm::push_frame(InterpThread& th,
   if (th.frames.size() >= kMaxFrames) {
     return runtime_error(th, "stack level too deep");
   }
+  std::string cache_error;
+  CodeCache* cache = ensure_code_cache(closure->proto, &cache_error);
+  if (cache == nullptr) {
+    return runtime_error(th, std::move(cache_error));
+  }
   InterpThread::Frame frame;
   frame.closure = std::move(closure);
+  frame.cache = cache;
   frame.ip = 0;
   frame.base = th.stack.size() - static_cast<size_t>(argc);
   frame.line = proto.line;
   th.stack.resize(frame.base + proto.local_names.size());
   th.frames.push_back(std::move(frame));
-  if (trace_enabled() && trace_fn_ && !th.suppress_trace) fire_trace(th, TraceKind::kCall, proto.line);
+  ++cache->in_use;
+  if (trace_armed(th)) fire_trace(th, TraceKind::kCall, proto.line);
   return std::nullopt;
 }
 
+void Vm::pop_frame(InterpThread& th) noexcept {
+  InterpThread::Frame& frame = th.frames.back();
+  if (frame.cache != nullptr && frame.cache->in_use > 0) {
+    --frame.cache->in_use;
+  }
+  const size_t base = frame.base;
+  th.frames.pop_back();
+  th.stack.resize(base > 0 ? base - 1 : 0);
+}
+
 void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
+  // The shared_ptr load (not a raw member read) is what makes a
+  // concurrent clear_trace_fn safe: either we see null and bail, or we
+  // hold the callback alive for the duration of the call.
+  std::shared_ptr<const TraceFn> fn =
+      trace_fn_.load(std::memory_order_acquire);
+  if (fn == nullptr || !*fn) return;
   switch (kind) {
     case TraceKind::kLine:
       metrics::add(metrics::Counter::kTraceLineEvents);
@@ -445,7 +525,7 @@ void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
     // its file string is a stable pointer for the crash report.
     crash::note_trace(proto.file.c_str(), line, th.id());
   }
-  trace_fn_(*this, th, event);
+  (*fn)(*this, th, event);
 
   if (sampled) {
     metrics::observe(metrics::Histogram::kTraceHookNanos,
@@ -454,516 +534,97 @@ void Vm::fire_trace(InterpThread& th, TraceKind kind, int line) {
 }
 
 // --------------------------------------------------------------- interpret
+//
+// The loop itself lives in dispatch.inc, compiled twice in
+// dispatch.cpp (switch and computed-goto backends). This file keeps
+// only the backend selector and the cold helpers the loop calls out
+// to.
+
+bool Vm::computed_goto_available() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Vm::set_dispatch_mode(DispatchMode mode) noexcept {
+  if (mode == DispatchMode::kGoto && !computed_goto_available()) {
+    mode = DispatchMode::kSwitch;
+  }
+  dispatch_mode_ = mode;
+}
 
 std::variant<Value, VmError> Vm::interpret(InterpThread& th,
                                            size_t stop_depth) {
-  int since_switch = 0;
+  if (dispatch_mode_ == DispatchMode::kGoto) {
+    return interpret_goto(th, stop_depth);
+  }
+  return interpret_switch(th, stop_depth);
+}
 
-  auto fail = [&](VmError err) -> std::variant<Value, VmError> {
-    // Unwind frames created at or above stop_depth.
-    while (th.frames.size() >= stop_depth) {
-      size_t base = th.frames.back().base;
-      th.frames.pop_back();
-      th.stack.resize(base > 0 ? base - 1 : 0);
-    }
-    return err;
-  };
+bool Vm::line_gate_sync(CodeCache& cache) noexcept {
+  const std::uint64_t gate = line_gate_.load(std::memory_order_relaxed);
+  cache.gate_snapshot = gate & ~kGateEnabledBit;
+  return (gate & kGateArmedMask) == kGateArmedMask;
+}
 
-  while (true) {
-    InterpThread::Frame& fr = th.frames.back();
-    const Chunk& chunk = fr.closure->proto->chunk;
-    DIONEA_CHECK(fr.ip < chunk.size(), "ip out of range");
-    Op op = static_cast<Op>(chunk.read_u8(fr.ip++));
-    switch (op) {
-      case Op::kTraceLine: {
-        int line = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        fr.line = line;
-        ++th.stmt_count;
-        InterruptReason reason =
-            th.interrupt.load(std::memory_order_relaxed);
-        if (reason != InterruptReason::kNone) {
-          return fail(interrupt_error(*this, th));
-        }
-        if (++since_switch >= switch_interval_) {
-          since_switch = 0;
-          gil_.yield(th.id());
-        }
-        if (trace_enabled() && trace_fn_ && !th.suppress_trace) {
-          fire_trace(th, TraceKind::kLine, line);
-          // The trace callback may have parked and resumed us; an
-          // interrupt could have arrived while parked.
-          reason = th.interrupt.load(std::memory_order_relaxed);
-          if (reason != InterruptReason::kNone) {
-            return fail(interrupt_error(*this, th));
-          }
-        }
-        break;
-      }
+__attribute__((noinline)) VmError Vm::undefined_name_error(
+    InterpThread& th, std::string_view name) {
+  return runtime_error(th, "undefined name '" + std::string(name) + "'");
+}
 
-      case Op::kConst: {
-        const Value& v = chunk.constants()[chunk.read_u16(fr.ip)];
-        fr.ip += 2;
-        th.stack.push_back(v);
-        break;
-      }
-      case Op::kNil: th.stack.emplace_back(); break;
-      case Op::kTrue: th.stack.emplace_back(true); break;
-      case Op::kFalse: th.stack.emplace_back(false); break;
-      case Op::kPop: th.stack.pop_back(); break;
-      case Op::kDup: th.stack.push_back(th.stack.back()); break;
+// ----------------------------------------------------------- code caches
 
-      case Op::kGetLocal: {
-        std::uint16_t slot = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        th.stack.push_back(th.stack[fr.base + slot]);
-        break;
-      }
-      case Op::kSetLocal: {
-        std::uint16_t slot = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        th.stack[fr.base + slot] = th.stack.back();
-        break;
-      }
-      case Op::kGetCapture: {
-        std::uint16_t idx = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        th.stack.push_back(fr.closure->captures[idx]);
-        break;
-      }
-      case Op::kSetCapture: {
-        std::uint16_t idx = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        fr.closure->captures[idx] = th.stack.back();
-        break;
-      }
-      case Op::kGetGlobal: {
-        const Value& name = chunk.constants()[chunk.read_u16(fr.ip)];
-        fr.ip += 2;
-        auto it = globals_.find(name.as_str());
-        if (it == globals_.end()) {
-          return fail(runtime_error(
-              th, "undefined name '" + name.as_str() + "'"));
-        }
-        if (analysis::engine_enabled()) {
-          analysis::Engine::instance().on_access(
-              th.id(), name.as_str(), analysis::AccessKind::kRead,
-              it->second, fr.closure->proto->file, fr.line);
-        }
-        th.stack.push_back(it->second);
-        break;
-      }
-      case Op::kSetGlobal: {
-        const Value& name = chunk.constants()[chunk.read_u16(fr.ip)];
-        fr.ip += 2;
-        if (analysis::engine_enabled()) {
-          analysis::Engine::instance().on_access(
-              th.id(), name.as_str(), analysis::AccessKind::kWrite,
-              th.stack.back(), fr.closure->proto->file, fr.line);
-        }
-        globals_[name.as_str()] = th.stack.back();
-        break;
-      }
-
-      case Op::kAdd: {
-        Value rhs = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value& lhs = th.stack.back();
-        if (lhs.is_int() && rhs.is_int()) {
-          std::int64_t out;
-          if (__builtin_add_overflow(lhs.as_int(), rhs.as_int(), &out)) {
-            return fail(runtime_error(th, "integer overflow in +"));
-          }
-          lhs = Value(out);
-        } else if (lhs.is_number() && rhs.is_number()) {
-          lhs = Value(lhs.number() + rhs.number());
-        } else if (lhs.is_str() && rhs.is_str()) {
-          lhs = Value::str(lhs.as_str() + rhs.as_str());
-        } else if (lhs.is_list() && rhs.is_list()) {
-          auto combined = std::make_shared<List>();
-          combined->items = lhs.as_list()->items;
-          combined->items.insert(combined->items.end(),
-                                 rhs.as_list()->items.begin(),
-                                 rhs.as_list()->items.end());
-          lhs = Value(std::move(combined));
-        } else {
-          return fail(runtime_error(
-              th, strings::format("cannot add %s and %s", lhs.type_name(),
-                                  rhs.type_name())));
-        }
-        break;
-      }
-      case Op::kSub:
-      case Op::kMul:
-      case Op::kDiv: {
-        Value rhs = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value& lhs = th.stack.back();
-        if (!lhs.is_number() || !rhs.is_number()) {
-          return fail(runtime_error(
-              th, strings::format("numeric operator on %s and %s",
-                                  lhs.type_name(), rhs.type_name())));
-        }
-        if (lhs.is_int() && rhs.is_int()) {
-          std::int64_t a = lhs.as_int();
-          std::int64_t b = rhs.as_int();
-          std::int64_t out = 0;
-          bool overflow = false;
-          switch (op) {
-            case Op::kSub: overflow = __builtin_sub_overflow(a, b, &out); break;
-            case Op::kMul: overflow = __builtin_mul_overflow(a, b, &out); break;
-            case Op::kDiv:
-              if (b == 0) return fail(runtime_error(th, "divided by 0"));
-              if (a == INT64_MIN && b == -1) {
-                overflow = true;
-              } else {
-                out = a / b;
-              }
-              break;
-            default: break;
-          }
-          if (overflow) {
-            return fail(runtime_error(th, "integer overflow"));
-          }
-          lhs = Value(out);
-        } else {
-          double a = lhs.number();
-          double b = rhs.number();
-          double out = op == Op::kSub ? a - b : op == Op::kMul ? a * b : a / b;
-          lhs = Value(out);
-        }
-        break;
-      }
-      case Op::kMod: {
-        Value rhs = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value& lhs = th.stack.back();
-        if (!lhs.is_int() || !rhs.is_int()) {
-          return fail(runtime_error(th, "'%' requires integers"));
-        }
-        if (rhs.as_int() == 0) {
-          return fail(runtime_error(th, "divided by 0"));
-        }
-        lhs = Value(lhs.as_int() % rhs.as_int());
-        break;
-      }
-      case Op::kNeg: {
-        Value& v = th.stack.back();
-        if (v.is_int()) {
-          v = Value(-v.as_int());
-        } else if (v.is_float()) {
-          v = Value(-v.as_float());
-        } else {
-          return fail(runtime_error(
-              th, strings::format("cannot negate %s", v.type_name())));
-        }
-        break;
-      }
-      case Op::kNot: {
-        Value& v = th.stack.back();
-        v = Value(!v.truthy());
-        break;
-      }
-      case Op::kEq:
-      case Op::kNe: {
-        Value rhs = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value& lhs = th.stack.back();
-        bool eq = lhs.equals(rhs);
-        lhs = Value(op == Op::kEq ? eq : !eq);
-        break;
-      }
-      case Op::kLt:
-      case Op::kLe:
-      case Op::kGt:
-      case Op::kGe: {
-        Value rhs = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value& lhs = th.stack.back();
-        int cmp;
-        if (lhs.is_number() && rhs.is_number()) {
-          double a = lhs.number();
-          double b = rhs.number();
-          cmp = a < b ? -1 : a > b ? 1 : 0;
-        } else if (lhs.is_str() && rhs.is_str()) {
-          int c = lhs.as_str().compare(rhs.as_str());
-          cmp = c < 0 ? -1 : c > 0 ? 1 : 0;
-        } else {
-          return fail(runtime_error(
-              th, strings::format("cannot compare %s with %s",
-                                  lhs.type_name(), rhs.type_name())));
-        }
-        bool result = op == Op::kLt   ? cmp < 0
-                      : op == Op::kLe ? cmp <= 0
-                      : op == Op::kGt ? cmp > 0
-                                      : cmp >= 0;
-        lhs = Value(result);
-        break;
-      }
-
-      case Op::kJump: {
-        std::uint16_t offset = chunk.read_u16(fr.ip);
-        fr.ip += 2 + offset;
-        break;
-      }
-      case Op::kJumpIfFalse: {
-        std::uint16_t offset = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        Value cond = std::move(th.stack.back());
-        th.stack.pop_back();
-        if (!cond.truthy()) fr.ip += offset;
-        break;
-      }
-      case Op::kJumpIfFalsePeek: {
-        std::uint16_t offset = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        if (!th.stack.back().truthy()) fr.ip += offset;
-        break;
-      }
-      case Op::kJumpIfTruePeek: {
-        std::uint16_t offset = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        if (th.stack.back().truthy()) fr.ip += offset;
-        break;
-      }
-      case Op::kLoop: {
-        std::uint16_t offset = chunk.read_u16(fr.ip);
-        fr.ip = fr.ip + 2 - offset;
-        break;
-      }
-
-      case Op::kCall: {
-        int argc = chunk.read_u8(fr.ip);
-        fr.ip += 1;
-        size_t callee_index = th.stack.size() - static_cast<size_t>(argc) - 1;
-        Value callee = th.stack[callee_index];
-        if (callee.is_closure()) {
-          // Instantiate the called closure's frame directly on top of
-          // the args (callee slot stays below base for cleanup).
-          auto err = push_frame(th, callee.as_closure(), argc);
-          if (err) return fail(std::move(*err));
-          break;
-        }
-        if (callee.is_native()) {
-          const NativeFn& native = *callee.as_native();
-          if (argc < native.min_arity ||
-              (native.max_arity >= 0 && argc > native.max_arity)) {
-            return fail(runtime_error(
-                th, strings::format("wrong number of arguments for %s",
-                                    native.name.c_str())));
-          }
-          std::vector<Value> args;
-          args.reserve(static_cast<size_t>(argc));
-          for (size_t i = callee_index + 1; i < th.stack.size(); ++i) {
-            args.push_back(std::move(th.stack[i]));
-          }
-          th.stack.resize(callee_index);
-          NativeResult result = native.fn(*this, th, args);
-          if (std::holds_alternative<VmError>(result)) {
-            VmError err = std::get<VmError>(std::move(result));
-            if (err.traceback.empty()) {
-              err.traceback = runtime_error(th, "").traceback;
-            }
-            return fail(std::move(err));
-          }
-          th.stack.push_back(std::get<Value>(std::move(result)));
-          break;
-        }
-        return fail(runtime_error(
-            th, strings::format("%s is not callable", callee.type_name())));
-      }
-
-      case Op::kReturn: {
-        Value result = std::move(th.stack.back());
-        th.stack.pop_back();
-        if (trace_enabled() && trace_fn_ && !th.suppress_trace) {
-          fire_trace(th, TraceKind::kReturn, th.frames.back().line);
-        }
-        size_t base = th.frames.back().base;
-        th.frames.pop_back();
-        th.stack.resize(base > 0 ? base - 1 : 0);
-        if (th.frames.size() < stop_depth) return result;
-        th.stack.push_back(std::move(result));
-        break;
-      }
-
-      case Op::kBuildList: {
-        std::uint16_t count = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        auto list = std::make_shared<List>();
-        list->items.reserve(count);
-        size_t first = th.stack.size() - count;
-        for (size_t i = first; i < th.stack.size(); ++i) {
-          list->items.push_back(std::move(th.stack[i]));
-        }
-        th.stack.resize(first);
-        th.stack.emplace_back(std::move(list));
-        break;
-      }
-      case Op::kBuildMap: {
-        std::uint16_t pairs = chunk.read_u16(fr.ip);
-        fr.ip += 2;
-        auto map = std::make_shared<Map>();
-        size_t first = th.stack.size() - static_cast<size_t>(pairs) * 2;
-        for (size_t i = first; i < th.stack.size(); i += 2) {
-          if (!th.stack[i].is_str()) {
-            return fail(runtime_error(th, "map keys must be strings"));
-          }
-          map->items[th.stack[i].as_str()] = std::move(th.stack[i + 1]);
-        }
-        th.stack.resize(first);
-        th.stack.emplace_back(std::move(map));
-        break;
-      }
-
-      case Op::kIndexGet: {
-        Value index = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value& target = th.stack.back();
-        if (analysis::engine_enabled()) {
-          analysis::Engine::instance().on_index_access(
-              th.id(), target, analysis::AccessKind::kRead,
-              fr.closure->proto->file, fr.line);
-        }
-        if (target.is_list()) {
-          if (!index.is_int()) {
-            return fail(runtime_error(th, "list index must be an int"));
-          }
-          const auto& items = target.as_list()->items;
-          std::int64_t i = index.as_int();
-          if (i < 0) i += static_cast<std::int64_t>(items.size());
-          if (i < 0 || i >= static_cast<std::int64_t>(items.size())) {
-            return fail(runtime_error(
-                th, strings::format("list index %lld out of range (len %zu)",
-                                    static_cast<long long>(index.as_int()),
-                                    items.size())));
-          }
-          target = items[static_cast<size_t>(i)];
-        } else if (target.is_map()) {
-          if (!index.is_str()) {
-            return fail(runtime_error(th, "map key must be a string"));
-          }
-          const auto& items = target.as_map()->items;
-          auto it = items.find(index.as_str());
-          target = it == items.end() ? Value() : it->second;
-        } else if (target.is_str()) {
-          if (!index.is_int()) {
-            return fail(runtime_error(th, "string index must be an int"));
-          }
-          const std::string& s = target.as_str();
-          std::int64_t i = index.as_int();
-          if (i < 0) i += static_cast<std::int64_t>(s.size());
-          if (i < 0 || i >= static_cast<std::int64_t>(s.size())) {
-            return fail(runtime_error(th, "string index out of range"));
-          }
-          target = Value::str(std::string(1, s[static_cast<size_t>(i)]));
-        } else {
-          return fail(runtime_error(
-              th, strings::format("%s is not indexable", target.type_name())));
-        }
-        break;
-      }
-      case Op::kIndexSet: {
-        Value value = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value index = std::move(th.stack.back());
-        th.stack.pop_back();
-        Value target = std::move(th.stack.back());
-        th.stack.pop_back();
-        if (analysis::engine_enabled()) {
-          analysis::Engine::instance().on_index_access(
-              th.id(), target, analysis::AccessKind::kWrite,
-              fr.closure->proto->file, fr.line);
-        }
-        if (target.is_list()) {
-          if (!index.is_int()) {
-            return fail(runtime_error(th, "list index must be an int"));
-          }
-          auto& items = target.as_list()->items;
-          std::int64_t i = index.as_int();
-          if (i < 0) i += static_cast<std::int64_t>(items.size());
-          if (i < 0 || i >= static_cast<std::int64_t>(items.size())) {
-            return fail(runtime_error(th, "list assignment index out of range"));
-          }
-          items[static_cast<size_t>(i)] = value;
-        } else if (target.is_map()) {
-          if (!index.is_str()) {
-            return fail(runtime_error(th, "map key must be a string"));
-          }
-          target.as_map()->items[index.as_str()] = value;
-        } else {
-          return fail(runtime_error(
-              th,
-              strings::format("cannot index-assign %s", target.type_name())));
-        }
-        th.stack.push_back(std::move(value));
-        break;
-      }
-
-      case Op::kClosure: {
-        const Value& proto_value = chunk.constants()[chunk.read_u16(fr.ip)];
-        fr.ip += 2;
-        const auto& template_closure = proto_value.as_closure();
-        auto instance = std::make_shared<Closure>();
-        instance->proto = template_closure->proto;
-        instance->captures.reserve(instance->proto->captures.size());
-        for (const CaptureSource& source : instance->proto->captures) {
-          if (source.from_enclosing_capture) {
-            instance->captures.push_back(fr.closure->captures[source.index]);
-          } else {
-            instance->captures.push_back(th.stack[fr.base + source.index]);
-          }
-        }
-        th.stack.emplace_back(std::move(instance));
-        break;
-      }
-
-      case Op::kIterNew: {
-        Value& v = th.stack.back();
-        auto list = std::make_shared<List>();
-        if (v.is_list()) {
-          list->items = v.as_list()->items;  // snapshot, like `for` in Ruby
-        } else if (v.is_map()) {
-          list->items.reserve(v.as_map()->items.size());
-          for (const auto& [key, unused] : v.as_map()->items) {
-            list->items.push_back(Value::str(key));
-          }
-        } else if (v.is_str()) {
-          const std::string& s = v.as_str();
-          list->items.reserve(s.size());
-          for (char c : s) list->items.push_back(Value::str(std::string(1, c)));
-        } else if (v.is_int()) {
-          std::int64_t n = v.as_int();
-          if (n < 0) n = 0;
-          list->items.reserve(static_cast<size_t>(n));
-          for (std::int64_t i = 0; i < n; ++i) list->items.push_back(Value(i));
-        } else {
-          return fail(runtime_error(
-              th, strings::format("%s is not iterable", v.type_name())));
-        }
-        v = Value(std::move(list));
-        break;
-      }
-      case Op::kIterNext: {
-        std::uint16_t slot = chunk.read_u16(fr.ip);
-        std::uint16_t exit_offset = chunk.read_u16(fr.ip + 2);
-        fr.ip += 4;
-        const auto& list = th.stack[fr.base + slot].as_list();
-        Value& index = th.stack[fr.base + slot + 1];
-        std::int64_t i = index.as_int();
-        if (i >= static_cast<std::int64_t>(list->items.size())) {
-          fr.ip += exit_offset;
-          break;
-        }
-        index = Value(i + 1);
-        th.stack.push_back(list->items[static_cast<size_t>(i)]);
-        break;
-      }
-
-      case Op::kHalt:
-        return Value();
+std::size_t Vm::purge_code_caches() {
+  std::size_t purged = 0;
+  for (auto it = code_caches_.begin(); it != code_caches_.end();) {
+    if (it->second->in_use == 0) {
+      it = code_caches_.erase(it);
+      ++purged;
+    } else {
+      ++it;
     }
   }
+  return purged;
+}
+
+CodeCacheStats Vm::code_cache_stats() const {
+  CodeCacheStats stats;
+  for (const auto& [proto, cache] : code_caches_) {
+    ++stats.caches;
+    if (cache->quickened) ++stats.quickened;
+    stats.ic_sites += cache->ics.size();
+    for (const GlobalIc& ic : cache->ics) {
+      if (ic.slot != nullptr) ++stats.trained_ics;
+    }
+    stats.total_in_use += cache->in_use;
+  }
+  return stats;
+}
+
+const CodeCache* Vm::find_code_cache(const FunctionProto* proto) const {
+  auto it = code_caches_.find(proto);
+  return it == code_caches_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Vm::repair_cache_pins() {
+  std::vector<std::pair<CodeCache*, std::uint32_t>> before;
+  before.reserve(code_caches_.size());
+  for (auto& [proto, cache] : code_caches_) {
+    before.emplace_back(cache.get(), cache->in_use);
+    cache->in_use = 0;
+  }
+  for (auto& [id, th] : threads_) {
+    for (const InterpThread::Frame& frame : th->frames) {
+      if (frame.cache != nullptr) ++frame.cache->in_use;
+    }
+  }
+  std::size_t wrong = 0;
+  for (const auto& [cache, old_count] : before) {
+    if (cache->in_use != old_count) ++wrong;
+  }
+  return wrong;
 }
 
 // ---------------------------------------------------------------- calling
@@ -1041,7 +702,7 @@ void Vm::thread_entry(std::shared_ptr<InterpThread> th,
                       std::shared_ptr<Closure> closure,
                       std::vector<Value> args) {
   gil_.acquire(th->id());
-  if (trace_enabled() && trace_fn_ && !th->suppress_trace) {
+  if (trace_armed(*th)) {
     fire_trace(*th, TraceKind::kThreadStart, closure->proto->line);
   }
   th->stack.push_back(Value(closure));
@@ -1054,7 +715,7 @@ void Vm::thread_entry(std::shared_ptr<InterpThread> th,
   } else {
     outcome = interpret(*th, 1);
   }
-  if (trace_enabled() && trace_fn_ && !th->suppress_trace) {
+  if (trace_armed(*th)) {
     fire_trace(*th, TraceKind::kThreadEnd, 0);
   }
   gil_.release();
@@ -1254,6 +915,9 @@ Result<std::string> Vm::eval_in_frame(std::int64_t tid, int depth,
     eval_th->state = ThreadState::kDead;
     threads_.erase(eval_th->id());
   }
+  // The eval proto is ephemeral; drop its cache entry (under the GIL we
+  // still hold) so repeated evals don't accumulate dead caches.
+  code_caches_.erase(eval_closure->proto.get());
   if (std::holds_alternative<VmError>(outcome)) {
     const VmError& err = std::get<VmError>(outcome);
     return Error(ErrorCode::kInvalidArgument, err.message);
@@ -1264,9 +928,9 @@ Result<std::string> Vm::eval_in_frame(std::int64_t tid, int depth,
 std::vector<std::pair<std::string, std::string>> Vm::globals_snapshot() {
   GilHold gil(gil_);
   std::vector<std::pair<std::string, std::string>> out;
-  for (const auto& [name, value] : globals_) {
-    if (value.is_native()) continue;  // builtins would drown the view
-    out.emplace_back(name, value.repr());
+  for (const GlobalSlot& slot : global_slots_) {
+    if (slot.value.is_native()) continue;  // builtins would drown the view
+    out.emplace_back(slot.name, slot.value.repr());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -1342,6 +1006,22 @@ void Vm::internal_fork_child(InterpThread& th) {
   th.state = ThreadState::kRunnable;
   th.interrupt.store(InterruptReason::kNone, std::memory_order_relaxed);
   deadlock_reported_ = false;
+
+  // Code-cache repair (the box64 001/004 failure modes): sibling
+  // threads may have been mid-execution at the fork instant, so the
+  // inherited cache state cannot be trusted.
+  //
+  //   004 — drop every trained IC target and bump the quicken
+  //   generation; each quickened trace-line site resyncs its gate
+  //   snapshot on its next statement instead of running on state
+  //   half-written by a thread that no longer exists here.
+  //
+  //   001 — recompute every in_use counter from the surviving
+  //   thread's real frames instead of trusting counts contributed by
+  //   parent-only threads, which would pin dead caches forever.
+  bump_quicken_generation();
+  for (auto& [proto, cache] : code_caches_) cache->reset_ics();
+  (void)repair_cache_pins();
 
   // We locked these ourselves in prepare; same thread, so plain
   // unlocks are well-defined in the child.
@@ -1437,7 +1117,7 @@ RunResult Vm::run_main(std::shared_ptr<const FunctionProto> proto) {
   auto closure = std::make_shared<Closure>(Closure{proto, {}});
 
   gil_.acquire(1);
-  if (trace_enabled() && trace_fn_ && !main_th->suppress_trace) {
+  if (trace_armed(*main_th)) {
     fire_trace(*main_th, TraceKind::kThreadStart, 0);
   }
   main_th->stack.push_back(Value(closure));
@@ -1448,7 +1128,7 @@ RunResult Vm::run_main(std::shared_ptr<const FunctionProto> proto) {
   } else {
     outcome = interpret(*main_th, 1);
   }
-  if (trace_enabled() && trace_fn_ && !main_th->suppress_trace) {
+  if (trace_armed(*main_th)) {
     fire_trace(*main_th, TraceKind::kThreadEnd, 0);
   }
   gil_.release();

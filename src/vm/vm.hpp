@@ -29,8 +29,11 @@
 #include <variant>
 #include <vector>
 
+#include <deque>
+
 #include "support/result.hpp"
 #include "vm/bytecode.hpp"
+#include "vm/code_cache.hpp"
 #include "vm/gil.hpp"
 #include "vm/sync.hpp"
 #include "vm/thread.hpp"
@@ -131,16 +134,72 @@ class Vm {
   Value get_global(const std::string& name) const;
 
   // ---- tracing ----
+  // The whole arming protocol lives in one atomic word (line_gate_):
+  //
+  //   bit 0   — tracing enabled (set_trace_enabled)
+  //   bit 1   — a trace fn is installed (set_trace_fn/clear_trace_fn)
+  //   bits 2+ — quicken generation counter
+  //
+  // The dispatch loop decides "armed" from a single relaxed load of
+  // this word, so there is no separate unsynchronized trace_fn_ read
+  // racing a mid-run settrace toggle (that was a real TSan report; the
+  // fn pointer itself is now an atomic shared_ptr read only on the
+  // already-slow armed path). Quickened kTraceLineQ sites compare the
+  // word against a per-cache snapshot: any gate change (arming,
+  // fn install, generation bump at fork) diverts them through the
+  // out-of-line resync path exactly once.
+  static constexpr std::uint64_t kGateEnabledBit = 1;
+  static constexpr std::uint64_t kGateFnBit = 2;
+  static constexpr std::uint64_t kGateArmedMask = kGateEnabledBit | kGateFnBit;
+  static constexpr std::uint64_t kGateGenStep = 4;
+
   void set_trace_fn(TraceFn fn);
   void clear_trace_fn();
   // Fast on/off used by fork handler A/B ("disable the tracing until
-  // the listener thread is restarted").
+  // the listener thread is restarted"). Async-signal-safe and
+  // fork-safe: a single lock-free RMW on the gate word.
   void set_trace_enabled(bool enabled) noexcept {
-    trace_enabled_.store(enabled, std::memory_order_relaxed);
+    if (enabled) {
+      line_gate_.fetch_or(kGateEnabledBit, std::memory_order_relaxed);
+    } else {
+      line_gate_.fetch_and(~kGateEnabledBit, std::memory_order_relaxed);
+    }
   }
   bool trace_enabled() const noexcept {
-    return trace_enabled_.load(std::memory_order_relaxed);
+    return (line_gate_.load(std::memory_order_relaxed) & kGateEnabledBit) != 0;
   }
+  // Invalidate every quickened trace-line site's gate snapshot (fork
+  // handler C; also exposed so tests can model cache poisoning).
+  void bump_quicken_generation() noexcept {
+    line_gate_.fetch_add(kGateGenStep, std::memory_order_relaxed);
+  }
+  std::uint64_t quicken_generation() const noexcept {
+    return line_gate_.load(std::memory_order_relaxed) >> 2;
+  }
+
+  // ---- dispatch / code-cache tuning ----
+  enum class DispatchMode { kSwitch, kGoto };
+  // Compiled in only when the toolchain has computed goto (GCC/Clang).
+  static bool computed_goto_available() noexcept;
+  DispatchMode dispatch_mode() const noexcept { return dispatch_mode_; }
+  // Takes effect at the next interpret() entry (i.e. next frame batch).
+  void set_dispatch_mode(DispatchMode mode) noexcept;
+  bool quicken_enabled() const noexcept { return quicken_enabled_; }
+  // Affects caches built afterwards; existing caches keep their form.
+  void set_quicken_enabled(bool enabled) noexcept {
+    quicken_enabled_ = enabled;
+  }
+  // Drop caches with no executing frames; returns the number purged.
+  // GIL (or a quiescent VM) required.
+  std::size_t purge_code_caches();
+  CodeCacheStats code_cache_stats() const;
+  const CodeCache* find_code_cache(const FunctionProto* proto) const;
+  // Recount every cache's in_use from live threads' real frames — the
+  // box64-001 repair, re-runnable so the fork self-check can verify
+  // (and fix) what internal_fork_child promised. Returns the number of
+  // caches whose count was wrong. Single-threaded child (handler C) or
+  // a quiescent VM required.
+  std::size_t repair_cache_pins();
 
   Gil& gil() noexcept { return gil_; }
 
@@ -276,12 +335,43 @@ class Vm {
   void thread_entry(std::shared_ptr<InterpThread> th,
                     std::shared_ptr<Closure> closure,
                     std::vector<Value> args);
+  // Dispatch entry: picks the backend from dispatch_mode_. The two
+  // backends share one loop body (dispatch.inc) compiled under either a
+  // switch or a computed-goto dispatcher; see dispatch.cpp.
   std::variant<Value, VmError> interpret(InterpThread& th,
                                          size_t stop_depth);
+  std::variant<Value, VmError> interpret_switch(InterpThread& th,
+                                                size_t stop_depth);
+  std::variant<Value, VmError> interpret_goto(InterpThread& th,
+                                              size_t stop_depth);
   std::optional<VmError> push_frame(InterpThread& th,
                                     std::shared_ptr<Closure> closure,
                                     int argc);
+  // Pops the top frame, unpinning its code cache and truncating the
+  // value stack to the caller's height.
+  void pop_frame(InterpThread& th) noexcept;
+  // Verify + (maybe) quicken `proto`, memoised per proto address (the
+  // cache co-owns the proto so the address cannot be recycled).
+  // Returns nullptr with *error set when verification rejects it.
+  CodeCache* ensure_code_cache(std::shared_ptr<const FunctionProto> proto,
+                               std::string* error);
+  // Slow path for quickened trace-line sites: refresh the cache's gate
+  // snapshot and report whether the trace hook is armed.
+  bool line_gate_sync(CodeCache& cache) noexcept;
+  // Out-of-line cold error constructors (keep the hot loop free of
+  // string formatting).
+  VmError undefined_name_error(InterpThread& th, std::string_view name);
+  std::optional<VmError> apply_binop(InterpThread& th, Op op, Value& lhs,
+                                     Value rhs);
   void fire_trace(InterpThread& th, TraceKind kind, int line);
+  bool trace_armed(const InterpThread& th) const noexcept {
+    return (line_gate_.load(std::memory_order_relaxed) & kGateArmedMask) ==
+               kGateArmedMask &&
+           !th.suppress_trace;
+  }
+  GlobalSlot* find_global_slot(std::string_view name) noexcept;
+  const GlobalSlot* find_global_slot(std::string_view name) const noexcept;
+  GlobalSlot& intern_global_slot(std::string_view name);
   void set_thread_state(InterpThread& th, ThreadState state,
                         std::string note);
   // Candidate = (tid, epoch) of every blocked thread when all live
@@ -299,8 +389,11 @@ class Vm {
   void internal_fork_child(InterpThread& th);
 
   Gil gil_;
-  std::atomic<bool> trace_enabled_{false};
-  TraceFn trace_fn_;  // written under GIL; read under GIL
+  // See the gate-bit comment above set_trace_fn.
+  std::atomic<std::uint64_t> line_gate_{0};
+  // Loaded only on the armed (already slow) path; the shared_ptr keeps
+  // the callback alive across a concurrent clear_trace_fn.
+  std::atomic<std::shared_ptr<const TraceFn>> trace_fn_;
 
   mutable std::mutex sched_mutex_;
   std::unordered_map<std::int64_t, std::shared_ptr<InterpThread>> threads_;
@@ -315,7 +408,19 @@ class Vm {
   double deadlock_candidate_since_ = 0.0;
   std::atomic<bool> deadlock_candidate_active_{false};
 
-  std::unordered_map<std::string, Value> globals_;  // GIL-protected
+  // Interned globals (GIL-protected). Slots live in a deque so their
+  // addresses are stable for the Vm's lifetime — that stability is
+  // what lets a GlobalIc cache a raw GlobalSlot*. The index keys are
+  // string_views into the slots' own (never-mutated) name strings.
+  std::deque<GlobalSlot> global_slots_;
+  std::unordered_map<std::string_view, std::uint32_t> global_index_;
+
+  // Per-proto executable code (GIL-protected). Built lazily on first
+  // call, after verification; repaired by fork handler C.
+  std::unordered_map<const FunctionProto*, std::unique_ptr<CodeCache>>
+      code_caches_;
+  DispatchMode dispatch_mode_ = DispatchMode::kSwitch;
+  bool quicken_enabled_ = true;
 
   mutable std::mutex program_mutex_;
   std::shared_ptr<const FunctionProto> current_program_;

@@ -1,0 +1,244 @@
+// Load-time bytecode verifier: the contract that lets the dispatch
+// loop run with zero per-instruction bounds checks. Two layers:
+// handcrafted chunks hitting each rejection rule, and a seeded
+// mutation sweep (the `fuzz` ctest label) that bit-flips compiled
+// programs and requires verify-then-run to never crash the process.
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vm/bytecode.hpp"
+#include "vm/compiler.hpp"
+#include "vm/verifier.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::vm {
+namespace {
+
+std::string reject_reason(const FunctionProto& proto) {
+  Status status = verify_chunk(proto);
+  if (status.is_ok()) return "";
+  return status.error().message();
+}
+
+TEST(VerifierTest, AcceptsCompiledPrograms) {
+  const char* programs[] = {
+      "x = 1 + 2\nputs(x)\n",
+      "fn f(a)\n  b = a * 2\n  return b + 1\nend\nputs(f(20))\n",
+      "i = 0\nwhile i < 10\n  i = i + 1\nend\n",
+      "for x in [1, 2, 3]\n  puts(x)\nend\n",
+      "fn make(n)\n  return fn(x)\n    return x + n\n  end\nend\n"
+      "puts(make(1)(2))\n",
+      "m = {\"k\": [1, 2]}\nm[\"k\"][0] = 9\nputs(m[\"k\"][0])\n",
+  };
+  for (const char* source : programs) {
+    auto compiled = compile_source(source, "ok.ml");
+    ASSERT_TRUE(compiled.is_ok());
+    EXPECT_EQ(reject_reason(*compiled.value()), "") << source;
+    // Nested functions are verified when first called; check them
+    // directly here too.
+    for (const Value& constant : compiled.value()->chunk.constants()) {
+      if (constant.is_closure()) {
+        EXPECT_EQ(reject_reason(*constant.as_closure()->proto), "") << source;
+      }
+    }
+  }
+}
+
+TEST(VerifierTest, RejectsEmptyChunk) {
+  FunctionProto proto;
+  EXPECT_NE(reject_reason(proto).find("empty chunk"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsUndefinedOpcode) {
+  FunctionProto proto;
+  proto.chunk.write_u8(0xee, 1);
+  EXPECT_NE(reject_reason(proto).find("undefined opcode"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsQuickenedOpcodeInCompiledCode) {
+  // Quickened forms live only inside a CodeCache rewrite; a compiled
+  // chunk carrying one means someone leaked cache state into a proto.
+  for (Op op : {Op::kGetGlobalIC, Op::kSetGlobalIC, Op::kTraceLineQ}) {
+    FunctionProto proto;
+    proto.chunk.write(op, 1);
+    proto.chunk.write_u16(0, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("quickened opcode"),
+              std::string::npos);
+  }
+}
+
+TEST(VerifierTest, RejectsTruncatedOperand) {
+  FunctionProto proto;
+  proto.chunk.write(Op::kConst, 1);
+  proto.chunk.write_u8(0, 1);  // one byte of a two-byte operand
+  EXPECT_NE(reject_reason(proto).find("truncated operand"),
+            std::string::npos);
+}
+
+TEST(VerifierTest, RejectsOutOfRangeIndices) {
+  {
+    FunctionProto proto;  // no constants at all
+    proto.chunk.write(Op::kConst, 1);
+    proto.chunk.write_u16(0, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("constant index out of range"),
+              std::string::npos);
+  }
+  {
+    FunctionProto proto;  // no locals
+    proto.chunk.write(Op::kGetLocal, 1);
+    proto.chunk.write_u16(3, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("local slot out of range"),
+              std::string::npos);
+  }
+  {
+    FunctionProto proto;  // global name must be a string constant
+    proto.chunk.add_constant(Value(std::int64_t{42}));
+    proto.chunk.write(Op::kGetGlobal, 1);
+    proto.chunk.write_u16(0, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("not a string"), std::string::npos);
+  }
+}
+
+TEST(VerifierTest, RejectsBadControlFlow) {
+  {
+    FunctionProto proto;  // jump lands past the end
+    proto.chunk.write(Op::kJump, 1);
+    proto.chunk.write_u16(500, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("runs off the end"),
+              std::string::npos);
+  }
+  {
+    FunctionProto proto;  // jump lands inside an operand
+    proto.chunk.write(Op::kJump, 1);
+    proto.chunk.write_u16(1, 1);  // into kConst's operand bytes
+    proto.chunk.write(Op::kConst, 1);
+    proto.chunk.add_constant(Value(std::int64_t{1}));
+    proto.chunk.write_u16(0, 1);
+    proto.chunk.write(Op::kPop, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("not an instruction boundary"),
+              std::string::npos);
+  }
+  {
+    FunctionProto proto;  // falls off the end without kReturn/kHalt
+    proto.chunk.write(Op::kNil, 1);
+    proto.chunk.write(Op::kPop, 1);
+    EXPECT_NE(reject_reason(proto).find("runs off the end"),
+              std::string::npos);
+  }
+}
+
+TEST(VerifierTest, RejectsStackImbalance) {
+  {
+    FunctionProto proto;  // pop from an empty stack
+    proto.chunk.write(Op::kPop, 1);
+    proto.chunk.write(Op::kHalt, 1);
+    EXPECT_NE(reject_reason(proto).find("stack underflow"),
+              std::string::npos);
+  }
+  {
+    // Two paths reach the same join with different depths.
+    FunctionProto proto;
+    proto.chunk.add_constant(Value(std::int64_t{1}));
+    proto.chunk.write(Op::kNil, 1);           // 0: depth 0 -> 1
+    proto.chunk.write(Op::kJumpIfFalse, 1);   // 1: pops, branches
+    proto.chunk.write_u16(1, 1);              //    taken -> offset 5
+    proto.chunk.write(Op::kNil, 1);           // 4: fallthrough pushes
+    proto.chunk.write(Op::kHalt, 1);          // 5: join: depth 0 vs 1
+    EXPECT_NE(reject_reason(proto).find("inconsistent stack depth"),
+              std::string::npos);
+  }
+}
+
+TEST(VerifierTest, ErrorsNameTheOffendingOffset) {
+  FunctionProto proto;
+  proto.chunk.write(Op::kNil, 1);
+  proto.chunk.write_u8(0xee, 1);
+  EXPECT_NE(reject_reason(proto).find("invalid bytecode at offset 1"),
+            std::string::npos);
+}
+
+// ---- mutation sweep ---------------------------------------------------
+// Compile a benign program, corrupt 1–3 random bytes, verify. Accepted
+// mutants (minus any that could loop forever) are additionally
+// executed: the loop is check-free only because the verifier already
+// said yes, so an accepted mutant that crashes the interpreter is a
+// verifier hole, not bad luck. The program's constant pool contains no
+// names of blocking or forking builtins, so no mutant can reach one —
+// a kGetGlobal can only name strings that are already in the pool.
+TEST(VerifierFuzzTest, MutatedChunksNeverCrashVerifyOrRun) {
+  // Deliberately loop-free: a `while` would put kLoop in the pristine
+  // code and the may_loop guard below would then skip every survivor.
+  const std::string source =
+      "a = 3\n"
+      "b = 4\n"
+      "if a < b\n"
+      "  c = a + b\n"
+      "else\n"
+      "  c = a - b\n"
+      "end\n"
+      "xs = [1, 2, 3]\n"
+      "m = {\"k\": 1, \"j\": 2}\n"
+      "xs[0] = c\n"
+      "total = xs[0] + xs[1] * xs[2] + m[\"k\"] - m[\"j\"]\n"
+      "puts(total + len(xs))\n";
+  auto compiled = compile_source(source, "fuzz.ml");
+  ASSERT_TRUE(compiled.is_ok());
+  const FunctionProto& pristine = *compiled.value();
+  ASSERT_TRUE(verify_chunk(pristine).is_ok());
+
+  std::mt19937 rng(0xd10ea5u);
+  const size_t code_size = pristine.chunk.size();
+  int accepted = 0;
+  int rejected = 0;
+  int executed = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutant = std::make_shared<FunctionProto>(pristine);
+    const int flips = 1 + static_cast<int>(rng() % 3);
+    for (int f = 0; f < flips; ++f) {
+      mutant->chunk.poke_for_test(rng() % code_size,
+                                  static_cast<std::uint8_t>(rng() % 256));
+    }
+    Status status = verify_chunk(*mutant);
+    if (!status.is_ok()) {
+      ++rejected;
+      EXPECT_NE(status.error().message().find("invalid bytecode at offset"),
+                std::string::npos);
+      continue;
+    }
+    ++accepted;
+    // Executing mutants with a backward edge could spin forever (the
+    // interrupt poll needs someone to interrupt); skip any mutant
+    // whose code might contain kLoop. Conservative: operand bytes that
+    // merely equal the kLoop byte also skip, which is fine.
+    bool may_loop = false;
+    for (size_t i = 0; i < code_size; ++i) {
+      if (mutant->chunk.read_u8(i) ==
+          static_cast<std::uint8_t>(Op::kLoop)) {
+        may_loop = true;
+        break;
+      }
+    }
+    if (may_loop) continue;
+    ++executed;
+    Vm vm;
+    vm.set_output([](std::string_view) {});
+    vm.run_main(mutant);  // any outcome is fine; crashing is not
+  }
+  // The sweep must exercise both sides of the verifier and actually
+  // run a meaningful share of survivors.
+  EXPECT_GT(rejected, 100);
+  EXPECT_GT(accepted, 10);
+  EXPECT_GT(executed, 0);
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,346 @@
+// Raw-speed machinery: dispatch backends, quickening, inline caches
+// and compiler-fused superinstructions. The whole binary runs twice
+// from ctest (vmspeed label) — once with DIONEA_DISPATCH=goto, once
+// with =switch — so every test here is backend-parameterized for free;
+// the explicit cross-backend tests below additionally force each mode
+// so a single invocation still covers both.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vm/bytecode.hpp"
+#include "vm/code_cache.hpp"
+#include "vm/compiler.hpp"
+#include "vm/interp.hpp"
+#include "vm/vm.hpp"
+
+namespace dionea::vm {
+namespace {
+
+struct SpeedOutcome {
+  bool ok = false;
+  std::string output;
+  std::string error;
+};
+
+SpeedOutcome run_with(const std::string& source, Vm::DispatchMode mode,
+                      bool quicken) {
+  Interp interp;
+  SpeedOutcome outcome;
+  interp.vm().set_output(
+      [&outcome](std::string_view text) { outcome.output.append(text); });
+  interp.vm().set_dispatch_mode(mode);
+  interp.vm().set_quicken_enabled(quicken);
+  RunResult result = interp.run_string(source, "speed.ml");
+  outcome.ok = result.ok;
+  if (!result.ok) outcome.error = result.error.to_string();
+  return outcome;
+}
+
+// Programs chosen to cover every fused/quickened op: local⊕local and
+// local⊕literal arithmetic and comparisons, literal stores, global
+// reads/writes (hot and undefined), loops, calls, closures, lists.
+const char* kBattery[] = {
+    // Fused arithmetic inside a function + global result.
+    "fn work(a, b)\n"
+    "  c = a + b\n"
+    "  d = a * 2\n"
+    "  e = 100\n"
+    "  f = c - d\n"
+    "  return f + e\n"
+    "end\n"
+    "puts(work(7, 5))\n",
+    // Fused comparisons drive control flow.
+    "fn cmp(a, b)\n"
+    "  if a < b\n"
+    "    return 1\n"
+    "  end\n"
+    "  if a >= b\n"
+    "    return 2\n"
+    "  end\n"
+    "  return 3\n"
+    "end\n"
+    "puts(cmp(1, 2))\n"
+    "puts(cmp(9, 2))\n",
+    // Global IC training: same sites hit many times.
+    "total = 0\n"
+    "i = 0\n"
+    "while i < 500\n"
+    "  total = total + i\n"
+    "  i = i + 1\n"
+    "end\n"
+    "puts(total)\n",
+    // Closures + captures (captures must never fuse).
+    "fn make(n)\n"
+    "  return fn(x)\n"
+    "    return x + n\n"
+    "  end\n"
+    "end\n"
+    "add3 = make(3)\n"
+    "puts(add3(4))\n",
+    // Containers and iteration.
+    "xs = [1, 2, 3, 4]\n"
+    "sum = 0\n"
+    "for x in xs\n"
+    "  sum = sum + x\n"
+    "end\n"
+    "puts(sum)\n",
+};
+
+const char* kExpected[] = {"98\n", "1\n2\n", "124750\n", "7\n", "10\n"};
+
+TEST(VmSpeedTest, BothBackendsBothQuickenModesAgree) {
+  for (size_t i = 0; i < std::size(kBattery); ++i) {
+    for (bool quicken : {true, false}) {
+      SpeedOutcome sw = run_with(kBattery[i], Vm::DispatchMode::kSwitch,
+                                 quicken);
+      EXPECT_TRUE(sw.ok) << sw.error;
+      EXPECT_EQ(sw.output, kExpected[i]) << "switch quicken=" << quicken;
+      if (Vm::computed_goto_available()) {
+        SpeedOutcome gt = run_with(kBattery[i], Vm::DispatchMode::kGoto,
+                                   quicken);
+        EXPECT_TRUE(gt.ok) << gt.error;
+        EXPECT_EQ(gt.output, kExpected[i]) << "goto quicken=" << quicken;
+      }
+    }
+  }
+}
+
+TEST(VmSpeedTest, GotoModeDegradesGracefullyWhenUnavailable) {
+  Interp interp;
+  interp.vm().set_dispatch_mode(Vm::DispatchMode::kGoto);
+  if (Vm::computed_goto_available()) {
+    EXPECT_EQ(interp.vm().dispatch_mode(), Vm::DispatchMode::kGoto);
+  } else {
+    EXPECT_EQ(interp.vm().dispatch_mode(), Vm::DispatchMode::kSwitch);
+  }
+}
+
+TEST(VmSpeedTest, QuickeningRewritesSitesInPlace) {
+  Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  ASSERT_TRUE(interp.run_string(kBattery[2], "speed.ml").ok);
+
+  CodeCacheStats stats = interp.vm().code_cache_stats();
+  EXPECT_GE(stats.caches, 1u);
+  EXPECT_GE(stats.quickened, 1u);
+  EXPECT_GE(stats.ic_sites, 2u);     // total + i, read and written
+  EXPECT_GE(stats.trained_ics, 2u);  // hot loop trains them
+  EXPECT_EQ(stats.total_in_use, 0u);  // run finished, frames popped
+
+  std::shared_ptr<const FunctionProto> program =
+      interp.vm().current_program();
+  ASSERT_NE(program, nullptr);
+  const CodeCache* cache = interp.vm().find_code_cache(program.get());
+  ASSERT_NE(cache, nullptr);
+  const std::vector<std::uint8_t>& original = program->chunk.code();
+  // Same-length rewrite: every offset maps the original op to itself
+  // or to its quickened twin; operand widths never change.
+  ASSERT_EQ(cache->code.size(), original.size());
+  size_t rewritten = 0;
+  size_t offset = 0;
+  while (offset < original.size()) {
+    const Op before = static_cast<Op>(original[offset]);
+    const Op after = static_cast<Op>(cache->code[offset]);
+    if (after != before) {
+      ++rewritten;
+      EXPECT_TRUE(
+          (before == Op::kTraceLine && after == Op::kTraceLineQ) ||
+          (before == Op::kGetGlobal && after == Op::kGetGlobalIC) ||
+          (before == Op::kSetGlobal && after == Op::kSetGlobalIC))
+          << "offset " << offset;
+      EXPECT_EQ(op_operand_bytes(before), op_operand_bytes(after));
+    }
+    offset += 1 + static_cast<size_t>(op_operand_bytes(before));
+  }
+  EXPECT_GT(rewritten, 0u);
+}
+
+TEST(VmSpeedTest, QuickenDisabledLeavesChunkBytesUntouched) {
+  Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  interp.vm().set_quicken_enabled(false);
+  ASSERT_TRUE(interp.run_string(kBattery[0], "speed.ml").ok);
+  std::shared_ptr<const FunctionProto> program =
+      interp.vm().current_program();
+  const CodeCache* cache = interp.vm().find_code_cache(program.get());
+  ASSERT_NE(cache, nullptr);
+  EXPECT_FALSE(cache->quickened);
+  EXPECT_EQ(cache->code, program->chunk.code());
+  EXPECT_EQ(interp.vm().code_cache_stats().ic_sites, 0u);
+}
+
+TEST(VmSpeedTest, CompilerFusesSuperinstructions) {
+  auto compiled = compile_source(
+      "fn work(a, b)\n"
+      "  c = a + b\n"    // local ⊕ local        -> LOC_LOC_BIN
+      "  d = a * 2\n"    // local ⊕ literal      -> LOC_CONST_BIN
+      "  e = 5\n"        // literal -> local     -> CONST_SET_LOCAL
+      "  return c + d + e\n"
+      "end\n"
+      "x = 1 + 2\n",     // top level: globals, must NOT fuse
+      "fuse.ml");
+  ASSERT_TRUE(compiled.is_ok());
+  const FunctionProto* work = nullptr;
+  for (const Value& constant : compiled.value()->chunk.constants()) {
+    if (constant.is_closure()) work = constant.as_closure()->proto.get();
+  }
+  ASSERT_NE(work, nullptr);
+  std::string body = work->chunk.disassemble("work");
+  EXPECT_NE(body.find("LOC_LOC_BIN"), std::string::npos) << body;
+  EXPECT_NE(body.find("LOC_CONST_BIN"), std::string::npos) << body;
+  EXPECT_NE(body.find("CONST_SET_LOCAL"), std::string::npos) << body;
+  // Top level writes globals; the generic ops must survive there.
+  std::string top = compiled.value()->chunk.disassemble("<main>");
+  EXPECT_EQ(top.find("LOC_LOC_BIN"), std::string::npos) << top;
+  EXPECT_NE(top.find("SET_GLOBAL"), std::string::npos) << top;
+}
+
+TEST(VmSpeedTest, FusedOpsPreserveErrorMessages) {
+  SpeedOutcome outcome = run_with(
+      "fn div(a, b)\n  return a / b\nend\nputs(div(1, 0))\n",
+      Vm::DispatchMode::kSwitch, true);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("divided by 0"), std::string::npos)
+      << outcome.error;
+  outcome = run_with(
+      "fn add(a, b)\n  return a + b\nend\nputs(add(1, \"x\"))\n",
+      Vm::DispatchMode::kSwitch, true);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("cannot add"), std::string::npos)
+      << outcome.error;
+}
+
+TEST(VmSpeedTest, UndefinedGlobalStaysAnErrorUnderIc) {
+  for (bool quicken : {true, false}) {
+    SpeedOutcome outcome =
+        run_with("puts(nope + 1)\n", Vm::DispatchMode::kSwitch, quicken);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("undefined name 'nope'"), std::string::npos)
+        << outcome.error;
+  }
+  // A failed read must not intern the name: a later store-then-read
+  // sequence still works and the miss didn't leave a ghost binding.
+  SpeedOutcome outcome = run_with(
+      "fn poke()\n  return ghost\nend\n"
+      "ghost = 7\nputs(poke())\n",
+      Vm::DispatchMode::kSwitch, true);
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.output, "7\n");
+}
+
+// Trace events must be identical with and without quickening, on both
+// backends: same count, same line sequence — the §4 exactness
+// guarantee the overhaul is not allowed to disturb.
+TEST(VmSpeedTest, TraceEventsIdenticalAcrossBackendsAndQuickening) {
+  auto lines_for = [](Vm::DispatchMode mode, bool quicken) {
+    Interp interp;
+    interp.vm().set_output([](std::string_view) {});
+    interp.vm().set_dispatch_mode(mode);
+    interp.vm().set_quicken_enabled(quicken);
+    std::vector<int> lines;
+    interp.vm().set_trace_fn(
+        [&lines](Vm&, InterpThread&, const TraceEvent& event) {
+          if (event.kind == TraceKind::kLine) lines.push_back(event.line);
+        });
+    interp.vm().set_trace_enabled(true);
+    EXPECT_TRUE(interp.run_string(kBattery[0], "speed.ml").ok);
+    return lines;
+  };
+  std::vector<int> reference = lines_for(Vm::DispatchMode::kSwitch, false);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(lines_for(Vm::DispatchMode::kSwitch, true), reference);
+  if (Vm::computed_goto_available()) {
+    EXPECT_EQ(lines_for(Vm::DispatchMode::kGoto, false), reference);
+    EXPECT_EQ(lines_for(Vm::DispatchMode::kGoto, true), reference);
+  }
+}
+
+// Arming mid-run (from inside the program, via a native) must
+// invalidate already-quickened kTraceLineQ sites: every statement
+// after the arm fires, none before it do.
+TEST(VmSpeedTest, MidRunArmingCatchesQuickenedSites) {
+  Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  std::vector<int> lines;
+  interp.vm().define_native(
+      "arm_trace", 0, 0,
+      [&lines](Vm& vm, InterpThread&, std::vector<Value>&) -> NativeResult {
+        vm.set_trace_fn(
+            [&lines](Vm&, InterpThread&, const TraceEvent& event) {
+              if (event.kind == TraceKind::kLine) lines.push_back(event.line);
+            });
+        vm.set_trace_enabled(true);
+        return Value();
+      });
+  interp.vm().define_native(
+      "disarm_trace", 0, 0,
+      [](Vm& vm, InterpThread&, std::vector<Value>&) -> NativeResult {
+        vm.clear_trace_fn();
+        return Value();
+      });
+  ASSERT_TRUE(interp
+                  .run_string(
+                      "x = 1\n"           // 1: quickens + runs unarmed
+                      "y = 2\n"           // 2
+                      "arm_trace()\n"     // 3
+                      "x = x + y\n"       // 4: must fire
+                      "y = y + 1\n"       // 5: must fire
+                      "disarm_trace()\n"  // 6
+                      "x = 0\n",          // 7: must NOT fire
+                      "arm.ml")
+                  .ok);
+  EXPECT_EQ(lines, (std::vector<int>{4, 5, 6}));
+}
+
+// The satellite bugfix: settrace toggled from another OS thread while
+// the program runs. Pre-overhaul this was an unsynchronized trace_fn_
+// read in the dispatch loop; now the armed decision is one relaxed
+// gate load and the fn pointer is an atomic shared_ptr loaded only on
+// the armed path. Run under -DDIONEA_SANITIZE=thread this test is the
+// TSan witness; without TSan it still shakes out crashes/UAF.
+TEST(VmSpeedTest, SettraceToggleRaceWhileRunning) {
+  Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> fired{0};
+  std::thread toggler([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      interp.vm().set_trace_fn(
+          [&fired](Vm&, InterpThread&, const TraceEvent&) {
+            fired.fetch_add(1, std::memory_order_relaxed);
+          });
+      interp.vm().set_trace_enabled(true);
+      std::this_thread::yield();
+      interp.vm().set_trace_enabled(false);
+      interp.vm().clear_trace_fn();
+    }
+  });
+  RunResult result = interp.run_string(
+      "i = 0\n"
+      "while i < 30000\n"
+      "  i = i + 1\n"
+      "end\n"
+      "puts(i)\n",
+      "toggle.ml");
+  done.store(true, std::memory_order_relaxed);
+  toggler.join();
+  EXPECT_TRUE(result.ok) << result.error.to_string();
+}
+
+TEST(VmSpeedTest, PurgeDropsIdleCachesOnly) {
+  Interp interp;
+  interp.vm().set_output([](std::string_view) {});
+  ASSERT_TRUE(interp.run_string(kBattery[0], "speed.ml").ok);
+  CodeCacheStats before = interp.vm().code_cache_stats();
+  ASSERT_GE(before.caches, 1u);
+  EXPECT_EQ(before.total_in_use, 0u);
+  EXPECT_EQ(interp.vm().purge_code_caches(), before.caches);
+  EXPECT_EQ(interp.vm().code_cache_stats().caches, 0u);
+}
+
+}  // namespace
+}  // namespace dionea::vm

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# VM raw-speed sweep (ISSUE 8: dispatch backends + quickening + trace
+# arming, with the BENCH_vm.json regression gate).
+#
+# Usage:
+#   tools/vm_bench.sh [build-dir]
+#
+# Runs bench_vm (which measures both dispatch backends in-process and
+# writes BENCH_vm.json in the build dir), then re-runs the vmspeed
+# ctest label under each DIONEA_DISPATCH value as a correctness
+# cross-check: a speed number from a backend that no longer passes its
+# suite is worthless.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+BENCH="${BUILD_DIR}/bench/bench_vm"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "vm_bench.sh: ${BENCH} not built (cmake --build ${BUILD_DIR})" >&2
+  exit 2
+fi
+
+for backend in goto switch; do
+  echo "=== vmspeed suite, DIONEA_DISPATCH=${backend} ==="
+  DIONEA_DISPATCH="${backend}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -L vmspeed
+done
+
+cd "${BUILD_DIR}"
+./bench/bench_vm
+
+echo "--- BENCH_vm.json ---"
+cat BENCH_vm.json
