@@ -1,0 +1,249 @@
+// Time-travel economics: what a checkpoint fork costs during replay,
+// and what rcontinue latency looks like as a function of checkpoint
+// spacing (DIONEA_CKPT_EVERY).
+//
+// The trade the spacing knob buys: tighter spacing pays more forks up
+// front (each one a fork(2) through the full A/B/C handler stack) and
+// resumes land nearer the target; wider spacing is near-free during
+// the forward run but a resume has to replay more of the schedule to
+// reach the same step. Both halves are measured against the same
+// recorded run so the numbers are comparable, and everything lands in
+// BENCH_timetravel.json.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
+
+namespace {
+
+using namespace dionea;
+using namespace dionea::bench;
+using replay::tt::CheckpointManager;
+using replay::tt::Options;
+using replay::tt::Role;
+
+// Single-threaded so every boundary is checkpoint-eligible; the
+// clock() per iteration makes each lap a recorded step, giving the
+// ring a long, evenly spaced log to carve up.
+const char* kWorkload =
+    "acc = 0\n"
+    "for i in 4000\n"
+    "  t = clock()\n"
+    "  acc = acc + 1\n"
+    "end\n"
+    "puts(acc)\n";
+
+struct ReplayRun {
+  double seconds = 0;
+  std::uint64_t steps = 0;
+  replay::tt::Snapshot snap;
+};
+
+// One forward replay of the recorded log; spacing == 0 leaves the
+// checkpoint subsystem out entirely (the baseline).
+ReplayRun run_replay(const std::string& dir, const std::string& pause_dir,
+                     std::uint64_t spacing) {
+  replay::Engine& engine = replay::Engine::instance();
+  DIONEA_CHECK(engine.start_replay(dir).is_ok(), "start_replay");
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+  if (spacing > 0) {
+    Options opts;
+    opts.every = spacing;
+    opts.max_live = 64;  // generous: we are measuring forks, not eviction
+    opts.pause_dir = pause_dir;
+    opts.exit_at_target = true;
+    DIONEA_CHECK(CheckpointManager::instance().activate(interp.vm(), opts)
+                     .is_ok(),
+                 "checkpoint activate");
+  }
+  Stopwatch watch;
+  vm::RunResult result = interp.run_string(kWorkload, "bench.ml");
+  ReplayRun run;
+  run.seconds = watch.elapsed_seconds();
+  if (interp.vm().is_forked_child()) {
+    if (CheckpointManager::instance().role() == Role::kResumed) {
+      sleep_for_millis(70'000);  // the pause watcher owes the _Exit
+    }
+    engine.flush();
+    std::fflush(nullptr);
+    ::_exit(0);
+  }
+  DIONEA_CHECK(result.ok, "bench replay run failed");
+  run.steps = engine.info().step;
+  run.snap = CheckpointManager::instance().snapshot();
+  CheckpointManager::instance().deactivate();
+  engine.stop();
+  return run;
+}
+
+// Like run_replay but keeps the ring alive and times resume_to: wall
+// seconds from the resume request to the resumer's pause marker.
+struct ResumeProbe {
+  std::uint64_t taken = 0;
+  double best_latency_s = 1e100;
+};
+
+ResumeProbe probe_resume_latency(const std::string& dir,
+                                 const std::string& pause_dir,
+                                 std::uint64_t spacing, int rounds) {
+  replay::Engine& engine = replay::Engine::instance();
+  DIONEA_CHECK(engine.start_replay(dir).is_ok(), "start_replay");
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+  Options opts;
+  opts.every = spacing;
+  opts.max_live = 64;
+  opts.pause_dir = pause_dir;
+  opts.exit_at_target = true;
+  CheckpointManager& mgr = CheckpointManager::instance();
+  DIONEA_CHECK(mgr.activate(interp.vm(), opts).is_ok(), "checkpoint activate");
+  vm::RunResult result = interp.run_string(kWorkload, "bench.ml");
+  if (interp.vm().is_forked_child()) {
+    if (mgr.role() == Role::kResumed) sleep_for_millis(70'000);
+    engine.flush();
+    std::fflush(nullptr);
+    ::_exit(0);
+  }
+  DIONEA_CHECK(result.ok, "bench replay run failed");
+
+  const std::uint64_t target = engine.info().step * 3 / 4;
+  ResumeProbe probe;
+  probe.taken = mgr.snapshot().taken;
+  for (int round = 0; round < rounds; ++round) {
+    Stopwatch watch;
+    auto ticket = mgr.resume_to(target);
+    DIONEA_CHECK(ticket.is_ok(), "resume_to");
+    const std::string marker =
+        pause_dir + "/pause." + std::to_string(ticket.value().pid);
+    bool ok = false;
+    for (int i = 0; i < 3000; ++i) {
+      auto text = read_file(marker);
+      if (text.is_ok() && text.value().rfind("status=ok", 0) == 0) {
+        ok = true;
+        break;
+      }
+      sleep_for_millis(10);
+    }
+    double latency = watch.elapsed_seconds();
+    DIONEA_CHECK(ok, "resumer never published its pause marker");
+    ::unlink(marker.c_str());
+    if (latency < probe.best_latency_s) probe.best_latency_s = latency;
+  }
+  mgr.deactivate();
+  engine.stop();
+  return probe;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Time-travel: checkpoint-fork cost + rcontinue latency",
+               "spacing trade-off over one recorded run (ISSUE 9)");
+  print_environment_note();
+
+  auto tmp = TempDir::create("bench-timetravel");
+  DIONEA_CHECK(tmp.is_ok(), "tempdir");
+  const std::string log_dir = tmp.value().file("logs");
+  const std::string pause_dir = tmp.value().path();
+
+  {
+    replay::Engine& engine = replay::Engine::instance();
+    DIONEA_CHECK(engine.start_record(log_dir).is_ok(), "start_record");
+    vm::Interp interp;
+    mp::install_vm_bindings(interp.vm());
+    interp.vm().set_output([](std::string_view) {});
+    vm::RunResult result = interp.run_string(kWorkload, "bench.ml");
+    DIONEA_CHECK(result.ok, "record run failed");
+    engine.stop();
+  }
+
+  constexpr int kReps = 5;
+  constexpr int kResumeRounds = 5;
+  const std::vector<std::uint64_t> kSpacings{16, 128, 512};
+
+  double base = 1e100;
+  std::uint64_t steps = 0;
+  for (int i = 0; i < kReps; ++i) {
+    ReplayRun run = run_replay(log_dir, pause_dir, 0);
+    if (run.seconds < base) base = run.seconds;
+    steps = run.steps;
+  }
+  std::printf("\nrecorded log: %llu steps; plain replay %s (min of %d)\n",
+              static_cast<unsigned long long>(steps),
+              format_duration(base).c_str(), kReps);
+
+  struct Row {
+    std::uint64_t spacing = 0;
+    std::uint64_t taken = 0;
+    double replay_s = 0;
+    double per_ckpt_ms = 0;
+    double resume_ms = 0;
+  };
+  std::vector<Row> rows;
+  std::printf("\n%-10s %8s %12s %14s %14s\n", "every", "forks",
+              "replay", "fork cost", "rcontinue");
+  for (std::uint64_t spacing : kSpacings) {
+    Row row;
+    row.spacing = spacing;
+    double best = 1e100;
+    for (int i = 0; i < kReps; ++i) {
+      ReplayRun run = run_replay(log_dir, pause_dir, spacing);
+      if (run.seconds < best) best = run.seconds;
+      row.taken = run.snap.taken;
+    }
+    row.replay_s = best;
+    row.per_ckpt_ms = row.taken > 0
+                          ? (best - base) * 1000.0 /
+                                static_cast<double>(row.taken)
+                          : 0.0;
+    if (row.per_ckpt_ms < 0) row.per_ckpt_ms = 0;  // lost in the noise
+    ResumeProbe probe =
+        probe_resume_latency(log_dir, pause_dir, spacing, kResumeRounds);
+    row.resume_ms = probe.best_latency_s * 1000.0;
+    rows.push_back(row);
+    std::printf("%-10llu %8llu %12s %11.3fms %11.1fms\n",
+                static_cast<unsigned long long>(spacing),
+                static_cast<unsigned long long>(row.taken),
+                format_duration(best).c_str(), row.per_ckpt_ms,
+                row.resume_ms);
+  }
+
+  std::FILE* json = std::fopen("BENCH_timetravel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"clock_loop_4000\",\n"
+                 "  \"steps\": %llu,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"resume_rounds\": %d,\n"
+                 "  \"plain_replay_s\": %.6f,\n"
+                 "  \"spacings\": [\n",
+                 static_cast<unsigned long long>(steps), kReps, kResumeRounds,
+                 base);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(json,
+                   "    {\"every\": %llu, \"checkpoints\": %llu,"
+                   " \"replay_s\": %.6f, \"per_checkpoint_ms\": %.4f,"
+                   " \"rcontinue_latency_ms\": %.3f}%s\n",
+                   static_cast<unsigned long long>(row.spacing),
+                   static_cast<unsigned long long>(row.taken), row.replay_s,
+                   row.per_ckpt_ms, row.resume_ms,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_timetravel.json\n");
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <set>
 #include <utility>
 
+#include "replay/replay.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -34,6 +35,10 @@ std::string Finding::to_string() const {
   if (!file2.empty()) {
     out += strings::format(" (see %s)",
                            strings::source_location(file2, line2).c_str());
+  }
+  if (step != 0) {
+    out += strings::format(" [step %llu]",
+                           static_cast<unsigned long long>(step));
   }
   return out;
 }
@@ -797,6 +802,7 @@ struct Engine::State {
       finding.line = line;
       finding.file2 = prev.file;
       finding.line2 = prev.line;
+      finding.step = replay::Engine::instance().replay_step();
       findings.push_back(std::move(finding));
     };
 

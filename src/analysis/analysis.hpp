@@ -71,6 +71,10 @@ struct Finding {
   int line = 0;
   std::string file2;
   int line2 = 0;
+  // DRLG step at detection time (0 when no record/replay is active).
+  // Under replay this is the time-travel anchor: `rbreak <step>` +
+  // rcontinue resumes the schedule just before the divergent access.
+  std::uint64_t step = 0;
 
   std::string to_string() const;
 };

@@ -1,5 +1,6 @@
 #include "client/console.hpp"
 
+#include "replay/timetravel.hpp"
 #include "support/strings.hpp"
 
 namespace dionea::client {
@@ -102,6 +103,10 @@ std::string Console::help() {
       "  lint [id]             run the static concurrency lint remotely\n"
       "  postmortem [id] [now]  crash report of a session; `now` snapshots\n"
       "                        the live process as if it had crashed\n"
+      "  checkpoint [id]       time-travel checkpoint ring of a session\n"
+      "  rbreak [step]         set (or list) reverse breakpoints at replay steps\n"
+      "  rstep [n]             fork back n recorded steps (default 1)\n"
+      "  rcontinue             reverse-continue to the nearest earlier rbreak\n"
       "  events                drain pending events\n"
       "  reconnect <id>        reattach to a lost session\n"
       "  quit                  leave the console\n"
@@ -180,6 +185,84 @@ std::string Console::session_verb(const std::vector<std::string>& words) {
                            static_cast<long long>(tid));
   }
   return usage;
+}
+
+std::string Console::reverse_verb(const std::vector<std::string>& words) {
+  using replay::tt::CheckpointManager;
+  const std::string& cmd = words[0];
+
+  if (cmd == "rbreak") {
+    if (words.size() < 2) {
+      if (rbreaks_.empty()) return "  (no reverse breakpoints)\n";
+      std::string out;
+      for (std::uint64_t step : rbreaks_) {
+        out += strings::format("  rbreak @%llu\n",
+                               static_cast<unsigned long long>(step));
+      }
+      return out;
+    }
+    std::int64_t step = 0;
+    if (!strings::parse_int(words[1], &step) || step <= 0) {
+      return "usage: rbreak [step]\n";
+    }
+    rbreaks_.push_back(static_cast<std::uint64_t>(step));
+    return strings::format("  rbreak @%lld set\n",
+                           static_cast<long long>(step));
+  }
+
+  std::string error;
+  Session* session = active_session(&error);
+  if (session == nullptr) return error;
+  auto info = session->timetravel_info();
+  if (!info.is_ok()) return info.error().to_string() + "\n";
+  if (!info.value().active) {
+    return "  time travel off (set DIONEA_CKPT_EVERY under DIONEA_REPLAY)\n";
+  }
+  const std::uint64_t current =
+      static_cast<std::uint64_t>(info.value().step);
+
+  std::uint64_t target = 0;
+  if (cmd == "rstep") {
+    std::int64_t n = 1;
+    if (words.size() > 1 && (!strings::parse_int(words[1], &n) || n <= 0)) {
+      return "usage: rstep [n]\n";
+    }
+    target = CheckpointManager::resolve_rstep(current,
+                                              static_cast<std::uint64_t>(n));
+  } else {  // rcontinue
+    std::int64_t best = CheckpointManager::resolve_rcontinue(rbreaks_, current);
+    if (best < 0) {
+      return strings::format(
+          "  no reverse breakpoint before step %llu (set one with rbreak)\n",
+          static_cast<unsigned long long>(current));
+    }
+    target = static_cast<std::uint64_t>(best);
+  }
+  if (target == 0) target = 1;
+
+  auto resumed = session->timetravel_resume(static_cast<std::int64_t>(target));
+  if (!resumed.is_ok()) return resumed.error().to_string() + "\n";
+  const auto& r = resumed.value();
+
+  // Transparent re-point: the resumer registers itself (fork handler
+  // C) as it starts; adopt its session as the active view as soon as
+  // it shows up.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    (void)client_.refresh(250);
+    SessionHandle handle = client_.handle_for_pid(r.pid);
+    if (handle.valid()) {
+      (void)client_.activate(handle, 1);
+      return strings::format(
+          "  reverse to step %lld via checkpoint @%lld: now viewing pid %d\n"
+          "  (replaying forward to the target; it freezes there)\n",
+          static_cast<long long>(r.target_step),
+          static_cast<long long>(r.checkpoint_step), r.pid);
+    }
+  }
+  return strings::format(
+      "  resumer pid %d launched toward step %lld; session not visible yet "
+      "— try `refresh`\n",
+      r.pid, static_cast<long long>(r.target_step));
 }
 
 std::string Console::execute(const std::string& line) {
@@ -264,8 +347,12 @@ std::string Console::execute(const std::string& line) {
     return out.empty() ? "  (no events)\n" : out;
   }
 
+  if (cmd == "rbreak" || cmd == "rstep" || cmd == "rcontinue") {
+    return reverse_verb(words);
+  }
+
   if (cmd == "stats" || cmd == "replay" || cmd == "races" || cmd == "lint" ||
-      cmd == "postmortem") {
+      cmd == "postmortem" || cmd == "checkpoint") {
     Session* target = nullptr;
     bool capture = false;
     std::int64_t id = 0;
@@ -294,6 +381,34 @@ std::string Console::execute(const std::string& line) {
       target = active_session(&error);
       if (target == nullptr) return error;
       target_handle = client_.active_view().session;
+    }
+
+    if (cmd == "checkpoint") {
+      auto info = target->timetravel_info();
+      if (!info.is_ok()) return info.error().to_string() + "\n";
+      const auto& t = info.value();
+      if (!t.active) {
+        return "  time travel off (set DIONEA_CKPT_EVERY under "
+               "DIONEA_REPLAY)\n";
+      }
+      std::string out = strings::format(
+          "  time travel: role %s, step %lld/%lld, every %lld, "
+          "ring %zu/%d (taken %lld, evicted %lld, dead %lld)\n",
+          t.role.c_str(), static_cast<long long>(t.step),
+          static_cast<long long>(t.total_steps),
+          static_cast<long long>(t.every), t.checkpoints.size(), t.max_live,
+          static_cast<long long>(t.taken), static_cast<long long>(t.evicted),
+          static_cast<long long>(t.dead));
+      for (const auto& ckpt : t.checkpoints) {
+        out += strings::format("    @%-8lld pid %-7d %s\n",
+                               static_cast<long long>(ckpt.step), ckpt.pid,
+                               ckpt.alive ? "live" : "dead");
+      }
+      if (t.stop_at > 0) {
+        out += strings::format("    stop gate armed at step %lld\n",
+                               static_cast<long long>(t.stop_at));
+      }
+      return out;
     }
 
     if (cmd == "stats") {

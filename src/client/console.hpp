@@ -10,7 +10,9 @@
 //   everything else acts on the selected (active) session.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "client/client.hpp"
 
@@ -39,9 +41,15 @@ class Console {
   // session id wins when both exist.
   SessionHandle resolve(std::int64_t number) const;
   std::string session_verb(const std::vector<std::string>& words);
+  // rbreak / rstep / rcontinue (1.6): reverse execution over the
+  // active session's checkpoint ring.
+  std::string reverse_verb(const std::vector<std::string>& words);
 
   Client& client_;
   bool quit_ = false;
+  // Reverse breakpoints are client-side state: replay steps rcontinue
+  // jumps back to. The server only ever sees a target step.
+  std::vector<std::uint64_t> rbreaks_;
 };
 
 }  // namespace dionea::client

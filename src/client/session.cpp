@@ -204,6 +204,34 @@ Result<proto::PostmortemResponse> Session::postmortem(bool capture) {
   return proto::PostmortemResponse::from_wire(response);
 }
 
+Result<proto::TimetravelInfoResponse> Session::timetravel_info() {
+  if (!supports(proto::kCapTimetravel)) {
+    return Error(ErrorCode::kUnavailable,
+                 strings::format(
+                     "server (proto %d.%d) does not advertise '%s'",
+                     server_proto_major_, server_proto_minor_,
+                     proto::kCapTimetravel));
+  }
+  DIONEA_ASSIGN_OR_RETURN(Value response,
+                          send(proto::TimetravelInfoRequest{}));
+  return proto::TimetravelInfoResponse::from_wire(response);
+}
+
+Result<proto::TimetravelResumeResponse> Session::timetravel_resume(
+    std::int64_t target_step) {
+  if (!supports(proto::kCapTimetravel)) {
+    return Error(ErrorCode::kUnavailable,
+                 strings::format(
+                     "server (proto %d.%d) does not advertise '%s'",
+                     server_proto_major_, server_proto_minor_,
+                     proto::kCapTimetravel));
+  }
+  proto::TimetravelResumeRequest req;
+  req.target_step = target_step;
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(req));
+  return proto::TimetravelResumeResponse::from_wire(response);
+}
+
 Result<int> Session::set_breakpoint(const std::string& file, int line,
                                     std::int64_t tid, std::int64_t ignore) {
   DIONEA_ASSIGN_OR_RETURN(

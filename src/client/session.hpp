@@ -151,6 +151,12 @@ class Session {
   // capture=false fetches whatever report already exists (the corpse
   // of a crashed predecessor).
   Result<dbg::proto::PostmortemResponse> postmortem(bool capture = false);
+  // Same contract, gated on kCapTimetravel (1.6): the checkpoint ring
+  // and a reverse-execution resume. A 1.5 server never sees these on
+  // the wire — the gate downgrades silently to kUnavailable.
+  Result<dbg::proto::TimetravelInfoResponse> timetravel_info();
+  Result<dbg::proto::TimetravelResumeResponse> timetravel_resume(
+      std::int64_t target_step);
   Result<int> set_breakpoint(const std::string& file, int line,
                              std::int64_t tid = 0, std::int64_t ignore = 0);
   Result<std::vector<dbg::proto::BreakpointEntry>> breakpoints();

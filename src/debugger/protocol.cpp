@@ -38,7 +38,7 @@ std::vector<std::string> caps_from_wire(const Value& value,
 
 std::vector<std::string> local_capabilities() {
   return {kCapStats, kCapHeartbeat, kCapReplay, kCapAnalysis,
-          kCapPostmortem};
+          kCapPostmortem, kCapTimetravel};
 }
 
 // -------------------------------------------------------------- events
@@ -674,6 +674,7 @@ Value finding_to_wire(const AnalysisFindingWire& finding) {
   entry.set("line", finding.line);
   entry.set("file2", finding.file2);
   entry.set("line2", finding.line2);
+  entry.set("step", finding.step);
   return entry;
 }
 
@@ -691,6 +692,7 @@ std::vector<AnalysisFindingWire> findings_from_wire(const Value& value,
     finding.line = entry.get_int("line");
     finding.file2 = entry.get_string("file2");
     finding.line2 = entry.get_int("line2");
+    finding.step = entry.get_int("step");  // absent pre-1.6: stays 0
     out.push_back(std::move(finding));
   }
   return out;
@@ -775,6 +777,7 @@ Value HubRegisterRequest::to_wire() const {
   v.set("port", port);
   v.set("proto_major", proto_major);
   v.set("proto_minor", proto_minor);
+  v.set("kind", kind);
   v.set("caps", caps_to_wire(capabilities));
   return v;
 }
@@ -791,6 +794,7 @@ Result<HubRegisterRequest> HubRegisterRequest::from_wire(const Value& value) {
   }
   req.proto_major = static_cast<int>(value.get_int("proto_major", 1));
   req.proto_minor = static_cast<int>(value.get_int("proto_minor", 0));
+  req.kind = value.get_string("kind", "debuggee");
   req.capabilities = caps_from_wire(value, "caps");
   return req;
 }
@@ -831,6 +835,7 @@ Value HubSessionsResponse::to_wire() const {
     entry.set("alive", session.alive);
     entry.set("synthetic", session.synthetic);
     entry.set("shard", session.shard);
+    entry.set("kind", session.kind);
     entry.set("events_routed", session.events_routed);
     entry.set("events_dropped", session.events_dropped);
     list.push_back(std::move(entry));
@@ -855,6 +860,7 @@ Result<HubSessionsResponse> HubSessionsResponse::from_wire(
     session.alive = entry.get_bool("alive", true);
     session.synthetic = entry.get_bool("synthetic");
     session.shard = static_cast<int>(entry.get_int("shard"));
+    session.kind = entry.get_string("kind", "debuggee");
     session.events_routed = entry.get_int("events_routed");
     session.events_dropped = entry.get_int("events_dropped");
     resp.sessions.push_back(std::move(session));
@@ -903,6 +909,107 @@ Result<HubDetachResponse> HubDetachResponse::from_wire(const Value& value) {
   DIONEA_RETURN_IF_ERROR(require_object(value, "hub-detach response"));
   HubDetachResponse resp;
   resp.detached = static_cast<int>(value.get_int("detached"));
+  return resp;
+}
+
+// ---------------------------------------------------------- time travel
+
+Value TimetravelInfoRequest::to_wire() const {
+  return Value(ipc::wire::Object{});
+}
+
+Result<TimetravelInfoRequest> TimetravelInfoRequest::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, kName));
+  return TimetravelInfoRequest{};
+}
+
+Value TimetravelInfoResponse::to_wire() const {
+  Value v;
+  v.set("active", active);
+  v.set("role", role);
+  v.set("every", every);
+  v.set("max_live", max_live);
+  v.set("next_at", next_at);
+  v.set("taken", taken);
+  v.set("evicted", evicted);
+  v.set("dead", dead);
+  v.set("step", step);
+  v.set("total_steps", total_steps);
+  v.set("stop_at", stop_at);
+  Array ring;
+  for (const TimetravelCheckpoint& ckpt : checkpoints) {
+    Value entry;
+    entry.set("step", ckpt.step);
+    entry.set("pid", ckpt.pid);
+    entry.set("alive", ckpt.alive);
+    ring.push_back(std::move(entry));
+  }
+  v.set("checkpoints", std::move(ring));
+  return v;
+}
+
+Result<TimetravelInfoResponse> TimetravelInfoResponse::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "timetravel-info response"));
+  TimetravelInfoResponse resp;
+  resp.active = value.get_bool("active");
+  resp.role = value.get_string("role", "root");
+  resp.every = value.get_int("every");
+  resp.max_live = static_cast<int>(value.get_int("max_live"));
+  resp.next_at = value.get_int("next_at");
+  resp.taken = value.get_int("taken");
+  resp.evicted = value.get_int("evicted");
+  resp.dead = value.get_int("dead");
+  resp.step = value.get_int("step");
+  resp.total_steps = value.get_int("total_steps");
+  resp.stop_at = value.get_int("stop_at");
+  const Value& ring = value.at("checkpoints");
+  if (ring.is_array()) {
+    for (const Value& entry : ring.as_array()) {
+      if (!entry.is_object()) continue;
+      TimetravelCheckpoint ckpt;
+      ckpt.step = entry.get_int("step");
+      ckpt.pid = static_cast<int>(entry.get_int("pid"));
+      ckpt.alive = entry.get_bool("alive", true);
+      resp.checkpoints.push_back(ckpt);
+    }
+  }
+  return resp;
+}
+
+Value TimetravelResumeRequest::to_wire() const {
+  Value v;
+  v.set("target_step", target_step);
+  return v;
+}
+
+Result<TimetravelResumeRequest> TimetravelResumeRequest::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "timetravel-resume request"));
+  TimetravelResumeRequest req;
+  req.target_step = value.get_int("target_step");
+  if (req.target_step < 0) {
+    return Error(ErrorCode::kProtocol, "timetravel-resume: bad target_step");
+  }
+  return req;
+}
+
+Value TimetravelResumeResponse::to_wire() const {
+  Value v;
+  v.set("pid", pid);
+  v.set("checkpoint_step", checkpoint_step);
+  v.set("target_step", target_step);
+  return v;
+}
+
+Result<TimetravelResumeResponse> TimetravelResumeResponse::from_wire(
+    const Value& value) {
+  DIONEA_RETURN_IF_ERROR(require_object(value, "timetravel-resume response"));
+  TimetravelResumeResponse resp;
+  resp.pid = static_cast<int>(value.get_int("pid"));
+  resp.checkpoint_step = value.get_int("checkpoint_step");
+  resp.target_step = value.get_int("target_step");
   return resp;
 }
 

@@ -37,7 +37,7 @@ namespace dionea::dbg::proto {
 // Major bumps break wire compatibility (rejected at hello); minor
 // bumps add commands/fields old peers ignore.
 inline constexpr int kProtoMajor = 1;
-inline constexpr int kProtoMinor = 5;
+inline constexpr int kProtoMinor = 6;
 
 inline constexpr const char* kCapStats = "stats";      // `stats` command
 inline constexpr const char* kCapHeartbeat = "heartbeat";
@@ -49,6 +49,10 @@ inline constexpr const char* kCapPostmortem = "postmortem";  // 1.4
 // envelope key, and stamps session_id onto forwarded events. A plain
 // DebugServer never advertises this — only the hub itself does.
 inline constexpr const char* kCapHub = "hub";  // 1.5
+// 1.6: the server replays a recording with fork-based checkpoints and
+// understands timetravel-info / timetravel-resume. Clients finding no
+// kCapTimetravel downgrade silently: every 1.5 verb keeps working.
+inline constexpr const char* kCapTimetravel = "timetravel";  // 1.6
 
 // What this build speaks (advertised in Hello and the ping response).
 std::vector<std::string> local_capabilities();
@@ -467,6 +471,7 @@ struct AnalysisFindingWire {
   std::int64_t line = 0;
   std::string file2;    // other half of a pair ("" when n/a)
   std::int64_t line2 = 0;
+  std::int64_t step = 0;  // DRLG step at detection (1.6; 0 = none/pre-1.6)
 };
 
 struct AnalysisReportResponse {
@@ -536,6 +541,10 @@ struct HubRegisterRequest {
   int port = 0;  // the debuggee's own listener, for the dial-back
   int proto_major = kProtoMajor;
   int proto_minor = kProtoMinor;
+  // 1.6: "debuggee" (default) or "checkpoint" — a time-travel
+  // checkpoint process parked at a replay step. 1.5 peers omit it and
+  // are treated as debuggees.
+  std::string kind = "debuggee";
   std::vector<std::string> capabilities;
 
   ipc::wire::Value to_wire() const;
@@ -562,6 +571,7 @@ struct HubSessionEntry {
   bool alive = true;
   bool synthetic = false;  // bench/test session with no upstream socket
   int shard = 0;           // reactor shard the session is pinned to
+  std::string kind = "debuggee";  // 1.6: "debuggee" | "checkpoint"
   std::int64_t events_routed = 0;
   std::int64_t events_dropped = 0;  // backpressure drops, cumulative
 };
@@ -598,6 +608,65 @@ struct HubDetachResponse {
   int detached = 0;
   ipc::wire::Value to_wire() const;
   static Result<HubDetachResponse> from_wire(const ipc::wire::Value& value);
+};
+
+// ---- time travel (1.6, capability kCapTimetravel) ----
+// A replaying server periodically forks checkpoint processes — copies
+// of the VM frozen at a recorded step. timetravel-info describes the
+// checkpoint ring; timetravel-resume forks a fresh process from the
+// nearest checkpoint at or before a target step and replays it forward
+// until the run-to-step gate parks every thread there. The console's
+// rcontinue / rstep / rbreak verbs are sugar over these two commands
+// plus a client-side set of break steps. Servers without the
+// capability answer kErrUnknownCommand; clients map that to kNotFound
+// and carry on — the silent-downgrade shape of every minor before it.
+
+struct TimetravelCheckpoint {
+  std::int64_t step = 0;
+  int pid = 0;
+  bool alive = true;
+};
+
+struct TimetravelInfoRequest {
+  static constexpr const char* kName = "timetravel-info";
+  ipc::wire::Value to_wire() const;
+  static Result<TimetravelInfoRequest> from_wire(const ipc::wire::Value& value);
+};
+
+struct TimetravelInfoResponse {
+  bool active = false;
+  std::string role;  // "root" | "checkpoint" | "resumed"
+  std::int64_t every = 0;      // current checkpoint spacing (steps)
+  int max_live = 0;            // ring bound
+  std::int64_t next_at = 0;    // next checkpoint step
+  std::int64_t taken = 0;      // checkpoints forked, cumulative
+  std::int64_t evicted = 0;    // ring evictions, cumulative
+  std::int64_t dead = 0;       // checkpoints that died under us
+  std::int64_t step = 0;       // this process's replay cursor
+  std::int64_t total_steps = 0;
+  std::int64_t stop_at = 0;    // armed run-to-step gate (0 = none)
+  std::vector<TimetravelCheckpoint> checkpoints;
+
+  ipc::wire::Value to_wire() const;
+  static Result<TimetravelInfoResponse> from_wire(
+      const ipc::wire::Value& value);
+};
+
+struct TimetravelResumeRequest {
+  static constexpr const char* kName = "timetravel-resume";
+  std::int64_t target_step = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<TimetravelResumeRequest> from_wire(
+      const ipc::wire::Value& value);
+};
+
+struct TimetravelResumeResponse {
+  int pid = 0;  // the resumer: replays toward target, then freezes
+  std::int64_t checkpoint_step = 0;
+  std::int64_t target_step = 0;
+  ipc::wire::Value to_wire() const;
+  static Result<TimetravelResumeResponse> from_wire(
+      const ipc::wire::Value& value);
 };
 
 }  // namespace dionea::dbg::proto

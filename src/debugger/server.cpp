@@ -7,6 +7,7 @@
 
 #include "analysis/analysis.hpp"
 #include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -118,6 +119,9 @@ Status DebugServer::start() {
   watchdog_enabled_ = options_.watchdog || env_requests("DIONEA_WATCHDOG");
   if (postmortem_enabled_) install_postmortem();
   if (watchdog_enabled_) start_watchdog();
+  // Checkpointing is part of the debug-server lifecycle: a replaying
+  // server with DIONEA_CKPT_EVERY set starts forking checkpoints.
+  replay::tt::CheckpointManager::init_from_env(vm_);
   return Status::ok();
 }
 
@@ -133,6 +137,14 @@ Status DebugServer::register_with_hub(int parent_pid) {
   request.pid = static_cast<int>(::getpid());
   request.parent_pid = parent_pid;
   request.port = port_;
+  // A checkpoint (or a resumer forked from one) registers as a
+  // `checkpoint` session so hub listings can tell frozen snapshots
+  // from the live debuggee.
+  request.kind =
+      replay::tt::CheckpointManager::instance().role() ==
+              replay::tt::Role::kRoot
+          ? "debuggee"
+          : "checkpoint";
   request.capabilities = proto::local_capabilities();
   Value frame = request.to_wire();
   frame.set("cmd", proto::HubRegisterRequest::kName);
@@ -1035,6 +1047,7 @@ void DebugServer::register_commands() {
           wire.line = finding.line;
           wire.file2 = finding.file2;
           wire.line2 = finding.line2;
+          wire.step = static_cast<std::int64_t>(finding.step);
           return wire;
         };
         for (const analysis::Finding& finding : engine.report().findings) {
@@ -1083,6 +1096,57 @@ void DebugServer::register_commands() {
           resp.has_report = true;
           resp.report = std::move(report);
         }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::TimetravelInfoRequest>(
+      [](const proto::TimetravelInfoRequest&, std::int64_t seq, Wake) {
+        replay::tt::Snapshot snap =
+            replay::tt::CheckpointManager::instance().snapshot();
+        replay::Info info = replay::Engine::instance().info();
+        proto::TimetravelInfoResponse resp;
+        resp.active = snap.active;
+        resp.role = replay::tt::role_name(snap.role);
+        resp.every = static_cast<std::int64_t>(snap.every);
+        resp.max_live = snap.max_live;
+        resp.next_at = static_cast<std::int64_t>(snap.next_at);
+        resp.taken = static_cast<std::int64_t>(snap.taken);
+        resp.evicted = static_cast<std::int64_t>(snap.evicted);
+        resp.dead = static_cast<std::int64_t>(snap.dead);
+        resp.step = static_cast<std::int64_t>(info.step);
+        resp.total_steps = static_cast<std::int64_t>(info.total_steps);
+        resp.stop_at = static_cast<std::int64_t>(
+            replay::Engine::instance().stop_at_step());
+        for (const replay::tt::CheckpointInfo& ckpt : snap.ring) {
+          proto::TimetravelCheckpoint wire;
+          wire.step = static_cast<std::int64_t>(ckpt.step);
+          wire.pid = ckpt.pid;
+          wire.alive = ckpt.alive;
+          resp.checkpoints.push_back(wire);
+        }
+        return ok_with(seq, resp.to_wire());
+      });
+
+  register_command<proto::TimetravelResumeRequest>(
+      [](const proto::TimetravelResumeRequest& req, std::int64_t seq, Wake) {
+        proto::TimetravelResumeResponse resp;
+        if (req.target_step == 0) {
+          // target 0 = release this process's run-to-step gate: a
+          // paused resumer thaws and replays on to the end.
+          replay::Engine::instance().set_stop_at_step(0);
+          resp.pid = static_cast<int>(::getpid());
+          return ok_with(seq, resp.to_wire());
+        }
+        auto ticket = replay::tt::CheckpointManager::instance().resume_to(
+            static_cast<std::uint64_t>(req.target_step));
+        if (!ticket.is_ok()) {
+          return proto::make_error(seq, ticket.error().to_string());
+        }
+        resp.pid = ticket.value().pid;
+        resp.checkpoint_step =
+            static_cast<std::int64_t>(ticket.value().checkpoint_step);
+        resp.target_step =
+            static_cast<std::int64_t>(ticket.value().target_step);
         return ok_with(seq, resp.to_wire());
       });
 }

@@ -324,6 +324,7 @@ void Hub::finish_register(const std::shared_ptr<PendingConn>& conn,
   record.port = static_cast<std::uint16_t>(req.port);
   record.proto_major = req.proto_major;
   record.proto_minor = req.proto_minor;
+  record.kind = req.kind.empty() ? "debuggee" : req.kind;
   record.capabilities = req.capabilities;
   std::int64_t id = registry_.add(std::move(record));
   int shard = shard_for_session(id);
@@ -336,7 +337,8 @@ void Hub::finish_register(const std::shared_ptr<PendingConn>& conn,
   (void)ipc::send_frame(conn->stream, ok_with(seq, response.to_wire()));
   drop_pending(conn);  // one-shot channel: reply, then close
   DLOG_INFO("hub") << "session " << id << " registered (pid " << req.pid
-                   << ", port " << req.port << ", shard " << shard << ")";
+                   << ", port " << req.port << ", shard " << shard << ", "
+                   << (req.kind.empty() ? "debuggee" : req.kind) << ")";
   pool_.shard(shard).post([this, id] { dial_back(id); });
 }
 
@@ -725,6 +727,7 @@ void Hub::handle_peer_request(const std::shared_ptr<ClientPeer>& peer,
       entry.alive = record.alive;
       entry.synthetic = record.synthetic;
       entry.shard = record.shard;
+      entry.kind = record.kind;
       if (auto up = upstream_for(record.id)) {
         entry.events_routed =
             static_cast<std::int64_t>(up->routed.load(std::memory_order_relaxed));

@@ -28,6 +28,7 @@ struct SessionRecord {
   int shard = 0;             // reactor shard the session is pinned to
   bool alive = true;         // upstream connection still healthy
   bool synthetic = false;    // bench-injected, no real debuggee behind it
+  std::string kind = "debuggee";  // "debuggee" | "checkpoint" (1.6)
   int proto_major = 0;
   int proto_minor = 0;
   std::vector<std::string> capabilities;

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -73,6 +74,7 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kRand: return "rand";
     case EventKind::kForkPid: return "fork_pid";
     case EventKind::kThreadDone: return "thread_done";
+    case EventKind::kWaitResult: return "wait_result";
   }
   return "?";
 }
@@ -156,6 +158,7 @@ Status Engine::open_log_locked() {
   header[4] = kVersion;
   std::fwrite(header, 1, kHeaderBytes, state_->log_file);
   state_->written = 0;
+  step_mirror_.store(0, std::memory_order_release);
   return Status::ok();
 }
 
@@ -186,6 +189,7 @@ Status Engine::load_log_locked() {
   }
   std::fclose(f);
   state_->cursor = 0;
+  step_mirror_.store(0, std::memory_order_release);
   state_->last_progress = mono_seconds();
   return Status::ok();
 }
@@ -238,6 +242,8 @@ void Engine::stop() {
   state_->cursor = 0;
   state_->thread_steps.clear();
   state_->gated.clear();
+  step_mirror_.store(0, std::memory_order_release);
+  stop_at_step_.store(0, std::memory_order_release);
   mode_.store(static_cast<int>(Mode::kOff), std::memory_order_release);
   state_->cv.notify_all();
 }
@@ -268,6 +274,7 @@ void Engine::append_locked(const Record& rec) {
   put_u64(buf + 18, rec.payload);
   std::fwrite(buf, 1, kRecordBytes, state_->log_file);
   ++state_->written;
+  step_mirror_.store(state_->written, std::memory_order_release);
   metrics::add(metrics::Counter::kReplaySteps);
 }
 
@@ -315,6 +322,25 @@ bool Engine::try_consume_locked(EventKind kind, std::int64_t tid,
                                 bool probe) {
   if (mode() != Mode::kReplay) return true;  // diverged: pass through
   skip_info_locked();
+  step_mirror_.store(state_->cursor, std::memory_order_release);
+  const std::uint64_t stop_at = stop_at_step_.load(std::memory_order_acquire);
+  if (stop_at != 0 && state_->cursor >= stop_at) {
+    // Run-to-step gate reached. Only GIL *grants* are refused: that
+    // freezes the schedule (no thread gets scheduled past the target)
+    // without ever parking a thread that still holds the GIL — a
+    // holder mid-interval drains its few remaining non-scheduling
+    // events and then parks, GIL-free, at its next switch point
+    // (Gil::yield checks stop_gated()). last_progress is pinned so the
+    // stall detector cannot mistake a deliberate pause for a wedged
+    // replay; gated() keeps the deadlock detector quiet the same way
+    // it does for ordinary turn-waiting.
+    double now = mono_seconds();
+    state_->last_progress = now;
+    if (kind == EventKind::kGilAcquire) {
+      state_->gated[tid] = now;
+      return false;
+    }
+  }
   if (state_->cursor >= state_->log.size()) {
     if (probe) return false;
     declare_divergence_locked(strings::format(
@@ -333,6 +359,7 @@ bool Engine::try_consume_locked(EventKind kind, std::int64_t tid,
     if (payload != nullptr) *payload = head.payload;
     ++state_->cursor;
     skip_info_locked();
+    step_mirror_.store(state_->cursor, std::memory_order_release);
     state_->last_progress = mono_seconds();
     state_->gated.erase(tid);
     metrics::add(metrics::Counter::kReplaySteps);
@@ -398,6 +425,48 @@ bool Engine::gated(std::int64_t tid) const {
   return mono_seconds() - it->second < 0.1;
 }
 
+// ------------------------------------------- run-to-step gate (timetravel)
+
+void Engine::set_stop_at_step(std::uint64_t step) noexcept {
+  stop_at_step_.store(step, std::memory_order_release);
+  // Wake every parked consumer: with the gate cleared (or moved) they
+  // re-probe and the replay picks up exactly where it stopped. Pinning
+  // last_progress forward keeps the stall detector honest across the
+  // pause.
+  std::scoped_lock lock(state_->mutex);
+  state_->last_progress = mono_seconds();
+  state_->cv.notify_all();
+}
+
+Status Engine::await_step(std::uint64_t step, int timeout_millis) {
+  if (!replaying()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "replay: await_step outside replay mode");
+  }
+  std::unique_lock lock(state_->mutex);
+  const double deadline = mono_seconds() + timeout_millis / 1000.0;
+  for (;;) {
+    const std::uint64_t goal =
+        std::min<std::uint64_t>(step, state_->log.size());
+    if (state_->cursor >= goal) return Status::ok();
+    if (mode() == Mode::kDiverged) {
+      return Status(ErrorCode::kInternal,
+                    strings::format("replay diverged at step %lld: %s",
+                                    static_cast<long long>(
+                                        state_->divergence_step),
+                                    state_->divergence_reason.c_str()));
+    }
+    if (mono_seconds() >= deadline) {
+      return Status(ErrorCode::kTimeout,
+                    strings::format(
+                        "replay stalled at step %llu awaiting step %llu",
+                        static_cast<unsigned long long>(state_->cursor),
+                        static_cast<unsigned long long>(goal)));
+    }
+    state_->cv.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
 // ------------------------------------------------------------------- fork
 
 std::uint64_t Engine::on_fork(std::int64_t tid) {
@@ -452,6 +521,10 @@ void Engine::child_atfork(std::uint64_t logical_child_id) {
   // Children number their own forks and threads from scratch, in both
   // modes alike.
   fork_seq_.store(0, std::memory_order_relaxed);
+  // A run-to-step gate is parent-log-relative; carrying it into a
+  // fresh subtree log would freeze this child at a meaningless step
+  // (checkpoint forks keep it — they replay the *same* log).
+  stop_at_step_.store(0, std::memory_order_release);
   if (m == Mode::kRecord) {
     Status status = open_log_locked();
     if (!status.is_ok()) {
@@ -475,6 +548,32 @@ void Engine::child_atfork(std::uint64_t logical_child_id) {
     metrics::add(metrics::Counter::kReplayDivergences);
     DLOG_WARN("replay") << "child free-running: " << status.to_string();
   }
+}
+
+void Engine::checkpoint_child_atfork() {
+  checkpoint_generation_.fetch_add(1, std::memory_order_relaxed);
+  stop_at_step_.store(0, std::memory_order_release);
+  if (mode() == Mode::kOff) return;
+  // Same abandon-the-block dance as child_atfork, but this child is a
+  // snapshot of the replay itself: it keeps the log, the cursor, the
+  // per-thread grant ordinals and (crucially) the inherited object/fork
+  // sequence counters, so a resume numbers everything exactly as the
+  // recording did. Only the mutex/cv (vanished waiters) is replaced.
+  state_->fork_lock.release();
+  State* old = state_.release();
+  state_ = std::make_unique<State>();
+  state_->dir = old->dir;
+  state_->path = old->path;
+  state_->log = old->log;
+  state_->cursor = old->cursor;
+  state_->thread_steps = old->thread_steps;
+  state_->divergence_step = old->divergence_step;
+  state_->divergence_reason = old->divergence_reason;
+  state_->last_progress = mono_seconds();
+  step_mirror_.store(state_->cursor, std::memory_order_release);
+  // The inherited FILE* (record mode only, which never checkpoints in
+  // practice) shares its descriptor with the parent; close our copy.
+  if (old->log_file != nullptr) std::fclose(old->log_file);
 }
 
 // ------------------------------------------------------------------- info

@@ -71,6 +71,11 @@ enum class EventKind : std::uint8_t {
   kForkPid,         // annotation: payload = real child pid (info only)
   kThreadDone,      // join verdict: obj = target tid, payload = 1 if the
                     // target was already dead when the joiner looked
+  kWaitResult,      // waitpid verdict: payload = exit code (as u64). On
+                    // replay the code is substituted from the log, so a
+                    // checkpoint resumer whose snapshot predates the
+                    // child's parent (ECHILD on the real wait) still
+                    // replays through the wait deterministically.
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -157,6 +162,34 @@ class Engine {
   // progress — it is waiting for its turn, not for the program.
   bool gated(std::int64_t tid) const;
 
+  // ---- step accounting / run-to-step gate (time travel) ----
+  // Monotonic public step counter: records written (record mode) or
+  // consumed (replay). Lock-free — this is what tests and the
+  // checkpoint machinery key on instead of grepping log tails.
+  std::uint64_t replay_step() const noexcept {
+    return step_mirror_.load(std::memory_order_acquire);
+  }
+
+  // Arm (step > 0) or clear (0) the run-to-step gate. While armed and
+  // replay_step() >= step, every consume attempt parks instead of
+  // matching — the whole schedule freezes at the target without any
+  // divergence being declared. Clearing wakes every parked thread and
+  // the replay resumes exactly where it stopped.
+  void set_stop_at_step(std::uint64_t step) noexcept;
+  std::uint64_t stop_at_step() const noexcept {
+    return stop_at_step_.load(std::memory_order_acquire);
+  }
+  // Cheap probe for hot paths: gate armed and target reached.
+  bool stop_gated() const noexcept {
+    std::uint64_t at = stop_at_step_.load(std::memory_order_acquire);
+    return at != 0 && replay_step() >= at;
+  }
+
+  // Block until replay_step() >= min(step, total_steps). Fails with
+  // kAborted on divergence (step + reason in the message, the PR 3
+  // contract) and kTimeout if nothing progresses in time — never hangs.
+  Status await_step(std::uint64_t step, int timeout_millis);
+
   // ---- id services (valid in every mode, cheap atomics) ----
   // Sync objects take a stable 1-based id at construction; creation
   // happens under the GIL, so record and replay number them alike.
@@ -175,6 +208,19 @@ class Engine {
   // In the child: abandon the parent's engine state (same leak
   // rationale as Gil::child_atfork) and open/load this child's log.
   void child_atfork(std::uint64_t logical_child_id);
+
+  // Checkpoint-fork variant (timetravel): the child is a *snapshot* of
+  // this replay, not a recorded member of the fork tree. It keeps the
+  // parent's log, cursor, per-thread ordinals and object/fork counters
+  // so that resuming it continues the very same schedule; only the
+  // mutex/cv block is abandoned (vanished-waiter rationale above).
+  void checkpoint_child_atfork();
+  // Nesting depth of checkpoint forks above this process (0 = never
+  // checkpoint-forked). Fork handler C uses this to register the
+  // session with the hub under the `checkpoint` kind.
+  int checkpoint_generation() const noexcept {
+    return checkpoint_generation_.load(std::memory_order_relaxed);
+  }
 
   Info info() const;
 
@@ -202,6 +248,10 @@ class Engine {
   std::atomic<std::uint64_t> object_seq_{0};
   std::atomic<std::uint64_t> fork_seq_{0};
   std::atomic<int> divergence_timeout_millis_{2000};
+  // Lock-free mirror of written/cursor (see replay_step()).
+  std::atomic<std::uint64_t> step_mirror_{0};
+  std::atomic<std::uint64_t> stop_at_step_{0};
+  std::atomic<int> checkpoint_generation_{0};
   // Abandoned wholesale in the child at fork (mutex/cv state may
   // reference parent-only threads); bounded leak, one block per fork.
   std::unique_ptr<State> state_;

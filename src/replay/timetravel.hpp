@@ -1,0 +1,210 @@
+// replay::tt — time-travel debugging over DRLG replay.
+//
+// During DIONEA_REPLAY the interpreter periodically forks *checkpoint
+// processes*: copies of the VM frozen at a recorded-step boundary. A
+// boundary is a GIL switch point with exactly one live interpreter
+// thread, which is the only state fork(2) can capture coherently — the
+// one thread fork preserves is the one thread that exists, and the
+// recorded schedule regenerates the rest deterministically on resume
+// (thread-id counters ride across the fork untouched).
+//
+// The checkpoint fork is NOT a recorded event. Vm::fork_checkpoint
+// runs the same A/B/C fork-handler stack as a debuggee fork (paper
+// §5.4) so every lock, the GIL, the metrics shards, the code-cache
+// pins and the server listener are coherent in the child, but the
+// replay engine keeps its log, cursor and per-thread ordinals instead
+// of descending the fork tree (Engine::checkpoint_child_atfork).
+//
+// Each checkpoint parks on a command pipe (ThreadState::kIoBlocked, so
+// the deadlock detector and `threads` verb describe it honestly) and
+// its debug server keeps serving, registered with the hub as a
+// `checkpoint` session. Reverse execution = pick the nearest earlier
+// checkpoint, ask it to fork a *resumer*, and let the resumer replay
+// forward under the run-to-step gate until Engine::stop_gated() parks
+// every thread at the target step. Checkpoints are reusable: each
+// resume request forks a fresh grandchild, so "resume checkpoint N
+// twenty times" is twenty independent replays of the same prefix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mp/reaper.hpp"
+#include "support/result.hpp"
+
+namespace dionea::vm {
+class Vm;
+class InterpThread;
+}  // namespace dionea::vm
+
+namespace dionea::replay::tt {
+
+struct Options {
+  std::uint64_t every = 64;  // steps between checkpoints (DIONEA_CKPT_EVERY)
+  int max_live = 8;          // live-checkpoint ring bound (DIONEA_CKPT_MAX)
+  // Directory for pause markers. When set, a resumed process that
+  // reaches its target step writes `pause.<pid>` there with the step
+  // and a VM fingerprint — the protocol-free observation channel the
+  // conformance suite uses.
+  std::string pause_dir;
+  // Resumed processes _exit once the pause marker is written instead
+  // of staying inspectable (tests/bench; DIONEA_CKPT_EXIT_AT_TARGET).
+  bool exit_at_target = false;
+};
+
+struct CheckpointInfo {
+  std::uint64_t step = 0;
+  int pid = 0;
+  bool alive = true;
+};
+
+// What resume_to() scheduled: a fresh process replaying toward target.
+struct ResumeTicket {
+  int pid = 0;
+  std::uint64_t checkpoint_step = 0;
+  std::uint64_t target_step = 0;
+};
+
+enum class Role : int {
+  kRoot = 0,    // the original replaying debuggee
+  kCheckpoint,  // parked on the command pipe
+  kResumed,     // replaying toward a stop target
+};
+
+const char* role_name(Role role) noexcept;
+
+struct Snapshot {
+  bool active = false;
+  Role role = Role::kRoot;
+  std::uint64_t every = 0;
+  int max_live = 0;
+  std::uint64_t next_at = 0;
+  std::uint64_t taken = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t deferred = 0;  // boundaries skipped (threads live / fork gate)
+  std::uint64_t dead = 0;      // checkpoints that died under us
+  std::vector<CheckpointInfo> ring;
+};
+
+// Deterministic digest of the paused VM: same prefix + same target
+// must reproduce it bit-for-bit (the conformance suite's oracle).
+struct Fingerprint {
+  std::uint64_t step = 0;
+  std::uint64_t frames_hash = 0;
+  std::uint64_t globals_hash = 0;
+  std::string to_string() const;
+  bool operator==(const Fingerprint& other) const noexcept {
+    return step == other.step && frames_hash == other.frames_hash &&
+           globals_hash == other.globals_hash;
+  }
+};
+
+// Safe from any non-interpreter thread; takes the GIL internally via
+// the Vm snapshot API, so call it only when the VM is parked (e.g.
+// after Engine::await_step + quiescence).
+Fingerprint fingerprint_of(vm::Vm& vm);
+
+class CheckpointManager {
+ public:
+  static CheckpointManager& instance();
+
+  // Install the boundary hook and start checkpointing `vm`. Fails with
+  // kInvalidArgument unless the engine is replaying. Idempotent per
+  // process (kAlreadyExists on a second activation).
+  Status activate(vm::Vm& vm, const Options& opts);
+
+  // DIONEA_CKPT_EVERY=<n> (with DIONEA_REPLAY) switches the subsystem
+  // on; DIONEA_CKPT_MAX / DIONEA_CKPT_PAUSE_DIR / _EXIT_AT_TARGET
+  // refine it. No-op when unset or not replaying.
+  static void init_from_env(vm::Vm& vm);
+
+  // Quit every live checkpoint ('q' on its pipe), reap, uninstall the
+  // boundary hook. Safe to call when inactive.
+  void deactivate();
+
+  bool active() const;
+  Role role() const;
+  Snapshot snapshot() const;
+
+  // Fork a resumer from the nearest live checkpoint at or before
+  // `target_step` (clamped to the log length) and set it replaying
+  // toward the target. Dead checkpoints encountered on the way are
+  // reaped, reported and skipped. kNotFound when no live checkpoint
+  // precedes the target.
+  Result<ResumeTicket> resume_to(std::uint64_t target_step);
+
+  // ---- pure planning helpers (shared with the property suite) ----
+  // rstep n: the step you land on walking n recorded steps backwards.
+  static std::uint64_t resolve_rstep(std::uint64_t current, std::uint64_t n);
+  // rcontinue: largest break step strictly before `current`, else -1.
+  static std::int64_t resolve_rcontinue(const std::vector<std::uint64_t>& breaks,
+                                        std::uint64_t current);
+  // Index of the best checkpoint (max step <= target), else -1.
+  static std::int64_t pick_checkpoint(const std::vector<std::uint64_t>& steps,
+                                      std::uint64_t target);
+  // Ring admission: evict (into *evicted) and double *every until
+  // there is room under max_live, then append `step`. Mirrors the
+  // live eviction policy exactly — keep even slots, thin odd ones, so
+  // the survivors spread over the doubled grid.
+  static void plan_insert(std::vector<std::uint64_t>& steps,
+                          std::uint64_t step, int max_live,
+                          std::uint64_t* every,
+                          std::vector<std::uint64_t>* evicted);
+
+ private:
+  CheckpointManager() = default;
+
+  struct Entry {
+    std::uint64_t step = 0;
+    int pid = 0;
+    int cmd_w = -1;    // manager -> checkpoint commands
+    int reply_r = -1;  // checkpoint -> manager replies
+    bool alive = true;
+  };
+
+  void on_boundary(vm::Vm& vm, vm::InterpThread& th);
+  void take_checkpoint(vm::Vm& vm, vm::InterpThread& th, std::uint64_t step);
+  // The checkpoint process's life: park on the pipe, serve resume
+  // requests by forking grandchildren. Returns only in a grandchild
+  // (the resumer), with the stop gate armed and the watcher running.
+  void child_park_loop(vm::Vm& vm, vm::InterpThread& th, int cmd_r,
+                       int reply_w, std::uint64_t my_step);
+  // Park the (single) interpreter thread while the stop gate holds.
+  void pause_park(vm::Vm& vm, vm::InterpThread& th);
+  void start_pause_watcher(vm::Vm& vm, std::uint64_t target);
+  void reap_locked();
+  void kill_entry_locked(Entry& entry, bool send_quit);
+  // Fork handler (C layer): a *recorded* debuggee fork descends into a
+  // fresh subtree log, so the inherited ring — steps in the parent's
+  // log, pids that are the parent's children — is meaningless there.
+  // Drop it and restart checkpointing against the child's own log.
+  // Checkpoint forks (in_checkpoint_fork_) keep the ring: they replay
+  // the same log, and the fds still reach live sibling checkpoints.
+  void on_debuggee_fork_child();
+
+  mutable std::mutex mutex_;
+  vm::Vm* vm_ = nullptr;
+  Options opts_;
+  bool active_ = false;
+  // True across Vm::fork_checkpoint so the fork handler can tell a
+  // snapshot fork from a recorded debuggee fork. Written with mutex_
+  // held; read lock-free in the child (single interpreter thread).
+  std::atomic<bool> in_checkpoint_fork_{false};
+  // Only the forking thread touches this (fork handlers run on it).
+  int fork_lock_depth_ = 0;
+  Role role_ = Role::kRoot;
+  std::uint64_t my_step_ = 0;  // checkpoint/resumed: the fork step
+  std::uint64_t next_at_ = 0;
+  std::vector<Entry> ring_;
+  std::uint64_t taken_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::uint64_t dead_ = 0;
+  mp::ChildReaper reaper_;
+};
+
+}  // namespace dionea::replay::tt

@@ -890,30 +890,66 @@ void install_process(Vm& vm) {
           return type_error(v, th, "waitpid", "pid", args[0]);
         }
         pid_t pid = static_cast<pid_t>(args[0].as_int());
-        Vm::BlockScope scope(v, th, ThreadState::kIoBlocked, "waitpid");
-        while (true) {
-          int status = 0;
-          pid_t got = ::waitpid(pid, &status, WNOHANG);
-          if (got == pid) {
-            if (WIFEXITED(status)) {
-              return Value(std::int64_t{WEXITSTATUS(status)});
+        // The wait verdict is a nondeterministic *value* like clock():
+        // record it, substitute it on replay. The real drain below
+        // still runs so a re-executed child's side effects land before
+        // we return — but a checkpoint resumer whose snapshot predates
+        // this child's parent gets ECHILD there, and the recorded code
+        // is what lets it replay through the wait instead of erroring.
+        // The log event is consumed *after* the BlockScope, mirroring
+        // where record mode emits it (the scope's GIL reacquire logs a
+        // kGilAcquire in between; consuming earlier would mismatch it).
+        replay::Engine& rep = replay::Engine::instance();
+        std::int64_t code = 0;
+        bool real_verdict = false;
+        int wait_errno = 0;
+        {
+          Vm::BlockScope scope(v, th, ThreadState::kIoBlocked, "waitpid");
+          while (true) {
+            int status = 0;
+            pid_t got = ::waitpid(pid, &status, WNOHANG);
+            if (got == pid) {
+              if (WIFEXITED(status)) {
+                code = WEXITSTATUS(status);
+              } else if (WIFSIGNALED(status)) {
+                code = -WTERMSIG(status);
+              } else {
+                code = -1;
+              }
+              real_verdict = true;
+              break;
             }
-            if (WIFSIGNALED(status)) {
-              return Value(std::int64_t{-WTERMSIG(status)});
+            if (got < 0) {
+              wait_errno = errno;
+              if (rep.replaying()) break;  // fall back to the logged verdict
+              return v.runtime_error(
+                  th, strings::format("waitpid(%d): %s", static_cast<int>(pid),
+                                      std::strerror(wait_errno)));
             }
-            return Value(std::int64_t{-1});
+            if (th.interrupt.load(std::memory_order_relaxed) !=
+                InterruptReason::kNone) {
+              return err_from_interrupt(v, th);
+            }
+            sleep_for_millis(Vm::kWaitSliceMillis / 2);
           }
-          if (got < 0) {
+        }
+        if (rep.replaying()) {
+          std::uint64_t recorded_bits = 0;
+          if (rep.await_turn(replay::EventKind::kWaitResult, th.id(), 0,
+                             &recorded_bits)) {
+            return Value(static_cast<std::int64_t>(recorded_bits));
+          }
+          // Diverged: free-run on whatever the real wait produced.
+          if (!real_verdict) {
             return v.runtime_error(
                 th, strings::format("waitpid(%d): %s", static_cast<int>(pid),
-                                    std::strerror(errno)));
+                                    std::strerror(wait_errno)));
           }
-          if (th.interrupt.load(std::memory_order_relaxed) !=
-              InterruptReason::kNone) {
-            return err_from_interrupt(v, th);
-          }
-          sleep_for_millis(Vm::kWaitSliceMillis / 2);
+          return Value(code);
         }
+        rep.record(replay::EventKind::kWaitResult, th.id(), 0,
+                   static_cast<std::uint64_t>(code));
+        return Value(code);
       });
 }
 

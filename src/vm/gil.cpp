@@ -1,6 +1,7 @@
 #include "vm/gil.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "replay/replay.hpp"
 #include "support/metrics.hpp"
@@ -99,6 +100,22 @@ void Gil::release() {
 void Gil::yield(std::int64_t tid) {
   replay::Engine& rep = replay::Engine::instance();
   if (tid > 0 && rep.replaying()) {
+    if (rep.stop_gated()) {
+      // A run-to-step pause is in force: hand the GIL back and park
+      // here, so the VM freezes with the GIL free for inspection.
+      // This pause is not a recorded event — on un-gating we must take
+      // the lock back directly (we were the recorded holder), not
+      // consume a kGilAcquire the log never contained.
+      release();
+      for (;;) {
+        if (!rep.stop_gated()) {
+          reacquire_out_of_band(tid);
+          if (!rep.stop_gated()) return;
+          release();  // re-armed while we took it: park again
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
     // Hand off exactly where the recording did. The probe asks "is a
     // yield by this thread the next recorded event?" — a mismatch just
     // means the recording kept running here.
@@ -120,6 +137,21 @@ void Gil::yield(std::int64_t tid) {
   // Our new ticket queues behind every thread that was already
   // waiting: a real handoff.
   acquire(tid);
+}
+
+void Gil::reacquire_out_of_band(std::int64_t tid) {
+  std::unique_lock lock(state_->mutex);
+  ++state_->waiters;
+  while (state_->held) {
+    // Short slices: an inspector's release notifies this cv, but an
+    // engine-side un-gate cannot.
+    state_->cv.wait_for(lock, std::chrono::milliseconds(2));
+  }
+  --state_->waiters;
+  state_->held = true;
+  state_->owner = tid;
+  state_->acquired_nanos = 0;
+  note_granted(tid);
 }
 
 std::int64_t Gil::owner() const {

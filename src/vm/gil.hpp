@@ -41,6 +41,14 @@ class Gil {
   // Cooperative switch point: hand the lock to a waiter, if any.
   void yield(std::int64_t tid);
 
+  // Take the lock back after an out-of-band release during replay — a
+  // park that is NOT part of the recording (run-to-step pause,
+  // checkpoint pipe park). acquire() would consume a kGilAcquire
+  // record that was never logged and desync the replay; this path
+  // waits for the lock and takes ownership directly, bypassing both
+  // the log and the ticket line.
+  void reacquire_out_of_band(std::int64_t tid);
+
   std::int64_t owner() const;
   bool held_by(std::int64_t tid) const;
 

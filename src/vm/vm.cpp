@@ -1074,6 +1074,61 @@ Result<int> Vm::fork_now(InterpThread& th) {
   return static_cast<int>(pid);
 }
 
+Result<int> Vm::fork_checkpoint(InterpThread& th) {
+  DIONEA_CHECK(gil_.held_by(th.id()), "fork_checkpoint requires the GIL");
+  replay::Engine& rep = replay::Engine::instance();
+  std::fflush(nullptr);
+  for (size_t i = fork_hooks_.size(); i-- > 0;) {
+    if (fork_hooks_[i].prepare) fork_hooks_[i].prepare(*this);
+  }
+  internal_fork_prepare(th);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    int saved = errno;
+    internal_fork_parent();
+    for (auto& hooks : fork_hooks_) {
+      if (hooks.parent) hooks.parent(*this, -1);
+    }
+    return errno_error("fork", saved);
+  }
+  if (pid == 0) {
+    // Snapshot child: same replay log, same cursor — NOT a member of
+    // the recorded fork tree (no kFork event was consumed or logged).
+    rep.checkpoint_child_atfork();
+    internal_fork_child(th);
+    for (auto& hooks : fork_hooks_) {
+      if (hooks.child) hooks.child(*this, 0);
+    }
+    return 0;
+  }
+  internal_fork_parent();
+  for (auto& hooks : fork_hooks_) {
+    if (hooks.parent) hooks.parent(*this, static_cast<int>(pid));
+  }
+  return static_cast<int>(pid);
+}
+
+// --------------------------------------------------- boundary hook (tt)
+
+void Vm::set_boundary_hook(std::function<void(Vm&, InterpThread&)> hook) {
+  std::scoped_lock lock(boundary_mutex_);
+  boundary_hook_ = std::move(hook);
+  boundary_armed_.store(static_cast<bool>(boundary_hook_),
+                        std::memory_order_release);
+}
+
+void Vm::run_boundary_hook(InterpThread& th) {
+  std::function<void(Vm&, InterpThread&)> hook;
+  {
+    std::scoped_lock lock(boundary_mutex_);
+    hook = boundary_hook_;
+  }
+  // Invoked without boundary_mutex_: the hook may fork (taking every
+  // fork-pinned lock) or park this thread indefinitely.
+  if (hook) hook(*this, th);
+}
+
 // ------------------------------------------------------------------- run
 
 RunResult Vm::run_source(std::string_view source, const std::string& file) {

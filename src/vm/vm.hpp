@@ -284,6 +284,28 @@ class Vm {
   bool is_forked_child() const noexcept { return forked_child_; }
   int fork_depth() const noexcept { return fork_depth_; }
 
+  // Checkpoint fork (timetravel): identical handler choreography to
+  // fork_now — prepare newest-first, fork(2), child/parent oldest-first,
+  // so handlers A/B/C make the snapshot's locks, GIL, metrics shards,
+  // cache pins and listener coherent — but the fork is *not* a recorded
+  // event: the replay engine keeps its log/cursor in the child
+  // (Engine::checkpoint_child_atfork) instead of descending the fork
+  // tree. GIL required; single live interpreter thread required (the
+  // snapshot must be resumable, and only interpreter state survives
+  // fork — the same safety condition fork(2) itself imposes).
+  Result<int> fork_checkpoint(InterpThread& th);
+
+  // Pause-at-boundary hook (timetravel): invoked at GIL switch points
+  // (every switch_interval_ statements, GIL held, frame state synced).
+  // Unarmed cost is one relaxed load per switch point — the per-line
+  // fast path (§7 overhead gate) is untouched. The hook may fork and
+  // may park the calling thread.
+  void set_boundary_hook(std::function<void(Vm&, InterpThread&)> hook);
+  bool boundary_hook_armed() const noexcept {
+    return boundary_armed_.load(std::memory_order_relaxed);
+  }
+  void run_boundary_hook(InterpThread& th);
+
   // Called (if set) right before a fork-with-block child _exits —
   // the debugger's `at_finalize_proc` (§5.4 C / Listing 3).
   void set_at_exit_hook(std::function<void(Vm&)> hook);
@@ -443,6 +465,13 @@ class Vm {
   DeadlockHook deadlock_hook_;
   std::function<void(Vm&)> at_exit_hook_;
   std::function<void(std::string_view)> output_;
+
+  // Pause-at-boundary hook (timetravel). The armed flag is the only
+  // thing the dispatch loop reads; the function itself is guarded so
+  // install/clear can race with switch points.
+  mutable std::mutex boundary_mutex_;
+  std::function<void(Vm&, InterpThread&)> boundary_hook_;
+  std::atomic<bool> boundary_armed_{false};
 
   std::atomic<bool> exit_pending_{false};
   std::atomic<int> exit_code_{0};

@@ -1,0 +1,245 @@
+// Hostile time travel (ISSUE 9): the checkpoint machinery under the
+// conditions most likely to wedge or corrupt it.
+//
+//   - rcontinue across a recorded fork event: the only checkpoint
+//     predates the debuggee's fork, so every resume re-executes the
+//     fork and the reap — the wait verdict comes from the log
+//     (kWaitResult), not from a child the resumer never owned.
+//   - a checkpoint boundary arriving while sibling threads are live
+//     and one of them holds a VM mutex: the fork must be DEFERRED,
+//     never taken mid-schedule.
+//   - a checkpoint SIGKILLed before a resume: resume_to must reroute
+//     to an earlier live checkpoint, count the corpse, and leave the
+//     live session untouched.
+//   - max_live=1 thrash: every admission evicts the previous occupant
+//     and doubles the spacing; the lone survivor must still resume.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "replay/conformance/tt_testutil.hpp"
+#include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+
+namespace dionea::replay::tt {
+namespace {
+
+using test::ReplayOutcome;
+using test::run_ml_record;
+
+// ---- rcontinue across a recorded fork event ----
+// Spacing so wide that only the eager first checkpoint (pre-fork, in
+// the prologue) exists: any post-fork target forces the crossing.
+
+std::string crossing_program(const std::string& out_dir) {
+  return
+      "for i in 100\n"
+      "  t = clock()\n"
+      "end\n"
+      "pid = fork(fn()\n"
+      "  write_file(\"" + out_dir + "/child.txt\", \"c:\" + to_s(rand(1000)))\n"
+      "end)\n"
+      "code = waitpid(pid)\n"
+      // Fresh real pid per re-executed fork: scrub it so post-reap
+      // fingerprints stay byte-identical across resumes.
+      "pid = 0\n"
+      "for i in 100\n"
+      "  n = code + rand(7)\n"
+      "  t = clock()\n"
+      "end\n"
+      "puts(\"done:\" + to_s(code))\n";
+}
+
+TEST(TimetravelHostileTest, RcontinueCrossesRecordedFork) {
+  auto tmp = TempDir::create("tth-cross");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  std::string out_dir = tmp.value().path();
+  std::string program = crossing_program(out_dir);
+
+  ReplayOutcome recorded = run_ml_record(dir, program);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  auto child = read_file(out_dir + "/child.txt");
+  ASSERT_TRUE(child.is_ok());
+
+  Options opts;
+  opts.every = 1u << 19;  // one eager checkpoint, then nothing
+  opts.max_live = 4;
+  opts.pause_dir = out_dir;
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, program, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+  EXPECT_EQ(replayed.outcome().info.mode, Mode::kReplay)
+      << replayed.outcome().info.divergence_reason;
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  ASSERT_EQ(snap.taken, 1u) << "fixture expects exactly the eager checkpoint";
+  ASSERT_FALSE(snap.ring.empty());
+  // The target sits deep in the post-reap tail; the lone checkpoint is
+  // in the prologue, so the resume must replay THROUGH fork + waitpid.
+  const std::uint64_t target = recorded.info.step * 9 / 10;
+  ASSERT_LT(snap.ring.front().step, recorded.info.step / 2)
+      << "checkpoint landed too late to force a fork crossing";
+  expect_identical_resumes(out_dir, target, 5);
+
+  // The re-executed child replays its subtree log: same rand, same
+  // bytes — the recorded file must survive five rewrites unchanged.
+  EXPECT_EQ(read_file(out_dir + "/child.txt").value_or(""), child.value());
+}
+
+// ---- checkpoint boundary while a sibling holds a VM mutex ----
+// The worker grinds through its loop holding m; main parks on lock(m).
+// Every boundary in that window sees two live interpreter threads —
+// one of them mid-critical-section — and must defer, because a fork
+// there would snapshot a world whose lock owner evaporates on resume.
+
+const char* kMutexHolder =
+    "for i in 70\n"
+    "  t = clock()\n"
+    "end\n"
+    "m = mutex()\n"
+    "fn worker()\n"
+    "  lock(m)\n"
+    "  for i in 120\n"
+    "    x = rand(5)\n"
+    "    t = clock()\n"
+    "  end\n"
+    "  unlock(m)\n"
+    "end\n"
+    "w = spawn(worker)\n"
+    "lock(m)\n"
+    "unlock(m)\n"
+    "join(w)\n"
+    "for i in 70\n"
+    "  t = clock()\n"
+    "end\n"
+    "puts(\"end\")\n";
+
+TEST(TimetravelHostileTest, CheckpointDefersWhileSiblingHoldsVmMutex) {
+  auto tmp = TempDir::create("tth-mutex");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kMutexHolder);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  Options opts;
+  opts.every = 1;  // attempt at every boundary: maximal pressure
+  opts.max_live = 8;
+  opts.pause_dir = tmp.value().path();
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, kMutexHolder, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+  EXPECT_EQ(replayed.outcome().info.mode, Mode::kReplay)
+      << replayed.outcome().info.divergence_reason;
+  EXPECT_EQ(replayed.outcome().output, recorded.output);
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  EXPECT_GE(snap.deferred, 1u)
+      << "no boundary deferred: the mutex-holding window was never hit";
+  ASSERT_GE(snap.taken, 1u);
+  // Nothing in the ring may date from the threaded window: a resume
+  // from each slot must still converge (a mid-threads snapshot would
+  // diverge — its recorded schedule names threads that do not exist).
+  expect_identical_resumes(tmp.value().path(), recorded.info.step, 3);
+}
+
+// ---- checkpoint corpse on the resume path ----
+
+const char* kLongLoop =
+    "n = 0\n"
+    "for i in 500\n"
+    "  n = n + rand(3)\n"
+    "  t = clock()\n"
+    "end\n"
+    "puts(\"sum:\" + to_s(n))\n";
+
+TEST(TimetravelHostileTest, ResumeReroutesAroundKilledCheckpoint) {
+  auto tmp = TempDir::create("tth-kill");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kLongLoop);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  Options opts;
+  opts.every = 16;
+  opts.max_live = 8;
+  opts.pause_dir = tmp.value().path();
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, kLongLoop, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  ASSERT_GE(snap.ring.size(), 2u) << "need a fallback checkpoint to reroute";
+
+  // Murder the checkpoint resume_to would pick for an end-of-log
+  // target: the latest one.
+  const CheckpointInfo* latest = nullptr;
+  for (const CheckpointInfo& ckpt : snap.ring) {
+    if (!ckpt.alive) continue;
+    if (latest == nullptr || ckpt.step > latest->step) latest = &ckpt;
+  }
+  ASSERT_NE(latest, nullptr);
+  ASSERT_EQ(::kill(latest->pid, SIGKILL), 0);
+  // Let the kernel turn it into a reapable zombie; resume_to must cope
+  // either way (its reaper poll catches it, or the dead pipe does).
+  sleep_for_millis(200);
+
+  auto ticket = CheckpointManager::instance().resume_to(recorded.info.step);
+  ASSERT_TRUE(ticket.is_ok()) << ticket.error().to_string();
+  EXPECT_LT(ticket.value().checkpoint_step, latest->step)
+      << "resume was not rerouted off the corpse";
+  Marker marker;
+  ASSERT_TRUE(await_marker(tmp.value().path(), ticket.value().pid, &marker));
+  EXPECT_EQ(marker.status, "ok");
+  EXPECT_GE(marker.step, ticket.value().target_step);
+
+  // The live session is unaffected: the manager is still active, the
+  // corpse is counted, and further resumes keep working.
+  Snapshot after = CheckpointManager::instance().snapshot();
+  EXPECT_TRUE(after.active);
+  EXPECT_GE(after.dead, 1u);
+  expect_identical_resumes(tmp.value().path(), recorded.info.step / 2, 2);
+}
+
+// ---- max_live=1 thrash ----
+
+TEST(TimetravelHostileTest, MaxLiveOneThrashStillResumes) {
+  auto tmp = TempDir::create("tth-thrash");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kLongLoop);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  Options opts;
+  opts.every = 16;
+  opts.max_live = 1;  // DIONEA_CKPT_MAX=1: every admission evicts
+  opts.pause_dir = tmp.value().path();
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, kLongLoop, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+  EXPECT_EQ(replayed.outcome().info.mode, Mode::kReplay)
+      << replayed.outcome().info.divergence_reason;
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  EXPECT_LE(snap.ring.size(), 1u);
+  EXPECT_GE(snap.evicted, 1u) << "thrash never evicted: ring not at capacity";
+  EXPECT_GT(snap.every, 16u) << "spacing never adapted under thrash";
+  ASSERT_FALSE(snap.ring.empty()) << "the lone survivor is gone";
+
+  // The survivor still time-travels: 3 identical resumes to a target
+  // at or past its step.
+  expect_identical_resumes(tmp.value().path(),
+                           snap.ring.front().step + 8, 3);
+}
+
+}  // namespace
+}  // namespace dionea::replay::tt

@@ -1,0 +1,274 @@
+// Time-travel end to end (ISSUE 9's flagship): a MiniSan-detected
+// data race, replayed BACKWARDS over the wire.
+//
+//   record racy run → replay under debugger with checkpoints + MiniSan
+//   → analysis-report names the first divergent write AND the DRLG
+//   step it was detected at → rbreak at that step + rcontinue
+//   (timetravel-resume) forks a resumer from the nearest earlier
+//   checkpoint → 20/20 resumes freeze at the same fingerprint.
+//
+// Plus the compatibility half of proto 1.6: a client speaking 1.5
+// completes a full breakpoint session against this server (additive
+// protocol — the server never forces the new verbs on an old client).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "client/session.hpp"
+#include "debugger/protocol.hpp"
+#include "ipc/frame.hpp"
+#include "ipc/socket.hpp"
+#include "replay/conformance/tt_testutil.hpp"
+#include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using replay::Engine;
+using replay::tt::await_marker;
+using replay::tt::CheckpointManager;
+using replay::tt::Marker;
+using replay::tt::Options;
+using test::DebugHarness;
+using test::HarnessOptions;
+using test::run_ml_record;
+namespace proto = dbg::proto;
+
+// Prologue long enough for pre-spawn checkpoints, a seeded race (two
+// unsynchronized bumpers), and a tail so the race step is strictly in
+// the past when the replayed run finishes.
+const char* kRacyWorld =
+    "for i in 150\n"
+    "  t = clock()\n"
+    "end\n"
+    "box = [0]\n"
+    "fn bump()\n"
+    "  i = 0\n"
+    "  while i < 20\n"
+    "    box[0] = box[0] + 1\n"
+    "    i = i + 1\n"
+    "  end\n"
+    "  return nil\n"
+    "end\n"
+    "t1 = spawn(bump)\n"
+    "t2 = spawn(bump)\n"
+    "join(t1)\n"
+    "join(t2)\n"
+    "for i in 60\n"
+    "  t = clock()\n"
+    "end\n"
+    "puts(box[0])\n";
+
+TEST(TimetravelE2eTest, MinisanRaceReplaysBackwards20x) {
+  auto tmp = TempDir::create("tt-e2e");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  std::string pause_dir = tmp.value().path();
+
+  test::ReplayOutcome recorded = run_ml_record(dir, kRacyWorld);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  // Replay the recorded schedule under the full debugger stack:
+  // checkpoints forking at boundaries, MiniSan watching for the race.
+  Engine& engine = Engine::instance();
+  ASSERT_TRUE(engine.start_replay(dir).is_ok());
+  analysis::Engine::instance().reset();
+  analysis::Engine::instance().enable();
+  {
+    DebugHarness harness(kRacyWorld, HarnessOptions{.stop_at_entry = false});
+    Options opts;
+    opts.every = 16;
+    opts.max_live = 8;
+    opts.pause_dir = pause_dir;
+    opts.exit_at_target = true;
+    ASSERT_TRUE(
+        CheckpointManager::instance().activate(harness.vm(), opts).is_ok());
+    client::Session* session = harness.launch();
+    vm::RunResult result = harness.join();
+    analysis::Engine::instance().disable();
+    ASSERT_TRUE(result.ok) << result.error.to_string();
+    EXPECT_EQ(harness.output(), recorded.output);
+
+    // The server's report names the race and stamps the DRLG step of
+    // the detection — the first write the detector could prove
+    // divergent. That stamp is the whole reverse-debugging anchor.
+    ASSERT_TRUE(session->supports(proto::kCapTimetravel));
+    auto report = session->analysis_report();
+    ASSERT_TRUE(report.is_ok()) << report.error().to_string();
+    const proto::AnalysisFindingWire* race = nullptr;
+    for (const proto::AnalysisFindingWire& finding :
+         report.value().findings) {
+      if (finding.kind == "data-race") {
+        race = &finding;
+        break;
+      }
+    }
+    ASSERT_NE(race, nullptr) << "MiniSan missed the seeded race";
+    EXPECT_NE(race->message.find("'box'"), std::string::npos);
+    ASSERT_GT(race->step, 0) << "race finding carries no replay step";
+
+    // timetravel-info: the ring is live and covers steps before the
+    // race.
+    auto tt_info = session->timetravel_info();
+    ASSERT_TRUE(tt_info.is_ok()) << tt_info.error().to_string();
+    EXPECT_TRUE(tt_info.value().active);
+    EXPECT_EQ(tt_info.value().role, "root");
+    ASSERT_FALSE(tt_info.value().checkpoints.empty());
+
+    // rbreak at the divergent write + rcontinue: the client resolves
+    // the nearest earlier break, the server forks the resumer from the
+    // nearest earlier checkpoint.
+    const std::uint64_t current =
+        static_cast<std::uint64_t>(tt_info.value().step);
+    std::vector<std::uint64_t> rbreaks{
+        static_cast<std::uint64_t>(race->step)};
+    std::int64_t resolved =
+        CheckpointManager::resolve_rcontinue(rbreaks, current);
+    ASSERT_EQ(resolved, race->step) << "race step is not in the past";
+
+    // The nearest live checkpoint at or before the target — the resume
+    // must start there, i.e. within one checkpoint interval of the
+    // race, never from the beginning.
+    std::int64_t nearest = -1;
+    for (const proto::TimetravelCheckpoint& ckpt :
+         tt_info.value().checkpoints) {
+      if (ckpt.alive && ckpt.step <= resolved && ckpt.step > nearest) {
+        nearest = ckpt.step;
+      }
+    }
+    ASSERT_GE(nearest, 0) << "no checkpoint precedes the race";
+
+    std::string reference;
+    for (int round = 0; round < 20; ++round) {
+      auto resumed = session->timetravel_resume(resolved);
+      ASSERT_TRUE(resumed.is_ok())
+          << "round " << round << ": " << resumed.error().to_string();
+      EXPECT_EQ(resumed.value().checkpoint_step, nearest)
+          << "round " << round << " resumed outside the checkpoint interval";
+      EXPECT_EQ(resumed.value().target_step, resolved);
+      Marker marker;
+      ASSERT_TRUE(await_marker(pause_dir, resumed.value().pid, &marker))
+          << "round " << round << ": no pause marker from pid "
+          << resumed.value().pid;
+      EXPECT_EQ(marker.status, "ok") << "round " << round;
+      EXPECT_GE(marker.step, static_cast<std::uint64_t>(resolved))
+          << "round " << round;
+      if (round == 0) {
+        reference = marker.fingerprint;
+        ASSERT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(marker.fingerprint, reference)
+            << "round " << round << " diverged from round 0";
+      }
+    }
+
+    CheckpointManager::instance().deactivate();
+  }
+  engine.stop();
+  analysis::Engine::instance().reset();
+}
+
+// A 1.5 client against this 1.6 server: the handshake succeeds (minor
+// skew is additive), and a complete breakpoint session — set, hit,
+// resume, finish — runs without the client ever hearing about time
+// travel. This is the silent-downgrade contract from the server's
+// side; the client side (new client, old server) lives in
+// version_skew_test.cpp.
+TEST(TimetravelE2eTest, ProtoOneDotFiveClientCompletesBreakpointSession) {
+  DebugHarness harness(
+      "x = 1\n"
+      "y = x + 1\n"
+      "puts(y)\n");
+  // No client::Session: this test IS the old client, speaking raw 1.5
+  // frames. stop_at_entry parks the debuggee until we say continue.
+
+  auto control = ipc::TcpStream::connect(harness.server().port());
+  ASSERT_TRUE(control.is_ok());
+  proto::Hello hello;
+  hello.channel = proto::kChannelControl;
+  hello.pid = 0;
+  hello.proto_major = proto::kProtoMajor;
+  hello.proto_minor = 5;  // one minor behind
+  ASSERT_TRUE(ipc::send_frame(control.value(), hello.to_wire()).is_ok());
+
+  auto events = ipc::TcpStream::connect(harness.server().port());
+  ASSERT_TRUE(events.is_ok());
+  proto::Hello ev_hello = hello;
+  ev_hello.channel = proto::kChannelEvents;
+  ASSERT_TRUE(ipc::send_frame(events.value(), ev_hello.to_wire()).is_ok());
+
+  std::int64_t seq = 0;
+  auto send_cmd = [&](const char* name,
+                      auto fill) -> Result<ipc::wire::Value> {
+    ipc::wire::Value frame;
+    frame.set("cmd", name);
+    frame.set("seq", ++seq);
+    fill(frame);
+    DIONEA_RETURN_IF_ERROR(ipc::send_frame(control.value(), frame));
+    for (;;) {
+      auto reply = ipc::recv_frame_timeout(control.value(), 5000);
+      DIONEA_RETURN_IF_ERROR(reply.status());
+      if (reply.value().get_int("re") != seq) continue;  // stale
+      if (!reply.value().get_bool("ok")) {
+        return Error(ErrorCode::kInternal,
+                     reply.value().get_string("error"));
+      }
+      return reply.value();
+    }
+  };
+
+  // Arm the breakpoint before the debuggee runs a single statement.
+  auto set = send_cmd("break_set", [](ipc::wire::Value& f) {
+    f.set("file", "test.ml");
+    f.set("line", 3);
+    f.set("tid", 0);
+    f.set("ignore", 0);
+  });
+  ASSERT_TRUE(set.is_ok()) << set.error().to_string();
+  EXPECT_GT(set.value().get_int("id"), 0);
+
+  // The debuggee parks at entry (stop_at_entry default) and announces
+  // it on the events channel. Returns the stopped tid (0 = never saw
+  // the stop).
+  harness.start_debuggee();
+  auto wait_stop = [&](int line) -> std::int64_t {
+    for (int i = 0; i < 50; ++i) {
+      auto event = ipc::recv_frame_timeout(events.value(), 5000);
+      if (!event.is_ok()) return 0;
+      if (event.value().get_string("event") != "stopped") continue;
+      if (line == 0 || event.value().get_int("line") == line) {
+        return event.value().get_int("tid");
+      }
+    }
+    return 0;
+  };
+  std::int64_t entry_tid = wait_stop(0);
+  ASSERT_NE(entry_tid, 0) << "1.5 client never saw the entry stop";
+
+  auto cont = send_cmd("continue", [&](ipc::wire::Value& f) {
+    f.set("tid", entry_tid);
+  });
+  ASSERT_TRUE(cont.is_ok()) << cont.error().to_string();
+
+  // The run stops again — this time at our breakpoint on line 3.
+  std::int64_t break_tid = wait_stop(3);
+  EXPECT_NE(break_tid, 0) << "1.5 client never saw its breakpoint hit";
+
+  auto cont2 = send_cmd("continue", [&](ipc::wire::Value& f) {
+    f.set("tid", break_tid);
+  });
+  ASSERT_TRUE(cont2.is_ok()) << cont2.error().to_string();
+
+  vm::RunResult result = harness.join();
+  EXPECT_TRUE(result.ok) << result.error.to_string();
+  EXPECT_EQ(harness.output(), "2\n");
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,284 @@
+// Replay-determinism conformance for time travel (ISSUE 9).
+//
+// The contract under test: resuming any checkpoint N times reaches an
+// IDENTICAL VM fingerprint (frame-stack hash, globals hash, step
+// counter) at the target step. The observation channel is the pause
+// marker a resumed process writes into Options::pause_dir — a plain
+// file, so the suite needs no protocol round-trip and works even when
+// the paused process has no debug server.
+//
+// Table of worlds: a single-threaded clock/rand loop, a thread
+// sandwich (single-threaded prologue, racy middle, suffix), and a
+// 2-level fork tree. 20/20 identical per world, per the acceptance
+// bar.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mp/vm_bindings.hpp"
+#include "replay/conformance/tt_testutil.hpp"
+#include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::replay::tt {
+namespace {
+
+using test::poll_until;
+using test::ReplayOutcome;
+using test::run_ml_record;
+
+// ---- world 1: single-threaded clock/rand loop ----
+
+const char* kClockLoop =
+    "n = 0\n"
+    "for i in 300\n"
+    "  n = n + rand(3)\n"
+    "  t = clock()\n"
+    "end\n"
+    "puts(\"sum:\" + to_s(n))\n";
+
+TEST(TimetravelConformanceTest, SingleThreadedResumesIdentically20x) {
+  auto tmp = TempDir::create("tt-single");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kClockLoop);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  ASSERT_GT(recorded.info.step, 200u) << "fixture recorded too few events";
+
+  Options opts;
+  opts.every = 16;
+  opts.max_live = 8;
+  opts.pause_dir = tmp.value().path();
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, kClockLoop, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+  EXPECT_EQ(replayed.outcome().info.mode, Mode::kReplay)
+      << replayed.outcome().info.divergence_reason;
+  EXPECT_EQ(replayed.outcome().output, recorded.output);
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  ASSERT_GE(snap.taken, 2u) << "need at least two checkpoints to time-travel";
+  ASSERT_FALSE(snap.ring.empty());
+
+  expect_identical_resumes(tmp.value().path(), recorded.info.step / 2, 20);
+}
+
+// "Any checkpoint": each surviving ring slot, resumed twice, must
+// reproduce itself — not just the one nearest the flagship target.
+TEST(TimetravelConformanceTest, EveryRingSlotReproducesItself) {
+  auto tmp = TempDir::create("tt-slots");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kClockLoop);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+
+  Options opts;
+  opts.every = 24;
+  opts.max_live = 6;
+  opts.pause_dir = tmp.value().path();
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, kClockLoop, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  ASSERT_FALSE(snap.ring.empty());
+  for (const CheckpointInfo& ckpt : snap.ring) {
+    if (!ckpt.alive) continue;
+    SCOPED_TRACE("checkpoint @" + std::to_string(ckpt.step));
+    expect_identical_resumes(tmp.value().path(), ckpt.step + 8, 2);
+  }
+}
+
+// ---- world 2: thread sandwich ----
+// Single-threaded prologue (where checkpoints land), a racy 3-thread
+// middle (where checkpointing defers and the target sits), suffix.
+
+const char* kThreadSandwich =
+    "for i in 200\n"
+    "  x = rand(3)\n"
+    "  t = clock()\n"
+    "end\n"
+    "q = queue()\n"
+    "fn worker(name)\n"
+    "  for i in 80\n"
+    "    x = rand(5)\n"
+    "    t = clock()\n"
+    "  end\n"
+    "  q.push(name)\n"
+    "end\n"
+    "t1 = spawn(worker, \"a\")\n"
+    "t2 = spawn(worker, \"b\")\n"
+    "t3 = spawn(worker, \"c\")\n"
+    "for i in 3\n"
+    "  puts(\"done:\" + q.pop())\n"
+    "end\n"
+    "join(t1)\njoin(t2)\njoin(t3)\n"
+    "for i in 40\n"
+    "  t = clock()\n"
+    "end\n"
+    "puts(\"end\")\n";
+
+TEST(TimetravelConformanceTest, ThreadedResumesIdentically20x) {
+  auto tmp = TempDir::create("tt-threads");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kThreadSandwich);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  ASSERT_GT(recorded.info.step, 250u);
+
+  Options opts;
+  opts.every = 16;
+  opts.max_live = 8;
+  opts.pause_dir = tmp.value().path();
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, kThreadSandwich, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+  EXPECT_EQ(replayed.outcome().info.mode, Mode::kReplay)
+      << replayed.outcome().info.divergence_reason;
+  EXPECT_EQ(replayed.outcome().output, recorded.output);
+
+  Snapshot snap = CheckpointManager::instance().snapshot();
+  ASSERT_GE(snap.taken, 1u)
+      << "deferred=" << snap.deferred << " evicted=" << snap.evicted
+      << " dead=" << snap.dead << " next_at=" << snap.next_at
+      << " every=" << snap.every << " active=" << snap.active
+      << " replay step=" << Engine::instance().replay_step();
+  // The racy middle must have deferred at least one boundary: a fork
+  // with siblings live is not a coherent snapshot.
+  EXPECT_GE(snap.deferred, 1u);
+
+  // ~60% through the log lands inside the threaded middle.
+  expect_identical_resumes(tmp.value().path(),
+                           recorded.info.step * 6 / 10, 20);
+}
+
+// ---- world 3: 2-level fork tree ----
+// A resumer that crosses the recorded fork re-executes it: the child
+// replays its own subtree log from scratch (stop gate cleared — it is
+// parent-log-relative) and rewrites its files with the recorded rand
+// values, so the tree's outputs stay byte-identical per resume.
+
+std::string fork_tree_program(const std::string& out_dir) {
+  return
+      "for i in 80\n"
+      "  t = clock()\n"
+      "end\n"
+      "pid = fork(fn()\n"
+      "  inner = fork(fn()\n"
+      "    write_file(\"" + out_dir + "/grandchild.txt\", \"gc:\" + to_s(rand(1000)))\n"
+      "  end)\n"
+      "  code = waitpid(inner)\n"
+      "  write_file(\"" + out_dir + "/child.txt\", \"c:\" + to_s(code) + \":\" + to_s(rand(1000)))\n"
+      "end)\n"
+      "for i in 80\n"
+      "  t = clock()\n"
+      "end\n"
+      "puts(\"child:\" + to_s(waitpid(pid)))\n"
+      // A resume that crosses the fork re-executes it and gets a fresh
+      // real pid; zeroing the global after the reap keeps fingerprints
+      // at any post-reap target pid-free, hence byte-identical.
+      "pid = 0\n"
+      "for i in 150\n"
+      "  t = clock()\n"
+      "end\n"
+      "puts(\"end\")\n";
+}
+
+TEST(TimetravelConformanceTest, ForkTreeResumesIdentically20x) {
+  auto tmp = TempDir::create("tt-forks");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  std::string out_dir = tmp.value().path();
+  std::string program = fork_tree_program(out_dir);
+
+  ReplayOutcome recorded = run_ml_record(dir, program);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  auto child = read_file(out_dir + "/child.txt");
+  auto grandchild = read_file(out_dir + "/grandchild.txt");
+  ASSERT_TRUE(child.is_ok() && grandchild.is_ok());
+
+  Options opts;
+  opts.every = 16;
+  opts.max_live = 8;
+  opts.pause_dir = out_dir;
+  opts.exit_at_target = true;
+  CheckpointedReplay replayed(dir, program, opts);
+  ASSERT_TRUE(replayed.outcome().ok) << replayed.outcome().error_message;
+  EXPECT_EQ(replayed.outcome().info.mode, Mode::kReplay)
+      << replayed.outcome().info.divergence_reason;
+
+  // Target past the fork + reap: every resume re-runs the subtree.
+  expect_identical_resumes(out_dir, recorded.info.step * 7 / 10, 20);
+
+  EXPECT_EQ(read_file(out_dir + "/child.txt").value_or(""), child.value());
+  EXPECT_EQ(read_file(out_dir + "/grandchild.txt").value_or(""),
+            grandchild.value());
+}
+
+// ---- the pause machinery itself, without any forking ----
+// set_stop_at_step + await_step + fingerprint_of: arm the gate before
+// the run, let the program park, fingerprint it twice (stable), then
+// release the gate and let it finish.
+
+TEST(TimetravelConformanceTest, StopGateParksAndReleasesInProcess) {
+  auto tmp = TempDir::create("tt-gate");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+
+  ReplayOutcome recorded = run_ml_record(dir, kClockLoop);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  const std::uint64_t target = recorded.info.step / 2;
+
+  Engine& engine = Engine::instance();
+  ASSERT_TRUE(engine.start_replay(dir).is_ok());
+  engine.set_stop_at_step(target);
+  vm::Interp interp;
+  mp::install_vm_bindings(interp.vm());
+  interp.vm().set_output([](std::string_view) {});
+  std::thread runner([&] { interp.run_string(kClockLoop, "test.ml"); });
+
+  Status arrived = engine.await_step(target, 20'000);
+  EXPECT_TRUE(arrived.is_ok()) << arrived.to_string();
+  EXPECT_GE(engine.replay_step(), target);
+  EXPECT_TRUE(engine.stop_gated());
+  // Let the gated thread drain its dispatch tail and park.
+  ASSERT_TRUE(poll_until([&] { return interp.vm().gil().owner() == 0; }));
+  std::uint64_t paused_at = engine.replay_step();
+  Fingerprint first = fingerprint_of(interp.vm());
+  Fingerprint second = fingerprint_of(interp.vm());
+  EXPECT_EQ(first, second) << first.to_string() << " vs "
+                           << second.to_string();
+  EXPECT_EQ(first.step, paused_at);
+  EXPECT_LT(paused_at, recorded.info.step) << "gate did not stop the run";
+
+  engine.set_stop_at_step(0);  // release
+  runner.join();
+  EXPECT_EQ(engine.replay_step(), recorded.info.step)
+      << "released run did not finish the log";
+  engine.stop();
+}
+
+TEST(TimetravelConformanceTest, AwaitStepTimesOutWhenNothingRuns) {
+  auto tmp = TempDir::create("tt-await");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  ReplayOutcome recorded = run_ml_record(dir, "t = clock()\nputs(\"x\")\n");
+  ASSERT_TRUE(recorded.ok);
+
+  Engine& engine = Engine::instance();
+  ASSERT_TRUE(engine.start_replay(dir).is_ok());
+  Status st = engine.await_step(recorded.info.step, 100);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.error().code(), ErrorCode::kTimeout);
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace dionea::replay::tt

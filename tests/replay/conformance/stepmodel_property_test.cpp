@@ -1,0 +1,245 @@
+// Property test for reverse-execution step accounting (ISSUE 9).
+//
+// Fuzzes random rstep/step/rbreak/rcontinue/checkpoint sequences
+// against a shadow model of the planning helpers the console and the
+// CheckpointManager share. Every check is a closed-form invariant, so
+// a violation reports the op index, the op, and the step it happened
+// at — and nothing here can hang: all loops are bounded by the
+// sequence length.
+//
+// The engine-level half replays one recorded fixture under randomly
+// placed stop gates: the same target must pause at the same step every
+// time (the in-process complement of the forked conformance suite).
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mp/vm_bindings.hpp"
+#include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
+#include "support/strings.hpp"
+#include "support/temp_file.hpp"
+#include "testutil.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::replay::tt {
+namespace {
+
+using test::poll_until;
+using test::ReplayOutcome;
+using test::run_ml_record;
+
+// ---- closed-form unit checks first: the anchors the fuzz leans on ----
+
+TEST(StepModelTest, ResolveRstepWalksBackwardsAndSaturates) {
+  EXPECT_EQ(CheckpointManager::resolve_rstep(100, 1), 99u);
+  EXPECT_EQ(CheckpointManager::resolve_rstep(100, 40), 60u);
+  EXPECT_EQ(CheckpointManager::resolve_rstep(5, 5), 0u);
+  EXPECT_EQ(CheckpointManager::resolve_rstep(5, 50), 0u);
+  EXPECT_EQ(CheckpointManager::resolve_rstep(0, 1), 0u);
+}
+
+TEST(StepModelTest, ResolveRcontinuePicksNearestEarlierBreak) {
+  std::vector<std::uint64_t> breaks = {10, 50, 90};
+  EXPECT_EQ(CheckpointManager::resolve_rcontinue(breaks, 60), 50);
+  EXPECT_EQ(CheckpointManager::resolve_rcontinue(breaks, 91), 90);
+  EXPECT_EQ(CheckpointManager::resolve_rcontinue(breaks, 90), 50);
+  EXPECT_EQ(CheckpointManager::resolve_rcontinue(breaks, 10), -1);
+  EXPECT_EQ(CheckpointManager::resolve_rcontinue({}, 100), -1);
+}
+
+TEST(StepModelTest, PickCheckpointFindsNearestAtOrBefore) {
+  std::vector<std::uint64_t> steps = {10, 40, 80};
+  EXPECT_EQ(CheckpointManager::pick_checkpoint(steps, 50), 1);
+  EXPECT_EQ(CheckpointManager::pick_checkpoint(steps, 40), 1);
+  EXPECT_EQ(CheckpointManager::pick_checkpoint(steps, 5), -1);
+  EXPECT_EQ(CheckpointManager::pick_checkpoint(steps, 500), 2);
+  EXPECT_EQ(CheckpointManager::pick_checkpoint({}, 500), -1);
+}
+
+TEST(StepModelTest, PlanInsertDoublesSpacingAndKeepsEvenSlots) {
+  std::vector<std::uint64_t> steps = {0, 16, 32, 48};
+  std::uint64_t every = 16;
+  std::vector<std::uint64_t> evicted;
+  CheckpointManager::plan_insert(steps, 64, 4, &every, &evicted);
+  EXPECT_EQ(every, 32u);
+  EXPECT_EQ(steps, (std::vector<std::uint64_t>{0, 32, 64}));
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{16, 48}));
+}
+
+TEST(StepModelTest, PlanInsertMaxLiveOneEvictsTheLoneOccupant) {
+  std::vector<std::uint64_t> steps = {100};
+  std::uint64_t every = 8;
+  std::vector<std::uint64_t> evicted;
+  CheckpointManager::plan_insert(steps, 200, 1, &every, &evicted);
+  EXPECT_EQ(steps, (std::vector<std::uint64_t>{200}));
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{100}));
+}
+
+// ---- the fuzz: random command sequences vs the shadow model ----
+
+struct Shadow {
+  std::uint64_t total = 0;
+  std::uint64_t current = 0;
+  std::vector<std::uint64_t> breaks;
+  std::vector<std::uint64_t> checkpoints;
+  std::uint64_t every = 8;
+};
+
+std::string state_of(const Shadow& s, int op_index, const std::string& op) {
+  return strings::format("op #%d (%s) at step %llu", op_index, op.c_str(),
+                         static_cast<unsigned long long>(s.current));
+}
+
+TEST(StepModelPropertyTest, RandomSequencesAgreeWithShadowModel) {
+  for (std::uint32_t seed = 1; seed <= 40; ++seed) {
+    std::mt19937 rng(seed);
+    Shadow s;
+    s.total = 200 + rng() % 1800;
+    s.current = s.total;
+    const int max_live = 1 + static_cast<int>(rng() % 8);
+
+    for (int op = 0; op < 64; ++op) {
+      switch (rng() % 5) {
+        case 0: {  // rstep n
+          std::uint64_t n = 1 + rng() % 300;
+          std::uint64_t target = CheckpointManager::resolve_rstep(s.current, n);
+          ASSERT_LE(target, s.current) << state_of(s, op, "rstep");
+          ASSERT_EQ(target, n >= s.current ? 0 : s.current - n)
+              << state_of(s, op, "rstep") << ": walked to " << target
+              << " instead of " << (n >= s.current ? 0 : s.current - n);
+          s.current = target;
+          break;
+        }
+        case 1: {  // step n (forward, clamped at the log end)
+          std::uint64_t n = 1 + rng() % 300;
+          s.current = std::min(s.current + n, s.total);
+          break;
+        }
+        case 2: {  // rbreak
+          s.breaks.push_back(rng() % s.total);
+          break;
+        }
+        case 3: {  // rcontinue
+          std::int64_t target =
+              CheckpointManager::resolve_rcontinue(s.breaks, s.current);
+          bool any_earlier = false;
+          for (std::uint64_t b : s.breaks) any_earlier |= b < s.current;
+          if (target < 0) {
+            ASSERT_FALSE(any_earlier)
+                << state_of(s, op, "rcontinue")
+                << ": reported no break but one exists before the cursor";
+            break;
+          }
+          ASSERT_LT(static_cast<std::uint64_t>(target), s.current)
+              << state_of(s, op, "rcontinue");
+          bool is_break = false, skipped = false;
+          for (std::uint64_t b : s.breaks) {
+            is_break |= b == static_cast<std::uint64_t>(target);
+            skipped |= b > static_cast<std::uint64_t>(target) && b < s.current;
+          }
+          ASSERT_TRUE(is_break) << state_of(s, op, "rcontinue")
+                                << ": landed on a non-break step " << target;
+          ASSERT_FALSE(skipped) << state_of(s, op, "rcontinue")
+                                << ": skipped a nearer break";
+          s.current = static_cast<std::uint64_t>(target);
+          break;
+        }
+        case 4: {  // checkpoint admission at the cursor
+          std::vector<std::uint64_t> before = s.checkpoints;
+          std::vector<std::uint64_t> evicted;
+          std::uint64_t every_before = s.every;
+          CheckpointManager::plan_insert(s.checkpoints, s.current, max_live,
+                                         &s.every, &evicted);
+          ASSERT_LE(static_cast<int>(s.checkpoints.size()), max_live)
+              << state_of(s, op, "checkpoint") << ": ring overflowed";
+          ASSERT_EQ(s.checkpoints.back(), s.current)
+              << state_of(s, op, "checkpoint");
+          ASSERT_GE(s.every, every_before)
+              << state_of(s, op, "checkpoint") << ": spacing shrank";
+          // Conservation: kept + evicted == before + the new step.
+          std::multiset<std::uint64_t> lhs(s.checkpoints.begin(),
+                                           s.checkpoints.end());
+          lhs.insert(evicted.begin(), evicted.end());
+          std::multiset<std::uint64_t> rhs(before.begin(), before.end());
+          rhs.insert(s.current);
+          ASSERT_EQ(lhs, rhs) << state_of(s, op, "checkpoint")
+                              << ": admission lost or invented a checkpoint";
+          break;
+        }
+      }
+      // Whatever the sequence did, resume resolution stays coherent.
+      std::int64_t idx =
+          CheckpointManager::pick_checkpoint(s.checkpoints, s.current);
+      if (idx >= 0) {
+        std::uint64_t step = s.checkpoints[static_cast<std::size_t>(idx)];
+        ASSERT_LE(step, s.current) << state_of(s, op, "pick");
+        for (std::uint64_t c : s.checkpoints) {
+          ASSERT_FALSE(c <= s.current && c > step)
+              << state_of(s, op, "pick") << ": " << c
+              << " is nearer than picked " << step;
+        }
+      } else {
+        for (std::uint64_t c : s.checkpoints) {
+          ASSERT_GT(c, s.current)
+              << state_of(s, op, "pick")
+              << ": a usable checkpoint was not found";
+        }
+      }
+    }
+  }
+}
+
+// ---- engine half: random stop-gate placement is deterministic ----
+
+TEST(StepModelPropertyTest, RandomGateTargetsPauseAtTheSameStepTwice) {
+  auto tmp = TempDir::create("tt-gatefuzz");
+  ASSERT_TRUE(tmp.is_ok());
+  std::string dir = tmp.value().file("logs");
+  const char* program =
+      "n = 0\n"
+      "for i in 200\n"
+      "  n = n + rand(7)\n"
+      "  t = clock()\n"
+      "end\n"
+      "puts(to_s(n))\n";
+  ReplayOutcome recorded = run_ml_record(dir, program);
+  ASSERT_TRUE(recorded.ok) << recorded.error_message;
+  ASSERT_GT(recorded.info.step, 100u);
+
+  std::mt19937 rng(7);
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t target =
+        20 + rng() % (recorded.info.step - 80);  // clear of the tail
+    std::uint64_t paused[2] = {0, 0};
+    for (int run = 0; run < 2; ++run) {
+      Engine& engine = Engine::instance();
+      ASSERT_TRUE(engine.start_replay(dir).is_ok());
+      engine.set_stop_at_step(target);
+      vm::Interp interp;
+      mp::install_vm_bindings(interp.vm());
+      interp.vm().set_output([](std::string_view) {});
+      std::thread runner([&] { interp.run_string(program, "test.ml"); });
+      Status arrived = engine.await_step(target, 20'000);
+      EXPECT_TRUE(arrived.is_ok())
+          << "target " << target << ": " << arrived.to_string();
+      ASSERT_TRUE(poll_until([&] { return interp.vm().gil().owner() == 0; }))
+          << "target " << target << " never parked";
+      paused[run] = engine.replay_step();
+      EXPECT_GE(paused[run], target);
+      engine.set_stop_at_step(0);
+      runner.join();
+      engine.stop();
+    }
+    EXPECT_EQ(paused[0], paused[1])
+        << "target " << target << " paused at different steps";
+  }
+}
+
+}  // namespace
+}  // namespace dionea::replay::tt

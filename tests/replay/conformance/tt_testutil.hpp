@@ -1,0 +1,162 @@
+// Shared fixtures for the time-travel suites (conformance + hostile).
+//
+// The observation channel is the pause marker a resumed checkpoint
+// writes into Options::pause_dir — a plain file, so tests need no
+// protocol round-trip and work even when the paused process has no
+// debug server. CheckpointedReplay is run_ml_replay's stateful cousin:
+// it keeps the VM and the checkpoint ring alive after the run so tests
+// can resume checkpoints against them.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mp/vm_bindings.hpp"
+#include "replay/replay.hpp"
+#include "replay/timetravel.hpp"
+#include "support/temp_file.hpp"
+#include "support/timing.hpp"
+#include "testutil.hpp"
+#include "vm/interp.hpp"
+
+namespace dionea::replay::tt {
+
+// ---- pause-marker plumbing ----
+
+struct Marker {
+  std::string status;
+  std::uint64_t target = 0;
+  std::uint64_t step = 0;
+  std::string fingerprint;  // the full "step=... frames=... globals=..." line
+};
+
+inline bool parse_marker(const std::string& text, Marker* out) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  if (lines.size() < 3) return false;
+  if (lines[0].rfind("status=", 0) != 0) return false;
+  out->status = lines[0].substr(7);
+  if (lines[1].rfind("target=", 0) != 0) return false;
+  out->target = std::strtoull(lines[1].c_str() + 7, nullptr, 10);
+  if (lines[2].rfind("step=", 0) != 0) return false;
+  out->step = std::strtoull(lines[2].c_str() + 5, nullptr, 10);
+  out->fingerprint = lines[2];
+  return true;
+}
+
+// Wait for the resumer `pid` to pause and publish its marker.
+inline bool await_marker(const std::string& pause_dir, int pid, Marker* out,
+                         int timeout_millis = 30'000) {
+  const std::string path = pause_dir + "/pause." + std::to_string(pid);
+  if (!test::poll_until([&] { return read_file(path).is_ok(); },
+                        timeout_millis)) {
+    return false;
+  }
+  auto text = read_file(path);
+  return text.is_ok() && parse_marker(text.value(), out);
+}
+
+// ---- checkpointed replay fixture ----
+//
+// Like test::run_ml_replay, but activates the checkpoint manager on
+// the fresh VM before the run and keeps BOTH the manager and the VM
+// alive afterwards so the test can resume checkpoints. The destructor
+// quits the ring and stops the engine. Checkpoint children _Exit
+// inside their park loop; a resumer that outruns its target to the end
+// of the program leaves through the is_forked_child _exit below and
+// never returns into gtest.
+class CheckpointedReplay {
+ public:
+  CheckpointedReplay(const std::string& dir, const std::string& source,
+                     const Options& opts) {
+    Engine& engine = Engine::instance();
+    Status started = engine.start_replay(dir);
+    DIONEA_CHECK(started.is_ok(), "start_replay");
+    interp_ = std::make_unique<vm::Interp>();
+    mp::install_vm_bindings(interp_->vm());
+    interp_->vm().set_output([this](std::string_view text) {
+      outcome_.output.append(text);
+    });
+    Status activated =
+        CheckpointManager::instance().activate(interp_->vm(), opts);
+    DIONEA_CHECK(activated.is_ok(), "checkpoint activate");
+    vm::RunResult result = interp_->run_string(source, "test.ml");
+    if (interp_->vm().is_forked_child()) {
+      // A resumer whose target sat close to the log end can finish the
+      // program before its next switch point parks it. The watcher
+      // still owes the marker (await_step's goal is clamped to the log
+      // length) — park here and let its exit_at_target _Exit land.
+      if (CheckpointManager::instance().role() == Role::kResumed) {
+        sleep_for_millis(70'000);
+      }
+      engine.flush();
+      std::fflush(nullptr);
+      ::_exit(result.exited ? result.exit_code : (result.ok ? 0 : 1));
+    }
+    outcome_.ok = result.ok;
+    outcome_.exited = result.exited;
+    outcome_.exit_code = result.exit_code;
+    if (!result.ok) outcome_.error_message = result.error.to_string();
+    outcome_.info = engine.info();
+  }
+
+  ~CheckpointedReplay() {
+    CheckpointManager::instance().deactivate();
+    Engine::instance().stop();
+  }
+
+  vm::Vm& vm() { return interp_->vm(); }
+  const test::ReplayOutcome& outcome() const noexcept { return outcome_; }
+
+ private:
+  std::unique_ptr<vm::Interp> interp_;
+  test::ReplayOutcome outcome_;
+};
+
+// Resume to `target` `rounds` times; every marker must agree with the
+// first one byte-for-byte (status ok, same fingerprint line).
+inline void expect_identical_resumes(const std::string& pause_dir,
+                                     std::uint64_t target, int rounds) {
+  CheckpointManager& mgr = CheckpointManager::instance();
+  std::string reference;
+  for (int round = 0; round < rounds; ++round) {
+    auto ticket = mgr.resume_to(target);
+    ASSERT_TRUE(ticket.is_ok())
+        << "round " << round << ": " << ticket.error().to_string();
+    // resume_to clamps targets past the log end to the log length.
+    const std::uint64_t effective = ticket.value().target_step;
+    EXPECT_LE(ticket.value().checkpoint_step, effective) << "round " << round;
+    Marker marker;
+    ASSERT_TRUE(await_marker(pause_dir, ticket.value().pid, &marker))
+        << "round " << round << ": no pause marker from pid "
+        << ticket.value().pid;
+    EXPECT_EQ(marker.status, "ok") << "round " << round;
+    EXPECT_EQ(marker.target, effective) << "round " << round;
+    EXPECT_GE(marker.step, effective) << "round " << round;
+    if (round == 0) {
+      reference = marker.fingerprint;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(marker.fingerprint, reference)
+          << "round " << round << " diverged from round 0";
+    }
+  }
+}
+
+}  // namespace dionea::replay::tt

@@ -19,7 +19,6 @@
 namespace dionea::replay {
 namespace {
 
-using test::poll_until;
 using test::ReplayOutcome;
 using test::run_ml;
 using test::run_ml_record;
@@ -62,6 +61,10 @@ TEST(ReplayDeterminismTest, ThreadScheduleReplaysIdentically20x) {
         << "round " << round << " diverged at step "
         << replayed.info.divergence_step << ": "
         << replayed.info.divergence_reason;
+    // Step accounting, not log-tail grepping: a complete replay
+    // consumed every recorded event.
+    EXPECT_EQ(replayed.info.step, replayed.info.total_steps)
+        << "round " << round << " finished without draining the log";
     ASSERT_EQ(replayed.output, recorded.output) << "round " << round;
   }
 }
@@ -120,14 +123,19 @@ TEST(ReplayDeterminismTest, ForkTreeReplaysIdentically20x) {
     EXPECT_EQ(replayed.info.mode, Mode::kReplay)
         << "round " << round << ": " << replayed.info.divergence_reason;
     ASSERT_EQ(replayed.output, recorded.output) << "round " << round;
+    // The parent's waitpid drains the whole tree before the run
+    // returns, and a fully-consumed log proves it: replay_step() (the
+    // public counter behind info.step) replaces the old sleep-poll on
+    // file contents that flaked when a child's write raced the check.
+    ASSERT_EQ(replayed.info.step, replayed.info.total_steps)
+        << "round " << round << " finished without draining the log";
     // Children replay their own subtree logs, including the recorded
     // rand() values — the files must match without scrubbing.
-    ASSERT_TRUE(poll_until([&] {
-      auto c = read_file(out_dir + "/child.txt");
-      auto g = read_file(out_dir + "/grandchild.txt");
-      return c.is_ok() && g.is_ok() && c.value() == child.value() &&
-             g.value() == grandchild.value();
-    })) << "round " << round;
+    auto c = read_file(out_dir + "/child.txt");
+    auto g = read_file(out_dir + "/grandchild.txt");
+    ASSERT_TRUE(c.is_ok() && g.is_ok()) << "round " << round;
+    EXPECT_EQ(c.value(), child.value()) << "round " << round;
+    EXPECT_EQ(g.value(), grandchild.value()) << "round " << round;
   }
 }
 

@@ -270,8 +270,10 @@ class DebugHarness {
     server_->stop();
   }
 
-  // Start the debuggee and attach the client (one session, claimed).
-  client::Session* launch() {
+  // Start the debuggee WITHOUT attaching the modern client: for tests
+  // that speak raw wire frames (version-skew clients), where the raw
+  // connection must be the one claimed control channel.
+  void start_debuggee() {
     runner_ = std::thread([this] {
       vm::RunResult run = interp_->run_string(program_, "test.ml");
       if (interp_->vm().is_forked_child()) {
@@ -281,6 +283,11 @@ class DebugHarness {
       result_ = run;
       finished_.store(true);
     });
+  }
+
+  // Start the debuggee and attach the client (one session, claimed).
+  client::Session* launch() {
+    start_debuggee();
     auto refreshed = client_->refresh(5000);
     DIONEA_CHECK(refreshed.is_ok() && refreshed.value() >= 1,
                  "harness attach");

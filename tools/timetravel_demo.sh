@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Backwards race replay, end to end (ISSUE 9's flagship demo).
+#
+# Usage:
+#   tools/timetravel_demo.sh [build-dir]
+#
+# Drives the full pipeline: record a racy run, replay it under the
+# debugger with fork-based checkpoints and MiniSan armed, read the
+# data-race finding's DRLG step off the analysis report, then
+# rcontinue to it 20 times — every resume must freeze at the same VM
+# fingerprint within one checkpoint interval of the racing write. The
+# pipeline lives in timetravel_e2e_test (so CI runs the identical
+# thing); this script builds it if needed and runs it verbosely,
+# followed by the spacing/latency bench for the economics half.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+TEST="${BUILD_DIR}/tests/timetravel_e2e_test"
+if [[ ! -x "${TEST}" ]]; then
+  echo "timetravel_demo.sh: building timetravel_e2e_test..."
+  cmake --build "${BUILD_DIR}" --target timetravel_e2e_test bench_timetravel
+fi
+
+echo "=== backwards race replay: 20/20 identical resumes ==="
+"${TEST}" --gtest_filter='TimetravelE2eTest.MinisanRaceReplaysBackwards20x'
+
+echo
+echo "=== proto-1.5 client, silent downgrade ==="
+"${TEST}" --gtest_filter='TimetravelE2eTest.ProtoOneDotFiveClientCompletesBreakpointSession'
+
+BENCH="${BUILD_DIR}/bench/bench_timetravel"
+if [[ -x "${BENCH}" ]]; then
+  echo
+  echo "=== checkpoint cost / rcontinue latency ==="
+  (cd "${BUILD_DIR}/bench" && ./bench_timetravel)
+  echo "--- ${BUILD_DIR}/bench/BENCH_timetravel.json ---"
+  cat "${BUILD_DIR}/bench/BENCH_timetravel.json"
+fi
