@@ -8,10 +8,18 @@
 // cost (a mutex + map updates per global/container access) is
 // reported for the record but not gated: analysis is an opt-in
 // debugging mode, like record/replay.
+// The ForkLint static pass is timed too (ms per 1k bytecode ops over
+// a representative fork-heavy program): it runs on demand (console
+// `forklint`, DIONEA_FORKLINT=1), so it has no budget gate — the
+// number is recorded so a complexity regression in the dataflow shows
+// up in the bench history.
 #include <cstdio>
 
 #include "analysis/analysis.hpp"
+#include "analysis/forklint.hpp"
 #include "bench_util.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/compiler.hpp"
 
 int main() {
   using namespace dionea;
@@ -54,6 +62,60 @@ int main() {
   std::size_t findings = engine.report().findings.size();
   engine.reset();
 
+  // ---- ForkLint static pass speed ----
+  // A fork-heavy program with threads, queues and nested calls; the
+  // dataflow's cost scales with bytecode size, so normalize per 1k
+  // bytecode ops.
+  const char* forklint_source =
+      "m = mutex()\n"
+      "work = queue()\n"
+      "out = queue()\n"
+      "fn feed(n)\n"
+      "  i = 0\n"
+      "  while i < n\n"
+      "    push(work, i)\n"
+      "    i = i + 1\n"
+      "  end\n"
+      "end\n"
+      "fn drain()\n"
+      "  while true\n"
+      "    x = try_pop(work)\n"
+      "    if x == nil\n"
+      "      break\n"
+      "    end\n"
+      "    lock(m)\n"
+      "    push(out, x * x)\n"
+      "    unlock(m)\n"
+      "  end\n"
+      "end\n"
+      "fn child()\n"
+      "  drain()\n"
+      "  exit(0)\n"
+      "end\n"
+      "t1 = spawn(feed, 10)\n"
+      "t2 = spawn(drain)\n"
+      "join(t1)\n"
+      "join(t2)\n"
+      "pid = fork(child)\n"
+      "waitpid(pid)\n";
+  auto forklint_proto = vm::compile_source(forklint_source, "bench.ml");
+  DIONEA_CHECK(forklint_proto.is_ok(), "forklint bench program");
+  std::size_t bytecode_ops = 0;
+  for (const vm::FunctionProto* p :
+       vm::collect_protos(*forklint_proto.value())) {
+    bytecode_ops += p->chunk.size();
+  }
+  double forklint_s = min_seconds(kReps, [&] {
+    Stopwatch watch;
+    for (int i = 0; i < 50; ++i) {
+      analysis::Report r = analysis::forklint_program(*forklint_proto.value());
+      DIONEA_CHECK(!r.findings.empty(), "bench program must trip forklint");
+    }
+    return watch.elapsed_seconds() / 50.0;
+  });
+  double forklint_ms_per_kop =
+      forklint_s * 1000.0 / (static_cast<double>(bytecode_ops) / 1000.0);
+
   double off_pct = overhead_pct(base, off);
   double on_pct = overhead_pct(base, on);
   std::printf("\n%-26s %10s %10s\n", "", "time", "overhead");
@@ -67,6 +129,11 @@ int main() {
       "\nwhile on: %llu accesses, %llu sync events, %zu findings\n",
       static_cast<unsigned long long>(accesses),
       static_cast<unsigned long long>(sync_events), findings);
+  std::printf(
+      "forklint static pass: %s per run over %zu bytecode ops "
+      "(%.3f ms per 1k ops)\n",
+      format_duration(forklint_s).c_str(), bytecode_ops,
+      forklint_ms_per_kop);
 
   std::FILE* json = std::fopen("BENCH_analysis.json", "w");
   if (json != nullptr) {
@@ -82,12 +149,16 @@ int main() {
                  "  \"on_overhead_pct\": %.3f,\n"
                  "  \"on_accesses\": %llu,\n"
                  "  \"on_sync_events\": %llu,\n"
+                 "  \"forklint_pass_s\": %.6f,\n"
+                 "  \"forklint_bytecode_ops\": %zu,\n"
+                 "  \"forklint_ms_per_1k_ops\": %.3f,\n"
                  "  \"budget_off_pct\": 10.0,\n"
                  "  \"pass\": %s\n"
                  "}\n",
                  kWorkers, kReps, base, off, on, off_pct, on_pct,
                  static_cast<unsigned long long>(accesses),
                  static_cast<unsigned long long>(sync_events),
+                 forklint_s, bytecode_ops, forklint_ms_per_kop,
                  off_pct < 10.0 ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_analysis.json\n");

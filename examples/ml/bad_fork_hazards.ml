@@ -1,0 +1,40 @@
+# Known-bad ForkLint fixture: every hazard class, on purpose. The
+# forklint gate asserts this program *fails* analysis (and the clean
+# siblings pass), so a dataflow regression cannot turn the gate into
+# a vacuous green. Never run this under load — read it.
+#
+# Hazard 1 (fork-under-lock): fork() while `m` is held. The child
+# inherits a locked mutex whose owner thread does not exist there.
+#
+# Hazard 2 (fork-child-resource, pop): the child block pops `work`,
+# which only the parent-side feeder thread pushes. After fork the
+# feeder is gone; the pop blocks forever.
+#
+# Hazard 3 (fork-child-resource, join): the child block joins
+# `feeder`, a thread spawned before the fork. Only the forking thread
+# survives into the child; the join can never complete.
+m = mutex()
+work = queue()
+
+fn feed()
+  n = 0
+  while n < 4
+    push(work, n)
+    n = n + 1
+  end
+end
+
+feeder = spawn(feed)
+
+fn child_block()
+  item = pop(work)    # hazard 2: parent-fed queue
+  join(feeder)        # hazard 3: parent-side thread
+  puts(item)
+  exit(0)
+end
+
+lock(m)
+pid = fork(child_block)   # hazard 1: fork under `m`
+unlock(m)
+waitpid(pid)
+join(feeder)

@@ -1,0 +1,35 @@
+# Locks and forks in one program, correctly sequenced: every critical
+# section closes before fork(), and the child touches only its own
+# state. The interesting part for ForkLint is what it must *not*
+# flag — lock() ... unlock() followed by fork() is clean because the
+# may-held set drains at the unlock.
+counter = [0]
+m = mutex()
+
+fn bump(n)
+  i = 0
+  while i < n
+    lock(m)
+    counter[0] = counter[0] + 1
+    unlock(m)
+    i = i + 1
+  end
+end
+
+t1 = spawn(bump, 50)
+t2 = spawn(bump, 50)
+join(t1)
+join(t2)
+
+lock(m)
+snapshot = counter[0]
+unlock(m)
+
+pid = fork()
+if pid == 0
+  # Child: fresh work on inherited *values*, no parent-only handles.
+  puts(snapshot)
+  exit(0)
+end
+waitpid(pid)
+puts("parent saw " + to_s(snapshot))

@@ -1,0 +1,39 @@
+# Thread pipeline, then a clean fork. The producer thread is joined —
+# and the work queue fully drained — *before* fork(), so the child
+# inherits no parent-only resources. ForkLint is clean here: the fork
+# block pops a queue the child itself feeds.
+jobs = queue()
+results = queue()
+
+fn produce()
+  n = 0
+  while n < 8
+    push(jobs, n)
+    n = n + 1
+  end
+  close(jobs)
+end
+
+producer = spawn(produce)
+while true
+  job = try_pop(jobs)
+  if job == nil
+    break
+  end
+  push(results, job * job)
+end
+join(producer)
+
+fn child_work()
+  # The child builds and drains its own queue: self-contained.
+  own = queue()
+  push(own, 41)
+  push(own, 1)
+  total = pop(own) + pop(own)
+  puts(total)
+  exit(0)
+end
+
+pid = fork(child_work)
+waitpid(pid)
+puts("pipeline done")

@@ -1,0 +1,32 @@
+# Fork-per-worker, done right: fork with no locks held, each child
+# works on its own slice, the parent reaps every pid. ForkLint is
+# clean on this program — it is the shape §5 of the paper debugs, not
+# the shape it warns about.
+fn work(n)
+  i = 0
+  total = 0
+  while i < n
+    total = total + i
+    i = i + 1
+  end
+  return total
+end
+
+pids = []
+k = 0
+while k < 3
+  pid = fork()
+  if pid == 0
+    work(100 * (k + 1))
+    exit(0)
+  end
+  push(pids, pid)
+  k = k + 1
+end
+
+j = 0
+while j < 3
+  waitpid(pids[j])
+  j = j + 1
+end
+puts("reaped 3 workers")

@@ -11,6 +11,7 @@
 
 #include "replay/replay.hpp"
 #include "support/logging.hpp"
+#include "analysis/forkaudit.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "vm/bytecode.hpp"
@@ -24,6 +25,12 @@ const char* finding_kind_name(FindingKind kind) noexcept {
     case FindingKind::kDoubleAcquire: return "double-acquire";
     case FindingKind::kClosedQueue: return "closed-queue";
     case FindingKind::kDataRace: return "data-race";
+    case FindingKind::kForkUnderLock: return "fork-under-lock";
+    case FindingKind::kForkInTraceHook: return "fork-in-trace-hook";
+    case FindingKind::kForkChildResource: return "fork-child-resource";
+    case FindingKind::kAtforkUncovered: return "atfork-uncovered";
+    case FindingKind::kAtforkOrderInversion: return "atfork-order-inversion";
+    case FindingKind::kSignalUnsafeCall: return "signal-unsafe-call";
   }
   return "?";
 }
@@ -50,6 +57,21 @@ std::string Report::to_string() const {
     out += '\n';
   }
   return out;
+}
+
+void Report::dedupe() {
+  std::set<std::string> seen;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& finding : findings) {
+    std::string key = strings::format(
+        "%d|%s|%d|%s", static_cast<int>(finding.kind), finding.file.c_str(),
+        finding.line,
+        finding.object.empty() ? finding.message.c_str()
+                               : finding.object.c_str());
+    if (seen.insert(std::move(key)).second) kept.push_back(std::move(finding));
+  }
+  findings = std::move(kept);
 }
 
 // =================================================================
@@ -183,20 +205,6 @@ struct LintCtx {
     findings.push_back(std::move(finding));
   }
 };
-
-// Collect every FunctionProto reachable from `main` through constant
-// tables (named functions and lambdas are Closure constants).
-void collect_protos(const FunctionProto* proto,
-                    std::vector<const FunctionProto*>* out,
-                    std::set<const FunctionProto*>* seen) {
-  if (!seen->insert(proto).second) return;
-  out->push_back(proto);
-  for (const vm::Value& constant : proto->chunk.constants()) {
-    if (constant.is_closure() && constant.as_closure()->proto) {
-      collect_protos(constant.as_closure()->proto.get(), out, seen);
-    }
-  }
-}
 
 // Linear scan for top-level binding patterns, so identities are known
 // before the dataflow pass (which may see a use before the definition
@@ -653,9 +661,7 @@ void find_cycles(LintCtx* ctx) {
 
 Report lint_program(const FunctionProto& main) {
   LintCtx ctx;
-  std::vector<const FunctionProto*> protos;
-  std::set<const FunctionProto*> seen;
-  collect_protos(&main, &protos, &seen);
+  std::vector<const FunctionProto*> protos = vm::collect_protos(main);
   for (const FunctionProto* proto : protos) scan_bindings(*proto, &ctx);
 
   // Grow acquire summaries to a fixpoint (monotone, so the round count
@@ -747,6 +753,7 @@ struct Engine::State {
   std::vector<Finding> findings;
   std::set<std::string> raced_vars;
   Report lint;
+  Report forklint;
   std::uint64_t accesses = 0;
   std::uint64_t sync_events = 0;
 
@@ -802,6 +809,7 @@ struct Engine::State {
       finding.line = line;
       finding.file2 = prev.file;
       finding.line2 = prev.line;
+      finding.object = name;
       finding.step = replay::Engine::instance().replay_step();
       findings.push_back(std::move(finding));
     };
@@ -827,7 +835,17 @@ struct Engine::State {
   }
 };
 
-Engine::Engine() : state_(std::make_unique<State>()) {}
+Engine::Engine() : state_(std::make_unique<State>()) {
+  // ForkLint audit contract: the engine's leaf mutex is pinned by
+  // Vm::internal_fork_prepare between the GIL and the replay engine.
+  forkaudit::Registry::instance().track(
+      forkaudit::Spec{.name = "analysis.engine",
+                      .subsystem = "analysis",
+                      .has_prepare = true,
+                      .has_parent = true,
+                      .has_child = true,
+                      .pinned_before = {"replay.engine"}});
+}
 
 Engine& Engine::instance() {
   static Engine* engine = new Engine();
@@ -984,6 +1002,10 @@ Report Engine::report() const {
   std::scoped_lock lock(state_->mutex);
   Report report;
   report.findings = state_->findings;
+  // N racing threads hitting the same hazard (e.g. all pushing the
+  // same closed queue) each record a finding; collapse them here so
+  // analysis-report and the console see one diagnostic per hazard.
+  report.dedupe();
   return report;
 }
 
@@ -998,6 +1020,27 @@ void Engine::set_lint_report(Report report) {
 Report Engine::lint_report() const {
   std::scoped_lock lock(state_->mutex);
   return state_->lint;
+}
+
+void Engine::set_forklint_report(Report report) {
+  report.dedupe();
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    metrics::add(metrics::Counter::kForklintFindings);
+  }
+  std::scoped_lock lock(state_->mutex);
+  state_->forklint = std::move(report);
+}
+
+void Engine::add_forklint_finding(Finding finding) {
+  metrics::add(metrics::Counter::kForklintFindings);
+  std::scoped_lock lock(state_->mutex);
+  state_->forklint.findings.push_back(std::move(finding));
+  state_->forklint.dedupe();
+}
+
+Report Engine::forklint_report() const {
+  std::scoped_lock lock(state_->mutex);
+  return state_->forklint;
 }
 
 std::uint64_t Engine::accesses() const {
@@ -1019,17 +1062,20 @@ void Engine::reset() {
   state_->findings.clear();
   state_->raced_vars.clear();
   state_->lint = Report{};
+  state_->forklint = Report{};
   state_->accesses = 0;
   state_->sync_events = 0;
 }
 
 void Engine::prepare_fork() {
   state_->fork_lock = std::unique_lock(state_->mutex);
+  forkaudit::Registry::instance().note_prepare("analysis.engine");
 }
 
 void Engine::parent_atfork() {
   if (state_->fork_lock.owns_lock()) state_->fork_lock.unlock();
   state_->fork_lock = {};
+  forkaudit::Registry::instance().note_parent("analysis.engine");
 }
 
 void Engine::child_atfork() {
@@ -1043,6 +1089,7 @@ void Engine::child_atfork() {
   state_->fork_lock.release();
   (void)state_.release();  // intentional leak, see replay::Engine
   state_ = std::make_unique<State>();
+  forkaudit::Registry::instance().note_child("analysis.engine");
 }
 
 }  // namespace dionea::analysis

@@ -57,6 +57,13 @@ enum class FindingKind : int {
   kDoubleAcquire,   // static: non-reentrant mutex acquired while held
   kClosedQueue,     // static or dynamic: push/pop on a closed queue
   kDataRace,        // dynamic: unordered unprotected accesses
+  // ---- ForkLint (fork-safety) kinds ----
+  kForkUnderLock,        // forklint: fork reachable while a lock is held
+  kForkInTraceHook,      // forklint: fork reachable from debugger-eval code
+  kForkChildResource,    // forklint: child uses a parent-only resource
+  kAtforkUncovered,      // forkaudit: primitive missing A/B/C coverage
+  kAtforkOrderInversion, // forkaudit: prepare acquisition order cycle
+  kSignalUnsafeCall,     // sigsafe gate: handler reaches non-safe libc call
 };
 
 const char* finding_kind_name(FindingKind kind) noexcept;
@@ -71,6 +78,11 @@ struct Finding {
   int line = 0;
   std::string file2;
   int line2 = 0;
+  // The program object the finding is about (variable, mutex, queue,
+  // subsystem name). Used as the dedupe key component so N racing
+  // threads reporting the same hazard collapse to one finding; empty
+  // means "fall back to the message text".
+  std::string object;
   // DRLG step at detection time (0 when no record/replay is active).
   // Under replay this is the time-travel anchor: `rbreak <step>` +
   // rcontinue resumes the schedule just before the divergent access.
@@ -84,6 +96,10 @@ struct Report {
 
   bool empty() const noexcept { return findings.empty(); }
   std::string to_string() const;
+  // Collapse duplicates by (kind, file, line, object-or-message),
+  // keeping first occurrence order. N threads tripping the same
+  // hazard yield one diagnostic.
+  void dedupe();
 };
 
 // ---- static pass ----
@@ -145,6 +161,13 @@ class Engine {
   // can return both halves.
   void set_lint_report(Report report);
   Report lint_report() const;
+  // Stash/read the most recent ForkLint report (bytecode fork-safety
+  // pass + native atfork audit), the third half of analysis-report.
+  // Unlike add_finding these work regardless of the enabled flag:
+  // ForkLint is a static/structural pass, not a runtime detector.
+  void set_forklint_report(Report report);
+  void add_forklint_finding(Finding finding);
+  Report forklint_report() const;
 
   // Total accesses / sync events observed (for analysis-report).
   std::uint64_t accesses() const;

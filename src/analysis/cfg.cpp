@@ -1,0 +1,245 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "vm/value.hpp"
+
+namespace dionea::analysis::cfg {
+
+using vm::Chunk;
+using vm::FunctionProto;
+using vm::Op;
+
+Insn decode(const Chunk& chunk, std::size_t offset) {
+  Insn insn;
+  insn.offset = offset;
+  if (offset >= chunk.size()) return insn;
+  std::uint8_t byte = chunk.read_u8(offset);
+  if (!vm::op_is_valid(byte)) return insn;
+  Op op = static_cast<Op>(byte);
+  std::size_t operand_bytes =
+      static_cast<std::size_t>(vm::op_operand_bytes(op));
+  if (offset + 1 + operand_bytes > chunk.size()) return insn;
+  insn.ok = true;
+  insn.op = op;
+  insn.next = offset + 1 + operand_bytes;
+  switch (op) {
+    case Op::kJump: {
+      std::size_t operand = chunk.read_u16(offset + 1);
+      insn.has_target = true;
+      insn.target = insn.next + operand;
+      insn.falls_through = false;
+      break;
+    }
+    case Op::kJumpIfFalse:
+    case Op::kJumpIfFalsePeek:
+    case Op::kJumpIfTruePeek: {
+      std::size_t operand = chunk.read_u16(offset + 1);
+      insn.has_target = true;
+      insn.target = insn.next + operand;
+      break;
+    }
+    case Op::kLoop: {
+      std::size_t operand = chunk.read_u16(offset + 1);
+      insn.has_target = true;
+      // Backward: refuse to wrap below 0 on hostile operands.
+      insn.target = operand <= insn.next ? insn.next - operand : chunk.size();
+      insn.falls_through = false;
+      break;
+    }
+    case Op::kIterNext: {
+      std::size_t exit = chunk.read_u16(offset + 3);
+      insn.has_target = true;
+      insn.target = insn.next + exit;
+      break;
+    }
+    case Op::kReturn:
+    case Op::kHalt:
+      insn.falls_through = false;
+      break;
+    default:
+      break;
+  }
+  // A target past the end of the chunk is malformed; drop the edge
+  // rather than chase it.
+  if (insn.has_target && insn.target > chunk.size()) insn.has_target = false;
+  return insn;
+}
+
+Cfg build(const FunctionProto& proto) {
+  Cfg cfg;
+  cfg.proto = &proto;
+  const Chunk& chunk = proto.chunk;
+  if (chunk.size() == 0) return cfg;
+
+  // Pass 1: leaders. Offset 0, every branch target, and every
+  // fall-through successor of a control transfer. Hostile bytecode may
+  // put a leader mid-instruction relative to another decode path; that
+  // is fine — blocks are ranges between leaders on the linear decode
+  // from each leader, and decode() re-validates at every step.
+  std::set<std::size_t> leaders;
+  leaders.insert(0);
+  for (std::size_t offset = 0; offset < chunk.size();) {
+    Insn insn = decode(chunk, offset);
+    if (!insn.ok) break;  // trailing bytes are unreachable garbage
+    if (insn.has_target) {
+      leaders.insert(insn.target);
+      if (insn.next < chunk.size()) leaders.insert(insn.next);
+    } else if (!insn.falls_through && insn.next < chunk.size()) {
+      leaders.insert(insn.next);
+    }
+    offset = insn.next;
+  }
+  // Targets exactly at chunk.size() act as "end" — not a real block.
+  leaders.erase(chunk.size());
+
+  // Pass 2: materialize blocks in offset order.
+  std::vector<std::size_t> ordered(leaders.begin(), leaders.end());
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    Block block;
+    block.begin = ordered[i];
+    block.end = i + 1 < ordered.size() ? ordered[i + 1] : chunk.size();
+    cfg.block_at[block.begin] = cfg.blocks.size();
+    cfg.blocks.push_back(block);
+  }
+
+  // Pass 3: walk each block to its last instruction and wire succs.
+  auto block_index_at = [&](std::size_t offset) -> std::size_t {
+    // The block whose range contains `offset`; hostile targets can
+    // land mid-block, in which case we conservatively edge to the
+    // containing block.
+    auto it = cfg.block_at.upper_bound(offset);
+    if (it == cfg.block_at.begin()) return cfg.blocks.size();
+    return std::prev(it)->second;
+  };
+  for (Block& block : cfg.blocks) {
+    std::size_t offset = block.begin;
+    Insn last;
+    bool malformed = false;
+    while (offset < block.end) {
+      last = decode(chunk, offset);
+      if (!last.ok) {
+        malformed = true;
+        break;
+      }
+      offset = last.next;
+      if (!last.falls_through || last.has_target) break;
+    }
+    if (malformed || !last.ok) {
+      block.terminates = true;
+      continue;
+    }
+    auto add_succ = [&](std::size_t target_offset) {
+      std::size_t idx = block_index_at(target_offset);
+      if (idx >= cfg.blocks.size()) return;
+      if (std::find(block.succs.begin(), block.succs.end(), idx) ==
+          block.succs.end()) {
+        block.succs.push_back(idx);
+      }
+    };
+    if (last.has_target && last.target < chunk.size()) add_succ(last.target);
+    if (last.falls_through && last.next < chunk.size()) add_succ(last.next);
+    if (block.succs.empty()) block.terminates = true;
+  }
+  return cfg;
+}
+
+Program build_program(const FunctionProto& main) {
+  Program program;
+  program.protos = vm::collect_protos(main);
+  for (const FunctionProto* proto : program.protos) {
+    program.cfgs.emplace(proto, build(*proto));
+  }
+
+  // Binding pre-pass: `kClosure p; kSetGlobal name` binds name -> p.
+  // Done before edges so a use can precede its definition in proto
+  // collection order.
+  for (const FunctionProto* proto : program.protos) {
+    const Chunk& chunk = proto->chunk;
+    for (std::size_t offset = 0; offset < chunk.size();) {
+      Insn insn = decode(chunk, offset);
+      if (!insn.ok) break;
+      if (insn.op == Op::kClosure && insn.next + 2 < chunk.size() &&
+          chunk.read_u8(insn.next) == static_cast<std::uint8_t>(Op::kSetGlobal)) {
+        std::uint16_t closure_idx = chunk.read_u16(offset + 1);
+        std::uint16_t name_idx = chunk.read_u16(insn.next + 1);
+        if (closure_idx < chunk.constants().size() &&
+            name_idx < chunk.constants().size()) {
+          const vm::Value& closure = chunk.constants()[closure_idx];
+          const vm::Value& name = chunk.constants()[name_idx];
+          if (closure.is_closure() && closure.as_closure()->proto &&
+              name.is_str()) {
+            program.global_funcs[name.as_str()] =
+                closure.as_closure()->proto.get();
+          }
+        }
+      }
+      offset = insn.next;
+    }
+  }
+
+  // Reference edges.
+  for (const FunctionProto* proto : program.protos) {
+    const Chunk& chunk = proto->chunk;
+    auto& refs = program.refs[proto];
+    auto& named = program.named_refs[proto];
+    for (const vm::Value& constant : chunk.constants()) {
+      if (constant.is_closure() && constant.as_closure()->proto) {
+        refs.insert(constant.as_closure()->proto.get());
+      }
+    }
+    for (std::size_t offset = 0; offset < chunk.size();) {
+      Insn insn = decode(chunk, offset);
+      if (!insn.ok) break;
+      if (insn.op == Op::kGetGlobal) {
+        std::uint16_t name_idx = chunk.read_u16(offset + 1);
+        if (name_idx < chunk.constants().size()) {
+          const vm::Value& name = chunk.constants()[name_idx];
+          if (name.is_str()) {
+            auto it = program.global_funcs.find(name.as_str());
+            if (it != program.global_funcs.end()) {
+              refs.insert(it->second);
+            } else {
+              named.insert(name.as_str());
+            }
+          }
+        }
+      }
+      offset = insn.next;
+    }
+  }
+  return program;
+}
+
+std::set<const FunctionProto*> reachable(const Program& program,
+                                         const FunctionProto* root) {
+  std::set<const FunctionProto*> seen;
+  std::vector<const FunctionProto*> stack{root};
+  while (!stack.empty()) {
+    const FunctionProto* proto = stack.back();
+    stack.pop_back();
+    if (!seen.insert(proto).second) continue;
+    auto it = program.refs.find(proto);
+    if (it == program.refs.end()) continue;
+    for (const FunctionProto* callee : it->second) stack.push_back(callee);
+  }
+  return seen;
+}
+
+bool references_name(const Program& program, const FunctionProto* root,
+                     const std::string& name) {
+  for (const FunctionProto* proto : reachable(program, root)) {
+    auto it = program.named_refs.find(proto);
+    if (it != program.named_refs.end() && it->second.count(name)) return true;
+    auto fit = program.global_funcs.find(name);
+    if (fit != program.global_funcs.end()) {
+      auto rit = program.refs.find(proto);
+      if (rit != program.refs.end() && rit->second.count(fit->second)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace dionea::analysis::cfg

@@ -1,0 +1,101 @@
+// ForkLint pillar 0: control-flow graphs and a whole-program call
+// graph over compiled MiniLang bytecode.
+//
+// The builder is deliberately paranoid: it is fuzzed over the
+// verifier's mutation sweep, so it must accept arbitrary byte soup
+// without crashing. Every read is bounds-checked, an invalid opcode or
+// truncated operand simply terminates the current block, and jump
+// targets outside the chunk are dropped instead of followed. The
+// result is deterministic — building the same chunk twice yields the
+// same block structure — which is what the fuzz test's
+// verdict-stability assertion checks.
+//
+// The call graph is a *reference* graph: proto A has an edge to proto
+// B when A mentions B — it loads a global bound to B (the binding
+// pattern `kClosure B; kSetGlobal name` scanned up front), or carries
+// B as a closure constant. That over-approximates "may call", which
+// is the right direction for reachability queries ("can `fork` run
+// from this eval'd expression?"); the precise per-call-site resolution
+// (held-lock sets at a kCall) lives in forklint.cpp's dataflow.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vm/bytecode.hpp"
+
+namespace dionea::analysis::cfg {
+
+// Decoded view of one instruction. `ok == false` means the bytes at
+// `offset` are not a complete, valid instruction (bad opcode byte or
+// operand bytes running past the end of the chunk). Shared by the
+// block builder and forklint's dataflow so hostile bytecode is
+// rejected identically everywhere.
+struct Insn {
+  bool ok = false;
+  vm::Op op = vm::Op::kHalt;
+  std::size_t offset = 0;
+  std::size_t next = 0;      // offset just past this instruction
+  bool has_target = false;
+  std::size_t target = 0;    // jump/loop/iter-exit destination
+  bool falls_through = true; // kJump/kReturn/kHalt do not
+};
+
+Insn decode(const vm::Chunk& chunk, std::size_t offset);
+
+// One basic block: the half-open byte range [begin, end) in the chunk.
+struct Block {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<std::size_t> succs;  // indices into Cfg::blocks
+  // Ends in kReturn/kHalt, or in malformed bytecode (invalid opcode,
+  // truncated operand, out-of-range target) the walker refuses to
+  // cross.
+  bool terminates = false;
+};
+
+struct Cfg {
+  const vm::FunctionProto* proto = nullptr;
+  std::vector<Block> blocks;  // blocks[0], when present, starts at offset 0
+  // Leader offset -> index in `blocks` (sorted by offset).
+  std::map<std::size_t, std::size_t> block_at;
+
+  bool empty() const noexcept { return blocks.empty(); }
+};
+
+// Build the CFG for one proto. Total, never throws, never crashes on
+// hostile bytecode.
+Cfg build(const vm::FunctionProto& proto);
+
+// Whole-program view: every proto reachable from <main>, each proto's
+// CFG, the global function bindings, and the reference graph.
+struct Program {
+  std::vector<const vm::FunctionProto*> protos;  // pre-order, main first
+  std::map<const vm::FunctionProto*, Cfg> cfgs;
+  // Global name -> bound proto (pattern `kClosure p; kSetGlobal name`;
+  // last binding wins, matching runtime rebinding).
+  std::map<std::string, const vm::FunctionProto*> global_funcs;
+  // Reference edges: proto -> protos it mentions (global loads of
+  // function bindings + closure constants).
+  std::map<const vm::FunctionProto*, std::set<const vm::FunctionProto*>> refs;
+  // Builtin names each proto mentions via kGetGlobal ("fork", "join",
+  // "lock", ...) — i.e. names with no global function binding.
+  std::map<const vm::FunctionProto*, std::set<std::string>> named_refs;
+};
+
+Program build_program(const vm::FunctionProto& main);
+
+// Protos reachable from `root` over reference edges (root included).
+std::set<const vm::FunctionProto*> reachable(const Program& program,
+                                             const vm::FunctionProto* root);
+
+// True when some proto reachable from `root` mentions global `name`
+// (builtin or not). The kForkInTraceHook query: can a debugger-eval'd
+// expression reach `fork`?
+bool references_name(const Program& program, const vm::FunctionProto* root,
+                     const std::string& name);
+
+}  // namespace dionea::analysis::cfg

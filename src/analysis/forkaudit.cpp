@@ -1,0 +1,273 @@
+#include "analysis/forkaudit.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace dionea::analysis::forkaudit {
+
+namespace {
+constexpr std::size_t kMaxEntries = 64;
+}
+
+struct Registry::Impl {
+  // Append-only slab: entries are added under `mutex` but never moved
+  // or removed (untrack marks them dead), so note_* can scan the slab
+  // with nothing but atomics.
+  struct Entry {
+    // Fixed-size name so a half-written entry can never tear: `live`
+    // is released only after the name bytes are in place.
+    char name[64] = {};
+    std::atomic<bool> live{false};
+    std::atomic<std::uint64_t> prepare{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> child{0};
+    Spec spec;  // guarded by Registry mutex (audit/track/snapshot only)
+  };
+
+  std::mutex mutex;
+  Entry entries[kMaxEntries];
+  std::atomic<std::size_t> count{0};
+
+  Entry* find_locked(const std::string& name) {
+    std::size_t n = count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (entries[i].live.load(std::memory_order_acquire) &&
+          name == entries[i].name) {
+        return &entries[i];
+      }
+    }
+    return nullptr;
+  }
+
+  // Lock-free lookup for note_*.
+  Entry* find_atomic(const char* name) noexcept {
+    std::size_t n = count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (entries[i].live.load(std::memory_order_acquire) &&
+          std::strcmp(entries[i].name, name) == 0) {
+        return &entries[i];
+      }
+    }
+    return nullptr;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {
+  // The registry obeys the contract it audits: pin its own mutex
+  // across fork so a child forked mid-track() does not inherit a
+  // locked registry. (pthread_atfork prepare handlers run inside
+  // fork() itself, after the VM's manual prepare chain.)
+  static Impl* atfork_impl = impl_;
+  pthread_atfork([] { atfork_impl->mutex.lock(); },
+                 [] { atfork_impl->mutex.unlock(); },
+                 [] { atfork_impl->mutex.unlock(); });
+}
+
+Registry& Registry::instance() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+void Registry::track(Spec spec) {
+  std::scoped_lock lock(impl_->mutex);
+  if (Impl::Entry* entry = impl_->find_locked(spec.name)) {
+    entry->spec = std::move(spec);
+    return;
+  }
+  std::size_t n = impl_->count.load(std::memory_order_relaxed);
+  if (n >= kMaxEntries ||
+      spec.name.size() + 1 > sizeof(impl_->entries[0].name)) {
+    return;  // slab full / name too long: drop (audit-only bookkeeping)
+  }
+  Impl::Entry& entry = impl_->entries[n];
+  std::strncpy(entry.name, spec.name.c_str(), sizeof(entry.name) - 1);
+  entry.spec = std::move(spec);
+  entry.live.store(true, std::memory_order_release);
+  impl_->count.store(n + 1, std::memory_order_release);
+}
+
+void Registry::untrack(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  if (Impl::Entry* entry = impl_->find_locked(name)) {
+    entry->live.store(false, std::memory_order_release);
+  }
+}
+
+void Registry::note_prepare(const char* name) noexcept {
+  if (Impl::Entry* entry = impl_->find_atomic(name)) {
+    entry->prepare.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Registry::note_parent(const char* name) noexcept {
+  if (Impl::Entry* entry = impl_->find_atomic(name)) {
+    entry->parent.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Registry::note_child(const char* name) noexcept {
+  if (Impl::Entry* entry = impl_->find_atomic(name)) {
+    entry->child.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Report Registry::audit(bool strict) const {
+  std::scoped_lock lock(impl_->mutex);
+  Report report;
+
+  std::map<std::string, std::vector<std::string>> order;
+  std::size_t n = impl_->count.load(std::memory_order_acquire);
+  std::set<std::string> known;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Impl::Entry& entry = impl_->entries[i];
+    if (!entry.live.load(std::memory_order_acquire)) continue;
+    known.insert(entry.spec.name);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Impl::Entry& entry = impl_->entries[i];
+    if (!entry.live.load(std::memory_order_acquire)) continue;
+    const Spec& spec = entry.spec;
+
+    // Coverage: every handler the primitive needs must be wired up.
+    std::string missing;
+    auto need = [&](bool needs, bool has, const char* which) {
+      if (needs && !has) {
+        if (!missing.empty()) missing += ", ";
+        missing += which;
+      }
+    };
+    need(spec.needs_prepare, spec.has_prepare, "prepare (A)");
+    need(spec.needs_parent, spec.has_parent, "parent (B)");
+    need(spec.needs_child, spec.has_child, "child (C)");
+    if (!missing.empty()) {
+      Finding finding;
+      finding.kind = FindingKind::kAtforkUncovered;
+      finding.object = spec.name;
+      finding.file = spec.subsystem;
+      finding.message = strings::format(
+          "fork-pinned primitive '%s' (%s) has no %s handler; a fork "
+          "while it is in use leaves the child with an unrepaired "
+          "primitive (box64 case-004 shape)",
+          spec.name.c_str(), spec.subsystem.c_str(), missing.c_str());
+      report.findings.push_back(std::move(finding));
+    }
+
+    // Strict: counters must balance (the handlers actually fired).
+    if (strict && spec.has_prepare && spec.has_parent && spec.has_child) {
+      std::uint64_t prepare = entry.prepare.load(std::memory_order_relaxed);
+      std::uint64_t parent = entry.parent.load(std::memory_order_relaxed);
+      std::uint64_t child = entry.child.load(std::memory_order_relaxed);
+      if (prepare != parent + child) {
+        Finding finding;
+        finding.kind = FindingKind::kAtforkUncovered;
+        finding.object = spec.name;
+        finding.file = spec.subsystem;
+        finding.message = strings::format(
+            "fork handlers for '%s' ran asymmetrically: %llu prepare vs "
+            "%llu parent + %llu child — a registered handler silently "
+            "stopped firing",
+            spec.name.c_str(), static_cast<unsigned long long>(prepare),
+            static_cast<unsigned long long>(parent),
+            static_cast<unsigned long long>(child));
+        report.findings.push_back(std::move(finding));
+      }
+    }
+
+    // Order edges (dangling names ignored — the target may belong to
+    // a subsystem not linked into this binary).
+    for (const std::string& after : spec.pinned_before) {
+      if (known.count(after)) order[spec.name].push_back(after);
+    }
+  }
+
+  // Cycle detection over the declared prepare order — the same shape
+  // as MiniSan's lock-order graph, applied to the handler chain.
+  std::set<std::string> done;
+  std::set<std::string> on_path;
+  std::vector<std::string> path;
+  std::set<std::vector<std::string>> seen_cycles;
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = order.find(node);
+    if (it != order.end()) {
+      for (const std::string& succ : it->second) {
+        if (on_path.count(succ)) {
+          auto start = std::find(path.begin(), path.end(), succ);
+          std::vector<std::string> cycle(start, path.end());
+          // Canonical rotation for dedup.
+          std::size_t best = 0;
+          for (std::size_t i = 1; i < cycle.size(); ++i) {
+            if (cycle[i] < cycle[best]) best = i;
+          }
+          std::rotate(cycle.begin(), cycle.begin() + static_cast<long>(best),
+                      cycle.end());
+          if (!seen_cycles.insert(cycle).second) continue;
+          std::string chain;
+          for (const std::string& name : cycle) {
+            chain += "'" + name + "' -> ";
+          }
+          chain += "'" + cycle.front() + "'";
+          Finding finding;
+          finding.kind = FindingKind::kAtforkOrderInversion;
+          finding.object = cycle.front();
+          finding.message = strings::format(
+              "prepare-handler acquisition order has a cycle: %s; two "
+              "concurrent forks (or a fork racing subsystem init) can "
+              "deadlock in the prepare chain",
+              chain.c_str());
+          report.findings.push_back(std::move(finding));
+          continue;
+        }
+        if (!done.count(succ)) dfs(succ);
+      }
+    }
+    on_path.erase(node);
+    path.pop_back();
+    done.insert(node);
+  };
+  for (const auto& [node, edges] : order) {
+    (void)edges;
+    if (!done.count(node)) dfs(node);
+  }
+
+  report.dedupe();
+  return report;
+}
+
+std::vector<Spec> Registry::snapshot() const {
+  std::scoped_lock lock(impl_->mutex);
+  std::vector<Spec> out;
+  std::size_t n = impl_->count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (impl_->entries[i].live.load(std::memory_order_acquire)) {
+      out.push_back(impl_->entries[i].spec);
+    }
+  }
+  return out;
+}
+
+Counts Registry::counts(const std::string& name) const {
+  std::scoped_lock lock(impl_->mutex);
+  Counts counts;
+  if (Impl::Entry* entry = impl_->find_locked(name)) {
+    counts.prepare = entry->prepare.load(std::memory_order_relaxed);
+    counts.parent = entry->parent.load(std::memory_order_relaxed);
+    counts.child = entry->child.load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Report audit(bool strict) { return Registry::instance().audit(strict); }
+
+}  // namespace dionea::analysis::forkaudit

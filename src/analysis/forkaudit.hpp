@@ -1,0 +1,104 @@
+// ForkLint pillar 2: native atfork coverage audit.
+//
+// The paper's fork-handler contract says every sync primitive, cache
+// and listener the debugger (or VM) touches must be covered by the
+// A/B/C handlers: prepare (A) pins it, parent (B) releases it, child
+// (C) releases-or-reinitializes it. This registry makes that contract
+// *declarative*: each fork-pinned subsystem registers a Spec naming
+// which handlers it needs and which it actually wires up, plus its
+// position in the prepare acquisition order. The audit then checks,
+// without forking:
+//
+//   kAtforkUncovered        a primitive declares it needs a handler
+//                           it does not have (the box64 case-004
+//                           shape: a mutex pthread_atfork never heard
+//                           about).
+//   kAtforkOrderInversion   the declared prepare acquisition order
+//                           has a cycle — two prepare handlers that
+//                           could deadlock against a concurrent fork
+//                           (same cycle detection as MiniSan's
+//                           lock-order graph, applied to the handler
+//                           chain itself).
+//
+// The handlers additionally call note_prepare/note_parent/note_child
+// when they actually run; a *strict* audit (run by
+// DebugServer::fork_self_check in the child, where the world is
+// single-threaded and quiescent) cross-checks the counters:
+// prepare_count == parent_count + child_count for every fully-covered
+// primitive, i.e. no handler silently stopped firing.
+//
+// note_* are lock-free (atomics over an append-only slab) so they are
+// safe from inside real fork handlers, including handler C in the
+// child. track()/audit() serialize on a mutex that the registry pins
+// across fork with its own pthread_atfork triple — the registry obeys
+// the contract it audits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+
+namespace dionea::analysis::forkaudit {
+
+struct Spec {
+  std::string name;       // unique key, e.g. "vm.gil"
+  std::string subsystem;  // "vm", "debugger", "support", ...
+  // Which handlers correctness requires for this primitive.
+  bool needs_prepare = true;
+  bool needs_parent = true;
+  bool needs_child = true;
+  // Which handlers the implementation actually registers.
+  bool has_prepare = false;
+  bool has_parent = false;
+  bool has_child = false;
+  // Prepare-order: this primitive is pinned before these (their
+  // prepare runs after ours). Names may be registered later or never;
+  // dangling edges are ignored.
+  std::vector<std::string> pinned_before;
+};
+
+struct Counts {
+  std::uint64_t prepare = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t child = 0;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Idempotent by name: re-tracking replaces the Spec (counters are
+  // kept). Safe to call from any thread, but not from inside a fork
+  // handler.
+  void track(Spec spec);
+  // Remove a fixture entry (tests). The slab slot is retired, never
+  // reused, so concurrent note_* stay safe.
+  void untrack(const std::string& name);
+
+  // Called from the real handlers. Lock-free; unknown names are
+  // counted under nothing (a missing track() surfaces in the audit's
+  // coverage check instead).
+  void note_prepare(const char* name) noexcept;
+  void note_parent(const char* name) noexcept;
+  void note_child(const char* name) noexcept;
+
+  // Coverage + order-cycle checks; `strict` adds the counter
+  // cross-check (only meaningful when no fork is concurrently in
+  // flight, e.g. from fork_self_check in the child).
+  Report audit(bool strict = false) const;
+
+  std::vector<Spec> snapshot() const;
+  Counts counts(const std::string& name) const;
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;  // never destroyed (fork handlers outlive statics)
+};
+
+// Convenience: Registry::instance().audit(strict).
+Report audit(bool strict = false);
+
+}  // namespace dionea::analysis::forkaudit

@@ -1,0 +1,708 @@
+#include "analysis/forklint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "support/strings.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/value.hpp"
+
+namespace dionea::analysis {
+
+namespace {
+
+using vm::Chunk;
+using vm::FunctionProto;
+using vm::Op;
+
+struct Site {
+  std::string file;
+  int line = 0;
+};
+
+// Symbolic value for the abstract stack/locals. Mirrors the static
+// lint's model with one addition: thread handles returned by spawn.
+struct Sym {
+  enum Kind { kTop, kBuiltin, kSync, kFunc, kThread };
+  Kind kind = kTop;
+  std::string name;  // builtin name / sync identity / thread binding
+  int sync_kind = 0; // 1 mutex, 2 queue, 3 cond
+  const FunctionProto* proto = nullptr;  // kFunc body / kThread spawned fn
+
+  bool same(const Sym& other) const {
+    return kind == other.kind && name == other.name &&
+           sync_kind == other.sync_kind && proto == other.proto;
+  }
+};
+
+Sym top_sym() { return Sym{}; }
+
+int ctor_sync_kind(const std::string& name) {
+  if (name == "mutex") return 1;
+  if (name == "queue") return 2;
+  if (name == "cond") return 3;
+  return 0;
+}
+
+bool is_relevant_builtin(const std::string& name) {
+  static const std::set<std::string> kNames = {
+      "mutex", "queue",   "cond", "lock",  "unlock", "try_lock",
+      "close", "push",    "pop",  "try_pop", "spawn", "join",
+      "fork",  "waitpid", "synchronize"};
+  return kNames.count(name) != 0;
+}
+
+struct AbsState {
+  std::vector<Sym> stack;
+  std::vector<Sym> locals;
+  // May-held lock set: sync identity -> acquisition site.
+  std::map<std::string, Site> held;
+};
+
+bool merge_sym(Sym* dst, const Sym& src) {
+  if (dst->same(src)) return false;
+  if (dst->kind == Sym::kTop) return false;
+  *dst = top_sym();
+  return true;
+}
+
+// Join `src` into `dst`; returns true when `dst` changed. held joins
+// by union (may-held is the conservative direction for fork hazards,
+// unlike the leak check's existing per-path model).
+bool merge_into(AbsState* dst, const AbsState& src) {
+  bool changed = false;
+  if (dst->stack.size() != src.stack.size()) {
+    std::size_t keep = std::min(dst->stack.size(), src.stack.size());
+    if (dst->stack.size() != keep) changed = true;
+    dst->stack.resize(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      changed |= merge_sym(&dst->stack[i], src.stack[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < dst->stack.size(); ++i) {
+      changed |= merge_sym(&dst->stack[i], src.stack[i]);
+    }
+  }
+  for (std::size_t i = 0; i < dst->locals.size() && i < src.locals.size();
+       ++i) {
+    changed |= merge_sym(&dst->locals[i], src.locals[i]);
+  }
+  for (const auto& [id, site] : src.held) {
+    changed |= dst->held.emplace(id, site).second;
+  }
+  return changed;
+}
+
+// Per-proto direct facts, transitively closed over the reference
+// graph when findings are emitted.
+struct Facts {
+  std::map<std::string, Site> pushes;  // queue identity -> first site
+  std::map<std::string, Site> pops;
+  std::map<std::string, Site> joins;   // thread binding -> first site
+};
+
+struct Ctx {
+  cfg::Program program;
+  std::map<std::string, int> global_syncs;     // name -> sync kind
+  std::map<std::string, const FunctionProto*> global_threads;
+  // Thread binding -> protos whose code performed the spawn+assign.
+  std::map<std::string, std::set<const FunctionProto*>> thread_spawn_sites;
+  std::set<const FunctionProto*> spawned;      // protos handed to spawn
+  std::set<const FunctionProto*> may_fork;     // transitive, via fixpoint
+  std::map<const FunctionProto*, Facts> facts;
+
+  struct ForkSite {
+    const FunctionProto* in = nullptr;
+    Site site;
+    std::map<std::string, Site> held;
+    const FunctionProto* child = nullptr;  // fork-with-block closure
+  };
+  // Keyed by "<proto>:<offset>" so fixpoint rounds do not duplicate.
+  std::map<std::string, ForkSite> fork_sites;
+
+  bool emit = false;  // reporting round: record findings
+  std::map<std::string, Finding> findings;  // dedupe key -> finding
+
+  void add_finding(FindingKind kind, const std::string& key,
+                   const std::string& message, const std::string& object,
+                   Site site, Site other = {}) {
+    if (!emit) return;
+    auto it = findings.find(key);
+    if (it != findings.end()) return;
+    Finding finding;
+    finding.kind = kind;
+    finding.message = message;
+    finding.object = object;
+    finding.file = site.file;
+    finding.line = site.line;
+    finding.file2 = other.file;
+    finding.line2 = other.line;
+    findings.emplace(key, std::move(finding));
+  }
+};
+
+std::string proto_label(const FunctionProto& proto) {
+  return proto.name.empty() ? "<lambda>" : proto.name;
+}
+
+std::string held_description(const std::map<std::string, Site>& held) {
+  std::string out;
+  for (const auto& [id, site] : held) {
+    (void)site;
+    if (!out.empty()) out += ", ";
+    out += "'" + id + "'";
+  }
+  return out;
+}
+
+// Simulate one call. Returns true when a monotone summary grew.
+bool apply_call(Ctx* ctx, const FunctionProto& proto, AbsState* state,
+                int argc, Site site, std::size_t offset) {
+  bool grew = false;
+  std::size_t callee_index = state->stack.size() - static_cast<size_t>(argc) - 1;
+  Sym callee = state->stack[callee_index];
+  std::vector<Sym> args(
+      state->stack.begin() + static_cast<long>(callee_index) + 1,
+      state->stack.end());
+  state->stack.resize(callee_index);
+
+  Facts& my_facts = ctx->facts[&proto];
+  Sym result = top_sym();
+
+  auto note_fork_site = [&](const FunctionProto* child) {
+    grew |= ctx->may_fork.insert(&proto).second;
+    std::string key = strings::format("%p:%zu", static_cast<const void*>(&proto),
+                                      offset);
+    auto [it, inserted] = ctx->fork_sites.try_emplace(key);
+    Ctx::ForkSite& fs = it->second;
+    if (inserted) {
+      fs.in = &proto;
+      fs.site = site;
+      grew = true;
+    }
+    if (child != nullptr && fs.child == nullptr) {
+      fs.child = child;
+      grew = true;
+    }
+    // The may-held set can grow across fixpoint rounds; union.
+    for (const auto& [id, held_site] : state->held) {
+      grew |= fs.held.emplace(id, held_site).second;
+    }
+  };
+
+  if (callee.kind == Sym::kBuiltin) {
+    const std::string& name = callee.name;
+    int ctor = ctor_sync_kind(name);
+    if (ctor != 0 && argc == 0) {
+      result = Sym{Sym::kSync, "", ctor, nullptr};
+    } else if (name == "lock" && argc == 1 && args[0].kind == Sym::kSync &&
+               !args[0].name.empty()) {
+      state->held.emplace(args[0].name, site);
+    } else if (name == "unlock" && argc == 1 && args[0].kind == Sym::kSync) {
+      state->held.erase(args[0].name);
+    } else if (name == "synchronize" && argc == 2 &&
+               args[1].kind == Sym::kFunc && args[1].proto != nullptr) {
+      if (ctx->may_fork.count(args[1].proto)) {
+        std::map<std::string, Site> held = state->held;
+        if (args[0].kind == Sym::kSync && !args[0].name.empty()) {
+          held.emplace(args[0].name, site);
+        }
+        ctx->add_finding(
+            FindingKind::kForkUnderLock,
+            strings::format("sync-fork:%s:%d", site.file.c_str(), site.line),
+            strings::format(
+                "synchronize() runs '%s', which may fork, while holding %s; "
+                "the child inherits the lock with no thread to release it",
+                proto_label(*args[1].proto).c_str(),
+                held_description(held).c_str()),
+            args[0].name, site);
+        grew |= ctx->may_fork.insert(&proto).second;
+      }
+    } else if (name == "spawn" && argc >= 1 && args[0].kind == Sym::kFunc &&
+               args[0].proto != nullptr) {
+      grew |= ctx->spawned.insert(args[0].proto).second;
+      result = Sym{Sym::kThread, "", 0, args[0].proto};
+    } else if (name == "join" && argc == 1 && args[0].kind == Sym::kThread &&
+               !args[0].name.empty()) {
+      grew |= my_facts.joins.emplace(args[0].name, site).second;
+    } else if (name == "push" && argc >= 1 && !args.empty() &&
+               args[0].kind == Sym::kSync && args[0].sync_kind == 2 &&
+               !args[0].name.empty()) {
+      grew |= my_facts.pushes.emplace(args[0].name, site).second;
+    } else if ((name == "pop" || name == "try_pop") && argc >= 1 &&
+               !args.empty() && args[0].kind == Sym::kSync &&
+               args[0].sync_kind == 2 && !args[0].name.empty()) {
+      grew |= my_facts.pops.emplace(args[0].name, site).second;
+    } else if (name == "fork") {
+      const FunctionProto* child =
+          (argc == 1 && args[0].kind == Sym::kFunc) ? args[0].proto : nullptr;
+      note_fork_site(child);
+      if (!state->held.empty()) {
+        ctx->add_finding(
+            FindingKind::kForkUnderLock,
+            strings::format("fork-lock:%s:%d", site.file.c_str(), site.line),
+            strings::format(
+                "fork() while holding %s; the child inherits the locked "
+                "mutex with no owner thread to ever release it",
+                held_description(state->held).c_str()),
+            state->held.begin()->first, site, state->held.begin()->second);
+      }
+    }
+  } else if (callee.kind == Sym::kFunc && callee.proto != nullptr) {
+    if (ctx->may_fork.count(callee.proto)) {
+      grew |= ctx->may_fork.insert(&proto).second;
+      if (!state->held.empty()) {
+        ctx->add_finding(
+            FindingKind::kForkUnderLock,
+            strings::format("call-fork:%s:%d", site.file.c_str(), site.line),
+            strings::format(
+                "call of '%s', which may fork, while holding %s",
+                proto_label(*callee.proto).c_str(),
+                held_description(state->held).c_str()),
+            state->held.begin()->first, site, state->held.begin()->second);
+      }
+    }
+  }
+  state->stack.push_back(result);
+  return grew;
+}
+
+// One dataflow pass over a single proto's CFG. Returns true when a
+// monotone summary grew (drives the interprocedural fixpoint).
+bool simulate(Ctx* ctx, const FunctionProto& proto) {
+  auto cfg_it = ctx->program.cfgs.find(&proto);
+  if (cfg_it == ctx->program.cfgs.end() || cfg_it->second.empty()) return false;
+  const cfg::Cfg& graph = cfg_it->second;
+  const Chunk& chunk = proto.chunk;
+  bool grew = false;
+
+  std::vector<AbsState> in_states(graph.blocks.size());
+  std::vector<bool> seen(graph.blocks.size(), false);
+  AbsState entry;
+  entry.locals.assign(proto.local_names.size(), top_sym());
+  in_states[0] = std::move(entry);
+  seen[0] = true;
+
+  std::deque<std::size_t> worklist{0};
+  std::set<std::size_t> queued{0};
+  auto propagate = [&](std::size_t block_idx, const AbsState& state) {
+    if (block_idx >= graph.blocks.size()) return;
+    bool changed;
+    if (!seen[block_idx]) {
+      in_states[block_idx] = state;
+      seen[block_idx] = true;
+      changed = true;
+    } else {
+      changed = merge_into(&in_states[block_idx], state);
+    }
+    if (changed && queued.insert(block_idx).second) {
+      worklist.push_back(block_idx);
+    }
+  };
+  auto block_index_at = [&](std::size_t offset) -> std::size_t {
+    auto it = graph.block_at.upper_bound(offset);
+    if (it == graph.block_at.begin()) return graph.blocks.size();
+    return std::prev(it)->second;
+  };
+
+  int guard = 0;
+  while (!worklist.empty() && ++guard < 20000) {
+    std::size_t block_idx = worklist.front();
+    worklist.pop_front();
+    queued.erase(block_idx);
+    const cfg::Block& block = graph.blocks[block_idx];
+    AbsState state = in_states[block_idx];
+
+    std::size_t offset = block.begin;
+    bool done = false;
+    while (offset < block.end && !done) {
+      cfg::Insn insn = cfg::decode(chunk, offset);
+      if (!insn.ok) break;  // malformed tail: stop this block
+      Site site{proto.file, chunk.line_at(offset)};
+      std::size_t operand = offset + 1;
+
+      auto pop_n = [&](std::size_t n) {
+        state.stack.resize(state.stack.size() >= n ? state.stack.size() - n
+                                                   : 0);
+      };
+      auto safe_const = [&](std::size_t index) -> const vm::Value* {
+        return index < chunk.constants().size() ? &chunk.constants()[index]
+                                                : nullptr;
+      };
+
+      switch (insn.op) {
+        case Op::kConst:
+        case Op::kNil:
+        case Op::kTrue:
+        case Op::kFalse:
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kPop:
+          pop_n(1);
+          break;
+        case Op::kDup:
+          state.stack.push_back(state.stack.empty() ? top_sym()
+                                                    : state.stack.back());
+          break;
+        case Op::kGetLocal: {
+          std::uint16_t slot = chunk.read_u16(operand);
+          state.stack.push_back(slot < state.locals.size()
+                                    ? state.locals[slot]
+                                    : top_sym());
+          break;
+        }
+        case Op::kSetLocal: {
+          std::uint16_t slot = chunk.read_u16(operand);
+          if (!state.stack.empty() && slot < state.locals.size()) {
+            Sym value = state.stack.back();
+            if ((value.kind == Sym::kSync || value.kind == Sym::kThread) &&
+                value.name.empty() && slot < proto.local_names.size()) {
+              value.name = strings::format(
+                  "%s.%s", proto.name.empty() ? "<main>" : proto.name.c_str(),
+                  proto.local_names[slot].c_str());
+              state.stack.back() = value;
+              if (value.kind == Sym::kThread) {
+                ctx->global_threads.emplace(value.name, value.proto);
+                ctx->thread_spawn_sites[value.name].insert(&proto);
+              }
+            }
+            state.locals[slot] = value;
+          }
+          break;
+        }
+        case Op::kGetGlobal: {
+          const vm::Value* name = safe_const(chunk.read_u16(operand));
+          Sym sym = top_sym();
+          if (name != nullptr && name->is_str()) {
+            const std::string& text = name->as_str();
+            auto sync_it = ctx->global_syncs.find(text);
+            auto func_it = ctx->program.global_funcs.find(text);
+            auto thread_it = ctx->global_threads.find(text);
+            if (sync_it != ctx->global_syncs.end()) {
+              sym = Sym{Sym::kSync, text, sync_it->second, nullptr};
+            } else if (func_it != ctx->program.global_funcs.end()) {
+              sym = Sym{Sym::kFunc, text, 0, func_it->second};
+            } else if (thread_it != ctx->global_threads.end()) {
+              sym = Sym{Sym::kThread, text, 0, thread_it->second};
+            } else if (is_relevant_builtin(text)) {
+              sym = Sym{Sym::kBuiltin, text, 0, nullptr};
+            }
+          }
+          state.stack.push_back(sym);
+          break;
+        }
+        case Op::kSetGlobal: {
+          const vm::Value* name = safe_const(chunk.read_u16(operand));
+          if (name != nullptr && name->is_str() && !state.stack.empty()) {
+            Sym& value = state.stack.back();
+            if (value.kind == Sym::kSync && value.name.empty()) {
+              value.name = name->as_str();
+              ctx->global_syncs.emplace(name->as_str(), value.sync_kind);
+            } else if (value.kind == Sym::kThread) {
+              if (value.name.empty()) value.name = name->as_str();
+              ctx->global_threads.emplace(name->as_str(), value.proto);
+              bool inserted = ctx->thread_spawn_sites[name->as_str()]
+                                  .insert(&proto)
+                                  .second;
+              grew |= inserted;
+            }
+          }
+          break;
+        }
+        case Op::kGetCapture:
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kSetCapture:
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kMod:
+        case Op::kEq:
+        case Op::kNe:
+        case Op::kLt:
+        case Op::kLe:
+        case Op::kGt:
+        case Op::kGe:
+          pop_n(2);
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kNeg:
+        case Op::kNot:
+          pop_n(1);
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kJumpIfFalse:
+          pop_n(1);
+          break;
+        case Op::kJump:
+        case Op::kJumpIfFalsePeek:
+        case Op::kJumpIfTruePeek:
+        case Op::kLoop:
+          break;
+        case Op::kCall: {
+          int argc = chunk.read_u8(operand);
+          if (state.stack.size() >= static_cast<std::size_t>(argc) + 1) {
+            grew |= apply_call(ctx, proto, &state, argc, site, offset);
+          } else {
+            state.stack.clear();
+            state.stack.push_back(top_sym());
+          }
+          break;
+        }
+        case Op::kReturn:
+        case Op::kHalt:
+          done = true;
+          break;
+        case Op::kBuildList:
+          pop_n(chunk.read_u16(operand));
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kBuildMap:
+          pop_n(static_cast<std::size_t>(chunk.read_u16(operand)) * 2);
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kIndexGet:
+          pop_n(2);
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kIndexSet:
+          pop_n(3);
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kClosure: {
+          const vm::Value* fn = safe_const(chunk.read_u16(operand));
+          Sym sym = top_sym();
+          if (fn != nullptr && fn->is_closure() && fn->as_closure()->proto) {
+            sym = Sym{Sym::kFunc, "", 0, fn->as_closure()->proto.get()};
+          }
+          state.stack.push_back(sym);
+          break;
+        }
+        case Op::kIterNew:
+          pop_n(1);
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kIterNext:
+          // Exit path gets the state as-is; the loop-body fall-through
+          // gets the iteration value pushed. Handled below via the
+          // per-edge propagation.
+          break;
+        case Op::kTraceLine:
+        case Op::kTraceLineQ:
+        case Op::kSetGlobalIC:
+          break;
+        case Op::kLocLocBin:
+        case Op::kLocConstBin:
+          state.stack.push_back(top_sym());
+          break;
+        case Op::kConstSetLocal: {
+          std::uint16_t slot = chunk.read_u16(operand + 2);
+          if (slot < state.locals.size()) state.locals[slot] = top_sym();
+          break;
+        }
+        case Op::kGetGlobalIC:
+          state.stack.push_back(top_sym());
+          break;
+      }
+
+      if (done) break;
+      if (insn.has_target) {
+        // Control transfer: propagate per edge and end the block walk.
+        std::size_t target_block = block_index_at(insn.target);
+        if (insn.op == Op::kIterNext) {
+          propagate(target_block, state);  // exhausted: unchanged stack
+          AbsState body = state;
+          body.stack.push_back(top_sym());
+          if (insn.falls_through && insn.next < chunk.size()) {
+            propagate(block_index_at(insn.next), body);
+          }
+        } else {
+          propagate(target_block, state);
+          if (insn.falls_through && insn.next < chunk.size()) {
+            propagate(block_index_at(insn.next), state);
+          }
+        }
+        done = true;
+        break;
+      }
+      offset = insn.next;
+    }
+
+    if (!done && offset >= block.end && offset < chunk.size()) {
+      // Fell off the end of the block into its successor.
+      propagate(block_index_at(offset), state);
+    }
+  }
+  return grew;
+}
+
+// Transitive closure of a fact selector over the reference graph.
+template <typename Select>
+std::map<std::string, Site> trans_facts(const Ctx& ctx,
+                                        const FunctionProto* root,
+                                        Select select) {
+  std::map<std::string, Site> out;
+  for (const FunctionProto* proto : cfg::reachable(ctx.program, root)) {
+    auto it = ctx.facts.find(proto);
+    if (it == ctx.facts.end()) continue;
+    for (const auto& [name, site] : select(it->second)) {
+      out.emplace(name, site);
+    }
+  }
+  return out;
+}
+
+void check_child_resources(Ctx* ctx) {
+  // Queues fed by spawned (parent-side) threads, transitively.
+  std::map<std::string, const FunctionProto*> spawn_fed;
+  for (const FunctionProto* s : ctx->spawned) {
+    for (const auto& [queue, site] : trans_facts(
+             *ctx, s, [](const Facts& f) -> const std::map<std::string, Site>& {
+               return f.pushes;
+             })) {
+      (void)site;
+      spawn_fed.emplace(queue, s);
+    }
+  }
+
+  for (const auto& [key, fs] : ctx->fork_sites) {
+    (void)key;
+    if (fs.child == nullptr) continue;
+    std::set<const FunctionProto*> child_protos =
+        cfg::reachable(ctx->program, fs.child);
+
+    auto child_pops = trans_facts(
+        *ctx, fs.child,
+        [](const Facts& f) -> const std::map<std::string, Site>& {
+          return f.pops;
+        });
+    auto child_pushes = trans_facts(
+        *ctx, fs.child,
+        [](const Facts& f) -> const std::map<std::string, Site>& {
+          return f.pushes;
+        });
+    for (const auto& [queue, site] : child_pops) {
+      auto fed = spawn_fed.find(queue);
+      if (fed == spawn_fed.end()) continue;
+      if (child_protos.count(fed->second)) continue;  // child respawns feeder
+      if (child_pushes.count(queue)) continue;        // child feeds it too
+      ctx->add_finding(
+          FindingKind::kForkChildResource,
+          strings::format("child-pop:%s:%s:%d", queue.c_str(),
+                          site.file.c_str(), site.line),
+          strings::format(
+              "fork child pops queue '%s', which is fed only by parent-side "
+              "threads; those threads do not exist in the child, so the pop "
+              "blocks forever",
+              queue.c_str()),
+          queue, site, fs.site);
+    }
+
+    auto child_joins = trans_facts(
+        *ctx, fs.child,
+        [](const Facts& f) -> const std::map<std::string, Site>& {
+          return f.joins;
+        });
+    for (const auto& [thread, site] : child_joins) {
+      auto sites_it = ctx->thread_spawn_sites.find(thread);
+      if (sites_it == ctx->thread_spawn_sites.end()) continue;
+      bool spawned_in_child = false;
+      for (const FunctionProto* spawner : sites_it->second) {
+        if (child_protos.count(spawner)) spawned_in_child = true;
+      }
+      if (spawned_in_child) continue;
+      ctx->add_finding(
+          FindingKind::kForkChildResource,
+          strings::format("child-join:%s:%s:%d", thread.c_str(),
+                          site.file.c_str(), site.line),
+          strings::format(
+              "fork child joins thread '%s', which was spawned on the parent "
+              "side; only the forking thread survives fork, so the join "
+              "blocks forever",
+              thread.c_str()),
+          thread, site, fs.site);
+    }
+  }
+}
+
+}  // namespace
+
+Report forklint_program(const FunctionProto& main) {
+  Ctx ctx;
+  ctx.program = cfg::build_program(main);
+
+  // Interprocedural fixpoint: summaries (may_fork, spawn sites, queue
+  // facts) are monotone, so the round count is bounded by call-graph
+  // depth; the cap is belt-and-braces for hostile bytecode.
+  for (int round = 0; round < 32; ++round) {
+    bool grew = false;
+    for (const FunctionProto* proto : ctx.program.protos) {
+      grew |= simulate(&ctx, *proto);
+    }
+    if (!grew) break;
+  }
+
+  // Reporting round: summaries are stable, so held-set context and
+  // may-fork callees are final.
+  ctx.emit = true;
+  for (const FunctionProto* proto : ctx.program.protos) {
+    simulate(&ctx, *proto);
+  }
+  check_child_resources(&ctx);
+
+  Report report;
+  for (auto& [key, finding] : ctx.findings) {
+    (void)key;
+    report.findings.push_back(std::move(finding));
+  }
+  report.dedupe();
+  return report;
+}
+
+Report forklint_eval(const FunctionProto& eval_proto,
+                     const FunctionProto* program_main) {
+  Report report;
+  cfg::Program eval_program = cfg::build_program(eval_proto);
+  bool forks = cfg::references_name(eval_program, &eval_proto, "fork");
+  if (!forks && program_main != nullptr) {
+    // The expression may call functions bound in the debuggee program;
+    // chase those bindings through the program's reference graph.
+    cfg::Program main_program = cfg::build_program(*program_main);
+    for (const FunctionProto* proto :
+         cfg::reachable(eval_program, &eval_proto)) {
+      auto named = eval_program.named_refs.find(proto);
+      if (named == eval_program.named_refs.end()) continue;
+      for (const std::string& name : named->second) {
+        auto bound = main_program.global_funcs.find(name);
+        if (bound == main_program.global_funcs.end()) continue;
+        if (cfg::references_name(main_program, bound->second, "fork")) {
+          forks = true;
+          break;
+        }
+      }
+      if (forks) break;
+    }
+  }
+  if (forks) {
+    Finding finding;
+    finding.kind = FindingKind::kForkInTraceHook;
+    finding.message =
+        "fork is reachable from a debugger-eval'd expression; eval runs "
+        "inside the VM trace hook, so the fork happens mid-callback with "
+        "debugger locks in unknown states";
+    finding.file = eval_proto.file;
+    finding.line = eval_proto.line;
+    finding.object = "eval";
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+}  // namespace dionea::analysis

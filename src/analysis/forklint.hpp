@@ -1,0 +1,52 @@
+// ForkLint pillar 1: bytecode fork-safety dataflow.
+//
+// An interprocedural pass over the CFGs from cfg.hpp that computes a
+// may-held-lock set at every point where the `fork` builtin is
+// reachable, and inspects the closure handed to fork-with-block for
+// child-side use of parent-only resources. Three hazards:
+//
+//   kForkUnderLock      fork() (directly, through a callee that may
+//                       fork, or via synchronize(m, f) where f forks)
+//                       while a MiniLang mutex may be held. The child
+//                       inherits the locked mutex with no owner thread
+//                       to ever unlock it — the bytecode-level twin of
+//                       the pthread_atfork hazards the paper's prepare
+//                       handlers exist to prevent.
+//   kForkChildResource  the fork(f) child closure joins a thread
+//                       handle spawned on the parent side, or pops a
+//                       queue whose only pushers are parent-side
+//                       spawned threads. Those threads do not exist in
+//                       the child (only the forking thread survives),
+//                       so the join/pop blocks forever — the Listing 5
+//                       hazard, caught statically.
+//   kForkInTraceHook    `fork` reachable from a debugger-eval'd
+//                       expression (forklint_eval). Eval runs inside
+//                       the VM trace callback; forking there forks
+//                       mid-callback with debugger locks in
+//                       unknown states.
+//
+// Like lint_program this is a pure function of the bytecode: nothing
+// is executed. Analysis is conservative (may-held, reference-graph
+// reachability); try_lock is not an acquire, and a lock released on
+// every path before fork is clean.
+#pragma once
+
+#include "analysis/analysis.hpp"
+
+namespace dionea::vm {
+struct FunctionProto;
+}
+
+namespace dionea::analysis {
+
+// Run the fork-safety dataflow over <main> and every reachable proto.
+Report forklint_program(const vm::FunctionProto& main);
+
+// Check a debugger-eval'd expression: is `fork` reachable from it,
+// directly or through a function bound in the debuggee program
+// (`program_main`, may be null)? Returns a report with one
+// kForkInTraceHook finding when it is.
+Report forklint_eval(const vm::FunctionProto& eval_proto,
+                     const vm::FunctionProto* program_main);
+
+}  // namespace dionea::analysis

@@ -53,6 +53,9 @@ std::string render_findings(const std::vector<proto::AnalysisFindingWire>& fs) {
     out += strings::format(
         "    [%s] %s at %s\n", f.kind.c_str(), f.message.c_str(),
         strings::source_location(f.file, static_cast<int>(f.line)).c_str());
+    if (!f.object.empty()) {
+      out += strings::format("      object: %s\n", f.object.c_str());
+    }
     if (!f.file2.empty()) {
       out += strings::format(
           "      see also %s\n",
@@ -101,6 +104,8 @@ std::string Console::help() {
       "  replay [id]           record/replay status of a session\n"
       "  races [id]            dynamic race/deadlock findings of a session\n"
       "  lint [id]             run the static concurrency lint remotely\n"
+      "  forklint [id]         run the fork-safety analysis (bytecode\n"
+      "                        dataflow + native atfork audit) remotely\n"
       "  postmortem [id] [now]  crash report of a session; `now` snapshots\n"
       "                        the live process as if it had crashed\n"
       "  checkpoint [id]       time-travel checkpoint ring of a session\n"
@@ -352,7 +357,7 @@ std::string Console::execute(const std::string& line) {
   }
 
   if (cmd == "stats" || cmd == "replay" || cmd == "races" || cmd == "lint" ||
-      cmd == "postmortem" || cmd == "checkpoint") {
+      cmd == "forklint" || cmd == "postmortem" || cmd == "checkpoint") {
     Session* target = nullptr;
     bool capture = false;
     std::int64_t id = 0;
@@ -468,14 +473,21 @@ std::string Console::execute(const std::string& line) {
       return out;
     }
 
-    // races / lint
-    auto report = target->analysis_report(/*run_lint=*/cmd == "lint");
+    // races / lint / forklint
+    auto report = target->analysis_report(/*run_lint=*/cmd == "lint",
+                                          /*run_forklint=*/cmd == "forklint");
     if (!report.is_ok()) return report.error().to_string() + "\n";
     const auto& r = report.value();
     if (cmd == "lint") {
       std::string out =
           strings::format("  [pid %d] static lint findings:\n", r.pid);
       out += render_findings(r.lint_findings);
+      return out;
+    }
+    if (cmd == "forklint") {
+      std::string out =
+          strings::format("  [pid %d] fork-safety findings:\n", r.pid);
+      out += render_findings(r.forklint_findings);
       return out;
     }
     std::string out = strings::format(

@@ -177,7 +177,7 @@ Result<proto::ReplayInfoResponse> Session::replay_info() {
 }
 
 Result<proto::AnalysisReportResponse> Session::analysis_report(
-    bool run_lint) {
+    bool run_lint, bool run_forklint) {
   if (!supports(proto::kCapAnalysis)) {
     return Error(ErrorCode::kUnavailable,
                  strings::format(
@@ -185,8 +185,15 @@ Result<proto::AnalysisReportResponse> Session::analysis_report(
                      server_proto_major_, server_proto_minor_,
                      proto::kCapAnalysis));
   }
-  DIONEA_ASSIGN_OR_RETURN(Value response,
-                          send(proto::AnalysisReportRequest{run_lint}));
+  // 1.6 servers would skip the unknown run_forklint key anyway; not
+  // sending it keeps the silent downgrade explicit on our side.
+  if (run_forklint && !supports(proto::kCapForksafety)) {
+    run_forklint = false;
+  }
+  proto::AnalysisReportRequest req;
+  req.run_lint = run_lint;
+  req.run_forklint = run_forklint;
+  DIONEA_ASSIGN_OR_RETURN(Value response, send(req));
   return proto::AnalysisReportResponse::from_wire(response);
 }
 

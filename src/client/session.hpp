@@ -144,8 +144,11 @@ class Session {
   Result<dbg::proto::ReplayInfoResponse> replay_info();
   // Same contract, gated on kCapAnalysis. run_lint additionally asks
   // the server to run the static lint pass over the loaded program.
+  // run_forklint (1.7) asks for the ForkLint fork-safety pass + the
+  // native atfork audit; against a pre-1.7 server the flag is dropped
+  // silently and forklint_findings comes back empty (kCapForksafety).
   Result<dbg::proto::AnalysisReportResponse> analysis_report(
-      bool run_lint = false);
+      bool run_lint = false, bool run_forklint = false);
   // Same contract, gated on kCapPostmortem (1.4). capture=true asks
   // the server to snapshot the live process as if it had crashed;
   // capture=false fetches whatever report already exists (the corpse

@@ -23,6 +23,8 @@
 //     file and opens a new session.
 #include <unistd.h>
 
+#include "analysis/analysis.hpp"
+#include "analysis/forkaudit.hpp"
 #include "debugger/server.hpp"
 #include "replay/replay.hpp"
 #include "support/logging.hpp"
@@ -68,6 +70,7 @@ void DebugServer::fork_prepare() {
   fork_events_lock_ = std::unique_lock(events_mutex_);
   fork_sources_lock_ = std::unique_lock(sources_mutex_);
   fork_bp_lock_ = breakpoints_.pin_for_fork();
+  analysis::forkaudit::Registry::instance().note_prepare("dbg.server_locks");
 }
 
 // Handler B — handle parent at fork. "Immediately after the fork,
@@ -88,6 +91,7 @@ void DebugServer::fork_parent(int child_pid) {
   fork_td_pinned_.clear();
   fork_state_lock_.unlock();
   fork_state_lock_ = {};
+  analysis::forkaudit::Registry::instance().note_parent("dbg.server_locks");
   fork_sync_gen_.clear();  // the self-check belongs to the child
   vm_.set_trace_enabled(trace_was_enabled_ &&
                         tracing_wanted_.load(std::memory_order_relaxed));
@@ -115,8 +119,11 @@ void DebugServer::fork_child() {
   // from the parent (the child's `stats` must describe the child) and
   // re-point the trace exporter at a child-owned file. Both before the
   // span below, so the first span in the child's file is this handler.
+  auto& audit = analysis::forkaudit::Registry::instance();
   metrics::Registry::instance().reset();
+  audit.note_child("support.metrics");
   trace::child_atfork();
+  audit.note_child("trace.exporter");
   // The replay engine's analog (fresh child log / child subtree of the
   // recorded log) ran in the VM's own child handler, before this one.
   if (replay::engine_active()) {
@@ -140,12 +147,14 @@ void DebugServer::fork_child() {
   fork_td_pinned_.clear();
   fork_state_lock_.unlock();
   fork_state_lock_ = {};
+  audit.note_child("dbg.server_locks");
 
   // (3) Close every inherited descriptor: parent's listener, the
   // parent session's control and events channels (Fig. 5 -> Fig. 6).
   // The crash-notify fd points at the parent session's events socket:
   // re-key the report path to the child pid and drop it.
   crash::refresh_after_fork();
+  audit.note_child("crash.report");
   if (listener_) listener_->close();
   control_.close();
   events_.close();
@@ -213,6 +222,7 @@ void DebugServer::fork_child() {
       DLOG_WARN("dbg") << "child hub re-registration failed: "
                        << hub_status.to_string();
     }
+    audit.note_child("dbg.hub_registration");
   }
 
   // Disturb mode (§6.4): the freshly forked process counts as a new
@@ -323,6 +333,19 @@ void DebugServer::fork_self_check() {
   if (listener_ == nullptr || port_ == 0 ||
       !running_.load(std::memory_order_relaxed)) {
     DLOG_ERROR("fork") << "self-check: listener not rebound in child";
+  }
+
+  // 5. ForkLint atfork audit, strict: every registered primitive has
+  //    its declared A/B/C coverage, the declared prepare order is
+  //    acyclic, and the handler counters balance (prepare == parent +
+  //    child) — i.e. no registered handler silently stopped firing.
+  //    The child is single-threaded here, so no fork is in flight and
+  //    the counter cross-check cannot race.
+  analysis::Report audit_report = analysis::forkaudit::audit(/*strict=*/true);
+  for (const analysis::Finding& finding : audit_report.findings) {
+    DLOG_WARN("fork") << "self-check audit: " << finding.to_string();
+    analysis::Engine::instance().add_forklint_finding(finding);
+    ++repairs;
   }
 
   if (repairs > 0) {

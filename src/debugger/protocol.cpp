@@ -38,7 +38,7 @@ std::vector<std::string> caps_from_wire(const Value& value,
 
 std::vector<std::string> local_capabilities() {
   return {kCapStats, kCapHeartbeat, kCapReplay, kCapAnalysis,
-          kCapPostmortem, kCapTimetravel};
+          kCapPostmortem, kCapTimetravel, kCapForksafety};
 }
 
 // -------------------------------------------------------------- events
@@ -653,6 +653,7 @@ Result<ReplayInfoResponse> ReplayInfoResponse::from_wire(const Value& value) {
 Value AnalysisReportRequest::to_wire() const {
   Value v;
   v.set("run_lint", run_lint);
+  v.set("run_forklint", run_forklint);
   return v;
 }
 
@@ -661,6 +662,7 @@ Result<AnalysisReportRequest> AnalysisReportRequest::from_wire(
   DIONEA_RETURN_IF_ERROR(require_object(value, "analysis-report request"));
   AnalysisReportRequest req;
   req.run_lint = value.get_bool("run_lint");
+  req.run_forklint = value.get_bool("run_forklint");  // absent pre-1.7
   return req;
 }
 
@@ -675,6 +677,7 @@ Value finding_to_wire(const AnalysisFindingWire& finding) {
   entry.set("file2", finding.file2);
   entry.set("line2", finding.line2);
   entry.set("step", finding.step);
+  entry.set("object", finding.object);
   return entry;
 }
 
@@ -693,6 +696,7 @@ std::vector<AnalysisFindingWire> findings_from_wire(const Value& value,
     finding.file2 = entry.get_string("file2");
     finding.line2 = entry.get_int("line2");
     finding.step = entry.get_int("step");  // absent pre-1.6: stays 0
+    finding.object = entry.get_string("object");  // absent pre-1.7: ""
     out.push_back(std::move(finding));
   }
   return out;
@@ -716,6 +720,11 @@ Value AnalysisReportResponse::to_wire() const {
     lint.push_back(finding_to_wire(finding));
   }
   v.set("lint_findings", std::move(lint));
+  Array forklint;
+  for (const AnalysisFindingWire& finding : forklint_findings) {
+    forklint.push_back(finding_to_wire(finding));
+  }
+  v.set("forklint_findings", std::move(forklint));
   return v;
 }
 
@@ -729,6 +738,8 @@ Result<AnalysisReportResponse> AnalysisReportResponse::from_wire(
   resp.sync_events = value.get_int("sync_events");
   resp.findings = findings_from_wire(value, "findings");
   resp.lint_findings = findings_from_wire(value, "lint_findings");
+  // Absent from 1.6 servers: stays empty (silent downgrade).
+  resp.forklint_findings = findings_from_wire(value, "forklint_findings");
   return resp;
 }
 

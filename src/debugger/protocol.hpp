@@ -37,7 +37,7 @@ namespace dionea::dbg::proto {
 // Major bumps break wire compatibility (rejected at hello); minor
 // bumps add commands/fields old peers ignore.
 inline constexpr int kProtoMajor = 1;
-inline constexpr int kProtoMinor = 6;
+inline constexpr int kProtoMinor = 7;
 
 inline constexpr const char* kCapStats = "stats";      // `stats` command
 inline constexpr const char* kCapHeartbeat = "heartbeat";
@@ -53,6 +53,12 @@ inline constexpr const char* kCapHub = "hub";  // 1.5
 // understands timetravel-info / timetravel-resume. Clients finding no
 // kCapTimetravel downgrade silently: every 1.5 verb keeps working.
 inline constexpr const char* kCapTimetravel = "timetravel";  // 1.6
+// 1.7: the server runs ForkLint (fork-safety bytecode dataflow +
+// native atfork coverage audit) on demand: analysis-report grows a
+// run_forklint request key and a forklint_findings response key. Both
+// sides skip unknown wire keys, so a 1.6 peer downgrades silently —
+// the forklint half is simply absent.
+inline constexpr const char* kCapForksafety = "forksafety";  // 1.7
 
 // What this build speaks (advertised in Hello and the ping response).
 std::vector<std::string> local_capabilities();
@@ -459,6 +465,9 @@ struct ReplayInfoResponse {
 struct AnalysisReportRequest {
   static constexpr const char* kName = "analysis-report";
   bool run_lint = false;  // re-lint the current program on the server
+  // 1.7 (kCapForksafety): run the ForkLint fork-safety dataflow plus
+  // the native atfork audit on the server. Old servers skip the key.
+  bool run_forklint = false;
 
   ipc::wire::Value to_wire() const;
   static Result<AnalysisReportRequest> from_wire(const ipc::wire::Value& value);
@@ -472,6 +481,9 @@ struct AnalysisFindingWire {
   std::string file2;    // other half of a pair ("" when n/a)
   std::int64_t line2 = 0;
   std::int64_t step = 0;  // DRLG step at detection (1.6; 0 = none/pre-1.6)
+  // Offending object ("mtx", "queue#3", an atfork registry entry name;
+  // "" when n/a). 1.7 — older peers simply never see the key.
+  std::string object;
 };
 
 struct AnalysisReportResponse {
@@ -481,6 +493,8 @@ struct AnalysisReportResponse {
   std::int64_t sync_events = 0;     // HB edges observed
   std::vector<AnalysisFindingWire> findings;       // dynamic
   std::vector<AnalysisFindingWire> lint_findings;  // static
+  // ForkLint findings (1.7, kCapForksafety; absent from 1.6 peers).
+  std::vector<AnalysisFindingWire> forklint_findings;
 
   ipc::wire::Value to_wire() const;
   static Result<AnalysisReportResponse> from_wire(

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "analysis/analysis.hpp"
+#include "analysis/forkaudit.hpp"
+#include "analysis/forklint.hpp"
 #include "replay/replay.hpp"
 #include "replay/timetravel.hpp"
 #include "support/logging.hpp"
@@ -51,9 +53,57 @@ void put_u32le(char* out, std::uint32_t v) {
 
 }  // namespace
 
+namespace {
+
+// ForkLint audit contract for the debugger-driven primitives. The
+// support-layer entries (metrics shards, trace exporter, crash notify
+// fd) are registered here because handler C in fork_handlers.cpp is
+// what repairs them — dionea_support itself never links against
+// dionea_analysis. Once per process; re-tracking is idempotent.
+void register_dbg_fork_contract() {
+  static const bool once = [] {
+    using analysis::forkaudit::Registry;
+    using analysis::forkaudit::Spec;
+    Registry& registry = Registry::instance();
+    registry.track(Spec{.name = "dbg.server_locks",
+                        .subsystem = "debugger",
+                        .has_prepare = true,
+                        .has_parent = true,
+                        .has_child = true,
+                        .pinned_before = {"vm.scheduler"}});
+    // Child-repair-only contracts: nothing to pin, but the child must
+    // rebuild them (Fig. 5/6 invariants and per-process observability).
+    registry.track(Spec{.name = "dbg.hub_registration",
+                        .subsystem = "debugger",
+                        .needs_prepare = false,
+                        .needs_parent = false,
+                        .has_child = true});
+    registry.track(Spec{.name = "support.metrics",
+                        .subsystem = "support",
+                        .needs_prepare = false,
+                        .needs_parent = false,
+                        .has_child = true});
+    registry.track(Spec{.name = "trace.exporter",
+                        .subsystem = "support",
+                        .needs_prepare = false,
+                        .needs_parent = false,
+                        .has_child = true});
+    registry.track(Spec{.name = "crash.report",
+                        .subsystem = "support",
+                        .needs_prepare = false,
+                        .needs_parent = false,
+                        .has_child = true});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
 DebugServer::DebugServer(vm::Vm& vm, Options options)
     : vm_(vm), options_(std::move(options)) {
   disturb_.store(options_.disturb_mode, std::memory_order_relaxed);
+  register_dbg_fork_contract();
   register_commands();
 }
 
@@ -1048,6 +1098,7 @@ void DebugServer::register_commands() {
           wire.file2 = finding.file2;
           wire.line2 = finding.line2;
           wire.step = static_cast<std::int64_t>(finding.step);
+          wire.object = finding.object;
           return wire;
         };
         for (const analysis::Finding& finding : engine.report().findings) {
@@ -1066,6 +1117,27 @@ void DebugServer::register_commands() {
         }
         for (const analysis::Finding& finding : lint.findings) {
           resp.lint_findings.push_back(to_wire(finding));
+        }
+        analysis::Report forklint;
+        if (req.run_forklint) {
+          // 1.7 (kCapForksafety): run the fork-safety dataflow over
+          // the running program plus the native atfork coverage audit
+          // on demand (console `forklint`). Like lint, a pure walk
+          // over immutable protos; the audit reads atomics only.
+          if (auto program = vm_.current_program()) {
+            forklint = analysis::forklint_program(*program);
+          }
+          analysis::Report audit = analysis::forkaudit::audit(false);
+          for (analysis::Finding& finding : audit.findings) {
+            forklint.findings.push_back(std::move(finding));
+          }
+          forklint.dedupe();
+          analysis::Engine::instance().set_forklint_report(forklint);
+        } else {
+          forklint = engine.forklint_report();  // DIONEA_FORKLINT's
+        }
+        for (const analysis::Finding& finding : forklint.findings) {
+          resp.forklint_findings.push_back(to_wire(finding));
         }
         return ok_with(seq, resp.to_wire());
       });

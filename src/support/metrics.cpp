@@ -32,6 +32,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kAnalysisSyncEvents: return "analysis.sync_events";
     case Counter::kAnalysisRaces: return "analysis.races";
     case Counter::kAnalysisLintFindings: return "analysis.lint_findings";
+    case Counter::kForklintFindings: return "analysis.forklint_findings";
     case Counter::kCrashReports: return "crash_reports";
     case Counter::kWatchdogEscalations: return "watchdog_escalations";
     case Counter::kForkSelfcheckRepairs: return "fork_selfcheck_repairs";

@@ -61,6 +61,7 @@ enum class Counter : int {
   kAnalysisSyncEvents,   // sync-object events observed by MiniSan
   kAnalysisRaces,        // distinct data races reported
   kAnalysisLintFindings, // static lint findings reported
+  kForklintFindings,     // ForkLint fork-safety findings reported
   kCrashReports,         // post-mortem reports written by capture_now
   kWatchdogEscalations,  // watchdog forward transitions (hung/degraded/detached)
   kForkSelfcheckRepairs, // fork handler C invariants it had to repair

@@ -282,6 +282,9 @@ void install_collections(Vm& vm) {
               finding.message = "push on a closed queue";
               finding.file = th.frames.back().closure->proto->file;
               finding.line = th.frames.back().line;
+              finding.object =
+                  strings::format("queue#%llu", static_cast<unsigned long long>(
+                                                    queue->replay_id()));
               analysis::Engine::instance().add_finding(std::move(finding));
             }
             return v.runtime_error(th, "push on closed queue");

@@ -1,5 +1,7 @@
 #include "vm/bytecode.hpp"
 
+#include <set>
+
 #include "support/result.hpp"
 #include "support/strings.hpp"
 
@@ -185,6 +187,27 @@ std::string Chunk::disassemble(const std::string& name) const {
   while (offset < code_.size()) {
     offset = disassemble_instruction(offset, &out);
   }
+  return out;
+}
+
+namespace {
+void collect_protos_rec(const FunctionProto* proto,
+                        std::vector<const FunctionProto*>* out,
+                        std::set<const FunctionProto*>* seen) {
+  if (!seen->insert(proto).second) return;
+  out->push_back(proto);
+  for (const Value& constant : proto->chunk.constants()) {
+    if (constant.is_closure() && constant.as_closure()->proto) {
+      collect_protos_rec(constant.as_closure()->proto.get(), out, seen);
+    }
+  }
+}
+}  // namespace
+
+std::vector<const FunctionProto*> collect_protos(const FunctionProto& main) {
+  std::vector<const FunctionProto*> out;
+  std::set<const FunctionProto*> seen;
+  collect_protos_rec(&main, &out, &seen);
   return out;
 }
 

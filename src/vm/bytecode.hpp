@@ -181,4 +181,10 @@ struct FunctionProto {
   Chunk chunk;
 };
 
+// Every FunctionProto reachable from `main` through constant-table
+// closures, pre-order with `main` first, each proto once. Purely
+// structural (never executes bytecode); the shared traversal under
+// MiniSan's lint, ForkLint's CFG builder and the disassembler.
+std::vector<const FunctionProto*> collect_protos(const FunctionProto& main);
+
 }  // namespace dionea::vm

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "analysis/analysis.hpp"
+#include "analysis/forkaudit.hpp"
+#include "analysis/forklint.hpp"
 #include "replay/replay.hpp"
 #include "support/crash_report.hpp"
 #include "support/logging.hpp"
@@ -35,11 +37,69 @@ const char* trace_kind_name(TraceKind kind) noexcept {
   return "?";
 }
 
+namespace {
+
+// ForkLint audit contract for the primitives whose fork pinning the VM
+// drives (DESIGN.md fork-handler contract table). The replay engine
+// and fault injector are registered here, on their pinning driver's
+// side, so dionea_replay/dionea_support never link against
+// dionea_analysis. Once per process; re-tracking is idempotent.
+void register_vm_fork_contract() {
+  static const bool once = [] {
+    using analysis::forkaudit::Registry;
+    using analysis::forkaudit::Spec;
+    Registry& registry = Registry::instance();
+    registry.track(Spec{.name = "vm.scheduler",
+                        .subsystem = "vm",
+                        .has_prepare = true,
+                        .has_parent = true,
+                        .has_child = true,
+                        .pinned_before = {"vm.sync_objects"}});
+    registry.track(Spec{.name = "vm.sync_objects",
+                        .subsystem = "vm",
+                        .has_prepare = true,
+                        .has_parent = true,
+                        .has_child = true,
+                        .pinned_before = {"vm.gil"}});
+    registry.track(Spec{.name = "vm.gil",
+                        .subsystem = "vm",
+                        .has_prepare = true,
+                        .has_parent = true,
+                        .has_child = true,
+                        .pinned_before = {"analysis.engine"}});
+    // Caches are not pinned across the fork; the contract is child-side
+    // repair only (the box64 001/004 fixes).
+    registry.track(Spec{.name = "vm.code_cache",
+                        .subsystem = "vm",
+                        .needs_prepare = false,
+                        .needs_parent = false,
+                        .has_child = true});
+    registry.track(Spec{.name = "replay.engine",
+                        .subsystem = "replay",
+                        .has_prepare = true,
+                        .has_parent = true,
+                        .has_child = true,
+                        .pinned_before = {"support.fault"}});
+    // fault::Injector pins itself via pthread_atfork (a leaf lock, so
+    // it sits at the end of the declared order).
+    registry.track(Spec{.name = "support.fault",
+                        .subsystem = "support",
+                        .has_prepare = true,
+                        .has_parent = true,
+                        .has_child = true});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
 Vm::Vm() {
   // Before any sync object exists, so creation-order replay ids line
   // up between a recording process and a replaying one.
   replay::Engine::init_from_env();
   analysis::Engine::init_from_env();
+  register_vm_fork_contract();
   // Build-time default backend (CMake -DDIONEA_DISPATCH=...), runtime
   // override via env for A/B runs without a rebuild.
 #if defined(DIONEA_DISPATCH_DEFAULT_GOTO) && DIONEA_DISPATCH_DEFAULT_GOTO
@@ -879,6 +939,20 @@ Result<std::string> Vm::eval_in_frame(std::int64_t tid, int depth,
                        ")\n  return (" + expression + ")\nend";
   auto compiled = compile_source(source, "<eval>");
   if (!compiled.is_ok()) return compiled.error();
+
+  // Debugger evals run from inside the trace callback, where fork()
+  // would re-enter the handler stack mid-trace. ForkLint flags (but
+  // does not block) expressions that can reach fork — §5.4's "no fork
+  // in a hook" rule, checked statically before the expression runs.
+  {
+    std::shared_ptr<const FunctionProto> program = current_program();
+    analysis::Report eval_report =
+        analysis::forklint_eval(*compiled.value(), program.get());
+    for (analysis::Finding& finding : eval_report.findings) {
+      analysis::Engine::instance().add_forklint_finding(std::move(finding));
+    }
+  }
+
   std::shared_ptr<Closure> eval_closure;
   for (const Value& constant : compiled.value()->chunk.constants()) {
     if (constant.is_closure()) {
@@ -944,9 +1018,11 @@ int Vm::add_fork_handlers(ForkHooks hooks) {
 }
 
 void Vm::internal_fork_prepare(InterpThread& th) {
+  auto& audit = analysis::forkaudit::Registry::instance();
   fork_sched_lock_ = std::unique_lock(sched_mutex_);
   fork_done_lock_ = std::unique_lock(th.done_mutex);
   fork_park_lock_ = std::unique_lock(th.park_mutex);
+  audit.note_prepare("vm.scheduler");
   // Pin every live sync object, in registration order (a total order,
   // so this cannot deadlock against another fork — forks are serialized
   // by the GIL anyway).
@@ -960,35 +1036,49 @@ void Vm::internal_fork_prepare(InterpThread& th) {
   }
   sync_objects_ = std::move(still_alive);  // drop expired entries
   for (auto& obj : fork_pinned_) obj->lock_for_fork();
+  audit.note_prepare("vm.sync_objects");
   gil_.prepare_fork();
+  audit.note_prepare("vm.gil");
   // Pinned last / released first: both engine mutexes are leaves.
   analysis::Engine::instance().prepare_fork();
   replay::Engine::instance().prepare_fork();
+  audit.note_prepare("replay.engine");
 }
 
 void Vm::internal_fork_parent() {
+  auto& audit = analysis::forkaudit::Registry::instance();
   replay::Engine::instance().parent_atfork();
+  audit.note_parent("replay.engine");
   analysis::Engine::instance().parent_atfork();
   gil_.parent_atfork();
+  audit.note_parent("vm.gil");
   for (size_t i = fork_pinned_.size(); i-- > 0;) {
     fork_pinned_[i]->unlock_after_fork();
   }
   fork_pinned_.clear();
+  audit.note_parent("vm.sync_objects");
   fork_park_lock_.unlock();
   fork_park_lock_ = {};
   fork_done_lock_.unlock();
   fork_done_lock_ = {};
   fork_sched_lock_.unlock();
   fork_sched_lock_ = {};
+  audit.note_parent("vm.scheduler");
 }
 
 void Vm::internal_fork_child(InterpThread& th) {
   forked_child_ = true;
   ++fork_depth_;
+  auto& audit = analysis::forkaudit::Registry::instance();
+  // The replay engine's child handler ran in fork_now/fork_checkpoint,
+  // immediately before this one.
+  audit.note_child("replay.engine");
   analysis::Engine::instance().child_atfork();
   gil_.child_atfork(th.id());
+  audit.note_child("vm.gil");
   for (auto& obj : fork_pinned_) obj->reinit_in_child(th.id());
   fork_pinned_.clear();
+  audit.note_child("vm.sync_objects");
 
   // Listing 1/2 analog: only the forking thread survives. The other
   // InterpThread objects are parked in a graveyard instead of being
@@ -1022,6 +1112,7 @@ void Vm::internal_fork_child(InterpThread& th) {
   bump_quicken_generation();
   for (auto& [proto, cache] : code_caches_) cache->reset_ics();
   (void)repair_cache_pins();
+  audit.note_child("vm.code_cache");
 
   // We locked these ourselves in prepare; same thread, so plain
   // unlocks are well-defined in the child.
@@ -1031,6 +1122,7 @@ void Vm::internal_fork_child(InterpThread& th) {
   fork_done_lock_ = {};
   fork_sched_lock_.unlock();
   fork_sched_lock_ = {};
+  audit.note_child("vm.scheduler");
 }
 
 Result<int> Vm::fork_now(InterpThread& th) {
@@ -1161,6 +1253,24 @@ RunResult Vm::run_main(std::shared_ptr<const FunctionProto> proto) {
       std::fwrite(text.data(), 1, text.size(), stderr);
     }
     analysis::Engine::instance().set_lint_report(std::move(lint));
+  }
+  // ForkLint (DIONEA_FORKLINT=1): the fork-safety dataflow over the
+  // compiled program plus the native atfork coverage audit. Like the
+  // lint, report-and-continue.
+  const char* forklint_env = std::getenv("DIONEA_FORKLINT");
+  if (forklint_env != nullptr && forklint_env[0] != '\0' &&
+      std::string_view(forklint_env) != "0") {
+    analysis::Report forklint = analysis::forklint_program(*proto);
+    analysis::Report audit_report = analysis::forkaudit::audit(false);
+    for (analysis::Finding& finding : audit_report.findings) {
+      forklint.findings.push_back(std::move(finding));
+    }
+    forklint.dedupe();
+    for (const analysis::Finding& finding : forklint.findings) {
+      std::string text = "dionea-forklint: " + finding.to_string() + "\n";
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+    analysis::Engine::instance().set_forklint_report(std::move(forklint));
   }
   auto main_th = std::make_shared<InterpThread>(1, "main");
   {

@@ -1,0 +1,113 @@
+// ForkLint under hostile bytecode: the CFG builder and the full
+// forklint dataflow are swept over the same seeded 2000-mutant
+// corpus the bytecode verifier uses — but with NO verifier in front.
+// The builder's contract is totality: arbitrary byte soup must
+// produce a well-formed (possibly empty) CFG, never a crash, and the
+// analysis verdict must be deterministic (same mutant, same report).
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/forklint.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/compiler.hpp"
+
+namespace dionea {
+namespace {
+
+// Fork/lock/queue names in the constant pool on purpose: mutants can
+// retarget a kGetGlobal at them, steering the sweep through the
+// analysis' interesting paths, not just its decoder.
+const char* kSeedProgram =
+    "m = mutex()\n"
+    "work = queue()\n"
+    "fn feed()\n"
+    "  push(work, 1)\n"
+    "end\n"
+    "fn child()\n"
+    "  x = pop(work)\n"
+    "  exit(0)\n"
+    "end\n"
+    "t = spawn(feed)\n"
+    "lock(m)\n"
+    "pid = fork(child)\n"
+    "unlock(m)\n"
+    "waitpid(pid)\n"
+    "join(t)\n";
+
+std::string report_fingerprint(const analysis::Report& report) {
+  return report.to_string();
+}
+
+std::string cfg_fingerprint(const analysis::cfg::Cfg& graph) {
+  std::string out;
+  for (const analysis::cfg::Block& block : graph.blocks) {
+    out += std::to_string(block.begin) + "-" + std::to_string(block.end);
+    out += block.terminates ? "T" : "";
+    for (std::size_t succ : block.succs) {
+      out += "," + std::to_string(succ);
+    }
+    out += ";";
+  }
+  return out;
+}
+
+TEST(CfgFuzzTest, MutatedChunksNeverCrashBuilderOrDataflow) {
+  auto compiled = vm::compile_source(kSeedProgram, "cfg_fuzz.ml");
+  ASSERT_TRUE(compiled.is_ok()) << compiled.error().to_string();
+  const vm::FunctionProto& pristine = *compiled.value();
+
+  // The pristine program itself must analyze (it forks under a lock —
+  // exactly one such finding) before the sweep corrupts it.
+  {
+    analysis::Report report = analysis::forklint_program(pristine);
+    int fork_under_lock = 0;
+    for (const analysis::Finding& f : report.findings) {
+      if (f.kind == analysis::FindingKind::kForkUnderLock) ++fork_under_lock;
+    }
+    EXPECT_EQ(fork_under_lock, 1) << report.to_string();
+  }
+
+  std::mt19937 rng(0xd10ea5u);
+  const std::size_t code_size = pristine.chunk.size();
+  int nonempty_cfgs = 0;
+  int findings_seen = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    vm::FunctionProto mutant = pristine;
+    const int flips = 1 + static_cast<int>(rng() % 3);
+    for (int f = 0; f < flips; ++f) {
+      mutant.chunk.poke_for_test(rng() % code_size,
+                                 static_cast<std::uint8_t>(rng() % 256));
+    }
+
+    // Builder totality + determinism.
+    analysis::cfg::Cfg first = analysis::cfg::build(mutant);
+    analysis::cfg::Cfg second = analysis::cfg::build(mutant);
+    EXPECT_EQ(cfg_fingerprint(first), cfg_fingerprint(second));
+    if (!first.empty()) ++nonempty_cfgs;
+    for (const analysis::cfg::Block& block : first.blocks) {
+      ASSERT_LE(block.begin, block.end);
+      ASSERT_LE(block.end, code_size);
+      for (std::size_t succ : block.succs) {
+        ASSERT_LT(succ, first.blocks.size());
+      }
+    }
+
+    // Verdict stability: the whole pipeline, twice, same report.
+    analysis::Report once = analysis::forklint_program(mutant);
+    analysis::Report twice = analysis::forklint_program(mutant);
+    ASSERT_EQ(report_fingerprint(once), report_fingerprint(twice))
+        << "nondeterministic verdict at iteration " << iter;
+    if (!once.findings.empty()) ++findings_seen;
+  }
+  // The sweep must actually exercise the analysis, not bail out of
+  // every mutant at the first bad byte.
+  EXPECT_GT(nonempty_cfgs, 1000);
+  EXPECT_GT(findings_seen, 100);
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,216 @@
+// ForkLint pillar 2: the native atfork coverage audit. The repo's own
+// fork-handler stack must audit clean; a fixture primitive registered
+// without handlers (the box64 case-004 shape) must be flagged until
+// repaired; declared prepare-order cycles must be caught; and the
+// strict counter cross-check must notice a handler that stopped
+// firing. Finishes with a real MiniLang fork: the audit stays clean
+// and the counters stay balanced after the handlers actually ran.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "analysis/forkaudit.hpp"
+#include "testutil.hpp"
+
+namespace dionea {
+namespace {
+
+using analysis::forkaudit::Registry;
+using analysis::forkaudit::Spec;
+
+std::vector<const analysis::Finding*> of_kind(const analysis::Report& report,
+                                              analysis::FindingKind kind) {
+  std::vector<const analysis::Finding*> out;
+  for (const analysis::Finding& f : report.findings) {
+    if (f.kind == kind) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<const analysis::Finding*> about(const analysis::Report& report,
+                                            const std::string& object) {
+  std::vector<const analysis::Finding*> out;
+  for (const analysis::Finding& f : report.findings) {
+    if (f.object == object ||
+        f.message.find(object) != std::string::npos) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+// A scoped fixture entry: never leaks into later tests.
+class Tracked {
+ public:
+  explicit Tracked(Spec spec) : name_(spec.name) {
+    Registry::instance().track(std::move(spec));
+  }
+  ~Tracked() { Registry::instance().untrack(name_); }
+
+ private:
+  std::string name_;
+};
+
+// Touch the VM + debug-server stacks so every real subsystem has
+// registered its fork contract, then audit. Zero findings: the repo's
+// own handler chain satisfies the contract it ships.
+TEST(ForkauditTest, RepoForkHandlerStackAuditsClean) {
+  test::RunOutcome outcome = test::run_ml("x = 1\nputs(x)\n");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  analysis::Report report = analysis::forkaudit::audit(false);
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+  // The registry saw the real subsystems, not an empty slab.
+  std::vector<Spec> specs = Registry::instance().snapshot();
+  bool saw_gil = false;
+  bool saw_scheduler = false;
+  for (const Spec& spec : specs) {
+    if (spec.name == "vm.gil") saw_gil = true;
+    if (spec.name == "vm.scheduler") saw_scheduler = true;
+  }
+  EXPECT_TRUE(saw_gil);
+  EXPECT_TRUE(saw_scheduler);
+}
+
+// box64 case 004: a primitive pthread_atfork never heard about. The
+// unrepaired fixture is flagged; wiring up the declared handlers (the
+// repair) silences it.
+TEST(ForkauditTest, FlagsUnregisteredPrimitiveUntilRepaired) {
+  {
+    Spec bad;
+    bad.name = "fixture.case004_mutex";
+    bad.subsystem = "tests";
+    Tracked tracked(bad);  // needs all three handlers, has none
+    analysis::Report report = analysis::forkaudit::audit(false);
+    auto found = about(report, "fixture.case004_mutex");
+    ASSERT_FALSE(found.empty()) << report.to_string();
+    EXPECT_EQ(found[0]->kind, analysis::FindingKind::kAtforkUncovered);
+  }
+  {
+    Spec repaired;
+    repaired.name = "fixture.case004_mutex";
+    repaired.subsystem = "tests";
+    repaired.has_prepare = true;
+    repaired.has_parent = true;
+    repaired.has_child = true;
+    Tracked tracked(repaired);
+    analysis::Report report = analysis::forkaudit::audit(false);
+    EXPECT_TRUE(about(report, "fixture.case004_mutex").empty())
+        << report.to_string();
+  }
+  // And untracked, the fixture leaves no residue.
+  analysis::Report report = analysis::forkaudit::audit(false);
+  EXPECT_TRUE(about(report, "fixture.case004_mutex").empty())
+      << report.to_string();
+}
+
+TEST(ForkauditTest, PartialCoverageNamesTheMissingHandler) {
+  Spec partial;
+  partial.name = "fixture.partial";
+  partial.subsystem = "tests";
+  partial.has_prepare = true;
+  partial.has_parent = true;  // child handler missing
+  Tracked tracked(partial);
+  analysis::Report report = analysis::forkaudit::audit(false);
+  auto found = about(report, "fixture.partial");
+  ASSERT_FALSE(found.empty()) << report.to_string();
+  EXPECT_NE(found[0]->message.find("child"), std::string::npos)
+      << found[0]->message;
+}
+
+TEST(ForkauditTest, FlagsPrepareOrderInversion) {
+  Spec a;
+  a.name = "fixture.order_a";
+  a.subsystem = "tests";
+  a.has_prepare = a.has_parent = a.has_child = true;
+  a.pinned_before = {"fixture.order_b"};
+  Spec b;
+  b.name = "fixture.order_b";
+  b.subsystem = "tests";
+  b.has_prepare = b.has_parent = b.has_child = true;
+  b.pinned_before = {"fixture.order_a"};
+  Tracked ta(a);
+  Tracked tb(b);
+  analysis::Report report = analysis::forkaudit::audit(false);
+  auto found = of_kind(report, analysis::FindingKind::kAtforkOrderInversion);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_NE(found[0]->message.find("fixture.order_a"), std::string::npos);
+  EXPECT_NE(found[0]->message.find("fixture.order_b"), std::string::npos);
+}
+
+TEST(ForkauditTest, DanglingPinnedBeforeEdgeIsIgnored) {
+  Spec a;
+  a.name = "fixture.dangling";
+  a.subsystem = "tests";
+  a.has_prepare = a.has_parent = a.has_child = true;
+  a.pinned_before = {"fixture.never_registered"};
+  Tracked tracked(a);
+  analysis::Report report = analysis::forkaudit::audit(false);
+  EXPECT_TRUE(
+      of_kind(report, analysis::FindingKind::kAtforkOrderInversion).empty())
+      << report.to_string();
+}
+
+// Strict mode: prepare must equal parent + child for a fully-covered
+// primitive — a handler that silently stopped firing breaks the
+// balance.
+TEST(ForkauditTest, StrictAuditCatchesAsymmetricCounters) {
+  Spec spec;
+  spec.name = "fixture.counters";
+  spec.subsystem = "tests";
+  spec.has_prepare = spec.has_parent = spec.has_child = true;
+  Tracked tracked(spec);
+  Registry& registry = Registry::instance();
+
+  registry.note_prepare("fixture.counters");
+  registry.note_prepare("fixture.counters");
+  registry.note_parent("fixture.counters");
+  analysis::Report unbalanced = analysis::forkaudit::audit(true);
+  ASSERT_FALSE(about(unbalanced, "fixture.counters").empty())
+      << unbalanced.to_string();
+  // Non-strict mode ignores counters (a fork may be in flight).
+  EXPECT_TRUE(about(analysis::forkaudit::audit(false), "fixture.counters")
+                  .empty());
+
+  registry.note_child("fixture.counters");  // the missing half arrives
+  analysis::Report balanced = analysis::forkaudit::audit(true);
+  EXPECT_TRUE(about(balanced, "fixture.counters").empty())
+      << balanced.to_string();
+
+  analysis::forkaudit::Counts counts = registry.counts("fixture.counters");
+  EXPECT_EQ(counts.prepare, 2u);
+  EXPECT_EQ(counts.parent, 1u);
+  EXPECT_EQ(counts.child, 1u);
+}
+
+// A real fork through the VM: handlers A and B actually run in the
+// parent, the counters balance, and the audit stays clean afterwards.
+// The child exits through run_ml's containment, so its exit code is
+// the MiniSan-quiet channel: a handler-C crash or a child-side finding
+// would surface as a nonzero status.
+TEST(ForkauditTest, RealForkKeepsAuditCleanAndCountersBalanced) {
+  analysis::forkaudit::Counts before =
+      Registry::instance().counts("vm.gil");
+  test::RunOutcome outcome = test::run_ml(
+      "pid = fork()\n"
+      "if pid == 0\n"
+      "  exit(0)\n"
+      "end\n"
+      "st = waitpid(pid)\n"
+      "exit(st)\n");
+  ASSERT_TRUE(outcome.exited) << outcome.error_message;
+  EXPECT_EQ(outcome.exit_code, 0);
+
+  analysis::forkaudit::Counts after = Registry::instance().counts("vm.gil");
+  EXPECT_GT(after.prepare, before.prepare);
+  // Parent process view: every prepare was matched by a parent-side
+  // release (the child's note_child happened in the child process).
+  EXPECT_EQ(after.prepare - before.prepare, after.parent - before.parent);
+
+  analysis::Report report = analysis::forkaudit::audit(false);
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace dionea

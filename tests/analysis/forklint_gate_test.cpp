@@ -1,0 +1,107 @@
+// The examples gate: every MiniLang program shipped under examples/ml
+// must come through ForkLint with zero findings — except the bad_*
+// fixtures, which must FAIL analysis (each seeded hazard class
+// flagged). The bad half keeps the gate honest: a dataflow regression
+// that stops seeing hazards breaks this test instead of silently
+// waving everything through.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "analysis/forklint.hpp"
+#include "vm/compiler.hpp"
+
+#ifndef DIONEA_EXAMPLES_ML_DIR
+#error "build must define DIONEA_EXAMPLES_ML_DIR"
+#endif
+
+namespace dionea {
+namespace {
+
+std::vector<std::string> ml_files() {
+  std::vector<std::string> out;
+  DIR* dir = ::opendir(DIONEA_EXAMPLES_ML_DIR);
+  if (dir == nullptr) return out;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ml") == 0) {
+      out.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+int count_kind(const analysis::Report& report, analysis::FindingKind kind) {
+  int n = 0;
+  for (const analysis::Finding& f : report.findings) {
+    if (f.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(ForklintGateTest, EveryShippedExampleIsForkSafe) {
+  std::vector<std::string> files = ml_files();
+  ASSERT_FALSE(files.empty())
+      << "no .ml files under " << DIONEA_EXAMPLES_ML_DIR;
+  int clean = 0;
+  int bad = 0;
+  for (const std::string& name : files) {
+    std::string source =
+        read_file(std::string(DIONEA_EXAMPLES_ML_DIR) + "/" + name);
+    ASSERT_FALSE(source.empty()) << name;
+    auto proto = vm::compile_source(source, name);
+    ASSERT_TRUE(proto.is_ok()) << name << ": " << proto.error().to_string();
+    analysis::Report report = analysis::forklint_program(*proto.value());
+    if (name.compare(0, 4, "bad_") == 0) {
+      ++bad;
+      EXPECT_FALSE(report.findings.empty())
+          << name << " is a known-bad fixture but ForkLint passed it";
+    } else {
+      ++clean;
+      EXPECT_TRUE(report.findings.empty())
+          << name << " must be fork-safe but ForkLint found:\n"
+          << report.to_string();
+    }
+  }
+  // The corpus must exercise both sides of the gate.
+  EXPECT_GE(clean, 3);
+  EXPECT_GE(bad, 1);
+}
+
+// The flagship fixture seeds one hazard of each class; all three must
+// come back, at the right spots.
+TEST(ForklintGateTest, BadFixtureTripsEveryHazardClass) {
+  std::string source = read_file(std::string(DIONEA_EXAMPLES_ML_DIR) +
+                                 "/bad_fork_hazards.ml");
+  ASSERT_FALSE(source.empty());
+  auto proto = vm::compile_source(source, "bad_fork_hazards.ml");
+  ASSERT_TRUE(proto.is_ok()) << proto.error().to_string();
+  analysis::Report report = analysis::forklint_program(*proto.value());
+  EXPECT_EQ(count_kind(report, analysis::FindingKind::kForkUnderLock), 1)
+      << report.to_string();
+  // Child pops a parent-fed queue AND joins a parent-side thread.
+  EXPECT_EQ(count_kind(report, analysis::FindingKind::kForkChildResource), 2)
+      << report.to_string();
+}
+
+}  // namespace
+}  // namespace dionea

@@ -1,0 +1,428 @@
+// ForkLint pillar 1: the fork-safety bytecode dataflow. Positives for
+// each hazard class (fork-under-lock direct / interprocedural / via
+// synchronize(), child-side use of parent-only queues and thread
+// handles, fork reachable from a debugger eval) and — just as
+// load-bearing — the fork-heavy programs it must stay silent on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/forklint.hpp"
+#include "vm/compiler.hpp"
+
+namespace dionea {
+namespace {
+
+analysis::Report forklint(const std::string& source,
+                          const std::string& file = "forklint.ml") {
+  auto proto = vm::compile_source(source, file);
+  EXPECT_TRUE(proto.is_ok()) << proto.error().to_string();
+  if (!proto.is_ok()) return analysis::Report{};
+  return analysis::forklint_program(*proto.value());
+}
+
+std::vector<const analysis::Finding*> of_kind(const analysis::Report& report,
+                                              analysis::FindingKind kind) {
+  std::vector<const analysis::Finding*> out;
+  for (const analysis::Finding& f : report.findings) {
+    if (f.kind == kind) out.push_back(&f);
+  }
+  return out;
+}
+
+// ---- fork-under-lock ---------------------------------------------------
+
+TEST(ForklintTest, FlagsDirectForkUnderLock) {
+  analysis::Report report = forklint(
+      "m = mutex()\n"   // 1
+      "lock(m)\n"       // 2
+      "pid = fork()\n"  // 3
+      "unlock(m)\n"     // 4
+      "if pid == 0\n"
+      "  exit(0)\n"
+      "end\n"
+      "waitpid(pid)\n");
+  auto found = of_kind(report, analysis::FindingKind::kForkUnderLock);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->file, "forklint.ml");
+  EXPECT_EQ(found[0]->line, 3);
+  EXPECT_EQ(found[0]->object, "m");
+  EXPECT_NE(found[0]->message.find("'m'"), std::string::npos);
+  // The acquisition site rides along as the pair location.
+  EXPECT_EQ(found[0]->line2, 2);
+}
+
+TEST(ForklintTest, SilentWhenLockReleasedBeforeFork) {
+  analysis::Report report = forklint(
+      "m = mutex()\n"
+      "lock(m)\n"
+      "x = 1\n"
+      "unlock(m)\n"
+      "pid = fork()\n"
+      "if pid == 0\n"
+      "  exit(0)\n"
+      "end\n"
+      "waitpid(pid)\n");
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST(ForklintTest, FlagsInterproceduralForkUnderLock) {
+  analysis::Report report = forklint(
+      "m = mutex()\n"       // 1
+      "fn spawn_child()\n"  // 2
+      "  pid = fork()\n"    // 3
+      "  if pid == 0\n"     // 4
+      "    exit(0)\n"       // 5
+      "  end\n"             // 6
+      "  return pid\n"      // 7
+      "end\n"               // 8
+      "lock(m)\n"           // 9
+      "p = spawn_child()\n" // 10
+      "unlock(m)\n"         // 11
+      "waitpid(p)\n");
+  auto found = of_kind(report, analysis::FindingKind::kForkUnderLock);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->line, 10);  // the call site, where the lock is held
+  EXPECT_NE(found[0]->message.find("spawn_child"), std::string::npos);
+  EXPECT_EQ(found[0]->object, "m");
+}
+
+TEST(ForklintTest, SilentOnInterproceduralForkWithoutLock) {
+  analysis::Report report = forklint(
+      "fn spawn_child()\n"
+      "  pid = fork()\n"
+      "  if pid == 0\n"
+      "    exit(0)\n"
+      "  end\n"
+      "  return pid\n"
+      "end\n"
+      "p = spawn_child()\n"
+      "waitpid(p)\n");
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST(ForklintTest, FlagsSynchronizeRunningForkingBody) {
+  analysis::Report report = forklint(
+      "m = mutex()\n"       // 1
+      "fn forker()\n"       // 2
+      "  pid = fork()\n"    // 3
+      "  if pid == 0\n"
+      "    exit(0)\n"
+      "  end\n"
+      "  waitpid(pid)\n"
+      "  return nil\n"
+      "end\n"               // 9
+      "synchronize(m, forker)\n");  // 10
+  auto found = of_kind(report, analysis::FindingKind::kForkUnderLock);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->line, 10);
+  EXPECT_NE(found[0]->message.find("forker"), std::string::npos);
+}
+
+// The may-held set joins across branches: a fork on the path where the
+// lock *may* still be held is flagged even though one path released it.
+TEST(ForklintTest, MayHeldJoinsAcrossBranches) {
+  analysis::Report report = forklint(
+      "m = mutex()\n"    // 1
+      "x = 1\n"          // 2
+      "lock(m)\n"        // 3
+      "if x == 1\n"      // 4
+      "  unlock(m)\n"    // 5
+      "end\n"            // 6
+      "pid = fork()\n"   // 7
+      "if pid == 0\n"
+      "  exit(0)\n"
+      "end\n"
+      "waitpid(pid)\n"
+      "unlock(m)\n");
+  auto found = of_kind(report, analysis::FindingKind::kForkUnderLock);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->line, 7);
+}
+
+// ---- child-side resources ---------------------------------------------
+
+TEST(ForklintTest, FlagsChildPopOfParentFedQueue) {
+  analysis::Report report = forklint(
+      "work = queue()\n"      // 1
+      "fn feed()\n"           // 2
+      "  push(work, 1)\n"     // 3
+      "end\n"                 // 4
+      "feeder = spawn(feed)\n"// 5
+      "fn child()\n"          // 6
+      "  x = pop(work)\n"     // 7
+      "  exit(0)\n"           // 8
+      "end\n"                 // 9
+      "pid = fork(child)\n"   // 10
+      "waitpid(pid)\n"
+      "join(feeder)\n");
+  auto found = of_kind(report, analysis::FindingKind::kForkChildResource);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->line, 7);  // the pop
+  EXPECT_EQ(found[0]->object, "work");
+  EXPECT_EQ(found[0]->line2, 10);  // the fork site
+}
+
+TEST(ForklintTest, SilentWhenChildRespawnsTheFeeder) {
+  analysis::Report report = forklint(
+      "work = queue()\n"
+      "fn feed()\n"
+      "  push(work, 1)\n"
+      "end\n"
+      "feeder = spawn(feed)\n"
+      "fn child()\n"
+      "  feed()\n"            // feeder logic reachable in the child
+      "  x = pop(work)\n"
+      "  exit(0)\n"
+      "end\n"
+      "pid = fork(child)\n"
+      "waitpid(pid)\n"
+      "join(feeder)\n");
+  EXPECT_TRUE(
+      of_kind(report, analysis::FindingKind::kForkChildResource).empty())
+      << report.to_string();
+}
+
+TEST(ForklintTest, SilentWhenChildFeedsTheQueueItself) {
+  analysis::Report report = forklint(
+      "work = queue()\n"
+      "fn feed()\n"
+      "  push(work, 1)\n"
+      "end\n"
+      "feeder = spawn(feed)\n"
+      "fn child()\n"
+      "  push(work, 2)\n"
+      "  x = pop(work)\n"
+      "  exit(0)\n"
+      "end\n"
+      "pid = fork(child)\n"
+      "waitpid(pid)\n"
+      "join(feeder)\n");
+  EXPECT_TRUE(
+      of_kind(report, analysis::FindingKind::kForkChildResource).empty())
+      << report.to_string();
+}
+
+TEST(ForklintTest, FlagsChildJoinOfParentSideThread) {
+  analysis::Report report = forklint(
+      "fn worker()\n"          // 1
+      "  return nil\n"         // 2
+      "end\n"                  // 3
+      "t = spawn(worker)\n"    // 4
+      "fn child()\n"           // 5
+      "  join(t)\n"            // 6
+      "  exit(0)\n"            // 7
+      "end\n"                  // 8
+      "pid = fork(child)\n"    // 9
+      "waitpid(pid)\n"
+      "join(t)\n");
+  auto found = of_kind(report, analysis::FindingKind::kForkChildResource);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->line, 6);
+  EXPECT_EQ(found[0]->object, "t");
+}
+
+TEST(ForklintTest, SilentWhenChildJoinsItsOwnSpawn) {
+  analysis::Report report = forklint(
+      "fn worker()\n"
+      "  return nil\n"
+      "end\n"
+      "fn child()\n"
+      "  t = spawn(worker)\n"
+      "  join(t)\n"
+      "  exit(0)\n"
+      "end\n"
+      "pid = fork(child)\n"
+      "waitpid(pid)\n");
+  EXPECT_TRUE(
+      of_kind(report, analysis::FindingKind::kForkChildResource).empty())
+      << report.to_string();
+}
+
+// Plain fork() (no child block) gives the analysis no child body to
+// inspect; only the lock check applies.
+TEST(ForklintTest, PlainForkWithoutBlockOnlyChecksLocks) {
+  analysis::Report report = forklint(
+      "work = queue()\n"
+      "fn feed()\n"
+      "  push(work, 1)\n"
+      "end\n"
+      "feeder = spawn(feed)\n"
+      "pid = fork()\n"
+      "if pid == 0\n"
+      "  exit(0)\n"
+      "end\n"
+      "waitpid(pid)\n"
+      "join(feeder)\n");
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+// ---- eval / trace-hook gate --------------------------------------------
+
+const vm::FunctionProto* compile_or_die(
+    const std::string& source, const std::string& file,
+    std::shared_ptr<const vm::FunctionProto>* keep) {
+  auto proto = vm::compile_source(source, file);
+  EXPECT_TRUE(proto.is_ok()) << proto.error().to_string();
+  *keep = proto.is_ok() ? proto.value() : nullptr;
+  return keep->get();
+}
+
+TEST(ForklintTest, EvalFlaggedWhenExpressionForksDirectly) {
+  std::shared_ptr<const vm::FunctionProto> keep;
+  const vm::FunctionProto* eval_proto =
+      compile_or_die("x = fork()\n", "<eval>", &keep);
+  ASSERT_NE(eval_proto, nullptr);
+  analysis::Report report = analysis::forklint_eval(*eval_proto, nullptr);
+  auto found = of_kind(report, analysis::FindingKind::kForkInTraceHook);
+  ASSERT_EQ(found.size(), 1u) << report.to_string();
+  EXPECT_EQ(found[0]->object, "eval");
+}
+
+TEST(ForklintTest, EvalFlaggedWhenExpressionCallsForkingProgramFunction) {
+  std::shared_ptr<const vm::FunctionProto> keep_main;
+  const vm::FunctionProto* main = compile_or_die(
+      "fn restart()\n"
+      "  pid = fork()\n"
+      "  if pid == 0\n"
+      "    exit(0)\n"
+      "  end\n"
+      "  return pid\n"
+      "end\n"
+      "restart()\n",
+      "prog.ml", &keep_main);
+  ASSERT_NE(main, nullptr);
+  std::shared_ptr<const vm::FunctionProto> keep_eval;
+  const vm::FunctionProto* eval_proto =
+      compile_or_die("x = restart()\n", "<eval>", &keep_eval);
+  ASSERT_NE(eval_proto, nullptr);
+  analysis::Report report = analysis::forklint_eval(*eval_proto, main);
+  EXPECT_EQ(of_kind(report, analysis::FindingKind::kForkInTraceHook).size(),
+            1u)
+      << report.to_string();
+}
+
+TEST(ForklintTest, EvalSilentOnHarmlessExpression) {
+  std::shared_ptr<const vm::FunctionProto> keep_main;
+  const vm::FunctionProto* main = compile_or_die(
+      "fn restart()\n"
+      "  pid = fork()\n"
+      "  if pid == 0\n"
+      "    exit(0)\n"
+      "  end\n"
+      "  return pid\n"
+      "end\n"
+      "restart()\n",
+      "prog.ml", &keep_main);
+  ASSERT_NE(main, nullptr);
+  std::shared_ptr<const vm::FunctionProto> keep_eval;
+  const vm::FunctionProto* eval_proto =
+      compile_or_die("x = 1 + 2\n", "<eval>", &keep_eval);
+  ASSERT_NE(eval_proto, nullptr);
+  analysis::Report report = analysis::forklint_eval(*eval_proto, main);
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+// ---- report plumbing ---------------------------------------------------
+
+TEST(ForklintTest, ReportDedupeCollapsesByKindFileLineObject) {
+  analysis::Report report;
+  analysis::Finding finding;
+  finding.kind = analysis::FindingKind::kForkUnderLock;
+  finding.message = "first";
+  finding.file = "a.ml";
+  finding.line = 3;
+  finding.object = "m";
+  report.findings.push_back(finding);
+  finding.message = "second copy, different text";
+  report.findings.push_back(finding);
+  finding.object = "n";  // different object: survives
+  report.findings.push_back(finding);
+  report.dedupe();
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[0].message, "first");  // first occurrence wins
+  EXPECT_EQ(report.findings[1].object, "n");
+}
+
+TEST(ForklintTest, EngineForklintReportSlotRoundTrips) {
+  analysis::Report report;
+  analysis::Finding finding;
+  finding.kind = analysis::FindingKind::kAtforkUncovered;
+  finding.message = "fixture";
+  finding.object = "fixture.entry";
+  report.findings.push_back(finding);
+  analysis::Engine::instance().set_forklint_report(report);
+  analysis::Report back = analysis::Engine::instance().forklint_report();
+  ASSERT_EQ(back.findings.size(), 1u);
+  EXPECT_EQ(back.findings[0].object, "fixture.entry");
+  analysis::Engine::instance().set_forklint_report(analysis::Report{});
+}
+
+// ---- CFG structure -----------------------------------------------------
+
+TEST(ForklintCfgTest, BuildsDeterministicBlocksOverBranches) {
+  auto proto = vm::compile_source(
+      "x = 1\n"
+      "if x == 1\n"
+      "  y = 2\n"
+      "else\n"
+      "  y = 3\n"
+      "end\n"
+      "puts(y)\n",
+      "cfg.ml");
+  ASSERT_TRUE(proto.is_ok());
+  analysis::cfg::Cfg first = analysis::cfg::build(*proto.value());
+  analysis::cfg::Cfg second = analysis::cfg::build(*proto.value());
+  ASSERT_FALSE(first.empty());
+  EXPECT_GE(first.blocks.size(), 3u);  // then / else / join at minimum
+  EXPECT_EQ(first.blocks[0].begin, 0u);
+  ASSERT_EQ(first.blocks.size(), second.blocks.size());
+  for (std::size_t i = 0; i < first.blocks.size(); ++i) {
+    EXPECT_EQ(first.blocks[i].begin, second.blocks[i].begin);
+    EXPECT_EQ(first.blocks[i].end, second.blocks[i].end);
+    EXPECT_EQ(first.blocks[i].succs, second.blocks[i].succs);
+  }
+  // Every successor index is in range and every non-terminating block
+  // has at least one.
+  for (const analysis::cfg::Block& block : first.blocks) {
+    for (std::size_t succ : block.succs) {
+      EXPECT_LT(succ, first.blocks.size());
+    }
+    if (!block.terminates) {
+      EXPECT_FALSE(block.succs.empty());
+    }
+  }
+}
+
+TEST(ForklintCfgTest, ProgramGraphResolvesBindingsAndBuiltins) {
+  auto proto = vm::compile_source(
+      "fn helper()\n"
+      "  pid = fork()\n"
+      "  if pid == 0\n"
+      "    exit(0)\n"
+      "  end\n"
+      "  return pid\n"
+      "end\n"
+      "fn outer()\n"
+      "  return helper()\n"
+      "end\n"
+      "outer()\n",
+      "graph.ml");
+  ASSERT_TRUE(proto.is_ok());
+  analysis::cfg::Program program =
+      analysis::cfg::build_program(*proto.value());
+  ASSERT_EQ(program.global_funcs.count("helper"), 1u);
+  ASSERT_EQ(program.global_funcs.count("outer"), 1u);
+  const vm::FunctionProto* outer = program.global_funcs.at("outer");
+  // outer -> helper -> fork, over reference edges.
+  EXPECT_TRUE(analysis::cfg::references_name(program, outer, "fork"));
+  EXPECT_FALSE(analysis::cfg::references_name(program, outer, "join"));
+  auto reach = analysis::cfg::reachable(program, outer);
+  EXPECT_EQ(reach.count(program.global_funcs.at("helper")), 1u);
+}
+
+}  // namespace
+}  // namespace dionea

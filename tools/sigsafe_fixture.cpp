@@ -1,0 +1,30 @@
+// sigsafe_fixture — a deliberately *bad* signal handler, used to prove
+// the sigsafe gate can fail. The handler calls printf (stdio lock) and
+// malloc (heap lock): both classic crash-handler deadlocks. The
+// paired ctest runs sigsafe_lint.sh --expect-fail over this binary;
+// if a scanner regression ever stops seeing these calls, that test
+// fails instead of the real gate passing vacuously.
+//
+// The binary never installs the handler for real — it exists only to
+// be disassembled.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fixture {
+
+// noinline + used: the call edges must survive into the linked binary
+// for objdump to see them.
+__attribute__((noinline, used)) void handle_fatal_signal(int sig) {
+  std::printf("crashed with signal %d\n", sig);     // stdio: unsafe
+  void* scratch = std::malloc(64);                  // heap: unsafe
+  std::free(scratch);
+}
+
+}  // namespace fixture
+
+int main(int argc, char**) {
+  // Keep the handler reachable without running it (argc is never 17).
+  if (argc == 17) fixture::handle_fatal_signal(SIGSEGV);
+  return 0;
+}

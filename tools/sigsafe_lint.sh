@@ -1,0 +1,79 @@
+#!/bin/sh
+# sigsafe_lint.sh — async-signal-safety gate (ForkLint pass 3).
+#
+# Disassembles a linked binary and walks the crash-handler call graph
+# against the async-signal-safe allowlist. See tools/sigsafe_scan.cpp
+# for the model; this wrapper only plumbs objdump into the scanner.
+#
+#   sigsafe_lint.sh [--expect-fail] --scan SCAN_BIN BINARY [ROOT...]
+#
+#   --scan SCAN_BIN  path to the built sigsafe_scan tool
+#   BINARY           the linked binary to audit
+#   ROOT...          handler entry substrings
+#                    (default: handle_fatal_signal)
+#   --expect-fail    invert: succeed iff the scan finds violations.
+#                    Used by the known-bad fixture test — proves the
+#                    gate can actually fail, so a parser regression
+#                    cannot turn it into a vacuous pass.
+#
+# Exit: 0 gate passed, 1 gate failed, 64 usage,
+#       77 skipped (objdump unavailable; ctest SKIP_RETURN_CODE).
+set -u
+
+expect_fail=0
+scan_bin=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --expect-fail) expect_fail=1; shift ;;
+    --scan) scan_bin="$2"; shift 2 ;;
+    -*) echo "sigsafe_lint.sh: unknown option $1" >&2; exit 64 ;;
+    *) break ;;
+  esac
+done
+
+if [ -z "$scan_bin" ] || [ $# -lt 1 ]; then
+  echo "usage: sigsafe_lint.sh [--expect-fail] --scan SCAN_BIN BINARY [ROOT...]" >&2
+  exit 64
+fi
+
+binary="$1"
+shift
+if [ $# -gt 0 ]; then
+  roots="$*"
+else
+  roots="handle_fatal_signal"
+fi
+
+if ! command -v objdump >/dev/null 2>&1; then
+  echo "sigsafe_lint.sh: objdump not found; skipping" >&2
+  exit 77
+fi
+if [ ! -x "$scan_bin" ]; then
+  echo "sigsafe_lint.sh: scanner $scan_bin not built" >&2
+  exit 64
+fi
+if [ ! -r "$binary" ]; then
+  echo "sigsafe_lint.sh: cannot read $binary" >&2
+  exit 64
+fi
+
+allow="$(dirname "$0")/sigsafe_allow.txt"
+
+root_args=""
+for r in $roots; do
+  root_args="$root_args --root $r"
+done
+
+# shellcheck disable=SC2086
+objdump -d -C "$binary" | "$scan_bin" --allow "$allow" $root_args
+status=$?
+
+if [ "$expect_fail" = 1 ]; then
+  if [ "$status" = 1 ]; then
+    echo "sigsafe_lint.sh: fixture correctly rejected" >&2
+    exit 0
+  fi
+  echo "sigsafe_lint.sh: expected violations, scan exited $status" >&2
+  exit 1
+fi
+exit "$status"

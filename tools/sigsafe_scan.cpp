@@ -1,0 +1,284 @@
+// sigsafe_scan — async-signal-safety gate over a linked binary.
+//
+// The crash handlers (support/crash_report.cpp) run inside a fatal
+// signal, possibly while the faulting thread held the malloc lock or a
+// stdio lock. POSIX allows only the async-signal-safe set there; one
+// stray printf compiles fine and deadlocks once a decade. This tool
+// makes the rule mechanical: walk the *linked* binary's call graph
+// from the handler entry points and reject any reachable external
+// call that is not on the allowlist.
+//
+// Input is `objdump -d -C <binary>` on stdin (the shell wrapper
+// tools/sigsafe_lint.sh drives it). We parse function bodies
+//
+//   0000000000012345 <dionea::crash::(anonymous namespace)::write_report(...)>:
+//     12345:  e8 ..    call   45678 <malloc@plt>
+//
+// and BFS from every function whose demangled name contains a --root
+// substring. Reached symbols with a body are scanned recursively;
+// symbols without one (PLT stubs, libc) must match the allowlist.
+// Indirect calls (`call *%rax`) cannot be resolved statically and are
+// reported as warnings, not failures — the handler code is written
+// without function pointers, so any that appear deserve eyeballs.
+//
+// Exit codes: 0 clean, 1 violations, 64 usage, 65 no root matched
+// (the binary changed under the gate — that must fail loudly, not
+// vacuously pass).
+//
+//   sigsafe_scan --allow tools/sigsafe_allow.txt \
+//                --root handle_fatal_signal < dump.txt
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string allow_path;
+  std::vector<std::string> roots;
+  bool verbose = false;
+};
+
+// "malloc@plt" -> "malloc"; "operator new(unsigned long)@plt" too.
+std::string strip_plt(const std::string& sym) {
+  if (sym.size() > 4 && sym.compare(sym.size() - 4, 4, "@plt") == 0) {
+    return sym.substr(0, sym.size() - 4);
+  }
+  return sym;
+}
+
+// Allowlist entries are exact symbol names, or prefixes ending in '*'
+// ("__memcpy*" covers __memcpy_avx_unaligned and friends). C++
+// symbols compare demangled but without their parameter list, so an
+// entry "dionea::crash::Writer::flush" matches every overload.
+std::string drop_params(const std::string& sym) {
+  // Demangled names carry one top-level "(...)" parameter list at the
+  // end (possibly with nested parens inside). Scan back from the tail.
+  if (sym.empty() || sym.back() != ')') return sym;
+  int depth = 0;
+  for (size_t i = sym.size(); i-- > 0;) {
+    if (sym[i] == ')') ++depth;
+    if (sym[i] == '(' && --depth == 0) {
+      // Keep "operator()" intact.
+      if (i >= 8 && sym.compare(i - 8, 8, "operator") == 0) return sym;
+      return sym.substr(0, i);
+    }
+  }
+  return sym;
+}
+
+bool allowed(const std::string& symbol, const std::set<std::string>& exact,
+             const std::vector<std::string>& prefixes) {
+  std::string name = drop_params(strip_plt(symbol));
+  if (exact.count(name) != 0) return true;
+  for (const std::string& prefix : prefixes) {
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+struct Function {
+  std::vector<std::string> callees;   // direct call/tail-jump targets
+  std::vector<std::string> indirect;  // textual operands of `call *...`
+};
+
+// `   12345:\t e8 xx xx \tcall   45678 <sym+0x10>` -> "sym" (empty if
+// the line is not a direct call/jump to a named symbol).
+bool parse_edge(const std::string& line, const std::string& current,
+                std::string* target, bool* is_indirect) {
+  size_t tab = line.rfind('\t');
+  if (tab == std::string::npos) return false;
+  std::string insn = line.substr(tab + 1);
+  bool is_call = insn.compare(0, 4, "call") == 0;
+  bool is_jmp = insn.compare(0, 3, "jmp") == 0;
+  if (!is_call && !is_jmp) return false;
+  size_t lt = insn.find('<');
+  // Indirect: `call *%rax` / `jmp *0x..(%rip)`. Only look at the
+  // operand *before* any symbol bracket — demangled C++ names carry
+  // their parameter list, and `char const*` is not an indirect call.
+  if (insn.find('*') < lt) {
+    *is_indirect = is_call;  // indirect jmp = switch table, not an edge
+    return false;
+  }
+  size_t gt = insn.rfind('>');
+  if (lt == std::string::npos || gt == std::string::npos || gt <= lt) {
+    return false;
+  }
+  std::string sym = insn.substr(lt + 1, gt - lt - 1);
+  size_t plus = sym.rfind("+0x");
+  if (plus != std::string::npos) {
+    // <sym+0x..>: a jump into a body. Inside the current function it
+    // is plain control flow; into another function it is a (rare)
+    // cross-function jump — treat as an edge to that function.
+    sym = sym.substr(0, plus);
+    if (is_jmp && sym == current) return false;
+  }
+  if (sym.empty() || sym == current) return false;
+  *target = std::move(sym);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--allow" && i + 1 < argc) {
+      opt.allow_path = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      opt.roots.push_back(argv[++i]);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sigsafe_scan --allow FILE --root SUBSTR... "
+                   "[--verbose] < objdump-d-C-output\n");
+      return 64;
+    }
+  }
+  if (opt.allow_path.empty() || opt.roots.empty()) {
+    std::fprintf(stderr, "sigsafe_scan: --allow and --root are required\n");
+    return 64;
+  }
+
+  std::set<std::string> allow_exact;
+  std::vector<std::string> allow_prefixes;
+  {
+    std::FILE* f = std::fopen(opt.allow_path.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "sigsafe_scan: cannot open %s\n",
+                   opt.allow_path.c_str());
+      return 64;
+    }
+    char buf[512];
+    while (std::fgets(buf, sizeof buf, f) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() &&
+             (line.back() == '\n' || line.back() == '\r' ||
+              line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') continue;
+      if (line.back() == '*') {
+        allow_prefixes.push_back(line.substr(0, line.size() - 1));
+      } else {
+        allow_exact.insert(line);
+      }
+    }
+    std::fclose(f);
+  }
+
+  // ---- parse the disassembly ----
+  std::map<std::string, Function> functions;
+  Function* current = nullptr;
+  std::string current_name;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Function header: "0000000000012345 <demangled name>:"
+    size_t first_nonhex = line.find_first_not_of("0123456789abcdef");
+    if (first_nonhex != std::string::npos && first_nonhex > 0 &&
+        line[first_nonhex] == ' ' && line.back() == ':' &&
+        first_nonhex + 1 < line.size() && line[first_nonhex + 1] == '<') {
+      current_name = line.substr(first_nonhex + 2,
+                                 line.size() - first_nonhex - 4);
+      current = &functions[current_name];
+      continue;
+    }
+    if (current == nullptr) continue;
+    std::string target;
+    bool indirect = false;
+    if (parse_edge(line, current_name, &target, &indirect)) {
+      current->callees.push_back(std::move(target));
+    } else if (indirect) {
+      current->indirect.push_back(line.substr(line.rfind('\t') + 1));
+    }
+  }
+
+  // ---- BFS from the roots ----
+  std::deque<std::string> queue;
+  std::map<std::string, std::string> parent;  // visited -> via
+  for (const auto& [name, fn] : functions) {
+    for (const std::string& root : opt.roots) {
+      if (name.find(root) != std::string::npos) {
+        queue.push_back(name);
+        parent.emplace(name, "");
+      }
+    }
+  }
+  if (queue.empty()) {
+    std::fprintf(stderr,
+                 "sigsafe_scan: no function matched any --root — "
+                 "handler symbols renamed? The gate must not pass "
+                 "vacuously.\n");
+    return 65;
+  }
+
+  int violations = 0;
+  int warnings = 0;
+  auto chain = [&parent](std::string node) {
+    std::string out = node;
+    while (!parent[node].empty()) {
+      node = parent[node];
+      out = node + "\n      -> " + out;
+    }
+    return out;
+  };
+  while (!queue.empty()) {
+    std::string name = queue.front();
+    queue.pop_front();
+    const Function& fn = functions[name];
+    for (const std::string& op : fn.indirect) {
+      ++warnings;
+      std::fprintf(stderr,
+                   "sigsafe_scan: warning: indirect call in %s: %s\n",
+                   name.c_str(), op.c_str());
+    }
+    for (const std::string& callee : fn.callees) {
+      // A `sym@plt` target is a lazy-binding trampoline: objdump gives
+      // the stub a "body" (jmp through the GOT into the dynamic
+      // linker), but the real code lives in libc. Walking the stub
+      // would make every external call vanish into PLT0/_init — treat
+      // it as external and check the allowlist instead.
+      bool is_plt = callee.size() > 4 &&
+                    callee.compare(callee.size() - 4, 4, "@plt") == 0;
+      auto it = is_plt ? functions.end() : functions.find(callee);
+      if (it != functions.end()) {
+        if (parent.emplace(callee, name).second) queue.push_back(callee);
+        continue;
+      }
+      // External (no body in the dump): must be on the allowlist.
+      if (allowed(callee, allow_exact, allow_prefixes)) {
+        if (opt.verbose) {
+          std::fprintf(stderr, "sigsafe_scan: ok: %s -> %s\n", name.c_str(),
+                       callee.c_str());
+        }
+        continue;
+      }
+      ++violations;
+      std::string via = chain(name);
+      std::fprintf(stderr,
+                   "sigsafe_scan: NOT async-signal-safe: %s\n"
+                   "    reached via:\n      %s\n",
+                   callee.c_str(), via.c_str());
+    }
+  }
+
+  std::fprintf(stderr,
+               "sigsafe_scan: %zu functions scanned from %zu roots, "
+               "%d violation(s), %d indirect-call warning(s)\n",
+               parent.size(),
+               static_cast<size_t>(
+                   std::count_if(parent.begin(), parent.end(),
+                                 [](const auto& p) {
+                                   return p.second.empty();
+                                 })),
+               violations, warnings);
+  return violations == 0 ? 0 : 1;
+}
